@@ -1,0 +1,43 @@
+// Ablation: what are hints actually worth? Section 1.1 credits disclosed
+// access patterns with two benefits — deep prefetching and better-than-LRU
+// replacement. Comparing demand-LRU (no hints at all), demand-MIN (hints
+// used only for replacement) and forestall (hints used for both) splits the
+// total win into its two components, per trace at one disk and four.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  for (int disks : {1, 4}) {
+    TextTable t;
+    t.SetHeader({"trace", "demand-LRU", "demand-MIN", "forestall", "repl. gain %",
+                 "prefetch gain %"});
+    for (const char* name : {"dinero", "cscope2", "glimpse", "ld", "postgres-select", "xds"}) {
+      Trace trace = MakeTrace(name);
+      SimConfig config = BaselineConfig(name, disks);
+      RunResult lru = RunOne(trace, config, PolicyKind::kDemandLru);
+      RunResult min = RunOne(trace, config, PolicyKind::kDemand);
+      RunResult forestall = RunOne(trace, config, PolicyKind::kForestall);
+      double repl_gain = 100.0 *
+                         (static_cast<double>(lru.elapsed_time) -
+                          static_cast<double>(min.elapsed_time)) /
+                         static_cast<double>(lru.elapsed_time);
+      double prefetch_gain = 100.0 *
+                             (static_cast<double>(min.elapsed_time) -
+                              static_cast<double>(forestall.elapsed_time)) /
+                             static_cast<double>(lru.elapsed_time);
+      t.AddRow({name, TextTable::Num(lru.elapsed_sec(), 2), TextTable::Num(min.elapsed_sec(), 2),
+                TextTable::Num(forestall.elapsed_sec(), 2), TextTable::Num(repl_gain, 1),
+                TextTable::Num(prefetch_gain, 1)});
+    }
+    std::printf("Hint-value decomposition, %d disk(s), elapsed (secs)\n%s\n", disks,
+                t.ToString().c_str());
+  }
+  std::printf(
+      "Expected shape: on loop-structured traces (dinero, cscope2) MIN replacement\n"
+      "alone recovers a large share; on scattered traces (postgres-select, xds)\n"
+      "almost all of the win comes from prefetching.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Appendix B: the baseline measurements re-run with FCFS disk-head
+// scheduling instead of CSCAN. Compare against appendix A to see the
+// scheduling effect per trace (Table 5 summarizes postgres-select).
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  const bool full = FullSweepsRequested();
+  const std::vector<std::string> traces =
+      full ? std::vector<std::string>{"dinero", "cscope1", "cscope2", "cscope3", "glimpse",
+                                      "ld", "postgres-join", "postgres-select", "synth", "xds"}
+           : std::vector<std::string>{"dinero", "cscope2", "ld", "postgres-select", "xds"};
+  for (const std::string& name : traces) {
+    Trace trace = MakeTrace(name);
+    StudySpec spec;
+    spec.trace_name = name;
+    spec.disks = {1, 2, 3, 4, 5, 6};
+    spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                     PolicyKind::kReverseAggressive};
+    spec.discipline = SchedDiscipline::kFcfs;
+    std::vector<PolicySeries> series = RunStudy(trace, spec);
+    std::printf("%s\n", RenderAppendixTable("Appendix B (FCFS): " + name, spec.disks, series)
+                            .c_str());
+  }
+  if (!full) {
+    std::printf("(set PFC_FULL=1 for all ten traces)\n");
+  }
+  return 0;
+}

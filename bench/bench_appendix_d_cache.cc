@@ -1,0 +1,27 @@
+// Appendix D: baseline measurements with 5 MB (640-block) and 15 MB
+// (1920-block) caches on the traces the paper sweeps — glimpse,
+// postgres-join, postgres-select, xds.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  for (const char* name : {"glimpse", "postgres-join", "postgres-select", "xds"}) {
+    Trace trace = MakeTrace(name);
+    for (int cache : {640, 1920}) {
+      StudySpec spec;
+      spec.trace_name = name;
+      spec.disks = {1, 2, 3, 4, 5, 6};
+      spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                       PolicyKind::kReverseAggressive};
+      spec.cache_blocks_override = cache;
+      std::vector<PolicySeries> series = RunStudy(trace, spec);
+      char title[128];
+      std::snprintf(title, sizeof(title), "Appendix D: %s, cache size %d blocks", name, cache);
+      std::printf("%s\n", RenderAppendixTable(title, spec.disks, series).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Appendix E: aggressive's performance as a function of batch size on each
+// trace (figure 6 shows cscope2; the appendix covers the rest).
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  const bool full = FullSweepsRequested();
+  const std::vector<std::string> traces =
+      full ? std::vector<std::string>{"dinero", "cscope1", "cscope2", "cscope3", "glimpse",
+                                      "ld", "postgres-join", "postgres-select", "xds"}
+           : std::vector<std::string>{"dinero", "cscope1", "ld", "postgres-select", "xds"};
+  const std::vector<int> batches = {4, 8, 16, 40, 80, 160};
+  const std::vector<int> disks = {1, 2, 3, 4, 5, 6};
+
+  for (const std::string& name : traces) {
+    Trace trace = MakeTrace(name);
+    TextTable t;
+    std::vector<std::string> header = {"batch"};
+    for (int d : disks) {
+      header.push_back(TextTable::Int(d));
+    }
+    t.SetHeader(header);
+    for (int b : batches) {
+      std::vector<std::string> row = {TextTable::Int(b)};
+      for (int d : disks) {
+        SimConfig config = BaselineConfig(name, d);
+        PolicyOptions options;
+        options.aggressive_batch = b;
+        row.push_back(
+            TextTable::Num(RunOne(trace, config, PolicyKind::kAggressive, options).elapsed_sec(),
+                           2));
+      }
+      t.AddRow(row);
+    }
+    std::printf("Appendix E: aggressive elapsed (secs) vs batch size, %s\n%s\n", name.c_str(),
+                t.ToString().c_str());
+  }
+  if (!full) {
+    std::printf("(set PFC_FULL=1 for all traces)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Appendix F: reverse aggressive's elapsed time as a function of its fetch
+// time estimate F and batch size. Smaller F => a more aggressive schedule
+// (good when I/O-bound); larger batch => better scheduling when I/O-bound,
+// worse replacement when compute-bound.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  const bool full = FullSweepsRequested();
+  const std::vector<std::string> traces =
+      full ? std::vector<std::string>{"dinero", "cscope1", "cscope2", "glimpse", "ld",
+                                      "postgres-join", "postgres-select", "xds"}
+           : std::vector<std::string>{"dinero", "cscope1", "postgres-select", "xds"};
+  const std::vector<int64_t> fetch_times = {4, 8, 16, 32, 64, 128};
+  const std::vector<int> batches = full ? std::vector<int>{4, 8, 16, 40, 80, 160}
+                                        : std::vector<int>{4, 16, 80};
+  const std::vector<int> disks = {1, 2, 4, 6};
+
+  for (const std::string& name : traces) {
+    Trace trace = MakeTrace(name);
+    for (int d : disks) {
+      SimConfig config = BaselineConfig(name, d);
+      TextTable t;
+      std::vector<std::string> header = {"F \\ batch"};
+      for (int b : batches) {
+        header.push_back(TextTable::Int(b));
+      }
+      t.SetHeader(header);
+      for (int64_t f : fetch_times) {
+        std::vector<std::string> row = {TextTable::Int(f)};
+        for (int b : batches) {
+          PolicyOptions options;
+          options.revagg.fetch_time_estimate = f;
+          options.revagg.batch_size = b;
+          row.push_back(TextTable::Num(
+              RunOne(trace, config, PolicyKind::kReverseAggressive, options).elapsed_sec(), 2));
+        }
+        t.AddRow(row);
+      }
+      std::printf("Appendix F: reverse aggressive elapsed (secs), %s, %d disk(s)\n%s\n",
+                  name.c_str(), d, t.ToString().c_str());
+    }
+  }
+  if (!full) {
+    std::printf("(set PFC_FULL=1 for the full trace/batch grid)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Appendix G: fixed horizon's performance as a function of the prefetch
+// horizon across traces (figure 7 shows cscope1/cscope2; the appendix adds
+// the rest).
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  const bool full = FullSweepsRequested();
+  const std::vector<std::string> traces =
+      full ? std::vector<std::string>{"dinero", "cscope1", "cscope2", "cscope3", "glimpse",
+                                      "ld", "postgres-join", "postgres-select", "xds"}
+           : std::vector<std::string>{"dinero", "cscope1", "cscope2", "postgres-select"};
+  const std::vector<int> horizons = {16, 32, 64, 128, 256, 512, 1024, 2048};
+  const std::vector<int> disks = {1, 2, 3, 4, 5, 6};
+
+  for (const std::string& name : traces) {
+    Trace trace = MakeTrace(name);
+    TextTable t;
+    std::vector<std::string> header = {"H"};
+    for (int d : disks) {
+      header.push_back(TextTable::Int(d));
+    }
+    t.SetHeader(header);
+    for (int h : horizons) {
+      std::vector<std::string> row = {TextTable::Int(h)};
+      for (int d : disks) {
+        SimConfig config = BaselineConfig(name, d);
+        PolicyOptions options;
+        options.horizon = h;
+        row.push_back(TextTable::Num(
+            RunOne(trace, config, PolicyKind::kFixedHorizon, options).elapsed_sec(), 2));
+      }
+      t.AddRow(row);
+    }
+    std::printf("Appendix G: fixed horizon elapsed (secs) vs H, %s\n%s\n", name.c_str(),
+                t.ToString().c_str());
+  }
+  if (!full) {
+    std::printf("(set PFC_FULL=1 for all traces)\n");
+  }
+  return 0;
+}

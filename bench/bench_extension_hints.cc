@@ -1,0 +1,43 @@
+// Extension (section 6 of the paper): incomplete hints. The paper's study
+// assumes the process disclosed every access; here the prefetchers receive
+// only a fraction of the reference stream and the rest arrive as surprise
+// misses. Measures how gracefully each practical policy degrades toward
+// demand fetching as coverage falls.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  const std::vector<double> coverages = {1.0, 0.9, 0.75, 0.5, 0.25, 0.0};
+  const std::vector<PolicyKind> kinds = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                                         PolicyKind::kForestall};
+
+  for (const char* name : {"postgres-select", "cscope2"}) {
+    Trace trace = MakeTrace(name);
+    for (int d : {2, 4}) {
+      SimConfig demand_config = BaselineConfig(name, d);
+      RunResult demand = RunOne(trace, demand_config, PolicyKind::kDemand);
+
+      TextTable t;
+      t.SetHeader({"coverage", "fixed horizon", "aggressive", "forestall", "(demand)"});
+      for (double coverage : coverages) {
+        std::vector<std::string> row = {TextTable::Num(coverage, 2)};
+        for (PolicyKind kind : kinds) {
+          SimConfig config = BaselineConfig(name, d);
+          config.hint_coverage = coverage;
+          row.push_back(TextTable::Num(RunOne(trace, config, kind).elapsed_sec(), 2));
+        }
+        row.push_back(TextTable::Num(demand.elapsed_sec(), 2));
+        t.AddRow(row);
+      }
+      std::printf("Extension: hint coverage sweep, %s, %d disks, elapsed (secs)\n%s\n", name, d,
+                  t.ToString().c_str());
+    }
+  }
+  std::printf(
+      "Expected shape: elapsed time rises smoothly as coverage falls, reaching\n"
+      "demand-fetching territory at 0; most of the benefit survives 75%% coverage.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 10: fixed horizon, aggressive and forestall on the glimpse trace,
+// 1-16 disks.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  Trace trace = MakeTrace("glimpse");
+  StudySpec spec;
+  spec.trace_name = "glimpse";
+  spec.disks = PaperDiskCounts();
+  spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive, PolicyKind::kForestall};
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  std::printf("%s\n", RenderBreakdownTable("Figure 10: glimpse, cpu/driver/stall (secs)",
+                                           spec.disks, series)
+                          .c_str());
+  std::printf("%s\n",
+              RenderAppendixTable("Detail (appendix table 13 layout)", spec.disks, series)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 1: the paper's worked example of why cache replacement affects
+// parallel prefetching. Cache of 4 holding {A,b,d,F}; blocks A,C,E,F on
+// disk 0 and b,d on disk 1; fetch time 2; sequence A,b,C,d,E,F.
+//
+// The straightforward greedy (fetch soonest missing, evict furthest) takes
+// 7 steps; evicting d instead of F — deliberately choosing a *sooner*
+// referenced victim because it can be fetched back on the idle disk —
+// takes 6, which brute-force search confirms is optimal.
+
+#include <cstdio>
+
+#include "theory/theory_optimal.h"
+#include "theory/theory_sim.h"
+
+int main() {
+  using namespace pfc;
+  enum Block : int64_t { A = 0, b = 1, C = 2, d = 3, E = 4, F = 5 };
+  const char* names = "AbCdEF";
+
+  TheoryConfig config;
+  config.cache_blocks = 4;
+  config.num_disks = 2;
+  config.fetch_time = 2;
+  TheorySimulator sim({A, b, C, d, E, F}, {{A, 0}, {C, 0}, {E, 0}, {F, 0}, {b, 1}, {d, 1}},
+                      config);
+  sim.SetInitialCache({A, b, d, F});
+
+  std::printf("Figure 1: two disks, K=4, F=2, sequence A b C d E F, cache {A,b,d,F}\n\n");
+
+  TheoryResult greedy = sim.RunAggressive();
+  std::printf("(a) greedy schedule (fetch soonest missing, evict furthest):\n"
+              "    elapsed %lld steps, stall %lld, fetches %lld   [paper: 7 steps]\n\n",
+              static_cast<long long>(greedy.elapsed), static_cast<long long>(greedy.stall),
+              static_cast<long long>(greedy.fetches));
+
+  std::vector<TheoryFetch> better = {{0, C, d}, {1, d, A}, {2, E, b}};
+  TheoryResult load_balanced = sim.RunSchedule(better);
+  std::printf("(b) load-balancing schedule (evict d, refetch it on the idle disk):\n");
+  for (const TheoryFetch& f : better) {
+    std::printf("    t=%lld: fetch %c evicting %c\n", static_cast<long long>(f.issue_time),
+                names[f.block], names[f.evict]);
+  }
+  std::printf("    elapsed %lld steps, stall %lld, fetches %lld   [paper: 6 steps]\n\n",
+              static_cast<long long>(load_balanced.elapsed),
+              static_cast<long long>(load_balanced.stall),
+              static_cast<long long>(load_balanced.fetches));
+
+  std::printf("brute-force optimum over all schedules: %lld steps\n",
+              static_cast<long long>(TheoryOptimalElapsed(sim)));
+  std::printf("\nThis is the intuition behind reverse aggressive: eviction choices are\n"
+              "really decisions about which disk future fetches will use.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3: performance on the synth (left) and cscope1 (right) traces,
+// fixed horizon / aggressive / reverse aggressive, 1-4 disks. synth shows
+// the algorithms' behavior in exaggerated form: aggressive eliminates
+// stalls when I/O-bound (1 disk) but burns driver time on wasted fetches
+// once compute-bound (3+ disks), where fixed horizon is exact.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+namespace {
+
+void RunOneTrace(const char* name) {
+  using namespace pfc;
+  Trace trace = MakeTrace(name);
+  StudySpec spec;
+  spec.trace_name = name;
+  spec.disks = {1, 2, 3, 4};
+  spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                   PolicyKind::kReverseAggressive};
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  std::printf("%s\n", RenderBreakdownTable(std::string("Figure 3: ") + name, spec.disks, series)
+                          .c_str());
+  std::printf("%s\n",
+              RenderAppendixTable(std::string("Detail: ") + name, spec.disks, series).c_str());
+}
+
+}  // namespace
+
+int main() {
+  RunOneTrace("synth");
+  RunOneTrace("cscope1");
+  std::printf(
+      "Expected shape: on synth, aggressive/reverse aggressive win at 1 disk;\n"
+      "fixed horizon wins from 3 disks on (aggressive's fetch count explodes to\n"
+      "~100k). cscope1 is compute-bound: aggressive's extra fetches only add\n"
+      "driver overhead.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 4: performance on the ld trace, 1-16 disks. The canonical
+// crossover picture: aggressive prefetching wins while stalls remain (2-8
+// disks), fixed horizon wins beyond (~10 disks) once driver overhead is all
+// that separates them.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  Trace trace = MakeTrace("ld");
+  StudySpec spec;
+  spec.trace_name = "ld";
+  spec.disks = PaperDiskCounts();
+  spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                   PolicyKind::kReverseAggressive};
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  std::printf("%s\n",
+              RenderBreakdownTable("Figure 4: ld, cpu/driver/stall (secs)", spec.disks, series)
+                  .c_str());
+  std::printf("%s\n", RenderAppendixTable("Detail (appendix table 14 layout)", spec.disks,
+                                          series)
+                          .c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6 + Table 6: aggressive's elapsed time on cscope2 as a function of
+// its batch size, for 1-5 disks. Bigger batches buy scheduling latitude
+// (lower response times) until out-of-order fetching and early replacement
+// take over; the sweet spot shrinks as disks are added.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  Trace trace = MakeTrace("cscope2");
+  const std::vector<int> batches = FullSweepsRequested()
+                                       ? std::vector<int>{4, 8, 16, 40, 80, 160, 320, 640, 1280}
+                                       : std::vector<int>{4, 16, 40, 160, 640, 1280};
+  const std::vector<int> disks = {1, 2, 3, 4, 5};
+
+  TextTable t;
+  std::vector<std::string> header = {"batch"};
+  for (int d : disks) {
+    header.push_back(TextTable::Int(d) + " disk" + (d > 1 ? "s" : ""));
+  }
+  t.SetHeader(header);
+  for (int b : batches) {
+    std::vector<std::string> row = {TextTable::Int(b)};
+    for (int d : disks) {
+      SimConfig config = BaselineConfig("cscope2", d);
+      PolicyOptions options;
+      options.aggressive_batch = b;
+      row.push_back(TextTable::Num(RunOne(trace, config, PolicyKind::kAggressive, options)
+                                       .elapsed_sec(),
+                                   2));
+    }
+    t.AddRow(row);
+  }
+  std::printf("Figure 6: aggressive elapsed time (secs) on cscope2 vs batch size\n%s\n",
+              t.ToString().c_str());
+
+  TextTable t6;
+  t6.SetHeader({"disks", "1", "2", "3", "4", "5", "6", "7", ">7"});
+  t6.AddRow({"batch size", TextTable::Int(DefaultBatchSize(1)), TextTable::Int(DefaultBatchSize(2)),
+             TextTable::Int(DefaultBatchSize(3)), TextTable::Int(DefaultBatchSize(4)),
+             TextTable::Int(DefaultBatchSize(5)), TextTable::Int(DefaultBatchSize(6)),
+             TextTable::Int(DefaultBatchSize(7)), TextTable::Int(DefaultBatchSize(8))});
+  std::printf("Table 6: batch sizes used for aggressive\n%s\n", t6.ToString().c_str());
+  std::printf(
+      "Expected shape: at 1 disk, elapsed improves with batch size up to ~160 then\n"
+      "degrades; with more disks the curve flattens and the optimum moves left.\n");
+  return 0;
+}

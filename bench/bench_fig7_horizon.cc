@@ -1,0 +1,52 @@
+// Figure 7: fixed horizon's elapsed time as a function of the prefetch
+// horizon H, on the compute-bound cscope1 (left) and the more I/O-bound
+// cscope2 (right), 1-3 disks. On cscope1 bigger H only buys early
+// replacement and out-of-order fetching; on cscope2 it first eliminates
+// stalls before the same decline sets in.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+namespace {
+
+void Sweep(const char* name) {
+  using namespace pfc;
+  Trace trace = MakeTrace(name);
+  const std::vector<int> horizons = {16, 32, 64, 128, 256, 512, 1024, 2048};
+  const std::vector<int> disks = {1, 2, 3};
+
+  TextTable t;
+  std::vector<std::string> header = {"H"};
+  for (int d : disks) {
+    header.push_back(TextTable::Int(d) + " disk" + (d > 1 ? "s" : ""));
+    header.push_back("fetches");
+  }
+  t.SetHeader(header);
+  for (int h : horizons) {
+    std::vector<std::string> row = {TextTable::Int(h)};
+    for (int d : disks) {
+      SimConfig config = BaselineConfig(name, d);
+      PolicyOptions options;
+      options.horizon = h;
+      RunResult r = RunOne(trace, config, PolicyKind::kFixedHorizon, options);
+      row.push_back(TextTable::Num(r.elapsed_sec(), 2));
+      row.push_back(TextTable::Int(r.fetches));
+    }
+    t.AddRow(row);
+  }
+  std::printf("Figure 7: fixed horizon on %s, elapsed (secs) vs H\n%s\n", name,
+              t.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Sweep("cscope1");
+  Sweep("cscope2");
+  std::printf(
+      "Expected shape: cscope1 degrades monotonically for large H (fetch count\n"
+      "inflates with early replacement); cscope2 first improves substantially\n"
+      "(deeper prefetch kills stalls) and only declines at very large H.\n");
+  return 0;
+}

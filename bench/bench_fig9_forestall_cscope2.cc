@@ -1,0 +1,26 @@
+// Figure 9: fixed horizon, aggressive and forestall on the cscope2 trace,
+// 1-16 disks.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  Trace trace = MakeTrace("cscope2");
+  StudySpec spec;
+  spec.trace_name = "cscope2";
+  spec.disks = PaperDiskCounts();
+  spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive, PolicyKind::kForestall};
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  std::printf("%s\n", RenderBreakdownTable("Figure 9: cscope2, cpu/driver/stall (secs)",
+                                           spec.disks, series)
+                          .c_str());
+  std::printf("%s\n",
+              RenderAppendixTable("Detail (appendix table 11 layout)", spec.disks, series)
+                  .c_str());
+  std::printf(
+      "Expected shape: forestall best-or-tied at every array size: aggressive-like\n"
+      "through ~4 disks, fixed-horizon-like fetch counts beyond.\n");
+  return 0;
+}

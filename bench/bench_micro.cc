@@ -1,0 +1,111 @@
+// Google-benchmark micro-benchmarks of the hot data structures: the
+// next-reference oracle, the buffer cache's eviction index, the disk-head
+// schedulers, the drive mechanism, and a full small simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "pfc/pfc.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+Trace BenchTrace(int64_t reads) {
+  Rng rng(99);
+  Trace t("bench");
+  for (int64_t i = 0; i < reads; ++i) {
+    t.Append(rng.UniformInt(0, 4095), UsToNs(500));
+  }
+  return t;
+}
+
+void BM_NextRefIndexBuild(benchmark::State& state) {
+  Trace t = BenchTrace(state.range(0));
+  for (auto _ : state) {
+    NextRefIndex idx(t);
+    benchmark::DoNotOptimize(idx.trace_size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NextRefIndexBuild)->Arg(10000)->Arg(100000);
+
+void BM_NextRefIndexQuery(benchmark::State& state) {
+  Trace t = BenchTrace(50000);
+  NextRefIndex idx(t);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.NextUseAt(rng.UniformInt(0, 4095), rng.UniformInt(0, 49999)));
+  }
+}
+BENCHMARK(BM_NextRefIndexQuery);
+
+void BM_BufferCacheChurn(benchmark::State& state) {
+  BufferCache cache(1280);
+  Rng rng(3);
+  int64_t next_block = 0;
+  for (int i = 0; i < 1280; ++i) {
+    cache.StartFetchIntoFree(next_block);
+    cache.CompleteFetch(next_block, rng.UniformInt(0, 1 << 20));
+    ++next_block;
+  }
+  for (auto _ : state) {
+    int64_t victim = *cache.FurthestBlock();
+    cache.StartFetchWithEviction(next_block, victim);
+    cache.CompleteFetch(next_block, rng.UniformInt(0, 1 << 20));
+    ++next_block;
+  }
+}
+BENCHMARK(BM_BufferCacheChurn);
+
+void BM_SchedulerPopCscan(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RequestScheduler s(SchedDiscipline::kCscan);
+    for (int i = 0; i < state.range(0); ++i) {
+      QueuedRequest r;
+      r.disk_block = rng.UniformInt(0, 100000);
+      r.seq = static_cast<uint64_t>(i);
+      s.Enqueue(r);
+    }
+    state.ResumeTiming();
+    int64_t head = 0;
+    while (!s.empty()) {
+      head = s.PopNext(head).disk_block;
+    }
+    benchmark::DoNotOptimize(head);
+  }
+}
+BENCHMARK(BM_SchedulerPopCscan)->Arg(64)->Arg(1024);
+
+void BM_Hp97560RandomAccess(benchmark::State& state) {
+  auto mech = Hp97560Mechanism::MakeDefault();
+  Rng rng(7);
+  TimeNs now = 0;
+  for (auto _ : state) {
+    TimeNs dt = mech->Access(rng.UniformInt(0, 150000), now);
+    now += dt;
+    benchmark::DoNotOptimize(dt);
+  }
+}
+BENCHMARK(BM_Hp97560RandomAccess);
+
+void BM_FullSimulation(benchmark::State& state) {
+  Trace t = BenchTrace(20000);
+  SimConfig c;
+  c.cache_blocks = 1280;
+  c.num_disks = 4;
+  for (auto _ : state) {
+    ForestallPolicy policy;
+    Simulator sim(t, c, &policy);
+    RunResult r = sim.Run();
+    benchmark::DoNotOptimize(r.elapsed_time);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_FullSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pfc
+
+BENCHMARK_MAIN();

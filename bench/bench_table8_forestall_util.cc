@@ -1,0 +1,25 @@
+// Table 8: disk utilization under forestall on the postgres-select trace —
+// aggressive-like load while I/O-bound, fixed-horizon-like once
+// compute-bound.
+
+#include <cstdio>
+
+#include "pfc/pfc.h"
+
+int main() {
+  using namespace pfc;
+  Trace trace = MakeTrace("postgres-select");
+  StudySpec spec;
+  spec.trace_name = "postgres-select";
+  spec.disks = PaperDiskCounts();
+  spec.policies = {PolicyKind::kFixedHorizon, PolicyKind::kForestall, PolicyKind::kAggressive};
+  spec.tune_revagg = false;
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  std::printf("%s\n",
+              RenderUtilizationTable(
+                  "Table 8: forestall's disk utilization on postgres-select, bracketed by "
+                  "fixed horizon and aggressive",
+                  spec.disks, series)
+                  .c_str());
+  return 0;
+}

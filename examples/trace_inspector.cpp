@@ -1,0 +1,64 @@
+// trace_inspector: examine a workload's access pattern and its interaction
+// with the disk model — summary statistics, a compute-time histogram, the
+// disk-response distribution, and the miss profile under MIN replacement.
+//
+//   ./build/examples/trace_inspector [trace-name-or-file]
+//
+// The argument is either one of the built-in paper traces or a path to a
+// trace saved with pfc::SaveTraceText.
+
+#include <cstdio>
+#include <string>
+
+#include "pfc/pfc.h"
+
+int main(int argc, char** argv) {
+  const std::string arg = argc > 1 ? argv[1] : "glimpse";
+
+  pfc::Trace trace;
+  if (pfc::FindTraceSpec(arg) != nullptr) {
+    trace = pfc::MakeTrace(arg);
+  } else {
+    auto loaded = pfc::LoadTraceText(arg);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "'%s' is neither a built-in trace nor a readable trace file\n",
+                   arg.c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  }
+
+  std::printf("%s\n\n", pfc::ToString(pfc::ComputeTraceStats(trace)).c_str());
+
+  // Inter-reference compute-time distribution.
+  {
+    pfc::Histogram h(0.0, 20.0, 40);
+    for (int64_t i = 0; i < trace.size(); ++i) {
+      h.Add(pfc::NsToMs(trace.compute(i)));
+    }
+    std::printf("inter-reference compute time (ms): p50=%.2f p90=%.2f p99=%.2f\n%s\n",
+                h.Percentile(0.5), h.Percentile(0.9), h.Percentile(0.99),
+                h.ToString(10).c_str());
+  }
+
+  // Miss profile under optimal (MIN) demand replacement, and the disk
+  // response-time distribution those misses see on one disk.
+  pfc::SimConfig config = pfc::BaselineConfig(trace.name(), 1);
+  pfc::RunResult demand = pfc::RunOne(trace, config, pfc::PolicyKind::kDemand);
+  std::printf("MIN demand misses: %lld of %lld reads (%.1f%%), avg disk service %.2f ms\n",
+              static_cast<long long>(demand.fetches), static_cast<long long>(trace.size()),
+              100.0 * static_cast<double>(demand.fetches) / static_cast<double>(trace.size()),
+              demand.avg_fetch_ms);
+
+  // How much of the elapsed time is recoverable by prefetching?
+  pfc::RunResult forestall = pfc::RunOne(trace, config, pfc::PolicyKind::kForestall);
+  std::printf("demand elapsed %.2fs -> forestall elapsed %.2fs on one disk "
+              "(%.1f%% of the stall recovered)\n",
+              demand.elapsed_sec(), forestall.elapsed_sec(),
+              demand.stall_time > 0
+                  ? 100.0 *
+                        static_cast<double>(demand.stall_time - forestall.stall_time) /
+                        static_cast<double>(demand.stall_time)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "core/buffer_cache.h"
+
+#include "util/check.h"
+
+namespace pfc {
+
+BufferCache::BufferCache(int capacity_blocks) : capacity_(capacity_blocks) {
+  PFC_CHECK(capacity_blocks > 0);
+  entries_.reserve(static_cast<size_t>(capacity_blocks) * 2);
+}
+
+BufferCache::State BufferCache::GetState(int64_t block) const {
+  auto it = entries_.find(block);
+  return it == entries_.end() ? State::kAbsent : it->second.state;
+}
+
+void BufferCache::StartFetchIntoFree(int64_t block) {
+  PFC_CHECK(free_buffers() > 0);
+  PFC_CHECK(GetState(block) == State::kAbsent);
+  entries_[block] = Entry{State::kFetching, 0};
+}
+
+void BufferCache::StartFetchWithEviction(int64_t block, int64_t evict) {
+  PFC_CHECK(block != evict);
+  auto it = entries_.find(evict);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
+  PFC_CHECK(GetState(block) == State::kAbsent);
+  size_t erased = by_next_use_.erase({it->second.next_use, evict});
+  PFC_CHECK(erased == 1);
+  entries_.erase(it);
+  entries_[block] = Entry{State::kFetching, 0};
+}
+
+void BufferCache::CompleteFetch(int64_t block, int64_t next_use) {
+  auto it = entries_.find(block);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
+  it->second.state = State::kPresent;
+  it->second.next_use = next_use;
+  bool inserted = by_next_use_.insert({next_use, block}).second;
+  PFC_CHECK(inserted);
+}
+
+void BufferCache::UpdateNextUse(int64_t block, int64_t next_use) {
+  auto it = entries_.find(block);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
+  if (it->second.next_use == next_use) {
+    return;
+  }
+  if (it->second.dirty) {
+    it->second.next_use = next_use;  // dirty blocks are not indexed
+    return;
+  }
+  size_t erased = by_next_use_.erase({it->second.next_use, block});
+  PFC_CHECK(erased == 1);
+  it->second.next_use = next_use;
+  bool inserted = by_next_use_.insert({next_use, block}).second;
+  PFC_CHECK(inserted);
+}
+
+void BufferCache::InsertWritten(int64_t block, int64_t next_use) {
+  PFC_CHECK(free_buffers() > 0);
+  PFC_CHECK(GetState(block) == State::kAbsent);
+  entries_[block] = Entry{State::kPresent, next_use, true};
+  ++dirty_count_;
+}
+
+void BufferCache::EvictClean(int64_t block) {
+  auto it = entries_.find(block);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
+  PFC_CHECK(!it->second.dirty);
+  size_t erased = by_next_use_.erase({it->second.next_use, block});
+  PFC_CHECK(erased == 1);
+  entries_.erase(it);
+}
+
+void BufferCache::MarkDirty(int64_t block) {
+  auto it = entries_.find(block);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
+  if (it->second.dirty) {
+    return;
+  }
+  size_t erased = by_next_use_.erase({it->second.next_use, block});
+  PFC_CHECK(erased == 1);
+  it->second.dirty = true;
+  ++dirty_count_;
+}
+
+void BufferCache::MarkClean(int64_t block) {
+  auto it = entries_.find(block);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
+  PFC_CHECK(it->second.dirty);
+  it->second.dirty = false;
+  --dirty_count_;
+  bool inserted = by_next_use_.insert({it->second.next_use, block}).second;
+  PFC_CHECK(inserted);
+}
+
+bool BufferCache::Dirty(int64_t block) const {
+  auto it = entries_.find(block);
+  return it != entries_.end() && it->second.dirty;
+}
+
+std::optional<int64_t> BufferCache::FurthestBlock() const {
+  if (by_next_use_.empty()) {
+    return std::nullopt;
+  }
+  return by_next_use_.rbegin()->second;
+}
+
+int64_t BufferCache::FurthestNextUse() const {
+  if (by_next_use_.empty()) {
+    return -1;
+  }
+  return by_next_use_.rbegin()->first;
+}
+
+}  // namespace pfc

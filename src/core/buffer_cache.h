@@ -1,0 +1,103 @@
+// The K-block buffer cache with the paper's evict-at-issue semantics.
+//
+// A block is kAbsent, kFetching (buffer reserved, data in flight) or
+// kPresent. Starting a fetch immediately consumes a buffer: either a free
+// one or the buffer of a present block, which becomes unavailable at that
+// instant ("the evicted block becomes unavailable at the moment the fetch
+// starts", section 1.2). Present blocks are indexed by their next reference
+// position so policies can query the furthest-referenced block in O(log K).
+
+#ifndef PFC_CORE_BUFFER_CACHE_H_
+#define PFC_CORE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "core/next_ref.h"
+
+namespace pfc {
+
+class BufferCache {
+ public:
+  enum class State { kAbsent, kFetching, kPresent };
+
+  explicit BufferCache(int capacity_blocks);
+
+  int capacity() const { return capacity_; }
+  int used() const { return static_cast<int>(entries_.size()); }
+  int free_buffers() const { return capacity_ - used(); }
+  // Number of *evictable* (present and clean) blocks.
+  int present_count() const { return static_cast<int>(by_next_use_.size()); }
+
+  State GetState(int64_t block) const;
+  bool Present(int64_t block) const { return GetState(block) == State::kPresent; }
+  bool Fetching(int64_t block) const { return GetState(block) == State::kFetching; }
+
+  // Reserves a free buffer for `block` and marks it in flight. Requires a
+  // free buffer and `block` absent.
+  void StartFetchIntoFree(int64_t block);
+
+  // Evicts `evict` (must be present) and marks `block` (must be absent) in
+  // flight in its place.
+  void StartFetchWithEviction(int64_t block, int64_t evict);
+
+  // The fetch for `block` completed; it becomes present with the given next
+  // reference position as its replacement key.
+  void CompleteFetch(int64_t block, int64_t next_use);
+
+  // The application consumed `block` (must be present); reindexes it under
+  // its new next reference position.
+  void UpdateNextUse(int64_t block, int64_t next_use);
+
+  // Present *clean* block with the furthest next reference, if any. Dirty
+  // blocks are pinned (their buffer cannot be reused until flushed) and so
+  // never appear as eviction candidates.
+  std::optional<int64_t> FurthestBlock() const;
+  // Its key (NextRefIndex::kNoRef for dead blocks); -1 if no candidate.
+  int64_t FurthestNextUse() const;
+
+  // --- Write extension (the paper's future-work item) ----------------------
+
+  // A whole-block write materializes `block` without a fetch: it becomes
+  // present and dirty. Requires a free buffer and `block` absent.
+  void InsertWritten(int64_t block, int64_t next_use);
+
+  // Reclaims a clean present block's buffer without starting a fetch (used
+  // to make room for a written block).
+  void EvictClean(int64_t block);
+
+  // Present clean -> dirty (leaves the eviction index).
+  void MarkDirty(int64_t block);
+
+  // Dirty -> clean (re-enters the eviction index under its current key).
+  void MarkClean(int64_t block);
+
+  bool Dirty(int64_t block) const;
+  int dirty_count() const { return dirty_count_; }
+
+  // Present blocks in key order is occasionally needed (reverse model);
+  // expose a read-only view.
+  const std::set<std::pair<int64_t, int64_t>>& present_by_next_use() const {
+    return by_next_use_;
+  }
+
+ private:
+  struct Entry {
+    State state = State::kAbsent;
+    int64_t next_use = 0;  // valid only when present
+    bool dirty = false;
+  };
+
+  int capacity_;
+  std::unordered_map<int64_t, Entry> entries_;
+  // (next_use, block) for *clean* present blocks; rbegin() is the furthest.
+  std::set<std::pair<int64_t, int64_t>> by_next_use_;
+  int dirty_count_ = 0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_BUFFER_CACHE_H_

@@ -1,0 +1,66 @@
+#include "core/missing_tracker.h"
+
+#include <algorithm>
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+MissingTracker::MissingTracker(Simulator& sim, int64_t window) : sim_(sim), window_(window) {
+  PFC_CHECK(window > 0);
+  per_disk_.resize(static_cast<size_t>(sim.config().num_disks));
+}
+
+void MissingTracker::Insert(int64_t pos) {
+  global_.insert(pos);
+  int disk = sim_.Location(sim_.trace().block(pos)).disk;
+  per_disk_[static_cast<size_t>(disk)].insert(pos);
+}
+
+void MissingTracker::Erase(int64_t pos) {
+  global_.erase(pos);
+  int disk = sim_.Location(sim_.trace().block(pos)).disk;
+  per_disk_[static_cast<size_t>(disk)].erase(pos);
+}
+
+void MissingTracker::AdvanceTo(int64_t cursor) {
+  PFC_CHECK(cursor >= cursor_);
+  cursor_ = cursor;
+
+  // Admit newly visible positions. Undisclosed references are invisible to
+  // the prefetcher (partial-hints mode) and writes never need a fetch.
+  int64_t end = std::min(cursor + window_, sim_.trace().size());
+  for (int64_t p = std::max(added_until_, cursor); p < end; ++p) {
+    if (sim_.Hinted(p) && !sim_.trace().is_write(p) &&
+        sim_.cache().GetState(sim_.trace().block(p)) == BufferCache::State::kAbsent) {
+      Insert(p);
+    }
+  }
+  added_until_ = std::max(added_until_, end);
+
+  // Retire positions behind the cursor.
+  while (!global_.empty() && *global_.begin() < cursor) {
+    Erase(*global_.begin());
+  }
+}
+
+void MissingTracker::OnIssue(int64_t block) {
+  const auto& index = sim_.index();
+  for (int64_t p = index.NextUseAt(block, cursor_);
+       p != NextRefIndex::kNoRef && p < added_until_; p = index.NextUseAfterPosition(p)) {
+    Erase(p);
+  }
+}
+
+void MissingTracker::OnEvict(int64_t block) {
+  const auto& index = sim_.index();
+  for (int64_t p = index.NextUseAt(block, cursor_);
+       p != NextRefIndex::kNoRef && p < added_until_; p = index.NextUseAfterPosition(p)) {
+    Insert(p);
+  }
+}
+
+void MissingTracker::ErasePosition(int64_t pos) { Erase(pos); }
+
+}  // namespace pfc

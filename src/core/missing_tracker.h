@@ -1,0 +1,70 @@
+// Incremental index of "missing" references inside a lookahead window.
+//
+// Aggressive and forestall repeatedly ask: "in reference order, which
+// upcoming positions name a block that is neither cached nor in flight —
+// globally, and per disk?" Rescanning the trace on every decision point is
+// O(window) per reference; this tracker maintains the answer incrementally:
+//   * the window [cursor, cursor + W) slides one position per reference;
+//   * issuing a fetch removes the block's tracked positions;
+//   * evicting a block re-inserts its positions inside the window.
+//
+// Entries may go stale when a fetch is issued without the owning policy's
+// knowledge (the engine's free-buffer demand path); consumers must therefore
+// validate candidates against the cache before acting and call
+// ErasePosition on stale ones. Staleness is one-sided: a truly absent block
+// is always tracked, because every eviction is reported.
+
+#ifndef PFC_CORE_MISSING_TRACKER_H_
+#define PFC_CORE_MISSING_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace pfc {
+
+class Simulator;
+
+class MissingTracker {
+ public:
+  // window: how far past the cursor to track, in references.
+  MissingTracker(Simulator& sim, int64_t window);
+
+  // Slides the window forward to [cursor, cursor + window).
+  void AdvanceTo(int64_t cursor);
+
+  // A fetch for `block` was issued: drop its tracked positions.
+  void OnIssue(int64_t block);
+
+  // `block` was evicted: its in-window references are missing again.
+  void OnEvict(int64_t block);
+
+  // Removes one stale entry discovered during iteration.
+  void ErasePosition(int64_t pos);
+
+  // Ordered positions of missing references, all disks together.
+  const std::set<int64_t>& global() const { return global_; }
+
+  // Ordered positions of missing references whose block lives on `disk`.
+  const std::set<int64_t>& per_disk(int disk) const {
+    return per_disk_[static_cast<size_t>(disk)];
+  }
+
+  int64_t window() const { return window_; }
+
+ private:
+  void Insert(int64_t pos);
+  void Erase(int64_t pos);
+
+  Simulator& sim_;
+  int64_t window_;
+  int64_t cursor_ = 0;
+  int64_t added_until_ = 0;  // positions < this have been examined
+  std::set<int64_t> global_;
+  std::vector<std::set<int64_t>> per_disk_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_MISSING_TRACKER_H_

@@ -1,0 +1,59 @@
+// Next-reference index: the "full advance knowledge" oracle.
+//
+// Every studied policy assumes the application disclosed its entire read
+// sequence (section 2.1). NextRefIndex answers the two queries they all
+// need: "when is block b next used at or after position p?" (for optimal
+// fetching and do-no-harm) and "when is position i's block referenced next?"
+// (for optimal replacement bookkeeping).
+
+#ifndef PFC_CORE_NEXT_REF_H_
+#define PFC_CORE_NEXT_REF_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace pfc {
+
+class NextRefIndex {
+ public:
+  // Position meaning "never referenced (again)". Orders after every real
+  // position.
+  static constexpr int64_t kNoRef = INT64_MAX / 4;
+
+  explicit NextRefIndex(const Trace& trace);
+
+  // Partial-knowledge oracle: only positions with hinted[i] == true are
+  // disclosed. Queries answer with respect to hinted references only, so an
+  // unhinted future use is invisible — the block looks dead and its
+  // reference arrives as a surprise miss. This models the paper's
+  // "incomplete hints" discussion (section 6).
+  NextRefIndex(const Trace& trace, const std::vector<bool>& hinted);
+
+  // Smallest position p' >= p with trace.block(p') == block; kNoRef if none.
+  int64_t NextUseAt(int64_t block, int64_t p) const;
+
+  // Next position after i referencing the same block as position i.
+  int64_t NextUseAfterPosition(int64_t i) const;
+
+  // Largest position p' <= p with trace.block(p') == block; -1 if none.
+  // Reverse aggressive's schedule transform needs this.
+  int64_t PrevUseAt(int64_t block, int64_t p) const;
+
+  // First position at which `block` is referenced; kNoRef if never.
+  int64_t FirstUse(int64_t block) const;
+
+  bool Known(int64_t block) const { return positions_.count(block) > 0; }
+
+  int64_t trace_size() const { return static_cast<int64_t>(next_after_.size()); }
+
+ private:
+  std::unordered_map<int64_t, std::vector<int64_t>> positions_;
+  std::vector<int64_t> next_after_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_NEXT_REF_H_

@@ -1,0 +1,116 @@
+#include "core/policies/aggressive.h"
+
+#include <algorithm>
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+// Lookahead for the missing-block index. Aggressive's reach is bounded in
+// practice by the do-no-harm rule (it cannot fetch past the furthest cached
+// next-reference once the cache is full), so a window of several cache
+// sizes loses nothing on real traces.
+int64_t TrackerWindow(int cache_blocks) { return std::max<int64_t>(16L * cache_blocks, 16384); }
+}  // namespace
+
+AggressivePolicy::AggressivePolicy(int batch_size) : requested_batch_size_(batch_size) {}
+
+void AggressivePolicy::Init(Simulator& sim) {
+  batch_size_ =
+      requested_batch_size_ > 0 ? requested_batch_size_ : DefaultBatchSize(sim.config().num_disks);
+  tracker_ = std::make_unique<MissingTracker>(sim, TrackerWindow(sim.config().cache_blocks));
+}
+
+int64_t AggressivePolicy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+  int64_t victim = Policy::ChooseDemandEviction(sim, block);
+  tracker_->OnEvict(victim);
+  return victim;
+}
+
+void AggressivePolicy::OnDemandFetch(Simulator& sim, int64_t block) {
+  (void)sim;
+  tracker_->OnIssue(block);
+}
+
+void AggressivePolicy::OnReference(Simulator& sim, int64_t pos) {
+  tracker_->AdvanceTo(pos);
+  MaybeIssueBatches(sim);
+}
+
+void AggressivePolicy::OnDiskIdle(Simulator& sim, int disk) {
+  (void)disk;
+  tracker_->AdvanceTo(sim.cursor());
+  MaybeIssueBatches(sim);
+}
+
+void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
+  const int num_disks = sim.config().num_disks;
+  std::vector<int> budget(static_cast<size_t>(num_disks), -1);
+  std::vector<int64_t> scan_from(static_cast<size_t>(num_disks), -1);
+  int eligible = 0;
+  for (int d = 0; d < num_disks; ++d) {
+    if (sim.DiskIdle(d)) {
+      budget[static_cast<size_t>(d)] = batch_size_;
+      ++eligible;
+    }
+  }
+  if (eligible == 0) {
+    return;
+  }
+
+  // Merge the eligible disks' missing-position lists in global reference
+  // order — equivalent to the paper's "consider all their missing blocks
+  // together, in order of increasing request index" — without touching
+  // entries that belong to busy disks.
+  BufferCache& cache = sim.cache();
+  while (eligible > 0) {
+    int best_disk = -1;
+    int64_t best_p = NextRefIndex::kNoRef;
+    for (int d = 0; d < num_disks; ++d) {
+      if (budget[static_cast<size_t>(d)] <= 0) {
+        continue;
+      }
+      auto it = tracker_->per_disk(d).upper_bound(scan_from[static_cast<size_t>(d)]);
+      if (it != tracker_->per_disk(d).end() && *it < best_p) {
+        best_p = *it;
+        best_disk = d;
+      }
+    }
+    if (best_disk < 0) {
+      return;  // nothing missing on any free disk inside the window
+    }
+    scan_from[static_cast<size_t>(best_disk)] = best_p;
+
+    const int64_t block = sim.trace().block(best_p);
+    if (cache.GetState(block) != BufferCache::State::kAbsent) {
+      tracker_->ErasePosition(best_p);  // stale entry (free-buffer demand fetch)
+      continue;
+    }
+    bool ok;
+    if (cache.free_buffers() > 0) {
+      ok = sim.IssueFetch(block, Simulator::kNoEvict);
+    } else {
+      // Do no harm: the eviction victim's next reference must lie beyond the
+      // fetched block's (position best_p). Violations only get worse further
+      // out, so stop the whole round.
+      if (cache.FurthestNextUse() <= best_p) {
+        return;
+      }
+      std::optional<int64_t> victim = cache.FurthestBlock();
+      PFC_CHECK(victim.has_value());
+      ok = sim.IssueFetch(block, *victim);
+      if (ok) {
+        tracker_->OnEvict(*victim);
+      }
+    }
+    PFC_CHECK_MSG(ok, "aggressive issued an invalid fetch");
+    tracker_->OnIssue(block);
+    if (--budget[static_cast<size_t>(best_disk)] == 0) {
+      --eligible;
+    }
+  }
+}
+
+}  // namespace pfc

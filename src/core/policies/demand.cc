@@ -1,0 +1,6 @@
+#include "core/policies/demand.h"
+
+// DemandPolicy is entirely inherited behaviour; this translation unit exists
+// so the class has a home in the library.
+
+namespace pfc {}  // namespace pfc

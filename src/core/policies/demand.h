@@ -1,0 +1,24 @@
+// Optimal demand fetching: the paper's baseline (section 4.1).
+//
+// No prefetching at all; on a miss the engine fetches the missed block,
+// evicting the present block whose next reference is furthest in the future
+// (offline MIN replacement). This makes the comparison "as favorable as
+// possible to demand fetching".
+
+#ifndef PFC_CORE_POLICIES_DEMAND_H_
+#define PFC_CORE_POLICIES_DEMAND_H_
+
+#include "core/policy.h"
+
+namespace pfc {
+
+class DemandPolicy : public Policy {
+ public:
+  std::string name() const override { return "demand"; }
+  // All behaviour is the engine's demand path plus the base-class optimal
+  // eviction choice.
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_POLICIES_DEMAND_H_

@@ -1,0 +1,61 @@
+#include "core/policies/fixed_horizon.h"
+
+#include <algorithm>
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+FixedHorizonPolicy::FixedHorizonPolicy(int horizon) : horizon_(horizon) {
+  PFC_CHECK(horizon >= 0);
+}
+
+void FixedHorizonPolicy::Init(Simulator& sim) {
+  (void)sim;
+  scanned_until_ = 0;
+  deferred_.clear();
+}
+
+bool FixedHorizonPolicy::TryFetchAt(Simulator& sim, int64_t pos) {
+  const int64_t block = sim.trace().block(pos);
+  if (sim.cache().GetState(block) != BufferCache::State::kAbsent) {
+    return true;  // already present or on its way
+  }
+  if (sim.cache().free_buffers() > 0) {
+    return sim.IssueFetch(block, Simulator::kNoEvict);
+  }
+  // Evict the furthest block, provided its next reference is beyond the
+  // horizon (always true when H < K, but the sweeps push H past K).
+  const int64_t horizon_edge = sim.cursor() + horizon_;
+  if (sim.cache().FurthestNextUse() <= horizon_edge) {
+    return false;
+  }
+  std::optional<int64_t> victim = sim.cache().FurthestBlock();
+  PFC_CHECK(victim.has_value());
+  return sim.IssueFetch(block, *victim);
+}
+
+void FixedHorizonPolicy::OnReference(Simulator& sim, int64_t pos) {
+  // Retry postponed fetches, soonest first (optimal fetching: the missing
+  // block referenced next has first claim on any safe eviction slot).
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (*it < pos || TryFetchAt(sim, *it)) {
+      it = deferred_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Examine every position newly inside the horizon window [pos, pos + H];
+  // undisclosed references are invisible and writes never need a fetch.
+  const int64_t end = std::min(pos + horizon_, sim.trace().size() - 1);
+  for (int64_t p = std::max(pos, scanned_until_); p <= end; ++p) {
+    if (sim.Hinted(p) && !sim.trace().is_write(p) && !TryFetchAt(sim, p)) {
+      deferred_.insert(p);
+    }
+  }
+  scanned_until_ = std::max(scanned_until_, end + 1);
+}
+
+}  // namespace pfc

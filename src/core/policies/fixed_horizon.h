@@ -1,0 +1,54 @@
+// Fixed horizon: the TIP2-derived policy (sections 2.3, 2.7).
+//
+// Whenever a missing block lies at most H references ahead of the cursor,
+// fetch it, evicting the present block whose next reference is furthest in
+// the future — provided that reference is beyond the horizon. H defaults to
+// 62 = (15 ms average disk read) / (243 us to consume a cached block), the
+// value the paper uses everywhere except its horizon sweeps. Up to H
+// requests can be outstanding at once, which is what gives the disk
+// scheduler latitude.
+//
+// Never looking beyond H is the policy's defining trade-off: near-optimal
+// replacement and the lightest disk load, but idle disks — and stalls — when
+// the trace is I/O-bound.
+
+#ifndef PFC_CORE_POLICIES_FIXED_HORIZON_H_
+#define PFC_CORE_POLICIES_FIXED_HORIZON_H_
+
+#include <set>
+
+#include "core/policy.h"
+
+namespace pfc {
+
+inline constexpr int kDefaultPrefetchHorizon = 62;
+
+class FixedHorizonPolicy : public Policy {
+ public:
+  explicit FixedHorizonPolicy(int horizon = kDefaultPrefetchHorizon);
+
+  std::string name() const override { return "fixed-horizon"; }
+  void Init(Simulator& sim) override;
+  void OnReference(Simulator& sim, int64_t pos) override;
+
+  int horizon() const { return horizon_; }
+
+  // Positions whose fetch is postponed awaiting a safe eviction (exposed for
+  // tests). Kept ordered: the optimal-fetching rule demands that the missing
+  // block referenced soonest is fetched first.
+  const std::set<int64_t>& deferred() const { return deferred_; }
+
+ private:
+  // Attempts the fetch for the block referenced at position `pos`; returns
+  // false if it must be retried later (no eviction candidate beyond the
+  // horizon yet).
+  bool TryFetchAt(Simulator& sim, int64_t pos);
+
+  int horizon_;
+  int64_t scanned_until_ = 0;     // positions < this have been examined
+  std::set<int64_t> deferred_;    // positions whose fetch was postponed, ordered
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_POLICIES_FIXED_HORIZON_H_

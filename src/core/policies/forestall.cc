@@ -1,0 +1,187 @@
+#include "core/policies/forestall.h"
+
+#include <algorithm>
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+ForestallPolicy::ForestallPolicy() : ForestallPolicy(Params{}) {}
+
+ForestallPolicy::ForestallPolicy(Params params) : params_(params) {
+  PFC_CHECK(params.history > 0);
+  PFC_CHECK(params.horizon >= 0);
+  PFC_CHECK(params.lookahead_cache_factor > 0);
+}
+
+void ForestallPolicy::Init(Simulator& sim) {
+  batch_size_ =
+      params_.batch_size > 0 ? params_.batch_size : DefaultBatchSize(sim.config().num_disks);
+  const int64_t lookahead =
+      std::max<int64_t>(params_.lookahead_cache_factor * sim.config().cache_blocks,
+                        params_.horizon + 1);
+  tracker_ = std::make_unique<MissingTracker>(sim, lookahead);
+  access_ms_.assign(static_cast<size_t>(sim.config().num_disks),
+                    SlidingWindowSum(params_.history));
+  compute_ms_ = std::make_unique<SlidingWindowSum>(params_.history);
+  // Until real samples arrive, estimate the compute rate from the trace
+  // average — the same information TIP2 derives from its hint stream.
+  if (sim.trace().size() > 0) {
+    prior_compute_ms_ = std::max(
+        0.01, NsToMs(sim.trace().TotalCompute()) * sim.config().cpu_scale /
+                  static_cast<double>(sim.trace().size()));
+  }
+}
+
+double ForestallPolicy::FetchTimeRatio(int disk) const {
+  if (params_.fixed_f > 0.0) {
+    return params_.fixed_f;
+  }
+  const SlidingWindowSum& access = access_ms_[static_cast<size_t>(disk)];
+  double access_mean = access.size() > 0 ? access.mean() : params_.prior_access_ms;
+  double compute_mean = compute_ms_->size() > 0 ? compute_ms_->mean() : prior_compute_ms_;
+  compute_mean = std::max(compute_mean, 0.01);
+  double f = access_mean / compute_mean;
+  // Slow (non-sequential) disks get the 4x overestimate so that CSCAN
+  // reordering and access-time variance cannot sneak a stall in.
+  if (access_mean >= params_.slow_disk_threshold_ms) {
+    f *= params_.slow_disk_multiplier;
+  }
+  return f;
+}
+
+void ForestallPolicy::OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) {
+  (void)sim;
+  (void)block;
+  access_ms_[static_cast<size_t>(disk)].Add(NsToMs(service));
+}
+
+int64_t ForestallPolicy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+  int64_t victim = Policy::ChooseDemandEviction(sim, block);
+  tracker_->OnEvict(victim);
+  return victim;
+}
+
+void ForestallPolicy::OnDemandFetch(Simulator& sim, int64_t block) {
+  (void)sim;
+  tracker_->OnIssue(block);
+}
+
+void ForestallPolicy::OnReference(Simulator& sim, int64_t pos) {
+  if (pos > 0) {
+    compute_ms_->Add(NsToMs(sim.ScaledCompute(pos - 1)));
+  }
+  tracker_->AdvanceTo(pos);
+  MaybeIssue(sim);
+}
+
+void ForestallPolicy::OnDiskIdle(Simulator& sim, int disk) {
+  (void)disk;
+  tracker_->AdvanceTo(sim.cursor());
+  MaybeIssue(sim);
+}
+
+bool ForestallPolicy::FetchWithOptimalEviction(Simulator& sim, int64_t block, int64_t pos) {
+  BufferCache& cache = sim.cache();
+  bool ok;
+  if (cache.free_buffers() > 0) {
+    ok = sim.IssueFetch(block, Simulator::kNoEvict);
+  } else {
+    if (cache.FurthestNextUse() <= pos) {
+      return false;  // do no harm
+    }
+    std::optional<int64_t> victim = cache.FurthestBlock();
+    PFC_CHECK(victim.has_value());
+    ok = sim.IssueFetch(block, *victim);
+    if (ok) {
+      tracker_->OnEvict(*victim);
+    }
+  }
+  PFC_CHECK_MSG(ok, "forestall issued an invalid fetch");
+  tracker_->OnIssue(block);
+  return true;
+}
+
+bool ForestallPolicy::DiskConstrained(Simulator& sim, int disk) {
+  const double f_prime = std::max(FetchTimeRatio(disk), 1e-6);
+  const int64_t cursor = sim.cursor();
+  int64_t i = 0;
+  int64_t p = -1;
+  for (;;) {
+    auto it = tracker_->per_disk(disk).upper_bound(p);
+    if (it == tracker_->per_disk(disk).end()) {
+      return false;
+    }
+    p = *it;
+    if (sim.cache().GetState(sim.trace().block(p)) != BufferCache::State::kAbsent) {
+      tracker_->ErasePosition(p);
+      continue;
+    }
+    ++i;
+    if (static_cast<double>(i) * f_prime > static_cast<double>(p - cursor)) {
+      return true;
+    }
+  }
+}
+
+void ForestallPolicy::MaybeIssue(Simulator& sim) {
+  const int num_disks = sim.config().num_disks;
+  const int64_t cursor = sim.cursor();
+  BufferCache& cache = sim.cache();
+
+  // Fixed-horizon backstop: anything missing within H is fetched now, even
+  // to a busy disk (it joins the queue), so CSCAN reordering cannot stall
+  // us. Like fixed horizon itself, the backstop only evicts a block whose
+  // next reference lies beyond the horizon — otherwise it would thrash
+  // working sets smaller than H (the demand path handles those optimally).
+  const int64_t horizon_edge = cursor + params_.horizon;
+  for (;;) {
+    auto it = tracker_->global().begin();
+    if (it == tracker_->global().end() || *it > horizon_edge) {
+      break;
+    }
+    const int64_t p = *it;
+    const int64_t block = sim.trace().block(p);
+    if (cache.GetState(block) != BufferCache::State::kAbsent) {
+      tracker_->ErasePosition(p);
+      continue;
+    }
+    if (cache.free_buffers() == 0 && cache.FurthestNextUse() <= horizon_edge) {
+      break;  // no victim is safe to take this early
+    }
+    if (!FetchWithOptimalEviction(sim, block, p)) {
+      break;  // do-no-harm refuses; nothing nearer will fare better
+    }
+  }
+
+  // Stall-prediction rule: batch-fetch from every idle disk while it stays
+  // constrained. The predicate is re-evaluated after every issue — each
+  // fetch removes a missing block, so a compute-bound disk clears after one
+  // or two fetches while a truly starved disk fills its whole batch.
+  for (int d = 0; d < num_disks; ++d) {
+    if (!sim.DiskIdle(d)) {
+      continue;
+    }
+    int budget = batch_size_;
+    int64_t p = -1;
+    while (budget > 0 && DiskConstrained(sim, d)) {
+      auto it = tracker_->per_disk(d).upper_bound(p);
+      if (it == tracker_->per_disk(d).end()) {
+        break;
+      }
+      p = *it;
+      const int64_t block = sim.trace().block(p);
+      if (cache.GetState(block) != BufferCache::State::kAbsent) {
+        tracker_->ErasePosition(p);
+        continue;
+      }
+      if (!FetchWithOptimalEviction(sim, block, p)) {
+        break;
+      }
+      --budget;
+    }
+  }
+}
+
+}  // namespace pfc

@@ -1,0 +1,80 @@
+// Forestall: the paper's new hybrid algorithm (section 5).
+//
+// Forestall prefetches only when not doing so would provably cause a stall,
+// estimated from the current cache state: with d_i the distance (in
+// references) from the cursor to the i-th missing block on a disk, and F'
+// an (over)estimate of the fetch-time/compute-time ratio, the application
+// must stall on that disk if i*F' > d_i for some i — it takes i*F'
+// compute-units to fetch the first i missing blocks but only d_i units of
+// work exist to overlap them. While a disk is "constrained" in this sense,
+// forestall fetches from it exactly like aggressive (batched, furthest
+// eviction, do-no-harm); otherwise it waits, like fixed horizon, to make the
+// latest (best) replacement choice.
+//
+// Practicalities from section 5: F is tracked per disk as the ratio of the
+// last 100 disk access times to the last 100 inter-reference compute times;
+// F' = F when recent accesses are fast (< 5 ms, mostly sequential) and 4F
+// when slow; only missing blocks within 2K references are examined; and the
+// fixed-horizon rule (fetch anything missing within H) is kept as a backstop
+// against CSCAN reordering. A fixed F' can be supplied instead (appendix H).
+
+#ifndef PFC_CORE_POLICIES_FORESTALL_H_
+#define PFC_CORE_POLICIES_FORESTALL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/missing_tracker.h"
+#include "core/policies/fixed_horizon.h"
+#include "core/policy.h"
+#include "util/stats.h"
+
+namespace pfc {
+
+class ForestallPolicy : public Policy {
+ public:
+  struct Params {
+    int batch_size = 0;    // <= 0: per-array-size default (Table 6)
+    int horizon = kDefaultPrefetchHorizon;
+    double fixed_f = 0.0;  // > 0: static F' (appendix H); else dynamic
+    int history = 100;     // samples in the access/compute windows
+    double slow_disk_threshold_ms = 5.0;
+    double slow_disk_multiplier = 4.0;
+    int64_t lookahead_cache_factor = 2;  // examine the next 2K references
+    double prior_access_ms = 15.0;       // used until real samples exist
+  };
+
+  ForestallPolicy();
+  explicit ForestallPolicy(Params params);
+
+  std::string name() const override { return "forestall"; }
+  void Init(Simulator& sim) override;
+  void OnReference(Simulator& sim, int64_t pos) override;
+  void OnDiskIdle(Simulator& sim, int disk) override;
+  void OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) override;
+  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override;
+  void OnDemandFetch(Simulator& sim, int64_t block) override;
+
+  // Current F' for a disk (exposed for tests).
+  double FetchTimeRatio(int disk) const;
+
+ private:
+  void MaybeIssue(Simulator& sim);
+  // True if the stall predicate i*F' > d_i holds for some missing block on
+  // `disk` within the lookahead.
+  bool DiskConstrained(Simulator& sim, int disk);
+  // Fetches `block` (first use at `pos`) with furthest eviction under
+  // do-no-harm; returns false if the rule forbids it.
+  bool FetchWithOptimalEviction(Simulator& sim, int64_t block, int64_t pos);
+
+  Params params_;
+  int batch_size_ = 0;
+  std::unique_ptr<MissingTracker> tracker_;
+  std::vector<SlidingWindowSum> access_ms_;  // per disk
+  std::unique_ptr<SlidingWindowSum> compute_ms_;
+  double prior_compute_ms_ = 1.0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_POLICIES_FORESTALL_H_

@@ -1,0 +1,49 @@
+#include "core/policies/lru_demand.h"
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+void LruDemandPolicy::Touch(int64_t block) {
+  auto [it, inserted] = last_use_.try_emplace(block, 0);
+  if (!inserted) {
+    by_recency_.erase({it->second, block});
+  }
+  it->second = ++clock_;
+  by_recency_.insert({it->second, block});
+}
+
+void LruDemandPolicy::OnReference(Simulator& sim, int64_t pos) {
+  Touch(sim.trace().block(pos));
+}
+
+void LruDemandPolicy::OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) {
+  (void)sim;
+  (void)disk;
+  (void)service;
+  Touch(block);  // an arrival counts as most-recently-used
+}
+
+int64_t LruDemandPolicy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+  (void)block;
+  // Oldest tracked block that is still an eviction candidate (present and
+  // clean); drop stale entries as we go.
+  for (auto it = by_recency_.begin(); it != by_recency_.end();) {
+    int64_t candidate = it->second;
+    if (sim.cache().Present(candidate) && !sim.cache().Dirty(candidate)) {
+      return candidate;
+    }
+    if (!sim.cache().Present(candidate) && !sim.cache().Fetching(candidate)) {
+      last_use_.erase(candidate);
+      it = by_recency_.erase(it);
+    } else {
+      ++it;  // in flight or dirty: keep the stamp, skip for now
+    }
+  }
+  // Fall back to the engine's optimal choice (should not happen: the engine
+  // only calls this when a clean present block exists).
+  return Policy::ChooseDemandEviction(sim, block);
+}
+
+}  // namespace pfc

@@ -1,0 +1,38 @@
+// Demand fetching with LRU replacement: the no-hints baseline.
+//
+// The paper's demand baseline uses *offline optimal* replacement to be "as
+// favorable as possible to demand fetching" (section 4.1). Real unhinted
+// systems run LRU. Comparing demand-LRU, demand-MIN and the prefetchers
+// decomposes the benefit of hints into its two components (section 1.1):
+// better-than-LRU cache replacement, and deep prefetching.
+
+#ifndef PFC_CORE_POLICIES_LRU_DEMAND_H_
+#define PFC_CORE_POLICIES_LRU_DEMAND_H_
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "core/policy.h"
+
+namespace pfc {
+
+class LruDemandPolicy : public Policy {
+ public:
+  std::string name() const override { return "demand-lru"; }
+
+  void OnReference(Simulator& sim, int64_t pos) override;
+  void OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) override;
+  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override;
+
+ private:
+  void Touch(int64_t block);
+
+  int64_t clock_ = 0;
+  std::unordered_map<int64_t, int64_t> last_use_;       // block -> recency stamp
+  std::set<std::pair<int64_t, int64_t>> by_recency_;    // (stamp, block)
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_POLICIES_LRU_DEMAND_H_

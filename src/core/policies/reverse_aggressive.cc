@@ -1,0 +1,341 @@
+#include "core/policies/reverse_aggressive.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+ReverseAggressivePolicy::ReverseAggressivePolicy() : ReverseAggressivePolicy(Params{}) {}
+
+ReverseAggressivePolicy::ReverseAggressivePolicy(Params params) : params_(params) {
+  PFC_CHECK(params.fetch_time_estimate >= 1);
+  PFC_CHECK(params.batch_size >= 1);
+}
+
+void ReverseAggressivePolicy::Init(Simulator& sim) {
+  PFC_CHECK_MSG(sim.FullyHinted(),
+                "reverse aggressive is offline and requires full advance knowledge");
+  PFC_CHECK_MSG(sim.trace().WriteCount() == 0,
+                "reverse aggressive's schedule transform is defined for read-only traces "
+                "(the paper's setting); use the online policies for write workloads");
+  BuildSchedule(sim);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule construction: an aggressive-style greedy pass over the reversed
+// sequence in the theoretical model (unit compute, fetch time F), where each
+// replacement (fetch M, evict B) occupies disk(B). See the header comment.
+// ---------------------------------------------------------------------------
+void ReverseAggressivePolicy::BuildSchedule(Simulator& sim) {
+  const Trace rev = sim.trace().Reversed();
+  const NextRefIndex rindex(rev);
+  const int64_t n = rev.size();
+  const int cache_blocks = sim.config().cache_blocks;
+  const int num_disks = sim.config().num_disks;
+  const int64_t fetch_time = params_.fetch_time_estimate;
+  const int batch = params_.batch_size;
+
+  struct FetchRec {
+    int64_t block;
+    int64_t next_use;  // forward position
+    int disk;
+  };
+  struct EvictRec {
+    int64_t block;
+    int64_t release;  // forward position
+  };
+  std::vector<FetchRec> fetches;
+  std::vector<EvictRec> evictions;
+
+  // --- model cache ---------------------------------------------------------
+  enum : int { kAbsent = 0, kFetching = 1, kPresent = 2 };
+  std::unordered_map<int64_t, int> state;
+  std::unordered_map<int64_t, int64_t> key_of;  // present blocks: next reverse use
+  std::vector<std::set<std::pair<int64_t, int64_t>>> by_key(
+      static_cast<size_t>(num_disks));  // (key, block) per disk
+
+  auto get_state = [&](int64_t b) -> int {
+    auto it = state.find(b);
+    return it == state.end() ? kAbsent : it->second;
+  };
+  auto disk_of = [&](int64_t b) { return sim.Location(b).disk; };
+  auto make_present = [&](int64_t b, int64_t key) {
+    state[b] = kPresent;
+    key_of[b] = key;
+    by_key[static_cast<size_t>(disk_of(b))].insert({key, b});
+  };
+  auto remove_present = [&](int64_t b) {
+    by_key[static_cast<size_t>(disk_of(b))].erase({key_of[b], b});
+    key_of.erase(b);
+    state[b] = kAbsent;
+  };
+
+  // --- sliding window of missing reverse positions --------------------------
+  const int64_t window = std::max<int64_t>(16LL * cache_blocks, 16384);
+  std::set<int64_t> missing;
+  int64_t added_until = 0;
+  int64_t rho = 0;  // reverse cursor
+
+  auto missing_add_block = [&](int64_t b) {
+    for (int64_t p = rindex.NextUseAt(b, rho); p != NextRefIndex::kNoRef && p < added_until;
+         p = rindex.NextUseAfterPosition(p)) {
+      missing.insert(p);
+    }
+  };
+  auto missing_remove_block = [&](int64_t b) {
+    for (int64_t p = rindex.NextUseAt(b, rho); p != NextRefIndex::kNoRef && p < added_until;
+         p = rindex.NextUseAfterPosition(p)) {
+      missing.erase(p);
+    }
+  };
+  auto missing_advance = [&]() {
+    int64_t end = std::min(rho + window, n);
+    for (int64_t p = std::max(added_until, rho); p < end; ++p) {
+      if (get_state(rev.block(p)) == kAbsent) {
+        missing.insert(p);
+      }
+    }
+    added_until = std::max(added_until, end);
+    while (!missing.empty() && *missing.begin() < rho) {
+      missing.erase(missing.begin());
+    }
+  };
+  auto first_missing = [&]() -> int64_t { return missing.empty() ? -1 : *missing.begin(); };
+
+  // --- initial cache: forward-final contents, approximated by the first K
+  // distinct blocks of the reversed sequence (they would be hits anyway) ----
+  {
+    int inserted = 0;
+    for (int64_t p = 0; p < n && inserted < cache_blocks; ++p) {
+      int64_t b = rev.block(p);
+      if (get_state(b) == kAbsent) {
+        make_present(b, p);
+        ++inserted;
+      }
+    }
+  }
+
+  // --- model disks ----------------------------------------------------------
+  struct Completion {
+    int64_t time;
+    int64_t block;
+    int disk;
+    bool operator>(const Completion& o) const { return time > o.time; }
+  };
+  std::vector<int64_t> busy_until(static_cast<size_t>(num_disks), 0);
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>> inflight;
+
+  // Builds a batch on `disk` if it is free at model time `at`.
+  auto try_batch = [&](int disk, int64_t at) {
+    if (busy_until[static_cast<size_t>(disk)] > at) {
+      return;
+    }
+    int issued = 0;
+    while (issued < batch) {
+      auto& keyset = by_key[static_cast<size_t>(disk)];
+      if (keyset.empty()) {
+        break;
+      }
+      auto [victim_key, victim] = *keyset.rbegin();
+      int64_t miss_pos = first_missing();
+      if (miss_pos < 0 || victim_key <= miss_pos) {
+        break;  // nothing to fetch, or do-no-harm forbids
+      }
+      // Reverse eviction of `victim` == forward fetch of victim from `disk`.
+      int64_t prev = rindex.PrevUseAt(victim, rho - 1);
+      fetches.push_back(FetchRec{victim, prev < 0 ? n : n - 1 - prev, disk});
+      remove_present(victim);
+      missing_add_block(victim);
+      // Reverse fetch of the first missing block == forward eviction with a
+      // release one past its last forward use.
+      int64_t miss_block = rev.block(miss_pos);
+      evictions.push_back(EvictRec{miss_block, n - miss_pos});
+      state[miss_block] = kFetching;
+      missing_remove_block(miss_block);
+      ++issued;
+      inflight.push(Completion{at + static_cast<int64_t>(issued) * fetch_time, miss_block, disk});
+    }
+    if (issued > 0) {
+      busy_until[static_cast<size_t>(disk)] = at + static_cast<int64_t>(issued) * fetch_time;
+    }
+  };
+  auto try_all = [&](int64_t at) {
+    for (int d = 0; d < num_disks; ++d) {
+      try_batch(d, at);
+    }
+  };
+  auto complete_one = [&]() -> int64_t {
+    Completion c = inflight.top();
+    inflight.pop();
+    PFC_CHECK(get_state(c.block) == kFetching);
+    make_present(c.block, rindex.NextUseAt(c.block, rho));
+    if (busy_until[static_cast<size_t>(c.disk)] == c.time) {
+      try_batch(c.disk, c.time);
+    }
+    return c.time;
+  };
+
+  // --- the reverse pass -----------------------------------------------------
+  int64_t tau = 0;
+  for (rho = 0; rho < n; ++rho) {
+    while (!inflight.empty() && inflight.top().time <= tau) {
+      complete_one();
+    }
+    missing_advance();
+    try_all(tau);
+
+    const int64_t b = rev.block(rho);
+    while (get_state(b) != kPresent) {
+      if (get_state(b) == kAbsent) {
+        try_all(tau);  // b is the first missing block; a free disk grabs it
+      }
+      if (get_state(b) == kPresent) {
+        break;
+      }
+      PFC_CHECK_MSG(!inflight.empty(), "reverse pass wedged: block unfetchable");
+      tau = std::max(tau, complete_one());
+    }
+
+    // Consume: reindex under the next reverse use.
+    int64_t new_key = rindex.NextUseAfterPosition(rho);
+    auto& keyset = by_key[static_cast<size_t>(disk_of(b))];
+    keyset.erase({key_of[b], b});
+    key_of[b] = new_key;
+    keyset.insert({new_key, b});
+    tau += 1;
+  }
+
+  // --- terminal drain: every block still cached (or landing) exits the
+  // reverse cache; each exit is a forward (cold-start) fetch ----------------
+  rho = n;
+  missing.clear();
+  while (!inflight.empty()) {
+    complete_one();
+  }
+  for (int d = 0; d < num_disks; ++d) {
+    for (const auto& [key, b] : by_key[static_cast<size_t>(d)]) {
+      (void)key;
+      int64_t prev = rindex.PrevUseAt(b, n - 1);
+      PFC_CHECK(prev >= 0);
+      fetches.push_back(FetchRec{b, n - 1 - prev, d});
+    }
+  }
+
+  // --- transform into the forward schedule ----------------------------------
+  std::stable_sort(fetches.begin(), fetches.end(),
+                   [](const FetchRec& a, const FetchRec& b) { return a.next_use < b.next_use; });
+  std::stable_sort(evictions.begin(), evictions.end(),
+                   [](const EvictRec& a, const EvictRec& b) { return a.release < b.release; });
+  scheduled_evictions_ = static_cast<int64_t>(evictions.size());
+  PFC_CHECK(fetches.size() >= evictions.size());
+  const size_t offset = fetches.size() - evictions.size();  // fill the cold cache
+
+  pairs_.clear();
+  pairs_.reserve(fetches.size());
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    Pair p;
+    p.fetch_block = fetches[i].block;
+    p.next_use = fetches[i].next_use;
+    p.disk = fetches[i].disk;
+    if (i >= offset) {
+      p.has_evict = true;
+      p.evict_block = evictions[i - offset].block;
+      p.release = evictions[i - offset].release;
+    }
+    pairs_.push_back(p);
+  }
+  disk_pairs_.assign(static_cast<size_t>(num_disks), {});
+  disk_head_.assign(static_cast<size_t>(num_disks), 0);
+  pending_by_block_.clear();
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    disk_pairs_[static_cast<size_t>(pairs_[i].disk)].push_back(static_cast<int>(i));
+    pending_by_block_[pairs_[i].fetch_block].push_back(static_cast<int>(i));
+  }
+}
+
+void ReverseAggressivePolicy::MarkPairDone(int64_t block) {
+  auto it = pending_by_block_.find(block);
+  if (it == pending_by_block_.end() || it->second.empty()) {
+    return;
+  }
+  pairs_[static_cast<size_t>(it->second.front())].done = true;
+  it->second.pop_front();
+}
+
+void ReverseAggressivePolicy::OnDemandFetch(Simulator& sim, int64_t block) {
+  (void)sim;
+  MarkPairDone(block);
+}
+
+void ReverseAggressivePolicy::OnReference(Simulator& sim, int64_t pos) {
+  (void)pos;
+  IssueReleased(sim);
+}
+
+void ReverseAggressivePolicy::OnDiskIdle(Simulator& sim, int disk) {
+  (void)disk;
+  IssueReleased(sim);
+}
+
+void ReverseAggressivePolicy::IssueReleased(Simulator& sim) {
+  const int num_disks = sim.config().num_disks;
+  BufferCache& cache = sim.cache();
+  const int64_t cursor = sim.cursor();
+
+  for (int disk = 0; disk < num_disks; ++disk) {
+    if (!sim.DiskIdle(disk)) {
+      continue;
+    }
+    const std::vector<int>& list = disk_pairs_[static_cast<size_t>(disk)];
+    size_t& head = disk_head_[static_cast<size_t>(disk)];
+    while (head < list.size() && pairs_[static_cast<size_t>(list[head])].done) {
+      ++head;
+    }
+    int budget = params_.batch_size;
+    for (size_t i = head; budget > 0 && i < list.size(); ++i) {
+      Pair& pair = pairs_[static_cast<size_t>(list[i])];
+      if (pair.done) {
+        continue;
+      }
+      // Release points are monotone along each disk's pair list (the global
+      // eviction list is sorted by release and matched in order), so the
+      // first unreleased pair ends the batch.
+      if (pair.release > cursor) {
+        break;
+      }
+      if (cache.GetState(pair.fetch_block) != BufferCache::State::kAbsent) {
+        pair.done = true;  // a demand fetch beat us to it
+        MarkPairDone(pair.fetch_block);
+        continue;
+      }
+      bool ok = false;
+      if (pair.has_evict && cache.Present(pair.evict_block) &&
+          pair.evict_block != pair.fetch_block) {
+        ok = sim.IssueFetch(pair.fetch_block, pair.evict_block);
+      }
+      if (!ok && cache.free_buffers() > 0) {
+        ok = sim.IssueFetch(pair.fetch_block, Simulator::kNoEvict);
+      }
+      if (!ok) {
+        // The schedule drifted under real timings (the paired victim is gone
+        // or still in flight); fall back to the furthest present block.
+        std::optional<int64_t> victim = cache.FurthestBlock();
+        if (victim.has_value() && *victim != pair.fetch_block) {
+          ok = sim.IssueFetch(pair.fetch_block, *victim);
+        }
+      }
+      if (!ok) {
+        break;  // no buffer to be had right now; retry at the next hook
+      }
+      pair.done = true;
+      MarkPairDone(pair.fetch_block);
+      --budget;
+    }
+  }
+}
+
+}  // namespace pfc

@@ -1,0 +1,92 @@
+// Reverse aggressive: the theoretically near-optimal offline benchmark
+// (sections 2.5, 2.7; Kimbrel & Karlin, FOCS '96).
+//
+// Reverse aggressive balances the disks through its *eviction* choices. It
+// constructs a schedule by running an aggressive-style greedy pass over the
+// REVERSED request sequence in the theoretical model (unit compute time,
+// fixed fetch time F): whenever a disk D is free, take B = the cached block
+// residing on D whose next (reverse) request is furthest away, and M = the
+// first missing block of the reversed sequence; if B's next request falls
+// after M's, replace B with M. The twist versus forward aggressive is that
+// the replacement occupies disk(B) — because under time reversal a forward
+// fetch of B from disk(B) appears as the eviction of B — so greedily
+// evicting to as many disks as possible in reverse is exactly performing a
+// maximal set of *fetches* in parallel forward.
+//
+// The reverse pass's replacement pairs are then transformed: each reverse
+// eviction of B becomes a forward fetch of B (from disk(B), needed at B's
+// next forward use), and each reverse fetch of M becomes a forward eviction
+// of M with a release time one past M's last forward use. Fetches (sorted by
+// request index) are matched to evictions (sorted by release); the first K
+// fetches fill the initially empty cache and need no eviction. At run time
+// the pairs whose release the cursor has passed are issued to idle disks in
+// batches, exactly like aggressive.
+//
+// Because the pass is offline it must assume one fixed fetch-time/compute-
+// time ratio F; traces with bursty compute times (cscope3) defeat any single
+// estimate — the effect section 4.3 documents. F and the batch size are
+// per-configuration tuning parameters (appendix F).
+
+#ifndef PFC_CORE_POLICIES_REVERSE_AGGRESSIVE_H_
+#define PFC_CORE_POLICIES_REVERSE_AGGRESSIVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace pfc {
+
+class ReverseAggressivePolicy : public Policy {
+ public:
+  struct Params {
+    // Fetch time F in reference (compute-time) units used by the reverse
+    // pass. Smaller F -> a more aggressive schedule (section 4.3).
+    int64_t fetch_time_estimate = 64;
+    // Batch size used both when constructing the reverse schedule and when
+    // issuing the forward pairs.
+    int batch_size = 16;
+  };
+
+  ReverseAggressivePolicy();
+  explicit ReverseAggressivePolicy(Params params);
+
+  std::string name() const override { return "reverse-aggressive"; }
+  void Init(Simulator& sim) override;
+  void OnReference(Simulator& sim, int64_t pos) override;
+  void OnDiskIdle(Simulator& sim, int disk) override;
+  void OnDemandFetch(Simulator& sim, int64_t block) override;
+
+  // Schedule introspection (for tests).
+  int64_t scheduled_fetches() const { return static_cast<int64_t>(pairs_.size()); }
+  int64_t scheduled_evictions() const { return scheduled_evictions_; }
+
+ private:
+  struct Pair {
+    int64_t fetch_block = 0;
+    int64_t next_use = 0;   // forward position the fetch is needed at
+    int disk = 0;           // disk holding fetch_block
+    bool has_evict = false;
+    int64_t evict_block = 0;
+    int64_t release = 0;    // earliest cursor at which the eviction is legal
+    bool done = false;
+  };
+
+  void BuildSchedule(Simulator& sim);
+  void IssueReleased(Simulator& sim);
+  void MarkPairDone(int64_t block);
+
+  Params params_;
+  std::vector<Pair> pairs_;                      // sorted by next_use
+  std::vector<std::vector<int>> disk_pairs_;     // pair indices per disk
+  std::vector<size_t> disk_head_;                // first maybe-alive index
+  std::unordered_map<int64_t, std::deque<int>> pending_by_block_;
+  int64_t scheduled_evictions_ = 0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_POLICIES_REVERSE_AGGRESSIVE_H_

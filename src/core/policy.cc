@@ -1,0 +1,34 @@
+#include "core/policy.h"
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+int64_t Policy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+  (void)block;
+  std::optional<int64_t> victim = sim.cache().FurthestBlock();
+  PFC_CHECK_MSG(victim.has_value(), "demand eviction requested with no present blocks");
+  return *victim;
+}
+
+int DefaultBatchSize(int num_disks) {
+  // Table 6.
+  switch (num_disks) {
+    case 1:
+      return 80;
+    case 2:
+    case 3:
+      return 40;
+    case 4:
+    case 5:
+      return 16;
+    case 6:
+    case 7:
+      return 8;
+    default:
+      return 4;
+  }
+}
+
+}  // namespace pfc

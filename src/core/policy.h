@@ -1,0 +1,77 @@
+// Policy interface: an integrated prefetching + caching strategy.
+//
+// The simulation engine serves the reference stream; a Policy decides when
+// to fetch which block from which disk and which block to evict. Policies
+// act at three hook points:
+//   * OnReference — the application is about to serve reference `pos`
+//     (fixed horizon and forestall key off the advancing cursor);
+//   * OnDiskIdle — a disk drained its queue (aggressive-family policies
+//     build their next batch here);
+//   * OnFetchComplete — a request finished (forestall samples access times).
+//
+// Policies issue work through Simulator::IssueFetch, which enforces
+// evict-at-issue cache semantics; the do-no-harm rule is each policy's own
+// responsibility (demand fetches on the stall path legitimately bypass it).
+
+#ifndef PFC_CORE_POLICY_H_
+#define PFC_CORE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+class Simulator;
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before the run; offline policies (reverse aggressive) build
+  // their schedule here.
+  virtual void Init(Simulator& sim) { (void)sim; }
+
+  virtual void OnReference(Simulator& sim, int64_t pos) {
+    (void)sim;
+    (void)pos;
+  }
+
+  virtual void OnDiskIdle(Simulator& sim, int disk) {
+    (void)sim;
+    (void)disk;
+  }
+
+  virtual void OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) {
+    (void)sim;
+    (void)disk;
+    (void)block;
+    (void)service;
+  }
+
+  // The engine issued a demand fetch for `block` (the application stalled on
+  // it). Policies that keep their own view of outstanding work reconcile it
+  // here.
+  virtual void OnDemandFetch(Simulator& sim, int64_t block) {
+    (void)sim;
+    (void)block;
+  }
+
+  // The application stalled on `block` and no fetch is in flight for it.
+  // Returns the block to evict, or -1 to use a free buffer. The engine only
+  // calls this when no free buffer exists; the default picks the
+  // furthest-referenced present block (optimal replacement).
+  virtual int64_t ChooseDemandEviction(Simulator& sim, int64_t block);
+};
+
+// The batch sizes the paper uses for aggressive and forestall (Table 6),
+// keyed by array size: 80/40/40/16/16/8/8 for 1-7 disks, 4 beyond.
+int DefaultBatchSize(int num_disks);
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_POLICY_H_

@@ -1,0 +1,19 @@
+#include "core/run_result.h"
+
+#include <cstdio>
+
+namespace pfc {
+
+std::string RunResult::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s/%s d=%d: fetches=%lld (demand %lld) elapsed=%.3fs "
+                "(compute %.3f + driver %.3f + stall %.3f) avg fetch=%.3fms util=%.2f",
+                trace_name.c_str(), policy_name.c_str(), num_disks,
+                static_cast<long long>(fetches), static_cast<long long>(demand_fetches),
+                elapsed_sec(), compute_sec(), driver_sec(), stall_sec(), avg_fetch_ms,
+                avg_disk_util);
+  return buf;
+}
+
+}  // namespace pfc

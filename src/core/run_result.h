@@ -1,0 +1,46 @@
+// Per-run output metrics — exactly the rows of the paper's appendix tables.
+
+#ifndef PFC_CORE_RUN_RESULT_H_
+#define PFC_CORE_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+struct RunResult {
+  std::string trace_name;
+  std::string policy_name;
+  int num_disks = 0;
+
+  int64_t fetches = 0;         // read I/O requests issued
+  int64_t demand_fetches = 0;  // subset issued on the stall path
+  int64_t write_refs = 0;      // write references served (write extension)
+  int64_t flushes = 0;         // write-backs issued during the run
+  int64_t dirty_at_end = 0;    // dirty blocks left for post-run write-back
+
+  TimeNs compute_time = 0;  // sum of (scaled) inter-reference compute times
+  TimeNs driver_time = 0;   // fetches * driver_overhead
+  TimeNs stall_time = 0;    // processor idle, waiting on I/O
+  TimeNs elapsed_time = 0;  // compute + driver + stall
+
+  double avg_fetch_ms = 0;     // mean disk service time per request
+  double avg_response_ms = 0;  // mean queueing + service time per request
+  double avg_disk_util = 0;    // mean over disks of busy / elapsed
+  std::vector<double> per_disk_util;
+
+  double elapsed_sec() const { return NsToSec(elapsed_time); }
+  double stall_sec() const { return NsToSec(stall_time); }
+  double driver_sec() const { return NsToSec(driver_time); }
+  double compute_sec() const { return NsToSec(compute_time); }
+
+  // Multi-line appendix-style rendering.
+  std::string ToString() const;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_RUN_RESULT_H_

@@ -1,0 +1,57 @@
+// Configuration for one simulation run.
+
+#ifndef PFC_CORE_SIM_CONFIG_H_
+#define PFC_CORE_SIM_CONFIG_H_
+
+#include "disk/disk_array.h"
+#include "disk/scheduler.h"
+#include "layout/placement.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+struct SimConfig {
+  // Cache capacity in 8 KB blocks. The paper uses 1280 (10 MB) for most
+  // traces and 512 (4 MB) for dinero and cscope1 (section 3.1).
+  int cache_blocks = 1280;
+
+  // Number of independently accessible disks.
+  int num_disks = 1;
+
+  // Drive model and head-scheduling discipline.
+  DiskModelKind disk_model = DiskModelKind::kDetailed;
+  SchedDiscipline discipline = SchedDiscipline::kCscan;
+
+  // Data placement across the array. The paper stripes with a one-block
+  // stripe unit.
+  PlacementKind placement = PlacementKind::kStriped;
+
+  // CPU cost charged to the application timeline per I/O request issued —
+  // 0.5 ms, typical of the DECstation 5000/200 (section 3.1). This is the
+  // "driver time" component of elapsed time.
+  TimeNs driver_overhead = UsToNs(500);
+
+  // Multiplier applied to the trace's compute times; 0.5 models the paper's
+  // double-speed-CPU experiment (section 4.4, appendix C).
+  double cpu_scale = 1.0;
+
+  // Fraction of references disclosed to the prefetcher (section 6's
+  // "incomplete hints" extension). 1.0 = full advance knowledge (the
+  // paper's setting). Below 1.0, each reference is hinted independently
+  // with this probability (deterministic in hint_seed); undisclosed
+  // references are invisible to the policies and arrive as surprise demand
+  // misses. Reverse aggressive, being fully offline, requires 1.0.
+  double hint_coverage = 1.0;
+  uint64_t hint_seed = 1;
+
+  // Write extension (the paper's future-work item). false = write-behind:
+  // writes complete immediately into a dirty buffer and are flushed in the
+  // background whenever their disk is otherwise idle ("write behind
+  // strategies can mask update latency", section 1.1). true = write-through:
+  // every write stalls until it reaches the disk.
+  bool write_through = false;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_SIM_CONFIG_H_

@@ -1,0 +1,350 @@
+#include "core/simulator.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+std::vector<bool> Simulator::BuildHintMask(const Trace& trace, const SimConfig& config) {
+  PFC_CHECK(config.hint_coverage >= 0.0 && config.hint_coverage <= 1.0);
+  if (config.hint_coverage >= 1.0) {
+    return {};
+  }
+  Rng rng(SplitMix64(config.hint_seed) ^ 0x4117ED5ULL);
+  std::vector<bool> mask(static_cast<size_t>(trace.size()));
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng.UniformDouble() < config.hint_coverage;
+  }
+  return mask;
+}
+
+Simulator::Simulator(const Trace& trace, const SimConfig& config, Policy* policy)
+    : trace_(trace),
+      config_(config),
+      policy_(policy),
+      hinted_(BuildHintMask(trace, config)),
+      index_(trace, hinted_),
+      cache_(config.cache_blocks),
+      placement_(MakePlacement(config.placement, config.num_disks)),
+      disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
+                                         config.discipline)) {
+  PFC_CHECK(policy != nullptr);
+  dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
+  flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
+}
+
+TimeNs Simulator::ScaledCompute(int64_t pos) const {
+  return static_cast<TimeNs>(static_cast<double>(trace_.compute(pos)) * config_.cpu_scale + 0.5);
+}
+
+bool Simulator::IssueFetch(int64_t block, int64_t evict) {
+  if (cache_.GetState(block) != BufferCache::State::kAbsent) {
+    return false;
+  }
+  if (evict == kNoEvict) {
+    if (cache_.free_buffers() == 0) {
+      return false;
+    }
+    cache_.StartFetchIntoFree(block);
+  } else {
+    if (!cache_.Present(evict) || evict == block) {
+      return false;
+    }
+    cache_.StartFetchWithEviction(block, evict);
+  }
+  BlockLocation loc = placement_->Map(block);
+  disks_->disk(loc.disk).Enqueue(block, loc.disk_block, sim_now_, next_seq_++);
+  ++fetches_;
+  pending_driver_ += config_.driver_overhead;
+  driver_total_ += config_.driver_overhead;
+  TryDispatch(loc.disk);
+  return true;
+}
+
+void Simulator::TryDispatch(int disk) {
+  std::optional<DispatchResult> res = disks_->disk(disk).TryDispatch(sim_now_);
+  if (res.has_value()) {
+    events_.push(Event{res->complete_time, next_seq_++, disk, res->logical_block,
+                       res->service_time});
+  }
+}
+
+void Simulator::ApplyNextEvent() {
+  PFC_CHECK(!events_.empty());
+  Event ev = events_.top();
+  events_.pop();
+  PFC_CHECK(ev.time >= sim_now_);
+  sim_now_ = ev.time;
+
+  Disk& d = disks_->disk(ev.disk);
+  d.CompleteCurrent(ev.time);
+  if (flush_in_flight_.erase(ev.block) > 0) {
+    // A write-back finished. A write that landed mid-flush re-dirties.
+    --flush_outstanding_[static_cast<size_t>(ev.disk)];
+    if (redirty_pending_.erase(ev.block) > 0) {
+      dirty_by_disk_[static_cast<size_t>(ev.disk)].insert(ev.block);
+    } else {
+      cache_.MarkClean(ev.block);
+    }
+  } else {
+    // Key the arrival under its next disclosed use — except that a block the
+    // application is waiting on right now is known to be needed at the
+    // cursor even if that reference was never hinted (the outstanding demand
+    // request is itself the disclosure). Without this, a policy could evict
+    // the arrival before the stalled application consumes it.
+    int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
+                           ? cursor_
+                           : index_.NextUseAt(ev.block, cursor_);
+    cache_.CompleteFetch(ev.block, next_use);
+    policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
+  }
+  TryDispatch(ev.disk);
+  if (d.idle()) {
+    policy_->OnDiskIdle(*this, ev.disk);
+    // The policy may have enqueued new work during the callback.
+    TryDispatch(ev.disk);
+  }
+  if (d.idle()) {
+    MaybeFlush(ev.disk);
+  }
+}
+
+void Simulator::IssueFlush(int64_t block) {
+  PFC_CHECK(cache_.Present(block) && cache_.Dirty(block));
+  PFC_CHECK(flush_in_flight_.count(block) == 0);
+  BlockLocation loc = placement_->Map(block);
+  dirty_by_disk_[static_cast<size_t>(loc.disk)].erase(block);
+  flush_in_flight_.insert(block);
+  ++flush_outstanding_[static_cast<size_t>(loc.disk)];
+  disks_->disk(loc.disk).Enqueue(block, loc.disk_block, sim_now_, next_seq_++);
+  ++flushes_;
+  pending_driver_ += config_.driver_overhead;
+  driver_total_ += config_.driver_overhead;
+  TryDispatch(loc.disk);
+}
+
+void Simulator::MaybeFlush(int disk) {
+  if (config_.write_through) {
+    return;  // write-through flushes synchronously at the write
+  }
+  std::set<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(disk)];
+  if (dirty.empty()) {
+    return;
+  }
+  // Opportunistic: an idle disk always cleans.
+  if (disks_->disk(disk).idle()) {
+    IssueFlush(*dirty.begin());
+    return;
+  }
+  // High-water: never let dirty buffers silt up the cache just because the
+  // prefetcher keeps the disk busy — inject write-backs into the queue.
+  const int64_t high_water =
+      std::max<int64_t>(1, config_.cache_blocks / (4 * config_.num_disks));
+  while (static_cast<int64_t>(dirty.size()) > high_water &&
+         flush_outstanding_[static_cast<size_t>(disk)] < 8) {
+    IssueFlush(*dirty.begin());
+  }
+}
+
+bool Simulator::ForceFlushForProgress() {
+  if (config_.write_through) {
+    return false;
+  }
+  for (int d = 0; d < config_.num_disks; ++d) {
+    std::set<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(d)];
+    if (!dirty.empty()) {
+      IssueFlush(*dirty.begin());
+      return true;
+    }
+  }
+  return false;
+}
+
+void Simulator::ServeWrite(int64_t pos, int64_t block) {
+  ++write_refs_;
+  const TimeNs wait_start = app_time_;
+
+  // A prefetch for the block may be in flight; the buffer is busy until it
+  // lands (the new contents then overwrite it).
+  while (cache_.Fetching(block)) {
+    ApplyNextEvent();
+  }
+
+  if (!cache_.Present(block)) {
+    // Whole-block write: materialize a buffer, no fetch required.
+    for (;;) {
+      if (cache_.free_buffers() > 0) {
+        cache_.InsertWritten(block, index_.NextUseAt(block, pos));
+        dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
+        break;
+      }
+      if (cache_.present_count() > 0) {
+        int64_t victim = policy_->ChooseDemandEviction(*this, block);
+        cache_.EvictClean(victim);
+        continue;
+      }
+      // Every buffer is dirty or in flight; wait for a flush or arrival.
+      if (flush_in_flight_.empty()) {
+        ForceFlushForProgress();
+      }
+      PFC_CHECK_MSG(!events_.empty(), "cache wedged: all buffers dirty or in flight");
+      ApplyNextEvent();
+    }
+  } else if (flush_in_flight_.count(block) > 0) {
+    redirty_pending_.insert(block);
+  } else if (!cache_.Dirty(block)) {
+    cache_.MarkDirty(block);
+    dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
+  }
+
+  if (config_.write_through) {
+    // The write stalls until the new contents are durable: wait out any
+    // flush of the old contents, then flush again if still dirty.
+    while (flush_in_flight_.count(block) > 0) {
+      ApplyNextEvent();
+    }
+    if (cache_.Dirty(block)) {
+      IssueFlush(block);
+      while (flush_in_flight_.count(block) > 0) {
+        ApplyNextEvent();
+      }
+    }
+  }
+
+  if (sim_now_ > wait_start) {
+    stall_total_ += sim_now_ - wait_start;
+    app_time_ = sim_now_;
+  }
+}
+
+void Simulator::DrainEventsUpTo(TimeNs t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    ApplyNextEvent();
+  }
+  sim_now_ = t;
+}
+
+void Simulator::DemandFetch(int64_t block) {
+  ++demand_fetches_;
+  for (;;) {
+    if (cache_.GetState(block) != BufferCache::State::kAbsent) {
+      return;  // a policy callback fetched it while we were waiting
+    }
+    if (cache_.free_buffers() > 0) {
+      bool ok = IssueFetch(block, kNoEvict);
+      PFC_CHECK(ok);
+      policy_->OnDemandFetch(*this, block);
+      return;
+    }
+    if (cache_.present_count() > 0) {
+      int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      bool ok = IssueFetch(block, victim);
+      PFC_CHECK_MSG(ok, "demand eviction choice was not a present block");
+      policy_->OnDemandFetch(*this, block);
+      return;
+    }
+    // Every buffer is in flight or dirty; make sure a flush is draining the
+    // dirty population, then wait for the next completion.
+    if (flush_in_flight_.empty()) {
+      ForceFlushForProgress();
+    }
+    PFC_CHECK_MSG(!events_.empty(), "cache saturated with fetches but no disk events pending");
+    ApplyNextEvent();
+  }
+}
+
+RunResult Simulator::Run() {
+  PFC_CHECK_MSG(!ran_, "Simulator::Run is single-shot");
+  ran_ = true;
+
+  policy_->Init(*this);
+
+  const int64_t n = trace_.size();
+  for (int64_t pos = 0; pos < n; ++pos) {
+    cursor_ = pos;
+    DrainEventsUpTo(app_time_);
+    policy_->OnReference(*this, pos);
+    // Write-behind: clean dirty buffers on idle disks, and keep the dirty
+    // population below the high-water mark on busy ones.
+    if (cache_.dirty_count() > 0) {
+      for (int d = 0; d < config_.num_disks; ++d) {
+        MaybeFlush(d);
+      }
+    }
+
+    const int64_t block = trace_.block(pos);
+    if (trace_.is_write(pos)) {
+      ServeWrite(pos, block);
+      cache_.UpdateNextUse(block, index_.NextUseAfterPosition(pos));
+      TimeNs compute = ScaledCompute(pos);
+      compute_total_ += compute;
+      app_time_ += compute + pending_driver_;
+      pending_driver_ = 0;
+      continue;
+    }
+    if (!cache_.Present(block)) {
+      if (!cache_.Fetching(block)) {
+        DemandFetch(block);
+      }
+      const TimeNs wait_start = app_time_;
+      while (!cache_.Present(block)) {
+        if (cache_.GetState(block) == BufferCache::State::kAbsent) {
+          // A policy callback evicted the block while we waited; demand it
+          // again rather than livelock.
+          DemandFetch(block);
+          continue;
+        }
+        ApplyNextEvent();
+      }
+      if (sim_now_ > wait_start) {
+        stall_total_ += sim_now_ - wait_start;
+        app_time_ = sim_now_;
+      }
+    }
+
+    // Consume the reference: reindex the block under its next use and burn
+    // the inter-reference compute time plus any accrued driver overhead.
+    cache_.UpdateNextUse(block, index_.NextUseAfterPosition(pos));
+    TimeNs compute = ScaledCompute(pos);
+    compute_total_ += compute;
+    app_time_ += compute + pending_driver_;
+    pending_driver_ = 0;
+  }
+
+  RunResult result;
+  result.trace_name = trace_.name();
+  result.policy_name = policy_->name();
+  result.num_disks = config_.num_disks;
+  result.fetches = fetches_;
+  result.demand_fetches = demand_fetches_;
+  result.write_refs = write_refs_;
+  result.flushes = flushes_;
+  result.dirty_at_end = cache_.dirty_count();
+  result.compute_time = compute_total_;
+  result.driver_time = driver_total_;
+  result.stall_time = stall_total_;
+  result.elapsed_time = app_time_;
+
+  int64_t completed = 0;
+  double sum_service = 0;
+  double sum_response = 0;
+  double util_sum = 0;
+  for (int i = 0; i < disks_->num_disks(); ++i) {
+    const DiskStats& s = disks_->disk(i).stats();
+    completed += s.requests;
+    sum_service += s.sum_service_ms;
+    sum_response += s.sum_response_ms;
+    double util =
+        app_time_ > 0 ? static_cast<double>(s.busy_ns) / static_cast<double>(app_time_) : 0.0;
+    result.per_disk_util.push_back(util);
+    util_sum += util;
+  }
+  if (completed > 0) {
+    result.avg_fetch_ms = sum_service / static_cast<double>(completed);
+    result.avg_response_ms = sum_response / static_cast<double>(completed);
+  }
+  result.avg_disk_util = util_sum / static_cast<double>(disks_->num_disks());
+  return result;
+}
+
+}  // namespace pfc

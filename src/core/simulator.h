@@ -1,0 +1,133 @@
+// The discrete-event simulation engine.
+//
+// The engine interleaves two timelines: the application, which consumes one
+// reference after another (hit => advance by the trace's inter-reference
+// compute time; miss => stall until the block arrives), and the disks, which
+// service their queues one request at a time. Every issued I/O charges the
+// driver overhead to the application clock, so elapsed time decomposes
+// exactly as compute + driver + stall — the three bars of the paper's
+// figures.
+//
+// The engine owns the mechanics (cache semantics, disk queues, events,
+// stall accounting); the Policy decides what to fetch and what to evict.
+
+#ifndef PFC_CORE_SIMULATOR_H_
+#define PFC_CORE_SIMULATOR_H_
+
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/buffer_cache.h"
+#include "core/next_ref.h"
+#include "core/policy.h"
+#include "core/run_result.h"
+#include "core/sim_config.h"
+#include "disk/disk_array.h"
+#include "layout/placement.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+class Simulator {
+ public:
+  // `trace` and `policy` must outlive the simulator.
+  Simulator(const Trace& trace, const SimConfig& config, Policy* policy);
+
+  // Runs the whole trace; callable once per Simulator instance.
+  RunResult Run();
+
+  // --- State queries for policies -----------------------------------------
+
+  TimeNs now() const { return sim_now_; }
+  int64_t cursor() const { return cursor_; }
+  const Trace& trace() const { return trace_; }
+  const NextRefIndex& index() const { return index_; }
+  BufferCache& cache() { return cache_; }
+  const BufferCache& cache() const { return cache_; }
+  const SimConfig& config() const { return config_; }
+  const DiskArray& disks() const { return *disks_; }
+  BlockLocation Location(int64_t block) const { return placement_->Map(block); }
+  bool DiskIdle(int d) const { return disks_->disk(d).idle(); }
+  // Whether reference `pos` was disclosed to the prefetcher. Policies must
+  // not act on undisclosed positions (the engine's demand path covers them).
+  bool Hinted(int64_t pos) const {
+    return hinted_.empty() || hinted_[static_cast<size_t>(pos)];
+  }
+  bool FullyHinted() const { return hinted_.empty(); }
+  // Inter-reference compute time after position `pos`, with cpu_scale
+  // applied.
+  TimeNs ScaledCompute(int64_t pos) const;
+
+  // --- Actions -------------------------------------------------------------
+
+  // Issues a fetch for `block`, evicting `evict` (pass kNoEvict to take a
+  // free buffer). Returns false — without side effects — if the request is
+  // invalid: block not absent, eviction target not present, or no free
+  // buffer when one was requested.
+  static constexpr int64_t kNoEvict = -1;
+  bool IssueFetch(int64_t block, int64_t evict);
+
+ private:
+  struct Event {
+    TimeNs time = 0;
+    uint64_t seq = 0;
+    int disk = 0;
+    int64_t block = 0;
+    TimeNs service = 0;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void TryDispatch(int disk);
+  void ApplyNextEvent();
+  void DrainEventsUpTo(TimeNs t);
+  void DemandFetch(int64_t block);
+  // Write extension.
+  void ServeWrite(int64_t pos, int64_t block);
+  void IssueFlush(int64_t block);
+  void MaybeFlush(int disk);
+  // Issues one flush anywhere, to guarantee an all-dirty cache drains.
+  bool ForceFlushForProgress();
+
+  static std::vector<bool> BuildHintMask(const Trace& trace, const SimConfig& config);
+
+  const Trace& trace_;
+  SimConfig config_;
+  Policy* policy_;
+
+  std::vector<bool> hinted_;  // empty = everything hinted
+  NextRefIndex index_;
+  BufferCache cache_;
+  std::unique_ptr<Placement> placement_;
+  std::unique_ptr<DiskArray> disks_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t next_seq_ = 0;
+
+  TimeNs app_time_ = 0;       // application clock
+  TimeNs sim_now_ = 0;        // instant at which actions are happening
+  int64_t cursor_ = 0;        // next reference to serve
+  TimeNs pending_driver_ = 0; // driver CPU accrued since the last consume
+
+  int64_t fetches_ = 0;
+  int64_t demand_fetches_ = 0;
+  // Write extension state.
+  int64_t write_refs_ = 0;
+  int64_t flushes_ = 0;
+  std::vector<std::set<int64_t>> dirty_by_disk_;   // flushable blocks per disk
+  std::unordered_set<int64_t> flush_in_flight_;    // blocks being written back
+  std::unordered_set<int64_t> redirty_pending_;    // written again mid-flush
+  std::vector<int> flush_outstanding_;             // queued write-backs per disk
+  TimeNs stall_total_ = 0;
+  TimeNs driver_total_ = 0;
+  TimeNs compute_total_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_SIMULATOR_H_

@@ -1,0 +1,56 @@
+#include "disk/disk.h"
+
+#include "util/check.h"
+
+namespace pfc {
+
+Disk::Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline)
+    : id_(id), mechanism_(std::move(mechanism)), scheduler_(discipline) {
+  PFC_CHECK(mechanism_ != nullptr);
+}
+
+void Disk::Enqueue(int64_t logical_block, int64_t disk_block, TimeNs now, uint64_t seq) {
+  QueuedRequest r;
+  r.logical_block = logical_block;
+  r.disk_block = disk_block;
+  r.enqueue_time = now;
+  r.seq = seq;
+  scheduler_.Enqueue(r);
+}
+
+std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
+  if (busy_ || scheduler_.empty()) {
+    return std::nullopt;
+  }
+  QueuedRequest r = scheduler_.PopNext(head_block_);
+  TimeNs service = mechanism_->Access(r.disk_block, now);
+  PFC_CHECK(service > 0);
+  busy_ = true;
+  head_block_ = r.disk_block;
+  current_.logical_block = r.logical_block;
+  current_.disk_block = r.disk_block;
+  current_.enqueue_time = r.enqueue_time;
+  current_.service_time = service;
+  current_.complete_time = now + service;
+  return current_;
+}
+
+void Disk::CompleteCurrent(TimeNs now) {
+  PFC_CHECK(busy_);
+  PFC_CHECK(now == current_.complete_time);
+  busy_ = false;
+  ++stats_.requests;
+  stats_.busy_ns += current_.service_time;
+  stats_.sum_service_ms += NsToMs(current_.service_time);
+  stats_.sum_response_ms += NsToMs(now - current_.enqueue_time);
+}
+
+void Disk::Reset() {
+  scheduler_.Clear();
+  busy_ = false;
+  head_block_ = 0;
+  stats_ = DiskStats{};
+  mechanism_->Reset();
+}
+
+}  // namespace pfc

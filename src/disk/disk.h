@@ -1,0 +1,76 @@
+// One disk: a request queue, a scheduling discipline, and a mechanism.
+//
+// Fetches to a single disk are serialized (one in service at a time); the
+// queue is reordered by the discipline at each dispatch. The simulation
+// engine drives the disk: Enqueue -> TryDispatch -> (event fires) ->
+// CompleteCurrent -> TryDispatch.
+
+#ifndef PFC_DISK_DISK_H_
+#define PFC_DISK_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "disk/disk_mechanism.h"
+#include "disk/scheduler.h"
+#include "util/stats.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+struct DispatchResult {
+  int64_t logical_block = 0;
+  int64_t disk_block = 0;
+  TimeNs complete_time = 0;
+  TimeNs service_time = 0;
+  TimeNs enqueue_time = 0;
+};
+
+struct DiskStats {
+  int64_t requests = 0;
+  TimeNs busy_ns = 0;          // total time in service
+  double sum_service_ms = 0;   // for average fetch time
+  double sum_response_ms = 0;  // queueing + service
+};
+
+class Disk {
+ public:
+  Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline);
+
+  int id() const { return id_; }
+
+  void Enqueue(int64_t logical_block, int64_t disk_block, TimeNs now, uint64_t seq);
+
+  bool busy() const { return busy_; }
+  size_t queue_len() const { return scheduler_.size(); }
+  // Idle = not servicing anything and nothing queued. Policies key off this.
+  bool idle() const { return !busy_ && scheduler_.empty(); }
+
+  // If the disk is free and has queued work, begins servicing the next
+  // request and returns its completion record (the engine schedules the
+  // event). Returns nullopt otherwise.
+  std::optional<DispatchResult> TryDispatch(TimeNs now);
+
+  // Marks the in-service request finished. Must match the last dispatch.
+  void CompleteCurrent(TimeNs now);
+
+  const DiskStats& stats() const { return stats_; }
+  DiskMechanism& mechanism() { return *mechanism_; }
+  const DiskMechanism& mechanism() const { return *mechanism_; }
+
+  void Reset();
+
+ private:
+  int id_;
+  std::unique_ptr<DiskMechanism> mechanism_;
+  RequestScheduler scheduler_;
+  bool busy_ = false;
+  int64_t head_block_ = 0;  // last block the head touched
+  DispatchResult current_;
+  DiskStats stats_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_DISK_H_

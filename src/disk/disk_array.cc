@@ -1,0 +1,55 @@
+#include "disk/disk_array.h"
+
+#include "disk/simple_mechanism.h"
+#include "util/check.h"
+
+namespace pfc {
+
+std::string ToString(DiskModelKind kind) {
+  switch (kind) {
+    case DiskModelKind::kDetailed:
+      return "detailed";
+    case DiskModelKind::kSimple:
+      return "simple";
+  }
+  return "?";
+}
+
+DiskArray::DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipline) {
+  PFC_CHECK(num_disks > 0);
+  disks_.reserve(static_cast<size_t>(num_disks));
+  for (int i = 0; i < num_disks; ++i) {
+    std::unique_ptr<DiskMechanism> mech;
+    if (kind == DiskModelKind::kDetailed) {
+      mech = Hp97560Mechanism::MakeDefault();
+    } else {
+      mech = SimpleMechanism::MakeDefault();
+    }
+    disks_.push_back(std::make_unique<Disk>(i, std::move(mech), discipline));
+  }
+}
+
+bool DiskArray::AllIdle() const {
+  for (const auto& d : disks_) {
+    if (!d->idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t DiskArray::TotalRequests() const {
+  int64_t total = 0;
+  for (const auto& d : disks_) {
+    total += d->stats().requests;
+  }
+  return total;
+}
+
+void DiskArray::Reset() {
+  for (auto& d : disks_) {
+    d->Reset();
+  }
+}
+
+}  // namespace pfc

@@ -1,0 +1,43 @@
+// A parallel array of independently accessible disks.
+
+#ifndef PFC_DISK_DISK_ARRAY_H_
+#define PFC_DISK_DISK_ARRAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/scheduler.h"
+
+namespace pfc {
+
+enum class DiskModelKind {
+  kDetailed,  // HP 97560-class geometric model (UW-simulator analogue)
+  kSimple,    // fixed-cost model (cross-validation analogue)
+};
+
+std::string ToString(DiskModelKind kind);
+
+class DiskArray {
+ public:
+  DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipline);
+
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+  Disk& disk(int i) { return *disks_[static_cast<size_t>(i)]; }
+  const Disk& disk(int i) const { return *disks_[static_cast<size_t>(i)]; }
+
+  // True if every disk is idle with an empty queue.
+  bool AllIdle() const;
+
+  // Sum of per-disk request counts.
+  int64_t TotalRequests() const;
+
+  void Reset();
+
+ private:
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_DISK_ARRAY_H_

@@ -1,0 +1,90 @@
+// Drive mechanism interface: turns a (disk block, start time) into a service
+// duration while maintaining whatever head/buffer state the model needs.
+//
+// Two implementations exist:
+//   * Hp97560Mechanism (this header) — the detailed geometric model with
+//     seek curve, rotational position and an on-drive readahead cache. This
+//     is pfc's analogue of the Kotz/Ruemmler-Wilkes simulator used by the
+//     paper's UW simulator.
+//   * SimpleMechanism (disk/simple_mechanism.h) — a fixed-cost model with
+//     sequential-run detection, used to cross-validate the detailed model in
+//     the spirit of the paper's Table 2 (UW vs CMU simulators).
+
+#ifndef PFC_DISK_DISK_MECHANISM_H_
+#define PFC_DISK_DISK_MECHANISM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "disk/geometry.h"
+#include "disk/readahead_cache.h"
+#include "disk/seek_model.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+class DiskMechanism {
+ public:
+  virtual ~DiskMechanism() = default;
+
+  // Services a read of one block starting at `start`; returns the service
+  // duration and updates internal state (head position, readahead buffer).
+  virtual TimeNs Access(int64_t disk_block, TimeNs start) = 0;
+
+  // Cylinder the head currently sits on (for SSTF/SCAN scheduling).
+  virtual int64_t HeadCylinder() const = 0;
+
+  // Cylinder that holds a given block (for scheduling distance estimates).
+  virtual int64_t BlockCylinder(int64_t disk_block) const = 0;
+
+  virtual void Reset() = 0;
+  virtual std::string name() const = 0;
+};
+
+// Tunables for the detailed model beyond geometry and seek curve.
+struct MechanismParams {
+  int block_bytes = 8192;                    // request size: one cache block
+  TimeNs controller_overhead = MsToNs(2.2);  // fixed per-request drive/controller time
+  double bus_mb_per_sec = 10.0;              // SCSI-II transfer rate
+  int64_t readahead_capacity_bytes = 128 * 1024;
+  TimeNs head_switch = MsToNs(0.5);          // track crossing during transfer
+  // Streaming continuation: a queued request that starts at (or just past)
+  // the sector the media read has reached is served by letting the head keep
+  // reading, with only this much extra firmware time — no seek, no
+  // rotational miss. This is how the 97560's readahead makes back-to-back
+  // sequential reads cost ~a block transfer each.
+  TimeNs streaming_overhead = MsToNs(0.3);
+  int64_t max_stream_gap_sectors = 48;       // read through gaps up to 3 blocks
+};
+
+class Hp97560Mechanism : public DiskMechanism {
+ public:
+  Hp97560Mechanism(DiskGeometry geometry, SeekModel seek, MechanismParams params);
+
+  // The configuration the paper simulated.
+  static std::unique_ptr<Hp97560Mechanism> MakeDefault();
+
+  TimeNs Access(int64_t disk_block, TimeNs start) override;
+  int64_t HeadCylinder() const override { return head_cylinder_; }
+  int64_t BlockCylinder(int64_t disk_block) const override;
+  void Reset() override;
+  std::string name() const override { return "hp97560"; }
+
+  int sectors_per_block() const { return sectors_per_block_; }
+  const DiskGeometry& geometry() const { return geometry_; }
+
+ private:
+  DiskGeometry geometry_;
+  SeekModel seek_;
+  MechanismParams params_;
+  int sectors_per_block_;
+  TimeNs bus_transfer_time_;
+
+  int64_t head_cylinder_ = 0;
+  ReadaheadCache readahead_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_DISK_MECHANISM_H_

@@ -1,0 +1,51 @@
+#include "disk/geometry.h"
+
+#include "util/check.h"
+
+namespace pfc {
+
+DiskGeometry::DiskGeometry(int sector_bytes, int sectors_per_track, int tracks_per_cylinder,
+                           int64_t cylinders, double rpm)
+    : sector_bytes_(sector_bytes),
+      sectors_per_track_(sectors_per_track),
+      tracks_per_cylinder_(tracks_per_cylinder),
+      cylinders_(cylinders),
+      rpm_(rpm) {
+  PFC_CHECK(sector_bytes > 0 && sectors_per_track > 0 && tracks_per_cylinder > 0);
+  PFC_CHECK(cylinders > 0 && rpm > 0.0);
+  rotation_period_ = SecToNs(60.0 / rpm);
+  sector_time_ = rotation_period_ / sectors_per_track_;
+}
+
+DiskGeometry DiskGeometry::Hp97560() { return DiskGeometry(512, 72, 19, 1962, 4002.0); }
+
+ChsAddress DiskGeometry::SectorToChs(int64_t sector) const {
+  PFC_CHECK(sector >= 0);
+  // Addresses beyond the physical end wrap; simulated arrays are allowed to
+  // be "as large as needed" since capacity is not what the study measures.
+  sector %= total_sectors();
+  ChsAddress chs;
+  chs.cylinder = sector / sectors_per_cylinder();
+  int64_t within = sector % sectors_per_cylinder();
+  chs.track = within / sectors_per_track_;
+  chs.sector = within % sectors_per_track_;
+  return chs;
+}
+
+int64_t DiskGeometry::AngleAt(TimeNs t) const {
+  PFC_CHECK(t >= 0);
+  return (t % rotation_period_) / sector_time_;
+}
+
+TimeNs DiskGeometry::NextArrival(int64_t sector, TimeNs t) const {
+  PFC_CHECK(sector >= 0 && sector < sectors_per_track_);
+  TimeNs in_rev = t % rotation_period_;
+  TimeNs target = sector * sector_time_;
+  TimeNs wait = target - in_rev;
+  if (wait < 0) {
+    wait += rotation_period_;
+  }
+  return t + wait;
+}
+
+}  // namespace pfc

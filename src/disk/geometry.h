@@ -1,0 +1,73 @@
+// Disk geometry for the detailed drive model.
+//
+// The defaults describe the HP 97560 as reported in Table 1 of the paper
+// (512-byte sectors, 72 sectors per track, 19 tracks per cylinder, 1962
+// cylinders, 4002 rpm, 128 KB on-drive cache, SCSI-II at 10 MB/s). The model
+// ignores track/cylinder skew and zoning (the 97560 has a single zone).
+
+#ifndef PFC_DISK_GEOMETRY_H_
+#define PFC_DISK_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+struct ChsAddress {
+  int64_t cylinder = 0;
+  int64_t track = 0;   // surface within the cylinder
+  int64_t sector = 0;  // sector within the track
+};
+
+class DiskGeometry {
+ public:
+  DiskGeometry(int sector_bytes, int sectors_per_track, int tracks_per_cylinder,
+               int64_t cylinders, double rpm);
+
+  // HP 97560 per Table 1 of the paper.
+  static DiskGeometry Hp97560();
+
+  int sector_bytes() const { return sector_bytes_; }
+  int sectors_per_track() const { return sectors_per_track_; }
+  int tracks_per_cylinder() const { return tracks_per_cylinder_; }
+  int64_t cylinders() const { return cylinders_; }
+  double rpm() const { return rpm_; }
+
+  int64_t sectors_per_cylinder() const {
+    return static_cast<int64_t>(sectors_per_track_) * tracks_per_cylinder_;
+  }
+  int64_t total_sectors() const { return sectors_per_cylinder() * cylinders_; }
+  int64_t total_bytes() const { return total_sectors() * sector_bytes_; }
+
+  // One full revolution.
+  TimeNs RotationPeriod() const { return rotation_period_; }
+  // Time for one sector to pass under the head.
+  TimeNs SectorTime() const { return sector_time_; }
+
+  // Maps an absolute sector number to cylinder/track/sector. Sectors are
+  // laid out track-major within a cylinder, cylinder-major across the disk.
+  ChsAddress SectorToChs(int64_t sector) const;
+
+  // Angular position (in sectors, [0, sectors_per_track)) under the head at
+  // absolute time `t`, assuming all surfaces rotate in phase and sector k of
+  // every track passes the head during [k*SectorTime, (k+1)*SectorTime) of
+  // each revolution.
+  int64_t AngleAt(TimeNs t) const;
+
+  // Time >= t at which the head can begin reading sector-in-track `sector`.
+  TimeNs NextArrival(int64_t sector, TimeNs t) const;
+
+ private:
+  int sector_bytes_;
+  int sectors_per_track_;
+  int tracks_per_cylinder_;
+  int64_t cylinders_;
+  double rpm_;
+  TimeNs rotation_period_;
+  TimeNs sector_time_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_GEOMETRY_H_

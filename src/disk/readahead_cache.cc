@@ -1,0 +1,51 @@
+#include "disk/readahead_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pfc {
+
+ReadaheadCache::ReadaheadCache(int64_t capacity_sectors, TimeNs sector_time)
+    : capacity_(capacity_sectors), sector_time_(sector_time) {
+  PFC_CHECK(capacity_sectors > 0);
+  PFC_CHECK(sector_time > 0);
+}
+
+void ReadaheadCache::ExtendTo(TimeNs now) {
+  if (!valid_ || now <= last_update_) {
+    return;
+  }
+  int64_t new_sectors = (now - last_update_) / sector_time_;
+  int64_t room = capacity_ - (end_ - start_);
+  end_ += std::min(new_sectors, std::max<int64_t>(room, 0));
+  last_update_ = now;
+}
+
+bool ReadaheadCache::Contains(int64_t first_sector, int64_t count, TimeNs now) {
+  if (!valid_) {
+    return false;
+  }
+  ExtendTo(now);
+  return first_sector >= start_ && first_sector + count <= end_;
+}
+
+void ReadaheadCache::NoteMediaRead(int64_t first_sector, int64_t count, TimeNs now) {
+  PFC_CHECK(count > 0);
+  valid_ = true;
+  start_ = first_sector;
+  end_ = first_sector + count;
+  last_update_ = now;
+}
+
+void ReadaheadCache::Invalidate() { valid_ = false; }
+
+int64_t ReadaheadCache::EndSectorAt(TimeNs now) {
+  if (!valid_) {
+    return 0;
+  }
+  ExtendTo(now);
+  return end_;
+}
+
+}  // namespace pfc

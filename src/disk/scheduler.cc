@@ -1,0 +1,129 @@
+#include "disk/scheduler.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pfc {
+
+std::string ToString(SchedDiscipline d) {
+  switch (d) {
+    case SchedDiscipline::kFcfs:
+      return "fcfs";
+    case SchedDiscipline::kCscan:
+      return "cscan";
+    case SchedDiscipline::kScan:
+      return "scan";
+    case SchedDiscipline::kSstf:
+      return "sstf";
+  }
+  return "?";
+}
+
+RequestScheduler::RequestScheduler(SchedDiscipline discipline) : discipline_(discipline) {}
+
+void RequestScheduler::Enqueue(QueuedRequest request) { queue_.push_back(request); }
+
+void RequestScheduler::Clear() { queue_.clear(); }
+
+size_t RequestScheduler::PickIndex(int64_t head_block) const {
+  PFC_CHECK(!queue_.empty());
+  switch (discipline_) {
+    case SchedDiscipline::kFcfs: {
+      size_t best = 0;
+      for (size_t i = 1; i < queue_.size(); ++i) {
+        if (queue_[i].seq < queue_[best].seq) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedDiscipline::kCscan: {
+      // Smallest block at or past the head; wrap to the global smallest.
+      size_t best_fwd = queue_.size();
+      size_t best_any = 0;
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].disk_block < queue_[best_any].disk_block ||
+            (queue_[i].disk_block == queue_[best_any].disk_block &&
+             queue_[i].seq < queue_[best_any].seq)) {
+          best_any = i;
+        }
+        if (queue_[i].disk_block >= head_block) {
+          if (best_fwd == queue_.size() || queue_[i].disk_block < queue_[best_fwd].disk_block ||
+              (queue_[i].disk_block == queue_[best_fwd].disk_block &&
+               queue_[i].seq < queue_[best_fwd].seq)) {
+            best_fwd = i;
+          }
+        }
+      }
+      return best_fwd != queue_.size() ? best_fwd : best_any;
+    }
+    case SchedDiscipline::kScan: {
+      // Elevator: continue in the current direction; reverse at the end.
+      size_t best = queue_.size();
+      if (scan_up_) {
+        for (size_t i = 0; i < queue_.size(); ++i) {
+          if (queue_[i].disk_block >= head_block &&
+              (best == queue_.size() || queue_[i].disk_block < queue_[best].disk_block)) {
+            best = i;
+          }
+        }
+        if (best != queue_.size()) {
+          return best;
+        }
+        for (size_t i = 0; i < queue_.size(); ++i) {
+          if (best == queue_.size() || queue_[i].disk_block > queue_[best].disk_block) {
+            best = i;
+          }
+        }
+        return best;
+      }
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].disk_block <= head_block &&
+            (best == queue_.size() || queue_[i].disk_block > queue_[best].disk_block)) {
+          best = i;
+        }
+      }
+      if (best != queue_.size()) {
+        return best;
+      }
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        if (best == queue_.size() || queue_[i].disk_block < queue_[best].disk_block) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedDiscipline::kSstf: {
+      size_t best = 0;
+      int64_t best_dist = std::numeric_limits<int64_t>::max();
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        int64_t dist = std::llabs(queue_[i].disk_block - head_block);
+        if (dist < best_dist || (dist == best_dist && queue_[i].seq < queue_[best].seq)) {
+          best = i;
+          best_dist = dist;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+QueuedRequest RequestScheduler::PopNext(int64_t head_block) {
+  size_t idx = PickIndex(head_block);
+  QueuedRequest r = queue_[idx];
+  if (discipline_ == SchedDiscipline::kScan) {
+    if (r.disk_block > head_block) {
+      scan_up_ = true;
+    } else if (r.disk_block < head_block) {
+      scan_up_ = false;
+    }
+  }
+  queue_[idx] = queue_.back();
+  queue_.pop_back();
+  return r;
+}
+
+}  // namespace pfc

@@ -1,0 +1,64 @@
+// Disk-head scheduling disciplines over a per-disk request queue.
+//
+// The paper's driver submits prefetch batches and lets the disk (driver)
+// reorder them; it evaluates CSCAN against FCFS (Table 5, appendix B). SCAN
+// and SSTF are included as ablations beyond the paper. CSCAN scans in
+// ascending block order — the same direction the drive reads — which keeps
+// the readahead buffer hot (section 4.4).
+
+#ifndef PFC_DISK_SCHEDULER_H_
+#define PFC_DISK_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+enum class SchedDiscipline {
+  kFcfs,
+  kCscan,
+  kScan,
+  kSstf,
+};
+
+std::string ToString(SchedDiscipline d);
+
+struct QueuedRequest {
+  int64_t logical_block = 0;  // block id in the trace's address space
+  int64_t disk_block = 0;     // block within this disk
+  TimeNs enqueue_time = 0;
+  uint64_t seq = 0;           // global arrival order, used as tiebreak
+};
+
+// Holds pending requests for one disk and picks the next to service.
+class RequestScheduler {
+ public:
+  explicit RequestScheduler(SchedDiscipline discipline);
+
+  void Enqueue(QueuedRequest request);
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+  // Removes and returns the next request to service, given the disk block
+  // the head last touched. Requires !empty().
+  QueuedRequest PopNext(int64_t head_block);
+
+  SchedDiscipline discipline() const { return discipline_; }
+
+  void Clear();
+
+ private:
+  size_t PickIndex(int64_t head_block) const;
+
+  SchedDiscipline discipline_;
+  std::vector<QueuedRequest> queue_;
+  bool scan_up_ = true;  // SCAN elevator direction
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_SCHEDULER_H_

@@ -1,0 +1,36 @@
+#include "disk/seek_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace pfc {
+
+SeekModel::SeekModel(double short_base_ms, double short_sqrt_ms, double long_base_ms,
+                     double long_linear_ms, int64_t crossover_cylinders)
+    : short_base_ms_(short_base_ms),
+      short_sqrt_ms_(short_sqrt_ms),
+      long_base_ms_(long_base_ms),
+      long_linear_ms_(long_linear_ms),
+      crossover_(crossover_cylinders) {
+  PFC_CHECK(crossover_cylinders > 0);
+}
+
+SeekModel SeekModel::Hp97560() { return SeekModel(3.24, 0.400, 8.00, 0.008, 383); }
+
+TimeNs SeekModel::SeekTime(int64_t distance) const {
+  distance = std::llabs(distance);
+  if (distance == 0) {
+    return 0;
+  }
+  double ms;
+  if (distance < crossover_) {
+    ms = short_base_ms_ + short_sqrt_ms_ * std::sqrt(static_cast<double>(distance));
+  } else {
+    ms = long_base_ms_ + long_linear_ms_ * static_cast<double>(distance);
+  }
+  return MsToNs(ms);
+}
+
+}  // namespace pfc

@@ -1,0 +1,41 @@
+// Two-piece seek-time curve in the Ruemmler & Wilkes style.
+//
+// For the HP 97560 the published fit is
+//     seek(d) = 3.24 + 0.400 * sqrt(d)  ms   for 0 < d < 383 cylinders
+//     seek(d) = 8.00 + 0.008 * d        ms   for d >= 383
+// (continuous at the break). This matches the paper's calibration point: the
+// maximum seek inside a 100-cylinder allocation group is 7.24 ms (section
+// 3.2: 3.24 + 0.400 * sqrt(99) = 7.22 ms).
+
+#ifndef PFC_DISK_SEEK_MODEL_H_
+#define PFC_DISK_SEEK_MODEL_H_
+
+#include <cstdint>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+class SeekModel {
+ public:
+  SeekModel(double short_base_ms, double short_sqrt_ms, double long_base_ms,
+            double long_linear_ms, int64_t crossover_cylinders);
+
+  static SeekModel Hp97560();
+
+  // Seek time to move the arm `distance` cylinders (0 => 0).
+  TimeNs SeekTime(int64_t distance) const;
+
+  int64_t crossover() const { return crossover_; }
+
+ private:
+  double short_base_ms_;
+  double short_sqrt_ms_;
+  double long_base_ms_;
+  double long_linear_ms_;
+  int64_t crossover_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_SEEK_MODEL_H_

@@ -1,0 +1,37 @@
+#include "disk/simple_mechanism.h"
+
+#include <cstdlib>
+
+namespace pfc {
+
+SimpleMechanism::SimpleMechanism(SimpleMechanismParams params) : params_(params) {}
+
+std::unique_ptr<SimpleMechanism> SimpleMechanism::MakeDefault() {
+  return std::make_unique<SimpleMechanism>(SimpleMechanismParams{});
+}
+
+TimeNs SimpleMechanism::Access(int64_t disk_block, TimeNs start) {
+  (void)start;
+  TimeNs cost;
+  if (last_block_ >= 0 && disk_block == last_block_ + 1) {
+    cost = params_.sequential_access;
+  } else if (last_block_ >= 0 && std::llabs(disk_block - last_block_) <= params_.near_window) {
+    cost = params_.near_access;
+  } else {
+    cost = params_.random_access;
+  }
+  last_block_ = disk_block;
+  return cost;
+}
+
+int64_t SimpleMechanism::HeadCylinder() const {
+  return last_block_ < 0 ? 0 : last_block_ / params_.blocks_per_cylinder_equiv;
+}
+
+int64_t SimpleMechanism::BlockCylinder(int64_t disk_block) const {
+  return disk_block / params_.blocks_per_cylinder_equiv;
+}
+
+void SimpleMechanism::Reset() { last_block_ = -1; }
+
+}  // namespace pfc

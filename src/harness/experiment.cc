@@ -1,0 +1,111 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pfc {
+
+std::string ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDemand:
+      return "demand";
+    case PolicyKind::kDemandLru:
+      return "demand-lru";
+    case PolicyKind::kFixedHorizon:
+      return "fixed-horizon";
+    case PolicyKind::kAggressive:
+      return "aggressive";
+    case PolicyKind::kReverseAggressive:
+      return "reverse-aggressive";
+    case PolicyKind::kForestall:
+      return "forestall";
+  }
+  return "?";
+}
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind, const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::kDemand:
+      return std::make_unique<DemandPolicy>();
+    case PolicyKind::kDemandLru:
+      return std::make_unique<LruDemandPolicy>();
+    case PolicyKind::kFixedHorizon:
+      return std::make_unique<FixedHorizonPolicy>(options.horizon);
+    case PolicyKind::kAggressive:
+      return std::make_unique<AggressivePolicy>(options.aggressive_batch);
+    case PolicyKind::kReverseAggressive:
+      return std::make_unique<ReverseAggressivePolicy>(options.revagg);
+    case PolicyKind::kForestall:
+      return std::make_unique<ForestallPolicy>(options.forestall);
+  }
+  return nullptr;
+}
+
+RunResult RunOne(const Trace& trace, const SimConfig& config, PolicyKind kind,
+                 const PolicyOptions& options) {
+  std::unique_ptr<Policy> policy = MakePolicy(kind, options);
+  Simulator sim(trace, config, policy.get());
+  return sim.Run();
+}
+
+SimConfig BaselineConfig(const std::string& trace_name, int num_disks) {
+  SimConfig config;
+  config.num_disks = num_disks;
+  const TraceSpec* spec = FindTraceSpec(trace_name);
+  if (spec != nullptr) {
+    config.cache_blocks = spec->cache_blocks;
+  }
+  return config;
+}
+
+PolicyOptions TuneReverseAggressive(const Trace& trace, const SimConfig& config,
+                                    const std::vector<int64_t>& fetch_times,
+                                    const std::vector<int>& batches) {
+  PolicyOptions best;
+  TimeNs best_elapsed = std::numeric_limits<TimeNs>::max();
+  for (int64_t f : fetch_times) {
+    for (int b : batches) {
+      PolicyOptions options;
+      options.revagg.fetch_time_estimate = f;
+      options.revagg.batch_size = b;
+      RunResult r = RunOne(trace, config, PolicyKind::kReverseAggressive, options);
+      if (r.elapsed_time < best_elapsed) {
+        best_elapsed = r.elapsed_time;
+        best = options;
+      }
+    }
+  }
+  return best;
+}
+
+bool WriteResultsCsv(const std::vector<RunResult>& results, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f,
+               "trace,policy,disks,fetches,demand_fetches,compute_sec,driver_sec,stall_sec,"
+               "elapsed_sec,avg_fetch_ms,avg_response_ms,avg_disk_util\n");
+  for (const RunResult& r : results) {
+    std::fprintf(f, "%s,%s,%d,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f\n",
+                 r.trace_name.c_str(), r.policy_name.c_str(), r.num_disks,
+                 static_cast<long long>(r.fetches), static_cast<long long>(r.demand_fetches),
+                 r.compute_sec(), r.driver_sec(), r.stall_sec(), r.elapsed_sec(), r.avg_fetch_ms,
+                 r.avg_response_ms, r.avg_disk_util);
+  }
+  return std::fclose(f) == 0;
+}
+
+const std::vector<int>& PaperDiskCounts() {
+  static const std::vector<int> kCounts = {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16};
+  return kCounts;
+}
+
+const std::vector<int>& SmallPaperDiskCounts() {
+  static const std::vector<int> kCounts = {1, 2, 3, 4, 5, 6};
+  return kCounts;
+}
+
+}  // namespace pfc

@@ -1,0 +1,72 @@
+// Experiment harness shared by the bench binaries and examples: policy
+// construction by name, single-run and sweep drivers, reverse-aggressive
+// parameter tuning, and CSV output.
+
+#ifndef PFC_HARNESS_EXPERIMENT_H_
+#define PFC_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policies/aggressive.h"
+#include "core/policies/demand.h"
+#include "core/policies/lru_demand.h"
+#include "core/policies/fixed_horizon.h"
+#include "core/policies/forestall.h"
+#include "core/policies/reverse_aggressive.h"
+#include "core/run_result.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+enum class PolicyKind {
+  kDemand,
+  kDemandLru,
+  kFixedHorizon,
+  kAggressive,
+  kReverseAggressive,
+  kForestall,
+};
+
+std::string ToString(PolicyKind kind);
+
+// Per-policy knobs; fields are ignored by policies they do not apply to.
+struct PolicyOptions {
+  int horizon = kDefaultPrefetchHorizon;            // fixed horizon
+  int aggressive_batch = 0;                         // 0 = Table 6 default
+  ReverseAggressivePolicy::Params revagg;           // reverse aggressive
+  ForestallPolicy::Params forestall;                // forestall
+};
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind, const PolicyOptions& options = {});
+
+// Runs one (trace, config, policy) combination.
+RunResult RunOne(const Trace& trace, const SimConfig& config, PolicyKind kind,
+                 const PolicyOptions& options = {});
+
+// A SimConfig preset matching the paper's baseline for a named trace
+// (cache size per Table 3 footnote, CSCAN, striping, detailed disks).
+SimConfig BaselineConfig(const std::string& trace_name, int num_disks);
+
+// Sweeps reverse aggressive's (F, batch) grid and returns the options that
+// minimize elapsed time — the paper's per-configuration tuning. The grids
+// default to a compact subset of appendix F's.
+PolicyOptions TuneReverseAggressive(const Trace& trace, const SimConfig& config,
+                                    const std::vector<int64_t>& fetch_times = {16, 64, 128},
+                                    const std::vector<int>& batches = {8, 40});
+
+// Writes results as CSV (one row per result, with a header).
+bool WriteResultsCsv(const std::vector<RunResult>& results, const std::string& path);
+
+// The disk-array sizes the paper simulates (section 3).
+const std::vector<int>& PaperDiskCounts();      // 1-8, 10, 12, 16
+const std::vector<int>& SmallPaperDiskCounts(); // 1-6
+
+}  // namespace pfc
+
+#endif  // PFC_HARNESS_EXPERIMENT_H_

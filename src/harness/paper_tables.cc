@@ -1,0 +1,101 @@
+#include "harness/paper_tables.h"
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace pfc {
+
+namespace {
+
+std::vector<std::string> HeaderRow(const std::vector<int>& disks) {
+  std::vector<std::string> header = {"Disks"};
+  for (int d : disks) {
+    header.push_back(TextTable::Int(d));
+  }
+  return header;
+}
+
+}  // namespace
+
+std::string RenderAppendixTable(const std::string& title, const std::vector<int>& disks,
+                                const std::vector<PolicySeries>& series) {
+  TextTable table;
+  table.SetHeader(HeaderRow(disks));
+  for (const PolicySeries& s : series) {
+    PFC_CHECK(s.results.size() == disks.size());
+    table.AddSeparator();
+    table.AddRow({s.label});
+    std::vector<std::string> fetches = {"fetches"};
+    std::vector<std::string> driver = {"driver time (sec)"};
+    std::vector<std::string> stall = {"stall time (sec)"};
+    std::vector<std::string> elapsed = {"elapsed time (sec)"};
+    std::vector<std::string> avg_fetch = {"average fetch time (msec)"};
+    std::vector<std::string> util = {"average disk utilization"};
+    for (const RunResult& r : s.results) {
+      fetches.push_back(TextTable::Int(r.fetches));
+      driver.push_back(TextTable::Num(r.driver_sec(), 4));
+      stall.push_back(TextTable::Num(r.stall_sec(), 3));
+      elapsed.push_back(TextTable::Num(r.elapsed_sec(), 3));
+      avg_fetch.push_back(TextTable::Num(r.avg_fetch_ms, 3));
+      util.push_back(TextTable::Num(r.avg_disk_util, 2));
+    }
+    table.AddRow(fetches);
+    table.AddRow(driver);
+    table.AddRow(stall);
+    table.AddRow(elapsed);
+    table.AddRow(avg_fetch);
+    table.AddRow(util);
+  }
+  return title + "\n" + table.ToString();
+}
+
+std::string RenderBreakdownTable(const std::string& title, const std::vector<int>& disks,
+                                 const std::vector<PolicySeries>& series) {
+  TextTable table;
+  std::vector<std::string> header = {"disks"};
+  for (const PolicySeries& s : series) {
+    header.push_back(s.label + " cpu");
+    header.push_back(s.label + " drv");
+    header.push_back(s.label + " stl");
+    header.push_back(s.label + " tot");
+  }
+  table.SetHeader(header);
+  for (size_t i = 0; i < disks.size(); ++i) {
+    std::vector<std::string> row = {TextTable::Int(disks[i])};
+    for (const PolicySeries& s : series) {
+      PFC_CHECK(s.results.size() == disks.size());
+      const RunResult& r = s.results[i];
+      row.push_back(TextTable::Num(r.compute_sec(), 2));
+      row.push_back(TextTable::Num(r.driver_sec(), 2));
+      row.push_back(TextTable::Num(r.stall_sec(), 2));
+      row.push_back(TextTable::Num(r.elapsed_sec(), 2));
+    }
+    table.AddRow(row);
+  }
+  return title + "\n" + table.ToString();
+}
+
+std::string RenderUtilizationTable(const std::string& title, const std::vector<int>& disks,
+                                   const std::vector<PolicySeries>& series) {
+  TextTable table;
+  table.SetHeader(HeaderRow(disks));
+  for (const PolicySeries& s : series) {
+    PFC_CHECK(s.results.size() == disks.size());
+    std::vector<std::string> row = {s.label};
+    for (const RunResult& r : s.results) {
+      row.push_back(TextTable::Num(r.avg_disk_util, 2));
+    }
+    table.AddRow(row);
+  }
+  return title + "\n" + table.ToString();
+}
+
+double PercentImprovement(const RunResult& a, const RunResult& b) {
+  if (b.elapsed_time == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(b.elapsed_time - a.elapsed_time) /
+         static_cast<double>(b.elapsed_time);
+}
+
+}  // namespace pfc

@@ -1,0 +1,42 @@
+// Renderers that lay results out the way the paper does: appendix-style
+// per-trace tables (one metric row per policy block, one column per array
+// size) and figure-style stacked elapsed-time breakdowns.
+
+#ifndef PFC_HARNESS_PAPER_TABLES_H_
+#define PFC_HARNESS_PAPER_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/run_result.h"
+
+namespace pfc {
+
+// One policy's results across array sizes.
+struct PolicySeries {
+  std::string label;
+  std::vector<RunResult> results;  // parallel to the disks vector
+};
+
+// Appendix A-style table: for each policy a block of rows (fetches, driver
+// time, stall time, elapsed time, average fetch time, average utilization),
+// one column per array size.
+std::string RenderAppendixTable(const std::string& title, const std::vector<int>& disks,
+                                const std::vector<PolicySeries>& series);
+
+// Figure 2-style table: per array size, each policy's elapsed time split
+// into cpu / driver / stall (the paper's stacked bars, as numbers).
+std::string RenderBreakdownTable(const std::string& title, const std::vector<int>& disks,
+                                 const std::vector<PolicySeries>& series);
+
+// Utilization table (Tables 4 and 8).
+std::string RenderUtilizationTable(const std::string& title, const std::vector<int>& disks,
+                                   const std::vector<PolicySeries>& series);
+
+// Percentage change of `a` relative to `b` ((b - a) / b * 100; positive
+// means `a` is faster).
+double PercentImprovement(const RunResult& a, const RunResult& b);
+
+}  // namespace pfc
+
+#endif  // PFC_HARNESS_PAPER_TABLES_H_

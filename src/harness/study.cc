@@ -1,0 +1,77 @@
+#include "harness/study.h"
+
+#include <cstdlib>
+
+namespace pfc {
+
+bool FullSweepsRequested() {
+  const char* env = std::getenv("PFC_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<int64_t> RevAggTuningFetchTimes() {
+  if (FullSweepsRequested()) {
+    return {4, 8, 16, 32, 64, 128};
+  }
+  return {8, 32, 96};
+}
+
+std::vector<int> RevAggTuningBatches(int num_disks) {
+  if (FullSweepsRequested()) {
+    return {4, 8, 16, 40, 80, 160};
+  }
+  return {DefaultBatchSize(num_disks), 16};
+}
+
+SimConfig StudyConfig(const StudySpec& spec, int num_disks) {
+  SimConfig config = BaselineConfig(spec.trace_name, num_disks);
+  config.discipline = spec.discipline;
+  config.placement = spec.placement;
+  config.disk_model = spec.disk_model;
+  config.cpu_scale = spec.cpu_scale;
+  if (spec.cache_blocks_override > 0) {
+    config.cache_blocks = spec.cache_blocks_override;
+  }
+  return config;
+}
+
+std::string PolicyLabel(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDemand:
+      return "Demand (opt. repl.)";
+    case PolicyKind::kDemandLru:
+      return "Demand (LRU)";
+    case PolicyKind::kFixedHorizon:
+      return "Fixed Horizon";
+    case PolicyKind::kAggressive:
+      return "Aggressive";
+    case PolicyKind::kReverseAggressive:
+      return "Reverse Aggressive";
+    case PolicyKind::kForestall:
+      return "Forestall";
+  }
+  return "?";
+}
+
+std::vector<PolicySeries> RunStudy(const Trace& trace, const StudySpec& spec) {
+  std::vector<PolicySeries> series;
+  series.reserve(spec.policies.size());
+  for (PolicyKind kind : spec.policies) {
+    PolicySeries s;
+    s.label = PolicyLabel(kind);
+    for (int disks : spec.disks) {
+      SimConfig config = StudyConfig(spec, disks);
+      PolicyOptions options = spec.options;
+      if (kind == PolicyKind::kReverseAggressive && spec.tune_revagg) {
+        PolicyOptions tuned = TuneReverseAggressive(trace, config, RevAggTuningFetchTimes(),
+                                                    RevAggTuningBatches(disks));
+        options.revagg = tuned.revagg;
+      }
+      s.results.push_back(RunOne(trace, config, kind, options));
+    }
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+}  // namespace pfc

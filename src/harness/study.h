@@ -1,0 +1,53 @@
+// Study driver: runs one trace across array sizes and policies, producing
+// the PolicySeries the table renderers consume. This is the engine behind
+// most bench binaries.
+
+#ifndef PFC_HARNESS_STUDY_H_
+#define PFC_HARNESS_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/paper_tables.h"
+
+namespace pfc {
+
+struct StudySpec {
+  std::string trace_name;
+  std::vector<int> disks;
+  std::vector<PolicyKind> policies;
+  // Reverse aggressive is tuned per configuration (the paper's baseline).
+  // When false, defaults (F=64, batch=16) are used.
+  bool tune_revagg = true;
+  // Base options applied to every run; per-policy fields are picked up by
+  // the policy they belong to.
+  PolicyOptions options;
+  // Overrides applied to BaselineConfig.
+  SchedDiscipline discipline = SchedDiscipline::kCscan;
+  PlacementKind placement = PlacementKind::kStriped;
+  DiskModelKind disk_model = DiskModelKind::kDetailed;
+  double cpu_scale = 1.0;
+  int cache_blocks_override = 0;  // 0 = per-trace baseline
+};
+
+// True when the PFC_FULL environment variable asks for exhaustive sweeps.
+bool FullSweepsRequested();
+
+// The reverse-aggressive tuning grid: compact by default, appendix-F sized
+// under PFC_FULL=1.
+std::vector<int64_t> RevAggTuningFetchTimes();
+std::vector<int> RevAggTuningBatches(int num_disks);
+
+// Builds the SimConfig for one point of the study.
+SimConfig StudyConfig(const StudySpec& spec, int num_disks);
+
+// Runs the full grid; one PolicySeries per policy, in `spec.policies` order.
+std::vector<PolicySeries> RunStudy(const Trace& trace, const StudySpec& spec);
+
+// Human label for a policy ("Fixed Horizon", ...).
+std::string PolicyLabel(PolicyKind kind);
+
+}  // namespace pfc
+
+#endif  // PFC_HARNESS_STUDY_H_

@@ -1,0 +1,77 @@
+#include "layout/placement.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+namespace {
+// One file-system allocation group: 8550 8-KB blocks = 100 HP 97560
+// cylinders (section 3.2 of the paper).
+constexpr int64_t kDefaultGroupBlocks = 8550;
+}  // namespace
+
+StripedPlacement::StripedPlacement(int num_disks) : num_disks_(num_disks) {
+  PFC_CHECK(num_disks > 0);
+}
+
+BlockLocation StripedPlacement::Map(int64_t logical_block) const {
+  PFC_CHECK(logical_block >= 0);
+  return BlockLocation{static_cast<int>(logical_block % num_disks_),
+                       logical_block / num_disks_};
+}
+
+ContiguousPlacement::ContiguousPlacement(int num_disks, int64_t span_blocks)
+    : num_disks_(num_disks), span_(span_blocks) {
+  PFC_CHECK(num_disks > 0);
+  PFC_CHECK(span_blocks > 0);
+}
+
+BlockLocation ContiguousPlacement::Map(int64_t logical_block) const {
+  PFC_CHECK(logical_block >= 0);
+  int64_t chunk = logical_block / span_;
+  return BlockLocation{static_cast<int>(chunk % num_disks_),
+                       (chunk / num_disks_) * span_ + logical_block % span_};
+}
+
+GroupHashPlacement::GroupHashPlacement(int num_disks, int64_t group_blocks)
+    : num_disks_(num_disks), group_blocks_(group_blocks) {
+  PFC_CHECK(num_disks > 0);
+  PFC_CHECK(group_blocks > 0);
+}
+
+BlockLocation GroupHashPlacement::Map(int64_t logical_block) const {
+  PFC_CHECK(logical_block >= 0);
+  int64_t group = logical_block / group_blocks_;
+  int disk = static_cast<int>(SplitMix64(static_cast<uint64_t>(group)) %
+                              static_cast<uint64_t>(num_disks_));
+  // Keep the within-group offset so sequential runs inside a group stay
+  // sequential on the owning disk.
+  return BlockLocation{disk, (group / num_disks_) * group_blocks_ + logical_block % group_blocks_};
+}
+
+std::string ToString(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kStriped:
+      return "striped";
+    case PlacementKind::kContiguous:
+      return "contiguous";
+    case PlacementKind::kGroupHash:
+      return "group-hash";
+  }
+  return "?";
+}
+
+std::unique_ptr<Placement> MakePlacement(PlacementKind kind, int num_disks) {
+  switch (kind) {
+    case PlacementKind::kStriped:
+      return std::make_unique<StripedPlacement>(num_disks);
+    case PlacementKind::kContiguous:
+      return std::make_unique<ContiguousPlacement>(num_disks, kDefaultGroupBlocks);
+    case PlacementKind::kGroupHash:
+      return std::make_unique<GroupHashPlacement>(num_disks, kDefaultGroupBlocks);
+  }
+  return nullptr;
+}
+
+}  // namespace pfc

@@ -1,0 +1,80 @@
+// Data placement: trace block id -> (disk, block-within-disk).
+//
+// Trace block ids are logical filesystem block addresses (the trace
+// generators assign file base addresses; see trace/file_layout.h). The paper
+// stripes data across the array with a one-block stripe unit (section 3.2);
+// contiguous and file-hash layouts are provided as ablations, since striping
+// is precisely what keeps the per-disk loads balanced and is why reverse
+// aggressive never wins big (section 6).
+
+#ifndef PFC_LAYOUT_PLACEMENT_H_
+#define PFC_LAYOUT_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pfc {
+
+struct BlockLocation {
+  int disk = 0;
+  int64_t disk_block = 0;
+};
+
+class Placement {
+ public:
+  virtual ~Placement() = default;
+  virtual BlockLocation Map(int64_t logical_block) const = 0;
+  virtual int num_disks() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Round-robin striping with a one-block stripe unit (the paper's layout).
+class StripedPlacement : public Placement {
+ public:
+  explicit StripedPlacement(int num_disks);
+  BlockLocation Map(int64_t logical_block) const override;
+  int num_disks() const override { return num_disks_; }
+  std::string name() const override { return "striped"; }
+
+ private:
+  int num_disks_;
+};
+
+// Contiguous ranges: blocks [k*span, (k+1)*span) live on disk k (mod d).
+// Pathological for sequential workloads — the whole scan hits one disk.
+class ContiguousPlacement : public Placement {
+ public:
+  ContiguousPlacement(int num_disks, int64_t span_blocks);
+  BlockLocation Map(int64_t logical_block) const override;
+  int num_disks() const override { return num_disks_; }
+  std::string name() const override { return "contiguous"; }
+
+ private:
+  int num_disks_;
+  int64_t span_;
+};
+
+// Hash of the allocation group to a disk: whole 8550-block groups (one
+// file-system cylinder group) land on one disk. Models file-per-disk
+// placement without striping.
+class GroupHashPlacement : public Placement {
+ public:
+  GroupHashPlacement(int num_disks, int64_t group_blocks);
+  BlockLocation Map(int64_t logical_block) const override;
+  int num_disks() const override { return num_disks_; }
+  std::string name() const override { return "group-hash"; }
+
+ private:
+  int num_disks_;
+  int64_t group_blocks_;
+};
+
+enum class PlacementKind { kStriped, kContiguous, kGroupHash };
+
+std::string ToString(PlacementKind kind);
+std::unique_ptr<Placement> MakePlacement(PlacementKind kind, int num_disks);
+
+}  // namespace pfc
+
+#endif  // PFC_LAYOUT_PLACEMENT_H_

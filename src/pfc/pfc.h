@@ -1,0 +1,54 @@
+// Umbrella header: the pfc public API.
+//
+// pfc is a from-scratch reproduction of Kimbrel et al., "A Trace-Driven
+// Comparison of Algorithms for Parallel Prefetching and Caching" (OSDI '96):
+// a disk-accurate simulator for integrated prefetching and caching over a
+// parallel disk array, the five policies the paper studies, reconstructions
+// of its ten traces, and a harness that regenerates its tables and figures.
+//
+// Quick start:
+//
+//   #include "pfc/pfc.h"
+//
+//   pfc::Trace trace = pfc::MakeTrace("postgres-select");
+//   pfc::SimConfig config = pfc::BaselineConfig("postgres-select", /*disks=*/4);
+//   pfc::RunResult r = pfc::RunOne(trace, config, pfc::PolicyKind::kForestall);
+//   std::puts(r.ToString().c_str());
+
+#ifndef PFC_PFC_H_
+#define PFC_PFC_H_
+
+#include "core/buffer_cache.h"
+#include "core/next_ref.h"
+#include "core/policies/aggressive.h"
+#include "core/policies/demand.h"
+#include "core/policies/fixed_horizon.h"
+#include "core/policies/lru_demand.h"
+#include "core/policies/forestall.h"
+#include "core/policies/reverse_aggressive.h"
+#include "core/policy.h"
+#include "core/run_result.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "disk/disk.h"
+#include "disk/disk_array.h"
+#include "disk/disk_mechanism.h"
+#include "disk/geometry.h"
+#include "disk/scheduler.h"
+#include "disk/seek_model.h"
+#include "disk/simple_mechanism.h"
+#include "harness/experiment.h"
+#include "harness/paper_tables.h"
+#include "harness/study.h"
+#include "layout/placement.h"
+#include "trace/file_layout.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/time_util.h"
+
+#endif  // PFC_PFC_H_

@@ -1,0 +1,237 @@
+#include "theory/theory_optimal.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+
+// Dense-id instance description.
+struct Instance {
+  std::vector<int> refs;                   // block ids per position
+  std::vector<int> disk;                   // block id -> disk
+  std::vector<std::vector<int>> positions; // block id -> positions
+  int num_blocks = 0;
+  int num_disks = 0;
+  int cache_blocks = 0;
+  int fetch_time = 0;
+
+  bool UsedAgain(int block, int from) const {
+    const std::vector<int>& p = positions[static_cast<size_t>(block)];
+    return std::lower_bound(p.begin(), p.end(), from) != p.end();
+  }
+};
+
+// Packed state: cursor (6 bits) | present mask (16 bits) | per disk
+// (block+1: 5 bits, remaining: 3 bits).
+struct State {
+  int k = 0;
+  uint32_t present = 0;
+  struct Flight {
+    int block = -1;   // -1 idle
+    int remaining = 0;
+  };
+  Flight flight[3];
+
+  uint64_t Pack(int num_disks) const {
+    uint64_t v = static_cast<uint64_t>(k);
+    v = (v << 16) | present;
+    for (int d = 0; d < num_disks; ++d) {
+      v = (v << 5) | static_cast<uint64_t>(flight[d].block + 1);
+      v = (v << 3) | static_cast<uint64_t>(flight[d].remaining);
+    }
+    return v;
+  }
+
+  int PresentCount() const { return __builtin_popcount(present); }
+  int InFlightCount(int num_disks) const {
+    int c = 0;
+    for (int d = 0; d < num_disks; ++d) {
+      c += flight[d].block >= 0 ? 1 : 0;
+    }
+    return c;
+  }
+};
+
+// Enumerates every combination of per-idle-disk actions (including no-op)
+// and applies one time step.
+void Expand(const Instance& inst, const State& s, std::vector<State>* out) {
+  // Determine idle disks and the candidate (fetch, evict) actions per disk.
+  struct Action {
+    int fetch = -1;  // -1 = no-op
+    int evict = -1;  // -1 = free buffer
+  };
+  std::vector<std::vector<Action>> options;
+  std::vector<int> idle;
+  const int buffers_used = s.PresentCount() + s.InFlightCount(inst.num_disks);
+  for (int d = 0; d < inst.num_disks; ++d) {
+    if (s.flight[d].block >= 0) {
+      continue;
+    }
+    idle.push_back(d);
+    std::vector<Action> acts = {Action{}};
+    for (int b = 0; b < inst.num_blocks; ++b) {
+      if (inst.disk[static_cast<size_t>(b)] != d) {
+        continue;
+      }
+      bool absent = (s.present & (1u << b)) == 0;
+      for (int dd = 0; dd < inst.num_disks; ++dd) {
+        if (s.flight[dd].block == b) {
+          absent = false;
+        }
+      }
+      if (!absent || !inst.UsedAgain(b, s.k)) {
+        continue;  // fetching a dead or resident block never helps
+      }
+      if (buffers_used < inst.cache_blocks) {
+        acts.push_back(Action{b, -1});
+      }
+      for (int e = 0; e < inst.num_blocks; ++e) {
+        if ((s.present & (1u << e)) != 0) {
+          acts.push_back(Action{b, e});
+        }
+      }
+    }
+    options.push_back(std::move(acts));
+  }
+
+  // Cartesian product over idle disks.
+  std::vector<size_t> choice(options.size(), 0);
+  for (;;) {
+    State next = s;
+    bool valid = true;
+    int used = buffers_used;
+    for (size_t i = 0; i < options.size() && valid; ++i) {
+      const Action& a = options[i][choice[i]];
+      if (a.fetch < 0) {
+        continue;
+      }
+      // Re-validate against the partially applied state (two disks must not
+      // fetch the same block; evictions must still be present; buffers must
+      // not be oversubscribed).
+      bool absent = (next.present & (1u << a.fetch)) == 0;
+      for (int dd = 0; dd < inst.num_disks; ++dd) {
+        if (next.flight[dd].block == a.fetch) {
+          absent = false;
+        }
+      }
+      if (!absent) {
+        valid = false;
+        break;
+      }
+      if (a.evict >= 0) {
+        if ((next.present & (1u << a.evict)) == 0) {
+          valid = false;
+          break;
+        }
+        next.present &= ~(1u << a.evict);
+        --used;
+      } else if (used >= inst.cache_blocks) {
+        valid = false;
+        break;
+      }
+      next.flight[idle[i]].block = a.fetch;
+      next.flight[idle[i]].remaining = inst.fetch_time;
+      ++used;
+    }
+
+    if (valid) {
+      // Consume if the current reference is present.
+      if (next.k < static_cast<int>(inst.refs.size()) &&
+          (next.present & (1u << inst.refs[static_cast<size_t>(next.k)])) != 0) {
+        ++next.k;
+      }
+      // Advance the in-flight fetches; arrivals become present.
+      for (int d = 0; d < inst.num_disks; ++d) {
+        if (next.flight[d].block >= 0 && --next.flight[d].remaining == 0) {
+          next.present |= 1u << next.flight[d].block;
+          next.flight[d].block = -1;
+        }
+      }
+      out->push_back(next);
+    }
+
+    // Next combination.
+    size_t i = 0;
+    for (; i < choice.size(); ++i) {
+      if (++choice[i] < options[i].size()) {
+        break;
+      }
+      choice[i] = 0;
+    }
+    if (i == choice.size()) {
+      break;  // all combinations emitted (covers the no-idle-disk case too)
+    }
+  }
+}
+
+}  // namespace
+
+int64_t TheoryOptimalElapsed(const TheorySimulator& sim, int64_t state_limit) {
+  const TheoryConfig& config = sim.config();
+  PFC_CHECK_MSG(config.num_disks <= 3, "optimal search supports <= 3 disks");
+  PFC_CHECK_MSG(config.fetch_time <= 7, "optimal search supports F <= 7");
+  PFC_CHECK_MSG(sim.refs().size() <= 60, "optimal search supports short sequences");
+
+  // Dense block ids.
+  Instance inst;
+  inst.num_disks = config.num_disks;
+  inst.cache_blocks = config.cache_blocks;
+  inst.fetch_time = static_cast<int>(config.fetch_time);
+  std::unordered_map<int64_t, int> id;
+  auto intern = [&](int64_t block) {
+    auto [it, inserted] = id.emplace(block, static_cast<int>(id.size()));
+    if (inserted) {
+      inst.disk.push_back(sim.DiskOf(block));
+      inst.positions.emplace_back();
+    }
+    return it->second;
+  };
+  for (size_t i = 0; i < sim.refs().size(); ++i) {
+    int b = intern(sim.refs()[i]);
+    inst.refs.push_back(b);
+    inst.positions[static_cast<size_t>(b)].push_back(static_cast<int>(i));
+  }
+  for (int64_t b : sim.initial_cache()) {
+    intern(b);
+  }
+  inst.num_blocks = static_cast<int>(id.size());
+  PFC_CHECK_MSG(inst.num_blocks <= 16, "optimal search supports <= 16 distinct blocks");
+
+  State start;
+  for (int64_t b : sim.initial_cache()) {
+    start.present |= 1u << id[b];
+  }
+
+  // BFS, one layer per time step.
+  const int goal = static_cast<int>(inst.refs.size());
+  std::vector<State> frontier = {start};
+  std::unordered_set<uint64_t> visited = {start.Pack(inst.num_disks)};
+  int64_t explored = 0;
+  for (int64_t t = 0;; ++t) {
+    PFC_CHECK_MSG(!frontier.empty(), "optimal search exhausted without reaching the goal");
+    std::vector<State> next_frontier;
+    for (const State& s : frontier) {
+      std::vector<State> successors;
+      Expand(inst, s, &successors);
+      for (const State& n : successors) {
+        if (n.k == goal) {
+          return t + 1;  // the final consume happened during step t
+        }
+        uint64_t key = n.Pack(inst.num_disks);
+        if (visited.insert(key).second) {
+          next_frontier.push_back(n);
+          PFC_CHECK_MSG(++explored < state_limit, "optimal search exceeded the state limit");
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+}
+
+}  // namespace pfc

@@ -1,0 +1,26 @@
+// Exhaustive search for the optimal elapsed time in the theoretical model.
+//
+// Explores every prefetching/caching schedule by breadth-first search over
+// (cursor, cache contents, per-disk in-flight) states, one time step per
+// layer. Exponential, so only tiny instances are feasible (<= ~12 distinct
+// blocks, <= 3 disks, short sequences) — exactly what is needed to verify
+// the policies against the paper's theorems on randomized instances and to
+// confirm Figure 1's optimal schedule.
+
+#ifndef PFC_THEORY_THEORY_OPTIMAL_H_
+#define PFC_THEORY_THEORY_OPTIMAL_H_
+
+#include <cstdint>
+
+#include "theory/theory_sim.h"
+
+namespace pfc {
+
+// Minimum elapsed time over all valid schedules for the simulator's
+// instance (sequence, disk layout, initial cache, K, F, d). `state_limit`
+// bounds the search; the function aborts via PFC_CHECK if exceeded.
+int64_t TheoryOptimalElapsed(const TheorySimulator& sim, int64_t state_limit = 4000000);
+
+}  // namespace pfc
+
+#endif  // PFC_THEORY_THEORY_OPTIMAL_H_

@@ -1,0 +1,259 @@
+#include "theory/theory_sim.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+constexpr int64_t kNoRef = INT64_MAX / 4;
+}  // namespace
+
+TheorySimulator::TheorySimulator(std::vector<int64_t> refs,
+                                 std::unordered_map<int64_t, int> disk_of, TheoryConfig config)
+    : refs_(std::move(refs)), disk_of_(std::move(disk_of)), config_(config) {
+  PFC_CHECK(config_.cache_blocks > 0);
+  PFC_CHECK(config_.num_disks > 0);
+  PFC_CHECK(config_.fetch_time >= 1);
+  for (int64_t b : refs_) {
+    auto it = disk_of_.find(b);
+    PFC_CHECK_MSG(it != disk_of_.end(), "referenced block has no disk assignment");
+    PFC_CHECK(it->second >= 0 && it->second < config_.num_disks);
+  }
+}
+
+int TheorySimulator::DiskOf(int64_t block) const {
+  auto it = disk_of_.find(block);
+  PFC_CHECK(it != disk_of_.end());
+  return it->second;
+}
+
+void TheorySimulator::SetInitialCache(const std::vector<int64_t>& blocks) {
+  PFC_CHECK(static_cast<int>(blocks.size()) <= config_.cache_blocks);
+  initial_cache_ = blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Shared time-stepped execution core.
+// ---------------------------------------------------------------------------
+struct TheorySimulator::Engine {
+  const TheorySimulator& sim;
+  // Per-block positions for next-use queries.
+  std::unordered_map<int64_t, std::vector<int64_t>> positions;
+
+  int64_t t = 0;   // model time
+  int64_t k = 0;   // next reference index
+  std::map<int64_t, int64_t> key_of;               // present block -> next use
+  std::set<std::pair<int64_t, int64_t>> by_key;    // (next use, block), present only
+  struct InFlight {
+    int64_t block = -1;
+    int64_t arrival = 0;
+  };
+  std::vector<InFlight> disks;
+  int used = 0;  // present + in-flight buffers
+  int64_t fetches = 0;
+
+  explicit Engine(const TheorySimulator& s) : sim(s) {
+    for (int64_t i = 0; i < static_cast<int64_t>(s.refs_.size()); ++i) {
+      positions[s.refs_[static_cast<size_t>(i)]].push_back(i);
+    }
+    disks.resize(static_cast<size_t>(s.config_.num_disks));
+    for (int64_t b : s.initial_cache_) {
+      MakePresent(b, NextUse(b, 0));
+    }
+  }
+
+  int64_t NextUse(int64_t block, int64_t from) const {
+    auto it = positions.find(block);
+    if (it == positions.end()) {
+      return kNoRef;
+    }
+    auto pos = std::lower_bound(it->second.begin(), it->second.end(), from);
+    return pos == it->second.end() ? kNoRef : *pos;
+  }
+
+  bool Present(int64_t b) const { return key_of.count(b) > 0; }
+  bool InFlightBlock(int64_t b) const {
+    for (const InFlight& f : disks) {
+      if (f.block == b) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Absent(int64_t b) const { return !Present(b) && !InFlightBlock(b); }
+  bool DiskFree(int d) const {
+    const InFlight& f = disks[static_cast<size_t>(d)];
+    return f.block < 0 || f.arrival <= t;
+  }
+  int FreeBuffers() const { return sim.config_.cache_blocks - used; }
+
+  void MakePresent(int64_t b, int64_t key) {
+    PFC_CHECK(key_of.emplace(b, key).second);
+    by_key.insert({key, b});
+    ++used;
+  }
+  void Evict(int64_t b) {
+    auto it = key_of.find(b);
+    PFC_CHECK(it != key_of.end());
+    by_key.erase({it->second, b});
+    key_of.erase(it);
+    --used;
+  }
+  // Furthest present block, or -1.
+  int64_t Furthest() const { return by_key.empty() ? -1 : by_key.rbegin()->second; }
+  int64_t FurthestKey() const { return by_key.empty() ? -1 : by_key.rbegin()->first; }
+
+  // Starts a fetch at the current time. evict < 0 takes a free buffer.
+  void StartFetch(int64_t block, int64_t evict) {
+    int d = sim.DiskOf(block);
+    PFC_CHECK_MSG(DiskFree(d), "fetch issued to a busy disk");
+    PFC_CHECK_MSG(Absent(block), "fetch for a non-absent block");
+    if (evict >= 0) {
+      PFC_CHECK_MSG(Present(evict), "eviction of a non-present block");
+      Evict(evict);
+    } else {
+      PFC_CHECK_MSG(FreeBuffers() > 0, "no free buffer for fetch");
+    }
+    disks[static_cast<size_t>(d)] = InFlight{block, t + sim.config_.fetch_time};
+    ++used;  // the in-flight block holds a buffer
+    ++fetches;
+  }
+
+  void ProcessArrivals() {
+    for (InFlight& f : disks) {
+      if (f.block >= 0 && f.arrival <= t) {
+        --used;  // transferred to the present accounting below
+        MakePresent(f.block, NextUse(f.block, k));
+        f.block = -1;
+      }
+    }
+  }
+
+  // Runs to completion; `issue` is called once per time step after arrivals
+  // and may start fetches on free disks.
+  template <typename IssueFn>
+  TheoryResult Run(IssueFn issue) {
+    const int64_t n = static_cast<int64_t>(sim.refs_.size());
+    const int64_t bound = (n + 2) * (sim.config_.fetch_time + 1) + 16;
+    while (k < n) {
+      PFC_CHECK_MSG(t < bound, "theory model failed to make progress");
+      ProcessArrivals();
+      issue(*this);
+      const int64_t b = sim.refs_[static_cast<size_t>(k)];
+      if (Present(b)) {
+        // Consume during [t, t+1).
+        auto it = key_of.find(b);
+        by_key.erase({it->second, b});
+        it->second = NextUse(b, k + 1);
+        by_key.insert({it->second, b});
+        ++k;
+      } else if (Absent(b) && !demand_pending) {
+        // The issue hook had its chance; fetch on demand with the optimal
+        // eviction unless a disk-busy wait is required.
+        int d = sim.DiskOf(b);
+        if (DiskFree(d)) {
+          int64_t victim = FreeBuffers() > 0 ? -1 : Furthest();
+          if (victim >= 0 || FreeBuffers() > 0) {
+            StartFetch(b, victim);
+          }
+        }
+      }
+      ++t;
+    }
+    TheoryResult result;
+    result.elapsed = t;
+    result.stall = t - n;
+    result.fetches = fetches;
+    return result;
+  }
+
+  // RunSchedule sets this so scheduled fetches are not pre-empted by the
+  // engine's demand path.
+  bool demand_pending = false;
+};
+
+TheoryResult TheorySimulator::RunSchedule(const std::vector<TheoryFetch>& schedule) const {
+  Engine engine(*this);
+  size_t next = 0;
+  auto issue = [&](Engine& e) {
+    while (next < schedule.size() && schedule[next].issue_time <= e.t) {
+      const TheoryFetch& f = schedule[next];
+      if (!e.DiskFree(DiskOf(f.block))) {
+        break;  // starts as soon as the disk frees
+      }
+      e.StartFetch(f.block, f.evict);
+      ++next;
+    }
+    // Suppress the demand path while the schedule still plans a fetch for
+    // the current reference.
+    e.demand_pending = false;
+    const int64_t cur = refs_[static_cast<size_t>(e.k)];
+    for (size_t i = next; i < schedule.size(); ++i) {
+      if (schedule[i].block == cur) {
+        e.demand_pending = true;
+        break;
+      }
+    }
+  };
+  return engine.Run(issue);
+}
+
+TheoryResult TheorySimulator::RunDemandOptimal() const {
+  Engine engine(*this);
+  return engine.Run([](Engine&) {});
+}
+
+TheoryResult TheorySimulator::RunAggressive() const {
+  Engine engine(*this);
+  auto issue = [this](Engine& e) {
+    for (int d = 0; d < config_.num_disks; ++d) {
+      if (!e.DiskFree(d)) {
+        continue;
+      }
+      // First missing block on this disk.
+      int64_t miss_pos = -1;
+      for (int64_t p = e.k; p < static_cast<int64_t>(refs_.size()); ++p) {
+        int64_t b = refs_[static_cast<size_t>(p)];
+        if (e.Absent(b) && DiskOf(b) == d) {
+          miss_pos = p;
+          break;
+        }
+      }
+      if (miss_pos < 0) {
+        continue;
+      }
+      int64_t block = refs_[static_cast<size_t>(miss_pos)];
+      if (e.FreeBuffers() > 0) {
+        e.StartFetch(block, -1);
+      } else if (e.FurthestKey() > miss_pos) {  // do no harm
+        e.StartFetch(block, e.Furthest());
+      }
+    }
+  };
+  return engine.Run(issue);
+}
+
+TheoryResult TheorySimulator::RunFixedHorizon(int64_t horizon) const {
+  Engine engine(*this);
+  auto issue = [this, horizon](Engine& e) {
+    const int64_t end = std::min<int64_t>(e.k + horizon, static_cast<int64_t>(refs_.size()) - 1);
+    for (int64_t p = e.k; p <= end; ++p) {
+      int64_t b = refs_[static_cast<size_t>(p)];
+      if (!e.Absent(b) || !e.DiskFree(DiskOf(b))) {
+        continue;
+      }
+      if (e.FreeBuffers() > 0) {
+        e.StartFetch(b, -1);
+      } else if (e.FurthestKey() > e.k + horizon) {
+        e.StartFetch(b, e.Furthest());
+      }
+    }
+  };
+  return engine.Run(issue);
+}
+
+}  // namespace pfc

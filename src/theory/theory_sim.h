@@ -1,0 +1,82 @@
+// The paper's theoretical model (section 2.1), as an executable simulator.
+//
+// Time advances in integer steps; serving a cached reference takes exactly
+// one step; every fetch takes exactly F steps on the block's disk (one fetch
+// in service per disk); starting a fetch evicts its victim immediately. The
+// figures of merit are elapsed time (= n + total stall) and stall.
+//
+// This model is where the paper's algorithms have provable properties
+// (aggressive within d(1+e) of optimal, reverse aggressive within 1+e), and
+// where its Figure 1 example lives. pfc uses it to validate the policy
+// logic against a brute-force optimal schedule on small instances
+// (theory_optimal.h) and to reproduce Figure 1 exactly.
+
+#ifndef PFC_THEORY_THEORY_SIM_H_
+#define PFC_THEORY_THEORY_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pfc {
+
+struct TheoryConfig {
+  int cache_blocks = 4;
+  int num_disks = 2;
+  int64_t fetch_time = 2;  // F, in reference (time) units
+};
+
+// One prefetch of an explicit schedule. Fetches are issued in list order;
+// an entry whose disk is still busy at issue_time starts when the disk
+// frees. evict = kNoEvict takes a free buffer.
+struct TheoryFetch {
+  static constexpr int64_t kNoEvict = -1;
+  int64_t issue_time = 0;
+  int64_t block = 0;
+  int64_t evict = kNoEvict;
+};
+
+struct TheoryResult {
+  int64_t elapsed = 0;  // steps to serve the whole sequence
+  int64_t stall = 0;    // elapsed - n
+  int64_t fetches = 0;
+};
+
+class TheorySimulator {
+ public:
+  // refs: the request sequence; disk_of: block -> disk (all referenced
+  // blocks must be mapped).
+  TheorySimulator(std::vector<int64_t> refs, std::unordered_map<int64_t, int> disk_of,
+                  TheoryConfig config);
+
+  // Blocks resident before the first reference (at most K).
+  void SetInitialCache(const std::vector<int64_t>& blocks);
+
+  // Executes an explicit prefetching schedule; demand-fetches anything the
+  // schedule missed (with furthest-future eviction), so every schedule is
+  // executable.
+  TheoryResult RunSchedule(const std::vector<TheoryFetch>& schedule) const;
+
+  // The paper's algorithms in the model.
+  TheoryResult RunDemandOptimal() const;                  // fetch on miss, MIN eviction
+  TheoryResult RunAggressive() const;                     // section 2.4's greedy
+  TheoryResult RunFixedHorizon(int64_t horizon) const;    // section 2.3
+
+  const std::vector<int64_t>& refs() const { return refs_; }
+  const TheoryConfig& config() const { return config_; }
+  const std::vector<int64_t>& initial_cache() const { return initial_cache_; }
+  int DiskOf(int64_t block) const;
+
+ private:
+  struct Engine;  // the shared time-stepped execution core
+
+  std::vector<int64_t> refs_;
+  std::unordered_map<int64_t, int> disk_of_;
+  TheoryConfig config_;
+  std::vector<int64_t> initial_cache_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_THEORY_THEORY_SIM_H_

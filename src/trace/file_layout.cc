@@ -1,0 +1,84 @@
+#include "trace/file_layout.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pfc {
+
+FileLayout::FileLayout(Rng* rng) : rng_(rng) { PFC_CHECK(rng != nullptr); }
+
+int64_t FileLayout::AddFile(int64_t blocks) {
+  PFC_CHECK(blocks > 0);
+  // Start at a random offset within a fresh allocation group, leaving room
+  // so a small file fits in its group; large files spill into the following
+  // groups, which are reserved for this file.
+  int64_t max_offset = blocks >= kGroupBlocks ? 0 : kGroupBlocks - blocks;
+  int64_t offset = max_offset > 0 ? rng_->UniformInt(0, max_offset) : 0;
+  int64_t base = next_group_ * kGroupBlocks + offset;
+  int64_t groups_used = (offset + blocks + kGroupBlocks - 1) / kGroupBlocks;
+  next_group_ += groups_used;
+  base_.push_back(base);
+  blocks_.push_back(blocks);
+  scattered_.emplace_back();
+  return base;
+}
+
+int FileLayout::AddFragmentedFile(int64_t blocks, int64_t extent_blocks) {
+  PFC_CHECK(blocks > 0);
+  PFC_CHECK(extent_blocks > 0);
+  const int64_t group_base = next_group_ * kGroupBlocks;
+  const int64_t groups_used = (blocks + kGroupBlocks - 1) / kGroupBlocks;
+  next_group_ += groups_used;
+  const int64_t span = groups_used * kGroupBlocks;
+
+  // Shuffle the extent slots of the reserved span and assign the file's
+  // extents to the first however-many of them.
+  const int64_t slots = span / extent_blocks;
+  std::vector<int64_t> order(static_cast<size_t>(slots));
+  for (int64_t i = 0; i < slots; ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  for (size_t i = order.size(); i > 1; --i) {
+    size_t j = rng_->UniformU32(static_cast<uint32_t>(i));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  std::vector<int64_t> addresses;
+  addresses.reserve(static_cast<size_t>(blocks));
+  int64_t emitted = 0;
+  for (int64_t slot = 0; emitted < blocks; ++slot) {
+    PFC_CHECK(slot < slots);
+    int64_t extent_base = group_base + order[static_cast<size_t>(slot)] * extent_blocks;
+    for (int64_t i = 0; i < extent_blocks && emitted < blocks; ++i, ++emitted) {
+      addresses.push_back(extent_base + i);
+    }
+  }
+
+  base_.push_back(-1);
+  blocks_.push_back(blocks);
+  scattered_.push_back(std::move(addresses));
+  return num_files() - 1;
+}
+
+int64_t FileLayout::FileBase(int file_id) const {
+  PFC_CHECK(file_id >= 0 && file_id < num_files());
+  PFC_CHECK(base_[static_cast<size_t>(file_id)] >= 0);
+  return base_[static_cast<size_t>(file_id)];
+}
+
+int64_t FileLayout::FileBlocks(int file_id) const {
+  PFC_CHECK(file_id >= 0 && file_id < num_files());
+  return blocks_[static_cast<size_t>(file_id)];
+}
+
+int64_t FileLayout::BlockAddress(int file_id, int64_t offset) const {
+  PFC_CHECK(file_id >= 0 && file_id < num_files());
+  PFC_CHECK(offset >= 0 && offset < blocks_[static_cast<size_t>(file_id)]);
+  if (base_[static_cast<size_t>(file_id)] >= 0) {
+    return base_[static_cast<size_t>(file_id)] + offset;
+  }
+  return scattered_[static_cast<size_t>(file_id)][static_cast<size_t>(offset)];
+}
+
+}  // namespace pfc

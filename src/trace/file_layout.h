@@ -1,0 +1,57 @@
+// Assigns logical block addresses to the files a trace generator creates.
+//
+// The paper's traces recorded (file, offset) pairs; the simulators placed
+// each file at a random starting point within an 8550-block allocation group
+// (100 HP 97560 cylinders), matching typical file-system clustering, so
+// intra-file seeks stay under ~7.24 ms (section 3.2). FileLayout reproduces
+// that: each file occupies contiguous logical blocks beginning at a random
+// offset inside its own chain of allocation groups.
+
+#ifndef PFC_TRACE_FILE_LAYOUT_H_
+#define PFC_TRACE_FILE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pfc {
+
+class FileLayout {
+ public:
+  // One allocation group = 8550 8-KB blocks (100 cylinders).
+  static constexpr int64_t kGroupBlocks = 8550;
+
+  explicit FileLayout(Rng* rng);
+
+  // Allocates a file of `blocks` contiguous logical blocks; returns its base
+  // address. Files never overlap.
+  int64_t AddFile(int64_t blocks);
+
+  // Allocates a file whose blocks are fragmented into extents of
+  // `extent_blocks` placed at shuffled offsets inside the file's allocation
+  // group(s) — FFS-style fragmentation of an incrementally written tree.
+  // Sequential reads of such a file hop between extents with short
+  // within-group seeks. Returns the file id (not an address).
+  int AddFragmentedFile(int64_t blocks, int64_t extent_blocks);
+
+  // Base address of file `id` (ids are assigned in AddFile order).
+  int64_t FileBase(int file_id) const;
+  int64_t FileBlocks(int file_id) const;
+  int num_files() const { return static_cast<int>(base_.size()); }
+
+  // Logical address of block `offset` within file `id`.
+  int64_t BlockAddress(int file_id, int64_t offset) const;
+
+ private:
+  Rng* rng_;
+  int64_t next_group_ = 0;
+  std::vector<int64_t> base_;    // -1 for fragmented files
+  std::vector<int64_t> blocks_;
+  // For fragmented files: explicit address of every block.
+  std::vector<std::vector<int64_t>> scattered_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_FILE_LAYOUT_H_

@@ -1,0 +1,37 @@
+// Shared helpers for trace generators (internal to src/trace).
+
+#ifndef PFC_TRACE_GEN_COMMON_H_
+#define PFC_TRACE_GEN_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+// Assigns every entry an exponential compute time, then rescales so the
+// trace total equals `total_sec` exactly.
+void FillComputeExponential(Trace* trace, double mean_ms, double total_sec, Rng* rng);
+
+// Assigns every entry a truncated-normal compute time (mean, cv * mean),
+// then rescales to `total_sec`.
+void FillComputeNormal(Trace* trace, double mean_ms, double cv, double total_sec, Rng* rng);
+
+// Splits `total` into `parts` positive sizes with a random spread (each at
+// least `min_size`). Deterministic given the RNG state.
+std::vector<int64_t> RandomPartition(int64_t total, int parts, int64_t min_size, Rng* rng);
+
+// Fisher-Yates shuffle.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = rng->UniformU32(static_cast<uint32_t>(i));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_GEN_COMMON_H_

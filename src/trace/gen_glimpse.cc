@@ -1,0 +1,116 @@
+// glimpse: University of Arizona text retrieval over a 40 MB news snapshot.
+// Section 3.1: "the index files are accessed repeatedly, whereas the data
+// files are accessed infrequently." Four keyword queries; each re-reads the
+// approximate indexes and then visits short runs in the data files.
+//
+// Reconstruction: a 1200-block index region (it fits in the 1280-block
+// cache, so repeated index passes mostly hit — the paper's fixed horizon
+// issues only 6493 fetches for 27981 reads) read sequentially several times
+// per query, interleaved with short scattered runs in the data files. Some
+// data runs are re-read immediately (hits); every data block is eventually
+// touched. Totals match Table 3 exactly: 27981 reads, 5247 distinct
+// (1200 index + 4047 data).
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/file_layout.h"
+#include "trace/gen_common.h"
+#include "trace/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+Trace MakeGlimpse(uint64_t seed) {
+  const TraceSpec& spec = *FindTraceSpec("glimpse");
+  Rng rng(SplitMix64(seed) ^ 0x6115937EULL);
+
+  constexpr int kQueries = 4;
+  constexpr int kIndexPassesPerQuery = 4;
+  // Slightly larger than the 1280-block cache: the repeated index passes
+  // mostly hit but leak a steady trickle of misses, matching the paper's
+  // 6493 fetches (~1250 above the distinct count). Those misses are cheap
+  // sequential reads, which pulls the average fetch time down toward the
+  // paper's 13.4 ms despite the expensive scattered data reads.
+  constexpr int64_t kIndexBlocks = 1340;
+  const int64_t data_blocks = spec.paper_distinct - kIndexBlocks;  // 3907
+  const int64_t index_reads = kQueries * kIndexPassesPerQuery * kIndexBlocks;  // 21440
+  const int64_t data_reads = spec.paper_reads - index_reads;  // 6541
+
+  FileLayout layout(&rng);
+  // A handful of index files followed by many data files.
+  constexpr int kIndexFiles = 5;
+  constexpr int kDataFiles = 220;
+  std::vector<int64_t> index_sizes = RandomPartition(kIndexBlocks, kIndexFiles, 16, &rng);
+  for (int64_t s : index_sizes) {
+    layout.AddFile(s);
+  }
+  std::vector<int64_t> data_sizes = RandomPartition(data_blocks, kDataFiles, 4, &rng);
+  for (int64_t s : data_sizes) {
+    layout.AddFile(s);
+  }
+
+  // The data visits are single scattered blocks (glimpse jumps straight to
+  // the lines its approximate index flagged), each possibly re-read a few
+  // times immediately (cache hits). Scattered single-block reads are what
+  // give the paper its 13.4 ms average fetch time on this trace.
+  struct Run {
+    int file;
+    int64_t offset;
+    int64_t length;
+  };
+  std::vector<Run> runs;
+  for (int f = 0; f < kDataFiles; ++f) {
+    int64_t file_blocks = layout.FileBlocks(kIndexFiles + f);
+    for (int64_t off = 0; off < file_blocks; ++off) {
+      runs.push_back(Run{kIndexFiles + f, off, 1});
+    }
+  }
+  Shuffle(&runs, &rng);
+
+  Trace trace(spec.name);
+  trace.Reserve(spec.paper_reads);
+  auto emit_run = [&](const Run& run, int64_t cap) {
+    int64_t take = std::min(run.length, cap);
+    for (int64_t i = 0; i < take; ++i) {
+      trace.Append(layout.BlockAddress(run.file, run.offset + i), 0);
+    }
+    return take;
+  };
+
+  size_t next_fresh_run = 0;
+  int64_t data_emitted = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    for (int pass = 0; pass < kIndexPassesPerQuery; ++pass) {
+      for (int f = 0; f < kIndexFiles; ++f) {
+        for (int64_t off = 0; off < layout.FileBlocks(f); ++off) {
+          trace.Append(layout.BlockAddress(f, off), 0);
+        }
+      }
+    }
+    int64_t query_budget = data_reads * (q + 1) / kQueries - data_emitted;
+    while (query_budget > 0) {
+      const Run& run = next_fresh_run < runs.size()
+                           ? runs[next_fresh_run++]
+                           : runs[rng.UniformU32(static_cast<uint32_t>(runs.size()))];
+      int64_t took = emit_run(run, query_budget);
+      query_budget -= took;
+      data_emitted += took;
+      // Matched blocks are re-read geometrically (display, context lines):
+      // expected visits ~1.67, which makes the read/distinct budget come out
+      // exactly.
+      while (query_budget > 0 && rng.UniformDouble() < 0.40) {
+        took = emit_run(run, query_budget);
+        query_budget -= took;
+        data_emitted += took;
+      }
+    }
+  }
+  PFC_CHECK(trace.size() == spec.paper_reads);
+
+  FillComputeExponential(&trace, 1.38, spec.paper_compute_sec, &rng);
+  return trace;
+}
+
+}  // namespace pfc

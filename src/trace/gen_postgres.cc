@@ -1,0 +1,147 @@
+// postgres-join and postgres-select: the Postgres RDBMS running Wisconsin
+// Benchmark queries (section 3.1).
+//
+// join: a join between an indexed 32 MB relation and a non-indexed 3.2 MB
+// relation. "The index blocks are accessed much more frequently than the
+// data blocks." Reconstruction: sequential scan of the 410-block outer
+// relation interleaved with index-probe / data-block pairs against the inner
+// relation. 8896 reads, 3793 distinct (410 outer + 400 index + 2983 inner
+// data), 79.2 s compute (see the Table-3-vs-appendix note in generators.cc).
+//
+// select: an indexed selection of 2% of the tuples of the 32 MB relation.
+// Reconstruction: a walk through the index leaves in key order, re-reading
+// the current leaf between qualifying tuples, with one scattered data-block
+// read per tuple at ascending random offsets. 5044 reads, 3085 distinct
+// (150 leaves + 2935 data), 11.5 s compute.
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/file_layout.h"
+#include "trace/gen_common.h"
+#include "trace/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+Trace MakePostgresJoin(uint64_t seed) {
+  const TraceSpec& spec = *FindTraceSpec("postgres-join");
+  Rng rng(SplitMix64(seed) ^ 0x90574E5ULL);
+
+  constexpr int64_t kOuterBlocks = 410;   // 3.2 MB relation
+  constexpr int64_t kIndexBlocks = 400;   // index on the 32 MB relation
+  const int64_t inner_blocks = spec.paper_distinct - kOuterBlocks - kIndexBlocks;  // 2983
+
+  FileLayout layout(&rng);
+  const int outer_file = 0;
+  layout.AddFile(kOuterBlocks);
+  const int index_file = 1;
+  layout.AddFile(kIndexBlocks);
+  const int inner_file = 2;
+  layout.AddFile(inner_blocks);
+
+  const int64_t probe_reads = spec.paper_reads - kOuterBlocks;  // 8486
+  PFC_CHECK(probe_reads % 2 == 0);
+  const int64_t probes = probe_reads / 2;  // 4243 (index read + data read each)
+
+  // Inner data blocks: cover every block once (a join touches all matching
+  // tuples), in shuffled order. Repeat probes re-touch a *recently* probed
+  // block (duplicate join keys cluster), so they hit the cache — the paper's
+  // fixed horizon issues only 3856 fetches for 8896 reads.
+  std::vector<int64_t> data_order(static_cast<size_t>(inner_blocks));
+  for (int64_t i = 0; i < inner_blocks; ++i) {
+    data_order[static_cast<size_t>(i)] = i;
+  }
+  Shuffle(&data_order, &rng);
+  const int64_t repeats = probes - inner_blocks;
+  for (int64_t i = 0; i < repeats; ++i) {
+    // Insert each repeat just after the original so reuse stays inside the
+    // cache's reach.
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(data_order.size()) - 1));
+    int64_t recent = data_order[pos - 1];
+    data_order.insert(data_order.begin() + static_cast<int64_t>(pos), recent);
+  }
+
+  // Index blocks: every leaf touched at least once; the rest of the probes
+  // hit a skewed hot set (upper-level pages are re-read constantly).
+  std::vector<int64_t> index_order(static_cast<size_t>(probes));
+  for (int64_t i = 0; i < probes; ++i) {
+    if (i < kIndexBlocks) {
+      index_order[static_cast<size_t>(i)] = i;
+    } else {
+      index_order[static_cast<size_t>(i)] = rng.SkewedRank(kIndexBlocks, 2.0);
+    }
+  }
+  Shuffle(&index_order, &rng);
+
+  Trace trace(spec.name);
+  trace.Reserve(spec.paper_reads);
+  int64_t probe_cursor = 0;
+  for (int64_t o = 0; o < kOuterBlocks; ++o) {
+    trace.Append(layout.BlockAddress(outer_file, o), 0);
+    // Probes attributable to this outer block.
+    int64_t until = probes * (o + 1) / kOuterBlocks;
+    for (; probe_cursor < until; ++probe_cursor) {
+      trace.Append(
+          layout.BlockAddress(index_file, index_order[static_cast<size_t>(probe_cursor)]), 0);
+      trace.Append(layout.BlockAddress(inner_file, data_order[static_cast<size_t>(probe_cursor)]),
+                   0);
+    }
+  }
+  PFC_CHECK(trace.size() == spec.paper_reads);
+
+  FillComputeNormal(&trace, 8.9, 0.4, spec.paper_compute_sec, &rng);
+  return trace;
+}
+
+Trace MakePostgresSelect(uint64_t seed) {
+  const TraceSpec& spec = *FindTraceSpec("postgres-select");
+  Rng rng(SplitMix64(seed) ^ 0x90574E55ULL);
+
+  constexpr int64_t kLeafBlocks = 150;    // index leaves, walked in key order
+  constexpr int64_t kRelationBlocks = 4096;  // the 32 MB relation
+  const int64_t data_distinct = spec.paper_distinct - kLeafBlocks;  // 2935
+  const int64_t index_reads = spec.paper_reads - data_distinct;     // 2109
+
+  FileLayout layout(&rng);
+  const int index_file = 0;
+  layout.AddFile(kLeafBlocks);
+  const int data_file = 1;
+  layout.AddFile(kRelationBlocks);
+
+  // Qualifying tuples live in `data_distinct` distinct blocks; the index
+  // scan returns them in key order, and the indexed attribute is not
+  // correlated with physical placement (Wisconsin benchmark), so the block
+  // offsets arrive in effectively random order — this is what makes
+  // postgres-select's average fetch time ~14-15 ms in the paper.
+  std::vector<int64_t> data_offsets;
+  data_offsets.reserve(static_cast<size_t>(kRelationBlocks));
+  for (int64_t i = 0; i < kRelationBlocks; ++i) {
+    data_offsets.push_back(i);
+  }
+  Shuffle(&data_offsets, &rng);
+  data_offsets.resize(static_cast<size_t>(data_distinct));
+
+  Trace trace(spec.name);
+  trace.Reserve(spec.paper_reads);
+  int64_t index_emitted = 0;
+  for (int64_t t = 0; t < data_distinct; ++t) {
+    // Interleave index-leaf reads so leaves are revisited between tuples.
+    int64_t until = index_reads * (t + 1) / data_distinct;
+    int64_t leaf = kLeafBlocks * t / data_distinct;
+    for (; index_emitted < until; ++index_emitted) {
+      trace.Append(layout.BlockAddress(index_file, leaf), 0);
+    }
+    trace.Append(layout.BlockAddress(data_file, data_offsets[static_cast<size_t>(t)]), 0);
+  }
+  PFC_CHECK(trace.size() == spec.paper_reads);
+
+  // ~2.3 ms of query processing per read: against ~14 ms scattered reads
+  // this is the paper's most I/O-bound trace on one disk (utilization .98).
+  FillComputeExponential(&trace, 2.28, spec.paper_compute_sec, &rng);
+  return trace;
+}
+
+}  // namespace pfc

@@ -1,0 +1,56 @@
+// Write-extension workload builders (the paper studies reads only; writes
+// are its named future work — section 6).
+
+#include <algorithm>
+
+#include "trace/file_layout.h"
+#include "trace/gen_common.h"
+#include "trace/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+Trace WithUpdates(const Trace& base, double update_fraction, uint64_t seed) {
+  PFC_CHECK(update_fraction >= 0.0 && update_fraction <= 1.0);
+  Rng rng(SplitMix64(seed) ^ 0x3217E5ULL);
+  Trace out(base.name() + "+updates");
+  out.Reserve(base.size() * 2);
+  for (int64_t i = 0; i < base.size(); ++i) {
+    if (base.is_write(i)) {
+      out.AppendWrite(base.block(i), base.compute(i));
+      continue;
+    }
+    if (rng.UniformDouble() < update_fraction) {
+      // Split the inter-reference compute around the write-back.
+      TimeNs compute = base.compute(i);
+      out.Append(base.block(i), compute / 2);
+      out.AppendWrite(base.block(i), compute - compute / 2);
+    } else {
+      out.Append(base.block(i), base.compute(i));
+    }
+  }
+  return out;
+}
+
+Trace MakeCopyTrace(int64_t blocks, double compute_ms, uint64_t seed) {
+  PFC_CHECK(blocks > 0);
+  Rng rng(SplitMix64(seed) ^ 0xC0B1ULL);
+  FileLayout layout(&rng);
+  const int src = 0;
+  layout.AddFile(blocks);
+  const int dst = 1;
+  layout.AddFile(blocks);
+
+  Trace trace("copy");
+  trace.Reserve(2 * blocks);
+  for (int64_t i = 0; i < blocks; ++i) {
+    trace.Append(layout.BlockAddress(src, i),
+                 MsToNs(std::max(0.05, compute_ms * (0.5 + rng.UniformDouble()))));
+    trace.AppendWrite(layout.BlockAddress(dst, i),
+                      MsToNs(std::max(0.05, compute_ms * (0.5 + rng.UniformDouble()))));
+  }
+  return trace;
+}
+
+}  // namespace pfc

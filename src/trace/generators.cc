@@ -1,0 +1,133 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/gen_common.h"
+#include "util/check.h"
+
+namespace pfc {
+
+void FillComputeExponential(Trace* trace, double mean_ms, double total_sec, Rng* rng) {
+  PFC_CHECK(trace != nullptr && !trace->empty());
+  Trace rebuilt(trace->name());
+  rebuilt.Reserve(trace->size());
+  for (int64_t i = 0; i < trace->size(); ++i) {
+    rebuilt.Append(trace->block(i), MsToNs(rng->Exponential(mean_ms)));
+  }
+  rebuilt.RescaleCompute(SecToNs(total_sec));
+  *trace = std::move(rebuilt);
+}
+
+void FillComputeNormal(Trace* trace, double mean_ms, double cv, double total_sec, Rng* rng) {
+  PFC_CHECK(trace != nullptr && !trace->empty());
+  Trace rebuilt(trace->name());
+  rebuilt.Reserve(trace->size());
+  for (int64_t i = 0; i < trace->size(); ++i) {
+    double ms = mean_ms * (1.0 + cv * rng->Normal());
+    ms = std::max(ms, 0.05 * mean_ms);
+    rebuilt.Append(trace->block(i), MsToNs(ms));
+  }
+  rebuilt.RescaleCompute(SecToNs(total_sec));
+  *trace = std::move(rebuilt);
+}
+
+std::vector<int64_t> RandomPartition(int64_t total, int parts, int64_t min_size, Rng* rng) {
+  PFC_CHECK(parts > 0);
+  PFC_CHECK(total >= parts * min_size);
+  // Draw random positive weights, scale, fix rounding on the largest part.
+  std::vector<double> weights(static_cast<size_t>(parts));
+  double sum = 0;
+  for (double& w : weights) {
+    w = 0.2 + rng->Exponential(1.0);
+    sum += w;
+  }
+  std::vector<int64_t> sizes(static_cast<size_t>(parts));
+  int64_t distributable = total - parts * min_size;
+  int64_t used = 0;
+  for (int i = 0; i < parts; ++i) {
+    int64_t extra = static_cast<int64_t>(static_cast<double>(distributable) *
+                                         weights[static_cast<size_t>(i)] / sum);
+    sizes[static_cast<size_t>(i)] = min_size + extra;
+    used += extra;
+  }
+  // Distribute the rounding remainder one block at a time.
+  int64_t remainder = distributable - used;
+  for (int i = 0; remainder > 0; i = (i + 1) % parts, --remainder) {
+    ++sizes[static_cast<size_t>(i)];
+  }
+  return sizes;
+}
+
+const std::vector<TraceSpec>& AllTraceSpecs() {
+  static const std::vector<TraceSpec> kSpecs = {
+      {"dinero", "cache simulator; one file read sequentially multiple times", 8867, 986, 103.5,
+       512},
+      {"cscope1", "C-source examination, 8 symbol queries over 18MB", 8673, 1073, 24.9, 512},
+      {"cscope2", "C-source examination, 4 text queries over 18MB", 20206, 2462, 37.1, 1280},
+      {"cscope3", "C-source examination, 4 text queries over 10MB; bursty compute", 30200, 3910,
+       74.1, 1280},
+      {"glimpse", "text retrieval; hot index files plus cold data files", 27981, 5247, 38.7,
+       1280},
+      {"ld", "Ultrix link-editor over ~25MB of object files", 5881, 2882, 8.2, 1280},
+      // NOTE: the paper's Table 3 lists compute times of 11.5s (join) and
+      // 79.2s (select), but its own appendix tables 15/16, figure 2 and
+      // tables 4/8 are only consistent with the values swapped: postgres-
+      // join's elapsed time floors at ~81s (compute ~79.2s) and postgres-
+      // select's at ~13s (compute ~11.5s). We follow the appendix, since
+      // those are the results being reproduced.
+      {"postgres-join", "indexed 32MB x non-indexed 3.2MB join", 8896, 3793, 79.2, 1280},
+      {"postgres-select", "2% indexed selection from a 32MB relation", 5044, 3085, 11.5, 1280},
+      {"xds", "3-D visualization; 25 random planar slices of a 64MB volume", 10435, 5392, 30.8,
+       1280},
+      {"synth", "50 passes over 2000 sequential blocks; Poisson 1ms compute", 100000, 2000, 99.9,
+       1280},
+  };
+  return kSpecs;
+}
+
+const TraceSpec* FindTraceSpec(const std::string& name) {
+  for (const TraceSpec& spec : AllTraceSpecs()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+Trace MakeTrace(const std::string& name, uint64_t seed) {
+  if (name == "dinero") {
+    return MakeDinero(seed);
+  }
+  if (name == "cscope1") {
+    return MakeCscope1(seed);
+  }
+  if (name == "cscope2") {
+    return MakeCscope2(seed);
+  }
+  if (name == "cscope3") {
+    return MakeCscope3(seed);
+  }
+  if (name == "glimpse") {
+    return MakeGlimpse(seed);
+  }
+  if (name == "ld") {
+    return MakeLd(seed);
+  }
+  if (name == "postgres-join") {
+    return MakePostgresJoin(seed);
+  }
+  if (name == "postgres-select") {
+    return MakePostgresSelect(seed);
+  }
+  if (name == "xds") {
+    return MakeXds(seed);
+  }
+  if (name == "synth") {
+    return MakeSynth(seed);
+  }
+  PFC_CHECK_MSG(false, ("unknown trace: " + name).c_str());
+  return Trace();
+}
+
+}  // namespace pfc

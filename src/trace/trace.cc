@@ -1,0 +1,95 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pfc {
+
+void Trace::Append(int64_t block, TimeNs compute) {
+  PFC_CHECK(block >= 0);
+  PFC_CHECK(compute >= 0);
+  entries_.push_back(TraceEntry{block, compute, false});
+}
+
+void Trace::AppendWrite(int64_t block, TimeNs compute) {
+  PFC_CHECK(block >= 0);
+  PFC_CHECK(compute >= 0);
+  entries_.push_back(TraceEntry{block, compute, true});
+}
+
+int64_t Trace::WriteCount() const {
+  int64_t writes = 0;
+  for (const TraceEntry& e : entries_) {
+    writes += e.is_write ? 1 : 0;
+  }
+  return writes;
+}
+
+int64_t Trace::DistinctBlocks() const {
+  std::unordered_set<int64_t> seen;
+  seen.reserve(entries_.size());
+  for (const TraceEntry& e : entries_) {
+    seen.insert(e.block);
+  }
+  return static_cast<int64_t>(seen.size());
+}
+
+int64_t Trace::MaxBlock() const {
+  int64_t max_block = -1;
+  for (const TraceEntry& e : entries_) {
+    max_block = std::max(max_block, e.block);
+  }
+  return max_block + 1;
+}
+
+TimeNs Trace::TotalCompute() const {
+  TimeNs total = 0;
+  for (const TraceEntry& e : entries_) {
+    total += e.compute;
+  }
+  return total;
+}
+
+void Trace::RescaleCompute(TimeNs target_total) {
+  TimeNs current = TotalCompute();
+  PFC_CHECK(current > 0);
+  double factor = static_cast<double>(target_total) / static_cast<double>(current);
+  ScaleCompute(factor);
+  // Push rounding residue into the last entry so the total is exact.
+  TimeNs residue = target_total - TotalCompute();
+  if (!entries_.empty()) {
+    TimeNs& last = entries_.back().compute;
+    last = std::max<TimeNs>(0, last + residue);
+  }
+}
+
+void Trace::ScaleCompute(double factor) {
+  PFC_CHECK(factor > 0.0);
+  for (TraceEntry& e : entries_) {
+    e.compute = static_cast<TimeNs>(static_cast<double>(e.compute) * factor + 0.5);
+  }
+}
+
+Trace Trace::Reversed() const {
+  Trace out(name_ + "-reversed");
+  out.Reserve(size());
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    out.entries_.push_back(*it);
+  }
+  return out;
+}
+
+Trace Trace::Prefix(int64_t n) const {
+  PFC_CHECK(n >= 0);
+  n = std::min(n, size());
+  Trace out(name_ + "-prefix");
+  out.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out.entries_.push_back(entries_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace pfc

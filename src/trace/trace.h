@@ -1,0 +1,84 @@
+// A file-access trace: the sequence of block reads issued by a single
+// process, with the measured CPU time between consecutive reads.
+//
+// Block ids are logical filesystem block addresses (8 KB blocks); the
+// layout module maps them onto the disk array. compute(i) is the CPU time
+// the application spends after consuming reference i and before issuing
+// reference i+1 (the paper's "inter-reference compute time").
+
+#ifndef PFC_TRACE_TRACE_H_
+#define PFC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+struct TraceEntry {
+  int64_t block = 0;
+  TimeNs compute = 0;
+  // Write extension (the paper studies reads only and names writes as future
+  // work): a write overwrites the whole block — no data need be fetched —
+  // and is absorbed by the write-behind buffer unless the simulation runs
+  // write-through.
+  bool is_write = false;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+  const TraceEntry& entry(int64_t i) const { return entries_[static_cast<size_t>(i)]; }
+  int64_t block(int64_t i) const { return entries_[static_cast<size_t>(i)].block; }
+  TimeNs compute(int64_t i) const { return entries_[static_cast<size_t>(i)].compute; }
+
+  void Append(int64_t block, TimeNs compute);
+  void AppendWrite(int64_t block, TimeNs compute);
+  void Reserve(int64_t n) { entries_.reserve(static_cast<size_t>(n)); }
+  bool is_write(int64_t i) const { return entries_[static_cast<size_t>(i)].is_write; }
+  // Number of write references.
+  int64_t WriteCount() const;
+
+  // Number of distinct blocks referenced.
+  int64_t DistinctBlocks() const;
+
+  // Largest block id + 1 (the logical address space in use).
+  int64_t MaxBlock() const;
+
+  // Sum of inter-reference compute times.
+  TimeNs TotalCompute() const;
+
+  // Uniformly rescales compute times so TotalCompute() == target (used by
+  // generators to hit the paper's Table 3 totals exactly).
+  void RescaleCompute(TimeNs target_total);
+
+  // Multiplies every compute time by `factor` (e.g. 0.5 models a CPU twice
+  // as fast, the paper's section 4.4 experiment).
+  void ScaleCompute(double factor);
+
+  // The reversed reference sequence (compute times reversed alongside);
+  // input to reverse aggressive's schedule-construction pass.
+  Trace Reversed() const;
+
+  // A prefix of the first n references (for quick tests).
+  Trace Prefix(int64_t n) const;
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+ private:
+  std::string name_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_TRACE_H_

@@ -1,0 +1,83 @@
+#include "trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace pfc {
+
+bool SaveTraceText(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = std::fprintf(f, "# pfc-trace v1 name=%s\n", trace.name().c_str()) > 0;
+  for (int64_t i = 0; ok && i < trace.size(); ++i) {
+    if (trace.is_write(i)) {
+      ok = std::fprintf(f, "%" PRId64 " %" PRId64 " W\n", trace.block(i),
+                        static_cast<int64_t>(trace.compute(i))) > 0;
+    } else {
+      ok = std::fprintf(f, "%" PRId64 " %" PRId64 "\n", trace.block(i),
+                        static_cast<int64_t>(trace.compute(i))) > 0;
+    }
+  }
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::optional<Trace> LoadTraceText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  Trace trace;
+  char line[512];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#') {
+      if (first) {
+        const char* name_tag = std::strstr(line, "name=");
+        if (name_tag != nullptr) {
+          std::string name(name_tag + 5);
+          while (!name.empty() && (name.back() == '\n' || name.back() == '\r' ||
+                                   name.back() == ' ')) {
+            name.pop_back();
+          }
+          trace.set_name(name);
+        }
+      }
+      first = false;
+      continue;
+    }
+    first = false;
+    int64_t block = 0;
+    int64_t compute = 0;
+    char op[8] = {0};
+    int fields = std::sscanf(line, "%" SCNd64 " %" SCNd64 " %7s", &block, &compute, op);
+    if (fields < 2 || block < 0 || compute < 0 ||
+        (fields == 3 && !(op[0] == 'W' && op[1] == '\0'))) {
+      // Skip blank lines; reject malformed records.
+      bool blank = true;
+      for (const char* p = line; *p != '\0'; ++p) {
+        if (*p != ' ' && *p != '\t' && *p != '\n' && *p != '\r') {
+          blank = false;
+          break;
+        }
+      }
+      if (blank) {
+        continue;
+      }
+      std::fclose(f);
+      return std::nullopt;
+    }
+    if (fields == 3) {
+      trace.AppendWrite(block, compute);
+    } else {
+      trace.Append(block, compute);
+    }
+  }
+  std::fclose(f);
+  return trace;
+}
+
+}  // namespace pfc

@@ -1,0 +1,26 @@
+// Text serialization of traces so users can supply their own recordings.
+//
+// Format (one record per line, '#' comments allowed):
+//   # pfc-trace v1 name=<name>
+//   <block> <compute_ns>
+//   ...
+
+#ifndef PFC_TRACE_TRACE_IO_H_
+#define PFC_TRACE_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace pfc {
+
+// Writes the trace; returns false on I/O failure.
+bool SaveTraceText(const Trace& trace, const std::string& path);
+
+// Reads a trace; returns nullopt on I/O or parse failure.
+std::optional<Trace> LoadTraceText(const std::string& path);
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_TRACE_IO_H_

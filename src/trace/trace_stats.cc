@@ -1,0 +1,49 @@
+#include "trace/trace_stats.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace pfc {
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats stats;
+  stats.name = trace.name();
+  stats.reads = trace.size();
+  stats.compute_sec = NsToSec(trace.TotalCompute());
+  stats.mean_compute_ms =
+      trace.size() > 0 ? NsToMs(trace.TotalCompute()) / static_cast<double>(trace.size()) : 0;
+  stats.max_block = trace.MaxBlock();
+
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(trace.size()));
+  int64_t sequential = 0;
+  int64_t reused = 0;
+  for (int64_t i = 0; i < trace.size(); ++i) {
+    int64_t b = trace.block(i);
+    if (i > 0 && b == trace.block(i - 1) + 1) {
+      ++sequential;
+    }
+    if (!seen.insert(b).second) {
+      ++reused;
+    }
+  }
+  stats.distinct_blocks = static_cast<int64_t>(seen.size());
+  if (trace.size() > 0) {
+    stats.sequential_fraction = static_cast<double>(sequential) / static_cast<double>(trace.size());
+    stats.reuse_fraction = static_cast<double>(reused) / static_cast<double>(trace.size());
+  }
+  return stats;
+}
+
+std::string ToString(const TraceStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-16s reads=%-7lld distinct=%-6lld compute=%7.1fs mean=%6.2fms seq=%4.2f "
+                "reuse=%4.2f",
+                stats.name.c_str(), static_cast<long long>(stats.reads),
+                static_cast<long long>(stats.distinct_blocks), stats.compute_sec,
+                stats.mean_compute_ms, stats.sequential_fraction, stats.reuse_fraction);
+  return buf;
+}
+
+}  // namespace pfc

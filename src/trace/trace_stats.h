@@ -1,0 +1,32 @@
+// Summary statistics of a trace — the data behind the paper's Table 3,
+// plus pattern diagnostics (sequentiality, reuse) used by the examples.
+
+#ifndef PFC_TRACE_TRACE_STATS_H_
+#define PFC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace pfc {
+
+struct TraceStats {
+  std::string name;
+  int64_t reads = 0;
+  int64_t distinct_blocks = 0;
+  double compute_sec = 0;
+  double mean_compute_ms = 0;
+  double sequential_fraction = 0;  // fraction of references to (previous block + 1)
+  double reuse_fraction = 0;       // fraction of references to previously seen blocks
+  int64_t max_block = 0;           // logical address space in use
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+// One-line human-readable rendering.
+std::string ToString(const TraceStats& stats);
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_TRACE_STATS_H_

@@ -1,0 +1,32 @@
+// Lightweight runtime assertion macros used throughout pfc.
+//
+// PFC_CHECK(cond) aborts with a message if `cond` is false, in all build
+// types. Simulator invariants are cheap relative to the work they guard, so
+// there is no debug-only variant; a broken invariant in a discrete-event
+// simulation silently corrupts every downstream statistic.
+
+#ifndef PFC_UTIL_CHECK_H_
+#define PFC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PFC_CHECK(cond)                                                              \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "PFC_CHECK failed: %s at %s:%d\n", #cond, __FILE__,       \
+                   __LINE__);                                                        \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define PFC_CHECK_MSG(cond, msg)                                                    \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "PFC_CHECK failed: %s (%s) at %s:%d\n", #cond, msg,      \
+                   __FILE__, __LINE__);                                             \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#endif  // PFC_UTIL_CHECK_H_

@@ -1,0 +1,127 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pfc {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  state_ = SplitMix64(seed);
+  inc_ = SplitMix64(seed + 0xDA3E39CB94B95BDBULL) | 1ULL;
+  // Warm up per PCG convention.
+  Next();
+}
+
+uint32_t Rng::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+  uint32_t rot = static_cast<uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint32_t Rng::UniformU32(uint32_t bound) {
+  PFC_CHECK(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PFC_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit span.
+    uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+    return static_cast<int64_t>(r);
+  }
+  if (span <= UINT32_MAX) {
+    return lo + UniformU32(static_cast<uint32_t>(span));
+  }
+  // Rare in practice; rejection over 64 bits.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  for (;;) {
+    uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+    if (r < limit) {
+      return lo + static_cast<int64_t>(r % span);
+    }
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Exponential(double mean) {
+  PFC_CHECK(mean > 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+int64_t Rng::Poisson(double mean) {
+  PFC_CHECK(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    double v = mean + std::sqrt(mean) * Normal();
+    return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  double limit = std::exp(-mean);
+  double prod = UniformDouble();
+  int64_t n = 0;
+  while (prod > limit) {
+    prod *= UniformDouble();
+    ++n;
+  }
+  return n;
+}
+
+double Rng::Normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  have_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+int64_t Rng::SkewedRank(int64_t n, double s) {
+  PFC_CHECK(n > 0);
+  if (s <= 0.0) {
+    return UniformInt(0, n - 1);
+  }
+  // Inverse-CDF of a power-law density f(x) ~ (1-x)^s over [0,1): cheap,
+  // deterministic, and monotone in the underlying uniform draw.
+  double u = UniformDouble();
+  double x = 1.0 - std::pow(1.0 - u, 1.0 / (s + 1.0));
+  int64_t rank = static_cast<int64_t>(x * static_cast<double>(n));
+  return rank >= n ? n - 1 : rank;
+}
+
+}  // namespace pfc

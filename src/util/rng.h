@@ -1,0 +1,59 @@
+// Deterministic random number generation for trace synthesis.
+//
+// Every stochastic choice in pfc flows through Rng so that a (generator,
+// seed) pair reproduces a trace bit-for-bit. The core generator is PCG32
+// (O'Neill), seeded through SplitMix64 so that small consecutive seeds give
+// uncorrelated streams.
+
+#ifndef PFC_UTIL_RNG_H_
+#define PFC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace pfc {
+
+// Stateless 64-bit mixer; used for seeding and hashing.
+uint64_t SplitMix64(uint64_t x);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 32-bit value.
+  uint32_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint32_t UniformU32(uint32_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  int64_t Poisson(double mean);
+
+  // Standard normal via Box-Muller.
+  double Normal();
+
+  // Geometric-like "zipf-ish" rank in [0, n) with skew s >= 0; s == 0 is
+  // uniform, larger s concentrates mass on low ranks. Used to model hot/cold
+  // block popularity (glimpse index blocks, postgres index pages).
+  int64_t SkewedRank(int64_t n, double s);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_RNG_H_

@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace pfc {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double new_mean = mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ = new_mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  PFC_CHECK(hi > lo);
+  PFC_CHECK(buckets > 0);
+  width_ = (hi - lo) / buckets;
+  counts_.assign(static_cast<size_t>(buckets), 0);
+}
+
+void Histogram::Add(double x) {
+  int idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = static_cast<int>(counts_.size()) - 1;
+  } else {
+    idx = static_cast<int>((x - lo_) / width_);
+    idx = std::min(idx, static_cast<int>(counts_.size()) - 1);
+  }
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::Percentile(double fraction) const {
+  PFC_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  double target = fraction * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double within = counts_[i] > 0 ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return lo_ + (static_cast<double>(i) + within) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(int max_rows) const {
+  std::string out;
+  int64_t peak = 1;
+  for (int64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  int step = std::max(1, static_cast<int>(counts_.size()) / std::max(1, max_rows));
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); i += static_cast<size_t>(step)) {
+    int64_t c = 0;
+    for (size_t j = i; j < std::min(counts_.size(), i + static_cast<size_t>(step)); ++j) {
+      c += counts_[j];
+    }
+    int bars = static_cast<int>(40.0 * static_cast<double>(c) / static_cast<double>(peak * step));
+    std::snprintf(line, sizeof(line), "[%8.2f, %8.2f) %8lld %s\n", lo_ + width_ * i,
+                  lo_ + width_ * (i + step), static_cast<long long>(c),
+                  std::string(static_cast<size_t>(std::max(0, bars)), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+SlidingWindowSum::SlidingWindowSum(int capacity) : capacity_(capacity) {
+  PFC_CHECK(capacity > 0);
+  window_.reserve(static_cast<size_t>(capacity));
+}
+
+void SlidingWindowSum::Add(double x) {
+  if (static_cast<int>(window_.size()) < capacity_) {
+    window_.push_back(x);
+    sum_ += x;
+  } else {
+    sum_ += x - window_[static_cast<size_t>(next_)];
+    window_[static_cast<size_t>(next_)] = x;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+double SlidingWindowSum::mean() const {
+  return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+}
+
+}  // namespace pfc

@@ -1,0 +1,79 @@
+// Streaming statistics accumulators used by the simulator and the harness.
+
+#ifndef PFC_UTIL_STATS_H_
+#define PFC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfc {
+
+// Single-pass mean/variance/min/max accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// end buckets. Used for disk response time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t total() const { return total_; }
+  // Value below which `fraction` of samples fall (linear interpolation
+  // within the bucket). fraction in [0, 1].
+  double Percentile(double fraction) const;
+  std::string ToString(int max_rows = 16) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+// Sliding window over the most recent `capacity` samples, with O(1) sum.
+// Forestall uses two of these (disk access times, inter-reference compute
+// times) to estimate its fetch-time/compute-time ratio F.
+class SlidingWindowSum {
+ public:
+  explicit SlidingWindowSum(int capacity);
+
+  void Add(double x);
+  double sum() const { return sum_; }
+  double mean() const;
+  int size() const { return static_cast<int>(window_.size()); }
+  bool full() const { return static_cast<int>(window_.size()) == capacity_; }
+
+ private:
+  int capacity_;
+  int next_ = 0;
+  double sum_ = 0.0;
+  std::vector<double> window_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_STATS_H_

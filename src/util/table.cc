@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pfc {
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const Row& r : rows_) {
+    cols = std::max(cols, r.cells.size());
+  }
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& r : rows_) {
+    if (!r.separator) {
+      widen(r.cells);
+    }
+  }
+
+  size_t total = 1;
+  for (size_t w : width) {
+    total += w + 3;
+  }
+
+  std::string out;
+  auto emit_sep = [&]() { out += std::string(total, '-') + "\n"; };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out += "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      size_t pad = width[i] - cell.size();
+      if (i == 0) {
+        out += " " + cell + std::string(pad, ' ') + " |";
+      } else {
+        out += " " + std::string(pad, ' ') + cell + " |";
+      }
+    }
+    out += "\n";
+  };
+
+  if (!header_.empty()) {
+    emit_sep();
+    emit_row(header_);
+    emit_sep();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      emit_sep();
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  emit_sep();
+  return out;
+}
+
+}  // namespace pfc

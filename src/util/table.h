@@ -1,0 +1,45 @@
+// ASCII table formatting for the paper-reproduction bench binaries.
+//
+// Every bench target prints tables in the style of the paper's appendix:
+// a header row of disk-array sizes and one row per metric. TextTable keeps
+// that formatting in one place.
+
+#ifndef PFC_UTIL_TABLE_H_
+#define PFC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pfc {
+
+class TextTable {
+ public:
+  // Sets the column headers; column 0 is the row-label column.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a row of cells. Rows may be ragged; missing cells render empty.
+  void AddRow(std::vector<std::string> row);
+
+  // Appends a horizontal separator line.
+  void AddSeparator();
+
+  // Renders with column alignment; label column left-aligned, the rest
+  // right-aligned.
+  std::string ToString() const;
+
+  // Convenience cell formatters.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(long long v);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_TABLE_H_

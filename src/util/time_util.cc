@@ -1,0 +1,23 @@
+#include "util/time_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pfc {
+
+std::string FormatDuration(TimeNs ns) {
+  char buf[64];
+  double abs_ns = std::fabs(static_cast<double>(ns));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", NsToSec(ns));
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", NsToMs(ns));
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace pfc

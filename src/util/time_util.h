@@ -1,0 +1,38 @@
+// Simulation time representation.
+//
+// All simulator clocks are 64-bit integer nanoseconds. Integer time keeps
+// event ordering exact and runs bit-identical across platforms; the disk
+// model computes physical latencies in double milliseconds and converts at
+// the boundary.
+
+#ifndef PFC_UTIL_TIME_UTIL_H_
+#define PFC_UTIL_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pfc {
+
+// Nanoseconds of simulated time.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * 1000;
+inline constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+// "No such time" sentinel, larger than any reachable simulation time.
+inline constexpr TimeNs kTimeInfinity = INT64_MAX / 4;
+
+constexpr TimeNs MsToNs(double ms) { return static_cast<TimeNs>(ms * 1e6 + 0.5); }
+constexpr TimeNs UsToNs(double us) { return static_cast<TimeNs>(us * 1e3 + 0.5); }
+constexpr TimeNs SecToNs(double sec) { return static_cast<TimeNs>(sec * 1e9 + 0.5); }
+
+constexpr double NsToMs(TimeNs ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double NsToSec(TimeNs ns) { return static_cast<double>(ns) / 1e9; }
+
+// Formats a duration as a human-readable string ("12.345 ms", "1.234 s").
+std::string FormatDuration(TimeNs ns);
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_TIME_UTIL_H_

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+#include "disk/disk_array.h"
+#include "disk/disk_mechanism.h"
+#include "disk/geometry.h"
+#include "disk/readahead_cache.h"
+#include "disk/seek_model.h"
+#include "disk/simple_mechanism.h"
+#include "util/stats.h"
+
+namespace pfc {
+namespace {
+
+TEST(Geometry, Hp97560Characteristics) {
+  DiskGeometry g = DiskGeometry::Hp97560();
+  EXPECT_EQ(g.sector_bytes(), 512);
+  EXPECT_EQ(g.sectors_per_track(), 72);
+  EXPECT_EQ(g.tracks_per_cylinder(), 19);
+  EXPECT_EQ(g.cylinders(), 1962);
+  // 4002 rpm -> ~14.99 ms per revolution.
+  EXPECT_NEAR(NsToMs(g.RotationPeriod()), 14.99, 0.02);
+  // Capacity ~1.3 GB.
+  EXPECT_NEAR(static_cast<double>(g.total_bytes()) / 1e9, 1.37, 0.05);
+}
+
+TEST(Geometry, SectorMapping) {
+  DiskGeometry g = DiskGeometry::Hp97560();
+  ChsAddress a = g.SectorToChs(0);
+  EXPECT_EQ(a.cylinder, 0);
+  EXPECT_EQ(a.track, 0);
+  EXPECT_EQ(a.sector, 0);
+
+  ChsAddress b = g.SectorToChs(72);  // first sector of track 1
+  EXPECT_EQ(b.cylinder, 0);
+  EXPECT_EQ(b.track, 1);
+  EXPECT_EQ(b.sector, 0);
+
+  ChsAddress c = g.SectorToChs(g.sectors_per_cylinder());
+  EXPECT_EQ(c.cylinder, 1);
+  EXPECT_EQ(c.track, 0);
+
+  // Addresses wrap modulo the disk.
+  ChsAddress d = g.SectorToChs(g.total_sectors() + 73);
+  EXPECT_EQ(d.cylinder, 0);
+  EXPECT_EQ(d.track, 1);
+  EXPECT_EQ(d.sector, 1);
+}
+
+TEST(Geometry, RotationalArrival) {
+  DiskGeometry g = DiskGeometry::Hp97560();
+  // At t=0 the head is at sector 0; reading sector 10 waits 10 sector times.
+  EXPECT_EQ(g.NextArrival(10, 0), 10 * g.SectorTime());
+  // Just past sector 10: wait almost a full revolution.
+  TimeNs just_past = 11 * g.SectorTime();
+  TimeNs wait = g.NextArrival(10, just_past) - just_past;
+  EXPECT_GT(wait, g.RotationPeriod() - 2 * g.SectorTime());
+  EXPECT_LE(wait, g.RotationPeriod());
+}
+
+TEST(SeekModel, CalibrationPoints) {
+  SeekModel s = SeekModel::Hp97560();
+  EXPECT_EQ(s.SeekTime(0), 0);
+  // Paper section 3.2: max seek within a 100-cylinder group is 7.24 ms.
+  EXPECT_NEAR(NsToMs(s.SeekTime(99)), 7.24, 0.1);
+  // Continuity at the crossover.
+  double below = NsToMs(s.SeekTime(382));
+  double above = NsToMs(s.SeekTime(383));
+  EXPECT_NEAR(below, above, 0.1);
+  // Full-stroke seek on the 97560 is ~23-24 ms.
+  EXPECT_NEAR(NsToMs(s.SeekTime(1961)), 23.7, 1.0);
+  // Symmetric in direction.
+  EXPECT_EQ(s.SeekTime(-250), s.SeekTime(250));
+}
+
+TEST(SeekModel, Monotone) {
+  SeekModel s = SeekModel::Hp97560();
+  TimeNs prev = 0;
+  for (int64_t d = 1; d < 1962; d += 7) {
+    TimeNs t = s.SeekTime(d);
+    EXPECT_GE(t, prev) << "seek not monotone at distance " << d;
+    prev = t;
+  }
+}
+
+TEST(ReadaheadCache, ExtendsWhileIdle) {
+  ReadaheadCache c(256, MsToNs(0.2));  // 0.2 ms per sector
+  EXPECT_FALSE(c.Contains(0, 16, 0));
+  c.NoteMediaRead(0, 16, MsToNs(1));
+  EXPECT_TRUE(c.Contains(0, 16, MsToNs(1)));
+  EXPECT_FALSE(c.Contains(16, 16, MsToNs(1)));
+  // After 3.2 ms idle, 16 more sectors are buffered.
+  EXPECT_TRUE(c.Contains(16, 16, MsToNs(1) + MsToNs(3.2)));
+}
+
+TEST(ReadaheadCache, CapacityBounded) {
+  ReadaheadCache c(64, MsToNs(0.1));
+  c.NoteMediaRead(100, 16, 0);
+  // However long we wait, at most 64 sectors from the segment start.
+  EXPECT_EQ(c.EndSectorAt(SecToNs(10)), 164);
+  EXPECT_TRUE(c.Contains(148, 16, SecToNs(10)));
+  EXPECT_FALSE(c.Contains(160, 16, SecToNs(10)));
+}
+
+TEST(ReadaheadCache, InvalidateClears) {
+  ReadaheadCache c(256, MsToNs(0.2));
+  c.NoteMediaRead(0, 16, 0);
+  c.Invalidate();
+  EXPECT_FALSE(c.Contains(0, 16, MsToNs(100)));
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(Hp97560Mechanism, RandomAccessCost) {
+  auto mech = Hp97560Mechanism::MakeDefault();
+  // A cold random access: controller + seek + rotation + transfer. The
+  // paper's Table 1 quotes 22.8 ms average for 8 KB.
+  TimeNs t = mech->Access(500000, 0);
+  EXPECT_GT(t, MsToNs(5));
+  EXPECT_LT(t, MsToNs(45));
+}
+
+TEST(Hp97560Mechanism, SequentialStreamingIsCheap) {
+  auto mech = Hp97560Mechanism::MakeDefault();
+  TimeNs now = 0;
+  now += mech->Access(1000, now);
+  RunningStat s;
+  for (int i = 1; i <= 20; ++i) {
+    TimeNs dt = mech->Access(1000 + i, now);
+    s.Add(NsToMs(dt));
+    now += dt;
+  }
+  // Back-to-back sequential blocks stream at ~3-4.5 ms (media-rate transfer
+  // of 16 sectors plus firmware overhead), never a rotational miss.
+  EXPECT_LT(s.max(), 6.0);
+  EXPECT_GT(s.mean(), 2.0);
+}
+
+TEST(Hp97560Mechanism, ReadaheadHitAfterIdle) {
+  auto mech = Hp97560Mechanism::MakeDefault();
+  TimeNs now = 0;
+  now += mech->Access(2000, now);
+  now += SecToNs(1);  // long idle: the drive buffers ahead
+  TimeNs hit = mech->Access(2001, now);
+  // Controller + SCSI transfer only: ~3 ms.
+  EXPECT_LT(hit, MsToNs(3.5));
+}
+
+TEST(Hp97560Mechanism, ResetRestoresColdState) {
+  auto mech = Hp97560Mechanism::MakeDefault();
+  TimeNs now = 0;
+  now += mech->Access(2000, now);
+  TimeNs warm = mech->Access(2001, now);
+  mech->Reset();
+  TimeNs cold = mech->Access(2001, now + warm);
+  EXPECT_GT(cold, warm);
+  EXPECT_EQ(mech->HeadCylinder(), mech->BlockCylinder(2001));
+}
+
+TEST(SimpleMechanism, CostTiers) {
+  auto mech = SimpleMechanism::MakeDefault();
+  TimeNs first = mech->Access(1000, 0);
+  EXPECT_EQ(first, MsToNs(15));  // cold: random
+  EXPECT_EQ(mech->Access(1001, first), MsToNs(2.4));  // sequential
+  TimeNs near = mech->Access(1040, 0);
+  EXPECT_EQ(near, MsToNs(7.0));  // within the near window
+  EXPECT_EQ(mech->Access(900000, 0), MsToNs(15));  // far: random again
+}
+
+TEST(Disk, DispatchAndCompleteAccounting) {
+  Disk d(0, SimpleMechanism::MakeDefault(), SchedDiscipline::kFcfs);
+  EXPECT_TRUE(d.idle());
+  d.Enqueue(7, 1000, 0, 1);
+  d.Enqueue(8, 1001, 0, 2);
+  EXPECT_FALSE(d.idle());
+
+  auto r1 = d.TryDispatch(0);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->logical_block, 7);
+  EXPECT_TRUE(d.busy());
+  EXPECT_FALSE(d.TryDispatch(0).has_value());  // busy: one at a time
+
+  d.CompleteCurrent(r1->complete_time);
+  EXPECT_FALSE(d.busy());
+  auto r2 = d.TryDispatch(r1->complete_time);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->logical_block, 8);
+  d.CompleteCurrent(r2->complete_time);
+
+  EXPECT_EQ(d.stats().requests, 2);
+  EXPECT_EQ(d.stats().busy_ns, r1->service_time + r2->service_time);
+  EXPECT_TRUE(d.idle());
+}
+
+TEST(DiskArray, ConstructionAndReset) {
+  DiskArray a(4, DiskModelKind::kDetailed, SchedDiscipline::kCscan);
+  EXPECT_EQ(a.num_disks(), 4);
+  EXPECT_TRUE(a.AllIdle());
+  a.disk(2).Enqueue(1, 1, 0, 1);
+  EXPECT_FALSE(a.AllIdle());
+  a.Reset();
+  EXPECT_TRUE(a.AllIdle());
+  EXPECT_EQ(a.TotalRequests(), 0);
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generators.h"
+#include "trace/trace_stats.h"
+
+namespace pfc {
+namespace {
+
+// Every generator must hit its Table 3 read count exactly, its distinct
+// count exactly or within a small band, and its compute total exactly
+// (up to nanosecond rounding pushed into the last entry).
+class GeneratorSpecTest : public testing::TestWithParam<TraceSpec> {};
+
+TEST_P(GeneratorSpecTest, MatchesTable3) {
+  const TraceSpec& spec = GetParam();
+  Trace trace = MakeTrace(spec.name);
+  EXPECT_EQ(trace.size(), spec.paper_reads) << spec.name;
+  EXPECT_NEAR(NsToSec(trace.TotalCompute()), spec.paper_compute_sec, 1e-6) << spec.name;
+
+  int64_t distinct = trace.DistinctBlocks();
+  // xds's distinct count is emergent (random plane geometry); the rest are
+  // constructed exactly or near-exactly.
+  double tolerance = spec.name == "xds" ? 0.12 : 0.01;
+  EXPECT_NEAR(static_cast<double>(distinct), static_cast<double>(spec.paper_distinct),
+              tolerance * static_cast<double>(spec.paper_distinct))
+      << spec.name;
+}
+
+TEST_P(GeneratorSpecTest, DeterministicForSeed) {
+  const TraceSpec& spec = GetParam();
+  Trace a = MakeTrace(spec.name, 12345);
+  Trace b = MakeTrace(spec.name, 12345);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); i += 97) {
+    ASSERT_EQ(a.block(i), b.block(i)) << spec.name << " @" << i;
+    ASSERT_EQ(a.compute(i), b.compute(i)) << spec.name << " @" << i;
+  }
+}
+
+TEST_P(GeneratorSpecTest, NonNegativeEntries) {
+  const TraceSpec& spec = GetParam();
+  Trace t = MakeTrace(spec.name);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    ASSERT_GE(t.block(i), 0);
+    ASSERT_GE(t.compute(i), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, GeneratorSpecTest, testing::ValuesIn(AllTraceSpecs()),
+                         [](const testing::TestParamInfo<TraceSpec>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Generators, DifferentSeedsGiveDifferentLayouts) {
+  Trace a = MakeTrace("cscope2", 1);
+  Trace b = MakeTrace("cscope2", 2);
+  int64_t diffs = 0;
+  for (int64_t i = 0; i < a.size(); i += 10) {
+    if (a.block(i) != b.block(i)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, a.size() / 40);
+}
+
+TEST(Generators, SynthIsSequentialLoop) {
+  Trace t = MakeTrace("synth");
+  for (int64_t i = 0; i < 6000; ++i) {
+    ASSERT_EQ(t.block(i), i % 2000);
+  }
+}
+
+TEST(Generators, DineroIsOneSequentialFile) {
+  Trace t = MakeTrace("dinero");
+  TraceStats s = ComputeTraceStats(t);
+  EXPECT_GT(s.sequential_fraction, 0.99);
+  // Sequential within the pass, and passes repeat the same 986 blocks.
+  EXPECT_EQ(t.block(0), t.block(986));
+}
+
+TEST(Generators, Cscope3ComputeIsBursty) {
+  // Section 4.3: runs near 1 ms interspersed with runs around 7 ms.
+  Trace t = MakeTrace("cscope3");
+  int64_t low = 0;
+  int64_t high = 0;
+  int64_t transitions = 0;
+  bool prev_high = false;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    bool is_high = t.compute(i) > MsToNs(3.5);
+    (is_high ? high : low) += 1;
+    if (i > 0 && is_high != prev_high) {
+      ++transitions;
+    }
+    prev_high = is_high;
+  }
+  EXPECT_GT(low, t.size() / 2);        // mostly ~1 ms
+  EXPECT_GT(high, t.size() / 10);      // substantial ~7 ms mass
+  // Bursty: far fewer transitions than a random mix would produce.
+  EXPECT_LT(transitions, t.size() / 20);
+}
+
+TEST(Generators, GlimpseIndexIsHotDataIsCold) {
+  Trace t = MakeTrace("glimpse");
+  // The most popular blocks (the index) are read ~16x; data blocks a couple
+  // of times at most.
+  std::unordered_map<int64_t, int> counts;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    ++counts[t.block(i)];
+  }
+  int64_t hot = 0;
+  int64_t cold = 0;
+  for (const auto& [block, n] : counts) {
+    (void)block;
+    if (n >= 10) {
+      ++hot;
+    } else if (n <= 8) {
+      ++cold;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot), 1340, 20);    // the index region
+  EXPECT_NEAR(static_cast<double>(cold), 3907, 40);   // the data blocks
+}
+
+TEST(Generators, PostgresSelectWalksIndexLeavesInOrder) {
+  Trace t = MakeTrace("postgres-select");
+  // Index leaf reads (hot blocks) appear in nondecreasing leaf order.
+  std::unordered_map<int64_t, int> counts;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    ++counts[t.block(i)];
+  }
+  int64_t prev_leaf = -1;
+  bool monotone = true;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (counts[t.block(i)] >= 5) {  // leaf blocks are re-read many times
+      if (t.block(i) < prev_leaf) {
+        monotone = false;
+      }
+      prev_leaf = t.block(i);
+    }
+  }
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Generators, LdReadsEachFileTwiceBackToBack) {
+  Trace t = MakeTrace("ld");
+  // The second read of each file follows the first within a short distance,
+  // so nearly all re-reads hit a 1280-block cache. Verify reuse distance.
+  std::unordered_map<int64_t, int64_t> last_seen;
+  int64_t reuses = 0;
+  int64_t near_reuses = 0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    auto it = last_seen.find(t.block(i));
+    if (it != last_seen.end()) {
+      ++reuses;
+      if (i - it->second <= 1280) {
+        ++near_reuses;
+      }
+    }
+    last_seen[t.block(i)] = i;
+  }
+  EXPECT_GT(reuses, 2800);
+  EXPECT_GT(static_cast<double>(near_reuses), 0.95 * static_cast<double>(reuses));
+}
+
+TEST(Generators, UnknownTraceNameIsNull) {
+  EXPECT_EQ(FindTraceSpec("no-such-trace"), nullptr);
+  EXPECT_NE(FindTraceSpec("dinero"), nullptr);
+}
+
+}  // namespace
+}  // namespace pfc

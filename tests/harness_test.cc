@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/paper_tables.h"
+#include "harness/study.h"
+
+namespace pfc {
+namespace {
+
+TEST(Harness, PolicyKindNamesRoundTrip) {
+  EXPECT_EQ(ToString(PolicyKind::kDemand), "demand");
+  EXPECT_EQ(ToString(PolicyKind::kFixedHorizon), "fixed-horizon");
+  EXPECT_EQ(ToString(PolicyKind::kAggressive), "aggressive");
+  EXPECT_EQ(ToString(PolicyKind::kReverseAggressive), "reverse-aggressive");
+  EXPECT_EQ(ToString(PolicyKind::kForestall), "forestall");
+}
+
+TEST(Harness, MakePolicyHonorsOptions) {
+  PolicyOptions options;
+  options.horizon = 99;
+  auto p = MakePolicy(PolicyKind::kFixedHorizon, options);
+  auto* fh = dynamic_cast<FixedHorizonPolicy*>(p.get());
+  ASSERT_NE(fh, nullptr);
+  EXPECT_EQ(fh->horizon(), 99);
+
+  options.aggressive_batch = 7;
+  auto a = MakePolicy(PolicyKind::kAggressive, options);
+  ASSERT_NE(dynamic_cast<AggressivePolicy*>(a.get()), nullptr);
+}
+
+TEST(Harness, BaselineConfigUsesPerTraceCacheSize) {
+  EXPECT_EQ(BaselineConfig("dinero", 2).cache_blocks, 512);
+  EXPECT_EQ(BaselineConfig("cscope1", 2).cache_blocks, 512);
+  EXPECT_EQ(BaselineConfig("glimpse", 2).cache_blocks, 1280);
+  EXPECT_EQ(BaselineConfig("unknown-trace", 3).cache_blocks, 1280);
+  EXPECT_EQ(BaselineConfig("glimpse", 5).num_disks, 5);
+}
+
+TEST(Harness, PaperDiskCountsMatchSection3) {
+  const std::vector<int>& d = PaperDiskCounts();
+  EXPECT_EQ(d, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16}));
+}
+
+TEST(Harness, PercentImprovementSign) {
+  RunResult fast;
+  fast.elapsed_time = SecToNs(8);
+  RunResult slow;
+  slow.elapsed_time = SecToNs(10);
+  EXPECT_NEAR(PercentImprovement(fast, slow), 20.0, 1e-9);
+  EXPECT_NEAR(PercentImprovement(slow, fast), -25.0, 1e-9);
+}
+
+TEST(Study, RunStudyProducesOneSeriesPerPolicy) {
+  Trace t = MakeTrace("cscope1").Prefix(600);
+  t.set_name("cscope1");
+  StudySpec spec;
+  spec.trace_name = "cscope1";
+  spec.disks = {1, 2};
+  spec.policies = {PolicyKind::kDemand, PolicyKind::kFixedHorizon};
+  std::vector<PolicySeries> series = RunStudy(t, spec);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, "Demand (opt. repl.)");
+  ASSERT_EQ(series[0].results.size(), 2u);
+  EXPECT_EQ(series[0].results[0].num_disks, 1);
+  EXPECT_EQ(series[0].results[1].num_disks, 2);
+  // Both policies fetched every distinct block at least once.
+  EXPECT_GE(series[1].results[0].fetches, t.DistinctBlocks());
+}
+
+TEST(Study, ConfigOverridesApply) {
+  StudySpec spec;
+  spec.trace_name = "glimpse";
+  spec.discipline = SchedDiscipline::kFcfs;
+  spec.placement = PlacementKind::kContiguous;
+  spec.cpu_scale = 0.5;
+  spec.cache_blocks_override = 777;
+  SimConfig c = StudyConfig(spec, 6);
+  EXPECT_EQ(c.num_disks, 6);
+  EXPECT_EQ(c.discipline, SchedDiscipline::kFcfs);
+  EXPECT_EQ(c.placement, PlacementKind::kContiguous);
+  EXPECT_DOUBLE_EQ(c.cpu_scale, 0.5);
+  EXPECT_EQ(c.cache_blocks, 777);
+}
+
+TEST(Study, TuningGridsNonEmpty) {
+  EXPECT_FALSE(RevAggTuningFetchTimes().empty());
+  EXPECT_FALSE(RevAggTuningBatches(1).empty());
+  EXPECT_FALSE(RevAggTuningBatches(8).empty());
+}
+
+}  // namespace
+}  // namespace pfc

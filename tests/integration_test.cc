@@ -1,0 +1,167 @@
+// Cross-module integration tests: whole simulations over reconstructed
+// traces, checking the paper's headline qualitative results.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/paper_tables.h"
+
+namespace pfc {
+namespace {
+
+RunResult RunSim(const Trace& t, const std::string& name, int disks, PolicyKind kind,
+              const PolicyOptions& options = {}) {
+  SimConfig config = BaselineConfig(name, disks);
+  return RunOne(t, config, kind, options);
+}
+
+TEST(Integration, AllPrefetchersBeatDemandFetching) {
+  // Section 4.1: "all prefetching algorithms significantly outperform
+  // optimal demand fetching" — checked on an I/O-bound trace.
+  Trace t = MakeTrace("postgres-select");
+  for (int disks : {1, 4}) {
+    RunResult demand = RunSim(t, "postgres-select", disks, PolicyKind::kDemand);
+    for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                            PolicyKind::kReverseAggressive, PolicyKind::kForestall}) {
+      RunResult r = RunSim(t, "postgres-select", disks, kind);
+      EXPECT_LT(r.elapsed_time, demand.elapsed_time)
+          << ToString(kind) << " on " << disks << " disks";
+    }
+  }
+}
+
+TEST(Integration, AggressiveWinsIoBoundFixedHorizonWinsComputeBound) {
+  // Section 4: aggressive prefetching pays off when stalling dominates;
+  // conservative prefetching wins when it does not (driver overhead).
+  Trace synth = MakeTrace("synth");
+  RunResult agg1 = RunSim(synth, "synth", 1, PolicyKind::kAggressive);
+  RunResult fh1 = RunSim(synth, "synth", 1, PolicyKind::kFixedHorizon);
+  EXPECT_LT(agg1.elapsed_time, fh1.elapsed_time);  // I/O bound at 1 disk
+
+  RunResult agg4 = RunSim(synth, "synth", 4, PolicyKind::kAggressive);
+  RunResult fh4 = RunSim(synth, "synth", 4, PolicyKind::kFixedHorizon);
+  EXPECT_LT(fh4.elapsed_time, agg4.elapsed_time);  // compute bound at 4
+}
+
+TEST(Integration, ForestallTracksTheBestOfBoth) {
+  // Section 5.1: forestall within a few percent of the better of fixed
+  // horizon and aggressive in every configuration.
+  Trace t = MakeTrace("synth");
+  for (int disks : {1, 2, 4}) {
+    RunResult fh = RunSim(t, "synth", disks, PolicyKind::kFixedHorizon);
+    RunResult agg = RunSim(t, "synth", disks, PolicyKind::kAggressive);
+    RunResult forestall = RunSim(t, "synth", disks, PolicyKind::kForestall);
+    TimeNs best = std::min(fh.elapsed_time, agg.elapsed_time);
+    EXPECT_LT(static_cast<double>(forestall.elapsed_time), 1.06 * static_cast<double>(best))
+        << disks << " disks";
+  }
+}
+
+TEST(Integration, MoreDisksNeverHurtFixedHorizon) {
+  Trace t = MakeTrace("ld");
+  TimeNs prev = kTimeInfinity;
+  for (int disks : {1, 2, 4, 8}) {
+    RunResult r = RunSim(t, "ld", disks, PolicyKind::kFixedHorizon);
+    EXPECT_LE(static_cast<double>(r.elapsed_time), 1.02 * static_cast<double>(prev))
+        << disks << " disks";
+    prev = r.elapsed_time;
+  }
+}
+
+TEST(Integration, CscanBeatsFcfsWhenIoBound) {
+  // Table 5: CSCAN's reordering shortens seeks most at low array sizes.
+  Trace t = MakeTrace("postgres-select");
+  SimConfig cscan = BaselineConfig("postgres-select", 1);
+  SimConfig fcfs = cscan;
+  fcfs.discipline = SchedDiscipline::kFcfs;
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive}) {
+    RunResult a = RunOne(t, cscan, kind);
+    RunResult b = RunOne(t, fcfs, kind);
+    EXPECT_LT(a.elapsed_time, b.elapsed_time) << ToString(kind);
+  }
+}
+
+TEST(Integration, BiggerCacheNeverHurtsMuch) {
+  Trace t = MakeTrace("glimpse");
+  SimConfig small = BaselineConfig("glimpse", 4);
+  small.cache_blocks = 640;
+  SimConfig big = BaselineConfig("glimpse", 4);
+  big.cache_blocks = 1920;
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive}) {
+    RunResult s = RunOne(t, small, kind);
+    RunResult b = RunOne(t, big, kind);
+    EXPECT_LT(static_cast<double>(b.elapsed_time), 1.02 * static_cast<double>(s.elapsed_time))
+        << ToString(kind);
+  }
+}
+
+TEST(Integration, DriverTimeIsExactlyFetchesTimesOverhead) {
+  Trace t = MakeTrace("cscope1");
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                          PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    SimConfig c = BaselineConfig("cscope1", 2);
+    RunResult r = RunOne(t, c, kind);
+    EXPECT_EQ(r.driver_time, r.fetches * c.driver_overhead) << ToString(kind);
+  }
+}
+
+TEST(Integration, DoubleSpeedCpuShiftsCrossover) {
+  // Section 4.4 / appendix C: halving compute time makes the same trace
+  // more I/O-bound, so prefetching matters more.
+  Trace t = MakeTrace("xds");
+  SimConfig normal = BaselineConfig("xds", 2);
+  SimConfig fast = normal;
+  fast.cpu_scale = 0.5;
+  PolicyOptions options;
+  options.horizon = 124;  // the paper doubles H along with CPU speed
+  RunResult n = RunOne(t, normal, PolicyKind::kFixedHorizon);
+  RunResult f = RunOne(t, fast, PolicyKind::kFixedHorizon, options);
+  EXPECT_LT(f.compute_time, n.compute_time);
+  EXPECT_GT(f.stall_time, n.stall_time);
+}
+
+TEST(Integration, TuneReverseAggressivePicksNoWorseThanDefault) {
+  Trace t = MakeTrace("cscope1");
+  SimConfig c = BaselineConfig("cscope1", 1);
+  PolicyOptions tuned = TuneReverseAggressive(t, c, {8, 64}, {8, 40});
+  RunResult best = RunOne(t, c, PolicyKind::kReverseAggressive, tuned);
+  RunResult def = RunOne(t, c, PolicyKind::kReverseAggressive);
+  EXPECT_LE(best.elapsed_time, def.elapsed_time);
+}
+
+TEST(Integration, ResultsCsvRoundTrips) {
+  Trace t = MakeTrace("cscope1").Prefix(500);
+  t.set_name("cscope1-prefix");
+  SimConfig c = BaselineConfig("cscope1", 1);
+  std::vector<RunResult> results = {RunOne(t, c, PolicyKind::kDemand)};
+  std::string path = testing::TempDir() + "/pfc_results.csv";
+  EXPECT_TRUE(WriteResultsCsv(results, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[256];
+  ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+  EXPECT_NE(std::string(header).find("elapsed_sec"), std::string::npos);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, PaperTableRenderersProduceAllSections) {
+  Trace t = MakeTrace("cscope1").Prefix(800);
+  t.set_name("cscope1-prefix");
+  SimConfig c1 = BaselineConfig("cscope1", 1);
+  SimConfig c2 = BaselineConfig("cscope1", 2);
+  PolicySeries series;
+  series.label = "Fixed Horizon";
+  series.results = {RunOne(t, c1, PolicyKind::kFixedHorizon),
+                    RunOne(t, c2, PolicyKind::kFixedHorizon)};
+  std::string appendix = RenderAppendixTable("T", {1, 2}, {series});
+  EXPECT_NE(appendix.find("fetches"), std::string::npos);
+  EXPECT_NE(appendix.find("average disk utilization"), std::string::npos);
+  std::string breakdown = RenderBreakdownTable("T", {1, 2}, {series});
+  EXPECT_NE(breakdown.find("stl"), std::string::npos);
+  std::string util = RenderUtilizationTable("T", {1, 2}, {series});
+  EXPECT_NE(util.find("Fixed Horizon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfc

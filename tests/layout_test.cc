@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "layout/placement.h"
+#include "trace/file_layout.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+TEST(Placement, StripedRoundRobin) {
+  StripedPlacement p(4);
+  for (int64_t b = 0; b < 100; ++b) {
+    BlockLocation loc = p.Map(b);
+    EXPECT_EQ(loc.disk, static_cast<int>(b % 4));
+    EXPECT_EQ(loc.disk_block, b / 4);
+  }
+}
+
+TEST(Placement, StripedSequentialIsPerDiskSequential) {
+  // Consecutive logical blocks on the same disk map to consecutive disk
+  // blocks — that is why striping preserves streaming.
+  StripedPlacement p(3);
+  BlockLocation a = p.Map(9);
+  BlockLocation b = p.Map(12);
+  EXPECT_EQ(a.disk, b.disk);
+  EXPECT_EQ(b.disk_block, a.disk_block + 1);
+}
+
+TEST(Placement, ContiguousChunks) {
+  ContiguousPlacement p(2, 100);
+  EXPECT_EQ(p.Map(0).disk, 0);
+  EXPECT_EQ(p.Map(99).disk, 0);
+  EXPECT_EQ(p.Map(100).disk, 1);
+  EXPECT_EQ(p.Map(199).disk, 1);
+  EXPECT_EQ(p.Map(200).disk, 0);
+  // Within a chunk, disk blocks stay consecutive.
+  EXPECT_EQ(p.Map(1).disk_block, p.Map(0).disk_block + 1);
+}
+
+TEST(Placement, GroupHashIsDeterministicAndGroupStable) {
+  GroupHashPlacement p(4, 100);
+  GroupHashPlacement q(4, 100);
+  for (int64_t b : {0L, 99L, 100L, 5000L, 123456L}) {
+    EXPECT_EQ(p.Map(b).disk, q.Map(b).disk);
+  }
+  // Whole groups land on one disk.
+  int disk = p.Map(500).disk;
+  for (int64_t b = 500; b < 600; ++b) {
+    if (b / 100 == 5) {
+      EXPECT_EQ(p.Map(b).disk, disk);
+    }
+  }
+}
+
+TEST(Placement, StripingBalancesLoad) {
+  StripedPlacement p(5);
+  std::vector<int> counts(5, 0);
+  for (int64_t b = 0; b < 10000; ++b) {
+    ++counts[static_cast<size_t>(p.Map(b).disk)];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 2000);
+  }
+}
+
+TEST(Placement, FactoryProducesNamedKinds) {
+  auto s = MakePlacement(PlacementKind::kStriped, 3);
+  auto c = MakePlacement(PlacementKind::kContiguous, 3);
+  auto g = MakePlacement(PlacementKind::kGroupHash, 3);
+  EXPECT_EQ(s->name(), "striped");
+  EXPECT_EQ(c->name(), "contiguous");
+  EXPECT_EQ(g->name(), "group-hash");
+  EXPECT_EQ(s->num_disks(), 3);
+}
+
+TEST(FileLayout, FilesDoNotOverlap) {
+  Rng rng(1);
+  FileLayout layout(&rng);
+  layout.AddFile(100);
+  layout.AddFile(200);
+  layout.AddFile(9000);  // spans multiple groups
+  std::set<int64_t> seen;
+  for (int f = 0; f < layout.num_files(); ++f) {
+    for (int64_t off = 0; off < layout.FileBlocks(f); ++off) {
+      EXPECT_TRUE(seen.insert(layout.BlockAddress(f, off)).second)
+          << "overlap at file " << f << " offset " << off;
+    }
+  }
+}
+
+TEST(FileLayout, SmallFileFitsInOneGroup) {
+  Rng rng(7);
+  FileLayout layout(&rng);
+  int64_t base = layout.AddFile(50);
+  int64_t group = base / FileLayout::kGroupBlocks;
+  EXPECT_EQ((base + 49) / FileLayout::kGroupBlocks, group);
+}
+
+TEST(FileLayout, FragmentedFileStaysInItsGroups) {
+  Rng rng(3);
+  FileLayout layout(&rng);
+  int id = layout.AddFragmentedFile(120, 4);
+  std::set<int64_t> addresses;
+  for (int64_t off = 0; off < 120; ++off) {
+    int64_t a = layout.BlockAddress(id, off);
+    EXPECT_TRUE(addresses.insert(a).second);
+    EXPECT_LT(a, FileLayout::kGroupBlocks);  // first file: group 0
+  }
+  // Extents are contiguous runs of 4.
+  EXPECT_EQ(layout.BlockAddress(id, 1), layout.BlockAddress(id, 0) + 1);
+  EXPECT_EQ(layout.BlockAddress(id, 3), layout.BlockAddress(id, 0) + 3);
+}
+
+TEST(FileLayout, FragmentedAndContiguousInterleave) {
+  Rng rng(9);
+  FileLayout layout(&rng);
+  layout.AddFile(10);
+  int frag = layout.AddFragmentedFile(30, 2);
+  int64_t base2 = layout.AddFile(20);
+  std::set<int64_t> seen;
+  for (int64_t off = 0; off < 10; ++off) {
+    seen.insert(layout.BlockAddress(0, off));
+  }
+  for (int64_t off = 0; off < 30; ++off) {
+    EXPECT_TRUE(seen.insert(layout.BlockAddress(frag, off)).second);
+  }
+  for (int64_t off = 0; off < 20; ++off) {
+    EXPECT_TRUE(seen.insert(base2 + off).second);
+  }
+}
+
+}  // namespace
+}  // namespace pfc

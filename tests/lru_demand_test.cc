@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+Trace LoopTrace(int64_t blocks, int64_t reads) {
+  Trace t("loop");
+  for (int64_t i = 0; i < reads; ++i) {
+    t.Append(i % blocks, MsToNs(1));
+  }
+  return t;
+}
+
+TEST(LruDemand, CyclicLoopIsLruWorstCase) {
+  // A loop one block larger than the cache: LRU misses every reference
+  // after warmup (the classic pathology); MIN hits (K-1)/N of the time.
+  const int64_t n = 33;
+  Trace t = LoopTrace(n, n * 10);
+  SimConfig c;
+  c.cache_blocks = 32;
+  c.num_disks = 1;
+  RunResult lru = RunOne(t, c, PolicyKind::kDemandLru);
+  RunResult min = RunOne(t, c, PolicyKind::kDemand);
+  EXPECT_EQ(lru.fetches, t.size());  // every reference misses under LRU
+  EXPECT_LT(min.fetches, t.size() / 2);
+  EXPECT_LT(min.elapsed_time, lru.elapsed_time);
+}
+
+TEST(LruDemand, MatchesMinWhenWorkingSetFits) {
+  Trace t = LoopTrace(20, 200);
+  SimConfig c;
+  c.cache_blocks = 64;
+  c.num_disks = 1;
+  RunResult lru = RunOne(t, c, PolicyKind::kDemandLru);
+  RunResult min = RunOne(t, c, PolicyKind::kDemand);
+  EXPECT_EQ(lru.fetches, 20);
+  EXPECT_EQ(min.fetches, 20);
+}
+
+TEST(LruDemand, RecencyFavorsHotBlocks) {
+  // 80/20 hot-cold: LRU keeps the hot set and lands close to MIN.
+  Rng rng(5);
+  Trace t("hotcold");
+  for (int64_t i = 0; i < 4000; ++i) {
+    bool hot = rng.UniformDouble() < 0.8;
+    t.Append(hot ? rng.UniformInt(0, 49) : 100 + rng.UniformInt(0, 1999), MsToNs(1));
+  }
+  SimConfig c;
+  c.cache_blocks = 128;
+  c.num_disks = 1;
+  RunResult lru = RunOne(t, c, PolicyKind::kDemandLru);
+  RunResult min = RunOne(t, c, PolicyKind::kDemand);
+  EXPECT_LT(static_cast<double>(lru.fetches), 1.25 * static_cast<double>(min.fetches));
+  EXPECT_GE(lru.fetches, min.fetches);  // MIN is optimal
+}
+
+TEST(LruDemand, WorksWithWrites) {
+  Trace t = MakeCopyTrace(300, 1.0, 9);
+  SimConfig c;
+  c.cache_blocks = 64;
+  c.num_disks = 2;
+  RunResult r = RunOne(t, c, PolicyKind::kDemandLru);
+  EXPECT_EQ(r.write_refs, 300);
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+}
+
+}  // namespace
+}  // namespace pfc

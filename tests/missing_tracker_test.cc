@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/missing_tracker.h"
+#include "core/policies/demand.h"
+#include "core/simulator.h"
+#include "trace/trace.h"
+
+namespace pfc {
+namespace {
+
+// A policy wrapper that owns a MissingTracker and cross-checks it against
+// the ground truth (a full scan of the cache) at every reference.
+class TrackerCheckPolicy : public DemandPolicy {
+ public:
+  explicit TrackerCheckPolicy(int64_t window) : window_(window) {}
+
+  void Init(Simulator& sim) override {
+    tracker_ = std::make_unique<MissingTracker>(sim, window_);
+  }
+
+  void OnReference(Simulator& sim, int64_t pos) override {
+    tracker_->AdvanceTo(pos);
+    // Ground truth: positions in [pos, pos+window) whose block is absent.
+    int64_t end = std::min(pos + window_, sim.trace().size());
+    for (int64_t p = pos; p < end; ++p) {
+      bool absent =
+          sim.cache().GetState(sim.trace().block(p)) == BufferCache::State::kAbsent;
+      bool tracked = tracker_->global().count(p) > 0;
+      if (absent && !tracked) {
+        ++missing_entries_;  // must never happen (one-sided staleness)
+      }
+      if (!absent && tracked) {
+        ++stale_entries_;  // allowed, cleaned lazily
+      }
+      if (absent && tracked) {
+        int disk = sim.Location(sim.trace().block(p)).disk;
+        EXPECT_TRUE(tracker_->per_disk(disk).count(p) > 0);
+      }
+    }
+    ++checks_;
+  }
+
+  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override {
+    int64_t victim = DemandPolicy::ChooseDemandEviction(sim, block);
+    tracker_->OnEvict(victim);
+    return victim;
+  }
+
+  void OnDemandFetch(Simulator& sim, int64_t block) override {
+    (void)sim;
+    tracker_->OnIssue(block);
+  }
+
+  int64_t missing_entries() const { return missing_entries_; }
+  int64_t stale_entries() const { return stale_entries_; }
+  int64_t checks() const { return checks_; }
+
+ private:
+  int64_t window_;
+  std::unique_ptr<MissingTracker> tracker_;
+  int64_t missing_entries_ = 0;
+  int64_t stale_entries_ = 0;
+  int64_t checks_ = 0;
+};
+
+TEST(MissingTracker, NeverMissesAnAbsentBlock) {
+  // Cyclic trace with evictions galore: the tracker must always contain
+  // every truly absent in-window position.
+  Trace t("loop");
+  for (int64_t i = 0; i < 2000; ++i) {
+    t.Append(i % 90, MsToNs(1));
+  }
+  SimConfig c;
+  c.cache_blocks = 30;
+  c.num_disks = 2;
+  TrackerCheckPolicy policy(64);
+  Simulator sim(t, c, &policy);
+  sim.Run();
+  EXPECT_GT(policy.checks(), 0);
+  EXPECT_EQ(policy.missing_entries(), 0);
+}
+
+TEST(MissingTracker, WindowSlidesAndRetires) {
+  Trace t("seq");
+  for (int64_t i = 0; i < 100; ++i) {
+    t.Append(i, MsToNs(1));
+  }
+  SimConfig c;
+  c.cache_blocks = 16;
+  c.num_disks = 1;
+  DemandPolicy demand;
+  Simulator sim(t, c, &demand);
+  MissingTracker tracker(sim, 10);
+  tracker.AdvanceTo(0);
+  // All of [0, 10) absent initially.
+  EXPECT_EQ(tracker.global().size(), 10u);
+  EXPECT_EQ(*tracker.global().begin(), 0);
+  tracker.AdvanceTo(5);
+  EXPECT_EQ(*tracker.global().begin(), 5);
+  EXPECT_EQ(tracker.global().size(), 10u);  // [5, 15)
+}
+
+TEST(MissingTracker, IssueAndEvictUpdateEntries) {
+  Trace t("rep");
+  for (int64_t i = 0; i < 60; ++i) {
+    t.Append(i % 3, MsToNs(1));  // blocks 0,1,2 repeating
+  }
+  SimConfig c;
+  c.cache_blocks = 8;
+  c.num_disks = 1;
+  DemandPolicy demand;
+  Simulator sim(t, c, &demand);
+  MissingTracker tracker(sim, 12);
+  tracker.AdvanceTo(0);
+  EXPECT_EQ(tracker.global().size(), 12u);  // all absent
+  tracker.OnIssue(0);                       // block 0's positions vanish
+  EXPECT_EQ(tracker.global().size(), 8u);
+  tracker.OnEvict(0);  // back again
+  EXPECT_EQ(tracker.global().size(), 12u);
+}
+
+}  // namespace
+}  // namespace pfc

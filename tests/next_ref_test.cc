@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/next_ref.h"
+#include "trace/trace.h"
+
+namespace pfc {
+namespace {
+
+Trace PatternTrace() {
+  // positions: 0  1  2  3  4  5  6
+  // blocks:    A  B  A  C  B  A  D   (A=1 B=2 C=3 D=4)
+  Trace t("pattern");
+  for (int64_t b : {1, 2, 1, 3, 2, 1, 4}) {
+    t.Append(b, 0);
+  }
+  return t;
+}
+
+TEST(NextRefIndex, NextUseAt) {
+  Trace t = PatternTrace();
+  NextRefIndex idx(t);
+  EXPECT_EQ(idx.NextUseAt(1, 0), 0);
+  EXPECT_EQ(idx.NextUseAt(1, 1), 2);
+  EXPECT_EQ(idx.NextUseAt(1, 3), 5);
+  EXPECT_EQ(idx.NextUseAt(1, 6), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAt(3, 0), 3);
+  EXPECT_EQ(idx.NextUseAt(3, 4), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAt(99, 0), NextRefIndex::kNoRef);  // unknown block
+}
+
+TEST(NextRefIndex, NextUseAfterPosition) {
+  Trace t = PatternTrace();
+  NextRefIndex idx(t);
+  EXPECT_EQ(idx.NextUseAfterPosition(0), 2);  // A at 0 -> next A at 2
+  EXPECT_EQ(idx.NextUseAfterPosition(2), 5);
+  EXPECT_EQ(idx.NextUseAfterPosition(5), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAfterPosition(1), 4);  // B
+  EXPECT_EQ(idx.NextUseAfterPosition(3), NextRefIndex::kNoRef);  // C
+}
+
+TEST(NextRefIndex, PrevUseAt) {
+  Trace t = PatternTrace();
+  NextRefIndex idx(t);
+  EXPECT_EQ(idx.PrevUseAt(1, 6), 5);
+  EXPECT_EQ(idx.PrevUseAt(1, 4), 2);
+  EXPECT_EQ(idx.PrevUseAt(1, 1), 0);
+  EXPECT_EQ(idx.PrevUseAt(2, 0), -1);
+  EXPECT_EQ(idx.PrevUseAt(4, 5), -1);
+  EXPECT_EQ(idx.PrevUseAt(4, 6), 6);
+}
+
+TEST(NextRefIndex, FirstUse) {
+  Trace t = PatternTrace();
+  NextRefIndex idx(t);
+  EXPECT_EQ(idx.FirstUse(1), 0);
+  EXPECT_EQ(idx.FirstUse(4), 6);
+  EXPECT_EQ(idx.FirstUse(1234), NextRefIndex::kNoRef);
+  EXPECT_TRUE(idx.Known(3));
+  EXPECT_FALSE(idx.Known(1234));
+}
+
+TEST(NextRefIndex, ConsistencyOnLongTrace) {
+  Trace t("loop");
+  for (int64_t i = 0; i < 5000; ++i) {
+    t.Append(i % 37, 0);
+  }
+  NextRefIndex idx(t);
+  for (int64_t i = 0; i < 5000; ++i) {
+    int64_t next = idx.NextUseAfterPosition(i);
+    if (i + 37 < 5000) {
+      ASSERT_EQ(next, i + 37);
+    } else {
+      ASSERT_EQ(next, NextRefIndex::kNoRef);
+    }
+    ASSERT_EQ(idx.NextUseAt(t.block(i), i), i);
+  }
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,115 @@
+// Tests for the incomplete-hints extension (section 6 of the paper).
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+Trace LoopTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+  Trace t("loop");
+  for (int64_t i = 0; i < reads; ++i) {
+    t.Append(i % blocks, compute);
+  }
+  return t;
+}
+
+TEST(PartialHints, MaskedOracleOnlySeesHintedPositions) {
+  Trace t("pat");
+  for (int64_t b : {1, 2, 1, 2, 1}) {
+    t.Append(b, 0);
+  }
+  std::vector<bool> hinted = {true, false, false, true, true};
+  NextRefIndex idx(t, hinted);
+  // Block 1 occurs at 0,2,4 (hinted: 0,4); block 2 at 1,3 (hinted: 3).
+  EXPECT_EQ(idx.NextUseAt(1, 0), 0);
+  EXPECT_EQ(idx.NextUseAt(1, 1), 4);  // position 2 is undisclosed
+  EXPECT_EQ(idx.NextUseAt(2, 0), 3);  // position 1 is undisclosed
+  EXPECT_EQ(idx.NextUseAfterPosition(0), 4);
+  EXPECT_EQ(idx.NextUseAfterPosition(3), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAfterPosition(4), NextRefIndex::kNoRef);
+}
+
+TEST(PartialHints, FullCoverageIsIdenticalToBaseline) {
+  Trace t = LoopTrace(300, 2000, MsToNs(1));
+  SimConfig base;
+  base.cache_blocks = 128;
+  base.num_disks = 2;
+  SimConfig covered = base;
+  covered.hint_coverage = 1.0;
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kForestall}) {
+    RunResult a = RunOne(t, base, kind);
+    RunResult b = RunOne(t, covered, kind);
+    EXPECT_EQ(a.elapsed_time, b.elapsed_time) << ToString(kind);
+    EXPECT_EQ(a.fetches, b.fetches) << ToString(kind);
+  }
+}
+
+TEST(PartialHints, ZeroCoverageDegradesTowardDemand) {
+  // With nothing disclosed, the prefetchers cannot prefetch: every fetch is
+  // a demand fetch and elapsed time is demand-like.
+  Trace t = LoopTrace(400, 2000, MsToNs(1));
+  SimConfig c;
+  c.cache_blocks = 128;
+  c.num_disks = 2;
+  c.hint_coverage = 0.0;
+  RunResult demand = RunOne(t, c, PolicyKind::kDemand);
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kForestall}) {
+    RunResult r = RunOne(t, c, kind);
+    EXPECT_EQ(r.fetches, r.demand_fetches) << ToString(kind);
+    // Same fetch stream, possibly different evictions (unhinted blocks all
+    // look dead, so replacement is LRU-blind); stay within 25% of demand.
+    EXPECT_NEAR(static_cast<double>(r.elapsed_time), static_cast<double>(demand.elapsed_time),
+                0.25 * static_cast<double>(demand.elapsed_time))
+        << ToString(kind);
+  }
+}
+
+TEST(PartialHints, FullKnowledgeBeatsPartialAndNone) {
+  // Full disclosure must clearly beat both partial and zero coverage. (50%
+  // versus 0% is NOT asserted: on cyclic traces half-knowledge can mislead
+  // replacement — undisclosed blocks look dead — which is exactly the risk
+  // the paper's section 6 flags.)
+  Trace t = LoopTrace(500, 3000, MsToNs(1));
+  SimConfig c;
+  c.cache_blocks = 256;
+  c.num_disks = 2;
+  std::vector<TimeNs> stalls;
+  for (double coverage : {1.0, 0.5, 0.0}) {
+    c.hint_coverage = coverage;
+    stalls.push_back(RunOne(t, c, PolicyKind::kForestall).stall_time);
+  }
+  EXPECT_LT(static_cast<double>(stalls[0]), 0.8 * static_cast<double>(stalls[1]));
+  EXPECT_LT(static_cast<double>(stalls[0]), 0.8 * static_cast<double>(stalls[2]));
+}
+
+TEST(PartialHints, HintMaskIsDeterministicInSeed) {
+  Trace t = LoopTrace(200, 1500, MsToNs(1));
+  SimConfig c;
+  c.cache_blocks = 64;
+  c.num_disks = 2;
+  c.hint_coverage = 0.6;
+  c.hint_seed = 42;
+  RunResult a = RunOne(t, c, PolicyKind::kAggressive);
+  RunResult b = RunOne(t, c, PolicyKind::kAggressive);
+  EXPECT_EQ(a.elapsed_time, b.elapsed_time);
+  c.hint_seed = 43;
+  RunResult d = RunOne(t, c, PolicyKind::kAggressive);
+  EXPECT_NE(a.elapsed_time, d.elapsed_time);
+}
+
+TEST(PartialHintsDeath, ReverseAggressiveRequiresFullHints) {
+  Trace t = LoopTrace(50, 200, MsToNs(1));
+  SimConfig c;
+  c.cache_blocks = 32;
+  c.num_disks = 1;
+  c.hint_coverage = 0.5;
+  EXPECT_DEATH(RunOne(t, c, PolicyKind::kReverseAggressive), "full advance knowledge");
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,194 @@
+// Property-based sweeps: simulator invariants that must hold for every
+// (policy, array size, workload shape) combination.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+enum class Workload { kSequentialLoop, kRandom, kHotCold, kZipfish };
+
+std::string WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kSequentialLoop:
+      return "SeqLoop";
+    case Workload::kRandom:
+      return "Random";
+    case Workload::kHotCold:
+      return "HotCold";
+    case Workload::kZipfish:
+      return "Zipfish";
+  }
+  return "?";
+}
+
+Trace MakeWorkload(Workload w, uint64_t seed) {
+  const int64_t reads = 3000;
+  Rng rng(seed);
+  Trace t(WorkloadName(w));
+  switch (w) {
+    case Workload::kSequentialLoop:
+      for (int64_t i = 0; i < reads; ++i) {
+        t.Append(i % 700, UsToNs(500 + rng.UniformInt(0, 1500)));
+      }
+      break;
+    case Workload::kRandom:
+      for (int64_t i = 0; i < reads; ++i) {
+        t.Append(rng.UniformInt(0, 2999), UsToNs(200 + rng.UniformInt(0, 3000)));
+      }
+      break;
+    case Workload::kHotCold:
+      for (int64_t i = 0; i < reads; ++i) {
+        bool hot = rng.UniformDouble() < 0.8;
+        t.Append(hot ? rng.UniformInt(0, 99) : 100 + rng.UniformInt(0, 4999),
+                 UsToNs(1000));
+      }
+      break;
+    case Workload::kZipfish:
+      for (int64_t i = 0; i < reads; ++i) {
+        t.Append(rng.SkewedRank(4000, 1.5), UsToNs(300 + rng.UniformInt(0, 2000)));
+      }
+      break;
+  }
+  return t;
+}
+
+using Param = std::tuple<PolicyKind, int, Workload>;
+
+class SimInvariantTest : public testing::TestWithParam<Param> {};
+
+TEST_P(SimInvariantTest, InvariantsHold) {
+  auto [kind, disks, workload] = GetParam();
+  Trace t = MakeWorkload(workload, 42);
+  SimConfig c;
+  c.cache_blocks = 256;
+  c.num_disks = disks;
+  RunResult r = RunOne(t, c, kind);
+
+  // 1. The elapsed-time decomposition is exact.
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  // 2. Stall cannot be negative; compute matches the trace.
+  EXPECT_GE(r.stall_time, 0);
+  EXPECT_EQ(r.compute_time, t.TotalCompute());
+  // 3. Every referenced block is fetched at least once (cold cache).
+  EXPECT_GE(r.fetches, t.DistinctBlocks());
+  // 4. Driver time is bookkept per request.
+  EXPECT_EQ(r.driver_time, r.fetches * c.driver_overhead);
+  // 5. Utilizations are physical.
+  ASSERT_EQ(static_cast<int>(r.per_disk_util.size()), disks);
+  for (double u : r.per_disk_util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  // 6. Service time averages are sane for this disk model.
+  EXPECT_GT(r.avg_fetch_ms, 0.1);
+  EXPECT_LT(r.avg_fetch_ms, 50.0);
+}
+
+TEST_P(SimInvariantTest, DeterministicReplay) {
+  auto [kind, disks, workload] = GetParam();
+  Trace t = MakeWorkload(workload, 7);
+  SimConfig c;
+  c.cache_blocks = 256;
+  c.num_disks = disks;
+  RunResult a = RunOne(t, c, kind);
+  RunResult b = RunOne(t, c, kind);
+  EXPECT_EQ(a.elapsed_time, b.elapsed_time);
+  EXPECT_EQ(a.fetches, b.fetches);
+  EXPECT_EQ(a.stall_time, b.stall_time);
+}
+
+TEST_P(SimInvariantTest, NoWorseThanDoubleDemandElapsed) {
+  // A loose safety net: no prefetching policy may catastrophically regress
+  // against demand fetching on any shape (they may tie or add small driver
+  // overhead, never blow up).
+  auto [kind, disks, workload] = GetParam();
+  if (kind == PolicyKind::kDemand) {
+    GTEST_SKIP();
+  }
+  Trace t = MakeWorkload(workload, 13);
+  SimConfig c;
+  c.cache_blocks = 256;
+  c.num_disks = disks;
+  RunResult r = RunOne(t, c, kind);
+  RunResult d = RunOne(t, c, PolicyKind::kDemand);
+  EXPECT_LT(static_cast<double>(r.elapsed_time), 1.6 * static_cast<double>(d.elapsed_time));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimInvariantTest,
+    testing::Combine(testing::Values(PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                                     PolicyKind::kAggressive, PolicyKind::kReverseAggressive,
+                                     PolicyKind::kForestall),
+                     testing::Values(1, 3, 8),
+                     testing::Values(Workload::kSequentialLoop, Workload::kRandom,
+                                     Workload::kHotCold, Workload::kZipfish)),
+    [](const testing::TestParamInfo<Param>& info) {
+      std::string name = ToString(std::get<0>(info.param)) + "_d" +
+                         std::to_string(std::get<1>(info.param)) + "_" +
+                         WorkloadName(std::get<2>(info.param));
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+// Scheduling disciplines must not lose or duplicate requests regardless of
+// policy pressure.
+class DisciplineTest : public testing::TestWithParam<SchedDiscipline> {};
+
+TEST_P(DisciplineTest, AllRequestsServedExactlyOnce) {
+  Trace t = MakeWorkload(Workload::kRandom, 21);
+  SimConfig c;
+  c.cache_blocks = 256;
+  c.num_disks = 4;
+  c.discipline = GetParam();
+  RunResult r = RunOne(t, c, PolicyKind::kAggressive);
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  EXPECT_GE(r.fetches, t.DistinctBlocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDisciplines, DisciplineTest,
+                         testing::Values(SchedDiscipline::kFcfs, SchedDiscipline::kCscan,
+                                         SchedDiscipline::kScan, SchedDiscipline::kSstf),
+                         [](const testing::TestParamInfo<SchedDiscipline>& info) {
+                           return ToString(info.param);
+                         });
+
+// Placement policies likewise.
+class PlacementSweepTest : public testing::TestWithParam<PlacementKind> {};
+
+TEST_P(PlacementSweepTest, InvariantsHoldUnderAnyLayout) {
+  Trace t = MakeWorkload(Workload::kSequentialLoop, 5);
+  SimConfig c;
+  c.cache_blocks = 256;
+  c.num_disks = 4;
+  c.placement = GetParam();
+  RunResult r = RunOne(t, c, PolicyKind::kForestall);
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  EXPECT_GE(r.fetches, t.DistinctBlocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacements, PlacementSweepTest,
+                         testing::Values(PlacementKind::kStriped, PlacementKind::kContiguous,
+                                         PlacementKind::kGroupHash),
+                         [](const testing::TestParamInfo<PlacementKind>& info) {
+                           std::string n = ToString(info.param);
+                           for (char& ch : n) {
+                             if (ch == '-') {
+                               ch = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pfc

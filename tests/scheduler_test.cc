@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/scheduler.h"
+
+namespace pfc {
+namespace {
+
+QueuedRequest Req(int64_t disk_block, uint64_t seq) {
+  QueuedRequest r;
+  r.logical_block = disk_block;
+  r.disk_block = disk_block;
+  r.enqueue_time = 0;
+  r.seq = seq;
+  return r;
+}
+
+std::vector<int64_t> DrainOrder(RequestScheduler* s, int64_t head) {
+  std::vector<int64_t> order;
+  while (!s->empty()) {
+    QueuedRequest r = s->PopNext(head);
+    order.push_back(r.disk_block);
+    head = r.disk_block;
+  }
+  return order;
+}
+
+TEST(Scheduler, FcfsPreservesArrivalOrder) {
+  RequestScheduler s(SchedDiscipline::kFcfs);
+  s.Enqueue(Req(50, 1));
+  s.Enqueue(Req(10, 2));
+  s.Enqueue(Req(90, 3));
+  EXPECT_EQ(DrainOrder(&s, 0), (std::vector<int64_t>{50, 10, 90}));
+}
+
+TEST(Scheduler, CscanAscendingWithWrap) {
+  RequestScheduler s(SchedDiscipline::kCscan);
+  for (int64_t b : {70, 10, 40, 90, 20}) {
+    s.Enqueue(Req(b, static_cast<uint64_t>(b)));
+  }
+  // Head at 35: serve 40, 70, 90, then wrap to 10, 20.
+  EXPECT_EQ(DrainOrder(&s, 35), (std::vector<int64_t>{40, 70, 90, 10, 20}));
+}
+
+TEST(Scheduler, CscanExactHeadPosition) {
+  RequestScheduler s(SchedDiscipline::kCscan);
+  s.Enqueue(Req(35, 1));
+  s.Enqueue(Req(30, 2));
+  // A request at the head position is "at or past" the head.
+  QueuedRequest r = s.PopNext(35);
+  EXPECT_EQ(r.disk_block, 35);
+}
+
+TEST(Scheduler, ScanReversesAtEnds) {
+  RequestScheduler s(SchedDiscipline::kScan);
+  for (int64_t b : {70, 10, 40, 90, 20}) {
+    s.Enqueue(Req(b, static_cast<uint64_t>(b)));
+  }
+  // Head at 35 moving up: 40, 70, 90; then down: 20, 10.
+  EXPECT_EQ(DrainOrder(&s, 35), (std::vector<int64_t>{40, 70, 90, 20, 10}));
+}
+
+TEST(Scheduler, SstfPicksNearest) {
+  RequestScheduler s(SchedDiscipline::kSstf);
+  for (int64_t b : {100, 44, 60, 10}) {
+    s.Enqueue(Req(b, static_cast<uint64_t>(b)));
+  }
+  // Head 50: 44 (d=6), then 60 (d=16), then 100 (d=40)... from 60: 100 is
+  // 40 away, 10 is 50 away -> 100 first.
+  EXPECT_EQ(DrainOrder(&s, 50), (std::vector<int64_t>{44, 60, 100, 10}));
+}
+
+TEST(Scheduler, SstfTieBreaksBySeq) {
+  RequestScheduler s(SchedDiscipline::kSstf);
+  s.Enqueue(Req(60, 5));
+  s.Enqueue(Req(40, 2));  // same distance from 50, earlier arrival
+  QueuedRequest r = s.PopNext(50);
+  EXPECT_EQ(r.disk_block, 40);
+}
+
+TEST(Scheduler, ClearEmptiesQueue) {
+  RequestScheduler s(SchedDiscipline::kCscan);
+  s.Enqueue(Req(1, 1));
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Scheduler, ToStringNames) {
+  EXPECT_EQ(ToString(SchedDiscipline::kFcfs), "fcfs");
+  EXPECT_EQ(ToString(SchedDiscipline::kCscan), "cscan");
+  EXPECT_EQ(ToString(SchedDiscipline::kScan), "scan");
+  EXPECT_EQ(ToString(SchedDiscipline::kSstf), "sstf");
+}
+
+}  // namespace
+}  // namespace pfc

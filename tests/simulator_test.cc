@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/policies/demand.h"
+#include "core/policies/fixed_horizon.h"
+#include "core/simulator.h"
+#include "trace/trace.h"
+
+namespace pfc {
+namespace {
+
+Trace SequentialTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+  Trace t("seq");
+  for (int64_t i = 0; i < reads; ++i) {
+    t.Append(i % blocks, compute);
+  }
+  return t;
+}
+
+SimConfig SmallConfig(int cache_blocks, int disks) {
+  SimConfig c;
+  c.cache_blocks = cache_blocks;
+  c.num_disks = disks;
+  return c;
+}
+
+TEST(Simulator, AllHitsAfterColdStartWithBigCache) {
+  // 10 distinct blocks, cache of 16: each block fetched exactly once.
+  Trace t = SequentialTrace(10, 50, MsToNs(1));
+  SimConfig c = SmallConfig(16, 1);
+  DemandPolicy demand;
+  Simulator sim(t, c, &demand);
+  RunResult r = sim.Run();
+  EXPECT_EQ(r.fetches, 10);
+  EXPECT_EQ(r.demand_fetches, 10);
+  EXPECT_EQ(r.compute_time, MsToNs(1) * 50);
+  EXPECT_EQ(r.driver_time, 10 * c.driver_overhead);
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  EXPECT_GT(r.stall_time, 0);
+}
+
+TEST(Simulator, ElapsedDecompositionHolds) {
+  Trace t = SequentialTrace(100, 400, MsToNs(2));
+  SimConfig c = SmallConfig(32, 2);
+  FixedHorizonPolicy fh(16);
+  Simulator sim(t, c, &fh);
+  RunResult r = sim.Run();
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  EXPECT_EQ(r.driver_time, r.fetches * c.driver_overhead);
+}
+
+TEST(Simulator, PrefetchingBeatsDemand) {
+  Trace t = SequentialTrace(200, 1000, MsToNs(1));
+  SimConfig c = SmallConfig(64, 2);
+  RunResult demand_result;
+  {
+    DemandPolicy p;
+    demand_result = Simulator(t, c, &p).Run();
+  }
+  RunResult fh_result;
+  {
+    FixedHorizonPolicy p(32);
+    fh_result = Simulator(t, c, &p).Run();
+  }
+  EXPECT_LT(fh_result.stall_time, demand_result.stall_time);
+  EXPECT_LT(fh_result.elapsed_time, demand_result.elapsed_time);
+}
+
+TEST(Simulator, DemandFetchCountsMissesExactly) {
+  // Loop of 20 blocks with a cache of 5: with MIN replacement the hit rate
+  // is positive but every distinct block misses at least once.
+  Trace t = SequentialTrace(20, 100, MsToNs(1));
+  SimConfig c = SmallConfig(5, 1);
+  DemandPolicy p;
+  RunResult r = Simulator(t, c, &p).Run();
+  EXPECT_EQ(r.fetches, r.demand_fetches);
+  EXPECT_GE(r.fetches, 20);
+  EXPECT_LE(r.fetches, 100);
+}
+
+TEST(Simulator, UtilizationBounded) {
+  Trace t = SequentialTrace(50, 300, MsToNs(1));
+  SimConfig c = SmallConfig(16, 4);
+  FixedHorizonPolicy p(16);
+  RunResult r = Simulator(t, c, &p).Run();
+  ASSERT_EQ(static_cast<int>(r.per_disk_util.size()), 4);
+  for (double u : r.per_disk_util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,164 @@
+// Tests of the theoretical-model simulator and brute-force optimal,
+// including an exact reproduction of the paper's Figure 1 example.
+
+#include <gtest/gtest.h>
+
+#include "theory/theory_optimal.h"
+#include "theory/theory_sim.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+// The paper's Figure 1: cache K=4 holding {A,b,d,F}; disk 0 holds
+// {A,C,E,F}, disk 1 holds {b,d}; F(etch) = 2; sequence A,b,C,d,E,F.
+enum Block : int64_t { A = 0, b = 1, C = 2, d = 3, E = 4, F = 5 };
+
+TheorySimulator Figure1() {
+  TheoryConfig config;
+  config.cache_blocks = 4;
+  config.num_disks = 2;
+  config.fetch_time = 2;
+  TheorySimulator sim({A, b, C, d, E, F},
+                      {{A, 0}, {C, 0}, {E, 0}, {F, 0}, {b, 1}, {d, 1}}, config);
+  sim.SetInitialCache({A, b, d, F});
+  return sim;
+}
+
+TEST(TheoryFigure1, GreedyScheduleTakesSevenSteps) {
+  // Figure 1(a): fetch the soonest missing block, evict the furthest —
+  // C evicts F, E evicts a dead block, then F must be fetched back; the
+  // application stalls one step on F. Total elapsed: 7.
+  TheorySimulator sim = Figure1();
+  TheoryResult greedy = sim.RunAggressive();
+  EXPECT_EQ(greedy.elapsed, 7);
+  EXPECT_EQ(greedy.stall, 1);
+  EXPECT_EQ(greedy.fetches, 3);
+}
+
+TEST(TheoryFigure1, BetterScheduleTakesSixSteps) {
+  // Figure 1(b): evict d instead of F when fetching C — moving one fetch to
+  // the idle disk — then re-fetch d in parallel. No stalls. Total: 6.
+  TheorySimulator sim = Figure1();
+  std::vector<TheoryFetch> schedule = {
+      {0, C, d},  // offload: evict d (needed sooner!) rather than F
+      {1, d, A},  // re-fetch d on the otherwise idle disk 1
+      {2, E, b},
+  };
+  TheoryResult better = sim.RunSchedule(schedule);
+  EXPECT_EQ(better.elapsed, 6);
+  EXPECT_EQ(better.stall, 0);
+  EXPECT_EQ(better.fetches, 3);
+}
+
+TEST(TheoryFigure1, OptimalIsSix) {
+  TheorySimulator sim = Figure1();
+  EXPECT_EQ(TheoryOptimalElapsed(sim), 6);
+}
+
+TEST(TheoryModel, DemandOptimalStallsFPerMiss) {
+  // Single disk, no prefetching: every miss stalls exactly F steps.
+  TheoryConfig config;
+  config.cache_blocks = 2;
+  config.num_disks = 1;
+  config.fetch_time = 3;
+  TheorySimulator sim({10, 11, 12}, {{10, 0}, {11, 0}, {12, 0}}, config);
+  TheoryResult r = sim.RunDemandOptimal();
+  EXPECT_EQ(r.fetches, 3);
+  EXPECT_EQ(r.stall, 3 * 3);
+  EXPECT_EQ(r.elapsed, 3 + 9);
+}
+
+TEST(TheoryModel, FixedHorizonEliminatesStallWithEnoughLookahead) {
+  // One disk, F=2, alternating hits/misses: with H >= F the fetch starts F
+  // steps early and completes just in time (after the cold start).
+  TheoryConfig config;
+  config.cache_blocks = 4;
+  config.num_disks = 1;
+  config.fetch_time = 2;
+  std::vector<int64_t> refs;
+  std::unordered_map<int64_t, int> disks;
+  for (int64_t i = 0; i < 12; ++i) {
+    refs.push_back(i % 2 == 0 ? 100 : 200 + i);  // hot block 100 + cold stream
+    disks[refs.back()] = 0;
+  }
+  TheorySimulator sim(refs, disks, config);
+  sim.SetInitialCache({100});
+  TheoryResult h0 = sim.RunFixedHorizon(0);
+  TheoryResult h4 = sim.RunFixedHorizon(4);
+  EXPECT_GT(h0.stall, h4.stall);
+  EXPECT_EQ(h4.stall, 1);  // only the very first cold block can stall
+}
+
+TEST(TheoryModel, AggressiveMatchesOptimalOnSingleDisk) {
+  // Cao et al.: aggressive is near-optimal for one disk. On tiny instances
+  // it should be within one fetch-time of the brute-force optimum.
+  Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    TheoryConfig config;
+    config.cache_blocks = 3;
+    config.num_disks = 1;
+    config.fetch_time = 2;
+    std::vector<int64_t> refs;
+    std::unordered_map<int64_t, int> disks;
+    for (int i = 0; i < 8; ++i) {
+      refs.push_back(rng.UniformInt(0, 4));
+      disks[refs.back()] = 0;
+    }
+    TheorySimulator sim(refs, disks, config);
+    TheoryResult agg = sim.RunAggressive();
+    int64_t opt = TheoryOptimalElapsed(sim);
+    EXPECT_GE(agg.elapsed, opt);
+    EXPECT_LE(agg.elapsed, opt + config.fetch_time) << "trial " << trial;
+  }
+}
+
+TEST(TheoryModel, TheoremOneBoundHolds) {
+  // Theorem 1: aggressive's elapsed time <= d(1+e) x optimal. Verify the
+  // (loose) d x optimal + constant bound on random 2-disk instances.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    TheoryConfig config;
+    config.cache_blocks = 3;
+    config.num_disks = 2;
+    config.fetch_time = 2;
+    std::vector<int64_t> refs;
+    std::unordered_map<int64_t, int> disks;
+    for (int i = 0; i < 7; ++i) {
+      int64_t block = rng.UniformInt(0, 5);
+      refs.push_back(block);
+      disks[block] = static_cast<int>(block % 2);
+    }
+    TheorySimulator sim(refs, disks, config);
+    TheoryResult agg = sim.RunAggressive();
+    int64_t opt = TheoryOptimalElapsed(sim);
+    EXPECT_GE(agg.elapsed, opt);
+    EXPECT_LE(agg.elapsed, 2 * opt + config.fetch_time) << "trial " << trial;
+  }
+}
+
+TEST(TheoryModel, OptimalNeverBeatenByAnyPolicy) {
+  Rng rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    TheoryConfig config;
+    config.cache_blocks = 2 + static_cast<int>(rng.UniformInt(0, 2));
+    config.num_disks = 1 + static_cast<int>(rng.UniformInt(0, 1));
+    config.fetch_time = 1 + rng.UniformInt(0, 2);
+    std::vector<int64_t> refs;
+    std::unordered_map<int64_t, int> disks;
+    for (int i = 0; i < 7; ++i) {
+      int64_t block = rng.UniformInt(0, 4);
+      refs.push_back(block);
+      disks[block] = static_cast<int>(block) % config.num_disks;
+    }
+    TheorySimulator sim(refs, disks, config);
+    int64_t opt = TheoryOptimalElapsed(sim);
+    EXPECT_LE(opt, sim.RunDemandOptimal().elapsed);
+    EXPECT_LE(opt, sim.RunAggressive().elapsed);
+    EXPECT_LE(opt, sim.RunFixedHorizon(config.fetch_time).elapsed);
+    EXPECT_GE(opt, static_cast<int64_t>(refs.size()));  // can't beat n
+  }
+}
+
+}  // namespace
+}  // namespace pfc

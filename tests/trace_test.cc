@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+
+namespace pfc {
+namespace {
+
+Trace SmallTrace() {
+  Trace t("small");
+  t.Append(5, MsToNs(1));
+  t.Append(6, MsToNs(2));
+  t.Append(5, MsToNs(3));
+  t.Append(9, MsToNs(4));
+  return t;
+}
+
+TEST(Trace, BasicsAndDistinct) {
+  Trace t = SmallTrace();
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.block(0), 5);
+  EXPECT_EQ(t.compute(1), MsToNs(2));
+  EXPECT_EQ(t.DistinctBlocks(), 3);
+  EXPECT_EQ(t.MaxBlock(), 10);
+  EXPECT_EQ(t.TotalCompute(), MsToNs(10));
+}
+
+TEST(Trace, RescaleComputeIsExact) {
+  Trace t = SmallTrace();
+  t.RescaleCompute(SecToNs(2.5));
+  EXPECT_EQ(t.TotalCompute(), SecToNs(2.5));
+  // Relative proportions roughly preserved.
+  EXPECT_LT(t.compute(0), t.compute(3));
+}
+
+TEST(Trace, ScaleComputeHalvesForFastCpu) {
+  Trace t = SmallTrace();
+  t.ScaleCompute(0.5);
+  EXPECT_EQ(t.compute(0), MsToNs(0.5));
+  EXPECT_EQ(t.TotalCompute(), MsToNs(5));
+}
+
+TEST(Trace, ReversedReversesBlocks) {
+  Trace t = SmallTrace();
+  Trace r = t.Reversed();
+  ASSERT_EQ(r.size(), t.size());
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(r.block(i), t.block(t.size() - 1 - i));
+  }
+  EXPECT_EQ(r.TotalCompute(), t.TotalCompute());
+}
+
+TEST(Trace, PrefixTruncates) {
+  Trace t = SmallTrace();
+  Trace p = t.Prefix(2);
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_EQ(p.block(1), 6);
+  EXPECT_EQ(t.Prefix(100).size(), 4);
+  EXPECT_EQ(t.Prefix(0).size(), 0);
+}
+
+TEST(TraceIo, RoundTrip) {
+  Trace t = SmallTrace();
+  std::string path = testing::TempDir() + "/pfc_trace_roundtrip.txt";
+  ASSERT_TRUE(SaveTraceText(t, path));
+  auto loaded = LoadTraceText(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name(), "small");
+  ASSERT_EQ(loaded->size(), t.size());
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(loaded->block(i), t.block(i));
+    EXPECT_EQ(loaded->compute(i), t.compute(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  std::string path = testing::TempDir() + "/pfc_trace_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# pfc-trace v1 name=bad\n12 34\nnot-a-number\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadTraceText(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails) {
+  EXPECT_FALSE(LoadTraceText("/nonexistent/path/trace.txt").has_value());
+}
+
+TEST(TraceStats, ComputesPatternDiagnostics) {
+  Trace t("pattern");
+  for (int64_t i = 0; i < 10; ++i) {
+    t.Append(i, MsToNs(1));  // fully sequential
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    t.Append(i, MsToNs(1));  // full reuse pass
+  }
+  TraceStats s = ComputeTraceStats(t);
+  EXPECT_EQ(s.reads, 20);
+  EXPECT_EQ(s.distinct_blocks, 10);
+  EXPECT_NEAR(s.sequential_fraction, 18.0 / 20.0, 1e-9);
+  EXPECT_NEAR(s.reuse_fraction, 0.5, 1e-9);
+  EXPECT_NEAR(s.compute_sec, 0.02, 1e-9);
+  EXPECT_FALSE(ToString(s).empty());
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/time_util.h"
+
+namespace pfc {
+namespace {
+
+TEST(TimeUtil, Conversions) {
+  EXPECT_EQ(MsToNs(1.0), 1000000);
+  EXPECT_EQ(UsToNs(1.0), 1000);
+  EXPECT_EQ(SecToNs(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(NsToMs(1500000), 1.5);
+  EXPECT_DOUBLE_EQ(NsToSec(2500000000LL), 2.5);
+}
+
+TEST(TimeUtil, FormatDuration) {
+  EXPECT_EQ(FormatDuration(SecToNs(1.5)), "1.500 s");
+  EXPECT_EQ(FormatDuration(MsToNs(2.25)), "2.250 ms");
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = rng.UniformU32(10);
+    EXPECT_LT(v, 10u);
+    int64_t w = rng.UniformInt(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformU32CoversRange) {
+  Rng rng(11);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.UniformU32(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.0));
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0;
+  double sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SkewedRankInRangeAndSkewed) {
+  Rng rng(13);
+  int64_t low_half = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    int64_t r = rng.SkewedRank(100, 2.0);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 100);
+    if (r < 50) {
+      ++low_half;
+    }
+  }
+  // Skew 2.0 concentrates well over half the mass in the low half.
+  EXPECT_GT(low_half, n * 6 / 10);
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-12);
+}
+
+TEST(RunningStat, Merge) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat whole;
+  for (int i = 0; i < 10; ++i) {
+    double v = i * 1.5 - 3;
+    (i < 5 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Histogram, PercentileAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i % 10) + 0.5);
+  }
+  EXPECT_EQ(h.total(), 100);
+  EXPECT_NEAR(h.Percentile(0.5), 5.0, 1.1);
+  h.Add(-5.0);   // clamps low
+  h.Add(100.0);  // clamps high
+  EXPECT_EQ(h.total(), 102);
+}
+
+TEST(SlidingWindowSum, RollsOver) {
+  SlidingWindowSum w(3);
+  w.Add(1);
+  w.Add(2);
+  w.Add(3);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.sum(), 6.0);
+  w.Add(10);  // evicts the 1
+  EXPECT_DOUBLE_EQ(w.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.size(), 3);
+}
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable t;
+  t.SetHeader({"name", "v1", "v2"});
+  t.AddRow({"row", "1", "22"});
+  t.AddSeparator();
+  t.AddRow({"longer-row", "333", "4"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("longer-row"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Int(42), "42");
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,143 @@
+// Tests for the write extension: write-behind vs write-through semantics,
+// dirty-buffer pinning, and the workload builders.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "trace/trace_io.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+SimConfig Cfg(int cache, int disks) {
+  SimConfig c;
+  c.cache_blocks = cache;
+  c.num_disks = disks;
+  return c;
+}
+
+TEST(Writes, TraceBookkeeping) {
+  Trace t("w");
+  t.Append(1, MsToNs(1));
+  t.AppendWrite(2, MsToNs(1));
+  t.AppendWrite(1, MsToNs(1));
+  EXPECT_EQ(t.WriteCount(), 2);
+  EXPECT_FALSE(t.is_write(0));
+  EXPECT_TRUE(t.is_write(1));
+  Trace r = t.Reversed();
+  EXPECT_TRUE(r.is_write(0));
+  EXPECT_FALSE(r.is_write(2));
+  EXPECT_EQ(t.Prefix(2).WriteCount(), 1);
+}
+
+TEST(Writes, TraceIoRoundTripsWrites) {
+  Trace t("w");
+  t.Append(5, MsToNs(1));
+  t.AppendWrite(6, MsToNs(2));
+  std::string path = testing::TempDir() + "/pfc_writes.trace";
+  ASSERT_TRUE(SaveTraceText(t, path));
+  auto loaded = LoadTraceText(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2);
+  EXPECT_FALSE(loaded->is_write(0));
+  EXPECT_TRUE(loaded->is_write(1));
+  EXPECT_EQ(loaded->block(1), 6);
+  std::remove(path.c_str());
+}
+
+TEST(Writes, PureWriteWorkloadNeverFetches) {
+  // Whole-block writes need no data from disk: zero fetches, zero stall
+  // under write-behind (flushes happen in the background).
+  Trace t("wr");
+  for (int64_t i = 0; i < 200; ++i) {
+    t.AppendWrite(i, MsToNs(2));
+  }
+  SimConfig c = Cfg(64, 2);
+  RunResult r = RunOne(t, c, PolicyKind::kForestall);
+  EXPECT_EQ(r.fetches, 0);
+  EXPECT_EQ(r.write_refs, 200);
+  EXPECT_EQ(r.stall_time, 0);
+  // The background flusher kept up: most blocks already clean.
+  EXPECT_GT(r.flushes, 150);
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+}
+
+TEST(Writes, WriteThroughStallsWriteBehindDoesNot) {
+  Trace t = MakeCopyTrace(400, 1.0, 7);
+  SimConfig behind = Cfg(256, 2);
+  SimConfig through = behind;
+  through.write_through = true;
+  RunResult rb = RunOne(t, behind, PolicyKind::kForestall);
+  RunResult rt = RunOne(t, through, PolicyKind::kForestall);
+  // Section 1.1: "write behind strategies can mask update latency."
+  EXPECT_LT(rb.stall_time, rt.stall_time);
+  EXPECT_LT(rb.elapsed_time, rt.elapsed_time);
+  EXPECT_EQ(rt.dirty_at_end, 0);  // write-through leaves nothing dirty
+}
+
+TEST(Writes, DirtyBlocksAreNeverEvictionVictims) {
+  // A working set of dirty blocks plus a stream of cold reads: the reads
+  // must not evict dirty data (it is pinned until flushed), so the run
+  // completes with every write intact and the decomposition exact.
+  Trace t("pin");
+  for (int64_t i = 0; i < 16; ++i) {
+    t.AppendWrite(1000 + i, MsToNs(1));
+  }
+  for (int64_t i = 0; i < 300; ++i) {
+    t.Append(i, MsToNs(1));
+    if (i % 10 == 0) {
+      t.AppendWrite(1000 + i % 16, MsToNs(1));  // keep re-dirtying
+    }
+  }
+  SimConfig c = Cfg(32, 1);
+  RunResult r = RunOne(t, c, PolicyKind::kAggressive);
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  EXPECT_GE(r.fetches, 300);
+}
+
+TEST(Writes, UpdatesWorkloadBuilder) {
+  Trace base = MakeTrace("cscope1").Prefix(1000);
+  Trace updates = WithUpdates(base, 0.3, 1);
+  EXPECT_GT(updates.WriteCount(), 200);
+  EXPECT_LT(updates.WriteCount(), 400);
+  EXPECT_EQ(updates.TotalCompute(), base.TotalCompute());
+  // Deterministic.
+  Trace again = WithUpdates(base, 0.3, 1);
+  EXPECT_EQ(again.size(), updates.size());
+  EXPECT_EQ(again.WriteCount(), updates.WriteCount());
+}
+
+TEST(Writes, CopyWorkloadShape) {
+  Trace t = MakeCopyTrace(100, 1.0, 3);
+  EXPECT_EQ(t.size(), 200);
+  EXPECT_EQ(t.WriteCount(), 100);
+  EXPECT_EQ(t.DistinctBlocks(), 200);
+  // Alternating read/write.
+  EXPECT_FALSE(t.is_write(0));
+  EXPECT_TRUE(t.is_write(1));
+}
+
+TEST(Writes, FlushesContendWithPrefetches) {
+  // An update-heavy read trace: flushes consume disk time, so elapsed grows
+  // versus the pure-read baseline, but prefetching still beats demand.
+  Trace base = MakeTrace("cscope1").Prefix(3000);
+  base.set_name("cscope1-prefix");
+  Trace updates = WithUpdates(base, 0.5, 11);
+  SimConfig c = Cfg(512, 1);
+  RunResult reads_only = RunOne(base, c, PolicyKind::kForestall);
+  RunResult with_writes = RunOne(updates, c, PolicyKind::kForestall);
+  RunResult demand = RunOne(updates, c, PolicyKind::kDemand);
+  EXPECT_GT(with_writes.flushes, 0);
+  EXPECT_GE(with_writes.elapsed_time, reads_only.elapsed_time);
+  EXPECT_LT(with_writes.elapsed_time, demand.elapsed_time);
+}
+
+TEST(WritesDeath, ReverseAggressiveRejectsWriteTraces) {
+  Trace t = MakeCopyTrace(50, 1.0, 5);
+  SimConfig c = Cfg(64, 2);
+  EXPECT_DEATH(RunOne(t, c, PolicyKind::kReverseAggressive), "read-only");
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,304 @@
+// pfc_sim: command-line driver for the simulator.
+//
+// Run any built-in (or saved) trace against any policy and machine
+// configuration without writing code:
+//
+//   pfc_sim --trace=postgres-select --policy=forestall --disks=4
+//   pfc_sim --trace=my.trace --all-policies --disks=1,2,4,8 --csv=out.csv
+//   pfc_sim --trace=cscope2 --policy=aggressive --batch=160 --discipline=fcfs
+//
+// Flags (defaults in brackets):
+//   --trace=NAME|PATH      built-in trace name or pfc trace file   [postgres-select]
+//   --policy=NAME          demand|demand-lru|fixed-horizon|aggressive|
+//                          reverse-aggressive|forestall             [forestall]
+//   --all-policies         run every policy instead of --policy
+//   --disks=N[,N...]       array sizes to simulate                  [4]
+//   --cache=N              cache size in 8KB blocks                 [per-trace baseline]
+//   --discipline=NAME      fcfs|cscan|scan|sstf                     [cscan]
+//   --placement=NAME       striped|contiguous|group-hash            [striped]
+//   --disk-model=NAME      detailed|simple                          [detailed]
+//   --cpu-scale=F          compute-time multiplier                  [1.0]
+//   --hint-coverage=F      fraction of references disclosed         [1.0]
+//   --write-through        writes stall until durable               [write-behind]
+//   --horizon=N            fixed horizon's H                        [62]
+//   --batch=N              aggressive/forestall batch size          [Table 6]
+//   --revagg-f=N           reverse aggressive's fetch-time estimate [64]
+//   --forestall-f=F        forestall's fixed F' (0 = dynamic)       [0]
+//   --seed=N               trace synthesis seed                     [19960901]
+//   --csv=PATH             append results as CSV
+//   --help
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pfc/pfc.h"
+
+namespace {
+
+struct Flags {
+  std::string trace = "postgres-select";
+  std::string policy = "forestall";
+  bool all_policies = false;
+  std::vector<int> disks = {4};
+  int cache = 0;
+  std::string discipline = "cscan";
+  std::string placement = "striped";
+  std::string disk_model = "detailed";
+  double cpu_scale = 1.0;
+  double hint_coverage = 1.0;
+  bool write_through = false;
+  int horizon = pfc::kDefaultPrefetchHorizon;
+  int batch = 0;
+  int64_t revagg_f = 64;
+  double forestall_f = 0.0;
+  uint64_t seed = pfc::kDefaultTraceSeed;
+  std::string csv;
+  bool help = false;
+};
+
+bool ParseDisks(const std::string& value, std::vector<int>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start < value.size()) {
+    size_t comma = value.find(',', start);
+    std::string token = value.substr(start, comma == std::string::npos ? comma : comma - start);
+    int d = std::atoi(token.c_str());
+    if (d <= 0) {
+      return false;
+    }
+    out->push_back(d);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseFlag(const std::string& arg, Flags* flags) {
+  auto value_of = [&](const char* name) -> const char* {
+    size_t len = std::strlen(name);
+    if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+      return arg.c_str() + len + 1;
+    }
+    return nullptr;
+  };
+  if (arg == "--help" || arg == "-h") {
+    flags->help = true;
+    return true;
+  }
+  if (arg == "--all-policies") {
+    flags->all_policies = true;
+    return true;
+  }
+  if (arg == "--write-through") {
+    flags->write_through = true;
+    return true;
+  }
+  if (const char* v = value_of("--trace")) {
+    flags->trace = v;
+    return true;
+  }
+  if (const char* v = value_of("--policy")) {
+    flags->policy = v;
+    return true;
+  }
+  if (const char* v = value_of("--disks")) {
+    return ParseDisks(v, &flags->disks);
+  }
+  if (const char* v = value_of("--cache")) {
+    flags->cache = std::atoi(v);
+    return flags->cache > 0;
+  }
+  if (const char* v = value_of("--discipline")) {
+    flags->discipline = v;
+    return true;
+  }
+  if (const char* v = value_of("--placement")) {
+    flags->placement = v;
+    return true;
+  }
+  if (const char* v = value_of("--disk-model")) {
+    flags->disk_model = v;
+    return true;
+  }
+  if (const char* v = value_of("--cpu-scale")) {
+    flags->cpu_scale = std::atof(v);
+    return flags->cpu_scale > 0;
+  }
+  if (const char* v = value_of("--hint-coverage")) {
+    flags->hint_coverage = std::atof(v);
+    return flags->hint_coverage >= 0 && flags->hint_coverage <= 1.0;
+  }
+  if (const char* v = value_of("--horizon")) {
+    flags->horizon = std::atoi(v);
+    return flags->horizon >= 0;
+  }
+  if (const char* v = value_of("--batch")) {
+    flags->batch = std::atoi(v);
+    return flags->batch >= 0;
+  }
+  if (const char* v = value_of("--revagg-f")) {
+    flags->revagg_f = std::atoll(v);
+    return flags->revagg_f >= 1;
+  }
+  if (const char* v = value_of("--forestall-f")) {
+    flags->forestall_f = std::atof(v);
+    return flags->forestall_f >= 0;
+  }
+  if (const char* v = value_of("--seed")) {
+    flags->seed = std::strtoull(v, nullptr, 10);
+    return true;
+  }
+  if (const char* v = value_of("--csv")) {
+    flags->csv = v;
+    return true;
+  }
+  return false;
+}
+
+bool LookupPolicy(const std::string& name, pfc::PolicyKind* kind) {
+  using pfc::PolicyKind;
+  const std::pair<const char*, PolicyKind> table[] = {
+      {"demand", PolicyKind::kDemand},
+      {"demand-lru", PolicyKind::kDemandLru},
+      {"fixed-horizon", PolicyKind::kFixedHorizon},
+      {"aggressive", PolicyKind::kAggressive},
+      {"reverse-aggressive", PolicyKind::kReverseAggressive},
+      {"forestall", PolicyKind::kForestall},
+  };
+  for (const auto& [n, k] : table) {
+    if (name == n) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseFlag(argv[i], &flags)) {
+      std::fprintf(stderr, "pfc_sim: bad flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (flags.help) {
+    std::printf("see the header comment of tools/pfc_sim.cc for the flag reference\n");
+    return 0;
+  }
+
+  // Load or synthesize the trace.
+  pfc::Trace trace;
+  if (pfc::FindTraceSpec(flags.trace) != nullptr) {
+    trace = pfc::MakeTrace(flags.trace, flags.seed);
+  } else {
+    auto loaded = pfc::LoadTraceText(flags.trace);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "pfc_sim: '%s' is neither a built-in trace nor a trace file\n",
+                   flags.trace.c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  }
+  std::printf("%s\n\n", pfc::ToString(pfc::ComputeTraceStats(trace)).c_str());
+
+  // Resolve enum-valued flags.
+  pfc::SchedDiscipline discipline;
+  if (flags.discipline == "fcfs") {
+    discipline = pfc::SchedDiscipline::kFcfs;
+  } else if (flags.discipline == "cscan") {
+    discipline = pfc::SchedDiscipline::kCscan;
+  } else if (flags.discipline == "scan") {
+    discipline = pfc::SchedDiscipline::kScan;
+  } else if (flags.discipline == "sstf") {
+    discipline = pfc::SchedDiscipline::kSstf;
+  } else {
+    std::fprintf(stderr, "pfc_sim: unknown discipline '%s'\n", flags.discipline.c_str());
+    return 2;
+  }
+  pfc::PlacementKind placement;
+  if (flags.placement == "striped") {
+    placement = pfc::PlacementKind::kStriped;
+  } else if (flags.placement == "contiguous") {
+    placement = pfc::PlacementKind::kContiguous;
+  } else if (flags.placement == "group-hash") {
+    placement = pfc::PlacementKind::kGroupHash;
+  } else {
+    std::fprintf(stderr, "pfc_sim: unknown placement '%s'\n", flags.placement.c_str());
+    return 2;
+  }
+  pfc::DiskModelKind disk_model;
+  if (flags.disk_model == "detailed") {
+    disk_model = pfc::DiskModelKind::kDetailed;
+  } else if (flags.disk_model == "simple") {
+    disk_model = pfc::DiskModelKind::kSimple;
+  } else {
+    std::fprintf(stderr, "pfc_sim: unknown disk model '%s'\n", flags.disk_model.c_str());
+    return 2;
+  }
+
+  std::vector<pfc::PolicyKind> kinds;
+  if (flags.all_policies) {
+    kinds = {pfc::PolicyKind::kDemandLru,  pfc::PolicyKind::kDemand,
+             pfc::PolicyKind::kFixedHorizon, pfc::PolicyKind::kAggressive,
+             pfc::PolicyKind::kReverseAggressive, pfc::PolicyKind::kForestall};
+  } else {
+    pfc::PolicyKind kind;
+    if (!LookupPolicy(flags.policy, &kind)) {
+      std::fprintf(stderr, "pfc_sim: unknown policy '%s'\n", flags.policy.c_str());
+      return 2;
+    }
+    kinds = {kind};
+  }
+
+  pfc::PolicyOptions options;
+  options.horizon = flags.horizon;
+  options.aggressive_batch = flags.batch;
+  options.revagg.fetch_time_estimate = flags.revagg_f;
+  if (flags.batch > 0) {
+    options.revagg.batch_size = flags.batch;
+    options.forestall.batch_size = flags.batch;
+  }
+  options.forestall.fixed_f = flags.forestall_f;
+  options.forestall.horizon = flags.horizon;
+
+  std::printf("%-6s %-20s %10s %10s %10s %10s %9s %8s %6s\n", "disks", "policy", "elapsed(s)",
+              "cpu(s)", "driver(s)", "stall(s)", "fetches", "flushes", "util");
+  std::vector<pfc::RunResult> results;
+  for (int disks : flags.disks) {
+    pfc::SimConfig config = pfc::BaselineConfig(flags.trace, disks);
+    if (flags.cache > 0) {
+      config.cache_blocks = flags.cache;
+    }
+    config.discipline = discipline;
+    config.placement = placement;
+    config.disk_model = disk_model;
+    config.cpu_scale = flags.cpu_scale;
+    config.hint_coverage = flags.hint_coverage;
+    config.write_through = flags.write_through;
+    for (pfc::PolicyKind kind : kinds) {
+      if (kind == pfc::PolicyKind::kReverseAggressive &&
+          (flags.hint_coverage < 1.0 || trace.WriteCount() > 0)) {
+        continue;  // offline schedule needs full hints and a read-only trace
+      }
+      pfc::RunResult r = pfc::RunOne(trace, config, kind, options);
+      std::printf("%-6d %-20s %10.3f %10.3f %10.3f %10.3f %9lld %8lld %6.2f\n", disks,
+                  r.policy_name.c_str(), r.elapsed_sec(), r.compute_sec(), r.driver_sec(),
+                  r.stall_sec(), static_cast<long long>(r.fetches),
+                  static_cast<long long>(r.flushes), r.avg_disk_util);
+      results.push_back(std::move(r));
+    }
+  }
+  if (!flags.csv.empty() && !pfc::WriteResultsCsv(results, flags.csv)) {
+    std::fprintf(stderr, "pfc_sim: could not write %s\n", flags.csv.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hint_value.dir/bench_ablation_hint_value.cc.o"
+  "CMakeFiles/bench_ablation_hint_value.dir/bench_ablation_hint_value.cc.o.d"
+  "bench_ablation_hint_value"
+  "bench_ablation_hint_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hint_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

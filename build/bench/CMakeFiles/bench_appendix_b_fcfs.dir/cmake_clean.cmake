@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_b_fcfs.dir/bench_appendix_b_fcfs.cc.o"
+  "CMakeFiles/bench_appendix_b_fcfs.dir/bench_appendix_b_fcfs.cc.o.d"
+  "bench_appendix_b_fcfs"
+  "bench_appendix_b_fcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_b_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_c_cpu2x.dir/bench_appendix_c_cpu2x.cc.o"
+  "CMakeFiles/bench_appendix_c_cpu2x.dir/bench_appendix_c_cpu2x.cc.o.d"
+  "bench_appendix_c_cpu2x"
+  "bench_appendix_c_cpu2x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_c_cpu2x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

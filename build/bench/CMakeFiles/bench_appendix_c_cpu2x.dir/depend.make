@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appendix_c_cpu2x.
+# This may be replaced when dependencies are built.

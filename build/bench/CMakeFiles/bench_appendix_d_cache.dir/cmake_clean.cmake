@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_d_cache.dir/bench_appendix_d_cache.cc.o"
+  "CMakeFiles/bench_appendix_d_cache.dir/bench_appendix_d_cache.cc.o.d"
+  "bench_appendix_d_cache"
+  "bench_appendix_d_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_d_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

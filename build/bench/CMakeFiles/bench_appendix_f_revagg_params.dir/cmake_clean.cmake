@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_f_revagg_params.dir/bench_appendix_f_revagg_params.cc.o"
+  "CMakeFiles/bench_appendix_f_revagg_params.dir/bench_appendix_f_revagg_params.cc.o.d"
+  "bench_appendix_f_revagg_params"
+  "bench_appendix_f_revagg_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_f_revagg_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

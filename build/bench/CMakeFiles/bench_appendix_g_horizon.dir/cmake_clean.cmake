@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_g_horizon.dir/bench_appendix_g_horizon.cc.o"
+  "CMakeFiles/bench_appendix_g_horizon.dir/bench_appendix_g_horizon.cc.o.d"
+  "bench_appendix_g_horizon"
+  "bench_appendix_g_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_g_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

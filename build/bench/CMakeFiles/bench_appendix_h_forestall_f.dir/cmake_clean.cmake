@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_h_forestall_f.dir/bench_appendix_h_forestall_f.cc.o"
+  "CMakeFiles/bench_appendix_h_forestall_f.dir/bench_appendix_h_forestall_f.cc.o.d"
+  "bench_appendix_h_forestall_f"
+  "bench_appendix_h_forestall_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_h_forestall_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_hints.dir/bench_extension_hints.cc.o"
+  "CMakeFiles/bench_extension_hints.dir/bench_extension_hints.cc.o.d"
+  "bench_extension_hints"
+  "bench_extension_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

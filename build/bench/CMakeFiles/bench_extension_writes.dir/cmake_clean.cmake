@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_writes.dir/bench_extension_writes.cc.o"
+  "CMakeFiles/bench_extension_writes.dir/bench_extension_writes.cc.o.d"
+  "bench_extension_writes"
+  "bench_extension_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_forestall_glimpse.dir/bench_fig10_forestall_glimpse.cc.o"
+  "CMakeFiles/bench_fig10_forestall_glimpse.dir/bench_fig10_forestall_glimpse.cc.o.d"
+  "bench_fig10_forestall_glimpse"
+  "bench_fig10_forestall_glimpse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_forestall_glimpse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_synth_cscope1.dir/bench_fig3_synth_cscope1.cc.o"
+  "CMakeFiles/bench_fig3_synth_cscope1.dir/bench_fig3_synth_cscope1.cc.o.d"
+  "bench_fig3_synth_cscope1"
+  "bench_fig3_synth_cscope1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_synth_cscope1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ld.dir/bench_fig4_ld.cc.o"
+  "CMakeFiles/bench_fig4_ld.dir/bench_fig4_ld.cc.o.d"
+  "bench_fig4_ld"
+  "bench_fig4_ld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_forestall_synth_xds.dir/bench_fig8_forestall_synth_xds.cc.o"
+  "CMakeFiles/bench_fig8_forestall_synth_xds.dir/bench_fig8_forestall_synth_xds.cc.o.d"
+  "bench_fig8_forestall_synth_xds"
+  "bench_fig8_forestall_synth_xds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_forestall_synth_xds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

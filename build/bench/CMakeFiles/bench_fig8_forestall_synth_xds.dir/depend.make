@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_forestall_synth_xds.
+# This may be replaced when dependencies are built.

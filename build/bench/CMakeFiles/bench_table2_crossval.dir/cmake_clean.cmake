@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_crossval.dir/bench_table2_crossval.cc.o"
+  "CMakeFiles/bench_table2_crossval.dir/bench_table2_crossval.cc.o.d"
+  "bench_table2_crossval"
+  "bench_table2_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_cscan_fcfs.dir/bench_table5_cscan_fcfs.cc.o"
+  "CMakeFiles/bench_table5_cscan_fcfs.dir/bench_table5_cscan_fcfs.cc.o.d"
+  "bench_table5_cscan_fcfs"
+  "bench_table5_cscan_fcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_cscan_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

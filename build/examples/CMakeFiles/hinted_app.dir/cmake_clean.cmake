@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinted_app.dir/hinted_app.cpp.o"
+  "CMakeFiles/hinted_app.dir/hinted_app.cpp.o.d"
+  "hinted_app"
+  "hinted_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinted_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

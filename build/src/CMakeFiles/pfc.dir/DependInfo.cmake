@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_cache.cc" "src/CMakeFiles/pfc.dir/core/buffer_cache.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/buffer_cache.cc.o.d"
+  "/root/repo/src/core/missing_tracker.cc" "src/CMakeFiles/pfc.dir/core/missing_tracker.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/missing_tracker.cc.o.d"
+  "/root/repo/src/core/next_ref.cc" "src/CMakeFiles/pfc.dir/core/next_ref.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/next_ref.cc.o.d"
+  "/root/repo/src/core/policies/aggressive.cc" "src/CMakeFiles/pfc.dir/core/policies/aggressive.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policies/aggressive.cc.o.d"
+  "/root/repo/src/core/policies/demand.cc" "src/CMakeFiles/pfc.dir/core/policies/demand.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policies/demand.cc.o.d"
+  "/root/repo/src/core/policies/fixed_horizon.cc" "src/CMakeFiles/pfc.dir/core/policies/fixed_horizon.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policies/fixed_horizon.cc.o.d"
+  "/root/repo/src/core/policies/forestall.cc" "src/CMakeFiles/pfc.dir/core/policies/forestall.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policies/forestall.cc.o.d"
+  "/root/repo/src/core/policies/lru_demand.cc" "src/CMakeFiles/pfc.dir/core/policies/lru_demand.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policies/lru_demand.cc.o.d"
+  "/root/repo/src/core/policies/reverse_aggressive.cc" "src/CMakeFiles/pfc.dir/core/policies/reverse_aggressive.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policies/reverse_aggressive.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/pfc.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/run_result.cc" "src/CMakeFiles/pfc.dir/core/run_result.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/run_result.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/CMakeFiles/pfc.dir/core/simulator.cc.o" "gcc" "src/CMakeFiles/pfc.dir/core/simulator.cc.o.d"
+  "/root/repo/src/disk/disk.cc" "src/CMakeFiles/pfc.dir/disk/disk.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/disk.cc.o.d"
+  "/root/repo/src/disk/disk_array.cc" "src/CMakeFiles/pfc.dir/disk/disk_array.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/disk_array.cc.o.d"
+  "/root/repo/src/disk/disk_mechanism.cc" "src/CMakeFiles/pfc.dir/disk/disk_mechanism.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/disk_mechanism.cc.o.d"
+  "/root/repo/src/disk/geometry.cc" "src/CMakeFiles/pfc.dir/disk/geometry.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/geometry.cc.o.d"
+  "/root/repo/src/disk/readahead_cache.cc" "src/CMakeFiles/pfc.dir/disk/readahead_cache.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/readahead_cache.cc.o.d"
+  "/root/repo/src/disk/scheduler.cc" "src/CMakeFiles/pfc.dir/disk/scheduler.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/scheduler.cc.o.d"
+  "/root/repo/src/disk/seek_model.cc" "src/CMakeFiles/pfc.dir/disk/seek_model.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/seek_model.cc.o.d"
+  "/root/repo/src/disk/simple_mechanism.cc" "src/CMakeFiles/pfc.dir/disk/simple_mechanism.cc.o" "gcc" "src/CMakeFiles/pfc.dir/disk/simple_mechanism.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/pfc.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/pfc.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/paper_tables.cc" "src/CMakeFiles/pfc.dir/harness/paper_tables.cc.o" "gcc" "src/CMakeFiles/pfc.dir/harness/paper_tables.cc.o.d"
+  "/root/repo/src/harness/study.cc" "src/CMakeFiles/pfc.dir/harness/study.cc.o" "gcc" "src/CMakeFiles/pfc.dir/harness/study.cc.o.d"
+  "/root/repo/src/layout/placement.cc" "src/CMakeFiles/pfc.dir/layout/placement.cc.o" "gcc" "src/CMakeFiles/pfc.dir/layout/placement.cc.o.d"
+  "/root/repo/src/theory/theory_optimal.cc" "src/CMakeFiles/pfc.dir/theory/theory_optimal.cc.o" "gcc" "src/CMakeFiles/pfc.dir/theory/theory_optimal.cc.o.d"
+  "/root/repo/src/theory/theory_sim.cc" "src/CMakeFiles/pfc.dir/theory/theory_sim.cc.o" "gcc" "src/CMakeFiles/pfc.dir/theory/theory_sim.cc.o.d"
+  "/root/repo/src/trace/file_layout.cc" "src/CMakeFiles/pfc.dir/trace/file_layout.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/file_layout.cc.o.d"
+  "/root/repo/src/trace/gen_cscope.cc" "src/CMakeFiles/pfc.dir/trace/gen_cscope.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_cscope.cc.o.d"
+  "/root/repo/src/trace/gen_glimpse.cc" "src/CMakeFiles/pfc.dir/trace/gen_glimpse.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_glimpse.cc.o.d"
+  "/root/repo/src/trace/gen_ld.cc" "src/CMakeFiles/pfc.dir/trace/gen_ld.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_ld.cc.o.d"
+  "/root/repo/src/trace/gen_postgres.cc" "src/CMakeFiles/pfc.dir/trace/gen_postgres.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_postgres.cc.o.d"
+  "/root/repo/src/trace/gen_sequential.cc" "src/CMakeFiles/pfc.dir/trace/gen_sequential.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_sequential.cc.o.d"
+  "/root/repo/src/trace/gen_synth.cc" "src/CMakeFiles/pfc.dir/trace/gen_synth.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_synth.cc.o.d"
+  "/root/repo/src/trace/gen_writes.cc" "src/CMakeFiles/pfc.dir/trace/gen_writes.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_writes.cc.o.d"
+  "/root/repo/src/trace/gen_xds.cc" "src/CMakeFiles/pfc.dir/trace/gen_xds.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/gen_xds.cc.o.d"
+  "/root/repo/src/trace/generators.cc" "src/CMakeFiles/pfc.dir/trace/generators.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/generators.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/pfc.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/pfc.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/pfc.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/pfc.dir/trace/trace_stats.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/pfc.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/pfc.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/pfc.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/pfc.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/pfc.dir/util/table.cc.o" "gcc" "src/CMakeFiles/pfc.dir/util/table.cc.o.d"
+  "/root/repo/src/util/time_util.cc" "src/CMakeFiles/pfc.dir/util/time_util.cc.o" "gcc" "src/CMakeFiles/pfc.dir/util/time_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forestall_test.dir/forestall_test.cc.o"
+  "CMakeFiles/forestall_test.dir/forestall_test.cc.o.d"
+  "forestall_test"
+  "forestall_test.pdb"
+  "forestall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forestall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

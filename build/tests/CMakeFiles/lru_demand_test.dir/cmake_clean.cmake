@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_demand_test.dir/lru_demand_test.cc.o"
+  "CMakeFiles/lru_demand_test.dir/lru_demand_test.cc.o.d"
+  "lru_demand_test"
+  "lru_demand_test.pdb"
+  "lru_demand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_demand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_tracker_test.dir/missing_tracker_test.cc.o"
+  "CMakeFiles/missing_tracker_test.dir/missing_tracker_test.cc.o.d"
+  "missing_tracker_test"
+  "missing_tracker_test.pdb"
+  "missing_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/next_ref_test.dir/next_ref_test.cc.o"
+  "CMakeFiles/next_ref_test.dir/next_ref_test.cc.o.d"
+  "next_ref_test"
+  "next_ref_test.pdb"
+  "next_ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/next_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_hints_test.dir/partial_hints_test.cc.o"
+  "CMakeFiles/partial_hints_test.dir/partial_hints_test.cc.o.d"
+  "partial_hints_test"
+  "partial_hints_test.pdb"
+  "partial_hints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_hints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

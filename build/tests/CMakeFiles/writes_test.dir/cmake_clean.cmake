@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writes_test.dir/writes_test.cc.o"
+  "CMakeFiles/writes_test.dir/writes_test.cc.o.d"
+  "writes_test"
+  "writes_test.pdb"
+  "writes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

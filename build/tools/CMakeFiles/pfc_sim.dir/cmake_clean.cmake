@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfc_sim.dir/pfc_sim.cc.o"
+  "CMakeFiles/pfc_sim.dir/pfc_sim.cc.o.d"
+  "pfc_sim"
+  "pfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

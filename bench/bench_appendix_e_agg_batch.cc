@@ -17,21 +17,32 @@ int main() {
 
   for (const std::string& name : traces) {
     Trace trace = MakeTrace(name);
+    // The whole (batch x disks) grid runs concurrently on the experiment
+    // engine; rows consume the results in submission order.
+    std::vector<ExperimentJob> grid;
+    for (int b : batches) {
+      for (int d : disks) {
+        ExperimentJob job;
+        job.trace = &trace;
+        job.config = BaselineConfig(name, d);
+        job.kind = PolicyKind::kAggressive;
+        job.options.aggressive_batch = b;
+        grid.push_back(std::move(job));
+      }
+    }
+    std::vector<RunResult> results = RunExperiments(grid);
+
     TextTable t;
     std::vector<std::string> header = {"batch"};
     for (int d : disks) {
       header.push_back(TextTable::Int(d));
     }
     t.SetHeader(header);
+    size_t next = 0;
     for (int b : batches) {
       std::vector<std::string> row = {TextTable::Int(b)};
-      for (int d : disks) {
-        SimConfig config = BaselineConfig(name, d);
-        PolicyOptions options;
-        options.aggressive_batch = b;
-        row.push_back(
-            TextTable::Num(RunOne(trace, config, PolicyKind::kAggressive, options).elapsed_sec(),
-                           2));
+      for (size_t i = 0; i < disks.size(); ++i) {
+        row.push_back(TextTable::Num(results[next++].elapsed_sec(), 2));
       }
       t.AddRow(row);
     }

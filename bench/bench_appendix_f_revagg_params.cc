@@ -21,22 +21,35 @@ int main() {
 
   for (const std::string& name : traces) {
     Trace trace = MakeTrace(name);
+    // One flat parallel batch per trace: (disks x F x batch).
+    std::vector<ExperimentJob> grid;
     for (int d : disks) {
-      SimConfig config = BaselineConfig(name, d);
+      for (int64_t f : fetch_times) {
+        for (int b : batches) {
+          ExperimentJob job;
+          job.trace = &trace;
+          job.config = BaselineConfig(name, d);
+          job.kind = PolicyKind::kReverseAggressive;
+          job.options.revagg.fetch_time_estimate = f;
+          job.options.revagg.batch_size = b;
+          grid.push_back(std::move(job));
+        }
+      }
+    }
+    std::vector<RunResult> results = RunExperiments(grid);
+
+    size_t next = 0;
+    for (int d : disks) {
       TextTable t;
       std::vector<std::string> header = {"F \\ batch"};
       for (int b : batches) {
         header.push_back(TextTable::Int(b));
       }
       t.SetHeader(header);
-      for (int64_t f : fetch_times) {
-        std::vector<std::string> row = {TextTable::Int(f)};
-        for (int b : batches) {
-          PolicyOptions options;
-          options.revagg.fetch_time_estimate = f;
-          options.revagg.batch_size = b;
-          row.push_back(TextTable::Num(
-              RunOne(trace, config, PolicyKind::kReverseAggressive, options).elapsed_sec(), 2));
+      for (size_t fi = 0; fi < fetch_times.size(); ++fi) {
+        std::vector<std::string> row = {TextTable::Int(fetch_times[fi])};
+        for (size_t bi = 0; bi < batches.size(); ++bi) {
+          row.push_back(TextTable::Num(results[next++].elapsed_sec(), 2));
         }
         t.AddRow(row);
       }

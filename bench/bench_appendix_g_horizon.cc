@@ -18,20 +18,31 @@ int main() {
 
   for (const std::string& name : traces) {
     Trace trace = MakeTrace(name);
+    // The (H x disks) grid runs concurrently; rows consume in order.
+    std::vector<ExperimentJob> grid;
+    for (int h : horizons) {
+      for (int d : disks) {
+        ExperimentJob job;
+        job.trace = &trace;
+        job.config = BaselineConfig(name, d);
+        job.kind = PolicyKind::kFixedHorizon;
+        job.options.horizon = h;
+        grid.push_back(std::move(job));
+      }
+    }
+    std::vector<RunResult> results = RunExperiments(grid);
+
     TextTable t;
     std::vector<std::string> header = {"H"};
     for (int d : disks) {
       header.push_back(TextTable::Int(d));
     }
     t.SetHeader(header);
+    size_t next = 0;
     for (int h : horizons) {
       std::vector<std::string> row = {TextTable::Int(h)};
-      for (int d : disks) {
-        SimConfig config = BaselineConfig(name, d);
-        PolicyOptions options;
-        options.horizon = h;
-        row.push_back(TextTable::Num(
-            RunOne(trace, config, PolicyKind::kFixedHorizon, options).elapsed_sec(), 2));
+      for (size_t i = 0; i < disks.size(); ++i) {
+        row.push_back(TextTable::Num(results[next++].elapsed_sec(), 2));
       }
       t.AddRow(row);
     }

@@ -22,28 +22,46 @@ int main() {
 
   for (const std::string& name : traces) {
     Trace trace = MakeTrace(name);
+    // (fixed F' rows + the dynamic reference row) x disks, one parallel
+    // batch; rows consume the results in submission order.
+    std::vector<ExperimentJob> grid;
+    for (double f : fixed_fs) {
+      for (int d : disks) {
+        ExperimentJob job;
+        job.trace = &trace;
+        job.config = BaselineConfig(name, d);
+        job.kind = PolicyKind::kForestall;
+        job.options.forestall.fixed_f = f;
+        grid.push_back(std::move(job));
+      }
+    }
+    for (int d : disks) {
+      ExperimentJob job;
+      job.trace = &trace;
+      job.config = BaselineConfig(name, d);
+      job.kind = PolicyKind::kForestall;
+      grid.push_back(std::move(job));
+    }
+    std::vector<RunResult> results = RunExperiments(grid);
+
     TextTable t;
     std::vector<std::string> header = {"F'"};
     for (int d : disks) {
       header.push_back(TextTable::Int(d));
     }
     t.SetHeader(header);
+    size_t next = 0;
     for (double f : fixed_fs) {
       std::vector<std::string> row = {TextTable::Num(f, 0)};
-      for (int d : disks) {
-        SimConfig config = BaselineConfig(name, d);
-        PolicyOptions options;
-        options.forestall.fixed_f = f;
-        row.push_back(TextTable::Num(
-            RunOne(trace, config, PolicyKind::kForestall, options).elapsed_sec(), 2));
+      for (size_t i = 0; i < disks.size(); ++i) {
+        row.push_back(TextTable::Num(results[next++].elapsed_sec(), 2));
       }
       t.AddRow(row);
     }
     // The dynamic estimator as the reference row.
     std::vector<std::string> dyn = {"dynamic"};
-    for (int d : disks) {
-      SimConfig config = BaselineConfig(name, d);
-      dyn.push_back(TextTable::Num(RunOne(trace, config, PolicyKind::kForestall).elapsed_sec(), 2));
+    for (size_t i = 0; i < disks.size(); ++i) {
+      dyn.push_back(TextTable::Num(results[next++].elapsed_sec(), 2));
     }
     t.AddSeparator();
     t.AddRow(dyn);

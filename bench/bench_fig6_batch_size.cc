@@ -15,21 +15,31 @@ int main() {
                                        : std::vector<int>{4, 16, 40, 160, 640, 1280};
   const std::vector<int> disks = {1, 2, 3, 4, 5};
 
+  // The (batch x disks) grid runs concurrently on the experiment engine.
+  std::vector<ExperimentJob> grid;
+  for (int b : batches) {
+    for (int d : disks) {
+      ExperimentJob job;
+      job.trace = &trace;
+      job.config = BaselineConfig("cscope2", d);
+      job.kind = PolicyKind::kAggressive;
+      job.options.aggressive_batch = b;
+      grid.push_back(std::move(job));
+    }
+  }
+  std::vector<RunResult> results = RunExperiments(grid);
+
   TextTable t;
   std::vector<std::string> header = {"batch"};
   for (int d : disks) {
     header.push_back(TextTable::Int(d) + " disk" + (d > 1 ? "s" : ""));
   }
   t.SetHeader(header);
+  size_t next = 0;
   for (int b : batches) {
     std::vector<std::string> row = {TextTable::Int(b)};
-    for (int d : disks) {
-      SimConfig config = BaselineConfig("cscope2", d);
-      PolicyOptions options;
-      options.aggressive_batch = b;
-      row.push_back(TextTable::Num(RunOne(trace, config, PolicyKind::kAggressive, options)
-                                       .elapsed_sec(),
-                                   2));
+    for (size_t i = 0; i < disks.size(); ++i) {
+      row.push_back(TextTable::Num(results[next++].elapsed_sec(), 2));
     }
     t.AddRow(row);
   }

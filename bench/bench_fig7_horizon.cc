@@ -16,6 +16,20 @@ void Sweep(const char* name) {
   const std::vector<int> horizons = {16, 32, 64, 128, 256, 512, 1024, 2048};
   const std::vector<int> disks = {1, 2, 3};
 
+  // The (H x disks) grid runs concurrently on the experiment engine.
+  std::vector<ExperimentJob> grid;
+  for (int h : horizons) {
+    for (int d : disks) {
+      ExperimentJob job;
+      job.trace = &trace;
+      job.config = BaselineConfig(name, d);
+      job.kind = PolicyKind::kFixedHorizon;
+      job.options.horizon = h;
+      grid.push_back(std::move(job));
+    }
+  }
+  std::vector<RunResult> results = RunExperiments(grid);
+
   TextTable t;
   std::vector<std::string> header = {"H"};
   for (int d : disks) {
@@ -23,13 +37,11 @@ void Sweep(const char* name) {
     header.push_back("fetches");
   }
   t.SetHeader(header);
+  size_t next = 0;
   for (int h : horizons) {
     std::vector<std::string> row = {TextTable::Int(h)};
-    for (int d : disks) {
-      SimConfig config = BaselineConfig(name, d);
-      PolicyOptions options;
-      options.horizon = h;
-      RunResult r = RunOne(trace, config, PolicyKind::kFixedHorizon, options);
+    for (size_t i = 0; i < disks.size(); ++i) {
+      const RunResult& r = results[next++];
       row.push_back(TextTable::Num(r.elapsed_sec(), 2));
       row.push_back(TextTable::Int(r.fetches));
     }

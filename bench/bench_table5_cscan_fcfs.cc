@@ -14,21 +14,42 @@ int main() {
   const std::vector<PolicyKind> kinds = {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
                                          PolicyKind::kReverseAggressive};
 
-  TextTable t;
-  t.SetHeader({"disks", "fixed horizon", "aggressive", "reverse aggressive"});
+  // Phase 1: tune reverse aggressive per array size (parallel + memoized).
+  std::vector<TuneRequest> requests;
   for (int d : disks) {
-    std::vector<std::string> row = {TextTable::Int(d)};
+    TuneRequest request;
+    request.config = BaselineConfig("postgres-select", d);
+    request.fetch_times = RevAggTuningFetchTimes();
+    request.batches = RevAggTuningBatches(d);
+    requests.push_back(std::move(request));
+  }
+  std::vector<PolicyOptions> tuned = TuneReverseAggressiveMany(trace, requests);
+
+  // Phase 2: the (disks x policy x discipline) grid, one parallel batch.
+  std::vector<ExperimentJob> grid;
+  for (size_t di = 0; di < disks.size(); ++di) {
     for (PolicyKind kind : kinds) {
-      SimConfig cscan = BaselineConfig("postgres-select", d);
+      SimConfig cscan = BaselineConfig("postgres-select", disks[di]);
       SimConfig fcfs = cscan;
       fcfs.discipline = SchedDiscipline::kFcfs;
       PolicyOptions options;
       if (kind == PolicyKind::kReverseAggressive) {
-        options = TuneReverseAggressive(trace, cscan, RevAggTuningFetchTimes(),
-                                        RevAggTuningBatches(d));
+        options = tuned[di];
       }
-      RunResult a = RunOne(trace, cscan, kind, options);
-      RunResult b = RunOne(trace, fcfs, kind, options);
+      grid.push_back(ExperimentJob{&trace, cscan, kind, options});
+      grid.push_back(ExperimentJob{&trace, fcfs, kind, options});
+    }
+  }
+  std::vector<RunResult> results = RunExperiments(grid);
+
+  TextTable t;
+  t.SetHeader({"disks", "fixed horizon", "aggressive", "reverse aggressive"});
+  size_t next = 0;
+  for (int d : disks) {
+    std::vector<std::string> row = {TextTable::Int(d)};
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      const RunResult& a = results[next++];
+      const RunResult& b = results[next++];
       row.push_back(TextTable::Num(PercentImprovement(a, b), 2));
     }
     t.AddRow(row);

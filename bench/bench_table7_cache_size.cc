@@ -13,19 +13,30 @@ int main() {
   const std::vector<int> caches = {640, 1280, 1920};
   const std::vector<int> disks = {1, 2, 4, 8, 16};
 
+  // The (cache x disks x policy) grid runs concurrently.
+  std::vector<ExperimentJob> grid;
+  for (int k : caches) {
+    for (int d : disks) {
+      SimConfig config = BaselineConfig("glimpse", d);
+      config.cache_blocks = k;
+      grid.push_back(ExperimentJob{&trace, config, PolicyKind::kFixedHorizon, {}});
+      grid.push_back(ExperimentJob{&trace, config, PolicyKind::kAggressive, {}});
+    }
+  }
+  std::vector<RunResult> results = RunExperiments(grid);
+
   TextTable t;
   std::vector<std::string> header = {"cache size"};
   for (int d : disks) {
     header.push_back(TextTable::Int(d) + " disk" + (d > 1 ? "s" : ""));
   }
   t.SetHeader(header);
+  size_t next = 0;
   for (int k : caches) {
     std::vector<std::string> row = {TextTable::Int(k)};
-    for (int d : disks) {
-      SimConfig config = BaselineConfig("glimpse", d);
-      config.cache_blocks = k;
-      RunResult fh = RunOne(trace, config, PolicyKind::kFixedHorizon);
-      RunResult agg = RunOne(trace, config, PolicyKind::kAggressive);
+    for (size_t i = 0; i < disks.size(); ++i) {
+      const RunResult& fh = results[next++];
+      const RunResult& agg = results[next++];
       // Positive: fixed horizon slower than aggressive by this percentage.
       double pct = 100.0 *
                    (static_cast<double>(fh.elapsed_time) - static_cast<double>(agg.elapsed_time)) /

@@ -1,0 +1,156 @@
+// Wall-clock throughput of the experiment engine on the Table-3 grid
+// (every reconstructed trace x the online policies x array sizes), run
+// three ways:
+//
+//   legacy    — the pre-runner behavior: serial loop, every simulation
+//               rebuilding its own NextRefIndex oracle;
+//   serial    — the runner at PFC_JOBS=1 (shared oracles, one thread);
+//   parallel  — the runner at PFC_JOBS (or --jobs=N, default 8).
+//
+// The three result CSVs must be byte-identical — the runner's hard
+// correctness requirement — and the measured refs/sec + speedups are
+// written to BENCH_throughput.json so the perf trajectory is tracked
+// across PRs. PFC_FULL=1 runs the full-length traces and the paper's full
+// disk-count list.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pfc/pfc.h"
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// The pre-runner code path: one simulation at a time, each building a
+// private oracle (what RunStudy cost before this engine existed).
+std::vector<pfc::RunResult> RunLegacySerial(const std::vector<pfc::ExperimentJob>& grid) {
+  std::vector<pfc::RunResult> results;
+  results.reserve(grid.size());
+  for (const pfc::ExperimentJob& job : grid) {
+    auto policy = pfc::MakePolicy(job.kind, job.options);
+    pfc::Simulator sim(*job.trace, job.config, policy.get());
+    results.push_back(sim.Run());
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfc;
+
+  int jobs = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  if (const char* env = std::getenv("PFC_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      jobs = v;
+    }
+  }
+
+  const bool full = FullSweepsRequested();
+  const int64_t prefix = full ? 0 : 2000;  // 0 = whole trace
+  const std::vector<int> disks = full ? PaperDiskCounts() : std::vector<int>{1, 2, 4, 8};
+  const std::vector<PolicyKind> policies = {PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                                            PolicyKind::kAggressive, PolicyKind::kForestall};
+
+  // Materialize the traces once; jobs reference them.
+  std::vector<Trace> traces;
+  for (const TraceSpec& spec : AllTraceSpecs()) {
+    Trace t = MakeTrace(spec.name);
+    if (prefix > 0 && t.size() > prefix) {
+      t = t.Prefix(prefix);
+      t.set_name(spec.name);
+    }
+    traces.push_back(std::move(t));
+  }
+
+  std::vector<ExperimentJob> grid;
+  int64_t total_refs = 0;
+  for (const Trace& t : traces) {
+    for (PolicyKind kind : policies) {
+      for (int d : disks) {
+        ExperimentJob job;
+        job.trace = &t;
+        job.config = BaselineConfig(t.name(), d);
+        job.kind = kind;
+        grid.push_back(std::move(job));
+        total_refs += t.size();
+      }
+    }
+  }
+
+  std::printf("Throughput: %zu grid points (%lld simulated refs), jobs=%d%s\n\n", grid.size(),
+              static_cast<long long>(total_refs), jobs, full ? " [PFC_FULL]" : "");
+
+  ClearTraceContextCache();
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<RunResult> legacy = RunLegacySerial(grid);
+  const double legacy_sec = SecondsSince(t0);
+
+  ClearTraceContextCache();
+  t0 = std::chrono::steady_clock::now();
+  std::vector<RunResult> serial = RunExperiments(grid, /*jobs=*/1);
+  const double serial_sec = SecondsSince(t0);
+
+  ClearTraceContextCache();
+  t0 = std::chrono::steady_clock::now();
+  std::vector<RunResult> parallel = RunExperiments(grid, jobs);
+  const double parallel_sec = SecondsSince(t0);
+
+  const std::string legacy_csv = ResultsCsvString(legacy);
+  const std::string serial_csv = ResultsCsvString(serial);
+  const std::string parallel_csv = ResultsCsvString(parallel);
+  const bool identical = legacy_csv == serial_csv && serial_csv == parallel_csv;
+
+  auto rate = [total_refs](double sec) {
+    return sec > 0 ? static_cast<double>(total_refs) / sec : 0.0;
+  };
+  std::printf("%-28s %10s %14s %9s\n", "mode", "wall (s)", "refs/sec", "speedup");
+  std::printf("%-28s %10.3f %14.0f %9s\n", "legacy (private oracles)", legacy_sec,
+              rate(legacy_sec), "1.00x");
+  std::printf("%-28s %10.3f %14.0f %8.2fx\n", "runner PFC_JOBS=1", serial_sec, rate(serial_sec),
+              legacy_sec / serial_sec);
+  std::printf("%-28s %10.3f %14.0f %8.2fx\n", "runner parallel", parallel_sec,
+              rate(parallel_sec), legacy_sec / parallel_sec);
+  std::printf("\nresult CSVs byte-identical across modes: %s\n", identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen("BENCH_throughput.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_throughput: cannot write BENCH_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"grid_points\": %zu,\n"
+               "  \"total_refs\": %lld,\n"
+               "  \"jobs\": %d,\n"
+               "  \"full_grid\": %s,\n"
+               "  \"legacy_sec\": %.6f,\n"
+               "  \"serial_sec\": %.6f,\n"
+               "  \"parallel_sec\": %.6f,\n"
+               "  \"refs_per_sec_legacy\": %.1f,\n"
+               "  \"refs_per_sec_serial\": %.1f,\n"
+               "  \"refs_per_sec_parallel\": %.1f,\n"
+               "  \"speedup_serial_vs_legacy\": %.4f,\n"
+               "  \"speedup_parallel_vs_legacy\": %.4f,\n"
+               "  \"speedup_parallel_vs_serial\": %.4f,\n"
+               "  \"csv_identical\": %s\n"
+               "}\n",
+               grid.size(), static_cast<long long>(total_refs), jobs, full ? "true" : "false",
+               legacy_sec, serial_sec, parallel_sec, rate(legacy_sec), rate(serial_sec),
+               rate(parallel_sec), legacy_sec / serial_sec, legacy_sec / parallel_sec,
+               serial_sec / parallel_sec, identical ? "true" : "false");
+  std::fclose(f);
+  return identical ? 0 : 1;
+}

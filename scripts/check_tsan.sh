@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the determinism / runner tests under ThreadSanitizer and runs them.
+# Part of the tier-1 flow: the parallel experiment engine must be data-race
+# free, not just deterministic in output.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target runner_test -j "$(nproc)"
+
+# PFC_JOBS=4 forces the thread pool on even on single-core machines, so the
+# sanitizer actually sees concurrent workers.
+TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
+    "$BUILD_DIR"/tests/runner_test --gtest_color=yes
+echo "TSan: runner determinism tests clean."

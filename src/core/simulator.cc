@@ -1,34 +1,57 @@
 #include "core/simulator.h"
 
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace pfc {
 
-std::vector<bool> Simulator::BuildHintMask(const Trace& trace, const SimConfig& config) {
-  PFC_CHECK(config.hint_coverage >= 0.0 && config.hint_coverage <= 1.0);
-  if (config.hint_coverage >= 1.0) {
-    return {};
-  }
-  Rng rng(SplitMix64(config.hint_seed) ^ 0x4117ED5ULL);
-  std::vector<bool> mask(static_cast<size_t>(trace.size()));
-  for (size_t i = 0; i < mask.size(); ++i) {
-    mask[i] = rng.UniformDouble() < config.hint_coverage;
-  }
-  return mask;
+namespace {
+
+// The borrowed-context constructors require the context to match the
+// config's hint parameters — a context built for different hints would
+// silently answer oracle queries for a different experiment.
+void CheckContextMatches(const TraceContext& context, const SimConfig& config) {
+  const double coverage = config.hint_coverage >= 1.0 ? 1.0 : config.hint_coverage;
+  PFC_CHECK_MSG(context.hint_coverage() == coverage,
+                "TraceContext hint_coverage does not match SimConfig");
+  PFC_CHECK_MSG(coverage >= 1.0 || context.hint_seed() == config.hint_seed,
+                "TraceContext hint_seed does not match SimConfig");
 }
 
+}  // namespace
+
 Simulator::Simulator(const Trace& trace, const SimConfig& config, Policy* policy)
-    : trace_(trace),
+    : Simulator(std::make_shared<const TraceContext>(trace, config.hint_coverage,
+                                                     config.hint_seed),
+                config, policy) {}
+
+Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config,
+                     Policy* policy)
+    : context_owner_(std::move(context)),
+      context_(*context_owner_),
+      trace_(context_.trace()),
       config_(config),
       policy_(policy),
-      hinted_(BuildHintMask(trace, config)),
-      index_(trace, hinted_),
       cache_(config.cache_blocks),
       placement_(MakePlacement(config.placement, config.num_disks)),
       disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
                                          config.discipline)) {
   PFC_CHECK(policy != nullptr);
+  CheckContextMatches(context_, config);
+  dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
+  flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
+}
+
+Simulator::Simulator(const TraceContext& context, const SimConfig& config, Policy* policy)
+    : context_(context),
+      trace_(context_.trace()),
+      config_(config),
+      policy_(policy),
+      cache_(config.cache_blocks),
+      placement_(MakePlacement(config.placement, config.num_disks)),
+      disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
+                                         config.discipline)) {
+  PFC_CHECK(policy != nullptr);
+  CheckContextMatches(context_, config);
   dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
 }
@@ -78,10 +101,10 @@ void Simulator::ApplyNextEvent() {
 
   Disk& d = disks_->disk(ev.disk);
   d.CompleteCurrent(ev.time);
-  if (flush_in_flight_.erase(ev.block) > 0) {
+  if (flush_in_flight_.erase(ev.block)) {
     // A write-back finished. A write that landed mid-flush re-dirties.
     --flush_outstanding_[static_cast<size_t>(ev.disk)];
-    if (redirty_pending_.erase(ev.block) > 0) {
+    if (redirty_pending_.erase(ev.block)) {
       dirty_by_disk_[static_cast<size_t>(ev.disk)].insert(ev.block);
     } else {
       cache_.MarkClean(ev.block);
@@ -94,7 +117,7 @@ void Simulator::ApplyNextEvent() {
     // the arrival before the stalled application consumes it.
     int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
                            ? cursor_
-                           : index_.NextUseAt(ev.block, cursor_);
+                           : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
     policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
   }
@@ -111,7 +134,7 @@ void Simulator::ApplyNextEvent() {
 
 void Simulator::IssueFlush(int64_t block) {
   PFC_CHECK(cache_.Present(block) && cache_.Dirty(block));
-  PFC_CHECK(flush_in_flight_.count(block) == 0);
+  PFC_CHECK(!flush_in_flight_.contains(block));
   BlockLocation loc = placement_->Map(block);
   dirty_by_disk_[static_cast<size_t>(loc.disk)].erase(block);
   flush_in_flight_.insert(block);
@@ -127,13 +150,13 @@ void Simulator::MaybeFlush(int disk) {
   if (config_.write_through) {
     return;  // write-through flushes synchronously at the write
   }
-  std::set<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(disk)];
+  FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(disk)];
   if (dirty.empty()) {
     return;
   }
   // Opportunistic: an idle disk always cleans.
   if (disks_->disk(disk).idle()) {
-    IssueFlush(*dirty.begin());
+    IssueFlush(dirty.min());
     return;
   }
   // High-water: never let dirty buffers silt up the cache just because the
@@ -142,7 +165,7 @@ void Simulator::MaybeFlush(int disk) {
       std::max<int64_t>(1, config_.cache_blocks / (4 * config_.num_disks));
   while (static_cast<int64_t>(dirty.size()) > high_water &&
          flush_outstanding_[static_cast<size_t>(disk)] < 8) {
-    IssueFlush(*dirty.begin());
+    IssueFlush(dirty.min());
   }
 }
 
@@ -151,9 +174,9 @@ bool Simulator::ForceFlushForProgress() {
     return false;
   }
   for (int d = 0; d < config_.num_disks; ++d) {
-    std::set<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(d)];
+    FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(d)];
     if (!dirty.empty()) {
-      IssueFlush(*dirty.begin());
+      IssueFlush(dirty.min());
       return true;
     }
   }
@@ -174,7 +197,7 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
     // Whole-block write: materialize a buffer, no fetch required.
     for (;;) {
       if (cache_.free_buffers() > 0) {
-        cache_.InsertWritten(block, index_.NextUseAt(block, pos));
+        cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
         dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
         break;
       }
@@ -190,7 +213,7 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
       PFC_CHECK_MSG(!events_.empty(), "cache wedged: all buffers dirty or in flight");
       ApplyNextEvent();
     }
-  } else if (flush_in_flight_.count(block) > 0) {
+  } else if (flush_in_flight_.contains(block)) {
     redirty_pending_.insert(block);
   } else if (!cache_.Dirty(block)) {
     cache_.MarkDirty(block);
@@ -200,12 +223,12 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
   if (config_.write_through) {
     // The write stalls until the new contents are durable: wait out any
     // flush of the old contents, then flush again if still dirty.
-    while (flush_in_flight_.count(block) > 0) {
+    while (flush_in_flight_.contains(block)) {
       ApplyNextEvent();
     }
     if (cache_.Dirty(block)) {
       IssueFlush(block);
-      while (flush_in_flight_.count(block) > 0) {
+      while (flush_in_flight_.contains(block)) {
         ApplyNextEvent();
       }
     }
@@ -259,6 +282,7 @@ RunResult Simulator::Run() {
 
   policy_->Init(*this);
 
+  const NextRefIndex& index = context_.index();
   const int64_t n = trace_.size();
   for (int64_t pos = 0; pos < n; ++pos) {
     cursor_ = pos;
@@ -275,7 +299,7 @@ RunResult Simulator::Run() {
     const int64_t block = trace_.block(pos);
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
-      cache_.UpdateNextUse(block, index_.NextUseAfterPosition(pos));
+      cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
       TimeNs compute = ScaledCompute(pos);
       compute_total_ += compute;
       app_time_ += compute + pending_driver_;
@@ -304,7 +328,7 @@ RunResult Simulator::Run() {
 
     // Consume the reference: reindex the block under its next use and burn
     // the inter-reference compute time plus any accrued driver overhead.
-    cache_.UpdateNextUse(block, index_.NextUseAfterPosition(pos));
+    cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
     TimeNs compute = ScaledCompute(pos);
     compute_total_ += compute;
     app_time_ += compute + pending_driver_;

@@ -10,14 +10,16 @@
 //
 // The engine owns the mechanics (cache semantics, disk queues, events,
 // stall accounting); the Policy decides what to fetch and what to evict.
+//
+// Concurrency: a Simulator is strictly single-threaded, but its read-only
+// inputs (Trace, TraceContext) may be shared by many simulators running on
+// different threads — see harness/runner.h.
 
 #ifndef PFC_CORE_SIMULATOR_H_
 #define PFC_CORE_SIMULATOR_H_
 
 #include <memory>
 #include <queue>
-#include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "core/buffer_cache.h"
@@ -25,16 +27,28 @@
 #include "core/policy.h"
 #include "core/run_result.h"
 #include "core/sim_config.h"
+#include "core/trace_context.h"
 #include "disk/disk_array.h"
 #include "layout/placement.h"
 #include "trace/trace.h"
+#include "util/flat_set.h"
 
 namespace pfc {
 
 class Simulator {
  public:
-  // `trace` and `policy` must outlive the simulator.
+  // Builds a private TraceContext for this run. `trace` and `policy` must
+  // outlive the simulator.
   Simulator(const Trace& trace, const SimConfig& config, Policy* policy);
+
+  // Borrows a pre-built (possibly shared) context; `context` must outlive
+  // the simulator and must have been built with the same hint parameters as
+  // `config`. This is the cheap constructor the experiment runner uses: the
+  // oracle is built once per trace and read concurrently by every worker.
+  Simulator(const TraceContext& context, const SimConfig& config, Policy* policy);
+
+  // Same, but shares ownership of the context (see SharedTraceContext).
+  Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config, Policy* policy);
 
   // Runs the whole trace; callable once per Simulator instance.
   RunResult Run();
@@ -44,7 +58,7 @@ class Simulator {
   TimeNs now() const { return sim_now_; }
   int64_t cursor() const { return cursor_; }
   const Trace& trace() const { return trace_; }
-  const NextRefIndex& index() const { return index_; }
+  const NextRefIndex& index() const { return context_.index(); }
   BufferCache& cache() { return cache_; }
   const BufferCache& cache() const { return cache_; }
   const SimConfig& config() const { return config_; }
@@ -54,9 +68,10 @@ class Simulator {
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
   bool Hinted(int64_t pos) const {
-    return hinted_.empty() || hinted_[static_cast<size_t>(pos)];
+    const std::vector<bool>& hinted = context_.hinted();
+    return hinted.empty() || hinted[static_cast<size_t>(pos)];
   }
-  bool FullyHinted() const { return hinted_.empty(); }
+  bool FullyHinted() const { return context_.hinted().empty(); }
   // Inter-reference compute time after position `pos`, with cpu_scale
   // applied.
   TimeNs ScaledCompute(int64_t pos) const;
@@ -93,14 +108,12 @@ class Simulator {
   // Issues one flush anywhere, to guarantee an all-dirty cache drains.
   bool ForceFlushForProgress();
 
-  static std::vector<bool> BuildHintMask(const Trace& trace, const SimConfig& config);
-
+  std::shared_ptr<const TraceContext> context_owner_;  // null when borrowed
+  const TraceContext& context_;
   const Trace& trace_;
   SimConfig config_;
   Policy* policy_;
 
-  std::vector<bool> hinted_;  // empty = everything hinted
-  NextRefIndex index_;
   BufferCache cache_;
   std::unique_ptr<Placement> placement_;
   std::unique_ptr<DiskArray> disks_;
@@ -118,10 +131,10 @@ class Simulator {
   // Write extension state.
   int64_t write_refs_ = 0;
   int64_t flushes_ = 0;
-  std::vector<std::set<int64_t>> dirty_by_disk_;   // flushable blocks per disk
-  std::unordered_set<int64_t> flush_in_flight_;    // blocks being written back
-  std::unordered_set<int64_t> redirty_pending_;    // written again mid-flush
-  std::vector<int> flush_outstanding_;             // queued write-backs per disk
+  std::vector<FlatSet> dirty_by_disk_;   // flushable blocks per disk
+  FlatSet flush_in_flight_;              // blocks being written back
+  FlatSet redirty_pending_;              // written again mid-flush
+  std::vector<int> flush_outstanding_;   // queued write-backs per disk
   TimeNs stall_total_ = 0;
   TimeNs driver_total_ = 0;
   TimeNs compute_total_ = 0;

@@ -1,0 +1,109 @@
+#include "core/trace_context.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pfc {
+
+namespace {
+
+std::vector<bool> BuildHintMask(const Trace& trace, double hint_coverage, uint64_t hint_seed) {
+  PFC_CHECK(hint_coverage >= 0.0 && hint_coverage <= 1.0);
+  if (hint_coverage >= 1.0) {
+    return {};
+  }
+  Rng rng(SplitMix64(hint_seed) ^ 0x4117ED5ULL);
+  std::vector<bool> mask(static_cast<size_t>(trace.size()));
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng.UniformDouble() < hint_coverage;
+  }
+  return mask;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed)
+    : trace_(trace),
+      hint_coverage_(hint_coverage),
+      hint_seed_(hint_seed),
+      hinted_(BuildHintMask(trace, hint_coverage, hint_seed)),
+      index_(trace, hinted_) {}
+
+uint64_t TraceFingerprint(const Trace& trace) {
+  // FNV-1a over the name, length and every entry.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (char c : trace.name()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  mix(static_cast<uint64_t>(trace.size()));
+  for (const TraceEntry& e : trace.entries()) {
+    mix(static_cast<uint64_t>(e.block));
+    mix(static_cast<uint64_t>(e.compute));
+    mix(e.is_write ? 0x9E3779B97F4A7C15ULL : 0x2545F4914F6CDD1DULL);
+  }
+  return h;
+}
+
+namespace {
+
+// Key: trace identity (address + content fingerprint + size) plus the hint
+// parameters. The fingerprint guards against a freed trace's address being
+// recycled for a different trace: address and content must both match, and
+// if they do, whatever lives at that address now is the same trace.
+using ContextKey = std::tuple<const Trace*, uint64_t, int64_t, double, uint64_t>;
+
+struct ContextCache {
+  std::mutex mu;
+  std::map<ContextKey, std::shared_ptr<const TraceContext>> entries;
+};
+
+ContextCache& GlobalContextCache() {
+  static ContextCache* cache = new ContextCache();
+  return *cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, double hint_coverage,
+                                                       uint64_t hint_seed) {
+  // An empty mask is built for any coverage >= 1.0; normalize so 1.0 and
+  // copies of it share an entry.
+  if (hint_coverage >= 1.0) {
+    hint_coverage = 1.0;
+  }
+  ContextKey key{&trace, TraceFingerprint(trace), trace.size(), hint_coverage, hint_seed};
+  ContextCache& cache = GlobalContextCache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock: construction is the expensive part and other
+  // keys should not serialize behind it. A racing builder for the same key
+  // is harmless — construction is deterministic — and the first insert wins.
+  auto built = std::make_shared<const TraceContext>(trace, hint_coverage, hint_seed);
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto [it, inserted] = cache.entries.emplace(key, std::move(built));
+  return it->second;
+}
+
+void ClearTraceContextCache() {
+  ContextCache& cache = GlobalContextCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+}
+
+}  // namespace pfc

@@ -1,0 +1,70 @@
+// TraceContext: the shared, immutable per-trace oracle state.
+//
+// Every simulation of a given (trace, hint_coverage, hint_seed) triple uses
+// the same NextRefIndex and the same hint mask — both are pure functions of
+// that key. Building the index is O(trace) with per-block allocations, so a
+// study that sweeps 6 policies x 11 array sizes over one trace used to pay
+// that cost 66 times. A TraceContext is built once and then only read, which
+// also makes it safe to share across the worker threads of the parallel
+// experiment runner (see harness/runner.h): after construction it is
+// immutable.
+//
+// Lifetime: a TraceContext references the Trace it was built from; the trace
+// must outlive the context (the same contract Simulator already has).
+
+#ifndef PFC_CORE_TRACE_CONTEXT_H_
+#define PFC_CORE_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/next_ref.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+class TraceContext {
+ public:
+  // Builds the hint mask and next-reference index for the triple. With
+  // hint_coverage >= 1.0 the mask is empty ("everything hinted"), matching
+  // Simulator's historical representation.
+  TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed);
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  const Trace& trace() const { return trace_; }
+  const std::vector<bool>& hinted() const { return hinted_; }
+  const NextRefIndex& index() const { return index_; }
+  double hint_coverage() const { return hint_coverage_; }
+  uint64_t hint_seed() const { return hint_seed_; }
+
+ private:
+  const Trace& trace_;
+  double hint_coverage_;
+  uint64_t hint_seed_;
+  std::vector<bool> hinted_;  // empty = everything hinted
+  NextRefIndex index_;
+};
+
+// 64-bit content fingerprint of a trace (name, length, every entry). Used to
+// key memoization caches so that a recycled Trace address with different
+// contents can never alias a cached entry.
+uint64_t TraceFingerprint(const Trace& trace);
+
+// Process-wide memoized lookup: returns the shared context for the triple,
+// building it on first use. Thread-safe; concurrent callers for the same key
+// receive the same pointer. Entries live for the life of the process (or
+// until ClearTraceContextCache), so the referenced traces must outlive any
+// use of the returned contexts.
+std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, double hint_coverage,
+                                                       uint64_t hint_seed);
+
+// Drops every memoized context (for tests and long-lived tools that churn
+// through many traces).
+void ClearTraceContextCache();
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_TRACE_CONTEXT_H_

@@ -1,8 +1,9 @@
 #include "harness/experiment.h"
 
 #include <cstdio>
-#include <limits>
 
+#include "core/trace_context.h"
+#include "harness/runner.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -46,7 +47,10 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind, const PolicyOptions& options
 RunResult RunOne(const Trace& trace, const SimConfig& config, PolicyKind kind,
                  const PolicyOptions& options) {
   std::unique_ptr<Policy> policy = MakePolicy(kind, options);
-  Simulator sim(trace, config, policy.get());
+  // Share the memoized oracle: repeated runs over the same trace (sweeps,
+  // studies, the tuner) reuse one NextRefIndex instead of rebuilding it.
+  Simulator sim(SharedTraceContext(trace, config.hint_coverage, config.hint_seed), config,
+                policy.get());
   return sim.Run();
 }
 
@@ -63,21 +67,34 @@ SimConfig BaselineConfig(const std::string& trace_name, int num_disks) {
 PolicyOptions TuneReverseAggressive(const Trace& trace, const SimConfig& config,
                                     const std::vector<int64_t>& fetch_times,
                                     const std::vector<int>& batches) {
-  PolicyOptions best;
-  TimeNs best_elapsed = std::numeric_limits<TimeNs>::max();
-  for (int64_t f : fetch_times) {
-    for (int b : batches) {
-      PolicyOptions options;
-      options.revagg.fetch_time_estimate = f;
-      options.revagg.batch_size = b;
-      RunResult r = RunOne(trace, config, PolicyKind::kReverseAggressive, options);
-      if (r.elapsed_time < best_elapsed) {
-        best_elapsed = r.elapsed_time;
-        best = options;
-      }
-    }
+  // The grid is embarrassingly parallel and identical grids recur across
+  // studies, so the work lives in the runner: one parallel batch per grid,
+  // memoized per (trace, config, grid).
+  std::vector<TuneRequest> requests(1);
+  requests[0].config = config;
+  requests[0].fetch_times = fetch_times;
+  requests[0].batches = batches;
+  return TuneReverseAggressiveMany(trace, requests)[0];
+}
+
+std::string ResultsCsvString(const std::vector<RunResult>& results) {
+  std::string out =
+      "trace,policy,disks,fetches,demand_fetches,write_refs,flushes,dirty_at_end,"
+      "compute_sec,driver_sec,stall_sec,elapsed_sec,avg_fetch_ms,avg_response_ms,"
+      "avg_disk_util\n";
+  char line[512];
+  for (const RunResult& r : results) {
+    std::snprintf(line, sizeof(line),
+                  "%s,%s,%d,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f\n",
+                  r.trace_name.c_str(), r.policy_name.c_str(), r.num_disks,
+                  static_cast<long long>(r.fetches), static_cast<long long>(r.demand_fetches),
+                  static_cast<long long>(r.write_refs), static_cast<long long>(r.flushes),
+                  static_cast<long long>(r.dirty_at_end), r.compute_sec(), r.driver_sec(),
+                  r.stall_sec(), r.elapsed_sec(), r.avg_fetch_ms, r.avg_response_ms,
+                  r.avg_disk_util);
+    out += line;
   }
-  return best;
+  return out;
 }
 
 bool WriteResultsCsv(const std::vector<RunResult>& results, const std::string& path) {
@@ -85,17 +102,9 @@ bool WriteResultsCsv(const std::vector<RunResult>& results, const std::string& p
   if (f == nullptr) {
     return false;
   }
-  std::fprintf(f,
-               "trace,policy,disks,fetches,demand_fetches,compute_sec,driver_sec,stall_sec,"
-               "elapsed_sec,avg_fetch_ms,avg_response_ms,avg_disk_util\n");
-  for (const RunResult& r : results) {
-    std::fprintf(f, "%s,%s,%d,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f\n",
-                 r.trace_name.c_str(), r.policy_name.c_str(), r.num_disks,
-                 static_cast<long long>(r.fetches), static_cast<long long>(r.demand_fetches),
-                 r.compute_sec(), r.driver_sec(), r.stall_sec(), r.elapsed_sec(), r.avg_fetch_ms,
-                 r.avg_response_ms, r.avg_disk_util);
-  }
-  return std::fclose(f) == 0;
+  const std::string csv = ResultsCsvString(results);
+  const bool wrote = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && wrote;
 }
 
 const std::vector<int>& PaperDiskCounts() {

@@ -60,7 +60,10 @@ PolicyOptions TuneReverseAggressive(const Trace& trace, const SimConfig& config,
                                     const std::vector<int64_t>& fetch_times = {16, 64, 128},
                                     const std::vector<int>& batches = {8, 40});
 
-// Writes results as CSV (one row per result, with a header).
+// Results as CSV (one row per result, with a header). Every collected
+// RunResult metric is emitted, including the write-extension counters
+// (write_refs, flushes, dirty_at_end).
+std::string ResultsCsvString(const std::vector<RunResult>& results);
 bool WriteResultsCsv(const std::vector<RunResult>& results, const std::string& path);
 
 // The disk-array sizes the paper simulates (section 3).

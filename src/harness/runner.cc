@@ -1,0 +1,219 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include "core/simulator.h"
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+
+using ContextKey = std::tuple<const Trace*, double, uint64_t>;
+using ContextMap = std::map<ContextKey, std::shared_ptr<const TraceContext>>;
+
+ContextKey KeyFor(const ExperimentJob& job) {
+  const double coverage = job.config.hint_coverage >= 1.0 ? 1.0 : job.config.hint_coverage;
+  return ContextKey{job.trace, coverage, job.config.hint_seed};
+}
+
+RunResult RunJob(const ExperimentJob& job, const ContextMap& contexts) {
+  std::unique_ptr<Policy> policy = MakePolicy(job.kind, job.options);
+  auto it = contexts.find(KeyFor(job));
+  PFC_CHECK(it != contexts.end());
+  Simulator sim(*it->second, job.config, policy.get());
+  return sim.Run();
+}
+
+}  // namespace
+
+int DefaultJobCount() {
+  if (const char* env = std::getenv("PFC_JOBS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(v);
+    }
+    if (env[0] != '\0') {
+      std::fprintf(stderr, "pfc: ignoring invalid PFC_JOBS='%s'\n", env);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, int jobs) {
+  if (jobs <= 0) {
+    jobs = DefaultJobCount();
+  }
+
+  // Build each distinct oracle once, before any worker starts; workers then
+  // only read. This is both the perf win (a study used to rebuild the index
+  // per grid point) and what makes sharing race-free: after this loop the
+  // contexts are immutable.
+  ContextMap contexts;
+  for (const ExperimentJob& job : grid) {
+    PFC_CHECK_MSG(job.trace != nullptr, "ExperimentJob without a trace");
+    ContextKey key = KeyFor(job);
+    if (contexts.find(key) == contexts.end()) {
+      contexts.emplace(key, SharedTraceContext(*job.trace, std::get<1>(key), std::get<2>(key)));
+    }
+  }
+
+  std::vector<RunResult> results(grid.size());
+  if (jobs == 1 || grid.size() <= 1) {
+    for (size_t i = 0; i < grid.size(); ++i) {
+      results[i] = RunJob(grid[i], contexts);
+    }
+    return results;
+  }
+
+  // Fixed pool, shared work queue (an atomic cursor over the grid), each
+  // worker writing only its own slots — results land in submission order by
+  // construction, independent of completion order.
+  std::atomic<size_t> next{0};
+  const int workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(jobs), grid.size()));
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= grid.size()) {
+            return;
+          }
+          results[i] = RunJob(grid[i], contexts);
+        }
+      });
+    }
+  }  // jthreads join here
+  return results;
+}
+
+namespace {
+
+// Memoized tuning results. The key must pin down everything the sweep
+// depends on: the trace contents, the full machine configuration, and the
+// grids. A readable string key keeps this obviously exhaustive.
+std::string TuneKey(const Trace& trace, const TuneRequest& request) {
+  const SimConfig& c = request.config;
+  std::string key;
+  key.reserve(256);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t=%llx/%lld c=%d d=%d sched=%d place=%d model=%d",
+                static_cast<unsigned long long>(TraceFingerprint(trace)),
+                static_cast<long long>(trace.size()), c.cache_blocks, c.num_disks,
+                static_cast<int>(c.discipline), static_cast<int>(c.placement),
+                static_cast<int>(c.disk_model));
+  key += buf;
+  std::snprintf(buf, sizeof(buf), " drv=%lld cpu=%a hint=%a/%llu wt=%d",
+                static_cast<long long>(c.driver_overhead), c.cpu_scale, c.hint_coverage,
+                static_cast<unsigned long long>(c.hint_seed), c.write_through ? 1 : 0);
+  key += buf;
+  key += " F=";
+  for (int64_t f : request.fetch_times) {
+    std::snprintf(buf, sizeof(buf), "%lld,", static_cast<long long>(f));
+    key += buf;
+  }
+  key += " B=";
+  for (int b : request.batches) {
+    std::snprintf(buf, sizeof(buf), "%d,", b);
+    key += buf;
+  }
+  return key;
+}
+
+struct TuneCache {
+  std::mutex mu;
+  std::map<std::string, PolicyOptions> entries;
+};
+
+TuneCache& GlobalTuneCache() {
+  static TuneCache* cache = new TuneCache();
+  return *cache;
+}
+
+}  // namespace
+
+std::vector<PolicyOptions> TuneReverseAggressiveMany(const Trace& trace,
+                                                     const std::vector<TuneRequest>& requests,
+                                                     int jobs) {
+  std::vector<PolicyOptions> tuned(requests.size());
+  std::vector<std::string> keys(requests.size());
+  std::vector<size_t> misses;
+
+  TuneCache& cache = GlobalTuneCache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      keys[i] = TuneKey(trace, requests[i]);
+      auto it = cache.entries.find(keys[i]);
+      if (it != cache.entries.end()) {
+        tuned[i] = it->second;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  if (misses.empty()) {
+    return tuned;
+  }
+
+  // Expand every uncached request's grid into one flat batch. Grid order is
+  // preserved per request so the argmin below matches the serial tuner's
+  // first-wins tie-breaking exactly.
+  std::vector<ExperimentJob> grid;
+  std::vector<std::pair<size_t, size_t>> spans;  // [begin, end) per miss
+  for (size_t m : misses) {
+    const TuneRequest& request = requests[m];
+    const size_t begin = grid.size();
+    for (int64_t f : request.fetch_times) {
+      for (int b : request.batches) {
+        ExperimentJob job;
+        job.trace = &trace;
+        job.config = request.config;
+        job.kind = PolicyKind::kReverseAggressive;
+        job.options.revagg.fetch_time_estimate = f;
+        job.options.revagg.batch_size = b;
+        grid.push_back(std::move(job));
+      }
+    }
+    spans.emplace_back(begin, grid.size());
+  }
+
+  std::vector<RunResult> results = RunExperiments(grid, jobs);
+
+  for (size_t s = 0; s < misses.size(); ++s) {
+    const size_t m = misses[s];
+    PolicyOptions best;
+    TimeNs best_elapsed = std::numeric_limits<TimeNs>::max();
+    for (size_t i = spans[s].first; i < spans[s].second; ++i) {
+      if (results[i].elapsed_time < best_elapsed) {
+        best_elapsed = results[i].elapsed_time;
+        best = grid[i].options;
+      }
+    }
+    tuned[m] = best;
+    std::lock_guard<std::mutex> lock(cache.mu);
+    cache.entries.emplace(keys[m], best);
+  }
+  return tuned;
+}
+
+void ClearTunedRevAggCache() {
+  TuneCache& cache = GlobalTuneCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+}
+
+}  // namespace pfc

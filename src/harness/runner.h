@@ -1,0 +1,72 @@
+// The parallel experiment engine.
+//
+// The paper's results are a large grid of independent simulations — traces x
+// policies x array sizes, plus parameter sweeps. Every grid point is a pure
+// function of its (trace, config, policy, options) inputs, so the engine
+// runs them on a fixed-size worker pool while sharing the read-only per-
+// trace oracle (TraceContext) across workers. Results come back in
+// submission order regardless of completion order, so parallel output is
+// byte-identical to serial: `PFC_JOBS=1` is the reference ordering and any
+// other worker count must (and does) reproduce it exactly.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"):
+//   shared-immutable: Trace, TraceContext (hint mask + NextRefIndex)
+//   per-run:          Simulator, Policy, BufferCache, DiskArray
+// Workers never share mutable state; each writes only its own result slot.
+
+#ifndef PFC_HARNESS_RUNNER_H_
+#define PFC_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/run_result.h"
+#include "core/sim_config.h"
+#include "core/trace_context.h"
+#include "harness/experiment.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+// One grid point: run `kind` with `options` over `trace` on the machine
+// described by `config`. The trace must outlive the RunExperiments call.
+struct ExperimentJob {
+  const Trace* trace = nullptr;
+  SimConfig config;
+  PolicyKind kind = PolicyKind::kDemand;
+  PolicyOptions options;
+};
+
+// Worker-pool size: the PFC_JOBS environment variable when set to a positive
+// integer, otherwise std::thread::hardware_concurrency() (at least 1).
+int DefaultJobCount();
+
+// Runs every job, `jobs` at a time (0 = DefaultJobCount()), and returns the
+// results in submission order. With jobs == 1 everything runs inline on the
+// calling thread — no pool is created — which is the determinism reference.
+// Each distinct (trace, hint_coverage, hint_seed) triple's TraceContext is
+// built exactly once, up front, and shared read-only by all workers.
+std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, int jobs = 0);
+
+// A reverse-aggressive tuning request: sweep the (fetch_time x batch) grid
+// on `config` and keep the elapsed-time argmin (first in grid order wins
+// ties, exactly as the serial tuner did).
+struct TuneRequest {
+  SimConfig config;
+  std::vector<int64_t> fetch_times;
+  std::vector<int> batches;
+};
+
+// Tunes every request concurrently — the full (request x F x batch) grid is
+// one flat parallel batch — and memoizes per (trace, config, grid) so
+// repeated studies of the same configuration never re-run identical grids.
+std::vector<PolicyOptions> TuneReverseAggressiveMany(const Trace& trace,
+                                                     const std::vector<TuneRequest>& requests,
+                                                     int jobs = 0);
+
+// Drops the memoized tuning results (for tests).
+void ClearTunedRevAggCache();
+
+}  // namespace pfc
+
+#endif  // PFC_HARNESS_RUNNER_H_

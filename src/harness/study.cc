@@ -1,6 +1,9 @@
 #include "harness/study.h"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "harness/runner.h"
 
 namespace pfc {
 
@@ -54,21 +57,55 @@ std::string PolicyLabel(PolicyKind kind) {
 }
 
 std::vector<PolicySeries> RunStudy(const Trace& trace, const StudySpec& spec) {
+  // Phase 1: reverse aggressive is tuned per array size. All tuning grids
+  // for all array sizes form one flat parallel batch (memoized, so repeated
+  // studies of the same configuration skip it entirely).
+  const bool needs_tuning =
+      spec.tune_revagg && std::find(spec.policies.begin(), spec.policies.end(),
+                                    PolicyKind::kReverseAggressive) != spec.policies.end();
+  std::vector<PolicyOptions> tuned;
+  if (needs_tuning) {
+    std::vector<TuneRequest> requests;
+    requests.reserve(spec.disks.size());
+    for (int disks : spec.disks) {
+      TuneRequest request;
+      request.config = StudyConfig(spec, disks);
+      request.fetch_times = RevAggTuningFetchTimes();
+      request.batches = RevAggTuningBatches(disks);
+      requests.push_back(std::move(request));
+    }
+    tuned = TuneReverseAggressiveMany(trace, requests);
+  }
+
+  // Phase 2: the whole (policy x array size) grid runs concurrently;
+  // results scatter back into series in submission order, so the output is
+  // identical to the old serial double loop.
+  std::vector<ExperimentJob> grid;
+  grid.reserve(spec.policies.size() * spec.disks.size());
+  for (PolicyKind kind : spec.policies) {
+    for (size_t di = 0; di < spec.disks.size(); ++di) {
+      ExperimentJob job;
+      job.trace = &trace;
+      job.config = StudyConfig(spec, spec.disks[di]);
+      job.kind = kind;
+      job.options = spec.options;
+      if (kind == PolicyKind::kReverseAggressive && needs_tuning) {
+        job.options.revagg = tuned[di].revagg;
+      }
+      grid.push_back(std::move(job));
+    }
+  }
+  std::vector<RunResult> results = RunExperiments(grid);
+
   std::vector<PolicySeries> series;
   series.reserve(spec.policies.size());
+  size_t next = 0;
   for (PolicyKind kind : spec.policies) {
     PolicySeries s;
     s.label = PolicyLabel(kind);
-    for (int disks : spec.disks) {
-      SimConfig config = StudyConfig(spec, disks);
-      PolicyOptions options = spec.options;
-      if (kind == PolicyKind::kReverseAggressive && spec.tune_revagg) {
-        PolicyOptions tuned = TuneReverseAggressive(trace, config, RevAggTuningFetchTimes(),
-                                                    RevAggTuningBatches(disks));
-        options.revagg = tuned.revagg;
-      }
-      s.results.push_back(RunOne(trace, config, kind, options));
-    }
+    s.results.assign(results.begin() + static_cast<ptrdiff_t>(next),
+                     results.begin() + static_cast<ptrdiff_t>(next + spec.disks.size()));
+    next += spec.disks.size();
     series.push_back(std::move(s));
   }
   return series;

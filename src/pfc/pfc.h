@@ -30,6 +30,7 @@
 #include "core/run_result.h"
 #include "core/sim_config.h"
 #include "core/simulator.h"
+#include "core/trace_context.h"
 #include "disk/disk.h"
 #include "disk/disk_array.h"
 #include "disk/disk_mechanism.h"
@@ -39,6 +40,7 @@
 #include "disk/simple_mechanism.h"
 #include "harness/experiment.h"
 #include "harness/paper_tables.h"
+#include "harness/runner.h"
 #include "harness/study.h"
 #include "layout/placement.h"
 #include "trace/file_layout.h"
@@ -46,6 +48,7 @@
 #include "trace/trace.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
+#include "util/flat_set.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -1,0 +1,64 @@
+// FlatSet: a sorted-vector set of int64 keys.
+//
+// The simulator's write path touches small per-disk sets (dirty blocks,
+// in-flight flushes) on every reference; node-based std::set/unordered_set
+// pay an allocation per insert and chase pointers per lookup. A sorted
+// vector keeps the same ordered semantics (min() is the smallest element,
+// as *set::begin() was) with contiguous storage. Populations here are
+// bounded by the cache's dirty high-water mark, so the O(n) insert/erase
+// shifts are a handful of cache lines.
+
+#ifndef PFC_UTIL_FLAT_SET_H_
+#define PFC_UTIL_FLAT_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pfc {
+
+class FlatSet {
+ public:
+  bool empty() const { return keys_.empty(); }
+  size_t size() const { return keys_.size(); }
+
+  bool contains(int64_t key) const {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    return it != keys_.end() && *it == key;
+  }
+
+  // Inserts `key`; returns false if already present.
+  bool insert(int64_t key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) {
+      return false;
+    }
+    keys_.insert(it, key);
+    return true;
+  }
+
+  // Removes `key`; returns true if it was present.
+  bool erase(int64_t key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) {
+      return false;
+    }
+    keys_.erase(it);
+    return true;
+  }
+
+  // Smallest element; undefined on an empty set.
+  int64_t min() const { return keys_.front(); }
+
+  void clear() { keys_.clear(); }
+
+  std::vector<int64_t>::const_iterator begin() const { return keys_.begin(); }
+  std::vector<int64_t>::const_iterator end() const { return keys_.end(); }
+
+ private:
+  std::vector<int64_t> keys_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_FLAT_SET_H_

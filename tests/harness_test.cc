@@ -50,6 +50,24 @@ TEST(Harness, PercentImprovementSign) {
   EXPECT_NEAR(PercentImprovement(slow, fast), -25.0, 1e-9);
 }
 
+TEST(Harness, ResultsCsvEmitsEveryCollectedMetric) {
+  RunResult r;
+  r.trace_name = "t";
+  r.policy_name = "p";
+  r.num_disks = 2;
+  r.fetches = 10;
+  r.demand_fetches = 3;
+  r.write_refs = 7;
+  r.flushes = 5;
+  r.dirty_at_end = 2;
+  r.elapsed_time = SecToNs(1);
+  std::string csv = ResultsCsvString({r});
+  // Header names every RunResult metric, write-extension counters included.
+  EXPECT_NE(csv.find("write_refs,flushes,dirty_at_end"), std::string::npos);
+  // The row carries their values (fetches=10,demand=3,writes=7,flushes=5,dirty=2).
+  EXPECT_NE(csv.find("t,p,2,10,3,7,5,2,"), std::string::npos);
+}
+
 TEST(Study, RunStudyProducesOneSeriesPerPolicy) {
   Trace t = MakeTrace("cscope1").Prefix(600);
   t.set_name("cscope1");

@@ -1,0 +1,195 @@
+// The parallel experiment engine's hard correctness requirement: results in
+// submission order, byte-identical to serial execution (PFC_JOBS=1), with
+// the per-trace oracle built once and shared read-only. These tests are the
+// determinism regression gate and also what the TSan configuration runs
+// (scripts/check_tsan.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/trace_context.h"
+#include "harness/runner.h"
+#include "harness/study.h"
+
+namespace pfc {
+namespace {
+
+// Scoped PFC_JOBS override (restored on destruction).
+class ScopedJobs {
+ public:
+  explicit ScopedJobs(const char* value) {
+    const char* prev = std::getenv("PFC_JOBS");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) {
+      prev_ = prev;
+    }
+    if (value != nullptr) {
+      ::setenv("PFC_JOBS", value, 1);
+    } else {
+      ::unsetenv("PFC_JOBS");
+    }
+  }
+  ~ScopedJobs() {
+    if (had_prev_) {
+      ::setenv("PFC_JOBS", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("PFC_JOBS");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(Runner, DefaultJobCountHonorsEnv) {
+  {
+    ScopedJobs env("5");
+    EXPECT_EQ(DefaultJobCount(), 5);
+  }
+  {
+    ScopedJobs env("1");
+    EXPECT_EQ(DefaultJobCount(), 1);
+  }
+  {
+    // Invalid values fall back to hardware concurrency (>= 1).
+    ScopedJobs env("zero");
+    EXPECT_GE(DefaultJobCount(), 1);
+  }
+  {
+    ScopedJobs env(nullptr);
+    EXPECT_GE(DefaultJobCount(), 1);
+  }
+}
+
+TEST(Runner, ResultsInSubmissionOrder) {
+  Trace trace = MakeTrace("cscope1").Prefix(400);
+  trace.set_name("cscope1");
+  // Mixed sizes so completion order differs from submission order.
+  std::vector<ExperimentJob> grid;
+  for (int disks : {4, 1, 3, 2, 6, 5}) {
+    ExperimentJob job;
+    job.trace = &trace;
+    job.config = BaselineConfig("cscope1", disks);
+    job.kind = PolicyKind::kFixedHorizon;
+    grid.push_back(std::move(job));
+  }
+  std::vector<RunResult> results = RunExperiments(grid, /*jobs=*/4);
+  ASSERT_EQ(results.size(), grid.size());
+  EXPECT_EQ(results[0].num_disks, 4);
+  EXPECT_EQ(results[1].num_disks, 1);
+  EXPECT_EQ(results[2].num_disks, 3);
+  EXPECT_EQ(results[3].num_disks, 2);
+  EXPECT_EQ(results[4].num_disks, 6);
+  EXPECT_EQ(results[5].num_disks, 5);
+}
+
+std::string StudyCsv(const Trace& trace, const std::string& name) {
+  StudySpec spec;
+  spec.trace_name = name;
+  spec.disks = {1, 2, 4};
+  spec.policies = {PolicyKind::kDemand, PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                   PolicyKind::kReverseAggressive, PolicyKind::kForestall};
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  std::vector<RunResult> flat;
+  for (const PolicySeries& s : series) {
+    flat.insert(flat.end(), s.results.begin(), s.results.end());
+  }
+  return ResultsCsvString(flat);
+}
+
+// The determinism regression test: RunStudy under a 4-worker pool must be
+// byte-identical to PFC_JOBS=1, across two traces and five policies
+// (including the parallel reverse-aggressive tuning grid).
+TEST(Runner, StudyIsDeterministicAcrossJobCounts) {
+  for (const char* name : {"cscope1", "postgres-select"}) {
+    Trace trace = MakeTrace(name).Prefix(500);
+    trace.set_name(name);
+
+    ClearTunedRevAggCache();
+    std::string serial;
+    {
+      ScopedJobs env("1");
+      serial = StudyCsv(trace, name);
+    }
+
+    ClearTunedRevAggCache();  // force the tuner to re-run in parallel
+    std::string parallel;
+    {
+      ScopedJobs env("4");
+      parallel = StudyCsv(trace, name);
+    }
+
+    EXPECT_EQ(serial, parallel) << "trace " << name;
+    EXPECT_NE(serial.find(name), std::string::npos);
+  }
+}
+
+TEST(Runner, TunerIsMemoized) {
+  Trace trace = MakeTrace("cscope1").Prefix(300);
+  trace.set_name("cscope1");
+  ClearTunedRevAggCache();
+
+  TuneRequest request;
+  request.config = BaselineConfig("cscope1", 2);
+  request.fetch_times = {8, 32};
+  request.batches = {4, 16};
+
+  std::vector<PolicyOptions> first = TuneReverseAggressiveMany(trace, {request});
+  std::vector<PolicyOptions> again = TuneReverseAggressiveMany(trace, {request});
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(first[0].revagg.fetch_time_estimate, again[0].revagg.fetch_time_estimate);
+  EXPECT_EQ(first[0].revagg.batch_size, again[0].revagg.batch_size);
+
+  // The memoized grid answers match the serial tuner.
+  PolicyOptions serial =
+      TuneReverseAggressive(trace, request.config, request.fetch_times, request.batches);
+  EXPECT_EQ(serial.revagg.fetch_time_estimate, first[0].revagg.fetch_time_estimate);
+  EXPECT_EQ(serial.revagg.batch_size, first[0].revagg.batch_size);
+}
+
+TEST(TraceContext, MemoizedByKey) {
+  Trace trace = MakeTrace("cscope1").Prefix(200);
+  trace.set_name("cscope1");
+
+  auto a = SharedTraceContext(trace, 0.5, /*hint_seed=*/1);
+  auto b = SharedTraceContext(trace, 0.5, /*hint_seed=*/1);
+  EXPECT_EQ(a.get(), b.get()) << "same (trace, coverage, seed) must share one context";
+
+  auto c = SharedTraceContext(trace, 0.5, /*hint_seed=*/2);
+  EXPECT_NE(a.get(), c.get()) << "a different hint seed is a different oracle";
+
+  auto d = SharedTraceContext(trace, 1.0, /*hint_seed=*/1);
+  EXPECT_NE(a.get(), d.get()) << "a different coverage is a different oracle";
+  // Coverage >= 1.0 normalizes: seeds are irrelevant once everything is
+  // hinted, and over-unity coverages alias 1.0.
+  auto e = SharedTraceContext(trace, 1.0, /*hint_seed=*/1);
+  EXPECT_EQ(d.get(), e.get());
+  EXPECT_TRUE(d->hinted().empty());
+
+  // A different trace never aliases, even with identical hint parameters.
+  Trace other = MakeTrace("postgres-select").Prefix(200);
+  other.set_name("postgres-select");
+  auto f = SharedTraceContext(other, 0.5, /*hint_seed=*/1);
+  EXPECT_NE(a.get(), f.get());
+}
+
+TEST(TraceContext, MatchesPrivatelyBuiltOracle) {
+  Trace trace = MakeTrace("postgres-select").Prefix(300);
+  trace.set_name("postgres-select");
+
+  auto shared = SharedTraceContext(trace, 0.6, /*hint_seed=*/7);
+  TraceContext fresh(trace, 0.6, /*hint_seed=*/7);
+  ASSERT_EQ(shared->hinted().size(), fresh.hinted().size());
+  EXPECT_EQ(shared->hinted(), fresh.hinted());
+  for (int64_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(shared->index().NextUseAfterPosition(i), fresh.index().NextUseAfterPosition(i));
+  }
+}
+
+}  // namespace
+}  // namespace pfc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/flat_set.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -118,6 +119,43 @@ TEST(Rng, SkewedRankInRangeAndSkewed) {
   }
   // Skew 2.0 concentrates well over half the mass in the low half.
   EXPECT_GT(low_half, n * 6 / 10);
+}
+
+TEST(FlatSet, InsertEraseContainsMin) {
+  FlatSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(30));
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_TRUE(s.insert(20));
+  EXPECT_FALSE(s.insert(20));  // duplicate
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.min(), 10);
+  EXPECT_TRUE(s.contains(20));
+  EXPECT_FALSE(s.contains(15));
+  EXPECT_TRUE(s.erase(10));
+  EXPECT_FALSE(s.erase(10));
+  EXPECT_EQ(s.min(), 20);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, MatchesStdSetUnderRandomOps) {
+  Rng rng(7);
+  FlatSet flat;
+  std::set<int64_t> ref;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t key = rng.UniformInt(0, 63);
+    if (rng.UniformDouble() < 0.5) {
+      EXPECT_EQ(flat.insert(key), ref.insert(key).second);
+    } else {
+      EXPECT_EQ(flat.erase(key), ref.erase(key) > 0);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(flat.min(), *ref.begin());
+    }
+  }
+  EXPECT_TRUE(std::equal(flat.begin(), flat.end(), ref.begin(), ref.end()));
 }
 
 TEST(RunningStat, Basics) {

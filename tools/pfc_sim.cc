@@ -25,6 +25,7 @@
 //   --revagg-f=N           reverse aggressive's fetch-time estimate [64]
 //   --forestall-f=F        forestall's fixed F' (0 = dynamic)       [0]
 //   --seed=N               trace synthesis seed                     [19960901]
+//   --jobs=N               worker threads for the grid              [PFC_JOBS or cores]
 //   --csv=PATH             append results as CSV
 //   --help
 
@@ -55,6 +56,7 @@ struct Flags {
   int64_t revagg_f = 64;
   double forestall_f = 0.0;
   uint64_t seed = pfc::kDefaultTraceSeed;
+  int jobs = 0;  // 0 = PFC_JOBS / hardware concurrency
   std::string csv;
   bool help = false;
 };
@@ -152,6 +154,10 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
   if (const char* v = value_of("--seed")) {
     flags->seed = std::strtoull(v, nullptr, 10);
     return true;
+  }
+  if (const char* v = value_of("--jobs")) {
+    flags->jobs = std::atoi(v);
+    return flags->jobs > 0;
   }
   if (const char* v = value_of("--csv")) {
     flags->csv = v;
@@ -269,9 +275,10 @@ int main(int argc, char** argv) {
   options.forestall.fixed_f = flags.forestall_f;
   options.forestall.horizon = flags.horizon;
 
-  std::printf("%-6s %-20s %10s %10s %10s %10s %9s %8s %6s\n", "disks", "policy", "elapsed(s)",
-              "cpu(s)", "driver(s)", "stall(s)", "fetches", "flushes", "util");
-  std::vector<pfc::RunResult> results;
+  // Build the whole (disks x policy) grid, run it on the parallel
+  // experiment engine (worker count from PFC_JOBS), and print in
+  // submission order — output is byte-identical to the old serial loop.
+  std::vector<pfc::ExperimentJob> grid;
   for (int disks : flags.disks) {
     pfc::SimConfig config = pfc::BaselineConfig(flags.trace, disks);
     if (flags.cache > 0) {
@@ -288,13 +295,18 @@ int main(int argc, char** argv) {
           (flags.hint_coverage < 1.0 || trace.WriteCount() > 0)) {
         continue;  // offline schedule needs full hints and a read-only trace
       }
-      pfc::RunResult r = pfc::RunOne(trace, config, kind, options);
-      std::printf("%-6d %-20s %10.3f %10.3f %10.3f %10.3f %9lld %8lld %6.2f\n", disks,
-                  r.policy_name.c_str(), r.elapsed_sec(), r.compute_sec(), r.driver_sec(),
-                  r.stall_sec(), static_cast<long long>(r.fetches),
-                  static_cast<long long>(r.flushes), r.avg_disk_util);
-      results.push_back(std::move(r));
+      grid.push_back(pfc::ExperimentJob{&trace, config, kind, options});
     }
+  }
+  std::vector<pfc::RunResult> results = pfc::RunExperiments(grid, flags.jobs);
+
+  std::printf("%-6s %-20s %10s %10s %10s %10s %9s %8s %6s\n", "disks", "policy", "elapsed(s)",
+              "cpu(s)", "driver(s)", "stall(s)", "fetches", "flushes", "util");
+  for (const pfc::RunResult& r : results) {
+    std::printf("%-6d %-20s %10.3f %10.3f %10.3f %10.3f %9lld %8lld %6.2f\n", r.num_disks,
+                r.policy_name.c_str(), r.elapsed_sec(), r.compute_sec(), r.driver_sec(),
+                r.stall_sec(), static_cast<long long>(r.fetches),
+                static_cast<long long>(r.flushes), r.avg_disk_util);
   }
   if (!flags.csv.empty() && !pfc::WriteResultsCsv(results, flags.csv)) {
     std::fprintf(stderr, "pfc_sim: could not write %s\n", flags.csv.c_str());

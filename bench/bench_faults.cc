@@ -1,0 +1,212 @@
+// Degraded-mode study: the Table-3 grid (every reconstructed trace x all
+// five policies x array sizes) re-run under injected disk faults:
+//
+//   healthy    — fault layer installed with every rate at zero; must be
+//                byte-identical to the plain Table-3 baseline CSV (the
+//                zero-overhead guarantee of the fault layer);
+//   slow2x     — disk 0 serves every request at 2x nominal time;
+//   slow10x    — disk 0 serves every request at 10x nominal time;
+//   failstop   — disk 0 fail-stops 500 ms into the run.
+//
+// Writes bench_faults.csv (scenario-tagged rows) and BENCH_faults.json
+// (per-scenario totals + the byte-identity verdict). Exits nonzero if the
+// healthy scenario diverges from the baseline. PFC_FULL=1 runs the
+// full-length traces and the paper's full disk-count list.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pfc/pfc.h"
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  pfc::FaultConfig faults;
+};
+
+struct ScenarioTotals {
+  double elapsed_sec = 0;
+  double degraded_stall_sec = 0;
+  long long retries = 0;
+  long long failed_requests = 0;
+};
+
+std::vector<pfc::RunResult> RunGrid(const std::vector<pfc::Trace>& traces,
+                                    const std::vector<pfc::PolicyKind>& policies,
+                                    const std::vector<int>& disks,
+                                    const pfc::FaultConfig& faults) {
+  std::vector<pfc::ExperimentJob> grid;
+  for (const pfc::Trace& t : traces) {
+    for (pfc::PolicyKind kind : policies) {
+      for (int d : disks) {
+        pfc::ExperimentJob job;
+        job.trace = &t;
+        job.config = pfc::BaselineConfig(t.name(), d);
+        job.config.faults = faults;
+        job.kind = kind;
+        grid.push_back(std::move(job));
+      }
+    }
+  }
+  return pfc::RunExperiments(grid);
+}
+
+ScenarioTotals Totals(const std::vector<pfc::RunResult>& results) {
+  ScenarioTotals t;
+  for (const pfc::RunResult& r : results) {
+    t.elapsed_sec += r.elapsed_sec();
+    t.degraded_stall_sec += r.degraded_stall_sec();
+    t.retries += r.retries;
+    t.failed_requests += r.failed_requests;
+  }
+  return t;
+}
+
+// Prefixes every row of a ResultsCsvString with a scenario column.
+void AppendTaggedCsv(std::string* out, const std::string& scenario, const std::string& csv,
+                     bool with_header) {
+  size_t start = 0;
+  bool header = true;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string::npos) {
+      end = csv.size();
+    }
+    const std::string line = csv.substr(start, end - start);
+    if (!line.empty()) {
+      if (header) {
+        if (with_header) {
+          *out += "scenario," + line + "\n";
+        }
+      } else {
+        *out += scenario + "," + line + "\n";
+      }
+    }
+    header = false;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace pfc;
+
+  const bool full = FullSweepsRequested();
+  const int64_t prefix = full ? 0 : 2000;  // 0 = whole trace
+  const std::vector<int> disks = full ? PaperDiskCounts() : std::vector<int>{1, 2, 4, 8};
+  const std::vector<PolicyKind> policies = {PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                                            PolicyKind::kAggressive,
+                                            PolicyKind::kReverseAggressive, PolicyKind::kForestall};
+
+  std::vector<Trace> traces;
+  for (const TraceSpec& spec : AllTraceSpecs()) {
+    Trace t = MakeTrace(spec.name);
+    if (prefix > 0 && t.size() > prefix) {
+      t = t.Prefix(prefix);
+      t.set_name(spec.name);
+    }
+    traces.push_back(std::move(t));
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario healthy;
+    healthy.name = "healthy";
+    // Every rate zero, but with a non-default seed: a disabled fault layer
+    // must be inert no matter how it is seeded.
+    healthy.faults.seed = 20260807;
+    scenarios.push_back(healthy);
+
+    Scenario slow2x;
+    slow2x.name = "slow2x";
+    slow2x.faults.slow_disk = 0;
+    slow2x.faults.slow_factor = 2.0;
+    scenarios.push_back(slow2x);
+
+    Scenario slow10x;
+    slow10x.name = "slow10x";
+    slow10x.faults.slow_disk = 0;
+    slow10x.faults.slow_factor = 10.0;
+    scenarios.push_back(slow10x);
+
+    Scenario failstop;
+    failstop.name = "failstop";
+    failstop.faults.fail_disk = 0;
+    failstop.faults.fail_after = MsToNs(500);
+    scenarios.push_back(failstop);
+  }
+
+  std::printf("Degraded-mode study: %zu traces x %zu policies x %zu array sizes, %zu scenarios%s\n\n",
+              traces.size(), policies.size(), disks.size(), scenarios.size(),
+              full ? " [PFC_FULL]" : "");
+
+  // The baseline: the exact grid with no fault layer installed at all.
+  const std::vector<RunResult> baseline = RunGrid(traces, policies, disks, FaultConfig{});
+  const std::string baseline_csv = ResultsCsvString(baseline);
+
+  std::string tagged_csv;
+  std::vector<ScenarioTotals> totals;
+  bool healthy_identical = true;
+  TextTable table;
+  table.SetHeader({"scenario", "elapsed(s)", "vs healthy", "retries", "failed", "degraded(s)"});
+
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    const std::vector<RunResult> results = RunGrid(traces, policies, disks, sc.faults);
+    const std::string csv = ResultsCsvString(results);
+    if (sc.name == "healthy" && csv != baseline_csv) {
+      healthy_identical = false;
+      std::fprintf(stderr,
+                   "bench_faults: healthy (all-zero-rate) scenario diverged from the "
+                   "no-fault baseline CSV\n");
+    }
+    AppendTaggedCsv(&tagged_csv, sc.name, csv, /*with_header=*/i == 0);
+    totals.push_back(Totals(results));
+    table.AddRow({sc.name, TextTable::Num(totals[i].elapsed_sec, 3),
+                  TextTable::Num(totals[i].elapsed_sec / totals[0].elapsed_sec, 3),
+                  TextTable::Int(totals[i].retries), TextTable::Int(totals[i].failed_requests),
+                  TextTable::Num(totals[i].degraded_stall_sec, 3)});
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("healthy scenario byte-identical to no-fault baseline: %s\n",
+              healthy_identical ? "yes" : "NO");
+
+  bool wrote_csv = false;
+  if (std::FILE* f = std::fopen("bench_faults.csv", "w")) {
+    wrote_csv = std::fwrite(tagged_csv.data(), 1, tagged_csv.size(), f) == tagged_csv.size();
+    wrote_csv = std::fclose(f) == 0 && wrote_csv;
+  }
+  if (wrote_csv) {
+    std::printf("wrote bench_faults.csv\n");
+  } else {
+    std::fprintf(stderr, "bench_faults: cannot write bench_faults.csv\n");
+  }
+
+  std::FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_faults: cannot write BENCH_faults.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"grid_points\": %zu,\n"
+               "  \"full_grid\": %s,\n"
+               "  \"healthy_identical_to_baseline\": %s,\n"
+               "  \"scenarios\": [\n",
+               baseline.size(), full ? "true" : "false", healthy_identical ? "true" : "false");
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"elapsed_sec\": %.6f, \"retries\": %lld, "
+                 "\"failed_requests\": %lld, \"degraded_stall_sec\": %.6f}%s\n",
+                 scenarios[i].name.c_str(), totals[i].elapsed_sec, totals[i].retries,
+                 totals[i].failed_requests, totals[i].degraded_stall_sec,
+                 i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return (healthy_identical && wrote_csv) ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the fault-injection / runner / simulator tests under AddressSanitizer
+# + UndefinedBehaviorSanitizer and runs them. Complements check_tsan.sh: the
+# retry and degraded-mode paths allocate and tear down mid-run state (retry
+# queues, cancelled fetches, per-job error slots), which is exactly what ASan
+# and UBSan police.
+#
+# Usage: scripts/check_asan_ubsan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target fault_test runner_test simulator_test -j "$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+PFC_JOBS=4 "$BUILD_DIR"/tests/fault_test --gtest_color=yes
+PFC_JOBS=4 "$BUILD_DIR"/tests/runner_test --gtest_color=yes
+"$BUILD_DIR"/tests/simulator_test --gtest_color=yes
+echo "ASan/UBSan: fault, runner, and simulator tests clean."

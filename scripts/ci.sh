@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate: tier-1 build + tests, then both sanitizer
+# configurations. What a pre-merge bot would run.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== tier 2: ThreadSanitizer =="
+scripts/check_tsan.sh
+
+echo "== tier 2: ASan + UBSan =="
+scripts/check_asan_ubsan.sh
+
+echo "ci: all gates clean."

@@ -5,7 +5,7 @@
 namespace pfc {
 
 BufferCache::BufferCache(int capacity_blocks) : capacity_(capacity_blocks) {
-  PFC_CHECK(capacity_blocks > 0);
+  PFC_CHECK_GT(capacity_blocks, 0);
   entries_.reserve(static_cast<size_t>(capacity_blocks) * 2);
 }
 
@@ -15,7 +15,7 @@ BufferCache::State BufferCache::GetState(int64_t block) const {
 }
 
 void BufferCache::StartFetchIntoFree(int64_t block) {
-  PFC_CHECK(free_buffers() > 0);
+  PFC_CHECK_GT(free_buffers(), 0);
   PFC_CHECK(GetState(block) == State::kAbsent);
   entries_[block] = Entry{State::kFetching, 0};
 }
@@ -26,7 +26,7 @@ void BufferCache::StartFetchWithEviction(int64_t block, int64_t evict) {
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
   PFC_CHECK(GetState(block) == State::kAbsent);
   size_t erased = by_next_use_.erase({it->second.next_use, evict});
-  PFC_CHECK(erased == 1);
+  PFC_CHECK_EQ(erased, 1u);
   entries_.erase(it);
   entries_[block] = Entry{State::kFetching, 0};
 }
@@ -40,6 +40,12 @@ void BufferCache::CompleteFetch(int64_t block, int64_t next_use) {
   PFC_CHECK(inserted);
 }
 
+void BufferCache::CancelFetch(int64_t block) {
+  auto it = entries_.find(block);
+  PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
+  entries_.erase(it);
+}
+
 void BufferCache::UpdateNextUse(int64_t block, int64_t next_use) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
@@ -51,14 +57,14 @@ void BufferCache::UpdateNextUse(int64_t block, int64_t next_use) {
     return;
   }
   size_t erased = by_next_use_.erase({it->second.next_use, block});
-  PFC_CHECK(erased == 1);
+  PFC_CHECK_EQ(erased, 1u);
   it->second.next_use = next_use;
   bool inserted = by_next_use_.insert({next_use, block}).second;
   PFC_CHECK(inserted);
 }
 
 void BufferCache::InsertWritten(int64_t block, int64_t next_use) {
-  PFC_CHECK(free_buffers() > 0);
+  PFC_CHECK_GT(free_buffers(), 0);
   PFC_CHECK(GetState(block) == State::kAbsent);
   entries_[block] = Entry{State::kPresent, next_use, true};
   ++dirty_count_;
@@ -69,7 +75,7 @@ void BufferCache::EvictClean(int64_t block) {
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
   PFC_CHECK(!it->second.dirty);
   size_t erased = by_next_use_.erase({it->second.next_use, block});
-  PFC_CHECK(erased == 1);
+  PFC_CHECK_EQ(erased, 1u);
   entries_.erase(it);
 }
 
@@ -80,7 +86,7 @@ void BufferCache::MarkDirty(int64_t block) {
     return;
   }
   size_t erased = by_next_use_.erase({it->second.next_use, block});
-  PFC_CHECK(erased == 1);
+  PFC_CHECK_EQ(erased, 1u);
   it->second.dirty = true;
   ++dirty_count_;
 }

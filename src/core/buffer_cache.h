@@ -48,6 +48,10 @@ class BufferCache {
   // reference position as its replacement key.
   void CompleteFetch(int64_t block, int64_t next_use);
 
+  // Abandons an in-flight fetch (the request permanently failed); the
+  // reserved buffer returns to the free pool. Requires `block` fetching.
+  void CancelFetch(int64_t block);
+
   // The application consumed `block` (must be present); reindexes it under
   // its new next reference position.
   void UpdateNextUse(int64_t block, int64_t next_use);

@@ -51,7 +51,9 @@ void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
   std::vector<int64_t> scan_from(static_cast<size_t>(num_disks), -1);
   int eligible = 0;
   for (int d = 0; d < num_disks; ++d) {
-    if (sim.DiskIdle(d)) {
+    // A fail-stopped disk drains its queue and then sits idle forever; it
+    // gets no prefetch budget (the engine would refuse the fetches anyway).
+    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
       budget[static_cast<size_t>(d)] = batch_size_;
       ++eligible;
     }
@@ -105,7 +107,12 @@ void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
         tracker_->OnEvict(*victim);
       }
     }
-    PFC_CHECK_MSG(ok, "aggressive issued an invalid fetch");
+    if (!ok) {
+      // The engine refused the fetch (e.g. the block's disk fail-stopped
+      // since the budget was computed); degrade gracefully — stop this
+      // round and let the demand path cover the block.
+      return;
+    }
     tracker_->OnIssue(block);
     if (--budget[static_cast<size_t>(best_disk)] == 0) {
       --eligible;

@@ -8,7 +8,9 @@
 namespace pfc {
 
 FixedHorizonPolicy::FixedHorizonPolicy(int horizon) : horizon_(horizon) {
-  PFC_CHECK(horizon >= 0);
+  if (horizon < 0) {
+    throw SimError("fixed horizon: horizon must be non-negative");
+  }
 }
 
 void FixedHorizonPolicy::Init(Simulator& sim) {

@@ -10,9 +10,15 @@ namespace pfc {
 ForestallPolicy::ForestallPolicy() : ForestallPolicy(Params{}) {}
 
 ForestallPolicy::ForestallPolicy(Params params) : params_(params) {
-  PFC_CHECK(params.history > 0);
-  PFC_CHECK(params.horizon >= 0);
-  PFC_CHECK(params.lookahead_cache_factor > 0);
+  if (params.history <= 0) {
+    throw SimError("forestall: history must be positive");
+  }
+  if (params.horizon < 0) {
+    throw SimError("forestall: horizon must be non-negative");
+  }
+  if (params.lookahead_cache_factor <= 0) {
+    throw SimError("forestall: lookahead_cache_factor must be positive");
+  }
 }
 
 void ForestallPolicy::Init(Simulator& sim) {
@@ -98,7 +104,11 @@ bool ForestallPolicy::FetchWithOptimalEviction(Simulator& sim, int64_t block, in
       tracker_->OnEvict(*victim);
     }
   }
-  PFC_CHECK_MSG(ok, "forestall issued an invalid fetch");
+  if (!ok) {
+    // The engine refused the fetch (dead disk); let the caller stop this
+    // round — the demand path covers the block when it is referenced.
+    return false;
+  }
   tracker_->OnIssue(block);
   return true;
 }
@@ -147,6 +157,12 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
       tracker_->ErasePosition(p);
       continue;
     }
+    if (sim.DiskFailed(sim.Location(block).disk)) {
+      // Unfetchable: the disk fail-stopped. Drop the position so it cannot
+      // head-of-line block the backstop; the demand path recovers the block.
+      tracker_->ErasePosition(p);
+      continue;
+    }
     if (cache.free_buffers() == 0 && cache.FurthestNextUse() <= horizon_edge) {
       break;  // no victim is safe to take this early
     }
@@ -160,7 +176,8 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
   // fetch removes a missing block, so a compute-bound disk clears after one
   // or two fetches while a truly starved disk fills its whole batch.
   for (int d = 0; d < num_disks; ++d) {
-    if (!sim.DiskIdle(d)) {
+    // A fail-stopped disk looks permanently idle and constrained; skip it.
+    if (!sim.DiskIdle(d) || sim.DiskFailed(d)) {
       continue;
     }
     int budget = batch_size_;

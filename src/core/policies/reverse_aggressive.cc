@@ -12,16 +12,25 @@ namespace pfc {
 ReverseAggressivePolicy::ReverseAggressivePolicy() : ReverseAggressivePolicy(Params{}) {}
 
 ReverseAggressivePolicy::ReverseAggressivePolicy(Params params) : params_(params) {
-  PFC_CHECK(params.fetch_time_estimate >= 1);
-  PFC_CHECK(params.batch_size >= 1);
+  if (params.fetch_time_estimate < 1) {
+    throw SimError("reverse aggressive: fetch_time_estimate must be >= 1");
+  }
+  if (params.batch_size < 1) {
+    throw SimError("reverse aggressive: batch_size must be >= 1");
+  }
 }
 
 void ReverseAggressivePolicy::Init(Simulator& sim) {
-  PFC_CHECK_MSG(sim.FullyHinted(),
-                "reverse aggressive is offline and requires full advance knowledge");
-  PFC_CHECK_MSG(sim.trace().WriteCount() == 0,
-                "reverse aggressive's schedule transform is defined for read-only traces "
-                "(the paper's setting); use the online policies for write workloads");
+  if (!sim.FullyHinted()) {
+    throw SimError(
+        "reverse aggressive is offline and requires full advance knowledge "
+        "(hint_coverage = 1)");
+  }
+  if (sim.trace().WriteCount() != 0) {
+    throw SimError(
+        "reverse aggressive's schedule transform is defined for read-only traces "
+        "(the paper's setting); use the online policies for write workloads");
+  }
   BuildSchedule(sim);
 }
 

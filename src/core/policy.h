@@ -61,6 +61,17 @@ class Policy {
     (void)block;
   }
 
+  // A prefetch for `block` permanently failed (retries exhausted or the disk
+  // fail-stopped); the engine dropped it from the cache. Policies that track
+  // outstanding prefetches should forget the block or re-plan it on another
+  // path. Demand fetches never reach this hook — the engine recovers those
+  // itself.
+  virtual void OnFetchFailed(Simulator& sim, int disk, int64_t block) {
+    (void)sim;
+    (void)disk;
+    (void)block;
+  }
+
   // The application stalled on `block` and no fetch is in flight for it.
   // Returns the block to evict, or -1 to use a free buffer. The engine only
   // calls this when no free buffer exists; the default picks the

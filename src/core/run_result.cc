@@ -13,7 +13,15 @@ std::string RunResult::ToString() const {
                 static_cast<long long>(fetches), static_cast<long long>(demand_fetches),
                 elapsed_sec(), compute_sec(), driver_sec(), stall_sec(), avg_fetch_ms,
                 avg_disk_util);
-  return buf;
+  std::string out = buf;
+  // Only degraded runs carry fault details; healthy output is unchanged.
+  if (retries != 0 || failed_requests != 0 || degraded_stall_ns != 0) {
+    std::snprintf(buf, sizeof(buf), " retries=%lld failed=%lld degraded_stall=%.3fs",
+                  static_cast<long long>(retries),
+                  static_cast<long long>(failed_requests), degraded_stall_sec());
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace pfc

@@ -22,10 +22,20 @@ struct RunResult {
   int64_t flushes = 0;         // write-backs issued during the run
   int64_t dirty_at_end = 0;    // dirty blocks left for post-run write-back
 
+  // Fault-injection outcome (all zero on a healthy run).
+  int64_t retries = 0;          // failed attempts that were re-issued
+  int64_t failed_requests = 0;  // requests abandoned after the retry bound
+
   TimeNs compute_time = 0;  // sum of (scaled) inter-reference compute times
   TimeNs driver_time = 0;   // fetches * driver_overhead
   TimeNs stall_time = 0;    // processor idle, waiting on I/O
   TimeNs elapsed_time = 0;  // compute + driver + stall
+
+  // Portion of stall_time attributable to injected faults (retries, tail
+  // latency, slow-disk stretch, recovery penalties). Always <= stall_time;
+  // the compute+driver+stall decomposition is unchanged — this is a
+  // refinement of the stall bar, not a fourth bar.
+  TimeNs degraded_stall_ns = 0;
 
   double avg_fetch_ms = 0;     // mean disk service time per request
   double avg_response_ms = 0;  // mean queueing + service time per request
@@ -36,6 +46,7 @@ struct RunResult {
   double stall_sec() const { return NsToSec(stall_time); }
   double driver_sec() const { return NsToSec(driver_time); }
   double compute_sec() const { return NsToSec(compute_time); }
+  double degraded_stall_sec() const { return NsToSec(degraded_stall_ns); }
 
   // Multi-line appendix-style rendering.
   std::string ToString() const;

@@ -50,6 +50,17 @@ struct SimConfig {
   // strategies can mask update latency", section 1.1). true = write-through:
   // every write stalls until it reaches the disk.
   bool write_through = false;
+
+  // Fault injection (see disk/fault_model.h). The default draws nothing and
+  // installs no fault layer, so healthy runs are bit-identical to a build
+  // without it.
+  FaultConfig faults;
+
+  // Event-budget watchdog: a run that processes more than this many engine
+  // events throws SimError instead of spinning forever (a wedged policy or
+  // pathological fault config must not hang the experiment pool). 0 picks a
+  // generous heuristic budget from the trace length.
+  int64_t max_events = 0;
 };
 
 }  // namespace pfc

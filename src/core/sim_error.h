@@ -1,0 +1,32 @@
+// Recoverable simulation errors.
+//
+// PFC_CHECK is for internal invariants — a failure means the engine itself
+// is broken, and aborting is correct. SimError is for conditions a caller
+// can cause and should be able to handle: an invalid SimConfig, policy
+// parameters out of range, a policy applied to a trace it cannot run on, or
+// a run exceeding its event budget. The experiment runner catches these per
+// job and records a structured error instead of taking down the whole grid.
+
+#ifndef PFC_CORE_SIM_ERROR_H_
+#define PFC_CORE_SIM_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace pfc {
+
+struct SimConfig;
+
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& message) : std::runtime_error(message) {}
+};
+
+// Throws SimError with a field-level message if `config` is not runnable.
+// Called by the Simulator constructor; the runner also calls it up front so
+// invalid jobs fail before any shared state (trace oracles) is built.
+void ValidateSimConfig(const SimConfig& config);
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_SIM_ERROR_H_

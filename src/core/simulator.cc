@@ -1,5 +1,8 @@
 #include "core/simulator.h"
 
+#include <algorithm>
+#include <string>
+
 #include "util/check.h"
 
 namespace pfc {
@@ -17,7 +20,73 @@ void CheckContextMatches(const TraceContext& context, const SimConfig& config) {
                 "TraceContext hint_seed does not match SimConfig");
 }
 
+[[noreturn]] void FailConfig(const std::string& what) {
+  throw SimError("invalid SimConfig: " + what);
+}
+
+void RequireRate(double rate, const char* field) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    FailConfig(std::string(field) + " must be in [0, 1] (got " +
+               std::to_string(rate) + ")");
+  }
+}
+
+// Validates config in the member-initializer list, before the cache and
+// disk array (whose constructors abort on bad values) are built.
+const SimConfig& Validated(const SimConfig& config) {
+  ValidateSimConfig(config);
+  return config;
+}
+
 }  // namespace
+
+void ValidateSimConfig(const SimConfig& config) {
+  if (config.cache_blocks <= 0) {
+    FailConfig("cache_blocks must be positive (got " +
+               std::to_string(config.cache_blocks) + ")");
+  }
+  if (config.num_disks <= 0) {
+    FailConfig("num_disks must be positive (got " +
+               std::to_string(config.num_disks) + ")");
+  }
+  if (!(config.cpu_scale > 0.0)) {
+    FailConfig("cpu_scale must be positive (got " +
+               std::to_string(config.cpu_scale) + ")");
+  }
+  if (config.driver_overhead < 0) {
+    FailConfig("driver_overhead must be non-negative");
+  }
+  if (!(config.hint_coverage >= 0.0)) {
+    FailConfig("hint_coverage must be non-negative (got " +
+               std::to_string(config.hint_coverage) + ")");
+  }
+  if (config.max_events < 0) {
+    FailConfig("max_events must be non-negative");
+  }
+  const FaultConfig& f = config.faults;
+  RequireRate(f.media_error_rate, "faults.media_error_rate");
+  RequireRate(f.tail_rate, "faults.tail_rate");
+  if (!(f.tail_multiplier >= 1.0)) {
+    FailConfig("faults.tail_multiplier must be >= 1 (got " +
+               std::to_string(f.tail_multiplier) + ")");
+  }
+  if (!(f.slow_factor >= 1.0)) {
+    FailConfig("faults.slow_factor must be >= 1 (got " +
+               std::to_string(f.slow_factor) + ")");
+  }
+  if (f.max_retries < 0) {
+    FailConfig("faults.max_retries must be non-negative");
+  }
+  if (f.retry_backoff < 0 || f.slow_after < 0 || f.fail_after < 0) {
+    FailConfig("faults times must be non-negative");
+  }
+  if (f.error_latency <= 0) {
+    FailConfig("faults.error_latency must be positive");
+  }
+  if (f.recovery_penalty <= 0) {
+    FailConfig("faults.recovery_penalty must be positive");
+  }
+}
 
 Simulator::Simulator(const Trace& trace, const SimConfig& config, Policy* policy)
     : Simulator(std::make_shared<const TraceContext>(trace, config.hint_coverage,
@@ -29,31 +98,35 @@ Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfi
     : context_owner_(std::move(context)),
       context_(*context_owner_),
       trace_(context_.trace()),
-      config_(config),
+      config_(Validated(config)),
       policy_(policy),
       cache_(config.cache_blocks),
       placement_(MakePlacement(config.placement, config.num_disks)),
       disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
-                                         config.discipline)) {
+                                         config.discipline, config.faults)) {
   PFC_CHECK(policy != nullptr);
   CheckContextMatches(context_, config);
   dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
+  event_budget_ = config_.max_events > 0 ? config_.max_events
+                                         : 64 * trace_.size() + 1'000'000;
 }
 
 Simulator::Simulator(const TraceContext& context, const SimConfig& config, Policy* policy)
     : context_(context),
       trace_(context_.trace()),
-      config_(config),
+      config_(Validated(config)),
       policy_(policy),
       cache_(config.cache_blocks),
       placement_(MakePlacement(config.placement, config.num_disks)),
       disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
-                                         config.discipline)) {
+                                         config.discipline, config.faults)) {
   PFC_CHECK(policy != nullptr);
   CheckContextMatches(context_, config);
   dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
+  event_budget_ = config_.max_events > 0 ? config_.max_events
+                                         : 64 * trace_.size() + 1'000'000;
 }
 
 TimeNs Simulator::ScaledCompute(int64_t pos) const {
@@ -61,6 +134,17 @@ TimeNs Simulator::ScaledCompute(int64_t pos) const {
 }
 
 bool Simulator::IssueFetch(int64_t block, int64_t evict) {
+  return IssueFetchInternal(block, evict, /*demand=*/false);
+}
+
+bool Simulator::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
+  BlockLocation loc = placement_->Map(block);
+  // Prefetches to a dead disk are refused so policies re-plan; the demand
+  // path is allowed through (the request fails fast and the retry/recovery
+  // machinery bounds the damage).
+  if (!demand && disks_->disk(loc.disk).FailStopped(sim_now_)) {
+    return false;
+  }
   if (cache_.GetState(block) != BufferCache::State::kAbsent) {
     return false;
   }
@@ -75,7 +159,6 @@ bool Simulator::IssueFetch(int64_t block, int64_t evict) {
     }
     cache_.StartFetchWithEviction(block, evict);
   }
-  BlockLocation loc = placement_->Map(block);
   disks_->disk(loc.disk).Enqueue(block, loc.disk_block, sim_now_, next_seq_++);
   ++fetches_;
   pending_driver_ += config_.driver_overhead;
@@ -88,38 +171,82 @@ void Simulator::TryDispatch(int disk) {
   std::optional<DispatchResult> res = disks_->disk(disk).TryDispatch(sim_now_);
   if (res.has_value()) {
     events_.push(Event{res->complete_time, next_seq_++, disk, res->logical_block,
-                       res->service_time});
+                       res->service_time, res->nominal_service, res->failed,
+                       EventKind::kComplete});
   }
 }
 
 void Simulator::ApplyNextEvent() {
   PFC_CHECK(!events_.empty());
+  if (++events_processed_ > event_budget_) {
+    throw SimError("event budget exceeded: " + std::to_string(event_budget_) +
+                   " events processed without finishing the trace (wedged "
+                   "run? raise SimConfig::max_events)");
+  }
   Event ev = events_.top();
   events_.pop();
-  PFC_CHECK(ev.time >= sim_now_);
+  PFC_CHECK_GE(ev.time, sim_now_);
   sim_now_ = ev.time;
 
-  Disk& d = disks_->disk(ev.disk);
-  d.CompleteCurrent(ev.time);
-  if (flush_in_flight_.erase(ev.block)) {
-    // A write-back finished. A write that landed mid-flush re-dirties.
-    --flush_outstanding_[static_cast<size_t>(ev.disk)];
-    if (redirty_pending_.erase(ev.block)) {
-      dirty_by_disk_[static_cast<size_t>(ev.disk)].insert(ev.block);
-    } else {
-      cache_.MarkClean(ev.block);
-    }
-  } else {
-    // Key the arrival under its next disclosed use — except that a block the
-    // application is waiting on right now is known to be needed at the
-    // cursor even if that reference was never hinted (the outstanding demand
-    // request is itself the disclosure). Without this, a policy could evict
-    // the arrival before the stalled application consumes it.
+  if (ev.kind == EventKind::kRetry) {
+    // Re-issue a failed request on its disk. Like any issue, the retry
+    // costs driver CPU.
+    BlockLocation loc = placement_->Map(ev.block);
+    pending_driver_ += config_.driver_overhead;
+    driver_total_ += config_.driver_overhead;
+    disks_->disk(ev.disk).Enqueue(ev.block, loc.disk_block, sim_now_, next_seq_++);
+    TryDispatch(ev.disk);
+    return;
+  }
+  if (ev.kind == EventKind::kRecover) {
+    // A permanently failed demand fetch recovered out-of-band (sector
+    // remap / redundancy stand-in); materialize the block so the stalled
+    // application can proceed.
     int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
                            ? cursor_
                            : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
     policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
+    return;
+  }
+
+  Disk& d = disks_->disk(ev.disk);
+  d.CompleteCurrent(ev.time);
+  if (ev.failed) {
+    HandleFailedRequest(ev);
+  } else {
+    if (!retry_attempts_.empty()) {
+      retry_attempts_.erase(ev.block);
+    }
+    // A stretched (tail / slow-disk) service adds fault latency even when
+    // the request ultimately succeeds.
+    if (ev.service > ev.nominal) {
+      fault_delay_[ev.block] += ev.service - ev.nominal;
+    }
+    if (waiting_block_ != ev.block && !fault_delay_.empty()) {
+      // Nobody stalled on this block, so its fault latency was absorbed.
+      fault_delay_.erase(ev.block);
+    }
+    if (flush_in_flight_.erase(ev.block)) {
+      // A write-back finished. A write that landed mid-flush re-dirties.
+      --flush_outstanding_[static_cast<size_t>(ev.disk)];
+      if (redirty_pending_.erase(ev.block)) {
+        dirty_by_disk_[static_cast<size_t>(ev.disk)].insert(ev.block);
+      } else {
+        cache_.MarkClean(ev.block);
+      }
+    } else {
+      // Key the arrival under its next disclosed use — except that a block the
+      // application is waiting on right now is known to be needed at the
+      // cursor even if that reference was never hinted (the outstanding demand
+      // request is itself the disclosure). Without this, a policy could evict
+      // the arrival before the stalled application consumes it.
+      int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
+                             ? cursor_
+                             : context_.index().NextUseAt(ev.block, cursor_);
+      cache_.CompleteFetch(ev.block, next_use);
+      policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
+    }
   }
   TryDispatch(ev.disk);
   if (d.idle()) {
@@ -129,6 +256,72 @@ void Simulator::ApplyNextEvent() {
   }
   if (d.idle()) {
     MaybeFlush(ev.disk);
+  }
+}
+
+void Simulator::HandleFailedRequest(const Event& ev) {
+  const FaultConfig& fc = config_.faults;
+  const bool is_flush = flush_in_flight_.contains(ev.block);
+  const bool dead = disks_->disk(ev.disk).FailStopped(sim_now_);
+  const int attempts = ++retry_attempts_[ev.block];
+  if (!dead && attempts <= fc.max_retries) {
+    // Transient error: back off exponentially and re-issue. Retrying a dead
+    // disk is pointless, so fail-stop skips straight to the permanent path.
+    const int shift = std::min(attempts - 1, 20);
+    const TimeNs backoff = fc.retry_backoff << shift;
+    fault_delay_[ev.block] += ev.service + backoff;
+    ++retries_;
+    events_.push(Event{sim_now_ + backoff, next_seq_++, ev.disk, ev.block, 0, 0,
+                       false, EventKind::kRetry});
+    return;
+  }
+
+  // Permanent failure: retries exhausted or the disk fail-stopped.
+  ++failed_requests_;
+  retry_attempts_.erase(ev.block);
+  if (is_flush) {
+    // The write-back is abandoned — the new contents never reach the disk
+    // (simulated data loss, visible in failed_requests). Clean the buffer
+    // so the cache still drains.
+    flush_in_flight_.erase(ev.block);
+    --flush_outstanding_[static_cast<size_t>(ev.disk)];
+    redirty_pending_.erase(ev.block);
+    cache_.MarkClean(ev.block);
+    if (waiting_block_ == ev.block) {
+      fault_delay_[ev.block] += ev.service;  // write-through stall on it
+    } else {
+      fault_delay_.erase(ev.block);
+    }
+  } else if (waiting_block_ == ev.block) {
+    // The application is stalled on this block; synthesize it after the
+    // recovery penalty so the run completes.
+    fault_delay_[ev.block] += ev.service + fc.recovery_penalty;
+    events_.push(Event{sim_now_ + fc.recovery_penalty, next_seq_++, ev.disk,
+                       ev.block, fc.recovery_penalty, 0, false, EventKind::kRecover});
+  } else {
+    // A prefetch nobody waits on: drop it and let the policy re-plan.
+    fault_delay_.erase(ev.block);
+    cache_.CancelFetch(ev.block);
+    policy_->OnFetchFailed(*this, ev.disk, ev.block);
+  }
+}
+
+void Simulator::EndStall(int64_t block, TimeNs wait_start) {
+  if (sim_now_ > wait_start) {
+    const TimeNs duration = sim_now_ - wait_start;
+    stall_total_ += duration;
+    app_time_ = sim_now_;
+    if (!fault_delay_.empty()) {
+      auto it = fault_delay_.find(block);
+      if (it != fault_delay_.end()) {
+        // The fault-added latency is visible stall only up to the length of
+        // this stall window (overlap with compute is absorbed).
+        degraded_stall_ += std::min(duration, it->second);
+        fault_delay_.erase(it);
+      }
+    }
+  } else if (!fault_delay_.empty()) {
+    fault_delay_.erase(block);
   }
 }
 
@@ -186,6 +379,7 @@ bool Simulator::ForceFlushForProgress() {
 void Simulator::ServeWrite(int64_t pos, int64_t block) {
   ++write_refs_;
   const TimeNs wait_start = app_time_;
+  waiting_block_ = block;
 
   // A prefetch for the block may be in flight; the buffer is busy until it
   // lands (the new contents then overwrite it).
@@ -234,10 +428,8 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
     }
   }
 
-  if (sim_now_ > wait_start) {
-    stall_total_ += sim_now_ - wait_start;
-    app_time_ = sim_now_;
-  }
+  waiting_block_ = -1;
+  EndStall(block, wait_start);
 }
 
 void Simulator::DrainEventsUpTo(TimeNs t) {
@@ -254,14 +446,14 @@ void Simulator::DemandFetch(int64_t block) {
       return;  // a policy callback fetched it while we were waiting
     }
     if (cache_.free_buffers() > 0) {
-      bool ok = IssueFetch(block, kNoEvict);
+      bool ok = IssueFetchInternal(block, kNoEvict, /*demand=*/true);
       PFC_CHECK(ok);
       policy_->OnDemandFetch(*this, block);
       return;
     }
     if (cache_.present_count() > 0) {
       int64_t victim = policy_->ChooseDemandEviction(*this, block);
-      bool ok = IssueFetch(block, victim);
+      bool ok = IssueFetchInternal(block, victim, /*demand=*/true);
       PFC_CHECK_MSG(ok, "demand eviction choice was not a present block");
       policy_->OnDemandFetch(*this, block);
       return;
@@ -307,6 +499,7 @@ RunResult Simulator::Run() {
       continue;
     }
     if (!cache_.Present(block)) {
+      waiting_block_ = block;
       if (!cache_.Fetching(block)) {
         DemandFetch(block);
       }
@@ -320,10 +513,8 @@ RunResult Simulator::Run() {
         }
         ApplyNextEvent();
       }
-      if (sim_now_ > wait_start) {
-        stall_total_ += sim_now_ - wait_start;
-        app_time_ = sim_now_;
-      }
+      waiting_block_ = -1;
+      EndStall(block, wait_start);
     }
 
     // Consume the reference: reindex the block under its next use and burn
@@ -344,10 +535,13 @@ RunResult Simulator::Run() {
   result.write_refs = write_refs_;
   result.flushes = flushes_;
   result.dirty_at_end = cache_.dirty_count();
+  result.retries = retries_;
+  result.failed_requests = failed_requests_;
   result.compute_time = compute_total_;
   result.driver_time = driver_total_;
   result.stall_time = stall_total_;
   result.elapsed_time = app_time_;
+  result.degraded_stall_ns = degraded_stall_;
 
   int64_t completed = 0;
   double sum_service = 0;

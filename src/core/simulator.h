@@ -11,6 +11,17 @@
 // The engine owns the mechanics (cache semantics, disk queues, events,
 // stall accounting); the Policy decides what to fetch and what to evict.
 //
+// Fault handling: when the fault layer (disk/fault_model.h) fails a request,
+// the engine retries it with exponential backoff — each retry charged to the
+// simulated clock like any issue — up to SimConfig::faults.max_retries. A
+// request that exhausts its retries is permanently failed: an abandoned
+// write-back is dropped (simulated data loss), an abandoned prefetch is
+// cancelled and the policy notified (OnFetchFailed), and a block the
+// application is stalled on is synthesized after the recovery penalty so the
+// run always completes. The stall time attributable to faults is reported
+// separately (RunResult::degraded_stall_ns) without changing the
+// compute+driver+stall decomposition.
+//
 // Concurrency: a Simulator is strictly single-threaded, but its read-only
 // inputs (Trace, TraceContext) may be shared by many simulators running on
 // different threads — see harness/runner.h.
@@ -20,6 +31,7 @@
 
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "core/buffer_cache.h"
@@ -27,6 +39,7 @@
 #include "core/policy.h"
 #include "core/run_result.h"
 #include "core/sim_config.h"
+#include "core/sim_error.h"
 #include "core/trace_context.h"
 #include "disk/disk_array.h"
 #include "layout/placement.h"
@@ -38,7 +51,7 @@ namespace pfc {
 class Simulator {
  public:
   // Builds a private TraceContext for this run. `trace` and `policy` must
-  // outlive the simulator.
+  // outlive the simulator. Throws SimError if `config` is invalid.
   Simulator(const Trace& trace, const SimConfig& config, Policy* policy);
 
   // Borrows a pre-built (possibly shared) context; `context` must outlive
@@ -50,7 +63,8 @@ class Simulator {
   // Same, but shares ownership of the context (see SharedTraceContext).
   Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config, Policy* policy);
 
-  // Runs the whole trace; callable once per Simulator instance.
+  // Runs the whole trace; callable once per Simulator instance. Throws
+  // SimError if the run exceeds its event budget (see SimConfig::max_events).
   RunResult Run();
 
   // --- State queries for policies -----------------------------------------
@@ -65,6 +79,9 @@ class Simulator {
   const DiskArray& disks() const { return *disks_; }
   BlockLocation Location(int64_t block) const { return placement_->Map(block); }
   bool DiskIdle(int d) const { return disks_->disk(d).idle(); }
+  // True once disk `d` has fail-stopped; prefetches to it are refused and
+  // policies should plan around it.
+  bool DiskFailed(int d) const { return disks_->disk(d).FailStopped(sim_now_); }
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
   bool Hinted(int64_t pos) const {
@@ -80,25 +97,40 @@ class Simulator {
 
   // Issues a fetch for `block`, evicting `evict` (pass kNoEvict to take a
   // free buffer). Returns false — without side effects — if the request is
-  // invalid: block not absent, eviction target not present, or no free
-  // buffer when one was requested.
+  // invalid: block not absent, eviction target not present, no free buffer
+  // when one was requested, or the block's disk has fail-stopped (prefetches
+  // to a dead disk are refused; only the engine's demand path may try one).
   static constexpr int64_t kNoEvict = -1;
   bool IssueFetch(int64_t block, int64_t evict);
 
  private:
+  enum class EventKind : uint8_t {
+    kComplete,  // a disk finished (or errored) its in-service request
+    kRetry,     // re-issue a failed request after its backoff
+    kRecover,   // synthesize a permanently failed block the app waits on
+  };
+
   struct Event {
     TimeNs time = 0;
     uint64_t seq = 0;
     int disk = 0;
     int64_t block = 0;
-    TimeNs service = 0;
+    TimeNs service = 0;  // actual service (kComplete) / penalty (kRecover)
+    TimeNs nominal = 0;  // fault-free service time (kComplete only)
+    bool failed = false;
+    EventKind kind = EventKind::kComplete;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
   };
 
+  bool IssueFetchInternal(int64_t block, int64_t evict, bool demand);
   void TryDispatch(int disk);
   void ApplyNextEvent();
+  void HandleFailedRequest(const Event& ev);
+  // Closes a stall window that began at `wait_start` (app clock) for
+  // `block`: accounts stall time and attributes the fault-inflicted share.
+  void EndStall(int64_t block, TimeNs wait_start);
   void DrainEventsUpTo(TimeNs t);
   void DemandFetch(int64_t block);
   // Write extension.
@@ -135,6 +167,16 @@ class Simulator {
   FlatSet flush_in_flight_;              // blocks being written back
   FlatSet redirty_pending_;              // written again mid-flush
   std::vector<int> flush_outstanding_;   // queued write-backs per disk
+  // Fault state. All maps stay empty on healthy runs, so the fast path only
+  // pays an emptiness test.
+  int64_t waiting_block_ = -1;           // block the app is stalled on, if any
+  std::unordered_map<int64_t, int> retry_attempts_;      // failures so far
+  std::unordered_map<int64_t, TimeNs> fault_delay_;      // fault-added latency
+  int64_t retries_ = 0;
+  int64_t failed_requests_ = 0;
+  TimeNs degraded_stall_ = 0;
+  int64_t events_processed_ = 0;
+  int64_t event_budget_ = 0;             // watchdog; set in the constructor
   TimeNs stall_total_ = 0;
   TimeNs driver_total_ = 0;
   TimeNs compute_total_ = 0;

@@ -4,8 +4,12 @@
 
 namespace pfc {
 
-Disk::Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline)
-    : id_(id), mechanism_(std::move(mechanism)), scheduler_(discipline) {
+Disk::Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline,
+           std::unique_ptr<FaultModel> fault)
+    : id_(id),
+      mechanism_(std::move(mechanism)),
+      scheduler_(discipline),
+      fault_(std::move(fault)) {
   PFC_CHECK(mechanism_ != nullptr);
 }
 
@@ -23,24 +27,47 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
     return std::nullopt;
   }
   QueuedRequest r = scheduler_.PopNext(head_block_);
-  TimeNs service = mechanism_->Access(r.disk_block, now);
-  PFC_CHECK(service > 0);
+  TimeNs nominal;
+  TimeNs service;
+  bool failed = false;
+  if (fault_ != nullptr && fault_->FailStopped(now)) {
+    // A dead drive never moves the head or touches the mechanism; it just
+    // times out the request.
+    nominal = fault_->error_latency();
+    service = nominal;
+    failed = true;
+  } else {
+    nominal = mechanism_->Access(r.disk_block, now);
+    service = nominal;
+    if (fault_ != nullptr) {
+      FaultDecision d = fault_->OnAccess(now, nominal);
+      service = d.service;
+      failed = d.failed;
+    }
+    head_block_ = r.disk_block;
+  }
+  PFC_CHECK_GT(service, 0);
   busy_ = true;
-  head_block_ = r.disk_block;
   current_.logical_block = r.logical_block;
   current_.disk_block = r.disk_block;
   current_.enqueue_time = r.enqueue_time;
   current_.service_time = service;
+  current_.nominal_service = nominal;
   current_.complete_time = now + service;
+  current_.failed = failed;
   return current_;
 }
 
 void Disk::CompleteCurrent(TimeNs now) {
   PFC_CHECK(busy_);
-  PFC_CHECK(now == current_.complete_time);
+  PFC_CHECK_EQ(now, current_.complete_time);
   busy_ = false;
-  ++stats_.requests;
   stats_.busy_ns += current_.service_time;
+  if (current_.failed) {
+    ++stats_.errors;
+    return;
+  }
+  ++stats_.requests;
   stats_.sum_service_ms += NsToMs(current_.service_time);
   stats_.sum_response_ms += NsToMs(now - current_.enqueue_time);
 }
@@ -51,6 +78,9 @@ void Disk::Reset() {
   head_block_ = 0;
   stats_ = DiskStats{};
   mechanism_->Reset();
+  if (fault_ != nullptr) {
+    fault_->Reset();
+  }
 }
 
 }  // namespace pfc

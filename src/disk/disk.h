@@ -4,6 +4,11 @@
 // queue is reordered by the discipline at each dispatch. The simulation
 // engine drives the disk: Enqueue -> TryDispatch -> (event fires) ->
 // CompleteCurrent -> TryDispatch.
+//
+// An optional FaultModel sits between the queue and the mechanism: it can
+// fail a dispatched request (transient media error), stretch its service
+// time (latency tail / slow disk), or fail-stop the whole drive. The engine
+// owns the retry policy; the disk only reports what happened.
 
 #ifndef PFC_DISK_DISK_H_
 #define PFC_DISK_DISK_H_
@@ -13,6 +18,7 @@
 #include <optional>
 
 #include "disk/disk_mechanism.h"
+#include "disk/fault_model.h"
 #include "disk/scheduler.h"
 #include "util/stats.h"
 #include "util/time_util.h"
@@ -23,20 +29,24 @@ struct DispatchResult {
   int64_t logical_block = 0;
   int64_t disk_block = 0;
   TimeNs complete_time = 0;
-  TimeNs service_time = 0;
+  TimeNs service_time = 0;     // actual (fault-adjusted) service time
+  TimeNs nominal_service = 0;  // what the mechanism alone would have taken
   TimeNs enqueue_time = 0;
+  bool failed = false;  // request errors at complete_time instead of finishing
 };
 
 struct DiskStats {
-  int64_t requests = 0;
-  TimeNs busy_ns = 0;          // total time in service
-  double sum_service_ms = 0;   // for average fetch time
-  double sum_response_ms = 0;  // queueing + service
+  int64_t requests = 0;        // successfully completed requests
+  int64_t errors = 0;          // failed attempts (each retry counts again)
+  TimeNs busy_ns = 0;          // total time in service, including failures
+  double sum_service_ms = 0;   // for average fetch time (successes only)
+  double sum_response_ms = 0;  // queueing + service (successes only)
 };
 
 class Disk {
  public:
-  Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline);
+  Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline,
+       std::unique_ptr<FaultModel> fault = nullptr);
 
   int id() const { return id_; }
 
@@ -47,9 +57,16 @@ class Disk {
   // Idle = not servicing anything and nothing queued. Policies key off this.
   bool idle() const { return !busy_ && scheduler_.empty(); }
 
+  // True once the fault model has fail-stopped this disk.
+  bool FailStopped(TimeNs now) const {
+    return fault_ != nullptr && fault_->FailStopped(now);
+  }
+
   // If the disk is free and has queued work, begins servicing the next
   // request and returns its completion record (the engine schedules the
-  // event). Returns nullopt otherwise.
+  // event). Returns nullopt otherwise. A fail-stopped disk still accepts
+  // dispatches but every one fails fast after error_latency — the queue
+  // must drain somewhere, and the engine decides whether to retry.
   std::optional<DispatchResult> TryDispatch(TimeNs now);
 
   // Marks the in-service request finished. Must match the last dispatch.
@@ -65,6 +82,7 @@ class Disk {
   int id_;
   std::unique_ptr<DiskMechanism> mechanism_;
   RequestScheduler scheduler_;
+  std::unique_ptr<FaultModel> fault_;  // nullptr when faults are disabled
   bool busy_ = false;
   int64_t head_block_ = 0;  // last block the head touched
   DispatchResult current_;

@@ -15,8 +15,9 @@ std::string ToString(DiskModelKind kind) {
   return "?";
 }
 
-DiskArray::DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipline) {
-  PFC_CHECK(num_disks > 0);
+DiskArray::DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipline,
+                     const FaultConfig& faults) {
+  PFC_CHECK_GT(num_disks, 0);
   disks_.reserve(static_cast<size_t>(num_disks));
   for (int i = 0; i < num_disks; ++i) {
     std::unique_ptr<DiskMechanism> mech;
@@ -25,7 +26,12 @@ DiskArray::DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipli
     } else {
       mech = SimpleMechanism::MakeDefault();
     }
-    disks_.push_back(std::make_unique<Disk>(i, std::move(mech), discipline));
+    std::unique_ptr<FaultModel> fault;
+    if (faults.enabled()) {
+      fault = std::make_unique<FaultModel>(faults, i);
+    }
+    disks_.push_back(
+        std::make_unique<Disk>(i, std::move(mech), discipline, std::move(fault)));
   }
 }
 

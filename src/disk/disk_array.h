@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "disk/disk.h"
+#include "disk/fault_model.h"
 #include "disk/scheduler.h"
 
 namespace pfc {
@@ -20,7 +21,11 @@ std::string ToString(DiskModelKind kind);
 
 class DiskArray {
  public:
-  DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipline);
+  // `faults` configures the optional per-disk fault layer; a disabled
+  // config (the default) installs no FaultModel at all, so healthy arrays
+  // behave bit-for-bit as before.
+  DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipline,
+            const FaultConfig& faults = FaultConfig{});
 
   int num_disks() const { return static_cast<int>(disks_.size()); }
   Disk& disk(int i) { return *disks_[static_cast<size_t>(i)]; }

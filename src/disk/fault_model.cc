@@ -1,0 +1,53 @@
+#include "disk/fault_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+
+uint64_t StreamSeed(uint64_t seed, int disk_id) {
+  return SplitMix64(seed ^ SplitMix64(0x9e3779b97f4a7c15ULL +
+                                      static_cast<uint64_t>(disk_id)));
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultConfig& config, int disk_id)
+    : config_(config), disk_id_(disk_id), rng_(StreamSeed(config.seed, disk_id)) {
+  PFC_CHECK_GE(disk_id, 0);
+  PFC_CHECK_GT(config_.error_latency, 0);
+}
+
+FaultDecision FaultModel::OnAccess(TimeNs start, TimeNs nominal) {
+  PFC_CHECK_GT(nominal, 0);
+  FaultDecision d{nominal, false};
+
+  // Media error first: a failed request never sees the tail draw, so the
+  // two mechanisms stay independent streams under composition.
+  if (config_.media_error_rate > 0.0 &&
+      rng_.UniformDouble() < config_.media_error_rate) {
+    d.failed = true;
+    d.service = config_.error_latency;
+    return d;
+  }
+
+  double mult = 1.0;
+  if (config_.tail_rate > 0.0 && rng_.UniformDouble() < config_.tail_rate) {
+    mult *= config_.tail_multiplier;
+  }
+  if (disk_id_ == config_.slow_disk && start >= config_.slow_after) {
+    mult *= config_.slow_factor;
+  }
+  if (mult != 1.0) {
+    d.service = std::max<TimeNs>(
+        1, static_cast<TimeNs>(static_cast<double>(nominal) * mult + 0.5));
+  }
+  return d;
+}
+
+void FaultModel::Reset() { rng_ = Rng(StreamSeed(config_.seed, disk_id_)); }
+
+}  // namespace pfc

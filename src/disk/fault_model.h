@@ -1,0 +1,120 @@
+// Seeded, deterministic fault injection for the disk array.
+//
+// The paper measures prefetching policies on perfectly healthy disks; this
+// layer lets a run degrade one or more drives the way real arrays do:
+//
+//   - transient media errors: a request occupies the drive for error_latency
+//     and then fails, forcing the engine to retry it (bounded, with
+//     exponential backoff);
+//   - latency-tail outliers: a request's service time is multiplied by
+//     tail_multiplier (firmware recalibration, thermal retries, ...);
+//   - slow-disk degradation: from slow_after onward, one disk's service
+//     times are multiplied by slow_factor;
+//   - fail-stop: from fail_after onward, one disk completes nothing — every
+//     dispatch fails fast after error_latency.
+//
+// Every stochastic choice flows through a per-disk Rng seeded from
+// (seed, disk id), so a fault configuration reproduces bit-for-bit
+// regardless of how many worker threads run the experiment grid. A config
+// with all rates at zero and no degraded disk draws no random numbers and
+// installs no model at all, so the healthy path is byte-identical to a run
+// with no fault layer.
+
+#ifndef PFC_DISK_FAULT_MODEL_H_
+#define PFC_DISK_FAULT_MODEL_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+struct FaultConfig {
+  // Probability that a dispatched request fails with a transient media
+  // error (retryable). In [0, 1].
+  double media_error_rate = 0.0;
+
+  // Probability that a request's service time lands in the latency tail,
+  // and the multiplier applied when it does. rate in [0, 1], multiplier >= 1.
+  double tail_rate = 0.0;
+  double tail_multiplier = 10.0;
+
+  // Slow-disk degradation: disk `slow_disk` (or none if < 0) has service
+  // times multiplied by slow_factor (>= 1) from simulated time slow_after.
+  int slow_disk = -1;
+  double slow_factor = 1.0;
+  TimeNs slow_after = 0;
+
+  // Fail-stop: disk `fail_disk` (or none if < 0) stops completing requests
+  // at simulated time fail_after. Dispatches to a dead disk fail fast after
+  // error_latency; demand fetches exhaust their retries and take the
+  // recovery penalty, prefetches are dropped.
+  int fail_disk = -1;
+  TimeNs fail_after = 0;
+
+  // Seed for the per-disk fault streams.
+  uint64_t seed = 1;
+
+  // Retry policy, charged to the simulated clock by the engine: a failed
+  // request is retried up to max_retries times, the k-th retry issued
+  // retry_backoff << (k-1) after the failure. A request that exhausts its
+  // retries is permanently failed; if the application is stalled on it, the
+  // engine synthesizes the block after recovery_penalty (sector remap /
+  // read-from-redundancy stand-in).
+  int max_retries = 4;
+  TimeNs retry_backoff = MsToNs(1);
+
+  // Time a failed attempt occupies the drive before reporting the error.
+  TimeNs error_latency = MsToNs(5);
+
+  // Penalty charged when a demand-fetched block permanently fails.
+  TimeNs recovery_penalty = MsToNs(50);
+
+  // True if any fault mechanism can actually fire. Disabled configs install
+  // no FaultModel and perturb nothing.
+  bool enabled() const {
+    return media_error_rate > 0.0 || tail_rate > 0.0 ||
+           (slow_disk >= 0 && slow_factor != 1.0) || fail_disk >= 0;
+  }
+
+  bool operator==(const FaultConfig&) const = default;
+};
+
+// Outcome of one dispatch through the fault layer.
+struct FaultDecision {
+  TimeNs service = 0;   // actual time the request occupies the drive
+  bool failed = false;  // true: the request errors after `service`
+};
+
+// Per-disk fault state. Owned by Disk; consulted once per dispatch.
+class FaultModel {
+ public:
+  FaultModel(const FaultConfig& config, int disk_id);
+
+  // True once this disk has fail-stopped.
+  bool FailStopped(TimeNs now) const {
+    return config_.fail_disk == disk_id_ && now >= config_.fail_after;
+  }
+
+  // Decides the fate of a request dispatched at `start` whose nominal
+  // (mechanism) service time is `nominal`. Draws from the per-disk stream
+  // only for mechanisms whose rate is nonzero, so zero-rate configs are
+  // inert. Callers must check FailStopped() first; a dead disk never
+  // reaches the mechanism.
+  FaultDecision OnAccess(TimeNs start, TimeNs nominal);
+
+  TimeNs error_latency() const { return config_.error_latency; }
+
+  // Re-seeds the stream, for Disk::Reset().
+  void Reset();
+
+ private:
+  FaultConfig config_;
+  int disk_id_;
+  Rng rng_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_DISK_FAULT_MODEL_H_

@@ -81,17 +81,19 @@ std::string ResultsCsvString(const std::vector<RunResult>& results) {
   std::string out =
       "trace,policy,disks,fetches,demand_fetches,write_refs,flushes,dirty_at_end,"
       "compute_sec,driver_sec,stall_sec,elapsed_sec,avg_fetch_ms,avg_response_ms,"
-      "avg_disk_util\n";
+      "avg_disk_util,retries,failed_requests,degraded_stall_sec\n";
   char line[512];
   for (const RunResult& r : results) {
     std::snprintf(line, sizeof(line),
-                  "%s,%s,%d,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f\n",
+                  "%s,%s,%d,%lld,%lld,%lld,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.4f,"
+                  "%lld,%lld,%.6f\n",
                   r.trace_name.c_str(), r.policy_name.c_str(), r.num_disks,
                   static_cast<long long>(r.fetches), static_cast<long long>(r.demand_fetches),
                   static_cast<long long>(r.write_refs), static_cast<long long>(r.flushes),
                   static_cast<long long>(r.dirty_at_end), r.compute_sec(), r.driver_sec(),
                   r.stall_sec(), r.elapsed_sec(), r.avg_fetch_ms, r.avg_response_ms,
-                  r.avg_disk_util);
+                  r.avg_disk_util, static_cast<long long>(r.retries),
+                  static_cast<long long>(r.failed_requests), r.degraded_stall_sec());
     out += line;
   }
   return out;

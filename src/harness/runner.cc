@@ -25,12 +25,33 @@ ContextKey KeyFor(const ExperimentJob& job) {
   return ContextKey{job.trace, coverage, job.config.hint_seed};
 }
 
-RunResult RunJob(const ExperimentJob& job, const ContextMap& contexts) {
-  std::unique_ptr<Policy> policy = MakePolicy(job.kind, job.options);
-  auto it = contexts.find(KeyFor(job));
-  PFC_CHECK(it != contexts.end());
-  Simulator sim(*it->second, job.config, policy.get());
-  return sim.Run();
+// Everything a job can throw — SimError from config validation, policy
+// construction, or the engine's watchdog, plus bad_alloc and friends — is
+// captured as a structured per-job error. PFC_CHECK aborts are deliberate
+// exceptions to crash-proofing: they flag engine bugs, not bad jobs.
+JobOutcome RunJobChecked(const ExperimentJob& job, const ContextMap& contexts) {
+  JobOutcome out;
+  try {
+    if (job.trace == nullptr) {
+      throw SimError("ExperimentJob without a trace");
+    }
+    ValidateSimConfig(job.config);
+    std::unique_ptr<Policy> policy = MakePolicy(job.kind, job.options);
+    if (policy == nullptr) {
+      throw SimError("unknown policy kind");
+    }
+    auto it = contexts.find(KeyFor(job));
+    if (it == contexts.end()) {
+      throw SimError("internal: no TraceContext was built for this job");
+    }
+    Simulator sim(*it->second, job.config, policy.get());
+    out.result = sim.Run();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown error (non-standard exception)";
+  }
+  return out;
 }
 
 }  // namespace
@@ -50,7 +71,8 @@ int DefaultJobCount() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, int jobs) {
+std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& grid,
+                                              int jobs) {
   if (jobs <= 0) {
     jobs = DefaultJobCount();
   }
@@ -58,27 +80,37 @@ std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, in
   // Build each distinct oracle once, before any worker starts; workers then
   // only read. This is both the perf win (a study used to rebuild the index
   // per grid point) and what makes sharing race-free: after this loop the
-  // contexts are immutable.
+  // contexts are immutable. Jobs that cannot run at all (no trace, invalid
+  // config) are skipped here; RunJobChecked re-derives the descriptive
+  // error for their slots.
   ContextMap contexts;
   for (const ExperimentJob& job : grid) {
-    PFC_CHECK_MSG(job.trace != nullptr, "ExperimentJob without a trace");
+    if (job.trace == nullptr) {
+      continue;
+    }
+    try {
+      ValidateSimConfig(job.config);
+    } catch (const SimError&) {
+      continue;
+    }
     ContextKey key = KeyFor(job);
     if (contexts.find(key) == contexts.end()) {
       contexts.emplace(key, SharedTraceContext(*job.trace, std::get<1>(key), std::get<2>(key)));
     }
   }
 
-  std::vector<RunResult> results(grid.size());
+  std::vector<JobOutcome> outcomes(grid.size());
   if (jobs == 1 || grid.size() <= 1) {
     for (size_t i = 0; i < grid.size(); ++i) {
-      results[i] = RunJob(grid[i], contexts);
+      outcomes[i] = RunJobChecked(grid[i], contexts);
     }
-    return results;
+    return outcomes;
   }
 
   // Fixed pool, shared work queue (an atomic cursor over the grid), each
   // worker writing only its own slots — results land in submission order by
-  // construction, independent of completion order.
+  // construction, independent of completion order. RunJobChecked never
+  // throws, so a bad job cannot take down a worker.
   std::atomic<size_t> next{0};
   const int workers = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(jobs), grid.size()));
@@ -92,11 +124,42 @@ std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, in
           if (i >= grid.size()) {
             return;
           }
-          results[i] = RunJob(grid[i], contexts);
+          outcomes[i] = RunJobChecked(grid[i], contexts);
         }
       });
     }
   }  // jthreads join here
+  return outcomes;
+}
+
+std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, int jobs) {
+  std::vector<JobOutcome> outcomes = RunExperimentsChecked(grid, jobs);
+  size_t failed = 0;
+  for (const JobOutcome& o : outcomes) {
+    if (!o.ok()) {
+      ++failed;
+    }
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "pfc: %zu of %zu experiment jobs failed:\n", failed,
+                 outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].ok()) {
+        continue;
+      }
+      const ExperimentJob& job = grid[i];
+      std::fprintf(stderr, "  job #%zu (trace=%s policy=%s disks=%d): %s\n", i,
+                   job.trace != nullptr ? job.trace->name().c_str() : "<none>",
+                   ToString(job.kind).c_str(), job.config.num_disks,
+                   outcomes[i].error.c_str());
+    }
+    std::exit(1);
+  }
+  std::vector<RunResult> results;
+  results.reserve(outcomes.size());
+  for (JobOutcome& o : outcomes) {
+    results.push_back(std::move(o.result));
+  }
   return results;
 }
 
@@ -120,6 +183,22 @@ std::string TuneKey(const Trace& trace, const TuneRequest& request) {
                 static_cast<long long>(c.driver_overhead), c.cpu_scale, c.hint_coverage,
                 static_cast<unsigned long long>(c.hint_seed), c.write_through ? 1 : 0);
   key += buf;
+  // Fault injection perturbs results, so a faulty config must never share a
+  // memo slot with a healthy one. Disabled configs all behave identically
+  // regardless of their other fault fields and share the "healthy" key.
+  if (c.faults.enabled()) {
+    const FaultConfig& f = c.faults;
+    std::snprintf(buf, sizeof(buf),
+                  " flt=%a/%a/%a sd=%d/%a/%lld fd=%d/%lld s=%llu r=%d/%lld/%lld/%lld",
+                  f.media_error_rate, f.tail_rate, f.tail_multiplier, f.slow_disk,
+                  f.slow_factor, static_cast<long long>(f.slow_after), f.fail_disk,
+                  static_cast<long long>(f.fail_after),
+                  static_cast<unsigned long long>(f.seed), f.max_retries,
+                  static_cast<long long>(f.retry_backoff),
+                  static_cast<long long>(f.error_latency),
+                  static_cast<long long>(f.recovery_penalty));
+    key += buf;
+  }
   key += " F=";
   for (int64_t f : request.fetch_times) {
     std::snprintf(buf, sizeof(buf), "%lld,", static_cast<long long>(f));

@@ -41,11 +41,30 @@ struct ExperimentJob {
 // integer, otherwise std::thread::hardware_concurrency() (at least 1).
 int DefaultJobCount();
 
+// Outcome of one grid point: either a RunResult or a structured per-job
+// error (SimError / any exception text). `result` is meaningful only when
+// ok().
+struct JobOutcome {
+  RunResult result;
+  std::string error;  // empty on success
+  bool ok() const { return error.empty(); }
+};
+
+// Crash-proof variant of RunExperiments: every job runs under a catch-all
+// (plus the engine's own event-budget watchdog), and a failing job records
+// its error in its submission-order slot without disturbing the other jobs
+// or the pool. Never exits; callers inspect the outcomes.
+std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& grid,
+                                              int jobs = 0);
+
 // Runs every job, `jobs` at a time (0 = DefaultJobCount()), and returns the
 // results in submission order. With jobs == 1 everything runs inline on the
 // calling thread — no pool is created — which is the determinism reference.
 // Each distinct (trace, hint_coverage, hint_seed) triple's TraceContext is
 // built exactly once, up front, and shared read-only by all workers.
+// If any job fails, prints a per-job error summary to stderr and exits 1 —
+// studies must not silently drop grid points. Use RunExperimentsChecked to
+// handle failures programmatically.
 std::vector<RunResult> RunExperiments(const std::vector<ExperimentJob>& grid, int jobs = 0);
 
 // A reverse-aggressive tuning request: sweep the (fetch_time x batch) grid

@@ -35,6 +35,7 @@ SimConfig StudyConfig(const StudySpec& spec, int num_disks) {
   if (spec.cache_blocks_override > 0) {
     config.cache_blocks = spec.cache_blocks_override;
   }
+  config.faults = spec.faults;
   return config;
 }
 

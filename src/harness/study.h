@@ -29,6 +29,9 @@ struct StudySpec {
   DiskModelKind disk_model = DiskModelKind::kDetailed;
   double cpu_scale = 1.0;
   int cache_blocks_override = 0;  // 0 = per-trace baseline
+  // Fault injection applied to every point of the study (degraded-mode
+  // studies; see disk/fault_model.h). Default: healthy disks.
+  FaultConfig faults;
 };
 
 // True when the PFC_FULL environment variable asks for exhaustive sweeps.

@@ -29,10 +29,12 @@
 #include "core/policy.h"
 #include "core/run_result.h"
 #include "core/sim_config.h"
+#include "core/sim_error.h"
 #include "core/simulator.h"
 #include "core/trace_context.h"
 #include "disk/disk.h"
 #include "disk/disk_array.h"
+#include "disk/fault_model.h"
 #include "disk/disk_mechanism.h"
 #include "disk/geometry.h"
 #include "disk/scheduler.h"
@@ -48,6 +50,7 @@
 #include "trace/trace.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
+#include "util/expected.h"
 #include "util/flat_set.h"
 #include "util/rng.h"
 #include "util/stats.h"

@@ -1,17 +1,37 @@
 #include "trace/trace_io.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace pfc {
+
+namespace {
+
+bool IsBlank(const char* line) {
+  for (const char* p = line; *p != '\0'; ++p) {
+    if (*p != ' ' && *p != '\t' && *p != '\n' && *p != '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Where(const std::string& path, int64_t line_no) {
+  return path + ":" + std::to_string(line_no) + ": ";
+}
+
+}  // namespace
 
 bool SaveTraceText(const Trace& trace, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return false;
   }
-  bool ok = std::fprintf(f, "# pfc-trace v1 name=%s\n", trace.name().c_str()) > 0;
+  bool ok = std::fprintf(f, "# pfc-trace v1 n=%" PRId64 " name=%s\n", trace.size(),
+                         trace.name().c_str()) > 0;
   for (int64_t i = 0; ok && i < trace.size(); ++i) {
     if (trace.is_write(i)) {
       ok = std::fprintf(f, "%" PRId64 " %" PRId64 " W\n", trace.block(i),
@@ -25,17 +45,46 @@ bool SaveTraceText(const Trace& trace, const std::string& path) {
   return ok;
 }
 
-std::optional<Trace> LoadTraceText(const std::string& path) {
+Expected<Trace> LoadTraceTextChecked(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
-    return std::nullopt;
+    return Expected<Trace>::Failure(path + ": cannot open trace file: " +
+                                    std::strerror(errno));
   }
   Trace trace;
   char line[512];
   bool first = true;
+  int64_t line_no = 0;
+  int64_t expected_records = -1;  // from the header's n= field, if present
   while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
     if (line[0] == '#') {
       if (first) {
+        // Header line. Check the format version if the file declares one —
+        // a future-versioned file must fail loudly, not half-parse.
+        const char* magic = std::strstr(line, "pfc-trace");
+        if (magic != nullptr) {
+          long version = 0;
+          const char* vtag = std::strstr(magic, " v");
+          if (vtag != nullptr) {
+            version = std::strtol(vtag + 2, nullptr, 10);
+          }
+          if (version != 1) {
+            std::fclose(f);
+            return Expected<Trace>::Failure(
+                Where(path, line_no) + "unsupported trace format version " +
+                std::to_string(version) + " (this build reads pfc-trace v1)");
+          }
+        }
+        const char* count_tag = std::strstr(line, " n=");
+        if (count_tag != nullptr) {
+          expected_records = std::strtoll(count_tag + 3, nullptr, 10);
+          if (expected_records < 0) {
+            std::fclose(f);
+            return Expected<Trace>::Failure(Where(path, line_no) +
+                                            "corrupt header: negative record count");
+          }
+        }
         const char* name_tag = std::strstr(line, "name=");
         if (name_tag != nullptr) {
           std::string name(name_tag + 5);
@@ -50,25 +99,34 @@ std::optional<Trace> LoadTraceText(const std::string& path) {
       continue;
     }
     first = false;
+    if (IsBlank(line)) {
+      continue;
+    }
     int64_t block = 0;
     int64_t compute = 0;
     char op[8] = {0};
     int fields = std::sscanf(line, "%" SCNd64 " %" SCNd64 " %7s", &block, &compute, op);
-    if (fields < 2 || block < 0 || compute < 0 ||
-        (fields == 3 && !(op[0] == 'W' && op[1] == '\0'))) {
-      // Skip blank lines; reject malformed records.
-      bool blank = true;
-      for (const char* p = line; *p != '\0'; ++p) {
-        if (*p != ' ' && *p != '\t' && *p != '\n' && *p != '\r') {
-          blank = false;
-          break;
-        }
-      }
-      if (blank) {
-        continue;
-      }
+    if (fields < 2 || (fields == 3 && !(op[0] == 'W' && op[1] == '\0'))) {
       std::fclose(f);
-      return std::nullopt;
+      std::string text(line);
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+      return Expected<Trace>::Failure(Where(path, line_no) +
+                                      "malformed record '" + text +
+                                      "' (expected '<block> <compute_ns>[ W]')");
+    }
+    if (block < 0 || block >= kMaxTraceBlock) {
+      std::fclose(f);
+      return Expected<Trace>::Failure(Where(path, line_no) + "block number " +
+                                      std::to_string(block) +
+                                      " out of range [0, 2^40)");
+    }
+    if (compute < 0) {
+      std::fclose(f);
+      return Expected<Trace>::Failure(Where(path, line_no) +
+                                      "negative compute time " +
+                                      std::to_string(compute));
     }
     if (fields == 3) {
       trace.AppendWrite(block, compute);
@@ -76,8 +134,26 @@ std::optional<Trace> LoadTraceText(const std::string& path) {
       trace.Append(block, compute);
     }
   }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return Expected<Trace>::Failure(path + ": read error while loading trace");
+  }
+  if (expected_records >= 0 && trace.size() != expected_records) {
+    return Expected<Trace>::Failure(
+        path + ": truncated trace: header declares " +
+        std::to_string(expected_records) + " records but file contains " +
+        std::to_string(trace.size()));
+  }
   return trace;
+}
+
+std::optional<Trace> LoadTraceText(const std::string& path) {
+  Expected<Trace> loaded = LoadTraceTextChecked(path);
+  if (!loaded.ok()) {
+    return std::nullopt;
+  }
+  return loaded.take();
 }
 
 }  // namespace pfc

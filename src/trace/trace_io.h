@@ -1,9 +1,13 @@
 // Text serialization of traces so users can supply their own recordings.
 //
 // Format (one record per line, '#' comments allowed):
-//   # pfc-trace v1 name=<name>
-//   <block> <compute_ns>
+//   # pfc-trace v1 n=<records> name=<name>
+//   <block> <compute_ns>[ W]
 //   ...
+//
+// The `n=` record count is written by SaveTraceText and, when present,
+// checked by the loader so a truncated file is reported as such. Files
+// without it (hand-written traces) load fine.
 
 #ifndef PFC_TRACE_TRACE_IO_H_
 #define PFC_TRACE_TRACE_IO_H_
@@ -12,13 +16,24 @@
 #include <string>
 
 #include "trace/trace.h"
+#include "util/expected.h"
 
 namespace pfc {
+
+// Blocks above this bound are rejected as corrupt rather than simulated:
+// 2^40 8 KB blocks is an 8 EB volume, far beyond any real trace, and a
+// garbage block number would otherwise silently become a huge seek.
+inline constexpr int64_t kMaxTraceBlock = int64_t{1} << 40;
 
 // Writes the trace; returns false on I/O failure.
 bool SaveTraceText(const Trace& trace, const std::string& path);
 
-// Reads a trace; returns nullopt on I/O or parse failure.
+// Reads a trace. On failure the Expected carries a descriptive message
+// (file, line number, and what was wrong) instead of aborting — malformed
+// user input is an error to report, not a bug.
+Expected<Trace> LoadTraceTextChecked(const std::string& path);
+
+// Compatibility wrapper: nullopt on any failure, message dropped.
 std::optional<Trace> LoadTraceText(const std::string& path);
 
 }  // namespace pfc

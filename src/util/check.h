@@ -4,12 +4,17 @@
 // types. Simulator invariants are cheap relative to the work they guard, so
 // there is no debug-only variant; a broken invariant in a discrete-event
 // simulation silently corrupts every downstream statistic.
+//
+// The comparison variants (PFC_CHECK_EQ/NE/LT/LE/GT/GE) print both operand
+// values on failure, which turns "PFC_CHECK failed: now == complete_time"
+// into an actionable message with the two clocks in it.
 
 #ifndef PFC_UTIL_CHECK_H_
 #define PFC_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #define PFC_CHECK(cond)                                                              \
   do {                                                                               \
@@ -28,5 +33,40 @@
       std::abort();                                                                 \
     }                                                                               \
   } while (0)
+
+namespace pfc {
+namespace check_internal {
+
+// Out-of-line failure reporter so the macros stay cheap at the call site.
+// Streams both operands, so any type with operator<< works.
+template <typename A, typename B>
+[[noreturn]] void FailOp(const char* macro, const char* a_expr, const char* b_expr,
+                         const A& a, const B& b, const char* file, int line) {
+  std::ostringstream os;
+  os << a << " vs " << b;
+  std::fprintf(stderr, "%s failed: %s vs %s (%s) at %s:%d\n", macro, a_expr, b_expr,
+               os.str().c_str(), file, line);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace pfc
+
+#define PFC_CHECK_OP_IMPL(macro, op, a, b)                                          \
+  do {                                                                              \
+    auto&& pfc_check_a = (a);                                                       \
+    auto&& pfc_check_b = (b);                                                       \
+    if (!(pfc_check_a op pfc_check_b)) {                                            \
+      ::pfc::check_internal::FailOp(macro, #a, #b, pfc_check_a, pfc_check_b,        \
+                                    __FILE__, __LINE__);                            \
+    }                                                                               \
+  } while (0)
+
+#define PFC_CHECK_EQ(a, b) PFC_CHECK_OP_IMPL("PFC_CHECK_EQ", ==, a, b)
+#define PFC_CHECK_NE(a, b) PFC_CHECK_OP_IMPL("PFC_CHECK_NE", !=, a, b)
+#define PFC_CHECK_LT(a, b) PFC_CHECK_OP_IMPL("PFC_CHECK_LT", <, a, b)
+#define PFC_CHECK_LE(a, b) PFC_CHECK_OP_IMPL("PFC_CHECK_LE", <=, a, b)
+#define PFC_CHECK_GT(a, b) PFC_CHECK_OP_IMPL("PFC_CHECK_GT", >, a, b)
+#define PFC_CHECK_GE(a, b) PFC_CHECK_OP_IMPL("PFC_CHECK_GE", >=, a, b)
 
 #endif  // PFC_UTIL_CHECK_H_

@@ -1,0 +1,57 @@
+// A minimal expected-style result: a value or a descriptive error message.
+//
+// pfc targets C++20, so std::expected (C++23) is not available; this is the
+// small subset the I/O paths need. An Expected<T> carrying an error has no
+// value — callers must test ok() before dereferencing.
+
+#ifndef PFC_UTIL_EXPECTED_H_
+#define PFC_UTIL_EXPECTED_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pfc {
+
+template <typename T>
+class Expected {
+ public:
+  // Implicit from a value, so `return trace;` works.
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  static Expected Failure(std::string message) {
+    Expected e;
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    PFC_CHECK_MSG(ok(), "Expected::value() on an error result");
+    return *value_;
+  }
+  T& value() & {
+    PFC_CHECK_MSG(ok(), "Expected::value() on an error result");
+    return *value_;
+  }
+  T&& take() {
+    PFC_CHECK_MSG(ok(), "Expected::take() on an error result");
+    return std::move(*value_);
+  }
+
+  // Empty when ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_EXPECTED_H_

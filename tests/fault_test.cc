@@ -1,0 +1,302 @@
+// Fault-injection regression gate: the fault layer is deterministic and
+// seeded, a disabled layer is byte-for-byte inert, the elapsed ==
+// compute + driver + stall decomposition survives retries and recovery,
+// and the experiment engine contains per-job failures instead of dying.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sim_error.h"
+#include "disk/fault_model.h"
+#include "harness/runner.h"
+#include "harness/study.h"
+
+namespace pfc {
+namespace {
+
+Trace TestTrace(const char* name, int64_t prefix) {
+  Trace t = MakeTrace(name).Prefix(prefix);
+  t.set_name(name);
+  return t;
+}
+
+// --------------------------------------------------------------------------
+// FaultModel unit behavior
+// --------------------------------------------------------------------------
+
+TEST(FaultModel, DisabledByDefault) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.seed = 424242;  // a seed alone enables nothing
+  EXPECT_FALSE(config.enabled());
+  config.slow_disk = 0;  // a slow disk with factor 1 is not degraded
+  EXPECT_FALSE(config.enabled());
+  config.slow_factor = 2.0;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultModel, DecisionStreamIsDeterministicPerDisk) {
+  FaultConfig config;
+  config.media_error_rate = 0.3;
+  config.tail_rate = 0.2;
+  config.tail_multiplier = 5.0;
+  config.seed = 7;
+
+  FaultModel a(config, /*disk_id=*/1);
+  FaultModel b(config, /*disk_id=*/1);
+  FaultModel other(config, /*disk_id=*/2);
+  bool any_difference = false;
+  for (int i = 0; i < 200; ++i) {
+    FaultDecision da = a.OnAccess(MsToNs(i), MsToNs(10));
+    FaultDecision db = b.OnAccess(MsToNs(i), MsToNs(10));
+    FaultDecision dc = other.OnAccess(MsToNs(i), MsToNs(10));
+    EXPECT_EQ(da.service, db.service);
+    EXPECT_EQ(da.failed, db.failed);
+    any_difference = any_difference || da.failed != dc.failed || da.service != dc.service;
+  }
+  EXPECT_TRUE(any_difference) << "disks 1 and 2 should see different fault streams";
+
+  // Reset rewinds the stream to the start.
+  a.Reset();
+  FaultModel fresh(config, /*disk_id=*/1);
+  for (int i = 0; i < 50; ++i) {
+    FaultDecision da = a.OnAccess(MsToNs(i), MsToNs(10));
+    FaultDecision df = fresh.OnAccess(MsToNs(i), MsToNs(10));
+    EXPECT_EQ(da.service, df.service);
+    EXPECT_EQ(da.failed, df.failed);
+  }
+}
+
+TEST(FaultModel, SlowDiskStretchesServiceAfterOnset) {
+  FaultConfig config;
+  config.slow_disk = 0;
+  config.slow_factor = 2.0;
+  config.slow_after = MsToNs(100);
+  FaultModel m(config, /*disk_id=*/0);
+  EXPECT_EQ(m.OnAccess(MsToNs(50), MsToNs(10)).service, MsToNs(10));
+  EXPECT_EQ(m.OnAccess(MsToNs(100), MsToNs(10)).service, MsToNs(20));
+  FaultModel unaffected(config, /*disk_id=*/1);
+  EXPECT_EQ(unaffected.OnAccess(MsToNs(200), MsToNs(10)).service, MsToNs(10));
+}
+
+TEST(FaultModel, FailStopIsAThreshold) {
+  FaultConfig config;
+  config.fail_disk = 2;
+  config.fail_after = MsToNs(10);
+  FaultModel dead(config, /*disk_id=*/2);
+  EXPECT_FALSE(dead.FailStopped(MsToNs(9)));
+  EXPECT_TRUE(dead.FailStopped(MsToNs(10)));
+  FaultModel alive(config, /*disk_id=*/0);
+  EXPECT_FALSE(alive.FailStopped(MsToNs(1000)));
+}
+
+// --------------------------------------------------------------------------
+// Engine accounting under faults
+// --------------------------------------------------------------------------
+
+void ExpectBalanced(const RunResult& r) {
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+  EXPECT_GE(r.degraded_stall_ns, 0);
+  EXPECT_LE(r.degraded_stall_ns, r.stall_time);
+}
+
+TEST(FaultSim, ZeroRateConfigIsByteIdenticalToNoFaults) {
+  Trace trace = TestTrace("cscope1", 600);
+  SimConfig plain = BaselineConfig("cscope1", 3);
+  SimConfig zeroed = plain;
+  zeroed.faults.seed = 999777;  // differs from the default, but disabled
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    RunResult a = RunOne(trace, plain, kind);
+    RunResult b = RunOne(trace, zeroed, kind);
+    EXPECT_EQ(ResultsCsvString({a}), ResultsCsvString({b})) << ToString(kind);
+    EXPECT_EQ(a.retries, 0);
+    EXPECT_EQ(a.failed_requests, 0);
+    EXPECT_EQ(a.degraded_stall_ns, 0);
+    ExpectBalanced(a);
+  }
+}
+
+TEST(FaultSim, MediaErrorsRetryAndStayBalanced) {
+  Trace trace = TestTrace("cscope1", 600);
+  SimConfig config = BaselineConfig("cscope1", 3);
+  config.faults.media_error_rate = 0.2;
+  config.faults.seed = 11;
+  RunResult healthy = RunOne(trace, BaselineConfig("cscope1", 3), PolicyKind::kFixedHorizon);
+  RunResult faulty = RunOne(trace, config, PolicyKind::kFixedHorizon);
+  EXPECT_GT(faulty.retries, 0);
+  EXPECT_GT(faulty.degraded_stall_ns, 0);
+  EXPECT_GT(faulty.elapsed_time, healthy.elapsed_time);
+  ExpectBalanced(faulty);
+}
+
+TEST(FaultSim, LatencyTailsSlowTheRunWithoutErrors) {
+  Trace trace = TestTrace("cscope1", 600);
+  SimConfig config = BaselineConfig("cscope1", 3);
+  config.faults.tail_rate = 0.1;
+  config.faults.tail_multiplier = 20.0;
+  RunResult healthy = RunOne(trace, BaselineConfig("cscope1", 3), PolicyKind::kDemand);
+  RunResult faulty = RunOne(trace, config, PolicyKind::kDemand);
+  EXPECT_EQ(faulty.retries, 0);
+  EXPECT_EQ(faulty.failed_requests, 0);
+  EXPECT_GT(faulty.elapsed_time, healthy.elapsed_time);
+  EXPECT_GT(faulty.degraded_stall_ns, 0);
+  ExpectBalanced(faulty);
+}
+
+TEST(FaultSim, SlowDiskDegradesEveryPolicy) {
+  Trace trace = TestTrace("cscope1", 600);
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                          PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    RunResult healthy = RunOne(trace, BaselineConfig("cscope1", 4), kind);
+    SimConfig config = BaselineConfig("cscope1", 4);
+    config.faults.slow_disk = 0;
+    config.faults.slow_factor = 10.0;
+    RunResult slow = RunOne(trace, config, kind);
+    EXPECT_GE(slow.elapsed_time, healthy.elapsed_time) << ToString(kind);
+    EXPECT_GT(slow.degraded_stall_ns, 0) << ToString(kind);
+    ExpectBalanced(slow);
+  }
+}
+
+TEST(FaultSim, FailStopCompletesWithPermanentFailures) {
+  Trace trace = TestTrace("cscope1", 600);
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    SimConfig config = BaselineConfig("cscope1", 2);
+    config.faults.fail_disk = 0;
+    config.faults.fail_after = MsToNs(50);
+    RunResult r = RunOne(trace, config, kind);
+    EXPECT_GT(r.failed_requests, 0) << ToString(kind);
+    EXPECT_GT(r.degraded_stall_ns, 0) << ToString(kind);
+    ExpectBalanced(r);
+  }
+}
+
+// Every attempt errors and the retry bound is zero: all requests fail
+// permanently, demand fetches are synthesized via the recovery penalty, and
+// the run still terminates with exact accounting.
+TEST(FaultSim, AllRequestsFailingStillTerminates) {
+  Trace trace = TestTrace("cscope1", 200);
+  SimConfig config = BaselineConfig("cscope1", 2);
+  config.faults.media_error_rate = 1.0;
+  config.faults.max_retries = 0;
+  RunResult r = RunOne(trace, config, PolicyKind::kDemand);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_GT(r.failed_requests, 0);
+  ExpectBalanced(r);
+}
+
+TEST(FaultSim, FaultGridIsDeterministicAcrossJobCounts) {
+  Trace trace = TestTrace("cscope1", 500);
+  std::vector<ExperimentJob> grid;
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                          PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    for (int disks : {1, 2, 4}) {
+      ExperimentJob job;
+      job.trace = &trace;
+      job.config = BaselineConfig("cscope1", disks);
+      job.config.faults.media_error_rate = 0.1;
+      job.config.faults.tail_rate = 0.05;
+      job.config.faults.slow_disk = 0;
+      job.config.faults.slow_factor = 2.0;
+      job.config.faults.seed = 1996;
+      job.kind = kind;
+      grid.push_back(std::move(job));
+    }
+  }
+  std::string serial = ResultsCsvString(RunExperiments(grid, /*jobs=*/1));
+  std::string parallel = ResultsCsvString(RunExperiments(grid, /*jobs=*/4));
+  EXPECT_EQ(serial, parallel);
+  std::string again = ResultsCsvString(RunExperiments(grid, /*jobs=*/4));
+  EXPECT_EQ(parallel, again) << "same fault seed must reproduce bit-for-bit";
+}
+
+// --------------------------------------------------------------------------
+// Config validation and the crash-proof runner
+// --------------------------------------------------------------------------
+
+TEST(FaultSim, InvalidConfigsThrowSimError) {
+  SimConfig config = BaselineConfig("cscope1", 2);
+  config.faults.media_error_rate = 1.5;
+  EXPECT_THROW(ValidateSimConfig(config), SimError);
+  config = BaselineConfig("cscope1", 2);
+  config.faults.slow_factor = 0.5;
+  EXPECT_THROW(ValidateSimConfig(config), SimError);
+  config = BaselineConfig("cscope1", 2);
+  config.faults.max_retries = -1;
+  EXPECT_THROW(ValidateSimConfig(config), SimError);
+  config = BaselineConfig("cscope1", 2);
+  config.cache_blocks = 0;
+  EXPECT_THROW(ValidateSimConfig(config), SimError);
+  EXPECT_NO_THROW(ValidateSimConfig(BaselineConfig("cscope1", 2)));
+}
+
+TEST(Runner, CheckedRunContainsPerJobFailures) {
+  Trace trace = TestTrace("cscope1", 300);
+  std::vector<ExperimentJob> grid;
+  for (int i = 0; i < 3; ++i) {
+    ExperimentJob job;
+    job.trace = &trace;
+    job.config = BaselineConfig("cscope1", 2);
+    job.kind = PolicyKind::kFixedHorizon;
+    grid.push_back(std::move(job));
+  }
+  grid[1].config.faults.media_error_rate = 2.0;  // invalid: must be <= 1
+
+  std::vector<JobOutcome> outcomes = RunExperimentsChecked(grid, /*jobs=*/2);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[2].ok());
+  ASSERT_FALSE(outcomes[1].ok());
+  EXPECT_NE(outcomes[1].error.find("invalid SimConfig"), std::string::npos)
+      << outcomes[1].error;
+  // The surviving slots are exactly what an all-healthy grid produces.
+  RunResult reference = RunOne(trace, grid[0].config, PolicyKind::kFixedHorizon);
+  EXPECT_EQ(ResultsCsvString({outcomes[0].result}), ResultsCsvString({reference}));
+  EXPECT_EQ(ResultsCsvString({outcomes[2].result}), ResultsCsvString({reference}));
+}
+
+TEST(Runner, EventBudgetWatchdogTripsAsJobError) {
+  Trace trace = TestTrace("cscope1", 300);
+  ExperimentJob job;
+  job.trace = &trace;
+  job.config = BaselineConfig("cscope1", 2);
+  job.config.max_events = 5;  // absurdly small: the watchdog must fire
+  job.kind = PolicyKind::kDemand;
+  std::vector<JobOutcome> outcomes = RunExperimentsChecked({job}, /*jobs=*/1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_FALSE(outcomes[0].ok());
+  EXPECT_NE(outcomes[0].error.find("event budget"), std::string::npos) << outcomes[0].error;
+}
+
+TEST(Runner, NullTraceIsAJobErrorNotACrash) {
+  ExperimentJob job;
+  job.trace = nullptr;
+  job.config = BaselineConfig("cscope1", 2);
+  std::vector<JobOutcome> outcomes = RunExperimentsChecked({job}, /*jobs=*/1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_FALSE(outcomes[0].ok());
+  EXPECT_NE(outcomes[0].error.find("trace"), std::string::npos) << outcomes[0].error;
+}
+
+using RunnerDeathTest = ::testing::Test;
+
+TEST(RunnerDeathTest, UncheckedRunExitsNonzeroWithSummary) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Trace trace = TestTrace("cscope1", 200);
+  std::vector<ExperimentJob> grid;
+  for (int i = 0; i < 2; ++i) {
+    ExperimentJob job;
+    job.trace = &trace;
+    job.config = BaselineConfig("cscope1", 2);
+    job.kind = PolicyKind::kDemand;
+    grid.push_back(std::move(job));
+  }
+  grid[1].config.cache_blocks = -4;  // invalid
+  EXPECT_EXIT(RunExperiments(grid, /*jobs=*/1), ::testing::ExitedWithCode(1),
+              "experiment jobs failed");
+}
+
+}  // namespace
+}  // namespace pfc

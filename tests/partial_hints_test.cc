@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/sim_error.h"
 #include "harness/experiment.h"
 #include "util/rng.h"
 
@@ -102,13 +105,19 @@ TEST(PartialHints, HintMaskIsDeterministicInSeed) {
   EXPECT_NE(a.elapsed_time, d.elapsed_time);
 }
 
-TEST(PartialHintsDeath, ReverseAggressiveRequiresFullHints) {
+TEST(PartialHints, ReverseAggressiveRequiresFullHints) {
   Trace t = LoopTrace(50, 200, MsToNs(1));
   SimConfig c;
   c.cache_blocks = 32;
   c.num_disks = 1;
   c.hint_coverage = 0.5;
-  EXPECT_DEATH(RunOne(t, c, PolicyKind::kReverseAggressive), "full advance knowledge");
+  try {
+    RunOne(t, c, PolicyKind::kReverseAggressive);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("full advance knowledge"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -92,6 +92,76 @@ TEST(TraceIo, MissingFileFails) {
   EXPECT_FALSE(LoadTraceText("/nonexistent/path/trace.txt").has_value());
 }
 
+// Writes `contents` to a temp file and returns the checked-load outcome.
+Expected<Trace> LoadLiteral(const std::string& tag, const std::string& contents) {
+  std::string path = testing::TempDir() + "/pfc_trace_" + tag + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(contents.c_str(), f);
+  std::fclose(f);
+  Expected<Trace> loaded = LoadTraceTextChecked(path);
+  std::remove(path.c_str());
+  return loaded;
+}
+
+TEST(TraceIo, CheckedLoadReportsMissingFile) {
+  Expected<Trace> loaded = LoadTraceTextChecked("/nonexistent/path/trace.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("cannot open trace file"), std::string::npos);
+}
+
+TEST(TraceIo, CheckedLoadReportsMalformedRecord) {
+  Expected<Trace> loaded =
+      LoadLiteral("malformed", "# pfc-trace v1 name=bad\n12 34\nnot-a-number\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("malformed record 'not-a-number'"), std::string::npos);
+  EXPECT_NE(loaded.error().find(":3:"), std::string::npos) << loaded.error();
+}
+
+TEST(TraceIo, CheckedLoadReportsTruncation) {
+  // Header declares 4 records; the file body has 2.
+  Expected<Trace> loaded = LoadLiteral("truncated", "# pfc-trace v1 n=4 name=cut\n1 10\n2 20\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("truncated trace"), std::string::npos);
+  EXPECT_NE(loaded.error().find("declares 4"), std::string::npos);
+  EXPECT_NE(loaded.error().find("contains 2"), std::string::npos);
+}
+
+TEST(TraceIo, CheckedLoadReportsCorruptHeader) {
+  Expected<Trace> v9 = LoadLiteral("version", "# pfc-trace v9 n=1 name=future\n1 10\n");
+  ASSERT_FALSE(v9.ok());
+  EXPECT_NE(v9.error().find("unsupported trace format version 9"), std::string::npos);
+
+  Expected<Trace> neg = LoadLiteral("negcount", "# pfc-trace v1 n=-3 name=bad\n1 10\n");
+  ASSERT_FALSE(neg.ok());
+  EXPECT_NE(neg.error().find("negative record count"), std::string::npos);
+}
+
+TEST(TraceIo, CheckedLoadReportsOutOfRangeBlock) {
+  Expected<Trace> big =
+      LoadLiteral("bigblock", "# pfc-trace v1 name=big\n1099511627776 10\n");
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.error().find("out of range"), std::string::npos);
+
+  Expected<Trace> negblock = LoadLiteral("negblock", "-5 10\n");
+  ASSERT_FALSE(negblock.ok());
+  EXPECT_NE(negblock.error().find("out of range"), std::string::npos);
+
+  Expected<Trace> negcompute = LoadLiteral("negcompute", "5 -10\n");
+  ASSERT_FALSE(negcompute.ok());
+  EXPECT_NE(negcompute.error().find("negative compute time"), std::string::npos);
+}
+
+TEST(TraceIo, CheckedLoadAcceptsHeaderlessAndWriteRecords) {
+  Expected<Trace> loaded = LoadLiteral("headerless", "1 10\n2 20 W\n\n3 30\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  const Trace& t = loaded.value();
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_FALSE(t.is_write(0));
+  EXPECT_TRUE(t.is_write(1));
+  EXPECT_EQ(t.block(2), 3);
+}
+
 TEST(TraceStats, ComputesPatternDiagnostics) {
   Trace t("pattern");
   for (int64_t i = 0; i < 10; ++i) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/sim_error.h"
 #include "harness/experiment.h"
 #include "trace/trace_io.h"
 #include "util/rng.h"
@@ -133,10 +136,15 @@ TEST(Writes, FlushesContendWithPrefetches) {
   EXPECT_LT(with_writes.elapsed_time, demand.elapsed_time);
 }
 
-TEST(WritesDeath, ReverseAggressiveRejectsWriteTraces) {
+TEST(Writes, ReverseAggressiveRejectsWriteTraces) {
   Trace t = MakeCopyTrace(50, 1.0, 5);
   SimConfig c = Cfg(64, 2);
-  EXPECT_DEATH(RunOne(t, c, PolicyKind::kReverseAggressive), "read-only");
+  try {
+    RunOne(t, c, PolicyKind::kReverseAggressive);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("read-only"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

@@ -28,6 +28,21 @@
 //   --jobs=N               worker threads for the grid              [PFC_JOBS or cores]
 //   --csv=PATH             append results as CSV
 //   --help
+//
+// Fault injection (see disk/fault_model.h; all off by default):
+//   --fault-media-rate=F       P(transient media error) per request  [0]
+//   --fault-tail-rate=F        P(latency-tail outlier) per request   [0]
+//   --fault-tail-mult=F        tail service-time multiplier          [10]
+//   --fault-slow-disk=N        disk degraded to slow (-1 = none)     [-1]
+//   --fault-slow-factor=F      slow disk service multiplier          [1]
+//   --fault-slow-after-ms=N    slow degradation onset (sim ms)       [0]
+//   --fault-fail-disk=N        disk that fail-stops (-1 = none)      [-1]
+//   --fault-fail-after-ms=N    fail-stop time (sim ms)               [0]
+//   --fault-seed=N             fault stream seed                     [1]
+//   --fault-max-retries=N      retry bound per request               [4]
+//
+// Exit codes: 0 success; 1 runtime error (unreadable/corrupt trace file,
+// failed experiment job, unwritable CSV); 2 usage error (bad flag or value).
 
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +74,7 @@ struct Flags {
   int jobs = 0;  // 0 = PFC_JOBS / hardware concurrency
   std::string csv;
   bool help = false;
+  pfc::FaultConfig faults;
 };
 
 bool ParseDisks(const std::string& value, std::vector<int>* out) {
@@ -163,6 +179,46 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     flags->csv = v;
     return true;
   }
+  if (const char* v = value_of("--fault-media-rate")) {
+    flags->faults.media_error_rate = std::atof(v);
+    return flags->faults.media_error_rate >= 0 && flags->faults.media_error_rate <= 1.0;
+  }
+  if (const char* v = value_of("--fault-tail-rate")) {
+    flags->faults.tail_rate = std::atof(v);
+    return flags->faults.tail_rate >= 0 && flags->faults.tail_rate <= 1.0;
+  }
+  if (const char* v = value_of("--fault-tail-mult")) {
+    flags->faults.tail_multiplier = std::atof(v);
+    return flags->faults.tail_multiplier >= 1.0;
+  }
+  if (const char* v = value_of("--fault-slow-disk")) {
+    flags->faults.slow_disk = std::atoi(v);
+    return true;
+  }
+  if (const char* v = value_of("--fault-slow-factor")) {
+    flags->faults.slow_factor = std::atof(v);
+    return flags->faults.slow_factor >= 1.0;
+  }
+  if (const char* v = value_of("--fault-slow-after-ms")) {
+    flags->faults.slow_after = pfc::MsToNs(std::atoll(v));
+    return flags->faults.slow_after >= 0;
+  }
+  if (const char* v = value_of("--fault-fail-disk")) {
+    flags->faults.fail_disk = std::atoi(v);
+    return true;
+  }
+  if (const char* v = value_of("--fault-fail-after-ms")) {
+    flags->faults.fail_after = pfc::MsToNs(std::atoll(v));
+    return flags->faults.fail_after >= 0;
+  }
+  if (const char* v = value_of("--fault-seed")) {
+    flags->faults.seed = std::strtoull(v, nullptr, 10);
+    return true;
+  }
+  if (const char* v = value_of("--fault-max-retries")) {
+    flags->faults.max_retries = std::atoi(v);
+    return flags->faults.max_retries >= 0;
+  }
   return false;
 }
 
@@ -205,13 +261,15 @@ int main(int argc, char** argv) {
   if (pfc::FindTraceSpec(flags.trace) != nullptr) {
     trace = pfc::MakeTrace(flags.trace, flags.seed);
   } else {
-    auto loaded = pfc::LoadTraceText(flags.trace);
-    if (!loaded.has_value()) {
-      std::fprintf(stderr, "pfc_sim: '%s' is neither a built-in trace nor a trace file\n",
+    pfc::Expected<pfc::Trace> loaded = pfc::LoadTraceTextChecked(flags.trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "pfc_sim: %s\n", loaded.error().c_str());
+      std::fprintf(stderr,
+                   "pfc_sim: '%s' is neither a built-in trace nor a loadable trace file\n",
                    flags.trace.c_str());
       return 1;
     }
-    trace = std::move(*loaded);
+    trace = loaded.take();
   }
   std::printf("%s\n\n", pfc::ToString(pfc::ComputeTraceStats(trace)).c_str());
 
@@ -290,6 +348,7 @@ int main(int argc, char** argv) {
     config.cpu_scale = flags.cpu_scale;
     config.hint_coverage = flags.hint_coverage;
     config.write_through = flags.write_through;
+    config.faults = flags.faults;
     for (pfc::PolicyKind kind : kinds) {
       if (kind == pfc::PolicyKind::kReverseAggressive &&
           (flags.hint_coverage < 1.0 || trace.WriteCount() > 0)) {
@@ -300,13 +359,23 @@ int main(int argc, char** argv) {
   }
   std::vector<pfc::RunResult> results = pfc::RunExperiments(grid, flags.jobs);
 
-  std::printf("%-6s %-20s %10s %10s %10s %10s %9s %8s %6s\n", "disks", "policy", "elapsed(s)",
+  const bool faulty = flags.faults.enabled();
+  std::printf("%-6s %-20s %10s %10s %10s %10s %9s %8s %6s", "disks", "policy", "elapsed(s)",
               "cpu(s)", "driver(s)", "stall(s)", "fetches", "flushes", "util");
+  if (faulty) {
+    std::printf(" %8s %7s %9s", "retries", "failed", "degr(s)");
+  }
+  std::printf("\n");
   for (const pfc::RunResult& r : results) {
-    std::printf("%-6d %-20s %10.3f %10.3f %10.3f %10.3f %9lld %8lld %6.2f\n", r.num_disks,
+    std::printf("%-6d %-20s %10.3f %10.3f %10.3f %10.3f %9lld %8lld %6.2f", r.num_disks,
                 r.policy_name.c_str(), r.elapsed_sec(), r.compute_sec(), r.driver_sec(),
                 r.stall_sec(), static_cast<long long>(r.fetches),
                 static_cast<long long>(r.flushes), r.avg_disk_util);
+    if (faulty) {
+      std::printf(" %8lld %7lld %9.3f", static_cast<long long>(r.retries),
+                  static_cast<long long>(r.failed_requests), r.degraded_stall_sec());
+    }
+    std::printf("\n");
   }
   if (!flags.csv.empty() && !pfc::WriteResultsCsv(results, flags.csv)) {
     std::fprintf(stderr, "pfc_sim: could not write %s\n", flags.csv.c_str());

@@ -1,10 +1,32 @@
 // Table 4: average disk utilization on the postgres-select trace for demand
 // fetching and the three prefetchers. Aggressive loads the disks hardest,
 // fixed horizon least among prefetchers, demand least of all.
+//
+// The utilization column is recomputed from the observability subsystem's
+// busy-interval events (src/obs) and cross-checked — exact equality — against
+// the engine's own DiskStats-derived figures before rendering.
 
 #include <cstdio>
 
 #include "pfc/pfc.h"
+#include "util/check.h"
+
+namespace {
+
+// Rebuilds a run's average utilization from its ObsReport busy intervals,
+// asserting per-disk exact agreement with the engine's accounting.
+double ObsDerivedUtil(const pfc::RunResult& r) {
+  PFC_CHECK(r.obs != nullptr);
+  double sum = 0.0;
+  for (size_t d = 0; d < r.obs->disks.size(); ++d) {
+    const double util = r.obs->disks[d].Utilization(r.elapsed_time);
+    PFC_CHECK_EQ(util, r.per_disk_util[d]);
+    sum += util;
+  }
+  return sum / static_cast<double>(r.obs->disks.size());
+}
+
+}  // namespace
 
 int main() {
   using namespace pfc;
@@ -14,12 +36,24 @@ int main() {
   spec.disks = PaperDiskCounts();
   spec.policies = {PolicyKind::kDemand, PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
                    PolicyKind::kReverseAggressive};
+  spec.collect_obs = true;
   std::vector<PolicySeries> series = RunStudy(trace, spec);
+
+  int checked = 0;
+  for (PolicySeries& s : series) {
+    for (RunResult& r : s.results) {
+      r.avg_disk_util = ObsDerivedUtil(r);  // render from the event stream
+      ++checked;
+    }
+  }
   std::printf("%s\n", RenderUtilizationTable("Table 4: disk utilization, postgres-select",
                                              spec.disks, series)
                           .c_str());
   std::printf(
+      "Utilization recomputed from %d runs' busy-interval event streams; each\n"
+      "agreed exactly with the engine's DiskStats accounting.\n"
       "Expected shape: aggressive >= reverse aggressive >= fixed horizon >= demand\n"
-      "at moderate array sizes.\n");
+      "at moderate array sizes.\n",
+      checked);
   return 0;
 }

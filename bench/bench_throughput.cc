@@ -12,6 +12,12 @@
 // written to BENCH_throughput.json so the perf trajectory is tracked
 // across PRs. PFC_FULL=1 runs the full-length traces and the paper's full
 // disk-count list.
+//
+// A fourth pass re-runs the serial grid with the src/obs event sink
+// installed (stall attribution + disk timelines, no event retention) and
+// reports the observability overhead; with no sink the per-event cost is
+// one null-pointer branch, so obs_overhead_vs_serial tracks the cost of
+// *enabling* collection, not of having the subsystem compiled in.
 
 #include <chrono>
 #include <cstdio>
@@ -108,10 +114,24 @@ int main(int argc, char** argv) {
   std::vector<RunResult> parallel = RunExperiments(grid, jobs);
   const double parallel_sec = SecondsSince(t0);
 
+  // Same grid with the observability collector installed: stall attribution
+  // and per-disk timelines are maintained per event, events not retained.
+  std::vector<ExperimentJob> obs_grid = grid;
+  for (ExperimentJob& job : obs_grid) {
+    job.config.obs.collect = true;
+  }
+  ClearTraceContextCache();
+  t0 = std::chrono::steady_clock::now();
+  std::vector<RunResult> obs = RunExperiments(obs_grid, /*jobs=*/1);
+  const double obs_sec = SecondsSince(t0);
+
   const std::string legacy_csv = ResultsCsvString(legacy);
   const std::string serial_csv = ResultsCsvString(serial);
   const std::string parallel_csv = ResultsCsvString(parallel);
+  const std::string obs_csv = ResultsCsvString(obs);
   const bool identical = legacy_csv == serial_csv && serial_csv == parallel_csv;
+  // Collection must not perturb simulation results.
+  const bool obs_identical = obs_csv == serial_csv;
 
   auto rate = [total_refs](double sec) {
     return sec > 0 ? static_cast<double>(total_refs) / sec : 0.0;
@@ -123,7 +143,12 @@ int main(int argc, char** argv) {
               legacy_sec / serial_sec);
   std::printf("%-28s %10.3f %14.0f %8.2fx\n", "runner parallel", parallel_sec,
               rate(parallel_sec), legacy_sec / parallel_sec);
+  std::printf("%-28s %10.3f %14.0f %8.2fx\n", "runner serial + obs sink", obs_sec, rate(obs_sec),
+              legacy_sec / obs_sec);
   std::printf("\nresult CSVs byte-identical across modes: %s\n", identical ? "yes" : "NO");
+  std::printf("obs-enabled CSV identical to serial: %s\n", obs_identical ? "yes" : "NO");
+  std::printf("obs collection overhead vs serial: %+.2f%%\n",
+              (obs_sec / serial_sec - 1.0) * 100.0);
 
   std::FILE* f = std::fopen("BENCH_throughput.json", "w");
   if (f == nullptr) {
@@ -139,18 +164,23 @@ int main(int argc, char** argv) {
                "  \"legacy_sec\": %.6f,\n"
                "  \"serial_sec\": %.6f,\n"
                "  \"parallel_sec\": %.6f,\n"
+               "  \"obs_sec\": %.6f,\n"
                "  \"refs_per_sec_legacy\": %.1f,\n"
                "  \"refs_per_sec_serial\": %.1f,\n"
                "  \"refs_per_sec_parallel\": %.1f,\n"
+               "  \"refs_per_sec_obs\": %.1f,\n"
                "  \"speedup_serial_vs_legacy\": %.4f,\n"
                "  \"speedup_parallel_vs_legacy\": %.4f,\n"
                "  \"speedup_parallel_vs_serial\": %.4f,\n"
-               "  \"csv_identical\": %s\n"
+               "  \"obs_overhead_vs_serial\": %.4f,\n"
+               "  \"csv_identical\": %s,\n"
+               "  \"obs_csv_identical\": %s\n"
                "}\n",
                grid.size(), static_cast<long long>(total_refs), jobs, full ? "true" : "false",
-               legacy_sec, serial_sec, parallel_sec, rate(legacy_sec), rate(serial_sec),
-               rate(parallel_sec), legacy_sec / serial_sec, legacy_sec / parallel_sec,
-               serial_sec / parallel_sec, identical ? "true" : "false");
+               legacy_sec, serial_sec, parallel_sec, obs_sec, rate(legacy_sec), rate(serial_sec),
+               rate(parallel_sec), rate(obs_sec), legacy_sec / serial_sec,
+               legacy_sec / parallel_sec, serial_sec / parallel_sec, obs_sec / serial_sec,
+               identical ? "true" : "false", obs_identical ? "true" : "false");
   std::fclose(f);
-  return identical ? 0 : 1;
+  return identical && obs_identical ? 0 : 1;
 }

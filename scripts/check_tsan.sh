@@ -9,10 +9,14 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target runner_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target runner_test obs_test -j "$(nproc)"
 
 # PFC_JOBS=4 forces the thread pool on even on single-core machines, so the
 # sanitizer actually sees concurrent workers.
 TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
     "$BUILD_DIR"/tests/runner_test --gtest_color=yes
-echo "TSan: runner determinism tests clean."
+# obs collectors are per-simulation but run inside the parallel engine via
+# RunStudy(collect_obs); make sure event emission is race-free there too.
+TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
+    "$BUILD_DIR"/tests/obs_test --gtest_color=yes
+echo "TSan: runner determinism and obs tests clean."

@@ -11,6 +11,27 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "== tier 2: observability golden trace =="
+# The Chrome-trace exporter must be byte-stable: same run -> same bytes,
+# and those bytes must match the committed golden file. Timestamp math is
+# integer-only precisely so this check can be exact.
+GOLDEN=tests/golden/chrome_trace_cscope1_forestall_d2.json
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+for pass in a b; do
+  build/tools/pfc_sim --trace=cscope1 --policy=forestall --disks=2 \
+      --disk-model=simple --prefix=120 \
+      --events-out="$OBS_TMP/trace_$pass.json" >/dev/null
+done
+cmp "$OBS_TMP/trace_a.json" "$OBS_TMP/trace_b.json"
+cmp "$OBS_TMP/trace_a.json" "$GOLDEN" || {
+  cp "$OBS_TMP/trace_a.json" build/chrome_trace_drifted.json
+  echo "ci: Chrome trace export drifted from $GOLDEN" >&2
+  echo "ci: if intentional, copy build/chrome_trace_drifted.json over it" >&2
+  exit 1
+}
+echo "golden trace: byte-stable and matches $GOLDEN"
+
 echo "== tier 2: ThreadSanitizer =="
 scripts/check_tsan.sh
 

@@ -9,6 +9,14 @@ BufferCache::BufferCache(int capacity_blocks) : capacity_(capacity_blocks) {
   entries_.reserve(static_cast<size_t>(capacity_blocks) * 2);
 }
 
+void BufferCache::EmitReclaim(ObsEventKind kind, int64_t block) const {
+  ObsEvent e;
+  e.time = now_ != nullptr ? *now_ : 0;
+  e.kind = kind;
+  e.block = block;
+  sink_->OnEvent(e);
+}
+
 BufferCache::State BufferCache::GetState(int64_t block) const {
   auto it = entries_.find(block);
   return it == entries_.end() ? State::kAbsent : it->second.state;
@@ -29,6 +37,9 @@ void BufferCache::StartFetchWithEviction(int64_t block, int64_t evict) {
   PFC_CHECK_EQ(erased, 1u);
   entries_.erase(it);
   entries_[block] = Entry{State::kFetching, 0};
+  if (sink_ != nullptr) {
+    EmitReclaim(ObsEventKind::kEvict, evict);
+  }
 }
 
 void BufferCache::CompleteFetch(int64_t block, int64_t next_use) {
@@ -44,6 +55,9 @@ void BufferCache::CancelFetch(int64_t block) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
   entries_.erase(it);
+  if (sink_ != nullptr) {
+    EmitReclaim(ObsEventKind::kPrefetchCancel, block);
+  }
 }
 
 void BufferCache::UpdateNextUse(int64_t block, int64_t next_use) {
@@ -77,6 +91,9 @@ void BufferCache::EvictClean(int64_t block) {
   size_t erased = by_next_use_.erase({it->second.next_use, block});
   PFC_CHECK_EQ(erased, 1u);
   entries_.erase(it);
+  if (sink_ != nullptr) {
+    EmitReclaim(ObsEventKind::kEvict, block);
+  }
 }
 
 void BufferCache::MarkDirty(int64_t block) {

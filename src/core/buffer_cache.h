@@ -17,6 +17,8 @@
 #include <utility>
 
 #include "core/next_ref.h"
+#include "obs/event_sink.h"
+#include "util/time_util.h"
 
 namespace pfc {
 
@@ -25,6 +27,17 @@ class BufferCache {
   enum class State { kAbsent, kFetching, kPresent };
 
   explicit BufferCache(int capacity_blocks);
+
+  // Installs an observability sink. The cache emits kEvict whenever a
+  // buffer is reclaimed (evict-at-issue and written-block eviction alike)
+  // and kPrefetchCancel when an in-flight fetch is abandoned, stamped with
+  // `*now` — a borrowed pointer at the simulator's clock, so the cache needs
+  // no clock plumbing of its own. Both pointers must outlive the cache's
+  // use; pass (nullptr, nullptr) to detach.
+  void SetObserver(EventSink* sink, const TimeNs* now) {
+    sink_ = sink;
+    now_ = now;
+  }
 
   int capacity() const { return capacity_; }
   int used() const { return static_cast<int>(entries_.size()); }
@@ -95,11 +108,15 @@ class BufferCache {
     bool dirty = false;
   };
 
+  void EmitReclaim(ObsEventKind kind, int64_t block) const;
+
   int capacity_;
   std::unordered_map<int64_t, Entry> entries_;
   // (next_use, block) for *clean* present blocks; rbegin() is the furthest.
   std::set<std::pair<int64_t, int64_t>> by_next_use_;
   int dirty_count_ = 0;
+  EventSink* sink_ = nullptr;   // null = observability disabled
+  const TimeNs* now_ = nullptr; // simulator clock, borrowed
 };
 
 }  // namespace pfc

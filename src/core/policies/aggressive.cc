@@ -46,9 +46,17 @@ void AggressivePolicy::OnDiskIdle(Simulator& sim, int disk) {
 }
 
 void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
+  const int issued = IssueBatchRound(sim);
+  if (issued > 0) {
+    sim.EmitMark("aggressive-batch", issued);
+  }
+}
+
+int AggressivePolicy::IssueBatchRound(Simulator& sim) {
   const int num_disks = sim.config().num_disks;
   std::vector<int> budget(static_cast<size_t>(num_disks), -1);
   std::vector<int64_t> scan_from(static_cast<size_t>(num_disks), -1);
+  int issued = 0;
   int eligible = 0;
   for (int d = 0; d < num_disks; ++d) {
     // A fail-stopped disk drains its queue and then sits idle forever; it
@@ -59,7 +67,7 @@ void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
     }
   }
   if (eligible == 0) {
-    return;
+    return issued;
   }
 
   // Merge the eligible disks' missing-position lists in global reference
@@ -81,7 +89,7 @@ void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
       }
     }
     if (best_disk < 0) {
-      return;  // nothing missing on any free disk inside the window
+      return issued;  // nothing missing on any free disk inside the window
     }
     scan_from[static_cast<size_t>(best_disk)] = best_p;
 
@@ -98,7 +106,7 @@ void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
       // fetched block's (position best_p). Violations only get worse further
       // out, so stop the whole round.
       if (cache.FurthestNextUse() <= best_p) {
-        return;
+        return issued;
       }
       std::optional<int64_t> victim = cache.FurthestBlock();
       PFC_CHECK(victim.has_value());
@@ -111,13 +119,15 @@ void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
       // The engine refused the fetch (e.g. the block's disk fail-stopped
       // since the budget was computed); degrade gracefully — stop this
       // round and let the demand path cover the block.
-      return;
+      return issued;
     }
     tracker_->OnIssue(block);
+    ++issued;
     if (--budget[static_cast<size_t>(best_disk)] == 0) {
       --eligible;
     }
   }
+  return issued;
 }
 
 }  // namespace pfc

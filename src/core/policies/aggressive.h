@@ -39,6 +39,8 @@ class AggressivePolicy : public Policy {
 
  private:
   void MaybeIssueBatches(Simulator& sim);
+  // One batch-building round; returns the number of fetches issued.
+  int IssueBatchRound(Simulator& sim);
 
   int requested_batch_size_;
   int batch_size_ = 0;

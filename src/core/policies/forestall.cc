@@ -139,6 +139,8 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
   const int num_disks = sim.config().num_disks;
   const int64_t cursor = sim.cursor();
   BufferCache& cache = sim.cache();
+  int backstop_issued = 0;
+  int constrained_issued = 0;
 
   // Fixed-horizon backstop: anything missing within H is fetched now, even
   // to a busy disk (it joins the queue), so CSCAN reordering cannot stall
@@ -169,6 +171,7 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
     if (!FetchWithOptimalEviction(sim, block, p)) {
       break;  // do-no-harm refuses; nothing nearer will fare better
     }
+    ++backstop_issued;
   }
 
   // Stall-prediction rule: batch-fetch from every idle disk while it stays
@@ -196,8 +199,15 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
       if (!FetchWithOptimalEviction(sim, block, p)) {
         break;
       }
+      ++constrained_issued;
       --budget;
     }
+  }
+  if (backstop_issued > 0) {
+    sim.EmitMark("forestall-backstop", backstop_issued);
+  }
+  if (constrained_issued > 0) {
+    sim.EmitMark("forestall-batch", constrained_issued);
   }
 }
 

@@ -4,12 +4,15 @@
 #define PFC_CORE_RUN_RESULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/time_util.h"
 
 namespace pfc {
+
+struct ObsReport;  // obs/obs_report.h
 
 struct RunResult {
   std::string trace_name;
@@ -41,6 +44,12 @@ struct RunResult {
   double avg_response_ms = 0;  // mean queueing + service time per request
   double avg_disk_util = 0;    // mean over disks of busy / elapsed
   std::vector<double> per_disk_util;
+
+  // Observability report, attached when SimConfig::obs.collect was set
+  // (stall attribution, per-disk timelines, optionally the raw event
+  // stream); null otherwise. Shared because results are copied around by
+  // the harness; the report itself is immutable once attached.
+  std::shared_ptr<const ObsReport> obs;
 
   double elapsed_sec() const { return NsToSec(elapsed_time); }
   double stall_sec() const { return NsToSec(stall_time); }

@@ -10,6 +10,17 @@
 
 namespace pfc {
 
+// Observability knobs (see src/obs). `collect` installs a private
+// ObsCollector for the run and attaches the finished ObsReport to
+// RunResult::obs; `keep_events` additionally retains the raw typed event
+// stream inside the report for export (Chrome trace JSON / CSV). Both off
+// (the default) means no sink is installed and every emission site costs a
+// single never-taken branch.
+struct ObsOptions {
+  bool collect = false;
+  bool keep_events = false;
+};
+
 struct SimConfig {
   // Cache capacity in 8 KB blocks. The paper uses 1280 (10 MB) for most
   // traces and 512 (4 MB) for dinero and cscope1 (section 3.1).
@@ -55,6 +66,9 @@ struct SimConfig {
   // installs no fault layer, so healthy runs are bit-identical to a build
   // without it.
   FaultConfig faults;
+
+  // Observability (see src/obs and ObsOptions above). Default: disabled.
+  ObsOptions obs;
 
   // Event-budget watchdog: a run that processes more than this many engine
   // events throws SimError instead of spinning forever (a wedged policy or

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/obs_report.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -110,6 +111,7 @@ Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfi
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
   event_budget_ = config_.max_events > 0 ? config_.max_events
                                          : 64 * trace_.size() + 1'000'000;
+  InitObs();
 }
 
 Simulator::Simulator(const TraceContext& context, const SimConfig& config, Policy* policy)
@@ -127,6 +129,53 @@ Simulator::Simulator(const TraceContext& context, const SimConfig& config, Polic
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
   event_budget_ = config_.max_events > 0 ? config_.max_events
                                          : 64 * trace_.size() + 1'000'000;
+  InitObs();
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::InitObs() {
+  if (config_.obs.collect) {
+    collector_ = std::make_unique<ObsCollector>(config_.num_disks, config_.obs.keep_events);
+    InstallSink(collector_.get());
+  }
+}
+
+void Simulator::InstallSink(EventSink* sink) {
+  sink_ = sink;
+  disks_->SetEventSink(sink);
+  cache_.SetObserver(sink, &sim_now_);
+}
+
+void Simulator::SetEventSink(EventSink* sink) {
+  PFC_CHECK_MSG(collector_ == nullptr,
+                "SetEventSink: the config's obs.collect already installed an "
+                "internal collector");
+  PFC_CHECK_MSG(!ran_, "SetEventSink must be called before Run");
+  InstallSink(sink);
+}
+
+// Callers guard on sink_ != nullptr so that a sink-less run pays exactly one
+// branch per emission site.
+void Simulator::EmitInstant(ObsEventKind kind, int disk, int64_t block, int64_t a, int64_t b) {
+  ObsEvent e;
+  e.time = sim_now_;
+  e.kind = kind;
+  e.disk = disk;
+  e.block = block;
+  e.a = a;
+  e.b = b;
+  sink_->OnEvent(e);
+}
+
+void Simulator::BeginStallWindow(int64_t block, StallCause cause) {
+  stall_cause_ = cause;
+  ObsEvent e;
+  e.time = app_time_;
+  e.kind = ObsEventKind::kStallBegin;
+  e.cause = cause;
+  e.block = block;
+  sink_->OnEvent(e);
 }
 
 TimeNs Simulator::ScaledCompute(int64_t pos) const {
@@ -158,6 +207,13 @@ bool Simulator::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
       return false;
     }
     cache_.StartFetchWithEviction(block, evict);
+  }
+  if (sink_ != nullptr) {
+    if (demand) {
+      demand_inflight_.insert(block);
+    }
+    EmitInstant(demand ? ObsEventKind::kDemandFetchStart : ObsEventKind::kPrefetchIssue,
+                loc.disk, block);
   }
   disks_->disk(loc.disk).Enqueue(block, loc.disk_block, sim_now_, next_seq_++);
   ++fetches_;
@@ -206,6 +262,12 @@ void Simulator::ApplyNextEvent() {
                            ? cursor_
                            : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
+    if (sink_ != nullptr) {
+      const bool was_demand = demand_inflight_.erase(ev.block);
+      EmitInstant(ObsEventKind::kFaultRecover, ev.disk, ev.block, ev.service);
+      EmitInstant(was_demand ? ObsEventKind::kDemandFetchComplete : ObsEventKind::kPrefetchLand,
+                  ev.disk, ev.block, ev.service);
+    }
     policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     return;
   }
@@ -235,6 +297,9 @@ void Simulator::ApplyNextEvent() {
       } else {
         cache_.MarkClean(ev.block);
       }
+      if (sink_ != nullptr) {
+        EmitInstant(ObsEventKind::kFlushComplete, ev.disk, ev.block, ev.service);
+      }
     } else {
       // Key the arrival under its next disclosed use — except that a block the
       // application is waiting on right now is known to be needed at the
@@ -245,6 +310,11 @@ void Simulator::ApplyNextEvent() {
                              ? cursor_
                              : context_.index().NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
+      if (sink_ != nullptr) {
+        const bool was_demand = demand_inflight_.erase(ev.block);
+        EmitInstant(was_demand ? ObsEventKind::kDemandFetchComplete : ObsEventKind::kPrefetchLand,
+                    ev.disk, ev.block, ev.service);
+      }
       policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     }
   }
@@ -271,6 +341,9 @@ void Simulator::HandleFailedRequest(const Event& ev) {
     const TimeNs backoff = fc.retry_backoff << shift;
     fault_delay_[ev.block] += ev.service + backoff;
     ++retries_;
+    if (sink_ != nullptr) {
+      EmitInstant(ObsEventKind::kFaultRetry, ev.disk, ev.block, backoff, attempts);
+    }
     events_.push(Event{sim_now_ + backoff, next_seq_++, ev.disk, ev.block, 0, 0,
                        false, EventKind::kRetry});
     return;
@@ -279,6 +352,16 @@ void Simulator::HandleFailedRequest(const Event& ev) {
   // Permanent failure: retries exhausted or the disk fail-stopped.
   ++failed_requests_;
   retry_attempts_.erase(ev.block);
+  if (sink_ != nullptr) {
+    ObsEvent e;
+    e.time = sim_now_;
+    e.kind = ObsEventKind::kFaultPermanent;
+    e.disk = ev.disk;
+    e.block = ev.block;
+    e.a = ev.service;
+    e.flag = is_flush;
+    sink_->OnEvent(e);
+  }
   if (is_flush) {
     // The write-back is abandoned — the new contents never reach the disk
     // (simulated data loss, visible in failed_requests). Clean the buffer
@@ -311,14 +394,30 @@ void Simulator::EndStall(int64_t block, TimeNs wait_start) {
     const TimeNs duration = sim_now_ - wait_start;
     stall_total_ += duration;
     app_time_ = sim_now_;
+    TimeNs fault_share = 0;
     if (!fault_delay_.empty()) {
       auto it = fault_delay_.find(block);
       if (it != fault_delay_.end()) {
         // The fault-added latency is visible stall only up to the length of
         // this stall window (overlap with compute is absorbed).
-        degraded_stall_ += std::min(duration, it->second);
+        fault_share = std::min(duration, it->second);
+        degraded_stall_ += fault_share;
         fault_delay_.erase(it);
       }
+    }
+    if (sink_ != nullptr) {
+      // This is the only place stall_total_ grows, and the emitted window
+      // carries the same integers the accumulators just consumed — so a
+      // collector's per-cause buckets sum *exactly* to RunResult::stall_time
+      // and its fault bucket *exactly* to degraded_stall_ns.
+      ObsEvent e;
+      e.time = sim_now_;
+      e.kind = ObsEventKind::kStallEnd;
+      e.cause = stall_cause_;
+      e.block = block;
+      e.a = duration;
+      e.b = fault_share;
+      sink_->OnEvent(e);
     }
   } else if (!fault_delay_.empty()) {
     fault_delay_.erase(block);
@@ -332,6 +431,10 @@ void Simulator::IssueFlush(int64_t block) {
   dirty_by_disk_[static_cast<size_t>(loc.disk)].erase(block);
   flush_in_flight_.insert(block);
   ++flush_outstanding_[static_cast<size_t>(loc.disk)];
+  if (sink_ != nullptr) {
+    EmitInstant(ObsEventKind::kFlushIssue, loc.disk, block, 0,
+                flush_outstanding_[static_cast<size_t>(loc.disk)]);
+  }
   disks_->disk(loc.disk).Enqueue(block, loc.disk_block, sim_now_, next_seq_++);
   ++flushes_;
   pending_driver_ += config_.driver_overhead;
@@ -380,6 +483,13 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
   ++write_refs_;
   const TimeNs wait_start = app_time_;
   waiting_block_ = block;
+  if (sink_ != nullptr) {
+    // Writes emit no kStallBegin — most writes do not stall at all, and the
+    // kStallEnd record carries the whole window. The cause tracks the most
+    // recent reason this write blocked.
+    stall_cause_ = cache_.Fetching(block) ? StallCause::kFetchInFlight
+                                          : StallCause::kWriteFlush;
+  }
 
   // A prefetch for the block may be in flight; the buffer is busy until it
   // lands (the new contents then overwrite it).
@@ -401,6 +511,9 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
         continue;
       }
       // Every buffer is dirty or in flight; wait for a flush or arrival.
+      if (sink_ != nullptr) {
+        stall_cause_ = StallCause::kNoBuffer;
+      }
       if (flush_in_flight_.empty()) {
         ForceFlushForProgress();
       }
@@ -417,6 +530,9 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
   if (config_.write_through) {
     // The write stalls until the new contents are durable: wait out any
     // flush of the old contents, then flush again if still dirty.
+    if (sink_ != nullptr && (flush_in_flight_.contains(block) || cache_.Dirty(block))) {
+      stall_cause_ = StallCause::kWriteFlush;
+    }
     while (flush_in_flight_.contains(block)) {
       ApplyNextEvent();
     }
@@ -460,6 +576,9 @@ void Simulator::DemandFetch(int64_t block) {
     }
     // Every buffer is in flight or dirty; make sure a flush is draining the
     // dirty population, then wait for the next completion.
+    if (sink_ != nullptr) {
+      stall_cause_ = StallCause::kNoBuffer;
+    }
     if (flush_in_flight_.empty()) {
       ForceFlushForProgress();
     }
@@ -500,6 +619,12 @@ RunResult Simulator::Run() {
     }
     if (!cache_.Present(block)) {
       waiting_block_ = block;
+      if (sink_ != nullptr) {
+        // Initial cause; DemandFetch upgrades it to kNoBuffer if the fetch
+        // itself has to wait for a buffer. kStallEnd's cause is authoritative.
+        BeginStallWindow(block, cache_.Fetching(block) ? StallCause::kFetchInFlight
+                                                       : StallCause::kColdMiss);
+      }
       if (!cache_.Fetching(block)) {
         DemandFetch(block);
       }
@@ -562,6 +687,11 @@ RunResult Simulator::Run() {
     result.avg_response_ms = sum_response / static_cast<double>(completed);
   }
   result.avg_disk_util = util_sum / static_cast<double>(disks_->num_disks());
+  if (collector_ != nullptr) {
+    // Finish self-checks the attribution and utilization invariants against
+    // the result it is attached to.
+    result.obs = collector_->Finish(result);
+  }
   return result;
 }
 

@@ -43,10 +43,13 @@
 #include "core/trace_context.h"
 #include "disk/disk_array.h"
 #include "layout/placement.h"
+#include "obs/event_sink.h"
 #include "trace/trace.h"
 #include "util/flat_set.h"
 
 namespace pfc {
+
+class ObsCollector;
 
 class Simulator {
  public:
@@ -63,9 +66,34 @@ class Simulator {
   // Same, but shares ownership of the context (see SharedTraceContext).
   Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config, Policy* policy);
 
+  ~Simulator();
+
   // Runs the whole trace; callable once per Simulator instance. Throws
   // SimError if the run exceeds its event budget (see SimConfig::max_events).
   RunResult Run();
+
+  // --- Observability --------------------------------------------------------
+  //
+  // With SimConfig::obs.collect set, the constructor installs an internal
+  // ObsCollector and Run() attaches its report to RunResult::obs. A caller
+  // may instead (not additionally) install an external sink before Run();
+  // nullptr detaches. With no sink installed every emission site costs one
+  // pointer test — the engine does no other observability work.
+  void SetEventSink(EventSink* sink);
+
+  // Lets policies drop custom markers (kPolicyMark) into the event stream.
+  // `label` must outlive the sink's consumption of the event (string
+  // literals are the intended use). No-op without a sink.
+  void EmitMark(const char* label, int64_t value = 0) {
+    if (sink_ != nullptr) {
+      ObsEvent e;
+      e.time = sim_now_;
+      e.kind = ObsEventKind::kPolicyMark;
+      e.a = value;
+      e.label = label;
+      sink_->OnEvent(e);
+    }
+  }
 
   // --- State queries for policies -----------------------------------------
 
@@ -125,6 +153,14 @@ class Simulator {
   };
 
   bool IssueFetchInternal(int64_t block, int64_t evict, bool demand);
+  // Shared tail of the constructors: creates the internal collector when
+  // config_.obs.collect is set and wires the sink into the cache and disks.
+  void InitObs();
+  void InstallSink(EventSink* sink);
+  // Emission helpers; all are no-ops without a sink.
+  void EmitInstant(ObsEventKind kind, int disk, int64_t block, int64_t a = 0,
+                   int64_t b = 0);
+  void BeginStallWindow(int64_t block, StallCause cause);
   void TryDispatch(int disk);
   void ApplyNextEvent();
   void HandleFailedRequest(const Event& ev);
@@ -181,6 +217,14 @@ class Simulator {
   TimeNs driver_total_ = 0;
   TimeNs compute_total_ = 0;
   bool ran_ = false;
+  // Observability state. sink_ stays null for the simulator's lifetime
+  // unless obs collection is configured or a sink is installed, so the hot
+  // path pays exactly one branch per emission site. The remaining members
+  // are only touched when sink_ is non-null.
+  EventSink* sink_ = nullptr;
+  std::unique_ptr<ObsCollector> collector_;  // owned internal sink, if any
+  StallCause stall_cause_ = StallCause::kColdMiss;  // cause of the open window
+  FlatSet demand_inflight_;  // in-flight fetches issued by the demand path
 };
 
 }  // namespace pfc

@@ -55,6 +55,16 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
   current_.nominal_service = nominal;
   current_.complete_time = now + service;
   current_.failed = failed;
+  if (sink_ != nullptr) {
+    ObsEvent e;
+    e.time = now;
+    e.kind = ObsEventKind::kDiskBusyBegin;
+    e.disk = id_;
+    e.block = r.logical_block;
+    e.a = service;
+    e.b = static_cast<int64_t>(scheduler_.size());
+    sink_->OnEvent(e);
+  }
   return current_;
 }
 
@@ -63,6 +73,17 @@ void Disk::CompleteCurrent(TimeNs now) {
   PFC_CHECK_EQ(now, current_.complete_time);
   busy_ = false;
   stats_.busy_ns += current_.service_time;
+  if (sink_ != nullptr) {
+    ObsEvent e;
+    e.time = now;
+    e.kind = ObsEventKind::kDiskBusyEnd;
+    e.disk = id_;
+    e.block = current_.logical_block;
+    e.a = current_.service_time;
+    e.b = now - current_.enqueue_time;
+    e.flag = current_.failed;
+    sink_->OnEvent(e);
+  }
   if (current_.failed) {
     ++stats_.errors;
     return;

@@ -20,6 +20,7 @@
 #include "disk/disk_mechanism.h"
 #include "disk/fault_model.h"
 #include "disk/scheduler.h"
+#include "obs/event_sink.h"
 #include "util/stats.h"
 #include "util/time_util.h"
 
@@ -76,6 +77,12 @@ class Disk {
   DiskMechanism& mechanism() { return *mechanism_; }
   const DiskMechanism& mechanism() const { return *mechanism_; }
 
+  // Observability: with a sink installed the disk emits kDiskBusyBegin at
+  // each dispatch (planned service, post-pop queue depth) and kDiskBusyEnd
+  // at each completion (actual service, response, failed flag). Null (the
+  // default) costs one branch per dispatch/completion.
+  void SetEventSink(EventSink* sink) { sink_ = sink; }
+
   void Reset();
 
  private:
@@ -87,6 +94,7 @@ class Disk {
   int64_t head_block_ = 0;  // last block the head touched
   DispatchResult current_;
   DiskStats stats_;
+  EventSink* sink_ = nullptr;  // null = observability disabled
 };
 
 }  // namespace pfc

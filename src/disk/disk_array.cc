@@ -35,6 +35,12 @@ DiskArray::DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipli
   }
 }
 
+void DiskArray::SetEventSink(EventSink* sink) {
+  for (auto& d : disks_) {
+    d->SetEventSink(sink);
+  }
+}
+
 bool DiskArray::AllIdle() const {
   for (const auto& d : disks_) {
     if (!d->idle()) {

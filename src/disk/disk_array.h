@@ -31,6 +31,9 @@ class DiskArray {
   Disk& disk(int i) { return *disks_[static_cast<size_t>(i)]; }
   const Disk& disk(int i) const { return *disks_[static_cast<size_t>(i)]; }
 
+  // Installs `sink` on every disk (see Disk::SetEventSink); nullptr detaches.
+  void SetEventSink(EventSink* sink);
+
   // True if every disk is idle with an empty queue.
   bool AllIdle() const;
 

@@ -36,6 +36,7 @@ SimConfig StudyConfig(const StudySpec& spec, int num_disks) {
     config.cache_blocks = spec.cache_blocks_override;
   }
   config.faults = spec.faults;
+  config.obs.collect = spec.collect_obs;
   return config;
 }
 

@@ -32,6 +32,10 @@ struct StudySpec {
   // Fault injection applied to every point of the study (degraded-mode
   // studies; see disk/fault_model.h). Default: healthy disks.
   FaultConfig faults;
+  // Attach an ObsReport (stall attribution, per-disk busy timelines) to
+  // every result — see obs/obs_report.h. Off by default: collection is
+  // cheap but not free, and most table renderers never look at it.
+  bool collect_obs = false;
 };
 
 // True when the PFC_FULL environment variable asks for exhaustive sweeps.

@@ -1,0 +1,23 @@
+#include "obs/disk_timeline.h"
+
+namespace pfc {
+
+void DiskTimeline::OnDispatch(const ObsEvent& event) {
+  ++dispatches_;
+  queue_depth_.Add(static_cast<double>(event.b));
+}
+
+void DiskTimeline::OnComplete(const ObsEvent& event) {
+  busy_ns_ += event.a;
+  if (event.flag) {
+    ++failures_;
+  } else {
+    ++completes_;
+  }
+  const double service = NsToMs(event.a);
+  service_ms_.Add(service);
+  service_hist_.Add(service);
+  response_ms_.Add(NsToMs(event.b));
+}
+
+}  // namespace pfc

@@ -1,0 +1,60 @@
+// Per-disk utilization and queue-depth timelines, built from the
+// kDiskBusyBegin / kDiskBusyEnd events each Disk emits.
+//
+// busy_ns is the exact sum of service intervals (successes and failed
+// attempts alike), so `busy_ns / elapsed` reproduces DiskStats-derived
+// utilization bit-for-bit — the Table 4 / Table 8 benches recompute their
+// utilization columns from this and ObsCollector::Finish checks the two
+// paths agree on every collecting run.
+
+#ifndef PFC_OBS_DISK_TIMELINE_H_
+#define PFC_OBS_DISK_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/event.h"
+#include "util/stats.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+class DiskTimeline {
+ public:
+  // Feed the disk's busy-interval events (other kinds are ignored).
+  void OnDispatch(const ObsEvent& event);  // kDiskBusyBegin
+  void OnComplete(const ObsEvent& event);  // kDiskBusyEnd
+
+  TimeNs busy_ns() const { return busy_ns_; }
+  int64_t dispatches() const { return dispatches_; }
+  int64_t completes() const { return completes_; }
+  int64_t failures() const { return failures_; }
+
+  // Queue length sampled at each dispatch (after the request left the queue).
+  const RunningStat& queue_depth() const { return queue_depth_; }
+  // Actual (fault-adjusted) service time of every attempt, in ms.
+  const RunningStat& service_ms() const { return service_ms_; }
+  // Queueing + service time of every attempt, in ms.
+  const RunningStat& response_ms() const { return response_ms_; }
+  // Service-time distribution for percentile queries, in ms.
+  const Histogram& service_hist() const { return service_hist_; }
+
+  // Fraction of `elapsed` this disk spent in service.
+  double Utilization(TimeNs elapsed) const {
+    return elapsed > 0 ? static_cast<double>(busy_ns_) / static_cast<double>(elapsed) : 0.0;
+  }
+
+ private:
+  TimeNs busy_ns_ = 0;
+  int64_t dispatches_ = 0;
+  int64_t completes_ = 0;
+  int64_t failures_ = 0;
+  RunningStat queue_depth_;
+  RunningStat service_ms_;
+  RunningStat response_ms_;
+  Histogram service_hist_{0.0, 64.0, 128};
+};
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_DISK_TIMELINE_H_

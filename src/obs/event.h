@@ -1,0 +1,78 @@
+// Typed simulation events — the vocabulary of the observability subsystem.
+//
+// The engine, the buffer cache, and the disks emit ObsEvents into an
+// EventSink (see event_sink.h) when one is installed. Every event is a flat
+// POD stamped with the simulated time at which it happened; the `a`/`b`
+// payload fields are kind-specific (documented per kind below) so the event
+// stream stays a single fixed-size record type that can be logged, exported,
+// and replayed without any allocation on the hot path.
+//
+// Emission sites cost exactly one predicted-not-taken branch when no sink is
+// installed — the overhead contract bench_throughput enforces.
+
+#ifndef PFC_OBS_EVENT_H_
+#define PFC_OBS_EVENT_H_
+
+#include <cstdint>
+
+#include "util/time_util.h"
+
+namespace pfc {
+
+// Why the application processor was stalled. kStallEnd events carry the
+// authoritative cause of the window just closed; StallAttribution splits
+// RunResult::stall_time exactly across these buckets.
+enum class StallCause : uint8_t {
+  kColdMiss = 0,       // demand fetch for a block with no request in flight
+  kFetchInFlight = 1,  // a prefetch was already in flight; it landed too late
+  kNoBuffer = 2,       // every buffer dirty or in flight; waited for a drain
+  kWriteFlush = 3,     // write stalled on durability (write-through flush)
+  kFaultRecovery = 4,  // share inflicted by faults: retries, tails, recovery
+  kNumCauses = 5,
+};
+
+const char* ToString(StallCause cause);
+
+enum class ObsEventKind : uint8_t {
+  // Application-side fetch lifecycle.
+  kDemandFetchStart = 0,  // a=0, b=0; the app stalled and issued a fetch
+  kDemandFetchComplete,   // a=service ns
+  kPrefetchIssue,         // a=0; policy-issued fetch
+  kPrefetchLand,          // a=service ns
+  kPrefetchCancel,        // in-flight fetch abandoned (permanent fault)
+  kEvict,                 // a block's buffer was reclaimed (evict-at-issue)
+  // Stall windows (cause carries the attribution).
+  kStallBegin,  // cause=initial guess (kStallEnd is authoritative)
+  kStallEnd,    // a=duration ns, b=fault-inflicted share ns, cause=base cause
+  // Fault machinery (disk/fault_model.h + the engine's retry loop).
+  kFaultRetry,      // a=backoff ns, b=attempt number
+  kFaultPermanent,  // flag=true when the victim was a write-back flush
+  kFaultRecover,    // a=recovery penalty ns; block synthesized out-of-band
+  // Per-disk busy intervals (emitted by Disk itself).
+  kDiskBusyBegin,  // a=planned service ns, b=queue length after dispatch
+  kDiskBusyEnd,    // a=actual service ns, b=response ns; flag=failed
+  // Write-behind machinery.
+  kFlushIssue,
+  kFlushComplete,
+  // Policy annotations (label is a static string; a=policy-defined value).
+  kPolicyMark,
+  kNumKinds,
+};
+
+const char* ToString(ObsEventKind kind);
+
+struct ObsEvent {
+  TimeNs time = 0;
+  ObsEventKind kind = ObsEventKind::kPolicyMark;
+  StallCause cause = StallCause::kColdMiss;  // meaningful for stall kinds only
+  bool flag = false;                         // kind-specific (see enum docs)
+  int32_t disk = -1;                         // -1 = not disk-specific
+  int64_t block = -1;                        // -1 = not block-specific
+  int64_t a = 0;                             // kind-specific payload
+  int64_t b = 0;                             // kind-specific payload
+  const char* label = nullptr;               // static string; kPolicyMark only
+};
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_EVENT_H_

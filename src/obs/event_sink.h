@@ -1,0 +1,48 @@
+// EventSink: the observability subsystem's injection point.
+//
+// A sink is installed on a Simulator (directly via SetEventSink for custom
+// consumers, or implicitly via SimConfig::obs.collect, which installs an
+// ObsCollector). The engine, the buffer cache, and every disk then deliver
+// typed events to it as the run unfolds. The sink is borrowed, not owned,
+// and must outlive the run; a Simulator is single-threaded, so sinks need no
+// locking — each run gets its own.
+//
+// Overhead contract: with no sink installed, every emission site costs one
+// branch on a pointer that is null for the run's whole lifetime, and nothing
+// else. bench_throughput tracks this (see BENCH_throughput.json's
+// obs_overhead fields).
+
+#ifndef PFC_OBS_EVENT_SINK_H_
+#define PFC_OBS_EVENT_SINK_H_
+
+#include <vector>
+
+#include "obs/event.h"
+
+namespace pfc {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  // Delivered in simulated-time order (the engine is a discrete-event loop;
+  // events at equal times arrive in deterministic cause order).
+  virtual void OnEvent(const ObsEvent& event) = 0;
+};
+
+// The trivial sink: append every event to a vector. Useful for tests and
+// for tools that post-process the raw stream.
+class EventLog : public EventSink {
+ public:
+  void OnEvent(const ObsEvent& event) override { events_.push_back(event); }
+
+  const std::vector<ObsEvent>& events() const { return events_; }
+  std::vector<ObsEvent> Take() { return std::move(events_); }
+
+ private:
+  std::vector<ObsEvent> events_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_EVENT_SINK_H_

@@ -1,0 +1,255 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs_report.h"  // ToString(ObsEventKind)
+#include "obs/stall_attribution.h"
+
+namespace pfc {
+
+namespace {
+
+// Timestamps are rendered as exact decimal microseconds ("123.456") from the
+// integer nanosecond clock — no floating point anywhere near the exporter,
+// so the output is byte-stable across runs and platforms.
+void AppendUs(std::string* out, TimeNs ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  *out += buf;
+}
+
+void AppendChromeEvent(std::string* out, const char* name, const char* ph, int tid, TimeNs ts,
+                       TimeNs dur, const std::string& args) {
+  *out += "{\"name\":\"";
+  *out += name;
+  *out += "\",\"ph\":\"";
+  *out += ph;
+  *out += "\",\"pid\":0,\"tid\":";
+  *out += std::to_string(tid);
+  *out += ",\"ts\":";
+  AppendUs(out, ts);
+  if (std::strcmp(ph, "X") == 0) {
+    *out += ",\"dur\":";
+    AppendUs(out, dur);
+  }
+  if (std::strcmp(ph, "i") == 0) {
+    *out += ",\"s\":\"t\"";
+  }
+  if (!args.empty()) {
+    *out += ",\"args\":{";
+    *out += args;
+    *out += "}";
+  }
+  *out += "},\n";
+}
+
+void AppendMetadata(std::string* out, const char* what, int tid, const std::string& name) {
+  *out += "{\"name\":\"";
+  *out += what;
+  *out += "\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+  *out += std::to_string(tid);
+  *out += ",\"args\":{\"name\":\"";
+  *out += name;
+  *out += "\"}},\n";
+}
+
+constexpr int kAppTid = 0;
+int DiskTid(int disk) { return 1 + disk; }
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::string& trace_name,
+                            const std::string& policy_name, int num_disks) {
+  std::string out;
+  out.reserve(128 * events.size() + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  AppendMetadata(&out, "process_name", kAppTid, "pfc " + trace_name + " / " + policy_name);
+  AppendMetadata(&out, "thread_name", kAppTid, "app (stalls)");
+  for (int d = 0; d < num_disks; ++d) {
+    AppendMetadata(&out, "thread_name", DiskTid(d), "disk " + std::to_string(d));
+  }
+
+  char name[96];
+  for (const ObsEvent& e : events) {
+    switch (e.kind) {
+      case ObsEventKind::kStallEnd: {
+        std::snprintf(name, sizeof(name), "stall:%s", ToString(e.cause));
+        std::string args = "\"block\":" + std::to_string(e.block) +
+                           ",\"fault_ns\":" + std::to_string(e.b);
+        AppendChromeEvent(&out, name, "X", kAppTid, e.time - e.a, e.a, args);
+        break;
+      }
+      case ObsEventKind::kDiskBusyEnd: {
+        std::snprintf(name, sizeof(name), "%sio b%lld", e.flag ? "!" : "",
+                      static_cast<long long>(e.block));
+        std::string args = "\"service_ns\":" + std::to_string(e.a) +
+                           ",\"response_ns\":" + std::to_string(e.b);
+        AppendChromeEvent(&out, name, "X", DiskTid(e.disk), e.time - e.a, e.a, args);
+        break;
+      }
+      case ObsEventKind::kPrefetchIssue:
+      case ObsEventKind::kDemandFetchStart:
+      case ObsEventKind::kPrefetchCancel:
+      case ObsEventKind::kFaultRetry:
+      case ObsEventKind::kFaultPermanent:
+      case ObsEventKind::kFaultRecover:
+      case ObsEventKind::kFlushIssue: {
+        std::snprintf(name, sizeof(name), "%s b%lld", ToString(e.kind),
+                      static_cast<long long>(e.block));
+        const int tid = e.disk >= 0 ? DiskTid(e.disk) : kAppTid;
+        AppendChromeEvent(&out, name, "i", tid, e.time, 0, "");
+        break;
+      }
+      case ObsEventKind::kEvict: {
+        std::snprintf(name, sizeof(name), "evict b%lld", static_cast<long long>(e.block));
+        AppendChromeEvent(&out, name, "i", kAppTid, e.time, 0, "");
+        break;
+      }
+      case ObsEventKind::kPolicyMark: {
+        std::snprintf(name, sizeof(name), "%s=%lld", e.label != nullptr ? e.label : "mark",
+                      static_cast<long long>(e.a));
+        AppendChromeEvent(&out, name, "i", kAppTid, e.time, 0, "");
+        break;
+      }
+      // Begin markers and completion counters are implied by the "X" slices.
+      case ObsEventKind::kStallBegin:
+      case ObsEventKind::kDiskBusyBegin:
+      case ObsEventKind::kDemandFetchComplete:
+      case ObsEventKind::kPrefetchLand:
+      case ObsEventKind::kFlushComplete:
+      case ObsEventKind::kNumKinds:
+        break;
+    }
+  }
+
+  // Trailing dummy event sidesteps JSON's no-trailing-comma rule without
+  // making the emitters order-aware.
+  out += "{\"name\":\"end\",\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":0,\"s\":\"t\"}\n";
+  out += "]}\n";
+  return out;
+}
+
+std::string EventsCsvString(const std::vector<ObsEvent>& events) {
+  std::string out;
+  out.reserve(64 * events.size() + 64);
+  out += kEventsCsvHeader;
+  out += "\n";
+  char line[256];
+  for (const ObsEvent& e : events) {
+    const bool stall = e.kind == ObsEventKind::kStallBegin || e.kind == ObsEventKind::kStallEnd;
+    std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%lld,%lld,%lld,%d,%s\n",
+                  static_cast<long long>(e.time), ToString(e.kind),
+                  stall ? ToString(e.cause) : "", e.disk, static_cast<long long>(e.block),
+                  static_cast<long long>(e.a), static_cast<long long>(e.b), e.flag ? 1 : 0,
+                  e.label != nullptr ? e.label : "");
+    out += line;
+  }
+  return out;
+}
+
+bool WriteEvents(const std::vector<ObsEvent>& events, const std::string& path,
+                 const std::string& trace_name, const std::string& policy_name, int num_disks) {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = csv ? EventsCsvString(events)
+                               : ChromeTraceJson(events, trace_name, policy_name, num_disks);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  if (!ok && written != body.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+namespace {
+
+bool ParseKind(const std::string& token, ObsEventKind* kind) {
+  for (int k = 0; k < static_cast<int>(ObsEventKind::kNumKinds); ++k) {
+    if (token == ToString(static_cast<ObsEventKind>(k))) {
+      *kind = static_cast<ObsEventKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseCause(const std::string& token, StallCause* cause) {
+  for (int c = 0; c < static_cast<int>(StallCause::kNumCauses); ++c) {
+    if (token == ToString(static_cast<StallCause>(c))) {
+      *cause = static_cast<StallCause>(c);
+      return true;
+    }
+  }
+  return false;
+}
+
+Expected<std::vector<LoadedEvent>> Fail(const std::string& path, int line,
+                                        const std::string& what) {
+  return Expected<std::vector<LoadedEvent>>::Failure(path + ":" + std::to_string(line) + ": " +
+                                                     what);
+}
+
+}  // namespace
+
+Expected<std::vector<LoadedEvent>> LoadEventsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Expected<std::vector<LoadedEvent>>::Failure(path + ": cannot open");
+  }
+  std::string line;
+  int lineno = 0;
+  if (!std::getline(in, line) || line != kEventsCsvHeader) {
+    return Fail(path, 1, "missing or unrecognized events CSV header");
+  }
+  lineno = 1;
+  std::vector<LoadedEvent> events;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      fields.push_back(field);
+    }
+    // The trailing label field may be empty (getline drops it).
+    if (fields.size() == 8) {
+      fields.push_back("");
+    }
+    if (fields.size() != 9) {
+      return Fail(path, lineno, "expected 9 fields, got " + std::to_string(fields.size()));
+    }
+    LoadedEvent le;
+    char* end = nullptr;
+    le.event.time = std::strtoll(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || *end != '\0') {
+      return Fail(path, lineno, "bad time_ns '" + fields[0] + "'");
+    }
+    if (!ParseKind(fields[1], &le.event.kind)) {
+      return Fail(path, lineno, "unknown event kind '" + fields[1] + "'");
+    }
+    if (!fields[2].empty() && !ParseCause(fields[2], &le.event.cause)) {
+      return Fail(path, lineno, "unknown stall cause '" + fields[2] + "'");
+    }
+    le.event.disk = std::atoi(fields[3].c_str());
+    le.event.block = std::strtoll(fields[4].c_str(), nullptr, 10);
+    le.event.a = std::strtoll(fields[5].c_str(), nullptr, 10);
+    le.event.b = std::strtoll(fields[6].c_str(), nullptr, 10);
+    le.event.flag = fields[7] == "1";
+    le.label = fields[8];
+    events.push_back(std::move(le));
+  }
+  return events;
+}
+
+}  // namespace pfc

@@ -1,0 +1,60 @@
+// Event-stream exporters: Chrome trace_event JSON and CSV.
+//
+// Both formats are rendered with pure integer arithmetic from the event
+// stream, so a fixed-seed run exports byte-identical files on every run —
+// scripts/ci.sh holds a golden Chrome trace to that promise.
+//
+// Chrome trace layout (loads in chrome://tracing and Perfetto):
+//   pid 0 / tid 0        the application thread; every stall window is a
+//                        complete ("X") slice named by its cause, with the
+//                        fault share in args
+//   pid 0 / tid 1+d      disk d; every busy interval is an "X" slice named
+//                        by the block it serviced ("!" prefix = failed)
+//   instant events ("i") prefetch issues/cancels, evictions, retries,
+//                        permanent faults, flushes, and policy marks
+//
+// The CSV is one row per event (see kEventsCsvHeader) and is what
+// pfc_trace_report consumes.
+
+#ifndef PFC_OBS_EXPORT_H_
+#define PFC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "util/expected.h"
+
+namespace pfc {
+
+inline constexpr const char* kEventsCsvHeader =
+    "time_ns,kind,cause,disk,block,a,b,flag,label";
+
+// Chrome trace_event JSON for the stream. `trace_name`/`policy_name` label
+// the process metadata row.
+std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::string& trace_name,
+                            const std::string& policy_name, int num_disks);
+
+// CSV (header + one row per event).
+std::string EventsCsvString(const std::vector<ObsEvent>& events);
+
+// Writes `events` to `path`; the format is chosen by extension (".csv" ->
+// CSV, anything else -> Chrome trace JSON). Returns false on I/O failure.
+bool WriteEvents(const std::vector<ObsEvent>& events, const std::string& path,
+                 const std::string& trace_name, const std::string& policy_name, int num_disks);
+
+// A parsed CSV row: the POD event plus the owning copy of its label (the
+// in-memory ObsEvent::label field only ever points at static strings, so
+// loaded events leave it null).
+struct LoadedEvent {
+  ObsEvent event;
+  std::string label;
+};
+
+// Loads an events CSV written by EventsCsvString / WriteEvents. Diagnoses
+// malformed files with file:line context.
+Expected<std::vector<LoadedEvent>> LoadEventsCsv(const std::string& path);
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_EXPORT_H_

@@ -1,0 +1,175 @@
+#include "obs/obs_report.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace pfc {
+
+const char* ToString(ObsEventKind kind) {
+  switch (kind) {
+    case ObsEventKind::kDemandFetchStart:
+      return "demand-start";
+    case ObsEventKind::kDemandFetchComplete:
+      return "demand-complete";
+    case ObsEventKind::kPrefetchIssue:
+      return "prefetch-issue";
+    case ObsEventKind::kPrefetchLand:
+      return "prefetch-land";
+    case ObsEventKind::kPrefetchCancel:
+      return "prefetch-cancel";
+    case ObsEventKind::kEvict:
+      return "evict";
+    case ObsEventKind::kStallBegin:
+      return "stall-begin";
+    case ObsEventKind::kStallEnd:
+      return "stall-end";
+    case ObsEventKind::kFaultRetry:
+      return "fault-retry";
+    case ObsEventKind::kFaultPermanent:
+      return "fault-permanent";
+    case ObsEventKind::kFaultRecover:
+      return "fault-recover";
+    case ObsEventKind::kDiskBusyBegin:
+      return "disk-busy-begin";
+    case ObsEventKind::kDiskBusyEnd:
+      return "disk-busy-end";
+    case ObsEventKind::kFlushIssue:
+      return "flush-issue";
+    case ObsEventKind::kFlushComplete:
+      return "flush-complete";
+    case ObsEventKind::kPolicyMark:
+      return "policy-mark";
+    case ObsEventKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+ObsCollector::ObsCollector(int num_disks, bool keep_events) : keep_events_(keep_events) {
+  PFC_CHECK_GT(num_disks, 0);
+  report_.disks.resize(static_cast<size_t>(num_disks));
+}
+
+void ObsCollector::OnEvent(const ObsEvent& event) {
+  ++report_.total_events;
+  switch (event.kind) {
+    case ObsEventKind::kDemandFetchStart:
+      ++report_.demand_starts;
+      break;
+    case ObsEventKind::kDemandFetchComplete:
+      ++report_.demand_completes;
+      break;
+    case ObsEventKind::kPrefetchIssue:
+      ++report_.prefetch_issues;
+      break;
+    case ObsEventKind::kPrefetchLand:
+      ++report_.prefetch_lands;
+      break;
+    case ObsEventKind::kPrefetchCancel:
+      ++report_.prefetch_cancels;
+      break;
+    case ObsEventKind::kEvict:
+      ++report_.evictions;
+      break;
+    case ObsEventKind::kStallEnd:
+      report_.stalls.AddWindow(event.cause, event.a, event.b);
+      break;
+    case ObsEventKind::kFaultRetry:
+      ++report_.fault_retries;
+      break;
+    case ObsEventKind::kFaultPermanent:
+      ++report_.fault_permanent;
+      break;
+    case ObsEventKind::kFaultRecover:
+      ++report_.fault_recoveries;
+      break;
+    case ObsEventKind::kDiskBusyBegin:
+      PFC_CHECK_GE(event.disk, 0);
+      report_.disks[static_cast<size_t>(event.disk)].OnDispatch(event);
+      break;
+    case ObsEventKind::kDiskBusyEnd:
+      PFC_CHECK_GE(event.disk, 0);
+      report_.disks[static_cast<size_t>(event.disk)].OnComplete(event);
+      break;
+    case ObsEventKind::kFlushIssue:
+      ++report_.flush_issues;
+      break;
+    case ObsEventKind::kFlushComplete:
+      ++report_.flush_completes;
+      break;
+    case ObsEventKind::kPolicyMark:
+      ++report_.policy_marks;
+      break;
+    case ObsEventKind::kStallBegin:
+    case ObsEventKind::kNumKinds:
+      break;
+  }
+  if (keep_events_) {
+    report_.events.push_back(event);
+  }
+}
+
+std::shared_ptr<const ObsReport> ObsCollector::Finish(const RunResult& result) {
+  PFC_CHECK_MSG(!finished_, "ObsCollector::Finish is single-shot");
+  finished_ = true;
+  report_.elapsed_ns = result.elapsed_time;
+  report_.stall_ns = result.stall_time;
+  report_.degraded_stall_ns = result.degraded_stall_ns;
+
+  // The attribution invariant: causes sum exactly to the stall bar, and the
+  // fault bucket is exactly the degraded share.
+  report_.stalls.CheckAgainst(result.stall_time, result.degraded_stall_ns);
+
+  // The busy-interval timeline must reproduce the engine's own utilization
+  // figures bit-for-bit (both are busy_ns / elapsed over the same sums).
+  PFC_CHECK_EQ(static_cast<int64_t>(report_.disks.size()),
+               static_cast<int64_t>(result.per_disk_util.size()));
+  for (size_t d = 0; d < report_.disks.size(); ++d) {
+    const double from_events = report_.disks[d].Utilization(result.elapsed_time);
+    PFC_CHECK_EQ(from_events, result.per_disk_util[d]);
+  }
+
+  return std::make_shared<const ObsReport>(std::move(report_));
+}
+
+std::string ObsReport::Summary() const {
+  std::string out;
+  char line[256];
+
+  out += "stall attribution (sums exactly to the stall bar):\n";
+  out += stalls.ToString();
+  std::snprintf(line, sizeof(line), "  total stall %.4fs of %.4fs elapsed (degraded %.4fs)\n",
+                NsToSec(stall_ns), NsToSec(elapsed_ns), NsToSec(degraded_stall_ns));
+  out += line;
+
+  out += "per-disk timelines:\n";
+  std::snprintf(line, sizeof(line), "  %-5s %10s %6s %9s %7s %9s %9s %9s %9s\n", "disk",
+                "busy(s)", "util", "dispatch", "fail", "q-mean", "svc-ms", "p95-ms", "resp-ms");
+  out += line;
+  for (size_t d = 0; d < disks.size(); ++d) {
+    const DiskTimeline& t = disks[d];
+    std::snprintf(line, sizeof(line), "  %-5zu %10.4f %5.1f%% %9lld %7lld %9.2f %9.3f %9.3f %9.3f\n",
+                  d, NsToSec(t.busy_ns()), 100.0 * t.Utilization(elapsed_ns),
+                  static_cast<long long>(t.dispatches()), static_cast<long long>(t.failures()),
+                  t.queue_depth().mean(), t.service_ms().mean(), t.service_hist().Percentile(0.95),
+                  t.response_ms().mean());
+    out += line;
+  }
+
+  std::snprintf(line, sizeof(line),
+                "events: %lld total | demand %lld/%lld | prefetch %lld issued, %lld landed, "
+                "%lld cancelled | evictions %lld | flushes %lld/%lld | faults: %lld retries, "
+                "%lld permanent, %lld recoveries | marks %lld\n",
+                static_cast<long long>(total_events), static_cast<long long>(demand_starts),
+                static_cast<long long>(demand_completes), static_cast<long long>(prefetch_issues),
+                static_cast<long long>(prefetch_lands), static_cast<long long>(prefetch_cancels),
+                static_cast<long long>(evictions), static_cast<long long>(flush_issues),
+                static_cast<long long>(flush_completes), static_cast<long long>(fault_retries),
+                static_cast<long long>(fault_permanent), static_cast<long long>(fault_recoveries),
+                static_cast<long long>(policy_marks));
+  out += line;
+  return out;
+}
+
+}  // namespace pfc

@@ -1,0 +1,82 @@
+// ObsReport: the per-run observability summary, and ObsCollector, the
+// EventSink that builds one incrementally.
+//
+// A Simulator whose SimConfig sets obs.collect installs a private
+// ObsCollector for the run and attaches the finished report to
+// RunResult::obs. The collector aggregates as events arrive (stall
+// attribution, per-disk timelines, lifecycle counters) and — only when
+// obs.keep_events is also set — retains the raw event stream for export
+// (Chrome trace JSON / CSV; see obs/export.h).
+//
+// Finish() seals the report against the RunResult: it computes per-disk
+// utilization from the busy intervals, checks it agrees exactly with the
+// engine's own per_disk_util, and checks the stall-cause buckets sum exactly
+// to stall_time (with the fault bucket equal to degraded_stall_ns). Every
+// collecting run therefore self-verifies the attribution invariant.
+
+#ifndef PFC_OBS_OBS_REPORT_H_
+#define PFC_OBS_OBS_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/run_result.h"
+#include "obs/disk_timeline.h"
+#include "obs/event_sink.h"
+#include "obs/stall_attribution.h"
+
+namespace pfc {
+
+struct ObsReport {
+  StallAttribution stalls;
+  std::vector<DiskTimeline> disks;  // one per array disk
+
+  // Lifecycle counters.
+  int64_t demand_starts = 0;
+  int64_t demand_completes = 0;
+  int64_t prefetch_issues = 0;
+  int64_t prefetch_lands = 0;
+  int64_t prefetch_cancels = 0;
+  int64_t evictions = 0;
+  int64_t flush_issues = 0;
+  int64_t flush_completes = 0;
+  int64_t fault_retries = 0;
+  int64_t fault_permanent = 0;
+  int64_t fault_recoveries = 0;
+  int64_t policy_marks = 0;
+  int64_t total_events = 0;
+
+  // Copied from the RunResult at Finish() so the report is self-contained.
+  TimeNs elapsed_ns = 0;
+  TimeNs stall_ns = 0;
+  TimeNs degraded_stall_ns = 0;
+
+  // The raw stream; empty unless SimConfig::obs.keep_events was set.
+  std::vector<ObsEvent> events;
+
+  // Multi-section text rendering (stall attribution + per-disk table +
+  // lifecycle counters). What `pfc_sim --events-out` prints after the run.
+  std::string Summary() const;
+};
+
+class ObsCollector : public EventSink {
+ public:
+  ObsCollector(int num_disks, bool keep_events);
+
+  void OnEvent(const ObsEvent& event) override;
+
+  // Seals and returns the report; the collector is spent afterwards.
+  // Checks the attribution and utilization invariants against `result`.
+  std::shared_ptr<const ObsReport> Finish(const RunResult& result);
+
+ private:
+  bool keep_events_;
+  bool finished_ = false;
+  ObsReport report_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_OBS_REPORT_H_

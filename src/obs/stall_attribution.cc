@@ -1,0 +1,80 @@
+#include "obs/stall_attribution.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace pfc {
+
+const char* ToString(StallCause cause) {
+  switch (cause) {
+    case StallCause::kColdMiss:
+      return "cold-miss";
+    case StallCause::kFetchInFlight:
+      return "fetch-in-flight";
+    case StallCause::kNoBuffer:
+      return "no-buffer";
+    case StallCause::kWriteFlush:
+      return "write-flush";
+    case StallCause::kFaultRecovery:
+      return "fault-recovery";
+    case StallCause::kNumCauses:
+      break;
+  }
+  return "?";
+}
+
+void StallAttribution::AddWindow(StallCause base, TimeNs duration, TimeNs fault_share) {
+  PFC_CHECK(base != StallCause::kFaultRecovery);
+  PFC_CHECK_GT(duration, 0);
+  PFC_CHECK_GE(fault_share, 0);
+  PFC_CHECK_LE(fault_share, duration);
+  buckets_[static_cast<size_t>(base)] += duration - fault_share;
+  buckets_[static_cast<size_t>(StallCause::kFaultRecovery)] += fault_share;
+  ++window_counts_[static_cast<size_t>(base)];
+  ++windows_;
+}
+
+TimeNs StallAttribution::total() const {
+  TimeNs sum = 0;
+  for (TimeNs b : buckets_) {
+    sum += b;
+  }
+  return sum;
+}
+
+void StallAttribution::CheckAgainst(TimeNs stall_time, TimeNs degraded_stall_ns) const {
+  PFC_CHECK_EQ(total(), stall_time);
+  PFC_CHECK_EQ(ns(StallCause::kFaultRecovery), degraded_stall_ns);
+}
+
+void StallAttribution::Merge(const StallAttribution& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+    window_counts_[i] += other.window_counts_[i];
+  }
+  windows_ += other.windows_;
+}
+
+std::string StallAttribution::ToString() const {
+  const TimeNs sum = total();
+  std::string out;
+  char line[160];
+  for (int c = 0; c < kNumCauses; ++c) {
+    const TimeNs ns = buckets_[static_cast<size_t>(c)];
+    if (ns == 0 && window_counts_[static_cast<size_t>(c)] == 0) {
+      continue;
+    }
+    const double pct = sum > 0 ? 100.0 * static_cast<double>(ns) / static_cast<double>(sum) : 0.0;
+    std::snprintf(line, sizeof(line), "  %-16s %10.4fs  (%lld windows, %5.1f%%)\n",
+                  pfc::ToString(static_cast<StallCause>(c)), NsToSec(ns),
+                  static_cast<long long>(window_counts_[static_cast<size_t>(c)]), pct);
+    out += line;
+  }
+  if (out.empty()) {
+    out = "  (no stalls)\n";
+  }
+  return out;
+}
+
+}  // namespace pfc

@@ -1,0 +1,62 @@
+// StallAttribution: splits RunResult::stall_time exactly by cause.
+//
+// Every stall window the engine closes produces one kStallEnd event carrying
+// the window's integer duration, its base cause, and the fault-inflicted
+// share (the same quantity RunResult::degraded_stall_ns accumulates). The
+// accumulator banks `duration - fault_share` under the base cause and
+// `fault_share` under kFaultRecovery, so the buckets sum to stall_time
+// *exactly* — an integer identity, not an approximation — and the
+// kFaultRecovery bucket equals degraded_stall_ns. CheckAgainst() asserts
+// both; ObsCollector calls it at the end of every collecting run.
+
+#ifndef PFC_OBS_STALL_ATTRIBUTION_H_
+#define PFC_OBS_STALL_ATTRIBUTION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/event.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+class StallAttribution {
+ public:
+  static constexpr int kNumCauses = static_cast<int>(StallCause::kNumCauses);
+
+  // Banks one closed stall window. `fault_share` must be <= `duration`;
+  // `base` must not itself be kFaultRecovery (the fault share is carved out
+  // of the window, never the whole window's identity).
+  void AddWindow(StallCause base, TimeNs duration, TimeNs fault_share);
+
+  TimeNs ns(StallCause cause) const {
+    return buckets_[static_cast<size_t>(cause)];
+  }
+  TimeNs total() const;
+  int64_t windows() const { return windows_; }
+  int64_t windows(StallCause cause) const {
+    return window_counts_[static_cast<size_t>(cause)];
+  }
+
+  // Asserts the exact decomposition: sum of buckets == stall_time and the
+  // kFaultRecovery bucket == degraded_stall_ns. Aborts (PFC_CHECK) on
+  // violation — a broken attribution means the engine double- or
+  // under-counted a window, which would silently corrupt every downstream
+  // timeline.
+  void CheckAgainst(TimeNs stall_time, TimeNs degraded_stall_ns) const;
+
+  void Merge(const StallAttribution& other);
+
+  // One line per non-empty cause: "cold-miss 1.234s (12 windows, 61.7%)".
+  std::string ToString() const;
+
+ private:
+  std::array<TimeNs, kNumCauses> buckets_{};
+  std::array<int64_t, kNumCauses> window_counts_{};
+  int64_t windows_ = 0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_STALL_ATTRIBUTION_H_

@@ -1,0 +1,170 @@
+#include "obs/text_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/disk_timeline.h"
+#include "obs/obs_report.h"
+#include "obs/stall_attribution.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace pfc {
+
+namespace {
+
+// Adds interval [begin, end) into per-bucket occupancy over [0, span).
+void AddInterval(std::vector<double>* occupancy, TimeNs begin, TimeNs end, TimeNs span) {
+  if (span <= 0 || end <= begin) {
+    return;
+  }
+  const double width = static_cast<double>(span) / static_cast<double>(occupancy->size());
+  begin = std::max<TimeNs>(begin, 0);
+  end = std::min(end, span);
+  int lo = static_cast<int>(static_cast<double>(begin) / width);
+  int hi = static_cast<int>(static_cast<double>(end) / width);
+  lo = std::min(lo, static_cast<int>(occupancy->size()) - 1);
+  hi = std::min(hi, static_cast<int>(occupancy->size()) - 1);
+  for (int i = lo; i <= hi; ++i) {
+    const double bucket_lo = width * i;
+    const double bucket_hi = bucket_lo + width;
+    const double overlap = std::min(static_cast<double>(end), bucket_hi) -
+                           std::max(static_cast<double>(begin), bucket_lo);
+    if (overlap > 0) {
+      (*occupancy)[static_cast<size_t>(i)] += overlap / width;
+    }
+  }
+}
+
+char DensityChar(double f) {
+  if (f <= 0.0) {
+    return ' ';
+  }
+  if (f < 0.25) {
+    return '.';
+  }
+  if (f < 0.5) {
+    return ':';
+  }
+  if (f < 0.75) {
+    return '#';
+  }
+  return '@';
+}
+
+std::string LaneString(const std::vector<double>& occupancy) {
+  std::string s;
+  s.reserve(occupancy.size());
+  for (double f : occupancy) {
+    s += DensityChar(f);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string RenderTimeline(const std::vector<LoadedEvent>& events, int columns) {
+  PFC_CHECK_GT(columns, 0);
+  TimeNs span = 0;
+  int num_disks = 0;
+  for (const LoadedEvent& le : events) {
+    span = std::max(span, le.event.time);
+    num_disks = std::max(num_disks, le.event.disk + 1);
+  }
+  std::string out;
+  if (span == 0) {
+    return "  (empty event stream)\n";
+  }
+
+  char line[64];
+  std::snprintf(line, sizeof(line), "timeline: 0 .. %.3fs, %d columns\n", NsToSec(span), columns);
+  out += line;
+
+  std::vector<double> stall_lane(static_cast<size_t>(columns), 0.0);
+  std::vector<std::vector<double>> disk_lanes(
+      static_cast<size_t>(num_disks), std::vector<double>(static_cast<size_t>(columns), 0.0));
+  for (const LoadedEvent& le : events) {
+    const ObsEvent& e = le.event;
+    if (e.kind == ObsEventKind::kStallEnd) {
+      AddInterval(&stall_lane, e.time - e.a, e.time, span);
+    } else if (e.kind == ObsEventKind::kDiskBusyEnd && e.disk >= 0) {
+      AddInterval(&disk_lanes[static_cast<size_t>(e.disk)], e.time - e.a, e.time, span);
+    }
+  }
+
+  out += "  stall |" + LaneString(stall_lane) + "|\n";
+  for (int d = 0; d < num_disks; ++d) {
+    std::snprintf(line, sizeof(line), "  disk%-2d|", d);
+    out += line;
+    out += LaneString(disk_lanes[static_cast<size_t>(d)]) + "|\n";
+  }
+  return out;
+}
+
+std::string RenderEventReport(const std::vector<LoadedEvent>& events, int columns) {
+  std::string out;
+  char line[256];
+
+  // Census.
+  std::vector<int64_t> counts(static_cast<size_t>(ObsEventKind::kNumKinds), 0);
+  TimeNs span = 0;
+  int num_disks = 0;
+  for (const LoadedEvent& le : events) {
+    ++counts[static_cast<size_t>(le.event.kind)];
+    span = std::max(span, le.event.time);
+    num_disks = std::max(num_disks, le.event.disk + 1);
+  }
+  std::snprintf(line, sizeof(line), "%zu events over %.3fs, %d disks\n", events.size(),
+                NsToSec(span), num_disks);
+  out += line;
+  for (int k = 0; k < static_cast<int>(ObsEventKind::kNumKinds); ++k) {
+    if (counts[static_cast<size_t>(k)] > 0) {
+      std::snprintf(line, sizeof(line), "  %-18s %10lld\n",
+                    ToString(static_cast<ObsEventKind>(k)),
+                    static_cast<long long>(counts[static_cast<size_t>(k)]));
+      out += line;
+    }
+  }
+
+  // Stall attribution, rebuilt from the stream.
+  StallAttribution stalls;
+  for (const LoadedEvent& le : events) {
+    if (le.event.kind == ObsEventKind::kStallEnd) {
+      stalls.AddWindow(le.event.cause, le.event.a, le.event.b);
+    }
+  }
+  out += "\nstall attribution:\n";
+  out += stalls.ToString();
+
+  // Per-disk timelines and percentiles.
+  if (num_disks > 0) {
+    std::vector<DiskTimeline> disks(static_cast<size_t>(num_disks));
+    for (const LoadedEvent& le : events) {
+      if (le.event.kind == ObsEventKind::kDiskBusyBegin) {
+        disks[static_cast<size_t>(le.event.disk)].OnDispatch(le.event);
+      } else if (le.event.kind == ObsEventKind::kDiskBusyEnd) {
+        disks[static_cast<size_t>(le.event.disk)].OnComplete(le.event);
+      }
+    }
+    out += "\nper-disk service times (ms):\n";
+    std::snprintf(line, sizeof(line), "  %-5s %9s %6s %9s %8s %8s %8s %8s %8s\n", "disk",
+                  "dispatch", "util", "q-mean", "mean", "p50", "p90", "p95", "p99");
+    out += line;
+    for (int d = 0; d < num_disks; ++d) {
+      const DiskTimeline& t = disks[static_cast<size_t>(d)];
+      const Histogram& h = t.service_hist();
+      std::snprintf(line, sizeof(line),
+                    "  %-5d %9lld %5.1f%% %9.2f %8.3f %8.3f %8.3f %8.3f %8.3f\n", d,
+                    static_cast<long long>(t.dispatches()), 100.0 * t.Utilization(span),
+                    t.queue_depth().mean(), t.service_ms().mean(), h.Percentile(0.5),
+                    h.Percentile(0.9), h.Percentile(0.95), h.Percentile(0.99));
+      out += line;
+    }
+  }
+
+  out += "\n";
+  out += RenderTimeline(events, columns);
+  return out;
+}
+
+}  // namespace pfc

@@ -1,0 +1,26 @@
+// Text rendering of an exported event stream: an ASCII timeline (per-disk
+// busy density plus an application stall row), rebuilt stall attribution,
+// and service-time percentile tables. This is what pfc_trace_report prints.
+
+#ifndef PFC_OBS_TEXT_REPORT_H_
+#define PFC_OBS_TEXT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace pfc {
+
+// Full report: event census, stall attribution, per-disk utilization +
+// percentile tables, and the timeline. `columns` is the timeline width in
+// buckets (each bucket shows the fraction of its time span the lane was
+// busy/stalled, as ' ', '.', ':', '#', '@' for 0 / <25% / <50% / <75% / more).
+std::string RenderEventReport(const std::vector<LoadedEvent>& events, int columns = 100);
+
+// Just the timeline block (exposed for tests).
+std::string RenderTimeline(const std::vector<LoadedEvent>& events, int columns);
+
+}  // namespace pfc
+
+#endif  // PFC_OBS_TEXT_REPORT_H_

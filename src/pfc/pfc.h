@@ -45,6 +45,13 @@
 #include "harness/runner.h"
 #include "harness/study.h"
 #include "layout/placement.h"
+#include "obs/disk_timeline.h"
+#include "obs/event.h"
+#include "obs/event_sink.h"
+#include "obs/export.h"
+#include "obs/obs_report.h"
+#include "obs/stall_attribution.h"
+#include "obs/text_report.h"
 #include "trace/file_layout.h"
 #include "trace/generators.h"
 #include "trace/trace.h"

@@ -4,6 +4,7 @@
 #define PFC_UTIL_STATS_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,14 @@ class RunningStat {
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
   double variance() const;
   double stddev() const;
-  double min() const { return count_ > 0 ? min_ : 0.0; }
-  double max() const { return count_ > 0 ? max_ : 0.0; }
+  // An empty accumulator has no extrema: min/max return NaN (0.0 would be
+  // indistinguishable from a real observed zero).
+  double min() const {
+    return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   double sum() const { return sum_; }
 
   void Merge(const RunningStat& other);

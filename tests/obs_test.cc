@@ -1,0 +1,276 @@
+// Tests for the observability subsystem (src/obs): the stall-attribution
+// invariant across every policy, busy-interval utilization cross-checks,
+// result identity with and without a sink, exporter byte-stability, and the
+// CSV round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pfc/pfc.h"
+
+namespace pfc {
+namespace {
+
+const std::vector<PolicyKind>& AllPolicies() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::kDemand,     PolicyKind::kDemandLru,
+      PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+      PolicyKind::kReverseAggressive, PolicyKind::kForestall,
+  };
+  return kinds;
+}
+
+SimConfig SmallConfig(const std::string& trace_name, int disks) {
+  SimConfig config = BaselineConfig(trace_name, disks);
+  config.disk_model = DiskModelKind::kSimple;
+  config.obs.collect = true;
+  return config;
+}
+
+// The tentpole invariant: for every policy, the collector's per-cause
+// buckets sum *exactly* (integer equality) to RunResult::stall_time, and
+// the fault bucket is exactly degraded_stall_ns (zero on healthy runs).
+// ObsCollector::Finish PFC_CHECKs this internally too, so a violation
+// aborts before the EXPECTs even run — the assertions document the
+// contract for readers.
+TEST(ObsInvariant, AttributionSumsToStallTimeAcrossPolicies) {
+  Trace trace = MakeTrace("cscope1").Prefix(1500);
+  for (PolicyKind kind : AllPolicies()) {
+    for (int disks : {1, 3}) {
+      SimConfig config = SmallConfig("cscope1", disks);
+      RunResult r = RunOne(trace, config, kind);
+      ASSERT_NE(r.obs, nullptr) << ToString(kind) << " d=" << disks;
+      EXPECT_EQ(r.obs->stalls.total(), r.stall_time) << ToString(kind);
+      EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), r.degraded_stall_ns);
+      EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), 0) << "healthy run";
+      EXPECT_GT(r.obs->total_events, 0);
+      // Fetch lifecycle bookkeeping: every demand start eventually completes
+      // (healthy run), and fetches the engine counted all produced events.
+      EXPECT_EQ(r.obs->demand_starts, r.obs->demand_completes);
+      EXPECT_EQ(r.obs->demand_starts + r.obs->prefetch_issues, r.fetches);
+    }
+  }
+}
+
+// Write-heavy runs exercise the kWriteFlush / kNoBuffer causes; the
+// invariant must hold there too, in both write-back and write-through modes.
+TEST(ObsInvariant, AttributionHoldsForWriteWorkloads) {
+  Trace base = MakeTrace("postgres-select").Prefix(1200);
+  Trace trace = WithUpdates(base, 0.4, /*seed=*/7);
+  for (bool write_through : {false, true}) {
+    for (PolicyKind kind : {PolicyKind::kForestall, PolicyKind::kAggressive}) {
+      SimConfig config = SmallConfig("postgres-select", 2);
+      config.write_through = write_through;
+      RunResult r = RunOne(trace, config, kind);
+      ASSERT_NE(r.obs, nullptr);
+      EXPECT_EQ(r.obs->stalls.total(), r.stall_time)
+          << ToString(kind) << (write_through ? " write-through" : " write-back");
+      if (write_through) {
+        EXPECT_GT(r.obs->flush_issues, 0);
+      }
+    }
+  }
+}
+
+// Fault runs: the kFaultRecovery bucket equals degraded_stall_ns exactly,
+// for every policy, under transient errors + a latency tail + a fail-stop.
+TEST(ObsInvariant, FaultRunsAttributeDegradedStallExactly) {
+  Trace trace = MakeTrace("cscope1").Prefix(1200);
+  SimConfig base = SmallConfig("cscope1", 3);
+  base.faults.media_error_rate = 0.05;
+  base.faults.tail_rate = 0.05;
+  base.faults.tail_multiplier = 8.0;
+  base.faults.fail_disk = 1;
+  base.faults.fail_after = MsToNs(200);
+  base.faults.max_retries = 2;
+  for (PolicyKind kind : AllPolicies()) {
+    RunResult r = RunOne(trace, base, kind);
+    ASSERT_NE(r.obs, nullptr) << ToString(kind);
+    EXPECT_EQ(r.obs->stalls.total(), r.stall_time) << ToString(kind);
+    EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), r.degraded_stall_ns)
+        << ToString(kind);
+    EXPECT_GT(r.degraded_stall_ns, 0) << ToString(kind)
+        << ": fault config produced no degraded stall; test is vacuous";
+    EXPECT_GT(r.obs->fault_retries + r.obs->fault_permanent, 0) << ToString(kind);
+  }
+}
+
+// Satellite cross-check: utilization recomputed from busy-interval events
+// must equal the engine's DiskStats-derived figure bit-for-bit.
+TEST(ObsCrossCheck, BusyIntervalsReproduceEngineUtilization) {
+  Trace trace = MakeTrace("postgres-join").Prefix(1500);
+  for (int disks : {2, 4}) {
+    SimConfig config = SmallConfig("postgres-join", disks);
+    RunResult r = RunOne(trace, config, PolicyKind::kForestall);
+    ASSERT_NE(r.obs, nullptr);
+    ASSERT_EQ(r.obs->disks.size(), r.per_disk_util.size());
+    for (size_t d = 0; d < r.obs->disks.size(); ++d) {
+      EXPECT_EQ(r.obs->disks[d].Utilization(r.elapsed_time), r.per_disk_util[d]);
+      EXPECT_EQ(r.obs->disks[d].dispatches(), r.obs->disks[d].completes());
+    }
+  }
+}
+
+// The zero-overhead contract's semantic half: observing a run must not
+// change it. Every scalar result field is identical with and without a
+// collector.
+TEST(ObsContract, CollectionDoesNotPerturbTheRun) {
+  Trace trace = MakeTrace("dinero").Prefix(2000);
+  for (PolicyKind kind : {PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    SimConfig off = SmallConfig("dinero", 2);
+    off.obs.collect = false;
+    SimConfig on = SmallConfig("dinero", 2);
+    RunResult a = RunOne(trace, off, kind);
+    RunResult b = RunOne(trace, on, kind);
+    EXPECT_EQ(a.obs, nullptr);
+    ASSERT_NE(b.obs, nullptr);
+    EXPECT_EQ(a.elapsed_time, b.elapsed_time) << ToString(kind);
+    EXPECT_EQ(a.stall_time, b.stall_time);
+    EXPECT_EQ(a.compute_time, b.compute_time);
+    EXPECT_EQ(a.driver_time, b.driver_time);
+    EXPECT_EQ(a.fetches, b.fetches);
+    EXPECT_EQ(a.demand_fetches, b.demand_fetches);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.per_disk_util, b.per_disk_util);
+  }
+}
+
+// An external sink (SetEventSink) sees the same stream an internal
+// collector would aggregate, and kStallEnd durations sum to stall_time.
+TEST(ObsContract, ExternalSinkReceivesConsistentStream) {
+  Trace trace = MakeTrace("cscope2").Prefix(1000);
+  SimConfig config = SmallConfig("cscope2", 2);
+  config.obs.collect = false;  // external sink instead
+  ForestallPolicy policy;
+  Simulator sim(trace, config, &policy);
+  EventLog log;
+  sim.SetEventSink(&log);
+  RunResult r = sim.Run();
+  ASSERT_FALSE(log.events().empty());
+  TimeNs stall_sum = 0;
+  TimeNs fault_sum = 0;
+  TimeNs last_time = 0;
+  for (const ObsEvent& e : log.events()) {
+    EXPECT_GE(e.time, last_time);  // simulated-time order
+    last_time = e.time;
+    if (e.kind == ObsEventKind::kStallEnd) {
+      stall_sum += e.a;
+      fault_sum += e.b;
+    }
+  }
+  EXPECT_EQ(stall_sum, r.stall_time);
+  EXPECT_EQ(fault_sum, r.degraded_stall_ns);
+}
+
+TEST(StallAttributionUnit, AddWindowMergeAndCheck) {
+  StallAttribution a;
+  a.AddWindow(StallCause::kColdMiss, 100, 0);
+  a.AddWindow(StallCause::kFetchInFlight, 60, 25);
+  EXPECT_EQ(a.total(), 160);
+  EXPECT_EQ(a.ns(StallCause::kColdMiss), 100);
+  EXPECT_EQ(a.ns(StallCause::kFetchInFlight), 35);
+  EXPECT_EQ(a.ns(StallCause::kFaultRecovery), 25);
+  EXPECT_EQ(a.windows(), 2);
+
+  StallAttribution b;
+  b.AddWindow(StallCause::kNoBuffer, 40, 0);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 200);
+  EXPECT_EQ(a.windows(), 3);
+  a.CheckAgainst(/*stall_time=*/200, /*degraded_stall_ns=*/25);  // must not abort
+
+  std::string s = a.ToString();
+  EXPECT_NE(s.find("cold-miss"), std::string::npos);
+  EXPECT_NE(s.find("no-buffer"), std::string::npos);
+}
+
+// A fixed-seed run exports byte-identical Chrome trace JSON (the exporter
+// uses integer arithmetic only); scripts/ci.sh additionally diffs one
+// against a committed golden file.
+TEST(ObsExport, ChromeTraceJsonIsByteStable) {
+  Trace trace = MakeTrace("cscope1").Prefix(600);
+  std::string renders[2];
+  for (int i = 0; i < 2; ++i) {
+    SimConfig config = SmallConfig("cscope1", 2);
+    config.obs.keep_events = true;
+    RunResult r = RunOne(trace, config, PolicyKind::kForestall);
+    ASSERT_NE(r.obs, nullptr);
+    ASSERT_FALSE(r.obs->events.empty());
+    renders[i] = ChromeTraceJson(r.obs->events, trace.name(), "forestall", 2);
+  }
+  EXPECT_EQ(renders[0], renders[1]);
+  EXPECT_EQ(renders[0].front(), '{');  // {"traceEvents": [...]} object form
+  EXPECT_NE(renders[0].find("\"stall:"), std::string::npos);
+  EXPECT_NE(renders[0].find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ObsExport, CsvRoundTripPreservesEvents) {
+  Trace trace = MakeTrace("cscope1").Prefix(600);
+  SimConfig config = SmallConfig("cscope1", 2);
+  config.obs.keep_events = true;
+  RunResult r = RunOne(trace, config, PolicyKind::kAggressive);
+  ASSERT_NE(r.obs, nullptr);
+  const std::vector<ObsEvent>& events = r.obs->events;
+  ASSERT_FALSE(events.empty());
+
+  std::string path = testing::TempDir() + "/obs_roundtrip.csv";
+  ASSERT_TRUE(WriteEvents(events, path, trace.name(), "aggressive", 2));
+  Expected<std::vector<LoadedEvent>> loaded = LoadEventsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ObsEvent& want = events[i];
+    const ObsEvent& got = loaded.value()[i].event;
+    ASSERT_EQ(got.time, want.time) << "row " << i;
+    ASSERT_EQ(got.kind, want.kind) << "row " << i;
+    ASSERT_EQ(got.cause, want.cause) << "row " << i;
+    ASSERT_EQ(got.disk, want.disk) << "row " << i;
+    ASSERT_EQ(got.block, want.block) << "row " << i;
+    ASSERT_EQ(got.a, want.a) << "row " << i;
+    ASSERT_EQ(got.b, want.b) << "row " << i;
+    ASSERT_EQ(got.flag, want.flag) << "row " << i;
+  }
+  std::remove(path.c_str());
+
+  // The text report renders from the loaded stream.
+  std::string report = RenderEventReport(loaded.value(), /*columns=*/60);
+  EXPECT_NE(report.find("stall"), std::string::npos);
+  EXPECT_NE(report.find("disk"), std::string::npos);
+}
+
+// Policies drop kPolicyMark breadcrumbs when batching (aggressive and
+// forestall); the label survives into the collector's census.
+TEST(ObsContract, PolicyMarksAreEmitted) {
+  Trace trace = MakeTrace("synth").Prefix(2000);
+  SimConfig config = SmallConfig("synth", 2);
+  RunResult r = RunOne(trace, config, PolicyKind::kAggressive);
+  ASSERT_NE(r.obs, nullptr);
+  EXPECT_GT(r.obs->policy_marks, 0);
+}
+
+// RunStudy threads collect_obs through to every grid point.
+TEST(ObsHarness, StudyAttachesReportsWhenAsked) {
+  Trace trace = MakeTrace("cscope1").Prefix(800);
+  StudySpec spec;
+  spec.trace_name = "cscope1";
+  spec.disks = {1, 2};
+  spec.policies = {PolicyKind::kDemand, PolicyKind::kForestall};
+  spec.tune_revagg = false;
+  spec.disk_model = DiskModelKind::kSimple;
+  spec.collect_obs = true;
+  std::vector<PolicySeries> series = RunStudy(trace, spec);
+  ASSERT_EQ(series.size(), 2u);
+  for (const PolicySeries& s : series) {
+    ASSERT_EQ(s.results.size(), 2u);
+    for (const RunResult& r : s.results) {
+      ASSERT_NE(r.obs, nullptr);
+      EXPECT_EQ(r.obs->stalls.total(), r.stall_time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfc

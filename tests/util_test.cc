@@ -171,6 +171,17 @@ TEST(RunningStat, Basics) {
   EXPECT_NEAR(s.variance(), 1.0, 1e-12);
 }
 
+TEST(RunningStat, EmptyExtremaAreNaN) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.Add(0.0);  // a real observed zero is distinguishable from "no samples"
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
 TEST(RunningStat, Merge) {
   RunningStat a;
   RunningStat b;
@@ -184,6 +195,37 @@ TEST(RunningStat, Merge) {
   EXPECT_EQ(a.count(), whole.count());
   EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
   EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat filled;
+  filled.Add(2.0);
+  filled.Add(4.0);
+
+  // Merging an empty accumulator in changes nothing — in particular it must
+  // not drag min/max toward the empty side's sentinel state.
+  RunningStat a = filled;
+  a.Merge(RunningStat{});
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+
+  // Merging into an empty accumulator adopts the other side wholesale.
+  RunningStat b;
+  b.Merge(filled);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 4.0);
+
+  // Empty-with-empty stays empty (and NaN-extrema'd).
+  RunningStat c;
+  c.Merge(RunningStat{});
+  EXPECT_EQ(c.count(), 0);
+  EXPECT_TRUE(std::isnan(c.min()));
+  EXPECT_TRUE(std::isnan(c.max()));
 }
 
 TEST(Histogram, PercentileAndClamping) {
@@ -196,6 +238,31 @@ TEST(Histogram, PercentileAndClamping) {
   h.Add(-5.0);   // clamps low
   h.Add(100.0);  // clamps high
   EXPECT_EQ(h.total(), 102);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty(0.0, 10.0, 10);
+  EXPECT_EQ(empty.total(), 0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);   // empty pins to lo...
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);   // ...even at fraction 1
+
+  Histogram one(0.0, 10.0, 10);
+  one.Add(3.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 3.5);  // interpolates within [3, 4)
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 4.0);
+
+  Histogram single(0.0, 8.0, 1);  // a one-bucket histogram interpolates
+  single.Add(1.0);
+  single.Add(7.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(1.0), 8.0);
+
+  Histogram clamped(0.0, 10.0, 10);
+  clamped.Add(-100.0);
+  clamped.Add(1000.0);
+  EXPECT_GE(clamped.Percentile(0.0), 0.0);  // clamps keep percentiles in range
+  EXPECT_LE(clamped.Percentile(1.0), 10.0);
 }
 
 TEST(SlidingWindowSum, RollsOver) {

@@ -25,8 +25,15 @@
 //   --revagg-f=N           reverse aggressive's fetch-time estimate [64]
 //   --forestall-f=F        forestall's fixed F' (0 = dynamic)       [0]
 //   --seed=N               trace synthesis seed                     [19960901]
+//   --prefix=N             simulate only the first N references     [whole trace]
 //   --jobs=N               worker threads for the grid              [PFC_JOBS or cores]
 //   --csv=PATH             append results as CSV
+//   --events-out=PATH      export the observability event stream (see
+//                          src/obs): ".csv" -> events CSV (pfc_trace_report
+//                          input), anything else -> Chrome trace JSON
+//                          (chrome://tracing / Perfetto). Requires a single
+//                          (trace, policy, disks) point; also prints the
+//                          ObsReport summary after the results table.
 //   --help
 //
 // Fault injection (see disk/fault_model.h; all off by default):
@@ -71,8 +78,10 @@ struct Flags {
   int64_t revagg_f = 64;
   double forestall_f = 0.0;
   uint64_t seed = pfc::kDefaultTraceSeed;
+  int64_t prefix = 0;
   int jobs = 0;  // 0 = PFC_JOBS / hardware concurrency
   std::string csv;
+  std::string events_out;
   bool help = false;
   pfc::FaultConfig faults;
 };
@@ -170,6 +179,14 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
   if (const char* v = value_of("--seed")) {
     flags->seed = std::strtoull(v, nullptr, 10);
     return true;
+  }
+  if (const char* v = value_of("--prefix")) {
+    flags->prefix = std::atoll(v);
+    return flags->prefix > 0;
+  }
+  if (const char* v = value_of("--events-out")) {
+    flags->events_out = v;
+    return !flags->events_out.empty();
   }
   if (const char* v = value_of("--jobs")) {
     flags->jobs = std::atoi(v);
@@ -271,6 +288,9 @@ int main(int argc, char** argv) {
     }
     trace = loaded.take();
   }
+  if (flags.prefix > 0 && flags.prefix < trace.size()) {
+    trace = trace.Prefix(flags.prefix);
+  }
   std::printf("%s\n\n", pfc::ToString(pfc::ComputeTraceStats(trace)).c_str());
 
   // Resolve enum-valued flags.
@@ -349,6 +369,9 @@ int main(int argc, char** argv) {
     config.hint_coverage = flags.hint_coverage;
     config.write_through = flags.write_through;
     config.faults = flags.faults;
+    // --events-out needs the raw stream; plain runs skip collection.
+    config.obs.collect = !flags.events_out.empty();
+    config.obs.keep_events = config.obs.collect;
     for (pfc::PolicyKind kind : kinds) {
       if (kind == pfc::PolicyKind::kReverseAggressive &&
           (flags.hint_coverage < 1.0 || trace.WriteCount() > 0)) {
@@ -356,6 +379,13 @@ int main(int argc, char** argv) {
       }
       grid.push_back(pfc::ExperimentJob{&trace, config, kind, options});
     }
+  }
+  if (!flags.events_out.empty() && grid.size() != 1) {
+    std::fprintf(stderr,
+                 "pfc_sim: --events-out exports one run; pick a single policy "
+                 "and array size (got %zu grid points)\n",
+                 grid.size());
+    return 2;
   }
   std::vector<pfc::RunResult> results = pfc::RunExperiments(grid, flags.jobs);
 
@@ -380,6 +410,20 @@ int main(int argc, char** argv) {
   if (!flags.csv.empty() && !pfc::WriteResultsCsv(results, flags.csv)) {
     std::fprintf(stderr, "pfc_sim: could not write %s\n", flags.csv.c_str());
     return 1;
+  }
+  if (!flags.events_out.empty()) {
+    const pfc::RunResult& r = results.front();
+    if (r.obs == nullptr) {
+      std::fprintf(stderr, "pfc_sim: run produced no observability report\n");
+      return 1;
+    }
+    if (!pfc::WriteEvents(r.obs->events, flags.events_out, r.trace_name, r.policy_name,
+                          r.num_disks)) {
+      std::fprintf(stderr, "pfc_sim: could not write %s\n", flags.events_out.c_str());
+      return 1;
+    }
+    std::printf("\n%s\nwrote %lld events to %s\n", r.obs->Summary().c_str(),
+                static_cast<long long>(r.obs->total_events), flags.events_out.c_str());
   }
   return 0;
 }

@@ -7,6 +7,8 @@
 // the engine's own DiskStats-derived figures before rendering.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "pfc/pfc.h"
 #include "util/check.h"
@@ -28,8 +30,14 @@ double ObsDerivedUtil(const pfc::RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfc;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    }
+  }
   Trace trace = MakeTrace("postgres-select");
   StudySpec spec;
   spec.trace_name = "postgres-select";
@@ -55,5 +63,13 @@ int main() {
       "Expected shape: aggressive >= reverse aggressive >= fixed horizon >= demand\n"
       "at moderate array sizes.\n",
       checked);
+  if (!csv_path.empty()) {
+    std::vector<RunResult> flat;
+    for (const PolicySeries& s : series) {
+      flat.insert(flat.end(), s.results.begin(), s.results.end());
+    }
+    PFC_CHECK(WriteResultsCsv(flat, csv_path));
+    std::printf("results written to %s\n", csv_path.c_str());
+  }
   return 0;
 }

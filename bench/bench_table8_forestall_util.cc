@@ -6,6 +6,8 @@
 // busy-interval events and cross-checked exactly against the engine.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "pfc/pfc.h"
 #include "util/check.h"
@@ -25,8 +27,14 @@ double ObsDerivedUtil(const pfc::RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfc;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    }
+  }
   Trace trace = MakeTrace("postgres-select");
   StudySpec spec;
   spec.trace_name = "postgres-select";
@@ -50,5 +58,13 @@ int main() {
                   spec.disks, series)
                   .c_str());
   std::printf("Utilization cross-checked against %d busy-interval event streams.\n", checked);
+  if (!csv_path.empty()) {
+    std::vector<RunResult> flat;
+    for (const PolicySeries& s : series) {
+      flat.insert(flat.end(), s.results.begin(), s.results.end());
+    }
+    PFC_CHECK(WriteResultsCsv(flat, csv_path));
+    std::printf("results written to %s\n", csv_path.c_str());
+  }
   return 0;
 }

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target fault_test runner_test simulator_test obs_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target fault_test runner_test simulator_test obs_test \
+    check_test fault_cancel_test -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -21,4 +22,9 @@ PFC_JOBS=4 "$BUILD_DIR"/tests/runner_test --gtest_color=yes
 # The obs collector allocates event logs and timeline state per run and the
 # exporters do manual CSV/JSON parsing — prime ASan/UBSan territory.
 "$BUILD_DIR"/tests/obs_test --gtest_color=yes
-echo "ASan/UBSan: fault, runner, simulator, and obs tests clean."
+# The differential suites (ctest label "differential") drive RefSim's naive
+# containers and the fault-cancellation teardown paths — fetch buffers must
+# be returned, never leaked, when a disk fail-stops mid-run.
+"$BUILD_DIR"/tests/check_test --gtest_color=yes
+"$BUILD_DIR"/tests/fault_cancel_test --gtest_color=yes
+echo "ASan/UBSan: fault, runner, simulator, obs, and differential tests clean."

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target runner_test obs_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target runner_test obs_test check_test -j "$(nproc)"
 
 # PFC_JOBS=4 forces the thread pool on even on single-core machines, so the
 # sanitizer actually sees concurrent workers.
@@ -19,4 +19,8 @@ TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
 # RunStudy(collect_obs); make sure event emission is race-free there too.
 TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
     "$BUILD_DIR"/tests/obs_test --gtest_color=yes
-echo "TSan: runner determinism and obs tests clean."
+# The differential corpus (ctest label "differential") runs both engines over
+# the same shared trace oracles; TSan checks that sharing is read-only.
+TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
+    "$BUILD_DIR"/tests/check_test --gtest_color=yes
+echo "TSan: runner determinism, obs, and differential tests clean."

@@ -32,6 +32,13 @@ cmp "$OBS_TMP/trace_a.json" "$GOLDEN" || {
 }
 echo "golden trace: byte-stable and matches $GOLDEN"
 
+echo "== tier 2: differential fuzz smoke =="
+# Seeds 1:500 through both engines (optimized Simulator vs RefSim), exact
+# agreement required; --smoke caps the wall clock at 30 seconds. A divergence
+# shrinks to a minimal .repro in build/fuzz/ and fails the gate.
+mkdir -p build/fuzz
+build/tools/pfc_fuzz --seed-range 1:500 --smoke --out build/fuzz | tail -1
+
 echo "== tier 2: ThreadSanitizer =="
 scripts/check_tsan.sh
 

@@ -1,0 +1,166 @@
+#include "check/diff.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "check/ref_sim.h"
+#include "core/sim_error.h"
+#include "core/simulator.h"
+#include "core/trace_context.h"
+#include "theory/lower_bound.h"
+
+namespace pfc {
+
+namespace {
+
+// Doubles are compared bit-for-bit: both engines promise the same
+// floating-point accumulation order, so representation equality is the spec.
+bool SameBits(double a, double b) {
+  uint64_t ua;
+  uint64_t ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+void Note(std::vector<std::string>* why, const char* field, const std::string& a,
+          const std::string& b) {
+  if (why != nullptr) {
+    why->push_back(std::string(field) + ": sim=" + a + " ref=" + b);
+  }
+}
+
+std::string D(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ResultsExactlyEqual(const RunResult& a, const RunResult& b,
+                         std::vector<std::string>* why) {
+  bool equal = true;
+  auto check_int = [&](const char* field, int64_t x, int64_t y) {
+    if (x != y) {
+      equal = false;
+      Note(why, field, std::to_string(x), std::to_string(y));
+    }
+  };
+  auto check_double = [&](const char* field, double x, double y) {
+    if (!SameBits(x, y)) {
+      equal = false;
+      Note(why, field, D(x), D(y));
+    }
+  };
+  check_int("num_disks", a.num_disks, b.num_disks);
+  check_int("fetches", a.fetches, b.fetches);
+  check_int("demand_fetches", a.demand_fetches, b.demand_fetches);
+  check_int("write_refs", a.write_refs, b.write_refs);
+  check_int("flushes", a.flushes, b.flushes);
+  check_int("dirty_at_end", a.dirty_at_end, b.dirty_at_end);
+  check_int("retries", a.retries, b.retries);
+  check_int("failed_requests", a.failed_requests, b.failed_requests);
+  check_int("compute_time", a.compute_time, b.compute_time);
+  check_int("driver_time", a.driver_time, b.driver_time);
+  check_int("stall_time", a.stall_time, b.stall_time);
+  check_int("elapsed_time", a.elapsed_time, b.elapsed_time);
+  check_int("degraded_stall_ns", a.degraded_stall_ns, b.degraded_stall_ns);
+  check_double("avg_fetch_ms", a.avg_fetch_ms, b.avg_fetch_ms);
+  check_double("avg_response_ms", a.avg_response_ms, b.avg_response_ms);
+  check_double("avg_disk_util", a.avg_disk_util, b.avg_disk_util);
+  check_int("per_disk_util.size", static_cast<int64_t>(a.per_disk_util.size()),
+            static_cast<int64_t>(b.per_disk_util.size()));
+  if (a.per_disk_util.size() == b.per_disk_util.size()) {
+    for (size_t i = 0; i < a.per_disk_util.size(); ++i) {
+      char field[48];
+      std::snprintf(field, sizeof(field), "per_disk_util[%zu]", i);
+      check_double(field, a.per_disk_util[i], b.per_disk_util[i]);
+    }
+  }
+  return equal;
+}
+
+RunResult RunRefSim(const Trace& trace, const SimConfig& config, PolicyKind kind,
+                    const PolicyOptions& options) {
+  SimConfig cfg = config;
+  cfg.obs = ObsOptions{};
+  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed);
+  std::unique_ptr<Policy> policy = MakePolicy(kind, options);
+  RefSim ref(context, cfg, policy.get());
+  return ref.Run();
+}
+
+DiffReport RunDifferential(const Trace& trace, const SimConfig& config, PolicyKind kind,
+                           const PolicyOptions& options) {
+  DiffReport report;
+  SimConfig cfg = config;
+  cfg.obs = ObsOptions{};  // RefSim has no observability; compare sink-less runs
+
+  // One shared oracle, two engines, two fresh policy instances.
+  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed);
+
+  try {
+    std::unique_ptr<Policy> policy = MakePolicy(kind, options);
+    Simulator sim(context, cfg, policy.get());
+    report.sim_result = sim.Run();
+  } catch (const SimError& e) {
+    report.sim_threw = true;
+    report.sim_error = e.what();
+  }
+  try {
+    std::unique_ptr<Policy> policy = MakePolicy(kind, options);
+    RefSim ref(context, cfg, policy.get());
+    report.ref_result = ref.Run();
+  } catch (const SimError& e) {
+    report.ref_threw = true;
+    report.ref_error = e.what();
+  }
+
+  if (report.sim_threw != report.ref_threw) {
+    report.mismatches.push_back(
+        std::string("SimError divergence: sim ") +
+        (report.sim_threw ? "threw (" + report.sim_error + ")" : "completed") + ", ref " +
+        (report.ref_threw ? "threw (" + report.ref_error + ")" : "completed"));
+    report.consistent = false;
+    return report;
+  }
+  if (report.sim_threw) {
+    // Both engines rejected the cell; that is agreement.
+    report.consistent = true;
+    return report;
+  }
+
+  bool equal = ResultsExactlyEqual(report.sim_result, report.ref_result, &report.mismatches);
+
+  report.lower_bound_ns = TheoryLowerBoundNs(trace, cfg);
+  if (report.sim_result.elapsed_time < report.lower_bound_ns) {
+    equal = false;
+    report.mismatches.push_back("theory bound violated by sim: elapsed " +
+                                std::to_string(report.sim_result.elapsed_time) + " < bound " +
+                                std::to_string(report.lower_bound_ns));
+  }
+  if (report.ref_result.elapsed_time < report.lower_bound_ns) {
+    equal = false;
+    report.mismatches.push_back("theory bound violated by ref: elapsed " +
+                                std::to_string(report.ref_result.elapsed_time) + " < bound " +
+                                std::to_string(report.lower_bound_ns));
+  }
+
+  report.consistent = equal;
+  return report;
+}
+
+std::string DiffReport::ToString() const {
+  if (consistent) {
+    return "consistent";
+  }
+  std::string out = "DIVERGED:\n";
+  for (const std::string& m : mismatches) {
+    out += "  " + m + "\n";
+  }
+  return out;
+}
+
+}  // namespace pfc

@@ -1,0 +1,65 @@
+// Differential comparison between the optimized Simulator and the naive
+// RefSim on one (trace, config, policy) cell.
+//
+// The comparison is *exact*: every integer counter must match and every
+// double must match bit-for-bit (both engines accumulate floating point in
+// the same order, so any divergence is a real behavioral difference, not
+// rounding). Both engines throwing SimError counts as agreement — the
+// watchdogs are part of the contract. On top of engine-vs-engine equality,
+// the cell is checked against the theory lower bound (theory/lower_bound.h):
+// no correct engine can report an elapsed time below it.
+
+#ifndef PFC_CHECK_DIFF_H_
+#define PFC_CHECK_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "core/run_result.h"
+#include "core/sim_config.h"
+#include "harness/experiment.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+struct DiffReport {
+  // True when the cell is consistent: both engines produced bitwise-equal
+  // results (or both threw SimError) and neither violated the theory bound.
+  bool consistent = false;
+
+  // Human-readable description of each discrepancy, empty when consistent.
+  std::vector<std::string> mismatches;
+
+  bool sim_threw = false;
+  bool ref_threw = false;
+  std::string sim_error;
+  std::string ref_error;
+
+  // Valid only when the respective engine did not throw.
+  RunResult sim_result;
+  RunResult ref_result;
+
+  TimeNs lower_bound_ns = 0;
+
+  std::string ToString() const;
+};
+
+// Field-by-field exact comparison (bitwise for doubles). Appends one line
+// per differing field to `why` when non-null. Ignores the obs attachment.
+bool ResultsExactlyEqual(const RunResult& a, const RunResult& b,
+                         std::vector<std::string>* why);
+
+// Runs one cell through RefSim alone. Observability is forced off (RefSim
+// has none). Constructs a fresh policy instance internally.
+RunResult RunRefSim(const Trace& trace, const SimConfig& config, PolicyKind kind,
+                    const PolicyOptions& options = {});
+
+// Runs one cell through both engines — each with its own freshly
+// constructed policy instance — and compares. Observability is forced off
+// for both engines so they are byte-for-byte comparable.
+DiffReport RunDifferential(const Trace& trace, const SimConfig& config, PolicyKind kind,
+                           const PolicyOptions& options = {});
+
+}  // namespace pfc
+
+#endif  // PFC_CHECK_DIFF_H_

@@ -1,0 +1,513 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+namespace {
+
+// Policy names for the .repro format. Deliberately local: the repro format
+// is a stable on-disk contract, independent of harness display names.
+const char* PolicyToken(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDemand:
+      return "demand";
+    case PolicyKind::kDemandLru:
+      return "demand-lru";
+    case PolicyKind::kFixedHorizon:
+      return "fixed-horizon";
+    case PolicyKind::kAggressive:
+      return "aggressive";
+    case PolicyKind::kReverseAggressive:
+      return "reverse-aggressive";
+    case PolicyKind::kForestall:
+      return "forestall";
+  }
+  return "?";
+}
+
+bool PolicyFromToken(const std::string& token, PolicyKind* out) {
+  for (int i = 0; i <= static_cast<int>(PolicyKind::kForestall); ++i) {
+    PolicyKind kind = static_cast<PolicyKind>(i);
+    if (token == PolicyToken(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* ModelToken(DiskModelKind kind) {
+  return kind == DiskModelKind::kSimple ? "simple" : "detailed";
+}
+
+const char* DisciplineToken(SchedDiscipline d) {
+  switch (d) {
+    case SchedDiscipline::kFcfs:
+      return "fcfs";
+    case SchedDiscipline::kCscan:
+      return "cscan";
+    case SchedDiscipline::kScan:
+      return "scan";
+    case SchedDiscipline::kSstf:
+      return "sstf";
+  }
+  return "?";
+}
+
+const char* PlacementToken(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kStriped:
+      return "striped";
+    case PlacementKind::kContiguous:
+      return "contiguous";
+    case PlacementKind::kGroupHash:
+      return "group-hash";
+  }
+  return "?";
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Trace FuzzScenario::BuildTrace() const {
+  Trace trace("fuzz");
+  trace.Reserve(static_cast<int64_t>(refs.size()));
+  for (const TraceEntry& e : refs) {
+    if (e.is_write) {
+      trace.AppendWrite(e.block, e.compute);
+    } else {
+      trace.Append(e.block, e.compute);
+    }
+  }
+  return trace;
+}
+
+FuzzScenario GenScenario(uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ 0x70667563686b6673ull));
+  FuzzScenario s;
+  s.seed = seed;
+  s.policy = static_cast<PolicyKind>(rng.UniformInt(0, 5));
+
+  // Trace: a mix of sequential runs and random jumps over a small block
+  // universe, compute times in [0, 3] ms with a bias toward zero.
+  const int64_t n = rng.UniformInt(20, 400);
+  const int64_t universe = rng.UniformInt(4, 120);
+  double write_frac = 0.0;
+  if (s.policy != PolicyKind::kReverseAggressive) {
+    const int64_t w = rng.UniformInt(0, 2);
+    write_frac = w == 0 ? 0.0 : (w == 1 ? 0.1 : 0.3);
+  }
+  const double seq_prob = rng.UniformDouble();
+  int64_t block = rng.UniformInt(0, universe - 1);
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.UniformDouble() < seq_prob) {
+      block = (block + 1) % universe;
+    } else {
+      block = rng.UniformInt(0, universe - 1);
+    }
+    TraceEntry e;
+    e.block = block;
+    e.compute = rng.UniformInt(0, 3) == 0 ? 0 : rng.UniformInt(1, 3'000'000);
+    e.is_write = write_frac > 0.0 && rng.UniformDouble() < write_frac;
+    s.refs.push_back(e);
+  }
+
+  SimConfig& c = s.config;
+  c.cache_blocks = static_cast<int>(rng.UniformInt(2, 64));
+  c.num_disks = static_cast<int>(rng.UniformInt(1, 10));
+  c.disk_model = rng.UniformInt(0, 1) == 0 ? DiskModelKind::kSimple : DiskModelKind::kDetailed;
+  c.discipline = static_cast<SchedDiscipline>(rng.UniformInt(0, 3));
+  c.placement = static_cast<PlacementKind>(rng.UniformInt(0, 2));
+  const double scales[3] = {0.5, 1.0, 2.0};
+  c.cpu_scale = scales[rng.UniformInt(0, 2)];
+  c.write_through = rng.UniformInt(0, 4) == 0;
+  if (s.policy == PolicyKind::kReverseAggressive || rng.UniformInt(0, 9) < 7) {
+    c.hint_coverage = 1.0;  // reverse aggressive requires full hints
+  } else {
+    c.hint_coverage = 0.5 + 0.05 * static_cast<double>(rng.UniformInt(0, 9));
+    c.hint_seed = static_cast<uint64_t>(rng.UniformInt(1, 1000));
+  }
+
+  if (rng.UniformInt(0, 9) >= 6) {
+    FaultConfig& f = c.faults;
+    const int64_t kinds = rng.UniformInt(1, 7);
+    if ((kinds & 1) != 0) {
+      f.media_error_rate = rng.UniformInt(0, 1) == 0 ? 0.05 : 0.2;
+    }
+    if ((kinds & 2) != 0) {
+      f.tail_rate = 0.1;
+      f.tail_multiplier = 10.0;
+    }
+    if ((kinds & 4) != 0) {
+      if (rng.UniformInt(0, 1) == 0) {
+        f.slow_disk = static_cast<int>(rng.UniformInt(0, c.num_disks - 1));
+        f.slow_factor = 4.0;
+        f.slow_after = MsToNs(static_cast<double>(rng.UniformInt(0, 100)));
+      } else {
+        f.fail_disk = static_cast<int>(rng.UniformInt(0, c.num_disks - 1));
+        f.fail_after = MsToNs(static_cast<double>(rng.UniformInt(0, 200)));
+      }
+    }
+    f.seed = static_cast<uint64_t>(rng.UniformInt(1, 1'000'000));
+  }
+  return s;
+}
+
+FuzzOutcome RunScenario(const FuzzScenario& scenario) {
+  FuzzOutcome outcome;
+  Trace trace = scenario.BuildTrace();
+  DiffReport report = RunDifferential(trace, scenario.config, scenario.policy);
+  outcome.diverged = !report.consistent;
+  if (outcome.diverged) {
+    outcome.detail = report.ToString();
+  }
+  return outcome;
+}
+
+namespace {
+
+bool StillDiverges(const FuzzScenario& s, int* steps) {
+  ++*steps;
+  return RunScenario(s).diverged;
+}
+
+// Applies `mutate` to a copy; adopts the copy if it still diverges.
+template <typename Fn>
+bool TryReduce(FuzzScenario* s, int* steps, Fn mutate) {
+  FuzzScenario candidate = *s;
+  mutate(candidate);
+  if (StillDiverges(candidate, steps)) {
+    *s = std::move(candidate);
+    return true;
+  }
+  return false;
+}
+
+void ClampFaultDisks(FuzzScenario& s) {
+  FaultConfig& f = s.config.faults;
+  if (f.slow_disk >= s.config.num_disks) {
+    f.slow_disk = s.config.num_disks - 1;
+  }
+  if (f.fail_disk >= s.config.num_disks) {
+    f.fail_disk = s.config.num_disks - 1;
+  }
+}
+
+}  // namespace
+
+FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
+  FuzzScenario s = scenario;
+  int steps = 0;
+  const int kMaxSteps = 600;  // each step is two full simulations
+
+  bool progress = true;
+  while (progress && steps < kMaxSteps) {
+    progress = false;
+
+    // Trace reductions first — they shrink every later step's cost.
+    while (s.refs.size() > 1 && steps < kMaxSteps) {
+      const size_t half = s.refs.size() / 2;
+      if (TryReduce(&s, &steps, [&](FuzzScenario& c) {
+            c.refs.assign(c.refs.begin(), c.refs.begin() + static_cast<ptrdiff_t>(half));
+          })) {
+        progress = true;
+        continue;
+      }
+      if (TryReduce(&s, &steps, [&](FuzzScenario& c) {
+            c.refs.assign(c.refs.begin() + static_cast<ptrdiff_t>(half), c.refs.end());
+          })) {
+        progress = true;
+        continue;
+      }
+      if (s.refs.size() > 2 &&
+          TryReduce(&s, &steps, [](FuzzScenario& c) {
+            std::vector<TraceEntry> kept;
+            for (size_t i = 0; i < c.refs.size(); i += 2) {
+              kept.push_back(c.refs[i]);
+            }
+            c.refs = std::move(kept);
+          })) {
+        progress = true;
+        continue;
+      }
+      break;
+    }
+    if (s.refs.size() <= 48) {
+      for (size_t i = 0; i < s.refs.size() && s.refs.size() > 1 && steps < kMaxSteps;) {
+        if (TryReduce(&s, &steps, [&](FuzzScenario& c) {
+              c.refs.erase(c.refs.begin() + static_cast<ptrdiff_t>(i));
+            })) {
+          progress = true;  // same index now names the next ref
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // Array and cache reductions.
+    if (s.config.num_disks > 1 && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.num_disks = std::max(1, c.config.num_disks / 2);
+          ClampFaultDisks(c);
+        })) {
+      progress = true;
+    }
+    if (s.config.num_disks > 1 && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.num_disks = 1;
+          ClampFaultDisks(c);
+        })) {
+      progress = true;
+    }
+    if (s.config.cache_blocks > 2 && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.cache_blocks = std::max(2, c.config.cache_blocks / 2);
+        })) {
+      progress = true;
+    }
+
+    // Fault-config reductions, one mechanism at a time.
+    if (s.config.faults.media_error_rate > 0.0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.media_error_rate = 0.0; })) {
+      progress = true;
+    }
+    if (s.config.faults.tail_rate > 0.0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.tail_rate = 0.0; })) {
+      progress = true;
+    }
+    if (s.config.faults.slow_disk >= 0 && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.faults.slow_disk = -1;
+          c.config.faults.slow_factor = 1.0;
+        })) {
+      progress = true;
+    }
+    if (s.config.faults.fail_disk >= 0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.fail_disk = -1; })) {
+      progress = true;
+    }
+
+    // Knob simplifications.
+    if (s.config.hint_coverage < 1.0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.hint_coverage = 1.0; })) {
+      progress = true;
+    }
+    bool has_writes = false;
+    for (const TraceEntry& e : s.refs) {
+      has_writes = has_writes || e.is_write;
+    }
+    if (has_writes && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          for (TraceEntry& e : c.refs) {
+            e.is_write = false;
+          }
+        })) {
+      progress = true;
+    }
+    if (s.config.write_through &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.write_through = false; })) {
+      progress = true;
+    }
+    if (s.config.discipline != SchedDiscipline::kFcfs &&
+        TryReduce(&s, &steps,
+                  [](FuzzScenario& c) { c.config.discipline = SchedDiscipline::kFcfs; })) {
+      progress = true;
+    }
+    if (s.config.placement != PlacementKind::kStriped &&
+        TryReduce(&s, &steps,
+                  [](FuzzScenario& c) { c.config.placement = PlacementKind::kStriped; })) {
+      progress = true;
+    }
+    if (s.config.disk_model != DiskModelKind::kSimple &&
+        TryReduce(&s, &steps,
+                  [](FuzzScenario& c) { c.config.disk_model = DiskModelKind::kSimple; })) {
+      progress = true;
+    }
+    if (s.config.cpu_scale != 1.0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.cpu_scale = 1.0; })) {
+      progress = true;
+    }
+    bool has_compute = false;
+    for (const TraceEntry& e : s.refs) {
+      has_compute = has_compute || e.compute != 0;
+    }
+    if (has_compute && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          for (TraceEntry& e : c.refs) {
+            e.compute = 0;
+          }
+        })) {
+      progress = true;
+    }
+  }
+
+  if (steps_out != nullptr) {
+    *steps_out = steps;
+  }
+  return s;
+}
+
+std::string SerializeScenario(const FuzzScenario& s) {
+  std::ostringstream out;
+  const SimConfig& c = s.config;
+  const FaultConfig& f = c.faults;
+  out << "pfc-fuzz-repro v1\n";
+  out << "seed " << s.seed << "\n";
+  out << "policy " << PolicyToken(s.policy) << "\n";
+  out << "cache_blocks " << c.cache_blocks << "\n";
+  out << "num_disks " << c.num_disks << "\n";
+  out << "disk_model " << ModelToken(c.disk_model) << "\n";
+  out << "discipline " << DisciplineToken(c.discipline) << "\n";
+  out << "placement " << PlacementToken(c.placement) << "\n";
+  out << "driver_overhead " << c.driver_overhead << "\n";
+  out << "cpu_scale " << FmtDouble(c.cpu_scale) << "\n";
+  out << "hint_coverage " << FmtDouble(c.hint_coverage) << "\n";
+  out << "hint_seed " << c.hint_seed << "\n";
+  out << "write_through " << (c.write_through ? 1 : 0) << "\n";
+  out << "max_events " << c.max_events << "\n";
+  out << "faults " << FmtDouble(f.media_error_rate) << " " << FmtDouble(f.tail_rate) << " "
+      << FmtDouble(f.tail_multiplier) << " " << f.slow_disk << " " << FmtDouble(f.slow_factor)
+      << " " << f.slow_after << " " << f.fail_disk << " " << f.fail_after << " " << f.seed << " "
+      << f.max_retries << " " << f.retry_backoff << " " << f.error_latency << " "
+      << f.recovery_penalty << "\n";
+  out << "refs " << s.refs.size() << "\n";
+  for (const TraceEntry& e : s.refs) {
+    out << (e.is_write ? "w " : "r ") << e.block << " " << e.compute << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  FuzzScenario s;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "pfc-fuzz-repro v1") {
+    return fail("bad header (want 'pfc-fuzz-repro v1')");
+  }
+  SimConfig& c = s.config;
+  FaultConfig& f = c.faults;
+  bool saw_refs = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      if (!saw_refs) {
+        return fail("'end' before 'refs'");
+      }
+      *out = std::move(s);
+      return true;
+    }
+    if (key == "seed") {
+      ls >> s.seed;
+    } else if (key == "policy") {
+      std::string token;
+      ls >> token;
+      if (!PolicyFromToken(token, &s.policy)) {
+        return fail("unknown policy '" + token + "'");
+      }
+    } else if (key == "cache_blocks") {
+      ls >> c.cache_blocks;
+    } else if (key == "num_disks") {
+      ls >> c.num_disks;
+    } else if (key == "disk_model") {
+      std::string token;
+      ls >> token;
+      if (token == "simple") {
+        c.disk_model = DiskModelKind::kSimple;
+      } else if (token == "detailed") {
+        c.disk_model = DiskModelKind::kDetailed;
+      } else {
+        return fail("unknown disk_model '" + token + "'");
+      }
+    } else if (key == "discipline") {
+      std::string token;
+      ls >> token;
+      if (token == "fcfs") {
+        c.discipline = SchedDiscipline::kFcfs;
+      } else if (token == "cscan") {
+        c.discipline = SchedDiscipline::kCscan;
+      } else if (token == "scan") {
+        c.discipline = SchedDiscipline::kScan;
+      } else if (token == "sstf") {
+        c.discipline = SchedDiscipline::kSstf;
+      } else {
+        return fail("unknown discipline '" + token + "'");
+      }
+    } else if (key == "placement") {
+      std::string token;
+      ls >> token;
+      if (token == "striped") {
+        c.placement = PlacementKind::kStriped;
+      } else if (token == "contiguous") {
+        c.placement = PlacementKind::kContiguous;
+      } else if (token == "group-hash") {
+        c.placement = PlacementKind::kGroupHash;
+      } else {
+        return fail("unknown placement '" + token + "'");
+      }
+    } else if (key == "driver_overhead") {
+      ls >> c.driver_overhead;
+    } else if (key == "cpu_scale") {
+      ls >> c.cpu_scale;
+    } else if (key == "hint_coverage") {
+      ls >> c.hint_coverage;
+    } else if (key == "hint_seed") {
+      ls >> c.hint_seed;
+    } else if (key == "write_through") {
+      int v = 0;
+      ls >> v;
+      c.write_through = v != 0;
+    } else if (key == "max_events") {
+      ls >> c.max_events;
+    } else if (key == "faults") {
+      ls >> f.media_error_rate >> f.tail_rate >> f.tail_multiplier >> f.slow_disk >>
+          f.slow_factor >> f.slow_after >> f.fail_disk >> f.fail_after >> f.seed >>
+          f.max_retries >> f.retry_backoff >> f.error_latency >> f.recovery_penalty;
+    } else if (key == "refs") {
+      size_t n = 0;
+      ls >> n;
+      for (size_t i = 0; i < n; ++i) {
+        if (!std::getline(in, line)) {
+          return fail("truncated refs section");
+        }
+        std::istringstream rs(line);
+        std::string kind;
+        TraceEntry e;
+        rs >> kind >> e.block >> e.compute;
+        if (rs.fail() || (kind != "r" && kind != "w")) {
+          return fail("bad ref line: '" + line + "'");
+        }
+        e.is_write = kind == "w";
+        s.refs.push_back(e);
+      }
+      saw_refs = true;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+    if (ls.fail()) {
+      return fail("bad value on line: '" + line + "'");
+    }
+  }
+  return fail("missing 'end'");
+}
+
+}  // namespace pfc

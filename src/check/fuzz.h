@@ -1,0 +1,59 @@
+// Randomized scenario fuzzing for the differential-verification subsystem.
+//
+// A FuzzScenario is one fully specified cell: a generated trace plus a
+// SimConfig and a policy choice. GenScenario derives everything
+// deterministically from a single seed; RunScenario replays the cell through
+// both engines (check/diff.h) and reports divergence; ShrinkScenario
+// greedily minimizes a diverging scenario (drop references, drop disks, zero
+// fault rates, simplify knobs) while preserving the divergence; the .repro
+// text format round-trips a scenario so a minimized case can be committed
+// under tests/repros/ and replayed forever (tools/pfc_fuzz --replay).
+
+#ifndef PFC_CHECK_FUZZ_H_
+#define PFC_CHECK_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "core/sim_config.h"
+#include "harness/experiment.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+struct FuzzScenario {
+  uint64_t seed = 0;  // provenance only; replay does not redraw from it
+  PolicyKind policy = PolicyKind::kDemand;
+  SimConfig config;
+  std::vector<TraceEntry> refs;
+
+  Trace BuildTrace() const;
+};
+
+// Deterministically generates a scenario from a seed. Reverse aggressive
+// cells are constrained to full hints and read-only traces (the policy
+// rejects anything else by design).
+FuzzScenario GenScenario(uint64_t seed);
+
+struct FuzzOutcome {
+  bool diverged = false;
+  std::string detail;  // DiffReport::ToString() when diverged
+};
+
+// Replays the scenario through both engines and compares exactly.
+FuzzOutcome RunScenario(const FuzzScenario& scenario);
+
+// Greedily shrinks a diverging scenario; returns the smallest still-diverging
+// scenario found. `steps_out` (optional) reports how many candidate
+// reductions were attempted.
+FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out);
+
+// Text round-trip for .repro files.
+std::string SerializeScenario(const FuzzScenario& scenario);
+bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* error);
+
+}  // namespace pfc
+
+#endif  // PFC_CHECK_FUZZ_H_

@@ -1,0 +1,158 @@
+#include "check/ref_cache.h"
+
+#include "util/check.h"
+
+namespace pfc {
+
+RefCache::RefCache(int capacity_blocks) : capacity_(capacity_blocks) {
+  PFC_CHECK_GT(capacity_blocks, 0);
+}
+
+RefCache::Slot* RefCache::Find(int64_t block) {
+  for (Slot& s : slots_) {
+    if (s.block == block) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const RefCache::Slot* RefCache::Find(int64_t block) const {
+  for (const Slot& s : slots_) {
+    if (s.block == block) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void RefCache::Remove(int64_t block) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].block == block) {
+      slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  PFC_CHECK_MSG(false, "RefCache::Remove: block not resident");
+}
+
+int RefCache::present_count() const {
+  // Present *clean* blocks only, matching BufferCache's eviction index.
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == State::kPresent && !s.dirty) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+CacheView::State RefCache::GetState(int64_t block) const {
+  const Slot* s = Find(block);
+  return s == nullptr ? State::kAbsent : s->state;
+}
+
+bool RefCache::Dirty(int64_t block) const {
+  const Slot* s = Find(block);
+  return s != nullptr && s->dirty;
+}
+
+int RefCache::dirty_count() const {
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.dirty) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<int64_t> RefCache::FurthestBlock() const {
+  const Slot* best = nullptr;
+  for (const Slot& s : slots_) {
+    if (s.state != State::kPresent || s.dirty) {
+      continue;
+    }
+    // Ties on next_use break toward the larger block id, matching the
+    // (next_use, block) ordering of the optimized cache's index.
+    if (best == nullptr || s.next_use > best->next_use ||
+        (s.next_use == best->next_use && s.block > best->block)) {
+      best = &s;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return best->block;
+}
+
+int64_t RefCache::FurthestNextUse() const {
+  std::optional<int64_t> block = FurthestBlock();
+  if (!block.has_value()) {
+    return -1;
+  }
+  return Find(*block)->next_use;
+}
+
+void RefCache::StartFetchIntoFree(int64_t block) {
+  PFC_CHECK_GT(free_buffers(), 0);
+  PFC_CHECK(GetState(block) == State::kAbsent);
+  slots_.push_back(Slot{block, State::kFetching, 0, false});
+}
+
+void RefCache::StartFetchWithEviction(int64_t block, int64_t evict) {
+  PFC_CHECK(block != evict);
+  const Slot* victim = Find(evict);
+  PFC_CHECK(victim != nullptr && victim->state == State::kPresent);
+  PFC_CHECK(!victim->dirty);
+  PFC_CHECK(GetState(block) == State::kAbsent);
+  Remove(evict);
+  slots_.push_back(Slot{block, State::kFetching, 0, false});
+}
+
+void RefCache::CompleteFetch(int64_t block, int64_t next_use) {
+  Slot* s = Find(block);
+  PFC_CHECK(s != nullptr && s->state == State::kFetching);
+  s->state = State::kPresent;
+  s->next_use = next_use;
+}
+
+void RefCache::CancelFetch(int64_t block) {
+  Slot* s = Find(block);
+  PFC_CHECK(s != nullptr && s->state == State::kFetching);
+  Remove(block);
+}
+
+void RefCache::UpdateNextUse(int64_t block, int64_t next_use) {
+  Slot* s = Find(block);
+  PFC_CHECK(s != nullptr && s->state == State::kPresent);
+  s->next_use = next_use;
+}
+
+void RefCache::InsertWritten(int64_t block, int64_t next_use) {
+  PFC_CHECK_GT(free_buffers(), 0);
+  PFC_CHECK(GetState(block) == State::kAbsent);
+  slots_.push_back(Slot{block, State::kPresent, next_use, true});
+}
+
+void RefCache::EvictClean(int64_t block) {
+  Slot* s = Find(block);
+  PFC_CHECK(s != nullptr && s->state == State::kPresent);
+  PFC_CHECK(!s->dirty);
+  Remove(block);
+}
+
+void RefCache::MarkDirty(int64_t block) {
+  Slot* s = Find(block);
+  PFC_CHECK(s != nullptr && s->state == State::kPresent);
+  s->dirty = true;
+}
+
+void RefCache::MarkClean(int64_t block) {
+  Slot* s = Find(block);
+  PFC_CHECK(s != nullptr && s->state == State::kPresent);
+  PFC_CHECK(s->dirty);
+  s->dirty = false;
+}
+
+}  // namespace pfc

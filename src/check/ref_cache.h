@@ -1,0 +1,67 @@
+// RefCache: the reference simulator's deliberately naive buffer cache.
+//
+// Same observable semantics as core/buffer_cache.h — evict-at-issue, dirty
+// blocks pinned, furthest-next-use eviction candidate with ties broken
+// toward the larger block id — implemented with none of its machinery: one
+// flat vector of occupied slots, every query a linear scan, no next-use
+// index. Intentional-simplicity rules (DESIGN.md section 4e): this file must
+// not share code with the optimized cache; agreement between the two is
+// evidence, and shared code would be a shared bug.
+
+#ifndef PFC_CHECK_REF_CACHE_H_
+#define PFC_CHECK_REF_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cache_view.h"
+
+namespace pfc {
+
+class RefCache : public CacheView {
+ public:
+  explicit RefCache(int capacity_blocks);
+
+  // --- CacheView queries, all linear scans --------------------------------
+
+  int capacity() const override { return capacity_; }
+  int used() const override { return static_cast<int>(slots_.size()); }
+  int present_count() const override;
+  State GetState(int64_t block) const override;
+  bool Dirty(int64_t block) const override;
+  int dirty_count() const override;
+  std::optional<int64_t> FurthestBlock() const override;
+  int64_t FurthestNextUse() const override;
+
+  // --- Mutators (same contracts as BufferCache) ---------------------------
+
+  void StartFetchIntoFree(int64_t block);
+  void StartFetchWithEviction(int64_t block, int64_t evict);
+  void CompleteFetch(int64_t block, int64_t next_use);
+  void CancelFetch(int64_t block);
+  void UpdateNextUse(int64_t block, int64_t next_use);
+  void InsertWritten(int64_t block, int64_t next_use);
+  void EvictClean(int64_t block);
+  void MarkDirty(int64_t block);
+  void MarkClean(int64_t block);
+
+ private:
+  struct Slot {
+    int64_t block = 0;
+    State state = State::kAbsent;
+    int64_t next_use = 0;
+    bool dirty = false;
+  };
+
+  Slot* Find(int64_t block);
+  const Slot* Find(int64_t block) const;
+  void Remove(int64_t block);
+
+  int capacity_;
+  std::vector<Slot> slots_;  // one entry per occupied buffer, unordered
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CHECK_REF_CACHE_H_

@@ -1,0 +1,753 @@
+#include "check/ref_sim.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "core/sim_error.h"
+#include "disk/simple_mechanism.h"
+#include "util/check.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+namespace {
+
+// Naive membership-list helpers: plain vectors, linear everything.
+
+bool ListContains(const std::vector<int64_t>& v, int64_t key) {
+  for (int64_t x : v) {
+    if (x == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ListErase(std::vector<int64_t>& v, int64_t key) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == key) {
+      v.erase(v.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+void ListInsert(std::vector<int64_t>& v, int64_t key) {
+  if (!ListContains(v, key)) {
+    v.push_back(key);
+  }
+}
+
+int64_t ListMin(const std::vector<int64_t>& v) {
+  PFC_CHECK(!v.empty());
+  int64_t best = v[0];
+  for (int64_t x : v) {
+    if (x < best) {
+      best = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RefSim::RefSim(const TraceContext& context, const SimConfig& config, Policy* policy)
+    : context_(context),
+      trace_(context.trace()),
+      config_(config),
+      policy_(policy),
+      cache_((ValidateSimConfig(config), config.cache_blocks)),
+      placement_(MakePlacement(config.placement, config.num_disks)) {
+  PFC_CHECK(policy != nullptr);
+  // Same borrowed-context contract as Simulator: the oracle must have been
+  // built for this config's hint parameters.
+  const double coverage = config.hint_coverage >= 1.0 ? 1.0 : config.hint_coverage;
+  PFC_CHECK_MSG(context.hint_coverage() == coverage,
+                "TraceContext hint_coverage does not match SimConfig");
+  PFC_CHECK_MSG(coverage >= 1.0 || context.hint_seed() == config.hint_seed,
+                "TraceContext hint_seed does not match SimConfig");
+  disks_.resize(static_cast<size_t>(config.num_disks));
+  for (int i = 0; i < config.num_disks; ++i) {
+    RefDisk& d = disks_[static_cast<size_t>(i)];
+    if (config.disk_model == DiskModelKind::kDetailed) {
+      d.mechanism = Hp97560Mechanism::MakeDefault();
+    } else {
+      d.mechanism = SimpleMechanism::MakeDefault();
+    }
+    if (config.faults.enabled()) {
+      d.fault = std::make_unique<FaultModel>(config.faults, i);
+    }
+  }
+  dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
+  flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
+  event_budget_ = config_.max_events > 0 ? config_.max_events
+                                         : 64 * trace_.size() + 1'000'000;
+}
+
+RefSim::~RefSim() = default;
+
+TimeNs RefSim::ScaledCompute(int64_t pos) const {
+  return static_cast<TimeNs>(static_cast<double>(trace_.compute(pos)) * config_.cpu_scale + 0.5);
+}
+
+// --- Naive fault-state maps (vectors of pairs, linear scans) ---------------
+
+void RefSim::AddFaultDelay(int64_t block, TimeNs delta) {
+  for (auto& entry : fault_delay_) {
+    if (entry.first == block) {
+      entry.second += delta;
+      return;
+    }
+  }
+  fault_delay_.push_back({block, delta});
+}
+
+void RefSim::EraseFaultDelay(int64_t block) {
+  for (size_t i = 0; i < fault_delay_.size(); ++i) {
+    if (fault_delay_[i].first == block) {
+      fault_delay_.erase(fault_delay_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+const TimeNs* RefSim::FindFaultDelay(int64_t block) const {
+  for (const auto& entry : fault_delay_) {
+    if (entry.first == block) {
+      return &entry.second;
+    }
+  }
+  return nullptr;
+}
+
+int RefSim::BumpRetryAttempts(int64_t block) {
+  for (auto& entry : retry_attempts_) {
+    if (entry.first == block) {
+      return ++entry.second;
+    }
+  }
+  retry_attempts_.push_back({block, 1});
+  return 1;
+}
+
+void RefSim::EraseRetryAttempts(int64_t block) {
+  for (size_t i = 0; i < retry_attempts_.size(); ++i) {
+    if (retry_attempts_[i].first == block) {
+      retry_attempts_.erase(retry_attempts_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+// --- Scheduling disciplines, re-coded -------------------------------------
+//
+// Observable contract (matches disk/scheduler.cc exactly, including every
+// tie-break): FCFS picks the smallest seq; CSCAN the smallest disk block at
+// or past the head (wrapping to the global smallest), ties to smaller seq;
+// SCAN continues in the current direction picking the nearest block, first
+// queue slot winning ties, and reverses at the end; SSTF the smallest
+// absolute head distance, ties to smaller seq. Removal swaps the last
+// element into the hole, which is also what the optimized scheduler does —
+// the physical queue order is part of the observable SCAN contract.
+
+size_t RefSim::PickNext(const RefDisk& disk) const {
+  const std::vector<Request>& q = disk.queue;
+  PFC_CHECK(!q.empty());
+  const size_t none = q.size();
+  switch (config_.discipline) {
+    case SchedDiscipline::kFcfs: {
+      size_t pick = 0;
+      for (size_t i = 1; i < q.size(); ++i) {
+        if (q[i].seq < q[pick].seq) {
+          pick = i;
+        }
+      }
+      return pick;
+    }
+    case SchedDiscipline::kCscan: {
+      size_t fwd = none;   // best candidate at or past the head
+      size_t wrap = 0;     // global best, used when nothing is ahead
+      for (size_t i = 0; i < q.size(); ++i) {
+        const bool wrap_better =
+            q[i].disk_block < q[wrap].disk_block ||
+            (q[i].disk_block == q[wrap].disk_block && q[i].seq < q[wrap].seq);
+        if (wrap_better) {
+          wrap = i;
+        }
+        if (q[i].disk_block < disk.head_block) {
+          continue;
+        }
+        const bool fwd_better =
+            fwd == none || q[i].disk_block < q[fwd].disk_block ||
+            (q[i].disk_block == q[fwd].disk_block && q[i].seq < q[fwd].seq);
+        if (fwd_better) {
+          fwd = i;
+        }
+      }
+      return fwd != none ? fwd : wrap;
+    }
+    case SchedDiscipline::kScan: {
+      // Elevator. Strict comparisons keep the first queue slot on ties.
+      size_t pick = none;
+      if (disk.scan_up) {
+        for (size_t i = 0; i < q.size(); ++i) {
+          if (q[i].disk_block >= disk.head_block &&
+              (pick == none || q[i].disk_block < q[pick].disk_block)) {
+            pick = i;
+          }
+        }
+        if (pick != none) {
+          return pick;
+        }
+        for (size_t i = 0; i < q.size(); ++i) {
+          if (pick == none || q[i].disk_block > q[pick].disk_block) {
+            pick = i;
+          }
+        }
+        return pick;
+      }
+      for (size_t i = 0; i < q.size(); ++i) {
+        if (q[i].disk_block <= disk.head_block &&
+            (pick == none || q[i].disk_block > q[pick].disk_block)) {
+          pick = i;
+        }
+      }
+      if (pick != none) {
+        return pick;
+      }
+      for (size_t i = 0; i < q.size(); ++i) {
+        if (pick == none || q[i].disk_block < q[pick].disk_block) {
+          pick = i;
+        }
+      }
+      return pick;
+    }
+    case SchedDiscipline::kSstf: {
+      size_t pick = 0;
+      int64_t pick_dist = std::numeric_limits<int64_t>::max();
+      for (size_t i = 0; i < q.size(); ++i) {
+        const int64_t dist = std::llabs(q[i].disk_block - disk.head_block);
+        if (dist < pick_dist || (dist == pick_dist && q[i].seq < q[pick].seq)) {
+          pick = i;
+          pick_dist = dist;
+        }
+      }
+      return pick;
+    }
+  }
+  return 0;
+}
+
+RefSim::Request RefSim::PopNext(RefDisk& disk) {
+  const size_t idx = PickNext(disk);
+  Request r = disk.queue[idx];
+  if (config_.discipline == SchedDiscipline::kScan) {
+    if (r.disk_block > disk.head_block) {
+      disk.scan_up = true;
+    } else if (r.disk_block < disk.head_block) {
+      disk.scan_up = false;
+    }
+  }
+  disk.queue[idx] = disk.queue.back();
+  disk.queue.pop_back();
+  return r;
+}
+
+void RefSim::Enqueue(int disk, int64_t logical_block, int64_t disk_block, uint64_t seq) {
+  Request r;
+  r.logical_block = logical_block;
+  r.disk_block = disk_block;
+  r.enqueue_time = sim_now_;
+  r.seq = seq;
+  disks_[static_cast<size_t>(disk)].queue.push_back(r);
+}
+
+void RefSim::TryDispatch(int disk_id) {
+  RefDisk& disk = disks_[static_cast<size_t>(disk_id)];
+  if (disk.busy || disk.queue.empty()) {
+    return;
+  }
+  Request r = PopNext(disk);
+  TimeNs nominal;
+  TimeNs service;
+  bool failed = false;
+  if (disk.fault != nullptr && disk.fault->FailStopped(sim_now_)) {
+    // A dead drive never moves the head or touches the mechanism.
+    nominal = disk.fault->error_latency();
+    service = nominal;
+    failed = true;
+  } else {
+    nominal = disk.mechanism->Access(r.disk_block, sim_now_);
+    service = nominal;
+    if (disk.fault != nullptr) {
+      FaultDecision d = disk.fault->OnAccess(sim_now_, nominal);
+      service = d.service;
+      failed = d.failed;
+    }
+    disk.head_block = r.disk_block;
+  }
+  PFC_CHECK_GT(service, 0);
+  disk.busy = true;
+  disk.current = r;
+  disk.cur_service = service;
+  disk.cur_nominal = nominal;
+  disk.cur_complete = sim_now_ + service;
+  disk.cur_failed = failed;
+  Event ev;
+  ev.time = disk.cur_complete;
+  ev.seq = next_seq_++;
+  ev.disk = disk_id;
+  ev.block = r.logical_block;
+  ev.service = service;
+  ev.nominal = nominal;
+  ev.failed = failed;
+  ev.kind = EventKind::kComplete;
+  events_.push_back(ev);
+}
+
+void RefSim::CompleteCurrent(RefDisk& disk, TimeNs now_ns) {
+  PFC_CHECK(disk.busy);
+  PFC_CHECK_EQ(now_ns, disk.cur_complete);
+  disk.busy = false;
+  disk.busy_ns += disk.cur_service;
+  if (disk.cur_failed) {
+    ++disk.errors;
+    return;
+  }
+  ++disk.requests;
+  disk.sum_service_ms += NsToMs(disk.cur_service);
+  disk.sum_response_ms += NsToMs(now_ns - disk.current.enqueue_time);
+}
+
+bool RefSim::IssueFetch(int64_t block, int64_t evict) {
+  return IssueFetchInternal(block, evict, /*demand=*/false);
+}
+
+bool RefSim::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
+  BlockLocation loc = placement_->Map(block);
+  if (!demand && DiskFailed(loc.disk)) {
+    return false;
+  }
+  if (cache_.GetState(block) != CacheView::State::kAbsent) {
+    return false;
+  }
+  if (evict == kNoEvict) {
+    if (cache_.free_buffers() == 0) {
+      return false;
+    }
+    cache_.StartFetchIntoFree(block);
+  } else {
+    if (!cache_.Present(evict) || evict == block) {
+      return false;
+    }
+    cache_.StartFetchWithEviction(block, evict);
+  }
+  Enqueue(loc.disk, block, loc.disk_block, next_seq_++);
+  ++fetches_;
+  pending_driver_ += config_.driver_overhead;
+  driver_total_ += config_.driver_overhead;
+  TryDispatch(loc.disk);
+  return true;
+}
+
+void RefSim::ApplyNextEvent() {
+  PFC_CHECK(!events_.empty());
+  if (++events_processed_ > event_budget_) {
+    throw SimError("event budget exceeded: " + std::to_string(event_budget_) +
+                   " events processed without finishing the trace (wedged "
+                   "run? raise SimConfig::max_events)");
+  }
+  // The event list is an unordered vector; the next event is the minimum
+  // (time, seq), found by scan.
+  size_t best = 0;
+  for (size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i].time < events_[best].time ||
+        (events_[i].time == events_[best].time && events_[i].seq < events_[best].seq)) {
+      best = i;
+    }
+  }
+  Event ev = events_[best];
+  events_.erase(events_.begin() + static_cast<ptrdiff_t>(best));
+  PFC_CHECK_GE(ev.time, sim_now_);
+  sim_now_ = ev.time;
+
+  if (ev.kind == EventKind::kRetry) {
+    BlockLocation loc = placement_->Map(ev.block);
+    pending_driver_ += config_.driver_overhead;
+    driver_total_ += config_.driver_overhead;
+    Enqueue(ev.disk, ev.block, loc.disk_block, next_seq_++);
+    TryDispatch(ev.disk);
+    return;
+  }
+  if (ev.kind == EventKind::kRecover) {
+    const int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
+                                 ? cursor_
+                                 : context_.index().NextUseAt(ev.block, cursor_);
+    cache_.CompleteFetch(ev.block, next_use);
+    policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
+    return;
+  }
+
+  RefDisk& disk = disks_[static_cast<size_t>(ev.disk)];
+  CompleteCurrent(disk, ev.time);
+  if (ev.failed) {
+    HandleFailedRequest(ev);
+  } else {
+    EraseRetryAttempts(ev.block);
+    if (ev.service > ev.nominal) {
+      AddFaultDelay(ev.block, ev.service - ev.nominal);
+    }
+    if (waiting_block_ != ev.block) {
+      EraseFaultDelay(ev.block);
+    }
+    if (ListErase(flush_in_flight_, ev.block)) {
+      --flush_outstanding_[static_cast<size_t>(ev.disk)];
+      if (ListErase(redirty_pending_, ev.block)) {
+        ListInsert(dirty_by_disk_[static_cast<size_t>(ev.disk)], ev.block);
+      } else {
+        cache_.MarkClean(ev.block);
+      }
+    } else {
+      // A block the application is stalled on is keyed at the cursor even
+      // when that reference was never hinted (the demand request is itself
+      // the disclosure).
+      const int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
+                                   ? cursor_
+                                   : context_.index().NextUseAt(ev.block, cursor_);
+      cache_.CompleteFetch(ev.block, next_use);
+      policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
+    }
+  }
+  TryDispatch(ev.disk);
+  if (!disk.busy && disk.queue.empty()) {
+    policy_->OnDiskIdle(*this, ev.disk);
+    TryDispatch(ev.disk);
+  }
+  if (!disk.busy && disk.queue.empty()) {
+    MaybeFlush(ev.disk);
+  }
+}
+
+void RefSim::HandleFailedRequest(const Event& ev) {
+  const FaultConfig& fc = config_.faults;
+  const bool is_flush = ListContains(flush_in_flight_, ev.block);
+  const RefDisk& disk = disks_[static_cast<size_t>(ev.disk)];
+  const bool dead = disk.fault != nullptr && disk.fault->FailStopped(sim_now_);
+  const int attempts = BumpRetryAttempts(ev.block);
+  if (!dead && attempts <= fc.max_retries) {
+    const int shift = std::min(attempts - 1, 20);
+    const TimeNs backoff = fc.retry_backoff << shift;
+    AddFaultDelay(ev.block, ev.service + backoff);
+    ++retries_;
+    Event retry;
+    retry.time = sim_now_ + backoff;
+    retry.seq = next_seq_++;
+    retry.disk = ev.disk;
+    retry.block = ev.block;
+    retry.kind = EventKind::kRetry;
+    events_.push_back(retry);
+    return;
+  }
+
+  ++failed_requests_;
+  EraseRetryAttempts(ev.block);
+  if (is_flush) {
+    ListErase(flush_in_flight_, ev.block);
+    --flush_outstanding_[static_cast<size_t>(ev.disk)];
+    ListErase(redirty_pending_, ev.block);
+    cache_.MarkClean(ev.block);
+    if (waiting_block_ == ev.block) {
+      AddFaultDelay(ev.block, ev.service);
+    } else {
+      EraseFaultDelay(ev.block);
+    }
+  } else if (waiting_block_ == ev.block) {
+    AddFaultDelay(ev.block, ev.service + fc.recovery_penalty);
+    Event recover;
+    recover.time = sim_now_ + fc.recovery_penalty;
+    recover.seq = next_seq_++;
+    recover.disk = ev.disk;
+    recover.block = ev.block;
+    recover.service = fc.recovery_penalty;
+    recover.kind = EventKind::kRecover;
+    events_.push_back(recover);
+  } else {
+    EraseFaultDelay(ev.block);
+    cache_.CancelFetch(ev.block);
+    policy_->OnFetchFailed(*this, ev.disk, ev.block);
+  }
+}
+
+void RefSim::EndStall(int64_t block, TimeNs wait_start) {
+  if (sim_now_ > wait_start) {
+    const TimeNs duration = sim_now_ - wait_start;
+    stall_total_ += duration;
+    app_time_ = sim_now_;
+    const TimeNs* delay = FindFaultDelay(block);
+    if (delay != nullptr) {
+      degraded_stall_ += std::min(duration, *delay);
+      EraseFaultDelay(block);
+    }
+  } else {
+    EraseFaultDelay(block);
+  }
+}
+
+void RefSim::IssueFlush(int64_t block) {
+  PFC_CHECK(cache_.Present(block) && cache_.Dirty(block));
+  PFC_CHECK(!ListContains(flush_in_flight_, block));
+  BlockLocation loc = placement_->Map(block);
+  ListErase(dirty_by_disk_[static_cast<size_t>(loc.disk)], block);
+  flush_in_flight_.push_back(block);
+  ++flush_outstanding_[static_cast<size_t>(loc.disk)];
+  Enqueue(loc.disk, block, loc.disk_block, next_seq_++);
+  ++flushes_;
+  pending_driver_ += config_.driver_overhead;
+  driver_total_ += config_.driver_overhead;
+  TryDispatch(loc.disk);
+}
+
+void RefSim::MaybeFlush(int disk) {
+  if (config_.write_through) {
+    return;
+  }
+  std::vector<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(disk)];
+  if (dirty.empty()) {
+    return;
+  }
+  if (DiskIdle(disk)) {
+    IssueFlush(ListMin(dirty));
+    return;
+  }
+  const int64_t high_water =
+      std::max<int64_t>(1, config_.cache_blocks / (4 * config_.num_disks));
+  while (static_cast<int64_t>(dirty.size()) > high_water &&
+         flush_outstanding_[static_cast<size_t>(disk)] < 8) {
+    IssueFlush(ListMin(dirty));
+  }
+}
+
+bool RefSim::ForceFlushForProgress() {
+  if (config_.write_through) {
+    return false;
+  }
+  for (int d = 0; d < config_.num_disks; ++d) {
+    std::vector<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(d)];
+    if (!dirty.empty()) {
+      IssueFlush(ListMin(dirty));
+      return true;
+    }
+  }
+  return false;
+}
+
+void RefSim::ServeWrite(int64_t pos, int64_t block) {
+  ++write_refs_;
+  const TimeNs wait_start = app_time_;
+  waiting_block_ = block;
+
+  while (cache_.Fetching(block)) {
+    ApplyNextEvent();
+  }
+
+  // Whole-block write: dirty the cached copy if one exists, else materialize
+  // a buffer (no fetch required). The block's state must be re-checked on
+  // every pass — events processed while waiting for a buffer run policy
+  // callbacks that may prefetch this very block.
+  for (;;) {
+    if (cache_.Present(block)) {
+      if (ListContains(flush_in_flight_, block)) {
+        ListInsert(redirty_pending_, block);
+      } else if (!cache_.Dirty(block)) {
+        cache_.MarkDirty(block);
+        ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)], block);
+      }
+      break;
+    }
+    if (cache_.Fetching(block)) {
+      ApplyNextEvent();
+      continue;
+    }
+    if (cache_.free_buffers() > 0) {
+      cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
+      ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)], block);
+      break;
+    }
+    if (cache_.present_count() > 0) {
+      const int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      cache_.EvictClean(victim);
+      continue;
+    }
+    if (flush_in_flight_.empty()) {
+      ForceFlushForProgress();
+    }
+    PFC_CHECK_MSG(!events_.empty(), "cache wedged: all buffers dirty or in flight");
+    ApplyNextEvent();
+  }
+
+  if (config_.write_through) {
+    while (ListContains(flush_in_flight_, block)) {
+      ApplyNextEvent();
+    }
+    if (cache_.Dirty(block)) {
+      IssueFlush(block);
+      while (ListContains(flush_in_flight_, block)) {
+        ApplyNextEvent();
+      }
+    }
+  }
+
+  waiting_block_ = -1;
+  EndStall(block, wait_start);
+}
+
+void RefSim::DrainEventsUpTo(TimeNs t) {
+  for (;;) {
+    if (events_.empty()) {
+      break;
+    }
+    TimeNs min_time = events_[0].time;
+    for (const Event& ev : events_) {
+      if (ev.time < min_time) {
+        min_time = ev.time;
+      }
+    }
+    if (min_time > t) {
+      break;
+    }
+    ApplyNextEvent();
+  }
+  sim_now_ = t;
+}
+
+void RefSim::DemandFetch(int64_t block) {
+  ++demand_fetches_;
+  for (;;) {
+    if (cache_.GetState(block) != CacheView::State::kAbsent) {
+      return;  // a policy callback fetched it while we were waiting
+    }
+    if (cache_.free_buffers() > 0) {
+      const bool ok = IssueFetchInternal(block, kNoEvict, /*demand=*/true);
+      PFC_CHECK(ok);
+      policy_->OnDemandFetch(*this, block);
+      return;
+    }
+    if (cache_.present_count() > 0) {
+      const int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      const bool ok = IssueFetchInternal(block, victim, /*demand=*/true);
+      PFC_CHECK_MSG(ok, "demand eviction choice was not a present block");
+      policy_->OnDemandFetch(*this, block);
+      return;
+    }
+    if (flush_in_flight_.empty()) {
+      ForceFlushForProgress();
+    }
+    PFC_CHECK_MSG(!events_.empty(), "cache saturated with fetches but no disk events pending");
+    ApplyNextEvent();
+  }
+}
+
+RunResult RefSim::Run() {
+  PFC_CHECK_MSG(!ran_, "RefSim::Run is single-shot");
+  ran_ = true;
+
+  policy_->Init(*this);
+
+  const NextRefIndex& index = context_.index();
+  const int64_t n = trace_.size();
+  for (int64_t pos = 0; pos < n; ++pos) {
+    cursor_ = pos;
+    DrainEventsUpTo(app_time_);
+    policy_->OnReference(*this, pos);
+    if (cache_.dirty_count() > 0) {
+      for (int d = 0; d < config_.num_disks; ++d) {
+        MaybeFlush(d);
+      }
+    }
+
+    const int64_t block = trace_.block(pos);
+    if (trace_.is_write(pos)) {
+      ServeWrite(pos, block);
+      // Write-through only: a policy prefetch issued while ServeWrite waited
+      // out the flush may have evicted the freshly cleaned buffer. The write
+      // is already durable, so the buffer need not survive the reference.
+      if (cache_.Present(block)) {
+        cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
+      }
+      const TimeNs compute = ScaledCompute(pos);
+      compute_total_ += compute;
+      app_time_ += compute + pending_driver_;
+      pending_driver_ = 0;
+      continue;
+    }
+    if (!cache_.Present(block)) {
+      waiting_block_ = block;
+      if (!cache_.Fetching(block)) {
+        DemandFetch(block);
+      }
+      const TimeNs wait_start = app_time_;
+      while (!cache_.Present(block)) {
+        if (cache_.GetState(block) == CacheView::State::kAbsent) {
+          // A policy callback evicted the block while we waited; demand it
+          // again rather than livelock.
+          DemandFetch(block);
+          continue;
+        }
+        ApplyNextEvent();
+      }
+      waiting_block_ = -1;
+      EndStall(block, wait_start);
+    }
+
+    cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
+    const TimeNs compute = ScaledCompute(pos);
+    compute_total_ += compute;
+    app_time_ += compute + pending_driver_;
+    pending_driver_ = 0;
+  }
+
+  RunResult result;
+  result.trace_name = trace_.name();
+  result.policy_name = policy_->name();
+  result.num_disks = config_.num_disks;
+  result.fetches = fetches_;
+  result.demand_fetches = demand_fetches_;
+  result.write_refs = write_refs_;
+  result.flushes = flushes_;
+  result.dirty_at_end = cache_.dirty_count();
+  result.retries = retries_;
+  result.failed_requests = failed_requests_;
+  result.compute_time = compute_total_;
+  result.driver_time = driver_total_;
+  result.stall_time = stall_total_;
+  result.elapsed_time = app_time_;
+  result.degraded_stall_ns = degraded_stall_;
+
+  // Same floating-point accumulation order as the optimized engine: disks in
+  // id order, sums before averages.
+  int64_t completed = 0;
+  double sum_service = 0;
+  double sum_response = 0;
+  double util_sum = 0;
+  for (int i = 0; i < config_.num_disks; ++i) {
+    const RefDisk& d = disks_[static_cast<size_t>(i)];
+    completed += d.requests;
+    sum_service += d.sum_service_ms;
+    sum_response += d.sum_response_ms;
+    const double util =
+        app_time_ > 0 ? static_cast<double>(d.busy_ns) / static_cast<double>(app_time_) : 0.0;
+    result.per_disk_util.push_back(util);
+    util_sum += util;
+  }
+  if (completed > 0) {
+    result.avg_fetch_ms = sum_service / static_cast<double>(completed);
+    result.avg_response_ms = sum_response / static_cast<double>(completed);
+  }
+  result.avg_disk_util = util_sum / static_cast<double>(config_.num_disks);
+  return result;
+}
+
+}  // namespace pfc

@@ -1,0 +1,198 @@
+// RefSim: the independently coded reference simulation engine.
+//
+// RefSim replays the same (trace, SimConfig, policy) cell as the optimized
+// Simulator and must produce the *exact* same RunResult — every counter,
+// every nanosecond, every double bit-for-bit (see check/diff.h). It is the
+// "second simulator" of the paper's own validation methodology (Table 2
+// cross-validated two independently written simulators), turned inward.
+//
+// Intentional-simplicity rules (DESIGN.md section 4e):
+//   * no code shared with src/core's engine machinery — the cache, the
+//     per-disk queues and all four scheduling disciplines, the event list,
+//     the flush/retry/recovery paths and all accounting are re-coded here
+//     with the dumbest data structures that work (flat vectors, linear
+//     scans, no batching, no indexes);
+//   * pure *model inputs* are shared, because they define the experiment
+//     rather than implement it: the Trace, the TraceContext oracle, the
+//     Placement map, the DiskMechanism service-time models, the FaultModel
+//     fault stream, and the Policy objects themselves (policies program
+//     against the abstract Engine interface, so one policy implementation
+//     drives both engines).
+//
+// Observability is deliberately absent: EmitMark is a no-op and no sinks
+// exist. Differential runs therefore compare against a Simulator with
+// observability disabled (whose behavior is identical to a sink-less run).
+
+#ifndef PFC_CHECK_REF_SIM_H_
+#define PFC_CHECK_REF_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/ref_cache.h"
+#include "core/engine.h"
+#include "core/policy.h"
+#include "core/run_result.h"
+#include "core/sim_config.h"
+#include "core/trace_context.h"
+#include "disk/disk_mechanism.h"
+#include "disk/fault_model.h"
+#include "layout/placement.h"
+#include "trace/trace.h"
+
+namespace pfc {
+
+class RefSim : public Engine {
+ public:
+  // Borrows `context` (same contract as Simulator); `policy` must be a
+  // fresh instance, not one that already drove another engine. Throws
+  // SimError if `config` is invalid.
+  RefSim(const TraceContext& context, const SimConfig& config, Policy* policy);
+  ~RefSim() override;
+
+  // Runs the whole trace; callable once. Throws SimError if the run exceeds
+  // its event budget.
+  RunResult Run();
+
+  // --- Engine interface ----------------------------------------------------
+
+  TimeNs now() const override { return sim_now_; }
+  int64_t cursor() const override { return cursor_; }
+  const Trace& trace() const override { return trace_; }
+  const NextRefIndex& index() const override { return context_.index(); }
+  const CacheView& cache() const override { return cache_; }
+  const SimConfig& config() const override { return config_; }
+  BlockLocation Location(int64_t block) const override { return placement_->Map(block); }
+  bool DiskIdle(int d) const override {
+    const RefDisk& disk = disks_[static_cast<size_t>(d)];
+    return !disk.busy && disk.queue.empty();
+  }
+  bool DiskFailed(int d) const override {
+    const RefDisk& disk = disks_[static_cast<size_t>(d)];
+    return disk.fault != nullptr && disk.fault->FailStopped(sim_now_);
+  }
+  bool Hinted(int64_t pos) const override {
+    const std::vector<bool>& hinted = context_.hinted();
+    return hinted.empty() || hinted[static_cast<size_t>(pos)];
+  }
+  bool FullyHinted() const override { return context_.hinted().empty(); }
+  TimeNs ScaledCompute(int64_t pos) const override;
+  bool IssueFetch(int64_t block, int64_t evict) override;
+  void EmitMark(const char* label, int64_t value) override {
+    (void)label;
+    (void)value;
+  }
+
+ private:
+  // One queued disk request.
+  struct Request {
+    int64_t logical_block = 0;
+    int64_t disk_block = 0;
+    TimeNs enqueue_time = 0;
+    uint64_t seq = 0;
+  };
+
+  // One disk: unordered request vector, head position, elevator direction,
+  // the in-service request, and running stats. The scheduling disciplines
+  // are re-coded in PickNext/PopNext below.
+  struct RefDisk {
+    std::vector<Request> queue;
+    bool busy = false;
+    bool scan_up = true;
+    int64_t head_block = 0;
+    std::unique_ptr<DiskMechanism> mechanism;
+    std::unique_ptr<FaultModel> fault;  // null when faults are disabled
+    // In-service request.
+    Request current;
+    TimeNs cur_service = 0;
+    TimeNs cur_nominal = 0;
+    TimeNs cur_complete = 0;
+    bool cur_failed = false;
+    // Stats.
+    int64_t requests = 0;
+    int64_t errors = 0;
+    TimeNs busy_ns = 0;
+    double sum_service_ms = 0;
+    double sum_response_ms = 0;
+  };
+
+  enum class EventKind : uint8_t { kComplete, kRetry, kRecover };
+
+  struct Event {
+    TimeNs time = 0;
+    uint64_t seq = 0;
+    int disk = 0;
+    int64_t block = 0;
+    TimeNs service = 0;
+    TimeNs nominal = 0;
+    bool failed = false;
+    EventKind kind = EventKind::kComplete;
+  };
+
+  // Naive fault-state maps (vectors of pairs, linear scans).
+  void AddFaultDelay(int64_t block, TimeNs delta);
+  void EraseFaultDelay(int64_t block);
+  const TimeNs* FindFaultDelay(int64_t block) const;
+  int BumpRetryAttempts(int64_t block);
+  void EraseRetryAttempts(int64_t block);
+
+  size_t PickNext(const RefDisk& disk) const;
+  Request PopNext(RefDisk& disk);
+  void Enqueue(int disk, int64_t logical_block, int64_t disk_block, uint64_t seq);
+  void TryDispatch(int disk);
+  void CompleteCurrent(RefDisk& disk, TimeNs now_ns);
+  bool IssueFetchInternal(int64_t block, int64_t evict, bool demand);
+  void ApplyNextEvent();
+  void HandleFailedRequest(const Event& ev);
+  void EndStall(int64_t block, TimeNs wait_start);
+  void DrainEventsUpTo(TimeNs t);
+  void DemandFetch(int64_t block);
+  void ServeWrite(int64_t pos, int64_t block);
+  void IssueFlush(int64_t block);
+  void MaybeFlush(int disk);
+  bool ForceFlushForProgress();
+
+  const TraceContext& context_;
+  const Trace& trace_;
+  SimConfig config_;
+  Policy* policy_;
+
+  RefCache cache_;
+  std::unique_ptr<Placement> placement_;
+  std::vector<RefDisk> disks_;
+
+  std::vector<Event> events_;  // unordered; the minimum is found by scan
+  uint64_t next_seq_ = 0;
+
+  TimeNs app_time_ = 0;
+  TimeNs sim_now_ = 0;
+  int64_t cursor_ = 0;
+  TimeNs pending_driver_ = 0;
+
+  int64_t fetches_ = 0;
+  int64_t demand_fetches_ = 0;
+  int64_t write_refs_ = 0;
+  int64_t flushes_ = 0;
+  std::vector<std::vector<int64_t>> dirty_by_disk_;
+  std::vector<int64_t> flush_in_flight_;
+  std::vector<int64_t> redirty_pending_;
+  std::vector<int> flush_outstanding_;
+  int64_t waiting_block_ = -1;
+  std::vector<std::pair<int64_t, int>> retry_attempts_;
+  std::vector<std::pair<int64_t, TimeNs>> fault_delay_;
+  int64_t retries_ = 0;
+  int64_t failed_requests_ = 0;
+  TimeNs degraded_stall_ = 0;
+  int64_t events_processed_ = 0;
+  int64_t event_budget_ = 0;
+  TimeNs stall_total_ = 0;
+  TimeNs driver_total_ = 0;
+  TimeNs compute_total_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CHECK_REF_SIM_H_

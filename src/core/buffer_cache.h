@@ -6,6 +6,10 @@
 // instant ("the evicted block becomes unavailable at the moment the fetch
 // starts", section 1.2). Present blocks are indexed by their next reference
 // position so policies can query the furthest-referenced block in O(log K).
+//
+// BufferCache implements the CacheView query interface (core/cache_view.h)
+// so that policies can run against either this cache or the reference
+// simulator's naive one.
 
 #ifndef PFC_CORE_BUFFER_CACHE_H_
 #define PFC_CORE_BUFFER_CACHE_H_
@@ -16,16 +20,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/cache_view.h"
 #include "core/next_ref.h"
 #include "obs/event_sink.h"
 #include "util/time_util.h"
 
 namespace pfc {
 
-class BufferCache {
+class BufferCache : public CacheView {
  public:
-  enum class State { kAbsent, kFetching, kPresent };
-
   explicit BufferCache(int capacity_blocks);
 
   // Installs an observability sink. The cache emits kEvict whenever a
@@ -39,15 +42,12 @@ class BufferCache {
     now_ = now;
   }
 
-  int capacity() const { return capacity_; }
-  int used() const { return static_cast<int>(entries_.size()); }
-  int free_buffers() const { return capacity_ - used(); }
+  int capacity() const override { return capacity_; }
+  int used() const override { return static_cast<int>(entries_.size()); }
   // Number of *evictable* (present and clean) blocks.
-  int present_count() const { return static_cast<int>(by_next_use_.size()); }
+  int present_count() const override { return static_cast<int>(by_next_use_.size()); }
 
-  State GetState(int64_t block) const;
-  bool Present(int64_t block) const { return GetState(block) == State::kPresent; }
-  bool Fetching(int64_t block) const { return GetState(block) == State::kFetching; }
+  State GetState(int64_t block) const override;
 
   // Reserves a free buffer for `block` and marks it in flight. Requires a
   // free buffer and `block` absent.
@@ -72,9 +72,9 @@ class BufferCache {
   // Present *clean* block with the furthest next reference, if any. Dirty
   // blocks are pinned (their buffer cannot be reused until flushed) and so
   // never appear as eviction candidates.
-  std::optional<int64_t> FurthestBlock() const;
+  std::optional<int64_t> FurthestBlock() const override;
   // Its key (NextRefIndex::kNoRef for dead blocks); -1 if no candidate.
-  int64_t FurthestNextUse() const;
+  int64_t FurthestNextUse() const override;
 
   // --- Write extension (the paper's future-work item) ----------------------
 
@@ -92,8 +92,8 @@ class BufferCache {
   // Dirty -> clean (re-enters the eviction index under its current key).
   void MarkClean(int64_t block);
 
-  bool Dirty(int64_t block) const;
-  int dirty_count() const { return dirty_count_; }
+  bool Dirty(int64_t block) const override;
+  int dirty_count() const override { return dirty_count_; }
 
   // Present blocks in key order is occasionally needed (reverse model);
   // expose a read-only view.

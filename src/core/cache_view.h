@@ -1,0 +1,56 @@
+// Read-only cache interface: the queries a Policy may ask of the buffer
+// cache, abstracted from any particular implementation.
+//
+// Two implementations exist: BufferCache (core/buffer_cache.h), the
+// optimized engine's cache with its O(log K) next-use index, and RefCache
+// (check/ref_cache.h), the reference simulator's deliberately naive
+// linear-scan cache. Policies program against this interface so that the
+// same policy object can drive either engine — the basis of the
+// differential-verification subsystem (src/check).
+//
+// The interface is query-only by design: all cache *mutation* flows through
+// the owning engine (Engine::IssueFetch and the demand/write paths), which
+// is what enforces the paper's evict-at-issue semantics.
+
+#ifndef PFC_CORE_CACHE_VIEW_H_
+#define PFC_CORE_CACHE_VIEW_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace pfc {
+
+class CacheView {
+ public:
+  enum class State { kAbsent, kFetching, kPresent };
+
+  virtual ~CacheView() = default;
+
+  // Capacity in blocks, buffers in use (present + in flight), and free
+  // buffers.
+  virtual int capacity() const = 0;
+  virtual int used() const = 0;
+  int free_buffers() const { return capacity() - used(); }
+
+  // Number of *evictable* (present and clean) blocks.
+  virtual int present_count() const = 0;
+
+  virtual State GetState(int64_t block) const = 0;
+  bool Present(int64_t block) const { return GetState(block) == State::kPresent; }
+  bool Fetching(int64_t block) const { return GetState(block) == State::kFetching; }
+
+  virtual bool Dirty(int64_t block) const = 0;
+  virtual int dirty_count() const = 0;
+
+  // Present *clean* block with the furthest next reference, ties broken
+  // toward the larger block id; nullopt if no candidate. Dirty blocks are
+  // pinned (their buffer cannot be reused until flushed) and so never
+  // appear as eviction candidates.
+  virtual std::optional<int64_t> FurthestBlock() const = 0;
+  // Its key (NextRefIndex::kNoRef for dead blocks); -1 if no candidate.
+  virtual int64_t FurthestNextUse() const = 0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_CACHE_VIEW_H_

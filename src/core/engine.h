@@ -1,0 +1,78 @@
+// Engine: the abstract simulation-engine interface policies program against.
+//
+// Two engines implement it:
+//   * Simulator (core/simulator.h) — the optimized production engine:
+//     priority-queue events, FlatSet write state, indexed cache, batched
+//     dispatch.
+//   * RefSim (check/ref_sim.h) — the deliberately naive reference engine of
+//     the differential-verification subsystem: plain vectors, linear scans,
+//     no batching, independently coded.
+//
+// A Policy receives an Engine& at every hook and must make its decisions
+// from this interface alone. Because both engines expose identical
+// observable state and accept identical actions, a deterministic policy
+// drives both to the same decision sequence — which is what lets the
+// differential comparators (check/diff.h) demand *exact* equality of every
+// RunResult metric between the two engines.
+
+#ifndef PFC_CORE_ENGINE_H_
+#define PFC_CORE_ENGINE_H_
+
+#include <cstdint>
+
+#include "core/cache_view.h"
+#include "core/next_ref.h"
+#include "core/sim_config.h"
+#include "layout/placement.h"
+#include "trace/trace.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+class Engine {
+ public:
+  // Sentinel eviction argument for IssueFetch: take a free buffer.
+  static constexpr int64_t kNoEvict = -1;
+
+  virtual ~Engine() = default;
+
+  // --- State queries --------------------------------------------------------
+
+  // Instant at which actions are currently happening (simulated clock).
+  virtual TimeNs now() const = 0;
+  // Next reference to serve.
+  virtual int64_t cursor() const = 0;
+  virtual const Trace& trace() const = 0;
+  virtual const NextRefIndex& index() const = 0;
+  virtual const CacheView& cache() const = 0;
+  virtual const SimConfig& config() const = 0;
+  virtual BlockLocation Location(int64_t block) const = 0;
+  virtual bool DiskIdle(int d) const = 0;
+  // True once disk `d` has fail-stopped; prefetches to it are refused and
+  // policies should plan around it.
+  virtual bool DiskFailed(int d) const = 0;
+  // Whether reference `pos` was disclosed to the prefetcher. Policies must
+  // not act on undisclosed positions (the engine's demand path covers them).
+  virtual bool Hinted(int64_t pos) const = 0;
+  virtual bool FullyHinted() const = 0;
+  // Inter-reference compute time after position `pos`, with cpu_scale
+  // applied.
+  virtual TimeNs ScaledCompute(int64_t pos) const = 0;
+
+  // --- Actions --------------------------------------------------------------
+
+  // Issues a fetch for `block`, evicting `evict` (pass kNoEvict to take a
+  // free buffer). Returns false — without side effects — if the request is
+  // invalid: block not absent, eviction target not present, no free buffer
+  // when one was requested, or the block's disk has fail-stopped.
+  virtual bool IssueFetch(int64_t block, int64_t evict) = 0;
+
+  // Lets policies drop custom markers (kPolicyMark) into the event stream.
+  // `label` must outlive the sink's consumption of the event (string
+  // literals are the intended use). No-op without an observability sink.
+  virtual void EmitMark(const char* label, int64_t value = 0) = 0;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_ENGINE_H_

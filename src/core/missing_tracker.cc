@@ -2,12 +2,12 @@
 
 #include <algorithm>
 
-#include "core/simulator.h"
+#include "core/engine.h"
 #include "util/check.h"
 
 namespace pfc {
 
-MissingTracker::MissingTracker(Simulator& sim, int64_t window) : sim_(sim), window_(window) {
+MissingTracker::MissingTracker(Engine& sim, int64_t window) : sim_(sim), window_(window) {
   PFC_CHECK(window > 0);
   per_disk_.resize(static_cast<size_t>(sim.config().num_disks));
 }
@@ -33,7 +33,7 @@ void MissingTracker::AdvanceTo(int64_t cursor) {
   int64_t end = std::min(cursor + window_, sim_.trace().size());
   for (int64_t p = std::max(added_until_, cursor); p < end; ++p) {
     if (sim_.Hinted(p) && !sim_.trace().is_write(p) &&
-        sim_.cache().GetState(sim_.trace().block(p)) == BufferCache::State::kAbsent) {
+        sim_.cache().GetState(sim_.trace().block(p)) == CacheView::State::kAbsent) {
       Insert(p);
     }
   }

@@ -24,12 +24,12 @@
 
 namespace pfc {
 
-class Simulator;
+class Engine;
 
 class MissingTracker {
  public:
   // window: how far past the cursor to track, in references.
-  MissingTracker(Simulator& sim, int64_t window);
+  MissingTracker(Engine& sim, int64_t window);
 
   // Slides the window forward to [cursor, cursor + window).
   void AdvanceTo(int64_t cursor);
@@ -57,7 +57,7 @@ class MissingTracker {
   void Insert(int64_t pos);
   void Erase(int64_t pos);
 
-  Simulator& sim_;
+  Engine& sim_;
   int64_t window_;
   int64_t cursor_ = 0;
   int64_t added_until_ = 0;  // positions < this have been examined

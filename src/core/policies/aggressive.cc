@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "core/simulator.h"
+#include "core/engine.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -17,42 +17,42 @@ int64_t TrackerWindow(int cache_blocks) { return std::max<int64_t>(16L * cache_b
 
 AggressivePolicy::AggressivePolicy(int batch_size) : requested_batch_size_(batch_size) {}
 
-void AggressivePolicy::Init(Simulator& sim) {
+void AggressivePolicy::Init(Engine& sim) {
   batch_size_ =
       requested_batch_size_ > 0 ? requested_batch_size_ : DefaultBatchSize(sim.config().num_disks);
   tracker_ = std::make_unique<MissingTracker>(sim, TrackerWindow(sim.config().cache_blocks));
 }
 
-int64_t AggressivePolicy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+int64_t AggressivePolicy::ChooseDemandEviction(Engine& sim, int64_t block) {
   int64_t victim = Policy::ChooseDemandEviction(sim, block);
   tracker_->OnEvict(victim);
   return victim;
 }
 
-void AggressivePolicy::OnDemandFetch(Simulator& sim, int64_t block) {
+void AggressivePolicy::OnDemandFetch(Engine& sim, int64_t block) {
   (void)sim;
   tracker_->OnIssue(block);
 }
 
-void AggressivePolicy::OnReference(Simulator& sim, int64_t pos) {
+void AggressivePolicy::OnReference(Engine& sim, int64_t pos) {
   tracker_->AdvanceTo(pos);
   MaybeIssueBatches(sim);
 }
 
-void AggressivePolicy::OnDiskIdle(Simulator& sim, int disk) {
+void AggressivePolicy::OnDiskIdle(Engine& sim, int disk) {
   (void)disk;
   tracker_->AdvanceTo(sim.cursor());
   MaybeIssueBatches(sim);
 }
 
-void AggressivePolicy::MaybeIssueBatches(Simulator& sim) {
+void AggressivePolicy::MaybeIssueBatches(Engine& sim) {
   const int issued = IssueBatchRound(sim);
   if (issued > 0) {
     sim.EmitMark("aggressive-batch", issued);
   }
 }
 
-int AggressivePolicy::IssueBatchRound(Simulator& sim) {
+int AggressivePolicy::IssueBatchRound(Engine& sim) {
   const int num_disks = sim.config().num_disks;
   std::vector<int> budget(static_cast<size_t>(num_disks), -1);
   std::vector<int64_t> scan_from(static_cast<size_t>(num_disks), -1);
@@ -74,7 +74,7 @@ int AggressivePolicy::IssueBatchRound(Simulator& sim) {
   // order — equivalent to the paper's "consider all their missing blocks
   // together, in order of increasing request index" — without touching
   // entries that belong to busy disks.
-  BufferCache& cache = sim.cache();
+  const CacheView& cache = sim.cache();
   while (eligible > 0) {
     int best_disk = -1;
     int64_t best_p = NextRefIndex::kNoRef;
@@ -94,13 +94,13 @@ int AggressivePolicy::IssueBatchRound(Simulator& sim) {
     scan_from[static_cast<size_t>(best_disk)] = best_p;
 
     const int64_t block = sim.trace().block(best_p);
-    if (cache.GetState(block) != BufferCache::State::kAbsent) {
+    if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(best_p);  // stale entry (free-buffer demand fetch)
       continue;
     }
     bool ok;
     if (cache.free_buffers() > 0) {
-      ok = sim.IssueFetch(block, Simulator::kNoEvict);
+      ok = sim.IssueFetch(block, Engine::kNoEvict);
     } else {
       // Do no harm: the eviction victim's next reference must lie beyond the
       // fetched block's (position best_p). Violations only get worse further

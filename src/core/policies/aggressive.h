@@ -29,18 +29,18 @@ class AggressivePolicy : public Policy {
   explicit AggressivePolicy(int batch_size = 0);
 
   std::string name() const override { return "aggressive"; }
-  void Init(Simulator& sim) override;
-  void OnReference(Simulator& sim, int64_t pos) override;
-  void OnDiskIdle(Simulator& sim, int disk) override;
-  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override;
-  void OnDemandFetch(Simulator& sim, int64_t block) override;
+  void Init(Engine& sim) override;
+  void OnReference(Engine& sim, int64_t pos) override;
+  void OnDiskIdle(Engine& sim, int disk) override;
+  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override;
+  void OnDemandFetch(Engine& sim, int64_t block) override;
 
   int batch_size() const { return batch_size_; }
 
  private:
-  void MaybeIssueBatches(Simulator& sim);
+  void MaybeIssueBatches(Engine& sim);
   // One batch-building round; returns the number of fetches issued.
-  int IssueBatchRound(Simulator& sim);
+  int IssueBatchRound(Engine& sim);
 
   int requested_batch_size_;
   int batch_size_ = 0;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "core/simulator.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -13,19 +14,19 @@ FixedHorizonPolicy::FixedHorizonPolicy(int horizon) : horizon_(horizon) {
   }
 }
 
-void FixedHorizonPolicy::Init(Simulator& sim) {
+void FixedHorizonPolicy::Init(Engine& sim) {
   (void)sim;
   scanned_until_ = 0;
   deferred_.clear();
 }
 
-bool FixedHorizonPolicy::TryFetchAt(Simulator& sim, int64_t pos) {
+bool FixedHorizonPolicy::TryFetchAt(Engine& sim, int64_t pos) {
   const int64_t block = sim.trace().block(pos);
-  if (sim.cache().GetState(block) != BufferCache::State::kAbsent) {
+  if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
     return true;  // already present or on its way
   }
   if (sim.cache().free_buffers() > 0) {
-    return sim.IssueFetch(block, Simulator::kNoEvict);
+    return sim.IssueFetch(block, Engine::kNoEvict);
   }
   // Evict the furthest block, provided its next reference is beyond the
   // horizon (always true when H < K, but the sweeps push H past K).
@@ -38,7 +39,7 @@ bool FixedHorizonPolicy::TryFetchAt(Simulator& sim, int64_t pos) {
   return sim.IssueFetch(block, *victim);
 }
 
-void FixedHorizonPolicy::OnReference(Simulator& sim, int64_t pos) {
+void FixedHorizonPolicy::OnReference(Engine& sim, int64_t pos) {
   // Retry postponed fetches, soonest first (optimal fetching: the missing
   // block referenced next has first claim on any safe eviction slot).
   for (auto it = deferred_.begin(); it != deferred_.end();) {

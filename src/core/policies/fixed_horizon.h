@@ -28,8 +28,8 @@ class FixedHorizonPolicy : public Policy {
   explicit FixedHorizonPolicy(int horizon = kDefaultPrefetchHorizon);
 
   std::string name() const override { return "fixed-horizon"; }
-  void Init(Simulator& sim) override;
-  void OnReference(Simulator& sim, int64_t pos) override;
+  void Init(Engine& sim) override;
+  void OnReference(Engine& sim, int64_t pos) override;
 
   int horizon() const { return horizon_; }
 
@@ -42,7 +42,7 @@ class FixedHorizonPolicy : public Policy {
   // Attempts the fetch for the block referenced at position `pos`; returns
   // false if it must be retried later (no eviction candidate beyond the
   // horizon yet).
-  bool TryFetchAt(Simulator& sim, int64_t pos);
+  bool TryFetchAt(Engine& sim, int64_t pos);
 
   int horizon_;
   int64_t scanned_until_ = 0;     // positions < this have been examined

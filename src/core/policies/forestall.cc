@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "core/simulator.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -21,7 +22,7 @@ ForestallPolicy::ForestallPolicy(Params params) : params_(params) {
   }
 }
 
-void ForestallPolicy::Init(Simulator& sim) {
+void ForestallPolicy::Init(Engine& sim) {
   batch_size_ =
       params_.batch_size > 0 ? params_.batch_size : DefaultBatchSize(sim.config().num_disks);
   const int64_t lookahead =
@@ -57,24 +58,24 @@ double ForestallPolicy::FetchTimeRatio(int disk) const {
   return f;
 }
 
-void ForestallPolicy::OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) {
+void ForestallPolicy::OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) {
   (void)sim;
   (void)block;
   access_ms_[static_cast<size_t>(disk)].Add(NsToMs(service));
 }
 
-int64_t ForestallPolicy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+int64_t ForestallPolicy::ChooseDemandEviction(Engine& sim, int64_t block) {
   int64_t victim = Policy::ChooseDemandEviction(sim, block);
   tracker_->OnEvict(victim);
   return victim;
 }
 
-void ForestallPolicy::OnDemandFetch(Simulator& sim, int64_t block) {
+void ForestallPolicy::OnDemandFetch(Engine& sim, int64_t block) {
   (void)sim;
   tracker_->OnIssue(block);
 }
 
-void ForestallPolicy::OnReference(Simulator& sim, int64_t pos) {
+void ForestallPolicy::OnReference(Engine& sim, int64_t pos) {
   if (pos > 0) {
     compute_ms_->Add(NsToMs(sim.ScaledCompute(pos - 1)));
   }
@@ -82,17 +83,17 @@ void ForestallPolicy::OnReference(Simulator& sim, int64_t pos) {
   MaybeIssue(sim);
 }
 
-void ForestallPolicy::OnDiskIdle(Simulator& sim, int disk) {
+void ForestallPolicy::OnDiskIdle(Engine& sim, int disk) {
   (void)disk;
   tracker_->AdvanceTo(sim.cursor());
   MaybeIssue(sim);
 }
 
-bool ForestallPolicy::FetchWithOptimalEviction(Simulator& sim, int64_t block, int64_t pos) {
-  BufferCache& cache = sim.cache();
+bool ForestallPolicy::FetchWithOptimalEviction(Engine& sim, int64_t block, int64_t pos) {
+  const CacheView& cache = sim.cache();
   bool ok;
   if (cache.free_buffers() > 0) {
-    ok = sim.IssueFetch(block, Simulator::kNoEvict);
+    ok = sim.IssueFetch(block, Engine::kNoEvict);
   } else {
     if (cache.FurthestNextUse() <= pos) {
       return false;  // do no harm
@@ -113,7 +114,7 @@ bool ForestallPolicy::FetchWithOptimalEviction(Simulator& sim, int64_t block, in
   return true;
 }
 
-bool ForestallPolicy::DiskConstrained(Simulator& sim, int disk) {
+bool ForestallPolicy::DiskConstrained(Engine& sim, int disk) {
   const double f_prime = std::max(FetchTimeRatio(disk), 1e-6);
   const int64_t cursor = sim.cursor();
   int64_t i = 0;
@@ -124,7 +125,7 @@ bool ForestallPolicy::DiskConstrained(Simulator& sim, int disk) {
       return false;
     }
     p = *it;
-    if (sim.cache().GetState(sim.trace().block(p)) != BufferCache::State::kAbsent) {
+    if (sim.cache().GetState(sim.trace().block(p)) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
       continue;
     }
@@ -135,10 +136,10 @@ bool ForestallPolicy::DiskConstrained(Simulator& sim, int disk) {
   }
 }
 
-void ForestallPolicy::MaybeIssue(Simulator& sim) {
+void ForestallPolicy::MaybeIssue(Engine& sim) {
   const int num_disks = sim.config().num_disks;
   const int64_t cursor = sim.cursor();
-  BufferCache& cache = sim.cache();
+  const CacheView& cache = sim.cache();
   int backstop_issued = 0;
   int constrained_issued = 0;
 
@@ -155,7 +156,7 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
     }
     const int64_t p = *it;
     const int64_t block = sim.trace().block(p);
-    if (cache.GetState(block) != BufferCache::State::kAbsent) {
+    if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
       continue;
     }
@@ -192,7 +193,7 @@ void ForestallPolicy::MaybeIssue(Simulator& sim) {
       }
       p = *it;
       const int64_t block = sim.trace().block(p);
-      if (cache.GetState(block) != BufferCache::State::kAbsent) {
+      if (cache.GetState(block) != CacheView::State::kAbsent) {
         tracker_->ErasePosition(p);
         continue;
       }

@@ -48,24 +48,24 @@ class ForestallPolicy : public Policy {
   explicit ForestallPolicy(Params params);
 
   std::string name() const override { return "forestall"; }
-  void Init(Simulator& sim) override;
-  void OnReference(Simulator& sim, int64_t pos) override;
-  void OnDiskIdle(Simulator& sim, int disk) override;
-  void OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) override;
-  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override;
-  void OnDemandFetch(Simulator& sim, int64_t block) override;
+  void Init(Engine& sim) override;
+  void OnReference(Engine& sim, int64_t pos) override;
+  void OnDiskIdle(Engine& sim, int disk) override;
+  void OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) override;
+  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override;
+  void OnDemandFetch(Engine& sim, int64_t block) override;
 
   // Current F' for a disk (exposed for tests).
   double FetchTimeRatio(int disk) const;
 
  private:
-  void MaybeIssue(Simulator& sim);
+  void MaybeIssue(Engine& sim);
   // True if the stall predicate i*F' > d_i holds for some missing block on
   // `disk` within the lookahead.
-  bool DiskConstrained(Simulator& sim, int disk);
+  bool DiskConstrained(Engine& sim, int disk);
   // Fetches `block` (first use at `pos`) with furthest eviction under
   // do-no-harm; returns false if the rule forbids it.
-  bool FetchWithOptimalEviction(Simulator& sim, int64_t block, int64_t pos);
+  bool FetchWithOptimalEviction(Engine& sim, int64_t block, int64_t pos);
 
   Params params_;
   int batch_size_ = 0;

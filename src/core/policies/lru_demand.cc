@@ -1,6 +1,6 @@
 #include "core/policies/lru_demand.h"
 
-#include "core/simulator.h"
+#include "core/engine.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -14,18 +14,18 @@ void LruDemandPolicy::Touch(int64_t block) {
   by_recency_.insert({it->second, block});
 }
 
-void LruDemandPolicy::OnReference(Simulator& sim, int64_t pos) {
+void LruDemandPolicy::OnReference(Engine& sim, int64_t pos) {
   Touch(sim.trace().block(pos));
 }
 
-void LruDemandPolicy::OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) {
+void LruDemandPolicy::OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) {
   (void)sim;
   (void)disk;
   (void)service;
   Touch(block);  // an arrival counts as most-recently-used
 }
 
-int64_t LruDemandPolicy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+int64_t LruDemandPolicy::ChooseDemandEviction(Engine& sim, int64_t block) {
   (void)block;
   // Oldest tracked block that is still an eviction candidate (present and
   // clean); drop stale entries as we go.

@@ -21,9 +21,9 @@ class LruDemandPolicy : public Policy {
  public:
   std::string name() const override { return "demand-lru"; }
 
-  void OnReference(Simulator& sim, int64_t pos) override;
-  void OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) override;
-  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override;
+  void OnReference(Engine& sim, int64_t pos) override;
+  void OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) override;
+  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override;
 
  private:
   void Touch(int64_t block);

@@ -4,7 +4,8 @@
 #include <queue>
 #include <set>
 
-#include "core/simulator.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
 #include "util/check.h"
 
 namespace pfc {
@@ -20,7 +21,7 @@ ReverseAggressivePolicy::ReverseAggressivePolicy(Params params) : params_(params
   }
 }
 
-void ReverseAggressivePolicy::Init(Simulator& sim) {
+void ReverseAggressivePolicy::Init(Engine& sim) {
   if (!sim.FullyHinted()) {
     throw SimError(
         "reverse aggressive is offline and requires full advance knowledge "
@@ -39,7 +40,7 @@ void ReverseAggressivePolicy::Init(Simulator& sim) {
 // sequence in the theoretical model (unit compute, fetch time F), where each
 // replacement (fetch M, evict B) occupies disk(B). See the header comment.
 // ---------------------------------------------------------------------------
-void ReverseAggressivePolicy::BuildSchedule(Simulator& sim) {
+void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
   const Trace rev = sim.trace().Reversed();
   const NextRefIndex rindex(rev);
   const int64_t n = rev.size();
@@ -275,24 +276,24 @@ void ReverseAggressivePolicy::MarkPairDone(int64_t block) {
   it->second.pop_front();
 }
 
-void ReverseAggressivePolicy::OnDemandFetch(Simulator& sim, int64_t block) {
+void ReverseAggressivePolicy::OnDemandFetch(Engine& sim, int64_t block) {
   (void)sim;
   MarkPairDone(block);
 }
 
-void ReverseAggressivePolicy::OnReference(Simulator& sim, int64_t pos) {
+void ReverseAggressivePolicy::OnReference(Engine& sim, int64_t pos) {
   (void)pos;
   IssueReleased(sim);
 }
 
-void ReverseAggressivePolicy::OnDiskIdle(Simulator& sim, int disk) {
+void ReverseAggressivePolicy::OnDiskIdle(Engine& sim, int disk) {
   (void)disk;
   IssueReleased(sim);
 }
 
-void ReverseAggressivePolicy::IssueReleased(Simulator& sim) {
+void ReverseAggressivePolicy::IssueReleased(Engine& sim) {
   const int num_disks = sim.config().num_disks;
-  BufferCache& cache = sim.cache();
+  const CacheView& cache = sim.cache();
   const int64_t cursor = sim.cursor();
 
   for (int disk = 0; disk < num_disks; ++disk) {
@@ -316,7 +317,7 @@ void ReverseAggressivePolicy::IssueReleased(Simulator& sim) {
       if (pair.release > cursor) {
         break;
       }
-      if (cache.GetState(pair.fetch_block) != BufferCache::State::kAbsent) {
+      if (cache.GetState(pair.fetch_block) != CacheView::State::kAbsent) {
         pair.done = true;  // a demand fetch beat us to it
         MarkPairDone(pair.fetch_block);
         continue;
@@ -327,7 +328,7 @@ void ReverseAggressivePolicy::IssueReleased(Simulator& sim) {
         ok = sim.IssueFetch(pair.fetch_block, pair.evict_block);
       }
       if (!ok && cache.free_buffers() > 0) {
-        ok = sim.IssueFetch(pair.fetch_block, Simulator::kNoEvict);
+        ok = sim.IssueFetch(pair.fetch_block, Engine::kNoEvict);
       }
       if (!ok) {
         // The schedule drifted under real timings (the paired victim is gone

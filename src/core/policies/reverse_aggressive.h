@@ -55,10 +55,10 @@ class ReverseAggressivePolicy : public Policy {
   explicit ReverseAggressivePolicy(Params params);
 
   std::string name() const override { return "reverse-aggressive"; }
-  void Init(Simulator& sim) override;
-  void OnReference(Simulator& sim, int64_t pos) override;
-  void OnDiskIdle(Simulator& sim, int disk) override;
-  void OnDemandFetch(Simulator& sim, int64_t block) override;
+  void Init(Engine& sim) override;
+  void OnReference(Engine& sim, int64_t pos) override;
+  void OnDiskIdle(Engine& sim, int disk) override;
+  void OnDemandFetch(Engine& sim, int64_t block) override;
 
   // Schedule introspection (for tests).
   int64_t scheduled_fetches() const { return static_cast<int64_t>(pairs_.size()); }
@@ -75,8 +75,8 @@ class ReverseAggressivePolicy : public Policy {
     bool done = false;
   };
 
-  void BuildSchedule(Simulator& sim);
-  void IssueReleased(Simulator& sim);
+  void BuildSchedule(Engine& sim);
+  void IssueReleased(Engine& sim);
   void MarkPairDone(int64_t block);
 
   Params params_;

@@ -1,11 +1,11 @@
 #include "core/policy.h"
 
-#include "core/simulator.h"
+#include "core/engine.h"
 #include "util/check.h"
 
 namespace pfc {
 
-int64_t Policy::ChooseDemandEviction(Simulator& sim, int64_t block) {
+int64_t Policy::ChooseDemandEviction(Engine& sim, int64_t block) {
   (void)block;
   std::optional<int64_t> victim = sim.cache().FurthestBlock();
   PFC_CHECK_MSG(victim.has_value(), "demand eviction requested with no present blocks");

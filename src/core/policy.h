@@ -24,7 +24,7 @@
 
 namespace pfc {
 
-class Simulator;
+class Engine;
 
 class Policy {
  public:
@@ -34,19 +34,19 @@ class Policy {
 
   // Called once before the run; offline policies (reverse aggressive) build
   // their schedule here.
-  virtual void Init(Simulator& sim) { (void)sim; }
+  virtual void Init(Engine& sim) { (void)sim; }
 
-  virtual void OnReference(Simulator& sim, int64_t pos) {
+  virtual void OnReference(Engine& sim, int64_t pos) {
     (void)sim;
     (void)pos;
   }
 
-  virtual void OnDiskIdle(Simulator& sim, int disk) {
+  virtual void OnDiskIdle(Engine& sim, int disk) {
     (void)sim;
     (void)disk;
   }
 
-  virtual void OnFetchComplete(Simulator& sim, int disk, int64_t block, TimeNs service) {
+  virtual void OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) {
     (void)sim;
     (void)disk;
     (void)block;
@@ -56,7 +56,7 @@ class Policy {
   // The engine issued a demand fetch for `block` (the application stalled on
   // it). Policies that keep their own view of outstanding work reconcile it
   // here.
-  virtual void OnDemandFetch(Simulator& sim, int64_t block) {
+  virtual void OnDemandFetch(Engine& sim, int64_t block) {
     (void)sim;
     (void)block;
   }
@@ -66,7 +66,7 @@ class Policy {
   // outstanding prefetches should forget the block or re-plan it on another
   // path. Demand fetches never reach this hook — the engine recovers those
   // itself.
-  virtual void OnFetchFailed(Simulator& sim, int disk, int64_t block) {
+  virtual void OnFetchFailed(Engine& sim, int disk, int64_t block) {
     (void)sim;
     (void)disk;
     (void)block;
@@ -76,7 +76,7 @@ class Policy {
   // Returns the block to evict, or -1 to use a free buffer. The engine only
   // calls this when no free buffer exists; the default picks the
   // furthest-referenced present block (optimal replacement).
-  virtual int64_t ChooseDemandEviction(Simulator& sim, int64_t block);
+  virtual int64_t ChooseDemandEviction(Engine& sim, int64_t block);
 };
 
 // The batch sizes the paper uses for aggressive and forestall (Table 6),

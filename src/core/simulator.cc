@@ -497,34 +497,43 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
     ApplyNextEvent();
   }
 
-  if (!cache_.Present(block)) {
-    // Whole-block write: materialize a buffer, no fetch required.
-    for (;;) {
-      if (cache_.free_buffers() > 0) {
-        cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
+  // Whole-block write: dirty the cached copy if one exists, else materialize
+  // a buffer (no fetch required). The block's state must be re-checked on
+  // every pass — events processed while waiting for a buffer run policy
+  // callbacks that may prefetch this very block.
+  for (;;) {
+    if (cache_.Present(block)) {
+      if (flush_in_flight_.contains(block)) {
+        redirty_pending_.insert(block);
+      } else if (!cache_.Dirty(block)) {
+        cache_.MarkDirty(block);
         dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
-        break;
       }
-      if (cache_.present_count() > 0) {
-        int64_t victim = policy_->ChooseDemandEviction(*this, block);
-        cache_.EvictClean(victim);
-        continue;
-      }
-      // Every buffer is dirty or in flight; wait for a flush or arrival.
-      if (sink_ != nullptr) {
-        stall_cause_ = StallCause::kNoBuffer;
-      }
-      if (flush_in_flight_.empty()) {
-        ForceFlushForProgress();
-      }
-      PFC_CHECK_MSG(!events_.empty(), "cache wedged: all buffers dirty or in flight");
-      ApplyNextEvent();
+      break;
     }
-  } else if (flush_in_flight_.contains(block)) {
-    redirty_pending_.insert(block);
-  } else if (!cache_.Dirty(block)) {
-    cache_.MarkDirty(block);
-    dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
+    if (cache_.Fetching(block)) {
+      ApplyNextEvent();
+      continue;
+    }
+    if (cache_.free_buffers() > 0) {
+      cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
+      dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
+      break;
+    }
+    if (cache_.present_count() > 0) {
+      int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      cache_.EvictClean(victim);
+      continue;
+    }
+    // Every buffer is dirty or in flight; wait for a flush or arrival.
+    if (sink_ != nullptr) {
+      stall_cause_ = StallCause::kNoBuffer;
+    }
+    if (flush_in_flight_.empty()) {
+      ForceFlushForProgress();
+    }
+    PFC_CHECK_MSG(!events_.empty(), "cache wedged: all buffers dirty or in flight");
+    ApplyNextEvent();
   }
 
   if (config_.write_through) {
@@ -610,7 +619,12 @@ RunResult Simulator::Run() {
     const int64_t block = trace_.block(pos);
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
-      cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
+      // Write-through only: a policy prefetch issued while ServeWrite waited
+      // out the flush may have evicted the freshly cleaned buffer. The write
+      // is already durable, so the buffer need not survive the reference.
+      if (cache_.Present(block)) {
+        cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
+      }
       TimeNs compute = ScaledCompute(pos);
       compute_total_ += compute;
       app_time_ += compute + pending_driver_;

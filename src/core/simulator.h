@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/buffer_cache.h"
+#include "core/engine.h"
 #include "core/next_ref.h"
 #include "core/policy.h"
 #include "core/run_result.h"
@@ -51,7 +52,7 @@ namespace pfc {
 
 class ObsCollector;
 
-class Simulator {
+class Simulator : public Engine {
  public:
   // Builds a private TraceContext for this run. `trace` and `policy` must
   // outlive the simulator. Throws SimError if `config` is invalid.
@@ -66,7 +67,7 @@ class Simulator {
   // Same, but shares ownership of the context (see SharedTraceContext).
   Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config, Policy* policy);
 
-  ~Simulator();
+  ~Simulator() override;
 
   // Runs the whole trace; callable once per Simulator instance. Throws
   // SimError if the run exceeds its event budget (see SimConfig::max_events).
@@ -84,7 +85,7 @@ class Simulator {
   // Lets policies drop custom markers (kPolicyMark) into the event stream.
   // `label` must outlive the sink's consumption of the event (string
   // literals are the intended use). No-op without a sink.
-  void EmitMark(const char* label, int64_t value = 0) {
+  void EmitMark(const char* label, int64_t value) override {
     if (sink_ != nullptr) {
       ObsEvent e;
       e.time = sim_now_;
@@ -97,29 +98,29 @@ class Simulator {
 
   // --- State queries for policies -----------------------------------------
 
-  TimeNs now() const { return sim_now_; }
-  int64_t cursor() const { return cursor_; }
-  const Trace& trace() const { return trace_; }
-  const NextRefIndex& index() const { return context_.index(); }
+  TimeNs now() const override { return sim_now_; }
+  int64_t cursor() const override { return cursor_; }
+  const Trace& trace() const override { return trace_; }
+  const NextRefIndex& index() const override { return context_.index(); }
   BufferCache& cache() { return cache_; }
-  const BufferCache& cache() const { return cache_; }
-  const SimConfig& config() const { return config_; }
+  const BufferCache& cache() const override { return cache_; }
+  const SimConfig& config() const override { return config_; }
   const DiskArray& disks() const { return *disks_; }
-  BlockLocation Location(int64_t block) const { return placement_->Map(block); }
-  bool DiskIdle(int d) const { return disks_->disk(d).idle(); }
+  BlockLocation Location(int64_t block) const override { return placement_->Map(block); }
+  bool DiskIdle(int d) const override { return disks_->disk(d).idle(); }
   // True once disk `d` has fail-stopped; prefetches to it are refused and
   // policies should plan around it.
-  bool DiskFailed(int d) const { return disks_->disk(d).FailStopped(sim_now_); }
+  bool DiskFailed(int d) const override { return disks_->disk(d).FailStopped(sim_now_); }
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
-  bool Hinted(int64_t pos) const {
+  bool Hinted(int64_t pos) const override {
     const std::vector<bool>& hinted = context_.hinted();
     return hinted.empty() || hinted[static_cast<size_t>(pos)];
   }
-  bool FullyHinted() const { return context_.hinted().empty(); }
+  bool FullyHinted() const override { return context_.hinted().empty(); }
   // Inter-reference compute time after position `pos`, with cpu_scale
   // applied.
-  TimeNs ScaledCompute(int64_t pos) const;
+  TimeNs ScaledCompute(int64_t pos) const override;
 
   // --- Actions -------------------------------------------------------------
 
@@ -128,8 +129,7 @@ class Simulator {
   // invalid: block not absent, eviction target not present, no free buffer
   // when one was requested, or the block's disk has fail-stopped (prefetches
   // to a dead disk are refused; only the engine's demand path may try one).
-  static constexpr int64_t kNoEvict = -1;
-  bool IssueFetch(int64_t block, int64_t evict);
+  bool IssueFetch(int64_t block, int64_t evict) override;
 
  private:
   enum class EventKind : uint8_t {

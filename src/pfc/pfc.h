@@ -18,6 +18,10 @@
 #ifndef PFC_PFC_H_
 #define PFC_PFC_H_
 
+#include "check/diff.h"
+#include "check/fuzz.h"
+#include "check/ref_cache.h"
+#include "check/ref_sim.h"
 #include "core/buffer_cache.h"
 #include "core/next_ref.h"
 #include "core/policies/aggressive.h"
@@ -52,6 +56,7 @@
 #include "obs/obs_report.h"
 #include "obs/stall_attribution.h"
 #include "obs/text_report.h"
+#include "theory/lower_bound.h"
 #include "trace/file_layout.h"
 #include "trace/generators.h"
 #include "trace/trace.h"

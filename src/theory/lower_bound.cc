@@ -1,0 +1,72 @@
+#include "theory/lower_bound.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "disk/disk_mechanism.h"
+#include "disk/simple_mechanism.h"
+#include "layout/placement.h"
+
+namespace pfc {
+
+TimeNs MinServiceFloorNs(const SimConfig& config) {
+  TimeNs floor;
+  if (config.disk_model == DiskModelKind::kSimple) {
+    // The simple model's cheapest outcome is a detected sequential
+    // continuation.
+    floor = SimpleMechanismParams{}.sequential_access;
+  } else {
+    // The detailed model's cheapest outcome is a streaming continuation,
+    // which costs at least the firmware streaming overhead (plus media
+    // time we conservatively ignore). A readahead-buffer hit costs
+    // controller + bus time, which is strictly more.
+    floor = MechanismParams{}.streaming_overhead;
+  }
+  if (config.faults.enabled()) {
+    // A failing attempt occupies the drive for error_latency (fail-stop) or
+    // a fault-adjusted mechanism time (>= the mechanism floor); the block
+    // still reaches the application, so the cheapest per-required-block disk
+    // occupancy is the smaller of the two.
+    floor = std::min(floor, config.faults.error_latency);
+  }
+  return floor;
+}
+
+TimeNs TheoryLowerBoundNs(const Trace& trace, const SimConfig& config) {
+  TimeNs compute_total = 0;
+  for (int64_t pos = 0; pos < trace.size(); ++pos) {
+    compute_total += static_cast<TimeNs>(static_cast<double>(trace.compute(pos)) *
+                                             config.cpu_scale +
+                                         0.5);
+  }
+
+  // Blocks whose first reference is a read must be fetched at least once
+  // (a first-written block materializes in a buffer without I/O).
+  std::unique_ptr<Placement> placement = MakePlacement(config.placement, config.num_disks);
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> required_per_disk(static_cast<size_t>(config.num_disks), 0);
+  int64_t required = 0;
+  for (int64_t pos = 0; pos < trace.size(); ++pos) {
+    const int64_t block = trace.block(pos);
+    if (!seen.insert(block).second) {
+      continue;
+    }
+    if (!trace.is_write(pos)) {
+      ++required;
+      ++required_per_disk[static_cast<size_t>(placement->Map(block).disk)];
+    }
+  }
+
+  const TimeNs app_floor = compute_total + config.driver_overhead * required;
+
+  const TimeNs min_service = MinServiceFloorNs(config);
+  TimeNs disk_floor = 0;
+  for (int64_t count : required_per_disk) {
+    disk_floor = std::max(disk_floor, count * min_service);
+  }
+
+  return std::max(app_floor, disk_floor);
+}
+
+}  // namespace pfc

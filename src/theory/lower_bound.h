@@ -1,0 +1,45 @@
+// A provable lower bound on simulated elapsed time for one (trace, config)
+// cell, used by the differential-verification subsystem (src/check) as an
+// external consistency oracle: whatever either engine reports, elapsed time
+// can never fall below this bound.
+//
+// The bound is the max of two terms, each valid for *any* policy:
+//
+//   1. Application-clock floor. Elapsed time decomposes exactly as
+//      compute + driver + stall. Compute is policy-independent (the scaled
+//      inter-reference compute times), and every block whose first reference
+//      is a read must be fetched at least once, charging one driver overhead
+//      per fetch. Stall is non-negative. Hence
+//        elapsed >= total_compute + driver_overhead * required_fetches.
+//
+//   2. Per-disk serialization floor. Each required block's fetch occupies
+//      its disk for at least the mechanism's cheapest possible service time
+//      (or the fault layer's error latency, whichever is smaller, since a
+//      failing attempt still delivers the block via the recovery path), all
+//      requests on one disk serialize, and the application cannot consume a
+//      block before its disk request completed. Hence
+//        elapsed >= max over disks of (required_fetches_on_disk * min_service).
+//
+// Both terms are deliberately conservative (they ignore stalls, queueing and
+// realistic positioning costs); the point is soundness, not tightness.
+
+#ifndef PFC_THEORY_LOWER_BOUND_H_
+#define PFC_THEORY_LOWER_BOUND_H_
+
+#include "core/sim_config.h"
+#include "trace/trace.h"
+#include "util/time_util.h"
+
+namespace pfc {
+
+// Cheapest service time a single request can possibly take under the
+// config's disk model (and fault layer, if enabled).
+TimeNs MinServiceFloorNs(const SimConfig& config);
+
+// The lower bound described above. Pure function of (trace, config);
+// independent of policy.
+TimeNs TheoryLowerBoundNs(const Trace& trace, const SimConfig& config);
+
+}  // namespace pfc
+
+#endif  // PFC_THEORY_LOWER_BOUND_H_

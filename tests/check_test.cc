@@ -1,0 +1,262 @@
+// Differential regression corpus: seeded scenarios replayed through both the
+// optimized Simulator and the naive RefSim (src/check), asserting *exact*
+// agreement — every counter equal, every double bit-for-bit — plus
+// consistency with the theory lower bound. Covers all six policies, all four
+// scheduling disciplines, 1-10 disks, both disk models, all placements,
+// write-behind and write-through, partial hints, and every fault mechanism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "check/fuzz.h"
+#include "theory/lower_bound.h"
+#include "trace/generators.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+// Small deterministic mixed-pattern trace: sequential runs with random
+// jumps, optional writes, compute in [0, 3) ms.
+Trace CorpusTrace(int64_t n, int64_t universe, double seq_prob, double write_frac,
+                  uint64_t seed) {
+  Rng rng(SplitMix64(seed));
+  Trace t("corpus");
+  int64_t block = rng.UniformInt(0, universe - 1);
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.UniformDouble() < seq_prob) {
+      block = (block + 1) % universe;
+    } else {
+      block = rng.UniformInt(0, universe - 1);
+    }
+    const TimeNs compute = rng.UniformInt(0, 2) == 0 ? 0 : rng.UniformInt(1, 3'000'000);
+    if (write_frac > 0.0 && rng.UniformDouble() < write_frac) {
+      t.AppendWrite(block, compute);
+    } else {
+      t.Append(block, compute);
+    }
+  }
+  return t;
+}
+
+FaultConfig MediaErrors() {
+  FaultConfig f;
+  f.media_error_rate = 0.1;
+  f.seed = 7;
+  return f;
+}
+
+FaultConfig LatencyTail() {
+  FaultConfig f;
+  f.tail_rate = 0.1;
+  f.tail_multiplier = 10.0;
+  f.seed = 11;
+  return f;
+}
+
+FaultConfig SlowDisk(int disk) {
+  FaultConfig f;
+  f.slow_disk = disk;
+  f.slow_factor = 4.0;
+  f.slow_after = MsToNs(20);
+  return f;
+}
+
+FaultConfig FailStop(int disk) {
+  FaultConfig f;
+  f.fail_disk = disk;
+  f.fail_after = MsToNs(30);
+  return f;
+}
+
+struct CorpusScenario {
+  const char* name;
+  PolicyKind policy;
+  SchedDiscipline discipline;
+  int disks;
+  DiskModelKind model;
+  PlacementKind placement;
+  int cache_blocks;
+  double write_frac;     // 0 for read-only
+  double hint_coverage;  // 1.0 = full hints
+  bool write_through;
+  FaultConfig faults;    // default = healthy
+};
+
+std::vector<CorpusScenario> Corpus() {
+  using PK = PolicyKind;
+  using SD = SchedDiscipline;
+  using DM = DiskModelKind;
+  using PL = PlacementKind;
+  return {
+      {"demand_fcfs_d1", PK::kDemand, SD::kFcfs, 1, DM::kSimple, PL::kStriped, 16, 0.0, 1.0,
+       false, {}},
+      {"demand_cscan_d4_media", PK::kDemand, SD::kCscan, 4, DM::kDetailed, PL::kStriped, 24,
+       0.0, 1.0, false, MediaErrors()},
+      {"demand_scan_d2_tail_wt", PK::kDemand, SD::kScan, 2, DM::kDetailed, PL::kContiguous, 12,
+       0.2, 1.0, true, LatencyTail()},
+      {"lru_sstf_d2_writes", PK::kDemandLru, SD::kSstf, 2, DM::kSimple, PL::kContiguous, 16,
+       0.3, 1.0, false, {}},
+      {"lru_scan_d10_tail", PK::kDemandLru, SD::kScan, 10, DM::kDetailed, PL::kGroupHash, 32,
+       0.0, 1.0, false, LatencyTail()},
+      {"lru_cscan_d6_hints_media", PK::kDemandLru, SD::kCscan, 6, DM::kSimple, PL::kStriped, 20,
+       0.1, 0.7, false, MediaErrors()},
+      {"horizon_cscan_d3", PK::kFixedHorizon, SD::kCscan, 3, DM::kDetailed, PL::kStriped, 24,
+       0.0, 1.0, false, {}},
+      {"horizon_fcfs_d1_wt", PK::kFixedHorizon, SD::kFcfs, 1, DM::kSimple, PL::kStriped, 8,
+       0.3, 1.0, true, {}},
+      {"horizon_sstf_d6_hints", PK::kFixedHorizon, SD::kSstf, 6, DM::kDetailed, PL::kGroupHash,
+       24, 0.0, 0.7, false, {}},
+      {"agg_cscan_d2_writes", PK::kAggressive, SD::kCscan, 2, DM::kSimple, PL::kStriped, 12,
+       0.1, 1.0, false, {}},
+      {"agg_scan_d4_failstop", PK::kAggressive, SD::kScan, 4, DM::kDetailed, PL::kStriped, 24,
+       0.0, 1.0, false, FailStop(1)},
+      {"agg_sstf_d10", PK::kAggressive, SD::kSstf, 10, DM::kDetailed, PL::kGroupHash, 48, 0.0,
+       1.0, false, {}},
+      {"agg_fcfs_d3_wt_hints", PK::kAggressive, SD::kFcfs, 3, DM::kSimple, PL::kContiguous, 10,
+       0.2, 0.8, true, {}},
+      {"revagg_cscan_d2", PK::kReverseAggressive, SD::kCscan, 2, DM::kSimple, PL::kStriped, 16,
+       0.0, 1.0, false, {}},
+      {"revagg_fcfs_d4", PK::kReverseAggressive, SD::kFcfs, 4, DM::kDetailed, PL::kStriped, 24,
+       0.0, 1.0, false, {}},
+      {"revagg_sstf_d10_media", PK::kReverseAggressive, SD::kSstf, 10, DM::kDetailed,
+       PL::kGroupHash, 32, 0.0, 1.0, false, MediaErrors()},
+      {"forestall_cscan_d3", PK::kForestall, SD::kCscan, 3, DM::kDetailed, PL::kStriped, 24,
+       0.0, 1.0, false, {}},
+      {"forestall_scan_d1_writes", PK::kForestall, SD::kScan, 1, DM::kSimple, PL::kStriped, 8,
+       0.3, 1.0, false, {}},
+      {"forestall_sstf_d6_slow", PK::kForestall, SD::kSstf, 6, DM::kDetailed, PL::kGroupHash,
+       24, 0.0, 1.0, false, SlowDisk(0)},
+      {"forestall_fcfs_d10_failstop_media", PK::kForestall, SD::kFcfs, 10, DM::kDetailed,
+       PL::kStriped, 40, 0.0, 1.0, false, [] {
+         FaultConfig f = FailStop(2);
+         f.media_error_rate = 0.05;
+         f.seed = 13;
+         return f;
+       }()},
+  };
+}
+
+SimConfig CorpusConfig(const CorpusScenario& s) {
+  SimConfig c;
+  c.cache_blocks = s.cache_blocks;
+  c.num_disks = s.disks;
+  c.disk_model = s.model;
+  c.discipline = s.discipline;
+  c.placement = s.placement;
+  c.hint_coverage = s.hint_coverage;
+  c.hint_seed = 42;
+  c.write_through = s.write_through;
+  c.faults = s.faults;
+  return c;
+}
+
+TEST(DifferentialCorpus, TwentyScenariosAgreeExactly) {
+  const std::vector<CorpusScenario> corpus = Corpus();
+  ASSERT_EQ(corpus.size(), 20u);
+  uint64_t trace_seed = 1000;
+  for (const CorpusScenario& s : corpus) {
+    SCOPED_TRACE(s.name);
+    Trace trace = CorpusTrace(/*n=*/250, /*universe=*/80, /*seq_prob=*/0.6, s.write_frac,
+                              ++trace_seed);
+    DiffReport report = RunDifferential(trace, CorpusConfig(s), s.policy);
+    EXPECT_TRUE(report.consistent) << report.ToString();
+    EXPECT_FALSE(report.sim_threw);
+    EXPECT_FALSE(report.ref_threw);
+    // The report's consistency already implies exact equality; spell out the
+    // headline fields so a regression names them directly.
+    EXPECT_EQ(report.sim_result.elapsed_time, report.ref_result.elapsed_time);
+    EXPECT_EQ(report.sim_result.stall_time, report.ref_result.stall_time);
+    EXPECT_EQ(report.sim_result.fetches, report.ref_result.fetches);
+    EXPECT_EQ(report.sim_result.per_disk_util, report.ref_result.per_disk_util);
+    EXPECT_GE(report.sim_result.elapsed_time, report.lower_bound_ns);
+  }
+}
+
+// The corpus above uses synthetic mixed traces; also pin two real paper
+// workload prefixes through the differential gate.
+TEST(DifferentialCorpus, PaperTracePrefixesAgreeExactly) {
+  struct Cell {
+    const char* trace;
+    PolicyKind policy;
+    int disks;
+  };
+  for (const Cell& cell : std::vector<Cell>{{"cscope1", PolicyKind::kForestall, 2},
+                                            {"glimpse", PolicyKind::kAggressive, 4}}) {
+    SCOPED_TRACE(cell.trace);
+    Trace trace = MakeTrace(cell.trace).Prefix(300);
+    SimConfig config;
+    config.cache_blocks = 64;
+    config.num_disks = cell.disks;
+    DiffReport report = RunDifferential(trace, config, cell.policy);
+    EXPECT_TRUE(report.consistent) << report.ToString();
+  }
+}
+
+// Both engines must agree on *rejection* too: reverse aggressive refuses
+// partial hints, and both sides must throw.
+TEST(DifferentialCorpus, BothEnginesRejectInvalidCells) {
+  Trace trace = CorpusTrace(50, 20, 0.5, 0.0, 99);
+  SimConfig config;
+  config.cache_blocks = 8;
+  config.num_disks = 2;
+  config.hint_coverage = 0.5;
+  DiffReport report = RunDifferential(trace, config, PolicyKind::kReverseAggressive);
+  EXPECT_TRUE(report.consistent) << report.ToString();
+  EXPECT_TRUE(report.sim_threw);
+  EXPECT_TRUE(report.ref_threw);
+}
+
+// The first fuzz seeds stay green forever (cheap canary against generator or
+// engine drift; the full range runs in CI via pfc_fuzz --smoke).
+TEST(DifferentialCorpus, FuzzSeedsOneToForty) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FuzzOutcome outcome = RunScenario(GenScenario(seed));
+    EXPECT_FALSE(outcome.diverged) << outcome.detail;
+  }
+}
+
+// Round-trip: serialize -> parse -> identical scenario behavior.
+TEST(FuzzFormat, ReproRoundTrips) {
+  FuzzScenario scenario = GenScenario(177);
+  const std::string text = SerializeScenario(scenario);
+  FuzzScenario parsed;
+  std::string error;
+  ASSERT_TRUE(ParseScenario(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.seed, scenario.seed);
+  EXPECT_EQ(parsed.policy, scenario.policy);
+  EXPECT_EQ(parsed.refs.size(), scenario.refs.size());
+  EXPECT_EQ(SerializeScenario(parsed), text);
+  // Both the original and the round-tripped scenario must agree with the
+  // optimized engine (and with each other, transitively).
+  EXPECT_FALSE(RunScenario(parsed).diverged);
+}
+
+TEST(FuzzFormat, ParseRejectsGarbage) {
+  FuzzScenario parsed;
+  std::string error;
+  EXPECT_FALSE(ParseScenario("not a repro", &parsed, &error));
+  EXPECT_FALSE(ParseScenario("pfc-fuzz-repro v1\nrefs 2\nr 1 0\n", &parsed, &error));
+  EXPECT_FALSE(ParseScenario("pfc-fuzz-repro v1\npolicy bogus\nrefs 0\nend\n", &parsed, &error));
+}
+
+// The theory lower bound must hold with slack for every corpus scenario (it
+// is checked inside RunDifferential) and be nontrivial: positive whenever
+// the trace demands at least one fetch.
+TEST(TheoryBound, PositiveAndDominatedByElapsed) {
+  Trace trace = CorpusTrace(100, 40, 0.7, 0.0, 5);
+  SimConfig config;
+  config.cache_blocks = 16;
+  config.num_disks = 3;
+  const TimeNs bound = TheoryLowerBoundNs(trace, config);
+  EXPECT_GT(bound, 0);
+  RunResult r = RunRefSim(trace, config, PolicyKind::kAggressive);
+  EXPECT_GE(r.elapsed_time, bound);
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,146 @@
+// Fault-cancellation accounting: when a disk fail-stops mid-run, every
+// policy's in-flight prefetches are dropped through BufferCache::CancelFetch
+// + Policy::OnFetchFailed, demand fetches recover through the retry /
+// recovery-penalty path, and the books stay balanced afterwards: the elapsed
+// = compute + driver + stall decomposition holds, degraded stall never
+// exceeds total stall, and every cache buffer is attributable (clean
+// present + dirty + in-flight = used). Each cell is also cross-checked
+// exactly against the reference simulator.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "core/simulator.h"
+#include "core/trace_context.h"
+#include "harness/experiment.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+const std::vector<PolicyKind>& AllPolicies() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kDemand,     PolicyKind::kDemandLru,
+      PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+      PolicyKind::kReverseAggressive, PolicyKind::kForestall,
+  };
+  return kAll;
+}
+
+// Mostly sequential read trace over both disks of a 2-disk striped array;
+// short compute keeps the run I/O-bound so prefetches are in flight when
+// the disk dies.
+Trace FailoverTrace(int64_t n, bool with_writes) {
+  Rng rng(SplitMix64(404));
+  Trace t("failover");
+  int64_t block = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    block = rng.UniformDouble() < 0.8 ? (block + 1) % 60 : rng.UniformInt(0, 59);
+    const TimeNs compute = rng.UniformInt(0, 200'000);
+    if (with_writes && rng.UniformDouble() < 0.2) {
+      t.AppendWrite(block, compute);
+    } else {
+      t.Append(block, compute);
+    }
+  }
+  return t;
+}
+
+SimConfig FailStopConfig() {
+  SimConfig config;
+  config.cache_blocks = 16;
+  config.num_disks = 2;
+  config.faults.fail_disk = 0;
+  config.faults.fail_after = MsToNs(10);
+  return config;
+}
+
+TEST(FaultCancellation, BooksBalancedAfterFailStopPerPolicy) {
+  Trace trace = FailoverTrace(200, /*with_writes=*/false);
+  for (PolicyKind kind : AllPolicies()) {
+    SCOPED_TRACE(ToString(kind));
+    SimConfig config = FailStopConfig();
+    TraceContext context(trace, config.hint_coverage, config.hint_seed);
+    std::unique_ptr<Policy> policy = MakePolicy(kind);
+    Simulator sim(context, config, policy.get());
+    RunResult r = sim.Run();
+
+    // Half the blocks live on the dead disk; their demand fetches must have
+    // permanently failed (and taken the recovery penalty).
+    EXPECT_GT(r.failed_requests, 0);
+    EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+    EXPECT_LE(r.degraded_stall_ns, r.stall_time);
+    EXPECT_GT(r.degraded_stall_ns, 0);
+
+    // Cache accounting: every used buffer is clean-present, dirty, or still
+    // in flight — cancelled fetches must have returned their buffers.
+    const BufferCache& cache = sim.cache();
+    EXPECT_EQ(r.dirty_at_end, cache.dirty_count());
+    const int in_flight = cache.used() - cache.present_count() - cache.dirty_count();
+    EXPECT_GE(in_flight, 0);
+    EXPECT_LE(cache.used(), cache.capacity());
+  }
+}
+
+TEST(FaultCancellation, RefSimAgreesOnFailStopPerPolicy) {
+  Trace trace = FailoverTrace(200, /*with_writes=*/false);
+  for (PolicyKind kind : AllPolicies()) {
+    SCOPED_TRACE(ToString(kind));
+    DiffReport report = RunDifferential(trace, FailStopConfig(), kind);
+    EXPECT_TRUE(report.consistent) << report.ToString();
+    EXPECT_GT(report.sim_result.failed_requests, 0);
+  }
+}
+
+// Writes add the flush-abandon path: a flush to the dead disk permanently
+// fails, the write-back is abandoned (simulated data loss, counted in
+// failed_requests) and the buffer is marked clean so the cache drains
+// instead of wedging on unfetchable dirty blocks.
+TEST(FaultCancellation, WritesToDeadDiskAbandonedNotLeaked) {
+  Trace trace = FailoverTrace(200, /*with_writes=*/true);
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    SCOPED_TRACE(ToString(kind));
+    SimConfig config = FailStopConfig();
+    TraceContext context(trace, config.hint_coverage, config.hint_seed);
+    std::unique_ptr<Policy> policy = MakePolicy(kind);
+    Simulator sim(context, config, policy.get());
+    RunResult r = sim.Run();
+    EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
+    const BufferCache& cache = sim.cache();
+    EXPECT_EQ(r.dirty_at_end, cache.dirty_count());
+    // Flushes to the dead disk permanently fail; the run must complete with
+    // those write-backs abandoned rather than wedging on them.
+    EXPECT_GT(r.failed_requests, 0);
+    EXPECT_GT(r.write_refs, 0);
+    EXPECT_GE(cache.used() - cache.present_count() - cache.dirty_count(), 0);
+
+    DiffReport report = RunDifferential(trace, config, kind);
+    EXPECT_TRUE(report.consistent) << report.ToString();
+  }
+}
+
+// Transient media errors: the retry path (not cancellation) absorbs bounded
+// failures; retries happen and accounting still balances exactly.
+TEST(FaultCancellation, MediaErrorRetriesBalanced) {
+  Trace trace = FailoverTrace(200, /*with_writes=*/false);
+  SimConfig config;
+  config.cache_blocks = 16;
+  config.num_disks = 2;
+  config.faults.media_error_rate = 0.2;
+  config.faults.seed = 9;
+  for (PolicyKind kind : AllPolicies()) {
+    SCOPED_TRACE(ToString(kind));
+    DiffReport report = RunDifferential(trace, config, kind);
+    EXPECT_TRUE(report.consistent) << report.ToString();
+    EXPECT_GT(report.sim_result.retries, 0);
+    EXPECT_EQ(report.sim_result.elapsed_time,
+              report.sim_result.compute_time + report.sim_result.driver_time +
+                  report.sim_result.stall_time);
+  }
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,16 @@
+# Runs a bench binary with --csv=<CSV> and byte-compares the output against
+# the committed golden. Invoked by the golden_*_csv ctest entries.
+#
+#   cmake -DBENCH=<bench-exe> -DCSV=<out.csv> -DGOLDEN=<golden.csv> -P golden_csv_gate.cmake
+
+execute_process(COMMAND "${BENCH}" "--csv=${CSV}" RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench failed with exit code ${rc}: ${BENCH}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${CSV}" "${GOLDEN}"
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "CSV drifted from golden ${GOLDEN}; regenerated copy is at ${CSV}. "
+          "If the change is intentional, copy it over the golden.")
+endif()

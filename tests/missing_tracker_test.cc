@@ -14,17 +14,17 @@ class TrackerCheckPolicy : public DemandPolicy {
  public:
   explicit TrackerCheckPolicy(int64_t window) : window_(window) {}
 
-  void Init(Simulator& sim) override {
+  void Init(Engine& sim) override {
     tracker_ = std::make_unique<MissingTracker>(sim, window_);
   }
 
-  void OnReference(Simulator& sim, int64_t pos) override {
+  void OnReference(Engine& sim, int64_t pos) override {
     tracker_->AdvanceTo(pos);
     // Ground truth: positions in [pos, pos+window) whose block is absent.
     int64_t end = std::min(pos + window_, sim.trace().size());
     for (int64_t p = pos; p < end; ++p) {
       bool absent =
-          sim.cache().GetState(sim.trace().block(p)) == BufferCache::State::kAbsent;
+          sim.cache().GetState(sim.trace().block(p)) == CacheView::State::kAbsent;
       bool tracked = tracker_->global().count(p) > 0;
       if (absent && !tracked) {
         ++missing_entries_;  // must never happen (one-sided staleness)
@@ -40,13 +40,13 @@ class TrackerCheckPolicy : public DemandPolicy {
     ++checks_;
   }
 
-  int64_t ChooseDemandEviction(Simulator& sim, int64_t block) override {
+  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override {
     int64_t victim = DemandPolicy::ChooseDemandEviction(sim, block);
     tracker_->OnEvict(victim);
     return victim;
   }
 
-  void OnDemandFetch(Simulator& sim, int64_t block) override {
+  void OnDemandFetch(Engine& sim, int64_t block) override {
     (void)sim;
     tracker_->OnIssue(block);
   }

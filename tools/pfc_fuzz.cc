@@ -1,0 +1,243 @@
+// pfc_fuzz: randomized differential fuzzer for the simulation engine.
+//
+// Generates seeded random scenarios (trace + config + policy), replays each
+// through both the optimized Simulator and the naive RefSim (src/check), and
+// demands exact agreement plus consistency with the theory lower bound. On
+// divergence it greedily shrinks the scenario to a minimal reproducer and
+// writes a replayable .repro file.
+//
+// Usage:
+//   pfc_fuzz [--seed-range A:B] [--smoke] [--out DIR]
+//   pfc_fuzz --replay FILE.repro
+//   pfc_fuzz --replay-dir DIR        # replays every *.repro in DIR
+//
+// Exit codes: 0 all cells consistent, 1 divergence found, 2 usage/parse
+// error. Each seed is printed before it runs so that an engine-invariant
+// abort (PFC_CHECK) is attributable to its scenario.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+
+namespace pfc {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pfc_fuzz [--seed-range A:B] [--smoke] [--out DIR]\n"
+               "       pfc_fuzz --replay FILE.repro\n"
+               "       pfc_fuzz --replay-dir DIR\n");
+  return 2;
+}
+
+bool ParseSeedRange(const std::string& arg, uint64_t* lo, uint64_t* hi) {
+  const size_t colon = arg.find(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  *lo = std::strtoull(arg.c_str(), &end, 10);
+  if (end != arg.c_str() + colon) {
+    return false;
+  }
+  *hi = std::strtoull(arg.c_str() + colon + 1, &end, 10);
+  return *end == '\0' && *lo <= *hi;
+}
+
+std::string DescribeScenario(const FuzzScenario& s) {
+  std::ostringstream out;
+  out << "policy=" << static_cast<int>(s.policy) << " refs=" << s.refs.size()
+      << " cache=" << s.config.cache_blocks << " disks=" << s.config.num_disks
+      << " faults=" << (s.config.faults.enabled() ? "on" : "off");
+  return out.str();
+}
+
+// Runs one scenario; on divergence shrinks it and writes a .repro. Returns
+// true when the scenario is consistent.
+bool FuzzOne(const FuzzScenario& scenario, const std::string& out_dir) {
+  FuzzOutcome outcome = RunScenario(scenario);
+  if (!outcome.diverged) {
+    return true;
+  }
+  std::printf("seed %llu DIVERGED (%s)\n%s", static_cast<unsigned long long>(scenario.seed),
+              DescribeScenario(scenario).c_str(), outcome.detail.c_str());
+  int steps = 0;
+  FuzzScenario shrunk = ShrinkScenario(scenario, &steps);
+  FuzzOutcome small = RunScenario(shrunk);
+  std::printf("shrunk in %d steps to: %s\n%s", steps, DescribeScenario(shrunk).c_str(),
+              small.detail.c_str());
+
+  std::filesystem::path path =
+      std::filesystem::path(out_dir) /
+      ("fuzz_seed" + std::to_string(scenario.seed) + ".repro");
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  std::ofstream out(path);
+  out << SerializeScenario(shrunk);
+  out.close();
+  std::printf("repro written to %s\n", path.string().c_str());
+  return false;
+}
+
+int ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "pfc_fuzz: cannot open %s\n", path.string().c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  FuzzScenario scenario;
+  std::string error;
+  if (!ParseScenario(buf.str(), &scenario, &error)) {
+    std::fprintf(stderr, "pfc_fuzz: %s: %s\n", path.string().c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("replaying %s (seed %llu, %s)\n", path.string().c_str(),
+              static_cast<unsigned long long>(scenario.seed),
+              DescribeScenario(scenario).c_str());
+  FuzzOutcome outcome = RunScenario(scenario);
+  if (outcome.diverged) {
+    std::printf("%s", outcome.detail.c_str());
+    return 1;
+  }
+  std::printf("consistent\n");
+  return 0;
+}
+
+int ReplayDir(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::printf("pfc_fuzz: no repro directory %s; nothing to replay\n", dir.string().c_str());
+    return 0;
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  int rc = 0;
+  for (const auto& path : files) {
+    const int one = ReplayFile(path);
+    if (one > rc) {
+      rc = one;
+    }
+  }
+  std::printf("replayed %zu repro(s)\n", files.size());
+  return rc;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t seed_lo = 1;
+  uint64_t seed_hi = 100;
+  bool smoke = false;
+  std::string out_dir = ".";
+  std::string replay_file;
+  std::string replay_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed-range") {
+      const char* v = next();
+      if (v == nullptr || !ParseSeedRange(v, &seed_lo, &seed_hi)) {
+        return Usage();
+      }
+    } else if (arg.rfind("--seed-range=", 0) == 0) {
+      if (!ParseSeedRange(arg.substr(std::strlen("--seed-range=")), &seed_lo, &seed_hi)) {
+        return Usage();
+      }
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage();
+      }
+      out_dir = v;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out="));
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage();
+      }
+      replay_file = v;
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_file = arg.substr(std::strlen("--replay="));
+    } else if (arg == "--gen") {
+      // Debug aid: print the generated scenario for a seed without running it.
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage();
+      }
+      std::printf("%s", SerializeScenario(GenScenario(std::strtoull(v, nullptr, 10))).c_str());
+      return 0;
+    } else if (arg == "--replay-dir") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage();
+      }
+      replay_dir = v;
+    } else if (arg.rfind("--replay-dir=", 0) == 0) {
+      replay_dir = arg.substr(std::strlen("--replay-dir="));
+    } else {
+      std::fprintf(stderr, "pfc_fuzz: unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  if (!replay_file.empty()) {
+    return ReplayFile(replay_file);
+  }
+  if (!replay_dir.empty()) {
+    return ReplayDir(replay_dir);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::seconds(30);  // --smoke wall-clock budget
+  uint64_t ran = 0;
+  uint64_t divergences = 0;
+  for (uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    if (smoke && std::chrono::steady_clock::now() - start >= budget) {
+      std::printf("smoke budget reached after %llu seed(s)\n",
+                  static_cast<unsigned long long>(ran));
+      break;
+    }
+    // Print-then-run: if an engine invariant aborts the process, the last
+    // printed seed is the reproducer.
+    std::printf("seed %llu\n", static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+    FuzzScenario scenario = GenScenario(seed);
+    if (!FuzzOne(scenario, out_dir)) {
+      ++divergences;
+    }
+    ++ran;
+  }
+  std::printf("pfc_fuzz: %llu scenario(s), %llu divergence(s)\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(divergences));
+  return divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pfc
+
+int main(int argc, char** argv) { return pfc::Main(argc, argv); }

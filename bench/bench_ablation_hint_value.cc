@@ -21,13 +21,13 @@ int main() {
       RunResult min = RunOne(trace, config, PolicyKind::kDemand);
       RunResult forestall = RunOne(trace, config, PolicyKind::kForestall);
       double repl_gain = 100.0 *
-                         (static_cast<double>(lru.elapsed_time) -
-                          static_cast<double>(min.elapsed_time)) /
-                         static_cast<double>(lru.elapsed_time);
+                         (static_cast<double>(lru.elapsed_time.ns()) -
+                          static_cast<double>(min.elapsed_time.ns())) /
+                         static_cast<double>(lru.elapsed_time.ns());
       double prefetch_gain = 100.0 *
-                             (static_cast<double>(min.elapsed_time) -
-                              static_cast<double>(forestall.elapsed_time)) /
-                             static_cast<double>(lru.elapsed_time);
+                             (static_cast<double>(min.elapsed_time.ns()) -
+                              static_cast<double>(forestall.elapsed_time.ns())) /
+                             static_cast<double>(lru.elapsed_time.ns());
       t.AddRow({name, TextTable::Num(lru.elapsed_sec(), 2), TextTable::Num(min.elapsed_sec(), 2),
                 TextTable::Num(forestall.elapsed_sec(), 2), TextTable::Num(repl_gain, 1),
                 TextTable::Num(prefetch_gain, 1)});

@@ -122,20 +122,20 @@ int main() {
 
     Scenario slow2x;
     slow2x.name = "slow2x";
-    slow2x.faults.slow_disk = 0;
+    slow2x.faults.slow_disk = DiskId{0};
     slow2x.faults.slow_factor = 2.0;
     scenarios.push_back(slow2x);
 
     Scenario slow10x;
     slow10x.name = "slow10x";
-    slow10x.faults.slow_disk = 0;
+    slow10x.faults.slow_disk = DiskId{0};
     slow10x.faults.slow_factor = 10.0;
     scenarios.push_back(slow10x);
 
     Scenario failstop;
     failstop.name = "failstop";
-    failstop.faults.fail_disk = 0;
-    failstop.faults.fail_after = MsToNs(500);
+    failstop.faults.fail_disk = DiskId{0};
+    failstop.faults.fail_after = TimeNs{0} + MsToNs(500);
     scenarios.push_back(failstop);
   }
 

@@ -14,7 +14,7 @@ Trace BenchTrace(int64_t reads) {
   Rng rng(99);
   Trace t("bench");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(rng.UniformInt(0, 4095), UsToNs(500));
+    t.Append(BlockId{rng.UniformInt(0, 4095)}, UsToNs(500));
   }
   return t;
 }
@@ -34,7 +34,7 @@ void BM_NextRefIndexQuery(benchmark::State& state) {
   NextRefIndex idx(t);
   Rng rng(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(idx.NextUseAt(rng.UniformInt(0, 4095), rng.UniformInt(0, 49999)));
+    benchmark::DoNotOptimize(idx.NextUseAt(BlockId{rng.UniformInt(0, 4095)}, TracePos{rng.UniformInt(0, 49999)}));
   }
 }
 BENCHMARK(BM_NextRefIndexQuery);
@@ -42,16 +42,16 @@ BENCHMARK(BM_NextRefIndexQuery);
 void BM_BufferCacheChurn(benchmark::State& state) {
   BufferCache cache(1280);
   Rng rng(3);
-  int64_t next_block = 0;
+  BlockId next_block{0};
   for (int i = 0; i < 1280; ++i) {
     cache.StartFetchIntoFree(next_block);
-    cache.CompleteFetch(next_block, rng.UniformInt(0, 1 << 20));
+    cache.CompleteFetch(next_block, TracePos{rng.UniformInt(0, 1 << 20)});
     ++next_block;
   }
   for (auto _ : state) {
-    int64_t victim = *cache.FurthestBlock();
+    BlockId victim = *cache.FurthestBlock();
     cache.StartFetchWithEviction(next_block, victim);
-    cache.CompleteFetch(next_block, rng.UniformInt(0, 1 << 20));
+    cache.CompleteFetch(next_block, TracePos{rng.UniformInt(0, 1 << 20)});
     ++next_block;
   }
 }
@@ -64,12 +64,12 @@ void BM_SchedulerPopCscan(benchmark::State& state) {
     RequestScheduler s(SchedDiscipline::kCscan);
     for (int i = 0; i < state.range(0); ++i) {
       QueuedRequest r;
-      r.disk_block = rng.UniformInt(0, 100000);
+      r.disk_block = BlockId{rng.UniformInt(0, 100000)};
       r.seq = static_cast<uint64_t>(i);
       s.Enqueue(r);
     }
     state.ResumeTiming();
-    int64_t head = 0;
+    BlockId head{0};
     while (!s.empty()) {
       head = s.PopNext(head).disk_block;
     }
@@ -81,9 +81,9 @@ BENCHMARK(BM_SchedulerPopCscan)->Arg(64)->Arg(1024);
 void BM_Hp97560RandomAccess(benchmark::State& state) {
   auto mech = Hp97560Mechanism::MakeDefault();
   Rng rng(7);
-  TimeNs now = 0;
+  TimeNs now;
   for (auto _ : state) {
-    TimeNs dt = mech->Access(rng.UniformInt(0, 150000), now);
+    DurNs dt = mech->Access(BlockId{rng.UniformInt(0, 150000)}, now);
     now += dt;
     benchmark::DoNotOptimize(dt);
   }

@@ -40,9 +40,9 @@ int main() {
     Rng rng(1);
     int64_t blocks = g.total_bytes() / 8192;
     RunningStat stat;
-    TimeNs now = 0;
+    TimeNs now;
     for (int i = 0; i < 4000; ++i) {
-      TimeNs dt = mech->Access(rng.UniformInt(0, blocks - 1), now);
+      DurNs dt = mech->Access(BlockId{rng.UniformInt(0, blocks - 1)}, now);
       stat.Add(NsToMs(dt));
       now += dt + MsToNs(5);
     }
@@ -53,10 +53,10 @@ int main() {
   // Sequential streaming and readahead-hit costs.
   {
     auto mech = Hp97560Mechanism::MakeDefault();
-    TimeNs now = mech->Access(1000, 0);
+    TimeNs now = TimeNs{0} + mech->Access(BlockId{1000}, TimeNs{0});
     RunningStat stream;
     for (int i = 1; i <= 50; ++i) {
-      TimeNs dt = mech->Access(1000 + i, now);
+      DurNs dt = mech->Access(BlockId{1000 + i}, now);
       stream.Add(NsToMs(dt));
       now += dt;
     }
@@ -65,9 +65,9 @@ int main() {
   }
   {
     auto mech = Hp97560Mechanism::MakeDefault();
-    TimeNs now = mech->Access(2000, 0);
+    TimeNs now = TimeNs{0} + mech->Access(BlockId{2000}, TimeNs{0});
     now += SecToNs(1);
-    TimeNs hit = mech->Access(2001, now);
+    DurNs hit = mech->Access(BlockId{2001}, now);
     p.AddRow({"readahead hit after idle", TextTable::Num(NsToMs(hit), 2) + " ms",
               "~3.2 ms (dinero avg fetch)"});
   }

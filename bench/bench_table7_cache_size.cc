@@ -39,8 +39,8 @@ int main() {
       const RunResult& agg = results[next++];
       // Positive: fixed horizon slower than aggressive by this percentage.
       double pct = 100.0 *
-                   (static_cast<double>(fh.elapsed_time) - static_cast<double>(agg.elapsed_time)) /
-                   static_cast<double>(agg.elapsed_time);
+                   (static_cast<double>(fh.elapsed_time.ns()) - static_cast<double>(agg.elapsed_time.ns())) /
+                   static_cast<double>(agg.elapsed_time.ns());
       row.push_back(TextTable::Num(pct, 1));
     }
     t.AddRow(row);

@@ -58,9 +58,9 @@ int main(int argc, char** argv) {
       }
     }
     double margin = 100.0 *
-                    (static_cast<double>(results[second].elapsed_time) -
-                     static_cast<double>(results[best].elapsed_time)) /
-                    static_cast<double>(results[best].elapsed_time);
+                    (static_cast<double>(results[second].elapsed_time.ns()) -
+                     static_cast<double>(results[best].elapsed_time.ns())) /
+                    static_cast<double>(results[best].elapsed_time.ns());
 
     std::printf("%-6d", d);
     for (const pfc::RunResult& r : results) {

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   {
     pfc::Histogram h(0.0, 20.0, 40);
     for (int64_t i = 0; i < trace.size(); ++i) {
-      h.Add(pfc::NsToMs(trace.compute(i)));
+      h.Add(pfc::NsToMs(trace.compute(pfc::TracePos{i})));
     }
     std::printf("inter-reference compute time (ms): p50=%.2f p90=%.2f p99=%.2f\n%s\n",
                 h.Percentile(0.5), h.Percentile(0.9), h.Percentile(0.99),
@@ -55,10 +55,10 @@ int main(int argc, char** argv) {
   std::printf("demand elapsed %.2fs -> forestall elapsed %.2fs on one disk "
               "(%.1f%% of the stall recovered)\n",
               demand.elapsed_sec(), forestall.elapsed_sec(),
-              demand.stall_time > 0
+              demand.stall_time > pfc::DurNs{0}
                   ? 100.0 *
-                        static_cast<double>(demand.stall_time - forestall.stall_time) /
-                        static_cast<double>(demand.stall_time)
+                        static_cast<double>((demand.stall_time - forestall.stall_time).ns()) /
+                        static_cast<double>(demand.stall_time.ns())
                   : 0.0);
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Format-diff gate: every first-party source file must already match the
+# repo .clang-format. Like check_tidy.sh, this is optional tooling — when
+# clang-format is absent (the pinned CI image ships only gcc) the gate
+# reports SKIPPED and exits 0.
+#
+# Usage: scripts/check_format.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMT="$(command -v clang-format || true)"
+if [[ -z "$FMT" ]]; then
+  echo "check_format: clang-format not found; SKIPPED"
+  exit 0
+fi
+
+mapfile -t SOURCES < <(find src tools tests bench examples \
+  \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) | sort)
+
+echo "check_format: ${#SOURCES[@]} files"
+# -n --Werror: print fix-it diagnostics and fail without rewriting anything.
+if ! "$FMT" --style=file -n --Werror "${SOURCES[@]}"; then
+  echo "check_format: FAILED — run: clang-format --style=file -i <files>" >&2
+  exit 1
+fi
+echo "check_format: clean"

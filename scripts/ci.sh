@@ -6,8 +6,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier 0: static checks (before any build) =="
+# pfc_lint is deliberately standalone (no pfc dependency) so the project
+# invariants — determinism sources, raw-unit leaks, EventSink emission
+# discipline, Simulator/RefSim hook parity — gate before a single object
+# file of the main tree is compiled.
+mkdir -p build
+c++ -std=c++20 -O1 -o build/pfc_lint_boot tools/pfc_lint.cc
+build/pfc_lint_boot --self-test
+build/pfc_lint_boot --root .
+# clang-tidy / clang-format gates skip themselves cleanly when the binaries
+# are absent; when present they run warnings-as-errors.
+scripts/check_format.sh
+TIDY_AFTER_CONFIGURE=0
+if command -v clang-tidy >/dev/null; then
+  TIDY_AFTER_CONFIGURE=1  # needs compile_commands.json from the configure below
+fi
+
 echo "== tier 1: build + ctest =="
-cmake -B build -S .
+# CI builds strict: -Wconversion -Wshadow -Wextra-semi -Werror.
+cmake -B build -S . -DPFC_STRICT_WARNINGS=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+if [[ "$TIDY_AFTER_CONFIGURE" == 1 ]]; then
+  scripts/check_tidy.sh build
+else
+  scripts/check_tidy.sh  # prints SKIPPED
+fi
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 

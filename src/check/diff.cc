@@ -62,11 +62,11 @@ bool ResultsExactlyEqual(const RunResult& a, const RunResult& b,
   check_int("dirty_at_end", a.dirty_at_end, b.dirty_at_end);
   check_int("retries", a.retries, b.retries);
   check_int("failed_requests", a.failed_requests, b.failed_requests);
-  check_int("compute_time", a.compute_time, b.compute_time);
-  check_int("driver_time", a.driver_time, b.driver_time);
-  check_int("stall_time", a.stall_time, b.stall_time);
-  check_int("elapsed_time", a.elapsed_time, b.elapsed_time);
-  check_int("degraded_stall_ns", a.degraded_stall_ns, b.degraded_stall_ns);
+  check_int("compute_time", a.compute_time.ns(), b.compute_time.ns());
+  check_int("driver_time", a.driver_time.ns(), b.driver_time.ns());
+  check_int("stall_time", a.stall_time.ns(), b.stall_time.ns());
+  check_int("elapsed_time", a.elapsed_time.ns(), b.elapsed_time.ns());
+  check_int("degraded_stall_ns", a.degraded_stall_ns.ns(), b.degraded_stall_ns.ns());
   check_double("avg_fetch_ms", a.avg_fetch_ms, b.avg_fetch_ms);
   check_double("avg_response_ms", a.avg_response_ms, b.avg_response_ms);
   check_double("avg_disk_util", a.avg_disk_util, b.avg_disk_util);
@@ -138,14 +138,14 @@ DiffReport RunDifferential(const Trace& trace, const SimConfig& config, PolicyKi
   if (report.sim_result.elapsed_time < report.lower_bound_ns) {
     equal = false;
     report.mismatches.push_back("theory bound violated by sim: elapsed " +
-                                std::to_string(report.sim_result.elapsed_time) + " < bound " +
-                                std::to_string(report.lower_bound_ns));
+                                std::to_string(report.sim_result.elapsed_time.ns()) + " < bound " +
+                                std::to_string(report.lower_bound_ns.ns()));
   }
   if (report.ref_result.elapsed_time < report.lower_bound_ns) {
     equal = false;
     report.mismatches.push_back("theory bound violated by ref: elapsed " +
-                                std::to_string(report.ref_result.elapsed_time) + " < bound " +
-                                std::to_string(report.lower_bound_ns));
+                                std::to_string(report.ref_result.elapsed_time.ns()) + " < bound " +
+                                std::to_string(report.lower_bound_ns.ns()));
   }
 
   report.consistent = equal;

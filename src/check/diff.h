@@ -39,7 +39,7 @@ struct DiffReport {
   RunResult sim_result;
   RunResult ref_result;
 
-  TimeNs lower_bound_ns = 0;
+  DurNs lower_bound_ns;
 
   std::string ToString() const;
 };

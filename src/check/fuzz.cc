@@ -112,7 +112,8 @@ FuzzScenario GenScenario(uint64_t seed) {
     write_frac = w == 0 ? 0.0 : (w == 1 ? 0.1 : 0.3);
   }
   const double seq_prob = rng.UniformDouble();
-  int64_t block = rng.UniformInt(0, universe - 1);
+  // Raw scalar fed to arithmetic below, wrapped at the Append boundary.
+  int64_t block = rng.UniformInt(0, universe - 1);  // NOLINT(pfc-raw-unit)
   for (int64_t i = 0; i < n; ++i) {
     if (rng.UniformDouble() < seq_prob) {
       block = (block + 1) % universe;
@@ -120,8 +121,8 @@ FuzzScenario GenScenario(uint64_t seed) {
       block = rng.UniformInt(0, universe - 1);
     }
     TraceEntry e;
-    e.block = block;
-    e.compute = rng.UniformInt(0, 3) == 0 ? 0 : rng.UniformInt(1, 3'000'000);
+    e.block = BlockId{block};
+    e.compute = DurNs{rng.UniformInt(0, 3) == 0 ? 0 : rng.UniformInt(1, 3'000'000)};
     e.is_write = write_frac > 0.0 && rng.UniformDouble() < write_frac;
     s.refs.push_back(e);
   }
@@ -154,12 +155,12 @@ FuzzScenario GenScenario(uint64_t seed) {
     }
     if ((kinds & 4) != 0) {
       if (rng.UniformInt(0, 1) == 0) {
-        f.slow_disk = static_cast<int>(rng.UniformInt(0, c.num_disks - 1));
+        f.slow_disk = DiskId{static_cast<int32_t>(rng.UniformInt(0, c.num_disks - 1))};
         f.slow_factor = 4.0;
-        f.slow_after = MsToNs(static_cast<double>(rng.UniformInt(0, 100)));
+        f.slow_after = TimeNs{0} + MsToNs(static_cast<double>(rng.UniformInt(0, 100)));
       } else {
-        f.fail_disk = static_cast<int>(rng.UniformInt(0, c.num_disks - 1));
-        f.fail_after = MsToNs(static_cast<double>(rng.UniformInt(0, 200)));
+        f.fail_disk = DiskId{static_cast<int32_t>(rng.UniformInt(0, c.num_disks - 1))};
+        f.fail_after = TimeNs{0} + MsToNs(static_cast<double>(rng.UniformInt(0, 200)));
       }
     }
     f.seed = static_cast<uint64_t>(rng.UniformInt(1, 1'000'000));
@@ -199,11 +200,11 @@ bool TryReduce(FuzzScenario* s, int* steps, Fn mutate) {
 
 void ClampFaultDisks(FuzzScenario& s) {
   FaultConfig& f = s.config.faults;
-  if (f.slow_disk >= s.config.num_disks) {
-    f.slow_disk = s.config.num_disks - 1;
+  if (f.slow_disk.v() >= s.config.num_disks) {
+    f.slow_disk = DiskId{s.config.num_disks - 1};
   }
-  if (f.fail_disk >= s.config.num_disks) {
-    f.fail_disk = s.config.num_disks - 1;
+  if (f.fail_disk.v() >= s.config.num_disks) {
+    f.fail_disk = DiskId{s.config.num_disks - 1};
   }
 }
 
@@ -286,14 +287,14 @@ FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
         TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.tail_rate = 0.0; })) {
       progress = true;
     }
-    if (s.config.faults.slow_disk >= 0 && TryReduce(&s, &steps, [](FuzzScenario& c) {
-          c.config.faults.slow_disk = -1;
+    if (s.config.faults.slow_disk != kNoDisk && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.faults.slow_disk = kNoDisk;
           c.config.faults.slow_factor = 1.0;
         })) {
       progress = true;
     }
-    if (s.config.faults.fail_disk >= 0 &&
-        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.fail_disk = -1; })) {
+    if (s.config.faults.fail_disk != kNoDisk &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.fail_disk = kNoDisk; })) {
       progress = true;
     }
 
@@ -338,11 +339,11 @@ FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
     }
     bool has_compute = false;
     for (const TraceEntry& e : s.refs) {
-      has_compute = has_compute || e.compute != 0;
+      has_compute = has_compute || e.compute != DurNs{0};
     }
     if (has_compute && TryReduce(&s, &steps, [](FuzzScenario& c) {
           for (TraceEntry& e : c.refs) {
-            e.compute = 0;
+            e.compute = DurNs{0};
           }
         })) {
       progress = true;
@@ -367,20 +368,21 @@ std::string SerializeScenario(const FuzzScenario& s) {
   out << "disk_model " << ModelToken(c.disk_model) << "\n";
   out << "discipline " << DisciplineToken(c.discipline) << "\n";
   out << "placement " << PlacementToken(c.placement) << "\n";
-  out << "driver_overhead " << c.driver_overhead << "\n";
+  out << "driver_overhead " << c.driver_overhead.ns() << "\n";
   out << "cpu_scale " << FmtDouble(c.cpu_scale) << "\n";
   out << "hint_coverage " << FmtDouble(c.hint_coverage) << "\n";
   out << "hint_seed " << c.hint_seed << "\n";
   out << "write_through " << (c.write_through ? 1 : 0) << "\n";
   out << "max_events " << c.max_events << "\n";
   out << "faults " << FmtDouble(f.media_error_rate) << " " << FmtDouble(f.tail_rate) << " "
-      << FmtDouble(f.tail_multiplier) << " " << f.slow_disk << " " << FmtDouble(f.slow_factor)
-      << " " << f.slow_after << " " << f.fail_disk << " " << f.fail_after << " " << f.seed << " "
-      << f.max_retries << " " << f.retry_backoff << " " << f.error_latency << " "
-      << f.recovery_penalty << "\n";
+      << FmtDouble(f.tail_multiplier) << " " << f.slow_disk.v() << " "
+      << FmtDouble(f.slow_factor) << " " << f.slow_after.ns() << " " << f.fail_disk.v() << " "
+      << f.fail_after.ns() << " " << f.seed << " " << f.max_retries << " "
+      << f.retry_backoff.ns() << " " << f.error_latency.ns() << " " << f.recovery_penalty.ns()
+      << "\n";
   out << "refs " << s.refs.size() << "\n";
   for (const TraceEntry& e : s.refs) {
-    out << (e.is_write ? "w " : "r ") << e.block << " " << e.compute << "\n";
+    out << (e.is_write ? "w " : "r ") << e.block.v() << " " << e.compute.ns() << "\n";
   }
   out << "end\n";
   return out.str();
@@ -465,7 +467,10 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
         return fail("unknown placement '" + token + "'");
       }
     } else if (key == "driver_overhead") {
-      ls >> c.driver_overhead;
+      // Deserialization staging: istream extracts raw, wrapped right after.
+      int64_t overhead_ns = 0;  // NOLINT(pfc-raw-unit)
+      ls >> overhead_ns;
+      c.driver_overhead = DurNs{overhead_ns};
     } else if (key == "cpu_scale") {
       ls >> c.cpu_scale;
     } else if (key == "hint_coverage") {
@@ -479,9 +484,23 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
     } else if (key == "max_events") {
       ls >> c.max_events;
     } else if (key == "faults") {
-      ls >> f.media_error_rate >> f.tail_rate >> f.tail_multiplier >> f.slow_disk >>
-          f.slow_factor >> f.slow_after >> f.fail_disk >> f.fail_after >> f.seed >>
-          f.max_retries >> f.retry_backoff >> f.error_latency >> f.recovery_penalty;
+      int32_t slow_disk = 0;
+      int32_t fail_disk = 0;
+      int64_t slow_after_ns = 0;        // NOLINT(pfc-raw-unit)
+      int64_t fail_after_ns = 0;        // NOLINT(pfc-raw-unit)
+      int64_t retry_backoff_ns = 0;     // NOLINT(pfc-raw-unit)
+      int64_t error_latency_ns = 0;     // NOLINT(pfc-raw-unit)
+      int64_t recovery_penalty_ns = 0;  // NOLINT(pfc-raw-unit)
+      ls >> f.media_error_rate >> f.tail_rate >> f.tail_multiplier >> slow_disk >>
+          f.slow_factor >> slow_after_ns >> fail_disk >> fail_after_ns >> f.seed >>
+          f.max_retries >> retry_backoff_ns >> error_latency_ns >> recovery_penalty_ns;
+      f.slow_disk = DiskId{slow_disk};
+      f.fail_disk = DiskId{fail_disk};
+      f.slow_after = TimeNs{slow_after_ns};
+      f.fail_after = TimeNs{fail_after_ns};
+      f.retry_backoff = DurNs{retry_backoff_ns};
+      f.error_latency = DurNs{error_latency_ns};
+      f.recovery_penalty = DurNs{recovery_penalty_ns};
     } else if (key == "refs") {
       size_t n = 0;
       ls >> n;
@@ -492,7 +511,11 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
         std::istringstream rs(line);
         std::string kind;
         TraceEntry e;
-        rs >> kind >> e.block >> e.compute;
+        int64_t block = 0;       // NOLINT(pfc-raw-unit)
+        int64_t compute_ns = 0;  // NOLINT(pfc-raw-unit)
+        rs >> kind >> block >> compute_ns;
+        e.block = BlockId{block};
+        e.compute = DurNs{compute_ns};
         if (rs.fail() || (kind != "r" && kind != "w")) {
           return fail("bad ref line: '" + line + "'");
         }

@@ -8,7 +8,7 @@ RefCache::RefCache(int capacity_blocks) : capacity_(capacity_blocks) {
   PFC_CHECK_GT(capacity_blocks, 0);
 }
 
-RefCache::Slot* RefCache::Find(int64_t block) {
+RefCache::Slot* RefCache::Find(BlockId block) {
   for (Slot& s : slots_) {
     if (s.block == block) {
       return &s;
@@ -17,7 +17,7 @@ RefCache::Slot* RefCache::Find(int64_t block) {
   return nullptr;
 }
 
-const RefCache::Slot* RefCache::Find(int64_t block) const {
+const RefCache::Slot* RefCache::Find(BlockId block) const {
   for (const Slot& s : slots_) {
     if (s.block == block) {
       return &s;
@@ -26,7 +26,7 @@ const RefCache::Slot* RefCache::Find(int64_t block) const {
   return nullptr;
 }
 
-void RefCache::Remove(int64_t block) {
+void RefCache::Remove(BlockId block) {
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].block == block) {
       slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
@@ -47,12 +47,12 @@ int RefCache::present_count() const {
   return n;
 }
 
-CacheView::State RefCache::GetState(int64_t block) const {
+CacheView::State RefCache::GetState(BlockId block) const {
   const Slot* s = Find(block);
   return s == nullptr ? State::kAbsent : s->state;
 }
 
-bool RefCache::Dirty(int64_t block) const {
+bool RefCache::Dirty(BlockId block) const {
   const Slot* s = Find(block);
   return s != nullptr && s->dirty;
 }
@@ -67,7 +67,7 @@ int RefCache::dirty_count() const {
   return n;
 }
 
-std::optional<int64_t> RefCache::FurthestBlock() const {
+std::optional<BlockId> RefCache::FurthestBlock() const {
   const Slot* best = nullptr;
   for (const Slot& s : slots_) {
     if (s.state != State::kPresent || s.dirty) {
@@ -86,69 +86,69 @@ std::optional<int64_t> RefCache::FurthestBlock() const {
   return best->block;
 }
 
-int64_t RefCache::FurthestNextUse() const {
-  std::optional<int64_t> block = FurthestBlock();
+TracePos RefCache::FurthestNextUse() const {
+  std::optional<BlockId> block = FurthestBlock();
   if (!block.has_value()) {
-    return -1;
+    return kNoCandidate;
   }
   return Find(*block)->next_use;
 }
 
-void RefCache::StartFetchIntoFree(int64_t block) {
+void RefCache::StartFetchIntoFree(BlockId block) {
   PFC_CHECK_GT(free_buffers(), 0);
   PFC_CHECK(GetState(block) == State::kAbsent);
-  slots_.push_back(Slot{block, State::kFetching, 0, false});
+  slots_.push_back(Slot{block, State::kFetching, TracePos{0}, false});
 }
 
-void RefCache::StartFetchWithEviction(int64_t block, int64_t evict) {
+void RefCache::StartFetchWithEviction(BlockId block, BlockId evict) {
   PFC_CHECK(block != evict);
   const Slot* victim = Find(evict);
   PFC_CHECK(victim != nullptr && victim->state == State::kPresent);
   PFC_CHECK(!victim->dirty);
   PFC_CHECK(GetState(block) == State::kAbsent);
   Remove(evict);
-  slots_.push_back(Slot{block, State::kFetching, 0, false});
+  slots_.push_back(Slot{block, State::kFetching, TracePos{0}, false});
 }
 
-void RefCache::CompleteFetch(int64_t block, int64_t next_use) {
+void RefCache::CompleteFetch(BlockId block, TracePos next_use) {
   Slot* s = Find(block);
   PFC_CHECK(s != nullptr && s->state == State::kFetching);
   s->state = State::kPresent;
   s->next_use = next_use;
 }
 
-void RefCache::CancelFetch(int64_t block) {
+void RefCache::CancelFetch(BlockId block) {
   Slot* s = Find(block);
   PFC_CHECK(s != nullptr && s->state == State::kFetching);
   Remove(block);
 }
 
-void RefCache::UpdateNextUse(int64_t block, int64_t next_use) {
+void RefCache::UpdateNextUse(BlockId block, TracePos next_use) {
   Slot* s = Find(block);
   PFC_CHECK(s != nullptr && s->state == State::kPresent);
   s->next_use = next_use;
 }
 
-void RefCache::InsertWritten(int64_t block, int64_t next_use) {
+void RefCache::InsertWritten(BlockId block, TracePos next_use) {
   PFC_CHECK_GT(free_buffers(), 0);
   PFC_CHECK(GetState(block) == State::kAbsent);
   slots_.push_back(Slot{block, State::kPresent, next_use, true});
 }
 
-void RefCache::EvictClean(int64_t block) {
+void RefCache::EvictClean(BlockId block) {
   Slot* s = Find(block);
   PFC_CHECK(s != nullptr && s->state == State::kPresent);
   PFC_CHECK(!s->dirty);
   Remove(block);
 }
 
-void RefCache::MarkDirty(int64_t block) {
+void RefCache::MarkDirty(BlockId block) {
   Slot* s = Find(block);
   PFC_CHECK(s != nullptr && s->state == State::kPresent);
   s->dirty = true;
 }
 
-void RefCache::MarkClean(int64_t block) {
+void RefCache::MarkClean(BlockId block) {
   Slot* s = Find(block);
   PFC_CHECK(s != nullptr && s->state == State::kPresent);
   PFC_CHECK(s->dirty);

@@ -28,35 +28,35 @@ class RefCache : public CacheView {
   int capacity() const override { return capacity_; }
   int used() const override { return static_cast<int>(slots_.size()); }
   int present_count() const override;
-  State GetState(int64_t block) const override;
-  bool Dirty(int64_t block) const override;
+  State GetState(BlockId block) const override;
+  bool Dirty(BlockId block) const override;
   int dirty_count() const override;
-  std::optional<int64_t> FurthestBlock() const override;
-  int64_t FurthestNextUse() const override;
+  std::optional<BlockId> FurthestBlock() const override;
+  TracePos FurthestNextUse() const override;
 
   // --- Mutators (same contracts as BufferCache) ---------------------------
 
-  void StartFetchIntoFree(int64_t block);
-  void StartFetchWithEviction(int64_t block, int64_t evict);
-  void CompleteFetch(int64_t block, int64_t next_use);
-  void CancelFetch(int64_t block);
-  void UpdateNextUse(int64_t block, int64_t next_use);
-  void InsertWritten(int64_t block, int64_t next_use);
-  void EvictClean(int64_t block);
-  void MarkDirty(int64_t block);
-  void MarkClean(int64_t block);
+  void StartFetchIntoFree(BlockId block);
+  void StartFetchWithEviction(BlockId block, BlockId evict);
+  void CompleteFetch(BlockId block, TracePos next_use);
+  void CancelFetch(BlockId block);
+  void UpdateNextUse(BlockId block, TracePos next_use);
+  void InsertWritten(BlockId block, TracePos next_use);
+  void EvictClean(BlockId block);
+  void MarkDirty(BlockId block);
+  void MarkClean(BlockId block);
 
  private:
   struct Slot {
-    int64_t block = 0;
+    BlockId block{0};
     State state = State::kAbsent;
-    int64_t next_use = 0;
+    TracePos next_use{0};
     bool dirty = false;
   };
 
-  Slot* Find(int64_t block);
-  const Slot* Find(int64_t block) const;
-  void Remove(int64_t block);
+  Slot* Find(BlockId block);
+  const Slot* Find(BlockId block) const;
+  void Remove(BlockId block);
 
   int capacity_;
   std::vector<Slot> slots_;  // one entry per occupied buffer, unordered

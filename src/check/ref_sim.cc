@@ -16,8 +16,8 @@ namespace {
 
 // Naive membership-list helpers: plain vectors, linear everything.
 
-bool ListContains(const std::vector<int64_t>& v, int64_t key) {
-  for (int64_t x : v) {
+bool ListContains(const std::vector<BlockId>& v, BlockId key) {
+  for (BlockId x : v) {
     if (x == key) {
       return true;
     }
@@ -25,7 +25,7 @@ bool ListContains(const std::vector<int64_t>& v, int64_t key) {
   return false;
 }
 
-bool ListErase(std::vector<int64_t>& v, int64_t key) {
+bool ListErase(std::vector<BlockId>& v, BlockId key) {
   for (size_t i = 0; i < v.size(); ++i) {
     if (v[i] == key) {
       v.erase(v.begin() + static_cast<ptrdiff_t>(i));
@@ -35,16 +35,16 @@ bool ListErase(std::vector<int64_t>& v, int64_t key) {
   return false;
 }
 
-void ListInsert(std::vector<int64_t>& v, int64_t key) {
+void ListInsert(std::vector<BlockId>& v, BlockId key) {
   if (!ListContains(v, key)) {
     v.push_back(key);
   }
 }
 
-int64_t ListMin(const std::vector<int64_t>& v) {
+BlockId ListMin(const std::vector<BlockId>& v) {
   PFC_CHECK(!v.empty());
-  int64_t best = v[0];
-  for (int64_t x : v) {
+  BlockId best = v[0];
+  for (BlockId x : v) {
     if (x < best) {
       best = x;
     }
@@ -78,7 +78,7 @@ RefSim::RefSim(const TraceContext& context, const SimConfig& config, Policy* pol
       d.mechanism = SimpleMechanism::MakeDefault();
     }
     if (config.faults.enabled()) {
-      d.fault = std::make_unique<FaultModel>(config.faults, i);
+      d.fault = std::make_unique<FaultModel>(config.faults, DiskId{i});
     }
   }
   dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
@@ -89,13 +89,14 @@ RefSim::RefSim(const TraceContext& context, const SimConfig& config, Policy* pol
 
 RefSim::~RefSim() = default;
 
-TimeNs RefSim::ScaledCompute(int64_t pos) const {
-  return static_cast<TimeNs>(static_cast<double>(trace_.compute(pos)) * config_.cpu_scale + 0.5);
+DurNs RefSim::ScaledCompute(TracePos pos) const {
+  return DurNs(
+      static_cast<int64_t>(static_cast<double>(trace_.compute(pos).ns()) * config_.cpu_scale + 0.5));
 }
 
 // --- Naive fault-state maps (vectors of pairs, linear scans) ---------------
 
-void RefSim::AddFaultDelay(int64_t block, TimeNs delta) {
+void RefSim::AddFaultDelay(BlockId block, DurNs delta) {
   for (auto& entry : fault_delay_) {
     if (entry.first == block) {
       entry.second += delta;
@@ -105,7 +106,7 @@ void RefSim::AddFaultDelay(int64_t block, TimeNs delta) {
   fault_delay_.push_back({block, delta});
 }
 
-void RefSim::EraseFaultDelay(int64_t block) {
+void RefSim::EraseFaultDelay(BlockId block) {
   for (size_t i = 0; i < fault_delay_.size(); ++i) {
     if (fault_delay_[i].first == block) {
       fault_delay_.erase(fault_delay_.begin() + static_cast<ptrdiff_t>(i));
@@ -114,7 +115,7 @@ void RefSim::EraseFaultDelay(int64_t block) {
   }
 }
 
-const TimeNs* RefSim::FindFaultDelay(int64_t block) const {
+const DurNs* RefSim::FindFaultDelay(BlockId block) const {
   for (const auto& entry : fault_delay_) {
     if (entry.first == block) {
       return &entry.second;
@@ -123,7 +124,7 @@ const TimeNs* RefSim::FindFaultDelay(int64_t block) const {
   return nullptr;
 }
 
-int RefSim::BumpRetryAttempts(int64_t block) {
+int RefSim::BumpRetryAttempts(BlockId block) {
   for (auto& entry : retry_attempts_) {
     if (entry.first == block) {
       return ++entry.second;
@@ -133,7 +134,7 @@ int RefSim::BumpRetryAttempts(int64_t block) {
   return 1;
 }
 
-void RefSim::EraseRetryAttempts(int64_t block) {
+void RefSim::EraseRetryAttempts(BlockId block) {
   for (size_t i = 0; i < retry_attempts_.size(); ++i) {
     if (retry_attempts_[i].first == block) {
       retry_attempts_.erase(retry_attempts_.begin() + static_cast<ptrdiff_t>(i));
@@ -230,6 +231,7 @@ size_t RefSim::PickNext(const RefDisk& disk) const {
       int64_t pick_dist = std::numeric_limits<int64_t>::max();
       for (size_t i = 0; i < q.size(); ++i) {
         const int64_t dist = std::llabs(q[i].disk_block - disk.head_block);
+
         if (dist < pick_dist || (dist == pick_dist && q[i].seq < q[pick].seq)) {
           pick = i;
           pick_dist = dist;
@@ -256,23 +258,23 @@ RefSim::Request RefSim::PopNext(RefDisk& disk) {
   return r;
 }
 
-void RefSim::Enqueue(int disk, int64_t logical_block, int64_t disk_block, uint64_t seq) {
+void RefSim::Enqueue(DiskId disk, BlockId logical_block, BlockId disk_block, uint64_t seq) {
   Request r;
   r.logical_block = logical_block;
   r.disk_block = disk_block;
   r.enqueue_time = sim_now_;
   r.seq = seq;
-  disks_[static_cast<size_t>(disk)].queue.push_back(r);
+  disks_[static_cast<size_t>(disk.v())].queue.push_back(r);
 }
 
-void RefSim::TryDispatch(int disk_id) {
-  RefDisk& disk = disks_[static_cast<size_t>(disk_id)];
+void RefSim::TryDispatch(DiskId disk_id) {
+  RefDisk& disk = disks_[static_cast<size_t>(disk_id.v())];
   if (disk.busy || disk.queue.empty()) {
     return;
   }
   Request r = PopNext(disk);
-  TimeNs nominal;
-  TimeNs service;
+  DurNs nominal;
+  DurNs service;
   bool failed = false;
   if (disk.fault != nullptr && disk.fault->FailStopped(sim_now_)) {
     // A dead drive never moves the head or touches the mechanism.
@@ -289,7 +291,7 @@ void RefSim::TryDispatch(int disk_id) {
     }
     disk.head_block = r.disk_block;
   }
-  PFC_CHECK_GT(service, 0);
+  PFC_CHECK_GT(service, DurNs{0});
   disk.busy = true;
   disk.current = r;
   disk.cur_service = service;
@@ -322,11 +324,11 @@ void RefSim::CompleteCurrent(RefDisk& disk, TimeNs now_ns) {
   disk.sum_response_ms += NsToMs(now_ns - disk.current.enqueue_time);
 }
 
-bool RefSim::IssueFetch(int64_t block, int64_t evict) {
+bool RefSim::IssueFetch(BlockId block, BlockId evict) {
   return IssueFetchInternal(block, evict, /*demand=*/false);
 }
 
-bool RefSim::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
+bool RefSim::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
   BlockLocation loc = placement_->Map(block);
   if (!demand && DiskFailed(loc.disk)) {
     return false;
@@ -334,7 +336,7 @@ bool RefSim::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
   if (cache_.GetState(block) != CacheView::State::kAbsent) {
     return false;
   }
-  if (evict == kNoEvict) {
+  if (evict == Engine::kNoEvict) {
     if (cache_.free_buffers() == 0) {
       return false;
     }
@@ -383,15 +385,15 @@ void RefSim::ApplyNextEvent() {
     return;
   }
   if (ev.kind == EventKind::kRecover) {
-    const int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
-                                 ? cursor_
-                                 : context_.index().NextUseAt(ev.block, cursor_);
+    const TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
+                                  ? cursor_
+                                  : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
     policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     return;
   }
 
-  RefDisk& disk = disks_[static_cast<size_t>(ev.disk)];
+  RefDisk& disk = disks_[static_cast<size_t>(ev.disk.v())];
   CompleteCurrent(disk, ev.time);
   if (ev.failed) {
     HandleFailedRequest(ev);
@@ -404,9 +406,9 @@ void RefSim::ApplyNextEvent() {
       EraseFaultDelay(ev.block);
     }
     if (ListErase(flush_in_flight_, ev.block)) {
-      --flush_outstanding_[static_cast<size_t>(ev.disk)];
+      --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
       if (ListErase(redirty_pending_, ev.block)) {
-        ListInsert(dirty_by_disk_[static_cast<size_t>(ev.disk)], ev.block);
+        ListInsert(dirty_by_disk_[static_cast<size_t>(ev.disk.v())], ev.block);
       } else {
         cache_.MarkClean(ev.block);
       }
@@ -414,9 +416,9 @@ void RefSim::ApplyNextEvent() {
       // A block the application is stalled on is keyed at the cursor even
       // when that reference was never hinted (the demand request is itself
       // the disclosure).
-      const int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
-                                   ? cursor_
-                                   : context_.index().NextUseAt(ev.block, cursor_);
+      const TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
+                                    ? cursor_
+                                    : context_.index().NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
       policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     }
@@ -434,12 +436,12 @@ void RefSim::ApplyNextEvent() {
 void RefSim::HandleFailedRequest(const Event& ev) {
   const FaultConfig& fc = config_.faults;
   const bool is_flush = ListContains(flush_in_flight_, ev.block);
-  const RefDisk& disk = disks_[static_cast<size_t>(ev.disk)];
+  const RefDisk& disk = disks_[static_cast<size_t>(ev.disk.v())];
   const bool dead = disk.fault != nullptr && disk.fault->FailStopped(sim_now_);
   const int attempts = BumpRetryAttempts(ev.block);
   if (!dead && attempts <= fc.max_retries) {
     const int shift = std::min(attempts - 1, 20);
-    const TimeNs backoff = fc.retry_backoff << shift;
+    const DurNs backoff{fc.retry_backoff.ns() << shift};
     AddFaultDelay(ev.block, ev.service + backoff);
     ++retries_;
     Event retry;
@@ -456,7 +458,7 @@ void RefSim::HandleFailedRequest(const Event& ev) {
   EraseRetryAttempts(ev.block);
   if (is_flush) {
     ListErase(flush_in_flight_, ev.block);
-    --flush_outstanding_[static_cast<size_t>(ev.disk)];
+    --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
     ListErase(redirty_pending_, ev.block);
     cache_.MarkClean(ev.block);
     if (waiting_block_ == ev.block) {
@@ -481,12 +483,12 @@ void RefSim::HandleFailedRequest(const Event& ev) {
   }
 }
 
-void RefSim::EndStall(int64_t block, TimeNs wait_start) {
+void RefSim::EndStall(BlockId block, TimeNs wait_start) {
   if (sim_now_ > wait_start) {
-    const TimeNs duration = sim_now_ - wait_start;
+    const DurNs duration = sim_now_ - wait_start;
     stall_total_ += duration;
     app_time_ = sim_now_;
-    const TimeNs* delay = FindFaultDelay(block);
+    const DurNs* delay = FindFaultDelay(block);
     if (delay != nullptr) {
       degraded_stall_ += std::min(duration, *delay);
       EraseFaultDelay(block);
@@ -496,13 +498,13 @@ void RefSim::EndStall(int64_t block, TimeNs wait_start) {
   }
 }
 
-void RefSim::IssueFlush(int64_t block) {
+void RefSim::IssueFlush(BlockId block) {
   PFC_CHECK(cache_.Present(block) && cache_.Dirty(block));
   PFC_CHECK(!ListContains(flush_in_flight_, block));
   BlockLocation loc = placement_->Map(block);
-  ListErase(dirty_by_disk_[static_cast<size_t>(loc.disk)], block);
+  ListErase(dirty_by_disk_[static_cast<size_t>(loc.disk.v())], block);
   flush_in_flight_.push_back(block);
-  ++flush_outstanding_[static_cast<size_t>(loc.disk)];
+  ++flush_outstanding_[static_cast<size_t>(loc.disk.v())];
   Enqueue(loc.disk, block, loc.disk_block, next_seq_++);
   ++flushes_;
   pending_driver_ += config_.driver_overhead;
@@ -510,11 +512,11 @@ void RefSim::IssueFlush(int64_t block) {
   TryDispatch(loc.disk);
 }
 
-void RefSim::MaybeFlush(int disk) {
+void RefSim::MaybeFlush(DiskId disk) {
   if (config_.write_through) {
     return;
   }
-  std::vector<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(disk)];
+  std::vector<BlockId>& dirty = dirty_by_disk_[static_cast<size_t>(disk.v())];
   if (dirty.empty()) {
     return;
   }
@@ -525,7 +527,7 @@ void RefSim::MaybeFlush(int disk) {
   const int64_t high_water =
       std::max<int64_t>(1, config_.cache_blocks / (4 * config_.num_disks));
   while (static_cast<int64_t>(dirty.size()) > high_water &&
-         flush_outstanding_[static_cast<size_t>(disk)] < 8) {
+         flush_outstanding_[static_cast<size_t>(disk.v())] < 8) {
     IssueFlush(ListMin(dirty));
   }
 }
@@ -534,8 +536,8 @@ bool RefSim::ForceFlushForProgress() {
   if (config_.write_through) {
     return false;
   }
-  for (int d = 0; d < config_.num_disks; ++d) {
-    std::vector<int64_t>& dirty = dirty_by_disk_[static_cast<size_t>(d)];
+  for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
+    std::vector<BlockId>& dirty = dirty_by_disk_[static_cast<size_t>(d.v())];
     if (!dirty.empty()) {
       IssueFlush(ListMin(dirty));
       return true;
@@ -544,7 +546,7 @@ bool RefSim::ForceFlushForProgress() {
   return false;
 }
 
-void RefSim::ServeWrite(int64_t pos, int64_t block) {
+void RefSim::ServeWrite(TracePos pos, BlockId block) {
   ++write_refs_;
   const TimeNs wait_start = app_time_;
   waiting_block_ = block;
@@ -563,7 +565,7 @@ void RefSim::ServeWrite(int64_t pos, int64_t block) {
         ListInsert(redirty_pending_, block);
       } else if (!cache_.Dirty(block)) {
         cache_.MarkDirty(block);
-        ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)], block);
+        ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk.v())], block);
       }
       break;
     }
@@ -573,11 +575,11 @@ void RefSim::ServeWrite(int64_t pos, int64_t block) {
     }
     if (cache_.free_buffers() > 0) {
       cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
-      ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)], block);
+      ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk.v())], block);
       break;
     }
     if (cache_.present_count() > 0) {
-      const int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      const BlockId victim = policy_->ChooseDemandEviction(*this, block);
       cache_.EvictClean(victim);
       continue;
     }
@@ -600,7 +602,7 @@ void RefSim::ServeWrite(int64_t pos, int64_t block) {
     }
   }
 
-  waiting_block_ = -1;
+  waiting_block_ = kNoBlock;
   EndStall(block, wait_start);
 }
 
@@ -623,20 +625,20 @@ void RefSim::DrainEventsUpTo(TimeNs t) {
   sim_now_ = t;
 }
 
-void RefSim::DemandFetch(int64_t block) {
+void RefSim::DemandFetch(BlockId block) {
   ++demand_fetches_;
   for (;;) {
     if (cache_.GetState(block) != CacheView::State::kAbsent) {
       return;  // a policy callback fetched it while we were waiting
     }
     if (cache_.free_buffers() > 0) {
-      const bool ok = IssueFetchInternal(block, kNoEvict, /*demand=*/true);
+      const bool ok = IssueFetchInternal(block, Engine::kNoEvict, /*demand=*/true);
       PFC_CHECK(ok);
       policy_->OnDemandFetch(*this, block);
       return;
     }
     if (cache_.present_count() > 0) {
-      const int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      const BlockId victim = policy_->ChooseDemandEviction(*this, block);
       const bool ok = IssueFetchInternal(block, victim, /*demand=*/true);
       PFC_CHECK_MSG(ok, "demand eviction choice was not a present block");
       policy_->OnDemandFetch(*this, block);
@@ -658,17 +660,17 @@ RunResult RefSim::Run() {
 
   const NextRefIndex& index = context_.index();
   const int64_t n = trace_.size();
-  for (int64_t pos = 0; pos < n; ++pos) {
+  for (TracePos pos{0}; pos.v() < n; ++pos) {
     cursor_ = pos;
     DrainEventsUpTo(app_time_);
     policy_->OnReference(*this, pos);
     if (cache_.dirty_count() > 0) {
-      for (int d = 0; d < config_.num_disks; ++d) {
+      for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
         MaybeFlush(d);
       }
     }
 
-    const int64_t block = trace_.block(pos);
+    const BlockId block = trace_.block(pos);
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
       // Write-through only: a policy prefetch issued while ServeWrite waited
@@ -677,10 +679,10 @@ RunResult RefSim::Run() {
       if (cache_.Present(block)) {
         cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
       }
-      const TimeNs compute = ScaledCompute(pos);
+      const DurNs compute = ScaledCompute(pos);
       compute_total_ += compute;
       app_time_ += compute + pending_driver_;
-      pending_driver_ = 0;
+      pending_driver_ = DurNs{0};
       continue;
     }
     if (!cache_.Present(block)) {
@@ -698,15 +700,15 @@ RunResult RefSim::Run() {
         }
         ApplyNextEvent();
       }
-      waiting_block_ = -1;
+      waiting_block_ = kNoBlock;
       EndStall(block, wait_start);
     }
 
     cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
-    const TimeNs compute = ScaledCompute(pos);
+    const DurNs compute = ScaledCompute(pos);
     compute_total_ += compute;
     app_time_ += compute + pending_driver_;
-    pending_driver_ = 0;
+    pending_driver_ = DurNs{0};
   }
 
   RunResult result;
@@ -723,7 +725,7 @@ RunResult RefSim::Run() {
   result.compute_time = compute_total_;
   result.driver_time = driver_total_;
   result.stall_time = stall_total_;
-  result.elapsed_time = app_time_;
+  result.elapsed_time = app_time_ - TimeNs{0};
   result.degraded_stall_ns = degraded_stall_;
 
   // Same floating-point accumulation order as the optimized engine: disks in
@@ -732,13 +734,14 @@ RunResult RefSim::Run() {
   double sum_service = 0;
   double sum_response = 0;
   double util_sum = 0;
-  for (int i = 0; i < config_.num_disks; ++i) {
-    const RefDisk& d = disks_[static_cast<size_t>(i)];
+  for (DiskId i{0}; i.v() < config_.num_disks; ++i) {
+    const RefDisk& d = disks_[static_cast<size_t>(i.v())];
     completed += d.requests;
     sum_service += d.sum_service_ms;
     sum_response += d.sum_response_ms;
-    const double util =
-        app_time_ > 0 ? static_cast<double>(d.busy_ns) / static_cast<double>(app_time_) : 0.0;
+    const double util = app_time_ > TimeNs{0}
+                            ? static_cast<double>(d.busy_ns.ns()) / static_cast<double>(app_time_.ns())
+                            : 0.0;
     result.per_disk_util.push_back(util);
     util_sum += util;
   }

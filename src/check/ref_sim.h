@@ -59,27 +59,27 @@ class RefSim : public Engine {
   // --- Engine interface ----------------------------------------------------
 
   TimeNs now() const override { return sim_now_; }
-  int64_t cursor() const override { return cursor_; }
+  TracePos cursor() const override { return cursor_; }
   const Trace& trace() const override { return trace_; }
   const NextRefIndex& index() const override { return context_.index(); }
   const CacheView& cache() const override { return cache_; }
   const SimConfig& config() const override { return config_; }
-  BlockLocation Location(int64_t block) const override { return placement_->Map(block); }
-  bool DiskIdle(int d) const override {
-    const RefDisk& disk = disks_[static_cast<size_t>(d)];
+  BlockLocation Location(BlockId block) const override { return placement_->Map(block); }
+  bool DiskIdle(DiskId d) const override {
+    const RefDisk& disk = disks_[static_cast<size_t>(d.v())];
     return !disk.busy && disk.queue.empty();
   }
-  bool DiskFailed(int d) const override {
-    const RefDisk& disk = disks_[static_cast<size_t>(d)];
+  bool DiskFailed(DiskId d) const override {
+    const RefDisk& disk = disks_[static_cast<size_t>(d.v())];
     return disk.fault != nullptr && disk.fault->FailStopped(sim_now_);
   }
-  bool Hinted(int64_t pos) const override {
+  bool Hinted(TracePos pos) const override {
     const std::vector<bool>& hinted = context_.hinted();
-    return hinted.empty() || hinted[static_cast<size_t>(pos)];
+    return hinted.empty() || hinted[static_cast<size_t>(pos.v())];
   }
   bool FullyHinted() const override { return context_.hinted().empty(); }
-  TimeNs ScaledCompute(int64_t pos) const override;
-  bool IssueFetch(int64_t block, int64_t evict) override;
+  DurNs ScaledCompute(TracePos pos) const override;
+  bool IssueFetch(BlockId block, BlockId evict) override;
   void EmitMark(const char* label, int64_t value) override {
     (void)label;
     (void)value;
@@ -88,9 +88,9 @@ class RefSim : public Engine {
  private:
   // One queued disk request.
   struct Request {
-    int64_t logical_block = 0;
-    int64_t disk_block = 0;
-    TimeNs enqueue_time = 0;
+    BlockId logical_block{0};
+    BlockId disk_block{0};
+    TimeNs enqueue_time;
     uint64_t seq = 0;
   };
 
@@ -101,19 +101,19 @@ class RefSim : public Engine {
     std::vector<Request> queue;
     bool busy = false;
     bool scan_up = true;
-    int64_t head_block = 0;
+    BlockId head_block{0};
     std::unique_ptr<DiskMechanism> mechanism;
     std::unique_ptr<FaultModel> fault;  // null when faults are disabled
     // In-service request.
     Request current;
-    TimeNs cur_service = 0;
-    TimeNs cur_nominal = 0;
-    TimeNs cur_complete = 0;
+    DurNs cur_service;
+    DurNs cur_nominal;
+    TimeNs cur_complete;
     bool cur_failed = false;
     // Stats.
     int64_t requests = 0;
     int64_t errors = 0;
-    TimeNs busy_ns = 0;
+    DurNs busy_ns;
     double sum_service_ms = 0;
     double sum_response_ms = 0;
   };
@@ -121,37 +121,37 @@ class RefSim : public Engine {
   enum class EventKind : uint8_t { kComplete, kRetry, kRecover };
 
   struct Event {
-    TimeNs time = 0;
+    TimeNs time;
     uint64_t seq = 0;
-    int disk = 0;
-    int64_t block = 0;
-    TimeNs service = 0;
-    TimeNs nominal = 0;
+    DiskId disk{0};
+    BlockId block{0};
+    DurNs service;
+    DurNs nominal;
     bool failed = false;
     EventKind kind = EventKind::kComplete;
   };
 
   // Naive fault-state maps (vectors of pairs, linear scans).
-  void AddFaultDelay(int64_t block, TimeNs delta);
-  void EraseFaultDelay(int64_t block);
-  const TimeNs* FindFaultDelay(int64_t block) const;
-  int BumpRetryAttempts(int64_t block);
-  void EraseRetryAttempts(int64_t block);
+  void AddFaultDelay(BlockId block, DurNs delta);
+  void EraseFaultDelay(BlockId block);
+  const DurNs* FindFaultDelay(BlockId block) const;
+  int BumpRetryAttempts(BlockId block);
+  void EraseRetryAttempts(BlockId block);
 
   size_t PickNext(const RefDisk& disk) const;
   Request PopNext(RefDisk& disk);
-  void Enqueue(int disk, int64_t logical_block, int64_t disk_block, uint64_t seq);
-  void TryDispatch(int disk);
+  void Enqueue(DiskId disk, BlockId logical_block, BlockId disk_block, uint64_t seq);
+  void TryDispatch(DiskId disk);
   void CompleteCurrent(RefDisk& disk, TimeNs now_ns);
-  bool IssueFetchInternal(int64_t block, int64_t evict, bool demand);
+  bool IssueFetchInternal(BlockId block, BlockId evict, bool demand);
   void ApplyNextEvent();
   void HandleFailedRequest(const Event& ev);
-  void EndStall(int64_t block, TimeNs wait_start);
+  void EndStall(BlockId block, TimeNs wait_start);
   void DrainEventsUpTo(TimeNs t);
-  void DemandFetch(int64_t block);
-  void ServeWrite(int64_t pos, int64_t block);
-  void IssueFlush(int64_t block);
-  void MaybeFlush(int disk);
+  void DemandFetch(BlockId block);
+  void ServeWrite(TracePos pos, BlockId block);
+  void IssueFlush(BlockId block);
+  void MaybeFlush(DiskId disk);
   bool ForceFlushForProgress();
 
   const TraceContext& context_;
@@ -166,30 +166,30 @@ class RefSim : public Engine {
   std::vector<Event> events_;  // unordered; the minimum is found by scan
   uint64_t next_seq_ = 0;
 
-  TimeNs app_time_ = 0;
-  TimeNs sim_now_ = 0;
-  int64_t cursor_ = 0;
-  TimeNs pending_driver_ = 0;
+  TimeNs app_time_;
+  TimeNs sim_now_;
+  TracePos cursor_{0};
+  DurNs pending_driver_;
 
   int64_t fetches_ = 0;
   int64_t demand_fetches_ = 0;
   int64_t write_refs_ = 0;
   int64_t flushes_ = 0;
-  std::vector<std::vector<int64_t>> dirty_by_disk_;
-  std::vector<int64_t> flush_in_flight_;
-  std::vector<int64_t> redirty_pending_;
+  std::vector<std::vector<BlockId>> dirty_by_disk_;
+  std::vector<BlockId> flush_in_flight_;
+  std::vector<BlockId> redirty_pending_;
   std::vector<int> flush_outstanding_;
-  int64_t waiting_block_ = -1;
-  std::vector<std::pair<int64_t, int>> retry_attempts_;
-  std::vector<std::pair<int64_t, TimeNs>> fault_delay_;
+  BlockId waiting_block_ = kNoBlock;
+  std::vector<std::pair<BlockId, int>> retry_attempts_;
+  std::vector<std::pair<BlockId, DurNs>> fault_delay_;
   int64_t retries_ = 0;
   int64_t failed_requests_ = 0;
-  TimeNs degraded_stall_ = 0;
+  DurNs degraded_stall_;
   int64_t events_processed_ = 0;
   int64_t event_budget_ = 0;
-  TimeNs stall_total_ = 0;
-  TimeNs driver_total_ = 0;
-  TimeNs compute_total_ = 0;
+  DurNs stall_total_;
+  DurNs driver_total_;
+  DurNs compute_total_;
   bool ran_ = false;
 };
 

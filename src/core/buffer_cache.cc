@@ -9,26 +9,26 @@ BufferCache::BufferCache(int capacity_blocks) : capacity_(capacity_blocks) {
   entries_.reserve(static_cast<size_t>(capacity_blocks) * 2);
 }
 
-void BufferCache::EmitReclaim(ObsEventKind kind, int64_t block) const {
+void BufferCache::EmitReclaim(ObsEventKind kind, BlockId block) const {
   ObsEvent e;
-  e.time = now_ != nullptr ? *now_ : 0;
+  e.time = now_ != nullptr ? *now_ : TimeNs{0};
   e.kind = kind;
   e.block = block;
   sink_->OnEvent(e);
 }
 
-BufferCache::State BufferCache::GetState(int64_t block) const {
+BufferCache::State BufferCache::GetState(BlockId block) const {
   auto it = entries_.find(block);
   return it == entries_.end() ? State::kAbsent : it->second.state;
 }
 
-void BufferCache::StartFetchIntoFree(int64_t block) {
+void BufferCache::StartFetchIntoFree(BlockId block) {
   PFC_CHECK_GT(free_buffers(), 0);
   PFC_CHECK(GetState(block) == State::kAbsent);
-  entries_[block] = Entry{State::kFetching, 0};
+  entries_[block] = Entry{State::kFetching, TracePos{0}};
 }
 
-void BufferCache::StartFetchWithEviction(int64_t block, int64_t evict) {
+void BufferCache::StartFetchWithEviction(BlockId block, BlockId evict) {
   PFC_CHECK(block != evict);
   auto it = entries_.find(evict);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
@@ -36,13 +36,13 @@ void BufferCache::StartFetchWithEviction(int64_t block, int64_t evict) {
   size_t erased = by_next_use_.erase({it->second.next_use, evict});
   PFC_CHECK_EQ(erased, 1u);
   entries_.erase(it);
-  entries_[block] = Entry{State::kFetching, 0};
+  entries_[block] = Entry{State::kFetching, TracePos{0}};
   if (sink_ != nullptr) {
     EmitReclaim(ObsEventKind::kEvict, evict);
   }
 }
 
-void BufferCache::CompleteFetch(int64_t block, int64_t next_use) {
+void BufferCache::CompleteFetch(BlockId block, TracePos next_use) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
   it->second.state = State::kPresent;
@@ -51,7 +51,7 @@ void BufferCache::CompleteFetch(int64_t block, int64_t next_use) {
   PFC_CHECK(inserted);
 }
 
-void BufferCache::CancelFetch(int64_t block) {
+void BufferCache::CancelFetch(BlockId block) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
   entries_.erase(it);
@@ -60,7 +60,7 @@ void BufferCache::CancelFetch(int64_t block) {
   }
 }
 
-void BufferCache::UpdateNextUse(int64_t block, int64_t next_use) {
+void BufferCache::UpdateNextUse(BlockId block, TracePos next_use) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
   if (it->second.next_use == next_use) {
@@ -77,14 +77,14 @@ void BufferCache::UpdateNextUse(int64_t block, int64_t next_use) {
   PFC_CHECK(inserted);
 }
 
-void BufferCache::InsertWritten(int64_t block, int64_t next_use) {
+void BufferCache::InsertWritten(BlockId block, TracePos next_use) {
   PFC_CHECK_GT(free_buffers(), 0);
   PFC_CHECK(GetState(block) == State::kAbsent);
   entries_[block] = Entry{State::kPresent, next_use, true};
   ++dirty_count_;
 }
 
-void BufferCache::EvictClean(int64_t block) {
+void BufferCache::EvictClean(BlockId block) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
   PFC_CHECK(!it->second.dirty);
@@ -96,7 +96,7 @@ void BufferCache::EvictClean(int64_t block) {
   }
 }
 
-void BufferCache::MarkDirty(int64_t block) {
+void BufferCache::MarkDirty(BlockId block) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
   if (it->second.dirty) {
@@ -108,7 +108,7 @@ void BufferCache::MarkDirty(int64_t block) {
   ++dirty_count_;
 }
 
-void BufferCache::MarkClean(int64_t block) {
+void BufferCache::MarkClean(BlockId block) {
   auto it = entries_.find(block);
   PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
   PFC_CHECK(it->second.dirty);
@@ -118,21 +118,21 @@ void BufferCache::MarkClean(int64_t block) {
   PFC_CHECK(inserted);
 }
 
-bool BufferCache::Dirty(int64_t block) const {
+bool BufferCache::Dirty(BlockId block) const {
   auto it = entries_.find(block);
   return it != entries_.end() && it->second.dirty;
 }
 
-std::optional<int64_t> BufferCache::FurthestBlock() const {
+std::optional<BlockId> BufferCache::FurthestBlock() const {
   if (by_next_use_.empty()) {
     return std::nullopt;
   }
   return by_next_use_.rbegin()->second;
 }
 
-int64_t BufferCache::FurthestNextUse() const {
+TracePos BufferCache::FurthestNextUse() const {
   if (by_next_use_.empty()) {
-    return -1;
+    return kNoCandidate;
   }
   return by_next_use_.rbegin()->first;
 }

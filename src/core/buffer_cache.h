@@ -47,73 +47,73 @@ class BufferCache : public CacheView {
   // Number of *evictable* (present and clean) blocks.
   int present_count() const override { return static_cast<int>(by_next_use_.size()); }
 
-  State GetState(int64_t block) const override;
+  State GetState(BlockId block) const override;
 
   // Reserves a free buffer for `block` and marks it in flight. Requires a
   // free buffer and `block` absent.
-  void StartFetchIntoFree(int64_t block);
+  void StartFetchIntoFree(BlockId block);
 
   // Evicts `evict` (must be present) and marks `block` (must be absent) in
   // flight in its place.
-  void StartFetchWithEviction(int64_t block, int64_t evict);
+  void StartFetchWithEviction(BlockId block, BlockId evict);
 
   // The fetch for `block` completed; it becomes present with the given next
   // reference position as its replacement key.
-  void CompleteFetch(int64_t block, int64_t next_use);
+  void CompleteFetch(BlockId block, TracePos next_use);
 
   // Abandons an in-flight fetch (the request permanently failed); the
   // reserved buffer returns to the free pool. Requires `block` fetching.
-  void CancelFetch(int64_t block);
+  void CancelFetch(BlockId block);
 
   // The application consumed `block` (must be present); reindexes it under
   // its new next reference position.
-  void UpdateNextUse(int64_t block, int64_t next_use);
+  void UpdateNextUse(BlockId block, TracePos next_use);
 
   // Present *clean* block with the furthest next reference, if any. Dirty
   // blocks are pinned (their buffer cannot be reused until flushed) and so
   // never appear as eviction candidates.
-  std::optional<int64_t> FurthestBlock() const override;
-  // Its key (NextRefIndex::kNoRef for dead blocks); -1 if no candidate.
-  int64_t FurthestNextUse() const override;
+  std::optional<BlockId> FurthestBlock() const override;
+  // Its key (NextRefIndex::kNoRef for dead blocks); kNoCandidate if none.
+  TracePos FurthestNextUse() const override;
 
   // --- Write extension (the paper's future-work item) ----------------------
 
   // A whole-block write materializes `block` without a fetch: it becomes
   // present and dirty. Requires a free buffer and `block` absent.
-  void InsertWritten(int64_t block, int64_t next_use);
+  void InsertWritten(BlockId block, TracePos next_use);
 
   // Reclaims a clean present block's buffer without starting a fetch (used
   // to make room for a written block).
-  void EvictClean(int64_t block);
+  void EvictClean(BlockId block);
 
   // Present clean -> dirty (leaves the eviction index).
-  void MarkDirty(int64_t block);
+  void MarkDirty(BlockId block);
 
   // Dirty -> clean (re-enters the eviction index under its current key).
-  void MarkClean(int64_t block);
+  void MarkClean(BlockId block);
 
-  bool Dirty(int64_t block) const override;
+  bool Dirty(BlockId block) const override;
   int dirty_count() const override { return dirty_count_; }
 
   // Present blocks in key order is occasionally needed (reverse model);
   // expose a read-only view.
-  const std::set<std::pair<int64_t, int64_t>>& present_by_next_use() const {
+  const std::set<std::pair<TracePos, BlockId>>& present_by_next_use() const {
     return by_next_use_;
   }
 
  private:
   struct Entry {
     State state = State::kAbsent;
-    int64_t next_use = 0;  // valid only when present
+    TracePos next_use{0};  // valid only when present
     bool dirty = false;
   };
 
-  void EmitReclaim(ObsEventKind kind, int64_t block) const;
+  void EmitReclaim(ObsEventKind kind, BlockId block) const;
 
   int capacity_;
-  std::unordered_map<int64_t, Entry> entries_;
+  std::unordered_map<BlockId, Entry> entries_;
   // (next_use, block) for *clean* present blocks; rbegin() is the furthest.
-  std::set<std::pair<int64_t, int64_t>> by_next_use_;
+  std::set<std::pair<TracePos, BlockId>> by_next_use_;
   int dirty_count_ = 0;
   EventSink* sink_ = nullptr;   // null = observability disabled
   const TimeNs* now_ = nullptr; // simulator clock, borrowed

@@ -18,11 +18,17 @@
 #include <cstdint>
 #include <optional>
 
+#include "util/strong_types.h"
+
 namespace pfc {
 
 class CacheView {
  public:
   enum class State { kAbsent, kFetching, kPresent };
+
+  // FurthestNextUse() when no eviction candidate exists. Orders before
+  // every real position.
+  static constexpr TracePos kNoCandidate{-1};
 
   virtual ~CacheView() = default;
 
@@ -35,20 +41,20 @@ class CacheView {
   // Number of *evictable* (present and clean) blocks.
   virtual int present_count() const = 0;
 
-  virtual State GetState(int64_t block) const = 0;
-  bool Present(int64_t block) const { return GetState(block) == State::kPresent; }
-  bool Fetching(int64_t block) const { return GetState(block) == State::kFetching; }
+  virtual State GetState(BlockId block) const = 0;
+  bool Present(BlockId block) const { return GetState(block) == State::kPresent; }
+  bool Fetching(BlockId block) const { return GetState(block) == State::kFetching; }
 
-  virtual bool Dirty(int64_t block) const = 0;
+  virtual bool Dirty(BlockId block) const = 0;
   virtual int dirty_count() const = 0;
 
   // Present *clean* block with the furthest next reference, ties broken
   // toward the larger block id; nullopt if no candidate. Dirty blocks are
   // pinned (their buffer cannot be reused until flushed) and so never
   // appear as eviction candidates.
-  virtual std::optional<int64_t> FurthestBlock() const = 0;
-  // Its key (NextRefIndex::kNoRef for dead blocks); -1 if no candidate.
-  virtual int64_t FurthestNextUse() const = 0;
+  virtual std::optional<BlockId> FurthestBlock() const = 0;
+  // Its key (NextRefIndex::kNoRef for dead blocks); kNoCandidate if none.
+  virtual TracePos FurthestNextUse() const = 0;
 };
 
 }  // namespace pfc

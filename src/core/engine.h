@@ -32,7 +32,7 @@ namespace pfc {
 class Engine {
  public:
   // Sentinel eviction argument for IssueFetch: take a free buffer.
-  static constexpr int64_t kNoEvict = -1;
+  static constexpr BlockId kNoEvict{-1};
 
   virtual ~Engine() = default;
 
@@ -41,23 +41,23 @@ class Engine {
   // Instant at which actions are currently happening (simulated clock).
   virtual TimeNs now() const = 0;
   // Next reference to serve.
-  virtual int64_t cursor() const = 0;
+  virtual TracePos cursor() const = 0;
   virtual const Trace& trace() const = 0;
   virtual const NextRefIndex& index() const = 0;
   virtual const CacheView& cache() const = 0;
   virtual const SimConfig& config() const = 0;
-  virtual BlockLocation Location(int64_t block) const = 0;
-  virtual bool DiskIdle(int d) const = 0;
+  virtual BlockLocation Location(BlockId block) const = 0;
+  virtual bool DiskIdle(DiskId d) const = 0;
   // True once disk `d` has fail-stopped; prefetches to it are refused and
   // policies should plan around it.
-  virtual bool DiskFailed(int d) const = 0;
+  virtual bool DiskFailed(DiskId d) const = 0;
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
-  virtual bool Hinted(int64_t pos) const = 0;
+  virtual bool Hinted(TracePos pos) const = 0;
   virtual bool FullyHinted() const = 0;
   // Inter-reference compute time after position `pos`, with cpu_scale
   // applied.
-  virtual TimeNs ScaledCompute(int64_t pos) const = 0;
+  virtual DurNs ScaledCompute(TracePos pos) const = 0;
 
   // --- Actions --------------------------------------------------------------
 
@@ -65,7 +65,7 @@ class Engine {
   // free buffer). Returns false — without side effects — if the request is
   // invalid: block not absent, eviction target not present, no free buffer
   // when one was requested, or the block's disk has fail-stopped.
-  virtual bool IssueFetch(int64_t block, int64_t evict) = 0;
+  virtual bool IssueFetch(BlockId block, BlockId evict) = 0;
 
   // Lets policies drop custom markers (kPolicyMark) into the event stream.
   // `label` must outlive the sink's consumption of the event (string

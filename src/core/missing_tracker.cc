@@ -12,26 +12,26 @@ MissingTracker::MissingTracker(Engine& sim, int64_t window) : sim_(sim), window_
   per_disk_.resize(static_cast<size_t>(sim.config().num_disks));
 }
 
-void MissingTracker::Insert(int64_t pos) {
+void MissingTracker::Insert(TracePos pos) {
   global_.insert(pos);
-  int disk = sim_.Location(sim_.trace().block(pos)).disk;
-  per_disk_[static_cast<size_t>(disk)].insert(pos);
+  DiskId disk = sim_.Location(sim_.trace().block(pos)).disk;
+  per_disk_[static_cast<size_t>(disk.v())].insert(pos);
 }
 
-void MissingTracker::Erase(int64_t pos) {
+void MissingTracker::Erase(TracePos pos) {
   global_.erase(pos);
-  int disk = sim_.Location(sim_.trace().block(pos)).disk;
-  per_disk_[static_cast<size_t>(disk)].erase(pos);
+  DiskId disk = sim_.Location(sim_.trace().block(pos)).disk;
+  per_disk_[static_cast<size_t>(disk.v())].erase(pos);
 }
 
-void MissingTracker::AdvanceTo(int64_t cursor) {
+void MissingTracker::AdvanceTo(TracePos cursor) {
   PFC_CHECK(cursor >= cursor_);
   cursor_ = cursor;
 
   // Admit newly visible positions. Undisclosed references are invisible to
   // the prefetcher (partial-hints mode) and writes never need a fetch.
-  int64_t end = std::min(cursor + window_, sim_.trace().size());
-  for (int64_t p = std::max(added_until_, cursor); p < end; ++p) {
+  TracePos end = std::min(cursor + window_, TracePos{sim_.trace().size()});
+  for (TracePos p = std::max(added_until_, cursor); p < end; ++p) {
     if (sim_.Hinted(p) && !sim_.trace().is_write(p) &&
         sim_.cache().GetState(sim_.trace().block(p)) == CacheView::State::kAbsent) {
       Insert(p);
@@ -45,22 +45,22 @@ void MissingTracker::AdvanceTo(int64_t cursor) {
   }
 }
 
-void MissingTracker::OnIssue(int64_t block) {
+void MissingTracker::OnIssue(BlockId block) {
   const auto& index = sim_.index();
-  for (int64_t p = index.NextUseAt(block, cursor_);
+  for (TracePos p = index.NextUseAt(block, cursor_);
        p != NextRefIndex::kNoRef && p < added_until_; p = index.NextUseAfterPosition(p)) {
     Erase(p);
   }
 }
 
-void MissingTracker::OnEvict(int64_t block) {
+void MissingTracker::OnEvict(BlockId block) {
   const auto& index = sim_.index();
-  for (int64_t p = index.NextUseAt(block, cursor_);
+  for (TracePos p = index.NextUseAt(block, cursor_);
        p != NextRefIndex::kNoRef && p < added_until_; p = index.NextUseAfterPosition(p)) {
     Insert(p);
   }
 }
 
-void MissingTracker::ErasePosition(int64_t pos) { Erase(pos); }
+void MissingTracker::ErasePosition(TracePos pos) { Erase(pos); }
 
 }  // namespace pfc

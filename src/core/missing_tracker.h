@@ -22,6 +22,8 @@
 #include <set>
 #include <vector>
 
+#include "util/strong_types.h"
+
 namespace pfc {
 
 class Engine;
@@ -32,37 +34,37 @@ class MissingTracker {
   MissingTracker(Engine& sim, int64_t window);
 
   // Slides the window forward to [cursor, cursor + window).
-  void AdvanceTo(int64_t cursor);
+  void AdvanceTo(TracePos cursor);
 
   // A fetch for `block` was issued: drop its tracked positions.
-  void OnIssue(int64_t block);
+  void OnIssue(BlockId block);
 
   // `block` was evicted: its in-window references are missing again.
-  void OnEvict(int64_t block);
+  void OnEvict(BlockId block);
 
   // Removes one stale entry discovered during iteration.
-  void ErasePosition(int64_t pos);
+  void ErasePosition(TracePos pos);
 
   // Ordered positions of missing references, all disks together.
-  const std::set<int64_t>& global() const { return global_; }
+  const std::set<TracePos>& global() const { return global_; }
 
   // Ordered positions of missing references whose block lives on `disk`.
-  const std::set<int64_t>& per_disk(int disk) const {
-    return per_disk_[static_cast<size_t>(disk)];
+  const std::set<TracePos>& per_disk(DiskId disk) const {
+    return per_disk_[static_cast<size_t>(disk.v())];
   }
 
   int64_t window() const { return window_; }
 
  private:
-  void Insert(int64_t pos);
-  void Erase(int64_t pos);
+  void Insert(TracePos pos);
+  void Erase(TracePos pos);
 
   Engine& sim_;
   int64_t window_;
-  int64_t cursor_ = 0;
-  int64_t added_until_ = 0;  // positions < this have been examined
-  std::set<int64_t> global_;
-  std::vector<std::set<int64_t>> per_disk_;
+  TracePos cursor_;
+  TracePos added_until_;  // positions < this have been examined
+  std::set<TracePos> global_;
+  std::vector<std::set<TracePos>> per_disk_;
 };
 
 }  // namespace pfc

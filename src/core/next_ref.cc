@@ -12,45 +12,45 @@ NextRefIndex::NextRefIndex(const Trace& trace, const std::vector<bool>& hinted) 
   PFC_CHECK(hinted.empty() || static_cast<int64_t>(hinted.size()) == trace.size());
   positions_.reserve(static_cast<size_t>(trace.size()));
   next_after_.assign(static_cast<size_t>(trace.size()), kNoRef);
-  for (int64_t i = 0; i < trace.size(); ++i) {
-    if (hinted.empty() || hinted[static_cast<size_t>(i)]) {
+  for (TracePos i{0}; i.v() < trace.size(); ++i) {
+    if (hinted.empty() || hinted[static_cast<size_t>(i.v())]) {
       positions_[trace.block(i)].push_back(i);
     }
   }
   // next_after_[i] = next *disclosed* use of position i's block after i.
   // With partial hints this is defined for every position (hinted or not):
   // the oracle is asked "when is this block used next?" after a consume.
-  for (int64_t i = 0; i < trace.size(); ++i) {
-    next_after_[static_cast<size_t>(i)] = NextUseAt(trace.block(i), i + 1);
+  for (TracePos i{0}; i.v() < trace.size(); ++i) {
+    next_after_[static_cast<size_t>(i.v())] = NextUseAt(trace.block(i), i + 1);
   }
 }
 
-int64_t NextRefIndex::NextUseAt(int64_t block, int64_t p) const {
+TracePos NextRefIndex::NextUseAt(BlockId block, TracePos p) const {
   auto it = positions_.find(block);
   if (it == positions_.end()) {
     return kNoRef;
   }
-  const std::vector<int64_t>& list = it->second;
+  const std::vector<TracePos>& list = it->second;
   auto pos = std::lower_bound(list.begin(), list.end(), p);
   return pos == list.end() ? kNoRef : *pos;
 }
 
-int64_t NextRefIndex::NextUseAfterPosition(int64_t i) const {
-  PFC_CHECK(i >= 0 && i < trace_size());
-  return next_after_[static_cast<size_t>(i)];
+TracePos NextRefIndex::NextUseAfterPosition(TracePos i) const {
+  PFC_CHECK(i.v() >= 0 && i.v() < trace_size());
+  return next_after_[static_cast<size_t>(i.v())];
 }
 
-int64_t NextRefIndex::PrevUseAt(int64_t block, int64_t p) const {
+TracePos NextRefIndex::PrevUseAt(BlockId block, TracePos p) const {
   auto it = positions_.find(block);
   if (it == positions_.end()) {
-    return -1;
+    return kNoPrevRef;
   }
-  const std::vector<int64_t>& list = it->second;
+  const std::vector<TracePos>& list = it->second;
   auto pos = std::upper_bound(list.begin(), list.end(), p);
-  return pos == list.begin() ? -1 : *(pos - 1);
+  return pos == list.begin() ? kNoPrevRef : *(pos - 1);
 }
 
-int64_t NextRefIndex::FirstUse(int64_t block) const {
+TracePos NextRefIndex::FirstUse(BlockId block) const {
   auto it = positions_.find(block);
   return it == positions_.end() ? kNoRef : it->second.front();
 }

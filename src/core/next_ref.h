@@ -21,7 +21,9 @@ class NextRefIndex {
  public:
   // Position meaning "never referenced (again)". Orders after every real
   // position.
-  static constexpr int64_t kNoRef = INT64_MAX / 4;
+  static constexpr TracePos kNoRef{INT64_MAX / 4};
+  // "No earlier use" sentinel for PrevUseAt. Orders before every position.
+  static constexpr TracePos kNoPrevRef{-1};
 
   explicit NextRefIndex(const Trace& trace);
 
@@ -33,25 +35,25 @@ class NextRefIndex {
   NextRefIndex(const Trace& trace, const std::vector<bool>& hinted);
 
   // Smallest position p' >= p with trace.block(p') == block; kNoRef if none.
-  int64_t NextUseAt(int64_t block, int64_t p) const;
+  TracePos NextUseAt(BlockId block, TracePos p) const;
 
   // Next position after i referencing the same block as position i.
-  int64_t NextUseAfterPosition(int64_t i) const;
+  TracePos NextUseAfterPosition(TracePos i) const;
 
-  // Largest position p' <= p with trace.block(p') == block; -1 if none.
-  // Reverse aggressive's schedule transform needs this.
-  int64_t PrevUseAt(int64_t block, int64_t p) const;
+  // Largest position p' <= p with trace.block(p') == block; kNoPrevRef if
+  // none. Reverse aggressive's schedule transform needs this.
+  TracePos PrevUseAt(BlockId block, TracePos p) const;
 
   // First position at which `block` is referenced; kNoRef if never.
-  int64_t FirstUse(int64_t block) const;
+  TracePos FirstUse(BlockId block) const;
 
-  bool Known(int64_t block) const { return positions_.count(block) > 0; }
+  bool Known(BlockId block) const { return positions_.count(block) > 0; }
 
   int64_t trace_size() const { return static_cast<int64_t>(next_after_.size()); }
 
  private:
-  std::unordered_map<int64_t, std::vector<int64_t>> positions_;
-  std::vector<int64_t> next_after_;
+  std::unordered_map<BlockId, std::vector<TracePos>> positions_;
+  std::vector<TracePos> next_after_;
 };
 
 }  // namespace pfc

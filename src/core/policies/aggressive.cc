@@ -23,23 +23,23 @@ void AggressivePolicy::Init(Engine& sim) {
   tracker_ = std::make_unique<MissingTracker>(sim, TrackerWindow(sim.config().cache_blocks));
 }
 
-int64_t AggressivePolicy::ChooseDemandEviction(Engine& sim, int64_t block) {
-  int64_t victim = Policy::ChooseDemandEviction(sim, block);
+BlockId AggressivePolicy::ChooseDemandEviction(Engine& sim, BlockId block) {
+  BlockId victim = Policy::ChooseDemandEviction(sim, block);
   tracker_->OnEvict(victim);
   return victim;
 }
 
-void AggressivePolicy::OnDemandFetch(Engine& sim, int64_t block) {
+void AggressivePolicy::OnDemandFetch(Engine& sim, BlockId block) {
   (void)sim;
   tracker_->OnIssue(block);
 }
 
-void AggressivePolicy::OnReference(Engine& sim, int64_t pos) {
+void AggressivePolicy::OnReference(Engine& sim, TracePos pos) {
   tracker_->AdvanceTo(pos);
   MaybeIssueBatches(sim);
 }
 
-void AggressivePolicy::OnDiskIdle(Engine& sim, int disk) {
+void AggressivePolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   (void)disk;
   tracker_->AdvanceTo(sim.cursor());
   MaybeIssueBatches(sim);
@@ -55,14 +55,14 @@ void AggressivePolicy::MaybeIssueBatches(Engine& sim) {
 int AggressivePolicy::IssueBatchRound(Engine& sim) {
   const int num_disks = sim.config().num_disks;
   std::vector<int> budget(static_cast<size_t>(num_disks), -1);
-  std::vector<int64_t> scan_from(static_cast<size_t>(num_disks), -1);
+  std::vector<TracePos> scan_from(static_cast<size_t>(num_disks), TracePos{-1});
   int issued = 0;
   int eligible = 0;
-  for (int d = 0; d < num_disks; ++d) {
+  for (DiskId d{0}; d.v() < num_disks; ++d) {
     // A fail-stopped disk drains its queue and then sits idle forever; it
     // gets no prefetch budget (the engine would refuse the fetches anyway).
     if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
-      budget[static_cast<size_t>(d)] = batch_size_;
+      budget[static_cast<size_t>(d.v())] = batch_size_;
       ++eligible;
     }
   }
@@ -76,24 +76,24 @@ int AggressivePolicy::IssueBatchRound(Engine& sim) {
   // entries that belong to busy disks.
   const CacheView& cache = sim.cache();
   while (eligible > 0) {
-    int best_disk = -1;
-    int64_t best_p = NextRefIndex::kNoRef;
-    for (int d = 0; d < num_disks; ++d) {
-      if (budget[static_cast<size_t>(d)] <= 0) {
+    DiskId best_disk = kNoDisk;
+    TracePos best_p = NextRefIndex::kNoRef;
+    for (DiskId d{0}; d.v() < num_disks; ++d) {
+      if (budget[static_cast<size_t>(d.v())] <= 0) {
         continue;
       }
-      auto it = tracker_->per_disk(d).upper_bound(scan_from[static_cast<size_t>(d)]);
+      auto it = tracker_->per_disk(d).upper_bound(scan_from[static_cast<size_t>(d.v())]);
       if (it != tracker_->per_disk(d).end() && *it < best_p) {
         best_p = *it;
         best_disk = d;
       }
     }
-    if (best_disk < 0) {
+    if (best_disk < DiskId{0}) {
       return issued;  // nothing missing on any free disk inside the window
     }
-    scan_from[static_cast<size_t>(best_disk)] = best_p;
+    scan_from[static_cast<size_t>(best_disk.v())] = best_p;
 
-    const int64_t block = sim.trace().block(best_p);
+    const BlockId block = sim.trace().block(best_p);
     if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(best_p);  // stale entry (free-buffer demand fetch)
       continue;
@@ -108,7 +108,7 @@ int AggressivePolicy::IssueBatchRound(Engine& sim) {
       if (cache.FurthestNextUse() <= best_p) {
         return issued;
       }
-      std::optional<int64_t> victim = cache.FurthestBlock();
+      std::optional<BlockId> victim = cache.FurthestBlock();
       PFC_CHECK(victim.has_value());
       ok = sim.IssueFetch(block, *victim);
       if (ok) {
@@ -123,7 +123,7 @@ int AggressivePolicy::IssueBatchRound(Engine& sim) {
     }
     tracker_->OnIssue(block);
     ++issued;
-    if (--budget[static_cast<size_t>(best_disk)] == 0) {
+    if (--budget[static_cast<size_t>(best_disk.v())] == 0) {
       --eligible;
     }
   }

@@ -30,10 +30,10 @@ class AggressivePolicy : public Policy {
 
   std::string name() const override { return "aggressive"; }
   void Init(Engine& sim) override;
-  void OnReference(Engine& sim, int64_t pos) override;
-  void OnDiskIdle(Engine& sim, int disk) override;
-  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override;
-  void OnDemandFetch(Engine& sim, int64_t block) override;
+  void OnReference(Engine& sim, TracePos pos) override;
+  void OnDiskIdle(Engine& sim, DiskId disk) override;
+  BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
+  void OnDemandFetch(Engine& sim, BlockId block) override;
 
   int batch_size() const { return batch_size_; }
 

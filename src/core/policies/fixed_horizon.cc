@@ -16,12 +16,12 @@ FixedHorizonPolicy::FixedHorizonPolicy(int horizon) : horizon_(horizon) {
 
 void FixedHorizonPolicy::Init(Engine& sim) {
   (void)sim;
-  scanned_until_ = 0;
+  scanned_until_ = TracePos{0};
   deferred_.clear();
 }
 
-bool FixedHorizonPolicy::TryFetchAt(Engine& sim, int64_t pos) {
-  const int64_t block = sim.trace().block(pos);
+bool FixedHorizonPolicy::TryFetchAt(Engine& sim, TracePos pos) {
+  const BlockId block = sim.trace().block(pos);
   if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
     return true;  // already present or on its way
   }
@@ -30,16 +30,16 @@ bool FixedHorizonPolicy::TryFetchAt(Engine& sim, int64_t pos) {
   }
   // Evict the furthest block, provided its next reference is beyond the
   // horizon (always true when H < K, but the sweeps push H past K).
-  const int64_t horizon_edge = sim.cursor() + horizon_;
+  const TracePos horizon_edge = sim.cursor() + horizon_;
   if (sim.cache().FurthestNextUse() <= horizon_edge) {
     return false;
   }
-  std::optional<int64_t> victim = sim.cache().FurthestBlock();
+  std::optional<BlockId> victim = sim.cache().FurthestBlock();
   PFC_CHECK(victim.has_value());
   return sim.IssueFetch(block, *victim);
 }
 
-void FixedHorizonPolicy::OnReference(Engine& sim, int64_t pos) {
+void FixedHorizonPolicy::OnReference(Engine& sim, TracePos pos) {
   // Retry postponed fetches, soonest first (optimal fetching: the missing
   // block referenced next has first claim on any safe eviction slot).
   for (auto it = deferred_.begin(); it != deferred_.end();) {
@@ -52,8 +52,8 @@ void FixedHorizonPolicy::OnReference(Engine& sim, int64_t pos) {
 
   // Examine every position newly inside the horizon window [pos, pos + H];
   // undisclosed references are invisible and writes never need a fetch.
-  const int64_t end = std::min(pos + horizon_, sim.trace().size() - 1);
-  for (int64_t p = std::max(pos, scanned_until_); p <= end; ++p) {
+  const TracePos end = std::min(pos + horizon_, TracePos{sim.trace().size() - 1});
+  for (TracePos p = std::max(pos, scanned_until_); p <= end; ++p) {
     if (sim.Hinted(p) && !sim.trace().is_write(p) && !TryFetchAt(sim, p)) {
       deferred_.insert(p);
     }

@@ -18,6 +18,7 @@
 #include <set>
 
 #include "core/policy.h"
+#include "util/strong_types.h"
 
 namespace pfc {
 
@@ -29,24 +30,24 @@ class FixedHorizonPolicy : public Policy {
 
   std::string name() const override { return "fixed-horizon"; }
   void Init(Engine& sim) override;
-  void OnReference(Engine& sim, int64_t pos) override;
+  void OnReference(Engine& sim, TracePos pos) override;
 
   int horizon() const { return horizon_; }
 
   // Positions whose fetch is postponed awaiting a safe eviction (exposed for
   // tests). Kept ordered: the optimal-fetching rule demands that the missing
   // block referenced soonest is fetched first.
-  const std::set<int64_t>& deferred() const { return deferred_; }
+  const std::set<TracePos>& deferred() const { return deferred_; }
 
  private:
   // Attempts the fetch for the block referenced at position `pos`; returns
   // false if it must be retried later (no eviction candidate beyond the
   // horizon yet).
-  bool TryFetchAt(Engine& sim, int64_t pos);
+  bool TryFetchAt(Engine& sim, TracePos pos);
 
   int horizon_;
-  int64_t scanned_until_ = 0;     // positions < this have been examined
-  std::set<int64_t> deferred_;    // positions whose fetch was postponed, ordered
+  TracePos scanned_until_{0};     // positions < this have been examined
+  std::set<TracePos> deferred_;   // positions whose fetch was postponed, ordered
 };
 
 }  // namespace pfc

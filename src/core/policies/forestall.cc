@@ -41,11 +41,11 @@ void ForestallPolicy::Init(Engine& sim) {
   }
 }
 
-double ForestallPolicy::FetchTimeRatio(int disk) const {
+double ForestallPolicy::FetchTimeRatio(DiskId disk) const {
   if (params_.fixed_f > 0.0) {
     return params_.fixed_f;
   }
-  const SlidingWindowSum& access = access_ms_[static_cast<size_t>(disk)];
+  const SlidingWindowSum& access = access_ms_[static_cast<size_t>(disk.v())];
   double access_mean = access.size() > 0 ? access.mean() : params_.prior_access_ms;
   double compute_mean = compute_ms_->size() > 0 ? compute_ms_->mean() : prior_compute_ms_;
   compute_mean = std::max(compute_mean, 0.01);
@@ -58,38 +58,38 @@ double ForestallPolicy::FetchTimeRatio(int disk) const {
   return f;
 }
 
-void ForestallPolicy::OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) {
+void ForestallPolicy::OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) {
   (void)sim;
   (void)block;
-  access_ms_[static_cast<size_t>(disk)].Add(NsToMs(service));
+  access_ms_[static_cast<size_t>(disk.v())].Add(NsToMs(service));
 }
 
-int64_t ForestallPolicy::ChooseDemandEviction(Engine& sim, int64_t block) {
-  int64_t victim = Policy::ChooseDemandEviction(sim, block);
+BlockId ForestallPolicy::ChooseDemandEviction(Engine& sim, BlockId block) {
+  BlockId victim = Policy::ChooseDemandEviction(sim, block);
   tracker_->OnEvict(victim);
   return victim;
 }
 
-void ForestallPolicy::OnDemandFetch(Engine& sim, int64_t block) {
+void ForestallPolicy::OnDemandFetch(Engine& sim, BlockId block) {
   (void)sim;
   tracker_->OnIssue(block);
 }
 
-void ForestallPolicy::OnReference(Engine& sim, int64_t pos) {
-  if (pos > 0) {
+void ForestallPolicy::OnReference(Engine& sim, TracePos pos) {
+  if (pos > TracePos{0}) {
     compute_ms_->Add(NsToMs(sim.ScaledCompute(pos - 1)));
   }
   tracker_->AdvanceTo(pos);
   MaybeIssue(sim);
 }
 
-void ForestallPolicy::OnDiskIdle(Engine& sim, int disk) {
+void ForestallPolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   (void)disk;
   tracker_->AdvanceTo(sim.cursor());
   MaybeIssue(sim);
 }
 
-bool ForestallPolicy::FetchWithOptimalEviction(Engine& sim, int64_t block, int64_t pos) {
+bool ForestallPolicy::FetchWithOptimalEviction(Engine& sim, BlockId block, TracePos pos) {
   const CacheView& cache = sim.cache();
   bool ok;
   if (cache.free_buffers() > 0) {
@@ -98,7 +98,7 @@ bool ForestallPolicy::FetchWithOptimalEviction(Engine& sim, int64_t block, int64
     if (cache.FurthestNextUse() <= pos) {
       return false;  // do no harm
     }
-    std::optional<int64_t> victim = cache.FurthestBlock();
+    std::optional<BlockId> victim = cache.FurthestBlock();
     PFC_CHECK(victim.has_value());
     ok = sim.IssueFetch(block, *victim);
     if (ok) {
@@ -114,11 +114,11 @@ bool ForestallPolicy::FetchWithOptimalEviction(Engine& sim, int64_t block, int64
   return true;
 }
 
-bool ForestallPolicy::DiskConstrained(Engine& sim, int disk) {
+bool ForestallPolicy::DiskConstrained(Engine& sim, DiskId disk) {
   const double f_prime = std::max(FetchTimeRatio(disk), 1e-6);
-  const int64_t cursor = sim.cursor();
+  const TracePos cursor = sim.cursor();
   int64_t i = 0;
-  int64_t p = -1;
+  TracePos p{-1};
   for (;;) {
     auto it = tracker_->per_disk(disk).upper_bound(p);
     if (it == tracker_->per_disk(disk).end()) {
@@ -138,7 +138,7 @@ bool ForestallPolicy::DiskConstrained(Engine& sim, int disk) {
 
 void ForestallPolicy::MaybeIssue(Engine& sim) {
   const int num_disks = sim.config().num_disks;
-  const int64_t cursor = sim.cursor();
+  const TracePos cursor = sim.cursor();
   const CacheView& cache = sim.cache();
   int backstop_issued = 0;
   int constrained_issued = 0;
@@ -148,14 +148,14 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
   // us. Like fixed horizon itself, the backstop only evicts a block whose
   // next reference lies beyond the horizon — otherwise it would thrash
   // working sets smaller than H (the demand path handles those optimally).
-  const int64_t horizon_edge = cursor + params_.horizon;
+  const TracePos horizon_edge = cursor + params_.horizon;
   for (;;) {
     auto it = tracker_->global().begin();
     if (it == tracker_->global().end() || *it > horizon_edge) {
       break;
     }
-    const int64_t p = *it;
-    const int64_t block = sim.trace().block(p);
+    const TracePos p = *it;
+    const BlockId block = sim.trace().block(p);
     if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
       continue;
@@ -179,20 +179,20 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
   // constrained. The predicate is re-evaluated after every issue — each
   // fetch removes a missing block, so a compute-bound disk clears after one
   // or two fetches while a truly starved disk fills its whole batch.
-  for (int d = 0; d < num_disks; ++d) {
+  for (DiskId d{0}; d.v() < num_disks; ++d) {
     // A fail-stopped disk looks permanently idle and constrained; skip it.
     if (!sim.DiskIdle(d) || sim.DiskFailed(d)) {
       continue;
     }
     int budget = batch_size_;
-    int64_t p = -1;
+    TracePos p{-1};
     while (budget > 0 && DiskConstrained(sim, d)) {
       auto it = tracker_->per_disk(d).upper_bound(p);
       if (it == tracker_->per_disk(d).end()) {
         break;
       }
       p = *it;
-      const int64_t block = sim.trace().block(p);
+      const BlockId block = sim.trace().block(p);
       if (cache.GetState(block) != CacheView::State::kAbsent) {
         tracker_->ErasePosition(p);
         continue;

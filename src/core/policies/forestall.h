@@ -49,23 +49,23 @@ class ForestallPolicy : public Policy {
 
   std::string name() const override { return "forestall"; }
   void Init(Engine& sim) override;
-  void OnReference(Engine& sim, int64_t pos) override;
-  void OnDiskIdle(Engine& sim, int disk) override;
-  void OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) override;
-  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override;
-  void OnDemandFetch(Engine& sim, int64_t block) override;
+  void OnReference(Engine& sim, TracePos pos) override;
+  void OnDiskIdle(Engine& sim, DiskId disk) override;
+  void OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) override;
+  BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
+  void OnDemandFetch(Engine& sim, BlockId block) override;
 
   // Current F' for a disk (exposed for tests).
-  double FetchTimeRatio(int disk) const;
+  double FetchTimeRatio(DiskId disk) const;
 
  private:
   void MaybeIssue(Engine& sim);
   // True if the stall predicate i*F' > d_i holds for some missing block on
   // `disk` within the lookahead.
-  bool DiskConstrained(Engine& sim, int disk);
+  bool DiskConstrained(Engine& sim, DiskId disk);
   // Fetches `block` (first use at `pos`) with furthest eviction under
   // do-no-harm; returns false if the rule forbids it.
-  bool FetchWithOptimalEviction(Engine& sim, int64_t block, int64_t pos);
+  bool FetchWithOptimalEviction(Engine& sim, BlockId block, TracePos pos);
 
   Params params_;
   int batch_size_ = 0;

@@ -5,7 +5,7 @@
 
 namespace pfc {
 
-void LruDemandPolicy::Touch(int64_t block) {
+void LruDemandPolicy::Touch(BlockId block) {
   auto [it, inserted] = last_use_.try_emplace(block, 0);
   if (!inserted) {
     by_recency_.erase({it->second, block});
@@ -14,23 +14,23 @@ void LruDemandPolicy::Touch(int64_t block) {
   by_recency_.insert({it->second, block});
 }
 
-void LruDemandPolicy::OnReference(Engine& sim, int64_t pos) {
+void LruDemandPolicy::OnReference(Engine& sim, TracePos pos) {
   Touch(sim.trace().block(pos));
 }
 
-void LruDemandPolicy::OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) {
+void LruDemandPolicy::OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) {
   (void)sim;
   (void)disk;
   (void)service;
   Touch(block);  // an arrival counts as most-recently-used
 }
 
-int64_t LruDemandPolicy::ChooseDemandEviction(Engine& sim, int64_t block) {
+BlockId LruDemandPolicy::ChooseDemandEviction(Engine& sim, BlockId block) {
   (void)block;
   // Oldest tracked block that is still an eviction candidate (present and
   // clean); drop stale entries as we go.
   for (auto it = by_recency_.begin(); it != by_recency_.end();) {
-    int64_t candidate = it->second;
+    BlockId candidate = it->second;
     if (sim.cache().Present(candidate) && !sim.cache().Dirty(candidate)) {
       return candidate;
     }

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "core/policy.h"
+#include "util/strong_types.h"
 
 namespace pfc {
 
@@ -21,16 +22,16 @@ class LruDemandPolicy : public Policy {
  public:
   std::string name() const override { return "demand-lru"; }
 
-  void OnReference(Engine& sim, int64_t pos) override;
-  void OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) override;
-  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override;
+  void OnReference(Engine& sim, TracePos pos) override;
+  void OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) override;
+  BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
 
  private:
-  void Touch(int64_t block);
+  void Touch(BlockId block);
 
   int64_t clock_ = 0;
-  std::unordered_map<int64_t, int64_t> last_use_;       // block -> recency stamp
-  std::set<std::pair<int64_t, int64_t>> by_recency_;    // (stamp, block)
+  std::unordered_map<BlockId, int64_t> last_use_;       // block -> recency stamp
+  std::set<std::pair<int64_t, BlockId>> by_recency_;    // (stamp, block)
 };
 
 }  // namespace pfc

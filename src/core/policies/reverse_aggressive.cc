@@ -46,65 +46,67 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
   const int64_t n = rev.size();
   const int cache_blocks = sim.config().cache_blocks;
   const int num_disks = sim.config().num_disks;
-  const int64_t fetch_time = params_.fetch_time_estimate;
+  // Model ticks (unit compute time), not nanoseconds: the reverse pass
+  // runs in the paper's dimensionless cost model.
+  const int64_t fetch_time = params_.fetch_time_estimate;  // NOLINT(pfc-raw-unit)
   const int batch = params_.batch_size;
 
   struct FetchRec {
-    int64_t block;
-    int64_t next_use;  // forward position
-    int disk;
+    BlockId block;
+    TracePos next_use;  // forward position
+    DiskId disk;
   };
   struct EvictRec {
-    int64_t block;
-    int64_t release;  // forward position
+    BlockId block;
+    TracePos release;  // forward position
   };
   std::vector<FetchRec> fetches;
   std::vector<EvictRec> evictions;
 
   // --- model cache ---------------------------------------------------------
   enum : int { kAbsent = 0, kFetching = 1, kPresent = 2 };
-  std::unordered_map<int64_t, int> state;
-  std::unordered_map<int64_t, int64_t> key_of;  // present blocks: next reverse use
-  std::vector<std::set<std::pair<int64_t, int64_t>>> by_key(
+  std::unordered_map<BlockId, int> state;
+  std::unordered_map<BlockId, TracePos> key_of;  // present blocks: next reverse use
+  std::vector<std::set<std::pair<TracePos, BlockId>>> by_key(
       static_cast<size_t>(num_disks));  // (key, block) per disk
 
-  auto get_state = [&](int64_t b) -> int {
+  auto get_state = [&](BlockId b) -> int {
     auto it = state.find(b);
     return it == state.end() ? kAbsent : it->second;
   };
-  auto disk_of = [&](int64_t b) { return sim.Location(b).disk; };
-  auto make_present = [&](int64_t b, int64_t key) {
+  auto disk_of = [&](BlockId b) { return sim.Location(b).disk; };
+  auto make_present = [&](BlockId b, TracePos key) {
     state[b] = kPresent;
-    key_of[b] = key;
-    by_key[static_cast<size_t>(disk_of(b))].insert({key, b});
+    key_of.insert_or_assign(b, key);
+    by_key[static_cast<size_t>(disk_of(b).v())].insert({key, b});
   };
-  auto remove_present = [&](int64_t b) {
-    by_key[static_cast<size_t>(disk_of(b))].erase({key_of[b], b});
+  auto remove_present = [&](BlockId b) {
+    by_key[static_cast<size_t>(disk_of(b).v())].erase({key_of.at(b), b});
     key_of.erase(b);
     state[b] = kAbsent;
   };
 
   // --- sliding window of missing reverse positions --------------------------
   const int64_t window = std::max<int64_t>(16LL * cache_blocks, 16384);
-  std::set<int64_t> missing;
-  int64_t added_until = 0;
-  int64_t rho = 0;  // reverse cursor
+  std::set<TracePos> missing;
+  TracePos added_until{0};
+  TracePos rho{0};  // reverse cursor
 
-  auto missing_add_block = [&](int64_t b) {
-    for (int64_t p = rindex.NextUseAt(b, rho); p != NextRefIndex::kNoRef && p < added_until;
+  auto missing_add_block = [&](BlockId b) {
+    for (TracePos p = rindex.NextUseAt(b, rho); p != NextRefIndex::kNoRef && p < added_until;
          p = rindex.NextUseAfterPosition(p)) {
       missing.insert(p);
     }
   };
-  auto missing_remove_block = [&](int64_t b) {
-    for (int64_t p = rindex.NextUseAt(b, rho); p != NextRefIndex::kNoRef && p < added_until;
+  auto missing_remove_block = [&](BlockId b) {
+    for (TracePos p = rindex.NextUseAt(b, rho); p != NextRefIndex::kNoRef && p < added_until;
          p = rindex.NextUseAfterPosition(p)) {
       missing.erase(p);
     }
   };
   auto missing_advance = [&]() {
-    int64_t end = std::min(rho + window, n);
-    for (int64_t p = std::max(added_until, rho); p < end; ++p) {
+    TracePos end = std::min(rho + window, TracePos{n});
+    for (TracePos p = std::max(added_until, rho); p < end; ++p) {
       if (get_state(rev.block(p)) == kAbsent) {
         missing.insert(p);
       }
@@ -114,14 +116,16 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
       missing.erase(missing.begin());
     }
   };
-  auto first_missing = [&]() -> int64_t { return missing.empty() ? -1 : *missing.begin(); };
+  auto first_missing = [&]() -> TracePos {
+    return missing.empty() ? TracePos{-1} : *missing.begin();
+  };
 
   // --- initial cache: forward-final contents, approximated by the first K
   // distinct blocks of the reversed sequence (they would be hits anyway) ----
   {
     int inserted = 0;
-    for (int64_t p = 0; p < n && inserted < cache_blocks; ++p) {
-      int64_t b = rev.block(p);
+    for (TracePos p{0}; p.v() < n && inserted < cache_blocks; ++p) {
+      BlockId b = rev.block(p);
       if (get_state(b) == kAbsent) {
         make_present(b, p);
         ++inserted;
@@ -131,50 +135,51 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
 
   // --- model disks ----------------------------------------------------------
   struct Completion {
-    int64_t time;
-    int64_t block;
-    int disk;
+    int64_t time;  // NOLINT(pfc-raw-unit) model ticks, not nanoseconds
+    BlockId block;
+    DiskId disk;
     bool operator>(const Completion& o) const { return time > o.time; }
   };
   std::vector<int64_t> busy_until(static_cast<size_t>(num_disks), 0);
   std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>> inflight;
 
   // Builds a batch on `disk` if it is free at model time `at`.
-  auto try_batch = [&](int disk, int64_t at) {
-    if (busy_until[static_cast<size_t>(disk)] > at) {
+  auto try_batch = [&](DiskId disk, int64_t at) {
+    if (busy_until[static_cast<size_t>(disk.v())] > at) {
       return;
     }
     int issued = 0;
     while (issued < batch) {
-      auto& keyset = by_key[static_cast<size_t>(disk)];
+      auto& keyset = by_key[static_cast<size_t>(disk.v())];
       if (keyset.empty()) {
         break;
       }
       auto [victim_key, victim] = *keyset.rbegin();
-      int64_t miss_pos = first_missing();
-      if (miss_pos < 0 || victim_key <= miss_pos) {
+      TracePos miss_pos = first_missing();
+      if (miss_pos < TracePos{0} || victim_key <= miss_pos) {
         break;  // nothing to fetch, or do-no-harm forbids
       }
       // Reverse eviction of `victim` == forward fetch of victim from `disk`.
-      int64_t prev = rindex.PrevUseAt(victim, rho - 1);
-      fetches.push_back(FetchRec{victim, prev < 0 ? n : n - 1 - prev, disk});
+      TracePos prev = rindex.PrevUseAt(victim, rho - 1);
+      fetches.push_back(FetchRec{
+          victim, prev < TracePos{0} ? TracePos{n} : TracePos{n - 1 - prev.v()}, disk});
       remove_present(victim);
       missing_add_block(victim);
       // Reverse fetch of the first missing block == forward eviction with a
       // release one past its last forward use.
-      int64_t miss_block = rev.block(miss_pos);
-      evictions.push_back(EvictRec{miss_block, n - miss_pos});
+      BlockId miss_block = rev.block(miss_pos);
+      evictions.push_back(EvictRec{miss_block, TracePos{n - miss_pos.v()}});
       state[miss_block] = kFetching;
       missing_remove_block(miss_block);
       ++issued;
       inflight.push(Completion{at + static_cast<int64_t>(issued) * fetch_time, miss_block, disk});
     }
     if (issued > 0) {
-      busy_until[static_cast<size_t>(disk)] = at + static_cast<int64_t>(issued) * fetch_time;
+      busy_until[static_cast<size_t>(disk.v())] = at + static_cast<int64_t>(issued) * fetch_time;
     }
   };
   auto try_all = [&](int64_t at) {
-    for (int d = 0; d < num_disks; ++d) {
+    for (DiskId d{0}; d.v() < num_disks; ++d) {
       try_batch(d, at);
     }
   };
@@ -183,7 +188,7 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
     inflight.pop();
     PFC_CHECK(get_state(c.block) == kFetching);
     make_present(c.block, rindex.NextUseAt(c.block, rho));
-    if (busy_until[static_cast<size_t>(c.disk)] == c.time) {
+    if (busy_until[static_cast<size_t>(c.disk.v())] == c.time) {
       try_batch(c.disk, c.time);
     }
     return c.time;
@@ -191,14 +196,14 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
 
   // --- the reverse pass -----------------------------------------------------
   int64_t tau = 0;
-  for (rho = 0; rho < n; ++rho) {
+  for (rho = TracePos{0}; rho.v() < n; ++rho) {
     while (!inflight.empty() && inflight.top().time <= tau) {
       complete_one();
     }
     missing_advance();
     try_all(tau);
 
-    const int64_t b = rev.block(rho);
+    const BlockId b = rev.block(rho);
     while (get_state(b) != kPresent) {
       if (get_state(b) == kAbsent) {
         try_all(tau);  // b is the first missing block; a free disk grabs it
@@ -211,27 +216,27 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
     }
 
     // Consume: reindex under the next reverse use.
-    int64_t new_key = rindex.NextUseAfterPosition(rho);
-    auto& keyset = by_key[static_cast<size_t>(disk_of(b))];
-    keyset.erase({key_of[b], b});
-    key_of[b] = new_key;
+    TracePos new_key = rindex.NextUseAfterPosition(rho);
+    auto& keyset = by_key[static_cast<size_t>(disk_of(b).v())];
+    keyset.erase({key_of.at(b), b});
+    key_of.insert_or_assign(b, new_key);
     keyset.insert({new_key, b});
     tau += 1;
   }
 
   // --- terminal drain: every block still cached (or landing) exits the
   // reverse cache; each exit is a forward (cold-start) fetch ----------------
-  rho = n;
+  rho = TracePos{n};
   missing.clear();
   while (!inflight.empty()) {
     complete_one();
   }
-  for (int d = 0; d < num_disks; ++d) {
-    for (const auto& [key, b] : by_key[static_cast<size_t>(d)]) {
+  for (DiskId d{0}; d.v() < num_disks; ++d) {
+    for (const auto& [key, b] : by_key[static_cast<size_t>(d.v())]) {
       (void)key;
-      int64_t prev = rindex.PrevUseAt(b, n - 1);
-      PFC_CHECK(prev >= 0);
-      fetches.push_back(FetchRec{b, n - 1 - prev, d});
+      TracePos prev = rindex.PrevUseAt(b, TracePos{n - 1});
+      PFC_CHECK(prev >= TracePos{0});
+      fetches.push_back(FetchRec{b, TracePos{n - 1 - prev.v()}, d});
     }
   }
 
@@ -262,12 +267,12 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
   disk_head_.assign(static_cast<size_t>(num_disks), 0);
   pending_by_block_.clear();
   for (size_t i = 0; i < pairs_.size(); ++i) {
-    disk_pairs_[static_cast<size_t>(pairs_[i].disk)].push_back(static_cast<int>(i));
+    disk_pairs_[static_cast<size_t>(pairs_[i].disk.v())].push_back(static_cast<int>(i));
     pending_by_block_[pairs_[i].fetch_block].push_back(static_cast<int>(i));
   }
 }
 
-void ReverseAggressivePolicy::MarkPairDone(int64_t block) {
+void ReverseAggressivePolicy::MarkPairDone(BlockId block) {
   auto it = pending_by_block_.find(block);
   if (it == pending_by_block_.end() || it->second.empty()) {
     return;
@@ -276,17 +281,17 @@ void ReverseAggressivePolicy::MarkPairDone(int64_t block) {
   it->second.pop_front();
 }
 
-void ReverseAggressivePolicy::OnDemandFetch(Engine& sim, int64_t block) {
+void ReverseAggressivePolicy::OnDemandFetch(Engine& sim, BlockId block) {
   (void)sim;
   MarkPairDone(block);
 }
 
-void ReverseAggressivePolicy::OnReference(Engine& sim, int64_t pos) {
+void ReverseAggressivePolicy::OnReference(Engine& sim, TracePos pos) {
   (void)pos;
   IssueReleased(sim);
 }
 
-void ReverseAggressivePolicy::OnDiskIdle(Engine& sim, int disk) {
+void ReverseAggressivePolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   (void)disk;
   IssueReleased(sim);
 }
@@ -294,14 +299,14 @@ void ReverseAggressivePolicy::OnDiskIdle(Engine& sim, int disk) {
 void ReverseAggressivePolicy::IssueReleased(Engine& sim) {
   const int num_disks = sim.config().num_disks;
   const CacheView& cache = sim.cache();
-  const int64_t cursor = sim.cursor();
+  const TracePos cursor = sim.cursor();
 
-  for (int disk = 0; disk < num_disks; ++disk) {
+  for (DiskId disk{0}; disk.v() < num_disks; ++disk) {
     if (!sim.DiskIdle(disk)) {
       continue;
     }
-    const std::vector<int>& list = disk_pairs_[static_cast<size_t>(disk)];
-    size_t& head = disk_head_[static_cast<size_t>(disk)];
+    const std::vector<int>& list = disk_pairs_[static_cast<size_t>(disk.v())];
+    size_t& head = disk_head_[static_cast<size_t>(disk.v())];
     while (head < list.size() && pairs_[static_cast<size_t>(list[head])].done) {
       ++head;
     }
@@ -333,7 +338,7 @@ void ReverseAggressivePolicy::IssueReleased(Engine& sim) {
       if (!ok) {
         // The schedule drifted under real timings (the paired victim is gone
         // or still in flight); fall back to the furthest present block.
-        std::optional<int64_t> victim = cache.FurthestBlock();
+        std::optional<BlockId> victim = cache.FurthestBlock();
         if (victim.has_value() && *victim != pair.fetch_block) {
           ok = sim.IssueFetch(pair.fetch_block, *victim);
         }

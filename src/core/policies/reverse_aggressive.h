@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "util/strong_types.h"
 
 namespace pfc {
 
@@ -56,9 +57,9 @@ class ReverseAggressivePolicy : public Policy {
 
   std::string name() const override { return "reverse-aggressive"; }
   void Init(Engine& sim) override;
-  void OnReference(Engine& sim, int64_t pos) override;
-  void OnDiskIdle(Engine& sim, int disk) override;
-  void OnDemandFetch(Engine& sim, int64_t block) override;
+  void OnReference(Engine& sim, TracePos pos) override;
+  void OnDiskIdle(Engine& sim, DiskId disk) override;
+  void OnDemandFetch(Engine& sim, BlockId block) override;
 
   // Schedule introspection (for tests).
   int64_t scheduled_fetches() const { return static_cast<int64_t>(pairs_.size()); }
@@ -66,24 +67,24 @@ class ReverseAggressivePolicy : public Policy {
 
  private:
   struct Pair {
-    int64_t fetch_block = 0;
-    int64_t next_use = 0;   // forward position the fetch is needed at
-    int disk = 0;           // disk holding fetch_block
+    BlockId fetch_block{0};
+    TracePos next_use{0};   // forward position the fetch is needed at
+    DiskId disk{0};         // disk holding fetch_block
     bool has_evict = false;
-    int64_t evict_block = 0;
-    int64_t release = 0;    // earliest cursor at which the eviction is legal
+    BlockId evict_block{0};
+    TracePos release{0};    // earliest cursor at which the eviction is legal
     bool done = false;
   };
 
   void BuildSchedule(Engine& sim);
   void IssueReleased(Engine& sim);
-  void MarkPairDone(int64_t block);
+  void MarkPairDone(BlockId block);
 
   Params params_;
   std::vector<Pair> pairs_;                      // sorted by next_use
   std::vector<std::vector<int>> disk_pairs_;     // pair indices per disk
   std::vector<size_t> disk_head_;                // first maybe-alive index
-  std::unordered_map<int64_t, std::deque<int>> pending_by_block_;
+  std::unordered_map<BlockId, std::deque<int>> pending_by_block_;
   int64_t scheduled_evictions_ = 0;
 };
 

@@ -5,9 +5,9 @@
 
 namespace pfc {
 
-int64_t Policy::ChooseDemandEviction(Engine& sim, int64_t block) {
+BlockId Policy::ChooseDemandEviction(Engine& sim, BlockId block) {
   (void)block;
-  std::optional<int64_t> victim = sim.cache().FurthestBlock();
+  std::optional<BlockId> victim = sim.cache().FurthestBlock();
   PFC_CHECK_MSG(victim.has_value(), "demand eviction requested with no present blocks");
   return *victim;
 }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "util/strong_types.h"
 #include "util/time_util.h"
 
 namespace pfc {
@@ -36,17 +37,17 @@ class Policy {
   // their schedule here.
   virtual void Init(Engine& sim) { (void)sim; }
 
-  virtual void OnReference(Engine& sim, int64_t pos) {
+  virtual void OnReference(Engine& sim, TracePos pos) {
     (void)sim;
     (void)pos;
   }
 
-  virtual void OnDiskIdle(Engine& sim, int disk) {
+  virtual void OnDiskIdle(Engine& sim, DiskId disk) {
     (void)sim;
     (void)disk;
   }
 
-  virtual void OnFetchComplete(Engine& sim, int disk, int64_t block, TimeNs service) {
+  virtual void OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) {
     (void)sim;
     (void)disk;
     (void)block;
@@ -56,7 +57,7 @@ class Policy {
   // The engine issued a demand fetch for `block` (the application stalled on
   // it). Policies that keep their own view of outstanding work reconcile it
   // here.
-  virtual void OnDemandFetch(Engine& sim, int64_t block) {
+  virtual void OnDemandFetch(Engine& sim, BlockId block) {
     (void)sim;
     (void)block;
   }
@@ -66,17 +67,17 @@ class Policy {
   // outstanding prefetches should forget the block or re-plan it on another
   // path. Demand fetches never reach this hook — the engine recovers those
   // itself.
-  virtual void OnFetchFailed(Engine& sim, int disk, int64_t block) {
+  virtual void OnFetchFailed(Engine& sim, DiskId disk, BlockId block) {
     (void)sim;
     (void)disk;
     (void)block;
   }
 
   // The application stalled on `block` and no fetch is in flight for it.
-  // Returns the block to evict, or -1 to use a free buffer. The engine only
-  // calls this when no free buffer exists; the default picks the
-  // furthest-referenced present block (optimal replacement).
-  virtual int64_t ChooseDemandEviction(Engine& sim, int64_t block);
+  // Returns the block to evict, or Engine::kNoEvict to use a free buffer.
+  // The engine only calls this when no free buffer exists; the default picks
+  // the furthest-referenced present block (optimal replacement).
+  virtual BlockId ChooseDemandEviction(Engine& sim, BlockId block);
 };
 
 // The batch sizes the paper uses for aggressive and forestall (Table 6),

@@ -29,16 +29,16 @@ struct RunResult {
   int64_t retries = 0;          // failed attempts that were re-issued
   int64_t failed_requests = 0;  // requests abandoned after the retry bound
 
-  TimeNs compute_time = 0;  // sum of (scaled) inter-reference compute times
-  TimeNs driver_time = 0;   // fetches * driver_overhead
-  TimeNs stall_time = 0;    // processor idle, waiting on I/O
-  TimeNs elapsed_time = 0;  // compute + driver + stall
+  DurNs compute_time;  // sum of (scaled) inter-reference compute times
+  DurNs driver_time;   // fetches * driver_overhead
+  DurNs stall_time;    // processor idle, waiting on I/O
+  DurNs elapsed_time;  // compute + driver + stall
 
   // Portion of stall_time attributable to injected faults (retries, tail
   // latency, slow-disk stretch, recovery penalties). Always <= stall_time;
   // the compute+driver+stall decomposition is unchanged — this is a
   // refinement of the stall bar, not a fourth bar.
-  TimeNs degraded_stall_ns = 0;
+  DurNs degraded_stall_ns;
 
   double avg_fetch_ms = 0;     // mean disk service time per request
   double avg_response_ms = 0;  // mean queueing + service time per request

@@ -40,7 +40,7 @@ struct SimConfig {
   // CPU cost charged to the application timeline per I/O request issued —
   // 0.5 ms, typical of the DECstation 5000/200 (section 3.1). This is the
   // "driver time" component of elapsed time.
-  TimeNs driver_overhead = UsToNs(500);
+  DurNs driver_overhead = UsToNs(500);
 
   // Multiplier applied to the trace's compute times; 0.5 models the paper's
   // double-speed-CPU experiment (section 4.4, appendix C).

@@ -54,7 +54,7 @@ void ValidateSimConfig(const SimConfig& config) {
     FailConfig("cpu_scale must be positive (got " +
                std::to_string(config.cpu_scale) + ")");
   }
-  if (config.driver_overhead < 0) {
+  if (config.driver_overhead < DurNs{0}) {
     FailConfig("driver_overhead must be non-negative");
   }
   if (!(config.hint_coverage >= 0.0)) {
@@ -78,13 +78,13 @@ void ValidateSimConfig(const SimConfig& config) {
   if (f.max_retries < 0) {
     FailConfig("faults.max_retries must be non-negative");
   }
-  if (f.retry_backoff < 0 || f.slow_after < 0 || f.fail_after < 0) {
+  if (f.retry_backoff < DurNs{0} || f.slow_after < TimeNs{0} || f.fail_after < TimeNs{0}) {
     FailConfig("faults times must be non-negative");
   }
-  if (f.error_latency <= 0) {
+  if (f.error_latency <= DurNs{0}) {
     FailConfig("faults.error_latency must be positive");
   }
-  if (f.recovery_penalty <= 0) {
+  if (f.recovery_penalty <= DurNs{0}) {
     FailConfig("faults.recovery_penalty must be positive");
   }
 }
@@ -157,7 +157,7 @@ void Simulator::SetEventSink(EventSink* sink) {
 
 // Callers guard on sink_ != nullptr so that a sink-less run pays exactly one
 // branch per emission site.
-void Simulator::EmitInstant(ObsEventKind kind, int disk, int64_t block, int64_t a, int64_t b) {
+void Simulator::EmitInstant(ObsEventKind kind, DiskId disk, BlockId block, int64_t a, int64_t b) {
   ObsEvent e;
   e.time = sim_now_;
   e.kind = kind;
@@ -168,7 +168,7 @@ void Simulator::EmitInstant(ObsEventKind kind, int disk, int64_t block, int64_t 
   sink_->OnEvent(e);
 }
 
-void Simulator::BeginStallWindow(int64_t block, StallCause cause) {
+void Simulator::BeginStallWindow(BlockId block, StallCause cause) {
   stall_cause_ = cause;
   ObsEvent e;
   e.time = app_time_;
@@ -178,15 +178,16 @@ void Simulator::BeginStallWindow(int64_t block, StallCause cause) {
   sink_->OnEvent(e);
 }
 
-TimeNs Simulator::ScaledCompute(int64_t pos) const {
-  return static_cast<TimeNs>(static_cast<double>(trace_.compute(pos)) * config_.cpu_scale + 0.5);
+DurNs Simulator::ScaledCompute(TracePos pos) const {
+  return DurNs(static_cast<int64_t>(
+      static_cast<double>(trace_.compute(pos).ns()) * config_.cpu_scale + 0.5));
 }
 
-bool Simulator::IssueFetch(int64_t block, int64_t evict) {
+bool Simulator::IssueFetch(BlockId block, BlockId evict) {
   return IssueFetchInternal(block, evict, /*demand=*/false);
 }
 
-bool Simulator::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
+bool Simulator::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
   BlockLocation loc = placement_->Map(block);
   // Prefetches to a dead disk are refused so policies re-plan; the demand
   // path is allowed through (the request fails fast and the retry/recovery
@@ -223,7 +224,7 @@ bool Simulator::IssueFetchInternal(int64_t block, int64_t evict, bool demand) {
   return true;
 }
 
-void Simulator::TryDispatch(int disk) {
+void Simulator::TryDispatch(DiskId disk) {
   std::optional<DispatchResult> res = disks_->disk(disk).TryDispatch(sim_now_);
   if (res.has_value()) {
     events_.push(Event{res->complete_time, next_seq_++, disk, res->logical_block,
@@ -258,15 +259,15 @@ void Simulator::ApplyNextEvent() {
     // A permanently failed demand fetch recovered out-of-band (sector
     // remap / redundancy stand-in); materialize the block so the stalled
     // application can proceed.
-    int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
-                           ? cursor_
-                           : context_.index().NextUseAt(ev.block, cursor_);
+    TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
+                            ? cursor_
+                            : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
     if (sink_ != nullptr) {
       const bool was_demand = demand_inflight_.erase(ev.block);
-      EmitInstant(ObsEventKind::kFaultRecover, ev.disk, ev.block, ev.service);
+      EmitInstant(ObsEventKind::kFaultRecover, ev.disk, ev.block, ev.service.ns());
       EmitInstant(was_demand ? ObsEventKind::kDemandFetchComplete : ObsEventKind::kPrefetchLand,
-                  ev.disk, ev.block, ev.service);
+                  ev.disk, ev.block, ev.service.ns());
     }
     policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     return;
@@ -291,14 +292,14 @@ void Simulator::ApplyNextEvent() {
     }
     if (flush_in_flight_.erase(ev.block)) {
       // A write-back finished. A write that landed mid-flush re-dirties.
-      --flush_outstanding_[static_cast<size_t>(ev.disk)];
+      --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
       if (redirty_pending_.erase(ev.block)) {
-        dirty_by_disk_[static_cast<size_t>(ev.disk)].insert(ev.block);
+        dirty_by_disk_[static_cast<size_t>(ev.disk.v())].insert(ev.block);
       } else {
         cache_.MarkClean(ev.block);
       }
       if (sink_ != nullptr) {
-        EmitInstant(ObsEventKind::kFlushComplete, ev.disk, ev.block, ev.service);
+        EmitInstant(ObsEventKind::kFlushComplete, ev.disk, ev.block, ev.service.ns());
       }
     } else {
       // Key the arrival under its next disclosed use — except that a block the
@@ -306,14 +307,14 @@ void Simulator::ApplyNextEvent() {
       // cursor even if that reference was never hinted (the outstanding demand
       // request is itself the disclosure). Without this, a policy could evict
       // the arrival before the stalled application consumes it.
-      int64_t next_use = cursor_ < trace_.size() && trace_.block(cursor_) == ev.block
-                             ? cursor_
-                             : context_.index().NextUseAt(ev.block, cursor_);
+      TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
+                              ? cursor_
+                              : context_.index().NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
       if (sink_ != nullptr) {
         const bool was_demand = demand_inflight_.erase(ev.block);
         EmitInstant(was_demand ? ObsEventKind::kDemandFetchComplete : ObsEventKind::kPrefetchLand,
-                    ev.disk, ev.block, ev.service);
+                    ev.disk, ev.block, ev.service.ns());
       }
       policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     }
@@ -338,14 +339,14 @@ void Simulator::HandleFailedRequest(const Event& ev) {
     // Transient error: back off exponentially and re-issue. Retrying a dead
     // disk is pointless, so fail-stop skips straight to the permanent path.
     const int shift = std::min(attempts - 1, 20);
-    const TimeNs backoff = fc.retry_backoff << shift;
+    const DurNs backoff{fc.retry_backoff.ns() << shift};
     fault_delay_[ev.block] += ev.service + backoff;
     ++retries_;
     if (sink_ != nullptr) {
-      EmitInstant(ObsEventKind::kFaultRetry, ev.disk, ev.block, backoff, attempts);
+      EmitInstant(ObsEventKind::kFaultRetry, ev.disk, ev.block, backoff.ns(), attempts);
     }
-    events_.push(Event{sim_now_ + backoff, next_seq_++, ev.disk, ev.block, 0, 0,
-                       false, EventKind::kRetry});
+    events_.push(Event{sim_now_ + backoff, next_seq_++, ev.disk, ev.block, DurNs{0},
+                       DurNs{0}, false, EventKind::kRetry});
     return;
   }
 
@@ -358,7 +359,7 @@ void Simulator::HandleFailedRequest(const Event& ev) {
     e.kind = ObsEventKind::kFaultPermanent;
     e.disk = ev.disk;
     e.block = ev.block;
-    e.a = ev.service;
+    e.a = ev.service.ns();
     e.flag = is_flush;
     sink_->OnEvent(e);
   }
@@ -367,7 +368,7 @@ void Simulator::HandleFailedRequest(const Event& ev) {
     // (simulated data loss, visible in failed_requests). Clean the buffer
     // so the cache still drains.
     flush_in_flight_.erase(ev.block);
-    --flush_outstanding_[static_cast<size_t>(ev.disk)];
+    --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
     redirty_pending_.erase(ev.block);
     cache_.MarkClean(ev.block);
     if (waiting_block_ == ev.block) {
@@ -380,7 +381,7 @@ void Simulator::HandleFailedRequest(const Event& ev) {
     // recovery penalty so the run completes.
     fault_delay_[ev.block] += ev.service + fc.recovery_penalty;
     events_.push(Event{sim_now_ + fc.recovery_penalty, next_seq_++, ev.disk,
-                       ev.block, fc.recovery_penalty, 0, false, EventKind::kRecover});
+                       ev.block, fc.recovery_penalty, DurNs{0}, false, EventKind::kRecover});
   } else {
     // A prefetch nobody waits on: drop it and let the policy re-plan.
     fault_delay_.erase(ev.block);
@@ -389,12 +390,12 @@ void Simulator::HandleFailedRequest(const Event& ev) {
   }
 }
 
-void Simulator::EndStall(int64_t block, TimeNs wait_start) {
+void Simulator::EndStall(BlockId block, TimeNs wait_start) {
   if (sim_now_ > wait_start) {
-    const TimeNs duration = sim_now_ - wait_start;
+    const DurNs duration = sim_now_ - wait_start;
     stall_total_ += duration;
     app_time_ = sim_now_;
-    TimeNs fault_share = 0;
+    DurNs fault_share;
     if (!fault_delay_.empty()) {
       auto it = fault_delay_.find(block);
       if (it != fault_delay_.end()) {
@@ -415,8 +416,8 @@ void Simulator::EndStall(int64_t block, TimeNs wait_start) {
       e.kind = ObsEventKind::kStallEnd;
       e.cause = stall_cause_;
       e.block = block;
-      e.a = duration;
-      e.b = fault_share;
+      e.a = duration.ns();
+      e.b = fault_share.ns();
       sink_->OnEvent(e);
     }
   } else if (!fault_delay_.empty()) {
@@ -424,16 +425,16 @@ void Simulator::EndStall(int64_t block, TimeNs wait_start) {
   }
 }
 
-void Simulator::IssueFlush(int64_t block) {
+void Simulator::IssueFlush(BlockId block) {
   PFC_CHECK(cache_.Present(block) && cache_.Dirty(block));
   PFC_CHECK(!flush_in_flight_.contains(block));
   BlockLocation loc = placement_->Map(block);
-  dirty_by_disk_[static_cast<size_t>(loc.disk)].erase(block);
+  dirty_by_disk_[static_cast<size_t>(loc.disk.v())].erase(block);
   flush_in_flight_.insert(block);
-  ++flush_outstanding_[static_cast<size_t>(loc.disk)];
+  ++flush_outstanding_[static_cast<size_t>(loc.disk.v())];
   if (sink_ != nullptr) {
     EmitInstant(ObsEventKind::kFlushIssue, loc.disk, block, 0,
-                flush_outstanding_[static_cast<size_t>(loc.disk)]);
+                flush_outstanding_[static_cast<size_t>(loc.disk.v())]);
   }
   disks_->disk(loc.disk).Enqueue(block, loc.disk_block, sim_now_, next_seq_++);
   ++flushes_;
@@ -442,11 +443,11 @@ void Simulator::IssueFlush(int64_t block) {
   TryDispatch(loc.disk);
 }
 
-void Simulator::MaybeFlush(int disk) {
+void Simulator::MaybeFlush(DiskId disk) {
   if (config_.write_through) {
     return;  // write-through flushes synchronously at the write
   }
-  FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(disk)];
+  FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(disk.v())];
   if (dirty.empty()) {
     return;
   }
@@ -460,7 +461,7 @@ void Simulator::MaybeFlush(int disk) {
   const int64_t high_water =
       std::max<int64_t>(1, config_.cache_blocks / (4 * config_.num_disks));
   while (static_cast<int64_t>(dirty.size()) > high_water &&
-         flush_outstanding_[static_cast<size_t>(disk)] < 8) {
+         flush_outstanding_[static_cast<size_t>(disk.v())] < 8) {
     IssueFlush(dirty.min());
   }
 }
@@ -469,8 +470,8 @@ bool Simulator::ForceFlushForProgress() {
   if (config_.write_through) {
     return false;
   }
-  for (int d = 0; d < config_.num_disks; ++d) {
-    FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(d)];
+  for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
+    FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(d.v())];
     if (!dirty.empty()) {
       IssueFlush(dirty.min());
       return true;
@@ -479,7 +480,7 @@ bool Simulator::ForceFlushForProgress() {
   return false;
 }
 
-void Simulator::ServeWrite(int64_t pos, int64_t block) {
+void Simulator::ServeWrite(TracePos pos, BlockId block) {
   ++write_refs_;
   const TimeNs wait_start = app_time_;
   waiting_block_ = block;
@@ -507,7 +508,7 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
         redirty_pending_.insert(block);
       } else if (!cache_.Dirty(block)) {
         cache_.MarkDirty(block);
-        dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
+        dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk.v())].insert(block);
       }
       break;
     }
@@ -517,11 +518,11 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
     }
     if (cache_.free_buffers() > 0) {
       cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
-      dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk)].insert(block);
+      dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk.v())].insert(block);
       break;
     }
     if (cache_.present_count() > 0) {
-      int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      BlockId victim = policy_->ChooseDemandEviction(*this, block);
       cache_.EvictClean(victim);
       continue;
     }
@@ -553,7 +554,7 @@ void Simulator::ServeWrite(int64_t pos, int64_t block) {
     }
   }
 
-  waiting_block_ = -1;
+  waiting_block_ = kNoBlock;
   EndStall(block, wait_start);
 }
 
@@ -564,7 +565,7 @@ void Simulator::DrainEventsUpTo(TimeNs t) {
   sim_now_ = t;
 }
 
-void Simulator::DemandFetch(int64_t block) {
+void Simulator::DemandFetch(BlockId block) {
   ++demand_fetches_;
   for (;;) {
     if (cache_.GetState(block) != BufferCache::State::kAbsent) {
@@ -577,7 +578,7 @@ void Simulator::DemandFetch(int64_t block) {
       return;
     }
     if (cache_.present_count() > 0) {
-      int64_t victim = policy_->ChooseDemandEviction(*this, block);
+      BlockId victim = policy_->ChooseDemandEviction(*this, block);
       bool ok = IssueFetchInternal(block, victim, /*demand=*/true);
       PFC_CHECK_MSG(ok, "demand eviction choice was not a present block");
       policy_->OnDemandFetch(*this, block);
@@ -604,19 +605,19 @@ RunResult Simulator::Run() {
 
   const NextRefIndex& index = context_.index();
   const int64_t n = trace_.size();
-  for (int64_t pos = 0; pos < n; ++pos) {
+  for (TracePos pos{0}; pos.v() < n; ++pos) {
     cursor_ = pos;
     DrainEventsUpTo(app_time_);
     policy_->OnReference(*this, pos);
     // Write-behind: clean dirty buffers on idle disks, and keep the dirty
     // population below the high-water mark on busy ones.
     if (cache_.dirty_count() > 0) {
-      for (int d = 0; d < config_.num_disks; ++d) {
+      for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
         MaybeFlush(d);
       }
     }
 
-    const int64_t block = trace_.block(pos);
+    const BlockId block = trace_.block(pos);
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
       // Write-through only: a policy prefetch issued while ServeWrite waited
@@ -625,10 +626,10 @@ RunResult Simulator::Run() {
       if (cache_.Present(block)) {
         cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
       }
-      TimeNs compute = ScaledCompute(pos);
+      DurNs compute = ScaledCompute(pos);
       compute_total_ += compute;
       app_time_ += compute + pending_driver_;
-      pending_driver_ = 0;
+      pending_driver_ = DurNs{0};
       continue;
     }
     if (!cache_.Present(block)) {
@@ -652,17 +653,17 @@ RunResult Simulator::Run() {
         }
         ApplyNextEvent();
       }
-      waiting_block_ = -1;
+      waiting_block_ = kNoBlock;
       EndStall(block, wait_start);
     }
 
     // Consume the reference: reindex the block under its next use and burn
     // the inter-reference compute time plus any accrued driver overhead.
     cache_.UpdateNextUse(block, index.NextUseAfterPosition(pos));
-    TimeNs compute = ScaledCompute(pos);
+    DurNs compute = ScaledCompute(pos);
     compute_total_ += compute;
     app_time_ += compute + pending_driver_;
-    pending_driver_ = 0;
+    pending_driver_ = DurNs{0};
   }
 
   RunResult result;
@@ -679,20 +680,21 @@ RunResult Simulator::Run() {
   result.compute_time = compute_total_;
   result.driver_time = driver_total_;
   result.stall_time = stall_total_;
-  result.elapsed_time = app_time_;
+  result.elapsed_time = app_time_ - TimeNs{0};
   result.degraded_stall_ns = degraded_stall_;
 
   int64_t completed = 0;
   double sum_service = 0;
   double sum_response = 0;
   double util_sum = 0;
-  for (int i = 0; i < disks_->num_disks(); ++i) {
+  for (DiskId i{0}; i.v() < disks_->num_disks(); ++i) {
     const DiskStats& s = disks_->disk(i).stats();
     completed += s.requests;
     sum_service += s.sum_service_ms;
     sum_response += s.sum_response_ms;
-    double util =
-        app_time_ > 0 ? static_cast<double>(s.busy_ns) / static_cast<double>(app_time_) : 0.0;
+    double util = app_time_ > TimeNs{0}
+                      ? static_cast<double>(s.busy_ns.ns()) / static_cast<double>(app_time_.ns())
+                      : 0.0;
     result.per_disk_util.push_back(util);
     util_sum += util;
   }

@@ -99,28 +99,28 @@ class Simulator : public Engine {
   // --- State queries for policies -----------------------------------------
 
   TimeNs now() const override { return sim_now_; }
-  int64_t cursor() const override { return cursor_; }
+  TracePos cursor() const override { return cursor_; }
   const Trace& trace() const override { return trace_; }
   const NextRefIndex& index() const override { return context_.index(); }
   BufferCache& cache() { return cache_; }
   const BufferCache& cache() const override { return cache_; }
   const SimConfig& config() const override { return config_; }
   const DiskArray& disks() const { return *disks_; }
-  BlockLocation Location(int64_t block) const override { return placement_->Map(block); }
-  bool DiskIdle(int d) const override { return disks_->disk(d).idle(); }
+  BlockLocation Location(BlockId block) const override { return placement_->Map(block); }
+  bool DiskIdle(DiskId d) const override { return disks_->disk(d).idle(); }
   // True once disk `d` has fail-stopped; prefetches to it are refused and
   // policies should plan around it.
-  bool DiskFailed(int d) const override { return disks_->disk(d).FailStopped(sim_now_); }
+  bool DiskFailed(DiskId d) const override { return disks_->disk(d).FailStopped(sim_now_); }
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
-  bool Hinted(int64_t pos) const override {
+  bool Hinted(TracePos pos) const override {
     const std::vector<bool>& hinted = context_.hinted();
-    return hinted.empty() || hinted[static_cast<size_t>(pos)];
+    return hinted.empty() || hinted[static_cast<size_t>(pos.v())];
   }
   bool FullyHinted() const override { return context_.hinted().empty(); }
   // Inter-reference compute time after position `pos`, with cpu_scale
   // applied.
-  TimeNs ScaledCompute(int64_t pos) const override;
+  DurNs ScaledCompute(TracePos pos) const override;
 
   // --- Actions -------------------------------------------------------------
 
@@ -129,7 +129,7 @@ class Simulator : public Engine {
   // invalid: block not absent, eviction target not present, no free buffer
   // when one was requested, or the block's disk has fail-stopped (prefetches
   // to a dead disk are refused; only the engine's demand path may try one).
-  bool IssueFetch(int64_t block, int64_t evict) override;
+  bool IssueFetch(BlockId block, BlockId evict) override;
 
  private:
   enum class EventKind : uint8_t {
@@ -139,12 +139,12 @@ class Simulator : public Engine {
   };
 
   struct Event {
-    TimeNs time = 0;
+    TimeNs time;
     uint64_t seq = 0;
-    int disk = 0;
-    int64_t block = 0;
-    TimeNs service = 0;  // actual service (kComplete) / penalty (kRecover)
-    TimeNs nominal = 0;  // fault-free service time (kComplete only)
+    DiskId disk{0};
+    BlockId block{0};
+    DurNs service;  // actual service (kComplete) / penalty (kRecover)
+    DurNs nominal;  // fault-free service time (kComplete only)
     bool failed = false;
     EventKind kind = EventKind::kComplete;
     bool operator>(const Event& other) const {
@@ -152,27 +152,27 @@ class Simulator : public Engine {
     }
   };
 
-  bool IssueFetchInternal(int64_t block, int64_t evict, bool demand);
+  bool IssueFetchInternal(BlockId block, BlockId evict, bool demand);
   // Shared tail of the constructors: creates the internal collector when
   // config_.obs.collect is set and wires the sink into the cache and disks.
   void InitObs();
   void InstallSink(EventSink* sink);
   // Emission helpers; all are no-ops without a sink.
-  void EmitInstant(ObsEventKind kind, int disk, int64_t block, int64_t a = 0,
+  void EmitInstant(ObsEventKind kind, DiskId disk, BlockId block, int64_t a = 0,
                    int64_t b = 0);
-  void BeginStallWindow(int64_t block, StallCause cause);
-  void TryDispatch(int disk);
+  void BeginStallWindow(BlockId block, StallCause cause);
+  void TryDispatch(DiskId disk);
   void ApplyNextEvent();
   void HandleFailedRequest(const Event& ev);
   // Closes a stall window that began at `wait_start` (app clock) for
   // `block`: accounts stall time and attributes the fault-inflicted share.
-  void EndStall(int64_t block, TimeNs wait_start);
+  void EndStall(BlockId block, TimeNs wait_start);
   void DrainEventsUpTo(TimeNs t);
-  void DemandFetch(int64_t block);
+  void DemandFetch(BlockId block);
   // Write extension.
-  void ServeWrite(int64_t pos, int64_t block);
-  void IssueFlush(int64_t block);
-  void MaybeFlush(int disk);
+  void ServeWrite(TracePos pos, BlockId block);
+  void IssueFlush(BlockId block);
+  void MaybeFlush(DiskId disk);
   // Issues one flush anywhere, to guarantee an all-dirty cache drains.
   bool ForceFlushForProgress();
 
@@ -189,10 +189,10 @@ class Simulator : public Engine {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   uint64_t next_seq_ = 0;
 
-  TimeNs app_time_ = 0;       // application clock
-  TimeNs sim_now_ = 0;        // instant at which actions are happening
-  int64_t cursor_ = 0;        // next reference to serve
-  TimeNs pending_driver_ = 0; // driver CPU accrued since the last consume
+  TimeNs app_time_;          // application clock
+  TimeNs sim_now_;           // instant at which actions are happening
+  TracePos cursor_{0};       // next reference to serve
+  DurNs pending_driver_;     // driver CPU accrued since the last consume
 
   int64_t fetches_ = 0;
   int64_t demand_fetches_ = 0;
@@ -205,17 +205,17 @@ class Simulator : public Engine {
   std::vector<int> flush_outstanding_;   // queued write-backs per disk
   // Fault state. All maps stay empty on healthy runs, so the fast path only
   // pays an emptiness test.
-  int64_t waiting_block_ = -1;           // block the app is stalled on, if any
-  std::unordered_map<int64_t, int> retry_attempts_;      // failures so far
-  std::unordered_map<int64_t, TimeNs> fault_delay_;      // fault-added latency
+  BlockId waiting_block_ = kNoBlock;     // block the app is stalled on, if any
+  std::unordered_map<BlockId, int> retry_attempts_;      // failures so far
+  std::unordered_map<BlockId, DurNs> fault_delay_;       // fault-added latency
   int64_t retries_ = 0;
   int64_t failed_requests_ = 0;
-  TimeNs degraded_stall_ = 0;
+  DurNs degraded_stall_;
   int64_t events_processed_ = 0;
   int64_t event_budget_ = 0;             // watchdog; set in the constructor
-  TimeNs stall_total_ = 0;
-  TimeNs driver_total_ = 0;
-  TimeNs compute_total_ = 0;
+  DurNs stall_total_;
+  DurNs driver_total_;
+  DurNs compute_total_;
   bool ran_ = false;
   // Observability state. sink_ stays null for the simulator's lifetime
   // unless obs collection is configured or a sink is installed, so the hot

@@ -48,8 +48,8 @@ uint64_t TraceFingerprint(const Trace& trace) {
   }
   mix(static_cast<uint64_t>(trace.size()));
   for (const TraceEntry& e : trace.entries()) {
-    mix(static_cast<uint64_t>(e.block));
-    mix(static_cast<uint64_t>(e.compute));
+    mix(static_cast<uint64_t>(e.block.v()));
+    mix(static_cast<uint64_t>(e.compute.ns()));
     mix(e.is_write ? 0x9E3779B97F4A7C15ULL : 0x2545F4914F6CDD1DULL);
   }
   return h;

@@ -4,7 +4,7 @@
 
 namespace pfc {
 
-Disk::Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline,
+Disk::Disk(DiskId id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline,
            std::unique_ptr<FaultModel> fault)
     : id_(id),
       mechanism_(std::move(mechanism)),
@@ -13,7 +13,7 @@ Disk::Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline dis
   PFC_CHECK(mechanism_ != nullptr);
 }
 
-void Disk::Enqueue(int64_t logical_block, int64_t disk_block, TimeNs now, uint64_t seq) {
+void Disk::Enqueue(BlockId logical_block, BlockId disk_block, TimeNs now, uint64_t seq) {
   QueuedRequest r;
   r.logical_block = logical_block;
   r.disk_block = disk_block;
@@ -27,8 +27,8 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
     return std::nullopt;
   }
   QueuedRequest r = scheduler_.PopNext(head_block_);
-  TimeNs nominal;
-  TimeNs service;
+  DurNs nominal;
+  DurNs service;
   bool failed = false;
   if (fault_ != nullptr && fault_->FailStopped(now)) {
     // A dead drive never moves the head or touches the mechanism; it just
@@ -46,7 +46,7 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
     }
     head_block_ = r.disk_block;
   }
-  PFC_CHECK_GT(service, 0);
+  PFC_CHECK_GT(service, DurNs{0});
   busy_ = true;
   current_.logical_block = r.logical_block;
   current_.disk_block = r.disk_block;
@@ -61,7 +61,7 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
     e.kind = ObsEventKind::kDiskBusyBegin;
     e.disk = id_;
     e.block = r.logical_block;
-    e.a = service;
+    e.a = service.ns();
     e.b = static_cast<int64_t>(scheduler_.size());
     sink_->OnEvent(e);
   }
@@ -79,8 +79,8 @@ void Disk::CompleteCurrent(TimeNs now) {
     e.kind = ObsEventKind::kDiskBusyEnd;
     e.disk = id_;
     e.block = current_.logical_block;
-    e.a = current_.service_time;
-    e.b = now - current_.enqueue_time;
+    e.a = current_.service_time.ns();
+    e.b = (now - current_.enqueue_time).ns();
     e.flag = current_.failed;
     sink_->OnEvent(e);
   }
@@ -96,7 +96,7 @@ void Disk::CompleteCurrent(TimeNs now) {
 void Disk::Reset() {
   scheduler_.Clear();
   busy_ = false;
-  head_block_ = 0;
+  head_block_ = BlockId{0};
   stats_ = DiskStats{};
   mechanism_->Reset();
   if (fault_ != nullptr) {

@@ -27,31 +27,31 @@
 namespace pfc {
 
 struct DispatchResult {
-  int64_t logical_block = 0;
-  int64_t disk_block = 0;
-  TimeNs complete_time = 0;
-  TimeNs service_time = 0;     // actual (fault-adjusted) service time
-  TimeNs nominal_service = 0;  // what the mechanism alone would have taken
-  TimeNs enqueue_time = 0;
+  BlockId logical_block;
+  BlockId disk_block;
+  TimeNs complete_time;
+  DurNs service_time;      // actual (fault-adjusted) service time
+  DurNs nominal_service;   // what the mechanism alone would have taken
+  TimeNs enqueue_time;
   bool failed = false;  // request errors at complete_time instead of finishing
 };
 
 struct DiskStats {
   int64_t requests = 0;        // successfully completed requests
   int64_t errors = 0;          // failed attempts (each retry counts again)
-  TimeNs busy_ns = 0;          // total time in service, including failures
+  DurNs busy_ns;               // total time in service, including failures
   double sum_service_ms = 0;   // for average fetch time (successes only)
   double sum_response_ms = 0;  // queueing + service (successes only)
 };
 
 class Disk {
  public:
-  Disk(int id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline,
+  Disk(DiskId id, std::unique_ptr<DiskMechanism> mechanism, SchedDiscipline discipline,
        std::unique_ptr<FaultModel> fault = nullptr);
 
-  int id() const { return id_; }
+  DiskId id() const { return id_; }
 
-  void Enqueue(int64_t logical_block, int64_t disk_block, TimeNs now, uint64_t seq);
+  void Enqueue(BlockId logical_block, BlockId disk_block, TimeNs now, uint64_t seq);
 
   bool busy() const { return busy_; }
   size_t queue_len() const { return scheduler_.size(); }
@@ -86,12 +86,12 @@ class Disk {
   void Reset();
 
  private:
-  int id_;
+  DiskId id_;
   std::unique_ptr<DiskMechanism> mechanism_;
   RequestScheduler scheduler_;
   std::unique_ptr<FaultModel> fault_;  // nullptr when faults are disabled
   bool busy_ = false;
-  int64_t head_block_ = 0;  // last block the head touched
+  BlockId head_block_;      // last block the head touched
   DispatchResult current_;
   DiskStats stats_;
   EventSink* sink_ = nullptr;  // null = observability disabled

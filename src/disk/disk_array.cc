@@ -28,10 +28,10 @@ DiskArray::DiskArray(int num_disks, DiskModelKind kind, SchedDiscipline discipli
     }
     std::unique_ptr<FaultModel> fault;
     if (faults.enabled()) {
-      fault = std::make_unique<FaultModel>(faults, i);
+      fault = std::make_unique<FaultModel>(faults, DiskId{i});
     }
     disks_.push_back(
-        std::make_unique<Disk>(i, std::move(mech), discipline, std::move(fault)));
+        std::make_unique<Disk>(DiskId{i}, std::move(mech), discipline, std::move(fault)));
   }
 }
 

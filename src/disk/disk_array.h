@@ -28,8 +28,8 @@ class DiskArray {
             const FaultConfig& faults = FaultConfig{});
 
   int num_disks() const { return static_cast<int>(disks_.size()); }
-  Disk& disk(int i) { return *disks_[static_cast<size_t>(i)]; }
-  const Disk& disk(int i) const { return *disks_[static_cast<size_t>(i)]; }
+  Disk& disk(DiskId i) { return *disks_[static_cast<size_t>(i.v())]; }
+  const Disk& disk(DiskId i) const { return *disks_[static_cast<size_t>(i.v())]; }
 
   // Installs `sink` on every disk (see Disk::SetEventSink); nullptr detaches.
   void SetEventSink(EventSink* sink);

@@ -24,14 +24,14 @@ std::unique_ptr<Hp97560Mechanism> Hp97560Mechanism::MakeDefault() {
                                             MechanismParams{});
 }
 
-int64_t Hp97560Mechanism::BlockCylinder(int64_t disk_block) const {
-  return geometry_.SectorToChs(disk_block * sectors_per_block_).cylinder;
+Cylinder Hp97560Mechanism::BlockCylinder(BlockId disk_block) const {
+  return geometry_.SectorToChs(SectorAddr{disk_block.v() * sectors_per_block_}).cylinder;
 }
 
-TimeNs Hp97560Mechanism::Access(int64_t disk_block, TimeNs start) {
-  PFC_CHECK(disk_block >= 0);
-  int64_t first_sector = disk_block * sectors_per_block_;
-  const int64_t last_sector = first_sector + sectors_per_block_ - 1;
+DurNs Hp97560Mechanism::Access(BlockId disk_block, TimeNs start) {
+  PFC_CHECK(disk_block >= BlockId{0});
+  SectorAddr first_sector{disk_block.v() * sectors_per_block_};
+  const SectorAddr last_sector = first_sector + (sectors_per_block_ - 1);
 
   // Buffered by readahead: controller + bus transfer only.
   if (readahead_.Contains(first_sector, sectors_per_block_, start)) {
@@ -43,14 +43,14 @@ TimeNs Hp97560Mechanism::Access(int64_t disk_block, TimeNs start) {
   // eating a rotational miss. Covers back-to-back queued sequential
   // prefetches, the dominant pattern under CSCAN.
   if (readahead_.valid()) {
-    int64_t end_now = readahead_.EndSectorAt(start);
+    SectorAddr end_now = readahead_.EndSectorAt(start);
     if (first_sector >= readahead_.StartSector() && last_sector >= end_now &&
         first_sector - end_now <= params_.max_stream_gap_sectors) {
-      int64_t sectors_to_read = last_sector + 1 - end_now;
+      int64_t sectors_to_read = (last_sector + 1) - end_now;
       int64_t spt = geometry_.sectors_per_track();
-      int64_t crossings = last_sector / spt - (end_now - 1) / spt;
-      TimeNs duration = params_.streaming_overhead + sectors_to_read * geometry_.SectorTime() +
-                        crossings * params_.head_switch;
+      int64_t crossings = last_sector.v() / spt - (end_now - 1).v() / spt;
+      DurNs duration = params_.streaming_overhead + sectors_to_read * geometry_.SectorTime() +
+                       crossings * params_.head_switch;
       head_cylinder_ = geometry_.SectorToChs(last_sector).cylinder;
       readahead_.NoteMediaRead(first_sector, sectors_per_block_, start + duration);
       return duration;
@@ -95,7 +95,7 @@ TimeNs Hp97560Mechanism::Access(int64_t disk_block, TimeNs start) {
 }
 
 void Hp97560Mechanism::Reset() {
-  head_cylinder_ = 0;
+  head_cylinder_ = Cylinder{0};
   readahead_.Invalidate();
 }
 

@@ -30,13 +30,13 @@ class DiskMechanism {
 
   // Services a read of one block starting at `start`; returns the service
   // duration and updates internal state (head position, readahead buffer).
-  virtual TimeNs Access(int64_t disk_block, TimeNs start) = 0;
+  virtual DurNs Access(BlockId disk_block, TimeNs start) = 0;
 
   // Cylinder the head currently sits on (for SSTF/SCAN scheduling).
-  virtual int64_t HeadCylinder() const = 0;
+  virtual Cylinder HeadCylinder() const = 0;
 
   // Cylinder that holds a given block (for scheduling distance estimates).
-  virtual int64_t BlockCylinder(int64_t disk_block) const = 0;
+  virtual Cylinder BlockCylinder(BlockId disk_block) const = 0;
 
   virtual void Reset() = 0;
   virtual std::string name() const = 0;
@@ -45,16 +45,16 @@ class DiskMechanism {
 // Tunables for the detailed model beyond geometry and seek curve.
 struct MechanismParams {
   int block_bytes = 8192;                    // request size: one cache block
-  TimeNs controller_overhead = MsToNs(2.2);  // fixed per-request drive/controller time
+  DurNs controller_overhead = MsToNs(2.2);   // fixed per-request drive/controller time
   double bus_mb_per_sec = 10.0;              // SCSI-II transfer rate
   int64_t readahead_capacity_bytes = 128 * 1024;
-  TimeNs head_switch = MsToNs(0.5);          // track crossing during transfer
+  DurNs head_switch = MsToNs(0.5);           // track crossing during transfer
   // Streaming continuation: a queued request that starts at (or just past)
   // the sector the media read has reached is served by letting the head keep
   // reading, with only this much extra firmware time — no seek, no
   // rotational miss. This is how the 97560's readahead makes back-to-back
   // sequential reads cost ~a block transfer each.
-  TimeNs streaming_overhead = MsToNs(0.3);
+  DurNs streaming_overhead = MsToNs(0.3);
   int64_t max_stream_gap_sectors = 48;       // read through gaps up to 3 blocks
 };
 
@@ -65,9 +65,9 @@ class Hp97560Mechanism : public DiskMechanism {
   // The configuration the paper simulated.
   static std::unique_ptr<Hp97560Mechanism> MakeDefault();
 
-  TimeNs Access(int64_t disk_block, TimeNs start) override;
-  int64_t HeadCylinder() const override { return head_cylinder_; }
-  int64_t BlockCylinder(int64_t disk_block) const override;
+  DurNs Access(BlockId disk_block, TimeNs start) override;
+  Cylinder HeadCylinder() const override { return head_cylinder_; }
+  Cylinder BlockCylinder(BlockId disk_block) const override;
   void Reset() override;
   std::string name() const override { return "hp97560"; }
 
@@ -79,9 +79,9 @@ class Hp97560Mechanism : public DiskMechanism {
   SeekModel seek_;
   MechanismParams params_;
   int sectors_per_block_;
-  TimeNs bus_transfer_time_;
+  DurNs bus_transfer_time_;
 
-  int64_t head_cylinder_ = 0;
+  Cylinder head_cylinder_;
   ReadaheadCache readahead_;
 };
 

@@ -8,21 +8,21 @@ namespace pfc {
 
 namespace {
 
-uint64_t StreamSeed(uint64_t seed, int disk_id) {
+uint64_t StreamSeed(uint64_t seed, DiskId disk_id) {
   return SplitMix64(seed ^ SplitMix64(0x9e3779b97f4a7c15ULL +
-                                      static_cast<uint64_t>(disk_id)));
+                                      static_cast<uint64_t>(disk_id.v())));
 }
 
 }  // namespace
 
-FaultModel::FaultModel(const FaultConfig& config, int disk_id)
+FaultModel::FaultModel(const FaultConfig& config, DiskId disk_id)
     : config_(config), disk_id_(disk_id), rng_(StreamSeed(config.seed, disk_id)) {
-  PFC_CHECK_GE(disk_id, 0);
-  PFC_CHECK_GT(config_.error_latency, 0);
+  PFC_CHECK_GE(disk_id, DiskId{0});
+  PFC_CHECK_GT(config_.error_latency, DurNs{0});
 }
 
-FaultDecision FaultModel::OnAccess(TimeNs start, TimeNs nominal) {
-  PFC_CHECK_GT(nominal, 0);
+FaultDecision FaultModel::OnAccess(TimeNs start, DurNs nominal) {
+  PFC_CHECK_GT(nominal, DurNs{0});
   FaultDecision d{nominal, false};
 
   // Media error first: a failed request never sees the tail draw, so the
@@ -42,8 +42,8 @@ FaultDecision FaultModel::OnAccess(TimeNs start, TimeNs nominal) {
     mult *= config_.slow_factor;
   }
   if (mult != 1.0) {
-    d.service = std::max<TimeNs>(
-        1, static_cast<TimeNs>(static_cast<double>(nominal) * mult + 0.5));
+    d.service = std::max(
+        DurNs{1}, DurNs(static_cast<int64_t>(static_cast<double>(nominal.ns()) * mult + 0.5)));
   }
   return d;
 }

@@ -40,18 +40,18 @@ struct FaultConfig {
   double tail_rate = 0.0;
   double tail_multiplier = 10.0;
 
-  // Slow-disk degradation: disk `slow_disk` (or none if < 0) has service
+  // Slow-disk degradation: disk `slow_disk` (or kNoDisk) has service
   // times multiplied by slow_factor (>= 1) from simulated time slow_after.
-  int slow_disk = -1;
+  DiskId slow_disk = kNoDisk;
   double slow_factor = 1.0;
-  TimeNs slow_after = 0;
+  TimeNs slow_after;
 
-  // Fail-stop: disk `fail_disk` (or none if < 0) stops completing requests
+  // Fail-stop: disk `fail_disk` (or kNoDisk) stops completing requests
   // at simulated time fail_after. Dispatches to a dead disk fail fast after
   // error_latency; demand fetches exhaust their retries and take the
   // recovery penalty, prefetches are dropped.
-  int fail_disk = -1;
-  TimeNs fail_after = 0;
+  DiskId fail_disk = kNoDisk;
+  TimeNs fail_after;
 
   // Seed for the per-disk fault streams.
   uint64_t seed = 1;
@@ -63,19 +63,19 @@ struct FaultConfig {
   // engine synthesizes the block after recovery_penalty (sector remap /
   // read-from-redundancy stand-in).
   int max_retries = 4;
-  TimeNs retry_backoff = MsToNs(1);
+  DurNs retry_backoff = MsToNs(1);
 
   // Time a failed attempt occupies the drive before reporting the error.
-  TimeNs error_latency = MsToNs(5);
+  DurNs error_latency = MsToNs(5);
 
   // Penalty charged when a demand-fetched block permanently fails.
-  TimeNs recovery_penalty = MsToNs(50);
+  DurNs recovery_penalty = MsToNs(50);
 
   // True if any fault mechanism can actually fire. Disabled configs install
   // no FaultModel and perturb nothing.
   bool enabled() const {
     return media_error_rate > 0.0 || tail_rate > 0.0 ||
-           (slow_disk >= 0 && slow_factor != 1.0) || fail_disk >= 0;
+           (slow_disk >= DiskId{0} && slow_factor != 1.0) || fail_disk >= DiskId{0};
   }
 
   bool operator==(const FaultConfig&) const = default;
@@ -83,14 +83,14 @@ struct FaultConfig {
 
 // Outcome of one dispatch through the fault layer.
 struct FaultDecision {
-  TimeNs service = 0;   // actual time the request occupies the drive
+  DurNs service;        // actual time the request occupies the drive
   bool failed = false;  // true: the request errors after `service`
 };
 
 // Per-disk fault state. Owned by Disk; consulted once per dispatch.
 class FaultModel {
  public:
-  FaultModel(const FaultConfig& config, int disk_id);
+  FaultModel(const FaultConfig& config, DiskId disk_id);
 
   // True once this disk has fail-stopped.
   bool FailStopped(TimeNs now) const {
@@ -102,16 +102,16 @@ class FaultModel {
   // only for mechanisms whose rate is nonzero, so zero-rate configs are
   // inert. Callers must check FailStopped() first; a dead disk never
   // reaches the mechanism.
-  FaultDecision OnAccess(TimeNs start, TimeNs nominal);
+  FaultDecision OnAccess(TimeNs start, DurNs nominal);
 
-  TimeNs error_latency() const { return config_.error_latency; }
+  DurNs error_latency() const { return config_.error_latency; }
 
   // Re-seeds the stream, for Disk::Reset().
   void Reset();
 
  private:
   FaultConfig config_;
-  int disk_id_;
+  DiskId disk_id_;
   Rng rng_;
 };
 

@@ -19,30 +19,30 @@ DiskGeometry::DiskGeometry(int sector_bytes, int sectors_per_track, int tracks_p
 
 DiskGeometry DiskGeometry::Hp97560() { return DiskGeometry(512, 72, 19, 1962, 4002.0); }
 
-ChsAddress DiskGeometry::SectorToChs(int64_t sector) const {
-  PFC_CHECK(sector >= 0);
+ChsAddress DiskGeometry::SectorToChs(SectorAddr sector) const {
+  PFC_CHECK(sector >= SectorAddr{0});
   // Addresses beyond the physical end wrap; simulated arrays are allowed to
   // be "as large as needed" since capacity is not what the study measures.
-  sector %= total_sectors();
+  const int64_t wrapped = sector.v() % total_sectors();
   ChsAddress chs;
-  chs.cylinder = sector / sectors_per_cylinder();
-  int64_t within = sector % sectors_per_cylinder();
+  chs.cylinder = Cylinder{wrapped / sectors_per_cylinder()};
+  int64_t within = wrapped % sectors_per_cylinder();
   chs.track = within / sectors_per_track_;
   chs.sector = within % sectors_per_track_;
   return chs;
 }
 
 int64_t DiskGeometry::AngleAt(TimeNs t) const {
-  PFC_CHECK(t >= 0);
-  return (t % rotation_period_) / sector_time_;
+  PFC_CHECK(t >= TimeNs{0});
+  return ((t - TimeNs{0}) % rotation_period_) / sector_time_;
 }
 
 TimeNs DiskGeometry::NextArrival(int64_t sector, TimeNs t) const {
   PFC_CHECK(sector >= 0 && sector < sectors_per_track_);
-  TimeNs in_rev = t % rotation_period_;
-  TimeNs target = sector * sector_time_;
-  TimeNs wait = target - in_rev;
-  if (wait < 0) {
+  DurNs in_rev = (t - TimeNs{0}) % rotation_period_;
+  DurNs target = sector * sector_time_;
+  DurNs wait = target - in_rev;
+  if (wait < DurNs{0}) {
     wait += rotation_period_;
   }
   return t + wait;

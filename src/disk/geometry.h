@@ -15,7 +15,7 @@
 namespace pfc {
 
 struct ChsAddress {
-  int64_t cylinder = 0;
+  Cylinder cylinder;
   int64_t track = 0;   // surface within the cylinder
   int64_t sector = 0;  // sector within the track
 };
@@ -41,13 +41,13 @@ class DiskGeometry {
   int64_t total_bytes() const { return total_sectors() * sector_bytes_; }
 
   // One full revolution.
-  TimeNs RotationPeriod() const { return rotation_period_; }
+  DurNs RotationPeriod() const { return rotation_period_; }
   // Time for one sector to pass under the head.
-  TimeNs SectorTime() const { return sector_time_; }
+  DurNs SectorTime() const { return sector_time_; }
 
   // Maps an absolute sector number to cylinder/track/sector. Sectors are
   // laid out track-major within a cylinder, cylinder-major across the disk.
-  ChsAddress SectorToChs(int64_t sector) const;
+  ChsAddress SectorToChs(SectorAddr sector) const;
 
   // Angular position (in sectors, [0, sectors_per_track)) under the head at
   // absolute time `t`, assuming all surfaces rotate in phase and sector k of
@@ -64,8 +64,8 @@ class DiskGeometry {
   int tracks_per_cylinder_;
   int64_t cylinders_;
   double rpm_;
-  TimeNs rotation_period_;
-  TimeNs sector_time_;
+  DurNs rotation_period_;
+  DurNs sector_time_;
 };
 
 }  // namespace pfc

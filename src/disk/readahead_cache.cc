@@ -6,10 +6,10 @@
 
 namespace pfc {
 
-ReadaheadCache::ReadaheadCache(int64_t capacity_sectors, TimeNs sector_time)
+ReadaheadCache::ReadaheadCache(int64_t capacity_sectors, DurNs sector_time)
     : capacity_(capacity_sectors), sector_time_(sector_time) {
   PFC_CHECK(capacity_sectors > 0);
-  PFC_CHECK(sector_time > 0);
+  PFC_CHECK(sector_time > DurNs{0});
 }
 
 void ReadaheadCache::ExtendTo(TimeNs now) {
@@ -22,7 +22,7 @@ void ReadaheadCache::ExtendTo(TimeNs now) {
   last_update_ = now;
 }
 
-bool ReadaheadCache::Contains(int64_t first_sector, int64_t count, TimeNs now) {
+bool ReadaheadCache::Contains(SectorAddr first_sector, int64_t count, TimeNs now) {
   if (!valid_) {
     return false;
   }
@@ -30,7 +30,7 @@ bool ReadaheadCache::Contains(int64_t first_sector, int64_t count, TimeNs now) {
   return first_sector >= start_ && first_sector + count <= end_;
 }
 
-void ReadaheadCache::NoteMediaRead(int64_t first_sector, int64_t count, TimeNs now) {
+void ReadaheadCache::NoteMediaRead(SectorAddr first_sector, int64_t count, TimeNs now) {
   PFC_CHECK(count > 0);
   valid_ = true;
   start_ = first_sector;
@@ -40,9 +40,9 @@ void ReadaheadCache::NoteMediaRead(int64_t first_sector, int64_t count, TimeNs n
 
 void ReadaheadCache::Invalidate() { valid_ = false; }
 
-int64_t ReadaheadCache::EndSectorAt(TimeNs now) {
+SectorAddr ReadaheadCache::EndSectorAt(TimeNs now) {
   if (!valid_) {
-    return 0;
+    return SectorAddr{0};
   }
   ExtendTo(now);
   return end_;

@@ -25,16 +25,16 @@ class ReadaheadCache {
  public:
   // capacity_sectors: buffer size in sectors (128 KB / 512 B = 256).
   // sector_time: media rate at which idle readahead extends the segment.
-  ReadaheadCache(int64_t capacity_sectors, TimeNs sector_time);
+  ReadaheadCache(int64_t capacity_sectors, DurNs sector_time);
 
   // True if [first, first+count) is fully buffered once the segment has been
   // extended up to time `now`.
-  bool Contains(int64_t first_sector, int64_t count, TimeNs now);
+  bool Contains(SectorAddr first_sector, int64_t count, TimeNs now);
 
   // Called when the drive finishes a media read of [first, first+count) at
   // time `now`: the buffer now holds exactly that span and keeps extending
   // from its end while idle.
-  void NoteMediaRead(int64_t first_sector, int64_t count, TimeNs now);
+  void NoteMediaRead(SectorAddr first_sector, int64_t count, TimeNs now);
 
   // Invalidates the buffer (e.g. after a write or a reset).
   void Invalidate();
@@ -44,18 +44,18 @@ class ReadaheadCache {
   bool valid() const { return valid_; }
 
   // Extent visible at `now` (for tests and the streaming path); {start, end}.
-  int64_t StartSector() const { return start_; }
-  int64_t EndSectorAt(TimeNs now);
+  SectorAddr StartSector() const { return start_; }
+  SectorAddr EndSectorAt(TimeNs now);
 
  private:
   void ExtendTo(TimeNs now);
 
   int64_t capacity_;
-  TimeNs sector_time_;
+  DurNs sector_time_;
   bool valid_ = false;
-  int64_t start_ = 0;
-  int64_t end_ = 0;          // one past last buffered sector as of last_update_
-  TimeNs last_update_ = 0;   // time at which `end_` was accurate
+  SectorAddr start_;
+  SectorAddr end_;           // one past last buffered sector as of last_update_
+  TimeNs last_update_;       // time at which `end_` was accurate
 };
 
 }  // namespace pfc

@@ -27,7 +27,7 @@ void RequestScheduler::Enqueue(QueuedRequest request) { queue_.push_back(request
 
 void RequestScheduler::Clear() { queue_.clear(); }
 
-size_t RequestScheduler::PickIndex(int64_t head_block) const {
+size_t RequestScheduler::PickIndex(BlockId head_block) const {
   PFC_CHECK(!queue_.empty());
   switch (discipline_) {
     case SchedDiscipline::kFcfs: {
@@ -111,7 +111,7 @@ size_t RequestScheduler::PickIndex(int64_t head_block) const {
   return 0;
 }
 
-QueuedRequest RequestScheduler::PopNext(int64_t head_block) {
+QueuedRequest RequestScheduler::PopNext(BlockId head_block) {
   size_t idx = PickIndex(head_block);
   QueuedRequest r = queue_[idx];
   if (discipline_ == SchedDiscipline::kScan) {

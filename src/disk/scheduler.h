@@ -27,10 +27,10 @@ enum class SchedDiscipline {
 std::string ToString(SchedDiscipline d);
 
 struct QueuedRequest {
-  int64_t logical_block = 0;  // block id in the trace's address space
-  int64_t disk_block = 0;     // block within this disk
-  TimeNs enqueue_time = 0;
-  uint64_t seq = 0;           // global arrival order, used as tiebreak
+  BlockId logical_block;   // block id in the trace's address space
+  BlockId disk_block;      // block within this disk
+  TimeNs enqueue_time;
+  uint64_t seq = 0;        // global arrival order, used as tiebreak
 };
 
 // Holds pending requests for one disk and picks the next to service.
@@ -45,14 +45,14 @@ class RequestScheduler {
 
   // Removes and returns the next request to service, given the disk block
   // the head last touched. Requires !empty().
-  QueuedRequest PopNext(int64_t head_block);
+  QueuedRequest PopNext(BlockId head_block);
 
   SchedDiscipline discipline() const { return discipline_; }
 
   void Clear();
 
  private:
-  size_t PickIndex(int64_t head_block) const;
+  size_t PickIndex(BlockId head_block) const;
 
   SchedDiscipline discipline_;
   std::vector<QueuedRequest> queue_;

@@ -19,10 +19,10 @@ SeekModel::SeekModel(double short_base_ms, double short_sqrt_ms, double long_bas
 
 SeekModel SeekModel::Hp97560() { return SeekModel(3.24, 0.400, 8.00, 0.008, 383); }
 
-TimeNs SeekModel::SeekTime(int64_t distance) const {
+DurNs SeekModel::SeekTime(int64_t distance) const {
   distance = std::llabs(distance);
   if (distance == 0) {
-    return 0;
+    return DurNs{0};
   }
   double ms;
   if (distance < crossover_) {

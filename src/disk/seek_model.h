@@ -24,7 +24,7 @@ class SeekModel {
   static SeekModel Hp97560();
 
   // Seek time to move the arm `distance` cylinders (0 => 0).
-  TimeNs SeekTime(int64_t distance) const;
+  DurNs SeekTime(int64_t distance) const;
 
   int64_t crossover() const { return crossover_; }
 

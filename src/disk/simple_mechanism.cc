@@ -10,12 +10,12 @@ std::unique_ptr<SimpleMechanism> SimpleMechanism::MakeDefault() {
   return std::make_unique<SimpleMechanism>(SimpleMechanismParams{});
 }
 
-TimeNs SimpleMechanism::Access(int64_t disk_block, TimeNs start) {
+DurNs SimpleMechanism::Access(BlockId disk_block, TimeNs start) {
   (void)start;
-  TimeNs cost;
-  if (last_block_ >= 0 && disk_block == last_block_ + 1) {
+  DurNs cost;
+  if (last_block_ >= BlockId{0} && disk_block == last_block_ + 1) {
     cost = params_.sequential_access;
-  } else if (last_block_ >= 0 && std::llabs(disk_block - last_block_) <= params_.near_window) {
+  } else if (last_block_ >= BlockId{0} && std::llabs(disk_block - last_block_) <= params_.near_window) {
     cost = params_.near_access;
   } else {
     cost = params_.random_access;
@@ -24,14 +24,14 @@ TimeNs SimpleMechanism::Access(int64_t disk_block, TimeNs start) {
   return cost;
 }
 
-int64_t SimpleMechanism::HeadCylinder() const {
-  return last_block_ < 0 ? 0 : last_block_ / params_.blocks_per_cylinder_equiv;
+Cylinder SimpleMechanism::HeadCylinder() const {
+  return Cylinder{last_block_ < BlockId{0} ? 0 : last_block_.v() / params_.blocks_per_cylinder_equiv};
 }
 
-int64_t SimpleMechanism::BlockCylinder(int64_t disk_block) const {
-  return disk_block / params_.blocks_per_cylinder_equiv;
+Cylinder SimpleMechanism::BlockCylinder(BlockId disk_block) const {
+  return Cylinder{disk_block.v() / params_.blocks_per_cylinder_equiv};
 }
 
-void SimpleMechanism::Reset() { last_block_ = -1; }
+void SimpleMechanism::Reset() { last_block_ = BlockId{-1}; }
 
 }  // namespace pfc

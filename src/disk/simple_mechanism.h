@@ -18,9 +18,9 @@
 namespace pfc {
 
 struct SimpleMechanismParams {
-  TimeNs random_access = MsToNs(15.0);      // positioning + transfer, non-sequential
-  TimeNs sequential_access = MsToNs(2.4);   // next block of a detected run
-  TimeNs near_access = MsToNs(7.0);         // within `near_window` blocks
+  DurNs random_access = MsToNs(15.0);       // positioning + transfer, non-sequential
+  DurNs sequential_access = MsToNs(2.4);    // next block of a detected run
+  DurNs near_access = MsToNs(7.0);          // within `near_window` blocks
   int64_t near_window = 64;
   int64_t blocks_per_cylinder_equiv = 8;    // granularity for "near" distance
 };
@@ -31,15 +31,15 @@ class SimpleMechanism : public DiskMechanism {
 
   static std::unique_ptr<SimpleMechanism> MakeDefault();
 
-  TimeNs Access(int64_t disk_block, TimeNs start) override;
-  int64_t HeadCylinder() const override;
-  int64_t BlockCylinder(int64_t disk_block) const override;
+  DurNs Access(BlockId disk_block, TimeNs start) override;
+  Cylinder HeadCylinder() const override;
+  Cylinder BlockCylinder(BlockId disk_block) const override;
   void Reset() override;
   std::string name() const override { return "simple"; }
 
  private:
   SimpleMechanismParams params_;
-  int64_t last_block_ = -1;
+  BlockId last_block_{-1};
 };
 
 }  // namespace pfc

@@ -91,11 +91,11 @@ std::string RenderUtilizationTable(const std::string& title, const std::vector<i
 }
 
 double PercentImprovement(const RunResult& a, const RunResult& b) {
-  if (b.elapsed_time == 0) {
+  if (b.elapsed_time == DurNs{0}) {
     return 0.0;
   }
-  return 100.0 * static_cast<double>(b.elapsed_time - a.elapsed_time) /
-         static_cast<double>(b.elapsed_time);
+  return 100.0 * static_cast<double>((b.elapsed_time - a.elapsed_time).ns()) /
+         static_cast<double>(b.elapsed_time.ns());
 }
 
 }  // namespace pfc

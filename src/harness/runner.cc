@@ -180,7 +180,7 @@ std::string TuneKey(const Trace& trace, const TuneRequest& request) {
                 static_cast<int>(c.disk_model));
   key += buf;
   std::snprintf(buf, sizeof(buf), " drv=%lld cpu=%a hint=%a/%llu wt=%d",
-                static_cast<long long>(c.driver_overhead), c.cpu_scale, c.hint_coverage,
+                static_cast<long long>(c.driver_overhead.ns()), c.cpu_scale, c.hint_coverage,
                 static_cast<unsigned long long>(c.hint_seed), c.write_through ? 1 : 0);
   key += buf;
   // Fault injection perturbs results, so a faulty config must never share a
@@ -190,13 +190,13 @@ std::string TuneKey(const Trace& trace, const TuneRequest& request) {
     const FaultConfig& f = c.faults;
     std::snprintf(buf, sizeof(buf),
                   " flt=%a/%a/%a sd=%d/%a/%lld fd=%d/%lld s=%llu r=%d/%lld/%lld/%lld",
-                  f.media_error_rate, f.tail_rate, f.tail_multiplier, f.slow_disk,
-                  f.slow_factor, static_cast<long long>(f.slow_after), f.fail_disk,
-                  static_cast<long long>(f.fail_after),
+                  f.media_error_rate, f.tail_rate, f.tail_multiplier, f.slow_disk.v(),
+                  f.slow_factor, static_cast<long long>(f.slow_after.ns()), f.fail_disk.v(),
+                  static_cast<long long>(f.fail_after.ns()),
                   static_cast<unsigned long long>(f.seed), f.max_retries,
-                  static_cast<long long>(f.retry_backoff),
-                  static_cast<long long>(f.error_latency),
-                  static_cast<long long>(f.recovery_penalty));
+                  static_cast<long long>(f.retry_backoff.ns()),
+                  static_cast<long long>(f.error_latency.ns()),
+                  static_cast<long long>(f.recovery_penalty.ns()));
     key += buf;
   }
   key += " F=";
@@ -275,7 +275,7 @@ std::vector<PolicyOptions> TuneReverseAggressiveMany(const Trace& trace,
   for (size_t s = 0; s < misses.size(); ++s) {
     const size_t m = misses[s];
     PolicyOptions best;
-    TimeNs best_elapsed = std::numeric_limits<TimeNs>::max();
+    DurNs best_elapsed = kDurInfinity;
     for (size_t i = spans[s].first; i < spans[s].second; ++i) {
       if (results[i].elapsed_time < best_elapsed) {
         best_elapsed = results[i].elapsed_time;

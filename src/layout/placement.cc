@@ -15,10 +15,11 @@ StripedPlacement::StripedPlacement(int num_disks) : num_disks_(num_disks) {
   PFC_CHECK(num_disks > 0);
 }
 
-BlockLocation StripedPlacement::Map(int64_t logical_block) const {
-  PFC_CHECK(logical_block >= 0);
-  return BlockLocation{static_cast<int>(logical_block % num_disks_),
-                       logical_block / num_disks_};
+BlockLocation StripedPlacement::Map(BlockId logical_block) const {
+  const int64_t raw = logical_block.v();
+  PFC_CHECK(raw >= 0);
+  return BlockLocation{DiskId{static_cast<int32_t>(raw % num_disks_)},
+                       BlockId{raw / num_disks_}};
 }
 
 ContiguousPlacement::ContiguousPlacement(int num_disks, int64_t span_blocks)
@@ -27,11 +28,12 @@ ContiguousPlacement::ContiguousPlacement(int num_disks, int64_t span_blocks)
   PFC_CHECK(span_blocks > 0);
 }
 
-BlockLocation ContiguousPlacement::Map(int64_t logical_block) const {
-  PFC_CHECK(logical_block >= 0);
-  int64_t chunk = logical_block / span_;
-  return BlockLocation{static_cast<int>(chunk % num_disks_),
-                       (chunk / num_disks_) * span_ + logical_block % span_};
+BlockLocation ContiguousPlacement::Map(BlockId logical_block) const {
+  const int64_t raw = logical_block.v();
+  PFC_CHECK(raw >= 0);
+  int64_t chunk = raw / span_;
+  return BlockLocation{DiskId{static_cast<int32_t>(chunk % num_disks_)},
+                       BlockId{(chunk / num_disks_) * span_ + raw % span_}};
 }
 
 GroupHashPlacement::GroupHashPlacement(int num_disks, int64_t group_blocks)
@@ -40,14 +42,16 @@ GroupHashPlacement::GroupHashPlacement(int num_disks, int64_t group_blocks)
   PFC_CHECK(group_blocks > 0);
 }
 
-BlockLocation GroupHashPlacement::Map(int64_t logical_block) const {
-  PFC_CHECK(logical_block >= 0);
-  int64_t group = logical_block / group_blocks_;
-  int disk = static_cast<int>(SplitMix64(static_cast<uint64_t>(group)) %
-                              static_cast<uint64_t>(num_disks_));
+BlockLocation GroupHashPlacement::Map(BlockId logical_block) const {
+  const int64_t raw = logical_block.v();
+  PFC_CHECK(raw >= 0);
+  int64_t group = raw / group_blocks_;
+  auto disk = static_cast<int32_t>(SplitMix64(static_cast<uint64_t>(group)) %
+                                   static_cast<uint64_t>(num_disks_));
   // Keep the within-group offset so sequential runs inside a group stay
   // sequential on the owning disk.
-  return BlockLocation{disk, (group / num_disks_) * group_blocks_ + logical_block % group_blocks_};
+  return BlockLocation{DiskId{disk},
+                       BlockId{(group / num_disks_) * group_blocks_ + raw % group_blocks_}};
 }
 
 std::string ToString(PlacementKind kind) {

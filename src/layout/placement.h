@@ -14,17 +14,19 @@
 #include <memory>
 #include <string>
 
+#include "util/strong_types.h"
+
 namespace pfc {
 
 struct BlockLocation {
-  int disk = 0;
-  int64_t disk_block = 0;
+  DiskId disk;
+  BlockId disk_block;
 };
 
 class Placement {
  public:
   virtual ~Placement() = default;
-  virtual BlockLocation Map(int64_t logical_block) const = 0;
+  virtual BlockLocation Map(BlockId logical_block) const = 0;
   virtual int num_disks() const = 0;
   virtual std::string name() const = 0;
 };
@@ -33,7 +35,7 @@ class Placement {
 class StripedPlacement : public Placement {
  public:
   explicit StripedPlacement(int num_disks);
-  BlockLocation Map(int64_t logical_block) const override;
+  BlockLocation Map(BlockId logical_block) const override;
   int num_disks() const override { return num_disks_; }
   std::string name() const override { return "striped"; }
 
@@ -46,7 +48,7 @@ class StripedPlacement : public Placement {
 class ContiguousPlacement : public Placement {
  public:
   ContiguousPlacement(int num_disks, int64_t span_blocks);
-  BlockLocation Map(int64_t logical_block) const override;
+  BlockLocation Map(BlockId logical_block) const override;
   int num_disks() const override { return num_disks_; }
   std::string name() const override { return "contiguous"; }
 
@@ -61,7 +63,7 @@ class ContiguousPlacement : public Placement {
 class GroupHashPlacement : public Placement {
  public:
   GroupHashPlacement(int num_disks, int64_t group_blocks);
-  BlockLocation Map(int64_t logical_block) const override;
+  BlockLocation Map(BlockId logical_block) const override;
   int num_disks() const override { return num_disks_; }
   std::string name() const override { return "group-hash"; }
 

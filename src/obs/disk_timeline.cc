@@ -8,16 +8,16 @@ void DiskTimeline::OnDispatch(const ObsEvent& event) {
 }
 
 void DiskTimeline::OnComplete(const ObsEvent& event) {
-  busy_ns_ += event.a;
+  busy_ns_ += DurNs{event.a};
   if (event.flag) {
     ++failures_;
   } else {
     ++completes_;
   }
-  const double service = NsToMs(event.a);
+  const double service = NsToMs(DurNs{event.a});
   service_ms_.Add(service);
   service_hist_.Add(service);
-  response_ms_.Add(NsToMs(event.b));
+  response_ms_.Add(NsToMs(DurNs{event.b}));
 }
 
 }  // namespace pfc

@@ -25,7 +25,7 @@ class DiskTimeline {
   void OnDispatch(const ObsEvent& event);  // kDiskBusyBegin
   void OnComplete(const ObsEvent& event);  // kDiskBusyEnd
 
-  TimeNs busy_ns() const { return busy_ns_; }
+  DurNs busy_ns() const { return busy_ns_; }
   int64_t dispatches() const { return dispatches_; }
   int64_t completes() const { return completes_; }
   int64_t failures() const { return failures_; }
@@ -40,12 +40,14 @@ class DiskTimeline {
   const Histogram& service_hist() const { return service_hist_; }
 
   // Fraction of `elapsed` this disk spent in service.
-  double Utilization(TimeNs elapsed) const {
-    return elapsed > 0 ? static_cast<double>(busy_ns_) / static_cast<double>(elapsed) : 0.0;
+  double Utilization(DurNs elapsed) const {
+    return elapsed > DurNs{0}
+               ? static_cast<double>(busy_ns_.ns()) / static_cast<double>(elapsed.ns())
+               : 0.0;
   }
 
  private:
-  TimeNs busy_ns_ = 0;
+  DurNs busy_ns_;
   int64_t dispatches_ = 0;
   int64_t completes_ = 0;
   int64_t failures_ = 0;

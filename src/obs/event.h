@@ -62,12 +62,12 @@ enum class ObsEventKind : uint8_t {
 const char* ToString(ObsEventKind kind);
 
 struct ObsEvent {
-  TimeNs time = 0;
+  TimeNs time;
   ObsEventKind kind = ObsEventKind::kPolicyMark;
   StallCause cause = StallCause::kColdMiss;  // meaningful for stall kinds only
   bool flag = false;                         // kind-specific (see enum docs)
-  int32_t disk = -1;                         // -1 = not disk-specific
-  int64_t block = -1;                        // -1 = not block-specific
+  DiskId disk = kNoDisk;                     // kNoDisk = not disk-specific
+  BlockId block = kNoBlock;                  // kNoBlock = not block-specific
   int64_t a = 0;                             // kind-specific payload
   int64_t b = 0;                             // kind-specific payload
   const char* label = nullptr;               // static string; kPolicyMark only

@@ -16,7 +16,7 @@ namespace {
 // Timestamps are rendered as exact decimal microseconds ("123.456") from the
 // integer nanosecond clock — no floating point anywhere near the exporter,
 // so the output is byte-stable across runs and platforms.
-void AppendUs(std::string* out, TimeNs ns) {
+void AppendUs(std::string* out, int64_t ns) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
                 static_cast<long long>(ns % 1000));
@@ -24,7 +24,7 @@ void AppendUs(std::string* out, TimeNs ns) {
 }
 
 void AppendChromeEvent(std::string* out, const char* name, const char* ph, int tid, TimeNs ts,
-                       TimeNs dur, const std::string& args) {
+                       DurNs dur, const std::string& args) {
   *out += "{\"name\":\"";
   *out += name;
   *out += "\",\"ph\":\"";
@@ -32,10 +32,10 @@ void AppendChromeEvent(std::string* out, const char* name, const char* ph, int t
   *out += "\",\"pid\":0,\"tid\":";
   *out += std::to_string(tid);
   *out += ",\"ts\":";
-  AppendUs(out, ts);
+  AppendUs(out, ts.ns());
   if (std::strcmp(ph, "X") == 0) {
     *out += ",\"dur\":";
-    AppendUs(out, dur);
+    AppendUs(out, dur.ns());
   }
   if (std::strcmp(ph, "i") == 0) {
     *out += ",\"s\":\"t\"";
@@ -59,7 +59,7 @@ void AppendMetadata(std::string* out, const char* what, int tid, const std::stri
 }
 
 constexpr int kAppTid = 0;
-int DiskTid(int disk) { return 1 + disk; }
+int DiskTid(DiskId disk) { return 1 + disk.v(); }
 
 }  // namespace
 
@@ -70,8 +70,8 @@ std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::stri
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   AppendMetadata(&out, "process_name", kAppTid, "pfc " + trace_name + " / " + policy_name);
   AppendMetadata(&out, "thread_name", kAppTid, "app (stalls)");
-  for (int d = 0; d < num_disks; ++d) {
-    AppendMetadata(&out, "thread_name", DiskTid(d), "disk " + std::to_string(d));
+  for (DiskId d{0}; d.v() < num_disks; ++d) {
+    AppendMetadata(&out, "thread_name", DiskTid(d), "disk " + std::to_string(d.v()));
   }
 
   char name[96];
@@ -79,17 +79,17 @@ std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::stri
     switch (e.kind) {
       case ObsEventKind::kStallEnd: {
         std::snprintf(name, sizeof(name), "stall:%s", ToString(e.cause));
-        std::string args = "\"block\":" + std::to_string(e.block) +
+        std::string args = "\"block\":" + std::to_string(e.block.v()) +
                            ",\"fault_ns\":" + std::to_string(e.b);
-        AppendChromeEvent(&out, name, "X", kAppTid, e.time - e.a, e.a, args);
+        AppendChromeEvent(&out, name, "X", kAppTid, e.time - DurNs{e.a}, DurNs{e.a}, args);
         break;
       }
       case ObsEventKind::kDiskBusyEnd: {
         std::snprintf(name, sizeof(name), "%sio b%lld", e.flag ? "!" : "",
-                      static_cast<long long>(e.block));
+                      static_cast<long long>(e.block.v()));
         std::string args = "\"service_ns\":" + std::to_string(e.a) +
                            ",\"response_ns\":" + std::to_string(e.b);
-        AppendChromeEvent(&out, name, "X", DiskTid(e.disk), e.time - e.a, e.a, args);
+        AppendChromeEvent(&out, name, "X", DiskTid(e.disk), e.time - DurNs{e.a}, DurNs{e.a}, args);
         break;
       }
       case ObsEventKind::kPrefetchIssue:
@@ -100,20 +100,20 @@ std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::stri
       case ObsEventKind::kFaultRecover:
       case ObsEventKind::kFlushIssue: {
         std::snprintf(name, sizeof(name), "%s b%lld", ToString(e.kind),
-                      static_cast<long long>(e.block));
-        const int tid = e.disk >= 0 ? DiskTid(e.disk) : kAppTid;
-        AppendChromeEvent(&out, name, "i", tid, e.time, 0, "");
+                      static_cast<long long>(e.block.v()));
+        const int tid = e.disk >= DiskId{0} ? DiskTid(e.disk) : kAppTid;
+        AppendChromeEvent(&out, name, "i", tid, e.time, DurNs{0}, "");
         break;
       }
       case ObsEventKind::kEvict: {
-        std::snprintf(name, sizeof(name), "evict b%lld", static_cast<long long>(e.block));
-        AppendChromeEvent(&out, name, "i", kAppTid, e.time, 0, "");
+        std::snprintf(name, sizeof(name), "evict b%lld", static_cast<long long>(e.block.v()));
+        AppendChromeEvent(&out, name, "i", kAppTid, e.time, DurNs{0}, "");
         break;
       }
       case ObsEventKind::kPolicyMark: {
         std::snprintf(name, sizeof(name), "%s=%lld", e.label != nullptr ? e.label : "mark",
                       static_cast<long long>(e.a));
-        AppendChromeEvent(&out, name, "i", kAppTid, e.time, 0, "");
+        AppendChromeEvent(&out, name, "i", kAppTid, e.time, DurNs{0}, "");
         break;
       }
       // Begin markers and completion counters are implied by the "X" slices.
@@ -143,8 +143,8 @@ std::string EventsCsvString(const std::vector<ObsEvent>& events) {
   for (const ObsEvent& e : events) {
     const bool stall = e.kind == ObsEventKind::kStallBegin || e.kind == ObsEventKind::kStallEnd;
     std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%lld,%lld,%lld,%d,%s\n",
-                  static_cast<long long>(e.time), ToString(e.kind),
-                  stall ? ToString(e.cause) : "", e.disk, static_cast<long long>(e.block),
+                  static_cast<long long>(e.time.ns()), ToString(e.kind),
+                  stall ? ToString(e.cause) : "", e.disk.v(), static_cast<long long>(e.block.v()),
                   static_cast<long long>(e.a), static_cast<long long>(e.b), e.flag ? 1 : 0,
                   e.label != nullptr ? e.label : "");
     out += line;
@@ -231,7 +231,7 @@ Expected<std::vector<LoadedEvent>> LoadEventsCsv(const std::string& path) {
     }
     LoadedEvent le;
     char* end = nullptr;
-    le.event.time = std::strtoll(fields[0].c_str(), &end, 10);
+    le.event.time = TimeNs{std::strtoll(fields[0].c_str(), &end, 10)};
     if (end == fields[0].c_str() || *end != '\0') {
       return Fail(path, lineno, "bad time_ns '" + fields[0] + "'");
     }
@@ -241,8 +241,8 @@ Expected<std::vector<LoadedEvent>> LoadEventsCsv(const std::string& path) {
     if (!fields[2].empty() && !ParseCause(fields[2], &le.event.cause)) {
       return Fail(path, lineno, "unknown stall cause '" + fields[2] + "'");
     }
-    le.event.disk = std::atoi(fields[3].c_str());
-    le.event.block = std::strtoll(fields[4].c_str(), nullptr, 10);
+    le.event.disk = DiskId{std::atoi(fields[3].c_str())};
+    le.event.block = BlockId{std::strtoll(fields[4].c_str(), nullptr, 10)};
     le.event.a = std::strtoll(fields[5].c_str(), nullptr, 10);
     le.event.b = std::strtoll(fields[6].c_str(), nullptr, 10);
     le.event.flag = fields[7] == "1";

@@ -73,7 +73,7 @@ void ObsCollector::OnEvent(const ObsEvent& event) {
       ++report_.evictions;
       break;
     case ObsEventKind::kStallEnd:
-      report_.stalls.AddWindow(event.cause, event.a, event.b);
+      report_.stalls.AddWindow(event.cause, DurNs{event.a}, DurNs{event.b});
       break;
     case ObsEventKind::kFaultRetry:
       ++report_.fault_retries;
@@ -85,12 +85,12 @@ void ObsCollector::OnEvent(const ObsEvent& event) {
       ++report_.fault_recoveries;
       break;
     case ObsEventKind::kDiskBusyBegin:
-      PFC_CHECK_GE(event.disk, 0);
-      report_.disks[static_cast<size_t>(event.disk)].OnDispatch(event);
+      PFC_CHECK_GE(event.disk.v(), 0);
+      report_.disks[static_cast<size_t>(event.disk.v())].OnDispatch(event);
       break;
     case ObsEventKind::kDiskBusyEnd:
-      PFC_CHECK_GE(event.disk, 0);
-      report_.disks[static_cast<size_t>(event.disk)].OnComplete(event);
+      PFC_CHECK_GE(event.disk.v(), 0);
+      report_.disks[static_cast<size_t>(event.disk.v())].OnComplete(event);
       break;
     case ObsEventKind::kFlushIssue:
       ++report_.flush_issues;

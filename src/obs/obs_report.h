@@ -49,9 +49,9 @@ struct ObsReport {
   int64_t total_events = 0;
 
   // Copied from the RunResult at Finish() so the report is self-contained.
-  TimeNs elapsed_ns = 0;
-  TimeNs stall_ns = 0;
-  TimeNs degraded_stall_ns = 0;
+  DurNs elapsed_ns;
+  DurNs stall_ns;
+  DurNs degraded_stall_ns;
 
   // The raw stream; empty unless SimConfig::obs.keep_events was set.
   std::vector<ObsEvent> events;

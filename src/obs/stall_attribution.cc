@@ -24,10 +24,10 @@ const char* ToString(StallCause cause) {
   return "?";
 }
 
-void StallAttribution::AddWindow(StallCause base, TimeNs duration, TimeNs fault_share) {
+void StallAttribution::AddWindow(StallCause base, DurNs duration, DurNs fault_share) {
   PFC_CHECK(base != StallCause::kFaultRecovery);
-  PFC_CHECK_GT(duration, 0);
-  PFC_CHECK_GE(fault_share, 0);
+  PFC_CHECK_GT(duration, DurNs{0});
+  PFC_CHECK_GE(fault_share, DurNs{0});
   PFC_CHECK_LE(fault_share, duration);
   buckets_[static_cast<size_t>(base)] += duration - fault_share;
   buckets_[static_cast<size_t>(StallCause::kFaultRecovery)] += fault_share;
@@ -35,15 +35,15 @@ void StallAttribution::AddWindow(StallCause base, TimeNs duration, TimeNs fault_
   ++windows_;
 }
 
-TimeNs StallAttribution::total() const {
-  TimeNs sum = 0;
-  for (TimeNs b : buckets_) {
+DurNs StallAttribution::total() const {
+  DurNs sum;
+  for (DurNs b : buckets_) {
     sum += b;
   }
   return sum;
 }
 
-void StallAttribution::CheckAgainst(TimeNs stall_time, TimeNs degraded_stall_ns) const {
+void StallAttribution::CheckAgainst(DurNs stall_time, DurNs degraded_stall_ns) const {
   PFC_CHECK_EQ(total(), stall_time);
   PFC_CHECK_EQ(ns(StallCause::kFaultRecovery), degraded_stall_ns);
 }
@@ -57,15 +57,16 @@ void StallAttribution::Merge(const StallAttribution& other) {
 }
 
 std::string StallAttribution::ToString() const {
-  const TimeNs sum = total();
+  const DurNs sum = total();
   std::string out;
   char line[160];
   for (int c = 0; c < kNumCauses; ++c) {
-    const TimeNs ns = buckets_[static_cast<size_t>(c)];
-    if (ns == 0 && window_counts_[static_cast<size_t>(c)] == 0) {
+    const DurNs ns = buckets_[static_cast<size_t>(c)];
+    if (ns == DurNs{0} && window_counts_[static_cast<size_t>(c)] == 0) {
       continue;
     }
-    const double pct = sum > 0 ? 100.0 * static_cast<double>(ns) / static_cast<double>(sum) : 0.0;
+    const double pct =
+        sum > DurNs{0} ? 100.0 * static_cast<double>(ns.ns()) / static_cast<double>(sum.ns()) : 0.0;
     std::snprintf(line, sizeof(line), "  %-16s %10.4fs  (%lld windows, %5.1f%%)\n",
                   pfc::ToString(static_cast<StallCause>(c)), NsToSec(ns),
                   static_cast<long long>(window_counts_[static_cast<size_t>(c)]), pct);

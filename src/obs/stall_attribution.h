@@ -28,12 +28,12 @@ class StallAttribution {
   // Banks one closed stall window. `fault_share` must be <= `duration`;
   // `base` must not itself be kFaultRecovery (the fault share is carved out
   // of the window, never the whole window's identity).
-  void AddWindow(StallCause base, TimeNs duration, TimeNs fault_share);
+  void AddWindow(StallCause base, DurNs duration, DurNs fault_share);
 
-  TimeNs ns(StallCause cause) const {
+  DurNs ns(StallCause cause) const {
     return buckets_[static_cast<size_t>(cause)];
   }
-  TimeNs total() const;
+  DurNs total() const;
   int64_t windows() const { return windows_; }
   int64_t windows(StallCause cause) const {
     return window_counts_[static_cast<size_t>(cause)];
@@ -44,7 +44,7 @@ class StallAttribution {
   // violation — a broken attribution means the engine double- or
   // under-counted a window, which would silently corrupt every downstream
   // timeline.
-  void CheckAgainst(TimeNs stall_time, TimeNs degraded_stall_ns) const;
+  void CheckAgainst(DurNs stall_time, DurNs degraded_stall_ns) const;
 
   void Merge(const StallAttribution& other);
 
@@ -52,7 +52,7 @@ class StallAttribution {
   std::string ToString() const;
 
  private:
-  std::array<TimeNs, kNumCauses> buckets_{};
+  std::array<DurNs, kNumCauses> buckets_{};
   std::array<int64_t, kNumCauses> window_counts_{};
   int64_t windows_ = 0;
 };

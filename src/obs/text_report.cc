@@ -15,21 +15,21 @@ namespace {
 
 // Adds interval [begin, end) into per-bucket occupancy over [0, span).
 void AddInterval(std::vector<double>* occupancy, TimeNs begin, TimeNs end, TimeNs span) {
-  if (span <= 0 || end <= begin) {
+  if (span <= TimeNs{0} || end <= begin) {
     return;
   }
-  const double width = static_cast<double>(span) / static_cast<double>(occupancy->size());
-  begin = std::max<TimeNs>(begin, 0);
+  const double width = static_cast<double>(span.ns()) / static_cast<double>(occupancy->size());
+  begin = std::max(begin, TimeNs{0});
   end = std::min(end, span);
-  int lo = static_cast<int>(static_cast<double>(begin) / width);
-  int hi = static_cast<int>(static_cast<double>(end) / width);
+  int lo = static_cast<int>(static_cast<double>(begin.ns()) / width);
+  int hi = static_cast<int>(static_cast<double>(end.ns()) / width);
   lo = std::min(lo, static_cast<int>(occupancy->size()) - 1);
   hi = std::min(hi, static_cast<int>(occupancy->size()) - 1);
   for (int i = lo; i <= hi; ++i) {
     const double bucket_lo = width * i;
     const double bucket_hi = bucket_lo + width;
-    const double overlap = std::min(static_cast<double>(end), bucket_hi) -
-                           std::max(static_cast<double>(begin), bucket_lo);
+    const double overlap = std::min(static_cast<double>(end.ns()), bucket_hi) -
+                           std::max(static_cast<double>(begin.ns()), bucket_lo);
     if (overlap > 0) {
       (*occupancy)[static_cast<size_t>(i)] += overlap / width;
     }
@@ -65,14 +65,14 @@ std::string LaneString(const std::vector<double>& occupancy) {
 
 std::string RenderTimeline(const std::vector<LoadedEvent>& events, int columns) {
   PFC_CHECK_GT(columns, 0);
-  TimeNs span = 0;
+  TimeNs span;
   int num_disks = 0;
   for (const LoadedEvent& le : events) {
     span = std::max(span, le.event.time);
-    num_disks = std::max(num_disks, le.event.disk + 1);
+    num_disks = std::max(num_disks, le.event.disk.v() + 1);
   }
   std::string out;
-  if (span == 0) {
+  if (span == TimeNs{0}) {
     return "  (empty event stream)\n";
   }
 
@@ -86,9 +86,9 @@ std::string RenderTimeline(const std::vector<LoadedEvent>& events, int columns) 
   for (const LoadedEvent& le : events) {
     const ObsEvent& e = le.event;
     if (e.kind == ObsEventKind::kStallEnd) {
-      AddInterval(&stall_lane, e.time - e.a, e.time, span);
-    } else if (e.kind == ObsEventKind::kDiskBusyEnd && e.disk >= 0) {
-      AddInterval(&disk_lanes[static_cast<size_t>(e.disk)], e.time - e.a, e.time, span);
+      AddInterval(&stall_lane, e.time - DurNs{e.a}, e.time, span);
+    } else if (e.kind == ObsEventKind::kDiskBusyEnd && e.disk.v() >= 0) {
+      AddInterval(&disk_lanes[static_cast<size_t>(e.disk.v())], e.time - DurNs{e.a}, e.time, span);
     }
   }
 
@@ -107,12 +107,12 @@ std::string RenderEventReport(const std::vector<LoadedEvent>& events, int column
 
   // Census.
   std::vector<int64_t> counts(static_cast<size_t>(ObsEventKind::kNumKinds), 0);
-  TimeNs span = 0;
+  TimeNs span;
   int num_disks = 0;
   for (const LoadedEvent& le : events) {
     ++counts[static_cast<size_t>(le.event.kind)];
     span = std::max(span, le.event.time);
-    num_disks = std::max(num_disks, le.event.disk + 1);
+    num_disks = std::max(num_disks, le.event.disk.v() + 1);
   }
   std::snprintf(line, sizeof(line), "%zu events over %.3fs, %d disks\n", events.size(),
                 NsToSec(span), num_disks);
@@ -130,7 +130,7 @@ std::string RenderEventReport(const std::vector<LoadedEvent>& events, int column
   StallAttribution stalls;
   for (const LoadedEvent& le : events) {
     if (le.event.kind == ObsEventKind::kStallEnd) {
-      stalls.AddWindow(le.event.cause, le.event.a, le.event.b);
+      stalls.AddWindow(le.event.cause, DurNs{le.event.a}, DurNs{le.event.b});
     }
   }
   out += "\nstall attribution:\n";
@@ -141,9 +141,9 @@ std::string RenderEventReport(const std::vector<LoadedEvent>& events, int column
     std::vector<DiskTimeline> disks(static_cast<size_t>(num_disks));
     for (const LoadedEvent& le : events) {
       if (le.event.kind == ObsEventKind::kDiskBusyBegin) {
-        disks[static_cast<size_t>(le.event.disk)].OnDispatch(le.event);
+        disks[static_cast<size_t>(le.event.disk.v())].OnDispatch(le.event);
       } else if (le.event.kind == ObsEventKind::kDiskBusyEnd) {
-        disks[static_cast<size_t>(le.event.disk)].OnComplete(le.event);
+        disks[static_cast<size_t>(le.event.disk.v())].OnComplete(le.event);
       }
     }
     out += "\nper-disk service times (ms):\n";
@@ -155,7 +155,7 @@ std::string RenderEventReport(const std::vector<LoadedEvent>& events, int column
       const Histogram& h = t.service_hist();
       std::snprintf(line, sizeof(line),
                     "  %-5d %9lld %5.1f%% %9.2f %8.3f %8.3f %8.3f %8.3f %8.3f\n", d,
-                    static_cast<long long>(t.dispatches()), 100.0 * t.Utilization(span),
+                    static_cast<long long>(t.dispatches()), 100.0 * t.Utilization(span - TimeNs{0}),
                     t.queue_depth().mean(), t.service_ms().mean(), h.Percentile(0.5),
                     h.Percentile(0.9), h.Percentile(0.95), h.Percentile(0.99));
       out += line;

@@ -10,8 +10,8 @@
 
 namespace pfc {
 
-TimeNs MinServiceFloorNs(const SimConfig& config) {
-  TimeNs floor;
+DurNs MinServiceFloorNs(const SimConfig& config) {
+  DurNs floor;
   if (config.disk_model == DiskModelKind::kSimple) {
     // The simple model's cheapest outcome is a detected sequential
     // continuation.
@@ -33,35 +33,34 @@ TimeNs MinServiceFloorNs(const SimConfig& config) {
   return floor;
 }
 
-TimeNs TheoryLowerBoundNs(const Trace& trace, const SimConfig& config) {
-  TimeNs compute_total = 0;
-  for (int64_t pos = 0; pos < trace.size(); ++pos) {
-    compute_total += static_cast<TimeNs>(static_cast<double>(trace.compute(pos)) *
-                                             config.cpu_scale +
-                                         0.5);
+DurNs TheoryLowerBoundNs(const Trace& trace, const SimConfig& config) {
+  DurNs compute_total;
+  for (TracePos pos{0}; pos.v() < trace.size(); ++pos) {
+    compute_total += DurNs(static_cast<int64_t>(
+        static_cast<double>(trace.compute(pos).ns()) * config.cpu_scale + 0.5));
   }
 
   // Blocks whose first reference is a read must be fetched at least once
   // (a first-written block materializes in a buffer without I/O).
   std::unique_ptr<Placement> placement = MakePlacement(config.placement, config.num_disks);
-  std::unordered_set<int64_t> seen;
+  std::unordered_set<BlockId> seen;
   std::vector<int64_t> required_per_disk(static_cast<size_t>(config.num_disks), 0);
   int64_t required = 0;
-  for (int64_t pos = 0; pos < trace.size(); ++pos) {
-    const int64_t block = trace.block(pos);
+  for (TracePos pos{0}; pos.v() < trace.size(); ++pos) {
+    const BlockId block = trace.block(pos);
     if (!seen.insert(block).second) {
       continue;
     }
     if (!trace.is_write(pos)) {
       ++required;
-      ++required_per_disk[static_cast<size_t>(placement->Map(block).disk)];
+      ++required_per_disk[static_cast<size_t>(placement->Map(block).disk.v())];
     }
   }
 
-  const TimeNs app_floor = compute_total + config.driver_overhead * required;
+  const DurNs app_floor = compute_total + config.driver_overhead * required;
 
-  const TimeNs min_service = MinServiceFloorNs(config);
-  TimeNs disk_floor = 0;
+  const DurNs min_service = MinServiceFloorNs(config);
+  DurNs disk_floor;
   for (int64_t count : required_per_disk) {
     disk_floor = std::max(disk_floor, count * min_service);
   }

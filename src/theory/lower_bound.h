@@ -34,11 +34,11 @@ namespace pfc {
 
 // Cheapest service time a single request can possibly take under the
 // config's disk model (and fault layer, if enabled).
-TimeNs MinServiceFloorNs(const SimConfig& config);
+DurNs MinServiceFloorNs(const SimConfig& config);
 
 // The lower bound described above. Pure function of (trace, config);
 // independent of policy.
-TimeNs TheoryLowerBoundNs(const Trace& trace, const SimConfig& config);
+DurNs TheoryLowerBoundNs(const Trace& trace, const SimConfig& config);
 
 }  // namespace pfc
 

@@ -8,7 +8,7 @@ namespace pfc {
 
 FileLayout::FileLayout(Rng* rng) : rng_(rng) { PFC_CHECK(rng != nullptr); }
 
-int64_t FileLayout::AddFile(int64_t blocks) {
+BlockId FileLayout::AddFile(int64_t blocks) {
   PFC_CHECK(blocks > 0);
   // Start at a random offset within a fresh allocation group, leaving room
   // so a small file fits in its group; large files spill into the following
@@ -21,7 +21,7 @@ int64_t FileLayout::AddFile(int64_t blocks) {
   base_.push_back(base);
   blocks_.push_back(blocks);
   scattered_.emplace_back();
-  return base;
+  return BlockId{base};
 }
 
 int FileLayout::AddFragmentedFile(int64_t blocks, int64_t extent_blocks) {
@@ -61,10 +61,10 @@ int FileLayout::AddFragmentedFile(int64_t blocks, int64_t extent_blocks) {
   return num_files() - 1;
 }
 
-int64_t FileLayout::FileBase(int file_id) const {
+BlockId FileLayout::FileBase(int file_id) const {
   PFC_CHECK(file_id >= 0 && file_id < num_files());
   PFC_CHECK(base_[static_cast<size_t>(file_id)] >= 0);
-  return base_[static_cast<size_t>(file_id)];
+  return BlockId{base_[static_cast<size_t>(file_id)]};
 }
 
 int64_t FileLayout::FileBlocks(int file_id) const {
@@ -72,13 +72,13 @@ int64_t FileLayout::FileBlocks(int file_id) const {
   return blocks_[static_cast<size_t>(file_id)];
 }
 
-int64_t FileLayout::BlockAddress(int file_id, int64_t offset) const {
+BlockId FileLayout::BlockAddress(int file_id, int64_t offset) const {
   PFC_CHECK(file_id >= 0 && file_id < num_files());
   PFC_CHECK(offset >= 0 && offset < blocks_[static_cast<size_t>(file_id)]);
   if (base_[static_cast<size_t>(file_id)] >= 0) {
-    return base_[static_cast<size_t>(file_id)] + offset;
+    return BlockId{base_[static_cast<size_t>(file_id)] + offset};
   }
-  return scattered_[static_cast<size_t>(file_id)][static_cast<size_t>(offset)];
+  return BlockId{scattered_[static_cast<size_t>(file_id)][static_cast<size_t>(offset)]};
 }
 
 }  // namespace pfc

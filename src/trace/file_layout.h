@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/strong_types.h"
 
 namespace pfc {
 
@@ -26,7 +27,7 @@ class FileLayout {
 
   // Allocates a file of `blocks` contiguous logical blocks; returns its base
   // address. Files never overlap.
-  int64_t AddFile(int64_t blocks);
+  BlockId AddFile(int64_t blocks);
 
   // Allocates a file whose blocks are fragmented into extents of
   // `extent_blocks` placed at shuffled offsets inside the file's allocation
@@ -36,12 +37,12 @@ class FileLayout {
   int AddFragmentedFile(int64_t blocks, int64_t extent_blocks);
 
   // Base address of file `id` (ids are assigned in AddFile order).
-  int64_t FileBase(int file_id) const;
+  BlockId FileBase(int file_id) const;
   int64_t FileBlocks(int file_id) const;
   int num_files() const { return static_cast<int>(base_.size()); }
 
   // Logical address of block `offset` within file `id`.
-  int64_t BlockAddress(int file_id, int64_t offset) const;
+  BlockId BlockAddress(int file_id, int64_t offset) const;
 
  private:
   Rng* rng_;

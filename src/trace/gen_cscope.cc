@@ -33,7 +33,7 @@ Trace MakeCscopePasses(const TraceSpec& spec, int num_files, Rng* rng) {
   while (emitted < spec.paper_reads) {
     for (int f = 0; f < num_files && emitted < spec.paper_reads; ++f) {
       for (int64_t off = 0; off < layout.FileBlocks(f) && emitted < spec.paper_reads; ++off) {
-        trace.Append(layout.BlockAddress(f, off), 0);
+        trace.Append(layout.BlockAddress(f, off), DurNs{0});
         ++emitted;
       }
     }
@@ -63,7 +63,7 @@ Trace MakeCscopeWindowedPasses(const TraceSpec& spec, int num_files, int passes,
   trace.Reserve(spec.paper_reads);
   auto read_file = [&](int f) {
     for (int64_t off = 0; off < layout.FileBlocks(f) && trace.size() < spec.paper_reads; ++off) {
-      trace.Append(layout.BlockAddress(f, off), 0);
+      trace.Append(layout.BlockAddress(f, off), DurNs{0});
     }
   };
 
@@ -101,7 +101,7 @@ void FillComputeBursty(Trace* trace, double low_ms, double high_ms, double low_r
   rebuilt.Reserve(trace->size());
   bool low_state = true;
   int64_t run_left = 0;
-  for (int64_t i = 0; i < trace->size(); ++i) {
+  for (TracePos i{0}; i.v() < trace->size(); ++i) {
     if (run_left <= 0) {
       low_state = !low_state;
       double mean = low_state ? low_run_mean : high_run_mean;

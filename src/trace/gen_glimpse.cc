@@ -74,7 +74,7 @@ Trace MakeGlimpse(uint64_t seed) {
   auto emit_run = [&](const Run& run, int64_t cap) {
     int64_t take = std::min(run.length, cap);
     for (int64_t i = 0; i < take; ++i) {
-      trace.Append(layout.BlockAddress(run.file, run.offset + i), 0);
+      trace.Append(layout.BlockAddress(run.file, run.offset + i), DurNs{0});
     }
     return take;
   };
@@ -85,7 +85,7 @@ Trace MakeGlimpse(uint64_t seed) {
     for (int pass = 0; pass < kIndexPassesPerQuery; ++pass) {
       for (int f = 0; f < kIndexFiles; ++f) {
         for (int64_t off = 0; off < layout.FileBlocks(f); ++off) {
-          trace.Append(layout.BlockAddress(f, off), 0);
+          trace.Append(layout.BlockAddress(f, off), DurNs{0});
         }
       }
     }

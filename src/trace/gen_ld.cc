@@ -44,7 +44,7 @@ Trace MakeLd(uint64_t seed) {
   for (int f = 0; f < kFiles; ++f) {
     for (int pass = 0; pass < 2; ++pass) {
       for (int64_t off = 0; off < layout.FileBlocks(f); ++off) {
-        trace.Append(layout.BlockAddress(f, off), 0);
+        trace.Append(layout.BlockAddress(f, off), DurNs{0});
       }
     }
     // Spread the archive back-references evenly over the run; each touches
@@ -52,7 +52,7 @@ Trace MakeLd(uint64_t seed) {
     int64_t due = back_refs * (f + 1) / kFiles;
     for (; back_refs_emitted < due; ++back_refs_emitted) {
       int past = static_cast<int>(rng.UniformInt(0, std::min(f, 40)));
-      trace.Append(layout.BlockAddress(f - past, 0), 0);
+      trace.Append(layout.BlockAddress(f - past, 0), DurNs{0});
     }
   }
   PFC_CHECK(trace.size() == spec.paper_reads);

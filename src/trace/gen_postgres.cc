@@ -80,14 +80,14 @@ Trace MakePostgresJoin(uint64_t seed) {
   trace.Reserve(spec.paper_reads);
   int64_t probe_cursor = 0;
   for (int64_t o = 0; o < kOuterBlocks; ++o) {
-    trace.Append(layout.BlockAddress(outer_file, o), 0);
+    trace.Append(layout.BlockAddress(outer_file, o), DurNs{0});
     // Probes attributable to this outer block.
     int64_t until = probes * (o + 1) / kOuterBlocks;
     for (; probe_cursor < until; ++probe_cursor) {
       trace.Append(
-          layout.BlockAddress(index_file, index_order[static_cast<size_t>(probe_cursor)]), 0);
+          layout.BlockAddress(index_file, index_order[static_cast<size_t>(probe_cursor)]), DurNs{0});
       trace.Append(layout.BlockAddress(inner_file, data_order[static_cast<size_t>(probe_cursor)]),
-                   0);
+                   DurNs{0});
     }
   }
   PFC_CHECK(trace.size() == spec.paper_reads);
@@ -132,9 +132,9 @@ Trace MakePostgresSelect(uint64_t seed) {
     int64_t until = index_reads * (t + 1) / data_distinct;
     int64_t leaf = kLeafBlocks * t / data_distinct;
     for (; index_emitted < until; ++index_emitted) {
-      trace.Append(layout.BlockAddress(index_file, leaf), 0);
+      trace.Append(layout.BlockAddress(index_file, leaf), DurNs{0});
     }
-    trace.Append(layout.BlockAddress(data_file, data_offsets[static_cast<size_t>(t)]), 0);
+    trace.Append(layout.BlockAddress(data_file, data_offsets[static_cast<size_t>(t)]), DurNs{0});
   }
   PFC_CHECK(trace.size() == spec.paper_reads);
 

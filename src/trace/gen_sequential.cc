@@ -21,7 +21,7 @@ Trace MakeDinero(uint64_t seed) {
   trace.Reserve(spec.paper_reads);
   int64_t offset = 0;
   for (int64_t i = 0; i < spec.paper_reads; ++i) {
-    trace.Append(layout.BlockAddress(file, offset), 0);
+    trace.Append(layout.BlockAddress(file, offset), DurNs{0});
     offset = (offset + 1) % spec.paper_distinct;
   }
   // The simulator does a fairly uniform amount of work per block of the

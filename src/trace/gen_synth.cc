@@ -19,7 +19,7 @@ Trace MakeSynth(uint64_t seed) {
   trace.Reserve(spec.paper_reads);
   const int64_t loop = spec.paper_distinct;  // 2000
   for (int64_t i = 0; i < spec.paper_reads; ++i) {
-    trace.Append(i % loop, 0);
+    trace.Append(BlockId{i % loop}, DurNs{0});
   }
   PFC_CHECK(trace.size() == spec.paper_reads);
 

@@ -16,14 +16,14 @@ Trace WithUpdates(const Trace& base, double update_fraction, uint64_t seed) {
   Rng rng(SplitMix64(seed) ^ 0x3217E5ULL);
   Trace out(base.name() + "+updates");
   out.Reserve(base.size() * 2);
-  for (int64_t i = 0; i < base.size(); ++i) {
+  for (TracePos i{0}; i.v() < base.size(); ++i) {
     if (base.is_write(i)) {
       out.AppendWrite(base.block(i), base.compute(i));
       continue;
     }
     if (rng.UniformDouble() < update_fraction) {
       // Split the inter-reference compute around the write-back.
-      TimeNs compute = base.compute(i);
+      DurNs compute = base.compute(i);
       out.Append(base.block(i), compute / 2);
       out.AppendWrite(base.block(i), compute - compute / 2);
     } else {

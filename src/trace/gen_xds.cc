@@ -96,10 +96,12 @@ Trace MakeXds(uint64_t seed) {
       for (double s = -kDim;
            s <= kDim && emitted_this_slice < per_slice && trace.size() < spec.paper_reads;
            s += 2.0) {
-        int64_t block = VoxelBlock(cx + s * u.x + t * v.x, cy + s * u.y + t * v.y,
-                                   cz + s * u.z + t * v.z);
+        // Raw voxel-projection scalar; wrapped at the Append boundary.
+        int64_t block =  // NOLINT(pfc-raw-unit)
+            VoxelBlock(cx + s * u.x + t * v.x, cy + s * u.y + t * v.y,
+                       cz + s * u.z + t * v.z);
         if (block >= 0 && block != last_block) {
-          trace.Append(layout.BlockAddress(volume_file, block), 0);
+          trace.Append(layout.BlockAddress(volume_file, block), DurNs{0});
           last_block = block;
           ++emitted_this_slice;
         }

@@ -12,7 +12,7 @@ void FillComputeExponential(Trace* trace, double mean_ms, double total_sec, Rng*
   PFC_CHECK(trace != nullptr && !trace->empty());
   Trace rebuilt(trace->name());
   rebuilt.Reserve(trace->size());
-  for (int64_t i = 0; i < trace->size(); ++i) {
+  for (TracePos i{0}; i.v() < trace->size(); ++i) {
     rebuilt.Append(trace->block(i), MsToNs(rng->Exponential(mean_ms)));
   }
   rebuilt.RescaleCompute(SecToNs(total_sec));
@@ -23,7 +23,7 @@ void FillComputeNormal(Trace* trace, double mean_ms, double cv, double total_sec
   PFC_CHECK(trace != nullptr && !trace->empty());
   Trace rebuilt(trace->name());
   rebuilt.Reserve(trace->size());
-  for (int64_t i = 0; i < trace->size(); ++i) {
+  for (TracePos i{0}; i.v() < trace->size(); ++i) {
     double ms = mean_ms * (1.0 + cv * rng->Normal());
     ms = std::max(ms, 0.05 * mean_ms);
     rebuilt.Append(trace->block(i), MsToNs(ms));

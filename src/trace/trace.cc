@@ -7,15 +7,15 @@
 
 namespace pfc {
 
-void Trace::Append(int64_t block, TimeNs compute) {
-  PFC_CHECK(block >= 0);
-  PFC_CHECK(compute >= 0);
+void Trace::Append(BlockId block, DurNs compute) {
+  PFC_CHECK(block >= BlockId{0});
+  PFC_CHECK(compute >= DurNs{0});
   entries_.push_back(TraceEntry{block, compute, false});
 }
 
-void Trace::AppendWrite(int64_t block, TimeNs compute) {
-  PFC_CHECK(block >= 0);
-  PFC_CHECK(compute >= 0);
+void Trace::AppendWrite(BlockId block, DurNs compute) {
+  PFC_CHECK(block >= BlockId{0});
+  PFC_CHECK(compute >= DurNs{0});
   entries_.push_back(TraceEntry{block, compute, true});
 }
 
@@ -28,7 +28,7 @@ int64_t Trace::WriteCount() const {
 }
 
 int64_t Trace::DistinctBlocks() const {
-  std::unordered_set<int64_t> seen;
+  std::unordered_set<BlockId> seen;
   seen.reserve(entries_.size());
   for (const TraceEntry& e : entries_) {
     seen.insert(e.block);
@@ -36,39 +36,39 @@ int64_t Trace::DistinctBlocks() const {
   return static_cast<int64_t>(seen.size());
 }
 
-int64_t Trace::MaxBlock() const {
-  int64_t max_block = -1;
+BlockId Trace::MaxBlock() const {
+  BlockId max_block{-1};
   for (const TraceEntry& e : entries_) {
     max_block = std::max(max_block, e.block);
   }
   return max_block + 1;
 }
 
-TimeNs Trace::TotalCompute() const {
-  TimeNs total = 0;
+DurNs Trace::TotalCompute() const {
+  DurNs total;
   for (const TraceEntry& e : entries_) {
     total += e.compute;
   }
   return total;
 }
 
-void Trace::RescaleCompute(TimeNs target_total) {
-  TimeNs current = TotalCompute();
-  PFC_CHECK(current > 0);
-  double factor = static_cast<double>(target_total) / static_cast<double>(current);
+void Trace::RescaleCompute(DurNs target_total) {
+  DurNs current = TotalCompute();
+  PFC_CHECK(current > DurNs{0});
+  double factor = static_cast<double>(target_total.ns()) / static_cast<double>(current.ns());
   ScaleCompute(factor);
   // Push rounding residue into the last entry so the total is exact.
-  TimeNs residue = target_total - TotalCompute();
+  DurNs residue = target_total - TotalCompute();
   if (!entries_.empty()) {
-    TimeNs& last = entries_.back().compute;
-    last = std::max<TimeNs>(0, last + residue);
+    DurNs& last = entries_.back().compute;
+    last = std::max(DurNs{0}, last + residue);
   }
 }
 
 void Trace::ScaleCompute(double factor) {
   PFC_CHECK(factor > 0.0);
   for (TraceEntry& e : entries_) {
-    e.compute = static_cast<TimeNs>(static_cast<double>(e.compute) * factor + 0.5);
+    e.compute = DurNs(static_cast<int64_t>(static_cast<double>(e.compute.ns()) * factor + 0.5));
   }
 }
 

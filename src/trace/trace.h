@@ -18,8 +18,8 @@
 namespace pfc {
 
 struct TraceEntry {
-  int64_t block = 0;
-  TimeNs compute = 0;
+  BlockId block;
+  DurNs compute;
   // Write extension (the paper studies reads only and names writes as future
   // work): a write overwrites the whole block — no data need be fetched —
   // and is absorbed by the write-behind buffer unless the simulation runs
@@ -37,29 +37,29 @@ class Trace {
 
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
   bool empty() const { return entries_.empty(); }
-  const TraceEntry& entry(int64_t i) const { return entries_[static_cast<size_t>(i)]; }
-  int64_t block(int64_t i) const { return entries_[static_cast<size_t>(i)].block; }
-  TimeNs compute(int64_t i) const { return entries_[static_cast<size_t>(i)].compute; }
+  const TraceEntry& entry(TracePos i) const { return entries_[static_cast<size_t>(i.v())]; }
+  BlockId block(TracePos i) const { return entries_[static_cast<size_t>(i.v())].block; }
+  DurNs compute(TracePos i) const { return entries_[static_cast<size_t>(i.v())].compute; }
 
-  void Append(int64_t block, TimeNs compute);
-  void AppendWrite(int64_t block, TimeNs compute);
+  void Append(BlockId block, DurNs compute);
+  void AppendWrite(BlockId block, DurNs compute);
   void Reserve(int64_t n) { entries_.reserve(static_cast<size_t>(n)); }
-  bool is_write(int64_t i) const { return entries_[static_cast<size_t>(i)].is_write; }
+  bool is_write(TracePos i) const { return entries_[static_cast<size_t>(i.v())].is_write; }
   // Number of write references.
   int64_t WriteCount() const;
 
   // Number of distinct blocks referenced.
   int64_t DistinctBlocks() const;
 
-  // Largest block id + 1 (the logical address space in use).
-  int64_t MaxBlock() const;
+  // One past the largest block id (the logical address space in use).
+  BlockId MaxBlock() const;
 
   // Sum of inter-reference compute times.
-  TimeNs TotalCompute() const;
+  DurNs TotalCompute() const;
 
   // Uniformly rescales compute times so TotalCompute() == target (used by
   // generators to hit the paper's Table 3 totals exactly).
-  void RescaleCompute(TimeNs target_total);
+  void RescaleCompute(DurNs target_total);
 
   // Multiplies every compute time by `factor` (e.g. 0.5 models a CPU twice
   // as fast, the paper's section 4.4 experiment).

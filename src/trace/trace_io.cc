@@ -32,13 +32,13 @@ bool SaveTraceText(const Trace& trace, const std::string& path) {
   }
   bool ok = std::fprintf(f, "# pfc-trace v1 n=%" PRId64 " name=%s\n", trace.size(),
                          trace.name().c_str()) > 0;
-  for (int64_t i = 0; ok && i < trace.size(); ++i) {
+  for (TracePos i{0}; ok && i.v() < trace.size(); ++i) {
     if (trace.is_write(i)) {
-      ok = std::fprintf(f, "%" PRId64 " %" PRId64 " W\n", trace.block(i),
-                        static_cast<int64_t>(trace.compute(i))) > 0;
+      ok = std::fprintf(f, "%" PRId64 " %" PRId64 " W\n", trace.block(i).v(),
+                        trace.compute(i).ns()) > 0;
     } else {
-      ok = std::fprintf(f, "%" PRId64 " %" PRId64 "\n", trace.block(i),
-                        static_cast<int64_t>(trace.compute(i))) > 0;
+      ok = std::fprintf(f, "%" PRId64 " %" PRId64 "\n", trace.block(i).v(),
+                        trace.compute(i).ns()) > 0;
     }
   }
   ok = std::fclose(f) == 0 && ok;
@@ -102,7 +102,7 @@ Expected<Trace> LoadTraceTextChecked(const std::string& path) {
     if (IsBlank(line)) {
       continue;
     }
-    int64_t block = 0;
+    int64_t block = 0;    // NOLINT(pfc-raw-unit) sscanf staging, wrapped below
     int64_t compute = 0;
     char op[8] = {0};
     int fields = std::sscanf(line, "%" SCNd64 " %" SCNd64 " %7s", &block, &compute, op);
@@ -129,9 +129,9 @@ Expected<Trace> LoadTraceTextChecked(const std::string& path) {
                                       std::to_string(compute));
     }
     if (fields == 3) {
-      trace.AppendWrite(block, compute);
+      trace.AppendWrite(BlockId{block}, DurNs{compute});
     } else {
-      trace.Append(block, compute);
+      trace.Append(BlockId{block}, DurNs{compute});
     }
   }
   const bool read_error = std::ferror(f) != 0;

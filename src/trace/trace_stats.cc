@@ -12,15 +12,15 @@ TraceStats ComputeTraceStats(const Trace& trace) {
   stats.compute_sec = NsToSec(trace.TotalCompute());
   stats.mean_compute_ms =
       trace.size() > 0 ? NsToMs(trace.TotalCompute()) / static_cast<double>(trace.size()) : 0;
-  stats.max_block = trace.MaxBlock();
+  stats.max_block = trace.MaxBlock().v();
 
-  std::unordered_set<int64_t> seen;
+  std::unordered_set<BlockId> seen;
   seen.reserve(static_cast<size_t>(trace.size()));
   int64_t sequential = 0;
   int64_t reused = 0;
-  for (int64_t i = 0; i < trace.size(); ++i) {
-    int64_t b = trace.block(i);
-    if (i > 0 && b == trace.block(i - 1) + 1) {
+  for (TracePos i{0}; i.v() < trace.size(); ++i) {
+    BlockId b = trace.block(i);
+    if (i.v() > 0 && b == trace.block(i - 1) + 1) {
       ++sequential;
     }
     if (!seen.insert(b).second) {

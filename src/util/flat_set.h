@@ -1,4 +1,4 @@
-// FlatSet: a sorted-vector set of int64 keys.
+// FlatSet: a sorted-vector set of BlockId keys.
 //
 // The simulator's write path touches small per-disk sets (dirty blocks,
 // in-flight flushes) on every reference; node-based std::set/unordered_set
@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/strong_types.h"
+
 namespace pfc {
 
 class FlatSet {
@@ -22,13 +24,13 @@ class FlatSet {
   bool empty() const { return keys_.empty(); }
   size_t size() const { return keys_.size(); }
 
-  bool contains(int64_t key) const {
+  bool contains(BlockId key) const {
     auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
     return it != keys_.end() && *it == key;
   }
 
   // Inserts `key`; returns false if already present.
-  bool insert(int64_t key) {
+  bool insert(BlockId key) {
     auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
     if (it != keys_.end() && *it == key) {
       return false;
@@ -38,7 +40,7 @@ class FlatSet {
   }
 
   // Removes `key`; returns true if it was present.
-  bool erase(int64_t key) {
+  bool erase(BlockId key) {
     auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
     if (it == keys_.end() || *it != key) {
       return false;
@@ -48,15 +50,15 @@ class FlatSet {
   }
 
   // Smallest element; undefined on an empty set.
-  int64_t min() const { return keys_.front(); }
+  BlockId min() const { return keys_.front(); }
 
   void clear() { keys_.clear(); }
 
-  std::vector<int64_t>::const_iterator begin() const { return keys_.begin(); }
-  std::vector<int64_t>::const_iterator end() const { return keys_.end(); }
+  std::vector<BlockId>::const_iterator begin() const { return keys_.begin(); }
+  std::vector<BlockId>::const_iterator end() const { return keys_.end(); }
 
  private:
-  std::vector<int64_t> keys_;
+  std::vector<BlockId> keys_;
 };
 
 }  // namespace pfc

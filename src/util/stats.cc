@@ -101,8 +101,10 @@ std::string Histogram::ToString(int max_rows) const {
       c += counts_[j];
     }
     int bars = static_cast<int>(40.0 * static_cast<double>(c) / static_cast<double>(peak * step));
-    std::snprintf(line, sizeof(line), "[%8.2f, %8.2f) %8lld %s\n", lo_ + width_ * i,
-                  lo_ + width_ * (i + step), static_cast<long long>(c),
+    std::snprintf(line, sizeof(line), "[%8.2f, %8.2f) %8lld %s\n",
+                  lo_ + width_ * static_cast<double>(i),
+                  lo_ + width_ * static_cast<double>(i + static_cast<size_t>(step)),
+                  static_cast<long long>(c),
                   std::string(static_cast<size_t>(std::max(0, bars)), '#').c_str());
     out += line;
   }

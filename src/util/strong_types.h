@@ -1,0 +1,198 @@
+// Strong domain types: zero-overhead wrappers that make unit confusion a
+// compile error.
+//
+// The simulator's correctness hinges on exact unit discipline — nanosecond
+// clocks, logical block addresses, trace positions, disk/sector coordinates.
+// Each wrapper here holds one 64-bit (or 32-bit, for DiskId) integer and
+// exposes only the operations its unit legitimately supports:
+//
+//   TimeNs  — an instant on the simulated clock. Points support ordering and
+//             point +/- span arithmetic; TimeNs - TimeNs yields a DurNs.
+//             TimeNs + TimeNs (or TimeNs + BlockId) does not compile.
+//   DurNs   — a signed span of simulated time. Full additive group, integer
+//             scaling, and ratio (DurNs / DurNs -> int64_t).
+//   BlockId — a logical filesystem block address. Ordinal: ordered, offsets
+//             by raw integers (block + 1 is the next block), differences
+//             yield raw counts. No time arithmetic.
+//   TracePos — an index into the reference stream. Same ordinal shape as
+//             BlockId but a distinct type: swapping a (block, pos) argument
+//             pair is a compile error.
+//   DiskId  — an index into the disk array (32-bit, matching the historical
+//             `int disk` layout in BlockLocation and ObsEvent).
+//   SectorAddr / Cylinder — physical disk coordinates for the geometric
+//             drive model; distinct from each other and from block ids.
+//
+// All wrappers are trivially copyable, default-initialize to zero, and are
+// exactly the size of their representation (static_asserted below), so
+// replacing a raw field with a wrapper changes neither struct layout nor
+// serialized bytes. Construction from and extraction to the raw
+// representation are explicit (`BlockId{7}`, `b.v()`): every boundary where
+// unit discipline is entered or deliberately left is visible in the source,
+// which is what tools/pfc_lint keys on.
+
+#ifndef PFC_UTIL_STRONG_TYPES_H_
+#define PFC_UTIL_STRONG_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+#include <type_traits>
+
+namespace pfc {
+
+// A signed span of simulated time, in nanoseconds.
+class DurNs {
+ public:
+  constexpr DurNs() = default;
+  constexpr explicit DurNs(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t ns() const { return ns_; }
+
+  friend constexpr DurNs operator+(DurNs a, DurNs b) { return DurNs(a.ns_ + b.ns_); }
+  friend constexpr DurNs operator-(DurNs a, DurNs b) { return DurNs(a.ns_ - b.ns_); }
+  constexpr DurNs operator-() const { return DurNs(-ns_); }
+  friend constexpr DurNs operator*(DurNs a, int64_t k) { return DurNs(a.ns_ * k); }
+  friend constexpr DurNs operator*(int64_t k, DurNs a) { return DurNs(k * a.ns_); }
+  friend constexpr DurNs operator/(DurNs a, int64_t k) { return DurNs(a.ns_ / k); }
+  // Ratio of two spans is a dimensionless count.
+  friend constexpr int64_t operator/(DurNs a, DurNs b) { return a.ns_ / b.ns_; }
+  friend constexpr DurNs operator%(DurNs a, DurNs b) { return DurNs(a.ns_ % b.ns_); }
+  constexpr DurNs& operator+=(DurNs o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr DurNs& operator-=(DurNs o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(DurNs, DurNs) = default;
+
+ private:
+  int64_t ns_ = 0;
+};
+
+// An instant on the simulated clock, in nanoseconds since run start.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(int64_t ns) : ns_(ns) {}
+
+  constexpr int64_t ns() const { return ns_; }
+
+  friend constexpr TimeNs operator+(TimeNs t, DurNs d) { return TimeNs(t.ns_ + d.ns()); }
+  friend constexpr TimeNs operator+(DurNs d, TimeNs t) { return TimeNs(d.ns() + t.ns_); }
+  friend constexpr TimeNs operator-(TimeNs t, DurNs d) { return TimeNs(t.ns_ - d.ns()); }
+  friend constexpr DurNs operator-(TimeNs a, TimeNs b) { return DurNs(a.ns_ - b.ns_); }
+  constexpr TimeNs& operator+=(DurNs d) {
+    ns_ += d.ns();
+    return *this;
+  }
+  constexpr TimeNs& operator-=(DurNs d) {
+    ns_ -= d.ns();
+    return *this;
+  }
+  friend constexpr auto operator<=>(TimeNs, TimeNs) = default;
+
+ private:
+  int64_t ns_ = 0;
+};
+
+// Ordinal id: an integer-like position in some address space. Ordered,
+// offsettable by raw integers, and subtractable (yielding a raw count), but
+// distinct from every other ordinal space — BlockId + TracePos, or passing
+// one where the other is expected, does not compile.
+template <typename Tag, typename Rep>
+class Ordinal {
+ public:
+  using rep = Rep;
+
+  constexpr Ordinal() = default;
+  constexpr explicit Ordinal(Rep v) : v_(v) {}
+
+  constexpr Rep v() const { return v_; }
+
+  friend constexpr Ordinal operator+(Ordinal a, Rep k) { return Ordinal(static_cast<Rep>(a.v_ + k)); }
+  friend constexpr Ordinal operator-(Ordinal a, Rep k) { return Ordinal(static_cast<Rep>(a.v_ - k)); }
+  // Distance between two positions in the same space.
+  friend constexpr Rep operator-(Ordinal a, Ordinal b) { return static_cast<Rep>(a.v_ - b.v_); }
+  constexpr Ordinal& operator+=(Rep k) {
+    v_ = static_cast<Rep>(v_ + k);
+    return *this;
+  }
+  constexpr Ordinal& operator-=(Rep k) {
+    v_ = static_cast<Rep>(v_ - k);
+    return *this;
+  }
+  constexpr Ordinal& operator++() {
+    ++v_;
+    return *this;
+  }
+  constexpr Ordinal operator++(int) {
+    Ordinal old = *this;
+    ++v_;
+    return old;
+  }
+  constexpr Ordinal& operator--() {
+    --v_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Ordinal, Ordinal) = default;
+
+ private:
+  Rep v_ = 0;
+};
+
+// Logical filesystem block address (8 KB blocks), the trace's address space.
+using BlockId = Ordinal<struct BlockIdTag, int64_t>;
+// Index into the reference stream (the trace).
+using TracePos = Ordinal<struct TracePosTag, int64_t>;
+// Index into the disk array. 32-bit to preserve the layout of structs that
+// historically held `int disk`.
+using DiskId = Ordinal<struct DiskIdTag, int32_t>;
+// Absolute sector number on one disk (the geometric model's address space).
+using SectorAddr = Ordinal<struct SectorAddrTag, int64_t>;
+// Cylinder coordinate on one disk (seek distances are cylinder differences).
+using Cylinder = Ordinal<struct CylinderTag, int64_t>;
+
+// Diagnostic stream output (PFC_CHECK_* failure messages, test logs). Prints
+// the raw representation; production formatting goes through `.ns()`/`.v()`
+// so the printf boundaries stay explicit.
+inline std::ostream& operator<<(std::ostream& os, DurNs d) { return os << d.ns(); }
+inline std::ostream& operator<<(std::ostream& os, TimeNs t) { return os << t.ns(); }
+template <typename Tag, typename Rep>
+std::ostream& operator<<(std::ostream& os, Ordinal<Tag, Rep> id) {
+  return os << id.v();
+}
+
+// "No block" sentinel (eviction target meaning "take a free buffer",
+// block field of non-block events, ...). Orders before every real block.
+inline constexpr BlockId kNoBlock{-1};
+// "No disk" sentinel for events not tied to a disk.
+inline constexpr DiskId kNoDisk{-1};
+
+// Every wrapper must be layout-identical to its representation: swapping a
+// raw field for a wrapper must change neither struct layout nor golden CSV
+// bytes, and passing wrappers by value must cost exactly a register.
+static_assert(std::is_trivially_copyable_v<TimeNs> && sizeof(TimeNs) == sizeof(int64_t));
+static_assert(std::is_trivially_copyable_v<DurNs> && sizeof(DurNs) == sizeof(int64_t));
+static_assert(std::is_trivially_copyable_v<BlockId> && sizeof(BlockId) == sizeof(int64_t));
+static_assert(std::is_trivially_copyable_v<TracePos> && sizeof(TracePos) == sizeof(int64_t));
+static_assert(std::is_trivially_copyable_v<DiskId> && sizeof(DiskId) == sizeof(int32_t));
+static_assert(std::is_trivially_copyable_v<SectorAddr> && sizeof(SectorAddr) == sizeof(int64_t));
+static_assert(std::is_trivially_copyable_v<Cylinder> && sizeof(Cylinder) == sizeof(int64_t));
+
+}  // namespace pfc
+
+// Hash support so ids can key unordered containers. Delegates to the raw
+// representation's hash, so bucket placement (and therefore iteration order,
+// given identical insertion order) matches the pre-wrapper containers.
+template <typename Tag, typename Rep>
+struct std::hash<pfc::Ordinal<Tag, Rep>> {
+  size_t operator()(pfc::Ordinal<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.v());
+  }
+};
+
+#endif  // PFC_UTIL_STRONG_TYPES_H_

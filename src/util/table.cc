@@ -49,17 +49,24 @@ std::string TextTable::ToString() const {
   }
 
   std::string out;
-  auto emit_sep = [&]() { out += std::string(total, '-') + "\n"; };
+  auto emit_sep = [&]() {
+    out.append(total, '-');
+    out += '\n';
+  };
   auto emit_row = [&](const std::vector<std::string>& cells) {
     out += "|";
     for (size_t i = 0; i < cols; ++i) {
       const std::string cell = i < cells.size() ? cells[i] : "";
       size_t pad = width[i] - cell.size();
+      out += ' ';
       if (i == 0) {
-        out += " " + cell + std::string(pad, ' ') + " |";
+        out += cell;
+        out.append(pad, ' ');
       } else {
-        out += " " + std::string(pad, ' ') + cell + " |";
+        out.append(pad, ' ');
+        out += cell;
       }
+      out += " |";
     }
     out += "\n";
   };

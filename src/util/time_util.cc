@@ -5,17 +5,17 @@
 
 namespace pfc {
 
-std::string FormatDuration(TimeNs ns) {
+std::string FormatDuration(DurNs d) {
   char buf[64];
-  double abs_ns = std::fabs(static_cast<double>(ns));
+  double abs_ns = std::fabs(static_cast<double>(d.ns()));
   if (abs_ns >= 1e9) {
-    std::snprintf(buf, sizeof(buf), "%.3f s", NsToSec(ns));
+    std::snprintf(buf, sizeof(buf), "%.3f s", NsToSec(d));
   } else if (abs_ns >= 1e6) {
-    std::snprintf(buf, sizeof(buf), "%.3f ms", NsToMs(ns));
+    std::snprintf(buf, sizeof(buf), "%.3f ms", NsToMs(d));
   } else if (abs_ns >= 1e3) {
-    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(ns) / 1e3);
+    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(d.ns()) / 1e3);
   } else {
-    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d.ns()));
   }
   return buf;
 }

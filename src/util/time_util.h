@@ -1,9 +1,10 @@
 // Simulation time representation.
 //
-// All simulator clocks are 64-bit integer nanoseconds. Integer time keeps
-// event ordering exact and runs bit-identical across platforms; the disk
-// model computes physical latencies in double milliseconds and converts at
-// the boundary.
+// All simulator clocks are 64-bit integer nanoseconds, wrapped in the strong
+// TimeNs (instant) / DurNs (span) types from util/strong_types.h. Integer
+// time keeps event ordering exact and runs bit-identical across platforms;
+// the disk model computes physical latencies in double milliseconds and
+// converts at the boundary.
 
 #ifndef PFC_UTIL_TIME_UTIL_H_
 #define PFC_UTIL_TIME_UTIL_H_
@@ -11,27 +12,31 @@
 #include <cstdint>
 #include <string>
 
+#include "util/strong_types.h"
+
 namespace pfc {
 
-// Nanoseconds of simulated time.
-using TimeNs = int64_t;
+inline constexpr DurNs kNsPerUs{1000};
+inline constexpr DurNs kNsPerMs{1000 * 1000};
+inline constexpr DurNs kNsPerSec{1000 * 1000 * 1000};
 
-inline constexpr TimeNs kNsPerUs = 1000;
-inline constexpr TimeNs kNsPerMs = 1000 * 1000;
-inline constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+// "No such time" sentinel, later than any reachable simulation instant.
+inline constexpr TimeNs kTimeInfinity{INT64_MAX / 4};
+// Its span counterpart, longer than any reachable duration.
+inline constexpr DurNs kDurInfinity{INT64_MAX / 4};
 
-// "No such time" sentinel, larger than any reachable simulation time.
-inline constexpr TimeNs kTimeInfinity = INT64_MAX / 4;
+constexpr DurNs MsToNs(double ms) { return DurNs(static_cast<int64_t>(ms * 1e6 + 0.5)); }
+constexpr DurNs UsToNs(double us) { return DurNs(static_cast<int64_t>(us * 1e3 + 0.5)); }
+constexpr DurNs SecToNs(double sec) { return DurNs(static_cast<int64_t>(sec * 1e9 + 0.5)); }
 
-constexpr TimeNs MsToNs(double ms) { return static_cast<TimeNs>(ms * 1e6 + 0.5); }
-constexpr TimeNs UsToNs(double us) { return static_cast<TimeNs>(us * 1e3 + 0.5); }
-constexpr TimeNs SecToNs(double sec) { return static_cast<TimeNs>(sec * 1e9 + 0.5); }
-
-constexpr double NsToMs(TimeNs ns) { return static_cast<double>(ns) / 1e6; }
-constexpr double NsToSec(TimeNs ns) { return static_cast<double>(ns) / 1e9; }
+constexpr double NsToMs(DurNs d) { return static_cast<double>(d.ns()) / 1e6; }
+constexpr double NsToSec(DurNs d) { return static_cast<double>(d.ns()) / 1e9; }
+// Instants convert too (a timestamp is a span since run start).
+constexpr double NsToMs(TimeNs t) { return static_cast<double>(t.ns()) / 1e6; }
+constexpr double NsToSec(TimeNs t) { return static_cast<double>(t.ns()) / 1e9; }
 
 // Formats a duration as a human-readable string ("12.345 ms", "1.234 s").
-std::string FormatDuration(TimeNs ns);
+std::string FormatDuration(DurNs d);
 
 }  // namespace pfc
 

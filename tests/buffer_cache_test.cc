@@ -8,77 +8,77 @@ namespace {
 TEST(BufferCache, FetchLifecycle) {
   BufferCache c(2);
   EXPECT_EQ(c.free_buffers(), 2);
-  EXPECT_EQ(c.GetState(7), BufferCache::State::kAbsent);
+  EXPECT_EQ(c.GetState(BlockId{7}), BufferCache::State::kAbsent);
 
-  c.StartFetchIntoFree(7);
-  EXPECT_TRUE(c.Fetching(7));
-  EXPECT_FALSE(c.Present(7));
+  c.StartFetchIntoFree(BlockId{7});
+  EXPECT_TRUE(c.Fetching(BlockId{7}));
+  EXPECT_FALSE(c.Present(BlockId{7}));
   EXPECT_EQ(c.free_buffers(), 1);
 
-  c.CompleteFetch(7, 100);
-  EXPECT_TRUE(c.Present(7));
+  c.CompleteFetch(BlockId{7}, TracePos{100});
+  EXPECT_TRUE(c.Present(BlockId{7}));
   EXPECT_EQ(c.present_count(), 1);
-  EXPECT_EQ(c.FurthestBlock().value(), 7);
-  EXPECT_EQ(c.FurthestNextUse(), 100);
+  EXPECT_EQ(c.FurthestBlock().value(), BlockId{7});
+  EXPECT_EQ(c.FurthestNextUse(), TracePos{100});
 }
 
 TEST(BufferCache, EvictAtIssueSemantics) {
   BufferCache c(1);
-  c.StartFetchIntoFree(1);
-  c.CompleteFetch(1, 10);
+  c.StartFetchIntoFree(BlockId{1});
+  c.CompleteFetch(BlockId{1}, TracePos{10});
   // Starting a fetch evicts immediately: block 1 is gone before block 2
   // arrives, and there is never more than `capacity` buffers in use.
-  c.StartFetchWithEviction(2, 1);
-  EXPECT_EQ(c.GetState(1), BufferCache::State::kAbsent);
-  EXPECT_TRUE(c.Fetching(2));
+  c.StartFetchWithEviction(BlockId{2}, BlockId{1});
+  EXPECT_EQ(c.GetState(BlockId{1}), BufferCache::State::kAbsent);
+  EXPECT_TRUE(c.Fetching(BlockId{2}));
   EXPECT_EQ(c.present_count(), 0);
   EXPECT_EQ(c.used(), 1);
-  c.CompleteFetch(2, 20);
-  EXPECT_TRUE(c.Present(2));
+  c.CompleteFetch(BlockId{2}, TracePos{20});
+  EXPECT_TRUE(c.Present(BlockId{2}));
 }
 
 TEST(BufferCache, FurthestTracksUpdates) {
   BufferCache c(3);
   for (int64_t b = 1; b <= 3; ++b) {
-    c.StartFetchIntoFree(b);
-    c.CompleteFetch(b, b * 10);
+    c.StartFetchIntoFree(BlockId{b});
+    c.CompleteFetch(BlockId{b}, TracePos{b * 10});
   }
-  EXPECT_EQ(c.FurthestBlock().value(), 3);
-  c.UpdateNextUse(1, 1000);  // block 1 now furthest
-  EXPECT_EQ(c.FurthestBlock().value(), 1);
-  EXPECT_EQ(c.FurthestNextUse(), 1000);
-  c.UpdateNextUse(1, 5);  // back to near
-  EXPECT_EQ(c.FurthestBlock().value(), 3);
+  EXPECT_EQ(c.FurthestBlock().value(), BlockId{3});
+  c.UpdateNextUse(BlockId{1}, TracePos{1000});  // block 1 now furthest
+  EXPECT_EQ(c.FurthestBlock().value(), BlockId{1});
+  EXPECT_EQ(c.FurthestNextUse(), TracePos{1000});
+  c.UpdateNextUse(BlockId{1}, TracePos{5});  // back to near
+  EXPECT_EQ(c.FurthestBlock().value(), BlockId{3});
 }
 
 TEST(BufferCache, UpdateNextUseSameKeyIsNoop) {
   BufferCache c(1);
-  c.StartFetchIntoFree(1);
-  c.CompleteFetch(1, 42);
-  c.UpdateNextUse(1, 42);
-  EXPECT_EQ(c.FurthestNextUse(), 42);
+  c.StartFetchIntoFree(BlockId{1});
+  c.CompleteFetch(BlockId{1}, TracePos{42});
+  c.UpdateNextUse(BlockId{1}, TracePos{42});
+  EXPECT_EQ(c.FurthestNextUse(), TracePos{42});
 }
 
 TEST(BufferCache, NoPresentBlocks) {
   BufferCache c(2);
   EXPECT_FALSE(c.FurthestBlock().has_value());
-  EXPECT_EQ(c.FurthestNextUse(), -1);
-  c.StartFetchIntoFree(9);
+  EXPECT_EQ(c.FurthestNextUse(), TracePos{-1});
+  c.StartFetchIntoFree(BlockId{9});
   EXPECT_FALSE(c.FurthestBlock().has_value());  // fetching != present
 }
 
 TEST(BufferCacheDeath, InvariantsEnforced) {
   BufferCache c(1);
-  c.StartFetchIntoFree(1);
+  c.StartFetchIntoFree(BlockId{1});
   // Double-fetching an in-flight block is a programming error.
-  EXPECT_DEATH(c.StartFetchIntoFree(1), "PFC_CHECK");
+  EXPECT_DEATH(c.StartFetchIntoFree(BlockId{1}), "PFC_CHECK");
   // No free buffer left.
-  EXPECT_DEATH(c.StartFetchIntoFree(2), "PFC_CHECK");
-  c.CompleteFetch(1, 10);
+  EXPECT_DEATH(c.StartFetchIntoFree(BlockId{2}), "PFC_CHECK");
+  c.CompleteFetch(BlockId{1}, TracePos{10});
   // Evicting an absent block.
-  EXPECT_DEATH(c.StartFetchWithEviction(3, 99), "PFC_CHECK");
+  EXPECT_DEATH(c.StartFetchWithEviction(BlockId{3}, BlockId{99}), "PFC_CHECK");
   // Completing a fetch that was never started.
-  EXPECT_DEATH(c.CompleteFetch(5, 1), "PFC_CHECK");
+  EXPECT_DEATH(c.CompleteFetch(BlockId{5}, TracePos{1}), "PFC_CHECK");
 }
 
 }  // namespace

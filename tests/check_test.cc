@@ -32,11 +32,11 @@ Trace CorpusTrace(int64_t n, int64_t universe, double seq_prob, double write_fra
     } else {
       block = rng.UniformInt(0, universe - 1);
     }
-    const TimeNs compute = rng.UniformInt(0, 2) == 0 ? 0 : rng.UniformInt(1, 3'000'000);
+    const DurNs compute{rng.UniformInt(0, 2) == 0 ? 0 : rng.UniformInt(1, 3'000'000)};
     if (write_frac > 0.0 && rng.UniformDouble() < write_frac) {
-      t.AppendWrite(block, compute);
+      t.AppendWrite(BlockId{block}, compute);
     } else {
-      t.Append(block, compute);
+      t.Append(BlockId{block}, compute);
     }
   }
   return t;
@@ -59,16 +59,16 @@ FaultConfig LatencyTail() {
 
 FaultConfig SlowDisk(int disk) {
   FaultConfig f;
-  f.slow_disk = disk;
+  f.slow_disk = DiskId{disk};
   f.slow_factor = 4.0;
-  f.slow_after = MsToNs(20);
+  f.slow_after = TimeNs{0} + MsToNs(20);
   return f;
 }
 
 FaultConfig FailStop(int disk) {
   FaultConfig f;
-  f.fail_disk = disk;
-  f.fail_after = MsToNs(30);
+  f.fail_disk = DiskId{disk};
+  f.fail_after = TimeNs{0} + MsToNs(30);
   return f;
 }
 
@@ -252,8 +252,8 @@ TEST(TheoryBound, PositiveAndDominatedByElapsed) {
   SimConfig config;
   config.cache_blocks = 16;
   config.num_disks = 3;
-  const TimeNs bound = TheoryLowerBoundNs(trace, config);
-  EXPECT_GT(bound, 0);
+  const DurNs bound = TheoryLowerBoundNs(trace, config);
+  EXPECT_GT(bound, DurNs{0});
   RunResult r = RunRefSim(trace, config, PolicyKind::kAggressive);
   EXPECT_GE(r.elapsed_time, bound);
 }

@@ -1,0 +1,3 @@
+// MUST NOT COMPILE: a span is not an instant.
+#include "util/strong_types.h"
+void f(pfc::TimeNs& t, pfc::DurNs d) { t = d; }

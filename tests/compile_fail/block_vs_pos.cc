@@ -1,0 +1,4 @@
+// MUST NOT COMPILE: a BlockId is not a TracePos — the argument-swap bug
+// class the strong types exist to kill.
+#include "util/strong_types.h"
+pfc::TracePos f(pfc::BlockId b) { return b; }

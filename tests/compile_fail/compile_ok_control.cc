@@ -1,0 +1,6 @@
+// Positive control for the compile-fail harness: this file MUST compile.
+// If the harness's compiler invocation is broken (bad include path, bad
+// std flag), this test fails first, distinguishing harness breakage from a
+// genuinely rejected expression.
+#include "util/strong_types.h"
+pfc::TimeNs f(pfc::TimeNs t, pfc::DurNs d) { return t + d; }

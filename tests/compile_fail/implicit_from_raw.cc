@@ -1,0 +1,3 @@
+// MUST NOT COMPILE: construction from the raw representation is explicit.
+#include "util/strong_types.h"
+pfc::BlockId f(long long raw) { return raw; }

@@ -1,0 +1,3 @@
+// MUST NOT COMPILE: leaving the unit system requires an explicit .ns()/.v().
+#include "util/strong_types.h"
+long long f(pfc::DurNs d) { return d; }

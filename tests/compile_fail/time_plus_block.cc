@@ -1,0 +1,3 @@
+// MUST NOT COMPILE: time and block address spaces never mix.
+#include "util/strong_types.h"
+pfc::TimeNs f(pfc::TimeNs t, pfc::BlockId b) { return t + b; }

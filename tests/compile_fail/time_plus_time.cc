@@ -1,0 +1,3 @@
+// MUST NOT COMPILE: adding two instants is meaningless.
+#include "util/strong_types.h"
+pfc::TimeNs f(pfc::TimeNs a, pfc::TimeNs b) { return a + b; }

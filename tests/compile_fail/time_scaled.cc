@@ -1,0 +1,3 @@
+// MUST NOT COMPILE: instants do not scale (only spans do).
+#include "util/strong_types.h"
+pfc::TimeNs f(pfc::TimeNs t) { return t * 2; }

@@ -26,23 +26,23 @@ TEST(Geometry, Hp97560Characteristics) {
 
 TEST(Geometry, SectorMapping) {
   DiskGeometry g = DiskGeometry::Hp97560();
-  ChsAddress a = g.SectorToChs(0);
-  EXPECT_EQ(a.cylinder, 0);
+  ChsAddress a = g.SectorToChs(SectorAddr{0});
+  EXPECT_EQ(a.cylinder, Cylinder{0});
   EXPECT_EQ(a.track, 0);
   EXPECT_EQ(a.sector, 0);
 
-  ChsAddress b = g.SectorToChs(72);  // first sector of track 1
-  EXPECT_EQ(b.cylinder, 0);
+  ChsAddress b = g.SectorToChs(SectorAddr{72});  // first sector of track 1
+  EXPECT_EQ(b.cylinder, Cylinder{0});
   EXPECT_EQ(b.track, 1);
   EXPECT_EQ(b.sector, 0);
 
-  ChsAddress c = g.SectorToChs(g.sectors_per_cylinder());
-  EXPECT_EQ(c.cylinder, 1);
+  ChsAddress c = g.SectorToChs(SectorAddr{g.sectors_per_cylinder()});
+  EXPECT_EQ(c.cylinder, Cylinder{1});
   EXPECT_EQ(c.track, 0);
 
   // Addresses wrap modulo the disk.
-  ChsAddress d = g.SectorToChs(g.total_sectors() + 73);
-  EXPECT_EQ(d.cylinder, 0);
+  ChsAddress d = g.SectorToChs(SectorAddr{g.total_sectors() + 73});
+  EXPECT_EQ(d.cylinder, Cylinder{0});
   EXPECT_EQ(d.track, 1);
   EXPECT_EQ(d.sector, 1);
 }
@@ -50,17 +50,17 @@ TEST(Geometry, SectorMapping) {
 TEST(Geometry, RotationalArrival) {
   DiskGeometry g = DiskGeometry::Hp97560();
   // At t=0 the head is at sector 0; reading sector 10 waits 10 sector times.
-  EXPECT_EQ(g.NextArrival(10, 0), 10 * g.SectorTime());
+  EXPECT_EQ(g.NextArrival(10, TimeNs{0}), TimeNs{0} + 10 * g.SectorTime());
   // Just past sector 10: wait almost a full revolution.
-  TimeNs just_past = 11 * g.SectorTime();
-  TimeNs wait = g.NextArrival(10, just_past) - just_past;
+  const TimeNs just_past = TimeNs{0} + 11 * g.SectorTime();
+  const DurNs wait = g.NextArrival(10, just_past) - just_past;
   EXPECT_GT(wait, g.RotationPeriod() - 2 * g.SectorTime());
   EXPECT_LE(wait, g.RotationPeriod());
 }
 
 TEST(SeekModel, CalibrationPoints) {
   SeekModel s = SeekModel::Hp97560();
-  EXPECT_EQ(s.SeekTime(0), 0);
+  EXPECT_EQ(s.SeekTime(0), DurNs{0});
   // Paper section 3.2: max seek within a 100-cylinder group is 7.24 ms.
   EXPECT_NEAR(NsToMs(s.SeekTime(99)), 7.24, 0.1);
   // Continuity at the crossover.
@@ -75,9 +75,9 @@ TEST(SeekModel, CalibrationPoints) {
 
 TEST(SeekModel, Monotone) {
   SeekModel s = SeekModel::Hp97560();
-  TimeNs prev = 0;
+  DurNs prev;
   for (int64_t d = 1; d < 1962; d += 7) {
-    TimeNs t = s.SeekTime(d);
+    DurNs t = s.SeekTime(d);
     EXPECT_GE(t, prev) << "seek not monotone at distance " << d;
     prev = t;
   }
@@ -85,28 +85,28 @@ TEST(SeekModel, Monotone) {
 
 TEST(ReadaheadCache, ExtendsWhileIdle) {
   ReadaheadCache c(256, MsToNs(0.2));  // 0.2 ms per sector
-  EXPECT_FALSE(c.Contains(0, 16, 0));
-  c.NoteMediaRead(0, 16, MsToNs(1));
-  EXPECT_TRUE(c.Contains(0, 16, MsToNs(1)));
-  EXPECT_FALSE(c.Contains(16, 16, MsToNs(1)));
+  EXPECT_FALSE(c.Contains(SectorAddr{0}, 16, TimeNs{0}));
+  c.NoteMediaRead(SectorAddr{0}, 16, TimeNs{0} + MsToNs(1));
+  EXPECT_TRUE(c.Contains(SectorAddr{0}, 16, TimeNs{0} + MsToNs(1)));
+  EXPECT_FALSE(c.Contains(SectorAddr{16}, 16, TimeNs{0} + MsToNs(1)));
   // After 3.2 ms idle, 16 more sectors are buffered.
-  EXPECT_TRUE(c.Contains(16, 16, MsToNs(1) + MsToNs(3.2)));
+  EXPECT_TRUE(c.Contains(SectorAddr{16}, 16, TimeNs{0} + MsToNs(1) + MsToNs(3.2)));
 }
 
 TEST(ReadaheadCache, CapacityBounded) {
   ReadaheadCache c(64, MsToNs(0.1));
-  c.NoteMediaRead(100, 16, 0);
+  c.NoteMediaRead(SectorAddr{100}, 16, TimeNs{0});
   // However long we wait, at most 64 sectors from the segment start.
-  EXPECT_EQ(c.EndSectorAt(SecToNs(10)), 164);
-  EXPECT_TRUE(c.Contains(148, 16, SecToNs(10)));
-  EXPECT_FALSE(c.Contains(160, 16, SecToNs(10)));
+  EXPECT_EQ(c.EndSectorAt(TimeNs{0} + SecToNs(10)), SectorAddr{164});
+  EXPECT_TRUE(c.Contains(SectorAddr{148}, 16, TimeNs{0} + SecToNs(10)));
+  EXPECT_FALSE(c.Contains(SectorAddr{160}, 16, TimeNs{0} + SecToNs(10)));
 }
 
 TEST(ReadaheadCache, InvalidateClears) {
   ReadaheadCache c(256, MsToNs(0.2));
-  c.NoteMediaRead(0, 16, 0);
+  c.NoteMediaRead(SectorAddr{0}, 16, TimeNs{0});
   c.Invalidate();
-  EXPECT_FALSE(c.Contains(0, 16, MsToNs(100)));
+  EXPECT_FALSE(c.Contains(SectorAddr{0}, 16, TimeNs{0} + MsToNs(100)));
   EXPECT_FALSE(c.valid());
 }
 
@@ -114,18 +114,18 @@ TEST(Hp97560Mechanism, RandomAccessCost) {
   auto mech = Hp97560Mechanism::MakeDefault();
   // A cold random access: controller + seek + rotation + transfer. The
   // paper's Table 1 quotes 22.8 ms average for 8 KB.
-  TimeNs t = mech->Access(500000, 0);
+  const DurNs t = mech->Access(BlockId{500000}, TimeNs{0});
   EXPECT_GT(t, MsToNs(5));
   EXPECT_LT(t, MsToNs(45));
 }
 
 TEST(Hp97560Mechanism, SequentialStreamingIsCheap) {
   auto mech = Hp97560Mechanism::MakeDefault();
-  TimeNs now = 0;
-  now += mech->Access(1000, now);
+  TimeNs now;
+  now += mech->Access(BlockId{1000}, now);
   RunningStat s;
   for (int i = 1; i <= 20; ++i) {
-    TimeNs dt = mech->Access(1000 + i, now);
+    DurNs dt = mech->Access(BlockId{1000 + i}, now);
     s.Add(NsToMs(dt));
     now += dt;
   }
@@ -137,53 +137,53 @@ TEST(Hp97560Mechanism, SequentialStreamingIsCheap) {
 
 TEST(Hp97560Mechanism, ReadaheadHitAfterIdle) {
   auto mech = Hp97560Mechanism::MakeDefault();
-  TimeNs now = 0;
-  now += mech->Access(2000, now);
+  TimeNs now;
+  now += mech->Access(BlockId{2000}, now);
   now += SecToNs(1);  // long idle: the drive buffers ahead
-  TimeNs hit = mech->Access(2001, now);
+  const DurNs hit = mech->Access(BlockId{2001}, now);
   // Controller + SCSI transfer only: ~3 ms.
   EXPECT_LT(hit, MsToNs(3.5));
 }
 
 TEST(Hp97560Mechanism, ResetRestoresColdState) {
   auto mech = Hp97560Mechanism::MakeDefault();
-  TimeNs now = 0;
-  now += mech->Access(2000, now);
-  TimeNs warm = mech->Access(2001, now);
+  TimeNs now;
+  now += mech->Access(BlockId{2000}, now);
+  const DurNs warm = mech->Access(BlockId{2001}, now);
   mech->Reset();
-  TimeNs cold = mech->Access(2001, now + warm);
+  const DurNs cold = mech->Access(BlockId{2001}, now + warm);
   EXPECT_GT(cold, warm);
-  EXPECT_EQ(mech->HeadCylinder(), mech->BlockCylinder(2001));
+  EXPECT_EQ(mech->HeadCylinder(), mech->BlockCylinder(BlockId{2001}));
 }
 
 TEST(SimpleMechanism, CostTiers) {
   auto mech = SimpleMechanism::MakeDefault();
-  TimeNs first = mech->Access(1000, 0);
+  const DurNs first = mech->Access(BlockId{1000}, TimeNs{0});
   EXPECT_EQ(first, MsToNs(15));  // cold: random
-  EXPECT_EQ(mech->Access(1001, first), MsToNs(2.4));  // sequential
-  TimeNs near = mech->Access(1040, 0);
+  EXPECT_EQ(mech->Access(BlockId{1001}, TimeNs{0} + first), MsToNs(2.4));  // sequential
+  const DurNs near = mech->Access(BlockId{1040}, TimeNs{0});
   EXPECT_EQ(near, MsToNs(7.0));  // within the near window
-  EXPECT_EQ(mech->Access(900000, 0), MsToNs(15));  // far: random again
+  EXPECT_EQ(mech->Access(BlockId{900000}, TimeNs{0}), MsToNs(15));  // far: random again
 }
 
 TEST(Disk, DispatchAndCompleteAccounting) {
-  Disk d(0, SimpleMechanism::MakeDefault(), SchedDiscipline::kFcfs);
+  Disk d(DiskId{0}, SimpleMechanism::MakeDefault(), SchedDiscipline::kFcfs);
   EXPECT_TRUE(d.idle());
-  d.Enqueue(7, 1000, 0, 1);
-  d.Enqueue(8, 1001, 0, 2);
+  d.Enqueue(BlockId{7}, BlockId{1000}, TimeNs{0}, 1);
+  d.Enqueue(BlockId{8}, BlockId{1001}, TimeNs{0}, 2);
   EXPECT_FALSE(d.idle());
 
-  auto r1 = d.TryDispatch(0);
+  auto r1 = d.TryDispatch(TimeNs{0});
   ASSERT_TRUE(r1.has_value());
-  EXPECT_EQ(r1->logical_block, 7);
+  EXPECT_EQ(r1->logical_block, BlockId{7});
   EXPECT_TRUE(d.busy());
-  EXPECT_FALSE(d.TryDispatch(0).has_value());  // busy: one at a time
+  EXPECT_FALSE(d.TryDispatch(TimeNs{0}).has_value());  // busy: one at a time
 
   d.CompleteCurrent(r1->complete_time);
   EXPECT_FALSE(d.busy());
   auto r2 = d.TryDispatch(r1->complete_time);
   ASSERT_TRUE(r2.has_value());
-  EXPECT_EQ(r2->logical_block, 8);
+  EXPECT_EQ(r2->logical_block, BlockId{8});
   d.CompleteCurrent(r2->complete_time);
 
   EXPECT_EQ(d.stats().requests, 2);
@@ -195,7 +195,7 @@ TEST(DiskArray, ConstructionAndReset) {
   DiskArray a(4, DiskModelKind::kDetailed, SchedDiscipline::kCscan);
   EXPECT_EQ(a.num_disks(), 4);
   EXPECT_TRUE(a.AllIdle());
-  a.disk(2).Enqueue(1, 1, 0, 1);
+  a.disk(DiskId{2}).Enqueue(BlockId{1}, BlockId{1}, TimeNs{0}, 1);
   EXPECT_FALSE(a.AllIdle());
   a.Reset();
   EXPECT_TRUE(a.AllIdle());

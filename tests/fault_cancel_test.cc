@@ -39,11 +39,11 @@ Trace FailoverTrace(int64_t n, bool with_writes) {
   int64_t block = 0;
   for (int64_t i = 0; i < n; ++i) {
     block = rng.UniformDouble() < 0.8 ? (block + 1) % 60 : rng.UniformInt(0, 59);
-    const TimeNs compute = rng.UniformInt(0, 200'000);
+    const DurNs compute{rng.UniformInt(0, 200'000)};
     if (with_writes && rng.UniformDouble() < 0.2) {
-      t.AppendWrite(block, compute);
+      t.AppendWrite(BlockId{block}, compute);
     } else {
-      t.Append(block, compute);
+      t.Append(BlockId{block}, compute);
     }
   }
   return t;
@@ -53,8 +53,8 @@ SimConfig FailStopConfig() {
   SimConfig config;
   config.cache_blocks = 16;
   config.num_disks = 2;
-  config.faults.fail_disk = 0;
-  config.faults.fail_after = MsToNs(10);
+  config.faults.fail_disk = DiskId{0};
+  config.faults.fail_after = TimeNs{0} + MsToNs(10);
   return config;
 }
 
@@ -73,7 +73,7 @@ TEST(FaultCancellation, BooksBalancedAfterFailStopPerPolicy) {
     EXPECT_GT(r.failed_requests, 0);
     EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
     EXPECT_LE(r.degraded_stall_ns, r.stall_time);
-    EXPECT_GT(r.degraded_stall_ns, 0);
+    EXPECT_GT(r.degraded_stall_ns, DurNs{0});
 
     // Cache accounting: every used buffer is clean-present, dirty, or still
     // in flight — cancelled fetches must have returned their buffers.

@@ -31,7 +31,7 @@ TEST(FaultModel, DisabledByDefault) {
   EXPECT_FALSE(config.enabled());
   config.seed = 424242;  // a seed alone enables nothing
   EXPECT_FALSE(config.enabled());
-  config.slow_disk = 0;  // a slow disk with factor 1 is not degraded
+  config.slow_disk = DiskId{0};  // a slow disk with factor 1 is not degraded
   EXPECT_FALSE(config.enabled());
   config.slow_factor = 2.0;
   EXPECT_TRUE(config.enabled());
@@ -44,14 +44,14 @@ TEST(FaultModel, DecisionStreamIsDeterministicPerDisk) {
   config.tail_multiplier = 5.0;
   config.seed = 7;
 
-  FaultModel a(config, /*disk_id=*/1);
-  FaultModel b(config, /*disk_id=*/1);
-  FaultModel other(config, /*disk_id=*/2);
+  FaultModel a(config, DiskId{1});
+  FaultModel b(config, DiskId{1});
+  FaultModel other(config, DiskId{2});
   bool any_difference = false;
   for (int i = 0; i < 200; ++i) {
-    FaultDecision da = a.OnAccess(MsToNs(i), MsToNs(10));
-    FaultDecision db = b.OnAccess(MsToNs(i), MsToNs(10));
-    FaultDecision dc = other.OnAccess(MsToNs(i), MsToNs(10));
+    FaultDecision da = a.OnAccess(TimeNs{0} + MsToNs(i), MsToNs(10));
+    FaultDecision db = b.OnAccess(TimeNs{0} + MsToNs(i), MsToNs(10));
+    FaultDecision dc = other.OnAccess(TimeNs{0} + MsToNs(i), MsToNs(10));
     EXPECT_EQ(da.service, db.service);
     EXPECT_EQ(da.failed, db.failed);
     any_difference = any_difference || da.failed != dc.failed || da.service != dc.service;
@@ -60,10 +60,10 @@ TEST(FaultModel, DecisionStreamIsDeterministicPerDisk) {
 
   // Reset rewinds the stream to the start.
   a.Reset();
-  FaultModel fresh(config, /*disk_id=*/1);
+  FaultModel fresh(config, DiskId{1});
   for (int i = 0; i < 50; ++i) {
-    FaultDecision da = a.OnAccess(MsToNs(i), MsToNs(10));
-    FaultDecision df = fresh.OnAccess(MsToNs(i), MsToNs(10));
+    FaultDecision da = a.OnAccess(TimeNs{0} + MsToNs(i), MsToNs(10));
+    FaultDecision df = fresh.OnAccess(TimeNs{0} + MsToNs(i), MsToNs(10));
     EXPECT_EQ(da.service, df.service);
     EXPECT_EQ(da.failed, df.failed);
   }
@@ -71,25 +71,25 @@ TEST(FaultModel, DecisionStreamIsDeterministicPerDisk) {
 
 TEST(FaultModel, SlowDiskStretchesServiceAfterOnset) {
   FaultConfig config;
-  config.slow_disk = 0;
+  config.slow_disk = DiskId{0};
   config.slow_factor = 2.0;
-  config.slow_after = MsToNs(100);
-  FaultModel m(config, /*disk_id=*/0);
-  EXPECT_EQ(m.OnAccess(MsToNs(50), MsToNs(10)).service, MsToNs(10));
-  EXPECT_EQ(m.OnAccess(MsToNs(100), MsToNs(10)).service, MsToNs(20));
-  FaultModel unaffected(config, /*disk_id=*/1);
-  EXPECT_EQ(unaffected.OnAccess(MsToNs(200), MsToNs(10)).service, MsToNs(10));
+  config.slow_after = TimeNs{0} + MsToNs(100);
+  FaultModel m(config, DiskId{0});
+  EXPECT_EQ(m.OnAccess(TimeNs{0} + MsToNs(50), MsToNs(10)).service, MsToNs(10));
+  EXPECT_EQ(m.OnAccess(TimeNs{0} + MsToNs(100), MsToNs(10)).service, MsToNs(20));
+  FaultModel unaffected(config, DiskId{1});
+  EXPECT_EQ(unaffected.OnAccess(TimeNs{0} + MsToNs(200), MsToNs(10)).service, MsToNs(10));
 }
 
 TEST(FaultModel, FailStopIsAThreshold) {
   FaultConfig config;
-  config.fail_disk = 2;
-  config.fail_after = MsToNs(10);
-  FaultModel dead(config, /*disk_id=*/2);
-  EXPECT_FALSE(dead.FailStopped(MsToNs(9)));
-  EXPECT_TRUE(dead.FailStopped(MsToNs(10)));
-  FaultModel alive(config, /*disk_id=*/0);
-  EXPECT_FALSE(alive.FailStopped(MsToNs(1000)));
+  config.fail_disk = DiskId{2};
+  config.fail_after = TimeNs{0} + MsToNs(10);
+  FaultModel dead(config, DiskId{2});
+  EXPECT_FALSE(dead.FailStopped(TimeNs{0} + MsToNs(9)));
+  EXPECT_TRUE(dead.FailStopped(TimeNs{0} + MsToNs(10)));
+  FaultModel alive(config, DiskId{0});
+  EXPECT_FALSE(alive.FailStopped(TimeNs{0} + MsToNs(1000)));
 }
 
 // --------------------------------------------------------------------------
@@ -98,7 +98,7 @@ TEST(FaultModel, FailStopIsAThreshold) {
 
 void ExpectBalanced(const RunResult& r) {
   EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
-  EXPECT_GE(r.degraded_stall_ns, 0);
+  EXPECT_GE(r.degraded_stall_ns, DurNs{0});
   EXPECT_LE(r.degraded_stall_ns, r.stall_time);
 }
 
@@ -113,7 +113,7 @@ TEST(FaultSim, ZeroRateConfigIsByteIdenticalToNoFaults) {
     EXPECT_EQ(ResultsCsvString({a}), ResultsCsvString({b})) << ToString(kind);
     EXPECT_EQ(a.retries, 0);
     EXPECT_EQ(a.failed_requests, 0);
-    EXPECT_EQ(a.degraded_stall_ns, 0);
+    EXPECT_EQ(a.degraded_stall_ns, DurNs{0});
     ExpectBalanced(a);
   }
 }
@@ -126,7 +126,7 @@ TEST(FaultSim, MediaErrorsRetryAndStayBalanced) {
   RunResult healthy = RunOne(trace, BaselineConfig("cscope1", 3), PolicyKind::kFixedHorizon);
   RunResult faulty = RunOne(trace, config, PolicyKind::kFixedHorizon);
   EXPECT_GT(faulty.retries, 0);
-  EXPECT_GT(faulty.degraded_stall_ns, 0);
+  EXPECT_GT(faulty.degraded_stall_ns, DurNs{0});
   EXPECT_GT(faulty.elapsed_time, healthy.elapsed_time);
   ExpectBalanced(faulty);
 }
@@ -141,7 +141,7 @@ TEST(FaultSim, LatencyTailsSlowTheRunWithoutErrors) {
   EXPECT_EQ(faulty.retries, 0);
   EXPECT_EQ(faulty.failed_requests, 0);
   EXPECT_GT(faulty.elapsed_time, healthy.elapsed_time);
-  EXPECT_GT(faulty.degraded_stall_ns, 0);
+  EXPECT_GT(faulty.degraded_stall_ns, DurNs{0});
   ExpectBalanced(faulty);
 }
 
@@ -151,11 +151,11 @@ TEST(FaultSim, SlowDiskDegradesEveryPolicy) {
                           PolicyKind::kAggressive, PolicyKind::kForestall}) {
     RunResult healthy = RunOne(trace, BaselineConfig("cscope1", 4), kind);
     SimConfig config = BaselineConfig("cscope1", 4);
-    config.faults.slow_disk = 0;
+    config.faults.slow_disk = DiskId{0};
     config.faults.slow_factor = 10.0;
     RunResult slow = RunOne(trace, config, kind);
     EXPECT_GE(slow.elapsed_time, healthy.elapsed_time) << ToString(kind);
-    EXPECT_GT(slow.degraded_stall_ns, 0) << ToString(kind);
+    EXPECT_GT(slow.degraded_stall_ns, DurNs{0}) << ToString(kind);
     ExpectBalanced(slow);
   }
 }
@@ -164,11 +164,11 @@ TEST(FaultSim, FailStopCompletesWithPermanentFailures) {
   Trace trace = TestTrace("cscope1", 600);
   for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kAggressive, PolicyKind::kForestall}) {
     SimConfig config = BaselineConfig("cscope1", 2);
-    config.faults.fail_disk = 0;
-    config.faults.fail_after = MsToNs(50);
+    config.faults.fail_disk = DiskId{0};
+    config.faults.fail_after = TimeNs{0} + MsToNs(50);
     RunResult r = RunOne(trace, config, kind);
     EXPECT_GT(r.failed_requests, 0) << ToString(kind);
-    EXPECT_GT(r.degraded_stall_ns, 0) << ToString(kind);
+    EXPECT_GT(r.degraded_stall_ns, DurNs{0}) << ToString(kind);
     ExpectBalanced(r);
   }
 }
@@ -198,7 +198,7 @@ TEST(FaultSim, FaultGridIsDeterministicAcrossJobCounts) {
       job.config = BaselineConfig("cscope1", disks);
       job.config.faults.media_error_rate = 0.1;
       job.config.faults.tail_rate = 0.05;
-      job.config.faults.slow_disk = 0;
+      job.config.faults.slow_disk = DiskId{0};
       job.config.faults.slow_factor = 2.0;
       job.config.faults.seed = 1996;
       job.kind = kind;

@@ -10,19 +10,19 @@
 namespace pfc {
 namespace {
 
-Trace LoopTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+Trace LoopTrace(int64_t blocks, int64_t reads, DurNs compute) {
   Trace t("loop");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(i % blocks, compute);
+    t.Append(BlockId{i % blocks}, compute);
   }
   return t;
 }
 
-Trace RandomTrace(int64_t blocks, int64_t reads, TimeNs compute, uint64_t seed) {
+Trace RandomTrace(int64_t blocks, int64_t reads, DurNs compute, uint64_t seed) {
   Trace t("random");
   Rng rng(seed);
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(rng.UniformInt(0, blocks - 1), compute);
+    t.Append(BlockId{rng.UniformInt(0, blocks - 1)}, compute);
   }
   return t;
 }
@@ -41,8 +41,8 @@ TEST(Forestall, FixedFOverridesDynamicEstimation) {
   Trace t = LoopTrace(10, 20, MsToNs(1));
   SimConfig c = Cfg(8, 2);
   Simulator sim(t, c, &p);
-  EXPECT_DOUBLE_EQ(p.FetchTimeRatio(0), 30.0);
-  EXPECT_DOUBLE_EQ(p.FetchTimeRatio(1), 30.0);
+  EXPECT_DOUBLE_EQ(p.FetchTimeRatio(DiskId{0}), 30.0);
+  EXPECT_DOUBLE_EQ(p.FetchTimeRatio(DiskId{1}), 30.0);
 }
 
 TEST(Forestall, ConservativeWhenComputeBound) {
@@ -97,8 +97,8 @@ TEST(Forestall, AggressiveWhenIoBound) {
   }
   EXPECT_LT(forestall.elapsed_time, fixed.elapsed_time);
   // Within 15% of aggressive.
-  EXPECT_LT(static_cast<double>(forestall.elapsed_time),
-            1.15 * static_cast<double>(agg.elapsed_time));
+  EXPECT_LT(static_cast<double>(forestall.elapsed_time.ns()),
+            1.15 * static_cast<double>(agg.elapsed_time.ns()));
 }
 
 TEST(Forestall, DynamicFTracksDiskSpeed) {
@@ -110,7 +110,7 @@ TEST(Forestall, DynamicFTracksDiskSpeed) {
   ForestallPolicy p;
   Simulator sim(t, c, &p);
   sim.Run();
-  double f = p.FetchTimeRatio(0);
+  double f = p.FetchTimeRatio(DiskId{0});
   // Sequential accesses ~3.6 ms against ~4 ms compute: F' ~ 1, certainly
   // below the inflated regime.
   EXPECT_GT(f, 0.2);

@@ -34,8 +34,8 @@ TEST_P(GeneratorSpecTest, DeterministicForSeed) {
   Trace b = MakeTrace(spec.name, 12345);
   ASSERT_EQ(a.size(), b.size());
   for (int64_t i = 0; i < a.size(); i += 97) {
-    ASSERT_EQ(a.block(i), b.block(i)) << spec.name << " @" << i;
-    ASSERT_EQ(a.compute(i), b.compute(i)) << spec.name << " @" << i;
+    ASSERT_EQ(a.block(TracePos{i}), b.block(TracePos{i})) << spec.name << " @" << i;
+    ASSERT_EQ(a.compute(TracePos{i}), b.compute(TracePos{i})) << spec.name << " @" << i;
   }
 }
 
@@ -43,14 +43,14 @@ TEST_P(GeneratorSpecTest, NonNegativeEntries) {
   const TraceSpec& spec = GetParam();
   Trace t = MakeTrace(spec.name);
   for (int64_t i = 0; i < t.size(); ++i) {
-    ASSERT_GE(t.block(i), 0);
-    ASSERT_GE(t.compute(i), 0);
+    ASSERT_GE(t.block(TracePos{i}), BlockId{0});
+    ASSERT_GE(t.compute(TracePos{i}), DurNs{0});
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTraces, GeneratorSpecTest, testing::ValuesIn(AllTraceSpecs()),
-                         [](const testing::TestParamInfo<TraceSpec>& info) {
-                           std::string name = info.param.name;
+                         [](const testing::TestParamInfo<TraceSpec>& param_info) {
+                           std::string name = param_info.param.name;
                            for (char& c : name) {
                              if (c == '-') {
                                c = '_';
@@ -64,7 +64,7 @@ TEST(Generators, DifferentSeedsGiveDifferentLayouts) {
   Trace b = MakeTrace("cscope2", 2);
   int64_t diffs = 0;
   for (int64_t i = 0; i < a.size(); i += 10) {
-    if (a.block(i) != b.block(i)) {
+    if (a.block(TracePos{i}) != b.block(TracePos{i})) {
       ++diffs;
     }
   }
@@ -74,7 +74,7 @@ TEST(Generators, DifferentSeedsGiveDifferentLayouts) {
 TEST(Generators, SynthIsSequentialLoop) {
   Trace t = MakeTrace("synth");
   for (int64_t i = 0; i < 6000; ++i) {
-    ASSERT_EQ(t.block(i), i % 2000);
+    ASSERT_EQ(t.block(TracePos{i}), BlockId{i % 2000});
   }
 }
 
@@ -83,7 +83,7 @@ TEST(Generators, DineroIsOneSequentialFile) {
   TraceStats s = ComputeTraceStats(t);
   EXPECT_GT(s.sequential_fraction, 0.99);
   // Sequential within the pass, and passes repeat the same 986 blocks.
-  EXPECT_EQ(t.block(0), t.block(986));
+  EXPECT_EQ(t.block(TracePos{0}), t.block(TracePos{986}));
 }
 
 TEST(Generators, Cscope3ComputeIsBursty) {
@@ -94,7 +94,7 @@ TEST(Generators, Cscope3ComputeIsBursty) {
   int64_t transitions = 0;
   bool prev_high = false;
   for (int64_t i = 0; i < t.size(); ++i) {
-    bool is_high = t.compute(i) > MsToNs(3.5);
+    bool is_high = t.compute(TracePos{i}) > MsToNs(3.5);
     (is_high ? high : low) += 1;
     if (i > 0 && is_high != prev_high) {
       ++transitions;
@@ -113,7 +113,7 @@ TEST(Generators, GlimpseIndexIsHotDataIsCold) {
   // of times at most.
   std::unordered_map<int64_t, int> counts;
   for (int64_t i = 0; i < t.size(); ++i) {
-    ++counts[t.block(i)];
+    ++counts[t.block(TracePos{i}).v()];
   }
   int64_t hot = 0;
   int64_t cold = 0;
@@ -134,16 +134,16 @@ TEST(Generators, PostgresSelectWalksIndexLeavesInOrder) {
   // Index leaf reads (hot blocks) appear in nondecreasing leaf order.
   std::unordered_map<int64_t, int> counts;
   for (int64_t i = 0; i < t.size(); ++i) {
-    ++counts[t.block(i)];
+    ++counts[t.block(TracePos{i}).v()];
   }
   int64_t prev_leaf = -1;
   bool monotone = true;
   for (int64_t i = 0; i < t.size(); ++i) {
-    if (counts[t.block(i)] >= 5) {  // leaf blocks are re-read many times
-      if (t.block(i) < prev_leaf) {
+    if (counts[t.block(TracePos{i}).v()] >= 5) {  // leaf blocks are re-read many times
+      if (t.block(TracePos{i}).v() < prev_leaf) {
         monotone = false;
       }
-      prev_leaf = t.block(i);
+      prev_leaf = t.block(TracePos{i}).v();
     }
   }
   EXPECT_TRUE(monotone);
@@ -157,14 +157,14 @@ TEST(Generators, LdReadsEachFileTwiceBackToBack) {
   int64_t reuses = 0;
   int64_t near_reuses = 0;
   for (int64_t i = 0; i < t.size(); ++i) {
-    auto it = last_seen.find(t.block(i));
+    auto it = last_seen.find(t.block(TracePos{i}).v());
     if (it != last_seen.end()) {
       ++reuses;
       if (i - it->second <= 1280) {
         ++near_reuses;
       }
     }
-    last_seen[t.block(i)] = i;
+    last_seen[t.block(TracePos{i}).v()] = i;
   }
   EXPECT_GT(reuses, 2800);
   EXPECT_GT(static_cast<double>(near_reuses), 0.95 * static_cast<double>(reuses));

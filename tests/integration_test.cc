@@ -51,18 +51,19 @@ TEST(Integration, ForestallTracksTheBestOfBoth) {
     RunResult fh = RunSim(t, "synth", disks, PolicyKind::kFixedHorizon);
     RunResult agg = RunSim(t, "synth", disks, PolicyKind::kAggressive);
     RunResult forestall = RunSim(t, "synth", disks, PolicyKind::kForestall);
-    TimeNs best = std::min(fh.elapsed_time, agg.elapsed_time);
-    EXPECT_LT(static_cast<double>(forestall.elapsed_time), 1.06 * static_cast<double>(best))
+    const DurNs best = std::min(fh.elapsed_time, agg.elapsed_time);
+    EXPECT_LT(static_cast<double>(forestall.elapsed_time.ns()),
+              1.06 * static_cast<double>(best.ns()))
         << disks << " disks";
   }
 }
 
 TEST(Integration, MoreDisksNeverHurtFixedHorizon) {
   Trace t = MakeTrace("ld");
-  TimeNs prev = kTimeInfinity;
+  DurNs prev = kDurInfinity;
   for (int disks : {1, 2, 4, 8}) {
     RunResult r = RunSim(t, "ld", disks, PolicyKind::kFixedHorizon);
-    EXPECT_LE(static_cast<double>(r.elapsed_time), 1.02 * static_cast<double>(prev))
+    EXPECT_LE(static_cast<double>(r.elapsed_time.ns()), 1.02 * static_cast<double>(prev.ns()))
         << disks << " disks";
     prev = r.elapsed_time;
   }
@@ -90,7 +91,8 @@ TEST(Integration, BiggerCacheNeverHurtsMuch) {
   for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive}) {
     RunResult s = RunOne(t, small, kind);
     RunResult b = RunOne(t, big, kind);
-    EXPECT_LT(static_cast<double>(b.elapsed_time), 1.02 * static_cast<double>(s.elapsed_time))
+    EXPECT_LT(static_cast<double>(b.elapsed_time.ns()),
+              1.02 * static_cast<double>(s.elapsed_time.ns()))
         << ToString(kind);
   }
 }

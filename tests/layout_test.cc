@@ -13,9 +13,9 @@ namespace {
 TEST(Placement, StripedRoundRobin) {
   StripedPlacement p(4);
   for (int64_t b = 0; b < 100; ++b) {
-    BlockLocation loc = p.Map(b);
-    EXPECT_EQ(loc.disk, static_cast<int>(b % 4));
-    EXPECT_EQ(loc.disk_block, b / 4);
+    BlockLocation loc = p.Map(BlockId{b});
+    EXPECT_EQ(loc.disk, DiskId{static_cast<int32_t>(b % 4)});
+    EXPECT_EQ(loc.disk_block, BlockId{b / 4});
   }
 }
 
@@ -23,34 +23,34 @@ TEST(Placement, StripedSequentialIsPerDiskSequential) {
   // Consecutive logical blocks on the same disk map to consecutive disk
   // blocks — that is why striping preserves streaming.
   StripedPlacement p(3);
-  BlockLocation a = p.Map(9);
-  BlockLocation b = p.Map(12);
+  BlockLocation a = p.Map(BlockId{9});
+  BlockLocation b = p.Map(BlockId{12});
   EXPECT_EQ(a.disk, b.disk);
   EXPECT_EQ(b.disk_block, a.disk_block + 1);
 }
 
 TEST(Placement, ContiguousChunks) {
   ContiguousPlacement p(2, 100);
-  EXPECT_EQ(p.Map(0).disk, 0);
-  EXPECT_EQ(p.Map(99).disk, 0);
-  EXPECT_EQ(p.Map(100).disk, 1);
-  EXPECT_EQ(p.Map(199).disk, 1);
-  EXPECT_EQ(p.Map(200).disk, 0);
+  EXPECT_EQ(p.Map(BlockId{0}).disk, DiskId{0});
+  EXPECT_EQ(p.Map(BlockId{99}).disk, DiskId{0});
+  EXPECT_EQ(p.Map(BlockId{100}).disk, DiskId{1});
+  EXPECT_EQ(p.Map(BlockId{199}).disk, DiskId{1});
+  EXPECT_EQ(p.Map(BlockId{200}).disk, DiskId{0});
   // Within a chunk, disk blocks stay consecutive.
-  EXPECT_EQ(p.Map(1).disk_block, p.Map(0).disk_block + 1);
+  EXPECT_EQ(p.Map(BlockId{1}).disk_block, p.Map(BlockId{0}).disk_block + 1);
 }
 
 TEST(Placement, GroupHashIsDeterministicAndGroupStable) {
   GroupHashPlacement p(4, 100);
   GroupHashPlacement q(4, 100);
   for (int64_t b : {0L, 99L, 100L, 5000L, 123456L}) {
-    EXPECT_EQ(p.Map(b).disk, q.Map(b).disk);
+    EXPECT_EQ(p.Map(BlockId{b}).disk, q.Map(BlockId{b}).disk);
   }
   // Whole groups land on one disk.
-  int disk = p.Map(500).disk;
+  const DiskId disk = p.Map(BlockId{500}).disk;
   for (int64_t b = 500; b < 600; ++b) {
     if (b / 100 == 5) {
-      EXPECT_EQ(p.Map(b).disk, disk);
+      EXPECT_EQ(p.Map(BlockId{b}).disk, disk);
     }
   }
 }
@@ -59,7 +59,7 @@ TEST(Placement, StripingBalancesLoad) {
   StripedPlacement p(5);
   std::vector<int> counts(5, 0);
   for (int64_t b = 0; b < 10000; ++b) {
-    ++counts[static_cast<size_t>(p.Map(b).disk)];
+    ++counts[static_cast<size_t>(p.Map(BlockId{b}).disk.v())];
   }
   for (int c : counts) {
     EXPECT_EQ(c, 2000);
@@ -85,7 +85,7 @@ TEST(FileLayout, FilesDoNotOverlap) {
   std::set<int64_t> seen;
   for (int f = 0; f < layout.num_files(); ++f) {
     for (int64_t off = 0; off < layout.FileBlocks(f); ++off) {
-      EXPECT_TRUE(seen.insert(layout.BlockAddress(f, off)).second)
+      EXPECT_TRUE(seen.insert(layout.BlockAddress(f, off).v()).second)
           << "overlap at file " << f << " offset " << off;
     }
   }
@@ -94,8 +94,8 @@ TEST(FileLayout, FilesDoNotOverlap) {
 TEST(FileLayout, SmallFileFitsInOneGroup) {
   Rng rng(7);
   FileLayout layout(&rng);
-  int64_t base = layout.AddFile(50);
-  int64_t group = base / FileLayout::kGroupBlocks;
+  const int64_t base = layout.AddFile(50).v();
+  const int64_t group = base / FileLayout::kGroupBlocks;
   EXPECT_EQ((base + 49) / FileLayout::kGroupBlocks, group);
 }
 
@@ -105,7 +105,7 @@ TEST(FileLayout, FragmentedFileStaysInItsGroups) {
   int id = layout.AddFragmentedFile(120, 4);
   std::set<int64_t> addresses;
   for (int64_t off = 0; off < 120; ++off) {
-    int64_t a = layout.BlockAddress(id, off);
+    const int64_t a = layout.BlockAddress(id, off).v();
     EXPECT_TRUE(addresses.insert(a).second);
     EXPECT_LT(a, FileLayout::kGroupBlocks);  // first file: group 0
   }
@@ -119,13 +119,13 @@ TEST(FileLayout, FragmentedAndContiguousInterleave) {
   FileLayout layout(&rng);
   layout.AddFile(10);
   int frag = layout.AddFragmentedFile(30, 2);
-  int64_t base2 = layout.AddFile(20);
+  const int64_t base2 = layout.AddFile(20).v();
   std::set<int64_t> seen;
   for (int64_t off = 0; off < 10; ++off) {
-    seen.insert(layout.BlockAddress(0, off));
+    seen.insert(layout.BlockAddress(0, off).v());
   }
   for (int64_t off = 0; off < 30; ++off) {
-    EXPECT_TRUE(seen.insert(layout.BlockAddress(frag, off)).second);
+    EXPECT_TRUE(seen.insert(layout.BlockAddress(frag, off).v()).second);
   }
   for (int64_t off = 0; off < 20; ++off) {
     EXPECT_TRUE(seen.insert(base2 + off).second);

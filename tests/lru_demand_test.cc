@@ -9,7 +9,7 @@ namespace {
 Trace LoopTrace(int64_t blocks, int64_t reads) {
   Trace t("loop");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(i % blocks, MsToNs(1));
+    t.Append(BlockId{i % blocks}, MsToNs(1));
   }
   return t;
 }
@@ -46,7 +46,7 @@ TEST(LruDemand, RecencyFavorsHotBlocks) {
   Trace t("hotcold");
   for (int64_t i = 0; i < 4000; ++i) {
     bool hot = rng.UniformDouble() < 0.8;
-    t.Append(hot ? rng.UniformInt(0, 49) : 100 + rng.UniformInt(0, 1999), MsToNs(1));
+    t.Append(BlockId{hot ? rng.UniformInt(0, 49) : 100 + rng.UniformInt(0, 1999)}, MsToNs(1));
   }
   SimConfig c;
   c.cache_blocks = 128;

@@ -18,11 +18,11 @@ class TrackerCheckPolicy : public DemandPolicy {
     tracker_ = std::make_unique<MissingTracker>(sim, window_);
   }
 
-  void OnReference(Engine& sim, int64_t pos) override {
+  void OnReference(Engine& sim, TracePos pos) override {
     tracker_->AdvanceTo(pos);
     // Ground truth: positions in [pos, pos+window) whose block is absent.
-    int64_t end = std::min(pos + window_, sim.trace().size());
-    for (int64_t p = pos; p < end; ++p) {
+    const TracePos end{std::min(pos.v() + window_, sim.trace().size())};
+    for (TracePos p = pos; p < end; ++p) {
       bool absent =
           sim.cache().GetState(sim.trace().block(p)) == CacheView::State::kAbsent;
       bool tracked = tracker_->global().count(p) > 0;
@@ -33,20 +33,20 @@ class TrackerCheckPolicy : public DemandPolicy {
         ++stale_entries_;  // allowed, cleaned lazily
       }
       if (absent && tracked) {
-        int disk = sim.Location(sim.trace().block(p)).disk;
+        const DiskId disk = sim.Location(sim.trace().block(p)).disk;
         EXPECT_TRUE(tracker_->per_disk(disk).count(p) > 0);
       }
     }
     ++checks_;
   }
 
-  int64_t ChooseDemandEviction(Engine& sim, int64_t block) override {
-    int64_t victim = DemandPolicy::ChooseDemandEviction(sim, block);
+  BlockId ChooseDemandEviction(Engine& sim, BlockId block) override {
+    const BlockId victim = DemandPolicy::ChooseDemandEviction(sim, block);
     tracker_->OnEvict(victim);
     return victim;
   }
 
-  void OnDemandFetch(Engine& sim, int64_t block) override {
+  void OnDemandFetch(Engine& sim, BlockId block) override {
     (void)sim;
     tracker_->OnIssue(block);
   }
@@ -68,7 +68,7 @@ TEST(MissingTracker, NeverMissesAnAbsentBlock) {
   // every truly absent in-window position.
   Trace t("loop");
   for (int64_t i = 0; i < 2000; ++i) {
-    t.Append(i % 90, MsToNs(1));
+    t.Append(BlockId{i % 90}, MsToNs(1));
   }
   SimConfig c;
   c.cache_blocks = 30;
@@ -83,7 +83,7 @@ TEST(MissingTracker, NeverMissesAnAbsentBlock) {
 TEST(MissingTracker, WindowSlidesAndRetires) {
   Trace t("seq");
   for (int64_t i = 0; i < 100; ++i) {
-    t.Append(i, MsToNs(1));
+    t.Append(BlockId{i}, MsToNs(1));
   }
   SimConfig c;
   c.cache_blocks = 16;
@@ -91,19 +91,19 @@ TEST(MissingTracker, WindowSlidesAndRetires) {
   DemandPolicy demand;
   Simulator sim(t, c, &demand);
   MissingTracker tracker(sim, 10);
-  tracker.AdvanceTo(0);
+  tracker.AdvanceTo(TracePos{0});
   // All of [0, 10) absent initially.
   EXPECT_EQ(tracker.global().size(), 10u);
-  EXPECT_EQ(*tracker.global().begin(), 0);
-  tracker.AdvanceTo(5);
-  EXPECT_EQ(*tracker.global().begin(), 5);
+  EXPECT_EQ(*tracker.global().begin(), TracePos{0});
+  tracker.AdvanceTo(TracePos{5});
+  EXPECT_EQ(*tracker.global().begin(), TracePos{5});
   EXPECT_EQ(tracker.global().size(), 10u);  // [5, 15)
 }
 
 TEST(MissingTracker, IssueAndEvictUpdateEntries) {
   Trace t("rep");
   for (int64_t i = 0; i < 60; ++i) {
-    t.Append(i % 3, MsToNs(1));  // blocks 0,1,2 repeating
+    t.Append(BlockId{i % 3}, MsToNs(1));  // blocks 0,1,2 repeating
   }
   SimConfig c;
   c.cache_blocks = 8;
@@ -111,11 +111,11 @@ TEST(MissingTracker, IssueAndEvictUpdateEntries) {
   DemandPolicy demand;
   Simulator sim(t, c, &demand);
   MissingTracker tracker(sim, 12);
-  tracker.AdvanceTo(0);
+  tracker.AdvanceTo(TracePos{0});
   EXPECT_EQ(tracker.global().size(), 12u);  // all absent
-  tracker.OnIssue(0);                       // block 0's positions vanish
+  tracker.OnIssue(BlockId{0});              // block 0's positions vanish
   EXPECT_EQ(tracker.global().size(), 8u);
-  tracker.OnEvict(0);  // back again
+  tracker.OnEvict(BlockId{0});  // back again
   EXPECT_EQ(tracker.global().size(), 12u);
 }
 

@@ -11,7 +11,7 @@ Trace PatternTrace() {
   // blocks:    A  B  A  C  B  A  D   (A=1 B=2 C=3 D=4)
   Trace t("pattern");
   for (int64_t b : {1, 2, 1, 3, 2, 1, 4}) {
-    t.Append(b, 0);
+    t.Append(BlockId{b}, DurNs{0});
   }
   return t;
 }
@@ -19,60 +19,60 @@ Trace PatternTrace() {
 TEST(NextRefIndex, NextUseAt) {
   Trace t = PatternTrace();
   NextRefIndex idx(t);
-  EXPECT_EQ(idx.NextUseAt(1, 0), 0);
-  EXPECT_EQ(idx.NextUseAt(1, 1), 2);
-  EXPECT_EQ(idx.NextUseAt(1, 3), 5);
-  EXPECT_EQ(idx.NextUseAt(1, 6), NextRefIndex::kNoRef);
-  EXPECT_EQ(idx.NextUseAt(3, 0), 3);
-  EXPECT_EQ(idx.NextUseAt(3, 4), NextRefIndex::kNoRef);
-  EXPECT_EQ(idx.NextUseAt(99, 0), NextRefIndex::kNoRef);  // unknown block
+  EXPECT_EQ(idx.NextUseAt(BlockId{1}, TracePos{0}), TracePos{0});
+  EXPECT_EQ(idx.NextUseAt(BlockId{1}, TracePos{1}), TracePos{2});
+  EXPECT_EQ(idx.NextUseAt(BlockId{1}, TracePos{3}), TracePos{5});
+  EXPECT_EQ(idx.NextUseAt(BlockId{1}, TracePos{6}), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAt(BlockId{3}, TracePos{0}), TracePos{3});
+  EXPECT_EQ(idx.NextUseAt(BlockId{3}, TracePos{4}), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAt(BlockId{99}, TracePos{0}), NextRefIndex::kNoRef);  // unknown block
 }
 
 TEST(NextRefIndex, NextUseAfterPosition) {
   Trace t = PatternTrace();
   NextRefIndex idx(t);
-  EXPECT_EQ(idx.NextUseAfterPosition(0), 2);  // A at 0 -> next A at 2
-  EXPECT_EQ(idx.NextUseAfterPosition(2), 5);
-  EXPECT_EQ(idx.NextUseAfterPosition(5), NextRefIndex::kNoRef);
-  EXPECT_EQ(idx.NextUseAfterPosition(1), 4);  // B
-  EXPECT_EQ(idx.NextUseAfterPosition(3), NextRefIndex::kNoRef);  // C
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{0}), TracePos{2});  // A at 0 -> next A at 2
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{2}), TracePos{5});
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{5}), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{1}), TracePos{4});  // B
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{3}), NextRefIndex::kNoRef);  // C
 }
 
 TEST(NextRefIndex, PrevUseAt) {
   Trace t = PatternTrace();
   NextRefIndex idx(t);
-  EXPECT_EQ(idx.PrevUseAt(1, 6), 5);
-  EXPECT_EQ(idx.PrevUseAt(1, 4), 2);
-  EXPECT_EQ(idx.PrevUseAt(1, 1), 0);
-  EXPECT_EQ(idx.PrevUseAt(2, 0), -1);
-  EXPECT_EQ(idx.PrevUseAt(4, 5), -1);
-  EXPECT_EQ(idx.PrevUseAt(4, 6), 6);
+  EXPECT_EQ(idx.PrevUseAt(BlockId{1}, TracePos{6}), TracePos{5});
+  EXPECT_EQ(idx.PrevUseAt(BlockId{1}, TracePos{4}), TracePos{2});
+  EXPECT_EQ(idx.PrevUseAt(BlockId{1}, TracePos{1}), TracePos{0});
+  EXPECT_EQ(idx.PrevUseAt(BlockId{2}, TracePos{0}), NextRefIndex::kNoPrevRef);
+  EXPECT_EQ(idx.PrevUseAt(BlockId{4}, TracePos{5}), NextRefIndex::kNoPrevRef);
+  EXPECT_EQ(idx.PrevUseAt(BlockId{4}, TracePos{6}), TracePos{6});
 }
 
 TEST(NextRefIndex, FirstUse) {
   Trace t = PatternTrace();
   NextRefIndex idx(t);
-  EXPECT_EQ(idx.FirstUse(1), 0);
-  EXPECT_EQ(idx.FirstUse(4), 6);
-  EXPECT_EQ(idx.FirstUse(1234), NextRefIndex::kNoRef);
-  EXPECT_TRUE(idx.Known(3));
-  EXPECT_FALSE(idx.Known(1234));
+  EXPECT_EQ(idx.FirstUse(BlockId{1}), TracePos{0});
+  EXPECT_EQ(idx.FirstUse(BlockId{4}), TracePos{6});
+  EXPECT_EQ(idx.FirstUse(BlockId{1234}), NextRefIndex::kNoRef);
+  EXPECT_TRUE(idx.Known(BlockId{3}));
+  EXPECT_FALSE(idx.Known(BlockId{1234}));
 }
 
 TEST(NextRefIndex, ConsistencyOnLongTrace) {
   Trace t("loop");
   for (int64_t i = 0; i < 5000; ++i) {
-    t.Append(i % 37, 0);
+    t.Append(BlockId{i % 37}, DurNs{0});
   }
   NextRefIndex idx(t);
   for (int64_t i = 0; i < 5000; ++i) {
-    int64_t next = idx.NextUseAfterPosition(i);
+    const TracePos next = idx.NextUseAfterPosition(TracePos{i});
     if (i + 37 < 5000) {
-      ASSERT_EQ(next, i + 37);
+      ASSERT_EQ(next, TracePos{i + 37});
     } else {
       ASSERT_EQ(next, NextRefIndex::kNoRef);
     }
-    ASSERT_EQ(idx.NextUseAt(t.block(i), i), i);
+    ASSERT_EQ(idx.NextUseAt(t.block(TracePos{i}), TracePos{i}), TracePos{i});
   }
 }
 

@@ -45,7 +45,7 @@ TEST(ObsInvariant, AttributionSumsToStallTimeAcrossPolicies) {
       ASSERT_NE(r.obs, nullptr) << ToString(kind) << " d=" << disks;
       EXPECT_EQ(r.obs->stalls.total(), r.stall_time) << ToString(kind);
       EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), r.degraded_stall_ns);
-      EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), 0) << "healthy run";
+      EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), DurNs{0}) << "healthy run";
       EXPECT_GT(r.obs->total_events, 0);
       // Fetch lifecycle bookkeeping: every demand start eventually completes
       // (healthy run), and fetches the engine counted all produced events.
@@ -83,8 +83,8 @@ TEST(ObsInvariant, FaultRunsAttributeDegradedStallExactly) {
   base.faults.media_error_rate = 0.05;
   base.faults.tail_rate = 0.05;
   base.faults.tail_multiplier = 8.0;
-  base.faults.fail_disk = 1;
-  base.faults.fail_after = MsToNs(200);
+  base.faults.fail_disk = DiskId{1};
+  base.faults.fail_after = TimeNs{0} + MsToNs(200);
   base.faults.max_retries = 2;
   for (PolicyKind kind : AllPolicies()) {
     RunResult r = RunOne(trace, base, kind);
@@ -92,7 +92,7 @@ TEST(ObsInvariant, FaultRunsAttributeDegradedStallExactly) {
     EXPECT_EQ(r.obs->stalls.total(), r.stall_time) << ToString(kind);
     EXPECT_EQ(r.obs->stalls.ns(StallCause::kFaultRecovery), r.degraded_stall_ns)
         << ToString(kind);
-    EXPECT_GT(r.degraded_stall_ns, 0) << ToString(kind)
+    EXPECT_GT(r.degraded_stall_ns, DurNs{0}) << ToString(kind)
         << ": fault config produced no degraded stall; test is vacuous";
     EXPECT_GT(r.obs->fault_retries + r.obs->fault_permanent, 0) << ToString(kind);
   }
@@ -150,15 +150,15 @@ TEST(ObsContract, ExternalSinkReceivesConsistentStream) {
   sim.SetEventSink(&log);
   RunResult r = sim.Run();
   ASSERT_FALSE(log.events().empty());
-  TimeNs stall_sum = 0;
-  TimeNs fault_sum = 0;
-  TimeNs last_time = 0;
+  DurNs stall_sum;
+  DurNs fault_sum;
+  TimeNs last_time;
   for (const ObsEvent& e : log.events()) {
     EXPECT_GE(e.time, last_time);  // simulated-time order
     last_time = e.time;
     if (e.kind == ObsEventKind::kStallEnd) {
-      stall_sum += e.a;
-      fault_sum += e.b;
+      stall_sum += DurNs{e.a};
+      fault_sum += DurNs{e.b};
     }
   }
   EXPECT_EQ(stall_sum, r.stall_time);
@@ -167,20 +167,20 @@ TEST(ObsContract, ExternalSinkReceivesConsistentStream) {
 
 TEST(StallAttributionUnit, AddWindowMergeAndCheck) {
   StallAttribution a;
-  a.AddWindow(StallCause::kColdMiss, 100, 0);
-  a.AddWindow(StallCause::kFetchInFlight, 60, 25);
-  EXPECT_EQ(a.total(), 160);
-  EXPECT_EQ(a.ns(StallCause::kColdMiss), 100);
-  EXPECT_EQ(a.ns(StallCause::kFetchInFlight), 35);
-  EXPECT_EQ(a.ns(StallCause::kFaultRecovery), 25);
+  a.AddWindow(StallCause::kColdMiss, DurNs{100}, DurNs{0});
+  a.AddWindow(StallCause::kFetchInFlight, DurNs{60}, DurNs{25});
+  EXPECT_EQ(a.total(), DurNs{160});
+  EXPECT_EQ(a.ns(StallCause::kColdMiss), DurNs{100});
+  EXPECT_EQ(a.ns(StallCause::kFetchInFlight), DurNs{35});
+  EXPECT_EQ(a.ns(StallCause::kFaultRecovery), DurNs{25});
   EXPECT_EQ(a.windows(), 2);
 
   StallAttribution b;
-  b.AddWindow(StallCause::kNoBuffer, 40, 0);
+  b.AddWindow(StallCause::kNoBuffer, DurNs{40}, DurNs{0});
   a.Merge(b);
-  EXPECT_EQ(a.total(), 200);
+  EXPECT_EQ(a.total(), DurNs{200});
   EXPECT_EQ(a.windows(), 3);
-  a.CheckAgainst(/*stall_time=*/200, /*degraded_stall_ns=*/25);  // must not abort
+  a.CheckAgainst(/*stall_time=*/DurNs{200}, /*degraded_stall_ns=*/DurNs{25});  // must not abort
 
   std::string s = a.ToString();
   EXPECT_NE(s.find("cold-miss"), std::string::npos);

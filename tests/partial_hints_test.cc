@@ -11,10 +11,10 @@
 namespace pfc {
 namespace {
 
-Trace LoopTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+Trace LoopTrace(int64_t blocks, int64_t reads, DurNs compute) {
   Trace t("loop");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(i % blocks, compute);
+    t.Append(BlockId{i % blocks}, compute);
   }
   return t;
 }
@@ -22,17 +22,17 @@ Trace LoopTrace(int64_t blocks, int64_t reads, TimeNs compute) {
 TEST(PartialHints, MaskedOracleOnlySeesHintedPositions) {
   Trace t("pat");
   for (int64_t b : {1, 2, 1, 2, 1}) {
-    t.Append(b, 0);
+    t.Append(BlockId{b}, DurNs{0});
   }
   std::vector<bool> hinted = {true, false, false, true, true};
   NextRefIndex idx(t, hinted);
   // Block 1 occurs at 0,2,4 (hinted: 0,4); block 2 at 1,3 (hinted: 3).
-  EXPECT_EQ(idx.NextUseAt(1, 0), 0);
-  EXPECT_EQ(idx.NextUseAt(1, 1), 4);  // position 2 is undisclosed
-  EXPECT_EQ(idx.NextUseAt(2, 0), 3);  // position 1 is undisclosed
-  EXPECT_EQ(idx.NextUseAfterPosition(0), 4);
-  EXPECT_EQ(idx.NextUseAfterPosition(3), NextRefIndex::kNoRef);
-  EXPECT_EQ(idx.NextUseAfterPosition(4), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAt(BlockId{1}, TracePos{0}), TracePos{0});
+  EXPECT_EQ(idx.NextUseAt(BlockId{1}, TracePos{1}), TracePos{4});  // position 2 is undisclosed
+  EXPECT_EQ(idx.NextUseAt(BlockId{2}, TracePos{0}), TracePos{3});  // position 1 is undisclosed
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{0}), TracePos{4});
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{3}), NextRefIndex::kNoRef);
+  EXPECT_EQ(idx.NextUseAfterPosition(TracePos{4}), NextRefIndex::kNoRef);
 }
 
 TEST(PartialHints, FullCoverageIsIdenticalToBaseline) {
@@ -66,8 +66,9 @@ TEST(PartialHints, ZeroCoverageDegradesTowardDemand) {
     EXPECT_EQ(r.fetches, r.demand_fetches) << ToString(kind);
     // Same fetch stream, possibly different evictions (unhinted blocks all
     // look dead, so replacement is LRU-blind); stay within 25% of demand.
-    EXPECT_NEAR(static_cast<double>(r.elapsed_time), static_cast<double>(demand.elapsed_time),
-                0.25 * static_cast<double>(demand.elapsed_time))
+    EXPECT_NEAR(static_cast<double>(r.elapsed_time.ns()),
+                static_cast<double>(demand.elapsed_time.ns()),
+                0.25 * static_cast<double>(demand.elapsed_time.ns()))
         << ToString(kind);
   }
 }
@@ -81,13 +82,13 @@ TEST(PartialHints, FullKnowledgeBeatsPartialAndNone) {
   SimConfig c;
   c.cache_blocks = 256;
   c.num_disks = 2;
-  std::vector<TimeNs> stalls;
+  std::vector<DurNs> stalls;
   for (double coverage : {1.0, 0.5, 0.0}) {
     c.hint_coverage = coverage;
     stalls.push_back(RunOne(t, c, PolicyKind::kForestall).stall_time);
   }
-  EXPECT_LT(static_cast<double>(stalls[0]), 0.8 * static_cast<double>(stalls[1]));
-  EXPECT_LT(static_cast<double>(stalls[0]), 0.8 * static_cast<double>(stalls[2]));
+  EXPECT_LT(static_cast<double>(stalls[0].ns()), 0.8 * static_cast<double>(stalls[1].ns()));
+  EXPECT_LT(static_cast<double>(stalls[0].ns()), 0.8 * static_cast<double>(stalls[2].ns()));
 }
 
 TEST(PartialHints, HintMaskIsDeterministicInSeed) {

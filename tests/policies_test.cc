@@ -13,19 +13,19 @@
 namespace pfc {
 namespace {
 
-Trace LoopTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+Trace LoopTrace(int64_t blocks, int64_t reads, DurNs compute) {
   Trace t("loop");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(i % blocks, compute);
+    t.Append(BlockId{i % blocks}, compute);
   }
   return t;
 }
 
-Trace RandomTrace(int64_t blocks, int64_t reads, TimeNs compute, uint64_t seed) {
+Trace RandomTrace(int64_t blocks, int64_t reads, DurNs compute, uint64_t seed) {
   Trace t("random");
   Rng rng(seed);
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(rng.UniformInt(0, blocks - 1), compute);
+    t.Append(BlockId{rng.UniformInt(0, blocks - 1)}, compute);
   }
   return t;
 }
@@ -45,7 +45,7 @@ int64_t BeladyMisses(const Trace& t, int cache_blocks) {
   std::unordered_map<int64_t, int64_t> key;
   int64_t misses = 0;
   for (int64_t i = 0; i < t.size(); ++i) {
-    int64_t b = t.block(i);
+    const int64_t b = t.block(TracePos{i}).v();
     auto it = key.find(b);
     if (it == key.end()) {
       ++misses;
@@ -58,7 +58,7 @@ int64_t BeladyMisses(const Trace& t, int cache_blocks) {
       cached.erase({it->second, b});
       key.erase(it);
     }
-    int64_t next = idx.NextUseAfterPosition(i);
+    const int64_t next = idx.NextUseAfterPosition(TracePos{i}).v();
     cached.insert({next, b});
     key[b] = next;
   }
@@ -126,9 +126,9 @@ TEST(FixedHorizon, EvictionRespectsHorizonGuard) {
   int64_t cold = 100;
   for (int rep = 0; rep < 50; ++rep) {
     for (int64_t h = 0; h < hot; ++h) {
-      t.Append(h, MsToNs(1));
+      t.Append(BlockId{h}, MsToNs(1));
     }
-    t.Append(cold++, MsToNs(1));
+    t.Append(BlockId{cold++}, MsToNs(1));
   }
   SimConfig c = Cfg(hot + 1, 1);
   FixedHorizonPolicy p(32);
@@ -178,10 +178,10 @@ TEST(Aggressive, BatchSizeChangesFetchSchedule) {
   EXPECT_NE(small_batch.elapsed_time, big_batch.elapsed_time);
   DemandPolicy dp;
   RunResult d = Simulator(t, c, &dp).Run();
-  EXPECT_LT(static_cast<double>(small_batch.elapsed_time),
-            1.1 * static_cast<double>(d.elapsed_time));
-  EXPECT_LT(static_cast<double>(big_batch.elapsed_time),
-            1.1 * static_cast<double>(d.elapsed_time));
+  EXPECT_LT(static_cast<double>(small_batch.elapsed_time.ns()),
+            1.1 * static_cast<double>(d.elapsed_time.ns()));
+  EXPECT_LT(static_cast<double>(big_batch.elapsed_time.ns()),
+            1.1 * static_cast<double>(d.elapsed_time.ns()));
 }
 
 TEST(Policies, NamesAreStable) {

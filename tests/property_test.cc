@@ -35,24 +35,24 @@ Trace MakeWorkload(Workload w, uint64_t seed) {
   switch (w) {
     case Workload::kSequentialLoop:
       for (int64_t i = 0; i < reads; ++i) {
-        t.Append(i % 700, UsToNs(500 + rng.UniformInt(0, 1500)));
+        t.Append(BlockId{i % 700}, UsToNs(static_cast<double>(500 + rng.UniformInt(0, 1500))));
       }
       break;
     case Workload::kRandom:
       for (int64_t i = 0; i < reads; ++i) {
-        t.Append(rng.UniformInt(0, 2999), UsToNs(200 + rng.UniformInt(0, 3000)));
+        t.Append(BlockId{rng.UniformInt(0, 2999)}, UsToNs(static_cast<double>(200 + rng.UniformInt(0, 3000))));
       }
       break;
     case Workload::kHotCold:
       for (int64_t i = 0; i < reads; ++i) {
         bool hot = rng.UniformDouble() < 0.8;
-        t.Append(hot ? rng.UniformInt(0, 99) : 100 + rng.UniformInt(0, 4999),
+        t.Append(BlockId{hot ? rng.UniformInt(0, 99) : 100 + rng.UniformInt(0, 4999)},
                  UsToNs(1000));
       }
       break;
     case Workload::kZipfish:
       for (int64_t i = 0; i < reads; ++i) {
-        t.Append(rng.SkewedRank(4000, 1.5), UsToNs(300 + rng.UniformInt(0, 2000)));
+        t.Append(BlockId{rng.SkewedRank(4000, 1.5)}, UsToNs(static_cast<double>(300 + rng.UniformInt(0, 2000))));
       }
       break;
   }
@@ -74,7 +74,7 @@ TEST_P(SimInvariantTest, InvariantsHold) {
   // 1. The elapsed-time decomposition is exact.
   EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
   // 2. Stall cannot be negative; compute matches the trace.
-  EXPECT_GE(r.stall_time, 0);
+  EXPECT_GE(r.stall_time, DurNs{0});
   EXPECT_EQ(r.compute_time, t.TotalCompute());
   // 3. Every referenced block is fetched at least once (cold cache).
   EXPECT_GE(r.fetches, t.DistinctBlocks());
@@ -118,7 +118,8 @@ TEST_P(SimInvariantTest, NoWorseThanDoubleDemandElapsed) {
   c.num_disks = disks;
   RunResult r = RunOne(t, c, kind);
   RunResult d = RunOne(t, c, PolicyKind::kDemand);
-  EXPECT_LT(static_cast<double>(r.elapsed_time), 1.6 * static_cast<double>(d.elapsed_time));
+  EXPECT_LT(static_cast<double>(r.elapsed_time.ns()),
+            1.6 * static_cast<double>(d.elapsed_time.ns()));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -129,10 +130,10 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Values(1, 3, 8),
                      testing::Values(Workload::kSequentialLoop, Workload::kRandom,
                                      Workload::kHotCold, Workload::kZipfish)),
-    [](const testing::TestParamInfo<Param>& info) {
-      std::string name = ToString(std::get<0>(info.param)) + "_d" +
-                         std::to_string(std::get<1>(info.param)) + "_" +
-                         WorkloadName(std::get<2>(info.param));
+    [](const testing::TestParamInfo<Param>& param_info) {
+      std::string name = ToString(std::get<0>(param_info.param)) + "_d" +
+                         std::to_string(std::get<1>(param_info.param)) + "_" +
+                         WorkloadName(std::get<2>(param_info.param));
       for (char& ch : name) {
         if (ch == '-') {
           ch = '_';
@@ -159,8 +160,8 @@ TEST_P(DisciplineTest, AllRequestsServedExactlyOnce) {
 INSTANTIATE_TEST_SUITE_P(AllDisciplines, DisciplineTest,
                          testing::Values(SchedDiscipline::kFcfs, SchedDiscipline::kCscan,
                                          SchedDiscipline::kScan, SchedDiscipline::kSstf),
-                         [](const testing::TestParamInfo<SchedDiscipline>& info) {
-                           return ToString(info.param);
+                         [](const testing::TestParamInfo<SchedDiscipline>& param_info) {
+                           return ToString(param_info.param);
                          });
 
 // Placement policies likewise.
@@ -180,8 +181,8 @@ TEST_P(PlacementSweepTest, InvariantsHoldUnderAnyLayout) {
 INSTANTIATE_TEST_SUITE_P(AllPlacements, PlacementSweepTest,
                          testing::Values(PlacementKind::kStriped, PlacementKind::kContiguous,
                                          PlacementKind::kGroupHash),
-                         [](const testing::TestParamInfo<PlacementKind>& info) {
-                           std::string n = ToString(info.param);
+                         [](const testing::TestParamInfo<PlacementKind>& param_info) {
+                           std::string n = ToString(param_info.param);
                            for (char& ch : n) {
                              if (ch == '-') {
                                ch = '_';

@@ -12,10 +12,10 @@
 namespace pfc {
 namespace {
 
-Trace LoopTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+Trace LoopTrace(int64_t blocks, int64_t reads, DurNs compute) {
   Trace t("loop");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(i % blocks, compute);
+    t.Append(BlockId{i % blocks}, compute);
   }
   return t;
 }
@@ -107,7 +107,7 @@ TEST(ReverseAggressive, DeterministicAcrossRuns) {
 
 TEST(ReverseAggressive, HandlesSingleReferenceTrace) {
   Trace t("tiny");
-  t.Append(5, MsToNs(1));
+  t.Append(BlockId{5}, MsToNs(1));
   SimConfig c = Cfg(4, 2);
   ReverseAggressivePolicy p(ReverseAggressivePolicy::Params{8, 4});
   RunResult r = Simulator(t, c, &p).Run();

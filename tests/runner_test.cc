@@ -187,7 +187,8 @@ TEST(TraceContext, MatchesPrivatelyBuiltOracle) {
   ASSERT_EQ(shared->hinted().size(), fresh.hinted().size());
   EXPECT_EQ(shared->hinted(), fresh.hinted());
   for (int64_t i = 0; i < trace.size(); ++i) {
-    EXPECT_EQ(shared->index().NextUseAfterPosition(i), fresh.index().NextUseAfterPosition(i));
+    EXPECT_EQ(shared->index().NextUseAfterPosition(TracePos{i}),
+              fresh.index().NextUseAfterPosition(TracePos{i}));
   }
 }
 

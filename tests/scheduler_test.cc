@@ -9,9 +9,9 @@ namespace {
 
 QueuedRequest Req(int64_t disk_block, uint64_t seq) {
   QueuedRequest r;
-  r.logical_block = disk_block;
-  r.disk_block = disk_block;
-  r.enqueue_time = 0;
+  r.logical_block = BlockId{disk_block};
+  r.disk_block = BlockId{disk_block};
+  r.enqueue_time = TimeNs{0};
   r.seq = seq;
   return r;
 }
@@ -19,9 +19,9 @@ QueuedRequest Req(int64_t disk_block, uint64_t seq) {
 std::vector<int64_t> DrainOrder(RequestScheduler* s, int64_t head) {
   std::vector<int64_t> order;
   while (!s->empty()) {
-    QueuedRequest r = s->PopNext(head);
-    order.push_back(r.disk_block);
-    head = r.disk_block;
+    QueuedRequest r = s->PopNext(BlockId{head});
+    order.push_back(r.disk_block.v());
+    head = r.disk_block.v();
   }
   return order;
 }
@@ -48,8 +48,8 @@ TEST(Scheduler, CscanExactHeadPosition) {
   s.Enqueue(Req(35, 1));
   s.Enqueue(Req(30, 2));
   // A request at the head position is "at or past" the head.
-  QueuedRequest r = s.PopNext(35);
-  EXPECT_EQ(r.disk_block, 35);
+  QueuedRequest r = s.PopNext(BlockId{35});
+  EXPECT_EQ(r.disk_block, BlockId{35});
 }
 
 TEST(Scheduler, ScanReversesAtEnds) {
@@ -75,8 +75,8 @@ TEST(Scheduler, SstfTieBreaksBySeq) {
   RequestScheduler s(SchedDiscipline::kSstf);
   s.Enqueue(Req(60, 5));
   s.Enqueue(Req(40, 2));  // same distance from 50, earlier arrival
-  QueuedRequest r = s.PopNext(50);
-  EXPECT_EQ(r.disk_block, 40);
+  QueuedRequest r = s.PopNext(BlockId{50});
+  EXPECT_EQ(r.disk_block, BlockId{40});
 }
 
 TEST(Scheduler, ClearEmptiesQueue) {

@@ -8,10 +8,10 @@
 namespace pfc {
 namespace {
 
-Trace SequentialTrace(int64_t blocks, int64_t reads, TimeNs compute) {
+Trace SequentialTrace(int64_t blocks, int64_t reads, DurNs compute) {
   Trace t("seq");
   for (int64_t i = 0; i < reads; ++i) {
-    t.Append(i % blocks, compute);
+    t.Append(BlockId{i % blocks}, compute);
   }
   return t;
 }
@@ -35,7 +35,7 @@ TEST(Simulator, AllHitsAfterColdStartWithBigCache) {
   EXPECT_EQ(r.compute_time, MsToNs(1) * 50);
   EXPECT_EQ(r.driver_time, 10 * c.driver_overhead);
   EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
-  EXPECT_GT(r.stall_time, 0);
+  EXPECT_GT(r.stall_time, DurNs{0});
 }
 
 TEST(Simulator, ElapsedDecompositionHolds) {

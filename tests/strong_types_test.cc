@@ -1,0 +1,229 @@
+// The strong-type contract, spelled out as a matrix: every operation a unit
+// legitimately supports must work (checked at compile time where possible,
+// at runtime otherwise), and every operation that would be a unit confusion
+// must not compile. The negative half lives in two places: `requires`-based
+// static_asserts here (expression-level, exhaustive) and the
+// tests/compile_fail/ corpus driven by ctest (whole-TU, proves the gate
+// fires outside this file's include context too).
+//
+// Also pinned here: the zero-overhead guarantees the refactor rests on —
+// layout identity with the raw representation, hash identity with the raw
+// int64 hash (unordered_map iteration order feeds simulation determinism),
+// overflow-adjacent sentinel arithmetic, and byte-identical RunResult CSV
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/run_result.h"
+#include "harness/experiment.h"
+#include "util/strong_types.h"
+#include "util/time_util.h"
+
+namespace pfc {
+namespace {
+
+// --------------------------------------------------------------------------
+// Forbidden-operation matrix. Each alias asks "does this expression
+// compile?"; the asserts pin the answer to NO. A future overload that
+// accidentally legalizes a unit confusion fails this test at compile time.
+// --------------------------------------------------------------------------
+
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept Subtractable = requires(A a, B b) { a - b; };
+template <typename A, typename B>
+concept Multipliable = requires(A a, B b) { a * b; };
+template <typename A, typename B>
+concept Comparable = requires(A a, B b) { a < b; };
+template <typename A, typename B>
+concept Assignable = requires(A a, B b) { a = b; };
+template <typename To, typename From>
+concept ImplicitlyConvertible = std::is_convertible_v<From, To>;
+
+// Two instants cannot be added (a point plus a point is meaningless).
+static_assert(!Addable<TimeNs, TimeNs>);
+// Time and block/position spaces never mix.
+static_assert(!Addable<TimeNs, BlockId>);
+static_assert(!Addable<DurNs, BlockId>);
+static_assert(!Addable<TimeNs, TracePos>);
+static_assert(!Subtractable<TimeNs, BlockId>);
+static_assert(!Subtractable<DurNs, TracePos>);
+// Distinct ordinal spaces never mix: the (block, pos) argument-swap bug
+// class this PR exists to kill.
+static_assert(!Addable<BlockId, TracePos>);
+static_assert(!Subtractable<BlockId, TracePos>);
+static_assert(!Comparable<BlockId, TracePos>);
+static_assert(!Assignable<BlockId&, TracePos>);
+static_assert(!Assignable<DiskId&, BlockId>);
+static_assert(!Comparable<SectorAddr, Cylinder>);
+// No implicit raw-integer bridges in either direction.
+static_assert(!ImplicitlyConvertible<BlockId, int64_t>);
+static_assert(!ImplicitlyConvertible<int64_t, BlockId>);
+static_assert(!ImplicitlyConvertible<TimeNs, int64_t>);
+static_assert(!ImplicitlyConvertible<int64_t, TimeNs>);
+static_assert(!ImplicitlyConvertible<DurNs, int64_t>);
+static_assert(!ImplicitlyConvertible<int64_t, DurNs>);
+static_assert(!ImplicitlyConvertible<DiskId, int>);
+static_assert(!ImplicitlyConvertible<int, DiskId>);
+// Points do not scale; spans do not divide points.
+static_assert(!Multipliable<TimeNs, int64_t>);
+static_assert(!Multipliable<TimeNs, TimeNs>);
+// Time and duration are distinct: comparing or assigning across is an error.
+static_assert(!Comparable<TimeNs, DurNs>);
+static_assert(!Assignable<TimeNs&, DurNs>);
+static_assert(!Assignable<DurNs&, TimeNs>);
+
+// --------------------------------------------------------------------------
+// Allowed-operation matrix.
+// --------------------------------------------------------------------------
+
+TEST(StrongTypes, TimePointAndSpanArithmetic) {
+  const TimeNs t0{1'000};
+  const DurNs d{250};
+  EXPECT_EQ(t0 + d, TimeNs{1'250});
+  EXPECT_EQ(d + t0, TimeNs{1'250});
+  EXPECT_EQ(t0 - d, TimeNs{750});
+  EXPECT_EQ(t0 + d - t0, d);  // TimeNs - TimeNs -> DurNs
+  TimeNs t = t0;
+  t += d;
+  t -= DurNs{50};
+  EXPECT_EQ(t, TimeNs{1'200});
+  EXPECT_LT(t0, t);
+  EXPECT_EQ(TimeNs{}, TimeNs{0});  // default is the epoch
+}
+
+TEST(StrongTypes, DurationGroupAndScaling) {
+  const DurNs a{600};
+  const DurNs b{150};
+  EXPECT_EQ(a + b, DurNs{750});
+  EXPECT_EQ(a - b, DurNs{450});
+  EXPECT_EQ(-b, DurNs{-150});
+  EXPECT_EQ(a * 3, DurNs{1'800});
+  EXPECT_EQ(3 * a, DurNs{1'800});
+  EXPECT_EQ(a / 2, DurNs{300});
+  EXPECT_EQ(a / b, 4);  // ratio is dimensionless
+  EXPECT_EQ(a % DurNs{250}, DurNs{100});
+  DurNs c = a;
+  c += b;
+  c -= DurNs{50};
+  EXPECT_EQ(c, DurNs{700});
+  EXPECT_GT(a, b);
+}
+
+TEST(StrongTypes, OrdinalOffsetsAndDistances) {
+  BlockId b{40};
+  EXPECT_EQ(b + 2, BlockId{42});
+  EXPECT_EQ(b - 5, BlockId{35});
+  EXPECT_EQ((b + 2) - b, 2);  // distance is a raw count
+  b += 10;
+  b -= 3;
+  EXPECT_EQ(b, BlockId{47});
+  EXPECT_EQ(++b, BlockId{48});
+  EXPECT_EQ(b++, BlockId{48});
+  EXPECT_EQ(b, BlockId{49});
+  EXPECT_EQ(--b, BlockId{48});
+  TracePos p{7};
+  EXPECT_EQ(p + 1, TracePos{8});
+  DiskId d{3};
+  EXPECT_EQ(d - 1, DiskId{2});
+  EXPECT_LT(kNoBlock, BlockId{0});  // sentinel orders before every real id
+  EXPECT_LT(kNoDisk, DiskId{0});
+}
+
+TEST(StrongTypes, OverflowAdjacentSentinelArithmetic) {
+  // The infinity sentinels sit at INT64_MAX/4 precisely so that the
+  // arithmetic the engine performs on them (adding service times, taking
+  // differences against the epoch) cannot wrap.
+  EXPECT_EQ(kTimeInfinity.ns(), INT64_MAX / 4);
+  EXPECT_EQ(kDurInfinity.ns(), INT64_MAX / 4);
+  const TimeNs far = kTimeInfinity + kDurInfinity;
+  EXPECT_GT(far, kTimeInfinity);              // no wrap to negative
+  EXPECT_EQ(far - kTimeInfinity, kDurInfinity);
+  EXPECT_EQ(kTimeInfinity - TimeNs{0}, kDurInfinity);
+  // Subtraction at the negative extreme likewise stays exact.
+  const DurNs neg = TimeNs{0} - (TimeNs{0} + kDurInfinity);
+  EXPECT_EQ(neg, -kDurInfinity);
+}
+
+// --------------------------------------------------------------------------
+// Zero-overhead guarantees.
+// --------------------------------------------------------------------------
+
+TEST(StrongTypes, LayoutIsIdenticalToRepresentation) {
+  // static_asserts in the header already pin sizeof and triviality; this
+  // checks the bytes: a wrapper and its raw value are memcmp-identical, so
+  // any struct that swapped int64_t -> wrapper serializes unchanged.
+  const int64_t raw = 0x1122334455667788;
+  TimeNs t{raw};
+  int64_t out = 0;
+  std::memcpy(&out, &t, sizeof(out));
+  EXPECT_EQ(out, raw);
+  BlockId b{raw};
+  std::memcpy(&out, &b, sizeof(out));
+  EXPECT_EQ(out, raw);
+  const int32_t raw32 = 0x11223344;
+  DiskId d{raw32};
+  int32_t out32 = 0;
+  std::memcpy(&out32, &d, sizeof(out32));
+  EXPECT_EQ(out32, raw32);
+}
+
+TEST(StrongTypes, HashMatchesRawRepresentationHash) {
+  // unordered_map bucket placement drives iteration order, and iteration
+  // order feeds simulation determinism: the wrapper hash must equal the
+  // raw hash so the refactor could not reshuffle any container.
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456789},
+                    INT64_MAX / 4}) {
+    EXPECT_EQ(std::hash<BlockId>{}(BlockId{v}), std::hash<int64_t>{}(v));
+    EXPECT_EQ(std::hash<TracePos>{}(TracePos{v}), std::hash<int64_t>{}(v));
+  }
+  std::unordered_map<BlockId, int> retry_counts;
+  retry_counts[BlockId{5}] = 2;
+  EXPECT_EQ(retry_counts.count(BlockId{5}), 1u);
+  std::unordered_set<TracePos> positions{TracePos{1}, TracePos{2}};
+  EXPECT_TRUE(positions.contains(TracePos{2}));
+}
+
+TEST(StrongTypes, RunResultCsvBytesArePinned) {
+  // The CSV serialization path (ResultsCsvString) must produce exactly the
+  // bytes the pre-wrapper code produced; the golden table4/table8 gates
+  // check this end to end, this pins it at the unit level with hand-set
+  // fields.
+  RunResult r;
+  r.trace_name = "unit";
+  r.policy_name = "probe";
+  r.num_disks = 3;
+  r.fetches = 101;
+  r.demand_fetches = 7;
+  r.compute_time = DurNs{1'500'000'000};   // 1.5 s
+  r.driver_time = DurNs{24'000'000};       // 0.024 s
+  r.stall_time = DurNs{476'000'000};       // 0.476 s
+  r.elapsed_time = DurNs{2'000'000'000};   // 2.0 s
+  r.degraded_stall_ns = DurNs{1'000'000};  // 0.001 s
+  r.avg_fetch_ms = 12.3456;
+  r.avg_response_ms = 20.5;
+  r.avg_disk_util = 0.25;
+  const std::string expected =
+      "trace,policy,disks,fetches,demand_fetches,write_refs,flushes,dirty_at_end,"
+      "compute_sec,driver_sec,stall_sec,elapsed_sec,avg_fetch_ms,avg_response_ms,"
+      "avg_disk_util,retries,failed_requests,degraded_stall_sec\n"
+      "unit,probe,3,101,7,0,0,0,1.500000,0.024000,0.476000,2.000000,12.3456,"
+      "20.5000,0.2500,0,0,0.001000\n";
+  EXPECT_EQ(ResultsCsvString({r}), expected);
+}
+
+TEST(StrongTypes, StreamOutputPrintsRawRepresentation) {
+  // PFC_CHECK_* failure messages stream operands; they must print the raw
+  // number (no unit suffix, no formatting drift).
+  std::ostringstream os;
+  os << DurNs{42} << " " << TimeNs{-7} << " " << BlockId{9} << " " << DiskId{1};
+  EXPECT_EQ(os.str(), "42 -7 9 1");
+}
+
+}  // namespace
+}  // namespace pfc

@@ -12,20 +12,20 @@ namespace {
 
 Trace SmallTrace() {
   Trace t("small");
-  t.Append(5, MsToNs(1));
-  t.Append(6, MsToNs(2));
-  t.Append(5, MsToNs(3));
-  t.Append(9, MsToNs(4));
+  t.Append(BlockId{5}, MsToNs(1));
+  t.Append(BlockId{6}, MsToNs(2));
+  t.Append(BlockId{5}, MsToNs(3));
+  t.Append(BlockId{9}, MsToNs(4));
   return t;
 }
 
 TEST(Trace, BasicsAndDistinct) {
   Trace t = SmallTrace();
   EXPECT_EQ(t.size(), 4);
-  EXPECT_EQ(t.block(0), 5);
-  EXPECT_EQ(t.compute(1), MsToNs(2));
+  EXPECT_EQ(t.block(TracePos{0}), BlockId{5});
+  EXPECT_EQ(t.compute(TracePos{1}), MsToNs(2));
   EXPECT_EQ(t.DistinctBlocks(), 3);
-  EXPECT_EQ(t.MaxBlock(), 10);
+  EXPECT_EQ(t.MaxBlock(), BlockId{10});
   EXPECT_EQ(t.TotalCompute(), MsToNs(10));
 }
 
@@ -34,13 +34,13 @@ TEST(Trace, RescaleComputeIsExact) {
   t.RescaleCompute(SecToNs(2.5));
   EXPECT_EQ(t.TotalCompute(), SecToNs(2.5));
   // Relative proportions roughly preserved.
-  EXPECT_LT(t.compute(0), t.compute(3));
+  EXPECT_LT(t.compute(TracePos{0}), t.compute(TracePos{3}));
 }
 
 TEST(Trace, ScaleComputeHalvesForFastCpu) {
   Trace t = SmallTrace();
   t.ScaleCompute(0.5);
-  EXPECT_EQ(t.compute(0), MsToNs(0.5));
+  EXPECT_EQ(t.compute(TracePos{0}), MsToNs(0.5));
   EXPECT_EQ(t.TotalCompute(), MsToNs(5));
 }
 
@@ -49,7 +49,7 @@ TEST(Trace, ReversedReversesBlocks) {
   Trace r = t.Reversed();
   ASSERT_EQ(r.size(), t.size());
   for (int64_t i = 0; i < t.size(); ++i) {
-    EXPECT_EQ(r.block(i), t.block(t.size() - 1 - i));
+    EXPECT_EQ(r.block(TracePos{i}), t.block(TracePos{t.size() - 1 - i}));
   }
   EXPECT_EQ(r.TotalCompute(), t.TotalCompute());
 }
@@ -58,7 +58,7 @@ TEST(Trace, PrefixTruncates) {
   Trace t = SmallTrace();
   Trace p = t.Prefix(2);
   EXPECT_EQ(p.size(), 2);
-  EXPECT_EQ(p.block(1), 6);
+  EXPECT_EQ(p.block(TracePos{1}), BlockId{6});
   EXPECT_EQ(t.Prefix(100).size(), 4);
   EXPECT_EQ(t.Prefix(0).size(), 0);
 }
@@ -72,8 +72,8 @@ TEST(TraceIo, RoundTrip) {
   EXPECT_EQ(loaded->name(), "small");
   ASSERT_EQ(loaded->size(), t.size());
   for (int64_t i = 0; i < t.size(); ++i) {
-    EXPECT_EQ(loaded->block(i), t.block(i));
-    EXPECT_EQ(loaded->compute(i), t.compute(i));
+    EXPECT_EQ(loaded->block(TracePos{i}), t.block(TracePos{i}));
+    EXPECT_EQ(loaded->compute(TracePos{i}), t.compute(TracePos{i}));
   }
   std::remove(path.c_str());
 }
@@ -157,18 +157,18 @@ TEST(TraceIo, CheckedLoadAcceptsHeaderlessAndWriteRecords) {
   ASSERT_TRUE(loaded.ok()) << loaded.error();
   const Trace& t = loaded.value();
   ASSERT_EQ(t.size(), 3);
-  EXPECT_FALSE(t.is_write(0));
-  EXPECT_TRUE(t.is_write(1));
-  EXPECT_EQ(t.block(2), 3);
+  EXPECT_FALSE(t.is_write(TracePos{0}));
+  EXPECT_TRUE(t.is_write(TracePos{1}));
+  EXPECT_EQ(t.block(TracePos{2}), BlockId{3});
 }
 
 TEST(TraceStats, ComputesPatternDiagnostics) {
   Trace t("pattern");
   for (int64_t i = 0; i < 10; ++i) {
-    t.Append(i, MsToNs(1));  // fully sequential
+    t.Append(BlockId{i}, MsToNs(1));  // fully sequential
   }
   for (int64_t i = 0; i < 10; ++i) {
-    t.Append(i, MsToNs(1));  // full reuse pass
+    t.Append(BlockId{i}, MsToNs(1));  // full reuse pass
   }
   TraceStats s = ComputeTraceStats(t);
   EXPECT_EQ(s.reads, 20);

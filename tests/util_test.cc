@@ -13,17 +13,17 @@ namespace pfc {
 namespace {
 
 TEST(TimeUtil, Conversions) {
-  EXPECT_EQ(MsToNs(1.0), 1000000);
-  EXPECT_EQ(UsToNs(1.0), 1000);
-  EXPECT_EQ(SecToNs(1.0), 1000000000);
-  EXPECT_DOUBLE_EQ(NsToMs(1500000), 1.5);
-  EXPECT_DOUBLE_EQ(NsToSec(2500000000LL), 2.5);
+  EXPECT_EQ(MsToNs(1.0).ns(), 1000000);
+  EXPECT_EQ(UsToNs(1.0).ns(), 1000);
+  EXPECT_EQ(SecToNs(1.0).ns(), 1000000000);
+  EXPECT_DOUBLE_EQ(NsToMs(DurNs{1500000}), 1.5);
+  EXPECT_DOUBLE_EQ(NsToSec(DurNs{2500000000LL}), 2.5);
 }
 
 TEST(TimeUtil, FormatDuration) {
   EXPECT_EQ(FormatDuration(SecToNs(1.5)), "1.500 s");
   EXPECT_EQ(FormatDuration(MsToNs(2.25)), "2.250 ms");
-  EXPECT_EQ(FormatDuration(500), "500 ns");
+  EXPECT_EQ(FormatDuration(DurNs{500}), "500 ns");
 }
 
 TEST(Rng, Deterministic) {
@@ -124,17 +124,17 @@ TEST(Rng, SkewedRankInRangeAndSkewed) {
 TEST(FlatSet, InsertEraseContainsMin) {
   FlatSet s;
   EXPECT_TRUE(s.empty());
-  EXPECT_TRUE(s.insert(30));
-  EXPECT_TRUE(s.insert(10));
-  EXPECT_TRUE(s.insert(20));
-  EXPECT_FALSE(s.insert(20));  // duplicate
+  EXPECT_TRUE(s.insert(BlockId{30}));
+  EXPECT_TRUE(s.insert(BlockId{10}));
+  EXPECT_TRUE(s.insert(BlockId{20}));
+  EXPECT_FALSE(s.insert(BlockId{20}));  // duplicate
   EXPECT_EQ(s.size(), 3u);
-  EXPECT_EQ(s.min(), 10);
-  EXPECT_TRUE(s.contains(20));
-  EXPECT_FALSE(s.contains(15));
-  EXPECT_TRUE(s.erase(10));
-  EXPECT_FALSE(s.erase(10));
-  EXPECT_EQ(s.min(), 20);
+  EXPECT_EQ(s.min(), BlockId{10});
+  EXPECT_TRUE(s.contains(BlockId{20}));
+  EXPECT_FALSE(s.contains(BlockId{15}));
+  EXPECT_TRUE(s.erase(BlockId{10}));
+  EXPECT_FALSE(s.erase(BlockId{10}));
+  EXPECT_EQ(s.min(), BlockId{20});
   s.clear();
   EXPECT_TRUE(s.empty());
 }
@@ -142,9 +142,9 @@ TEST(FlatSet, InsertEraseContainsMin) {
 TEST(FlatSet, MatchesStdSetUnderRandomOps) {
   Rng rng(7);
   FlatSet flat;
-  std::set<int64_t> ref;
+  std::set<BlockId> ref;
   for (int i = 0; i < 2000; ++i) {
-    int64_t key = rng.UniformInt(0, 63);
+    BlockId key{rng.UniformInt(0, 63)};
     if (rng.UniformDouble() < 0.5) {
       EXPECT_EQ(flat.insert(key), ref.insert(key).second);
     } else {

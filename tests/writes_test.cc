@@ -22,30 +22,30 @@ SimConfig Cfg(int cache, int disks) {
 
 TEST(Writes, TraceBookkeeping) {
   Trace t("w");
-  t.Append(1, MsToNs(1));
-  t.AppendWrite(2, MsToNs(1));
-  t.AppendWrite(1, MsToNs(1));
+  t.Append(BlockId{1}, MsToNs(1));
+  t.AppendWrite(BlockId{2}, MsToNs(1));
+  t.AppendWrite(BlockId{1}, MsToNs(1));
   EXPECT_EQ(t.WriteCount(), 2);
-  EXPECT_FALSE(t.is_write(0));
-  EXPECT_TRUE(t.is_write(1));
+  EXPECT_FALSE(t.is_write(TracePos{0}));
+  EXPECT_TRUE(t.is_write(TracePos{1}));
   Trace r = t.Reversed();
-  EXPECT_TRUE(r.is_write(0));
-  EXPECT_FALSE(r.is_write(2));
+  EXPECT_TRUE(r.is_write(TracePos{0}));
+  EXPECT_FALSE(r.is_write(TracePos{2}));
   EXPECT_EQ(t.Prefix(2).WriteCount(), 1);
 }
 
 TEST(Writes, TraceIoRoundTripsWrites) {
   Trace t("w");
-  t.Append(5, MsToNs(1));
-  t.AppendWrite(6, MsToNs(2));
+  t.Append(BlockId{5}, MsToNs(1));
+  t.AppendWrite(BlockId{6}, MsToNs(2));
   std::string path = testing::TempDir() + "/pfc_writes.trace";
   ASSERT_TRUE(SaveTraceText(t, path));
   auto loaded = LoadTraceText(path);
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->size(), 2);
-  EXPECT_FALSE(loaded->is_write(0));
-  EXPECT_TRUE(loaded->is_write(1));
-  EXPECT_EQ(loaded->block(1), 6);
+  EXPECT_FALSE(loaded->is_write(TracePos{0}));
+  EXPECT_TRUE(loaded->is_write(TracePos{1}));
+  EXPECT_EQ(loaded->block(TracePos{1}), BlockId{6});
   std::remove(path.c_str());
 }
 
@@ -54,13 +54,13 @@ TEST(Writes, PureWriteWorkloadNeverFetches) {
   // under write-behind (flushes happen in the background).
   Trace t("wr");
   for (int64_t i = 0; i < 200; ++i) {
-    t.AppendWrite(i, MsToNs(2));
+    t.AppendWrite(BlockId{i}, MsToNs(2));
   }
   SimConfig c = Cfg(64, 2);
   RunResult r = RunOne(t, c, PolicyKind::kForestall);
   EXPECT_EQ(r.fetches, 0);
   EXPECT_EQ(r.write_refs, 200);
-  EXPECT_EQ(r.stall_time, 0);
+  EXPECT_EQ(r.stall_time, DurNs{0});
   // The background flusher kept up: most blocks already clean.
   EXPECT_GT(r.flushes, 150);
   EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time);
@@ -85,12 +85,12 @@ TEST(Writes, DirtyBlocksAreNeverEvictionVictims) {
   // completes with every write intact and the decomposition exact.
   Trace t("pin");
   for (int64_t i = 0; i < 16; ++i) {
-    t.AppendWrite(1000 + i, MsToNs(1));
+    t.AppendWrite(BlockId{1000 + i}, MsToNs(1));
   }
   for (int64_t i = 0; i < 300; ++i) {
-    t.Append(i, MsToNs(1));
+    t.Append(BlockId{i}, MsToNs(1));
     if (i % 10 == 0) {
-      t.AppendWrite(1000 + i % 16, MsToNs(1));  // keep re-dirtying
+      t.AppendWrite(BlockId{1000 + i % 16}, MsToNs(1));  // keep re-dirtying
     }
   }
   SimConfig c = Cfg(32, 1);
@@ -117,8 +117,8 @@ TEST(Writes, CopyWorkloadShape) {
   EXPECT_EQ(t.WriteCount(), 100);
   EXPECT_EQ(t.DistinctBlocks(), 200);
   // Alternating read/write.
-  EXPECT_FALSE(t.is_write(0));
-  EXPECT_TRUE(t.is_write(1));
+  EXPECT_FALSE(t.is_write(TracePos{0}));
+  EXPECT_TRUE(t.is_write(TracePos{1}));
 }
 
 TEST(Writes, FlushesContendWithPrefetches) {

@@ -209,7 +209,7 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     return flags->faults.tail_multiplier >= 1.0;
   }
   if (const char* v = value_of("--fault-slow-disk")) {
-    flags->faults.slow_disk = std::atoi(v);
+    flags->faults.slow_disk = pfc::DiskId{std::atoi(v)};
     return true;
   }
   if (const char* v = value_of("--fault-slow-factor")) {
@@ -217,16 +217,16 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     return flags->faults.slow_factor >= 1.0;
   }
   if (const char* v = value_of("--fault-slow-after-ms")) {
-    flags->faults.slow_after = pfc::MsToNs(std::atoll(v));
-    return flags->faults.slow_after >= 0;
+    flags->faults.slow_after = pfc::TimeNs{0} + pfc::MsToNs(static_cast<double>(std::atoll(v)));
+    return flags->faults.slow_after >= pfc::TimeNs{0};
   }
   if (const char* v = value_of("--fault-fail-disk")) {
-    flags->faults.fail_disk = std::atoi(v);
+    flags->faults.fail_disk = pfc::DiskId{std::atoi(v)};
     return true;
   }
   if (const char* v = value_of("--fault-fail-after-ms")) {
-    flags->faults.fail_after = pfc::MsToNs(std::atoll(v));
-    return flags->faults.fail_after >= 0;
+    flags->faults.fail_after = pfc::TimeNs{0} + pfc::MsToNs(static_cast<double>(std::atoll(v)));
+    return flags->faults.fail_after >= pfc::TimeNs{0};
   }
   if (const char* v = value_of("--fault-seed")) {
     flags->faults.seed = std::strtoull(v, nullptr, 10);

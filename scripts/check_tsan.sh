@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target runner_test obs_test check_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target runner_test obs_test check_test fast_forward_test -j "$(nproc)"
 
 # PFC_JOBS=4 forces the thread pool on even on single-core machines, so the
 # sanitizer actually sees concurrent workers.
@@ -21,6 +21,10 @@ TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
     "$BUILD_DIR"/tests/obs_test --gtest_color=yes
 # The differential corpus (ctest label "differential") runs both engines over
 # the same shared trace oracles; TSan checks that sharing is read-only.
+# SimConfig::fast_forward defaults on, so this is the corpus with
+# fast-forwarding enabled; fast_forward_test then forces the flag both ways.
 TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
     "$BUILD_DIR"/tests/check_test --gtest_color=yes
-echo "TSan: runner determinism, obs, and differential tests clean."
+TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
+    "$BUILD_DIR"/tests/fast_forward_test --gtest_color=yes
+echo "TSan: runner determinism, obs, differential, and fast-forward tests clean."

@@ -55,6 +55,12 @@ cmp "$OBS_TMP/trace_a.json" "$GOLDEN" || {
 }
 echo "golden trace: byte-stable and matches $GOLDEN"
 
+echo "== tier 2: throughput smoke =="
+# Serial single-cell refs/sec must stay within 10% of the checked-in floor
+# (bench/throughput_baseline.json): the hot path is a first-class artifact
+# of this repo, and a silent 2x slowdown would otherwise ship green.
+build/bench/bench_throughput --smoke --baseline=bench/throughput_baseline.json
+
 echo "== tier 2: differential fuzz smoke =="
 # Seeds 1:500 through both engines (optimized Simulator vs RefSim), exact
 # agreement required; --smoke caps the wall clock at 30 seconds. A divergence

@@ -165,6 +165,11 @@ FuzzScenario GenScenario(uint64_t seed) {
     }
     f.seed = static_cast<uint64_t>(rng.UniformInt(1, 1'000'000));
   }
+  // Drawn last so pre-existing seeds keep their scenarios bit-for-bit; a
+  // quarter of runs exercise the non-fast-forwarded engine path directly
+  // (the differential check covers the other three quarters either way,
+  // since RefSim never fast-forwards).
+  c.fast_forward = rng.UniformInt(0, 3) != 0;
   return s;
 }
 
@@ -318,6 +323,13 @@ FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
         TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.write_through = false; })) {
       progress = true;
     }
+    // If the divergence survives without fast-forwarding, the repro is not
+    // about the skip path; if it does not, the surviving repro pins the bug
+    // on FastForward.
+    if (s.config.fast_forward &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.fast_forward = false; })) {
+      progress = true;
+    }
     if (s.config.discipline != SchedDiscipline::kFcfs &&
         TryReduce(&s, &steps,
                   [](FuzzScenario& c) { c.config.discipline = SchedDiscipline::kFcfs; })) {
@@ -373,6 +385,7 @@ std::string SerializeScenario(const FuzzScenario& s) {
   out << "hint_coverage " << FmtDouble(c.hint_coverage) << "\n";
   out << "hint_seed " << c.hint_seed << "\n";
   out << "write_through " << (c.write_through ? 1 : 0) << "\n";
+  out << "fast_forward " << (c.fast_forward ? 1 : 0) << "\n";
   out << "max_events " << c.max_events << "\n";
   out << "faults " << FmtDouble(f.media_error_rate) << " " << FmtDouble(f.tail_rate) << " "
       << FmtDouble(f.tail_multiplier) << " " << f.slow_disk.v() << " "
@@ -481,6 +494,12 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
       int v = 0;
       ls >> v;
       c.write_through = v != 0;
+    } else if (key == "fast_forward") {
+      // Absent in pre-fast-forward repro files; SimConfig's default (on)
+      // applies there.
+      int v = 0;
+      ls >> v;
+      c.fast_forward = v != 0;
     } else if (key == "max_events") {
       ls >> c.max_events;
     } else if (key == "faults") {

@@ -1,12 +1,147 @@
 #include "core/buffer_cache.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace pfc {
 
-BufferCache::BufferCache(int capacity_blocks) : capacity_(capacity_blocks) {
+namespace {
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+uint32_t ShiftFor(size_t pow2_size) {
+  uint32_t log2 = 0;
+  while ((size_t{1} << log2) < pow2_size) {
+    ++log2;
+  }
+  return 64 - log2;
+}
+}  // namespace
+
+BufferCache::BufferCache(int capacity_blocks, Arena* arena)
+    : capacity_(capacity_blocks),
+      table_(ArenaAllocator<TableSlot>(arena)),
+      heap_(ArenaAllocator<HeapItem>(arena)) {
   PFC_CHECK_GT(capacity_blocks, 0);
-  entries_.reserve(static_cast<size_t>(capacity_blocks) * 2);
+  // Room for every resident block plus absent-but-seen slots before the
+  // first growth; the table doubles as the trace's distinct-block count
+  // overtakes it.
+  const size_t initial = NextPow2(std::max<size_t>(64, static_cast<size_t>(capacity_blocks) * 4));
+  table_.assign(initial, TableSlot{});
+  hash_shift_ = ShiftFor(initial);
+  heap_.reserve(static_cast<size_t>(capacity_blocks));
+}
+
+void BufferCache::Grow() {
+  auto old = std::move(table_);
+  table_.assign(old.size() * 2, TableSlot{});
+  hash_shift_ = ShiftFor(table_.size());
+  const size_t mask = table_.size() - 1;
+  for (const TableSlot& s : old) {
+    if (s.block == BlockId{kEmptyKey}) {
+      continue;
+    }
+    size_t i = HashIndex(s.block);
+    while (table_[i].block != BlockId{kEmptyKey}) {
+      i = (i + 1) & mask;
+    }
+    table_[i] = s;
+  }
+  // Heap items cache their table slot; re-point them at the new table.
+  for (HeapItem& item : heap_) {
+    item.table_slot = FindIndex(item.block);
+  }
+}
+
+uint32_t BufferCache::ClaimIndex(BlockId block) {
+  if (occupied_ + occupied_ / 3 >= table_.size()) {  // load factor 3/4
+    Grow();
+  }
+  const size_t mask = table_.size() - 1;
+  for (size_t i = HashIndex(block);; i = (i + 1) & mask) {
+    TableSlot& s = table_[i];
+    if (s.block == block) {
+      return static_cast<uint32_t>(i);
+    }
+    if (s.block == BlockId{kEmptyKey}) {
+      s.block = block;
+      ++occupied_;
+      return static_cast<uint32_t>(i);
+    }
+  }
+}
+
+void BufferCache::HeapPlace(size_t idx, HeapItem item) {
+  heap_[idx] = item;
+  table_[item.table_slot].entry.heap_idx = static_cast<int32_t>(idx);
+}
+
+void BufferCache::HeapSiftUp(size_t idx, HeapItem item) {
+  while (idx > 0) {
+    size_t parent = (idx - 1) / 2;
+    if (!HeapLess(heap_[parent], item)) {
+      break;
+    }
+    HeapPlace(idx, heap_[parent]);
+    idx = parent;
+  }
+  HeapPlace(idx, item);
+}
+
+void BufferCache::HeapSiftDown(size_t idx, HeapItem item) {
+  size_t n = heap_.size();
+  for (;;) {
+    size_t child = 2 * idx + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && HeapLess(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    if (!HeapLess(item, heap_[child])) {
+      break;
+    }
+    HeapPlace(idx, heap_[child]);
+    idx = child;
+  }
+  HeapPlace(idx, item);
+}
+
+void BufferCache::HeapInsert(TracePos key, BlockId block, uint32_t table_slot) {
+  heap_.push_back(HeapItem{key, block, table_slot});
+  HeapSiftUp(heap_.size() - 1, heap_.back());
+}
+
+void BufferCache::HeapErase(Entry& e) {
+  size_t idx = static_cast<size_t>(e.heap_idx);
+  PFC_CHECK(idx < heap_.size());
+  e.heap_idx = -1;
+  HeapItem tail = heap_.back();
+  heap_.pop_back();
+  if (idx == heap_.size()) {
+    return;  // erased the last slot
+  }
+  if (idx > 0 && HeapLess(heap_[(idx - 1) / 2], tail)) {
+    HeapSiftUp(idx, tail);
+  } else {
+    HeapSiftDown(idx, tail);
+  }
+}
+
+void BufferCache::HeapRekey(const Entry& e, TracePos key) {
+  size_t idx = static_cast<size_t>(e.heap_idx);
+  PFC_CHECK(idx < heap_.size());
+  HeapItem item{key, heap_[idx].block, heap_[idx].table_slot};
+  if (idx > 0 && HeapLess(heap_[(idx - 1) / 2], item)) {
+    HeapSiftUp(idx, item);
+  } else {
+    HeapSiftDown(idx, item);
+  }
 }
 
 void BufferCache::EmitReclaim(ObsEventKind kind, BlockId block) const {
@@ -17,124 +152,127 @@ void BufferCache::EmitReclaim(ObsEventKind kind, BlockId block) const {
   sink_->OnEvent(e);
 }
 
-BufferCache::State BufferCache::GetState(BlockId block) const {
-  auto it = entries_.find(block);
-  return it == entries_.end() ? State::kAbsent : it->second.state;
-}
-
 void BufferCache::StartFetchIntoFree(BlockId block) {
   PFC_CHECK_GT(free_buffers(), 0);
-  PFC_CHECK(GetState(block) == State::kAbsent);
-  entries_[block] = Entry{State::kFetching, TracePos{0}};
+  Entry& e = table_[ClaimIndex(block)].entry;
+  PFC_CHECK(e.state == State::kAbsent);
+  e.state = State::kFetching;
+  e.next_use = TracePos{0};
+  e.dirty = false;
+  ++used_;
 }
 
 void BufferCache::StartFetchWithEviction(BlockId block, BlockId evict) {
   PFC_CHECK(block != evict);
-  auto it = entries_.find(evict);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
-  PFC_CHECK(GetState(block) == State::kAbsent);
-  size_t erased = by_next_use_.erase({it->second.next_use, evict});
-  PFC_CHECK_EQ(erased, 1u);
-  entries_.erase(it);
-  entries_[block] = Entry{State::kFetching, TracePos{0}};
+  const uint32_t ei = FindIndex(evict);
+  PFC_CHECK(ei != kNoSlot);
+  {
+    Entry& ev = table_[ei].entry;
+    PFC_CHECK(ev.state == State::kPresent);
+    PFC_CHECK(ev.heap_idx >= 0);  // dirty blocks are pinned, never evicted
+    HeapErase(ev);
+    ev.state = State::kAbsent;
+    ev.dirty = false;
+    ++eviction_epoch_;
+  }
+  // ClaimIndex may grow the table; take it after the evict slot is done.
+  Entry& e = table_[ClaimIndex(block)].entry;
+  PFC_CHECK(e.state == State::kAbsent);
+  e.state = State::kFetching;
+  e.next_use = TracePos{0};
+  e.dirty = false;
   if (sink_ != nullptr) {
     EmitReclaim(ObsEventKind::kEvict, evict);
   }
 }
 
 void BufferCache::CompleteFetch(BlockId block, TracePos next_use) {
-  auto it = entries_.find(block);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
-  it->second.state = State::kPresent;
-  it->second.next_use = next_use;
-  bool inserted = by_next_use_.insert({next_use, block}).second;
-  PFC_CHECK(inserted);
+  const uint32_t si = FindIndex(block);
+  PFC_CHECK(si != kNoSlot);
+  Entry& e = table_[si].entry;
+  PFC_CHECK(e.state == State::kFetching);
+  e.state = State::kPresent;
+  e.next_use = next_use;
+  PFC_CHECK(e.heap_idx < 0);
+  HeapInsert(next_use, block, si);
 }
 
 void BufferCache::CancelFetch(BlockId block) {
-  auto it = entries_.find(block);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kFetching);
-  entries_.erase(it);
+  const uint32_t si = FindIndex(block);
+  PFC_CHECK(si != kNoSlot);
+  Entry& e = table_[si].entry;
+  PFC_CHECK(e.state == State::kFetching);
+  e.state = State::kAbsent;
+  --used_;
   if (sink_ != nullptr) {
     EmitReclaim(ObsEventKind::kPrefetchCancel, block);
   }
 }
 
 void BufferCache::UpdateNextUse(BlockId block, TracePos next_use) {
-  auto it = entries_.find(block);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
-  if (it->second.next_use == next_use) {
+  const uint32_t si = FindIndex(block);
+  PFC_CHECK(si != kNoSlot);
+  Entry& e = table_[si].entry;
+  PFC_CHECK(e.state == State::kPresent);
+  if (e.next_use == next_use) {
     return;
   }
-  if (it->second.dirty) {
-    it->second.next_use = next_use;  // dirty blocks are not indexed
-    return;
+  e.next_use = next_use;
+  if (e.dirty) {
+    return;  // dirty blocks are not indexed
   }
-  size_t erased = by_next_use_.erase({it->second.next_use, block});
-  PFC_CHECK_EQ(erased, 1u);
-  it->second.next_use = next_use;
-  bool inserted = by_next_use_.insert({next_use, block}).second;
-  PFC_CHECK(inserted);
+  HeapRekey(e, next_use);
 }
 
 void BufferCache::InsertWritten(BlockId block, TracePos next_use) {
   PFC_CHECK_GT(free_buffers(), 0);
-  PFC_CHECK(GetState(block) == State::kAbsent);
-  entries_[block] = Entry{State::kPresent, next_use, true};
+  Entry& e = table_[ClaimIndex(block)].entry;
+  PFC_CHECK(e.state == State::kAbsent);
+  e.state = State::kPresent;
+  e.next_use = next_use;
+  e.dirty = true;
+  ++used_;
   ++dirty_count_;
 }
 
 void BufferCache::EvictClean(BlockId block) {
-  auto it = entries_.find(block);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
-  PFC_CHECK(!it->second.dirty);
-  size_t erased = by_next_use_.erase({it->second.next_use, block});
-  PFC_CHECK_EQ(erased, 1u);
-  entries_.erase(it);
+  const uint32_t si = FindIndex(block);
+  PFC_CHECK(si != kNoSlot);
+  Entry& e = table_[si].entry;
+  PFC_CHECK(e.state == State::kPresent);
+  PFC_CHECK(!e.dirty);
+  HeapErase(e);
+  e.state = State::kAbsent;
+  --used_;
+  ++eviction_epoch_;
   if (sink_ != nullptr) {
     EmitReclaim(ObsEventKind::kEvict, block);
   }
 }
 
 void BufferCache::MarkDirty(BlockId block) {
-  auto it = entries_.find(block);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
-  if (it->second.dirty) {
+  const uint32_t si = FindIndex(block);
+  PFC_CHECK(si != kNoSlot);
+  Entry& e = table_[si].entry;
+  PFC_CHECK(e.state == State::kPresent);
+  if (e.dirty) {
     return;
   }
-  size_t erased = by_next_use_.erase({it->second.next_use, block});
-  PFC_CHECK_EQ(erased, 1u);
-  it->second.dirty = true;
+  HeapErase(e);
+  e.dirty = true;
   ++dirty_count_;
 }
 
 void BufferCache::MarkClean(BlockId block) {
-  auto it = entries_.find(block);
-  PFC_CHECK(it != entries_.end() && it->second.state == State::kPresent);
-  PFC_CHECK(it->second.dirty);
-  it->second.dirty = false;
+  const uint32_t si = FindIndex(block);
+  PFC_CHECK(si != kNoSlot);
+  Entry& e = table_[si].entry;
+  PFC_CHECK(e.state == State::kPresent);
+  PFC_CHECK(e.dirty);
+  e.dirty = false;
   --dirty_count_;
-  bool inserted = by_next_use_.insert({it->second.next_use, block}).second;
-  PFC_CHECK(inserted);
-}
-
-bool BufferCache::Dirty(BlockId block) const {
-  auto it = entries_.find(block);
-  return it != entries_.end() && it->second.dirty;
-}
-
-std::optional<BlockId> BufferCache::FurthestBlock() const {
-  if (by_next_use_.empty()) {
-    return std::nullopt;
-  }
-  return by_next_use_.rbegin()->second;
-}
-
-TracePos BufferCache::FurthestNextUse() const {
-  if (by_next_use_.empty()) {
-    return kNoCandidate;
-  }
-  return by_next_use_.rbegin()->first;
+  PFC_CHECK(e.heap_idx < 0);
+  HeapInsert(e.next_use, block, si);
 }
 
 }  // namespace pfc

@@ -7,6 +7,20 @@
 // starts", section 1.2). Present blocks are indexed by their next reference
 // position so policies can query the furthest-referenced block in O(log K).
 //
+// Hot-path layout: block state lives in a flat open-addressing hash table
+// (power-of-two, linear probing, one contiguous allocation — block address
+// spaces are sparse, some traces touch ids in the millions, so a direct
+// index would zero megabytes per run and a node-based map chases pointers
+// per lookup). Slots are never deleted — a vacated block's slot survives in
+// the kAbsent state — so probes need no tombstones and the table only
+// grows, bounded by the trace's distinct-block count. The eviction index is
+// a binary max-heap of (next_use, block) whose items carry their table slot
+// and whose entries carry their heap position, so erase/rekey are O(log K)
+// with contiguous storage. The heap's maximum is the unique
+// lexicographically greatest (next_use, block) pair — exactly the element
+// std::set::rbegin() used to yield — so FurthestBlock/FurthestNextUse are
+// bit-compatible with the node-based index they replace.
+//
 // BufferCache implements the CacheView query interface (core/cache_view.h)
 // so that policies can run against either this cache or the reference
 // simulator's naive one.
@@ -16,20 +30,23 @@
 
 #include <cstdint>
 #include <optional>
-#include <set>
-#include <unordered_map>
-#include <utility>
+#include <vector>
 
 #include "core/cache_view.h"
 #include "core/next_ref.h"
 #include "obs/event_sink.h"
+#include "util/arena.h"
 #include "util/time_util.h"
 
 namespace pfc {
 
-class BufferCache : public CacheView {
+class BufferCache final : public CacheView {
  public:
-  explicit BufferCache(int capacity_blocks);
+  // With an arena, the table and heap draw their storage from it (the
+  // simulator passes its per-job arena); without one they use the heap, so
+  // standalone construction in tests needs no ceremony. The arena must
+  // outlive the cache.
+  explicit BufferCache(int capacity_blocks, Arena* arena = nullptr);
 
   // Installs an observability sink. The cache emits kEvict whenever a
   // buffer is reclaimed (evict-at-issue and written-block eviction alike)
@@ -43,11 +60,14 @@ class BufferCache : public CacheView {
   }
 
   int capacity() const override { return capacity_; }
-  int used() const override { return static_cast<int>(entries_.size()); }
+  int used() const override { return used_; }
   // Number of *evictable* (present and clean) blocks.
-  int present_count() const override { return static_cast<int>(by_next_use_.size()); }
+  int present_count() const override { return static_cast<int>(heap_.size()); }
 
-  State GetState(BlockId block) const override;
+  State GetState(BlockId block) const override {
+    const uint32_t si = FindIndex(block);
+    return si == kNoSlot ? State::kAbsent : table_[si].entry.state;
+  }
 
   // Reserves a free buffer for `block` and marks it in flight. Requires a
   // free buffer and `block` absent.
@@ -72,9 +92,19 @@ class BufferCache : public CacheView {
   // Present *clean* block with the furthest next reference, if any. Dirty
   // blocks are pinned (their buffer cannot be reused until flushed) and so
   // never appear as eviction candidates.
-  std::optional<BlockId> FurthestBlock() const override;
+  std::optional<BlockId> FurthestBlock() const override {
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    return heap_.front().block;
+  }
   // Its key (NextRefIndex::kNoRef for dead blocks); kNoCandidate if none.
-  TracePos FurthestNextUse() const override;
+  TracePos FurthestNextUse() const override {
+    if (heap_.empty()) {
+      return kNoCandidate;
+    }
+    return heap_.front().key;
+  }
 
   // --- Write extension (the paper's future-work item) ----------------------
 
@@ -92,29 +122,89 @@ class BufferCache : public CacheView {
   // Dirty -> clean (re-enters the eviction index under its current key).
   void MarkClean(BlockId block);
 
-  bool Dirty(BlockId block) const override;
+  bool Dirty(BlockId block) const override {
+    const uint32_t si = FindIndex(block);
+    return si != kNoSlot && table_[si].entry.dirty;
+  }
   int dirty_count() const override { return dirty_count_; }
 
-  // Present blocks in key order is occasionally needed (reverse model);
-  // expose a read-only view.
-  const std::set<std::pair<TracePos, BlockId>>& present_by_next_use() const {
-    return by_next_use_;
-  }
+  // Bumped whenever a present block leaves the cache (evict-at-issue or
+  // clean eviction). A "block b was present" observation stays true while
+  // the epoch is unchanged — the fast-forward hit-run scan keys its cached
+  // high-water mark on this.
+  int64_t eviction_epoch() const { return eviction_epoch_; }
 
  private:
   struct Entry {
+    TracePos next_use{0};   // valid only when present
+    int32_t heap_idx = -1;  // slot in heap_ when present and clean, else -1
     State state = State::kAbsent;
-    TracePos next_use{0};  // valid only when present
     bool dirty = false;
   };
+  struct TableSlot {
+    BlockId block{kEmptyKey};  // kEmptyKey = slot never occupied
+    Entry entry;
+  };
+  struct HeapItem {
+    TracePos key;
+    BlockId block;
+    uint32_t table_slot;  // index into table_, kept current across rehash
+  };
+
+  static constexpr int64_t kEmptyKey = -1;  // outside the valid BlockId domain
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  size_t HashIndex(BlockId block) const {
+    // Fibonacci hashing: multiply spreads dense block-id runs across the
+    // table; the shift keeps the top log2(size) bits.
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(block.v()) * UINT64_C(0x9E3779B97F4A7C15)) >> hash_shift_);
+  }
+
+  uint32_t FindIndex(BlockId block) const {
+    const size_t mask = table_.size() - 1;
+    for (size_t i = HashIndex(block);; i = (i + 1) & mask) {
+      const BlockId key = table_[i].block;
+      if (key == block) {
+        return static_cast<uint32_t>(i);
+      }
+      if (key == BlockId{kEmptyKey}) {
+        return kNoSlot;
+      }
+    }
+  }
+
+  // Find-or-create; may grow the table (invalidating prior slot indices
+  // except those held by heap items, which Grow() fixes up).
+  uint32_t ClaimIndex(BlockId block);
+  void Grow();
+
+  // (a.key, a.block) < (b.key, b.block) lexicographically; the heap is a
+  // max-heap under this order, so heap_[0] matches the old set's rbegin().
+  static bool HeapLess(const HeapItem& a, const HeapItem& b) {
+    return a.key != b.key ? a.key < b.key : a.block < b.block;
+  }
+  void HeapPlace(size_t idx, HeapItem item);
+  void HeapSiftUp(size_t idx, HeapItem item);
+  void HeapSiftDown(size_t idx, HeapItem item);
+  void HeapInsert(TracePos key, BlockId block, uint32_t table_slot);
+  void HeapErase(Entry& e);
+  void HeapRekey(const Entry& e, TracePos key);
 
   void EmitReclaim(ObsEventKind kind, BlockId block) const;
 
   int capacity_;
-  std::unordered_map<BlockId, Entry> entries_;
-  // (next_use, block) for *clean* present blocks; rbegin() is the furthest.
-  std::set<std::pair<TracePos, BlockId>> by_next_use_;
+  int used_ = 0;  // fetching + present (clean and dirty)
+  // Open-addressing table; size is a power of two, grown at 3/4 load.
+  // Occupied slots (block != kEmptyKey) are permanent for the run.
+  std::vector<TableSlot, ArenaAllocator<TableSlot>> table_;
+  size_t occupied_ = 0;
+  uint32_t hash_shift_;  // 64 - log2(table_.size())
+  // Max-heap of *clean* present blocks keyed (next_use, block); heap_[0] is
+  // the furthest. Items carry their table slot for O(1) back-pointer updates.
+  std::vector<HeapItem, ArenaAllocator<HeapItem>> heap_;
   int dirty_count_ = 0;
+  int64_t eviction_epoch_ = 0;
   EventSink* sink_ = nullptr;   // null = observability disabled
   const TimeNs* now_ = nullptr; // simulator clock, borrowed
 };

@@ -7,21 +7,23 @@
 
 namespace pfc {
 
-MissingTracker::MissingTracker(Engine& sim, int64_t window) : sim_(sim), window_(window) {
+MissingTracker::MissingTracker(Engine& sim, int64_t window)
+    : sim_(sim), window_(window), global_(sim.trace().size()) {
   PFC_CHECK(window > 0);
-  per_disk_.resize(static_cast<size_t>(sim.config().num_disks));
+  per_disk_.resize(static_cast<size_t>(sim.config().num_disks),
+                   PosBitSet(sim.trace().size()));
 }
 
 void MissingTracker::Insert(TracePos pos) {
-  global_.insert(pos);
+  global_.Set(pos.v());
   DiskId disk = sim_.Location(sim_.trace().block(pos)).disk;
-  per_disk_[static_cast<size_t>(disk.v())].insert(pos);
+  per_disk_[static_cast<size_t>(disk.v())].Set(pos.v());
 }
 
 void MissingTracker::Erase(TracePos pos) {
-  global_.erase(pos);
+  global_.Reset(pos.v());
   DiskId disk = sim_.Location(sim_.trace().block(pos)).disk;
-  per_disk_[static_cast<size_t>(disk.v())].erase(pos);
+  per_disk_[static_cast<size_t>(disk.v())].Reset(pos.v());
 }
 
 void MissingTracker::AdvanceTo(TracePos cursor) {
@@ -40,8 +42,9 @@ void MissingTracker::AdvanceTo(TracePos cursor) {
   added_until_ = std::max(added_until_, end);
 
   // Retire positions behind the cursor.
-  while (!global_.empty() && *global_.begin() < cursor) {
-    Erase(*global_.begin());
+  for (TracePos p = FirstGlobalAtOrAfter(TracePos{0}); p < cursor;
+       p = FirstGlobalAtOrAfter(TracePos{0})) {
+    Erase(p);
   }
 }
 

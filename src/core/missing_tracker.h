@@ -8,6 +8,11 @@
 //   * issuing a fetch removes the block's tracked positions;
 //   * evicting a block re-inserts its positions inside the window.
 //
+// Positions live in hierarchical bitmaps (util/pos_bitset.h) — one global,
+// one per disk — so membership, insert/erase, and the ordered successor
+// queries the policies drive their scans with are all O(log64 n) contiguous
+// memory touches instead of node-based std::set traversals.
+//
 // Entries may go stale when a fetch is issued without the owning policy's
 // knowledge (the engine's free-buffer demand path); consumers must therefore
 // validate candidates against the cache before acting and call
@@ -19,9 +24,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <set>
 #include <vector>
 
+#include "util/pos_bitset.h"
 #include "util/strong_types.h"
 
 namespace pfc {
@@ -30,6 +35,10 @@ class Engine;
 
 class MissingTracker {
  public:
+  // "No such position": far beyond any trace, so window-edge comparisons
+  // (p > horizon) need no separate sentinel check.
+  static constexpr TracePos kNone{PosBitSet::kNone};
+
   // window: how far past the cursor to track, in references.
   MissingTracker(Engine& sim, int64_t window);
 
@@ -45,15 +54,31 @@ class MissingTracker {
   // Removes one stale entry discovered during iteration.
   void ErasePosition(TracePos pos);
 
-  // Ordered positions of missing references, all disks together.
-  const std::set<TracePos>& global() const { return global_; }
-
-  // Ordered positions of missing references whose block lives on `disk`.
-  const std::set<TracePos>& per_disk(DiskId disk) const {
-    return per_disk_[static_cast<size_t>(disk.v())];
+  // Smallest tracked position >= pos across all disks, or kNone.
+  // (std::set semantics: upper_bound(p) is FirstGlobalAtOrAfter(p + 1).)
+  TracePos FirstGlobalAtOrAfter(TracePos pos) const {
+    return TracePos{global_.FirstAtLeast(pos.v())};
   }
 
+  // Smallest tracked position >= pos whose block lives on `disk`, or kNone.
+  TracePos FirstOnDiskAtOrAfter(DiskId disk, TracePos pos) const {
+    return TracePos{per_disk_[static_cast<size_t>(disk.v())].FirstAtLeast(pos.v())};
+  }
+
+  bool Contains(TracePos pos) const { return global_.Test(pos.v()); }
+  bool ContainsOnDisk(DiskId disk, TracePos pos) const {
+    return per_disk_[static_cast<size_t>(disk.v())].Test(pos.v());
+  }
+
+  // Number of tracked positions (all disks together).
+  int64_t size() const { return global_.size(); }
+
   int64_t window() const { return window_; }
+
+  // Positions below this have been examined for admission; the next
+  // AdvanceTo scan starts here. Fast-forward quiescence checks use it to
+  // enumerate the admissions a skipped run would perform.
+  TracePos added_until() const { return added_until_; }
 
  private:
   void Insert(TracePos pos);
@@ -63,8 +88,8 @@ class MissingTracker {
   int64_t window_;
   TracePos cursor_;
   TracePos added_until_;  // positions < this have been examined
-  std::set<TracePos> global_;
-  std::vector<std::set<TracePos>> per_disk_;
+  PosBitSet global_;
+  std::vector<PosBitSet> per_disk_;
 };
 
 }  // namespace pfc

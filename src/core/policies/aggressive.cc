@@ -45,6 +45,51 @@ void AggressivePolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   MaybeIssueBatches(sim);
 }
 
+TracePos AggressivePolicy::QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) {
+  // Aggressive issues whenever an idle healthy disk has a missing block in
+  // the window. During a proven hit run no event fires, so no busy disk can
+  // become idle and nothing leaves the cache; the only way work appears is
+  // the window sliding over a new missing position.
+  const int num_disks = sim.config().num_disks;
+  bool any_idle = false;
+  for (DiskId d{0}; d.v() < num_disks; ++d) {
+    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+      if (tracker_->FirstOnDiskAtOrAfter(d, TracePos{0}) != MissingTracker::kNone) {
+        return pos;  // a batch round could fire now (or lazily erase a stale
+                     // entry, which is also observable); simulate normally
+      }
+      any_idle = true;
+    }
+  }
+  if (!any_idle) {
+    return run_end;  // busy or dead disks cannot accept a batch
+  }
+  // Every idle disk's tracked set is empty. Find the first position whose
+  // admission (window slide) would hand an idle disk a fetchable block: a
+  // hinted, non-write, absent reference at q is admitted at reference
+  // q - (W - 1), so the run stays quiescent strictly before that.
+  const int64_t window = tracker_->window();
+  TracePos to = run_end;
+  const TracePos n{sim.trace().size()};
+  for (TracePos q = tracker_->added_until(); q < n && q < to + (window - 1); ++q) {
+    if (!sim.Hinted(q) || sim.trace().is_write(q)) {
+      continue;
+    }
+    const BlockId block = sim.trace().block(q);
+    if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
+      continue;
+    }
+    const DiskId d = sim.Location(block).disk;
+    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+      to = std::min(to, std::max(pos, q - (window - 1)));
+      if (to == pos) {
+        return pos;
+      }
+    }
+  }
+  return to;
+}
+
 void AggressivePolicy::MaybeIssueBatches(Engine& sim) {
   const int issued = IssueBatchRound(sim);
   if (issued > 0) {
@@ -82,9 +127,10 @@ int AggressivePolicy::IssueBatchRound(Engine& sim) {
       if (budget[static_cast<size_t>(d.v())] <= 0) {
         continue;
       }
-      auto it = tracker_->per_disk(d).upper_bound(scan_from[static_cast<size_t>(d.v())]);
-      if (it != tracker_->per_disk(d).end() && *it < best_p) {
-        best_p = *it;
+      const TracePos p =
+          tracker_->FirstOnDiskAtOrAfter(d, scan_from[static_cast<size_t>(d.v())] + 1);
+      if (p < best_p) {  // kNone compares far beyond any real position
+        best_p = p;
         best_disk = d;
       }
     }

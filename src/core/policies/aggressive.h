@@ -34,6 +34,8 @@ class AggressivePolicy : public Policy {
   void OnDiskIdle(Engine& sim, DiskId disk) override;
   BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
   void OnDemandFetch(Engine& sim, BlockId block) override;
+  bool SupportsFastForward() const override { return true; }
+  TracePos QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) override;
 
   int batch_size() const { return batch_size_; }
 

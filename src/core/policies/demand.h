@@ -16,7 +16,13 @@ class DemandPolicy : public Policy {
  public:
   std::string name() const override { return "demand"; }
   // All behaviour is the engine's demand path plus the base-class optimal
-  // eviction choice.
+  // eviction choice — so any proven hit run is trivially quiescent.
+  bool SupportsFastForward() const override { return true; }
+  TracePos QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) override {
+    (void)sim;
+    (void)pos;
+    return run_end;
+  }
 };
 
 }  // namespace pfc

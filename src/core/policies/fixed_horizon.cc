@@ -42,12 +42,15 @@ bool FixedHorizonPolicy::TryFetchAt(Engine& sim, TracePos pos) {
 void FixedHorizonPolicy::OnReference(Engine& sim, TracePos pos) {
   // Retry postponed fetches, soonest first (optimal fetching: the missing
   // block referenced next has first claim on any safe eviction slot).
-  for (auto it = deferred_.begin(); it != deferred_.end();) {
-    if (*it < pos || TryFetchAt(sim, *it)) {
-      it = deferred_.erase(it);
-    } else {
-      ++it;
+  if (!deferred_.empty()) {
+    size_t kept = 0;
+    for (size_t i = 0; i < deferred_.size(); ++i) {
+      const TracePos p = deferred_[i];
+      if (!(p < pos || TryFetchAt(sim, p))) {
+        deferred_[kept++] = p;
+      }
     }
+    deferred_.resize(kept);
   }
 
   // Examine every position newly inside the horizon window [pos, pos + H];
@@ -55,9 +58,33 @@ void FixedHorizonPolicy::OnReference(Engine& sim, TracePos pos) {
   const TracePos end = std::min(pos + horizon_, TracePos{sim.trace().size() - 1});
   for (TracePos p = std::max(pos, scanned_until_); p <= end; ++p) {
     if (sim.Hinted(p) && !sim.trace().is_write(p) && !TryFetchAt(sim, p)) {
-      deferred_.insert(p);
+      deferred_.push_back(p);  // p >= scanned_until_ > every retained entry
     }
   }
+  scanned_until_ = std::max(scanned_until_, end + 1);
+}
+
+TracePos FixedHorizonPolicy::QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) {
+  // A pending deferral could be retried (and might now succeed) at every
+  // reference; don't guess, simulate.
+  if (!deferred_.empty()) {
+    return pos;
+  }
+  // At reference p the window reaches p + H. While p + H < run_end the
+  // window never leaves the hit run, every position in it is present, and
+  // the scan is a pure no-op. If the run reaches the end of the trace the
+  // window can never escape it.
+  if (run_end.v() == sim.trace().size()) {
+    return run_end;
+  }
+  return std::max(pos, run_end - horizon_);
+}
+
+void FixedHorizonPolicy::OnFastForward(Engine& sim, TracePos from, TracePos to) {
+  (void)from;
+  // The skipped scans touched only present blocks; the sole state change is
+  // the scan high-water mark the last skipped reference would have left.
+  const TracePos end = std::min((to - 1) + horizon_, TracePos{sim.trace().size() - 1});
   scanned_until_ = std::max(scanned_until_, end + 1);
 }
 

@@ -15,7 +15,7 @@
 #ifndef PFC_CORE_POLICIES_FIXED_HORIZON_H_
 #define PFC_CORE_POLICIES_FIXED_HORIZON_H_
 
-#include <set>
+#include <vector>
 
 #include "core/policy.h"
 #include "util/strong_types.h"
@@ -31,13 +31,16 @@ class FixedHorizonPolicy : public Policy {
   std::string name() const override { return "fixed-horizon"; }
   void Init(Engine& sim) override;
   void OnReference(Engine& sim, TracePos pos) override;
+  bool SupportsFastForward() const override { return true; }
+  TracePos QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) override;
+  void OnFastForward(Engine& sim, TracePos from, TracePos to) override;
 
   int horizon() const { return horizon_; }
 
   // Positions whose fetch is postponed awaiting a safe eviction (exposed for
   // tests). Kept ordered: the optimal-fetching rule demands that the missing
   // block referenced soonest is fetched first.
-  const std::set<TracePos>& deferred() const { return deferred_; }
+  const std::vector<TracePos>& deferred() const { return deferred_; }
 
  private:
   // Attempts the fetch for the block referenced at position `pos`; returns
@@ -46,8 +49,12 @@ class FixedHorizonPolicy : public Policy {
   bool TryFetchAt(Engine& sim, TracePos pos);
 
   int horizon_;
-  TracePos scanned_until_{0};     // positions < this have been examined
-  std::set<TracePos> deferred_;   // positions whose fetch was postponed, ordered
+  TracePos scanned_until_{0};  // positions < this have been examined
+  // Positions whose fetch was postponed, in increasing order. A flat vector:
+  // retries compact it in place, and new deferrals (always >= scanned_until_,
+  // hence beyond every retained entry) append at the tail, so sortedness is
+  // an invariant, not a per-insert cost.
+  std::vector<TracePos> deferred_;
 };
 
 }  // namespace pfc

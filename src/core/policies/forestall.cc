@@ -89,6 +89,70 @@ void ForestallPolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   MaybeIssue(sim);
 }
 
+TracePos ForestallPolicy::QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) {
+  // During a proven hit run no event fires: idleness, access-time samples,
+  // and the cache are all frozen, so forestall can only act when (a) an
+  // idle healthy disk already has tracked missing positions (the
+  // constrained rule might fire, or its scan might lazily erase a stale
+  // entry), (b) the backstop edge reaches the first tracked position, or
+  // (c) the sliding window admits a new missing position.
+  const int num_disks = sim.config().num_disks;
+  bool any_idle = false;
+  for (DiskId d{0}; d.v() < num_disks; ++d) {
+    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+      if (tracker_->FirstOnDiskAtOrAfter(d, TracePos{0}) != MissingTracker::kNone) {
+        return pos;
+      }
+      any_idle = true;
+    }
+  }
+  TracePos to = run_end;
+  // (b) The backstop fetches the first tracked position q once the cursor
+  // reaches q - H (even to a busy disk). Admission always precedes backstop
+  // eligibility because the tracker window is at least H + 1.
+  const TracePos first = tracker_->FirstGlobalAtOrAfter(TracePos{0});
+  if (first != MissingTracker::kNone) {
+    to = std::min(to, std::max(pos, first - params_.horizon));
+    if (to == pos) {
+      return pos;
+    }
+  }
+  // (c) A hinted, non-write, absent reference at q enters the tracker at
+  // reference q - (W - 1); on an idle healthy disk that set's emptiness —
+  // the invariant behind (a) — breaks right there, while on a busy or dead
+  // disk nothing happens until the backstop edge at q - H.
+  const int64_t window = tracker_->window();
+  const int64_t reach = any_idle ? window - 1 : params_.horizon;
+  const TracePos n{sim.trace().size()};
+  for (TracePos q = tracker_->added_until(); q < n && q < to + reach; ++q) {
+    if (!sim.Hinted(q) || sim.trace().is_write(q)) {
+      continue;
+    }
+    const BlockId block = sim.trace().block(q);
+    if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
+      continue;
+    }
+    const DiskId d = sim.Location(block).disk;
+    const bool idle = sim.DiskIdle(d) && !sim.DiskFailed(d);
+    const TracePos at = idle ? q - (window - 1) : q - params_.horizon;
+    to = std::min(to, std::max(pos, at));
+    if (to == pos) {
+      return pos;
+    }
+  }
+  return to;
+}
+
+void ForestallPolicy::OnFastForward(Engine& sim, TracePos from, TracePos to) {
+  // Every skipped OnReference would have sampled the preceding
+  // inter-reference compute time; replay them in order so the sliding
+  // window estimator's state (and its floating-point sums) stay
+  // bit-identical with an unskipped run.
+  for (TracePos p = std::max(from, TracePos{1}); p < to; ++p) {
+    compute_ms_->Add(NsToMs(sim.ScaledCompute(p - 1)));
+  }
+}
+
 bool ForestallPolicy::FetchWithOptimalEviction(Engine& sim, BlockId block, TracePos pos) {
   const CacheView& cache = sim.cache();
   bool ok;
@@ -120,11 +184,10 @@ bool ForestallPolicy::DiskConstrained(Engine& sim, DiskId disk) {
   int64_t i = 0;
   TracePos p{-1};
   for (;;) {
-    auto it = tracker_->per_disk(disk).upper_bound(p);
-    if (it == tracker_->per_disk(disk).end()) {
+    p = tracker_->FirstOnDiskAtOrAfter(disk, p + 1);
+    if (p == MissingTracker::kNone) {
       return false;
     }
-    p = *it;
     if (sim.cache().GetState(sim.trace().block(p)) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
       continue;
@@ -150,11 +213,10 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
   // working sets smaller than H (the demand path handles those optimally).
   const TracePos horizon_edge = cursor + params_.horizon;
   for (;;) {
-    auto it = tracker_->global().begin();
-    if (it == tracker_->global().end() || *it > horizon_edge) {
+    const TracePos p = tracker_->FirstGlobalAtOrAfter(TracePos{0});
+    if (p > horizon_edge) {  // kNone compares far beyond the edge
       break;
     }
-    const TracePos p = *it;
     const BlockId block = sim.trace().block(p);
     if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
@@ -187,11 +249,10 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
     int budget = batch_size_;
     TracePos p{-1};
     while (budget > 0 && DiskConstrained(sim, d)) {
-      auto it = tracker_->per_disk(d).upper_bound(p);
-      if (it == tracker_->per_disk(d).end()) {
+      p = tracker_->FirstOnDiskAtOrAfter(d, p + 1);
+      if (p == MissingTracker::kNone) {
         break;
       }
-      p = *it;
       const BlockId block = sim.trace().block(p);
       if (cache.GetState(block) != CacheView::State::kAbsent) {
         tracker_->ErasePosition(p);

@@ -54,6 +54,9 @@ class ForestallPolicy : public Policy {
   void OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) override;
   BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
   void OnDemandFetch(Engine& sim, BlockId block) override;
+  bool SupportsFastForward() const override { return true; }
+  TracePos QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) override;
+  void OnFastForward(Engine& sim, TracePos from, TracePos to) override;
 
   // Current F' for a disk (exposed for tests).
   double FetchTimeRatio(DiskId disk) const;

@@ -31,7 +31,10 @@ class LruDemandPolicy : public Policy {
 
   int64_t clock_ = 0;
   std::unordered_map<BlockId, int64_t> last_use_;       // block -> recency stamp
-  std::set<std::pair<int64_t, BlockId>> by_recency_;    // (stamp, block)
+  // Deliberately naive baseline: LRU exists to show what optimal
+  // replacement buys, not to be fast, so the recency index stays a plain
+  // ordered set.
+  std::set<std::pair<int64_t, BlockId>> by_recency_;  // NOLINT(pfc-hot-structure)
 };
 
 }  // namespace pfc

@@ -67,7 +67,9 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
   enum : int { kAbsent = 0, kFetching = 1, kPresent = 2 };
   std::unordered_map<BlockId, int> state;
   std::unordered_map<BlockId, TracePos> key_of;  // present blocks: next reverse use
-  std::vector<std::set<std::pair<TracePos, BlockId>>> by_key(
+  // Offline schedule construction, one pass at Init — not the per-reference
+  // hot path, so node-based ordered containers are acceptable here.
+  std::vector<std::set<std::pair<TracePos, BlockId>>> by_key(  // NOLINT(pfc-hot-structure)
       static_cast<size_t>(num_disks));  // (key, block) per disk
 
   auto get_state = [&](BlockId b) -> int {
@@ -88,7 +90,7 @@ void ReverseAggressivePolicy::BuildSchedule(Engine& sim) {
 
   // --- sliding window of missing reverse positions --------------------------
   const int64_t window = std::max<int64_t>(16LL * cache_blocks, 16384);
-  std::set<TracePos> missing;
+  std::set<TracePos> missing;  // NOLINT(pfc-hot-structure) — Init-time only
   TracePos added_until{0};
   TracePos rho{0};  // reverse cursor
 

@@ -78,6 +78,33 @@ class Policy {
   // The engine only calls this when no free buffer exists; the default picks
   // the furthest-referenced present block (optimal replacement).
   virtual BlockId ChooseDemandEviction(Engine& sim, BlockId block);
+
+  // --- Hit-run fast-forwarding (SimConfig::fast_forward) -------------------
+  //
+  // The engine may skip simulating a run of references [pos, run_end) it has
+  // proven are all cache hits with no disk event, fault, or write in
+  // between — provided the policy cooperates. A policy that opts in
+  // (SupportsFastForward) receives QuiescentThrough *instead of* OnReference
+  // for the run's first reference and must return the furthest position `to`
+  // (pos <= to <= run_end) such that, given every reference in [pos, to) is
+  // a hit and no other engine callback fires, its OnReference hooks over
+  // that range would issue no fetches and leave no externally visible state
+  // change. Returning `pos` declines (the engine simulates normally).
+  // After skipping, the engine calls OnFastForward(pos, to) so the policy
+  // can replay any internal bookkeeping its skipped OnReference calls would
+  // have done (scan high-water marks, estimator samples). The contract is
+  // exact: a run with fast-forwarding must be bit-identical to one without.
+  virtual bool SupportsFastForward() const { return false; }
+  virtual TracePos QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) {
+    (void)sim;
+    (void)run_end;
+    return pos;
+  }
+  virtual void OnFastForward(Engine& sim, TracePos from, TracePos to) {
+    (void)sim;
+    (void)from;
+    (void)to;
+  }
 };
 
 // The batch sizes the paper uses for aggressive and forestall (Table 6),

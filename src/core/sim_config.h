@@ -62,6 +62,19 @@ struct SimConfig {
   // every write stalls until it reaches the disk.
   bool write_through = false;
 
+  // Hit-run fast-forwarding (DEW-style; see DESIGN.md §5 "Performance
+  // architecture"). When a run of upcoming references is known to be all
+  // cache hits — every block present, no disk event due before the run's
+  // last reference is consumed, no dirty buffers, and the policy vouches it
+  // would take no action (Policy::QuiescentThrough) — the engine advances
+  // the clock and statistics for the whole run at once instead of
+  // simulating each reference. Results are bit-identical either way (the
+  // differential corpus runs with the flag both on and off); the flag
+  // exists to isolate the optimization and to measure its contribution.
+  // Fast-forwarding is automatically suppressed when an observability sink
+  // is installed, so event streams stay reference-by-reference.
+  bool fast_forward = true;
+
   // Fault injection (see disk/fault_model.h). The default draws nothing and
   // installs no fault layer, so healthy runs are bit-identical to a build
   // without it.

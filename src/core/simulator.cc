@@ -101,7 +101,7 @@ Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfi
       trace_(context_.trace()),
       config_(Validated(config)),
       policy_(policy),
-      cache_(config.cache_blocks),
+      cache_(config.cache_blocks, &arena_),
       placement_(MakePlacement(config.placement, config.num_disks)),
       disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
                                          config.discipline, config.faults)) {
@@ -119,7 +119,7 @@ Simulator::Simulator(const TraceContext& context, const SimConfig& config, Polic
       trace_(context_.trace()),
       config_(Validated(config)),
       policy_(policy),
-      cache_(config.cache_blocks),
+      cache_(config.cache_blocks, &arena_),
       placement_(MakePlacement(config.placement, config.num_disks)),
       disks_(std::make_unique<DiskArray>(config.num_disks, config.disk_model,
                                          config.discipline, config.faults)) {
@@ -597,6 +597,92 @@ void Simulator::DemandFetch(BlockId block) {
   }
 }
 
+TracePos Simulator::FastForward(TracePos pos) {
+  const int64_t n = trace_.size();
+  // Cap the run at the first pending disk event: a skipped reference must
+  // be consumed strictly before any event fires, because a normal iteration
+  // drains events up to the app clock before serving the reference. The
+  // app clock at the start of iteration p is
+  //   app_time_ + pending_driver_ + (compute_prefix_[p] - compute_prefix_[pos]),
+  // so the largest skippable prefix falls out of one binary search.
+  int64_t cap = n;
+  if (!events_.empty()) {
+    if (events_.top().time <= app_time_) {
+      return pos;  // an event is already due; simulate normally
+    }
+    const int64_t budget = (events_.top().time - app_time_).ns() - pending_driver_.ns();
+    const int64_t base = compute_prefix_[static_cast<size_t>(pos.v())];
+    const auto first = compute_prefix_.begin() + pos.v();
+    const auto last = compute_prefix_.begin() + n;
+    // Largest j in [pos, n) with compute_prefix_[j] - base < budget:
+    // references pos..j all consume strictly before the event.
+    const auto it = std::lower_bound(first, last, base + budget);
+    const int64_t j = (it - compute_prefix_.begin()) - 1;
+    if (j < pos.v()) {
+      return pos;
+    }
+    cap = j + 1;
+  }
+  // A probe costs a binary search, a presence scan, and a policy
+  // consultation; skipping a handful of references does not pay for that,
+  // so only engage when at least kMinSkip references can go at once.
+  constexpr int64_t kMinSkip = 8;
+  if (cap - pos.v() < kMinSkip) {
+    return pos;
+  }
+  // No event fires at the current instant, so the drain a normal iteration
+  // would do is a pure clock advance; mirror it before consulting the
+  // policy (DiskFailed reads the simulation clock).
+  sim_now_ = app_time_;
+
+  // Scan forward while references are reads of present blocks. The
+  // verified prefix is cached across calls: presence can only be revoked by
+  // an eviction, so the high-water mark stays valid while the cache's
+  // eviction epoch is unchanged.
+  if (cache_.eviction_epoch() != ff_epoch_ || ff_run_end_ < pos) {
+    ff_epoch_ = cache_.eviction_epoch();
+    ff_run_end_ = pos;
+  }
+  const TracePos cap_pos{cap};
+  while (ff_run_end_ < cap_pos && !trace_.is_write(ff_run_end_) &&
+         cache_.Present(trace_.block(ff_run_end_))) {
+    ++ff_run_end_;
+  }
+  const TracePos run_end = std::min(ff_run_end_, cap_pos);
+  if (run_end - pos < kMinSkip) {
+    return pos;
+  }
+
+  // The policy bounds the skip to the part of the run it would sleep
+  // through. The extra hooks have no reference-simulator counterpart by
+  // design: the oracle must stay naive.
+  TracePos to = policy_->QuiescentThrough(*this, pos, run_end);  // NOLINT(pfc-policy-parity)
+  if (to > run_end) {
+    to = run_end;
+  }
+  if (to - pos < kMinSkip) {
+    return pos;
+  }
+  policy_->OnFastForward(*this, pos, to);  // NOLINT(pfc-policy-parity)
+
+  // Reindex each consumed block once, under the next use its final in-run
+  // reference would have left. Intermediate rekeys only permute the heap's
+  // internal layout, which no query observes.
+  const NextRefIndex& index = context_.index();
+  for (TracePos p = pos; p < to; ++p) {
+    const TracePos next = index.NextUseAfterPosition(p);
+    if (next >= to) {
+      cache_.UpdateNextUse(trace_.block(p), next);
+    }
+  }
+  const DurNs skipped{compute_prefix_[static_cast<size_t>(to.v())] -
+                      compute_prefix_[static_cast<size_t>(pos.v())]};
+  compute_total_ += skipped;
+  app_time_ += skipped + pending_driver_;
+  pending_driver_ = DurNs{0};
+  return to;
+}
+
 RunResult Simulator::Run() {
   PFC_CHECK_MSG(!ran_, "Simulator::Run is single-shot");
   ran_ = true;
@@ -605,8 +691,39 @@ RunResult Simulator::Run() {
 
   const NextRefIndex& index = context_.index();
   const int64_t n = trace_.size();
+  // Hit-run fast-forwarding is off whenever a sink is installed: skipped
+  // references would emit no events, and observability demands the full
+  // reference-by-reference stream.
+  ff_enabled_ = config_.fast_forward && sink_ == nullptr && policy_->SupportsFastForward();
+  if (ff_enabled_) {
+    compute_prefix_.resize(static_cast<size_t>(n) + 1);
+    compute_prefix_[0] = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      compute_prefix_[static_cast<size_t>(i) + 1] =
+          compute_prefix_[static_cast<size_t>(i)] + ScaledCompute(TracePos{i}).ns();
+    }
+  }
   for (TracePos pos{0}; pos.v() < n; ++pos) {
     cursor_ = pos;
+    // A declined attempt is pure overhead (the hit scan and the policy's
+    // quiescence check both walk ahead of the cursor), and declines are
+    // sticky — miss-heavy and event-dense phases decline every reference,
+    // and aggressive-style policies decline whenever a disk has work (i.e.
+    // almost always). Uncapped exponential backoff bounds a run's declined
+    // attempts at O(log n) between successes, so a policy that never
+    // quiesces pays for only a handful of probes; a successful skip resets
+    // the schedule. Attempts never affect results, so the backoff is a pure
+    // performance knob.
+    if (ff_enabled_ && cache_.dirty_count() == 0 && pos >= ff_next_try_) {
+      const TracePos resume = FastForward(pos);
+      if (resume > pos) {
+        ff_backoff_ = 0;
+        pos = resume - 1;  // ++pos serves `resume` as a normal reference
+        continue;
+      }
+      ff_backoff_ = ff_backoff_ * 2 + 1;
+      ff_next_try_ = pos + ff_backoff_;
+    }
     DrainEventsUpTo(app_time_);
     policy_->OnReference(*this, pos);
     // Write-behind: clean dirty buffers on idle disks, and keep the dirty

@@ -46,13 +46,16 @@
 #include "layout/placement.h"
 #include "obs/event_sink.h"
 #include "trace/trace.h"
+#include "util/arena.h"
 #include "util/flat_set.h"
 
 namespace pfc {
 
 class ObsCollector;
 
-class Simulator : public Engine {
+// `final` keeps the per-reference loop devirtualizable: every cache and
+// engine query inside Run() resolves to a concrete member call.
+class Simulator final : public Engine {
  public:
   // Builds a private TraceContext for this run. `trace` and `policy` must
   // outlive the simulator. Throws SimError if `config` is invalid.
@@ -169,6 +172,16 @@ class Simulator : public Engine {
   void EndStall(BlockId block, TimeNs wait_start);
   void DrainEventsUpTo(TimeNs t);
   void DemandFetch(BlockId block);
+  // Hit-run fast-forwarding (SimConfig::fast_forward; DESIGN.md §5).
+  // Called at the top of the per-reference loop when no dirty buffer is
+  // pending. If references [pos, to) are provably all hits — present
+  // blocks, no write, no disk event due before the run's last reference is
+  // consumed — and the policy vouches it would take no action over the run
+  // (Policy::QuiescentThrough), advances clocks, compute totals, and
+  // replacement keys for the whole run at once and returns `to`; otherwise
+  // returns `pos` and the loop simulates the reference normally. The
+  // results are bit-identical either way.
+  TracePos FastForward(TracePos pos);
   // Write extension.
   void ServeWrite(TracePos pos, BlockId block);
   void IssueFlush(BlockId block);
@@ -182,11 +195,19 @@ class Simulator : public Engine {
   SimConfig config_;
   Policy* policy_;
 
+  // Per-job arena backing the run's grow-only arrays (cache table, eviction
+  // heap, event queue storage, compute prefix sums). Declared before its
+  // users so it outlives them; freed wholesale when the simulator dies,
+  // keeping per-cell allocation churn off the global heap under the
+  // experiment runner's thread pool.
+  Arena arena_;
   BufferCache cache_;
   std::unique_ptr<Placement> placement_;
   std::unique_ptr<DiskArray> disks_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  using EventVec = std::vector<Event, ArenaAllocator<Event>>;
+  std::priority_queue<Event, EventVec, std::greater<Event>> events_{
+      std::greater<Event>(), EventVec(ArenaAllocator<Event>(&arena_))};
   uint64_t next_seq_ = 0;
 
   TimeNs app_time_;          // application clock
@@ -217,6 +238,22 @@ class Simulator : public Engine {
   DurNs driver_total_;
   DurNs compute_total_;
   bool ran_ = false;
+  // Fast-forward state (see FastForward above). compute_prefix_[i] is the
+  // scaled compute consumed by references [0, i) in ns, so any run's compute
+  // is one subtraction; built in Run() only when fast-forwarding is on.
+  bool ff_enabled_ = false;
+  std::vector<int64_t, ArenaAllocator<int64_t>> compute_prefix_{
+      ArenaAllocator<int64_t>(&arena_)};
+  // Hit-scan cache: positions in [cursor, ff_run_end_) were all verified
+  // present while the cache's eviction epoch was ff_epoch_; a scan resumes
+  // there instead of re-verifying the prefix on every call.
+  TracePos ff_run_end_{0};
+  int64_t ff_epoch_ = -1;
+  // Declined-attempt backoff: after FastForward returns pos (no skip), the
+  // next attempt waits ff_backoff_ references (doubling to 64); a
+  // successful skip resets it. See the Run() loop comment.
+  TracePos ff_next_try_{0};
+  int64_t ff_backoff_ = 0;
   // Observability state. sink_ stays null for the simulator's lifetime
   // unless obs collection is configured or a sink is installed, so the hot
   // path pays exactly one branch per emission site. The remaining members

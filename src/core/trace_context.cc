@@ -65,7 +65,9 @@ using ContextKey = std::tuple<const Trace*, uint64_t, int64_t, double, uint64_t>
 
 struct ContextCache {
   std::mutex mu;
-  std::map<ContextKey, std::shared_ptr<const TraceContext>> entries;
+  // Process-wide registry touched once per (trace, hints) pair under a
+  // mutex — nowhere near the per-reference hot path.
+  std::map<ContextKey, std::shared_ptr<const TraceContext>> entries;  // NOLINT(pfc-hot-structure)
 };
 
 ContextCache& GlobalContextCache() {

@@ -99,8 +99,8 @@ std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& 
     }
   }
 
-  std::vector<JobOutcome> outcomes(grid.size());
   if (jobs == 1 || grid.size() <= 1) {
+    std::vector<JobOutcome> outcomes(grid.size());
     for (size_t i = 0; i < grid.size(); ++i) {
       outcomes[i] = RunJobChecked(grid[i], contexts);
     }
@@ -111,7 +111,19 @@ std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& 
   // worker writing only its own slots — results land in submission order by
   // construction, independent of completion order. RunJobChecked never
   // throws, so a bad job cannot take down a worker.
-  std::atomic<size_t> next{0};
+  //
+  // Result slots are cache-line aligned, and the cursor gets a line of its
+  // own. Adjacent jobs finish close together in time, and JobOutcome's
+  // small fields (the counters the caller reads first) would otherwise
+  // share lines across workers. An explicit jobs request is honored even
+  // past the core count — the sanitizer gates deliberately oversubscribe
+  // single-core machines to force real concurrency — while the default
+  // (DefaultJobCount) already tops out at hardware_concurrency.
+  struct alignas(64) PaddedOutcome {
+    JobOutcome out;
+  };
+  std::vector<PaddedOutcome> slots(grid.size());
+  alignas(64) std::atomic<size_t> next{0};
   const int workers = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(jobs), grid.size()));
   {
@@ -124,11 +136,16 @@ std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& 
           if (i >= grid.size()) {
             return;
           }
-          outcomes[i] = RunJobChecked(grid[i], contexts);
+          slots[i].out = RunJobChecked(grid[i], contexts);
         }
       });
     }
   }  // jthreads join here
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(grid.size());
+  for (PaddedOutcome& slot : slots) {
+    outcomes.push_back(std::move(slot.out));
+  }
   return outcomes;
 }
 

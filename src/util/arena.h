@@ -1,0 +1,126 @@
+// A per-job monotonic arena: one bump pointer over chunked slabs.
+//
+// The experiment runner simulates thousands of independent cells; each cell
+// builds, grows, and tears down the same few large flat arrays (the cache's
+// hash table and eviction heap, the event queue's backing store, the
+// compute prefix sums). Under a thread pool those short-lived allocations
+// all contend on the global heap — per-cell allocation churn was one of the
+// three causes of the parallel grid losing to serial (ISSUE 6). An Arena
+// gives every job its own allocation stream: Allocate() is a pointer bump,
+// Deallocate is a no-op, and the slabs return to the heap in one batch when
+// the job's simulator is destroyed.
+//
+// The arena is strictly single-threaded, like the Simulator that owns it.
+// ArenaAllocator adapts it to standard containers; with a null arena it
+// falls back to the global heap, so arena use is opt-in per container and
+// a default-constructed container stays valid.
+
+#ifndef PFC_UTIL_ARENA_H_
+#define PFC_UTIL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pfc {
+
+class Arena {
+ public:
+  // First slab size; subsequent slabs double, capped at kMaxSlab. Vectors
+  // that outgrow a slab simply allocate from the next one — the vacated
+  // space is not reused (monotonic by design: peak memory per cell is a few
+  // slabs, and the simulator's arrays grow to their final size early).
+  static constexpr size_t kFirstSlab = size_t{64} * 1024;
+  static constexpr size_t kMaxSlab = size_t{8} * 1024 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align) {
+    uintptr_t p = (cur_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + bytes > end_) {
+      return AllocateSlow(bytes, align);
+    }
+    cur_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Total bytes handed out (diagnostic; includes alignment padding).
+  size_t bytes_used() const { return used_; }
+
+ private:
+  void* AllocateSlow(size_t bytes, size_t align) {
+    // Oversized requests get a dedicated slab so they never strand most of
+    // a fresh slab behind the bump pointer.
+    size_t slab = next_slab_;
+    if (bytes + align > slab) {
+      slab = bytes + align;
+    } else {
+      next_slab_ = std::min(next_slab_ * 2, kMaxSlab);
+    }
+    slabs_.push_back(std::make_unique<unsigned char[]>(slab));
+    uintptr_t base = reinterpret_cast<uintptr_t>(slabs_.back().get());
+    uintptr_t p = (base + (align - 1)) & ~(uintptr_t{align} - 1);
+    cur_ = p + bytes;
+    end_ = base + slab;
+    used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  uintptr_t cur_ = 0;
+  uintptr_t end_ = 0;
+  size_t next_slab_ = kFirstSlab;
+  size_t used_ = 0;
+  std::vector<std::unique_ptr<unsigned char[]>> slabs_;
+};
+
+// Standard-allocator adapter. Copyable, compares equal iff same arena; a
+// null arena delegates to the global heap. Deallocation via an arena is a
+// no-op (memory is reclaimed when the arena dies), which is exactly right
+// for the simulator's grow-only arrays.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // The adapter is stateful: containers must carry it on move/copy rather
+  // than default-constructing a heap-backed one.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) {
+      ::operator delete(p);
+    }
+  }
+
+  Arena* arena() const { return arena_; }
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_ARENA_H_

@@ -1,0 +1,127 @@
+// PosBitSet: a hierarchical bitmap over trace positions [0, n).
+//
+// MissingTracker's per-reference work is dominated by ordered-set
+// operations on positions: insert, erase, and "smallest element >= p".
+// A node-based std::set pays an allocation per insert and a pointer chase
+// per query; this bitmap stores one bit per position with a summary word
+// per 64 positions (recursively, until one word covers everything), so all
+// three operations are O(levels) ~ O(log64 n) touches of contiguous memory.
+//
+// The successor query FirstAtLeast(p) is the workhorse: std::set's
+// upper_bound(p) is exactly FirstAtLeast(p + 1), and *begin() is
+// FirstAtLeast(0). Absence is reported as kNone, chosen equal to
+// NextRefIndex::kNoRef's magnitude class (far beyond any trace) so callers
+// can compare against window edges without a separate sentinel check.
+
+#ifndef PFC_UTIL_POS_BITSET_H_
+#define PFC_UTIL_POS_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/strong_types.h"
+
+namespace pfc {
+
+class PosBitSet {
+ public:
+  // No position set; far beyond any valid trace position.
+  static constexpr int64_t kNone = INT64_MAX / 4;
+
+  explicit PosBitSet(int64_t n) : n_(n) {
+    int64_t words = WordsFor(n);
+    for (;;) {
+      levels_.emplace_back(static_cast<size_t>(words), uint64_t{0});
+      if (words <= 1) {
+        break;
+      }
+      words = WordsFor(words);  // one summary bit per word below
+    }
+  }
+
+  int64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  bool Test(int64_t i) const {
+    return (levels_[0][static_cast<size_t>(i >> 6)] >> (i & 63)) & 1u;
+  }
+
+  void Set(int64_t i) {
+    if (Test(i)) {
+      return;
+    }
+    ++count_;
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      uint64_t& word = levels_[level][static_cast<size_t>(i >> 6)];
+      const uint64_t bit = uint64_t{1} << (i & 63);
+      const bool was_zero = word == 0;
+      word |= bit;
+      if (!was_zero) {
+        break;  // summary bit above is already set
+      }
+      i >>= 6;
+    }
+  }
+
+  void Reset(int64_t i) {
+    if (!Test(i)) {
+      return;
+    }
+    --count_;
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      uint64_t& word = levels_[level][static_cast<size_t>(i >> 6)];
+      word &= ~(uint64_t{1} << (i & 63));
+      if (word != 0) {
+        break;  // word still non-empty; summaries above stay set
+      }
+      i >>= 6;
+    }
+  }
+
+  // Smallest set position >= i, or kNone.
+  int64_t FirstAtLeast(int64_t i) const {
+    if (i < 0) {
+      i = 0;
+    }
+    if (count_ == 0 || i >= n_) {
+      return kNone;
+    }
+    int64_t idx = i;
+    size_t level = 0;
+    for (;;) {
+      const int64_t w = idx >> 6;
+      if (w < static_cast<int64_t>(levels_[level].size())) {
+        const uint64_t word = levels_[level][static_cast<size_t>(w)] >> (idx & 63);
+        if (word != 0) {
+          idx += std::countr_zero(word);
+          // Descend: a set summary bit marks a non-empty word below.
+          while (level > 0) {
+            --level;
+            idx = (idx << 6) +
+                  std::countr_zero(levels_[level][static_cast<size_t>(idx)]);
+          }
+          return idx;
+        }
+      }
+      // This word is exhausted; resume at the next summary bit above.
+      idx = w + 1;
+      if (++level == levels_.size()) {
+        return kNone;
+      }
+    }
+  }
+
+ private:
+  static int64_t WordsFor(int64_t bits) { return bits <= 0 ? 1 : (bits + 63) / 64; }
+
+  int64_t n_;
+  int64_t count_ = 0;
+  // levels_[0] is one bit per position; levels_[k][w] bit b summarizes
+  // whether levels_[k-1][w * 64 + b] is non-zero. The top level is one word.
+  std::vector<std::vector<uint64_t>> levels_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_UTIL_POS_BITSET_H_

@@ -1,0 +1,247 @@
+// Hit-run fast-forwarding (SimConfig::fast_forward, DESIGN.md §5) is a pure
+// optimization: every run must produce bit-identical results with the flag
+// on and off. These tests target the boundaries where the skip machinery
+// could plausibly diverge — disk completions landing exactly on a reference
+// boundary, injected faults mid-run, dirty write-behind buffers inside a
+// would-be hit run — and then push the full differential corpus' scenario
+// shapes through both settings.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "core/sim_config.h"
+#include "core/simulator.h"
+#include "harness/experiment.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace pfc {
+namespace {
+
+// Runs the cell twice — fast-forwarding on, then off — and asserts exact
+// equality of every RunResult field (bitwise for doubles).
+void ExpectFastForwardInvariant(const Trace& trace, SimConfig config, PolicyKind kind,
+                                const PolicyOptions& options = {}) {
+  config.fast_forward = true;
+  std::unique_ptr<Policy> on_policy = MakePolicy(kind, options);
+  Simulator on(trace, config, on_policy.get());
+  const RunResult with_ff = on.Run();
+
+  config.fast_forward = false;
+  std::unique_ptr<Policy> off_policy = MakePolicy(kind, options);
+  Simulator off(trace, config, off_policy.get());
+  const RunResult without_ff = off.Run();
+
+  std::vector<std::string> why;
+  EXPECT_TRUE(ResultsExactlyEqual(with_ff, without_ff, &why))
+      << "fast_forward changed the result:\n"
+      << ::testing::PrintToString(why);
+}
+
+const PolicyKind kAllPolicies[] = {
+    PolicyKind::kDemand,        PolicyKind::kDemandLru, PolicyKind::kFixedHorizon,
+    PolicyKind::kAggressive,    PolicyKind::kForestall, PolicyKind::kReverseAggressive,
+};
+
+// A long all-hit tail after a miss warmup: the configuration fast-forwarding
+// was built for. Every policy must still agree with its non-skipping self.
+TEST(FastForwardTest, HitHeavyLoopAgreesForEveryPolicy) {
+  Trace trace("ff-loop");
+  // Touch 12 blocks, then loop over them many times; the cache (16 blocks)
+  // holds the whole working set, so after warmup every reference hits.
+  for (int round = 0; round < 40; ++round) {
+    for (int64_t b = 0; b < 12; ++b) {
+      trace.Append(BlockId{b}, DurNs{500'000});
+    }
+  }
+  SimConfig config;
+  config.cache_blocks = 16;
+  config.num_disks = 2;
+  for (PolicyKind kind : kAllPolicies) {
+    SCOPED_TRACE(ToString(kind));
+    ExpectFastForwardInvariant(trace, config, kind);
+  }
+}
+
+// Disk completions landing exactly on a reference boundary: with zero
+// compute time between references, the event-time cap and the reference
+// clock coincide repeatedly, exercising the strict "consume before the
+// event fires" edge of the binary-search cap.
+TEST(FastForwardTest, RunBoundariesAtDiskCompletionTimes) {
+  for (int64_t compute_ns : {int64_t{0}, int64_t{1}, int64_t{1'000'000}}) {
+    SCOPED_TRACE(compute_ns);
+    Trace trace("ff-boundary");
+    // Interleave a resident working set with fresh blocks so prefetches are
+    // always in flight while hit runs form.
+    for (int round = 0; round < 30; ++round) {
+      for (int64_t b = 0; b < 6; ++b) {
+        trace.Append(BlockId{b}, DurNs{compute_ns});
+      }
+      trace.Append(BlockId{100 + round}, DurNs{compute_ns});
+    }
+    SimConfig config;
+    config.cache_blocks = 10;
+    config.num_disks = 3;
+    for (PolicyKind kind : kAllPolicies) {
+      SCOPED_TRACE(ToString(kind));
+      ExpectFastForwardInvariant(trace, config, kind);
+    }
+  }
+}
+
+// Faults inside and around hit runs: media errors retry with backoff, a
+// fail-stopped disk flips DiskFailed answers mid-run. The skip path must
+// never jump over a retry or recovery event.
+TEST(FastForwardTest, FaultInjectedRunsAgree) {
+  Trace trace("ff-faults");
+  Rng rng(SplitMix64(2026));
+  for (int64_t i = 0; i < 400; ++i) {
+    const int64_t block = rng.UniformInt(0, 1) == 0 ? rng.UniformInt(0, 11)
+                                                    : rng.UniformInt(0, 59);
+    trace.Append(BlockId{block}, DurNs{rng.UniformInt(0, 2'000'000)});
+  }
+  SimConfig config;
+  config.cache_blocks = 20;
+  config.num_disks = 4;
+
+  SimConfig media = config;
+  media.faults.media_error_rate = 0.1;
+  media.faults.seed = 7;
+
+  SimConfig failstop = config;
+  failstop.faults.fail_disk = DiskId{1};
+  failstop.faults.fail_after = TimeNs{0} + MsToNs(30);
+
+  SimConfig slow = config;
+  slow.faults.slow_disk = DiskId{0};
+  slow.faults.slow_factor = 4.0;
+  slow.faults.slow_after = TimeNs{0} + MsToNs(10);
+
+  for (const SimConfig& c : {media, failstop, slow}) {
+    for (PolicyKind kind : kAllPolicies) {
+      SCOPED_TRACE(ToString(kind));
+      ExpectFastForwardInvariant(trace, c, kind);
+    }
+  }
+}
+
+// Dirty write-behind buffers inside a would-be hit run: the engine only
+// attempts a skip with a clean cache, and a write reference ends the run.
+// Both conditions are exercised by salting a hit-heavy loop with writes.
+TEST(FastForwardTest, WriteBehindDirtyBlocksInsideRunsAgree) {
+  for (bool write_through : {false, true}) {
+    SCOPED_TRACE(write_through ? "write-through" : "write-behind");
+    Trace trace("ff-writes");
+    Rng rng(SplitMix64(99));
+    for (int round = 0; round < 35; ++round) {
+      for (int64_t b = 0; b < 10; ++b) {
+        if (rng.UniformInt(0, 9) == 0) {
+          trace.AppendWrite(BlockId{b}, DurNs{400'000});
+        } else {
+          trace.Append(BlockId{b}, DurNs{400'000});
+        }
+      }
+    }
+    SimConfig config;
+    config.cache_blocks = 14;
+    config.num_disks = 2;
+    config.write_through = write_through;
+    // Reverse aggressive is read-only by contract, so it sits this one out.
+    for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kDemandLru,
+                            PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                            PolicyKind::kForestall}) {
+      SCOPED_TRACE(ToString(kind));
+      ExpectFastForwardInvariant(trace, config, kind);
+    }
+  }
+}
+
+// Partial hints change what the prefetchers may act on; the quiescence
+// predicates must stay exact when some of the run is undisclosed.
+TEST(FastForwardTest, PartialHintsAgree) {
+  Trace trace("ff-hints");
+  for (int round = 0; round < 40; ++round) {
+    for (int64_t b = 0; b < 8; ++b) {
+      trace.Append(BlockId{b}, DurNs{600'000});
+    }
+    trace.Append(BlockId{200 + round}, DurNs{600'000});
+  }
+  SimConfig config;
+  config.cache_blocks = 12;
+  config.num_disks = 2;
+  config.hint_coverage = 0.7;
+  config.hint_seed = 5;
+  for (PolicyKind kind :
+       {PolicyKind::kDemand, PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+        PolicyKind::kForestall}) {
+    SCOPED_TRACE(ToString(kind));
+    ExpectFastForwardInvariant(trace, config, kind);
+  }
+}
+
+// The differential oracle is the ultimate arbiter: RefSim never
+// fast-forwards, so running the optimized engine against it with the flag
+// forced on proves the skip path end to end on paper-trace prefixes.
+TEST(FastForwardTest, DifferentialAgainstRefSimWithFastForwardForcedOn) {
+  struct Cell {
+    const char* trace;
+    PolicyKind policy;
+    int disks;
+    int cache_blocks;
+  };
+  for (const Cell& cell : std::vector<Cell>{{"postgres-select", PolicyKind::kDemand, 2, 64},
+                                            {"dinero", PolicyKind::kFixedHorizon, 4, 128},
+                                            {"cscope2", PolicyKind::kAggressive, 3, 64},
+                                            {"ld", PolicyKind::kForestall, 2, 96}}) {
+    SCOPED_TRACE(cell.trace);
+    Trace trace = MakeTrace(cell.trace).Prefix(400);
+    SimConfig config;
+    config.cache_blocks = cell.cache_blocks;
+    config.num_disks = cell.disks;
+    for (bool ff : {true, false}) {
+      SCOPED_TRACE(ff ? "ff-on" : "ff-off");
+      config.fast_forward = ff;
+      DiffReport report = RunDifferential(trace, config, cell.policy);
+      EXPECT_TRUE(report.consistent) << report.ToString();
+    }
+  }
+}
+
+// Randomized sweep in the fuzz corpus' shape: mixed sequential/random
+// traces across disciplines, placements, and cache pressures, each run
+// asserted invariant under the flag.
+TEST(FastForwardTest, RandomizedScenariosAgree) {
+  Rng rng(SplitMix64(77));
+  for (int scenario = 0; scenario < 24; ++scenario) {
+    SCOPED_TRACE(scenario);
+    Trace trace("ff-rand");
+    const int64_t universe = rng.UniformInt(8, 60);
+    int64_t block = 0;
+    for (int64_t i = 0; i < 300; ++i) {
+      block = rng.UniformInt(0, 2) == 0 ? rng.UniformInt(0, universe - 1)
+                                        : (block + 1) % universe;
+      const DurNs compute{rng.UniformInt(0, 2) == 0 ? 0 : rng.UniformInt(1, 2'000'000)};
+      if (rng.UniformInt(0, 9) == 0) {
+        trace.AppendWrite(BlockId{block}, compute);
+      } else {
+        trace.Append(BlockId{block}, compute);
+      }
+    }  // writes present, so draw from the write-capable policies below
+    SimConfig config;
+    config.cache_blocks = static_cast<int>(rng.UniformInt(4, 48));
+    config.num_disks = static_cast<int>(rng.UniformInt(1, 6));
+    config.discipline = static_cast<SchedDiscipline>(rng.UniformInt(0, 3));
+    config.placement = static_cast<PlacementKind>(rng.UniformInt(0, 2));
+    const PolicyKind kind = kAllPolicies[rng.UniformInt(0, 4)];
+    SCOPED_TRACE(ToString(kind));
+    ExpectFastForwardInvariant(trace, config, kind);
+  }
+}
+
+}  // namespace
+}  // namespace pfc

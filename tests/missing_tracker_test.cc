@@ -25,7 +25,7 @@ class TrackerCheckPolicy : public DemandPolicy {
     for (TracePos p = pos; p < end; ++p) {
       bool absent =
           sim.cache().GetState(sim.trace().block(p)) == CacheView::State::kAbsent;
-      bool tracked = tracker_->global().count(p) > 0;
+      bool tracked = tracker_->Contains(p);
       if (absent && !tracked) {
         ++missing_entries_;  // must never happen (one-sided staleness)
       }
@@ -34,7 +34,7 @@ class TrackerCheckPolicy : public DemandPolicy {
       }
       if (absent && tracked) {
         const DiskId disk = sim.Location(sim.trace().block(p)).disk;
-        EXPECT_TRUE(tracker_->per_disk(disk).count(p) > 0);
+        EXPECT_TRUE(tracker_->ContainsOnDisk(disk, p));
       }
     }
     ++checks_;
@@ -93,11 +93,11 @@ TEST(MissingTracker, WindowSlidesAndRetires) {
   MissingTracker tracker(sim, 10);
   tracker.AdvanceTo(TracePos{0});
   // All of [0, 10) absent initially.
-  EXPECT_EQ(tracker.global().size(), 10u);
-  EXPECT_EQ(*tracker.global().begin(), TracePos{0});
+  EXPECT_EQ(tracker.size(), 10);
+  EXPECT_EQ(tracker.FirstGlobalAtOrAfter(TracePos{0}), TracePos{0});
   tracker.AdvanceTo(TracePos{5});
-  EXPECT_EQ(*tracker.global().begin(), TracePos{5});
-  EXPECT_EQ(tracker.global().size(), 10u);  // [5, 15)
+  EXPECT_EQ(tracker.FirstGlobalAtOrAfter(TracePos{0}), TracePos{5});
+  EXPECT_EQ(tracker.size(), 10);  // [5, 15)
 }
 
 TEST(MissingTracker, IssueAndEvictUpdateEntries) {
@@ -112,11 +112,11 @@ TEST(MissingTracker, IssueAndEvictUpdateEntries) {
   Simulator sim(t, c, &demand);
   MissingTracker tracker(sim, 12);
   tracker.AdvanceTo(TracePos{0});
-  EXPECT_EQ(tracker.global().size(), 12u);  // all absent
+  EXPECT_EQ(tracker.size(), 12);  // all absent
   tracker.OnIssue(BlockId{0});              // block 0's positions vanish
-  EXPECT_EQ(tracker.global().size(), 8u);
+  EXPECT_EQ(tracker.size(), 8);
   tracker.OnEvict(BlockId{0});  // back again
-  EXPECT_EQ(tracker.global().size(), 12u);
+  EXPECT_EQ(tracker.size(), 12);
 }
 
 }  // namespace

@@ -20,6 +20,9 @@
 //   --cpu-scale=F          compute-time multiplier                  [1.0]
 //   --hint-coverage=F      fraction of references disclosed         [1.0]
 //   --write-through        writes stall until durable               [write-behind]
+//   --no-fast-forward      disable hit-run fast-forwarding (results
+//                          are bit-identical either way; this is a
+//                          perf/debug switch)                        [enabled]
 //   --horizon=N            fixed horizon's H                        [62]
 //   --batch=N              aggressive/forestall batch size          [Table 6]
 //   --revagg-f=N           reverse aggressive's fetch-time estimate [64]
@@ -73,6 +76,7 @@ struct Flags {
   double cpu_scale = 1.0;
   double hint_coverage = 1.0;
   bool write_through = false;
+  bool fast_forward = true;
   int horizon = pfc::kDefaultPrefetchHorizon;
   int batch = 0;
   int64_t revagg_f = 64;
@@ -119,6 +123,10 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
   }
   if (arg == "--all-policies") {
     flags->all_policies = true;
+    return true;
+  }
+  if (arg == "--no-fast-forward") {
+    flags->fast_forward = false;
     return true;
   }
   if (arg == "--write-through") {
@@ -368,6 +376,7 @@ int main(int argc, char** argv) {
     config.cpu_scale = flags.cpu_scale;
     config.hint_coverage = flags.hint_coverage;
     config.write_through = flags.write_through;
+    config.fast_forward = flags.fast_forward;
     config.faults = flags.faults;
     // --events-out needs the raw stream; plain runs skip collection.
     config.obs.collect = !flags.events_out.empty();

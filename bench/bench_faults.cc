@@ -6,7 +6,13 @@
 //                zero-overhead guarantee of the fault layer);
 //   slow2x     — disk 0 serves every request at 2x nominal time;
 //   slow10x    — disk 0 serves every request at 10x nominal time;
-//   failstop   — disk 0 fail-stops 500 ms into the run.
+//   failstop   — disk 0 fail-stops 500 ms into the run;
+//   outage     — disk 0 is down over [200 ms, 700 ms), then rebuilds at 3x
+//                nominal service for 300 ms before returning to health;
+//   badhints   — the hint stream lies: 10% wrong-block claims, reordering
+//                within 8-reference windows, 64-reference stale lookahead
+//                (reverse aggressive sits this one out — it refuses
+//                corrupted hints by design).
 //
 // Writes bench_faults.csv (scenario-tagged rows) and BENCH_faults.json
 // (per-scenario totals + the byte-identity verdict). Exits nonzero if the
@@ -24,11 +30,13 @@ namespace {
 struct Scenario {
   std::string name;
   pfc::FaultConfig faults;
+  pfc::HintFault hint_fault;
 };
 
 struct ScenarioTotals {
   double elapsed_sec = 0;
   double degraded_stall_sec = 0;
+  double outage_stall_sec = 0;
   long long retries = 0;
   long long failed_requests = 0;
 };
@@ -36,15 +44,20 @@ struct ScenarioTotals {
 std::vector<pfc::RunResult> RunGrid(const std::vector<pfc::Trace>& traces,
                                     const std::vector<pfc::PolicyKind>& policies,
                                     const std::vector<int>& disks,
-                                    const pfc::FaultConfig& faults) {
+                                    const pfc::FaultConfig& faults,
+                                    const pfc::HintFault& hint_fault = pfc::HintFault{}) {
   std::vector<pfc::ExperimentJob> grid;
   for (const pfc::Trace& t : traces) {
     for (pfc::PolicyKind kind : policies) {
+      if (kind == pfc::PolicyKind::kReverseAggressive && hint_fault.enabled()) {
+        continue;  // offline schedule requires truthful hints
+      }
       for (int d : disks) {
         pfc::ExperimentJob job;
         job.trace = &t;
         job.config = pfc::BaselineConfig(t.name(), d);
         job.config.faults = faults;
+        job.config.hint_fault = hint_fault;
         job.kind = kind;
         grid.push_back(std::move(job));
       }
@@ -58,6 +71,7 @@ ScenarioTotals Totals(const std::vector<pfc::RunResult>& results) {
   for (const pfc::RunResult& r : results) {
     t.elapsed_sec += r.elapsed_sec();
     t.degraded_stall_sec += r.degraded_stall_sec();
+    t.outage_stall_sec += r.outage_stall_sec();
     t.retries += r.retries;
     t.failed_requests += r.failed_requests;
   }
@@ -137,6 +151,22 @@ int main() {
     failstop.faults.fail_disk = DiskId{0};
     failstop.faults.fail_after = TimeNs{0} + MsToNs(500);
     scenarios.push_back(failstop);
+
+    Scenario outage;
+    outage.name = "outage";
+    outage.faults.outage_disk = DiskId{0};
+    outage.faults.outage_start = TimeNs{0} + MsToNs(200);
+    outage.faults.outage_end = TimeNs{0} + MsToNs(700);
+    outage.faults.rebuild_duration = MsToNs(300);
+    outage.faults.rebuild_slow_factor = 3.0;
+    scenarios.push_back(outage);
+
+    Scenario badhints;
+    badhints.name = "badhints";
+    badhints.hint_fault.wrong_block_rate = 0.1;
+    badhints.hint_fault.reorder_window = 8;
+    badhints.hint_fault.stale_lookahead = 64;
+    scenarios.push_back(badhints);
   }
 
   std::printf("Degraded-mode study: %zu traces x %zu policies x %zu array sizes, %zu scenarios%s\n\n",
@@ -151,11 +181,13 @@ int main() {
   std::vector<ScenarioTotals> totals;
   bool healthy_identical = true;
   TextTable table;
-  table.SetHeader({"scenario", "elapsed(s)", "vs healthy", "retries", "failed", "degraded(s)"});
+  table.SetHeader({"scenario", "elapsed(s)", "vs healthy", "retries", "failed", "degraded(s)",
+                   "outage(s)"});
 
   for (size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& sc = scenarios[i];
-    const std::vector<RunResult> results = RunGrid(traces, policies, disks, sc.faults);
+    const std::vector<RunResult> results =
+        RunGrid(traces, policies, disks, sc.faults, sc.hint_fault);
     const std::string csv = ResultsCsvString(results);
     if (sc.name == "healthy" && csv != baseline_csv) {
       healthy_identical = false;
@@ -168,7 +200,8 @@ int main() {
     table.AddRow({sc.name, TextTable::Num(totals[i].elapsed_sec, 3),
                   TextTable::Num(totals[i].elapsed_sec / totals[0].elapsed_sec, 3),
                   TextTable::Int(totals[i].retries), TextTable::Int(totals[i].failed_requests),
-                  TextTable::Num(totals[i].degraded_stall_sec, 3)});
+                  TextTable::Num(totals[i].degraded_stall_sec, 3),
+                  TextTable::Num(totals[i].outage_stall_sec, 3)});
   }
 
   std::printf("%s\n", table.ToString().c_str());
@@ -201,10 +234,11 @@ int main() {
   for (size_t i = 0; i < scenarios.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"elapsed_sec\": %.6f, \"retries\": %lld, "
-                 "\"failed_requests\": %lld, \"degraded_stall_sec\": %.6f}%s\n",
+                 "\"failed_requests\": %lld, \"degraded_stall_sec\": %.6f, "
+                 "\"outage_stall_sec\": %.6f}%s\n",
                  scenarios[i].name.c_str(), totals[i].elapsed_sec, totals[i].retries,
                  totals[i].failed_requests, totals[i].degraded_stall_sec,
-                 i + 1 < scenarios.size() ? "," : "");
+                 totals[i].outage_stall_sec, i + 1 < scenarios.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

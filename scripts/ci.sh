@@ -62,11 +62,14 @@ echo "== tier 2: throughput smoke =="
 build/bench/bench_throughput --smoke --baseline=bench/throughput_baseline.json
 
 echo "== tier 2: differential fuzz smoke =="
-# Seeds 1:500 through both engines (optimized Simulator vs RefSim), exact
-# agreement required; --smoke caps the wall clock at 30 seconds. A divergence
-# shrinks to a minimal .repro in build/fuzz/ and fails the gate.
+# Seeds 1:600 through both engines (optimized Simulator vs RefSim), exact
+# agreement required; --smoke caps the wall clock at 30 seconds. The scenario
+# generator now also draws disk-outage windows (with rebuild tails) and
+# hint-corruption knobs, all under the paranoid auditor, so this gate covers
+# the full fault lifecycle. A divergence shrinks to a minimal .repro in
+# build/fuzz/ and fails the gate.
 mkdir -p build/fuzz
-build/tools/pfc_fuzz --seed-range 1:500 --smoke --out build/fuzz | tail -1
+build/tools/pfc_fuzz --seed-range 1:600 --smoke --out build/fuzz | tail -1
 
 echo "== tier 2: ThreadSanitizer =="
 scripts/check_tsan.sh

@@ -67,6 +67,7 @@ bool ResultsExactlyEqual(const RunResult& a, const RunResult& b,
   check_int("stall_time", a.stall_time.ns(), b.stall_time.ns());
   check_int("elapsed_time", a.elapsed_time.ns(), b.elapsed_time.ns());
   check_int("degraded_stall_ns", a.degraded_stall_ns.ns(), b.degraded_stall_ns.ns());
+  check_int("outage_stall_ns", a.outage_stall_ns.ns(), b.outage_stall_ns.ns());
   check_double("avg_fetch_ms", a.avg_fetch_ms, b.avg_fetch_ms);
   check_double("avg_response_ms", a.avg_response_ms, b.avg_response_ms);
   check_double("avg_disk_util", a.avg_disk_util, b.avg_disk_util);
@@ -86,7 +87,7 @@ RunResult RunRefSim(const Trace& trace, const SimConfig& config, PolicyKind kind
                     const PolicyOptions& options) {
   SimConfig cfg = config;
   cfg.obs = ObsOptions{};
-  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed);
+  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed, cfg.hint_fault);
   std::unique_ptr<Policy> policy = MakePolicy(kind, options);
   RefSim ref(context, cfg, policy.get());
   return ref.Run();
@@ -97,9 +98,12 @@ DiffReport RunDifferential(const Trace& trace, const SimConfig& config, PolicyKi
   DiffReport report;
   SimConfig cfg = config;
   cfg.obs = ObsOptions{};  // RefSim has no observability; compare sink-less runs
+  // The paranoid auditor is free correctness signal here — any internal
+  // inconsistency becomes a SimError divergence instead of a silent miscount.
+  cfg.paranoid = true;
 
   // One shared oracle, two engines, two fresh policy instances.
-  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed);
+  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed, cfg.hint_fault);
 
   try {
     std::unique_ptr<Policy> policy = MakePolicy(kind, options);

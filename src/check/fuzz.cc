@@ -170,6 +170,37 @@ FuzzScenario GenScenario(uint64_t seed) {
   // (the differential check covers the other three quarters either way,
   // since RefSim never fast-forwards).
   c.fast_forward = rng.UniformInt(0, 3) != 0;
+
+  // Outage & recovery, likewise appended to the draw stream. Skipped when a
+  // fail-stop disk exists: ValidateSimConfig rejects a disk that is both
+  // (fail-stop never recovers), and keeping the mechanisms separate gives
+  // each clearer coverage.
+  if (c.faults.fail_disk == kNoDisk && rng.UniformInt(0, 9) >= 7) {
+    FaultConfig& f = c.faults;
+    f.outage_disk = DiskId{static_cast<int32_t>(rng.UniformInt(0, c.num_disks - 1))};
+    f.outage_start = TimeNs{0} + MsToNs(static_cast<double>(rng.UniformInt(0, 150)));
+    f.outage_end = f.outage_start + MsToNs(static_cast<double>(rng.UniformInt(10, 250)));
+    if (rng.UniformInt(0, 1) == 0) {
+      f.rebuild_duration = MsToNs(static_cast<double>(rng.UniformInt(10, 100)));
+      f.rebuild_slow_factor = 3.0;
+    }
+  }
+
+  // Hint corruption (reverse aggressive refuses corrupted hints by design,
+  // so it never draws these).
+  if (s.policy != PolicyKind::kReverseAggressive && rng.UniformInt(0, 9) >= 7) {
+    HintFault& h = c.hint_fault;
+    const int64_t kinds = rng.UniformInt(1, 7);
+    if ((kinds & 1) != 0) {
+      h.wrong_block_rate = rng.UniformInt(0, 1) == 0 ? 0.05 : 0.25;
+    }
+    if ((kinds & 2) != 0) {
+      h.reorder_window = rng.UniformInt(2, 8);
+    }
+    if ((kinds & 4) != 0) {
+      h.stale_lookahead = rng.UniformInt(4, 64);
+    }
+  }
   return s;
 }
 
@@ -210,6 +241,15 @@ void ClampFaultDisks(FuzzScenario& s) {
   }
   if (f.fail_disk.v() >= s.config.num_disks) {
     f.fail_disk = DiskId{s.config.num_disks - 1};
+  }
+  if (f.outage_disk.v() >= s.config.num_disks) {
+    f.outage_disk = DiskId{s.config.num_disks - 1};
+  }
+  // Clamping can collide the outage disk with the fail-stop disk, which
+  // ValidateSimConfig rejects; drop the outage rather than produce a
+  // candidate both engines refuse identically (a wasted shrink step).
+  if (f.outage_disk != kNoDisk && f.outage_disk == f.fail_disk) {
+    f.outage_disk = kNoDisk;
   }
 }
 
@@ -300,6 +340,32 @@ FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
     }
     if (s.config.faults.fail_disk != kNoDisk &&
         TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.faults.fail_disk = kNoDisk; })) {
+      progress = true;
+    }
+    if (s.config.faults.outage_disk != kNoDisk && s.config.faults.rebuild_slow_factor != 1.0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.faults.rebuild_duration = DurNs{0};
+          c.config.faults.rebuild_slow_factor = 1.0;
+        })) {
+      progress = true;
+    }
+    if (s.config.faults.outage_disk != kNoDisk && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.faults.outage_disk = kNoDisk;
+          c.config.faults.rebuild_duration = DurNs{0};
+          c.config.faults.rebuild_slow_factor = 1.0;
+        })) {
+      progress = true;
+    }
+    if (s.config.hint_fault.wrong_block_rate > 0.0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.hint_fault.wrong_block_rate = 0.0; })) {
+      progress = true;
+    }
+    if (s.config.hint_fault.reorder_window > 0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.hint_fault.reorder_window = 0; })) {
+      progress = true;
+    }
+    if (s.config.hint_fault.stale_lookahead > 0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.hint_fault.stale_lookahead = 0; })) {
       progress = true;
     }
 
@@ -393,6 +459,18 @@ std::string SerializeScenario(const FuzzScenario& s) {
       << f.fail_after.ns() << " " << f.seed << " " << f.max_retries << " "
       << f.retry_backoff.ns() << " " << f.error_latency.ns() << " " << f.recovery_penalty.ns()
       << "\n";
+  // Optional keys, omitted when inert so pre-existing repro files — which
+  // predate them — round-trip unchanged.
+  if (f.outage_disk != kNoDisk) {
+    out << "outage " << f.outage_disk.v() << " " << f.outage_start.ns() << " "
+        << f.outage_end.ns() << " " << f.rebuild_duration.ns() << " "
+        << FmtDouble(f.rebuild_slow_factor) << "\n";
+  }
+  if (c.hint_fault.enabled()) {
+    const HintFault& h = c.hint_fault;
+    out << "hint_fault " << FmtDouble(h.wrong_block_rate) << " " << h.reorder_window << " "
+        << h.stale_lookahead << "\n";
+  }
   out << "refs " << s.refs.size() << "\n";
   for (const TraceEntry& e : s.refs) {
     out << (e.is_write ? "w " : "r ") << e.block.v() << " " << e.compute.ns() << "\n";
@@ -520,6 +598,20 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
       f.retry_backoff = DurNs{retry_backoff_ns};
       f.error_latency = DurNs{error_latency_ns};
       f.recovery_penalty = DurNs{recovery_penalty_ns};
+    } else if (key == "outage") {
+      int32_t outage_disk = 0;
+      int64_t outage_start_ns = 0;      // NOLINT(pfc-raw-unit)
+      int64_t outage_end_ns = 0;        // NOLINT(pfc-raw-unit)
+      int64_t rebuild_duration_ns = 0;  // NOLINT(pfc-raw-unit)
+      ls >> outage_disk >> outage_start_ns >> outage_end_ns >> rebuild_duration_ns >>
+          f.rebuild_slow_factor;
+      f.outage_disk = DiskId{outage_disk};
+      f.outage_start = TimeNs{outage_start_ns};
+      f.outage_end = TimeNs{outage_end_ns};
+      f.rebuild_duration = DurNs{rebuild_duration_ns};
+    } else if (key == "hint_fault") {
+      ls >> c.hint_fault.wrong_block_rate >> c.hint_fault.reorder_window >>
+          c.hint_fault.stale_lookahead;
     } else if (key == "refs") {
       size_t n = 0;
       ls >> n;

@@ -155,4 +155,26 @@ void RefCache::MarkClean(BlockId block) {
   s->dirty = false;
 }
 
+std::string RefCache::AuditViolation() const {
+  if (static_cast<int>(slots_.size()) > capacity_) {
+    return "occupied slots " + std::to_string(slots_.size()) + " exceed capacity " +
+           std::to_string(capacity_);
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.state == State::kAbsent) {
+      return "absent slot lingers for block " + std::to_string(s.block.v());
+    }
+    if (s.dirty && s.state != State::kPresent) {
+      return "dirty block " + std::to_string(s.block.v()) + " is not present";
+    }
+    for (size_t j = i + 1; j < slots_.size(); ++j) {
+      if (slots_[j].block == s.block) {
+        return "duplicate slots for block " + std::to_string(s.block.v());
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace pfc

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cache_view.h"
@@ -45,6 +46,11 @@ class RefCache : public CacheView {
   void EvictClean(BlockId block);
   void MarkDirty(BlockId block);
   void MarkClean(BlockId block);
+
+  // Paranoid auditor (naive): scans the slot vector and returns a
+  // description of the first inconsistency (duplicate block, over-capacity,
+  // lingering absent slot, dirty non-present block), or "" when consistent.
+  std::string AuditViolation() const;
 
  private:
   struct Slot {

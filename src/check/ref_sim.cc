@@ -69,6 +69,8 @@ RefSim::RefSim(const TraceContext& context, const SimConfig& config, Policy* pol
                 "TraceContext hint_coverage does not match SimConfig");
   PFC_CHECK_MSG(coverage >= 1.0 || context.hint_seed() == config.hint_seed,
                 "TraceContext hint_seed does not match SimConfig");
+  PFC_CHECK_MSG(context.hint_fault() == config.hint_fault,
+                "TraceContext hint_fault does not match SimConfig");
   disks_.resize(static_cast<size_t>(config.num_disks));
   for (int i = 0; i < config.num_disks; ++i) {
     RefDisk& d = disks_[static_cast<size_t>(i)];
@@ -138,6 +140,53 @@ void RefSim::EraseRetryAttempts(BlockId block) {
   for (size_t i = 0; i < retry_attempts_.size(); ++i) {
     if (retry_attempts_[i].first == block) {
       retry_attempts_.erase(retry_attempts_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void RefSim::AddOutageDelay(BlockId block, DurNs delta) {
+  for (auto& entry : outage_delay_) {
+    if (entry.first == block) {
+      entry.second += delta;
+      return;
+    }
+  }
+  outage_delay_.push_back({block, delta});
+}
+
+void RefSim::EraseOutageDelay(BlockId block) {
+  for (size_t i = 0; i < outage_delay_.size(); ++i) {
+    if (outage_delay_[i].first == block) {
+      outage_delay_.erase(outage_delay_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+const DurNs* RefSim::FindOutageDelay(BlockId block) const {
+  for (const auto& entry : outage_delay_) {
+    if (entry.first == block) {
+      return &entry.second;
+    }
+  }
+  return nullptr;
+}
+
+int RefSim::BumpOutageAttempts(BlockId block) {
+  for (auto& entry : outage_attempts_) {
+    if (entry.first == block) {
+      return ++entry.second;
+    }
+  }
+  outage_attempts_.push_back({block, 1});
+  return 1;
+}
+
+void RefSim::EraseOutageAttempts(BlockId block) {
+  for (size_t i = 0; i < outage_attempts_.size(); ++i) {
+    if (outage_attempts_[i].first == block) {
+      outage_attempts_.erase(outage_attempts_.begin() + static_cast<ptrdiff_t>(i));
       return;
     }
   }
@@ -276,11 +325,19 @@ void RefSim::TryDispatch(DiskId disk_id) {
   DurNs nominal;
   DurNs service;
   bool failed = false;
+  FaultKind fail_kind = FaultKind::kNone;
   if (disk.fault != nullptr && disk.fault->FailStopped(sim_now_)) {
     // A dead drive never moves the head or touches the mechanism.
     nominal = disk.fault->error_latency();
     service = nominal;
     failed = true;
+    fail_kind = FaultKind::kFailStop;
+  } else if (disk.fault != nullptr && disk.fault->Down(sim_now_)) {
+    // Same fast rejection during the outage window; the engine may re-queue.
+    nominal = disk.fault->error_latency();
+    service = nominal;
+    failed = true;
+    fail_kind = FaultKind::kOutage;
   } else {
     nominal = disk.mechanism->Access(r.disk_block, sim_now_);
     service = nominal;
@@ -288,10 +345,17 @@ void RefSim::TryDispatch(DiskId disk_id) {
       FaultDecision d = disk.fault->OnAccess(sim_now_, nominal);
       service = d.service;
       failed = d.failed;
+      fail_kind = d.kind;
     }
     disk.head_block = r.disk_block;
   }
   PFC_CHECK_GT(service, DurNs{0});
+  if (config_.paranoid && !failed && DiskDown(disk_id)) {
+    throw SimError::Invariant(
+        "down-disk-dispatch",
+        "disk " + std::to_string(disk_id.v()) + " accepted a request while unavailable at t=" +
+            std::to_string(sim_now_.ns()) + " ns");
+  }
   disk.busy = true;
   disk.current = r;
   disk.cur_service = service;
@@ -307,6 +371,7 @@ void RefSim::TryDispatch(DiskId disk_id) {
   ev.nominal = nominal;
   ev.failed = failed;
   ev.kind = EventKind::kComplete;
+  ev.fault = fail_kind;
   events_.push_back(ev);
 }
 
@@ -330,7 +395,10 @@ bool RefSim::IssueFetch(BlockId block, BlockId evict) {
 
 bool RefSim::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
   BlockLocation loc = placement_->Map(block);
-  if (!demand && DiskFailed(loc.disk)) {
+  // Prefetches to a dead or down disk are refused so policies re-plan (a
+  // down disk becomes fetchable again at OnDiskUp); the demand path is
+  // allowed through (it fails fast and the re-queue machinery bounds it).
+  if (!demand && DiskDown(loc.disk)) {
     return false;
   }
   if (cache_.GetState(block) != CacheView::State::kAbsent) {
@@ -356,6 +424,13 @@ bool RefSim::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
 }
 
 void RefSim::ApplyNextEvent() {
+  ApplyNextEventImpl();
+  if (config_.paranoid) {
+    AuditInvariants();
+  }
+}
+
+void RefSim::ApplyNextEventImpl() {
   PFC_CHECK(!events_.empty());
   if (++events_processed_ > event_budget_) {
     throw SimError("event budget exceeded: " + std::to_string(event_budget_) +
@@ -376,6 +451,25 @@ void RefSim::ApplyNextEvent() {
   PFC_CHECK_GE(ev.time, sim_now_);
   sim_now_ = ev.time;
 
+  if (ev.kind == EventKind::kDiskDown) {
+    ++down_disks_;
+    policy_->OnDiskDown(*this, ev.disk);
+    return;
+  }
+  if (ev.kind == EventKind::kDiskUp) {
+    --down_disks_;
+    policy_->OnDiskUp(*this, ev.disk);
+    TryDispatch(ev.disk);
+    RefDisk& up_disk = disks_[static_cast<size_t>(ev.disk.v())];
+    if (!up_disk.busy && up_disk.queue.empty()) {
+      policy_->OnDiskIdle(*this, ev.disk);
+      TryDispatch(ev.disk);
+    }
+    if (!up_disk.busy && up_disk.queue.empty()) {
+      MaybeFlush(ev.disk);
+    }
+    return;
+  }
   if (ev.kind == EventKind::kRetry) {
     BlockLocation loc = placement_->Map(ev.block);
     pending_driver_ += config_.driver_overhead;
@@ -399,11 +493,13 @@ void RefSim::ApplyNextEvent() {
     HandleFailedRequest(ev);
   } else {
     EraseRetryAttempts(ev.block);
+    EraseOutageAttempts(ev.block);
     if (ev.service > ev.nominal) {
       AddFaultDelay(ev.block, ev.service - ev.nominal);
     }
     if (waiting_block_ != ev.block) {
       EraseFaultDelay(ev.block);
+      EraseOutageDelay(ev.block);
     }
     if (ListErase(flush_in_flight_, ev.block)) {
       --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
@@ -434,6 +530,10 @@ void RefSim::ApplyNextEvent() {
 }
 
 void RefSim::HandleFailedRequest(const Event& ev) {
+  if (ev.fault == FaultKind::kOutage) {
+    HandleOutageFailure(ev);
+    return;
+  }
   const FaultConfig& fc = config_.faults;
   const bool is_flush = ListContains(flush_in_flight_, ev.block);
   const RefDisk& disk = disks_[static_cast<size_t>(ev.disk.v())];
@@ -483,18 +583,66 @@ void RefSim::HandleFailedRequest(const Event& ev) {
   }
 }
 
+void RefSim::HandleOutageFailure(const Event& ev) {
+  const FaultConfig& fc = config_.faults;
+  if (ListErase(flush_in_flight_, ev.block)) {
+    // The write-back never reached the platters: the buffer stays dirty and
+    // is re-flushed once the disk recovers (no data loss).
+    --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
+    ListErase(redirty_pending_, ev.block);
+    ListInsert(dirty_by_disk_[static_cast<size_t>(ev.disk.v())], ev.block);
+    if (waiting_block_ == ev.block) {
+      AddOutageDelay(ev.block, ev.service);
+    }
+    return;
+  }
+  if (waiting_block_ == ev.block) {
+    // Re-queue the stalled demand fetch across the outage with bounded
+    // backoff; outage re-queues burn their own counter, not max_retries.
+    const int attempts = BumpOutageAttempts(ev.block);
+    const int shift = std::min(attempts - 1, 20);
+    const DurNs backoff{fc.retry_backoff.ns() << shift};
+    AddOutageDelay(ev.block, ev.service + backoff);
+    ++retries_;
+    Event retry;
+    retry.time = sim_now_ + backoff;
+    retry.seq = next_seq_++;
+    retry.disk = ev.disk;
+    retry.block = ev.block;
+    retry.kind = EventKind::kRetry;
+    events_.push_back(retry);
+    return;
+  }
+  // A prefetch to a down disk: cancel and let the policy re-plan.
+  ++failed_requests_;
+  EraseOutageDelay(ev.block);
+  EraseFaultDelay(ev.block);
+  cache_.CancelFetch(ev.block);
+  policy_->OnFetchFailed(*this, ev.disk, ev.block);
+}
+
 void RefSim::EndStall(BlockId block, TimeNs wait_start) {
   if (sim_now_ > wait_start) {
     const DurNs duration = sim_now_ - wait_start;
     stall_total_ += duration;
     app_time_ = sim_now_;
+    // Outage share first, then the media-error share from what remains, so
+    // the buckets partition the window exactly (same order as Simulator).
+    DurNs outage_share;
+    const DurNs* odelay = FindOutageDelay(block);
+    if (odelay != nullptr) {
+      outage_share = std::min(duration, *odelay);
+      outage_stall_ += outage_share;
+      EraseOutageDelay(block);
+    }
     const DurNs* delay = FindFaultDelay(block);
     if (delay != nullptr) {
-      degraded_stall_ += std::min(duration, *delay);
+      degraded_stall_ += std::min(duration - outage_share, *delay);
       EraseFaultDelay(block);
     }
   } else {
     EraseFaultDelay(block);
+    EraseOutageDelay(block);
   }
 }
 
@@ -520,6 +668,12 @@ void RefSim::MaybeFlush(DiskId disk) {
   if (dirty.empty()) {
     return;
   }
+  const RefDisk& rd = disks_[static_cast<size_t>(disk.v())];
+  if (rd.fault != nullptr && rd.fault->Down(sim_now_)) {
+    // Flushing a disk in its outage window only churns fast failures; the
+    // dirty population waits for kDiskUp (which calls back here).
+    return;
+  }
   if (DiskIdle(disk)) {
     IssueFlush(ListMin(dirty));
     return;
@@ -537,6 +691,12 @@ bool RefSim::ForceFlushForProgress() {
     return false;
   }
   for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
+    const RefDisk& rd = disks_[static_cast<size_t>(d.v())];
+    if (rd.fault != nullptr && rd.fault->Down(sim_now_)) {
+      // An outage disk's dirty blocks are unflushable until kDiskUp; that
+      // pending event guarantees the waiting loops still make progress.
+      continue;
+    }
     std::vector<BlockId>& dirty = dirty_by_disk_[static_cast<size_t>(d.v())];
     if (!dirty.empty()) {
       IssueFlush(ListMin(dirty));
@@ -658,6 +818,26 @@ RunResult RefSim::Run() {
 
   policy_->Init(*this);
 
+  // Outage windows are scheduled up front as first-class events, with the
+  // smallest sequence numbers so at their timestamp they apply before any
+  // disk completion (same ordering contract as Simulator).
+  const FaultConfig& fc = config_.faults;
+  if (fc.outage_disk >= DiskId{0} && fc.outage_disk.v() < config_.num_disks &&
+      fc.outage_end > fc.outage_start) {
+    Event down;
+    down.time = fc.outage_start;
+    down.seq = next_seq_++;
+    down.disk = fc.outage_disk;
+    down.kind = EventKind::kDiskDown;
+    events_.push_back(down);
+    Event up;
+    up.time = fc.outage_end;
+    up.seq = next_seq_++;
+    up.disk = fc.outage_disk;
+    up.kind = EventKind::kDiskUp;
+    events_.push_back(up);
+  }
+
   const NextRefIndex& index = context_.index();
   const int64_t n = trace_.size();
   for (TracePos pos{0}; pos.v() < n; ++pos) {
@@ -727,6 +907,7 @@ RunResult RefSim::Run() {
   result.stall_time = stall_total_;
   result.elapsed_time = app_time_ - TimeNs{0};
   result.degraded_stall_ns = degraded_stall_;
+  result.outage_stall_ns = outage_stall_;
 
   // Same floating-point accumulation order as the optimized engine: disks in
   // id order, sums before averages.
@@ -751,6 +932,56 @@ RunResult RefSim::Run() {
   }
   result.avg_disk_util = util_sum / static_cast<double>(config_.num_disks);
   return result;
+}
+
+void RefSim::AuditInvariants() const {
+  // Naive mirror of Simulator::AuditInvariants: same invariant names, same
+  // SimError texts, re-derived from this engine's flat structures.
+  std::string cache_violation = cache_.AuditViolation();
+  if (!cache_violation.empty()) {
+    throw SimError::Invariant("cache-consistency", cache_violation);
+  }
+  if (degraded_stall_ + outage_stall_ > stall_total_) {
+    throw SimError::Invariant(
+        "stall-partial-sums",
+        "degraded " + std::to_string(degraded_stall_.ns()) + " ns + outage " +
+            std::to_string(outage_stall_.ns()) + " ns exceed stall total " +
+            std::to_string(stall_total_.ns()) + " ns");
+  }
+  int down = 0;
+  for (const RefDisk& d : disks_) {
+    if (d.fault != nullptr && d.fault->Down(sim_now_)) {
+      ++down;
+    }
+  }
+  if (down != down_disks_) {
+    throw SimError::Invariant(
+        "down-disk-count", "engine counts " + std::to_string(down_disks_) +
+                               " down disks but the fault layer reports " + std::to_string(down) +
+                               " at t=" + std::to_string(sim_now_.ns()) + " ns");
+  }
+  size_t flushable = 0;
+  for (const std::vector<BlockId>& dirty : dirty_by_disk_) {
+    flushable += dirty.size();
+  }
+  if (static_cast<int64_t>(flushable + flush_in_flight_.size()) !=
+      static_cast<int64_t>(cache_.dirty_count())) {
+    throw SimError::Invariant(
+        "dirty-accounting",
+        "cache reports " + std::to_string(cache_.dirty_count()) + " dirty blocks but " +
+            std::to_string(flushable) + " are flushable and " +
+            std::to_string(flush_in_flight_.size()) + " in flight");
+  }
+  int outstanding = 0;
+  for (int per_disk : flush_outstanding_) {
+    outstanding += per_disk;
+  }
+  if (outstanding != static_cast<int>(flush_in_flight_.size())) {
+    throw SimError::Invariant(
+        "flush-outstanding",
+        "per-disk outstanding flush counters sum to " + std::to_string(outstanding) + " but " +
+            std::to_string(flush_in_flight_.size()) + " flushes are in flight");
+  }
 }
 
 }  // namespace pfc

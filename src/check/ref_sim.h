@@ -73,11 +73,26 @@ class RefSim : public Engine {
     const RefDisk& disk = disks_[static_cast<size_t>(d.v())];
     return disk.fault != nullptr && disk.fault->FailStopped(sim_now_);
   }
+  bool DiskDown(DiskId d) const override {
+    const RefDisk& disk = disks_[static_cast<size_t>(d.v())];
+    return disk.fault != nullptr &&
+           (disk.fault->FailStopped(sim_now_) || disk.fault->Down(sim_now_));
+  }
   bool Hinted(TracePos pos) const override {
+    const int64_t lookahead = config_.hint_fault.stale_lookahead;
+    if (lookahead > 0 && pos > cursor_ + lookahead) {
+      return false;
+    }
     const std::vector<bool>& hinted = context_.hinted();
     return hinted.empty() || hinted[static_cast<size_t>(pos.v())];
   }
-  bool FullyHinted() const override { return context_.hinted().empty(); }
+  bool FullyHinted() const override {
+    return context_.hinted().empty() && !config_.hint_fault.enabled();
+  }
+  BlockId HintedBlock(TracePos pos) const override {
+    const std::vector<BlockId>& claims = context_.claims();
+    return claims.empty() ? trace_.block(pos) : claims[static_cast<size_t>(pos.v())];
+  }
   DurNs ScaledCompute(TracePos pos) const override;
   bool IssueFetch(BlockId block, BlockId evict) override;
   void EmitMark(const char* label, int64_t value) override {
@@ -118,7 +133,7 @@ class RefSim : public Engine {
     double sum_response_ms = 0;
   };
 
-  enum class EventKind : uint8_t { kComplete, kRetry, kRecover };
+  enum class EventKind : uint8_t { kComplete, kRetry, kRecover, kDiskDown, kDiskUp };
 
   struct Event {
     TimeNs time;
@@ -129,6 +144,7 @@ class RefSim : public Engine {
     DurNs nominal;
     bool failed = false;
     EventKind kind = EventKind::kComplete;
+    FaultKind fault = FaultKind::kNone;
   };
 
   // Naive fault-state maps (vectors of pairs, linear scans).
@@ -137,6 +153,13 @@ class RefSim : public Engine {
   const DurNs* FindFaultDelay(BlockId block) const;
   int BumpRetryAttempts(BlockId block);
   void EraseRetryAttempts(BlockId block);
+  // Same shape again for the outage machinery, which is accounted apart
+  // from the media-error machinery (see Simulator).
+  void AddOutageDelay(BlockId block, DurNs delta);
+  void EraseOutageDelay(BlockId block);
+  const DurNs* FindOutageDelay(BlockId block) const;
+  int BumpOutageAttempts(BlockId block);
+  void EraseOutageAttempts(BlockId block);
 
   size_t PickNext(const RefDisk& disk) const;
   Request PopNext(RefDisk& disk);
@@ -145,7 +168,11 @@ class RefSim : public Engine {
   void CompleteCurrent(RefDisk& disk, TimeNs now_ns);
   bool IssueFetchInternal(BlockId block, BlockId evict, bool demand);
   void ApplyNextEvent();
+  void ApplyNextEventImpl();
   void HandleFailedRequest(const Event& ev);
+  void HandleOutageFailure(const Event& ev);
+  // Naive mirror of Simulator::AuditInvariants (SimConfig::paranoid).
+  void AuditInvariants() const;
   void EndStall(BlockId block, TimeNs wait_start);
   void DrainEventsUpTo(TimeNs t);
   void DemandFetch(BlockId block);
@@ -182,9 +209,13 @@ class RefSim : public Engine {
   BlockId waiting_block_ = kNoBlock;
   std::vector<std::pair<BlockId, int>> retry_attempts_;
   std::vector<std::pair<BlockId, DurNs>> fault_delay_;
+  std::vector<std::pair<BlockId, int>> outage_attempts_;
+  std::vector<std::pair<BlockId, DurNs>> outage_delay_;
+  int down_disks_ = 0;
   int64_t retries_ = 0;
   int64_t failed_requests_ = 0;
   DurNs degraded_stall_;
+  DurNs outage_stall_;
   int64_t events_processed_ = 0;
   int64_t event_budget_ = 0;
   DurNs stall_total_;

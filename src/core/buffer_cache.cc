@@ -1,6 +1,7 @@
 #include "core/buffer_cache.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
 
@@ -144,11 +145,12 @@ void BufferCache::HeapRekey(const Entry& e, TracePos key) {
   }
 }
 
-void BufferCache::EmitReclaim(ObsEventKind kind, BlockId block) const {
+void BufferCache::EmitReclaim(ObsEventKind kind, BlockId block, bool live) const {
   ObsEvent e;
   e.time = now_ != nullptr ? *now_ : TimeNs{0};
   e.kind = kind;
   e.block = block;
+  e.flag = live;
   sink_->OnEvent(e);
 }
 
@@ -166,10 +168,12 @@ void BufferCache::StartFetchWithEviction(BlockId block, BlockId evict) {
   PFC_CHECK(block != evict);
   const uint32_t ei = FindIndex(evict);
   PFC_CHECK(ei != kNoSlot);
+  bool live = false;
   {
     Entry& ev = table_[ei].entry;
     PFC_CHECK(ev.state == State::kPresent);
     PFC_CHECK(ev.heap_idx >= 0);  // dirty blocks are pinned, never evicted
+    live = ev.next_use != NextRefIndex::kNoRef;
     HeapErase(ev);
     ev.state = State::kAbsent;
     ev.dirty = false;
@@ -182,7 +186,7 @@ void BufferCache::StartFetchWithEviction(BlockId block, BlockId evict) {
   e.next_use = TracePos{0};
   e.dirty = false;
   if (sink_ != nullptr) {
-    EmitReclaim(ObsEventKind::kEvict, evict);
+    EmitReclaim(ObsEventKind::kEvict, evict, live);
   }
 }
 
@@ -205,7 +209,7 @@ void BufferCache::CancelFetch(BlockId block) {
   e.state = State::kAbsent;
   --used_;
   if (sink_ != nullptr) {
-    EmitReclaim(ObsEventKind::kPrefetchCancel, block);
+    EmitReclaim(ObsEventKind::kPrefetchCancel, block, /*live=*/false);
   }
 }
 
@@ -241,12 +245,13 @@ void BufferCache::EvictClean(BlockId block) {
   Entry& e = table_[si].entry;
   PFC_CHECK(e.state == State::kPresent);
   PFC_CHECK(!e.dirty);
+  const bool live = e.next_use != NextRefIndex::kNoRef;
   HeapErase(e);
   e.state = State::kAbsent;
   --used_;
   ++eviction_epoch_;
   if (sink_ != nullptr) {
-    EmitReclaim(ObsEventKind::kEvict, block);
+    EmitReclaim(ObsEventKind::kEvict, block, live);
   }
 }
 
@@ -273,6 +278,66 @@ void BufferCache::MarkClean(BlockId block) {
   --dirty_count_;
   PFC_CHECK(e.heap_idx < 0);
   HeapInsert(e.next_use, block, si);
+}
+
+std::string BufferCache::AuditViolation() const {
+  int resident = 0;
+  int dirty = 0;
+  int clean_present = 0;
+  for (size_t i = 0; i < table_.size(); ++i) {
+    const TableSlot& s = table_[i];
+    if (s.block == BlockId{kEmptyKey}) {
+      continue;
+    }
+    const Entry& e = s.entry;
+    if (e.state != State::kAbsent) {
+      ++resident;
+    }
+    if (e.dirty) {
+      if (e.state != State::kPresent) {
+        return "dirty block " + std::to_string(s.block.v()) + " is not present";
+      }
+      ++dirty;
+    }
+    if (e.state == State::kPresent && !e.dirty) {
+      ++clean_present;
+      if (e.heap_idx < 0 || static_cast<size_t>(e.heap_idx) >= heap_.size()) {
+        return "present clean block " + std::to_string(s.block.v()) +
+               " has heap back-pointer " + std::to_string(e.heap_idx) +
+               " outside heap of size " + std::to_string(heap_.size());
+      }
+      const HeapItem& item = heap_[static_cast<size_t>(e.heap_idx)];
+      if (item.block != s.block || item.table_slot != static_cast<uint32_t>(i) ||
+          item.key != e.next_use) {
+        return "heap item " + std::to_string(e.heap_idx) + " disagrees with table slot for block " +
+               std::to_string(s.block.v());
+      }
+    } else if (e.heap_idx >= 0) {
+      return "non-indexable block " + std::to_string(s.block.v()) + " has heap back-pointer " +
+             std::to_string(e.heap_idx);
+    }
+  }
+  if (resident != used_) {
+    return "used counter " + std::to_string(used_) + " != resident slots " +
+           std::to_string(resident);
+  }
+  if (used_ > capacity_) {
+    return "used " + std::to_string(used_) + " exceeds capacity " + std::to_string(capacity_);
+  }
+  if (dirty != dirty_count_) {
+    return "dirty counter " + std::to_string(dirty_count_) + " != dirty slots " +
+           std::to_string(dirty);
+  }
+  if (clean_present != static_cast<int>(heap_.size())) {
+    return "heap size " + std::to_string(heap_.size()) + " != clean present blocks " +
+           std::to_string(clean_present);
+  }
+  for (size_t i = 1; i < heap_.size(); ++i) {
+    if (HeapLess(heap_[(i - 1) / 2], heap_[i])) {
+      return "heap order violated at index " + std::to_string(i);
+    }
+  }
+  return {};
 }
 
 }  // namespace pfc

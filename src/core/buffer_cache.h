@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cache_view.h"
@@ -134,6 +135,13 @@ class BufferCache final : public CacheView {
   // high-water mark on this.
   int64_t eviction_epoch() const { return eviction_epoch_; }
 
+  // Paranoid auditor: walks the whole table and heap and returns a
+  // description of the first internal inconsistency found (back-pointer out
+  // of bounds, heap/table disagreement, broken heap order, bad used/dirty
+  // accounting), or an empty string when everything is consistent. O(table)
+  // — for SimConfig::paranoid, not the hot path.
+  std::string AuditViolation() const;
+
  private:
   struct Entry {
     TracePos next_use{0};   // valid only when present
@@ -191,7 +199,10 @@ class BufferCache final : public CacheView {
   void HeapErase(Entry& e);
   void HeapRekey(const Entry& e, TracePos key);
 
-  void EmitReclaim(ObsEventKind kind, BlockId block) const;
+  // `live` marks a reclaimed block that still had a disclosed future
+  // reference (kEvict only) — the eviction will cost a re-fetch, which is
+  // the cache-pollution consequence of acting on a wrong hint.
+  void EmitReclaim(ObsEventKind kind, BlockId block, bool live) const;
 
   int capacity_;
   int used_ = 0;  // fetching + present (clean and dirty)

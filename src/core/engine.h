@@ -51,10 +51,20 @@ class Engine {
   // True once disk `d` has fail-stopped; prefetches to it are refused and
   // policies should plan around it.
   virtual bool DiskFailed(DiskId d) const = 0;
+  // True while disk `d` is unavailable right now — fail-stopped *or* inside
+  // an outage window it will recover from. Prefetches to a down disk are
+  // refused; policies should skip (not abandon) its work until OnDiskUp.
+  virtual bool DiskDown(DiskId d) const = 0;
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
   virtual bool Hinted(TracePos pos) const = 0;
   virtual bool FullyHinted() const = 0;
+  // The block the hint source *claims* reference `pos` names. Equal to
+  // trace().block(pos) unless hint corruption (SimConfig::hint_fault) is
+  // active; planning paths must fetch what the hints claim — believing a
+  // lying oracle is the failure mode under study — while the demand path
+  // always serves the true block.
+  virtual BlockId HintedBlock(TracePos pos) const = 0;
   // Inter-reference compute time after position `pos`, with cpu_scale
   // applied.
   virtual DurNs ScaledCompute(TracePos pos) const = 0;

@@ -12,17 +12,24 @@ MissingTracker::MissingTracker(Engine& sim, int64_t window)
   PFC_CHECK(window > 0);
   per_disk_.resize(static_cast<size_t>(sim.config().num_disks),
                    PosBitSet(sim.trace().size()));
+  suspended_.assign(static_cast<size_t>(sim.config().num_disks), false);
 }
 
 void MissingTracker::Insert(TracePos pos) {
+  // Planning works off the *claimed* block (HintedBlock): under hint
+  // corruption the tracker believes the lie, and the mis-hint's cost
+  // (a wasted fetch, a live eviction) lands where the paper's model says.
+  const DiskId disk = sim_.Location(sim_.HintedBlock(pos)).disk;
+  if (suspended_[static_cast<size_t>(disk.v())]) {
+    return;  // unfetchable until ResumeDisk, which re-admits the range
+  }
   global_.Set(pos.v());
-  DiskId disk = sim_.Location(sim_.trace().block(pos)).disk;
   per_disk_[static_cast<size_t>(disk.v())].Set(pos.v());
 }
 
 void MissingTracker::Erase(TracePos pos) {
   global_.Reset(pos.v());
-  DiskId disk = sim_.Location(sim_.trace().block(pos)).disk;
+  DiskId disk = sim_.Location(sim_.HintedBlock(pos)).disk;
   per_disk_[static_cast<size_t>(disk.v())].Reset(pos.v());
 }
 
@@ -33,9 +40,16 @@ void MissingTracker::AdvanceTo(TracePos cursor) {
   // Admit newly visible positions. Undisclosed references are invisible to
   // the prefetcher (partial-hints mode) and writes never need a fetch.
   TracePos end = std::min(cursor + window_, TracePos{sim_.trace().size()});
+  const int64_t stale = sim_.config().hint_fault.stale_lookahead;
+  if (stale > 0) {
+    // Stale hints: positions past cursor + stale are undisclosed *for now*
+    // and become visible as the cursor advances, so the admission high-water
+    // mark must not pass them.
+    end = std::min(end, cursor + (stale + 1));
+  }
   for (TracePos p = std::max(added_until_, cursor); p < end; ++p) {
     if (sim_.Hinted(p) && !sim_.trace().is_write(p) &&
-        sim_.cache().GetState(sim_.trace().block(p)) == CacheView::State::kAbsent) {
+        sim_.cache().GetState(sim_.HintedBlock(p)) == CacheView::State::kAbsent) {
       Insert(p);
     }
   }
@@ -65,5 +79,29 @@ void MissingTracker::OnEvict(BlockId block) {
 }
 
 void MissingTracker::ErasePosition(TracePos pos) { Erase(pos); }
+
+void MissingTracker::SuspendDisk(DiskId disk) {
+  suspended_[static_cast<size_t>(disk.v())] = true;
+  PosBitSet& set = per_disk_[static_cast<size_t>(disk.v())];
+  for (int64_t p = set.FirstAtLeast(0); p != PosBitSet::kNone; p = set.FirstAtLeast(0)) {
+    Erase(TracePos{p});
+  }
+}
+
+void MissingTracker::ResumeDisk(DiskId disk) {
+  suspended_[static_cast<size_t>(disk.v())] = false;
+  // Re-examine everything already admitted: positions dropped at suspension
+  // plus blocks whose in-flight prefetches the outage cancelled.
+  for (TracePos p = std::max(cursor_, TracePos{0}); p < added_until_; ++p) {
+    if (!sim_.Hinted(p) || sim_.trace().is_write(p) || global_.Test(p.v())) {
+      continue;
+    }
+    const BlockId block = sim_.HintedBlock(p);
+    if (sim_.Location(block).disk == disk &&
+        sim_.cache().GetState(block) == CacheView::State::kAbsent) {
+      Insert(p);
+    }
+  }
+}
 
 }  // namespace pfc

@@ -54,6 +54,15 @@ class MissingTracker {
   // Removes one stale entry discovered during iteration.
   void ErasePosition(TracePos pos);
 
+  // `disk` entered its outage window: drop its tracked positions and refuse
+  // new ones, so global-order scans (forestall's backstop) cannot
+  // head-of-line block on unfetchable work.
+  void SuspendDisk(DiskId disk);
+
+  // `disk` recovered: re-examine the admitted range and re-track its missing
+  // positions (including blocks whose prefetches the outage cancelled).
+  void ResumeDisk(DiskId disk);
+
   // Smallest tracked position >= pos across all disks, or kNone.
   // (std::set semantics: upper_bound(p) is FirstGlobalAtOrAfter(p + 1).)
   TracePos FirstGlobalAtOrAfter(TracePos pos) const {
@@ -90,6 +99,7 @@ class MissingTracker {
   TracePos added_until_;  // positions < this have been examined
   PosBitSet global_;
   std::vector<PosBitSet> per_disk_;
+  std::vector<bool> suspended_;  // per disk; Insert refuses suspended disks
 };
 
 }  // namespace pfc

@@ -45,6 +45,22 @@ void AggressivePolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   MaybeIssueBatches(sim);
 }
 
+void AggressivePolicy::OnDiskDown(Engine& sim, DiskId disk) {
+  // Drop the unavailable disk's planned work and re-target the freed batch
+  // capacity at the healthy disks.
+  tracker_->SuspendDisk(disk);
+  tracker_->AdvanceTo(sim.cursor());
+  MaybeIssueBatches(sim);
+}
+
+void AggressivePolicy::OnDiskUp(Engine& sim, DiskId disk) {
+  // The recovered disk is idle and its deferred positions (including any
+  // prefetches the outage cancelled) are fetchable again.
+  tracker_->ResumeDisk(disk);
+  tracker_->AdvanceTo(sim.cursor());
+  MaybeIssueBatches(sim);
+}
+
 TracePos AggressivePolicy::QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) {
   // Aggressive issues whenever an idle healthy disk has a missing block in
   // the window. During a proven hit run no event fires, so no busy disk can
@@ -53,7 +69,7 @@ TracePos AggressivePolicy::QuiescentThrough(const Engine& sim, TracePos pos, Tra
   const int num_disks = sim.config().num_disks;
   bool any_idle = false;
   for (DiskId d{0}; d.v() < num_disks; ++d) {
-    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+    if (sim.DiskIdle(d) && !sim.DiskDown(d)) {
       if (tracker_->FirstOnDiskAtOrAfter(d, TracePos{0}) != MissingTracker::kNone) {
         return pos;  // a batch round could fire now (or lazily erase a stale
                      // entry, which is also observable); simulate normally
@@ -75,12 +91,12 @@ TracePos AggressivePolicy::QuiescentThrough(const Engine& sim, TracePos pos, Tra
     if (!sim.Hinted(q) || sim.trace().is_write(q)) {
       continue;
     }
-    const BlockId block = sim.trace().block(q);
+    const BlockId block = sim.HintedBlock(q);
     if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
       continue;
     }
     const DiskId d = sim.Location(block).disk;
-    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+    if (sim.DiskIdle(d) && !sim.DiskDown(d)) {
       to = std::min(to, std::max(pos, q - (window - 1)));
       if (to == pos) {
         return pos;
@@ -104,9 +120,9 @@ int AggressivePolicy::IssueBatchRound(Engine& sim) {
   int issued = 0;
   int eligible = 0;
   for (DiskId d{0}; d.v() < num_disks; ++d) {
-    // A fail-stopped disk drains its queue and then sits idle forever; it
-    // gets no prefetch budget (the engine would refuse the fetches anyway).
-    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+    // A fail-stopped or down disk gets no prefetch budget (the engine would
+    // refuse the fetches anyway; a down disk earns it back at OnDiskUp).
+    if (sim.DiskIdle(d) && !sim.DiskDown(d)) {
       budget[static_cast<size_t>(d.v())] = batch_size_;
       ++eligible;
     }
@@ -139,7 +155,9 @@ int AggressivePolicy::IssueBatchRound(Engine& sim) {
     }
     scan_from[static_cast<size_t>(best_disk.v())] = best_p;
 
-    const BlockId block = sim.trace().block(best_p);
+    // Fetch what the hint *claims* lives at best_p; under hint corruption
+    // the claim may be wrong and the fetch wasted — that is the experiment.
+    const BlockId block = sim.HintedBlock(best_p);
     if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(best_p);  // stale entry (free-buffer demand fetch)
       continue;

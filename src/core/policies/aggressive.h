@@ -32,6 +32,8 @@ class AggressivePolicy : public Policy {
   void Init(Engine& sim) override;
   void OnReference(Engine& sim, TracePos pos) override;
   void OnDiskIdle(Engine& sim, DiskId disk) override;
+  void OnDiskDown(Engine& sim, DiskId disk) override;
+  void OnDiskUp(Engine& sim, DiskId disk) override;
   BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
   void OnDemandFetch(Engine& sim, BlockId block) override;
   bool SupportsFastForward() const override { return true; }

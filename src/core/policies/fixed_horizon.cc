@@ -21,7 +21,9 @@ void FixedHorizonPolicy::Init(Engine& sim) {
 }
 
 bool FixedHorizonPolicy::TryFetchAt(Engine& sim, TracePos pos) {
-  const BlockId block = sim.trace().block(pos);
+  // Fetch what the hint claims lives at `pos`; under hint corruption
+  // (SimConfig::hint_fault) the claim may be wrong and the fetch wasted.
+  const BlockId block = sim.HintedBlock(pos);
   if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
     return true;  // already present or on its way
   }
@@ -55,7 +57,14 @@ void FixedHorizonPolicy::OnReference(Engine& sim, TracePos pos) {
 
   // Examine every position newly inside the horizon window [pos, pos + H];
   // undisclosed references are invisible and writes never need a fetch.
-  const TracePos end = std::min(pos + horizon_, TracePos{sim.trace().size() - 1});
+  // Under stale hints the window is additionally capped at the disclosure
+  // edge, so the scan high-water mark cannot pass positions that only
+  // become visible as the cursor advances.
+  TracePos end = std::min(pos + horizon_, TracePos{sim.trace().size() - 1});
+  const int64_t stale = sim.config().hint_fault.stale_lookahead;
+  if (stale > 0) {
+    end = std::min(end, pos + stale);
+  }
   for (TracePos p = std::max(pos, scanned_until_); p <= end; ++p) {
     if (sim.Hinted(p) && !sim.trace().is_write(p) && !TryFetchAt(sim, p)) {
       deferred_.push_back(p);  // p >= scanned_until_ > every retained entry

@@ -89,6 +89,22 @@ void ForestallPolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   MaybeIssue(sim);
 }
 
+void ForestallPolicy::OnDiskDown(Engine& sim, DiskId disk) {
+  // Drop the unavailable disk's planned work so the in-order backstop cannot
+  // head-of-line block on it, then re-target the healthy disks.
+  tracker_->SuspendDisk(disk);
+  tracker_->AdvanceTo(sim.cursor());
+  MaybeIssue(sim);
+}
+
+void ForestallPolicy::OnDiskUp(Engine& sim, DiskId disk) {
+  // The recovered disk's deferred positions (including prefetches the outage
+  // cancelled) are fetchable again; re-plan immediately.
+  tracker_->ResumeDisk(disk);
+  tracker_->AdvanceTo(sim.cursor());
+  MaybeIssue(sim);
+}
+
 TracePos ForestallPolicy::QuiescentThrough(const Engine& sim, TracePos pos, TracePos run_end) {
   // During a proven hit run no event fires: idleness, access-time samples,
   // and the cache are all frozen, so forestall can only act when (a) an
@@ -99,7 +115,7 @@ TracePos ForestallPolicy::QuiescentThrough(const Engine& sim, TracePos pos, Trac
   const int num_disks = sim.config().num_disks;
   bool any_idle = false;
   for (DiskId d{0}; d.v() < num_disks; ++d) {
-    if (sim.DiskIdle(d) && !sim.DiskFailed(d)) {
+    if (sim.DiskIdle(d) && !sim.DiskDown(d)) {
       if (tracker_->FirstOnDiskAtOrAfter(d, TracePos{0}) != MissingTracker::kNone) {
         return pos;
       }
@@ -128,12 +144,12 @@ TracePos ForestallPolicy::QuiescentThrough(const Engine& sim, TracePos pos, Trac
     if (!sim.Hinted(q) || sim.trace().is_write(q)) {
       continue;
     }
-    const BlockId block = sim.trace().block(q);
+    const BlockId block = sim.HintedBlock(q);
     if (sim.cache().GetState(block) != CacheView::State::kAbsent) {
       continue;
     }
     const DiskId d = sim.Location(block).disk;
-    const bool idle = sim.DiskIdle(d) && !sim.DiskFailed(d);
+    const bool idle = sim.DiskIdle(d) && !sim.DiskDown(d);
     const TracePos at = idle ? q - (window - 1) : q - params_.horizon;
     to = std::min(to, std::max(pos, at));
     if (to == pos) {
@@ -188,7 +204,7 @@ bool ForestallPolicy::DiskConstrained(Engine& sim, DiskId disk) {
     if (p == MissingTracker::kNone) {
       return false;
     }
-    if (sim.cache().GetState(sim.trace().block(p)) != CacheView::State::kAbsent) {
+    if (sim.cache().GetState(sim.HintedBlock(p)) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
       continue;
     }
@@ -217,7 +233,7 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
     if (p > horizon_edge) {  // kNone compares far beyond the edge
       break;
     }
-    const BlockId block = sim.trace().block(p);
+    const BlockId block = sim.HintedBlock(p);
     if (cache.GetState(block) != CacheView::State::kAbsent) {
       tracker_->ErasePosition(p);
       continue;
@@ -225,6 +241,8 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
     if (sim.DiskFailed(sim.Location(block).disk)) {
       // Unfetchable: the disk fail-stopped. Drop the position so it cannot
       // head-of-line block the backstop; the demand path recovers the block.
+      // (An outage disk never reaches here — SuspendDisk dropped its
+      // positions at kDiskDown and ResumeDisk re-admits them at kDiskUp.)
       tracker_->ErasePosition(p);
       continue;
     }
@@ -242,8 +260,9 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
   // fetch removes a missing block, so a compute-bound disk clears after one
   // or two fetches while a truly starved disk fills its whole batch.
   for (DiskId d{0}; d.v() < num_disks; ++d) {
-    // A fail-stopped disk looks permanently idle and constrained; skip it.
-    if (!sim.DiskIdle(d) || sim.DiskFailed(d)) {
+    // A fail-stopped or down disk looks permanently idle and constrained;
+    // skip it (a down disk rejoins at OnDiskUp).
+    if (!sim.DiskIdle(d) || sim.DiskDown(d)) {
       continue;
     }
     int budget = batch_size_;
@@ -253,7 +272,7 @@ void ForestallPolicy::MaybeIssue(Engine& sim) {
       if (p == MissingTracker::kNone) {
         break;
       }
-      const BlockId block = sim.trace().block(p);
+      const BlockId block = sim.HintedBlock(p);
       if (cache.GetState(block) != CacheView::State::kAbsent) {
         tracker_->ErasePosition(p);
         continue;

@@ -51,6 +51,8 @@ class ForestallPolicy : public Policy {
   void Init(Engine& sim) override;
   void OnReference(Engine& sim, TracePos pos) override;
   void OnDiskIdle(Engine& sim, DiskId disk) override;
+  void OnDiskDown(Engine& sim, DiskId disk) override;
+  void OnDiskUp(Engine& sim, DiskId disk) override;
   void OnFetchComplete(Engine& sim, DiskId disk, BlockId block, DurNs service) override;
   BlockId ChooseDemandEviction(Engine& sim, BlockId block) override;
   void OnDemandFetch(Engine& sim, BlockId block) override;

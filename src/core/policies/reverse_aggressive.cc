@@ -22,6 +22,12 @@ ReverseAggressivePolicy::ReverseAggressivePolicy(Params params) : params_(params
 }
 
 void ReverseAggressivePolicy::Init(Engine& sim) {
+  if (sim.config().hint_fault.enabled()) {
+    throw SimError(
+        "reverse aggressive is offline and cannot run under hint corruption "
+        "(SimConfig::hint_fault) — its schedule is built from the exact "
+        "reference sequence");
+  }
   if (!sim.FullyHinted()) {
     throw SimError(
         "reverse aggressive is offline and requires full advance knowledge "
@@ -298,13 +304,21 @@ void ReverseAggressivePolicy::OnDiskIdle(Engine& sim, DiskId disk) {
   IssueReleased(sim);
 }
 
+void ReverseAggressivePolicy::OnDiskUp(Engine& sim, DiskId disk) {
+  // The recovered disk sits idle with its schedule head parked wherever the
+  // outage stopped it; resume issuing its released pairs immediately.
+  (void)disk;
+  IssueReleased(sim);
+}
+
 void ReverseAggressivePolicy::IssueReleased(Engine& sim) {
   const int num_disks = sim.config().num_disks;
   const CacheView& cache = sim.cache();
   const TracePos cursor = sim.cursor();
 
   for (DiskId disk{0}; disk.v() < num_disks; ++disk) {
-    if (!sim.DiskIdle(disk)) {
+    // A down disk's schedule is deferred wholesale; OnDiskUp resumes it.
+    if (!sim.DiskIdle(disk) || sim.DiskDown(disk)) {
       continue;
     }
     const std::vector<int>& list = disk_pairs_[static_cast<size_t>(disk.v())];

@@ -59,6 +59,7 @@ class ReverseAggressivePolicy : public Policy {
   void Init(Engine& sim) override;
   void OnReference(Engine& sim, TracePos pos) override;
   void OnDiskIdle(Engine& sim, DiskId disk) override;
+  void OnDiskUp(Engine& sim, DiskId disk) override;
   void OnDemandFetch(Engine& sim, BlockId block) override;
 
   // Schedule introspection (for tests).

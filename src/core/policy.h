@@ -73,6 +73,22 @@ class Policy {
     (void)block;
   }
 
+  // Disk `disk` entered its outage window (Engine::DiskDown(disk) is now
+  // true). Prefetches to it will be refused until OnDiskUp; policies should
+  // re-target or defer that disk's work rather than stall on it.
+  virtual void OnDiskDown(Engine& sim, DiskId disk) {
+    (void)sim;
+    (void)disk;
+  }
+
+  // Disk `disk` recovered from its outage window. Policies re-plan here —
+  // the deferred positions on that disk are fetchable again and its queue
+  // is empty.
+  virtual void OnDiskUp(Engine& sim, DiskId disk) {
+    (void)sim;
+    (void)disk;
+  }
+
   // The application stalled on `block` and no fetch is in flight for it.
   // Returns the block to evict, or Engine::kNoEvict to use a free buffer.
   // The engine only calls this when no free buffer exists; the default picks

@@ -15,10 +15,15 @@ std::string RunResult::ToString() const {
                 avg_disk_util);
   std::string out = buf;
   // Only degraded runs carry fault details; healthy output is unchanged.
-  if (retries != 0 || failed_requests != 0 || degraded_stall_ns != DurNs{0}) {
+  if (retries != 0 || failed_requests != 0 || degraded_stall_ns != DurNs{0} ||
+      outage_stall_ns != DurNs{0}) {
     std::snprintf(buf, sizeof(buf), " retries=%lld failed=%lld degraded_stall=%.3fs",
                   static_cast<long long>(retries),
                   static_cast<long long>(failed_requests), degraded_stall_sec());
+    out += buf;
+  }
+  if (outage_stall_ns != DurNs{0}) {
+    std::snprintf(buf, sizeof(buf), " outage_stall=%.3fs", outage_stall_sec());
     out += buf;
   }
   return out;

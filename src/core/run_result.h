@@ -40,6 +40,11 @@ struct RunResult {
   // refinement of the stall bar, not a fourth bar.
   DurNs degraded_stall_ns;
 
+  // Portion of stall_time spent waiting out a disk outage window (demand
+  // fetches re-queued across the outage, including their backoff). Disjoint
+  // from degraded_stall_ns; degraded + outage <= stall_time.
+  DurNs outage_stall_ns;
+
   double avg_fetch_ms = 0;     // mean disk service time per request
   double avg_response_ms = 0;  // mean queueing + service time per request
   double avg_disk_util = 0;    // mean over disks of busy / elapsed
@@ -56,6 +61,7 @@ struct RunResult {
   double driver_sec() const { return NsToSec(driver_time); }
   double compute_sec() const { return NsToSec(compute_time); }
   double degraded_stall_sec() const { return NsToSec(degraded_stall_ns); }
+  double outage_stall_sec() const { return NsToSec(outage_stall_ns); }
 
   // Multi-line appendix-style rendering.
   std::string ToString() const;

@@ -21,6 +21,32 @@ struct ObsOptions {
   bool keep_events = false;
 };
 
+// Adversarial hint corruption (the oracle lies, deterministically in
+// hint_seed). Coverage only *omits* hints; these knobs make the surviving
+// hints wrong. All transformations apply to what the prefetcher sees — the
+// demand path always serves the true trace.
+struct HintFault {
+  // Each hinted reference independently claims a different block (the block
+  // of a uniformly drawn trace reference) with this probability. In [0, 1].
+  double wrong_block_rate = 0.0;
+
+  // Hinted block claims are shuffled within disjoint windows of this many
+  // references (0 = no reordering): the hint stream has the right blocks in
+  // roughly the right place, but locally out of order.
+  int64_t reorder_window = 0;
+
+  // The hint source only sees this many references past the cursor; hints
+  // beyond the lookahead are invisible until the application catches up
+  // (0 = unlimited). Models a predictor with a bounded horizon.
+  int64_t stale_lookahead = 0;
+
+  bool enabled() const {
+    return wrong_block_rate > 0.0 || reorder_window > 0 || stale_lookahead > 0;
+  }
+
+  bool operator==(const HintFault&) const = default;
+};
+
 struct SimConfig {
   // Cache capacity in 8 KB blocks. The paper uses 1280 (10 MB) for most
   // traces and 512 (4 MB) for dinero and cscope1 (section 3.1).
@@ -55,6 +81,11 @@ struct SimConfig {
   double hint_coverage = 1.0;
   uint64_t hint_seed = 1;
 
+  // Hint corruption on top of coverage (see HintFault above). Disabled by
+  // default; reverse aggressive requires truthful hints and refuses to run
+  // when any knob is set.
+  HintFault hint_fault;
+
   // Write extension (the paper's future-work item). false = write-behind:
   // writes complete immediately into a dirty buffer and are flushed in the
   // background whenever their disk is otherwise idle ("write behind
@@ -88,6 +119,14 @@ struct SimConfig {
   // pathological fault config must not hang the experiment pool). 0 picks a
   // generous heuristic budget from the trace length.
   int64_t max_events = 0;
+
+  // Paranoid runtime auditing: after every engine event the simulator walks
+  // its invariants — cache table/heap consistency, stall-bucket partial
+  // sums, no accepted fetch targeting an unavailable disk — and throws a
+  // typed SimError naming the violated invariant. Behavior-neutral (results
+  // are bit-identical) but quadratic-ish in cache size per event, so it is
+  // off by default and forced on in tests and the fuzzer.
+  bool paranoid = false;
 };
 
 }  // namespace pfc

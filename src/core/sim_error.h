@@ -16,16 +16,32 @@
 namespace pfc {
 
 struct SimConfig;
+class Trace;
 
 class SimError : public std::runtime_error {
  public:
   explicit SimError(const std::string& message) : std::runtime_error(message) {}
+
+  // Typed invariant violation from the paranoid auditor (SimConfig::
+  // paranoid): names the violated invariant in a grep-able bracket so tests
+  // and the fuzzer can match on it.
+  static SimError Invariant(const std::string& name, const std::string& detail) {
+    return SimError("invariant violated [" + name + "]: " + detail);
+  }
 };
 
-// Throws SimError with a field-level message if `config` is not runnable.
-// Called by the Simulator constructor; the runner also calls it up front so
-// invalid jobs fail before any shared state (trace oracles) is built.
+// Throws SimError with a field-level message — prefixed with the
+// validator's file:line so a rejected config points at the rule that fired
+// — if `config` is not runnable. Called by the Simulator constructor; the
+// runner also calls it up front so invalid jobs fail before any shared
+// state (trace oracles) is built.
 void ValidateSimConfig(const SimConfig& config);
+
+// Additional checks that need the trace: fault timings entirely outside the
+// plausible simulated horizon (a fail-stop or outage that can never fire is
+// almost certainly a flag typo, not a scenario). Called by pfc_sim, which is
+// where humans type such timings.
+void ValidateSimConfigForTrace(const SimConfig& config, const Trace& trace);
 
 }  // namespace pfc
 

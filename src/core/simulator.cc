@@ -19,18 +19,27 @@ void CheckContextMatches(const TraceContext& context, const SimConfig& config) {
                 "TraceContext hint_coverage does not match SimConfig");
   PFC_CHECK_MSG(coverage >= 1.0 || context.hint_seed() == config.hint_seed,
                 "TraceContext hint_seed does not match SimConfig");
+  PFC_CHECK_MSG(context.hint_fault() == config.hint_fault,
+                "TraceContext hint_fault does not match SimConfig");
 }
 
-[[noreturn]] void FailConfig(const std::string& what) {
-  throw SimError("invalid SimConfig: " + what);
+[[noreturn]] void FailConfigAt(const char* file, int line, const std::string& what) {
+  throw SimError("invalid SimConfig (" + std::string(file) + ":" + std::to_string(line) +
+                 "): " + what);
 }
 
-void RequireRate(double rate, const char* field) {
-  if (!(rate >= 0.0 && rate <= 1.0)) {
-    FailConfig(std::string(field) + " must be in [0, 1] (got " +
-               std::to_string(rate) + ")");
-  }
-}
+// The diagnostic carries the exact validation site (file:line) so a rejected
+// flag combination reported by the tools points straight at the rule that
+// fired.
+#define FailConfig(what) FailConfigAt(__FILE__, __LINE__, (what))
+
+#define RequireRate(rate, field)                                   \
+  do {                                                             \
+    if (!((rate) >= 0.0 && (rate) <= 1.0)) {                       \
+      FailConfig(std::string(field) + " must be in [0, 1] (got " + \
+                 std::to_string(rate) + ")");                      \
+    }                                                              \
+  } while (0)
 
 // Validates config in the member-initializer list, before the cache and
 // disk array (whose constructors abort on bad values) are built.
@@ -87,11 +96,79 @@ void ValidateSimConfig(const SimConfig& config) {
   if (f.recovery_penalty <= DurNs{0}) {
     FailConfig("faults.recovery_penalty must be positive");
   }
+  if (f.outage_start < TimeNs{0} || f.outage_end < TimeNs{0}) {
+    FailConfig("faults outage times must be non-negative");
+  }
+  if (f.rebuild_duration < DurNs{0}) {
+    FailConfig("faults.rebuild_duration must be non-negative");
+  }
+  if (!(f.rebuild_slow_factor >= 1.0)) {
+    FailConfig("faults.rebuild_slow_factor must be >= 1 (got " +
+               std::to_string(f.rebuild_slow_factor) + ")");
+  }
+  if (f.outage_disk >= DiskId{0} && f.outage_end <= f.outage_start) {
+    FailConfig("faults outage window is empty (outage_end " +
+               std::to_string(f.outage_end.ns()) + " ns <= outage_start " +
+               std::to_string(f.outage_start.ns()) + " ns)");
+  }
+  if (f.outage_disk >= DiskId{0} && f.outage_disk == f.fail_disk) {
+    FailConfig("faults.outage_disk equals faults.fail_disk (disk " +
+               std::to_string(f.outage_disk.v()) +
+               "): a fail-stopped disk never recovers, an outage disk must");
+  }
+  const HintFault& h = config.hint_fault;
+  RequireRate(h.wrong_block_rate, "hint_fault.wrong_block_rate");
+  if (h.reorder_window < 0) {
+    FailConfig("hint_fault.reorder_window must be non-negative");
+  }
+  if (h.stale_lookahead < 0) {
+    FailConfig("hint_fault.stale_lookahead must be non-negative");
+  }
+}
+
+void ValidateSimConfigForTrace(const SimConfig& config, const Trace& trace) {
+  ValidateSimConfig(config);
+  const FaultConfig& f = config.faults;
+  const bool any_onset = f.fail_disk >= DiskId{0} || f.outage_disk >= DiskId{0} ||
+                         (f.slow_disk >= DiskId{0} && f.slow_after > TimeNs{0});
+  if (!any_onset) {
+    return;
+  }
+  // A deliberately generous upper bound on the simulated clock: all the
+  // trace's compute (scaled) plus a full second of driver + stretched
+  // service per reference. Real per-reference I/O is tens of milliseconds,
+  // so an onset beyond this bound can only be a units mistake (ms typed
+  // where ns was meant, or vice versa) — the fault would never fire.
+  double horizon_ns = 0.0;
+  for (TracePos p{0}; p.v() < trace.size(); ++p) {
+    horizon_ns += static_cast<double>(trace.compute(p).ns());
+  }
+  horizon_ns *= std::max(config.cpu_scale, 1.0);
+  horizon_ns += static_cast<double>(trace.size() + 1) *
+                (static_cast<double>(config.driver_overhead.ns()) + 1e9);
+  const auto beyond = [horizon_ns](TimeNs t) {
+    return static_cast<double>(t.ns()) > horizon_ns;
+  };
+  if (f.fail_disk >= DiskId{0} && beyond(f.fail_after)) {
+    FailConfig("faults.fail_after (" + std::to_string(f.fail_after.ns()) +
+               " ns) is beyond any possible horizon of trace '" + trace.name() +
+               "' — the fail-stop would never fire");
+  }
+  if (f.outage_disk >= DiskId{0} && beyond(f.outage_start)) {
+    FailConfig("faults.outage_start (" + std::to_string(f.outage_start.ns()) +
+               " ns) is beyond any possible horizon of trace '" + trace.name() +
+               "' — the outage would never fire");
+  }
+  if (f.slow_disk >= DiskId{0} && f.slow_after > TimeNs{0} && beyond(f.slow_after)) {
+    FailConfig("faults.slow_after (" + std::to_string(f.slow_after.ns()) +
+               " ns) is beyond any possible horizon of trace '" + trace.name() +
+               "' — the slowdown would never fire");
+  }
 }
 
 Simulator::Simulator(const Trace& trace, const SimConfig& config, Policy* policy)
     : Simulator(std::make_shared<const TraceContext>(trace, config.hint_coverage,
-                                                     config.hint_seed),
+                                                     config.hint_seed, config.hint_fault),
                 config, policy) {}
 
 Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config,
@@ -189,10 +266,11 @@ bool Simulator::IssueFetch(BlockId block, BlockId evict) {
 
 bool Simulator::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
   BlockLocation loc = placement_->Map(block);
-  // Prefetches to a dead disk are refused so policies re-plan; the demand
-  // path is allowed through (the request fails fast and the retry/recovery
+  // Prefetches to a dead or down disk are refused so policies re-plan (a
+  // down disk becomes fetchable again at OnDiskUp); the demand path is
+  // allowed through (the request fails fast and the retry/re-queue
   // machinery bounds the damage).
-  if (!demand && disks_->disk(loc.disk).FailStopped(sim_now_)) {
+  if (!demand && DiskDown(loc.disk)) {
     return false;
   }
   if (cache_.GetState(block) != BufferCache::State::kAbsent) {
@@ -210,6 +288,11 @@ bool Simulator::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
     cache_.StartFetchWithEviction(block, evict);
   }
   if (sink_ != nullptr) {
+    if (evict != kNoEvict && prefetch_unused_.erase(evict)) {
+      // The evicted block was prefetched and never referenced: the fetch
+      // that brought it in was wasted (a mis-hint consequence).
+      EmitInstant(ObsEventKind::kPrefetchUnused, placement_->Map(evict).disk, evict);
+    }
     if (demand) {
       demand_inflight_.insert(block);
     }
@@ -227,13 +310,26 @@ bool Simulator::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
 void Simulator::TryDispatch(DiskId disk) {
   std::optional<DispatchResult> res = disks_->disk(disk).TryDispatch(sim_now_);
   if (res.has_value()) {
+    if (config_.paranoid && !res->failed && DiskDown(disk)) {
+      throw SimError::Invariant(
+          "down-disk-dispatch",
+          "disk " + std::to_string(disk.v()) + " accepted a request while unavailable at t=" +
+              std::to_string(sim_now_.ns()) + " ns");
+    }
     events_.push(Event{res->complete_time, next_seq_++, disk, res->logical_block,
                        res->service_time, res->nominal_service, res->failed,
-                       EventKind::kComplete});
+                       EventKind::kComplete, res->fail_kind});
   }
 }
 
 void Simulator::ApplyNextEvent() {
+  ApplyNextEventImpl();
+  if (config_.paranoid) {
+    AuditInvariants();
+  }
+}
+
+void Simulator::ApplyNextEventImpl() {
   PFC_CHECK(!events_.empty());
   if (++events_processed_ > event_budget_) {
     throw SimError("event budget exceeded: " + std::to_string(event_budget_) +
@@ -245,6 +341,35 @@ void Simulator::ApplyNextEvent() {
   PFC_CHECK_GE(ev.time, sim_now_);
   sim_now_ = ev.time;
 
+  if (ev.kind == EventKind::kDiskDown) {
+    // The outage window opens. In-flight work fails via the fault layer;
+    // here the policy gets its chance to re-plan instead of stalling.
+    ++down_disks_;
+    if (sink_ != nullptr) {
+      EmitInstant(ObsEventKind::kDiskDown, ev.disk, kNoBlock);
+    }
+    policy_->OnDiskDown(*this, ev.disk);
+    return;
+  }
+  if (ev.kind == EventKind::kDiskUp) {
+    // The outage window closes: the disk serves again (possibly through a
+    // rebuild-slowed phase). Kick its queue, let the policy re-plan the
+    // deferred work, and resume write-backs.
+    --down_disks_;
+    if (sink_ != nullptr) {
+      EmitInstant(ObsEventKind::kDiskUp, ev.disk, kNoBlock);
+    }
+    policy_->OnDiskUp(*this, ev.disk);
+    TryDispatch(ev.disk);
+    if (disks_->disk(ev.disk).idle()) {
+      policy_->OnDiskIdle(*this, ev.disk);
+      TryDispatch(ev.disk);
+    }
+    if (disks_->disk(ev.disk).idle()) {
+      MaybeFlush(ev.disk);
+    }
+    return;
+  }
   if (ev.kind == EventKind::kRetry) {
     // Re-issue a failed request on its disk. Like any issue, the retry
     // costs driver CPU.
@@ -281,14 +406,22 @@ void Simulator::ApplyNextEvent() {
     if (!retry_attempts_.empty()) {
       retry_attempts_.erase(ev.block);
     }
-    // A stretched (tail / slow-disk) service adds fault latency even when
-    // the request ultimately succeeds.
+    if (!outage_attempts_.empty()) {
+      outage_attempts_.erase(ev.block);
+    }
+    // A stretched (tail / slow-disk / rebuild) service adds fault latency
+    // even when the request ultimately succeeds.
     if (ev.service > ev.nominal) {
       fault_delay_[ev.block] += ev.service - ev.nominal;
     }
-    if (waiting_block_ != ev.block && !fault_delay_.empty()) {
+    if (waiting_block_ != ev.block) {
       // Nobody stalled on this block, so its fault latency was absorbed.
-      fault_delay_.erase(ev.block);
+      if (!fault_delay_.empty()) {
+        fault_delay_.erase(ev.block);
+      }
+      if (!outage_delay_.empty()) {
+        outage_delay_.erase(ev.block);
+      }
     }
     if (flush_in_flight_.erase(ev.block)) {
       // A write-back finished. A write that landed mid-flush re-dirties.
@@ -313,6 +446,9 @@ void Simulator::ApplyNextEvent() {
       cache_.CompleteFetch(ev.block, next_use);
       if (sink_ != nullptr) {
         const bool was_demand = demand_inflight_.erase(ev.block);
+        if (!was_demand && waiting_block_ != ev.block) {
+          prefetch_unused_.insert(ev.block);
+        }
         EmitInstant(was_demand ? ObsEventKind::kDemandFetchComplete : ObsEventKind::kPrefetchLand,
                     ev.disk, ev.block, ev.service.ns());
       }
@@ -331,6 +467,10 @@ void Simulator::ApplyNextEvent() {
 }
 
 void Simulator::HandleFailedRequest(const Event& ev) {
+  if (ev.fault == FaultKind::kOutage) {
+    HandleOutageFailure(ev);
+    return;
+  }
   const FaultConfig& fc = config_.faults;
   const bool is_flush = flush_in_flight_.contains(ev.block);
   const bool dead = disks_->disk(ev.disk).FailStopped(sim_now_);
@@ -390,18 +530,74 @@ void Simulator::HandleFailedRequest(const Event& ev) {
   }
 }
 
+void Simulator::HandleOutageFailure(const Event& ev) {
+  const FaultConfig& fc = config_.faults;
+  if (flush_in_flight_.erase(ev.block)) {
+    // The write-back never reached the platters; the buffer stays dirty and
+    // MaybeFlush re-issues it once the disk recovers — no data loss, unlike
+    // the permanent-failure path.
+    --flush_outstanding_[static_cast<size_t>(ev.disk.v())];
+    redirty_pending_.erase(ev.block);
+    dirty_by_disk_[static_cast<size_t>(ev.disk.v())].insert(ev.block);
+    if (waiting_block_ == ev.block) {
+      outage_delay_[ev.block] += ev.service;  // write-through stall on it
+    }
+    return;
+  }
+  if (waiting_block_ == ev.block) {
+    // The application is stalled on this block: re-queue the demand fetch
+    // across the outage with bounded exponential backoff. Outage re-queues
+    // burn their own attempt counter, not max_retries — the disk is coming
+    // back, and waiting one outage out must not exhaust the media-error
+    // retry budget.
+    const int attempts = ++outage_attempts_[ev.block];
+    const int shift = std::min(attempts - 1, 20);
+    const DurNs backoff{fc.retry_backoff.ns() << shift};
+    outage_delay_[ev.block] += ev.service + backoff;
+    ++retries_;
+    if (sink_ != nullptr) {
+      EmitInstant(ObsEventKind::kFaultRetry, ev.disk, ev.block, backoff.ns(), attempts);
+    }
+    events_.push(Event{sim_now_ + backoff, next_seq_++, ev.disk, ev.block, DurNs{0},
+                       DurNs{0}, false, EventKind::kRetry});
+    return;
+  }
+  // A prefetch to a down disk: cancel it and let the policy re-plan (it can
+  // re-issue after OnDiskUp).
+  ++failed_requests_;
+  if (!outage_delay_.empty()) {
+    outage_delay_.erase(ev.block);
+  }
+  if (!fault_delay_.empty()) {
+    fault_delay_.erase(ev.block);
+  }
+  cache_.CancelFetch(ev.block);
+  policy_->OnFetchFailed(*this, ev.disk, ev.block);
+}
+
 void Simulator::EndStall(BlockId block, TimeNs wait_start) {
   if (sim_now_ > wait_start) {
     const DurNs duration = sim_now_ - wait_start;
     stall_total_ += duration;
     app_time_ = sim_now_;
+    // The outage share is carved out first, then the media-error share from
+    // what remains, so the three buckets partition the window exactly.
+    DurNs outage_share;
+    if (!outage_delay_.empty()) {
+      auto it = outage_delay_.find(block);
+      if (it != outage_delay_.end()) {
+        outage_share = std::min(duration, it->second);
+        outage_stall_ += outage_share;
+        outage_delay_.erase(it);
+      }
+    }
     DurNs fault_share;
     if (!fault_delay_.empty()) {
       auto it = fault_delay_.find(block);
       if (it != fault_delay_.end()) {
         // The fault-added latency is visible stall only up to the length of
         // this stall window (overlap with compute is absorbed).
-        fault_share = std::min(duration, it->second);
+        fault_share = std::min(duration - outage_share, it->second);
         degraded_stall_ += fault_share;
         fault_delay_.erase(it);
       }
@@ -409,8 +605,9 @@ void Simulator::EndStall(BlockId block, TimeNs wait_start) {
     if (sink_ != nullptr) {
       // This is the only place stall_total_ grows, and the emitted window
       // carries the same integers the accumulators just consumed — so a
-      // collector's per-cause buckets sum *exactly* to RunResult::stall_time
-      // and its fault bucket *exactly* to degraded_stall_ns.
+      // collector's per-cause buckets sum *exactly* to RunResult::stall_time,
+      // its fault bucket *exactly* to degraded_stall_ns, and its outage
+      // bucket *exactly* to outage_stall_ns.
       ObsEvent e;
       e.time = sim_now_;
       e.kind = ObsEventKind::kStallEnd;
@@ -418,10 +615,16 @@ void Simulator::EndStall(BlockId block, TimeNs wait_start) {
       e.block = block;
       e.a = duration.ns();
       e.b = fault_share.ns();
+      e.c = outage_share.ns();
       sink_->OnEvent(e);
     }
-  } else if (!fault_delay_.empty()) {
-    fault_delay_.erase(block);
+  } else {
+    if (!fault_delay_.empty()) {
+      fault_delay_.erase(block);
+    }
+    if (!outage_delay_.empty()) {
+      outage_delay_.erase(block);
+    }
   }
 }
 
@@ -451,6 +654,11 @@ void Simulator::MaybeFlush(DiskId disk) {
   if (dirty.empty()) {
     return;
   }
+  if (disks_->disk(disk).Down(sim_now_)) {
+    // Flushing a disk in its outage window would only churn fast failures;
+    // the dirty population waits for kDiskUp (which calls back here).
+    return;
+  }
   // Opportunistic: an idle disk always cleans.
   if (disks_->disk(disk).idle()) {
     IssueFlush(dirty.min());
@@ -471,6 +679,11 @@ bool Simulator::ForceFlushForProgress() {
     return false;
   }
   for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
+    if (disks_->disk(d).Down(sim_now_)) {
+      // An outage disk's dirty blocks are unflushable until kDiskUp; that
+      // pending event guarantees the waiting loops still make progress.
+      continue;
+    }
     FlatSet& dirty = dirty_by_disk_[static_cast<size_t>(d.v())];
     if (!dirty.empty()) {
       IssueFlush(dirty.min());
@@ -689,12 +902,29 @@ RunResult Simulator::Run() {
 
   policy_->Init(*this);
 
+  // Outage windows are scheduled up front as first-class events: they get
+  // the smallest sequence numbers, so at their timestamp they apply before
+  // any disk completion, and their presence in the queue naturally caps
+  // fast-forward runs at the window boundary.
+  const FaultConfig& fc = config_.faults;
+  if (fc.outage_disk >= DiskId{0} && fc.outage_disk.v() < config_.num_disks &&
+      fc.outage_end > fc.outage_start) {
+    events_.push(Event{fc.outage_start, next_seq_++, fc.outage_disk, kNoBlock, DurNs{0},
+                       DurNs{0}, false, EventKind::kDiskDown});
+    events_.push(Event{fc.outage_end, next_seq_++, fc.outage_disk, kNoBlock, DurNs{0},
+                       DurNs{0}, false, EventKind::kDiskUp});
+  }
+
   const NextRefIndex& index = context_.index();
   const int64_t n = trace_.size();
   // Hit-run fast-forwarding is off whenever a sink is installed: skipped
   // references would emit no events, and observability demands the full
-  // reference-by-reference stream.
-  ff_enabled_ = config_.fast_forward && sink_ == nullptr && policy_->SupportsFastForward();
+  // reference-by-reference stream. It is also off under hint corruption —
+  // stale lookahead makes Hinted() cursor-dependent, so a skipped
+  // OnReference could have disclosed new positions and the quiescence
+  // precomputation would no longer be exact.
+  ff_enabled_ = config_.fast_forward && sink_ == nullptr && !config_.hint_fault.enabled() &&
+                policy_->SupportsFastForward();
   if (ff_enabled_) {
     compute_prefix_.resize(static_cast<size_t>(n) + 1);
     compute_prefix_[0] = 0;
@@ -714,7 +944,7 @@ RunResult Simulator::Run() {
     // quiesces pays for only a handful of probes; a successful skip resets
     // the schedule. Attempts never affect results, so the backoff is a pure
     // performance knob.
-    if (ff_enabled_ && cache_.dirty_count() == 0 && pos >= ff_next_try_) {
+    if (ff_enabled_ && down_disks_ == 0 && cache_.dirty_count() == 0 && pos >= ff_next_try_) {
       const TracePos resume = FastForward(pos);
       if (resume > pos) {
         ff_backoff_ = 0;
@@ -735,6 +965,11 @@ RunResult Simulator::Run() {
     }
 
     const BlockId block = trace_.block(pos);
+    if (sink_ != nullptr && !prefetch_unused_.empty()) {
+      // The reference consumes the block: any prefetch that brought it in
+      // paid off and is no longer a candidate "unused" fetch.
+      prefetch_unused_.erase(block);
+    }
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
       // Write-through only: a policy prefetch issued while ServeWrite waited
@@ -799,6 +1034,7 @@ RunResult Simulator::Run() {
   result.stall_time = stall_total_;
   result.elapsed_time = app_time_ - TimeNs{0};
   result.degraded_stall_ns = degraded_stall_;
+  result.outage_stall_ns = outage_stall_;
 
   int64_t completed = 0;
   double sum_service = 0;
@@ -826,6 +1062,63 @@ RunResult Simulator::Run() {
     result.obs = collector_->Finish(result);
   }
   return result;
+}
+
+void Simulator::AuditInvariants() const {
+  // Cache internals: table/heap cross-links, bounds, and counters.
+  std::string cache_violation = cache_.AuditViolation();
+  if (!cache_violation.empty()) {
+    throw SimError::Invariant("cache-consistency", cache_violation);
+  }
+  // Stall-bucket partial sums: the attributed shares can never exceed the
+  // total, and each bucket is monotone non-negative by construction.
+  if (degraded_stall_ + outage_stall_ > stall_total_) {
+    throw SimError::Invariant(
+        "stall-partial-sums",
+        "degraded " + std::to_string(degraded_stall_.ns()) + " ns + outage " +
+            std::to_string(outage_stall_.ns()) + " ns exceed stall total " +
+            std::to_string(stall_total_.ns()) + " ns");
+  }
+  // Outage bookkeeping: the down-disk counter must agree with the fault
+  // layer's time-based view at every event boundary (the kDiskDown/kDiskUp
+  // events carry the smallest sequence numbers, so they apply first at
+  // their timestamp).
+  int down = 0;
+  for (DiskId d{0}; d.v() < config_.num_disks; ++d) {
+    if (disks_->disk(d).Down(sim_now_)) {
+      ++down;
+    }
+  }
+  if (down != down_disks_) {
+    throw SimError::Invariant(
+        "down-disk-count", "engine counts " + std::to_string(down_disks_) +
+                               " down disks but the fault layer reports " + std::to_string(down) +
+                               " at t=" + std::to_string(sim_now_.ns()) + " ns");
+  }
+  // Dirty accounting: every dirty buffer is either flushable (indexed under
+  // its disk) or in flight, never both, never neither.
+  size_t flushable = 0;
+  for (const FlatSet& dirty : dirty_by_disk_) {
+    flushable += dirty.size();
+  }
+  if (static_cast<int64_t>(flushable + flush_in_flight_.size()) !=
+      static_cast<int64_t>(cache_.dirty_count())) {
+    throw SimError::Invariant(
+        "dirty-accounting",
+        "cache reports " + std::to_string(cache_.dirty_count()) + " dirty blocks but " +
+            std::to_string(flushable) + " are flushable and " +
+            std::to_string(flush_in_flight_.size()) + " in flight");
+  }
+  int outstanding = 0;
+  for (int per_disk : flush_outstanding_) {
+    outstanding += per_disk;
+  }
+  if (outstanding != static_cast<int>(flush_in_flight_.size())) {
+    throw SimError::Invariant(
+        "flush-outstanding",
+        "per-disk outstanding flush counters sum to " + std::to_string(outstanding) + " but " +
+            std::to_string(flush_in_flight_.size()) + " flushes are in flight");
+  }
 }
 
 }  // namespace pfc

@@ -114,13 +114,31 @@ class Simulator final : public Engine {
   // True once disk `d` has fail-stopped; prefetches to it are refused and
   // policies should plan around it.
   bool DiskFailed(DiskId d) const override { return disks_->disk(d).FailStopped(sim_now_); }
+  // Unavailable right now: fail-stopped or inside an outage window.
+  bool DiskDown(DiskId d) const override {
+    const Disk& disk = disks_->disk(d);
+    return disk.FailStopped(sim_now_) || disk.Down(sim_now_);
+  }
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
+  // With a stale-lookahead hint fault, positions beyond the hint source's
+  // horizon are undisclosed until the cursor catches up.
   bool Hinted(TracePos pos) const override {
+    const int64_t lookahead = config_.hint_fault.stale_lookahead;
+    if (lookahead > 0 && pos > cursor_ + lookahead) {
+      return false;
+    }
     const std::vector<bool>& hinted = context_.hinted();
     return hinted.empty() || hinted[static_cast<size_t>(pos.v())];
   }
-  bool FullyHinted() const override { return context_.hinted().empty(); }
+  bool FullyHinted() const override {
+    return context_.hinted().empty() && !config_.hint_fault.enabled();
+  }
+  // The block the (possibly lying) hint source claims for `pos`.
+  BlockId HintedBlock(TracePos pos) const override {
+    const std::vector<BlockId>& claims = context_.claims();
+    return claims.empty() ? trace_.block(pos) : claims[static_cast<size_t>(pos.v())];
+  }
   // Inter-reference compute time after position `pos`, with cpu_scale
   // applied.
   DurNs ScaledCompute(TracePos pos) const override;
@@ -139,6 +157,8 @@ class Simulator final : public Engine {
     kComplete,  // a disk finished (or errored) its in-service request
     kRetry,     // re-issue a failed request after its backoff
     kRecover,   // synthesize a permanently failed block the app waits on
+    kDiskDown,  // a disk's outage window opens (scheduled at Run start)
+    kDiskUp,    // a disk's outage window closes
   };
 
   struct Event {
@@ -150,6 +170,10 @@ class Simulator final : public Engine {
     DurNs nominal;  // fault-free service time (kComplete only)
     bool failed = false;
     EventKind kind = EventKind::kComplete;
+    // Why a kComplete failed — media error, fail-stop, or outage. The engine
+    // branches on this: outage failures re-queue (the disk comes back),
+    // everything else goes through the retry/abandon machinery.
+    FaultKind fault = FaultKind::kNone;
     bool operator>(const Event& other) const {
       return time != other.time ? time > other.time : seq > other.seq;
     }
@@ -165,8 +189,19 @@ class Simulator final : public Engine {
                    int64_t b = 0);
   void BeginStallWindow(BlockId block, StallCause cause);
   void TryDispatch(DiskId disk);
+  // Pops and applies the next event; with SimConfig::paranoid set, audits
+  // the engine invariants after every application.
   void ApplyNextEvent();
+  void ApplyNextEventImpl();
   void HandleFailedRequest(const Event& ev);
+  // A request failed because its disk is (or went) down: re-queue demand
+  // fetches with bounded backoff, keep failed write-backs dirty, cancel
+  // prefetches so the policy can re-plan after OnDiskUp.
+  void HandleOutageFailure(const Event& ev);
+  // Paranoid auditor (SimConfig::paranoid): walks the engine invariants and
+  // throws SimError::Invariant naming the first violated one. Called after
+  // every applied event.
+  void AuditInvariants() const;
   // Closes a stall window that began at `wait_start` (app clock) for
   // `block`: accounts stall time and attributes the fault-inflicted share.
   void EndStall(BlockId block, TimeNs wait_start);
@@ -229,9 +264,18 @@ class Simulator final : public Engine {
   BlockId waiting_block_ = kNoBlock;     // block the app is stalled on, if any
   std::unordered_map<BlockId, int> retry_attempts_;      // failures so far
   std::unordered_map<BlockId, DurNs> fault_delay_;       // fault-added latency
+  // Outage state (disjoint from the media-error machinery above): outage
+  // re-queues use their own attempt counter — the disk *will* come back, so
+  // max_retries must not be exhausted by waiting one outage out — and their
+  // added latency is banked separately so EndStall can carve the
+  // StallCause::kOutage share before the media-error share.
+  std::unordered_map<BlockId, int> outage_attempts_;
+  std::unordered_map<BlockId, DurNs> outage_delay_;
+  int down_disks_ = 0;                   // disks currently in an outage window
   int64_t retries_ = 0;
   int64_t failed_requests_ = 0;
   DurNs degraded_stall_;
+  DurNs outage_stall_;
   int64_t events_processed_ = 0;
   int64_t event_budget_ = 0;             // watchdog; set in the constructor
   DurNs stall_total_;
@@ -262,6 +306,10 @@ class Simulator final : public Engine {
   std::unique_ptr<ObsCollector> collector_;  // owned internal sink, if any
   StallCause stall_cause_ = StallCause::kColdMiss;  // cause of the open window
   FlatSet demand_inflight_;  // in-flight fetches issued by the demand path
+  // Prefetched blocks that landed but have not been referenced yet; evicting
+  // one emits kPrefetchUnused (the wasted-fetch consequence of a mis-hint).
+  // Only maintained while a sink is installed.
+  FlatSet prefetch_unused_;
 };
 
 }  // namespace pfc

@@ -24,13 +24,54 @@ std::vector<bool> BuildHintMask(const Trace& trace, double hint_coverage, uint64
   return mask;
 }
 
+// The corrupted hint stream: per-position block claims, deterministic in
+// hint_seed. Wrong-block substitution first (each position independently
+// lies with probability wrong_block_rate, claiming the block of a uniformly
+// drawn trace reference), then a seeded Fisher-Yates shuffle within disjoint
+// reorder_window-sized windows. Stale lookahead is dynamic in the cursor and
+// lives in the engines' Hinted(), not here.
+std::vector<BlockId> BuildHintClaims(const Trace& trace, const HintFault& fault,
+                                     uint64_t hint_seed) {
+  if (fault.wrong_block_rate <= 0.0 && fault.reorder_window <= 1) {
+    return {};
+  }
+  const int64_t n = trace.size();
+  std::vector<BlockId> claims;
+  claims.reserve(static_cast<size_t>(n));
+  for (TracePos p{0}; p.v() < n; ++p) {
+    claims.push_back(trace.block(p));
+  }
+  if (fault.wrong_block_rate > 0.0) {
+    Rng rng(SplitMix64(hint_seed) ^ 0xB10CFA17ULL);
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng.UniformDouble() < fault.wrong_block_rate) {
+        claims[static_cast<size_t>(i)] = trace.block(TracePos{rng.UniformInt(0, n - 1)});
+      }
+    }
+  }
+  if (fault.reorder_window > 1) {
+    Rng rng(SplitMix64(hint_seed) ^ 0x5EAFF1E0ULL);
+    for (int64_t base = 0; base < n; base += fault.reorder_window) {
+      const int64_t end = std::min(base + fault.reorder_window, n);
+      for (int64_t i = end - 1; i > base; --i) {
+        const int64_t j = rng.UniformInt(base, i);
+        std::swap(claims[static_cast<size_t>(i)], claims[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  return claims;
+}
+
 }  // namespace
 
-TraceContext::TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed)
+TraceContext::TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed,
+                           const HintFault& hint_fault)
     : trace_(trace),
       hint_coverage_(hint_coverage),
       hint_seed_(hint_seed),
+      hint_fault_(hint_fault),
       hinted_(BuildHintMask(trace, hint_coverage, hint_seed)),
+      claims_(BuildHintClaims(trace, hint_fault, hint_seed)),
       index_(trace, hinted_) {}
 
 uint64_t TraceFingerprint(const Trace& trace) {
@@ -58,10 +99,12 @@ uint64_t TraceFingerprint(const Trace& trace) {
 namespace {
 
 // Key: trace identity (address + content fingerprint + size) plus the hint
-// parameters. The fingerprint guards against a freed trace's address being
-// recycled for a different trace: address and content must both match, and
-// if they do, whatever lives at that address now is the same trace.
-using ContextKey = std::tuple<const Trace*, uint64_t, int64_t, double, uint64_t>;
+// parameters, including the corruption knobs. The fingerprint guards
+// against a freed trace's address being recycled for a different trace:
+// address and content must both match, and if they do, whatever lives at
+// that address now is the same trace.
+using ContextKey =
+    std::tuple<const Trace*, uint64_t, int64_t, double, uint64_t, double, int64_t, int64_t>;
 
 struct ContextCache {
   std::mutex mu;
@@ -78,13 +121,16 @@ ContextCache& GlobalContextCache() {
 }  // namespace
 
 std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, double hint_coverage,
-                                                       uint64_t hint_seed) {
+                                                       uint64_t hint_seed,
+                                                       const HintFault& hint_fault) {
   // An empty mask is built for any coverage >= 1.0; normalize so 1.0 and
   // copies of it share an entry.
   if (hint_coverage >= 1.0) {
     hint_coverage = 1.0;
   }
-  ContextKey key{&trace, TraceFingerprint(trace), trace.size(), hint_coverage, hint_seed};
+  ContextKey key{&trace,    TraceFingerprint(trace),      trace.size(),
+                 hint_coverage, hint_seed,                hint_fault.wrong_block_rate,
+                 hint_fault.reorder_window,               hint_fault.stale_lookahead};
   ContextCache& cache = GlobalContextCache();
   {
     std::lock_guard<std::mutex> lock(cache.mu);
@@ -96,7 +142,7 @@ std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, doubl
   // Build outside the lock: construction is the expensive part and other
   // keys should not serialize behind it. A racing builder for the same key
   // is harmless — construction is deterministic — and the first insert wins.
-  auto built = std::make_shared<const TraceContext>(trace, hint_coverage, hint_seed);
+  auto built = std::make_shared<const TraceContext>(trace, hint_coverage, hint_seed, hint_fault);
   std::lock_guard<std::mutex> lock(cache.mu);
   auto [it, inserted] = cache.entries.emplace(key, std::move(built));
   return it->second;

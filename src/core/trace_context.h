@@ -20,31 +20,45 @@
 #include <vector>
 
 #include "core/next_ref.h"
+#include "core/sim_config.h"
 #include "trace/trace.h"
 
 namespace pfc {
 
 class TraceContext {
  public:
-  // Builds the hint mask and next-reference index for the triple. With
-  // hint_coverage >= 1.0 the mask is empty ("everything hinted"), matching
-  // Simulator's historical representation.
-  TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed);
+  // Builds the hint mask, the (possibly corrupted) hint claims, and the
+  // next-reference index for the tuple. With hint_coverage >= 1.0 the mask
+  // is empty ("everything hinted"), matching Simulator's historical
+  // representation; with no static hint corruption the claims vector is
+  // empty ("the hints tell the truth").
+  TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed,
+               const HintFault& hint_fault = HintFault{});
 
   TraceContext(const TraceContext&) = delete;
   TraceContext& operator=(const TraceContext&) = delete;
 
   const Trace& trace() const { return trace_; }
   const std::vector<bool>& hinted() const { return hinted_; }
+  // What the hint source claims each reference names. Empty = truthful
+  // (trace().block(pos)); otherwise claims()[pos] is the block a prefetcher
+  // believing the hints would fetch for position pos. The next-reference
+  // index below stays built on the *true* trace: replacement decisions use
+  // real future knowledge, corruption lies only about which blocks are
+  // coming (wrong-block substitution, windowed reordering).
+  const std::vector<BlockId>& claims() const { return claims_; }
   const NextRefIndex& index() const { return index_; }
   double hint_coverage() const { return hint_coverage_; }
   uint64_t hint_seed() const { return hint_seed_; }
+  const HintFault& hint_fault() const { return hint_fault_; }
 
  private:
   const Trace& trace_;
   double hint_coverage_;
   uint64_t hint_seed_;
-  std::vector<bool> hinted_;  // empty = everything hinted
+  HintFault hint_fault_;
+  std::vector<bool> hinted_;      // empty = everything hinted
+  std::vector<BlockId> claims_;   // empty = hints are truthful
   NextRefIndex index_;
 };
 
@@ -53,13 +67,14 @@ class TraceContext {
 // contents can never alias a cached entry.
 uint64_t TraceFingerprint(const Trace& trace);
 
-// Process-wide memoized lookup: returns the shared context for the triple,
+// Process-wide memoized lookup: returns the shared context for the tuple,
 // building it on first use. Thread-safe; concurrent callers for the same key
 // receive the same pointer. Entries live for the life of the process (or
 // until ClearTraceContextCache), so the referenced traces must outlive any
 // use of the returned contexts.
 std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, double hint_coverage,
-                                                       uint64_t hint_seed);
+                                                       uint64_t hint_seed,
+                                                       const HintFault& hint_fault = HintFault{});
 
 // Drops every memoized context (for tests and long-lived tools that churn
 // through many traces).

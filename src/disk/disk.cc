@@ -30,12 +30,21 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
   DurNs nominal;
   DurNs service;
   bool failed = false;
+  FaultKind fail_kind = FaultKind::kNone;
   if (fault_ != nullptr && fault_->FailStopped(now)) {
     // A dead drive never moves the head or touches the mechanism; it just
     // times out the request.
     nominal = fault_->error_latency();
     service = nominal;
     failed = true;
+    fail_kind = FaultKind::kFailStop;
+  } else if (fault_ != nullptr && fault_->Down(now)) {
+    // Same fast rejection while the outage window is open, but the engine
+    // may re-queue the request: the disk comes back at outage_end.
+    nominal = fault_->error_latency();
+    service = nominal;
+    failed = true;
+    fail_kind = FaultKind::kOutage;
   } else {
     nominal = mechanism_->Access(r.disk_block, now);
     service = nominal;
@@ -43,6 +52,7 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
       FaultDecision d = fault_->OnAccess(now, nominal);
       service = d.service;
       failed = d.failed;
+      fail_kind = d.kind;
     }
     head_block_ = r.disk_block;
   }
@@ -55,6 +65,7 @@ std::optional<DispatchResult> Disk::TryDispatch(TimeNs now) {
   current_.nominal_service = nominal;
   current_.complete_time = now + service;
   current_.failed = failed;
+  current_.fail_kind = fail_kind;
   if (sink_ != nullptr) {
     ObsEvent e;
     e.time = now;

@@ -34,6 +34,7 @@ struct DispatchResult {
   DurNs nominal_service;   // what the mechanism alone would have taken
   TimeNs enqueue_time;
   bool failed = false;  // request errors at complete_time instead of finishing
+  FaultKind fail_kind = FaultKind::kNone;  // why, when failed
 };
 
 struct DiskStats {
@@ -63,11 +64,14 @@ class Disk {
     return fault_ != nullptr && fault_->FailStopped(now);
   }
 
+  // True while the fault model's outage window holds this disk down.
+  bool Down(TimeNs now) const { return fault_ != nullptr && fault_->Down(now); }
+
   // If the disk is free and has queued work, begins servicing the next
   // request and returns its completion record (the engine schedules the
-  // event). Returns nullopt otherwise. A fail-stopped disk still accepts
-  // dispatches but every one fails fast after error_latency — the queue
-  // must drain somewhere, and the engine decides whether to retry.
+  // event). Returns nullopt otherwise. A fail-stopped or down disk still
+  // accepts dispatches but every one fails fast after error_latency — the
+  // queue must drain somewhere, and the engine decides whether to retry.
   std::optional<DispatchResult> TryDispatch(TimeNs now);
 
   // Marks the in-service request finished. Must match the last dispatch.

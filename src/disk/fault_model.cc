@@ -30,20 +30,34 @@ FaultDecision FaultModel::OnAccess(TimeNs start, DurNs nominal) {
   if (config_.media_error_rate > 0.0 &&
       rng_.UniformDouble() < config_.media_error_rate) {
     d.failed = true;
+    d.kind = FaultKind::kMediaError;
     d.service = config_.error_latency;
-    return d;
+  } else {
+    double mult = 1.0;
+    if (config_.tail_rate > 0.0 && rng_.UniformDouble() < config_.tail_rate) {
+      mult *= config_.tail_multiplier;
+    }
+    if (disk_id_ == config_.slow_disk && start >= config_.slow_after) {
+      mult *= config_.slow_factor;
+    }
+    if (disk_id_ == config_.outage_disk && config_.rebuild_slow_factor != 1.0 &&
+        start >= config_.outage_end && start < config_.outage_end + config_.rebuild_duration) {
+      mult *= config_.rebuild_slow_factor;
+    }
+    if (mult != 1.0) {
+      d.service = std::max(
+          DurNs{1}, DurNs(static_cast<int64_t>(static_cast<double>(nominal.ns()) * mult + 0.5)));
+    }
   }
 
-  double mult = 1.0;
-  if (config_.tail_rate > 0.0 && rng_.UniformDouble() < config_.tail_rate) {
-    mult *= config_.tail_multiplier;
-  }
-  if (disk_id_ == config_.slow_disk && start >= config_.slow_after) {
-    mult *= config_.slow_factor;
-  }
-  if (mult != 1.0) {
-    d.service = std::max(
-        DurNs{1}, DurNs(static_cast<int64_t>(static_cast<double>(nominal.ns()) * mult + 0.5)));
+  // In-flight cut: a request accepted while healthy whose service crosses
+  // the outage window's opening fails at outage_start, whatever the draws
+  // above decided (they still happened, so the streams stay aligned).
+  if (disk_id_ == config_.outage_disk && config_.outage_end > config_.outage_start &&
+      start < config_.outage_start && start + d.service > config_.outage_start) {
+    d.failed = true;
+    d.kind = FaultKind::kOutage;
+    d.service = config_.outage_start - start;
   }
   return d;
 }

@@ -11,7 +11,12 @@
 //   - slow-disk degradation: from slow_after onward, one disk's service
 //     times are multiplied by slow_factor;
 //   - fail-stop: from fail_after onward, one disk completes nothing — every
-//     dispatch fails fast after error_latency.
+//     dispatch fails fast after error_latency;
+//   - outage & recovery: one disk is down over [outage_start, outage_end) —
+//     new dispatches fail fast, a request in service when the window opens
+//     is cut short at outage_start — and after recovery an optional rebuild
+//     phase multiplies its service times by rebuild_slow_factor for
+//     rebuild_duration (RAID reconstruction stand-in).
 //
 // Every stochastic choice flows through a per-disk Rng seeded from
 // (seed, disk id), so a fault configuration reproduces bit-for-bit
@@ -53,6 +58,20 @@ struct FaultConfig {
   DiskId fail_disk = kNoDisk;
   TimeNs fail_after;
 
+  // Outage & recovery: disk `outage_disk` (or kNoDisk) is down over
+  // [outage_start, outage_end). While down it rejects dispatches (fail fast
+  // after error_latency) and a request in service when the window opens is
+  // cut short at outage_start; the engine re-queues demand fetches across
+  // the window with bounded backoff and charges the wait to
+  // StallCause::kOutage. From outage_end the disk serves again, with service
+  // times multiplied by rebuild_slow_factor (>= 1) until
+  // outage_end + rebuild_duration (post-recovery rebuild).
+  DiskId outage_disk = kNoDisk;
+  TimeNs outage_start;
+  TimeNs outage_end;
+  DurNs rebuild_duration;
+  double rebuild_slow_factor = 1.0;
+
   // Seed for the per-disk fault streams.
   uint64_t seed = 1;
 
@@ -75,16 +94,29 @@ struct FaultConfig {
   // no FaultModel and perturb nothing.
   bool enabled() const {
     return media_error_rate > 0.0 || tail_rate > 0.0 ||
-           (slow_disk >= DiskId{0} && slow_factor != 1.0) || fail_disk >= DiskId{0};
+           (slow_disk >= DiskId{0} && slow_factor != 1.0) || fail_disk >= DiskId{0} ||
+           (outage_disk >= DiskId{0} && outage_end > outage_start);
   }
 
   bool operator==(const FaultConfig&) const = default;
+};
+
+// Why the fault layer failed a request. The engine branches on this:
+// media errors burn the bounded retry budget, fail-stop is permanent, and
+// outage failures are re-queued (without consuming retries) until the disk
+// recovers.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kMediaError,  // transient; retry on the same disk
+  kFailStop,    // permanent; the disk never comes back
+  kOutage,      // the disk is down but recovers at outage_end
 };
 
 // Outcome of one dispatch through the fault layer.
 struct FaultDecision {
   DurNs service;        // actual time the request occupies the drive
   bool failed = false;  // true: the request errors after `service`
+  FaultKind kind = FaultKind::kNone;  // set when failed
 };
 
 // Per-disk fault state. Owned by Disk; consulted once per dispatch.
@@ -97,11 +129,19 @@ class FaultModel {
     return config_.fail_disk == disk_id_ && now >= config_.fail_after;
   }
 
+  // True while this disk's outage window is open (it will recover).
+  bool Down(TimeNs now) const {
+    return config_.outage_disk == disk_id_ && now >= config_.outage_start &&
+           now < config_.outage_end;
+  }
+
   // Decides the fate of a request dispatched at `start` whose nominal
   // (mechanism) service time is `nominal`. Draws from the per-disk stream
   // only for mechanisms whose rate is nonzero, so zero-rate configs are
-  // inert. Callers must check FailStopped() first; a dead disk never
-  // reaches the mechanism.
+  // inert. Callers must check FailStopped() and Down() first; a dead or
+  // down disk never reaches the mechanism. A request accepted before the
+  // outage window opens is cut short at outage_start (the draws still
+  // happen, keeping the fault streams aligned across scenarios).
   FaultDecision OnAccess(TimeNs start, DurNs nominal);
 
   DurNs error_latency() const { return config_.error_latency; }

@@ -49,8 +49,9 @@ RunResult RunOne(const Trace& trace, const SimConfig& config, PolicyKind kind,
   std::unique_ptr<Policy> policy = MakePolicy(kind, options);
   // Share the memoized oracle: repeated runs over the same trace (sweeps,
   // studies, the tuner) reuse one NextRefIndex instead of rebuilding it.
-  Simulator sim(SharedTraceContext(trace, config.hint_coverage, config.hint_seed), config,
-                policy.get());
+  Simulator sim(SharedTraceContext(trace, config.hint_coverage, config.hint_seed,
+                                   config.hint_fault),
+                config, policy.get());
   return sim.Run();
 }
 

@@ -17,12 +17,16 @@ namespace pfc {
 
 namespace {
 
-using ContextKey = std::tuple<const Trace*, double, uint64_t>;
+// The hint-corruption knobs are part of the oracle key: two jobs differing
+// only in hint_fault must not share claims.
+using ContextKey = std::tuple<const Trace*, double, uint64_t, double, int64_t, int64_t>;
 using ContextMap = std::map<ContextKey, std::shared_ptr<const TraceContext>>;
 
 ContextKey KeyFor(const ExperimentJob& job) {
   const double coverage = job.config.hint_coverage >= 1.0 ? 1.0 : job.config.hint_coverage;
-  return ContextKey{job.trace, coverage, job.config.hint_seed};
+  const HintFault& h = job.config.hint_fault;
+  return ContextKey{job.trace,          coverage,         job.config.hint_seed,
+                    h.wrong_block_rate, h.reorder_window, h.stale_lookahead};
 }
 
 // Everything a job can throw — SimError from config validation, policy
@@ -95,7 +99,8 @@ std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& 
     }
     ContextKey key = KeyFor(job);
     if (contexts.find(key) == contexts.end()) {
-      contexts.emplace(key, SharedTraceContext(*job.trace, std::get<1>(key), std::get<2>(key)));
+      contexts.emplace(key, SharedTraceContext(*job.trace, std::get<1>(key), std::get<2>(key),
+                                               job.config.hint_fault));
     }
   }
 
@@ -214,6 +219,18 @@ std::string TuneKey(const Trace& trace, const TuneRequest& request) {
                   static_cast<long long>(f.retry_backoff.ns()),
                   static_cast<long long>(f.error_latency.ns()),
                   static_cast<long long>(f.recovery_penalty.ns()));
+    key += buf;
+    std::snprintf(buf, sizeof(buf), " out=%d/%lld/%lld/%lld/%a", f.outage_disk.v(),
+                  static_cast<long long>(f.outage_start.ns()),
+                  static_cast<long long>(f.outage_end.ns()),
+                  static_cast<long long>(f.rebuild_duration.ns()), f.rebuild_slow_factor);
+    key += buf;
+  }
+  if (c.hint_fault.enabled()) {
+    const HintFault& h = c.hint_fault;
+    std::snprintf(buf, sizeof(buf), " hf=%a/%lld/%lld", h.wrong_block_rate,
+                  static_cast<long long>(h.reorder_window),
+                  static_cast<long long>(h.stale_lookahead));
     key += buf;
   }
   key += " F=";

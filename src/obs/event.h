@@ -28,7 +28,8 @@ enum class StallCause : uint8_t {
   kNoBuffer = 2,       // every buffer dirty or in flight; waited for a drain
   kWriteFlush = 3,     // write stalled on durability (write-through flush)
   kFaultRecovery = 4,  // share inflicted by faults: retries, tails, recovery
-  kNumCauses = 5,
+  kOutage = 5,         // share spent waiting out a disk's outage window
+  kNumCauses = 6,
 };
 
 const char* ToString(StallCause cause);
@@ -40,10 +41,13 @@ enum class ObsEventKind : uint8_t {
   kPrefetchIssue,         // a=0; policy-issued fetch
   kPrefetchLand,          // a=service ns
   kPrefetchCancel,        // in-flight fetch abandoned (permanent fault)
-  kEvict,                 // a block's buffer was reclaimed (evict-at-issue)
+  kEvict,                 // a block's buffer was reclaimed (evict-at-issue);
+                          // flag=true when the block had a future reference
+                          // (a "live" eviction — the mis-hint failure mode)
   // Stall windows (cause carries the attribution).
   kStallBegin,  // cause=initial guess (kStallEnd is authoritative)
-  kStallEnd,    // a=duration ns, b=fault-inflicted share ns, cause=base cause
+  kStallEnd,    // a=duration ns, b=fault-inflicted share ns,
+                // c=outage-inflicted share ns, cause=base cause
   // Fault machinery (disk/fault_model.h + the engine's retry loop).
   kFaultRetry,      // a=backoff ns, b=attempt number
   kFaultPermanent,  // flag=true when the victim was a write-back flush
@@ -56,6 +60,13 @@ enum class ObsEventKind : uint8_t {
   kFlushComplete,
   // Policy annotations (label is a static string; a=policy-defined value).
   kPolicyMark,
+  // Fault lifecycle (outage windows; emitted by the engine).
+  kDiskDown,  // disk entered its outage window
+  kDiskUp,    // disk recovered (rebuild phase, if any, starts here)
+  // Mis-hint consequences: a prefetched block was reclaimed without ever
+  // being referenced (useless prefetch — wasted bandwidth and a stolen
+  // buffer).
+  kPrefetchUnused,
   kNumKinds,
 };
 
@@ -70,6 +81,7 @@ struct ObsEvent {
   BlockId block = kNoBlock;                  // kNoBlock = not block-specific
   int64_t a = 0;                             // kind-specific payload
   int64_t b = 0;                             // kind-specific payload
+  int64_t c = 0;                             // kind-specific payload
   const char* label = nullptr;               // static string; kPolicyMark only
 };
 

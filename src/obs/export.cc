@@ -81,6 +81,9 @@ std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::stri
         std::snprintf(name, sizeof(name), "stall:%s", ToString(e.cause));
         std::string args = "\"block\":" + std::to_string(e.block.v()) +
                            ",\"fault_ns\":" + std::to_string(e.b);
+        if (e.c != 0) {
+          args += ",\"outage_ns\":" + std::to_string(e.c);
+        }
         AppendChromeEvent(&out, name, "X", kAppTid, e.time - DurNs{e.a}, DurNs{e.a}, args);
         break;
       }
@@ -107,6 +110,17 @@ std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::stri
       }
       case ObsEventKind::kEvict: {
         std::snprintf(name, sizeof(name), "evict b%lld", static_cast<long long>(e.block.v()));
+        AppendChromeEvent(&out, name, "i", kAppTid, e.time, DurNs{0}, "");
+        break;
+      }
+      case ObsEventKind::kDiskDown:
+      case ObsEventKind::kDiskUp: {
+        AppendChromeEvent(&out, ToString(e.kind), "i", DiskTid(e.disk), e.time, DurNs{0}, "");
+        break;
+      }
+      case ObsEventKind::kPrefetchUnused: {
+        std::snprintf(name, sizeof(name), "%s b%lld", ToString(e.kind),
+                      static_cast<long long>(e.block.v()));
         AppendChromeEvent(&out, name, "i", kAppTid, e.time, DurNs{0}, "");
         break;
       }
@@ -142,11 +156,11 @@ std::string EventsCsvString(const std::vector<ObsEvent>& events) {
   char line[256];
   for (const ObsEvent& e : events) {
     const bool stall = e.kind == ObsEventKind::kStallBegin || e.kind == ObsEventKind::kStallEnd;
-    std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%lld,%lld,%lld,%d,%s\n",
+    std::snprintf(line, sizeof(line), "%lld,%s,%s,%d,%lld,%lld,%lld,%lld,%d,%s\n",
                   static_cast<long long>(e.time.ns()), ToString(e.kind),
                   stall ? ToString(e.cause) : "", e.disk.v(), static_cast<long long>(e.block.v()),
-                  static_cast<long long>(e.a), static_cast<long long>(e.b), e.flag ? 1 : 0,
-                  e.label != nullptr ? e.label : "");
+                  static_cast<long long>(e.a), static_cast<long long>(e.b),
+                  static_cast<long long>(e.c), e.flag ? 1 : 0, e.label != nullptr ? e.label : "");
     out += line;
   }
   return out;
@@ -223,11 +237,11 @@ Expected<std::vector<LoadedEvent>> LoadEventsCsv(const std::string& path) {
       fields.push_back(field);
     }
     // The trailing label field may be empty (getline drops it).
-    if (fields.size() == 8) {
+    if (fields.size() == 9) {
       fields.push_back("");
     }
-    if (fields.size() != 9) {
-      return Fail(path, lineno, "expected 9 fields, got " + std::to_string(fields.size()));
+    if (fields.size() != 10) {
+      return Fail(path, lineno, "expected 10 fields, got " + std::to_string(fields.size()));
     }
     LoadedEvent le;
     char* end = nullptr;
@@ -245,8 +259,9 @@ Expected<std::vector<LoadedEvent>> LoadEventsCsv(const std::string& path) {
     le.event.block = BlockId{std::strtoll(fields[4].c_str(), nullptr, 10)};
     le.event.a = std::strtoll(fields[5].c_str(), nullptr, 10);
     le.event.b = std::strtoll(fields[6].c_str(), nullptr, 10);
-    le.event.flag = fields[7] == "1";
-    le.label = fields[8];
+    le.event.c = std::strtoll(fields[7].c_str(), nullptr, 10);
+    le.event.flag = fields[8] == "1";
+    le.label = fields[9];
     events.push_back(std::move(le));
   }
   return events;

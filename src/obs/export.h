@@ -28,7 +28,7 @@
 namespace pfc {
 
 inline constexpr const char* kEventsCsvHeader =
-    "time_ns,kind,cause,disk,block,a,b,flag,label";
+    "time_ns,kind,cause,disk,block,a,b,c,flag,label";
 
 // Chrome trace_event JSON for the stream. `trace_name`/`policy_name` label
 // the process metadata row.

@@ -40,6 +40,12 @@ const char* ToString(ObsEventKind kind) {
       return "flush-complete";
     case ObsEventKind::kPolicyMark:
       return "policy-mark";
+    case ObsEventKind::kDiskDown:
+      return "disk-down";
+    case ObsEventKind::kDiskUp:
+      return "disk-up";
+    case ObsEventKind::kPrefetchUnused:
+      return "prefetch-unused";
     case ObsEventKind::kNumKinds:
       break;
   }
@@ -71,9 +77,12 @@ void ObsCollector::OnEvent(const ObsEvent& event) {
       break;
     case ObsEventKind::kEvict:
       ++report_.evictions;
+      if (event.flag) {
+        ++report_.live_evictions;
+      }
       break;
     case ObsEventKind::kStallEnd:
-      report_.stalls.AddWindow(event.cause, DurNs{event.a}, DurNs{event.b});
+      report_.stalls.AddWindow(event.cause, DurNs{event.a}, DurNs{event.b}, DurNs{event.c});
       break;
     case ObsEventKind::kFaultRetry:
       ++report_.fault_retries;
@@ -101,6 +110,15 @@ void ObsCollector::OnEvent(const ObsEvent& event) {
     case ObsEventKind::kPolicyMark:
       ++report_.policy_marks;
       break;
+    case ObsEventKind::kDiskDown:
+      ++report_.disk_downs;
+      break;
+    case ObsEventKind::kDiskUp:
+      ++report_.disk_ups;
+      break;
+    case ObsEventKind::kPrefetchUnused:
+      ++report_.prefetch_unused;
+      break;
     case ObsEventKind::kStallBegin:
     case ObsEventKind::kNumKinds:
       break;
@@ -116,10 +134,13 @@ std::shared_ptr<const ObsReport> ObsCollector::Finish(const RunResult& result) {
   report_.elapsed_ns = result.elapsed_time;
   report_.stall_ns = result.stall_time;
   report_.degraded_stall_ns = result.degraded_stall_ns;
+  report_.outage_stall_ns = result.outage_stall_ns;
 
-  // The attribution invariant: causes sum exactly to the stall bar, and the
-  // fault bucket is exactly the degraded share.
-  report_.stalls.CheckAgainst(result.stall_time, result.degraded_stall_ns);
+  // The attribution invariant: causes sum exactly to the stall bar, the
+  // fault bucket is exactly the degraded share, and the outage bucket is
+  // exactly the outage share.
+  report_.stalls.CheckAgainst(result.stall_time, result.degraded_stall_ns,
+                              result.outage_stall_ns);
 
   // The busy-interval timeline must reproduce the engine's own utilization
   // figures bit-for-bit (both are busy_ns / elapsed over the same sums).
@@ -139,8 +160,10 @@ std::string ObsReport::Summary() const {
 
   out += "stall attribution (sums exactly to the stall bar):\n";
   out += stalls.ToString();
-  std::snprintf(line, sizeof(line), "  total stall %.4fs of %.4fs elapsed (degraded %.4fs)\n",
-                NsToSec(stall_ns), NsToSec(elapsed_ns), NsToSec(degraded_stall_ns));
+  std::snprintf(line, sizeof(line),
+                "  total stall %.4fs of %.4fs elapsed (degraded %.4fs, outage %.4fs)\n",
+                NsToSec(stall_ns), NsToSec(elapsed_ns), NsToSec(degraded_stall_ns),
+                NsToSec(outage_stall_ns));
   out += line;
 
   out += "per-disk timelines:\n";
@@ -159,14 +182,17 @@ std::string ObsReport::Summary() const {
 
   std::snprintf(line, sizeof(line),
                 "events: %lld total | demand %lld/%lld | prefetch %lld issued, %lld landed, "
-                "%lld cancelled | evictions %lld | flushes %lld/%lld | faults: %lld retries, "
-                "%lld permanent, %lld recoveries | marks %lld\n",
+                "%lld cancelled, %lld unused | evictions %lld (%lld live) | flushes %lld/%lld | "
+                "faults: %lld retries, %lld permanent, %lld recoveries | outages %lld/%lld | "
+                "marks %lld\n",
                 static_cast<long long>(total_events), static_cast<long long>(demand_starts),
                 static_cast<long long>(demand_completes), static_cast<long long>(prefetch_issues),
                 static_cast<long long>(prefetch_lands), static_cast<long long>(prefetch_cancels),
-                static_cast<long long>(evictions), static_cast<long long>(flush_issues),
+                static_cast<long long>(prefetch_unused), static_cast<long long>(evictions),
+                static_cast<long long>(live_evictions), static_cast<long long>(flush_issues),
                 static_cast<long long>(flush_completes), static_cast<long long>(fault_retries),
                 static_cast<long long>(fault_permanent), static_cast<long long>(fault_recoveries),
+                static_cast<long long>(disk_downs), static_cast<long long>(disk_ups),
                 static_cast<long long>(policy_marks));
   out += line;
   return out;

@@ -39,12 +39,16 @@ struct ObsReport {
   int64_t prefetch_issues = 0;
   int64_t prefetch_lands = 0;
   int64_t prefetch_cancels = 0;
+  int64_t prefetch_unused = 0;  // landed but reclaimed without a reference
   int64_t evictions = 0;
+  int64_t live_evictions = 0;   // evicted blocks that had a future reference
   int64_t flush_issues = 0;
   int64_t flush_completes = 0;
   int64_t fault_retries = 0;
   int64_t fault_permanent = 0;
   int64_t fault_recoveries = 0;
+  int64_t disk_downs = 0;
+  int64_t disk_ups = 0;
   int64_t policy_marks = 0;
   int64_t total_events = 0;
 
@@ -52,6 +56,7 @@ struct ObsReport {
   DurNs elapsed_ns;
   DurNs stall_ns;
   DurNs degraded_stall_ns;
+  DurNs outage_stall_ns;
 
   // The raw stream; empty unless SimConfig::obs.keep_events was set.
   std::vector<ObsEvent> events;

@@ -18,19 +18,25 @@ const char* ToString(StallCause cause) {
       return "write-flush";
     case StallCause::kFaultRecovery:
       return "fault-recovery";
+    case StallCause::kOutage:
+      return "outage";
     case StallCause::kNumCauses:
       break;
   }
   return "?";
 }
 
-void StallAttribution::AddWindow(StallCause base, DurNs duration, DurNs fault_share) {
+void StallAttribution::AddWindow(StallCause base, DurNs duration, DurNs fault_share,
+                                 DurNs outage_share) {
   PFC_CHECK(base != StallCause::kFaultRecovery);
+  PFC_CHECK(base != StallCause::kOutage);
   PFC_CHECK_GT(duration, DurNs{0});
   PFC_CHECK_GE(fault_share, DurNs{0});
-  PFC_CHECK_LE(fault_share, duration);
-  buckets_[static_cast<size_t>(base)] += duration - fault_share;
+  PFC_CHECK_GE(outage_share, DurNs{0});
+  PFC_CHECK_LE(fault_share + outage_share, duration);
+  buckets_[static_cast<size_t>(base)] += duration - fault_share - outage_share;
   buckets_[static_cast<size_t>(StallCause::kFaultRecovery)] += fault_share;
+  buckets_[static_cast<size_t>(StallCause::kOutage)] += outage_share;
   ++window_counts_[static_cast<size_t>(base)];
   ++windows_;
 }
@@ -43,9 +49,11 @@ DurNs StallAttribution::total() const {
   return sum;
 }
 
-void StallAttribution::CheckAgainst(DurNs stall_time, DurNs degraded_stall_ns) const {
+void StallAttribution::CheckAgainst(DurNs stall_time, DurNs degraded_stall_ns,
+                                    DurNs outage_stall_ns) const {
   PFC_CHECK_EQ(total(), stall_time);
   PFC_CHECK_EQ(ns(StallCause::kFaultRecovery), degraded_stall_ns);
+  PFC_CHECK_EQ(ns(StallCause::kOutage), outage_stall_ns);
 }
 
 void StallAttribution::Merge(const StallAttribution& other) {

@@ -1,13 +1,15 @@
 // StallAttribution: splits RunResult::stall_time exactly by cause.
 //
 // Every stall window the engine closes produces one kStallEnd event carrying
-// the window's integer duration, its base cause, and the fault-inflicted
-// share (the same quantity RunResult::degraded_stall_ns accumulates). The
-// accumulator banks `duration - fault_share` under the base cause and
-// `fault_share` under kFaultRecovery, so the buckets sum to stall_time
-// *exactly* — an integer identity, not an approximation — and the
-// kFaultRecovery bucket equals degraded_stall_ns. CheckAgainst() asserts
-// both; ObsCollector calls it at the end of every collecting run.
+// the window's integer duration, its base cause, the fault-inflicted share
+// (the same quantity RunResult::degraded_stall_ns accumulates), and the
+// outage-inflicted share (RunResult::outage_stall_ns). The accumulator banks
+// `duration - fault_share - outage_share` under the base cause,
+// `fault_share` under kFaultRecovery and `outage_share` under kOutage, so
+// the buckets sum to stall_time *exactly* — an integer identity, not an
+// approximation — with the kFaultRecovery bucket equal to degraded_stall_ns
+// and the kOutage bucket equal to outage_stall_ns. CheckAgainst() asserts
+// all three; ObsCollector calls it at the end of every collecting run.
 
 #ifndef PFC_OBS_STALL_ATTRIBUTION_H_
 #define PFC_OBS_STALL_ATTRIBUTION_H_
@@ -25,10 +27,12 @@ class StallAttribution {
  public:
   static constexpr int kNumCauses = static_cast<int>(StallCause::kNumCauses);
 
-  // Banks one closed stall window. `fault_share` must be <= `duration`;
-  // `base` must not itself be kFaultRecovery (the fault share is carved out
-  // of the window, never the whole window's identity).
-  void AddWindow(StallCause base, DurNs duration, DurNs fault_share);
+  // Banks one closed stall window. `fault_share + outage_share` must be
+  // <= `duration`; `base` must not itself be kFaultRecovery or kOutage (the
+  // inflicted shares are carved out of the window, never the whole window's
+  // identity).
+  void AddWindow(StallCause base, DurNs duration, DurNs fault_share,
+                 DurNs outage_share = DurNs{0});
 
   DurNs ns(StallCause cause) const {
     return buckets_[static_cast<size_t>(cause)];
@@ -39,12 +43,13 @@ class StallAttribution {
     return window_counts_[static_cast<size_t>(cause)];
   }
 
-  // Asserts the exact decomposition: sum of buckets == stall_time and the
-  // kFaultRecovery bucket == degraded_stall_ns. Aborts (PFC_CHECK) on
-  // violation — a broken attribution means the engine double- or
-  // under-counted a window, which would silently corrupt every downstream
-  // timeline.
-  void CheckAgainst(DurNs stall_time, DurNs degraded_stall_ns) const;
+  // Asserts the exact decomposition: sum of buckets == stall_time, the
+  // kFaultRecovery bucket == degraded_stall_ns, and the kOutage bucket ==
+  // outage_stall_ns. Aborts (PFC_CHECK) on violation — a broken attribution
+  // means the engine double- or under-counted a window, which would silently
+  // corrupt every downstream timeline.
+  void CheckAgainst(DurNs stall_time, DurNs degraded_stall_ns,
+                    DurNs outage_stall_ns = DurNs{0}) const;
 
   void Merge(const StallAttribution& other);
 

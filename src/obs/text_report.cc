@@ -130,7 +130,8 @@ std::string RenderEventReport(const std::vector<LoadedEvent>& events, int column
   StallAttribution stalls;
   for (const LoadedEvent& le : events) {
     if (le.event.kind == ObsEventKind::kStallEnd) {
-      stalls.AddWindow(le.event.cause, DurNs{le.event.a}, DurNs{le.event.b});
+      stalls.AddWindow(le.event.cause, DurNs{le.event.a}, DurNs{le.event.b},
+                       DurNs{le.event.c});
     }
   }
   out += "\nstall attribution:\n";

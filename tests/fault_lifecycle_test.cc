@@ -1,0 +1,249 @@
+// Fault-lifecycle gate: a disk outage window (down -> rebuilding -> healthy)
+// must leave the stall accounting exactly balanced for every policy, the
+// policy down/up hooks must fire symmetrically, hint corruption must be
+// deterministic in its seed, and the contradictory fault-flag combinations
+// must be rejected by validation with a file:line diagnostic. Everything
+// here runs with the paranoid auditor on, so any internal inconsistency
+// surfaces as SimError::Invariant instead of a silently wrong total.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "core/sim_error.h"
+#include "core/trace_context.h"
+#include "harness/runner.h"
+#include "obs/obs_report.h"
+#include "obs/stall_attribution.h"
+
+namespace pfc {
+namespace {
+
+constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kDemand,          PolicyKind::kDemandLru,
+    PolicyKind::kFixedHorizon,    PolicyKind::kAggressive,
+    PolicyKind::kReverseAggressive, PolicyKind::kForestall,
+};
+
+Trace TestTrace(const char* name, int64_t prefix) {
+  Trace t = MakeTrace(name).Prefix(prefix);
+  t.set_name(name);
+  return t;
+}
+
+// An outage window chosen to land well inside the run for a 600-reference
+// cscope1 prefix, with a rebuild tail so the degraded (slow) phase is also
+// exercised.
+SimConfig OutageConfig(int num_disks) {
+  SimConfig config = BaselineConfig("cscope1", num_disks);
+  config.faults.outage_disk = DiskId{0};
+  config.faults.outage_start = TimeNs{0} + MsToNs(30);
+  config.faults.outage_end = TimeNs{0} + MsToNs(120);
+  config.faults.rebuild_duration = MsToNs(60);
+  config.faults.rebuild_slow_factor = 3.0;
+  config.paranoid = true;
+  return config;
+}
+
+// The exact balance contract across down -> up: the attribution buckets sum
+// to the stall total, the kOutage bucket reproduces outage_stall_ns, and
+// the kFaultRecovery bucket reproduces degraded_stall_ns.
+void ExpectExactBuckets(const RunResult& r, const std::string& label) {
+  EXPECT_EQ(r.elapsed_time, r.compute_time + r.driver_time + r.stall_time) << label;
+  ASSERT_NE(r.obs, nullptr) << label;
+  const StallAttribution& stalls = r.obs->stalls;
+  EXPECT_EQ(stalls.total(), r.stall_time) << label;
+  EXPECT_EQ(stalls.ns(StallCause::kOutage), r.outage_stall_ns) << label;
+  EXPECT_EQ(stalls.ns(StallCause::kFaultRecovery), r.degraded_stall_ns) << label;
+  DurNs sum;
+  for (int c = 0; c < static_cast<int>(StallCause::kNumCauses); ++c) {
+    sum = sum + stalls.ns(static_cast<StallCause>(c));
+  }
+  EXPECT_EQ(sum, r.stall_time) << label;
+}
+
+// --------------------------------------------------------------------------
+// Outage lifecycle: down -> rebuilding -> healthy, all six policies
+// --------------------------------------------------------------------------
+
+TEST(FaultLifecycle, StallBucketsBalanceExactlyForEveryPolicy) {
+  Trace trace = TestTrace("cscope1", 600);
+  for (PolicyKind kind : kAllPolicies) {
+    SimConfig config = OutageConfig(2);
+    config.obs.collect = true;
+    RunResult r = RunOne(trace, config, kind);
+    const std::string label = ToString(kind);
+    ExpectExactBuckets(r, label);
+    // The window is inside the run, so the lifecycle must complete: one
+    // down transition, one matching up transition, and the run must end
+    // after the disk has recovered.
+    EXPECT_EQ(r.obs->disk_downs, 1) << label;
+    EXPECT_EQ(r.obs->disk_ups, 1) << label;
+    EXPECT_GT(r.elapsed_time - DurNs{0}, config.faults.outage_end - TimeNs{0}) << label;
+    EXPECT_GT(r.outage_stall_ns, DurNs{0}) << label;
+  }
+}
+
+TEST(FaultLifecycle, OutageCostsTimeAgainstHealthyBaseline) {
+  Trace trace = TestTrace("cscope1", 600);
+  for (PolicyKind kind : kAllPolicies) {
+    SimConfig healthy = BaselineConfig("cscope1", 2);
+    healthy.paranoid = true;
+    RunResult base = RunOne(trace, healthy, kind);
+    RunResult out = RunOne(trace, OutageConfig(2), kind);
+    EXPECT_GE(out.elapsed_time, base.elapsed_time) << ToString(kind);
+    // Healthy runs must never report outage stall.
+    EXPECT_EQ(base.outage_stall_ns, DurNs{0}) << ToString(kind);
+  }
+}
+
+TEST(FaultLifecycle, EnginesAgreeBitForBitUnderOutage) {
+  Trace trace = TestTrace("cscope1", 400);
+  for (PolicyKind kind : kAllPolicies) {
+    DiffReport report = RunDifferential(trace, OutageConfig(2), kind);
+    EXPECT_TRUE(report.consistent) << ToString(kind) << "\n" << report.ToString();
+  }
+}
+
+TEST(FaultLifecycle, RebuildPhaseIsDegradedNotDown) {
+  // With no rebuild the disk snaps back to full speed; with a long slow
+  // rebuild the same window must cost at least as much wall time.
+  Trace trace = TestTrace("cscope1", 600);
+  SimConfig snap = OutageConfig(2);
+  snap.faults.rebuild_duration = DurNs{0};
+  snap.faults.rebuild_slow_factor = 1.0;
+  SimConfig slow = OutageConfig(2);
+  slow.faults.rebuild_duration = MsToNs(200);
+  slow.faults.rebuild_slow_factor = 8.0;
+  // Demand fetching cannot hide slow service behind prefetch pipelining,
+  // so the rebuild phase must show up as degraded stall.
+  RunResult a = RunOne(trace, snap, PolicyKind::kDemand);
+  RunResult b = RunOne(trace, slow, PolicyKind::kDemand);
+  EXPECT_GE(b.elapsed_time, a.elapsed_time);
+  EXPECT_GT(b.degraded_stall_ns, DurNs{0});
+}
+
+// --------------------------------------------------------------------------
+// Hint corruption: deterministic, engine-agreed, and observable
+// --------------------------------------------------------------------------
+
+TEST(FaultLifecycle, HintCorruptionIsDeterministicInSeed) {
+  Trace trace = TestTrace("cscope1", 300);
+  HintFault hf;
+  hf.wrong_block_rate = 0.2;
+  hf.reorder_window = 4;
+  hf.stale_lookahead = 32;
+  TraceContext a(trace, 1.0, 7, hf);
+  TraceContext b(trace, 1.0, 7, hf);
+  TraceContext other(trace, 1.0, 8, hf);
+  ASSERT_FALSE(a.claims().empty()) << "corruption enabled, claims must materialize";
+  EXPECT_EQ(a.claims(), b.claims());
+  EXPECT_NE(a.claims(), other.claims()) << "hint seeds 7 and 8 should corrupt differently";
+}
+
+TEST(FaultLifecycle, EnginesAgreeBitForBitUnderHintCorruption) {
+  Trace trace = TestTrace("cscope1", 400);
+  SimConfig config = BaselineConfig("cscope1", 2);
+  config.hint_fault.wrong_block_rate = 0.15;
+  config.hint_fault.reorder_window = 6;
+  config.hint_fault.stale_lookahead = 24;
+  config.paranoid = true;
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kForestall}) {
+    DiffReport report = RunDifferential(trace, config, kind);
+    EXPECT_TRUE(report.consistent) << ToString(kind) << "\n" << report.ToString();
+  }
+}
+
+TEST(FaultLifecycle, WrongHintsSurfaceAsUnusedPrefetches) {
+  Trace trace = TestTrace("cscope1", 600);
+  SimConfig config = BaselineConfig("cscope1", 2);
+  // A small cache forces evictions: an unused prefetch is only *observed*
+  // as wasted when its buffer is reclaimed unread.
+  config.cache_blocks = 32;
+  config.hint_fault.wrong_block_rate = 0.5;
+  config.obs.collect = true;
+  config.paranoid = true;
+  RunResult r = RunOne(trace, config, PolicyKind::kAggressive);
+  ASSERT_NE(r.obs, nullptr);
+  EXPECT_GT(r.obs->prefetch_unused, 0)
+      << "half the hints point at the wrong block; some prefetches must die unread";
+  ExpectExactBuckets(r, "aggressive+wrong-hints");
+}
+
+// --------------------------------------------------------------------------
+// Contradictory fault flags are rejected with a file:line diagnostic
+// --------------------------------------------------------------------------
+
+void ExpectRejected(const SimConfig& config, const char* needle) {
+  try {
+    ValidateSimConfig(config);
+    FAIL() << "expected SimError mentioning '" << needle << "'";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+    // The validator prefixes its file:line so the rejection points at the
+    // rule that fired.
+    EXPECT_NE(what.find("simulator.cc:"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultLifecycle, EmptyOutageWindowIsRejected) {
+  SimConfig config = BaselineConfig("cscope1", 2);
+  config.faults.outage_disk = DiskId{0};
+  config.faults.outage_start = TimeNs{0} + MsToNs(100);
+  config.faults.outage_end = TimeNs{0} + MsToNs(100);
+  ExpectRejected(config, "outage");
+}
+
+TEST(FaultLifecycle, OutageOnFailStoppedDiskIsRejected) {
+  SimConfig config = BaselineConfig("cscope1", 2);
+  config.faults.fail_disk = DiskId{0};
+  config.faults.fail_after = TimeNs{0} + MsToNs(10);
+  config.faults.outage_disk = DiskId{0};
+  config.faults.outage_start = TimeNs{0} + MsToNs(100);
+  config.faults.outage_end = TimeNs{0} + MsToNs(200);
+  ExpectRejected(config, "fail_disk");
+}
+
+TEST(FaultLifecycle, OutageBeyondTraceHorizonIsRejected) {
+  Trace trace = TestTrace("cscope1", 100);
+  SimConfig config = BaselineConfig("cscope1", 2);
+  config.faults.outage_disk = DiskId{0};
+  config.faults.outage_start = TimeNs{0} + MsToNs(1000000000);
+  config.faults.outage_end = TimeNs{0} + MsToNs(1000001000);
+  try {
+    ValidateSimConfigForTrace(config, trace);
+    FAIL() << "expected SimError: outage can never fire within the horizon";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("horizon"), std::string::npos) << e.what();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Paranoid auditor plumbing
+// --------------------------------------------------------------------------
+
+TEST(FaultLifecycle, InvariantErrorsAreGrepable) {
+  SimError e = SimError::Invariant("cache-occupancy", "resident 5 exceeds capacity 4");
+  EXPECT_NE(std::string(e.what()).find("invariant violated [cache-occupancy]"),
+            std::string::npos);
+}
+
+TEST(FaultLifecycle, ParanoidRunMatchesNonParanoidByteForByte) {
+  Trace trace = TestTrace("cscope1", 400);
+  for (PolicyKind kind : kAllPolicies) {
+    SimConfig plain = OutageConfig(2);
+    plain.paranoid = false;
+    RunResult fast = RunOne(trace, plain, kind);
+    RunResult audited = RunOne(trace, OutageConfig(2), kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(fast, audited, &why))
+        << ToString(kind) << ": the auditor must observe, never perturb";
+  }
+}
+
+}  // namespace
+}  // namespace pfc

@@ -380,9 +380,11 @@ int SelfTest() {
                  "struct S { void* sink_; void E();\n};\n"
                  "void bad() { S s; s.sink_->OnEvent(0); }\n");
   // The NOLINT'd OnFastForward call must be excused from parity; the bare
-  // OnFetchComplete one must still be flagged.
+  // OnFetchComplete one must still be flagged, and so must a fault-lifecycle
+  // hook (OnDiskDown) wired into only one engine.
   WriteFileOrDie(root / "src" / "core" / "simulator.cc",
                  "void run() { policy_->OnReference(0); policy_->OnFetchComplete(0);\n"
+                 "  policy_->OnDiskDown(0);\n"
                  "  policy_->OnFastForward(0, 1);  // NOLINT(pfc-policy-parity)\n}\n");
   WriteFileOrDie(root / "src" / "check" / "ref_sim.cc",
                  "void run() { policy->OnReference(0); }\n");
@@ -407,6 +409,15 @@ int SelfTest() {
       std::fprintf(stderr, "self-test: seeded %s violation was NOT caught\n", rule);
       ++failures;
     }
+  }
+  bool bad_disk_down = false;
+  for (const Violation& v : vs) {
+    bad_disk_down = bad_disk_down || (v.rule == "policy-parity" &&
+                                      v.message.find("OnDiskDown") != std::string::npos);
+  }
+  if (!bad_disk_down) {
+    std::fprintf(stderr, "self-test: one-engine OnDiskDown hook was NOT caught by parity\n");
+    ++failures;
   }
   for (const Violation& v : vs) {
     if (v.file.find("clean.cc") != std::string::npos ||

@@ -48,8 +48,23 @@
 //   --fault-slow-after-ms=N    slow degradation onset (sim ms)       [0]
 //   --fault-fail-disk=N        disk that fail-stops (-1 = none)      [-1]
 //   --fault-fail-after-ms=N    fail-stop time (sim ms)               [0]
+//   --fault-outage-disk=N      disk with an outage window (-1 = none) [-1]
+//   --fault-outage-start-ms=N  outage window opens (sim ms)          [0]
+//   --fault-outage-end-ms=N    outage window closes (sim ms)         [0]
+//   --fault-rebuild-ms=N       post-recovery rebuild phase length    [0]
+//   --fault-rebuild-factor=F   service multiplier while rebuilding   [1]
 //   --fault-seed=N             fault stream seed                     [1]
 //   --fault-max-retries=N      retry bound per request               [4]
+//
+// Hint corruption (see HintFault in core/sim_config.h; all off by default;
+// reverse aggressive refuses corrupted hints):
+//   --hint-fault-wrong-rate=F     P(hint claims the wrong block)     [0]
+//   --hint-fault-reorder-window=N shuffle hints within windows of N  [0]
+//   --hint-fault-stale-lookahead=N hints visible only N refs ahead   [0]
+//
+// Debugging:
+//   --paranoid             audit engine invariants after every event (slow;
+//                          throws a typed SimError naming any violation)
 //
 // Exit codes: 0 success; 1 runtime error (unreadable/corrupt trace file,
 // failed experiment job, unwritable CSV); 2 usage error (bad flag or value).
@@ -87,7 +102,9 @@ struct Flags {
   std::string csv;
   std::string events_out;
   bool help = false;
+  bool paranoid = false;
   pfc::FaultConfig faults;
+  pfc::HintFault hint_fault;
 };
 
 bool ParseDisks(const std::string& value, std::vector<int>* out) {
@@ -236,6 +253,42 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     flags->faults.fail_after = pfc::TimeNs{0} + pfc::MsToNs(static_cast<double>(std::atoll(v)));
     return flags->faults.fail_after >= pfc::TimeNs{0};
   }
+  if (const char* v = value_of("--fault-outage-disk")) {
+    flags->faults.outage_disk = pfc::DiskId{std::atoi(v)};
+    return true;
+  }
+  if (const char* v = value_of("--fault-outage-start-ms")) {
+    flags->faults.outage_start = pfc::TimeNs{0} + pfc::MsToNs(static_cast<double>(std::atoll(v)));
+    return flags->faults.outage_start >= pfc::TimeNs{0};
+  }
+  if (const char* v = value_of("--fault-outage-end-ms")) {
+    flags->faults.outage_end = pfc::TimeNs{0} + pfc::MsToNs(static_cast<double>(std::atoll(v)));
+    return flags->faults.outage_end >= pfc::TimeNs{0};
+  }
+  if (const char* v = value_of("--fault-rebuild-ms")) {
+    flags->faults.rebuild_duration = pfc::MsToNs(static_cast<double>(std::atoll(v)));
+    return flags->faults.rebuild_duration >= pfc::DurNs{0};
+  }
+  if (const char* v = value_of("--fault-rebuild-factor")) {
+    flags->faults.rebuild_slow_factor = std::atof(v);
+    return flags->faults.rebuild_slow_factor >= 1.0;
+  }
+  if (const char* v = value_of("--hint-fault-wrong-rate")) {
+    flags->hint_fault.wrong_block_rate = std::atof(v);
+    return flags->hint_fault.wrong_block_rate >= 0 && flags->hint_fault.wrong_block_rate <= 1.0;
+  }
+  if (const char* v = value_of("--hint-fault-reorder-window")) {
+    flags->hint_fault.reorder_window = std::atoll(v);
+    return flags->hint_fault.reorder_window >= 0;
+  }
+  if (const char* v = value_of("--hint-fault-stale-lookahead")) {
+    flags->hint_fault.stale_lookahead = std::atoll(v);
+    return flags->hint_fault.stale_lookahead >= 0;
+  }
+  if (arg == "--paranoid") {
+    flags->paranoid = true;
+    return true;
+  }
   if (const char* v = value_of("--fault-seed")) {
     flags->faults.seed = std::strtoull(v, nullptr, 10);
     return true;
@@ -378,13 +431,24 @@ int main(int argc, char** argv) {
     config.write_through = flags.write_through;
     config.fast_forward = flags.fast_forward;
     config.faults = flags.faults;
+    config.hint_fault = flags.hint_fault;
+    config.paranoid = flags.paranoid;
     // --events-out needs the raw stream; plain runs skip collection.
     config.obs.collect = !flags.events_out.empty();
     config.obs.keep_events = config.obs.collect;
+    // Beyond the per-config checks RunExperiments performs, diagnose fault
+    // onsets the trace can never reach (a ms/ns units mistake) up front.
+    try {
+      pfc::ValidateSimConfigForTrace(config, trace);
+    } catch (const pfc::SimError& e) {
+      std::fprintf(stderr, "pfc_sim: %s\n", e.what());
+      return 2;
+    }
     for (pfc::PolicyKind kind : kinds) {
       if (kind == pfc::PolicyKind::kReverseAggressive &&
-          (flags.hint_coverage < 1.0 || trace.WriteCount() > 0)) {
-        continue;  // offline schedule needs full hints and a read-only trace
+          (flags.hint_coverage < 1.0 || trace.WriteCount() > 0 ||
+           flags.hint_fault.enabled())) {
+        continue;  // offline schedule needs full, truthful hints and reads only
       }
       grid.push_back(pfc::ExperimentJob{&trace, config, kind, options});
     }
@@ -399,10 +463,14 @@ int main(int argc, char** argv) {
   std::vector<pfc::RunResult> results = pfc::RunExperiments(grid, flags.jobs);
 
   const bool faulty = flags.faults.enabled();
+  const bool outage = flags.faults.outage_disk >= pfc::DiskId{0};
   std::printf("%-6s %-20s %10s %10s %10s %10s %9s %8s %6s", "disks", "policy", "elapsed(s)",
               "cpu(s)", "driver(s)", "stall(s)", "fetches", "flushes", "util");
   if (faulty) {
     std::printf(" %8s %7s %9s", "retries", "failed", "degr(s)");
+  }
+  if (outage) {
+    std::printf(" %9s", "outage(s)");
   }
   std::printf("\n");
   for (const pfc::RunResult& r : results) {
@@ -413,6 +481,9 @@ int main(int argc, char** argv) {
     if (faulty) {
       std::printf(" %8lld %7lld %9.3f", static_cast<long long>(r.retries),
                   static_cast<long long>(r.failed_requests), r.degraded_stall_sec());
+    }
+    if (outage) {
+      std::printf(" %9.3f", r.outage_stall_sec());
     }
     std::printf("\n");
   }

@@ -56,8 +56,16 @@ int main(int argc, char** argv) {
 
   pfc::Expected<std::vector<pfc::LoadedEvent>> events = pfc::LoadEventsCsv(path);
   if (!events.ok()) {
+    // Covers truncated and garbled files too: LoadEventsCsv diagnoses the
+    // first bad row with file:line, so the tool exits with one clean line
+    // instead of rendering tables from half a stream.
     std::fprintf(stderr, "pfc_trace_report: %s\n", events.error().c_str());
     return 1;
+  }
+  if (events.value().empty()) {
+    std::printf("pfc_trace_report: %s: no events (header-only stream) — nothing to report\n",
+                path.c_str());
+    return 0;
   }
   std::fputs(pfc::RenderEventReport(events.value(), columns).c_str(), stdout);
   return 0;

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target fault_test runner_test simulator_test obs_test \
-    check_test fault_cancel_test -j "$(nproc)"
+    check_test fault_cancel_test predict_test prefetch_accounting_test -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -27,4 +27,10 @@ PFC_JOBS=4 "$BUILD_DIR"/tests/runner_test --gtest_color=yes
 # be returned, never leaked, when a disk fail-stops mid-run.
 "$BUILD_DIR"/tests/check_test --gtest_color=yes
 "$BUILD_DIR"/tests/fault_cancel_test --gtest_color=yes
-echo "ASan/UBSan: fault, runner, simulator, obs, and differential tests clean."
+# The prediction suites (ctest label "predict"): predictor tables grow
+# per-observation and the prefetch ledger reconciles in-flight state at
+# end of run — fresh allocation/teardown paths for ASan, and the flat
+# successor tables index arithmetic for UBSan.
+"$BUILD_DIR"/tests/predict_test --gtest_color=yes
+"$BUILD_DIR"/tests/prefetch_accounting_test --gtest_color=yes
+echo "ASan/UBSan: fault, runner, simulator, obs, differential, and predict tests clean."

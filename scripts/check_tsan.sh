@@ -9,7 +9,8 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DPFC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target runner_test obs_test check_test fast_forward_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target runner_test obs_test check_test fast_forward_test \
+    predict_test prefetch_accounting_test -j "$(nproc)"
 
 # PFC_JOBS=4 forces the thread pool on even on single-core machines, so the
 # sanitizer actually sees concurrent workers.
@@ -27,4 +28,11 @@ TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
     "$BUILD_DIR"/tests/check_test --gtest_color=yes
 TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
     "$BUILD_DIR"/tests/fast_forward_test --gtest_color=yes
-echo "TSan: runner determinism, obs, differential, and fast-forward tests clean."
+# The prediction suites (ctest label "predict"): predictor tables and the
+# materialized claim streams are built once per TraceContext and shared
+# read-only across workers — TSan must see that sharing stay read-only.
+TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
+    "$BUILD_DIR"/tests/predict_test --gtest_color=yes
+TSAN_OPTIONS="halt_on_error=1" PFC_JOBS=4 \
+    "$BUILD_DIR"/tests/prefetch_accounting_test --gtest_color=yes
+echo "TSan: runner determinism, obs, differential, fast-forward, and predict tests clean."

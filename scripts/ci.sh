@@ -61,13 +61,22 @@ echo "== tier 2: throughput smoke =="
 # of this repo, and a silent 2x slowdown would otherwise ship green.
 build/bench/bench_throughput --smoke --baseline=bench/throughput_baseline.json
 
+echo "== tier 2: hint-quality smoke =="
+# Two-trace sweep of every policy x hint-quality cell (oracle, partial
+# coverage, stale hints, the three online predictors, hintless). Gates the
+# ordering invariants exactly — full oracle <= every degraded cell <=
+# hintless <= matched demand per policy — and pins hintless == demand
+# bit-for-bit. Exit 1 on any violation.
+build/bench/bench_hint_quality --smoke
+
 echo "== tier 2: differential fuzz smoke =="
 # Seeds 1:600 through both engines (optimized Simulator vs RefSim), exact
 # agreement required; --smoke caps the wall clock at 30 seconds. The scenario
-# generator now also draws disk-outage windows (with rebuild tails) and
-# hint-corruption knobs, all under the paranoid auditor, so this gate covers
-# the full fault lifecycle. A divergence shrinks to a minimal .repro in
-# build/fuzz/ and fails the gate.
+# generator now also draws disk-outage windows (with rebuild tails),
+# hint-corruption knobs, and online-predictor configs (sequential / markov /
+# temporal / hintless with drawn lookaheads), all under the paranoid auditor,
+# so this gate covers the full fault lifecycle and the prediction subsystem.
+# A divergence shrinks to a minimal .repro in build/fuzz/ and fails the gate.
 mkdir -p build/fuzz
 build/tools/pfc_fuzz --seed-range 1:600 --smoke --out build/fuzz | tail -1
 

@@ -37,6 +37,21 @@ std::string D(double v) {
   return buf;
 }
 
+// The shared oracle must be built from a validated config: an invalid
+// predictor setup has to surface as the engines' SimError (both-throw
+// agreement), not as a PFC_CHECK abort inside the hint-stream builder. When
+// validation rejects the config, fall back to the oracle predictor — the
+// engines throw at construction before they ever compare the context's
+// predictor against the config's.
+PredictorConfig ContextPredictor(const SimConfig& config) {
+  try {
+    ValidateSimConfig(config);
+  } catch (const SimError&) {
+    return PredictorConfig{};
+  }
+  return config.predictor;
+}
+
 }  // namespace
 
 bool ResultsExactlyEqual(const RunResult& a, const RunResult& b,
@@ -62,6 +77,12 @@ bool ResultsExactlyEqual(const RunResult& a, const RunResult& b,
   check_int("dirty_at_end", a.dirty_at_end, b.dirty_at_end);
   check_int("retries", a.retries, b.retries);
   check_int("failed_requests", a.failed_requests, b.failed_requests);
+  check_int("prefetch_issued", a.prefetch_issued, b.prefetch_issued);
+  check_int("prefetch_filled", a.prefetch_filled, b.prefetch_filled);
+  check_int("prefetch_failed", a.prefetch_failed, b.prefetch_failed);
+  check_int("prefetch_useful", a.prefetch_useful, b.prefetch_useful);
+  check_int("prefetch_useless", a.prefetch_useless, b.prefetch_useless);
+  check_int("prefetch_late", a.prefetch_late, b.prefetch_late);
   check_int("compute_time", a.compute_time.ns(), b.compute_time.ns());
   check_int("driver_time", a.driver_time.ns(), b.driver_time.ns());
   check_int("stall_time", a.stall_time.ns(), b.stall_time.ns());
@@ -87,7 +108,8 @@ RunResult RunRefSim(const Trace& trace, const SimConfig& config, PolicyKind kind
                     const PolicyOptions& options) {
   SimConfig cfg = config;
   cfg.obs = ObsOptions{};
-  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed, cfg.hint_fault);
+  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed, cfg.hint_fault,
+                       ContextPredictor(cfg));
   std::unique_ptr<Policy> policy = MakePolicy(kind, options);
   RefSim ref(context, cfg, policy.get());
   return ref.Run();
@@ -103,7 +125,8 @@ DiffReport RunDifferential(const Trace& trace, const SimConfig& config, PolicyKi
   cfg.paranoid = true;
 
   // One shared oracle, two engines, two fresh policy instances.
-  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed, cfg.hint_fault);
+  TraceContext context(trace, cfg.hint_coverage, cfg.hint_seed, cfg.hint_fault,
+                       ContextPredictor(cfg));
 
   try {
     std::unique_ptr<Policy> policy = MakePolicy(kind, options);

@@ -201,6 +201,19 @@ FuzzScenario GenScenario(uint64_t seed) {
       h.stale_lookahead = rng.UniformInt(4, 64);
     }
   }
+
+  // Online predictor, likewise appended to the draw stream so pre-existing
+  // seeds keep their scenarios. The degradation axes are mutually exclusive
+  // (ValidateSimConfig rejects combinations), so drawing a predictor clears
+  // hint corruption and restores full coverage; reverse aggressive refuses
+  // predictors by design and never draws one.
+  if (s.policy != PolicyKind::kReverseAggressive && rng.UniformInt(0, 9) >= 7) {
+    PredictorConfig& p = c.predictor;
+    p.kind = static_cast<PredictorKind>(rng.UniformInt(1, 4));  // kNone..kTemporal
+    p.lookahead = p.kind == PredictorKind::kNone ? 0 : rng.UniformInt(1, 16);
+    c.hint_fault = HintFault{};
+    c.hint_coverage = 1.0;
+  }
   return s;
 }
 
@@ -368,6 +381,15 @@ FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
         TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.hint_fault.stale_lookahead = 0; })) {
       progress = true;
     }
+    if (s.config.predictor.enabled() &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.predictor = PredictorConfig{}; })) {
+      progress = true;
+    }
+    if (s.config.predictor.lookahead > 1 && TryReduce(&s, &steps, [](FuzzScenario& c) {
+          c.config.predictor.lookahead = std::max<int64_t>(1, c.config.predictor.lookahead / 2);
+        })) {
+      progress = true;
+    }
 
     // Knob simplifications.
     if (s.config.hint_coverage < 1.0 &&
@@ -470,6 +492,9 @@ std::string SerializeScenario(const FuzzScenario& s) {
     const HintFault& h = c.hint_fault;
     out << "hint_fault " << FmtDouble(h.wrong_block_rate) << " " << h.reorder_window << " "
         << h.stale_lookahead << "\n";
+  }
+  if (c.predictor.enabled()) {
+    out << "predictor " << ToString(c.predictor.kind) << " " << c.predictor.lookahead << "\n";
   }
   out << "refs " << s.refs.size() << "\n";
   for (const TraceEntry& e : s.refs) {
@@ -612,6 +637,20 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
     } else if (key == "hint_fault") {
       ls >> c.hint_fault.wrong_block_rate >> c.hint_fault.reorder_window >>
           c.hint_fault.stale_lookahead;
+    } else if (key == "predictor") {
+      std::string token;
+      ls >> token >> c.predictor.lookahead;
+      bool found = false;
+      for (int i = 0; i <= static_cast<int>(PredictorKind::kTemporal); ++i) {
+        if (token == ToString(static_cast<PredictorKind>(i))) {
+          c.predictor.kind = static_cast<PredictorKind>(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return fail("unknown predictor '" + token + "'");
+      }
     } else if (key == "refs") {
       size_t n = 0;
       ls >> n;

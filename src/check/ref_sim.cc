@@ -71,6 +71,8 @@ RefSim::RefSim(const TraceContext& context, const SimConfig& config, Policy* pol
                 "TraceContext hint_seed does not match SimConfig");
   PFC_CHECK_MSG(context.hint_fault() == config.hint_fault,
                 "TraceContext hint_fault does not match SimConfig");
+  PFC_CHECK_MSG(context.predictor() == config.predictor,
+                "TraceContext predictor does not match SimConfig");
   disks_.resize(static_cast<size_t>(config.num_disks));
   for (int i = 0; i < config.num_disks; ++i) {
     RefDisk& d = disks_[static_cast<size_t>(i)];
@@ -415,6 +417,14 @@ bool RefSim::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
     }
     cache_.StartFetchWithEviction(block, evict);
   }
+  if (evict != Engine::kNoEvict && ListErase(prefetch_pending_, evict)) {
+    // The evicted block was prefetched and never referenced: wasted fetch.
+    ++prefetch_useless_;
+  }
+  if (!demand) {
+    ++prefetch_issued_;
+    ListInsert(prefetch_inflight_, block);
+  }
   Enqueue(loc.disk, block, loc.disk_block, next_seq_++);
   ++fetches_;
   pending_driver_ += config_.driver_overhead;
@@ -483,6 +493,12 @@ void RefSim::ApplyNextEventImpl() {
                                   ? cursor_
                                   : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
+    if (ListErase(prefetch_inflight_, ev.block)) {
+      // A prefetch the application ended up stalled on, synthesized after
+      // the recovery penalty: it filled, but too late to hide the stall.
+      ++prefetch_filled_;
+      ++prefetch_late_;
+    }
     policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     return;
   }
@@ -516,6 +532,16 @@ void RefSim::ApplyNextEventImpl() {
                                     ? cursor_
                                     : context_.index().NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
+      if (ListErase(prefetch_inflight_, ev.block)) {
+        ++prefetch_filled_;
+        if (waiting_block_ == ev.block) {
+          // Landed while the application was already stalled on it: the
+          // fetch was right but too late to hide the stall.
+          ++prefetch_late_;
+        } else {
+          ListInsert(prefetch_pending_, ev.block);
+        }
+      }
       policy_->OnFetchComplete(*this, ev.disk, ev.block, ev.service);
     }
   }
@@ -579,6 +605,9 @@ void RefSim::HandleFailedRequest(const Event& ev) {
   } else {
     EraseFaultDelay(ev.block);
     cache_.CancelFetch(ev.block);
+    if (ListErase(prefetch_inflight_, ev.block)) {
+      ++prefetch_failed_;
+    }
     policy_->OnFetchFailed(*this, ev.disk, ev.block);
   }
 }
@@ -618,6 +647,9 @@ void RefSim::HandleOutageFailure(const Event& ev) {
   EraseOutageDelay(ev.block);
   EraseFaultDelay(ev.block);
   cache_.CancelFetch(ev.block);
+  if (ListErase(prefetch_inflight_, ev.block)) {
+    ++prefetch_failed_;
+  }
   policy_->OnFetchFailed(*this, ev.disk, ev.block);
 }
 
@@ -741,6 +773,11 @@ void RefSim::ServeWrite(TracePos pos, BlockId block) {
     if (cache_.present_count() > 0) {
       const BlockId victim = policy_->ChooseDemandEviction(*this, block);
       cache_.EvictClean(victim);
+      if (ListErase(prefetch_pending_, victim)) {
+        // Evicted to make room for the write buffer before its reference
+        // arrived: the prefetch was wasted.
+        ++prefetch_useless_;
+      }
       continue;
     }
     if (flush_in_flight_.empty()) {
@@ -851,6 +888,11 @@ RunResult RefSim::Run() {
     }
 
     const BlockId block = trace_.block(pos);
+    if (ListErase(prefetch_pending_, block)) {
+      // The reference consumes the block: the prefetch that brought it in
+      // paid off (and is no longer a candidate "unused" fetch).
+      ++prefetch_useful_;
+    }
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
       // Write-through only: a policy prefetch issued while ServeWrite waited
@@ -891,6 +933,15 @@ RunResult RefSim::Run() {
     pending_driver_ = DurNs{0};
   }
 
+  // Reconcile the prefetch ledger at end of trace: a fetch still in flight
+  // never filled (it joins the failed bucket), and a filled block never
+  // referenced was useless. After this both balances hold with the
+  // in-flight/pending terms zero.
+  prefetch_failed_ += static_cast<int64_t>(prefetch_inflight_.size());
+  prefetch_useless_ += static_cast<int64_t>(prefetch_pending_.size());
+  prefetch_inflight_.clear();
+  prefetch_pending_.clear();
+
   RunResult result;
   result.trace_name = trace_.name();
   result.policy_name = policy_->name();
@@ -902,6 +953,12 @@ RunResult RefSim::Run() {
   result.dirty_at_end = cache_.dirty_count();
   result.retries = retries_;
   result.failed_requests = failed_requests_;
+  result.prefetch_issued = prefetch_issued_;
+  result.prefetch_filled = prefetch_filled_;
+  result.prefetch_failed = prefetch_failed_;
+  result.prefetch_useful = prefetch_useful_;
+  result.prefetch_useless = prefetch_useless_;
+  result.prefetch_late = prefetch_late_;
   result.compute_time = compute_total_;
   result.driver_time = driver_total_;
   result.stall_time = stall_total_;
@@ -981,6 +1038,22 @@ void RefSim::AuditInvariants() const {
         "flush-outstanding",
         "per-disk outstanding flush counters sum to " + std::to_string(outstanding) + " but " +
             std::to_string(flush_in_flight_.size()) + " flushes are in flight");
+  }
+  // Prefetch ledger balances: every issued prefetch is filled, failed, or
+  // still in flight; every filled prefetch is useful, useless, late, or
+  // still awaiting its reference.
+  if (prefetch_issued_ != prefetch_filled_ + prefetch_failed_ +
+                              static_cast<int64_t>(prefetch_inflight_.size()) ||
+      prefetch_filled_ != prefetch_useful_ + prefetch_useless_ + prefetch_late_ +
+                              static_cast<int64_t>(prefetch_pending_.size())) {
+    throw SimError::Invariant(
+        "prefetch-balance",
+        "issued " + std::to_string(prefetch_issued_) + " != filled " +
+            std::to_string(prefetch_filled_) + " + failed " + std::to_string(prefetch_failed_) +
+            " + inflight " + std::to_string(prefetch_inflight_.size()) + ", or filled != useful " +
+            std::to_string(prefetch_useful_) + " + useless " + std::to_string(prefetch_useless_) +
+            " + late " + std::to_string(prefetch_late_) + " + pending " +
+            std::to_string(prefetch_pending_.size()));
   }
 }
 

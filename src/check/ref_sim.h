@@ -79,7 +79,7 @@ class RefSim : public Engine {
            (disk.fault->FailStopped(sim_now_) || disk.fault->Down(sim_now_));
   }
   bool Hinted(TracePos pos) const override {
-    const int64_t lookahead = config_.hint_fault.stale_lookahead;
+    const int64_t lookahead = config_.hint_lookahead();
     if (lookahead > 0 && pos > cursor_ + lookahead) {
       return false;
     }
@@ -87,7 +87,8 @@ class RefSim : public Engine {
     return hinted.empty() || hinted[static_cast<size_t>(pos.v())];
   }
   bool FullyHinted() const override {
-    return context_.hinted().empty() && !config_.hint_fault.enabled();
+    return context_.hinted().empty() && !config_.hint_fault.enabled() &&
+           !config_.predictor.enabled();
   }
   BlockId HintedBlock(TracePos pos) const override {
     const std::vector<BlockId>& claims = context_.claims();
@@ -214,6 +215,16 @@ class RefSim : public Engine {
   int down_disks_ = 0;
   int64_t retries_ = 0;
   int64_t failed_requests_ = 0;
+  // Prefetch-quality ledger, naive edition: the same lifecycle the optimized
+  // engine tracks with FlatSets, re-coded over linear-scan block lists.
+  std::vector<BlockId> prefetch_inflight_;  // issued, not yet landed/failed
+  std::vector<BlockId> prefetch_pending_;   // landed, not yet referenced
+  int64_t prefetch_issued_ = 0;
+  int64_t prefetch_filled_ = 0;
+  int64_t prefetch_failed_ = 0;
+  int64_t prefetch_useful_ = 0;
+  int64_t prefetch_useless_ = 0;
+  int64_t prefetch_late_ = 0;
   DurNs degraded_stall_;
   DurNs outage_stall_;
   int64_t events_processed_ = 0;

@@ -40,7 +40,7 @@ void MissingTracker::AdvanceTo(TracePos cursor) {
   // Admit newly visible positions. Undisclosed references are invisible to
   // the prefetcher (partial-hints mode) and writes never need a fetch.
   TracePos end = std::min(cursor + window_, TracePos{sim_.trace().size()});
-  const int64_t stale = sim_.config().hint_fault.stale_lookahead;
+  const int64_t stale = sim_.config().hint_lookahead();
   if (stale > 0) {
     // Stale hints: positions past cursor + stale are undisclosed *for now*
     // and become visible as the cursor advances, so the admission high-water

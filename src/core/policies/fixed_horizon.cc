@@ -61,7 +61,7 @@ void FixedHorizonPolicy::OnReference(Engine& sim, TracePos pos) {
   // edge, so the scan high-water mark cannot pass positions that only
   // become visible as the cursor advances.
   TracePos end = std::min(pos + horizon_, TracePos{sim.trace().size() - 1});
-  const int64_t stale = sim.config().hint_fault.stale_lookahead;
+  const int64_t stale = sim.config().hint_lookahead();
   if (stale > 0) {
     end = std::min(end, pos + stale);
   }

@@ -28,6 +28,12 @@ void ReverseAggressivePolicy::Init(Engine& sim) {
         "(SimConfig::hint_fault) — its schedule is built from the exact "
         "reference sequence");
   }
+  if (sim.config().predictor.enabled()) {
+    throw SimError(
+        "reverse aggressive is offline and cannot run from an online "
+        "predictor's claims (SimConfig::predictor) — its schedule is built "
+        "from the exact reference sequence");
+  }
   if (!sim.FullyHinted()) {
     throw SimError(
         "reverse aggressive is offline and requires full advance knowledge "

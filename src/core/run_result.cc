@@ -26,6 +26,17 @@ std::string RunResult::ToString() const {
     std::snprintf(buf, sizeof(buf), " outage_stall=%.3fs", outage_stall_sec());
     out += buf;
   }
+  // Only prefetching runs carry the quality ledger; demand-only output is
+  // unchanged.
+  if (prefetch_issued != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " prefetch issued=%lld filled=%lld failed=%lld (useful %lld useless %lld "
+                  "late %lld)",
+                  static_cast<long long>(prefetch_issued), static_cast<long long>(prefetch_filled),
+                  static_cast<long long>(prefetch_failed), static_cast<long long>(prefetch_useful),
+                  static_cast<long long>(prefetch_useless), static_cast<long long>(prefetch_late));
+    out += buf;
+  }
   return out;
 }
 

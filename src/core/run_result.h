@@ -29,6 +29,20 @@ struct RunResult {
   int64_t retries = 0;          // failed attempts that were re-issued
   int64_t failed_requests = 0;  // requests abandoned after the retry bound
 
+  // Prefetch-quality ledger (all zero on a demand-only run). Exact balances,
+  // enforced by the paranoid auditor and re-checked by ObsCollector::Finish:
+  //   issued == filled + failed
+  //   filled == useful + useless + late
+  // `late` fetched the right block but landed only after the application had
+  // already stalled on it; `useless` landed and was evicted (or the run
+  // ended) before its reference arrived.
+  int64_t prefetch_issued = 0;
+  int64_t prefetch_filled = 0;
+  int64_t prefetch_failed = 0;
+  int64_t prefetch_useful = 0;
+  int64_t prefetch_useless = 0;
+  int64_t prefetch_late = 0;
+
   DurNs compute_time;  // sum of (scaled) inter-reference compute times
   DurNs driver_time;   // fetches * driver_overhead
   DurNs stall_time;    // processor idle, waiting on I/O

@@ -47,6 +47,47 @@ struct HintFault {
   bool operator==(const HintFault&) const = default;
 };
 
+// Which hint source feeds the prefetcher (src/predict). kOracle is the
+// paper's setting: hints come from the trace itself (possibly thinned by
+// hint_coverage or corrupted by hint_fault). Everything else replaces the
+// oracle with an *online* source: the claimed-hint stream is exactly what a
+// predictor that has observed references [0, cursor] would emit, while the
+// replacement oracle stays truthful (the PR-7 claims-vs-truth split).
+enum class PredictorKind : uint8_t {
+  kOracle = 0,      // offline hints from the trace (default)
+  kNone,            // hintless: no hints at all, replacement falls back to LRU
+  kSequential,      // readahead: predicts block b+1 after observing b
+  kMarkov,          // Pangloss-style first-order most-frequent-successor chain
+  kTemporal,        // ISB/Domino-style (prev, cur) -> last-seen successor
+};
+
+// Online-prediction configuration. `lookahead` is how many one-step
+// predictions are chained past the observed reference to place the claim —
+// the predictor's bounded horizon (it also bounds Hinted() just like
+// HintFault::stale_lookahead bounds the corrupted oracle). Mutually
+// exclusive with hint_fault and with hint_coverage < 1: the degradation
+// axes are oracle-thinning OR oracle-corruption OR online prediction, never
+// stacked (ValidateSimConfig rejects combinations).
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::kOracle;
+  int64_t lookahead = 0;  // required > 0 for kSequential/kMarkov/kTemporal
+
+  bool enabled() const { return kind != PredictorKind::kOracle; }
+
+  bool operator==(const PredictorConfig&) const = default;
+};
+
+inline const char* ToString(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kOracle: return "oracle";
+    case PredictorKind::kNone: return "none";
+    case PredictorKind::kSequential: return "sequential";
+    case PredictorKind::kMarkov: return "markov";
+    case PredictorKind::kTemporal: return "temporal";
+  }
+  return "?";
+}
+
 struct SimConfig {
   // Cache capacity in 8 KB blocks. The paper uses 1280 (10 MB) for most
   // traces and 512 (4 MB) for dinero and cscope1 (section 3.1).
@@ -85,6 +126,19 @@ struct SimConfig {
   // default; reverse aggressive requires truthful hints and refuses to run
   // when any knob is set.
   HintFault hint_fault;
+
+  // Online hint prediction (see PredictorConfig above and src/predict).
+  // Default kOracle keeps the paper's offline hints; any other kind swaps
+  // the hint stream for a learned one and forbids hint_fault / partial
+  // coverage (ValidateSimConfig enforces the exclusion).
+  PredictorConfig predictor;
+
+  // The prefetcher's visibility bound past the cursor, regardless of which
+  // degradation axis imposed it: a real predictor's chained-prediction
+  // horizon, or the corrupted oracle's stale_lookahead. 0 = unlimited.
+  int64_t hint_lookahead() const {
+    return predictor.enabled() ? predictor.lookahead : hint_fault.stale_lookahead;
+  }
 
   // Write extension (the paper's future-work item). false = write-behind:
   // writes complete immediately into a dirty buffer and are flushed in the

@@ -21,6 +21,8 @@ void CheckContextMatches(const TraceContext& context, const SimConfig& config) {
                 "TraceContext hint_seed does not match SimConfig");
   PFC_CHECK_MSG(context.hint_fault() == config.hint_fault,
                 "TraceContext hint_fault does not match SimConfig");
+  PFC_CHECK_MSG(context.predictor() == config.predictor,
+                "TraceContext predictor does not match SimConfig");
 }
 
 [[noreturn]] void FailConfigAt(const char* file, int line, const std::string& what) {
@@ -124,6 +126,36 @@ void ValidateSimConfig(const SimConfig& config) {
   if (h.stale_lookahead < 0) {
     FailConfig("hint_fault.stale_lookahead must be non-negative");
   }
+  const PredictorConfig& p = config.predictor;
+  if (static_cast<int>(p.kind) > static_cast<int>(PredictorKind::kTemporal)) {
+    FailConfig("predictor.kind is out of range (got " +
+               std::to_string(static_cast<int>(p.kind)) + ")");
+  }
+  if (p.lookahead < 0) {
+    FailConfig("predictor.lookahead must be non-negative");
+  }
+  if (p.enabled()) {
+    // The degradation axes are exclusive: a predictor *replaces* the hint
+    // stream, so thinning or corrupting the oracle at the same time would
+    // study two contradictory hint sources in one run.
+    if (config.hint_fault.enabled()) {
+      FailConfig("predictor (" + std::string(ToString(p.kind)) +
+                 ") and hint_fault are both set: pick one hint-degradation axis");
+    }
+    if (config.hint_coverage < 1.0) {
+      FailConfig("predictor (" + std::string(ToString(p.kind)) +
+                 ") with hint_coverage < 1 (got " + std::to_string(config.hint_coverage) +
+                 "): coverage thins the oracle, which a predictor replaces");
+    }
+    if (p.kind != PredictorKind::kNone && p.lookahead <= 0) {
+      FailConfig("predictor (" + std::string(ToString(p.kind)) +
+                 ") requires a positive lookahead (got " + std::to_string(p.lookahead) + ")");
+    }
+    if (p.kind == PredictorKind::kNone && p.lookahead != 0) {
+      FailConfig("predictor none (hintless) takes no lookahead (got " +
+                 std::to_string(p.lookahead) + ")");
+    }
+  }
 }
 
 void ValidateSimConfigForTrace(const SimConfig& config, const Trace& trace) {
@@ -167,8 +199,12 @@ void ValidateSimConfigForTrace(const SimConfig& config, const Trace& trace) {
 }
 
 Simulator::Simulator(const Trace& trace, const SimConfig& config, Policy* policy)
-    : Simulator(std::make_shared<const TraceContext>(trace, config.hint_coverage,
-                                                     config.hint_seed, config.hint_fault),
+    // Validated() runs before the context is built (and again, harmlessly,
+    // in the delegated constructor): an invalid hint setup must throw
+    // SimError here, not trip a hard check inside the predictor pipeline.
+    : Simulator(std::make_shared<const TraceContext>(trace, Validated(config).hint_coverage,
+                                                     config.hint_seed, config.hint_fault,
+                                                     config.predictor),
                 config, policy) {}
 
 Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfig& config,
@@ -287,12 +323,19 @@ bool Simulator::IssueFetchInternal(BlockId block, BlockId evict, bool demand) {
     }
     cache_.StartFetchWithEviction(block, evict);
   }
-  if (sink_ != nullptr) {
-    if (evict != kNoEvict && prefetch_unused_.erase(evict)) {
-      // The evicted block was prefetched and never referenced: the fetch
-      // that brought it in was wasted (a mis-hint consequence).
+  if (evict != kNoEvict && prefetch_pending_.erase(evict)) {
+    // The evicted block was prefetched and never referenced: the fetch
+    // that brought it in was wasted (a mis-hint consequence).
+    ++prefetch_useless_;
+    if (sink_ != nullptr) {
       EmitInstant(ObsEventKind::kPrefetchUnused, placement_->Map(evict).disk, evict);
     }
+  }
+  if (!demand) {
+    ++prefetch_issued_;
+    prefetch_inflight_.insert(block);
+  }
+  if (sink_ != nullptr) {
     if (demand) {
       demand_inflight_.insert(block);
     }
@@ -388,6 +431,12 @@ void Simulator::ApplyNextEventImpl() {
                             ? cursor_
                             : context_.index().NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
+    if (prefetch_inflight_.erase(ev.block)) {
+      // A prefetch the application ended up stalled on, synthesized after
+      // the recovery penalty: it filled, but too late to hide the stall.
+      ++prefetch_filled_;
+      ++prefetch_late_;
+    }
     if (sink_ != nullptr) {
       const bool was_demand = demand_inflight_.erase(ev.block);
       EmitInstant(ObsEventKind::kFaultRecover, ev.disk, ev.block, ev.service.ns());
@@ -444,11 +493,18 @@ void Simulator::ApplyNextEventImpl() {
                               ? cursor_
                               : context_.index().NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
+      if (prefetch_inflight_.erase(ev.block)) {
+        ++prefetch_filled_;
+        if (waiting_block_ == ev.block) {
+          // Landed while the application was already stalled on it: the
+          // fetch was right but too late to hide the stall.
+          ++prefetch_late_;
+        } else {
+          prefetch_pending_.insert(ev.block);
+        }
+      }
       if (sink_ != nullptr) {
         const bool was_demand = demand_inflight_.erase(ev.block);
-        if (!was_demand && waiting_block_ != ev.block) {
-          prefetch_unused_.insert(ev.block);
-        }
         EmitInstant(was_demand ? ObsEventKind::kDemandFetchComplete : ObsEventKind::kPrefetchLand,
                     ev.disk, ev.block, ev.service.ns());
       }
@@ -526,6 +582,9 @@ void Simulator::HandleFailedRequest(const Event& ev) {
     // A prefetch nobody waits on: drop it and let the policy re-plan.
     fault_delay_.erase(ev.block);
     cache_.CancelFetch(ev.block);
+    if (prefetch_inflight_.erase(ev.block)) {
+      ++prefetch_failed_;
+    }
     policy_->OnFetchFailed(*this, ev.disk, ev.block);
   }
 }
@@ -572,6 +631,9 @@ void Simulator::HandleOutageFailure(const Event& ev) {
     fault_delay_.erase(ev.block);
   }
   cache_.CancelFetch(ev.block);
+  if (prefetch_inflight_.erase(ev.block)) {
+    ++prefetch_failed_;
+  }
   policy_->OnFetchFailed(*this, ev.disk, ev.block);
 }
 
@@ -737,6 +799,14 @@ void Simulator::ServeWrite(TracePos pos, BlockId block) {
     if (cache_.present_count() > 0) {
       BlockId victim = policy_->ChooseDemandEviction(*this, block);
       cache_.EvictClean(victim);
+      if (prefetch_pending_.erase(victim)) {
+        // Evicted to make room for the write buffer before its reference
+        // arrived: the prefetch was wasted.
+        ++prefetch_useless_;
+        if (sink_ != nullptr) {
+          EmitInstant(ObsEventKind::kPrefetchUnused, placement_->Map(victim).disk, victim);
+        }
+      }
       continue;
     }
     // Every buffer is dirty or in flight; wait for a flush or arrival.
@@ -883,6 +953,11 @@ TracePos Simulator::FastForward(TracePos pos) {
   // internal layout, which no query observes.
   const NextRefIndex& index = context_.index();
   for (TracePos p = pos; p < to; ++p) {
+    if (!prefetch_pending_.empty() && prefetch_pending_.erase(trace_.block(p))) {
+      // The skipped reference consumes a landed prefetch, exactly as the
+      // per-reference loop would have.
+      ++prefetch_useful_;
+    }
     const TracePos next = index.NextUseAfterPosition(p);
     if (next >= to) {
       cache_.UpdateNextUse(trace_.block(p), next);
@@ -919,12 +994,12 @@ RunResult Simulator::Run() {
   const int64_t n = trace_.size();
   // Hit-run fast-forwarding is off whenever a sink is installed: skipped
   // references would emit no events, and observability demands the full
-  // reference-by-reference stream. It is also off under hint corruption —
-  // stale lookahead makes Hinted() cursor-dependent, so a skipped
-  // OnReference could have disclosed new positions and the quiescence
-  // precomputation would no longer be exact.
+  // reference-by-reference stream. It is also off under hint corruption
+  // and online prediction — a bounded lookahead makes Hinted()
+  // cursor-dependent, so a skipped OnReference could have disclosed new
+  // positions and the quiescence precomputation would no longer be exact.
   ff_enabled_ = config_.fast_forward && sink_ == nullptr && !config_.hint_fault.enabled() &&
-                policy_->SupportsFastForward();
+                !config_.predictor.enabled() && policy_->SupportsFastForward();
   if (ff_enabled_) {
     compute_prefix_.resize(static_cast<size_t>(n) + 1);
     compute_prefix_[0] = 0;
@@ -965,10 +1040,13 @@ RunResult Simulator::Run() {
     }
 
     const BlockId block = trace_.block(pos);
-    if (sink_ != nullptr && !prefetch_unused_.empty()) {
-      // The reference consumes the block: any prefetch that brought it in
-      // paid off and is no longer a candidate "unused" fetch.
-      prefetch_unused_.erase(block);
+    if (!prefetch_pending_.empty() && prefetch_pending_.erase(block)) {
+      // The reference consumes the block: the prefetch that brought it in
+      // paid off (and is no longer a candidate "unused" fetch).
+      ++prefetch_useful_;
+      if (sink_ != nullptr) {
+        EmitInstant(ObsEventKind::kPrefetchUseful, placement_->Map(block).disk, block);
+      }
     }
     if (trace_.is_write(pos)) {
       ServeWrite(pos, block);
@@ -1018,6 +1096,16 @@ RunResult Simulator::Run() {
     pending_driver_ = DurNs{0};
   }
 
+  // Reconcile the prefetch ledger at end of trace: a fetch still in flight
+  // never filled (it joins the failed bucket), and a filled block never
+  // referenced was useless. After this both balances hold with the
+  // in-flight/pending terms zero. No events are emitted here — the run is
+  // over; the ObsReport cross-check accounts for the difference.
+  prefetch_failed_ += static_cast<int64_t>(prefetch_inflight_.size());
+  prefetch_useless_ += static_cast<int64_t>(prefetch_pending_.size());
+  prefetch_inflight_.clear();
+  prefetch_pending_.clear();
+
   RunResult result;
   result.trace_name = trace_.name();
   result.policy_name = policy_->name();
@@ -1029,6 +1117,12 @@ RunResult Simulator::Run() {
   result.dirty_at_end = cache_.dirty_count();
   result.retries = retries_;
   result.failed_requests = failed_requests_;
+  result.prefetch_issued = prefetch_issued_;
+  result.prefetch_filled = prefetch_filled_;
+  result.prefetch_failed = prefetch_failed_;
+  result.prefetch_useful = prefetch_useful_;
+  result.prefetch_useless = prefetch_useless_;
+  result.prefetch_late = prefetch_late_;
   result.compute_time = compute_total_;
   result.driver_time = driver_total_;
   result.stall_time = stall_total_;
@@ -1118,6 +1212,22 @@ void Simulator::AuditInvariants() const {
         "flush-outstanding",
         "per-disk outstanding flush counters sum to " + std::to_string(outstanding) + " but " +
             std::to_string(flush_in_flight_.size()) + " flushes are in flight");
+  }
+  // Prefetch ledger balances: every issued prefetch is filled, failed, or
+  // still in flight; every filled prefetch is useful, useless, late, or
+  // still awaiting its reference.
+  if (prefetch_issued_ != prefetch_filled_ + prefetch_failed_ +
+                              static_cast<int64_t>(prefetch_inflight_.size()) ||
+      prefetch_filled_ != prefetch_useful_ + prefetch_useless_ + prefetch_late_ +
+                              static_cast<int64_t>(prefetch_pending_.size())) {
+    throw SimError::Invariant(
+        "prefetch-balance",
+        "issued " + std::to_string(prefetch_issued_) + " != filled " +
+            std::to_string(prefetch_filled_) + " + failed " + std::to_string(prefetch_failed_) +
+            " + inflight " + std::to_string(prefetch_inflight_.size()) + ", or filled != useful " +
+            std::to_string(prefetch_useful_) + " + useless " + std::to_string(prefetch_useless_) +
+            " + late " + std::to_string(prefetch_late_) + " + pending " +
+            std::to_string(prefetch_pending_.size()));
   }
 }
 

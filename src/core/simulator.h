@@ -121,10 +121,11 @@ class Simulator final : public Engine {
   }
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
-  // With a stale-lookahead hint fault, positions beyond the hint source's
-  // horizon are undisclosed until the cursor catches up.
+  // With a bounded hint horizon (a stale-lookahead hint fault or an online
+  // predictor), positions beyond it are undisclosed until the cursor
+  // catches up.
   bool Hinted(TracePos pos) const override {
-    const int64_t lookahead = config_.hint_fault.stale_lookahead;
+    const int64_t lookahead = config_.hint_lookahead();
     if (lookahead > 0 && pos > cursor_ + lookahead) {
       return false;
     }
@@ -132,7 +133,8 @@ class Simulator final : public Engine {
     return hinted.empty() || hinted[static_cast<size_t>(pos.v())];
   }
   bool FullyHinted() const override {
-    return context_.hinted().empty() && !config_.hint_fault.enabled();
+    return context_.hinted().empty() && !config_.hint_fault.enabled() &&
+           !config_.predictor.enabled();
   }
   // The block the (possibly lying) hint source claims for `pos`.
   BlockId HintedBlock(TracePos pos) const override {
@@ -306,10 +308,23 @@ class Simulator final : public Engine {
   std::unique_ptr<ObsCollector> collector_;  // owned internal sink, if any
   StallCause stall_cause_ = StallCause::kColdMiss;  // cause of the open window
   FlatSet demand_inflight_;  // in-flight fetches issued by the demand path
-  // Prefetched blocks that landed but have not been referenced yet; evicting
-  // one emits kPrefetchUnused (the wasted-fetch consequence of a mis-hint).
-  // Only maintained while a sink is installed.
-  FlatSet prefetch_unused_;
+  // Prefetch-quality ledger (always on, sink or not — the counters are
+  // first-class RunResult metrics). Lifecycle: issue inserts into
+  // prefetch_inflight_; completion moves the block to filled (late if the
+  // application was already stalled on it, else into prefetch_pending_);
+  // cancellation moves it to failed. A pending block is classified useful
+  // when its reference consumes it and useless when evicted first (which
+  // also emits kPrefetchUnused when a sink is installed). End of run
+  // reconciles: still in flight => failed, still pending => useless. The
+  // paranoid auditor checks both balances after every event.
+  FlatSet prefetch_inflight_;  // issued, not yet landed/failed
+  FlatSet prefetch_pending_;   // landed, not yet referenced
+  int64_t prefetch_issued_ = 0;
+  int64_t prefetch_filled_ = 0;
+  int64_t prefetch_failed_ = 0;
+  int64_t prefetch_useful_ = 0;
+  int64_t prefetch_useless_ = 0;
+  int64_t prefetch_late_ = 0;
 };
 
 }  // namespace pfc

@@ -3,7 +3,9 @@
 #include <map>
 #include <mutex>
 #include <tuple>
+#include <utility>
 
+#include "predict/hint_stream.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -62,17 +64,63 @@ std::vector<BlockId> BuildHintClaims(const Trace& trace, const HintFault& fault,
   return claims;
 }
 
+// True for the kinds that learn a claim stream online (as opposed to the
+// trace-derived oracle and the claim-free hintless mode).
+bool LearningKind(PredictorKind kind) {
+  return kind == PredictorKind::kSequential || kind == PredictorKind::kMarkov ||
+         kind == PredictorKind::kTemporal;
+}
+
+// Selects the (hinted, claims) source for the tuple: predictor stream,
+// hintless blankout, or the oracle path (coverage thinning + corruption).
+std::pair<std::vector<bool>, std::vector<BlockId>> BuildStreams(const Trace& trace,
+                                                                double hint_coverage,
+                                                                uint64_t hint_seed,
+                                                                const HintFault& hint_fault,
+                                                                const PredictorConfig& predictor) {
+  if (predictor.kind == PredictorKind::kNone) {
+    // Hintless: nothing disclosed, nothing claimed. An all-false mask (not
+    // an empty one — empty means "everything hinted") so this is the same
+    // representation hint_coverage == 0 builds.
+    return {std::vector<bool>(static_cast<size_t>(trace.size()), false), {}};
+  }
+  if (LearningKind(predictor.kind)) {
+    PredictedHints predicted = BuildPredictedHints(trace, predictor);
+    return {std::move(predicted.hinted), std::move(predicted.claims)};
+  }
+  return {BuildHintMask(trace, hint_coverage, hint_seed),
+          BuildHintClaims(trace, hint_fault, hint_seed)};
+}
+
+// The mask the next-reference index is built from. Learning predictors keep
+// the index truthful (empty mask = full knowledge): the claims-vs-truth
+// split gives replacement real future knowledge while prefetch planning
+// sees only the predictor's claims. Everything else — oracle thinning and
+// the hintless mode — discloses exactly the hinted positions.
+const std::vector<bool>& IndexMask(const PredictorConfig& predictor,
+                                   const std::vector<bool>& hinted) {
+  static const std::vector<bool>* truthful = new std::vector<bool>();
+  return LearningKind(predictor.kind) ? *truthful : hinted;
+}
+
 }  // namespace
 
 TraceContext::TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed,
-                           const HintFault& hint_fault)
+                           const HintFault& hint_fault, const PredictorConfig& predictor)
+    : TraceContext(trace, hint_coverage, hint_seed, hint_fault, predictor,
+                   BuildStreams(trace, hint_coverage, hint_seed, hint_fault, predictor)) {}
+
+TraceContext::TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed,
+                           const HintFault& hint_fault, const PredictorConfig& predictor,
+                           std::pair<std::vector<bool>, std::vector<BlockId>>&& streams)
     : trace_(trace),
       hint_coverage_(hint_coverage),
       hint_seed_(hint_seed),
       hint_fault_(hint_fault),
-      hinted_(BuildHintMask(trace, hint_coverage, hint_seed)),
-      claims_(BuildHintClaims(trace, hint_fault, hint_seed)),
-      index_(trace, hinted_) {}
+      predictor_(predictor),
+      hinted_(std::move(streams.first)),
+      claims_(std::move(streams.second)),
+      index_(trace, IndexMask(predictor_, hinted_)) {}
 
 uint64_t TraceFingerprint(const Trace& trace) {
   // FNV-1a over the name, length and every entry.
@@ -103,8 +151,8 @@ namespace {
 // against a freed trace's address being recycled for a different trace:
 // address and content must both match, and if they do, whatever lives at
 // that address now is the same trace.
-using ContextKey =
-    std::tuple<const Trace*, uint64_t, int64_t, double, uint64_t, double, int64_t, int64_t>;
+using ContextKey = std::tuple<const Trace*, uint64_t, int64_t, double, uint64_t, double, int64_t,
+                              int64_t, int, int64_t>;
 
 struct ContextCache {
   std::mutex mu;
@@ -122,15 +170,23 @@ ContextCache& GlobalContextCache() {
 
 std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, double hint_coverage,
                                                        uint64_t hint_seed,
-                                                       const HintFault& hint_fault) {
+                                                       const HintFault& hint_fault,
+                                                       const PredictorConfig& predictor) {
   // An empty mask is built for any coverage >= 1.0; normalize so 1.0 and
   // copies of it share an entry.
   if (hint_coverage >= 1.0) {
     hint_coverage = 1.0;
   }
-  ContextKey key{&trace,    TraceFingerprint(trace),      trace.size(),
-                 hint_coverage, hint_seed,                hint_fault.wrong_block_rate,
-                 hint_fault.reorder_window,               hint_fault.stale_lookahead};
+  ContextKey key{&trace,
+                 TraceFingerprint(trace),
+                 trace.size(),
+                 hint_coverage,
+                 hint_seed,
+                 hint_fault.wrong_block_rate,
+                 hint_fault.reorder_window,
+                 hint_fault.stale_lookahead,
+                 static_cast<int>(predictor.kind),
+                 predictor.lookahead};
   ContextCache& cache = GlobalContextCache();
   {
     std::lock_guard<std::mutex> lock(cache.mu);
@@ -142,7 +198,8 @@ std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, doubl
   // Build outside the lock: construction is the expensive part and other
   // keys should not serialize behind it. A racing builder for the same key
   // is harmless — construction is deterministic — and the first insert wins.
-  auto built = std::make_shared<const TraceContext>(trace, hint_coverage, hint_seed, hint_fault);
+  auto built = std::make_shared<const TraceContext>(trace, hint_coverage, hint_seed, hint_fault,
+                                                    predictor);
   std::lock_guard<std::mutex> lock(cache.mu);
   auto [it, inserted] = cache.entries.emplace(key, std::move(built));
   return it->second;

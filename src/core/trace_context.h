@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/next_ref.h"
@@ -32,8 +33,17 @@ class TraceContext {
   // is empty ("everything hinted"), matching Simulator's historical
   // representation; with no static hint corruption the claims vector is
   // empty ("the hints tell the truth").
+  //
+  // With a predictor configured (src/predict), the mask and claims are the
+  // predictor's materialized online hint stream instead of the oracle's:
+  // learning kinds claim what the predictor would announce at each
+  // position's first visibility while the index stays truthful (the
+  // claims-vs-truth split — replacement keeps real future knowledge);
+  // kNone hints nothing and also blinds the index, so replacement has no
+  // future knowledge at all, exactly as hint_coverage == 0 would.
   TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed,
-               const HintFault& hint_fault = HintFault{});
+               const HintFault& hint_fault = HintFault{},
+               const PredictorConfig& predictor = PredictorConfig{});
 
   TraceContext(const TraceContext&) = delete;
   TraceContext& operator=(const TraceContext&) = delete;
@@ -51,12 +61,21 @@ class TraceContext {
   double hint_coverage() const { return hint_coverage_; }
   uint64_t hint_seed() const { return hint_seed_; }
   const HintFault& hint_fault() const { return hint_fault_; }
+  const PredictorConfig& predictor() const { return predictor_; }
 
  private:
+  // Delegation target: `streams` is the already-built (hinted, claims)
+  // pair, computed once whichever source (oracle, corruption, predictor)
+  // produced it.
+  TraceContext(const Trace& trace, double hint_coverage, uint64_t hint_seed,
+               const HintFault& hint_fault, const PredictorConfig& predictor,
+               std::pair<std::vector<bool>, std::vector<BlockId>>&& streams);
+
   const Trace& trace_;
   double hint_coverage_;
   uint64_t hint_seed_;
   HintFault hint_fault_;
+  PredictorConfig predictor_;
   std::vector<bool> hinted_;      // empty = everything hinted
   std::vector<BlockId> claims_;   // empty = hints are truthful
   NextRefIndex index_;
@@ -72,9 +91,10 @@ uint64_t TraceFingerprint(const Trace& trace);
 // receive the same pointer. Entries live for the life of the process (or
 // until ClearTraceContextCache), so the referenced traces must outlive any
 // use of the returned contexts.
-std::shared_ptr<const TraceContext> SharedTraceContext(const Trace& trace, double hint_coverage,
-                                                       uint64_t hint_seed,
-                                                       const HintFault& hint_fault = HintFault{});
+std::shared_ptr<const TraceContext> SharedTraceContext(
+    const Trace& trace, double hint_coverage, uint64_t hint_seed,
+    const HintFault& hint_fault = HintFault{},
+    const PredictorConfig& predictor = PredictorConfig{});
 
 // Drops every memoized context (for tests and long-lived tools that churn
 // through many traces).

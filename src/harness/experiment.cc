@@ -50,7 +50,7 @@ RunResult RunOne(const Trace& trace, const SimConfig& config, PolicyKind kind,
   // Share the memoized oracle: repeated runs over the same trace (sweeps,
   // studies, the tuner) reuse one NextRefIndex instead of rebuilding it.
   Simulator sim(SharedTraceContext(trace, config.hint_coverage, config.hint_seed,
-                                   config.hint_fault),
+                                   config.hint_fault, config.predictor),
                 config, policy.get());
   return sim.Run();
 }

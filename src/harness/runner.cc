@@ -17,16 +17,19 @@ namespace pfc {
 
 namespace {
 
-// The hint-corruption knobs are part of the oracle key: two jobs differing
-// only in hint_fault must not share claims.
-using ContextKey = std::tuple<const Trace*, double, uint64_t, double, int64_t, int64_t>;
+// The hint-corruption and predictor knobs are part of the oracle key: two
+// jobs differing only in hint_fault or predictor must not share claims.
+using ContextKey =
+    std::tuple<const Trace*, double, uint64_t, double, int64_t, int64_t, int, int64_t>;
 using ContextMap = std::map<ContextKey, std::shared_ptr<const TraceContext>>;
 
 ContextKey KeyFor(const ExperimentJob& job) {
   const double coverage = job.config.hint_coverage >= 1.0 ? 1.0 : job.config.hint_coverage;
   const HintFault& h = job.config.hint_fault;
+  const PredictorConfig& p = job.config.predictor;
   return ContextKey{job.trace,          coverage,         job.config.hint_seed,
-                    h.wrong_block_rate, h.reorder_window, h.stale_lookahead};
+                    h.wrong_block_rate, h.reorder_window, h.stale_lookahead,
+                    static_cast<int>(p.kind), p.lookahead};
 }
 
 // Everything a job can throw — SimError from config validation, policy
@@ -100,7 +103,7 @@ std::vector<JobOutcome> RunExperimentsChecked(const std::vector<ExperimentJob>& 
     ContextKey key = KeyFor(job);
     if (contexts.find(key) == contexts.end()) {
       contexts.emplace(key, SharedTraceContext(*job.trace, std::get<1>(key), std::get<2>(key),
-                                               job.config.hint_fault));
+                                               job.config.hint_fault, job.config.predictor));
     }
   }
 
@@ -231,6 +234,13 @@ std::string TuneKey(const Trace& trace, const TuneRequest& request) {
     std::snprintf(buf, sizeof(buf), " hf=%a/%lld/%lld", h.wrong_block_rate,
                   static_cast<long long>(h.reorder_window),
                   static_cast<long long>(h.stale_lookahead));
+    key += buf;
+  }
+  // Reverse aggressive refuses predictors, so this segment is normally
+  // inert — kept for the same exhaustiveness contract as the fields above.
+  if (c.predictor.enabled()) {
+    std::snprintf(buf, sizeof(buf), " pred=%d/%lld", static_cast<int>(c.predictor.kind),
+                  static_cast<long long>(c.predictor.lookahead));
     key += buf;
   }
   key += " F=";

@@ -67,6 +67,10 @@ enum class ObsEventKind : uint8_t {
   // being referenced (useless prefetch — wasted bandwidth and a stolen
   // buffer).
   kPrefetchUnused,
+  // Prefetch payoff: the application's reference consumed a block a
+  // prefetch had landed ahead of time (the "useful" bucket of the
+  // prefetch-quality ledger).
+  kPrefetchUseful,
   kNumKinds,
 };
 

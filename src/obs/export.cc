@@ -118,7 +118,8 @@ std::string ChromeTraceJson(const std::vector<ObsEvent>& events, const std::stri
         AppendChromeEvent(&out, ToString(e.kind), "i", DiskTid(e.disk), e.time, DurNs{0}, "");
         break;
       }
-      case ObsEventKind::kPrefetchUnused: {
+      case ObsEventKind::kPrefetchUnused:
+      case ObsEventKind::kPrefetchUseful: {
         std::snprintf(name, sizeof(name), "%s b%lld", ToString(e.kind),
                       static_cast<long long>(e.block.v()));
         AppendChromeEvent(&out, name, "i", kAppTid, e.time, DurNs{0}, "");

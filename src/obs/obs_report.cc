@@ -46,6 +46,8 @@ const char* ToString(ObsEventKind kind) {
       return "disk-up";
     case ObsEventKind::kPrefetchUnused:
       return "prefetch-unused";
+    case ObsEventKind::kPrefetchUseful:
+      return "prefetch-useful";
     case ObsEventKind::kNumKinds:
       break;
   }
@@ -119,6 +121,9 @@ void ObsCollector::OnEvent(const ObsEvent& event) {
     case ObsEventKind::kPrefetchUnused:
       ++report_.prefetch_unused;
       break;
+    case ObsEventKind::kPrefetchUseful:
+      ++report_.prefetch_useful;
+      break;
     case ObsEventKind::kStallBegin:
     case ObsEventKind::kNumKinds:
       break;
@@ -151,6 +156,16 @@ std::shared_ptr<const ObsReport> ObsCollector::Finish(const RunResult& result) {
     PFC_CHECK_EQ(from_events, result.per_disk_util[d]);
   }
 
+  // The event stream must agree with the engine's prefetch-quality ledger.
+  // Issue, land, and useful events mirror the counters one-for-one; cancel
+  // and unused may undercount their buckets because the end-of-trace
+  // reconcile (in-flight -> failed, pending -> useless) emits no events.
+  PFC_CHECK_EQ(report_.prefetch_issues, result.prefetch_issued);
+  PFC_CHECK_EQ(report_.prefetch_lands, result.prefetch_filled);
+  PFC_CHECK_EQ(report_.prefetch_useful, result.prefetch_useful);
+  PFC_CHECK_LE(report_.prefetch_cancels, result.prefetch_failed);
+  PFC_CHECK_LE(report_.prefetch_unused, result.prefetch_useless);
+
   return std::make_shared<const ObsReport>(std::move(report_));
 }
 
@@ -182,12 +197,14 @@ std::string ObsReport::Summary() const {
 
   std::snprintf(line, sizeof(line),
                 "events: %lld total | demand %lld/%lld | prefetch %lld issued, %lld landed, "
-                "%lld cancelled, %lld unused | evictions %lld (%lld live) | flushes %lld/%lld | "
+                "%lld cancelled, %lld useful, %lld unused | evictions %lld (%lld live) | "
+                "flushes %lld/%lld | "
                 "faults: %lld retries, %lld permanent, %lld recoveries | outages %lld/%lld | "
                 "marks %lld\n",
                 static_cast<long long>(total_events), static_cast<long long>(demand_starts),
                 static_cast<long long>(demand_completes), static_cast<long long>(prefetch_issues),
                 static_cast<long long>(prefetch_lands), static_cast<long long>(prefetch_cancels),
+                static_cast<long long>(prefetch_useful),
                 static_cast<long long>(prefetch_unused), static_cast<long long>(evictions),
                 static_cast<long long>(live_evictions), static_cast<long long>(flush_issues),
                 static_cast<long long>(flush_completes), static_cast<long long>(fault_retries),

@@ -40,6 +40,7 @@ struct ObsReport {
   int64_t prefetch_lands = 0;
   int64_t prefetch_cancels = 0;
   int64_t prefetch_unused = 0;  // landed but reclaimed without a reference
+  int64_t prefetch_useful = 0;  // landed ahead of time and consumed by a ref
   int64_t evictions = 0;
   int64_t live_evictions = 0;   // evicted blocks that had a future reference
   int64_t flush_issues = 0;

@@ -1,0 +1,61 @@
+#include "predict/hint_stream.h"
+
+#include <memory>
+
+#include "predict/predictor.h"
+#include "util/check.h"
+
+namespace pfc {
+
+PredictedHints BuildPredictedHints(const Trace& trace, const PredictorConfig& config) {
+  PFC_CHECK_MSG(config.kind != PredictorKind::kOracle && config.kind != PredictorKind::kNone,
+                "BuildPredictedHints: no stream to build for oracle/hintless kinds");
+  PFC_CHECK_MSG(config.lookahead > 0, "BuildPredictedHints: lookahead must be positive");
+
+  const int64_t n = trace.size();
+  PredictedHints out;
+  out.hinted.assign(static_cast<size_t>(n), false);
+  // Unhinted positions are invisible to planning (Hinted() is false), but
+  // HintedBlock() must stay total — bookkeeping paths such as
+  // MissingTracker::Erase map any position's claim to a disk without
+  // re-checking visibility — so they carry the true block, never kNoBlock.
+  out.claims.resize(static_cast<size_t>(n));
+  for (TracePos p{0}; p.v() < n; ++p) {
+    out.claims[static_cast<size_t>(p.v())] = trace.block(p);
+  }
+
+  std::unique_ptr<Predictor> predictor = MakePredictor(config.kind);
+  BlockId prev = kNoBlock;  // block observed before `cur`
+  BlockId cur = kNoBlock;   // block at the cursor
+  for (TracePos c{0}; c.v() < n; ++c) {
+    const BlockId b = trace.block(c);
+    predictor->Observe(b);
+    prev = cur;
+    cur = b;
+    const int64_t target = c.v() + config.lookahead;
+    if (target >= n) {
+      continue;  // claim would land past the end of the trace
+    }
+    // Chain lookahead one-step predictions from the state at the cursor;
+    // the final link is the claim for position c + lookahead.
+    BlockId walk_prev = prev;
+    BlockId walk_cur = cur;
+    bool complete = true;
+    for (int64_t step = 0; step < config.lookahead; ++step) {
+      const BlockId next = predictor->PredictAfter(walk_prev, walk_cur);
+      if (next == kNoBlock) {
+        complete = false;
+        break;
+      }
+      walk_prev = walk_cur;
+      walk_cur = next;
+    }
+    if (complete) {
+      out.hinted[static_cast<size_t>(target)] = true;
+      out.claims[static_cast<size_t>(target)] = walk_cur;
+    }
+  }
+  return out;
+}
+
+}  // namespace pfc

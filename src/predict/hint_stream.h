@@ -1,0 +1,47 @@
+// Materialization of a predictor's claimed-hint stream over one trace.
+//
+// A claim for position p is what the predictor would announce at the moment
+// p first becomes visible — when the cursor reaches p - lookahead — by
+// chaining `lookahead` one-step predictions from the reference history
+// observed so far. The result is a static per-position (hinted, claim)
+// pair: the *visibility* of a claim is still dynamic in the cursor (the
+// engines' Hinted() enforces pos - cursor <= lookahead, exactly as it does
+// for HintFault::stale_lookahead), but the claim's content is a pure
+// function of the trace prefix, so it can be computed once at TraceContext
+// construction and shared read-only across engines and worker threads.
+//
+// Positions with no basis for a claim — the first `lookahead` references,
+// and any position whose prediction chain hits a block the predictor has
+// never seen — are simply unhinted: the policies treat them like
+// undisclosed references and the demand path covers them.
+
+#ifndef PFC_PREDICT_HINT_STREAM_H_
+#define PFC_PREDICT_HINT_STREAM_H_
+
+#include <vector>
+
+#include "core/sim_config.h"
+#include "trace/trace.h"
+#include "util/strong_types.h"
+
+namespace pfc {
+
+struct PredictedHints {
+  // Both sized trace.size(). Positions with hinted[p] == false are
+  // invisible to prefetch planning, but their claims still carry the true
+  // block: HintedBlock() is total (bookkeeping paths map any position's
+  // claim to a disk without re-checking visibility), so no entry is ever
+  // kNoBlock.
+  std::vector<bool> hinted;
+  std::vector<BlockId> claims;
+};
+
+// Runs the configured predictor over the trace once and returns the
+// materialized hint stream. config.kind must be a learning kind
+// (kSequential / kMarkov / kTemporal) with lookahead > 0; kNone needs no
+// stream (nothing is hinted) and kOracle's hints come from the trace.
+PredictedHints BuildPredictedHints(const Trace& trace, const PredictorConfig& config);
+
+}  // namespace pfc
+
+#endif  // PFC_PREDICT_HINT_STREAM_H_

@@ -1,0 +1,144 @@
+#include "predict/predictor.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+
+// Readahead: the successor of block b is block b+1, unconditionally. No
+// state to learn; the prediction is wrong exactly where the trace is not
+// sequential.
+class SequentialPredictor final : public Predictor {
+ public:
+  const char* name() const override { return "sequential"; }
+
+  void Observe(BlockId block) override { (void)block; }
+
+  BlockId PredictAfter(BlockId prev, BlockId cur) const override {
+    (void)prev;
+    if (cur == kNoBlock) {
+      return kNoBlock;
+    }
+    return cur + 1;
+  }
+};
+
+// Pangloss-style first-order Markov chain: per-block successor counts,
+// predict the most frequent successor seen so far. Ties break toward the
+// smaller block id so the answer never depends on container iteration
+// order.
+class MarkovPredictor final : public Predictor {
+ public:
+  const char* name() const override { return "markov"; }
+
+  void Observe(BlockId block) override {
+    if (last_ != kNoBlock) {
+      std::vector<std::pair<BlockId, int64_t>>& succ = counts_[last_];
+      bool found = false;
+      for (auto& [b, count] : succ) {
+        if (b == block) {
+          ++count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        succ.emplace_back(block, 1);
+      }
+    }
+    last_ = block;
+  }
+
+  BlockId PredictAfter(BlockId prev, BlockId cur) const override {
+    (void)prev;
+    auto it = counts_.find(cur);
+    if (it == counts_.end()) {
+      return kNoBlock;
+    }
+    BlockId best = kNoBlock;
+    int64_t best_count = 0;
+    for (const auto& [b, count] : it->second) {
+      if (count > best_count || (count == best_count && b < best)) {
+        best = b;
+        best_count = count;
+      }
+    }
+    return best;
+  }
+
+ private:
+  BlockId last_ = kNoBlock;
+  // Successor lists are tiny (a block usually has a handful of observed
+  // successors); a flat vector scan beats a nested map and is
+  // iteration-order independent.
+  std::unordered_map<BlockId, std::vector<std::pair<BlockId, int64_t>>> counts_;
+};
+
+// ISB/Domino-style temporal streaming: the last successor of the context
+// pair (prev, cur) wins; a novel pair falls back to the last successor of
+// cur alone. Captures repeated multi-block access sequences that a
+// first-order chain blurs together.
+class TemporalPredictor final : public Predictor {
+ public:
+  const char* name() const override { return "temporal"; }
+
+  void Observe(BlockId block) override {
+    if (last_ != kNoBlock) {
+      first_order_[last_] = block;
+      if (prev_ != kNoBlock) {
+        pair_[PairKey(prev_, last_)] = block;
+      }
+    }
+    prev_ = last_;
+    last_ = block;
+  }
+
+  BlockId PredictAfter(BlockId prev, BlockId cur) const override {
+    if (prev != kNoBlock) {
+      auto it = pair_.find(PairKey(prev, cur));
+      if (it != pair_.end()) {
+        return it->second;
+      }
+    }
+    auto it = first_order_.find(cur);
+    return it != first_order_.end() ? it->second : kNoBlock;
+  }
+
+ private:
+  static uint64_t PairKey(BlockId a, BlockId b) {
+    // Blocks are logical filesystem addresses, far below 2^32 in every
+    // studied trace; fold the pair into one 64-bit key.
+    return (static_cast<uint64_t>(a.v()) << 32) ^ static_cast<uint64_t>(b.v());
+  }
+
+  BlockId prev_ = kNoBlock;
+  BlockId last_ = kNoBlock;
+  std::unordered_map<BlockId, BlockId> first_order_;
+  std::unordered_map<uint64_t, BlockId> pair_;
+};
+
+}  // namespace
+
+std::unique_ptr<Predictor> MakePredictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kSequential:
+      return std::make_unique<SequentialPredictor>();
+    case PredictorKind::kMarkov:
+      return std::make_unique<MarkovPredictor>();
+    case PredictorKind::kTemporal:
+      return std::make_unique<TemporalPredictor>();
+    case PredictorKind::kOracle:
+    case PredictorKind::kNone:
+      break;
+  }
+  PFC_CHECK_MSG(false, "MakePredictor: kind has no learning predictor");
+  return nullptr;
+}
+
+}  // namespace pfc

@@ -1,0 +1,62 @@
+// Online hint predictors: learned stand-ins for the paper's perfect oracle.
+//
+// Every studied policy consumes hints through the claims-vs-truth split
+// (TraceContext::claims() + the engines' Hinted()/HintedBlock()); the paper
+// feeds that interface from the trace itself — a perfect offline oracle. A
+// Predictor instead emits the claimed-hint stream a real system could have
+// produced *online*: it observes each reference as the application serves
+// it and offers one-step next-block predictions which are chained
+// `PredictorConfig::lookahead` deep to place a claim that far past the
+// cursor (see hint_stream.h for the materialization).
+//
+// Three implementations, in increasing sophistication:
+//   * kSequential — readahead: after block b, predict b+1. The classic
+//     hintless prefetch heuristic; exact on sequential scans, useless on
+//     pointer-chasing.
+//   * kMarkov — Pangloss-style first-order Markov chain: count observed
+//     successors of each block, predict the most frequent one (ties toward
+//     the smaller block id, so the choice is independent of hash order).
+//   * kTemporal — ISB/Domino-style temporal streaming: remember the last
+//     successor of each (prev, cur) context pair, falling back to the last
+//     successor of cur alone when the pair is novel.
+//
+// Predictors are deterministic pure functions of the observed prefix, which
+// is what lets both engines (Simulator and RefSim) consume the same
+// materialized claim stream and stay bit-identical.
+
+#ifndef PFC_PREDICT_PREDICTOR_H_
+#define PFC_PREDICT_PREDICTOR_H_
+
+#include <memory>
+
+#include "core/sim_config.h"
+#include "util/strong_types.h"
+
+namespace pfc {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  virtual const char* name() const = 0;
+
+  // The application just consumed `block`. Learners update their tables
+  // with the transition out of the previously observed reference(s);
+  // history tracking is the predictor's own responsibility.
+  virtual void Observe(BlockId block) = 0;
+
+  // One-step prediction: the block expected to follow `cur`, where `prev`
+  // is the block observed immediately before `cur` (kNoBlock at the stream
+  // head). Returns kNoBlock when the tables give no basis for a claim.
+  // Must be deterministic and must not learn — chained claims are
+  // materialized once and replayed identically by both engines.
+  virtual BlockId PredictAfter(BlockId prev, BlockId cur) const = 0;
+};
+
+// Factory for the learning kinds. kOracle and kNone have no predictor
+// object (the oracle is the trace; hintless has no hints) and are rejected.
+std::unique_ptr<Predictor> MakePredictor(PredictorKind kind);
+
+}  // namespace pfc
+
+#endif  // PFC_PREDICT_PREDICTOR_H_

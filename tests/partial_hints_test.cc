@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "check/diff.h"
 #include "core/sim_error.h"
 #include "harness/experiment.h"
 #include "util/rng.h"
@@ -104,6 +106,65 @@ TEST(PartialHints, HintMaskIsDeterministicInSeed) {
   c.hint_seed = 43;
   RunResult d = RunOne(t, c, PolicyKind::kAggressive);
   EXPECT_NE(a.elapsed_time, d.elapsed_time);
+}
+
+TEST(PartialHints, CoverageOneIsTheFullOracleBitForBit) {
+  // coverage=1.0 must be indistinguishable from the untouched baseline for
+  // all six policies — not "close", the same machine: every counter and
+  // every nanosecond equal.
+  Trace t = LoopTrace(300, 2000, MsToNs(1));
+  SimConfig base;
+  base.cache_blocks = 128;
+  base.num_disks = 2;
+  SimConfig covered = base;
+  covered.hint_coverage = 1.0;
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kDemandLru,
+                          PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kReverseAggressive, PolicyKind::kForestall}) {
+    RunResult a = RunOne(t, base, kind);
+    RunResult b = RunOne(t, covered, kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(a, b, &why)) << ToString(kind);
+    for (const std::string& w : why) {
+      ADD_FAILURE() << ToString(kind) << ": " << w;
+    }
+  }
+}
+
+TEST(PartialHints, CoverageZeroIsTheDemandPolicyBitForBit) {
+  // With nothing disclosed, every furthest-next-use policy must be the
+  // demand policy bit for bit (the LRU row is pinned against hintless
+  // demand-lru — same eviction rule, same blindness); reverse aggressive
+  // refuses to run. Also pins coverage=0 to the predictor-none hintless
+  // mode: the two spellings build the same machine.
+  Trace t = LoopTrace(400, 2000, MsToNs(1));
+  SimConfig blind;
+  blind.cache_blocks = 128;
+  blind.num_disks = 2;
+  blind.hint_coverage = 0.0;
+  SimConfig hintless = blind;
+  hintless.hint_coverage = 1.0;
+  hintless.predictor.kind = PredictorKind::kNone;
+  const RunResult demand = RunOne(t, blind, PolicyKind::kDemand);
+  const RunResult demand_lru = RunOne(t, blind, PolicyKind::kDemandLru);
+  for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kDemandLru,
+                          PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kForestall}) {
+    const RunResult& match = kind == PolicyKind::kDemandLru ? demand_lru : demand;
+    RunResult r = RunOne(t, blind, kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(r, match, &why)) << ToString(kind);
+    for (const std::string& w : why) {
+      ADD_FAILURE() << ToString(kind) << " vs demand: " << w;
+    }
+    RunResult h = RunOne(t, hintless, kind);
+    why.clear();
+    EXPECT_TRUE(ResultsExactlyEqual(r, h, &why)) << ToString(kind);
+    for (const std::string& w : why) {
+      ADD_FAILURE() << ToString(kind) << " cov=0 vs predictor=none: " << w;
+    }
+  }
+  EXPECT_THROW(RunOne(t, blind, PolicyKind::kReverseAggressive), SimError);
 }
 
 TEST(PartialHints, ReverseAggressiveRequiresFullHints) {

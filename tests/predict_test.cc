@@ -1,0 +1,253 @@
+// Tests for the online prediction subsystem (src/predict): the three
+// predictor implementations, the materialized claim stream, the
+// claims-vs-truth wiring through TraceContext, config validation, and the
+// engine identity that hintless prefetchers are bit-for-bit demand.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "core/sim_error.h"
+#include "core/simulator.h"
+#include "core/trace_context.h"
+#include "harness/experiment.h"
+#include "predict/hint_stream.h"
+#include "predict/predictor.h"
+
+namespace pfc {
+namespace {
+
+Trace SequentialTrace(int64_t n) {
+  Trace t("seq");
+  for (int64_t i = 0; i < n; ++i) {
+    t.Append(BlockId{i}, MsToNs(1));
+  }
+  return t;
+}
+
+Trace LoopTrace(int64_t blocks, int64_t reads) {
+  Trace t("loop");
+  for (int64_t i = 0; i < reads; ++i) {
+    t.Append(BlockId{i % blocks}, MsToNs(1));
+  }
+  return t;
+}
+
+TEST(Predictor, SequentialPredictsNextBlock) {
+  auto p = MakePredictor(PredictorKind::kSequential);
+  EXPECT_EQ(p->PredictAfter(kNoBlock, BlockId{7}), BlockId{8});
+  EXPECT_EQ(p->PredictAfter(BlockId{3}, BlockId{41}), BlockId{42});
+  EXPECT_EQ(p->PredictAfter(kNoBlock, kNoBlock), kNoBlock);
+}
+
+TEST(Predictor, MarkovPredictsMostFrequentSuccessor) {
+  auto p = MakePredictor(PredictorKind::kMarkov);
+  // 1->2 twice, 1->3 once: the majority successor wins.
+  for (int64_t b : {1, 2, 1, 3, 1, 2}) {
+    p->Observe(BlockId{b});
+  }
+  EXPECT_EQ(p->PredictAfter(kNoBlock, BlockId{1}), BlockId{2});
+  // Unseen context: no basis for a claim.
+  EXPECT_EQ(p->PredictAfter(kNoBlock, BlockId{99}), kNoBlock);
+}
+
+TEST(Predictor, MarkovTieBreaksTowardSmallerBlock) {
+  auto p = MakePredictor(PredictorKind::kMarkov);
+  // 5->9 once and 5->6 once, observed in that order: the tie must go to
+  // block 6 regardless of insertion or hash order.
+  for (int64_t b : {5, 9, 5, 6}) {
+    p->Observe(BlockId{b});
+  }
+  EXPECT_EQ(p->PredictAfter(kNoBlock, BlockId{5}), BlockId{6});
+}
+
+TEST(Predictor, TemporalPairContextBeatsFirstOrder) {
+  auto p = MakePredictor(PredictorKind::kTemporal);
+  // Two interleaved streams share block 2 but diverge after it depending
+  // on what preceded: (1,2)->3 and (9,2)->8.
+  for (int64_t b : {1, 2, 3, 9, 2, 8}) {
+    p->Observe(BlockId{b});
+  }
+  EXPECT_EQ(p->PredictAfter(BlockId{1}, BlockId{2}), BlockId{3});
+  EXPECT_EQ(p->PredictAfter(BlockId{9}, BlockId{2}), BlockId{8});
+  // Novel pair falls back to the last successor of cur alone.
+  EXPECT_EQ(p->PredictAfter(BlockId{77}, BlockId{2}), BlockId{8});
+  EXPECT_EQ(p->PredictAfter(BlockId{77}, BlockId{55}), kNoBlock);
+}
+
+TEST(HintStream, SequentialClaimsAreExactOnSequentialScan) {
+  Trace t = SequentialTrace(64);
+  PredictorConfig config;
+  config.kind = PredictorKind::kSequential;
+  config.lookahead = 8;
+  PredictedHints h = BuildPredictedHints(t, config);
+  ASSERT_EQ(h.hinted.size(), 64u);
+  ASSERT_EQ(h.claims.size(), 64u);
+  for (int64_t p = 0; p < 64; ++p) {
+    if (p < config.lookahead) {
+      // Nothing was observed early enough to claim these.
+      EXPECT_FALSE(h.hinted[static_cast<size_t>(p)]) << p;
+    } else {
+      EXPECT_TRUE(h.hinted[static_cast<size_t>(p)]) << p;
+    }
+    // Claims are total: readahead is exact here, and even unhinted
+    // positions carry the true block (HintedBlock() totality contract).
+    EXPECT_EQ(h.claims[static_cast<size_t>(p)], t.block(TracePos{p})) << p;
+  }
+}
+
+TEST(HintStream, UnhintedPositionsStillCarryTheTrueBlock) {
+  // A pointer-chasing trace the sequential predictor gets entirely wrong:
+  // every claim chain is "cur + lookahead", which never matches, but the
+  // unhinted/wrong positions must never hold kNoBlock.
+  Trace t("jump");
+  for (int64_t b : {10, 50, 20, 60, 30, 70, 40, 80}) {
+    t.Append(BlockId{b}, MsToNs(1));
+  }
+  PredictorConfig config;
+  config.kind = PredictorKind::kMarkov;
+  config.lookahead = 3;
+  PredictedHints h = BuildPredictedHints(t, config);
+  for (size_t p = 0; p < h.claims.size(); ++p) {
+    EXPECT_NE(h.claims[p], kNoBlock) << p;
+    if (!h.hinted[p]) {
+      EXPECT_EQ(h.claims[p], t.block(TracePos{static_cast<int64_t>(p)})) << p;
+    }
+  }
+}
+
+TEST(TraceContext, HintlessModeDisclosesNothing) {
+  Trace t = LoopTrace(32, 200);
+  PredictorConfig none;
+  none.kind = PredictorKind::kNone;
+  TraceContext context(t, 1.0, uint64_t{1}, HintFault{}, none);
+  ASSERT_EQ(context.hinted().size(), static_cast<size_t>(t.size()));
+  for (bool h : context.hinted()) {
+    EXPECT_FALSE(h);
+  }
+  EXPECT_TRUE(context.claims().empty());
+}
+
+TEST(TraceContext, LearningPredictorKeepsTruthfulIndex) {
+  // The claims-vs-truth split: prefetch planning sees the predictor's
+  // stream, but the next-reference index (replacement's knowledge) stays
+  // built from the full truthful trace.
+  Trace t = LoopTrace(16, 100);
+  PredictorConfig markov;
+  markov.kind = PredictorKind::kMarkov;
+  markov.lookahead = 4;
+  TraceContext predicted(t, 1.0, uint64_t{1}, HintFault{}, markov);
+  TraceContext truthful(t, 1.0, uint64_t{1}, HintFault{}, PredictorConfig{});
+  for (TracePos p{0}; p.v() < t.size(); ++p) {
+    EXPECT_EQ(predicted.index().NextUseAfterPosition(p), truthful.index().NextUseAfterPosition(p))
+        << p.v();
+  }
+}
+
+TEST(Validation, RejectsContradictoryHintSetups) {
+  SimConfig base;
+  base.cache_blocks = 64;
+  base.num_disks = 2;
+  ASSERT_NO_THROW(ValidateSimConfig(base));
+
+  SimConfig both = base;
+  both.predictor.kind = PredictorKind::kMarkov;
+  both.predictor.lookahead = 8;
+  both.hint_fault.wrong_block_rate = 0.1;
+  EXPECT_THROW(ValidateSimConfig(both), SimError);
+
+  SimConfig thinned = base;
+  thinned.predictor.kind = PredictorKind::kSequential;
+  thinned.predictor.lookahead = 8;
+  thinned.hint_coverage = 0.5;
+  EXPECT_THROW(ValidateSimConfig(thinned), SimError);
+
+  SimConfig no_lookahead = base;
+  no_lookahead.predictor.kind = PredictorKind::kTemporal;
+  no_lookahead.predictor.lookahead = 0;
+  EXPECT_THROW(ValidateSimConfig(no_lookahead), SimError);
+
+  SimConfig hintless_lookahead = base;
+  hintless_lookahead.predictor.kind = PredictorKind::kNone;
+  hintless_lookahead.predictor.lookahead = 5;
+  EXPECT_THROW(ValidateSimConfig(hintless_lookahead), SimError);
+
+  SimConfig negative = base;
+  negative.predictor.kind = PredictorKind::kMarkov;
+  negative.predictor.lookahead = -1;
+  EXPECT_THROW(ValidateSimConfig(negative), SimError);
+}
+
+TEST(Validation, ReverseAggressiveRefusesPredictors) {
+  Trace t = LoopTrace(50, 300);
+  SimConfig c;
+  c.cache_blocks = 32;
+  c.num_disks = 2;
+  c.predictor.kind = PredictorKind::kMarkov;
+  c.predictor.lookahead = 8;
+  try {
+    RunOne(t, c, PolicyKind::kReverseAggressive);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("offline"), std::string::npos) << e.what();
+  }
+}
+
+TEST(HintlessIdentity, PrefetchersDegradeToDemandBitForBit) {
+  // With no hints at all, every furthest-next-use policy must be the demand
+  // policy under another name — same fetches, same clock, bit for bit.
+  Trace t = LoopTrace(300, 2000);
+  SimConfig c;
+  c.cache_blocks = 128;
+  c.num_disks = 2;
+  c.predictor.kind = PredictorKind::kNone;
+  const RunResult demand = RunOne(t, c, PolicyKind::kDemand);
+  EXPECT_EQ(demand.fetches, demand.demand_fetches);
+  EXPECT_EQ(demand.prefetch_issued, 0);
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kForestall}) {
+    RunResult r = RunOne(t, c, kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(r, demand, &why)) << ToString(kind);
+    for (const std::string& w : why) {
+      ADD_FAILURE() << ToString(kind) << ": " << w;
+    }
+  }
+}
+
+TEST(Differential, PredictorCellsMatchBetweenEngines) {
+  Trace t = LoopTrace(200, 1200);
+  for (PredictorKind pk : {PredictorKind::kNone, PredictorKind::kSequential,
+                           PredictorKind::kMarkov, PredictorKind::kTemporal}) {
+    for (PolicyKind kind : {PolicyKind::kDemand, PolicyKind::kFixedHorizon,
+                            PolicyKind::kAggressive, PolicyKind::kForestall}) {
+      SimConfig c;
+      c.cache_blocks = 96;
+      c.num_disks = 3;
+      c.predictor.kind = pk;
+      c.predictor.lookahead = pk == PredictorKind::kNone ? 0 : 6;
+      DiffReport report = RunDifferential(t, c, kind);
+      EXPECT_TRUE(report.consistent)
+          << ToString(pk) << "/" << ToString(kind) << "\n"
+          << report.ToString();
+    }
+  }
+}
+
+TEST(Differential, PredictorRunsAreDeterministic) {
+  Trace t = LoopTrace(150, 900);
+  SimConfig c;
+  c.cache_blocks = 64;
+  c.num_disks = 2;
+  c.predictor.kind = PredictorKind::kTemporal;
+  c.predictor.lookahead = 5;
+  RunResult a = RunOne(t, c, PolicyKind::kForestall);
+  RunResult b = RunOne(t, c, PolicyKind::kForestall);
+  std::vector<std::string> why;
+  EXPECT_TRUE(ResultsExactlyEqual(a, b, &why));
+}
+
+}  // namespace
+}  // namespace pfc

@@ -62,6 +62,17 @@
 //   --hint-fault-reorder-window=N shuffle hints within windows of N  [0]
 //   --hint-fault-stale-lookahead=N hints visible only N refs ahead   [0]
 //
+// Online prediction (see PredictorConfig in core/sim_config.h; the default
+// "oracle" keeps the classic perfect-hint stream; "none" runs fully hintless,
+// where the prefetchers degrade to demand behaviour; the learning kinds
+// replace the hint stream with claims emitted online from observed history —
+// replacement stays truthful, only prefetch planning sees the claims.
+// Predictors exclude --hint-coverage<1 and the hint-fault knobs, and reverse
+// aggressive refuses them outright; contradictions exit 2):
+//   --predictor=NAME       oracle|none|sequential|markov|temporal   [oracle]
+//   --predictor-lookahead=N claim depth for learning predictors
+//                          [16 for learning kinds, 0 otherwise]
+//
 // Debugging:
 //   --paranoid             audit engine invariants after every event (slow;
 //                          throws a typed SimError naming any violation)
@@ -103,6 +114,8 @@ struct Flags {
   std::string events_out;
   bool help = false;
   bool paranoid = false;
+  std::string predictor = "oracle";
+  int64_t predictor_lookahead = -1;  // -1 = per-kind default
   pfc::FaultConfig faults;
   pfc::HintFault hint_fault;
 };
@@ -289,6 +302,14 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
     flags->paranoid = true;
     return true;
   }
+  if (const char* v = value_of("--predictor")) {
+    flags->predictor = v;
+    return true;
+  }
+  if (const char* v = value_of("--predictor-lookahead")) {
+    flags->predictor_lookahead = std::atoll(v);
+    return flags->predictor_lookahead >= 0;
+  }
   if (const char* v = value_of("--fault-seed")) {
     flags->faults.seed = std::strtoull(v, nullptr, 10);
     return true;
@@ -296,6 +317,22 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
   if (const char* v = value_of("--fault-max-retries")) {
     flags->faults.max_retries = std::atoi(v);
     return flags->faults.max_retries >= 0;
+  }
+  return false;
+}
+
+bool LookupPredictor(const std::string& name, pfc::PredictorKind* kind) {
+  using pfc::PredictorKind;
+  const std::pair<const char*, PredictorKind> table[] = {
+      {"oracle", PredictorKind::kOracle},     {"none", PredictorKind::kNone},
+      {"sequential", PredictorKind::kSequential}, {"markov", PredictorKind::kMarkov},
+      {"temporal", PredictorKind::kTemporal},
+  };
+  for (const auto& [n, k] : table) {
+    if (name == n) {
+      *kind = k;
+      return true;
+    }
   }
   return false;
 }
@@ -388,6 +425,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pfc_sim: unknown disk model '%s'\n", flags.disk_model.c_str());
     return 2;
   }
+  pfc::PredictorConfig predictor;
+  if (!LookupPredictor(flags.predictor, &predictor.kind)) {
+    std::fprintf(stderr, "pfc_sim: unknown predictor '%s'\n", flags.predictor.c_str());
+    return 2;
+  }
+  const bool learning_kind = predictor.kind != pfc::PredictorKind::kOracle &&
+                             predictor.kind != pfc::PredictorKind::kNone;
+  predictor.lookahead =
+      flags.predictor_lookahead >= 0 ? flags.predictor_lookahead : (learning_kind ? 16 : 0);
 
   std::vector<pfc::PolicyKind> kinds;
   if (flags.all_policies) {
@@ -432,6 +478,7 @@ int main(int argc, char** argv) {
     config.fast_forward = flags.fast_forward;
     config.faults = flags.faults;
     config.hint_fault = flags.hint_fault;
+    config.predictor = predictor;
     config.paranoid = flags.paranoid;
     // --events-out needs the raw stream; plain runs skip collection.
     config.obs.collect = !flags.events_out.empty();
@@ -447,7 +494,7 @@ int main(int argc, char** argv) {
     for (pfc::PolicyKind kind : kinds) {
       if (kind == pfc::PolicyKind::kReverseAggressive &&
           (flags.hint_coverage < 1.0 || trace.WriteCount() > 0 ||
-           flags.hint_fault.enabled())) {
+           flags.hint_fault.enabled() || predictor.enabled())) {
         continue;  // offline schedule needs full, truthful hints and reads only
       }
       grid.push_back(pfc::ExperimentJob{&trace, config, kind, options});

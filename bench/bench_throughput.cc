@@ -198,6 +198,86 @@ int main(int argc, char** argv) {
     best_cell_rps = std::max(best_cell_rps, c.ff_on_rps);
   }
 
+  // --- Section 1b: trace ingestion ----------------------------------------
+  //
+  // Load cost by container, separated from simulation cost: the text
+  // format, the binary .pfct eagerly materialized, and the streaming
+  // reader (open + one full sequential pass through the window cache).
+  // Streaming open is O(index), so it is reported apart from the sweep.
+  struct Ingest {
+    double text_load_sec = 0;
+    double pfct_load_sec = 0;
+    double stream_open_sec = 0;
+    double stream_sweep_sec = 0;
+  } ingest;
+  {
+    const std::string text_path = "bench_ingest_tmp.txt";
+    const std::string pfct_path = "bench_ingest_tmp.pfct";
+    if (!SaveTraceText(cell_trace, text_path)) {
+      std::fprintf(stderr, "bench_throughput: cannot write %s\n", text_path.c_str());
+      return 1;
+    }
+    Expected<bool> saved = SavePfct(cell_trace, pfct_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "bench_throughput: %s\n", saved.error().c_str());
+      return 1;
+    }
+    const int kIngestReps = 3;
+    for (int r = 0; r < kIngestReps; ++r) {
+      auto t0 = std::chrono::steady_clock::now();
+      Expected<Trace> text = LoadTraceTextChecked(text_path);
+      ingest.text_load_sec =
+          r == 0 ? SecondsSince(t0) : std::min(ingest.text_load_sec, SecondsSince(t0));
+      if (!text.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n", text.error().c_str());
+        return 1;
+      }
+
+      t0 = std::chrono::steady_clock::now();
+      Expected<Trace> eager = LoadPfctChecked(pfct_path);
+      ingest.pfct_load_sec =
+          r == 0 ? SecondsSince(t0) : std::min(ingest.pfct_load_sec, SecondsSince(t0));
+      if (!eager.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n", eager.error().c_str());
+        return 1;
+      }
+
+      t0 = std::chrono::steady_clock::now();
+      Expected<Trace> stream = Trace::OpenPfctStreaming(pfct_path);
+      ingest.stream_open_sec =
+          r == 0 ? SecondsSince(t0) : std::min(ingest.stream_open_sec, SecondsSince(t0));
+      if (!stream.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n", stream.error().c_str());
+        return 1;
+      }
+      t0 = std::chrono::steady_clock::now();
+      int64_t checksum = 0;
+      for (TracePos i{0}; i.v() < stream.value().size(); ++i) {
+        checksum += stream.value().block(i).v();
+      }
+      ingest.stream_sweep_sec =
+          r == 0 ? SecondsSince(t0) : std::min(ingest.stream_sweep_sec, SecondsSince(t0));
+      if (checksum == INT64_MIN) {  // keep the sweep from being optimized out
+        std::printf("impossible\n");
+      }
+    }
+    std::remove(text_path.c_str());
+    std::remove(pfct_path.c_str());
+    const auto refs_per = [&](double sec) {
+      return sec > 0 ? static_cast<double>(cell_trace.size()) / sec : 0.0;
+    };
+    std::printf("\nIngestion: trace=%s (%lld refs), best of %d\n", cell_trace.name().c_str(),
+                static_cast<long long>(cell_trace.size()), kIngestReps);
+    std::printf("%-28s %10s %14s\n", "container", "wall (s)", "refs/sec");
+    std::printf("%-28s %10.4f %14.0f\n", "text load", ingest.text_load_sec,
+                refs_per(ingest.text_load_sec));
+    std::printf("%-28s %10.4f %14.0f\n", "pfct load (eager)", ingest.pfct_load_sec,
+                refs_per(ingest.pfct_load_sec));
+    std::printf("%-28s %10.4f %14s\n", "pfct stream open", ingest.stream_open_sec, "-");
+    std::printf("%-28s %10.4f %14.0f\n", "pfct stream sweep", ingest.stream_sweep_sec,
+                refs_per(ingest.stream_sweep_sec));
+  }
+
   // --- Section 2: grid modes ----------------------------------------------
 
   const bool full = FullSweepsRequested();
@@ -336,6 +416,16 @@ int main(int argc, char** argv) {
                  i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  },\n");
+  std::fprintf(f, "  \"ingestion\": {\n");
+  std::fprintf(f, "    \"trace\": \"%s\",\n", cell_trace.name().c_str());
+  std::fprintf(f, "    \"refs\": %lld,\n", static_cast<long long>(cell_trace.size()));
+  std::fprintf(f, "    \"text_load_sec\": %.6f,\n", ingest.text_load_sec);
+  std::fprintf(f, "    \"pfct_load_sec\": %.6f,\n", ingest.pfct_load_sec);
+  std::fprintf(f, "    \"stream_open_sec\": %.6f,\n", ingest.stream_open_sec);
+  std::fprintf(f, "    \"stream_sweep_sec\": %.6f,\n", ingest.stream_sweep_sec);
+  std::fprintf(f, "    \"pfct_vs_text_load\": %.2f\n",
+               ingest.pfct_load_sec > 0 ? ingest.text_load_sec / ingest.pfct_load_sec : 0.0);
+  std::fprintf(f, "  },\n");
   std::fprintf(f,
                "  \"grid_points\": %zu,\n"
                "  \"total_refs\": %lld,\n"

@@ -61,6 +61,26 @@ echo "== tier 2: throughput smoke =="
 # of this repo, and a silent 2x slowdown would otherwise ship green.
 build/bench/bench_throughput --smoke --baseline=bench/throughput_baseline.json
 
+echo "== tier 2: streaming trace ingestion =="
+# The binary-container pipeline end to end on a real-format sample: fuzz
+# the three parsers (pfct / MSR CSV / blkparse) for 500 mutated seeds — any
+# crash fails the gate, malformed inputs must come back as typed
+# diagnostics; then convert the down-sampled MSR-Cambridge-style sample to
+# .pfct and replay it under both the streaming reader and the fully
+# materialized loader. The two result CSVs must be byte-identical — the
+# acceptance property of the bounded-memory reader.
+build/tools/pfc_convert --fuzz-parsers=500 | tail -1
+build/tools/pfc_convert --in=tests/data/sample_msr.csv --from=msr-csv \
+    --out="$OBS_TMP/sample_msr.pfct" --window-records=16 --verify
+build/tools/pfc_convert --in=tests/data/sample_blktrace.txt --from=blkparse \
+    --out="$OBS_TMP/sample_blk.pfct" --verify >/dev/null
+build/tools/pfc_sim --trace="$OBS_TMP/sample_msr.pfct" --all-policies --disks=2 \
+    --cache=16 --csv="$OBS_TMP/replay_mem.csv" >/dev/null
+build/tools/pfc_sim --trace="$OBS_TMP/sample_msr.pfct" --stream --all-policies --disks=2 \
+    --cache=16 --csv="$OBS_TMP/replay_stream.csv" >/dev/null
+cmp "$OBS_TMP/replay_mem.csv" "$OBS_TMP/replay_stream.csv"
+echo "streaming replay: CSV byte-identical to in-memory replay"
+
 echo "== tier 2: hint-quality smoke =="
 # Two-trace sweep of every policy x hint-quality cell (oracle, partial
 # coverage, stale hints, the three online predictors, hintless). Gates the

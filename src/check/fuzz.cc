@@ -214,6 +214,18 @@ FuzzScenario GenScenario(uint64_t seed) {
     c.hint_fault = HintFault{};
     c.hint_coverage = 1.0;
   }
+
+  // Bounded-knowledge oracle window (SimConfig::oracle_window), appended
+  // last to keep every pre-existing seed's scenario bit-for-bit. Exclusive
+  // with the other hint-degradation axes (ValidateSimConfig rejects the
+  // combinations), so drawing one clears them; reverse aggressive refuses
+  // bounded windows by design and never draws one.
+  if (s.policy != PolicyKind::kReverseAggressive && rng.UniformInt(0, 9) >= 8) {
+    c.oracle_window = rng.UniformInt(0, 64);
+    c.hint_fault = HintFault{};
+    c.predictor = PredictorConfig{};
+    c.hint_coverage = 1.0;
+  }
   return s;
 }
 
@@ -390,6 +402,10 @@ FuzzScenario ShrinkScenario(const FuzzScenario& scenario, int* steps_out) {
         })) {
       progress = true;
     }
+    if (s.config.oracle_window >= 0 &&
+        TryReduce(&s, &steps, [](FuzzScenario& c) { c.config.oracle_window = -1; })) {
+      progress = true;
+    }
 
     // Knob simplifications.
     if (s.config.hint_coverage < 1.0 &&
@@ -495,6 +511,9 @@ std::string SerializeScenario(const FuzzScenario& s) {
   }
   if (c.predictor.enabled()) {
     out << "predictor " << ToString(c.predictor.kind) << " " << c.predictor.lookahead << "\n";
+  }
+  if (c.oracle_window >= 0) {
+    out << "oracle_window " << c.oracle_window << "\n";
   }
   out << "refs " << s.refs.size() << "\n";
   for (const TraceEntry& e : s.refs) {
@@ -651,6 +670,10 @@ bool ParseScenario(const std::string& text, FuzzScenario* out, std::string* erro
       if (!found) {
         return fail("unknown predictor '" + token + "'");
       }
+    } else if (key == "oracle_window") {
+      // Absent in pre-oracle-window repro files; the default (-1,
+      // unbounded) applies there.
+      ls >> c.oracle_window;
     } else if (key == "refs") {
       size_t n = 0;
       ls >> n;

@@ -73,6 +73,7 @@ RefSim::RefSim(const TraceContext& context, const SimConfig& config, Policy* pol
                 "TraceContext hint_fault does not match SimConfig");
   PFC_CHECK_MSG(context.predictor() == config.predictor,
                 "TraceContext predictor does not match SimConfig");
+  oracle_ = RefOracle(&context_.index(), config_.oracle_window, &cursor_);
   disks_.resize(static_cast<size_t>(config.num_disks));
   for (int i = 0; i < config.num_disks; ++i) {
     RefDisk& d = disks_[static_cast<size_t>(i)];
@@ -491,7 +492,7 @@ void RefSim::ApplyNextEventImpl() {
   if (ev.kind == EventKind::kRecover) {
     const TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
                                   ? cursor_
-                                  : context_.index().NextUseAt(ev.block, cursor_);
+                                  : oracle_.NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
     if (ListErase(prefetch_inflight_, ev.block)) {
       // A prefetch the application ended up stalled on, synthesized after
@@ -530,7 +531,7 @@ void RefSim::ApplyNextEventImpl() {
       // the disclosure).
       const TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
                                     ? cursor_
-                                    : context_.index().NextUseAt(ev.block, cursor_);
+                                    : oracle_.NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
       if (ListErase(prefetch_inflight_, ev.block)) {
         ++prefetch_filled_;
@@ -766,7 +767,7 @@ void RefSim::ServeWrite(TracePos pos, BlockId block) {
       continue;
     }
     if (cache_.free_buffers() > 0) {
-      cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
+      cache_.InsertWritten(block, oracle_.NextUseAt(block, pos));
       ListInsert(dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk.v())], block);
       break;
     }
@@ -875,7 +876,7 @@ RunResult RefSim::Run() {
     events_.push_back(up);
   }
 
-  const NextRefIndex& index = context_.index();
+  const RefOracle& index = oracle_;
   const int64_t n = trace_.size();
   for (TracePos pos{0}; pos.v() < n; ++pos) {
     cursor_ = pos;

@@ -34,6 +34,7 @@
 #include "check/ref_cache.h"
 #include "core/engine.h"
 #include "core/policy.h"
+#include "core/ref_oracle.h"
 #include "core/run_result.h"
 #include "core/sim_config.h"
 #include "core/trace_context.h"
@@ -61,7 +62,7 @@ class RefSim : public Engine {
   TimeNs now() const override { return sim_now_; }
   TracePos cursor() const override { return cursor_; }
   const Trace& trace() const override { return trace_; }
-  const NextRefIndex& index() const override { return context_.index(); }
+  const RefOracle& index() const override { return oracle_; }
   const CacheView& cache() const override { return cache_; }
   const SimConfig& config() const override { return config_; }
   BlockLocation Location(BlockId block) const override { return placement_->Map(block); }
@@ -79,6 +80,9 @@ class RefSim : public Engine {
            (disk.fault->FailStopped(sim_now_) || disk.fault->Down(sim_now_));
   }
   bool Hinted(TracePos pos) const override {
+    if (config_.oracle_bounded() && pos >= cursor_ + config_.oracle_window) {
+      return false;  // beyond the knowledge horizon [cursor, cursor + W)
+    }
     const int64_t lookahead = config_.hint_lookahead();
     if (lookahead > 0 && pos > cursor_ + lookahead) {
       return false;
@@ -88,7 +92,7 @@ class RefSim : public Engine {
   }
   bool FullyHinted() const override {
     return context_.hinted().empty() && !config_.hint_fault.enabled() &&
-           !config_.predictor.enabled();
+           !config_.predictor.enabled() && !config_.oracle_bounded();
   }
   BlockId HintedBlock(TracePos pos) const override {
     const std::vector<BlockId>& claims = context_.claims();
@@ -186,6 +190,10 @@ class RefSim : public Engine {
   const Trace& trace_;
   SimConfig config_;
   Policy* policy_;
+  // Window-bounded oracle view, wired to this engine's own cursor (the same
+  // adapter class the optimized engine uses — a pure model input, like the
+  // NextRefIndex it wraps).
+  RefOracle oracle_{nullptr, -1, nullptr};
 
   RefCache cache_;
   std::unique_ptr<Placement> placement_;

@@ -22,6 +22,7 @@
 
 #include "core/cache_view.h"
 #include "core/next_ref.h"
+#include "core/ref_oracle.h"
 #include "core/sim_config.h"
 #include "layout/placement.h"
 #include "trace/trace.h"
@@ -43,7 +44,13 @@ class Engine {
   // Next reference to serve.
   virtual TracePos cursor() const = 0;
   virtual const Trace& trace() const = 0;
-  virtual const NextRefIndex& index() const = 0;
+  // The engine's next-use oracle. With SimConfig::oracle_window unbounded
+  // (the default) it forwards the full NextRefIndex; with a bounded window
+  // it answers kNoRef for anything at or past cursor + window. Policies and
+  // engine internals alike must route future-knowledge queries through it —
+  // never through a raw NextRefIndex — so bounded-knowledge runs stay
+  // honest in both engines.
+  virtual const RefOracle& index() const = 0;
   virtual const CacheView& cache() const = 0;
   virtual const SimConfig& config() const = 0;
   virtual BlockLocation Location(BlockId block) const = 0;

@@ -47,6 +47,14 @@ void MissingTracker::AdvanceTo(TracePos cursor) {
     // mark must not pass them.
     end = std::min(end, cursor + (stale + 1));
   }
+  const int64_t know = sim_.config().oracle_window;
+  if (know >= 0) {
+    // Bounded oracle: nothing at or past cursor + know is visible yet (the
+    // knowledge horizon is exclusive), so admission must stop there too —
+    // keeping added_until_ <= cursor + know, which is what lets OnIssue /
+    // OnEvict walk next-use chains without hitting the clamped region.
+    end = std::min(end, cursor + know);
+  }
   for (TracePos p = std::max(added_until_, cursor); p < end; ++p) {
     if (sim_.Hinted(p) && !sim_.trace().is_write(p) &&
         sim_.cache().GetState(sim_.HintedBlock(p)) == CacheView::State::kAbsent) {

@@ -1,0 +1,108 @@
+// RefOracle: the engine's (possibly bounded) view of next-use knowledge.
+//
+// The paper's policies assume the application disclosed its entire read
+// sequence, which NextRefIndex materializes. Real hint sources — streaming
+// trace readers, online predictors, applications that disclose in batches —
+// only know a bounded distance past the consumption point. RefOracle is the
+// interface every engine-side consumer (Simulator, RefSim, MissingTracker,
+// the policies via Engine::index()) programs against: exact answers within
+// the visibility window, kNoRef beyond it.
+//
+// Window semantics (SimConfig::oracle_window):
+//   * window < 0  — unbounded: every query forwards to the full index
+//     untouched, bit-identical to the historical behavior.
+//   * window = W >= 0 — positions in [cursor, cursor + W) are visible; any
+//     answer at or past cursor + W is reported as kNoRef ("never referenced
+//     again, as far as anyone knows"). W = 0 discloses nothing: every block
+//     looks dead, reproducing the hintless oracle state exactly.
+//
+// The wrapper is a per-engine adapter over the shared immutable
+// NextRefIndex: the index can stay memoized across runs and threads
+// (TraceContext) while each engine's oracle tracks that engine's cursor.
+// Answers therefore *shrink* as a query position recedes past the horizon
+// and *grow* as the cursor advances — exactly how a streaming reader's
+// knowledge evolves. The full index is still built today (one sequential
+// pass, so a streaming trace never needs to be resident); the interface no
+// longer promises whole-future knowledge, which is what lets a future
+// incremental builder slot in without touching any consumer.
+
+#ifndef PFC_CORE_REF_ORACLE_H_
+#define PFC_CORE_REF_ORACLE_H_
+
+#include <cstdint>
+
+#include "core/next_ref.h"
+#include "util/strong_types.h"
+
+namespace pfc {
+
+class RefOracle {
+ public:
+  // Shared sentinels (same values as NextRefIndex's, so policy code that
+  // compares against NextRefIndex::kNoRef keeps meaning the same thing).
+  static constexpr TracePos kNoRef = NextRefIndex::kNoRef;
+  static constexpr TracePos kNoPrevRef = NextRefIndex::kNoPrevRef;
+
+  // `index` must outlive the oracle. `cursor` points at the owning engine's
+  // cursor (the engine is single-threaded; the oracle reads it on every
+  // bounded query so a cursor advance is visible immediately, with no
+  // synchronization call to forget).
+  RefOracle(const NextRefIndex* index, int64_t window, const TracePos* cursor)
+      : index_(index), window_(window), cursor_(cursor) {}
+
+  bool bounded() const { return window_ >= 0; }
+  int64_t window() const { return window_; }
+
+  // One past the last visible position. Only meaningful when bounded().
+  TracePos horizon() const { return *cursor_ + window_; }
+
+  // Smallest visible position p' >= p with trace.block(p') == block;
+  // kNoRef if none (or if the true answer lies beyond the horizon).
+  TracePos NextUseAt(BlockId block, TracePos p) const {
+    return Clamp(index_->NextUseAt(block, p));
+  }
+
+  // Next visible position after i referencing the same block as position i.
+  TracePos NextUseAfterPosition(TracePos i) const {
+    return Clamp(index_->NextUseAfterPosition(i));
+  }
+
+  // Largest position p' <= p with trace.block(p') == block; kNoPrevRef if
+  // none. The past is always fully known (it has been observed), but a
+  // bounded oracle cannot be probed past its horizon — the query point is
+  // clamped to the last visible position.
+  TracePos PrevUseAt(BlockId block, TracePos p) const {
+    if (bounded() && p >= horizon()) {
+      const TracePos last = horizon() - 1;
+      if (last < TracePos{0}) {
+        return kNoPrevRef;
+      }
+      p = last;
+    }
+    return index_->PrevUseAt(block, p);
+  }
+
+  // First visible position at which `block` is referenced; kNoRef if never.
+  TracePos FirstUse(BlockId block) const { return Clamp(index_->FirstUse(block)); }
+
+  // Whether the oracle knows anything about `block`: anywhere in the trace
+  // when unbounded, within [cursor, horizon) when bounded.
+  bool Known(BlockId block) const {
+    return bounded() ? NextUseAt(block, *cursor_) != kNoRef : index_->Known(block);
+  }
+
+  int64_t trace_size() const { return index_->trace_size(); }
+
+ private:
+  TracePos Clamp(TracePos p) const {
+    return bounded() && p >= horizon() ? kNoRef : p;
+  }
+
+  const NextRefIndex* index_;
+  int64_t window_;
+  const TracePos* cursor_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_CORE_REF_ORACLE_H_

@@ -140,6 +140,23 @@ struct SimConfig {
     return predictor.enabled() ? predictor.lookahead : hint_fault.stale_lookahead;
   }
 
+  // Bounded-knowledge oracle window (see core/ref_oracle.h). -1 (the
+  // default) keeps the paper's full advance knowledge: every oracle query
+  // forwards to the complete NextRefIndex. W >= 0 bounds the whole engine's
+  // future knowledge — hints, next-use replacement keys, everything — to
+  // positions in [cursor, cursor + W): an honest hint source that simply
+  // hasn't been told the future yet, as with a streaming trace reader that
+  // only has W references buffered. W = 0 discloses nothing and reproduces
+  // the hintless oracle state bit-for-bit. Mutually exclusive with the
+  // other degradation axes (hint_coverage < 1, hint_fault, predictor):
+  // those study *wrong* or *thinned* knowledge, this one studies *truthful
+  // but bounded* knowledge, and ValidateSimConfig rejects combinations.
+  // Reverse aggressive is fully offline and refuses bounded windows (its
+  // FullyHinted() precondition fails).
+  int64_t oracle_window = -1;
+
+  bool oracle_bounded() const { return oracle_window >= 0; }
+
   // Write extension (the paper's future-work item). false = write-behind:
   // writes complete immediately into a dirty buffer and are flushed in the
   // background whenever their disk is otherwise idle ("write behind

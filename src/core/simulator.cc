@@ -156,6 +156,35 @@ void ValidateSimConfig(const SimConfig& config) {
                  std::to_string(p.lookahead) + ")");
     }
   }
+  if (config.oracle_window < -1) {
+    FailConfig("oracle_window must be -1 (unbounded) or >= 0 (got " +
+               std::to_string(config.oracle_window) + ")");
+  }
+  // Keep horizon() arithmetic (cursor + window) far from the kNoRef
+  // sentinel's magnitude class.
+  if (config.oracle_window > INT64_MAX / 8) {
+    FailConfig("oracle_window " + std::to_string(config.oracle_window) +
+               " is absurdly large — use -1 for unbounded knowledge");
+  }
+  if (config.oracle_bounded()) {
+    // Bounded knowledge is its own degradation axis: the oracle tells the
+    // truth but only about the near future. Stacking it with thinning,
+    // corruption, or online prediction would study two contradictory hint
+    // sources in one run.
+    if (config.hint_fault.enabled()) {
+      FailConfig("oracle_window and hint_fault are both set: pick one "
+                 "hint-degradation axis");
+    }
+    if (p.enabled()) {
+      FailConfig("oracle_window with a predictor (" + std::string(ToString(p.kind)) +
+                 "): the window bounds the truthful oracle, which a predictor replaces");
+    }
+    if (config.hint_coverage < 1.0) {
+      FailConfig("oracle_window with hint_coverage < 1 (got " +
+                 std::to_string(config.hint_coverage) +
+                 "): coverage thins the oracle, the window bounds it — pick one");
+    }
+  }
 }
 
 void ValidateSimConfigForTrace(const SimConfig& config, const Trace& trace) {
@@ -220,6 +249,7 @@ Simulator::Simulator(std::shared_ptr<const TraceContext> context, const SimConfi
                                          config.discipline, config.faults)) {
   PFC_CHECK(policy != nullptr);
   CheckContextMatches(context_, config);
+  oracle_ = RefOracle(&context_.index(), config_.oracle_window, &cursor_);
   dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
   event_budget_ = config_.max_events > 0 ? config_.max_events
@@ -238,6 +268,7 @@ Simulator::Simulator(const TraceContext& context, const SimConfig& config, Polic
                                          config.discipline, config.faults)) {
   PFC_CHECK(policy != nullptr);
   CheckContextMatches(context_, config);
+  oracle_ = RefOracle(&context_.index(), config_.oracle_window, &cursor_);
   dirty_by_disk_.resize(static_cast<size_t>(config.num_disks));
   flush_outstanding_.assign(static_cast<size_t>(config.num_disks), 0);
   event_budget_ = config_.max_events > 0 ? config_.max_events
@@ -429,7 +460,7 @@ void Simulator::ApplyNextEventImpl() {
     // application can proceed.
     TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
                             ? cursor_
-                            : context_.index().NextUseAt(ev.block, cursor_);
+                            : oracle_.NextUseAt(ev.block, cursor_);
     cache_.CompleteFetch(ev.block, next_use);
     if (prefetch_inflight_.erase(ev.block)) {
       // A prefetch the application ended up stalled on, synthesized after
@@ -491,7 +522,7 @@ void Simulator::ApplyNextEventImpl() {
       // the arrival before the stalled application consumes it.
       TracePos next_use = cursor_.v() < trace_.size() && trace_.block(cursor_) == ev.block
                               ? cursor_
-                              : context_.index().NextUseAt(ev.block, cursor_);
+                              : oracle_.NextUseAt(ev.block, cursor_);
       cache_.CompleteFetch(ev.block, next_use);
       if (prefetch_inflight_.erase(ev.block)) {
         ++prefetch_filled_;
@@ -792,7 +823,7 @@ void Simulator::ServeWrite(TracePos pos, BlockId block) {
       continue;
     }
     if (cache_.free_buffers() > 0) {
-      cache_.InsertWritten(block, context_.index().NextUseAt(block, pos));
+      cache_.InsertWritten(block, oracle_.NextUseAt(block, pos));
       dirty_by_disk_[static_cast<size_t>(placement_->Map(block).disk.v())].insert(block);
       break;
     }
@@ -951,7 +982,7 @@ TracePos Simulator::FastForward(TracePos pos) {
   // Reindex each consumed block once, under the next use its final in-run
   // reference would have left. Intermediate rekeys only permute the heap's
   // internal layout, which no query observes.
-  const NextRefIndex& index = context_.index();
+  const RefOracle& index = oracle_;
   for (TracePos p = pos; p < to; ++p) {
     if (!prefetch_pending_.empty() && prefetch_pending_.erase(trace_.block(p))) {
       // The skipped reference consumes a landed prefetch, exactly as the
@@ -990,16 +1021,18 @@ RunResult Simulator::Run() {
                        DurNs{0}, false, EventKind::kDiskUp});
   }
 
-  const NextRefIndex& index = context_.index();
+  const RefOracle& index = oracle_;
   const int64_t n = trace_.size();
   // Hit-run fast-forwarding is off whenever a sink is installed: skipped
   // references would emit no events, and observability demands the full
-  // reference-by-reference stream. It is also off under hint corruption
-  // and online prediction — a bounded lookahead makes Hinted()
+  // reference-by-reference stream. It is also off under hint corruption,
+  // online prediction, and a bounded oracle window — a bounded lookahead
+  // makes Hinted() (and the bounded oracle's every answer)
   // cursor-dependent, so a skipped OnReference could have disclosed new
   // positions and the quiescence precomputation would no longer be exact.
   ff_enabled_ = config_.fast_forward && sink_ == nullptr && !config_.hint_fault.enabled() &&
-                !config_.predictor.enabled() && policy_->SupportsFastForward();
+                !config_.predictor.enabled() && !config_.oracle_bounded() &&
+                policy_->SupportsFastForward();
   if (ff_enabled_) {
     compute_prefix_.resize(static_cast<size_t>(n) + 1);
     compute_prefix_[0] = 0;

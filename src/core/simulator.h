@@ -38,6 +38,7 @@
 #include "core/engine.h"
 #include "core/next_ref.h"
 #include "core/policy.h"
+#include "core/ref_oracle.h"
 #include "core/run_result.h"
 #include "core/sim_config.h"
 #include "core/sim_error.h"
@@ -104,7 +105,7 @@ class Simulator final : public Engine {
   TimeNs now() const override { return sim_now_; }
   TracePos cursor() const override { return cursor_; }
   const Trace& trace() const override { return trace_; }
-  const NextRefIndex& index() const override { return context_.index(); }
+  const RefOracle& index() const override { return oracle_; }
   BufferCache& cache() { return cache_; }
   const BufferCache& cache() const override { return cache_; }
   const SimConfig& config() const override { return config_; }
@@ -121,10 +122,13 @@ class Simulator final : public Engine {
   }
   // Whether reference `pos` was disclosed to the prefetcher. Policies must
   // not act on undisclosed positions (the engine's demand path covers them).
-  // With a bounded hint horizon (a stale-lookahead hint fault or an online
-  // predictor), positions beyond it are undisclosed until the cursor
-  // catches up.
+  // With a bounded hint horizon (a stale-lookahead hint fault, an online
+  // predictor, or a bounded oracle window), positions beyond it are
+  // undisclosed until the cursor catches up.
   bool Hinted(TracePos pos) const override {
+    if (config_.oracle_bounded() && pos >= cursor_ + config_.oracle_window) {
+      return false;  // beyond the knowledge horizon [cursor, cursor + W)
+    }
     const int64_t lookahead = config_.hint_lookahead();
     if (lookahead > 0 && pos > cursor_ + lookahead) {
       return false;
@@ -134,7 +138,7 @@ class Simulator final : public Engine {
   }
   bool FullyHinted() const override {
     return context_.hinted().empty() && !config_.hint_fault.enabled() &&
-           !config_.predictor.enabled();
+           !config_.predictor.enabled() && !config_.oracle_bounded();
   }
   // The block the (possibly lying) hint source claims for `pos`.
   BlockId HintedBlock(TracePos pos) const override {
@@ -231,6 +235,11 @@ class Simulator final : public Engine {
   const Trace& trace_;
   SimConfig config_;
   Policy* policy_;
+  // Window-bounded view over the shared NextRefIndex (core/ref_oracle.h);
+  // reads cursor_ through a pointer so it tracks every advance. All of the
+  // engine's own next-use queries go through it too, so a bounded window
+  // bounds replacement knowledge exactly as it bounds hints.
+  RefOracle oracle_{nullptr, -1, nullptr};
 
   // Per-job arena backing the run's grow-only arrays (cache table, eviction
   // heap, event queue storage, compute prefix sums). Declared before its

@@ -136,7 +136,10 @@ uint64_t TraceFingerprint(const Trace& trace) {
     h *= 0x100000001B3ULL;
   }
   mix(static_cast<uint64_t>(trace.size()));
-  for (const TraceEntry& e : trace.entries()) {
+  // Indexed access, not entries(): the fingerprint must work for streaming
+  // traces too (one sequential pass — the window cache's best case).
+  for (TracePos i{0}; i.v() < trace.size(); ++i) {
+    const TraceEntry& e = trace.entry(i);
     mix(static_cast<uint64_t>(e.block.v()));
     mix(static_cast<uint64_t>(e.compute.ns()));
     mix(e.is_write ? 0x9E3779B97F4A7C15ULL : 0x2545F4914F6CDD1DULL);

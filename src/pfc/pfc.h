@@ -57,8 +57,11 @@
 #include "obs/stall_attribution.h"
 #include "obs/text_report.h"
 #include "theory/lower_bound.h"
+#include "trace/convert.h"
 #include "trace/file_layout.h"
 #include "trace/generators.h"
+#include "trace/pfct.h"
+#include "trace/pfct_stream.h"
 #include "trace/trace.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"

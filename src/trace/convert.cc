@@ -1,0 +1,300 @@
+#include "trace/convert.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "trace/trace_io.h"
+#include "util/check.h"
+
+namespace pfc {
+
+namespace {
+
+std::string Where(const std::string& origin, int64_t line_no) {
+  return origin + ":" + std::to_string(line_no) + ": ";
+}
+
+std::string TrimmedLine(const char* line) {
+  std::string text(line);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  if (text.size() > 80) {
+    text.resize(77);
+    text += "...";
+  }
+  return text;
+}
+
+bool IsBlank(const char* line) {
+  for (const char* p = line; *p != '\0'; ++p) {
+    if (*p != ' ' && *p != '\t' && *p != '\n' && *p != '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Shared conversion state: sampling, the compact-block remap, the running
+// clock, and the output cap. Both parsers feed parsed requests through
+// EmitRequest so the expansion and accounting rules stay in one place.
+class Builder {
+ public:
+  Builder(const ConvertOptions& options, std::string default_name)
+      : options_(options),
+        trace_(options.name.empty() ? std::move(default_name) : options.name) {
+    PFC_CHECK(options_.sample_every >= 1);
+  }
+
+  // One parsed request: absolute time `time_ns`, first block, block count,
+  // direction. Returns false once the max_records cap is hit (callers stop
+  // parsing — the cap is a feature for down-sampling huge captures).
+  bool EmitRequest(int64_t time_ns, int64_t first_block, int64_t nblocks,  // NOLINT(pfc-raw-unit) parser staging
+                   bool is_write) {
+    ++seen_;
+    if ((seen_ - 1) % options_.sample_every != 0) {
+      return true;
+    }
+    // Inter-arrival time of *sampled* requests: with sampling the surviving
+    // stream is the simulated application, so its gaps are what the model
+    // should see. Real captures have timestamp inversions; clamp to zero.
+    int64_t delta = have_prev_ ? time_ns - prev_time_ns_ : 0;  // NOLINT(pfc-raw-unit) staging
+    if (delta < 0) {
+      delta = 0;
+    }
+    prev_time_ns_ = time_ns;
+    have_prev_ = true;
+    for (int64_t b = 0; b < nblocks; ++b) {
+      if (options_.max_records > 0 && trace_.size() >= options_.max_records) {
+        return false;
+      }
+      if (b == 0 && trace_.size() > 0) {
+        // compute(i) is the gap *after* reference i, so the inter-arrival
+        // gap before this request lands on the previous request's last
+        // reference. Blocks within one request follow back-to-back (0).
+        trace_.SetCompute(TracePos{trace_.size() - 1}, DurNs{delta});
+      }
+      const BlockId block = Remap(first_block + b);
+      if (is_write) {
+        trace_.AppendWrite(block, DurNs{0});
+      } else {
+        trace_.Append(block, DurNs{0});
+      }
+    }
+    return true;
+  }
+
+  Trace Take() { return std::move(trace_); }
+  int64_t seen() const { return seen_; }
+
+ private:
+  BlockId Remap(int64_t raw) {  // NOLINT(pfc-raw-unit) parser staging
+    if (!options_.compact_blocks) {
+      return BlockId{raw};
+    }
+    auto [it, inserted] = remap_.emplace(raw, next_compact_);
+    if (inserted) {
+      ++next_compact_;
+    }
+    return BlockId{it->second};
+  }
+
+  const ConvertOptions& options_;
+  Trace trace_;
+  std::unordered_map<int64_t, int64_t> remap_;
+  int64_t next_compact_ = 0;  // NOLINT(pfc-raw-unit) dense remap counter
+  int64_t seen_ = 0;
+  int64_t prev_time_ns_ = 0;  // NOLINT(pfc-raw-unit) staging
+  bool have_prev_ = false;
+};
+
+Expected<Trace> OpenAndConvert(const std::string& path,
+                               const ConvertOptions& options,
+                               Expected<Trace> (*convert)(std::FILE*, const std::string&,
+                                                          const ConvertOptions&)) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Expected<Trace>::Failure(path + ": cannot open: " + std::strerror(errno));
+  }
+  Expected<Trace> result = convert(f, path, options);
+  std::fclose(f);
+  return result;
+}
+
+}  // namespace
+
+Expected<Trace> ConvertMsrCsv(std::FILE* f, const std::string& origin,
+                              const ConvertOptions& options) {
+  if (options.sample_every < 1) {
+    return Expected<Trace>::Failure(origin + ": sample_every must be >= 1");
+  }
+  Builder builder(options, origin + "-msr");
+  char line[1024];
+  int64_t line_no = 0;
+  // Real MSR timestamps are Windows filetimes (100ns ticks since 1601) —
+  // around 1.3e17, too large to convert to nanoseconds directly. Only the
+  // inter-arrival gaps matter, so rebase everything to the first record.
+  int64_t base_ticks = -1;  // NOLINT(pfc-raw-unit) staging
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    if (IsBlank(line) || line[0] == '#') {
+      continue;
+    }
+    // Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+    int64_t ticks = 0;     // NOLINT(pfc-raw-unit) sscanf staging
+    char host[128] = {0};
+    int64_t disk_no = 0;   // NOLINT(pfc-raw-unit) staging
+    char type[32] = {0};
+    int64_t offset = 0;    // NOLINT(pfc-raw-unit) staging
+    int64_t bytes = 0;     // NOLINT(pfc-raw-unit) staging
+    const int fields =
+        std::sscanf(line, "%" SCNd64 ",%127[^,],%" SCNd64 ",%31[^,],%" SCNd64
+                          ",%" SCNd64,
+                    &ticks, host, &disk_no, type, &offset, &bytes);
+    if (fields < 6) {
+      return Expected<Trace>::Failure(
+          Where(origin, line_no) + "malformed CSV record '" + TrimmedLine(line) +
+          "' (expected Timestamp,Hostname,DiskNumber,Type,Offset,Size,...)");
+    }
+    bool is_write = false;
+    if (std::strcmp(type, "Write") == 0 || std::strcmp(type, "write") == 0) {
+      is_write = true;
+    } else if (std::strcmp(type, "Read") != 0 && std::strcmp(type, "read") != 0) {
+      return Expected<Trace>::Failure(Where(origin, line_no) + "unknown Type '" +
+                                      type + "' (expected Read or Write)");
+    }
+    if (ticks < 0) {
+      return Expected<Trace>::Failure(Where(origin, line_no) +
+                                      "negative timestamp " + std::to_string(ticks));
+    }
+    if (offset < 0 || bytes <= 0) {
+      return Expected<Trace>::Failure(
+          Where(origin, line_no) + "bad extent: offset " + std::to_string(offset) +
+          ", size " + std::to_string(bytes));
+    }
+    const int64_t first_block = offset / kConvertBlockBytes;  // NOLINT(pfc-raw-unit) staging
+    const int64_t last_block = (offset + bytes - 1) / kConvertBlockBytes;  // NOLINT(pfc-raw-unit) staging
+    if (last_block >= kMaxTraceBlock) {
+      return Expected<Trace>::Failure(Where(origin, line_no) + "block number " +
+                                      std::to_string(last_block) +
+                                      " out of range [0, 2^40)");
+    }
+    if (base_ticks < 0) {
+      base_ticks = ticks;
+    }
+    // Filetime ticks are 100 ns. Guard the multiply: a corrupt timestamp
+    // must not overflow into a bogus-but-positive clock even after rebasing.
+    const int64_t rel_ticks = ticks >= base_ticks ? ticks - base_ticks : 0;  // NOLINT(pfc-raw-unit) staging
+    if (rel_ticks > INT64_MAX / 100) {
+      return Expected<Trace>::Failure(Where(origin, line_no) + "timestamp " +
+                                      std::to_string(ticks) +
+                                      " too large for a 100ns-tick clock");
+    }
+    if (!builder.EmitRequest(rel_ticks * 100, first_block, last_block - first_block + 1,
+                             is_write)) {
+      break;  // max_records reached
+    }
+  }
+  if (std::ferror(f) != 0) {
+    return Expected<Trace>::Failure(origin + ": read error");
+  }
+  Trace trace = builder.Take();
+  if (trace.size() == 0) {
+    return Expected<Trace>::Failure(origin + ": no usable records found");
+  }
+  return trace;
+}
+
+Expected<Trace> ConvertMsrCsvFile(const std::string& path,
+                                  const ConvertOptions& options) {
+  return OpenAndConvert(path, options, &ConvertMsrCsv);
+}
+
+Expected<Trace> ConvertBlkparse(std::FILE* f, const std::string& origin,
+                                const ConvertOptions& options) {
+  if (options.sample_every < 1) {
+    return Expected<Trace>::Failure(origin + ": sample_every must be >= 1");
+  }
+  Builder builder(options, origin + "-blk");
+  char line[1024];
+  int64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    if (IsBlank(line)) {
+      continue;
+    }
+    // maj,min cpu seq timestamp pid action rwbs sector + size [proc]
+    int dev_maj = 0;
+    int dev_min = 0;
+    int cpu = 0;
+    int64_t seq = 0;          // NOLINT(pfc-raw-unit) staging
+    double timestamp = 0;     // seconds
+    int64_t pid = 0;          // NOLINT(pfc-raw-unit) staging
+    char action[16] = {0};
+    char rwbs[16] = {0};
+    int64_t sector = 0;       // NOLINT(pfc-raw-unit) staging
+    char plus[8] = {0};
+    int64_t sectors = 0;      // NOLINT(pfc-raw-unit) staging
+    const int fields = std::sscanf(
+        line, "%d,%d %d %" SCNd64 " %lf %" SCNd64 " %15s %15s %" SCNd64 " %7s %" SCNd64,
+        &dev_maj, &dev_min, &cpu, &seq, &timestamp, &pid, action, rwbs, &sector,
+        plus, &sectors);
+    if (fields < 8) {
+      // blkparse interleaves non-I/O lines (per-CPU summaries, plug/unplug
+      // events without extents); anything that does not parse as far as an
+      // action + rwbs pair is not part of the request stream.
+      continue;
+    }
+    if (action[0] != 'Q' || action[1] != '\0') {
+      continue;  // only the queue action is the request stream
+    }
+    const bool is_write = std::strchr(rwbs, 'W') != nullptr;
+    if (!is_write && std::strchr(rwbs, 'R') == nullptr) {
+      continue;  // barriers/discards/flushes carry no data block
+    }
+    if (timestamp < 0) {
+      return Expected<Trace>::Failure(Where(origin, line_no) +
+                                      "negative timestamp");
+    }
+    if (sector < 0) {
+      return Expected<Trace>::Failure(Where(origin, line_no) + "negative sector " +
+                                      std::to_string(sector));
+    }
+    if (fields < 11 || plus[0] != '+' || plus[1] != '\0' || sectors <= 0) {
+      // A queued request without an extent ("sector + size") is malformed.
+      return Expected<Trace>::Failure(Where(origin, line_no) +
+                                      "queue record without '<sector> + <size>': '" +
+                                      TrimmedLine(line) + "'");
+    }
+    const int64_t first_block = sector / kConvertBlockSectors;  // NOLINT(pfc-raw-unit) staging
+    const int64_t last_block = (sector + sectors - 1) / kConvertBlockSectors;  // NOLINT(pfc-raw-unit) staging
+    if (last_block >= kMaxTraceBlock) {
+      return Expected<Trace>::Failure(Where(origin, line_no) + "block number " +
+                                      std::to_string(last_block) +
+                                      " out of range [0, 2^40)");
+    }
+    const int64_t time_ns = static_cast<int64_t>(timestamp * 1e9 + 0.5);  // NOLINT(pfc-raw-unit) staging
+    if (!builder.EmitRequest(time_ns, first_block, last_block - first_block + 1,
+                             is_write)) {
+      break;  // max_records reached
+    }
+  }
+  if (std::ferror(f) != 0) {
+    return Expected<Trace>::Failure(origin + ": read error");
+  }
+  Trace trace = builder.Take();
+  if (trace.size() == 0) {
+    return Expected<Trace>::Failure(origin + ": no usable records found");
+  }
+  return trace;
+}
+
+Expected<Trace> ConvertBlkparseFile(const std::string& path,
+                                    const ConvertOptions& options) {
+  return OpenAndConvert(path, options, &ConvertBlkparse);
+}
+
+}  // namespace pfc

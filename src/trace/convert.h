@@ -1,0 +1,73 @@
+// Converters from public block-trace formats to pfc traces.
+//
+// Two formats cover most published block traces:
+//
+//   * MSR-Cambridge style CSV (SNIA IOTTA): one I/O per line,
+//       Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//     with Timestamp in Windows-filetime 100 ns ticks, Type "Read"/"Write",
+//     Offset and Size in bytes.
+//   * blkparse text output (blktrace): lines like
+//       8,0  1  42  0.001923110  1234  Q  R  5013120 + 16 [postgres]
+//     with the sector in 512-byte units and size in sectors. Only queue
+//     ('Q') actions are taken — they are the application's request stream;
+//     later lifecycle actions (G, I, D, C) describe the same I/O again.
+//
+// Mapping to the paper's model: byte/sector extents become 8 KB logical
+// blocks (a multi-block request expands to one reference per block), and
+// the inter-arrival time between consecutive requests becomes the
+// inter-reference compute time — the trace-driven stand-in for "CPU time
+// the application spends between reads". Negative deltas (out-of-order
+// timestamps happen in real captures) clamp to zero.
+//
+// Converters parse from a FILE* so tests and the parser fuzzer can feed
+// them in-memory buffers (fmemopen); the *File wrappers open a path.
+// Malformed input is a diagnosis, not a crash: every failure returns an
+// Expected error naming origin:line and what was wrong.
+
+#ifndef PFC_TRACE_CONVERT_H_
+#define PFC_TRACE_CONVERT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/expected.h"
+
+namespace pfc {
+
+// The paper's block size: 8 KB.
+inline constexpr int64_t kConvertBlockBytes = 8192;
+inline constexpr int64_t kConvertBlockSectors = kConvertBlockBytes / 512;
+
+struct ConvertOptions {
+  // Keep one input record in every `sample_every` (1 = keep all). Sampling
+  // happens on input records, before multi-block expansion, so a sampled
+  // request still expands whole.
+  int64_t sample_every = 1;
+  // Stop after this many output references (0 = unlimited).
+  int64_t max_records = 0;
+  // Remap block ids densely in first-seen order. Real captures address
+  // sparse sectors across huge volumes; the simulator's layout module wants
+  // a compact logical space. On by default.
+  bool compact_blocks = true;
+  // Name for the converted trace ("" = derived from the origin).
+  std::string name;
+};
+
+// Parses MSR-Cambridge-style CSV from `f`; `origin` labels diagnostics
+// (a path, or "<memory>" in tests).
+Expected<Trace> ConvertMsrCsv(std::FILE* f, const std::string& origin,
+                              const ConvertOptions& options);
+Expected<Trace> ConvertMsrCsvFile(const std::string& path,
+                                  const ConvertOptions& options);
+
+// Parses blkparse text output from `f`.
+Expected<Trace> ConvertBlkparse(std::FILE* f, const std::string& origin,
+                                const ConvertOptions& options);
+Expected<Trace> ConvertBlkparseFile(const std::string& path,
+                                    const ConvertOptions& options);
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_CONVERT_H_

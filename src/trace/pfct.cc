@@ -1,0 +1,381 @@
+#include "trace/pfct.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "trace/trace_io.h"
+
+namespace pfc {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// Largest representable compute time: bit 63 of the compute word is kept
+// clear so a sign-flipped word is always detectable, and 2^62 ns is ~146
+// years of compute between two references — unreachable by any real trace.
+constexpr int64_t kMaxPfctCompute = int64_t{1} << 62;
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+int64_t PadTo16(int64_t n) { return (n + 15) & ~int64_t{15}; }
+
+bool IsPowerOfTwo(int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+std::string Fail(const std::string& path, const std::string& msg) {
+  return path + ": " + msg;
+}
+
+// File size via seek; -1 on failure. The header's field consistency is
+// checked against this so a truncated file is rejected at open, before any
+// record is trusted.
+int64_t FileSize(std::FILE* f) {
+  const long pos = std::ftell(f);  // NOLINT(runtime/int) ftell API
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    return -1;
+  }
+  const long end = std::ftell(f);  // NOLINT(runtime/int) ftell API
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
+    return -1;
+  }
+  return static_cast<int64_t>(end);
+}
+
+}  // namespace
+
+uint64_t PfctChecksum(const uint8_t* data, size_t n, uint64_t seed) {
+  uint64_t h = seed == 0 ? kFnvOffset : seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+int64_t PfctHeader::WindowCount() const {
+  if (window_records <= 0) {
+    return 0;
+  }
+  return (record_count + window_records - 1) / window_records;
+}
+
+void EncodePfctRecord(const TraceEntry& e, uint8_t* out) {
+  uint64_t word0 = static_cast<uint64_t>(e.block.v());
+  if (e.is_write) {
+    word0 |= uint64_t{1} << 63;
+  }
+  PutU64(out, word0);
+  PutU64(out + 8, static_cast<uint64_t>(e.compute.ns()));
+}
+
+Expected<TraceEntry> DecodePfctRecord(const uint8_t* rec) {
+  const uint64_t word0 = GetU64(rec);
+  const uint64_t word1 = GetU64(rec + 8);
+  const bool is_write = (word0 >> 63) != 0;
+  const uint64_t block = word0 & ~(uint64_t{1} << 63);
+  if (block >= static_cast<uint64_t>(kMaxTraceBlock)) {
+    return Expected<TraceEntry>::Failure(
+        "block number " + std::to_string(block) + " out of range [0, 2^40)");
+  }
+  if (word1 >= static_cast<uint64_t>(kMaxPfctCompute)) {
+    return Expected<TraceEntry>::Failure(
+        "compute time " + std::to_string(word1) + " out of range [0, 2^62)");
+  }
+  TraceEntry e;
+  e.block = BlockId{static_cast<int64_t>(block)};
+  e.compute = DurNs{static_cast<int64_t>(word1)};
+  e.is_write = is_write;
+  return e;
+}
+
+Expected<bool> SavePfct(const Trace& trace, const std::string& path,
+                        int64_t window_records) {
+  if (window_records < 0 || (window_records > 0 && !IsPowerOfTwo(window_records))) {
+    return Expected<bool>::Failure(
+        Fail(path, "window_records must be 0 or a power of two, got " +
+                       std::to_string(window_records)));
+  }
+  if (trace.size() == 0) {
+    return Expected<bool>::Failure(
+        Fail(path, "refusing to write an empty trace (pfct requires >= 1 record)"));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Expected<bool>::Failure(
+        Fail(path, std::string("cannot open for writing: ") + std::strerror(errno)));
+  }
+
+  const int64_t name_len = static_cast<int64_t>(trace.name().size());
+  const int64_t records_offset = kPfctHeaderBytes + PadTo16(name_len);
+  const int64_t records_bytes = trace.size() * kPfctRecordBytes;
+  const int64_t index_offset =
+      window_records > 0 ? records_offset + records_bytes : 0;
+
+  uint8_t header[kPfctHeaderBytes] = {0};
+  std::memcpy(header, kPfctMagic, 4);
+  PutU32(header + 4, kPfctVersion);
+  PutU64(header + 8, static_cast<uint64_t>(trace.size()));
+  PutU64(header + 16, static_cast<uint64_t>(records_offset));
+  PutU64(header + 24, static_cast<uint64_t>(window_records));
+  PutU64(header + 32, static_cast<uint64_t>(index_offset));
+  PutU64(header + 40, static_cast<uint64_t>(name_len));
+  PutU64(header + 48, PfctChecksum(header, 48, 0));
+  // header[56..64) stays zero (reserved).
+
+  bool ok = std::fwrite(header, 1, sizeof(header), f) == sizeof(header);
+  if (ok && name_len > 0) {
+    ok = std::fwrite(trace.name().data(), 1, static_cast<size_t>(name_len), f) ==
+         static_cast<size_t>(name_len);
+    const int64_t pad = PadTo16(name_len) - name_len;
+    const uint8_t zeros[16] = {0};
+    if (ok && pad > 0) {
+      ok = std::fwrite(zeros, 1, static_cast<size_t>(pad), f) ==
+           static_cast<size_t>(pad);
+    }
+  }
+
+  // Records, buffered a window at a time; window checksums accumulate as we
+  // go so the file is written in one forward pass.
+  std::vector<uint64_t> window_sums;
+  const int64_t chunk = window_records > 0 ? window_records : kPfctDefaultWindowRecords;
+  std::vector<uint8_t> buf(static_cast<size_t>(chunk * kPfctRecordBytes));
+  for (int64_t base = 0; ok && base < trace.size(); base += chunk) {
+    const int64_t n = std::min(chunk, trace.size() - base);
+    for (int64_t i = 0; i < n; ++i) {
+      EncodePfctRecord(trace.entry(TracePos{base + i}),
+                       buf.data() + i * kPfctRecordBytes);
+    }
+    const size_t bytes = static_cast<size_t>(n * kPfctRecordBytes);
+    if (window_records > 0) {
+      window_sums.push_back(PfctChecksum(buf.data(), bytes, 0));
+    }
+    ok = std::fwrite(buf.data(), 1, bytes, f) == bytes;
+  }
+
+  if (ok && window_records > 0) {
+    std::vector<uint8_t> index(window_sums.size() * 8);
+    for (size_t i = 0; i < window_sums.size(); ++i) {
+      PutU64(index.data() + i * 8, window_sums[i]);
+    }
+    ok = std::fwrite(index.data(), 1, index.size(), f) == index.size();
+  }
+
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    return Expected<bool>::Failure(Fail(path, "write error (disk full?)"));
+  }
+  return true;
+}
+
+Expected<PfctHeader> ReadPfctHeader(std::FILE* f, const std::string& path) {
+  const int64_t file_size = FileSize(f);
+  if (file_size < 0) {
+    return Expected<PfctHeader>::Failure(Fail(path, "cannot determine file size"));
+  }
+  uint8_t header[kPfctHeaderBytes];
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "truncated header: file is " + std::to_string(file_size) +
+                       " bytes, pfct needs at least 64"));
+  }
+  if (std::memcmp(header, kPfctMagic, 4) != 0) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "bad magic (not a pfct file)"));
+  }
+  const uint32_t version = GetU32(header + 4);
+  if (version != kPfctVersion) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "unsupported pfct version " + std::to_string(version) +
+                       " (this build reads version 1)"));
+  }
+  const uint64_t declared_sum = GetU64(header + 48);
+  const uint64_t actual_sum = PfctChecksum(header, 48, 0);
+  if (declared_sum != actual_sum) {
+    return Expected<PfctHeader>::Failure(Fail(path, "header checksum mismatch"));
+  }
+  if (GetU64(header + 56) != 0) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "reserved header field is nonzero"));
+  }
+
+  PfctHeader h;
+  const uint64_t record_count = GetU64(header + 8);
+  const uint64_t records_offset = GetU64(header + 16);
+  const uint64_t window_records = GetU64(header + 24);
+  const uint64_t index_offset = GetU64(header + 32);
+  const uint64_t name_len = GetU64(header + 40);
+  // Bound every field before mixing them in arithmetic, so a hostile header
+  // cannot overflow the consistency checks below.
+  const uint64_t kSane = uint64_t{1} << 56;
+  if (record_count == 0) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "zero-record trace (pfct requires >= 1 record)"));
+  }
+  if (record_count >= kSane || records_offset >= kSane || index_offset >= kSane ||
+      name_len >= kSane || window_records >= kSane) {
+    return Expected<PfctHeader>::Failure(Fail(path, "absurd header field"));
+  }
+  if (window_records > 0 && !IsPowerOfTwo(static_cast<int64_t>(window_records))) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "window_records " + std::to_string(window_records) +
+                       " is not a power of two"));
+  }
+  if ((window_records == 0) != (index_offset == 0)) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "window_records and index_offset disagree about indexing"));
+  }
+  const int64_t expected_records_offset =
+      kPfctHeaderBytes + PadTo16(static_cast<int64_t>(name_len));
+  if (static_cast<int64_t>(records_offset) != expected_records_offset) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "records_offset " + std::to_string(records_offset) +
+                       " does not match header + padded name (" +
+                       std::to_string(expected_records_offset) + ")"));
+  }
+  const int64_t records_end = static_cast<int64_t>(records_offset) +
+                              static_cast<int64_t>(record_count) * kPfctRecordBytes;
+  h.record_count = static_cast<int64_t>(record_count);
+  h.records_offset = static_cast<int64_t>(records_offset);
+  h.window_records = static_cast<int64_t>(window_records);
+  h.index_offset = static_cast<int64_t>(index_offset);
+  int64_t expected_size = records_end;
+  if (h.window_records > 0) {
+    if (h.index_offset != records_end) {
+      return Expected<PfctHeader>::Failure(
+          Fail(path, "index_offset does not follow the record array"));
+    }
+    expected_size = records_end + h.WindowCount() * 8;
+  }
+  if (file_size != expected_size) {
+    return Expected<PfctHeader>::Failure(
+        Fail(path, "file is " + std::to_string(file_size) +
+                       " bytes but the header describes " +
+                       std::to_string(expected_size) +
+                       (file_size < expected_size ? " (truncated?)" : " (trailing garbage?)")));
+  }
+
+  if (name_len > 0) {
+    std::string name(static_cast<size_t>(name_len), '\0');
+    if (std::fread(name.data(), 1, name.size(), f) != name.size()) {
+      return Expected<PfctHeader>::Failure(Fail(path, "truncated name field"));
+    }
+    h.name = std::move(name);
+  }
+  return h;
+}
+
+Expected<Trace> LoadPfctChecked(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Expected<Trace>::Failure(
+        Fail(path, std::string("cannot open trace file: ") + std::strerror(errno)));
+  }
+  Expected<PfctHeader> header = ReadPfctHeader(f, path);
+  if (!header.ok()) {
+    std::fclose(f);
+    return Expected<Trace>::Failure(header.error());
+  }
+  const PfctHeader& h = header.value();
+
+  // Pull the index first (when present) so each record window can be
+  // verified as it streams past.
+  std::vector<uint64_t> window_sums;
+  if (h.window_records > 0) {
+    std::vector<uint8_t> raw(static_cast<size_t>(h.WindowCount()) * 8);
+    if (std::fseek(f, static_cast<long>(h.index_offset), SEEK_SET) != 0 ||  // NOLINT(runtime/int)
+        std::fread(raw.data(), 1, raw.size(), f) != raw.size()) {
+      std::fclose(f);
+      return Expected<Trace>::Failure(Fail(path, "cannot read window index"));
+    }
+    window_sums.resize(static_cast<size_t>(h.WindowCount()));
+    for (size_t i = 0; i < window_sums.size(); ++i) {
+      window_sums[i] = GetU64(raw.data() + i * 8);
+    }
+  }
+
+  if (std::fseek(f, static_cast<long>(h.records_offset), SEEK_SET) != 0) {  // NOLINT(runtime/int)
+    std::fclose(f);
+    return Expected<Trace>::Failure(Fail(path, "cannot seek to records"));
+  }
+  Trace trace(h.name);
+  trace.Reserve(h.record_count);
+  const int64_t chunk = h.window_records > 0 ? h.window_records : kPfctDefaultWindowRecords;
+  std::vector<uint8_t> buf(static_cast<size_t>(chunk * kPfctRecordBytes));
+  for (int64_t base = 0; base < h.record_count; base += chunk) {
+    const int64_t n = std::min(chunk, h.record_count - base);
+    const size_t bytes = static_cast<size_t>(n * kPfctRecordBytes);
+    if (std::fread(buf.data(), 1, bytes, f) != bytes) {
+      std::fclose(f);
+      return Expected<Trace>::Failure(
+          Fail(path, "short read at record " + std::to_string(base)));
+    }
+    if (h.window_records > 0) {
+      const uint64_t sum = PfctChecksum(buf.data(), bytes, 0);
+      const size_t w = static_cast<size_t>(base / h.window_records);
+      if (sum != window_sums[w]) {
+        std::fclose(f);
+        return Expected<Trace>::Failure(
+            Fail(path, "window " + std::to_string(w) +
+                           " checksum mismatch (records " + std::to_string(base) +
+                           ".." + std::to_string(base + n - 1) + " corrupt)"));
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      Expected<TraceEntry> e = DecodePfctRecord(buf.data() + i * kPfctRecordBytes);
+      if (!e.ok()) {
+        std::fclose(f);
+        return Expected<Trace>::Failure(
+            Fail(path, "record " + std::to_string(base + i) + ": " + e.error()));
+      }
+      if (e.value().is_write) {
+        trace.AppendWrite(e.value().block, e.value().compute);
+      } else {
+        trace.Append(e.value().block, e.value().compute);
+      }
+    }
+  }
+  std::fclose(f);
+  return trace;
+}
+
+bool LooksLikePfct(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char magic[4] = {0};
+  const bool got = std::fread(magic, 1, 4, f) == 4;
+  std::fclose(f);
+  return got && std::memcmp(magic, kPfctMagic, 4) == 0;
+}
+
+}  // namespace pfc

@@ -1,0 +1,106 @@
+// pfct: the compact binary trace container (".pfct" files).
+//
+// The text format (trace_io.h) is friendly to hand-editing but parses at
+// tens of MB/s and cannot be windowed: a loader must scan every byte before
+// the first record's offset is known. pfct fixes both with fixed-width
+// records behind a self-describing header, so a reader can seek straight to
+// record i and a streaming replay (pfct_stream.h) can page windows in and
+// out in bounded memory.
+//
+// Layout (all integers little-endian, composed byte-by-byte — the format is
+// defined by bytes on disk, not by the writing machine's endianness):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------------
+//        0     4  magic "PFCT"
+//        4     4  u32 version (this build reads and writes version 1)
+//        8     8  u64 record_count (must be > 0: an empty trace is not a
+//                 simulation input, and rejecting it here catches truncation)
+//       16     8  u64 records_offset (16-byte aligned; = 64 + padded name)
+//       24     8  u64 window_records (power of two, or 0 = no window index)
+//       32     8  u64 index_offset (0 when window_records == 0)
+//       40     8  u64 name_len (bytes of trace name, no terminator)
+//       48     8  u64 header_checksum: FNV-1a 64 over header bytes [0, 48)
+//       56     8  u64 reserved (must be 0)
+//       64   ...  name bytes, zero-padded to a 16-byte boundary
+//   records_offset   record_count * 16-byte records
+//   index_offset     ceil(record_count / window_records) u64 window checksums
+//
+// Record (16 bytes): u64 word0 = (is_write << 63) | block, u64 compute_ns.
+// Block ids occupy bits [0, 40) (kMaxTraceBlock); bits [40, 63) must be
+// zero, which gives the reader 23 spare bits of corruption detection per
+// record. compute_ns must be in [0, 2^62).
+//
+// The optional index holds one FNV-1a 64 checksum per window of raw record
+// bytes (the last window may be short). The streaming reader verifies each
+// window as it pages it in, so corruption is reported at the window where
+// it lies rather than as a silently wrong simulation.
+
+#ifndef PFC_TRACE_PFCT_H_
+#define PFC_TRACE_PFCT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/expected.h"
+
+namespace pfc {
+
+inline constexpr char kPfctMagic[4] = {'P', 'F', 'C', 'T'};
+inline constexpr uint32_t kPfctVersion = 1;
+inline constexpr int64_t kPfctHeaderBytes = 64;
+inline constexpr int64_t kPfctRecordBytes = 16;
+// Default windowing for writers that do not choose one: 64 Ki records
+// (1 MiB of record bytes) balances checksum granularity against index size.
+inline constexpr int64_t kPfctDefaultWindowRecords = int64_t{1} << 16;
+
+// FNV-1a 64-bit over a byte range; the checksum used throughout the format.
+uint64_t PfctChecksum(const uint8_t* data, size_t n, uint64_t seed);
+
+// Parsed header of a .pfct file, in host integers.
+struct PfctHeader {
+  int64_t record_count = 0;
+  int64_t records_offset = 0;
+  int64_t window_records = 0;  // 0 = unindexed
+  int64_t index_offset = 0;    // 0 = no index
+  std::string name;
+  // Number of index checksums: ceil(record_count / window_records), 0 when
+  // unindexed.
+  int64_t WindowCount() const;
+};
+
+// Writes `trace` as a .pfct file with a checksummed window index every
+// `window_records` records (power of two; 0 writes no index). Returns a
+// message on I/O failure or invalid window size.
+Expected<bool> SavePfct(const Trace& trace, const std::string& path,
+                        int64_t window_records = kPfctDefaultWindowRecords);
+
+// Reads and validates only the header (and name). This is the shared
+// front-end of both loaders and the streaming reader: magic, version,
+// checksum, field sanity, and file-size consistency are all enforced here,
+// so a malformed file fails identically whichever way it is opened.
+Expected<PfctHeader> ReadPfctHeader(std::FILE* f, const std::string& path);
+
+// Fully materializes a .pfct file into an in-memory Trace, verifying every
+// window checksum when an index is present. Errors carry "<path>: ..." or
+// "<path>: record <i>: ..." diagnostics.
+Expected<Trace> LoadPfctChecked(const std::string& path);
+
+// Decodes one 16-byte record. Returns a descriptive message (without file
+// context; callers prepend it) on out-of-range block/compute or set
+// reserved bits.
+Expected<TraceEntry> DecodePfctRecord(const uint8_t* rec);
+
+// Encodes `e` into 16 bytes at `out`. Requires a valid entry (block within
+// kMaxTraceBlock, non-negative compute) — writers validate before encoding.
+void EncodePfctRecord(const TraceEntry& e, uint8_t* out);
+
+// True if `path` names a readable file starting with the PFCT magic. Used
+// by tools to auto-detect the format by content, not extension.
+bool LooksLikePfct(const std::string& path);
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_PFCT_H_

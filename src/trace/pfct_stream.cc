@@ -1,0 +1,144 @@
+#include "trace/pfct_stream.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/sim_error.h"
+#include "util/check.h"
+
+namespace pfc {
+
+Expected<std::unique_ptr<PfctStream>> PfctStream::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Expected<std::unique_ptr<PfctStream>>::Failure(
+        path + ": cannot open trace file: " + std::strerror(errno));
+  }
+  Expected<PfctHeader> header = ReadPfctHeader(f, path);
+  if (!header.ok()) {
+    std::fclose(f);
+    return Expected<std::unique_ptr<PfctStream>>::Failure(header.error());
+  }
+  auto stream = std::unique_ptr<PfctStream>(
+      new PfctStream(f, path, header.take()));
+  // Pull the whole checksum index up front (8 bytes per window — a 1 TB
+  // trace at default windowing carries an 8 MB index; real traces far less).
+  const PfctHeader& h = stream->header_;
+  if (h.window_records > 0) {
+    std::vector<uint8_t> raw(static_cast<size_t>(h.WindowCount()) * 8);
+    if (std::fseek(f, static_cast<long>(h.index_offset), SEEK_SET) != 0 ||  // NOLINT(runtime/int)
+        std::fread(raw.data(), 1, raw.size(), f) != raw.size()) {
+      return Expected<std::unique_ptr<PfctStream>>::Failure(
+          path + ": cannot read window index");
+    }
+    stream->window_sums_.resize(static_cast<size_t>(h.WindowCount()));
+    for (size_t i = 0; i < stream->window_sums_.size(); ++i) {
+      uint64_t v = 0;
+      for (int b = 0; b < 8; ++b) {
+        v |= static_cast<uint64_t>(raw[i * 8 + static_cast<size_t>(b)]) << (8 * b);
+      }
+      stream->window_sums_[i] = v;
+    }
+    stream->window_verified_.assign(stream->window_sums_.size(), false);
+  }
+  return stream;
+}
+
+PfctStream::PfctStream(std::FILE* f, std::string path, PfctHeader header)
+    : file_(f),
+      path_(std::move(path)),
+      header_(std::move(header)),
+      window_records_(header_.window_records > 0 ? header_.window_records
+                                                 : kPfctDefaultWindowRecords),
+      slots_(static_cast<size_t>(kCacheSlots)),
+      io_buf_(static_cast<size_t>(window_records_ * kPfctRecordBytes)) {}
+
+PfctStream::~PfctStream() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+const TraceEntry& PfctStream::Entry(int64_t i) {
+  PFC_CHECK(i >= 0 && i < header_.record_count);
+  ++stats_.entry_reads;
+  const int64_t w = i / window_records_;
+  const int64_t off = i % window_records_;
+  // Fast path: the window is resident.
+  for (Slot& s : slots_) {
+    if (s.window == w) {
+      s.last_use = ++tick_;
+      return s.entries[static_cast<size_t>(off)];
+    }
+  }
+  Slot& s = LoadWindow(w);
+  return s.entries[static_cast<size_t>(off)];
+}
+
+PfctStream::Slot& PfctStream::LoadWindow(int64_t w) {
+  // Take the first empty slot, else evict the least recently used.
+  size_t victim = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].window < 0) {
+      victim = i;
+      break;
+    }
+    if (slots_[i].last_use < slots_[victim].last_use) {
+      victim = i;
+    }
+  }
+  Slot& s = slots_[victim];
+  const bool first_touch = w >= static_cast<int64_t>(loaded_once_.size()) ||
+                           !loaded_once_[static_cast<size_t>(w)];
+
+  const int64_t base = w * window_records_;
+  const int64_t n = std::min(window_records_, header_.record_count - base);
+  const size_t bytes = static_cast<size_t>(n * kPfctRecordBytes);
+  const int64_t file_off = header_.records_offset + base * kPfctRecordBytes;
+  if (std::fseek(file_, static_cast<long>(file_off), SEEK_SET) != 0 ||  // NOLINT(runtime/int)
+      std::fread(io_buf_.data(), 1, bytes, file_) != bytes) {
+    throw SimError(path_ + ": read error at record " + std::to_string(base) +
+                   " (window " + std::to_string(w) + ")");
+  }
+  if (!window_sums_.empty() && !window_verified_[static_cast<size_t>(w)]) {
+    const uint64_t sum = PfctChecksum(io_buf_.data(), bytes, 0);
+    if (sum != window_sums_[static_cast<size_t>(w)]) {
+      throw SimError(path_ + ": window " + std::to_string(w) +
+                     " checksum mismatch (records " + std::to_string(base) +
+                     ".." + std::to_string(base + n - 1) + " corrupt)");
+    }
+    window_verified_[static_cast<size_t>(w)] = true;
+  }
+
+  s.entries.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Expected<TraceEntry> e = DecodePfctRecord(io_buf_.data() + i * kPfctRecordBytes);
+    if (!e.ok()) {
+      s.window = -1;  // do not leave a half-decoded window resident
+      throw SimError(path_ + ": record " + std::to_string(base + i) + ": " +
+                     e.error());
+    }
+    s.entries[static_cast<size_t>(i)] = e.value();
+  }
+  s.window = w;
+  s.last_use = ++tick_;
+
+  ++stats_.window_loads;
+  if (first_touch) {
+    ++stats_.distinct_windows;
+    if (w >= static_cast<int64_t>(loaded_once_.size())) {
+      loaded_once_.resize(static_cast<size_t>(w) + 1, false);
+    }
+    loaded_once_[static_cast<size_t>(w)] = true;
+  }
+  int64_t resident = 0;
+  for (const Slot& slot : slots_) {
+    resident += static_cast<int64_t>(slot.entries.size()) *
+                static_cast<int64_t>(sizeof(TraceEntry));
+  }
+  stats_.peak_resident_bytes = std::max(stats_.peak_resident_bytes, resident);
+  return s;
+}
+
+}  // namespace pfc

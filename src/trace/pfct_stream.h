@@ -1,0 +1,102 @@
+// PfctStream: windowed streaming reader over a .pfct file.
+//
+// A streaming Trace (Trace::OpenPfctStreaming) holds one of these instead
+// of an in-memory entry vector. Random entry access pages 16-byte records
+// in window-sized chunks through a small fixed set of cache slots, so peak
+// resident memory is O(slots * window_records) — bounded by the file's
+// window size, never by trace length. Replay through the simulator is
+// effectively sequential (the engines walk the cursor forward and policies
+// look a bounded distance ahead), so a handful of slots absorbs nearly all
+// locality; a multi-GB trace replays from a few MB of resident windows.
+//
+// Each window's checksum (when the file carries an index) is verified the
+// first time the window is paged in; a mismatch throws SimError, because by
+// then the caller is mid-replay and has no Expected channel to return
+// through. Open-time errors — bad magic, truncation, absurd fields — come
+// back as Expected diagnostics from Open().
+//
+// Thread-safety: none. The window cache mutates on read, so a streaming
+// Trace must not be shared across concurrently running engines; harness
+// code that fans out over threads must materialize first (or clamp to one
+// job). In-memory traces are unaffected.
+
+#ifndef PFC_TRACE_PFCT_STREAM_H_
+#define PFC_TRACE_PFCT_STREAM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/pfct.h"
+#include "trace/trace.h"
+#include "util/expected.h"
+
+namespace pfc {
+
+class PfctStream {
+ public:
+  // How many windows stay resident. Sized for the access pattern of a
+  // replay: the cursor's window, the policies' lookahead window, reverse
+  // aggressive's backward pass, and slack for the index build's sequential
+  // sweep. Small on purpose — the memory bound is the point.
+  static constexpr int64_t kCacheSlots = 8;
+
+  struct Stats {
+    int64_t window_loads = 0;        // windows paged in, including reloads
+    int64_t distinct_windows = 0;    // windows touched at least once
+    int64_t entry_reads = 0;         // Entry() calls served
+    int64_t peak_resident_bytes = 0; // high-water mark of cached record data
+  };
+
+  // Opens and validates `path`. Files without a window index stream too:
+  // they page in kPfctDefaultWindowRecords-sized chunks, just without
+  // checksum verification.
+  static Expected<std::unique_ptr<PfctStream>> Open(const std::string& path);
+
+  ~PfctStream();
+  PfctStream(const PfctStream&) = delete;
+  PfctStream& operator=(const PfctStream&) = delete;
+
+  int64_t size() const { return header_.record_count; }
+  const std::string& name() const { return header_.name; }
+  const std::string& path() const { return path_; }
+  int64_t window_records() const { return window_records_; }
+
+  // The record at position i (0 <= i < size()). The reference is valid
+  // until the next Entry() call that pages a window out — callers must copy
+  // what they keep. Throws SimError on I/O failure or checksum mismatch.
+  const TraceEntry& Entry(int64_t i);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    int64_t window = -1;  // -1 = empty
+    int64_t last_use = 0;
+    std::vector<TraceEntry> entries;
+  };
+
+  PfctStream(std::FILE* f, std::string path, PfctHeader header);
+
+  // Pages window `w` into a slot (evicting the least recently used) and
+  // returns it. Verifies the window checksum when the file has an index.
+  Slot& LoadWindow(int64_t w);
+
+  std::FILE* file_;
+  std::string path_;
+  PfctHeader header_;
+  int64_t window_records_;  // effective paging unit (header's, or default)
+  std::vector<uint64_t> window_sums_;  // empty when the file has no index
+  std::vector<bool> window_verified_;
+  std::vector<bool> loaded_once_;  // per-window: counted in distinct_windows
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> io_buf_;
+  int64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pfc
+
+#endif  // PFC_TRACE_PFCT_STREAM_H_

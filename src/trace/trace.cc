@@ -3,56 +3,96 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "trace/pfct_stream.h"
 #include "util/check.h"
 
 namespace pfc {
 
+Expected<Trace> Trace::OpenPfctStreaming(const std::string& path) {
+  Expected<std::unique_ptr<PfctStream>> stream = PfctStream::Open(path);
+  if (!stream.ok()) {
+    return Expected<Trace>::Failure(stream.error());
+  }
+  Trace trace;
+  trace.stream_ = std::move(stream.value());
+  trace.stream_size_ = trace.stream_->size();
+  trace.name_ = trace.stream_->name();
+  return trace;
+}
+
+const TraceEntry& Trace::StreamEntry(TracePos i) const {
+  // The window cache mutates on read; const access is part of the Trace
+  // interface, the single-threaded contract makes it safe.
+  return stream_->Entry(i.v());
+}
+
+void Trace::CheckMutable() const {
+  PFC_CHECK_MSG(stream_ == nullptr,
+                "streaming traces are read-only (Materialize() first)");
+}
+
+const std::vector<TraceEntry>& Trace::entries() const {
+  PFC_CHECK_MSG(stream_ == nullptr,
+                "entries() needs the in-memory backing (Materialize() first)");
+  return entries_;
+}
+
 void Trace::Append(BlockId block, DurNs compute) {
+  CheckMutable();
   PFC_CHECK(block >= BlockId{0});
   PFC_CHECK(compute >= DurNs{0});
   entries_.push_back(TraceEntry{block, compute, false});
 }
 
 void Trace::AppendWrite(BlockId block, DurNs compute) {
+  CheckMutable();
   PFC_CHECK(block >= BlockId{0});
   PFC_CHECK(compute >= DurNs{0});
   entries_.push_back(TraceEntry{block, compute, true});
 }
 
+void Trace::SetCompute(TracePos i, DurNs value) {
+  CheckMutable();
+  PFC_CHECK(i >= TracePos{0} && i.v() < size());
+  PFC_CHECK(value >= DurNs{0});
+  entries_[static_cast<size_t>(i.v())].compute = value;
+}
+
 int64_t Trace::WriteCount() const {
   int64_t writes = 0;
-  for (const TraceEntry& e : entries_) {
-    writes += e.is_write ? 1 : 0;
+  for (TracePos i{0}; i.v() < size(); ++i) {
+    writes += is_write(i) ? 1 : 0;
   }
   return writes;
 }
 
 int64_t Trace::DistinctBlocks() const {
   std::unordered_set<BlockId> seen;
-  seen.reserve(entries_.size());
-  for (const TraceEntry& e : entries_) {
-    seen.insert(e.block);
+  seen.reserve(static_cast<size_t>(size()));
+  for (TracePos i{0}; i.v() < size(); ++i) {
+    seen.insert(block(i));
   }
   return static_cast<int64_t>(seen.size());
 }
 
 BlockId Trace::MaxBlock() const {
   BlockId max_block{-1};
-  for (const TraceEntry& e : entries_) {
-    max_block = std::max(max_block, e.block);
+  for (TracePos i{0}; i.v() < size(); ++i) {
+    max_block = std::max(max_block, block(i));
   }
   return max_block + 1;
 }
 
 DurNs Trace::TotalCompute() const {
   DurNs total;
-  for (const TraceEntry& e : entries_) {
-    total += e.compute;
+  for (TracePos i{0}; i.v() < size(); ++i) {
+    total += compute(i);
   }
   return total;
 }
 
 void Trace::RescaleCompute(DurNs target_total) {
+  CheckMutable();
   DurNs current = TotalCompute();
   PFC_CHECK(current > DurNs{0});
   double factor = static_cast<double>(target_total.ns()) / static_cast<double>(current.ns());
@@ -66,6 +106,7 @@ void Trace::RescaleCompute(DurNs target_total) {
 }
 
 void Trace::ScaleCompute(double factor) {
+  CheckMutable();
   PFC_CHECK(factor > 0.0);
   for (TraceEntry& e : entries_) {
     e.compute = DurNs(static_cast<int64_t>(static_cast<double>(e.compute.ns()) * factor + 0.5));
@@ -75,8 +116,8 @@ void Trace::ScaleCompute(double factor) {
 Trace Trace::Reversed() const {
   Trace out(name_ + "-reversed");
   out.Reserve(size());
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    out.entries_.push_back(*it);
+  for (int64_t i = size() - 1; i >= 0; --i) {
+    out.entries_.push_back(entry(TracePos{i}));
   }
   return out;
 }
@@ -87,7 +128,19 @@ Trace Trace::Prefix(int64_t n) const {
   Trace out(name_ + "-prefix");
   out.Reserve(n);
   for (int64_t i = 0; i < n; ++i) {
-    out.entries_.push_back(entries_[static_cast<size_t>(i)]);
+    out.entries_.push_back(entry(TracePos{i}));
+  }
+  return out;
+}
+
+Trace Trace::Materialize() const {
+  if (stream_ == nullptr) {
+    return *this;
+  }
+  Trace out(name_);
+  out.Reserve(size());
+  for (int64_t i = 0; i < size(); ++i) {
+    out.entries_.push_back(entry(TracePos{i}));
   }
   return out;
 }

@@ -5,17 +5,33 @@
 // layout module maps them onto the disk array. compute(i) is the CPU time
 // the application spends after consuming reference i and before issuing
 // reference i+1 (the paper's "inter-reference compute time").
+//
+// A Trace has two backings:
+//   * in-memory (the default): entries live in a vector, mutators work,
+//     and access is a plain array index;
+//   * streaming (OpenPfctStreaming): entries page in from a .pfct file
+//     through a PfctStream window cache, peak memory bounded by the file's
+//     window size rather than trace length. A streaming trace is read-only
+//     and single-threaded (the window cache mutates on read) — engines
+//     replay it fine, but harness fan-out must materialize first.
+// Both backings answer the same accessors with the same values, so
+// everything downstream — generators' stats, the NextRefIndex build, the
+// engines — is backing-agnostic.
 
 #ifndef PFC_TRACE_TRACE_H_
 #define PFC_TRACE_TRACE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/expected.h"
 #include "util/time_util.h"
 
 namespace pfc {
+
+class PfctStream;
 
 struct TraceEntry {
   BlockId block;
@@ -31,20 +47,41 @@ class Trace {
  public:
   Trace() = default;
   explicit Trace(std::string name) : name_(std::move(name)) {}
+  Trace(Trace&&) = default;
+  Trace& operator=(Trace&&) = default;
+  Trace(const Trace&) = default;
+  Trace& operator=(const Trace&) = default;
+
+  // Opens `path` as a streaming trace backed by a PfctStream window cache.
+  // The returned Trace reads records from the file on demand; see the class
+  // comment for the read-only / single-threaded contract.
+  static Expected<Trace> OpenPfctStreaming(const std::string& path);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
-  bool empty() const { return entries_.empty(); }
-  const TraceEntry& entry(TracePos i) const { return entries_[static_cast<size_t>(i.v())]; }
-  BlockId block(TracePos i) const { return entries_[static_cast<size_t>(i.v())].block; }
-  DurNs compute(TracePos i) const { return entries_[static_cast<size_t>(i.v())].compute; }
+  // True when backed by a .pfct window cache instead of an entry vector.
+  bool streaming() const { return stream_ != nullptr; }
+  // The streaming backend, null for in-memory traces (ingestion stats).
+  const PfctStream* stream() const { return stream_.get(); }
+
+  int64_t size() const {
+    return stream_ ? stream_size_ : static_cast<int64_t>(entries_.size());
+  }
+  bool empty() const { return size() == 0; }
+  const TraceEntry& entry(TracePos i) const {
+    return stream_ ? StreamEntry(i) : entries_[static_cast<size_t>(i.v())];
+  }
+  BlockId block(TracePos i) const { return entry(i).block; }
+  DurNs compute(TracePos i) const { return entry(i).compute; }
+  bool is_write(TracePos i) const { return entry(i).is_write; }
 
   void Append(BlockId block, DurNs compute);
   void AppendWrite(BlockId block, DurNs compute);
+  // Overwrites the compute time of reference i (converters attach each
+  // request's inter-arrival gap to the previous reference once it exists).
+  void SetCompute(TracePos i, DurNs value);
   void Reserve(int64_t n) { entries_.reserve(static_cast<size_t>(n)); }
-  bool is_write(TracePos i) const { return entries_[static_cast<size_t>(i.v())].is_write; }
   // Number of write references.
   int64_t WriteCount() const;
 
@@ -66,17 +103,35 @@ class Trace {
   void ScaleCompute(double factor);
 
   // The reversed reference sequence (compute times reversed alongside);
-  // input to reverse aggressive's schedule-construction pass.
+  // input to reverse aggressive's schedule-construction pass. Always
+  // returns an in-memory trace.
   Trace Reversed() const;
 
-  // A prefix of the first n references (for quick tests).
+  // A prefix of the first n references (for quick tests). Always returns an
+  // in-memory trace.
   Trace Prefix(int64_t n) const;
 
-  const std::vector<TraceEntry>& entries() const { return entries_; }
+  // Fully materializes a streaming trace into an in-memory one (identity
+  // copy for in-memory traces) — the bridge back for code that needs
+  // mutation or thread-shared access.
+  Trace Materialize() const;
+
+  // In-memory backing only (callers wanting backing-agnostic iteration use
+  // the indexed accessors).
+  const std::vector<TraceEntry>& entries() const;
 
  private:
+  // Out-of-line slow path: one PfctStream::Entry call (trace.cc), kept out
+  // of the header so trace.h need not see the stream's definition.
+  const TraceEntry& StreamEntry(TracePos i) const;
+  void CheckMutable() const;
+
   std::string name_;
   std::vector<TraceEntry> entries_;
+  // Streaming backing; shared_ptr so Trace stays copyable (copies share the
+  // window cache — fine under the single-threaded contract).
+  std::shared_ptr<PfctStream> stream_;
+  int64_t stream_size_ = 0;
 };
 
 }  // namespace pfc

@@ -1,0 +1,139 @@
+// Boundary behavior of the bounded-knowledge oracle (core/ref_oracle.h):
+//
+//   W >= trace length  ==  full advance knowledge, bit-for-bit
+//   W == 0             ==  the hintless predictor (kNone), bit-for-bit
+//   intermediate W     ==  differential-consistent between both engines,
+//                          and never better than full knowledge
+//
+// plus reverse aggressive's refusal: it is an offline algorithm and cannot
+// run with truncated future knowledge.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "core/sim_config.h"
+#include "core/sim_error.h"
+#include "harness/experiment.h"
+#include "trace/generators.h"
+
+namespace pfc {
+namespace {
+
+constexpr PolicyKind kOnlinePolicies[] = {
+    PolicyKind::kDemand, PolicyKind::kDemandLru, PolicyKind::kFixedHorizon,
+    PolicyKind::kAggressive, PolicyKind::kForestall,
+};
+
+TEST(OracleWindow, WindowCoveringTraceEqualsUnbounded) {
+  const Trace trace = MakeTrace("cscope1");
+  const SimConfig base = BaselineConfig(trace.name(), 2);
+  for (PolicyKind kind : kOnlinePolicies) {
+    const RunResult unbounded = RunOne(trace, base, kind);
+    SimConfig windowed = base;
+    windowed.oracle_window = trace.size();  // horizon always past the end
+    const RunResult covered = RunOne(trace, windowed, kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(unbounded, covered, &why))
+        << ToString(kind) << ": " << (why.empty() ? "?" : why.front());
+  }
+}
+
+TEST(OracleWindow, ZeroWindowEqualsHintlessPredictor) {
+  // W = 0 discloses nothing: every policy must degenerate to exactly the
+  // state the hintless predictor (kNone) produces — same fetches, same
+  // stalls, same replacement decisions, bit-for-bit.
+  const Trace trace = MakeTrace("postgres-select");
+  const SimConfig base = BaselineConfig(trace.name(), 2);
+  for (PolicyKind kind : kOnlinePolicies) {
+    SimConfig hintless = base;
+    hintless.predictor.kind = PredictorKind::kNone;
+    const RunResult via_predictor = RunOne(trace, hintless, kind);
+    SimConfig windowed = base;
+    windowed.oracle_window = 0;
+    const RunResult via_window = RunOne(trace, windowed, kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(via_predictor, via_window, &why))
+        << ToString(kind) << ": " << (why.empty() ? "?" : why.front());
+  }
+}
+
+TEST(OracleWindow, ReverseAggressiveRefusesBoundedWindow) {
+  const Trace trace = MakeTrace("ld");
+  SimConfig config = BaselineConfig(trace.name(), 2);
+  config.oracle_window = 1000;
+  EXPECT_THROW(RunOne(trace, config, PolicyKind::kReverseAggressive), SimError);
+}
+
+TEST(OracleWindow, DifferentialAcrossWindowSizes) {
+  // Intermediate windows exercise a code path the full-knowledge corpus
+  // never reaches (oracle clamping, hint-horizon gating, missing-tracker
+  // truncation). Both engines must still agree exactly.
+  const Trace trace = MakeTrace("glimpse");
+  const SimConfig base = BaselineConfig(trace.name(), 3);
+  for (PolicyKind kind :
+       {PolicyKind::kFixedHorizon, PolicyKind::kAggressive, PolicyKind::kForestall}) {
+    for (int64_t window : {1, 10, 100}) {
+      SimConfig config = base;
+      config.oracle_window = window;
+      const DiffReport report = RunDifferential(trace, config, kind);
+      EXPECT_TRUE(report.consistent)
+          << ToString(kind) << " W=" << window << ": " << report.ToString();
+    }
+  }
+}
+
+TEST(OracleWindow, MoreKnowledgeNeverHurtsAtTheEndpoints) {
+  // Sweep W over powers of four. The pinned properties: zero knowledge is
+  // the worst case (every window beats or ties W = 0), and for the
+  // conservative prefetchers every window is also no better than full
+  // knowledge. Aggressive is deliberately excluded from that second bound —
+  // it over-prefetches (section 5 of the paper), so throttling its horizon
+  // with a small window can *reduce* disk contention and beat the
+  // full-knowledge run; the sweep only pins that it never falls below the
+  // full-knowledge elapsed's policy-family floor, i.e. stays within
+  // [demand-free best, hintless worst].
+  const Trace trace = MakeTrace("cscope1");
+  const SimConfig base = BaselineConfig(trace.name(), 4);
+  for (PolicyKind kind : {PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+                          PolicyKind::kForestall}) {
+    SimConfig zero = base;
+    zero.oracle_window = 0;
+    const RunResult none = RunOne(trace, zero, kind);
+    const RunResult full = RunOne(trace, base, kind);
+    EXPECT_GE(none.elapsed_time, full.elapsed_time) << ToString(kind);
+    EXPECT_GE(none.stall_time, full.stall_time) << ToString(kind);
+    for (int64_t window = 1; window <= trace.size(); window *= 4) {
+      SimConfig mid = base;
+      mid.oracle_window = window;
+      const RunResult part = RunOne(trace, mid, kind);
+      EXPECT_LE(part.elapsed_time, none.elapsed_time)
+          << ToString(kind) << " W=" << window;
+      if (kind != PolicyKind::kAggressive) {
+        EXPECT_GE(part.elapsed_time, full.elapsed_time)
+            << ToString(kind) << " W=" << window;
+      }
+    }
+  }
+}
+
+TEST(OracleWindow, RejectsInvalidCombinations) {
+  const Trace trace = MakeTrace("ld");
+  SimConfig config = BaselineConfig(trace.name(), 2);
+  config.oracle_window = -2;
+  EXPECT_THROW(RunOne(trace, config, PolicyKind::kDemand), SimError);
+  config = BaselineConfig(trace.name(), 2);
+  config.oracle_window = 50;
+  config.hint_coverage = 0.5;
+  EXPECT_THROW(RunOne(trace, config, PolicyKind::kAggressive), SimError);
+  config = BaselineConfig(trace.name(), 2);
+  config.oracle_window = 50;
+  config.predictor.kind = PredictorKind::kSequential;
+  config.predictor.lookahead = 8;
+  EXPECT_THROW(RunOne(trace, config, PolicyKind::kAggressive), SimError);
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,447 @@
+// Binary trace container (.pfct) and converter tests: round-trips across
+// every synthetic generator, a byte-pinned golden fixture guarding the
+// on-disk encoding, malformed-input diagnostics for the binary reader and
+// both real-trace converters, and the streaming reader's window cache.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/sim_error.h"
+#include "trace/convert.h"
+#include "trace/generators.h"
+#include "trace/pfct.h"
+#include "trace/pfct_stream.h"
+#include "trace/trace.h"
+#include "trace/trace_io.h"
+
+namespace pfc {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return testing::TempDir() + "/pfc_pfct_" + tag;
+}
+
+void ExpectTracesEqual(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  for (TracePos i{0}; i.v() < a.size(); ++i) {
+    ASSERT_EQ(a.block(i), b.block(i)) << "record " << i.v();
+    ASSERT_EQ(a.compute(i), b.compute(i)) << "record " << i.v();
+    ASSERT_EQ(a.is_write(i), b.is_write(i)) << "record " << i.v();
+  }
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  if (f != nullptr) {
+    uint8_t buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+// The fixed trace behind the committed golden fixture. Formula-generated so
+// the test has no dependency on generator internals: if this test fails,
+// the .pfct byte encoding itself changed.
+Trace GoldenTrace() {
+  Trace t("golden-fixture");
+  for (int64_t i = 0; i < 300; ++i) {
+    const BlockId block{(i * 37 + (i % 11) * 5) % 257};
+    const DurNs compute{(i % 13) * 123'457};
+    if (i % 9 == 4) {
+      t.AppendWrite(block, compute);
+    } else {
+      t.Append(block, compute);
+    }
+  }
+  return t;
+}
+
+// --- Round-trips -----------------------------------------------------------
+
+TEST(PfctRoundTrip, EverySyntheticGenerator) {
+  for (const TraceSpec& spec : AllTraceSpecs()) {
+    const Trace trace = MakeTrace(spec.name);
+    const std::string path = TempPath(spec.name + ".pfct");
+    Expected<bool> saved = SavePfct(trace, path, /*window_records=*/1024);
+    ASSERT_TRUE(saved.ok()) << saved.error();
+    Expected<Trace> loaded = LoadPfctChecked(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error();
+    ExpectTracesEqual(trace, loaded.value());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PfctRoundTrip, WriteTraceAndTextToBinaryToText) {
+  // A write-bearing trace through text -> binary -> text: the two formats
+  // must agree on every record, including the write markers.
+  const Trace trace = WithUpdates(MakeTrace("postgres-join"), 0.3, 99);
+  const std::string text1 = TempPath("wt1.txt");
+  const std::string binary = TempPath("wt.pfct");
+  const std::string text2 = TempPath("wt2.txt");
+  ASSERT_TRUE(SaveTraceText(trace, text1));
+  Expected<Trace> from_text = LoadTraceTextChecked(text1);
+  ASSERT_TRUE(from_text.ok()) << from_text.error();
+  Expected<bool> saved = SavePfct(from_text.value(), binary);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  Expected<Trace> from_binary = LoadPfctChecked(binary);
+  ASSERT_TRUE(from_binary.ok()) << from_binary.error();
+  ExpectTracesEqual(from_text.value(), from_binary.value());
+  ASSERT_TRUE(SaveTraceText(from_binary.value(), text2));
+  EXPECT_EQ(ReadAll(text1), ReadAll(text2));
+  std::remove(text1.c_str());
+  std::remove(binary.c_str());
+  std::remove(text2.c_str());
+}
+
+TEST(PfctRoundTrip, UnindexedFileStreamsAndLoads) {
+  const Trace trace = MakeTrace("ld");
+  const std::string path = TempPath("unindexed.pfct");
+  Expected<bool> saved = SavePfct(trace, path, /*window_records=*/0);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  Expected<Trace> loaded = LoadPfctChecked(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ExpectTracesEqual(trace, loaded.value());
+  Expected<Trace> streamed = Trace::OpenPfctStreaming(path);
+  ASSERT_TRUE(streamed.ok()) << streamed.error();
+  ExpectTracesEqual(trace, streamed.value());
+  std::remove(path.c_str());
+}
+
+TEST(PfctGolden, CommittedFixtureBytesAreStable) {
+  // Regenerate the fixture and byte-compare against the committed file. A
+  // mismatch means the on-disk encoding changed — which is a format break,
+  // not a refactor.
+  const std::string regen = TempPath("golden_regen.pfct");
+  Expected<bool> saved = SavePfct(GoldenTrace(), regen, /*window_records=*/64);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  const std::vector<uint8_t> expected = ReadAll(PFC_TEST_DATA_DIR "/golden.pfct");
+  const std::vector<uint8_t> actual = ReadAll(regen);
+  ASSERT_FALSE(expected.empty()) << "committed fixture missing";
+  EXPECT_EQ(actual, expected) << ".pfct byte encoding changed";
+  std::remove(regen.c_str());
+}
+
+// --- Malformed inputs: binary reader ---------------------------------------
+
+class PfctMalformed : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("malformed.pfct");
+    Expected<bool> saved = SavePfct(GoldenTrace(), path_, /*window_records=*/64);
+    ASSERT_TRUE(saved.ok()) << saved.error();
+    image_ = ReadAll(path_);
+    ASSERT_GE(image_.size(), 64u);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Writes `image` and expects both the loader and the streaming opener to
+  // reject it with a diagnostic mentioning `needle`.
+  void ExpectRejected(const std::vector<uint8_t>& image, const std::string& needle) {
+    WriteAll(path_, image);
+    Expected<Trace> loaded = LoadPfctChecked(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.error().find(path_), std::string::npos)
+        << "diagnostic lacks the path: " << loaded.error();
+    EXPECT_NE(loaded.error().find(needle), std::string::npos) << loaded.error();
+    Expected<Trace> streamed = Trace::OpenPfctStreaming(path_);
+    EXPECT_FALSE(streamed.ok());
+  }
+
+  std::string path_;
+  std::vector<uint8_t> image_;
+};
+
+TEST_F(PfctMalformed, TruncatedHeader) {
+  std::vector<uint8_t> img(image_.begin(), image_.begin() + 40);
+  ExpectRejected(img, "truncated header");
+}
+
+TEST_F(PfctMalformed, BadMagic) {
+  std::vector<uint8_t> img = image_;
+  img[0] = 'X';
+  ExpectRejected(img, "bad magic");
+}
+
+TEST_F(PfctMalformed, UnsupportedVersion) {
+  std::vector<uint8_t> img = image_;
+  img[4] = 9;
+  // Version is inside the checksummed range; recompute so the version check
+  // (not the checksum) fires.
+  const uint64_t sum = PfctChecksum(img.data(), 48, 0);
+  for (int i = 0; i < 8; ++i) {
+    img[48 + static_cast<size_t>(i)] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+  ExpectRejected(img, "unsupported pfct version");
+}
+
+TEST_F(PfctMalformed, HeaderChecksumMismatch) {
+  std::vector<uint8_t> img = image_;
+  img[10] ^= 0x40;  // corrupt record_count without fixing the checksum
+  ExpectRejected(img, "header checksum");
+}
+
+TEST_F(PfctMalformed, ZeroRecords) {
+  std::vector<uint8_t> img = image_;
+  for (int i = 0; i < 8; ++i) {
+    img[8 + static_cast<size_t>(i)] = 0;
+  }
+  const uint64_t sum = PfctChecksum(img.data(), 48, 0);
+  for (int i = 0; i < 8; ++i) {
+    img[48 + static_cast<size_t>(i)] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+  ExpectRejected(img, "zero-record");
+}
+
+TEST_F(PfctMalformed, TruncatedRecords) {
+  std::vector<uint8_t> img(image_.begin(), image_.end() - 24);
+  ExpectRejected(img, "truncated");
+}
+
+TEST_F(PfctMalformed, TrailingGarbage) {
+  std::vector<uint8_t> img = image_;
+  img.push_back(0xAB);
+  ExpectRejected(img, "trailing garbage");
+}
+
+TEST_F(PfctMalformed, OutOfRangeBlock) {
+  // Set a reserved block bit (bit 50) in the first record and refresh the
+  // window checksum so record validation, not the checksum, fires.
+  std::vector<uint8_t> img = image_;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  Expected<PfctHeader> header = ReadPfctHeader(f, path_);
+  std::fclose(f);
+  ASSERT_TRUE(header.ok()) << header.error();
+  const PfctHeader& h = header.value();
+  const size_t rec0 = static_cast<size_t>(h.records_offset);
+  img[rec0 + 6] |= 0x04;  // bit 50 of word0
+  const size_t wbytes = static_cast<size_t>(
+      std::min<int64_t>(h.window_records, h.record_count) * kPfctRecordBytes);
+  const uint64_t sum = PfctChecksum(img.data() + rec0, wbytes, 0);
+  for (int i = 0; i < 8; ++i) {
+    img[static_cast<size_t>(h.index_offset) + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(sum >> (8 * i));
+  }
+  WriteAll(path_, img);
+  Expected<Trace> loaded = LoadPfctChecked(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("record 0"), std::string::npos) << loaded.error();
+  EXPECT_NE(loaded.error().find("out of range"), std::string::npos) << loaded.error();
+}
+
+TEST_F(PfctMalformed, CorruptWindowDetectedByChecksum) {
+  std::vector<uint8_t> img = image_;
+  // Flip a compute byte deep in the record array; the window checksum must
+  // catch it even though the record still decodes.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  Expected<PfctHeader> header = ReadPfctHeader(f, path_);
+  std::fclose(f);
+  ASSERT_TRUE(header.ok()) << header.error();
+  const size_t off = static_cast<size_t>(header.value().records_offset) +
+                     100 * static_cast<size_t>(kPfctRecordBytes) + 8;
+  img[off] ^= 0x01;
+  WriteAll(path_, img);
+  // The eager loader rejects the file outright.
+  Expected<Trace> loaded = LoadPfctChecked(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("checksum mismatch"), std::string::npos)
+      << loaded.error();
+  // The streaming reader verifies lazily: open succeeds (the header is
+  // intact), and the corruption surfaces as a SimError when the damaged
+  // window is first pulled in mid-replay.
+  Expected<Trace> streamed = Trace::OpenPfctStreaming(path_);
+  ASSERT_TRUE(streamed.ok()) << streamed.error();
+  EXPECT_THROW(streamed.value().compute(TracePos{100}), SimError);
+}
+
+// --- Malformed inputs: converters ------------------------------------------
+
+Expected<Trace> ConvertMsrString(const std::string& text,
+                                 const ConvertOptions& options = {}) {
+  std::FILE* f = fmemopen(const_cast<char*>(text.data()), text.size(), "r");
+  EXPECT_NE(f, nullptr);
+  Expected<Trace> result = ConvertMsrCsv(f, "<memory>", options);
+  std::fclose(f);
+  return result;
+}
+
+Expected<Trace> ConvertBlkString(const std::string& text,
+                                 const ConvertOptions& options = {}) {
+  std::FILE* f = fmemopen(const_cast<char*>(text.data()), text.size(), "r");
+  EXPECT_NE(f, nullptr);
+  Expected<Trace> result = ConvertBlkparse(f, "<memory>", options);
+  std::fclose(f);
+  return result;
+}
+
+TEST(ConvertMsr, ParsesReadsWritesAndInterArrivalGaps) {
+  // Two reads 100 us apart (1000 ticks), then a 2-block write.
+  const std::string csv =
+      "128166372003061629,web,0,Read,8192,8192,100\n"
+      "128166372003062629,web,0,Read,32768,8192,100\n"
+      "128166372003064629,web,0,Write,16384,16384,100\n";
+  Expected<Trace> result = ConvertMsrString(csv);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Trace& t = result.value();
+  ASSERT_EQ(t.size(), 4);  // read, read, write x2 blocks
+  EXPECT_EQ(t.block(TracePos{0}), BlockId{0});  // compact remap: first-seen
+  EXPECT_EQ(t.block(TracePos{1}), BlockId{1});
+  EXPECT_EQ(t.block(TracePos{2}), BlockId{2});
+  EXPECT_EQ(t.block(TracePos{3}), BlockId{3});
+  EXPECT_FALSE(t.is_write(TracePos{1}));
+  EXPECT_TRUE(t.is_write(TracePos{2}));
+  EXPECT_TRUE(t.is_write(TracePos{3}));
+  // Gap after record 0 = 1000 ticks * 100 ns; within the write, 0.
+  EXPECT_EQ(t.compute(TracePos{0}), DurNs{100'000});
+  EXPECT_EQ(t.compute(TracePos{1}), DurNs{200'000});
+  EXPECT_EQ(t.compute(TracePos{2}), DurNs{0});
+  EXPECT_EQ(t.compute(TracePos{3}), DurNs{0});
+}
+
+TEST(ConvertMsr, RawAddressesWithoutCompaction) {
+  ConvertOptions options;
+  options.compact_blocks = false;
+  Expected<Trace> result =
+      ConvertMsrString("1000,web,0,Read,81920,8192,1\n", options);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().block(TracePos{0}), BlockId{10});
+}
+
+TEST(ConvertMsr, SamplingAndRecordCap) {
+  std::string csv;
+  for (int i = 0; i < 100; ++i) {
+    csv += std::to_string(1000 + i * 10) + ",h,0,Read," +
+           std::to_string(i * 8192) + ",8192,1\n";
+  }
+  ConvertOptions sampled;
+  sampled.sample_every = 10;
+  Expected<Trace> r1 = ConvertMsrString(csv, sampled);
+  ASSERT_TRUE(r1.ok()) << r1.error();
+  EXPECT_EQ(r1.value().size(), 10);
+  ConvertOptions capped;
+  capped.max_records = 7;
+  Expected<Trace> r2 = ConvertMsrString(csv, capped);
+  ASSERT_TRUE(r2.ok()) << r2.error();
+  EXPECT_EQ(r2.value().size(), 7);
+}
+
+TEST(ConvertMsr, DiagnosticsCarryOriginAndLine) {
+  const struct {
+    const char* text;
+    const char* needle;
+  } cases[] = {
+      {"not,a,number,Read,0,8192,1\n", "malformed CSV record"},
+      {"1000,h,0,Erase,0,8192,1\n", "unknown Type"},
+      {"1000,h,0,Read,-8192,8192,1\n", "bad extent"},
+      {"1000,h,0,Read,0,0,1\n", "bad extent"},
+      {"-5,h,0,Read,0,8192,1\n", "negative timestamp"},
+      {"1000,h,0,Read,999999999999999999,8192,1\n", "out of range"},
+      {"", "no usable records"},
+      {"# only a comment\n", "no usable records"},
+  };
+  for (const auto& c : cases) {
+    Expected<Trace> result = ConvertMsrString(c.text);
+    ASSERT_FALSE(result.ok()) << c.text;
+    EXPECT_NE(result.error().find("<memory>"), std::string::npos) << result.error();
+    EXPECT_NE(result.error().find(c.needle), std::string::npos) << result.error();
+  }
+}
+
+TEST(ConvertBlkparse, ParsesQueueActionsOnly) {
+  const std::string blk =
+      "8,0 1 1 0.000000000 42 Q R 2048 + 16 [prog]\n"    // read, block 128
+      "8,0 1 2 0.000000000 42 G R 2048 + 16 [prog]\n"    // later lifecycle: skip
+      "8,0 1 3 0.000104000 42 Q W 4096 + 32 [prog]\n"    // write, 2 blocks
+      "8,0 1 4 0.000104000 42 C R 2048 + 16 [0]\n"       // completion: skip
+      "CPU0 (8,0): reads queued 1\n";                    // summary: skip
+  Expected<Trace> result = ConvertBlkString(blk);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Trace& t = result.value();
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_FALSE(t.is_write(TracePos{0}));
+  EXPECT_TRUE(t.is_write(TracePos{1}));
+  EXPECT_TRUE(t.is_write(TracePos{2}));
+  EXPECT_EQ(t.compute(TracePos{0}), DurNs{104'000});
+}
+
+TEST(ConvertBlkparse, MalformedQueueRecordIsRejected) {
+  Expected<Trace> result = ConvertBlkString("8,0 1 1 0.0 42 Q R 2048\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("<memory>:1"), std::string::npos) << result.error();
+  Expected<Trace> neg = ConvertBlkString("8,0 1 1 0.0 42 Q R -9 + 8 [p]\n");
+  ASSERT_FALSE(neg.ok());
+  EXPECT_NE(neg.error().find("negative sector"), std::string::npos) << neg.error();
+  Expected<Trace> empty = ConvertBlkString("no requests here\n");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.error().find("no usable records"), std::string::npos);
+}
+
+// --- Streaming reader ------------------------------------------------------
+
+TEST(PfctStream, RandomAccessMatchesAndMemoryStaysBounded) {
+  const Trace trace = MakeTrace("cscope1");
+  const std::string path = TempPath("stream.pfct");
+  const int64_t window = 256;
+  ASSERT_GT(trace.size(), window * (PfctStream::kCacheSlots + 2))
+      << "trace too small to exercise eviction";
+  Expected<bool> saved = SavePfct(trace, path, window);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  Expected<Trace> opened = Trace::OpenPfctStreaming(path);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  Trace streamed = opened.take();
+  EXPECT_TRUE(streamed.streaming());
+  EXPECT_EQ(streamed.size(), trace.size());
+  EXPECT_EQ(streamed.name(), trace.name());
+  // Sequential pass + a scattered backward pass.
+  for (TracePos i{0}; i.v() < trace.size(); ++i) {
+    ASSERT_EQ(streamed.entry(i).block, trace.entry(i).block) << i.v();
+  }
+  for (int64_t i = trace.size() - 1; i >= 0; i -= 37) {
+    ASSERT_EQ(streamed.compute(TracePos{i}), trace.compute(TracePos{i}));
+  }
+  const PfctStream::Stats& stats = streamed.stream()->stats();
+  EXPECT_GT(stats.distinct_windows, PfctStream::kCacheSlots);
+  // The memory bound: resident data never exceeds the slot budget.
+  EXPECT_LE(stats.peak_resident_bytes,
+            PfctStream::kCacheSlots * window *
+                static_cast<int64_t>(sizeof(TraceEntry)));
+  std::remove(path.c_str());
+}
+
+TEST(PfctStream, MaterializeAndDerivedStatsAgree) {
+  const Trace trace = WithUpdates(MakeTrace("postgres-select"), 0.2, 7);
+  const std::string path = TempPath("materialize.pfct");
+  ASSERT_TRUE(SavePfct(trace, path, 128).ok());
+  Expected<Trace> opened = Trace::OpenPfctStreaming(path);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  const Trace& streamed = opened.value();
+  EXPECT_EQ(streamed.WriteCount(), trace.WriteCount());
+  EXPECT_EQ(streamed.DistinctBlocks(), trace.DistinctBlocks());
+  EXPECT_EQ(streamed.MaxBlock(), trace.MaxBlock());
+  EXPECT_EQ(streamed.TotalCompute(), trace.TotalCompute());
+  ExpectTracesEqual(trace, streamed.Materialize());
+  ExpectTracesEqual(trace.Prefix(trace.size()), streamed.Prefix(trace.size()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,115 @@
+// Acceptance gate for streaming trace replay: a multi-window .pfct replayed
+// through the bounded-memory PfctStream reader must produce bit-identical
+// RunResults — every counter, every double — to the same trace fully
+// materialized in memory, for all six policies. Also pins the memory bound:
+// the reader's peak resident record data is governed by the window size and
+// slot count, never by trace length.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+#include "harness/experiment.h"
+#include "trace/generators.h"
+#include "trace/pfct.h"
+#include "trace/pfct_stream.h"
+#include "trace/trace.h"
+
+namespace pfc {
+namespace {
+
+constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kDemand,     PolicyKind::kDemandLru,
+    PolicyKind::kFixedHorizon, PolicyKind::kAggressive,
+    PolicyKind::kReverseAggressive, PolicyKind::kForestall,
+};
+
+// Small windows force many cache refills during replay; 256 records per
+// window over the ~8700-record cscope1 trace gives ~34 windows against 8
+// cache slots.
+constexpr int64_t kWindowRecords = 256;
+
+std::string SaveStreamFixture(const Trace& trace, const std::string& tag) {
+  const std::string path = testing::TempDir() + "/pfc_stream_replay_" + tag;
+  Expected<bool> saved = SavePfct(trace, path, kWindowRecords);
+  EXPECT_TRUE(saved.ok()) << saved.error();
+  return path;
+}
+
+TEST(StreamReplay, AllPoliciesBitIdenticalToInMemory) {
+  const Trace memory = MakeTrace("cscope1");
+  const std::string path = SaveStreamFixture(memory, "cscope1.pfct");
+  Expected<Trace> opened = Trace::OpenPfctStreaming(path);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  const Trace streamed = opened.take();
+  ASSERT_TRUE(streamed.streaming());
+  ASSERT_GT(streamed.size() / kWindowRecords, PfctStream::kCacheSlots)
+      << "fixture must span more windows than the cache holds";
+
+  for (int disks : {1, 4}) {
+    const SimConfig config = BaselineConfig(memory.name(), disks);
+    for (PolicyKind kind : kAllPolicies) {
+      const RunResult from_memory = RunOne(memory, config, kind);
+      const RunResult from_stream = RunOne(streamed, config, kind);
+      std::vector<std::string> why;
+      EXPECT_TRUE(ResultsExactlyEqual(from_memory, from_stream, &why))
+          << ToString(kind) << " disks=" << disks << ": "
+          << (why.empty() ? "?" : why.front());
+    }
+  }
+
+  // The memory bound, measured after the full replay workload above: the
+  // reader never held more record data than its slot budget, despite the
+  // trace being many times larger.
+  const PfctStream::Stats& stats = streamed.stream()->stats();
+  EXPECT_GT(stats.distinct_windows, PfctStream::kCacheSlots);
+  EXPECT_LE(stats.peak_resident_bytes,
+            PfctStream::kCacheSlots * kWindowRecords *
+                static_cast<int64_t>(sizeof(TraceEntry)));
+  EXPECT_LT(stats.peak_resident_bytes,
+            streamed.size() * static_cast<int64_t>(sizeof(TraceEntry)));
+  std::remove(path.c_str());
+}
+
+TEST(StreamReplay, DifferentialCorpusOnStreamingTrace) {
+  // Both engines replay the same streaming trace; the differential contract
+  // (bitwise equality plus the theory lower bound) must hold just as it
+  // does for in-memory traces.
+  const Trace memory = MakeTrace("postgres-select");
+  const std::string path = SaveStreamFixture(memory, "psel.pfct");
+  Expected<Trace> opened = Trace::OpenPfctStreaming(path);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  const Trace streamed = opened.take();
+  const SimConfig config = BaselineConfig(memory.name(), 3);
+  for (PolicyKind kind : kAllPolicies) {
+    const DiffReport report = RunDifferential(streamed, config, kind);
+    EXPECT_TRUE(report.consistent) << ToString(kind) << ": " << report.ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamReplay, WriteTraceBitIdenticalToInMemory) {
+  // Write markers survive the binary round trip and replay identically.
+  // Reverse aggressive refuses write traces, so it is exercised above only.
+  const Trace memory = WithUpdates(MakeTrace("ld"), 0.25, 11);
+  const std::string path = SaveStreamFixture(memory, "ld_writes.pfct");
+  Expected<Trace> opened = Trace::OpenPfctStreaming(path);
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  const Trace streamed = opened.take();
+  const SimConfig config = BaselineConfig(memory.name(), 2);
+  for (PolicyKind kind : kAllPolicies) {
+    if (kind == PolicyKind::kReverseAggressive) continue;
+    const RunResult from_memory = RunOne(memory, config, kind);
+    const RunResult from_stream = RunOne(streamed, config, kind);
+    std::vector<std::string> why;
+    EXPECT_TRUE(ResultsExactlyEqual(from_memory, from_stream, &why))
+        << ToString(kind) << ": " << (why.empty() ? "?" : why.front());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pfc

@@ -1,0 +1,480 @@
+// pfc_convert: trace format conversion and inspection.
+//
+// Converts between the pfc trace formats (text, binary .pfct) and ingests
+// real block traces (MSR-Cambridge-style CSV, blkparse text output):
+//
+//   pfc_convert --in=trace.txt --out=trace.pfct
+//   pfc_convert --in=msr_sample.csv --from=msr-csv --out=web.pfct --sample-every=10
+//   pfc_convert --make-trace=postgres-select --out=ps.pfct
+//   pfc_convert --info --in=trace.pfct
+//
+// Flags:
+//   --in=PATH            input file (format auto-detected unless --from)
+//   --from=FORMAT        text|pfct|msr-csv|blkparse        [auto-detect]
+//   --out=PATH           output file
+//   --to=FORMAT          text|pfct           [pfct if --out ends .pfct, else text]
+//   --make-trace=NAME    synthesize a built-in trace as the input instead of --in
+//   --seed=N             synthesis seed for --make-trace    [19960901]
+//   --name=NAME          override the output trace's name
+//   --window-records=N   .pfct checksum-window size, power of two, 0=unindexed
+//                        [65536]
+//   --sample-every=N     converters: keep 1 input record in N          [1]
+//   --max-records=N      converters: stop after N output references    [unlimited]
+//   --no-compact-blocks  converters: keep raw (sparse) block addresses
+//   --verify             after writing, re-read the output and compare every
+//                        record against the input (streaming reader for .pfct)
+//   --info               print the parsed .pfct header of --in and exit
+//   --fuzz-parsers=N     feed N seeds of mutated input to every parser and
+//                        expect diagnostics, never crashes; exit 0 on survival
+//   --help
+//
+// Auto-detection reads content, not extensions: a PFCT magic means .pfct,
+// a "# pfc-trace" header or "<int> <int>" first record means text; .csv
+// naming or a "Timestamp,Hostname" shape means msr-csv; "maj,min ..."
+// records mean blkparse.
+//
+// Exit codes: 0 success; 1 conversion/verify error; 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pfc/pfc.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Flags {
+  std::string in;
+  std::string from;  // empty = auto
+  std::string out;
+  std::string to;  // empty = by extension
+  std::string make_trace;
+  uint64_t seed = pfc::kDefaultTraceSeed;
+  std::string name;
+  int64_t window_records = pfc::kPfctDefaultWindowRecords;
+  pfc::ConvertOptions convert;
+  bool verify = false;
+  bool info = false;
+  int64_t fuzz_parsers = 0;
+  bool help = false;
+};
+
+bool ParseFlag(const std::string& arg, Flags* flags) {
+  auto value_of = [&](const char* name) -> const char* {
+    size_t len = std::strlen(name);
+    if (arg.compare(0, len, name) == 0 && arg.size() > len && arg[len] == '=') {
+      return arg.c_str() + len + 1;
+    }
+    return nullptr;
+  };
+  if (arg == "--help" || arg == "-h") {
+    flags->help = true;
+    return true;
+  }
+  if (arg == "--verify") {
+    flags->verify = true;
+    return true;
+  }
+  if (arg == "--info") {
+    flags->info = true;
+    return true;
+  }
+  if (arg == "--no-compact-blocks") {
+    flags->convert.compact_blocks = false;
+    return true;
+  }
+  if (const char* v = value_of("--in")) {
+    flags->in = v;
+    return true;
+  }
+  if (const char* v = value_of("--from")) {
+    flags->from = v;
+    return true;
+  }
+  if (const char* v = value_of("--out")) {
+    flags->out = v;
+    return true;
+  }
+  if (const char* v = value_of("--to")) {
+    flags->to = v;
+    return true;
+  }
+  if (const char* v = value_of("--make-trace")) {
+    flags->make_trace = v;
+    return true;
+  }
+  if (const char* v = value_of("--seed")) {
+    flags->seed = std::strtoull(v, nullptr, 10);
+    return true;
+  }
+  if (const char* v = value_of("--name")) {
+    flags->name = v;
+    return true;
+  }
+  if (const char* v = value_of("--window-records")) {
+    flags->window_records = std::atoll(v);
+    return flags->window_records >= 0;
+  }
+  if (const char* v = value_of("--sample-every")) {
+    flags->convert.sample_every = std::atoll(v);
+    return flags->convert.sample_every >= 1;
+  }
+  if (const char* v = value_of("--max-records")) {
+    flags->convert.max_records = std::atoll(v);
+    return flags->convert.max_records >= 0;
+  }
+  if (const char* v = value_of("--fuzz-parsers")) {
+    flags->fuzz_parsers = std::atoll(v);
+    return flags->fuzz_parsers > 0;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Content sniffing for --from=auto. Looks at the first non-blank line.
+std::string DetectFormat(const std::string& path) {
+  if (pfc::LooksLikePfct(path)) {
+    return "pfct";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return "";
+  }
+  char line[1024] = {0};
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    bool blank = true;
+    for (const char* p = line; *p != '\0'; ++p) {
+      if (*p != ' ' && *p != '\t' && *p != '\n' && *p != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      break;
+    }
+  }
+  std::fclose(f);
+  if (std::strstr(line, "pfc-trace") != nullptr) {
+    return "text";
+  }
+  // blkparse records start "maj,min cpu seq ..." with a float timestamp.
+  {
+    int maj = 0;
+    int dev_min = 0;
+    int cpu = 0;
+    if (std::sscanf(line, "%d,%d %d", &maj, &dev_min, &cpu) == 3) {
+      return "blkparse";
+    }
+  }
+  // MSR CSV: "<ticks>,<host>,..." — an integer immediately followed by a
+  // comma.
+  {
+    long long ticks = 0;
+    char after = 0;
+    if (std::sscanf(line, "%lld%c", &ticks, &after) == 2 && after == ',') {
+      return "msr-csv";
+    }
+  }
+  // pfc text without a header: "<block> <compute>".
+  {
+    long long a = 0;
+    long long b = 0;
+    if (std::sscanf(line, "%lld %lld", &a, &b) == 2) {
+      return "text";
+    }
+  }
+  return "";
+}
+
+// Byte-compares two traces record by record; prints the first divergence.
+bool TracesEqual(const pfc::Trace& a, const pfc::Trace& b) {
+  if (a.size() != b.size()) {
+    std::fprintf(stderr, "pfc_convert: verify: size %lld vs %lld\n",
+                 static_cast<long long>(a.size()), static_cast<long long>(b.size()));
+    return false;
+  }
+  for (pfc::TracePos i{0}; i.v() < a.size(); ++i) {
+    if (a.block(i) != b.block(i) || a.compute(i) != b.compute(i) ||
+        a.is_write(i) != b.is_write(i)) {
+      std::fprintf(stderr, "pfc_convert: verify: record %lld differs\n",
+                   static_cast<long long>(i.v()));
+      return false;
+    }
+  }
+  return true;
+}
+
+// --fuzz-parsers: deterministic seeds, three corpora. Every input either
+// parses or returns a diagnostic; crashing (signal, PFC_CHECK abort,
+// uncaught throw) fails the run — which is the point.
+int FuzzParsers(int64_t seeds) {
+  // A small valid .pfct image to mutate, built in memory via a temp file.
+  pfc::Trace base("fuzz-base");
+  for (int i = 0; i < 200; ++i) {
+    if (i % 7 == 3) {
+      base.AppendWrite(pfc::BlockId{i % 31}, pfc::DurNs{i * 11});
+    } else {
+      base.Append(pfc::BlockId{(i * 17) % 97}, pfc::DurNs{i * 13});
+    }
+  }
+  const std::string tmp = "pfct_fuzz_seed.tmp";
+  pfc::Expected<bool> saved = pfc::SavePfct(base, tmp, /*window_records=*/64);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "pfc_convert: fuzz setup: %s\n", saved.error().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> image;
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "rb");
+    if (f == nullptr) {
+      return 1;
+    }
+    uint8_t buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      image.insert(image.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+
+  const char* msr_sample =
+      "128166372003061629,web,0,Read,1064960,8192,151\n"
+      "128166372016382155,web,0,Write,2260992,4096,303\n";
+  const char* blk_sample =
+      "8,0 1 1 0.000000000 1234 Q R 2048 + 16 [prog]\n"
+      "8,0 1 2 0.000104001 1234 Q W 4096 + 32 [prog]\n";
+
+  int64_t rejected = 0;
+  int64_t accepted = 0;
+  for (int64_t s = 0; s < seeds; ++s) {
+    pfc::Rng rng(0x70FC7000ULL + static_cast<uint64_t>(s));
+    const uint32_t corpus = rng.UniformU32(3);
+    std::vector<uint8_t> buf;
+    if (corpus == 0) {
+      buf = image;
+    } else {
+      const char* sample = corpus == 1 ? msr_sample : blk_sample;
+      buf.assign(sample, sample + std::strlen(sample));
+    }
+    // Mutate: flip bytes, truncate, or extend with noise.
+    const uint32_t mutations = 1 + rng.UniformU32(8);
+    for (uint32_t m = 0; m < mutations && !buf.empty(); ++m) {
+      switch (rng.UniformU32(3)) {
+        case 0:
+          buf[rng.UniformU32(static_cast<uint32_t>(buf.size()))] =
+              static_cast<uint8_t>(rng.Next());
+          break;
+        case 1:
+          buf.resize(rng.UniformU32(static_cast<uint32_t>(buf.size())) + 1);
+          break;
+        default:
+          buf.push_back(static_cast<uint8_t>(rng.Next()));
+          break;
+      }
+    }
+    bool ok = false;
+    std::string error;
+    if (corpus == 0) {
+      std::FILE* f = std::fopen(tmp.c_str(), "wb");
+      if (f == nullptr) {
+        return 1;
+      }
+      std::fwrite(buf.data(), 1, buf.size(), f);
+      std::fclose(f);
+      try {
+        pfc::Expected<pfc::Trace> loaded = pfc::LoadPfctChecked(tmp);
+        ok = loaded.ok();
+        if (!ok) {
+          error = loaded.error();
+        }
+        // The streaming path must reject exactly the files the loader
+        // rejects at open; mid-replay checksum errors surface as SimError.
+        pfc::Expected<pfc::Trace> stream = pfc::Trace::OpenPfctStreaming(tmp);
+        if (stream.ok()) {
+          pfc::Trace t = stream.take();
+          for (pfc::TracePos i{0}; i.v() < t.size(); ++i) {
+            (void)t.entry(i);
+          }
+        }
+      } catch (const pfc::SimError& e) {
+        error = e.what();
+      }
+    } else {
+      // Text parsers get NUL-free buffers (they are line readers).
+      for (uint8_t& c : buf) {
+        if (c == 0) {
+          c = ' ';
+        }
+      }
+      std::FILE* f = fmemopen(buf.data(), buf.size(), "r");
+      if (f == nullptr) {
+        return 1;
+      }
+      pfc::ConvertOptions options;
+      pfc::Expected<pfc::Trace> converted =
+          corpus == 1 ? pfc::ConvertMsrCsv(f, "<fuzz>", options)
+                      : pfc::ConvertBlkparse(f, "<fuzz>", options);
+      std::fclose(f);
+      ok = converted.ok();
+      if (!ok) {
+        error = converted.error();
+      }
+    }
+    if (ok) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  std::remove(tmp.c_str());
+  std::printf("fuzzed %lld inputs: %lld parsed, %lld rejected with diagnostics, 0 crashes\n",
+              static_cast<long long>(seeds), static_cast<long long>(accepted),
+              static_cast<long long>(rejected));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseFlag(argv[i], &flags)) {
+      std::fprintf(stderr, "pfc_convert: bad flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (flags.help) {
+    std::printf("see the header comment of tools/pfc_convert.cc for the flag reference\n");
+    return 0;
+  }
+  if (flags.fuzz_parsers > 0) {
+    return FuzzParsers(flags.fuzz_parsers);
+  }
+
+  if (flags.info) {
+    if (flags.in.empty()) {
+      std::fprintf(stderr, "pfc_convert: --info needs --in=PATH\n");
+      return 2;
+    }
+    std::FILE* f = std::fopen(flags.in.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "pfc_convert: cannot open %s\n", flags.in.c_str());
+      return 1;
+    }
+    pfc::Expected<pfc::PfctHeader> header = pfc::ReadPfctHeader(f, flags.in);
+    std::fclose(f);
+    if (!header.ok()) {
+      std::fprintf(stderr, "pfc_convert: %s\n", header.error().c_str());
+      return 1;
+    }
+    const pfc::PfctHeader& h = header.value();
+    std::printf("pfct v1  name=%s  records=%lld  window_records=%lld  windows=%lld\n",
+                h.name.c_str(), static_cast<long long>(h.record_count),
+                static_cast<long long>(h.window_records),
+                static_cast<long long>(h.WindowCount()));
+    return 0;
+  }
+
+  // --- Resolve the input trace --------------------------------------------
+  if (flags.in.empty() == flags.make_trace.empty()) {
+    std::fprintf(stderr, "pfc_convert: need exactly one of --in or --make-trace\n");
+    return 2;
+  }
+  pfc::Trace trace;
+  if (!flags.make_trace.empty()) {
+    if (pfc::FindTraceSpec(flags.make_trace) == nullptr) {
+      std::fprintf(stderr, "pfc_convert: unknown built-in trace '%s'\n",
+                   flags.make_trace.c_str());
+      return 2;
+    }
+    trace = pfc::MakeTrace(flags.make_trace, flags.seed);
+  } else {
+    std::string from = flags.from.empty() ? DetectFormat(flags.in) : flags.from;
+    if (from.empty()) {
+      std::fprintf(stderr,
+                   "pfc_convert: cannot detect the format of %s (give --from=)\n",
+                   flags.in.c_str());
+      return 2;
+    }
+    pfc::Expected<pfc::Trace> loaded = [&]() -> pfc::Expected<pfc::Trace> {
+      if (from == "text") {
+        return pfc::LoadTraceTextChecked(flags.in);
+      }
+      if (from == "pfct") {
+        return pfc::LoadPfctChecked(flags.in);
+      }
+      if (from == "msr-csv") {
+        return pfc::ConvertMsrCsvFile(flags.in, flags.convert);
+      }
+      if (from == "blkparse") {
+        return pfc::ConvertBlkparseFile(flags.in, flags.convert);
+      }
+      return pfc::Expected<pfc::Trace>::Failure("unknown --from format '" + from +
+                                                "' (text|pfct|msr-csv|blkparse)");
+    }();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "pfc_convert: %s\n", loaded.error().c_str());
+      return from == "text" || from == "pfct" || from == "msr-csv" || from == "blkparse"
+                 ? 1
+                 : 2;
+    }
+    trace = loaded.take();
+  }
+  if (!flags.name.empty()) {
+    trace.set_name(flags.name);
+  }
+
+  if (flags.out.empty()) {
+    // No output: act as a validator and describe the input.
+    std::printf("%s\n", pfc::ToString(pfc::ComputeTraceStats(trace)).c_str());
+    return 0;
+  }
+
+  // --- Write ---------------------------------------------------------------
+  std::string to = flags.to;
+  if (to.empty()) {
+    to = EndsWith(flags.out, ".pfct") ? "pfct" : "text";
+  }
+  if (to == "pfct") {
+    pfc::Expected<bool> saved = pfc::SavePfct(trace, flags.out, flags.window_records);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "pfc_convert: %s\n", saved.error().c_str());
+      return 1;
+    }
+  } else if (to == "text") {
+    if (!pfc::SaveTraceText(trace, flags.out)) {
+      std::fprintf(stderr, "pfc_convert: cannot write %s\n", flags.out.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "pfc_convert: unknown --to format '%s' (text|pfct)\n",
+                 to.c_str());
+    return 2;
+  }
+  std::printf("wrote %lld records to %s (%s)\n", static_cast<long long>(trace.size()),
+              flags.out.c_str(), to.c_str());
+
+  if (flags.verify) {
+    pfc::Expected<pfc::Trace> back =
+        to == "pfct" ? pfc::Trace::OpenPfctStreaming(flags.out)
+                     : pfc::LoadTraceTextChecked(flags.out);
+    if (!back.ok()) {
+      std::fprintf(stderr, "pfc_convert: verify: %s\n", back.error().c_str());
+      return 1;
+    }
+    pfc::Trace reread = back.take();
+    if (!TracesEqual(trace, reread)) {
+      return 1;
+    }
+    std::printf("verified %lld records round-trip\n",
+                static_cast<long long>(trace.size()));
+  }
+  return 0;
+}

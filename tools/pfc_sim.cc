@@ -8,7 +8,17 @@
 //   pfc_sim --trace=cscope2 --policy=aggressive --batch=160 --discipline=fcfs
 //
 // Flags (defaults in brackets):
-//   --trace=NAME|PATH      built-in trace name or pfc trace file   [postgres-select]
+//   --trace=NAME|PATH      built-in trace name or pfc trace file (text or
+//                          binary .pfct; detected by content)      [postgres-select]
+//   --stream               replay a .pfct trace through the windowed
+//                          streaming reader instead of materializing it
+//                          (bounded memory; forces --jobs=1 because the
+//                          window cache is single-threaded). Results are
+//                          bit-identical to an in-memory replay.
+//   --oracle-window=N      bound the prefetchers' future knowledge to N
+//                          references past the cursor (-1 = unbounded, the
+//                          paper's full-knowledge model; 0 = hintless).
+//                          Reverse aggressive refuses bounded windows.  [-1]
 //   --policy=NAME          demand|demand-lru|fixed-horizon|aggressive|
 //                          reverse-aggressive|forestall             [forestall]
 //   --all-policies         run every policy instead of --policy
@@ -110,6 +120,8 @@ struct Flags {
   uint64_t seed = pfc::kDefaultTraceSeed;
   int64_t prefix = 0;
   int jobs = 0;  // 0 = PFC_JOBS / hardware concurrency
+  bool stream = false;
+  int64_t oracle_window = -1;
   std::string csv;
   std::string events_out;
   bool help = false;
@@ -162,6 +174,14 @@ bool ParseFlag(const std::string& arg, Flags* flags) {
   if (arg == "--write-through") {
     flags->write_through = true;
     return true;
+  }
+  if (arg == "--stream") {
+    flags->stream = true;
+    return true;
+  }
+  if (const char* v = value_of("--oracle-window")) {
+    flags->oracle_window = std::atoll(v);
+    return flags->oracle_window >= -1;
   }
   if (const char* v = value_of("--trace")) {
     flags->trace = v;
@@ -371,10 +391,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Load or synthesize the trace.
+  // Load or synthesize the trace. Binary .pfct files are recognized by
+  // content; --stream replays one through the windowed reader instead of
+  // materializing it.
   pfc::Trace trace;
+  const bool is_pfct =
+      pfc::FindTraceSpec(flags.trace) == nullptr && pfc::LooksLikePfct(flags.trace);
+  if (flags.stream && !is_pfct) {
+    std::fprintf(stderr, "pfc_sim: --stream needs a .pfct trace file (got '%s')\n",
+                 flags.trace.c_str());
+    return 2;
+  }
   if (pfc::FindTraceSpec(flags.trace) != nullptr) {
     trace = pfc::MakeTrace(flags.trace, flags.seed);
+  } else if (is_pfct) {
+    pfc::Expected<pfc::Trace> loaded = flags.stream
+                                           ? pfc::Trace::OpenPfctStreaming(flags.trace)
+                                           : pfc::LoadPfctChecked(flags.trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "pfc_sim: %s\n", loaded.error().c_str());
+      return 1;
+    }
+    trace = loaded.take();
   } else {
     pfc::Expected<pfc::Trace> loaded = pfc::LoadTraceTextChecked(flags.trace);
     if (!loaded.ok()) {
@@ -387,7 +425,14 @@ int main(int argc, char** argv) {
     trace = loaded.take();
   }
   if (flags.prefix > 0 && flags.prefix < trace.size()) {
-    trace = trace.Prefix(flags.prefix);
+    trace = trace.Prefix(flags.prefix);  // materializes a streaming trace
+  }
+  if (trace.streaming() && flags.jobs != 1) {
+    if (flags.jobs > 1) {
+      std::fprintf(stderr,
+                   "pfc_sim: streaming replay is single-threaded; clamping --jobs to 1\n");
+    }
+    flags.jobs = 1;  // the window cache mutates on read
   }
   std::printf("%s\n\n", pfc::ToString(pfc::ComputeTraceStats(trace)).c_str());
 
@@ -479,6 +524,7 @@ int main(int argc, char** argv) {
     config.faults = flags.faults;
     config.hint_fault = flags.hint_fault;
     config.predictor = predictor;
+    config.oracle_window = flags.oracle_window;
     config.paranoid = flags.paranoid;
     // --events-out needs the raw stream; plain runs skip collection.
     config.obs.collect = !flags.events_out.empty();
@@ -494,7 +540,8 @@ int main(int argc, char** argv) {
     for (pfc::PolicyKind kind : kinds) {
       if (kind == pfc::PolicyKind::kReverseAggressive &&
           (flags.hint_coverage < 1.0 || trace.WriteCount() > 0 ||
-           flags.hint_fault.enabled() || predictor.enabled())) {
+           flags.hint_fault.enabled() || predictor.enabled() ||
+           flags.oracle_window >= 0)) {
         continue;  // offline schedule needs full, truthful hints and reads only
       }
       grid.push_back(pfc::ExperimentJob{&trace, config, kind, options});

@@ -5,7 +5,7 @@
 #
 # clang-tidy is optional tooling: when the binary is absent (the pinned CI
 # image ships only gcc) this gate reports SKIPPED and exits 0 — the always-on
-# static checks live in tools/pfc_lint and the compile-fail corpus, which
+# static checks live in tools/pfc_analyze and the compile-fail corpus, which
 # need nothing beyond the project toolchain.
 #
 # Usage: scripts/check_tidy.sh [build-dir]   (default: build)
@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
-  echo "check_tidy: clang-tidy not found; SKIPPED (pfc_lint + compile-fail corpus remain the hard gate)"
+  echo "check_tidy: clang-tidy not found; SKIPPED (pfc_analyze + compile-fail corpus remain the hard gate)"
   exit 0
 fi
 

@@ -7,14 +7,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier 0: static checks (before any build) =="
-# pfc_lint is deliberately standalone (no pfc dependency) so the project
+# pfc_analyze depends only on the standard library, so the project
 # invariants — determinism sources, raw-unit leaks, EventSink emission
-# discipline, Simulator/RefSim hook parity — gate before a single object
-# file of the main tree is compiled.
+# discipline, Simulator/RefSim hook parity, include-graph layering,
+# enum-sync, accounting coverage — gate before a single object file of the
+# main tree is compiled. The SARIF log is the CI artifact.
 mkdir -p build
-c++ -std=c++20 -O1 -o build/pfc_lint_boot tools/pfc_lint.cc
-build/pfc_lint_boot --self-test
-build/pfc_lint_boot --root .
+c++ -std=c++20 -O1 -Isrc -o build/pfc_analyze_boot tools/pfc_analyze.cc src/analyze/*.cc
+build/pfc_analyze_boot --self-test
+build/pfc_analyze_boot --root . --sarif build/analyze.sarif
 # clang-tidy / clang-format gates skip themselves cleanly when the binaries
 # are absent; when present they run warnings-as-errors.
 scripts/check_format.sh

@@ -1,0 +1,194 @@
+#include "analyze/accounting.h"
+
+#include <cctype>
+#include <regex>
+
+#include "analyze/source.h"
+
+namespace pfc::analyze {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ContainsToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<CounterField> ParseCounterFields(const std::vector<std::string>& code,
+                                             const std::string& struct_name) {
+  std::vector<CounterField> fields;
+  const std::regex kStruct("\\bstruct\\s+" + struct_name + "\\b");
+  static const std::regex kField(R"(^\s*(int64_t|DurNs)\s+([A-Za-z_][A-Za-z0-9_]*)\s*(=|;))");
+  int depth = 0;
+  bool inside = false;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (!inside && std::regex_search(line, kStruct)) {
+      inside = true;
+      depth = 0;
+    }
+    if (!inside) {
+      continue;
+    }
+    // Only collect fields at struct scope (depth 1), not in nested types.
+    if (depth == 1) {
+      std::smatch m;
+      if (std::regex_search(line, m, kField)) {
+        fields.push_back({m[2].str(), i + 1});
+      }
+    }
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          return fields;
+        }
+      }
+    }
+  }
+  return fields;
+}
+
+std::string ExtractFunctionBody(const std::string& stripped_text,
+                                const std::string& qualified_name) {
+  size_t pos = 0;
+  while ((pos = stripped_text.find(qualified_name, pos)) != std::string::npos) {
+    const size_t after = pos + qualified_name.size();
+    if ((pos > 0 && IsIdentChar(stripped_text[pos - 1])) ||
+        (after < stripped_text.size() && IsIdentChar(stripped_text[after]))) {
+      pos = after;
+      continue;
+    }
+    // Must be followed by an argument list, then the body brace.
+    size_t i = after;
+    while (i < stripped_text.size() && std::isspace(static_cast<unsigned char>(stripped_text[i]))) {
+      ++i;
+    }
+    if (i >= stripped_text.size() || stripped_text[i] != '(') {
+      pos = after;
+      continue;
+    }
+    int parens = 0;
+    while (i < stripped_text.size()) {
+      if (stripped_text[i] == '(') {
+        ++parens;
+      } else if (stripped_text[i] == ')') {
+        --parens;
+        if (parens == 0) {
+          ++i;
+          break;
+        }
+      }
+      ++i;
+    }
+    // Skip qualifiers (const, noexcept, trailing return) up to `{` or `;`.
+    while (i < stripped_text.size() && stripped_text[i] != '{' && stripped_text[i] != ';') {
+      ++i;
+    }
+    if (i >= stripped_text.size() || stripped_text[i] == ';') {
+      pos = after;  // a declaration, not a definition
+      continue;
+    }
+    int depth = 0;
+    std::string body;
+    while (i < stripped_text.size()) {
+      const char c = stripped_text[i];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          return body;
+        }
+      }
+      if (depth > 0) {
+        body += c;
+      }
+      ++i;
+    }
+    return body;
+  }
+  return std::string();
+}
+
+void CheckAccountingCoverage(const Project& project, std::vector<Finding>* out) {
+  const std::string kResultHeader = "src/core/run_result.h";
+  const SourceFile* header = project.Find(kResultHeader);
+  if (header == nullptr) {
+    out->push_back({kResultHeader, 0, "accounting-coverage", "run_result.h not found"});
+    return;
+  }
+  const std::vector<CounterField> fields = ParseCounterFields(header->code, "RunResult");
+  if (fields.empty()) {
+    out->push_back({kResultHeader, 0, "accounting-coverage",
+                    "no counter fields parsed from struct RunResult"});
+    return;
+  }
+
+  const SourceFile* diff = project.Find("src/check/diff.cc");
+  struct AuditRegion {
+    std::string name;  // for messages
+    std::string body;
+  };
+  std::vector<AuditRegion> audits;
+  if (const SourceFile* sim = project.Find("src/core/simulator.cc"); sim != nullptr) {
+    const std::string joined = sim->JoinedCode();
+    audits.push_back({"Simulator::AuditInvariants", ExtractFunctionBody(joined, "AuditInvariants")});
+    audits.push_back({"Simulator::AuditResult", ExtractFunctionBody(joined, "AuditResult")});
+  }
+  if (const SourceFile* obs = project.Find("src/obs/obs_report.cc"); obs != nullptr) {
+    audits.push_back({"ObsCollector::Finish", ExtractFunctionBody(obs->JoinedCode(), "Finish")});
+  }
+  if (const SourceFile* att = project.Find("src/obs/stall_attribution.cc"); att != nullptr) {
+    audits.push_back(
+        {"StallAttribution::CheckAgainst", ExtractFunctionBody(att->JoinedCode(), "CheckAgainst")});
+  }
+
+  const std::string diff_code = diff != nullptr ? diff->JoinedCode() : std::string();
+  for (const CounterField& f : fields) {
+    const std::string& raw_line =
+        f.line > 0 && f.line <= header->raw.size() ? header->raw[f.line - 1] : header->raw.front();
+    if (HasNolint(raw_line, "pfc-accounting")) {
+      continue;
+    }
+    if (diff == nullptr || !ContainsToken(diff_code, f.name)) {
+      out->push_back({kResultHeader, f.line, "accounting-coverage",
+                      "RunResult::" + f.name +
+                          " is not compared by the differential gate (src/check/diff.cc) — "
+                          "RunDifferential must assert exact equality for every counter"});
+    }
+    bool audited = false;
+    for (const AuditRegion& a : audits) {
+      if (ContainsToken(a.body, f.name) || ContainsToken(a.body, f.name + "_")) {
+        audited = true;
+        break;
+      }
+    }
+    if (!audited) {
+      out->push_back({kResultHeader, f.line, "accounting-coverage",
+                      "RunResult::" + f.name +
+                          " has no balance check — reference it (or its `" + f.name +
+                          "_` accumulator) in Simulator::AuditInvariants / AuditResult, "
+                          "ObsCollector::Finish, or StallAttribution::CheckAgainst"});
+    }
+  }
+}
+
+}  // namespace pfc::analyze

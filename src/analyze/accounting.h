@@ -1,0 +1,49 @@
+// Accounting-coverage pass.
+//
+// Every integer counter and duration field of `RunResult` is a promise:
+// the differential gate compares it bit-for-bit between engines, and some
+// balance check pins it against the rest of the accounting. A counter that
+// is *not* wired into those sites is a silent hole — the fuzzer would never
+// notice it drifting. This pass parses the `int64_t` / `DurNs` fields out
+// of `src/core/run_result.h` and requires each (unless the field's line
+// carries `NOLINT(pfc-accounting)`) to appear:
+//
+//   * in `src/check/diff.cc` — the RunDifferential exact-equality
+//     comparator must compare it, and
+//   * in at least one audit site — `Simulator::AuditInvariants` or
+//     `Simulator::AuditResult` (src/core/simulator.cc, matched as the
+//     field name or its `name_` accumulator spelling),
+//     `ObsCollector::Finish` (src/obs/obs_report.cc), or
+//     `StallAttribution::CheckAgainst` (src/obs/stall_attribution.cc).
+
+#ifndef PFC_ANALYZE_ACCOUNTING_H_
+#define PFC_ANALYZE_ACCOUNTING_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/project.h"
+
+namespace pfc::analyze {
+
+struct CounterField {
+  std::string name;
+  size_t line = 0;  // 1-based, in run_result.h
+};
+
+// Parses the counter fields (int64_t / DurNs members) of `struct <name>`
+// from stripped header text. Function declarations are excluded.
+std::vector<CounterField> ParseCounterFields(const std::vector<std::string>& code,
+                                             const std::string& struct_name);
+
+// Extracts the brace-matched body of the first `<qualified_name>(...) {...}`
+// in stripped text; empty string when not found.
+std::string ExtractFunctionBody(const std::string& stripped_text,
+                                const std::string& qualified_name);
+
+void CheckAccountingCoverage(const Project& project, std::vector<Finding>* out);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_ACCOUNTING_H_

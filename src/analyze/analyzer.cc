@@ -1,0 +1,126 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "analyze/accounting.h"
+#include "analyze/enum_sync.h"
+#include "analyze/include_graph.h"
+#include "analyze/legacy_rules.h"
+
+namespace pfc::analyze {
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  const size_t n = std::char_traits<char>::length(prefix);
+  return s.size() >= n && s.compare(0, n, prefix) == 0;
+}
+
+bool IsCodeFile(const SourceFile& f) {
+  return (f.rel.size() >= 2 && f.rel.compare(f.rel.size() - 2, 2, ".h") == 0) ||
+         (f.rel.size() >= 3 && f.rel.compare(f.rel.size() - 3, 3, ".cc") == 0);
+}
+
+bool InSrc(const SourceFile& f) { return IsCodeFile(f) && StartsWith(f.rel, "src/"); }
+
+}  // namespace
+
+const std::vector<Rule>& AllRules() {
+  static const std::vector<Rule>* kRules = [] {
+    auto* rules = new std::vector<Rule>;
+    rules->push_back({"no-nondeterminism", "pfc-nondeterminism",
+                      "no ambient randomness or wall-clock sources in src/",
+                      CheckNondeterminism, nullptr, InSrc});
+    rules->push_back({"raw-unit", "pfc-raw-unit",
+                      "time quantities and block addresses use strong types, not raw int64_t",
+                      CheckRawUnits, nullptr, [](const SourceFile& f) {
+                        // src/theory models dimensionless reference/tick units
+                        // and src/util defines the wrappers themselves; both
+                        // legitimately hold raw int64.
+                        return InSrc(f) && !StartsWith(f.rel, "src/theory/") &&
+                               !StartsWith(f.rel, "src/util/");
+                      }});
+    rules->push_back({"sink-guard", "",
+                      "direct sink_->OnEvent emission sits behind one null test or a helper",
+                      CheckSinkGuard, nullptr, InSrc});
+    rules->push_back({"hot-structure", "pfc-hot-structure",
+                      "no node-based std::set/std::map in the src/core hot path",
+                      CheckHotStructure, nullptr,
+                      [](const SourceFile& f) { return InSrc(f) && StartsWith(f.rel, "src/core/"); }});
+    rules->push_back({"policy-parity", "pfc-policy-parity",
+                      "Simulator and RefSim invoke the same set of Policy::On* hooks", nullptr,
+                      CheckPolicyParity, nullptr});
+    rules->push_back({"layering", "pfc-layering",
+                      "the include graph respects the layer order declared in analyze/layers.toml",
+                      nullptr,
+                      [](const Project& p, std::vector<Finding>* out) {
+                        CheckLayering(p, "analyze/layers.toml", out);
+                      },
+                      nullptr});
+    rules->push_back({"include-cycle", "",
+                      "the project include graph is acyclic", nullptr, nullptr, nullptr});
+    rules->push_back({"enum-sync", "",
+                      "every StallCause/ObsEventKind/PolicyKind enumerator appears at its "
+                      "required code and doc sites",
+                      nullptr, CheckAllEnumSync, nullptr});
+    rules->push_back({"accounting-coverage", "pfc-accounting",
+                      "every RunResult counter is compared by the differential gate and pinned "
+                      "by a balance check",
+                      nullptr, CheckAccountingCoverage, nullptr});
+    return rules;
+  }();
+  return *kRules;
+}
+
+AnalysisResult Analyze(const Project& project, const Baseline& baseline) {
+  const std::vector<Rule>& rules = AllRules();
+
+  // Per-file rules fan out across a thread pool: each worker claims file
+  // indices from an atomic cursor and writes into that file's slot, so the
+  // merge order is the (sorted) file order regardless of scheduling.
+  std::vector<std::vector<Finding>> slots(project.files.size());
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    for (size_t i = cursor.fetch_add(1); i < project.files.size(); i = cursor.fetch_add(1)) {
+      const SourceFile& f = project.files[i];
+      for (const Rule& rule : rules) {
+        if (rule.per_file && (!rule.applies || rule.applies(f))) {
+          rule.per_file(f, &slots[i]);
+        }
+      }
+    }
+  };
+  unsigned hw = std::thread::hardware_concurrency();
+  const size_t n_threads = std::min<size_t>(hw == 0 ? 1 : hw, 8);
+  if (n_threads <= 1 || project.files.size() < 4) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (size_t t = 0; t < n_threads; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  AnalysisResult result;
+  for (std::vector<Finding>& slot : slots) {
+    result.raw_findings.insert(result.raw_findings.end(),
+                               std::make_move_iterator(slot.begin()),
+                               std::make_move_iterator(slot.end()));
+  }
+  for (const Rule& rule : rules) {
+    if (rule.project) {
+      rule.project(project, &result.raw_findings);
+    }
+  }
+  std::sort(result.raw_findings.begin(), result.raw_findings.end());
+  result.findings = baseline.Apply(result.raw_findings, &result.stale_baseline);
+  return result;
+}
+
+}  // namespace pfc::analyze

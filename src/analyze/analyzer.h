@@ -1,0 +1,55 @@
+// The pfc_analyze rule framework.
+//
+// A Rule is either per-file (runs on every code file its `applies` filter
+// admits; rule bodies never see files the filter rejects) or project-scope
+// (runs once over the whole Project — include-graph, enum-sync, accounting,
+// policy-parity). The driver scans per-file rules in parallel with a
+// deterministic merge (findings ordered by file, then line, then rule),
+// applies the suppression baseline last, and reports which baseline entries
+// went stale. NOLINT escapes are honored *inside* each rule (they need the
+// raw line), the baseline outside (it needs the final finding).
+
+#ifndef PFC_ANALYZE_ANALYZER_H_
+#define PFC_ANALYZE_ANALYZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyze/baseline.h"
+#include "analyze/finding.h"
+#include "analyze/project.h"
+
+namespace pfc::analyze {
+
+struct Rule {
+  std::string name;         // finding rule id, e.g. "raw-unit"
+  std::string nolint_tag;   // e.g. "pfc-raw-unit"; empty = no escape hatch
+  std::string description;  // one line, surfaced in SARIF rule metadata
+  // At most one of the two hooks is set. A rule with neither hook is
+  // metadata-only: its findings are emitted by another pass (include-cycle
+  // findings come out of the layering pass, which walks the graph once).
+  std::function<void(const SourceFile&, std::vector<Finding>*)> per_file;
+  std::function<void(const Project&, std::vector<Finding>*)> project;
+  // For per-file rules: which files the rule sees (defaults to src/ code
+  // files when unset).
+  std::function<bool(const SourceFile&)> applies;
+};
+
+// The full registry: the five migrated pfc_lint rules plus layering,
+// include-cycle, enum-sync, and accounting-coverage.
+const std::vector<Rule>& AllRules();
+
+struct AnalysisResult {
+  std::vector<Finding> findings;       // post-baseline, sorted
+  std::vector<Finding> raw_findings;   // pre-baseline, sorted (for --update-baseline)
+  std::vector<std::string> stale_baseline;  // baseline entries that matched nothing
+};
+
+// Runs every rule over `project`. Per-file rules run in parallel across
+// files; output order is deterministic regardless of thread schedule.
+AnalysisResult Analyze(const Project& project, const Baseline& baseline);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_ANALYZER_H_

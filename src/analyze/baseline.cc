@@ -1,0 +1,92 @@
+#include "analyze/baseline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <set>
+
+#include "analyze/source.h"
+
+namespace pfc::analyze {
+
+Baseline Baseline::Parse(const std::string& text) {
+  Baseline b;
+  for (const std::string& line : SplitLines(text)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t t1 = line.find('\t');
+    if (t1 == std::string::npos) {
+      continue;
+    }
+    const size_t t2 = line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      continue;
+    }
+    b.entries_.push_back(
+        {line.substr(0, t1), line.substr(t1 + 1, t2 - t1 - 1), line.substr(t2 + 1)});
+  }
+  return b;
+}
+
+Baseline Baseline::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Baseline{};
+  }
+  return Parse(std::string(std::istreambuf_iterator<char>(in), {}));
+}
+
+bool Baseline::Suppresses(const Finding& f) const {
+  for (const Entry& e : entries_) {
+    if (e.rule == f.rule && e.file == f.file && e.message == f.message) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> Baseline::Apply(const std::vector<Finding>& all,
+                                     std::vector<std::string>* stale) const {
+  std::vector<Finding> kept;
+  std::vector<bool> used(entries_.size(), false);
+  for (const Finding& f : all) {
+    bool suppressed = false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (e.rule == f.rule && e.file == f.file && e.message == f.message) {
+        used[i] = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(f);
+    }
+  }
+  if (stale != nullptr) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!used[i]) {
+        stale->push_back(entries_[i].rule + "\t" + entries_[i].file + "\t" + entries_[i].message);
+      }
+    }
+  }
+  return kept;
+}
+
+std::string Baseline::Render(const std::vector<Finding>& findings) {
+  std::set<std::string> lines;  // sorted + deduplicated
+  for (const Finding& f : findings) {
+    lines.insert(f.rule + "\t" + f.file + "\t" + f.message);
+  }
+  std::string out =
+      "# pfc_analyze suppression baseline: rule<TAB>file<TAB>message, one per line.\n"
+      "# Regenerate with `pfc_analyze --root . --update-baseline`; entries that\n"
+      "# stop matching are reported as stale and should be deleted.\n";
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pfc::analyze

@@ -1,0 +1,55 @@
+// Suppression baseline: a checked-in ledger of findings that are known and
+// deliberately tolerated. Each entry is `rule<TAB>file<TAB>message` — no
+// line number, so unrelated edits that shift a finding up or down do not
+// churn the file. A finding is suppressed when its (rule, file, message)
+// triple matches an entry exactly.
+//
+// Precedence: `NOLINT(pfc-<rule>)` markers are honored first, inside the
+// rules themselves (a NOLINT'd site never produces a finding at all); the
+// baseline then filters whatever findings remain. Entries that no longer
+// match any finding are reported as stale on stderr — they should be
+// deleted, but they do not fail the run.
+
+#ifndef PFC_ANALYZE_BASELINE_H_
+#define PFC_ANALYZE_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+
+namespace pfc::analyze {
+
+class Baseline {
+ public:
+  // Parses baseline text. Blank lines and lines starting with '#' are
+  // comments. Malformed lines (fewer than two tabs) are ignored.
+  static Baseline Parse(const std::string& text);
+
+  // Loads from a file; a missing file is an empty baseline.
+  static Baseline Load(const std::string& path);
+
+  bool Suppresses(const Finding& f) const;
+
+  // Splits `all` into kept findings (returned) and suppressed ones; after
+  // the call, `stale` holds the entries that suppressed nothing.
+  std::vector<Finding> Apply(const std::vector<Finding>& all,
+                             std::vector<std::string>* stale) const;
+
+  // Serializes `findings` in baseline format (sorted, deduplicated).
+  static std::string Render(const std::vector<Finding>& findings);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string rule;
+    std::string file;
+    std::string message;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_BASELINE_H_

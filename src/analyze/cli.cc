@@ -1,0 +1,118 @@
+#include "analyze/cli.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/baseline.h"
+#include "analyze/sarif.h"
+#include "analyze/self_test.h"
+
+namespace pfc::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int RunCli(int argc, char** argv, const char* tool_name) {
+  fs::path root = ".";
+  fs::path baseline_path;
+  fs::path sarif_path;
+  bool self_test = false;
+  bool update_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--root <repo-root>] [--self-test] [--baseline <file>] "
+                   "[--update-baseline] [--sarif <path>]\n",
+                   tool_name);
+      return 2;
+    }
+  }
+  if (self_test) {
+    return RunSelfTest();
+  }
+  if (!fs::is_directory(root / "src")) {
+    std::fprintf(stderr, "%s: src/ not found under root %s\n", tool_name,
+                 root.string().c_str());
+    return 2;
+  }
+  if (baseline_path.empty()) {
+    baseline_path = root / "analyze" / "baseline.txt";
+  }
+
+  const Project project = LoadProject(root);
+  const Baseline baseline = Baseline::Load(baseline_path.string());
+  const AnalysisResult result = Analyze(project, baseline);
+
+  if (update_baseline) {
+    if (!WriteFile(baseline_path, Baseline::Render(result.raw_findings))) {
+      std::fprintf(stderr, "%s: cannot write %s\n", tool_name, baseline_path.string().c_str());
+      return 2;
+    }
+    std::printf("%s: baseline rewritten with %zu entr%s (%s)\n", tool_name,
+                result.raw_findings.size(), result.raw_findings.size() == 1 ? "y" : "ies",
+                baseline_path.string().c_str());
+    return 0;
+  }
+
+  for (const std::string& stale : result.stale_baseline) {
+    std::fprintf(stderr, "%s: stale baseline entry (matches nothing, delete it): %s\n",
+                 tool_name, stale.c_str());
+  }
+  for (const Finding& f : result.findings) {
+    if (f.line > 0) {
+      std::fprintf(stderr, "%s:%zu: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                   f.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: %s: %s\n", f.file.c_str(), f.rule.c_str(), f.message.c_str());
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::vector<SarifRule> rules;
+    for (const Rule& r : AllRules()) {
+      rules.push_back({r.name, r.description});
+    }
+    if (!WriteFile(sarif_path, SarifString(result.findings, rules))) {
+      std::fprintf(stderr, "%s: cannot write %s\n", tool_name, sarif_path.string().c_str());
+      return 2;
+    }
+  }
+
+  if (result.findings.empty()) {
+    std::printf("%s: clean (%zu files, %zu baseline entr%s)\n", tool_name,
+                project.files.size(), baseline.size(), baseline.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+  std::fprintf(stderr, "%s: %zu finding(s)\n", tool_name, result.findings.size());
+  return 1;
+}
+
+}  // namespace pfc::analyze

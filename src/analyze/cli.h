@@ -1,0 +1,25 @@
+// Command-line driver shared by pfc_analyze and the pfc_lint compatibility
+// alias.
+//
+// Usage: pfc_analyze [--root <repo-root>] [--self-test]
+//                    [--baseline <file>] [--update-baseline]
+//                    [--sarif <path>]
+// Exit: 0 = clean, 1 = findings, 2 = usage/environment error.
+//
+// Findings print to stderr as `file:line: rule: message` (line omitted for
+// whole-file findings); `--sarif` additionally writes a SARIF 2.1.0 log.
+// The suppression baseline defaults to `<root>/analyze/baseline.txt`;
+// `--update-baseline` rewrites it from the current raw findings instead of
+// failing.
+
+#ifndef PFC_ANALYZE_CLI_H_
+#define PFC_ANALYZE_CLI_H_
+
+namespace pfc::analyze {
+
+// `tool_name` is used in messages ("pfc_analyze" or "pfc_lint").
+int RunCli(int argc, char** argv, const char* tool_name);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_CLI_H_

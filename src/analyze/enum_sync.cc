@@ -1,0 +1,161 @@
+#include "analyze/enum_sync.h"
+
+#include <cctype>
+#include <regex>
+
+namespace pfc::analyze {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Word-boundary substring search (regex-free: this runs over whole files).
+bool ContainsToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<EnumSpec>& TrackedEnums() {
+  static const std::vector<EnumSpec> kSpecs = {
+      {"StallCause",
+       "src/obs/event.h",
+       "kNum",
+       {{"src/obs/stall_attribution.cc", "the attribution/ToString switch"}},
+       {{"DESIGN.md", "the stall-cause vocabulary table (§4g)"}}},
+      {"ObsEventKind",
+       "src/obs/event.h",
+       "kNum",
+       {{"src/obs/obs_report.cc", "the collector switch and event-name table"},
+        {"src/obs/export.cc", "the events-CSV / Chrome-trace renderer"}},
+       {{"DESIGN.md", "the event-kind vocabulary table (§4g)"}}},
+      {"PolicyKind",
+       "src/harness/experiment.h",
+       "kNum",
+       {{"src/harness/experiment.cc", "the policy factory and name table"},
+        {"src/check/fuzz.cc", "the fuzzer's policy draw/serialize tables"},
+        {"tools/pfc_sim.cc", "the --policy CLI lookup table"}},
+       {{"DESIGN.md", "the policy vocabulary table (§4g)"}}},
+  };
+  return kSpecs;
+}
+
+std::vector<std::string> ParseEnumerators(const std::string& stripped_text,
+                                          const std::string& enum_name) {
+  std::vector<std::string> out;
+  const std::regex kHead("enum\\s+class\\s+" + enum_name + "\\b[^{]*\\{");
+  std::smatch m;
+  if (!std::regex_search(stripped_text, m, kHead)) {
+    return out;
+  }
+  size_t pos = static_cast<size_t>(m.position(0)) + static_cast<size_t>(m.length(0));
+  int depth = 1;
+  std::string body;
+  while (pos < stripped_text.size() && depth > 0) {
+    const char c = stripped_text[pos];
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    }
+    if (depth > 0) {
+      body += c;
+    }
+    ++pos;
+  }
+  // Enumerators: the first identifier of each comma-separated item (an
+  // optional `= value` initializer follows the name and is ignored).
+  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+  size_t start = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i == body.size() || body[i] == ',') {
+      const std::string chunk = body.substr(start, i - start);
+      std::smatch im;
+      if (std::regex_search(chunk, im, kIdent)) {
+        out.push_back(im.str());
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+void CheckEnumSync(const Project& project, const EnumSpec& spec, std::vector<Finding>* out) {
+  const SourceFile* header = project.Find(spec.header);
+  if (header == nullptr) {
+    out->push_back({spec.header, 0, "enum-sync",
+                    "defining header for enum " + spec.enum_name + " not found"});
+    return;
+  }
+  const std::vector<std::string> enumerators =
+      ParseEnumerators(header->JoinedCode(), spec.enum_name);
+  if (enumerators.empty()) {
+    out->push_back({spec.header, 0, "enum-sync",
+                    "enum class " + spec.enum_name + " not found or has no enumerators"});
+    return;
+  }
+  // Missing site files are reported once per site, not per enumerator.
+  struct LoadedSite {
+    const EnumSiteSpec* spec;
+    std::string haystack;
+    bool doc;
+  };
+  std::vector<LoadedSite> sites;
+  for (const EnumSiteSpec& site : spec.code_sites) {
+    const SourceFile* sf = project.Find(site.file);
+    if (sf == nullptr) {
+      out->push_back({site.file, 0, "enum-sync",
+                      "required site for " + spec.enum_name + " is missing (" + site.why + ")"});
+      continue;
+    }
+    sites.push_back({&site, sf->JoinedCode(), false});
+  }
+  for (const EnumSiteSpec& site : spec.doc_sites) {
+    const SourceFile* sf = project.Find(site.file);
+    if (sf == nullptr) {
+      out->push_back({site.file, 0, "enum-sync",
+                      "required doc site for " + spec.enum_name + " is missing (" + site.why +
+                          ")"});
+      continue;
+    }
+    sites.push_back({&site, sf->text, true});
+  }
+
+  for (const std::string& e : enumerators) {
+    if (!spec.sentinel_prefix.empty() &&
+        e.compare(0, spec.sentinel_prefix.size(), spec.sentinel_prefix) == 0) {
+      continue;
+    }
+    for (const LoadedSite& site : sites) {
+      const std::string needle = site.doc ? e : spec.enum_name + "::" + e;
+      if (!ContainsToken(site.haystack, needle)) {
+        out->push_back({site.spec->file, 0, "enum-sync",
+                        spec.enum_name + "::" + e + (site.doc ? " is not documented here ("
+                                                              : " is not handled here (") +
+                            site.spec->why +
+                            (site.doc ? ") — add it to the enumerator table"
+                                      : ") — every enumerator must appear at this site")});
+      }
+    }
+  }
+}
+
+void CheckAllEnumSync(const Project& project, std::vector<Finding>* out) {
+  for (const EnumSpec& spec : TrackedEnums()) {
+    CheckEnumSync(project, spec, out);
+  }
+}
+
+}  // namespace pfc::analyze

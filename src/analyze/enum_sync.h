@@ -1,0 +1,60 @@
+// Cross-file enum-sync pass.
+//
+// Several enums are project vocabulary: every enumerator must be handled
+// not just where the compiler can see (-Werror=switch covers those) but at
+// *textual* sites the compiler never connects — name tables the CLI parses,
+// the fuzzer's draw/serialize tables, and the architecture documentation.
+// PR 7's `StallCause::kOutage` had to be hand-threaded through attribution,
+// the events-CSV schema, the renderer, and the docs; this pass makes the
+// next such addition fail tier 0 with the missing sites listed.
+//
+// For each tracked enum, every enumerator parsed from its defining header
+// (sentinels like kNumCauses excluded) must appear:
+//   * as `Enum::kFoo` in each required code site, and
+//   * as the bare token `kFoo` in each required doc site (DESIGN.md keeps
+//     an explicit enumerator table for exactly this purpose, §4g).
+//
+// A missing site is one finding per (enumerator, site), so the output is
+// the complete to-do list for the addition.
+
+#ifndef PFC_ANALYZE_ENUM_SYNC_H_
+#define PFC_ANALYZE_ENUM_SYNC_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/project.h"
+
+namespace pfc::analyze {
+
+struct EnumSiteSpec {
+  std::string file;  // root-relative
+  std::string why;   // human description of what lives there
+};
+
+struct EnumSpec {
+  std::string enum_name;
+  std::string header;              // root-relative defining header
+  std::string sentinel_prefix;     // enumerators starting with this are skipped
+  std::vector<EnumSiteSpec> code_sites;
+  std::vector<EnumSiteSpec> doc_sites;
+};
+
+// The project's tracked enums (StallCause, ObsEventKind, PolicyKind).
+const std::vector<EnumSpec>& TrackedEnums();
+
+// Parses the enumerator names of `enum class <name>` from stripped header
+// text. Returns an empty vector when the enum is not found.
+std::vector<std::string> ParseEnumerators(const std::string& stripped_text,
+                                          const std::string& enum_name);
+
+// Checks `spec` against the project; appends one finding per missing site.
+void CheckEnumSync(const Project& project, const EnumSpec& spec, std::vector<Finding>* out);
+
+// Runs every tracked enum.
+void CheckAllEnumSync(const Project& project, std::vector<Finding>* out);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_ENUM_SYNC_H_

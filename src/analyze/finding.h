@@ -1,0 +1,42 @@
+// A single analyzer finding. `file` is root-relative; `line` is 1-based
+// (0 = whole-file / cross-file finding). Rendered as
+// `file:line: rule: message` by the CLI and as a SARIF result for CI.
+
+#ifndef PFC_ANALYZE_FINDING_H_
+#define PFC_ANALYZE_FINDING_H_
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace pfc::analyze {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  }
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) ==
+           std::tie(b.file, b.line, b.rule, b.message);
+  }
+};
+
+inline bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_FINDING_H_

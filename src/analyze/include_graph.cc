@@ -1,0 +1,314 @@
+#include "analyze/include_graph.h"
+
+#include <algorithm>
+#include <regex>
+#include <set>
+
+namespace pfc::analyze {
+
+namespace {
+
+// Lexically normalizes "a/./b" and "a/../b" without touching the fs.
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  auto flush = [&] {
+    if (part.empty() || part == ".") {
+      // drop
+    } else if (part == "..") {
+      if (!parts.empty()) {
+        parts.pop_back();
+      }
+    } else {
+      parts.push_back(part);
+    }
+    part.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      part += c;
+    }
+  }
+  flush();
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += '/';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string DirName(const std::string& rel) {
+  const size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+int FindIndex(const Project& project, const std::string& rel) {
+  const SourceFile* f = project.Find(rel);
+  if (f == nullptr) {
+    return -1;
+  }
+  return static_cast<int>(f - project.files.data());
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> ExtractIncludes(const Project& project) {
+  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]*)\")");
+  std::vector<IncludeEdge> edges;
+  for (size_t i = 0; i < project.files.size(); ++i) {
+    const SourceFile& f = project.files[i];
+    const bool is_code = (f.rel.size() >= 2 && f.rel.compare(f.rel.size() - 2, 2, ".h") == 0) ||
+                         (f.rel.size() >= 3 && f.rel.compare(f.rel.size() - 3, 3, ".cc") == 0);
+    if (!is_code) {
+      continue;
+    }
+    // The stripper elides string contents, so the include target must be
+    // read from the raw line; the stripped line still anchors the match
+    // (an include inside a comment is not an include).
+    for (size_t ln = 0; ln < f.code.size(); ++ln) {
+      if (f.code[ln].find("#") == std::string::npos ||
+          f.code[ln].find("include") == std::string::npos) {
+        continue;
+      }
+      std::smatch m;
+      const std::string& raw_line = ln < f.raw.size() ? f.raw[ln] : f.code[ln];
+      if (!std::regex_search(raw_line, m, kInclude) ||
+          !std::regex_search(f.code[ln], std::regex(R"(^\s*#\s*include\s*")"))) {
+        continue;
+      }
+      IncludeEdge e;
+      e.from = i;
+      e.line = ln + 1;
+      e.target = m[1].str();
+      e.nolint = HasNolint(raw_line, "pfc-layering");
+      for (const std::string& candidate :
+           {NormalizePath(DirName(f.rel) + "/" + e.target), NormalizePath("src/" + e.target),
+            NormalizePath(e.target)}) {
+        const int to = FindIndex(project, candidate);
+        if (to >= 0) {
+          e.to = static_cast<size_t>(to);
+          e.resolved = true;
+          break;
+        }
+      }
+      edges.push_back(std::move(e));
+    }
+  }
+  return edges;
+}
+
+int LayerManifest::AssignLayer(const std::string& rel) const {
+  int best_layer = -1;
+  size_t best_len = 0;
+  for (size_t l = 0; l < layers.size(); ++l) {
+    for (const std::string& p : layers[l].paths) {
+      const bool match =
+          rel == p || (rel.size() > p.size() && rel.compare(0, p.size(), p) == 0 &&
+                       rel[p.size()] == '/');
+      if (match && p.size() + 1 > best_len) {
+        best_len = p.size() + 1;
+        best_layer = static_cast<int>(l);
+      }
+    }
+  }
+  return best_layer;
+}
+
+bool LayerManifest::Parse(const std::string& text, LayerManifest* out, std::string* error) {
+  out->layers.clear();
+  static const std::regex kName(R"raw(^\s*name\s*=\s*"([^"]*)")raw");
+  static const std::regex kPathsLine(R"raw(^\s*paths\s*=\s*\[(.*)\]\s*$)raw");
+  static const std::regex kQuoted(R"raw("([^"]*)")raw");
+  size_t lineno = 0;
+  for (const std::string& line : SplitLines(text)) {
+    ++lineno;
+    std::string trimmed = line;
+    const size_t hash = trimmed.find('#');
+    if (hash != std::string::npos) {
+      trimmed = trimmed.substr(0, hash);
+    }
+    if (trimmed.find_first_not_of(" \t") == std::string::npos) {
+      continue;
+    }
+    if (trimmed.find("[[layer]]") != std::string::npos) {
+      out->layers.push_back({});
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(trimmed, m, kName)) {
+      if (out->layers.empty()) {
+        *error = "line " + std::to_string(lineno) + ": name outside a [[layer]] table";
+        return false;
+      }
+      out->layers.back().name = m[1].str();
+      continue;
+    }
+    if (std::regex_search(trimmed, m, kPathsLine)) {
+      if (out->layers.empty()) {
+        *error = "line " + std::to_string(lineno) + ": paths outside a [[layer]] table";
+        return false;
+      }
+      const std::string body = m[1].str();
+      for (auto it = std::sregex_iterator(body.begin(), body.end(), kQuoted);
+           it != std::sregex_iterator(); ++it) {
+        out->layers.back().paths.push_back((*it)[1].str());
+      }
+      continue;
+    }
+    *error = "line " + std::to_string(lineno) + ": unrecognized manifest line '" + trimmed + "'";
+    return false;
+  }
+  for (const Layer& l : out->layers) {
+    if (l.name.empty()) {
+      *error = "a [[layer]] table is missing its name";
+      return false;
+    }
+  }
+  if (out->layers.empty()) {
+    *error = "manifest declares no layers";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<size_t>> FindIncludeCycles(const Project& project,
+                                                   const std::vector<IncludeEdge>& edges) {
+  const size_t n = project.files.size();
+  std::vector<std::vector<size_t>> adj(n);
+  for (const IncludeEdge& e : edges) {
+    if (e.resolved) {
+      adj[e.from].push_back(e.to);
+    }
+  }
+  for (std::vector<size_t>& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  std::vector<std::vector<size_t>> cycles;
+  std::set<std::string> seen_cycles;
+  // 0 = white, 1 = on stack, 2 = done.
+  std::vector<int> color(n, 0);
+  std::vector<size_t> stack;
+
+  // Iterative DFS; on a back edge, the cycle is the stack suffix from the
+  // target node. Each distinct node set is reported once (canonicalized by
+  // rotating the smallest index to the front).
+  struct Frame {
+    size_t node;
+    size_t next = 0;
+  };
+  for (size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) {
+      continue;
+    }
+    std::vector<Frame> frames{{start}};
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < adj[f.node].size()) {
+        const size_t to = adj[f.node][f.next++];
+        if (color[to] == 0) {
+          color[to] = 1;
+          stack.push_back(to);
+          frames.push_back({to});
+        } else if (color[to] == 1) {
+          // Back edge: stack suffix starting at `to` is a cycle.
+          auto it = std::find(stack.begin(), stack.end(), to);
+          std::vector<size_t> cycle(it, stack.end());
+          const auto min_it = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          std::string key;
+          for (size_t v : cycle) {
+            key += std::to_string(v) + ",";
+          }
+          if (seen_cycles.insert(key).second) {
+            cycle.push_back(cycle.front());
+            cycles.push_back(std::move(cycle));
+          }
+        }
+      } else {
+        color[f.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return cycles;
+}
+
+void CheckLayering(const Project& project, const std::string& manifest_rel,
+                   std::vector<Finding>* out) {
+  const SourceFile* manifest_file = project.Find(manifest_rel);
+  if (manifest_file == nullptr) {
+    out->push_back({manifest_rel, 0, "layering",
+                    "layer manifest not found — every scanned file must belong to a declared "
+                    "layer"});
+    return;
+  }
+  LayerManifest manifest;
+  std::string error;
+  if (!LayerManifest::Parse(manifest_file->text, &manifest, &error)) {
+    out->push_back({manifest_rel, 0, "layering", "manifest parse error: " + error});
+    return;
+  }
+
+  const std::vector<IncludeEdge> edges = ExtractIncludes(project);
+
+  // Layer totality: every code file must be covered.
+  std::vector<int> layer_of(project.files.size(), -1);
+  for (size_t i = 0; i < project.files.size(); ++i) {
+    const std::string& rel = project.files[i].rel;
+    const bool is_code =
+        (rel.size() >= 2 && rel.compare(rel.size() - 2, 2, ".h") == 0) ||
+        (rel.size() >= 3 && rel.compare(rel.size() - 3, 3, ".cc") == 0);
+    if (!is_code) {
+      continue;
+    }
+    layer_of[i] = manifest.AssignLayer(rel);
+    if (layer_of[i] < 0) {
+      out->push_back({rel, 0, "layering",
+                      "file is not covered by any layer in " + manifest_rel +
+                          " — add it (or its directory) to a layer"});
+    }
+  }
+
+  // Downward includes: from a lower layer into a strictly higher one.
+  for (const IncludeEdge& e : edges) {
+    if (!e.resolved || e.nolint) {
+      continue;
+    }
+    const int from_layer = layer_of[e.from];
+    const int to_layer = layer_of[e.to];
+    if (from_layer < 0 || to_layer < 0 || to_layer <= from_layer) {
+      continue;
+    }
+    out->push_back(
+        {project.files[e.from].rel, e.line, "layering",
+         "layer '" + manifest.layers[static_cast<size_t>(from_layer)].name + "' includes '" +
+             e.target + "' from higher layer '" +
+             manifest.layers[static_cast<size_t>(to_layer)].name +
+             "' — dependencies must point down the layer order"});
+  }
+
+  // Cycles, with the offending path spelled out.
+  for (const std::vector<size_t>& cycle : FindIncludeCycles(project, edges)) {
+    std::string path;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) {
+        path += " -> ";
+      }
+      path += project.files[cycle[i]].rel;
+    }
+    out->push_back({project.files[cycle.front()].rel, 0, "include-cycle",
+                    "include cycle: " + path});
+  }
+}
+
+}  // namespace pfc::analyze

@@ -1,0 +1,78 @@
+// Include-graph extraction and the layering pass.
+//
+// The project's architecture is a layer order declared in
+// `analyze/layers.toml`: every scanned file belongs to exactly one layer
+// (longest-prefix match over the manifest's path lists), and a file may
+// only include files in its own or a lower layer. The pass extracts the
+// quoted-include DAG, resolves each edge to a project file, and reports:
+//
+//   * `layering`       — an include that points *up* the layer order, with
+//                        both layers named (NOLINT(pfc-layering) escapes a
+//                        deliberate edge), and files the manifest does not
+//                        cover at all (the manifest must stay total).
+//   * `include-cycle`  — any cycle in the file-level include graph, with
+//                        the full offending path a -> b -> ... -> a.
+//
+// Cycles are checked on the whole graph regardless of layer assignment —
+// an in-layer cycle is just as fatal to incremental builds.
+
+#ifndef PFC_ANALYZE_INCLUDE_GRAPH_H_
+#define PFC_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/project.h"
+
+namespace pfc::analyze {
+
+struct IncludeEdge {
+  size_t from = 0;      // index into project.files
+  size_t line = 0;      // 1-based line of the #include
+  std::string target;   // include path as written
+  size_t to = 0;        // resolved index into project.files (valid if resolved)
+  bool resolved = false;
+  bool nolint = false;  // the include line carries NOLINT(pfc-layering)
+};
+
+// Extracts every quoted #include from stripped code and resolves it
+// against the project: relative to the includer's directory first, then
+// relative to src/, then relative to the root. Unresolvable includes
+// (system headers in quotes, generated files) are returned unresolved and
+// ignored by the checks.
+std::vector<IncludeEdge> ExtractIncludes(const Project& project);
+
+// One layer of the manifest, in declaration order (index 0 is the bottom).
+struct Layer {
+  std::string name;
+  std::vector<std::string> paths;  // file or directory prefixes, root-relative
+};
+
+struct LayerManifest {
+  std::vector<Layer> layers;
+
+  // Longest-prefix layer assignment; -1 when no path covers `rel`.
+  int AssignLayer(const std::string& rel) const;
+
+  // Parses the TOML subset the manifest uses: `[[layer]]` table arrays with
+  // `name = "..."` and single-line `paths = ["...", ...]`. Returns false on
+  // malformed input with a diagnostic in `error`.
+  static bool Parse(const std::string& text, LayerManifest* out, std::string* error);
+};
+
+// Runs both checks and appends findings. `manifest_rel` names the manifest
+// file inside the project (normally "analyze/layers.toml").
+void CheckLayering(const Project& project, const std::string& manifest_rel,
+                   std::vector<Finding>* out);
+
+// Cycle detection alone (used by CheckLayering and unit tests): returns
+// each distinct cycle as the sequence of file indices along the cycle,
+// first node repeated at the end.
+std::vector<std::vector<size_t>> FindIncludeCycles(const Project& project,
+                                                   const std::vector<IncludeEdge>& edges);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_INCLUDE_GRAPH_H_

@@ -1,0 +1,153 @@
+#include "analyze/legacy_rules.h"
+
+#include <regex>
+#include <set>
+
+#include "analyze/source.h"
+
+namespace pfc::analyze {
+
+namespace {
+
+const std::string& RawLine(const SourceFile& file, size_t index) {
+  static const std::string kEmpty;
+  return index < file.raw.size() ? file.raw[index] : kEmpty;
+}
+
+}  // namespace
+
+// --- no-nondeterminism -----------------------------------------------------
+
+void CheckNondeterminism(const SourceFile& file, std::vector<Finding>* out) {
+  static const std::regex kBanned(
+      R"(\b(rand|srand|time)\s*\(|\brandom_device\b|\bsystem_clock\b)");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(file.code[i], m, kBanned) &&
+        !HasNolint(RawLine(file, i), "pfc-nondeterminism")) {
+      out->push_back({file.rel, i + 1, "no-nondeterminism",
+                      "ambient randomness/clock source '" + m.str() +
+                          "' — use util/rng.h or the simulated clock"});
+    }
+  }
+}
+
+// --- raw-unit --------------------------------------------------------------
+
+void CheckRawUnits(const SourceFile& file, std::vector<Finding>* out) {
+  // int64_t declarations whose name denotes a time quantity or a block
+  // address. Counts (`blocks`, `num_*`, `*_count`) are legitimately raw.
+  static const std::regex kRawTime(
+      R"(\bint64_t\s+[A-Za-z_]*(_ns|_time|time)\s*[=;,)])");
+  static const std::regex kRawAddr(R"(\bint64_t\s+(block|pos)\s*[=;,)])");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (HasNolint(RawLine(file, i), "pfc-raw-unit")) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(file.code[i], m, kRawTime)) {
+      out->push_back({file.rel, i + 1, "raw-unit",
+                      "raw int64_t time quantity '" + m.str() +
+                          "' — use TimeNs/DurNs (util/strong_types.h)"});
+    } else if (std::regex_search(file.code[i], m, kRawAddr)) {
+      out->push_back({file.rel, i + 1, "raw-unit",
+                      "raw int64_t block/position '" + m.str() +
+                          "' — use BlockId/TracePos (util/strong_types.h)"});
+    }
+  }
+}
+
+// --- sink-guard ------------------------------------------------------------
+
+void CheckSinkGuard(const SourceFile& file, std::vector<Finding>* out) {
+  static const std::regex kEmit(R"(sink_\s*->\s*OnEvent\s*\()");
+  static const std::regex kGuard(R"(sink_\s*[!=]=\s*nullptr)");
+  static const std::regex kHelper(R"(::(Emit[A-Za-z]*|BeginStallWindow)\s*\()");
+  constexpr size_t kWindow = 15;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], kEmit)) {
+      continue;
+    }
+    bool guarded = false;
+    for (size_t back = 0; back <= kWindow && back <= i; ++back) {
+      const std::string& prev = file.code[i - back];
+      if (std::regex_search(prev, kGuard) || std::regex_search(prev, kHelper)) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) {
+      out->push_back({file.rel, i + 1, "sink-guard",
+                      "sink_->OnEvent without a nearby 'sink_ != nullptr' test or "
+                      "emission helper — the no-sink path must cost one branch"});
+    }
+  }
+}
+
+// --- hot-structure ---------------------------------------------------------
+
+void CheckHotStructure(const SourceFile& file, std::vector<Finding>* out) {
+  static const std::regex kNodeContainer(R"(\bstd\s*::\s*(multi)?(set|map)\s*<)");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(file.code[i], m, kNodeContainer) &&
+        !HasNolint(RawLine(file, i), "pfc-hot-structure")) {
+      out->push_back({file.rel, i + 1, "hot-structure",
+                      "node-based '" + m.str() +
+                          "...>' in src/core — use a flat structure (open-addressing "
+                          "table, handle heap, pos_bitset, sorted vector)"});
+    }
+  }
+}
+
+// --- policy-parity ---------------------------------------------------------
+
+namespace {
+
+std::set<std::string> PolicyHooks(const SourceFile& file) {
+  static const std::regex kHook(R"(policy_?\s*->\s*(On[A-Za-z]+)\s*\()");
+  std::set<std::string> hooks;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (HasNolint(i < file.raw.size() ? file.raw[i] : std::string(), "pfc-policy-parity")) {
+      continue;  // a deliberate single-engine hook (fast-forward protocol)
+    }
+    const std::string& line = file.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kHook);
+         it != std::sregex_iterator(); ++it) {
+      hooks.insert((*it)[1].str());
+    }
+  }
+  return hooks;
+}
+
+}  // namespace
+
+void CheckPolicyParity(const Project& project, std::vector<Finding>* out) {
+  const std::string kSim = "src/core/simulator.cc";
+  const std::string kRef = "src/check/ref_sim.cc";
+  const SourceFile* sim = project.Find(kSim);
+  const SourceFile* ref = project.Find(kRef);
+  if (sim == nullptr || ref == nullptr) {
+    out->push_back({sim != nullptr ? kRef : kSim, 0, "policy-parity",
+                    "engine source missing — cannot verify Simulator/RefSim hook parity"});
+    return;
+  }
+  const std::set<std::string> sim_hooks = PolicyHooks(*sim);
+  const std::set<std::string> ref_hooks = PolicyHooks(*ref);
+  for (const std::string& hook : sim_hooks) {
+    if (ref_hooks.find(hook) == ref_hooks.end()) {
+      out->push_back({kRef, 0, "policy-parity",
+                      "Simulator invokes Policy::" + hook +
+                          " but RefSim never does — the differential gate would not "
+                          "exercise it"});
+    }
+  }
+  for (const std::string& hook : ref_hooks) {
+    if (sim_hooks.find(hook) == sim_hooks.end()) {
+      out->push_back({kSim, 0, "policy-parity",
+                      "RefSim invokes Policy::" + hook + " but Simulator never does"});
+    }
+  }
+}
+
+}  // namespace pfc::analyze

@@ -1,0 +1,38 @@
+// The five original pfc_lint rules, migrated into the pfc_analyze
+// framework with identical semantics (see tools/pfc_lint.cc history and
+// DESIGN.md §4f/§4g):
+//
+//   no-nondeterminism  — no rand()/srand()/time()/random_device/
+//                        system_clock in src/ (NOLINT(pfc-nondeterminism))
+//   raw-unit           — no raw int64_t time/block declarations outside
+//                        src/util + src/theory (NOLINT(pfc-raw-unit))
+//   sink-guard         — sink_->OnEvent only behind a null test or inside
+//                        an emission helper
+//   policy-parity      — Simulator and RefSim must invoke the same set of
+//                        Policy::On* hooks (NOLINT(pfc-policy-parity))
+//   hot-structure      — no std::set/std::map in src/core
+//                        (NOLINT(pfc-hot-structure))
+
+#ifndef PFC_ANALYZE_LEGACY_RULES_H_
+#define PFC_ANALYZE_LEGACY_RULES_H_
+
+#include <vector>
+
+#include "analyze/finding.h"
+#include "analyze/project.h"
+
+namespace pfc::analyze {
+
+// Per-file rules; `file` must be a src/ code file (the analyzer's scan
+// filter enforces this).
+void CheckNondeterminism(const SourceFile& file, std::vector<Finding>* out);
+void CheckRawUnits(const SourceFile& file, std::vector<Finding>* out);
+void CheckSinkGuard(const SourceFile& file, std::vector<Finding>* out);
+void CheckHotStructure(const SourceFile& file, std::vector<Finding>* out);
+
+// Project-scope rule.
+void CheckPolicyParity(const Project& project, std::vector<Finding>* out);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_LEGACY_RULES_H_

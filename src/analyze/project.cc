@@ -1,0 +1,130 @@
+#include "analyze/project.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iterator>
+#include <thread>
+
+namespace pfc::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string ReadFileText(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+bool IsCodeFile(const std::string& rel) {
+  return rel.size() >= 3 &&
+         (rel.compare(rel.size() - 3, 3, ".cc") == 0 || rel.compare(rel.size() - 2, 2, ".h") == 0);
+}
+
+// Text files loaded whole, without stripping: documentation checked by the
+// enum-sync pass and the layer manifest consumed by the layering pass.
+const char* const kExtraFiles[] = {"DESIGN.md", "README.md", "analyze/layers.toml"};
+
+}  // namespace
+
+const std::vector<std::string>& ScanRoots() {
+  static const std::vector<std::string> kRoots = {"src", "tools", "bench", "examples", "tests"};
+  return kRoots;
+}
+
+const SourceFile* Project::Find(const std::string& rel) const {
+  auto it = std::lower_bound(files.begin(), files.end(), rel,
+                             [](const SourceFile& f, const std::string& r) { return f.rel < r; });
+  if (it != files.end() && it->rel == rel) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+std::vector<size_t> Project::Under(const std::string& prefix) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (files[i].rel.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Project LoadProject(const fs::path& root) {
+  Project project;
+  project.root = root;
+
+  std::vector<std::string> rels;
+  for (const std::string& top : ScanRoots()) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (IsCodeFile(rel)) {
+        rels.push_back(std::move(rel));
+      }
+    }
+  }
+  for (const char* extra : kExtraFiles) {
+    if (fs::is_regular_file(root / extra)) {
+      rels.emplace_back(extra);
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+
+  project.files.resize(rels.size());
+  std::atomic<size_t> cursor{0};
+  const size_t workers =
+      std::min<size_t>(std::max(1u, std::thread::hardware_concurrency()), rels.size());
+  auto load_slot = [&](size_t i) {
+    SourceFile& f = project.files[i];
+    f.rel = rels[i];
+    f.text = ReadFileText(root / rels[i]);
+    f.raw = SplitLines(f.text);
+    f.code = IsCodeFile(f.rel) ? StrippedLines(f.text) : f.raw;
+  };
+  if (workers <= 1) {
+    for (size_t i = 0; i < rels.size(); ++i) {
+      load_slot(i);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (size_t i = cursor.fetch_add(1); i < project.files.size();
+             i = cursor.fetch_add(1)) {
+          load_slot(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  return project;
+}
+
+Project ProjectFromMemory(std::vector<std::pair<std::string, std::string>> files) {
+  Project project;
+  std::sort(files.begin(), files.end());
+  for (auto& [rel, text] : files) {
+    SourceFile f;
+    f.rel = rel;
+    f.text = std::move(text);
+    f.raw = SplitLines(f.text);
+    f.code = IsCodeFile(f.rel) ? StrippedLines(f.text) : f.raw;
+    project.files.push_back(std::move(f));
+  }
+  return project;
+}
+
+}  // namespace pfc::analyze

@@ -1,0 +1,48 @@
+// A loaded analysis tree: every C++ source file under the scanned roots
+// plus the documentation files some cross-file passes check (DESIGN.md).
+//
+// Loading and stripping are the analyzer's only I/O-heavy phase, so they
+// run across a small thread pool (one slice of the sorted file list per
+// worker); the file order — and therefore every downstream finding order —
+// is deterministic regardless of thread count.
+
+#ifndef PFC_ANALYZE_PROJECT_H_
+#define PFC_ANALYZE_PROJECT_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/source.h"
+
+namespace pfc::analyze {
+
+struct Project {
+  std::filesystem::path root;
+  // Sorted by `rel`. Code files carry stripped lines; .md files are loaded
+  // verbatim (code == raw) so doc-site checks can match prose.
+  std::vector<SourceFile> files;
+
+  const SourceFile* Find(const std::string& rel) const;
+
+  // Indices of files whose rel path starts with `prefix` ("src/", ...).
+  std::vector<size_t> Under(const std::string& prefix) const;
+};
+
+// The directories scanned for .h/.cc files, relative to root. tests/,
+// tools/, bench/, and examples/ participate in the include-graph pass;
+// the per-file style rules run on src/ only (see analyzer.cc).
+const std::vector<std::string>& ScanRoots();
+
+// Loads (in parallel) every .h/.cc under ScanRoots() plus the listed doc
+// files. Missing directories are skipped silently, so the loader works on
+// the self-test's synthetic mini-trees too.
+Project LoadProject(const std::filesystem::path& root);
+
+// Builds a project from in-memory (rel, text) pairs — the unit-test and
+// self-test entry point, bypassing the filesystem entirely.
+Project ProjectFromMemory(std::vector<std::pair<std::string, std::string>> files);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_PROJECT_H_

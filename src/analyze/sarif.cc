@@ -1,0 +1,94 @@
+#include "analyze/sarif.h"
+
+#include <cstdio>
+
+namespace pfc::analyze {
+
+namespace {
+
+// JSON string escaping per RFC 8259: quote, backslash, and control
+// characters; everything else passes through (UTF-8 bytes are legal).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifString(const std::vector<Finding>& findings,
+                        const std::vector<SarifRule>& rules) {
+  std::string out;
+  out.reserve(512 + 256 * findings.size());
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+      "sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"pfc_analyze\",\n"
+      "          \"informationUri\": \"https://example.invalid/pfc\",\n"
+      "          \"version\": \"1.0.0\",\n"
+      "          \"rules\": [\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + JsonEscape(rules[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" + JsonEscape(rules[i].description) + "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": \"" + JsonEscape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" + JsonEscape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(f.file) + "\"}";
+    if (f.line > 0) {
+      out += ", \"region\": {\"startLine\": " + std::to_string(f.line) + "}";
+    }
+    out += "}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace pfc::analyze

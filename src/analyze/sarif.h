@@ -1,0 +1,27 @@
+// SARIF 2.1.0 serialization of analyzer findings, for CI artifact upload
+// (GitHub code scanning and most SARIF viewers accept exactly this shape).
+
+#ifndef PFC_ANALYZE_SARIF_H_
+#define PFC_ANALYZE_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/finding.h"
+
+namespace pfc::analyze {
+
+// A rule descriptor for the tool.driver.rules table.
+struct SarifRule {
+  std::string id;
+  std::string description;
+};
+
+// Renders a complete SARIF 2.1.0 log: one run, one result per finding
+// (level "error"), rule metadata for every registered rule whether or not
+// it fired. Deterministic bytes for fixed inputs.
+std::string SarifString(const std::vector<Finding>& findings, const std::vector<SarifRule>& rules);
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_SARIF_H_

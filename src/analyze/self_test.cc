@@ -1,0 +1,262 @@
+#include "analyze/self_test.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/baseline.h"
+#include "analyze/finding.h"
+#include "analyze/project.h"
+
+namespace pfc::analyze {
+
+namespace {
+
+// The synthetic tree: one seeded violation per registered rule, plus clean
+// files that must stay clean. Everything lives in memory.
+Project SeededTree() {
+  std::vector<std::pair<std::string, std::string>> files = {
+      {"analyze/layers.toml",
+                     "# synthetic manifest for --self-test\n"
+                     "[[layer]]\n"
+                     "name = \"util\"\n"
+                     "paths = [\"src/util\"]\n"
+                     "[[layer]]\n"
+                     "name = \"obs\"\n"
+                     "paths = [\"src/obs\"]\n"
+                     "[[layer]]\n"
+                     "name = \"core\"\n"
+                     "paths = [\"src/core\"]\n"
+                     "[[layer]]\n"
+                     "name = \"check\"\n"
+                     "paths = [\"src/check\"]\n"
+                     "[[layer]]\n"
+                     "name = \"harness\"\n"
+                     "paths = [\"src/harness\"]\n"
+                     "[[layer]]\n"
+                     "name = \"apps\"\n"
+                     "paths = [\"tools\"]\n"},
+
+  // --- the five migrated pfc_lint rules, one seed each -------------------
+      {"src/core/bad_rand.cc", "int f() { return rand(); }\n"},
+      {"src/core/bad_unit.cc",
+                     "#include <cstdint>\n"
+                     "void g() { int64_t stall_ns = 0; (void)stall_ns; }\n"},
+      {"src/core/bad_sink.cc",
+                     "struct S { void* sink_; void E();\n};\n"
+                     "void bad() { S s; s.sink_->OnEvent(0); }\n"},
+      {"src/core/bad_structure.cc", "#include <set>\nstd::set<long> index_;\n"},
+
+  // policy-parity: the NOLINT'd OnFastForward call must be excused; the
+  // bare OnFetchComplete and OnDiskDown hooks must be flagged. The same
+  // file carries the AuditInvariants body the accounting pass reads.
+      {"src/core/simulator.cc",
+                     "void run() { policy_->OnReference(0); policy_->OnFetchComplete(0);\n"
+                     "  policy_->OnDiskDown(0);\n"
+                     "  policy_->OnFastForward(0, 1);  // NOLINT(pfc-policy-parity)\n}\n"
+                     "void Simulator::AuditInvariants() { (void)fetches_; }\n"},
+      {"src/check/ref_sim.cc", "void run() { policy->OnReference(0); }\n"},
+
+  // --- raw-string stripper regression ------------------------------------
+  // The body of a raw string may contain `"` and `//`; the old stripper
+  // desynced on the quote and silently swallowed everything after it. The
+  // rand() on the next line must still be caught...
+      {"src/core/raw_string_bad.cc",
+                     "const char* kPattern = R\"(x \" y // not a comment)\";\n"
+                     "int seeded() { return rand(); }\n"},
+  // ...and banned tokens *inside* a raw string body must not be.
+      {"src/core/clean_raw_string.cc",
+                     "const char* kBanned = R\"(rand( srand( time( \" // )\";\n"
+                     "const char* kMore = \"fine\";\n"},
+
+  // --- clean files (from the original pfc_lint self-test) ----------------
+      {"src/core/clean.cc",
+                     "// calls time() and rand() in prose only\n"
+                     "const char* kMsg = \"elapsed time (sec)\";\n"
+                     "void ok() { if (sink_ != nullptr) { sink_->OnEvent(e); } }\n"
+                     "std::map<int, int> cold_;  // NOLINT(pfc-hot-structure)\n"},
+      {"src/harness/clean_harness.cc", "#include <map>\nstd::map<int, int> registry_;\n"},
+
+  // --- layering + include-cycle seeds ------------------------------------
+      {"src/core/high_api.h", "struct HighApi {};\n"},
+      {"src/util/bad_layer.h", "#include \"core/high_api.h\"\n"},
+      {"src/util/clean_layer.h",
+                     "#include \"core/high_api.h\"  // NOLINT(pfc-layering)\n"},
+      {"src/core/cyc_a.h", "#include \"core/cyc_b.h\"\n"},
+      {"src/core/cyc_b.h", "#include \"core/cyc_a.h\"\n"},
+
+  // --- enum-sync seed: fake StallCause::kTest, wired nowhere -------------
+      {"src/obs/event.h",
+                     "enum class StallCause {\n"
+                     "  kColdMiss = 0,\n"
+                     "  kTest,\n"
+                     "  kNumCauses,\n"
+                     "};\n"
+                     "enum class ObsEventKind {\n"
+                     "  kEvict,\n"
+                     "  kNumKinds,\n"
+                     "};\n"},
+      {"src/obs/stall_attribution.cc",
+                     "int Label(int c);\n"
+                     "int Name() { return Label(static_cast<int>(StallCause::kColdMiss)); }\n"},
+      {"src/obs/obs_report.cc",
+                     "int Kind() { return static_cast<int>(ObsEventKind::kEvict); }\n"},
+      {"src/obs/export.cc",
+                     "int Render() { return static_cast<int>(ObsEventKind::kEvict); }\n"},
+      {"src/harness/experiment.h",
+                     "enum class PolicyKind {\n  kDemand,\n  kNumPolicies,\n};\n"},
+      {"src/harness/experiment.cc",
+                     "int Make() { return static_cast<int>(PolicyKind::kDemand); }\n"},
+      {"src/check/fuzz.cc",
+                     "int Draw() { return static_cast<int>(PolicyKind::kDemand); }\n"},
+      {"tools/pfc_sim.cc",
+                     "int Lookup() { return static_cast<int>(PolicyKind::kDemand); }\n"},
+      {"DESIGN.md",
+                     "Vocabulary: kColdMiss, kEvict; policies: kDemand.\n"
+                     "(The seeded fake enumerator is deliberately absent here.)\n"},
+
+  // --- accounting-coverage seed ------------------------------------------
+  // `fetches` is fully wired (diff + audit); `orphan_counter` is wired
+  // nowhere; `scratch` is excused by NOLINT.
+      {"src/core/run_result.h",
+                     "#include <cstdint>\n"
+                     "struct RunResult {\n"
+                     "  int64_t fetches = 0;\n"
+                     "  int64_t orphan_counter = 0;\n"
+                     "  int64_t scratch = 0;  // NOLINT(pfc-accounting)\n"
+                     "};\n"},
+      {"src/check/diff.cc",
+                     "void diff() { check_int(\"fetches\", a.fetches, b.fetches); }\n"},
+
+  };
+  return ProjectFromMemory(std::move(files));
+}
+
+int g_failures = 0;
+
+void Expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "self-test: FAIL: %s\n", what);
+    ++g_failures;
+  }
+}
+
+bool AnyFinding(const std::vector<Finding>& fs, const std::string& rule,
+                const std::string& file_substr, const std::string& msg_substr) {
+  for (const Finding& f : fs) {
+    if ((rule.empty() || f.rule == rule) &&
+        (file_substr.empty() || f.file.find(file_substr) != std::string::npos) &&
+        (msg_substr.empty() || f.message.find(msg_substr) != std::string::npos)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int RunSelfTest() {
+  g_failures = 0;
+  const Project tree = SeededTree();
+  const AnalysisResult result = Analyze(tree, Baseline{});
+  const std::vector<Finding>& fs = result.findings;
+
+  // Every rule fires on its seed.
+  for (const char* rule :
+       {"no-nondeterminism", "raw-unit", "sink-guard", "policy-parity", "hot-structure",
+        "layering", "include-cycle", "enum-sync", "accounting-coverage"}) {
+    if (!HasRule(fs, rule)) {
+      std::fprintf(stderr, "self-test: seeded %s violation was NOT caught\n", rule);
+      ++g_failures;
+    }
+  }
+
+  // Clean files stay clean — including the raw-string one whose body is
+  // full of banned tokens.
+  for (const Finding& f : fs) {
+    if (f.file.find("clean") != std::string::npos) {
+      std::fprintf(stderr, "self-test: clean file flagged: %s: %s: %s\n", f.file.c_str(),
+                   f.rule.c_str(), f.message.c_str());
+      ++g_failures;
+    }
+    if (f.file.find("bad_sink.cc") != std::string::npos && f.rule != "sink-guard") {
+      std::fprintf(stderr, "self-test: unexpected %s in bad_sink.cc\n", f.rule.c_str());
+      ++g_failures;
+    }
+  }
+
+  // Raw-string regression: the rand() *after* the unbalanced-quote literal
+  // is still visible to the rule.
+  Expect(AnyFinding(fs, "no-nondeterminism", "raw_string_bad.cc", "rand"),
+         "rand() after a raw string literal must be caught (stripper desync)");
+
+  // policy-parity details: both one-engine hooks flagged, NOLINT honored.
+  Expect(AnyFinding(fs, "policy-parity", "", "OnFetchComplete"),
+         "one-engine OnFetchComplete hook flagged");
+  Expect(AnyFinding(fs, "policy-parity", "", "OnDiskDown"),
+         "one-engine OnDiskDown hook flagged");
+  Expect(!AnyFinding(fs, "policy-parity", "", "OnFastForward"),
+         "NOLINT(pfc-policy-parity) honored");
+
+  // Layering details: the bad edge names both layers; the NOLINT'd edge is
+  // excused (clean_layer.h is also covered by the clean-file sweep above).
+  Expect(AnyFinding(fs, "layering", "bad_layer.h", "higher layer 'core'"),
+         "upward include util -> core flagged with layer names");
+  Expect(AnyFinding(fs, "include-cycle", "cyc_a.h", "cyc_b.h"),
+         "include cycle reported with the full path");
+
+  // Enum-sync: the fake StallCause::kTest is reported at *every* missing
+  // site — the attribution switch and the doc table.
+  Expect(AnyFinding(fs, "enum-sync", "stall_attribution.cc", "StallCause::kTest"),
+         "kTest missing from the attribution site");
+  Expect(AnyFinding(fs, "enum-sync", "DESIGN.md", "StallCause::kTest"),
+         "kTest missing from the DESIGN.md vocabulary table");
+  Expect(!AnyFinding(fs, "enum-sync", "", "kNumCauses"), "sentinel enumerators skipped");
+  Expect(!AnyFinding(fs, "enum-sync", "", "PolicyKind::kDemand"),
+         "fully wired enumerator produces no findings");
+
+  // Accounting: orphan_counter draws both findings (diff + audit), the
+  // wired and NOLINT'd fields none.
+  size_t acct = 0;
+  for (const Finding& f : fs) {
+    if (f.rule == "accounting-coverage") {
+      ++acct;
+      Expect(f.message.find("orphan_counter") != std::string::npos,
+             "only orphan_counter may draw accounting findings");
+    }
+  }
+  Expect(acct == 2, "orphan_counter draws exactly diff + audit findings");
+
+  // Baseline precedence: a baseline built from one real finding suppresses
+  // exactly that finding; a bogus entry is reported stale.
+  const Finding* structure = nullptr;
+  for (const Finding& f : fs) {
+    if (f.rule == "hot-structure") {
+      structure = &f;
+    }
+  }
+  if (structure != nullptr) {
+    const std::string text = Baseline::Render({*structure}) +
+                             "no-nondeterminism\tsrc/nonexistent.cc\tbogus entry\n";
+    const AnalysisResult filtered = Analyze(tree, Baseline::Parse(text));
+    Expect(!HasRule(filtered.findings, "hot-structure"),
+           "baseline entry suppresses its finding");
+    Expect(filtered.stale_baseline.size() == 1 &&
+               filtered.stale_baseline[0].find("nonexistent") != std::string::npos,
+           "unmatched baseline entry reported stale");
+    Expect(HasRule(filtered.raw_findings, "hot-structure"),
+           "raw findings still carry the suppressed entry");
+  }
+
+  if (g_failures == 0) {
+    std::printf(
+        "pfc_analyze --self-test: all 9 rules fire on seeded violations, clean files pass "
+        "(raw-string stripper regression included), NOLINT + baseline escapes honored\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace pfc::analyze

@@ -1,0 +1,27 @@
+// Analyzer self-test: proves the checker itself works before it is trusted
+// to gate CI. Builds synthetic in-memory trees (no filesystem, no temp
+// dirs) seeding exactly one violation per registered rule — the five
+// migrated pfc_lint rules and the layering / include-cycle / enum-sync /
+// accounting-coverage passes — and verifies:
+//
+//   * every seeded violation is caught (the fake `StallCause::kTest`
+//     enumerator must be reported at *each* missing site),
+//   * clean files stay clean, including a file whose raw string literal
+//     contains unbalanced `"` and `//` (the stripper bug the old pfc_lint
+//     shipped with: a desynced state machine silently blinded every
+//     downstream rule),
+//   * NOLINT escapes and baseline suppression (with stale-entry detection)
+//     are honored.
+//
+// Returns 0 on success; prints each failure to stderr and returns 1.
+
+#ifndef PFC_ANALYZE_SELF_TEST_H_
+#define PFC_ANALYZE_SELF_TEST_H_
+
+namespace pfc::analyze {
+
+int RunSelfTest();
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_SELF_TEST_H_

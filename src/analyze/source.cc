@@ -1,0 +1,181 @@
+#include "analyze/source.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace pfc::analyze {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Decides whether the `"` at text[i] opens a raw string literal, i.e. is
+// preceded by R / uR / UR / LR / u8R with no identifier character glued on
+// the front (`FooR"` is an ordinary identifier followed by a string).
+// Returns the prefix length (1 for R, 2 for uR/UR/LR, 3 for u8R) so the
+// caller can elide the prefix along with the body, or 0 if not raw.
+size_t RawPrefixLen(const std::string& text, size_t i) {
+  if (i == 0 || text[i - 1] != 'R') {
+    return 0;
+  }
+  const size_t r = i - 1;
+  if (r == 0) {
+    return 1;  // file starts with R"
+  }
+  const char p = text[r - 1];
+  if (!IsIdentChar(p)) {
+    return 1;  // bare R"
+  }
+  // Encoding prefixes: uR" UR" LR" u8R".
+  if ((p == 'u' || p == 'U' || p == 'L') && (r - 1 == 0 || !IsIdentChar(text[r - 2]))) {
+    return 2;
+  }
+  if (p == '8' && r >= 2 && text[r - 2] == 'u' && (r - 2 == 0 || !IsIdentChar(text[r - 3]))) {
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+std::vector<std::string> StrippedLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar } st = St::kCode;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) {
+        st = St::kCode;
+      }
+      lines.push_back(current);
+      current.clear();
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          ++i;
+        } else if (c == '"' && RawPrefixLen(text, i) > 0) {
+          // Raw string literal: R"delim( ... )delim". The body may contain
+          // quotes, backslashes, and // freely — the only terminator is the
+          // exact `)delim"` sequence. The old pfc_lint stripper treated the
+          // opening quote as an ordinary string and desynced on any `"`
+          // inside the body; this scanner consumes the literal exactly.
+          const std::string prefix = text.substr(i - RawPrefixLen(text, i), RawPrefixLen(text, i));
+          current.resize(current.size() - prefix.size());
+          std::string delim;
+          size_t j = i + 1;
+          while (j < text.size() && text[j] != '(' && delim.size() <= 16) {
+            delim += text[j];
+            ++j;
+          }
+          if (j >= text.size() || text[j] != '(') {
+            // Malformed (not a real raw literal after all); put the prefix
+            // back, emit the quote, and carry on — the compiler will reject
+            // this file anyway.
+            current += prefix;
+            current += '"';
+            break;
+          }
+          const std::string close = ")" + delim + "\"";
+          size_t end = text.find(close, j + 1);
+          current += "\"\"";  // the literal, contents elided
+          if (end == std::string::npos) {
+            end = text.size();
+          } else {
+            end += close.size() - 1;  // index of the closing quote
+          }
+          // Preserve the line structure of the elided body.
+          for (size_t k = i + 1; k < end && k < text.size(); ++k) {
+            if (text[k] == '\n') {
+              lines.push_back(current);
+              current.clear();
+            }
+          }
+          i = end < text.size() ? end : text.size() - 1;
+        } else if (c == '"') {
+          st = St::kString;
+          current += '"';
+        } else if (c == '\'') {
+          st = St::kChar;
+          current += '\'';
+        } else {
+          current += c;
+        }
+        break;
+      case St::kLineComment:
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          ++i;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          current += '"';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          current += '\'';
+        }
+        break;
+    }
+  }
+  if (!current.empty() || st != St::kCode) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+bool HasNolint(const std::string& raw_line, const std::string& tag) {
+  return raw_line.find("NOLINT(" + tag + ")") != std::string::npos;
+}
+
+std::string SourceFile::JoinedCode() const {
+  std::string out;
+  size_t total = 0;
+  for (const std::string& line : code) {
+    total += line.size() + 1;
+  }
+  out.reserve(total);
+  for (const std::string& line : code) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pfc::analyze

@@ -1,0 +1,51 @@
+// Source-text model shared by every pfc_analyze pass.
+//
+// The analyzer never compiles anything: every rule works on text. To keep
+// the rules honest, each file is held twice — `raw` (the bytes, split into
+// lines, used for NOLINT markers and messages) and `code` (the same lines
+// with comments and string-literal *contents* stripped, so prose like
+// "elapsed time (sec)" in a comment or a string can never trip a rule).
+//
+// The stripper is a small state machine over the C++ lexical grammar:
+// line comments, block comments, ordinary string/char literals with
+// backslash escapes, and — the part the old pfc_lint stripper got wrong —
+// raw string literals `R"delim(...)delim"` (with the optional u8/u/U/L
+// encoding prefixes), whose bodies may contain unbalanced `"` and `//`
+// without ending the literal. Line structure is preserved throughout so
+// finding line numbers stay meaningful.
+
+#ifndef PFC_ANALYZE_SOURCE_H_
+#define PFC_ANALYZE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace pfc::analyze {
+
+// Splits text into lines (without terminators). A trailing newline does not
+// produce an empty final line.
+std::vector<std::string> SplitLines(const std::string& text);
+
+// Comment/string stripper, preserving line structure. String and char
+// literals keep their delimiters but lose their contents; raw string
+// literals are reduced to `""` regardless of how many lines they span.
+std::vector<std::string> StrippedLines(const std::string& text);
+
+// True when `raw_line` carries a `NOLINT(<tag>)` marker for this rule tag.
+bool HasNolint(const std::string& raw_line, const std::string& tag);
+
+// One scanned file. `rel` is the path relative to the analysis root with
+// '/' separators — the spelling used in findings, baselines, and SARIF.
+struct SourceFile {
+  std::string rel;
+  std::string text;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+
+  // Convenience for whole-file searches on stripped code.
+  std::string JoinedCode() const;
+};
+
+}  // namespace pfc::analyze
+
+#endif  // PFC_ANALYZE_SOURCE_H_

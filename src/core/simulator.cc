@@ -1188,6 +1188,9 @@ RunResult Simulator::Run() {
     // the result it is attached to.
     result.obs = collector_->Finish(result);
   }
+  if (config_.paranoid) {
+    AuditResult(result);
+  }
   return result;
 }
 
@@ -1261,6 +1264,59 @@ void Simulator::AuditInvariants() const {
             std::to_string(prefetch_useful_) + " + useless " + std::to_string(prefetch_useless_) +
             " + late " + std::to_string(prefetch_late_) + " + pending " +
             std::to_string(prefetch_pending_.size()));
+  }
+}
+
+void Simulator::AuditResult(const RunResult& result) const {
+  // Time-bar decomposition: every elapsed nanosecond is compute, driver
+  // overhead, or stall. Driver overhead accrues at issue time but is only
+  // charged to the app clock when the next reference consumes it, so any
+  // overhead accrued by the run's final events is still pending.
+  if (result.compute_time + result.driver_time + result.stall_time !=
+      result.elapsed_time + pending_driver_) {
+    throw SimError::Invariant(
+        "time-bar-decomposition",
+        "compute " + std::to_string(result.compute_time.ns()) + " ns + driver " +
+            std::to_string(result.driver_time.ns()) + " ns + stall " +
+            std::to_string(result.stall_time.ns()) + " ns != elapsed " +
+            std::to_string(result.elapsed_time.ns()) + " ns + pending driver " +
+            std::to_string(pending_driver_.ns()) + " ns");
+  }
+  // Fetch-count bounds: every read request is a demand fetch or a prefetch.
+  // DemandFetch bumps demand_fetches_ before it can discover the block is
+  // already in flight (or a buffer wait made the fetch moot), so demand
+  // attempts bound issued reads from above; retries re-issue an existing
+  // request and bump neither side.
+  if (result.fetches < result.prefetch_issued ||
+      result.fetches > result.demand_fetches + result.prefetch_issued) {
+    throw SimError::Invariant(
+        "fetch-split", "fetches " + std::to_string(result.fetches) + " outside [prefetch " +
+                           std::to_string(result.prefetch_issued) + ", demand attempts " +
+                           std::to_string(result.demand_fetches) + " + prefetch " +
+                           std::to_string(result.prefetch_issued) + "]");
+  }
+  // Range checks on the remaining counters: monotone accumulators can never
+  // go negative, and the dirty population is capped by the cache itself.
+  const struct {
+    const char* name;
+    int64_t value;
+  } non_negative[] = {
+      {"write_refs", result.write_refs},   {"flushes", result.flushes},
+      {"retries", result.retries},         {"failed_requests", result.failed_requests},
+      {"dirty_at_end", result.dirty_at_end},
+  };
+  for (const auto& counter : non_negative) {
+    if (counter.value < 0) {
+      throw SimError::Invariant(
+          "counter-range",
+          std::string(counter.name) + " is negative: " + std::to_string(counter.value));
+    }
+  }
+  if (result.dirty_at_end > config_.cache_blocks) {
+    throw SimError::Invariant("counter-range",
+                              "dirty_at_end " + std::to_string(result.dirty_at_end) +
+                                  " exceeds cache_blocks " +
+                                  std::to_string(config_.cache_blocks));
   }
 }
 

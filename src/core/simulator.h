@@ -208,6 +208,12 @@ class Simulator final : public Engine {
   // throws SimError::Invariant naming the first violated one. Called after
   // every applied event.
   void AuditInvariants() const;
+  // Paranoid end-of-run audit over the assembled RunResult: the time-bar
+  // decomposition (compute + driver + stall == elapsed, modulo driver
+  // overhead accrued but never consumed by a reference), the fetch-count
+  // bounds against the demand/prefetch split, and range checks on the
+  // remaining counters. Throws SimError::Invariant like AuditInvariants.
+  void AuditResult(const RunResult& result) const;
   // Closes a stall window that began at `wait_start` (app clock) for
   // `block`: accounts stall time and attributes the fault-inflicted share.
   void EndStall(BlockId block, TimeNs wait_start);

@@ -1,0 +1,293 @@
+// Unit tests for the pfc_analyze library (src/analyze): the comment/string
+// stripper (including the raw-string-literal regression the old pfc_lint
+// stripper shipped with), include extraction and cycle detection, layer
+// manifest parsing and assignment, NOLINT/baseline suppression precedence,
+// SARIF shape, and the enum/counter parsers — the latter run against the
+// real tree (PFC_REPO_ROOT) so drift in the real headers breaks the build
+// here, not just in the tree-wide ctest gate.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/accounting.h"
+#include "analyze/analyzer.h"
+#include "analyze/baseline.h"
+#include "analyze/enum_sync.h"
+#include "analyze/include_graph.h"
+#include "analyze/project.h"
+#include "analyze/sarif.h"
+#include "analyze/source.h"
+#include "gtest/gtest.h"
+
+namespace pfc::analyze {
+namespace {
+
+bool AnyOf(const std::vector<Finding>& fs, const std::string& file) {
+  for (const Finding& f : fs) {
+    if (f.file == file) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- stripper --------------------------------------------------------------
+
+TEST(StrippedLines, CommentsAndStrings) {
+  const std::vector<std::string> lines = StrippedLines(
+      "int a = 1; // time(\n"
+      "const char* s = \"rand()\"; /* system_clock */ int b = 2;\n"
+      "char c = '\\'';\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "int a = 1; ");
+  EXPECT_EQ(lines[1], "const char* s = \"\";  int b = 2;");
+  EXPECT_EQ(lines[2], "char c = '';");
+}
+
+TEST(StrippedLines, RawStringWithQuoteAndSlashes) {
+  // The regression: an unbalanced `"` and a `//` inside a raw string body
+  // desynced the old stripper, hiding the rand() on the next line.
+  const std::vector<std::string> lines = StrippedLines(
+      "const char* p = R\"(x \" y // z)\";\n"
+      "int f() { return rand(); }\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "const char* p = \"\";");
+  EXPECT_EQ(lines[1], "int f() { return rand(); }");
+}
+
+TEST(StrippedLines, RawStringDelimiterAndPrefixes) {
+  // A `)"` inside the body is not a terminator when a delimiter is used.
+  const std::vector<std::string> lines =
+      StrippedLines("auto p = R\"x(body )\" still body)x\"; int tail = 1;\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "auto p = \"\"; int tail = 1;");
+
+  const std::vector<std::string> u8 = StrippedLines("auto q = u8R\"(a \" b)\"; int z;\n");
+  ASSERT_EQ(u8.size(), 1u);
+  EXPECT_EQ(u8[0], "auto q = \"\"; int z;");
+
+  // An identifier ending in R followed by a string is NOT a raw literal.
+  const std::vector<std::string> ident = StrippedLines("int x = MACRO_R\"abc\" + f();\n");
+  ASSERT_EQ(ident.size(), 1u);
+  EXPECT_EQ(ident[0], "int x = MACRO_R\"\" + f();");
+}
+
+TEST(StrippedLines, MultiLineRawStringKeepsLineNumbers) {
+  const std::vector<std::string> lines = StrippedLines(
+      "auto p = R\"(line one\n"
+      "line two \" //\n"
+      "line three)\"; int after = 1;\n"
+      "int last = 2;\n");
+  ASSERT_EQ(lines.size(), 4u);
+  // The `""` replacement lands on the opening line; the body lines are
+  // blank; everything after the closing quote survives in place.
+  EXPECT_EQ(lines[0], "auto p = \"\"");
+  EXPECT_EQ(lines[1], "");
+  EXPECT_EQ(lines[2], "; int after = 1;");
+  EXPECT_EQ(lines[3], "int last = 2;");
+}
+
+// --- include graph ---------------------------------------------------------
+
+Project TinyTree(std::vector<std::pair<std::string, std::string>> files) {
+  return ProjectFromMemory(std::move(files));
+}
+
+TEST(IncludeGraph, ExtractionAndResolution) {
+  const Project p = TinyTree({
+      {"src/core/a.h", "#include \"core/b.h\"\n#include <vector>\n// #include \"core/fake.h\"\n"},
+      {"src/core/b.h", "#include \"util/c.h\"\n"},
+      {"src/util/c.h", "int c;\n"},
+  });
+  const std::vector<IncludeEdge> edges = ExtractIncludes(p);
+  ASSERT_EQ(edges.size(), 2u);  // angle include and commented include skipped
+  EXPECT_TRUE(edges[0].resolved);
+  EXPECT_EQ(p.files[edges[0].to].rel, "src/core/b.h");
+  EXPECT_TRUE(edges[1].resolved);
+  EXPECT_EQ(p.files[edges[1].to].rel, "src/util/c.h");
+}
+
+TEST(IncludeGraph, CycleDetection) {
+  const Project p = TinyTree({
+      {"src/core/a.h", "#include \"core/b.h\"\n"},
+      {"src/core/b.h", "#include \"core/c.h\"\n"},
+      {"src/core/c.h", "#include \"core/a.h\"\n"},
+      {"src/core/d.h", "#include \"core/a.h\"\n"},  // enters, not on, the cycle
+  });
+  const auto cycles = FindIncludeCycles(p, ExtractIncludes(p));
+  ASSERT_EQ(cycles.size(), 1u);
+  ASSERT_EQ(cycles[0].size(), 4u);  // a -> b -> c -> a
+  EXPECT_EQ(cycles[0].front(), cycles[0].back());
+}
+
+TEST(IncludeGraph, AcyclicTreeHasNoCycles) {
+  const Project p = TinyTree({
+      {"src/core/a.h", "#include \"core/b.h\"\n#include \"core/c.h\"\n"},
+      {"src/core/b.h", "#include \"core/c.h\"\n"},  // diamond, not a cycle
+      {"src/core/c.h", "int c;\n"},
+  });
+  EXPECT_TRUE(FindIncludeCycles(p, ExtractIncludes(p)).empty());
+}
+
+TEST(LayerManifestTest, ParseAndLongestPrefix) {
+  LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(LayerManifest::Parse("# comment\n"
+                                   "[[layer]]\n"
+                                   "name = \"low\"\n"
+                                   "paths = [\"src/util\", \"src/obs/event.h\"]\n"
+                                   "[[layer]]\n"
+                                   "name = \"high\"\n"
+                                   "paths = [\"src/obs\"]\n",
+                                   &m, &error))
+      << error;
+  ASSERT_EQ(m.layers.size(), 2u);
+  EXPECT_EQ(m.AssignLayer("src/util/rng.cc"), 0);
+  EXPECT_EQ(m.AssignLayer("src/obs/event.h"), 0);   // file entry beats dir prefix
+  EXPECT_EQ(m.AssignLayer("src/obs/export.cc"), 1);
+  EXPECT_EQ(m.AssignLayer("src/core/simulator.cc"), -1);
+  EXPECT_EQ(m.AssignLayer("src/obs_other/x.cc"), -1);  // prefix match is per-component
+
+  EXPECT_FALSE(LayerManifest::Parse("name = \"orphan\"\n", &m, &error));
+  EXPECT_FALSE(LayerManifest::Parse("", &m, &error));
+}
+
+TEST(Layering, UpwardIncludeFlaggedAndNolintEscapes) {
+  const Project p = TinyTree({
+      {"analyze/layers.toml",
+       "[[layer]]\nname = \"low\"\npaths = [\"src/util\"]\n"
+       "[[layer]]\nname = \"high\"\npaths = [\"src/core\"]\n"},
+      {"src/core/high.h", "int h;\n"},
+      {"src/util/bad.h", "#include \"core/high.h\"\n"},
+      {"src/util/ok.h", "#include \"core/high.h\"  // NOLINT(pfc-layering)\n"},
+  });
+  std::vector<Finding> out;
+  CheckLayering(p, "analyze/layers.toml", &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "src/util/bad.h");
+  EXPECT_EQ(out[0].rule, "layering");
+  EXPECT_NE(out[0].message.find("higher layer 'high'"), std::string::npos);
+}
+
+TEST(Layering, UncoveredFileIsAFinding) {
+  const Project p = TinyTree({
+      {"analyze/layers.toml", "[[layer]]\nname = \"only\"\npaths = [\"src/util\"]\n"},
+      {"src/core/stray.cc", "int s;\n"},
+      {"src/util/fine.cc", "int f;\n"},
+  });
+  std::vector<Finding> out;
+  CheckLayering(p, "analyze/layers.toml", &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, "src/core/stray.cc");
+}
+
+// --- suppression precedence ------------------------------------------------
+
+TEST(Suppression, NolintBeatsBaselineBeatsReport) {
+  const Project p = TinyTree({
+      {"analyze/layers.toml", "[[layer]]\nname = \"core\"\npaths = [\"src/core\"]\n"},
+      {"src/core/nolinted.cc", "int f() { return rand(); }  // NOLINT(pfc-nondeterminism)\n"},
+      {"src/core/baselined.cc", "int g() { return rand(); }\n"},
+      {"src/core/reported.cc", "int h() { return rand(); }\n"},
+  });
+  // First pass, empty baseline: the NOLINT'd file never produces a finding
+  // at all — not even a raw one — while the other two do.
+  const AnalysisResult all = Analyze(p, Baseline{});
+  EXPECT_FALSE(AnyOf(all.raw_findings, "src/core/nolinted.cc"));
+  EXPECT_TRUE(AnyOf(all.findings, "src/core/baselined.cc"));
+  EXPECT_TRUE(AnyOf(all.findings, "src/core/reported.cc"));
+
+  // Second pass: baseline one of them. It moves out of findings but stays
+  // in raw_findings; the bogus entry is stale.
+  const Finding* target = nullptr;
+  for (const Finding& f : all.findings) {
+    if (f.file == "src/core/baselined.cc") {
+      target = &f;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  const Baseline b = Baseline::Parse(Baseline::Render({*target}) +
+                                     "raw-unit\tsrc/core/gone.cc\told message\n");
+  const AnalysisResult filtered = Analyze(p, b);
+  EXPECT_FALSE(AnyOf(filtered.findings, "src/core/baselined.cc"));
+  EXPECT_TRUE(AnyOf(filtered.findings, "src/core/reported.cc"));
+  EXPECT_TRUE(AnyOf(filtered.raw_findings, "src/core/baselined.cc"));
+  ASSERT_EQ(filtered.stale_baseline.size(), 1u);
+  EXPECT_NE(filtered.stale_baseline[0].find("gone.cc"), std::string::npos);
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+TEST(Sarif, MinimalShapeAndEscaping) {
+  const std::vector<Finding> findings = {
+      {"src/core/a.cc", 7, "raw-unit", "quote \" backslash \\ tab\t"},
+      {"src/check/ref_sim.cc", 0, "policy-parity", "whole-file finding"},
+  };
+  const std::string log = SarifString(findings, {{"raw-unit", "desc"}, {"policy-parity", "d2"}});
+  EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(log.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(log.find("\"name\": \"pfc_analyze\""), std::string::npos);
+  EXPECT_NE(log.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(log.find("quote \\\" backslash \\\\ tab\\t"), std::string::npos);
+  // Whole-file findings carry no region at all (startLine must be >= 1).
+  EXPECT_EQ(log.find("\"startLine\": 0"), std::string::npos);
+  // Both rule ids appear in driver metadata and results.
+  EXPECT_NE(log.find("\"id\": \"raw-unit\""), std::string::npos);
+  EXPECT_NE(log.find("\"ruleId\": \"policy-parity\""), std::string::npos);
+}
+
+// --- parsers against the real tree ----------------------------------------
+
+TEST(RealTree, EnumParsersMatchRealHeaders) {
+  const Project p = LoadProject(PFC_REPO_ROOT);
+  const SourceFile* event = p.Find("src/obs/event.h");
+  ASSERT_NE(event, nullptr);
+  const std::vector<std::string> causes = ParseEnumerators(event->JoinedCode(), "StallCause");
+  EXPECT_EQ(causes.front(), "kColdMiss");
+  EXPECT_EQ(causes.back(), "kNumCauses");
+  EXPECT_NE(std::find(causes.begin(), causes.end(), "kOutage"), causes.end());
+
+  const std::vector<std::string> kinds = ParseEnumerators(event->JoinedCode(), "ObsEventKind");
+  EXPECT_GE(kinds.size(), 20u);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "kPrefetchUseful"), kinds.end());
+
+  const SourceFile* exp = p.Find("src/harness/experiment.h");
+  ASSERT_NE(exp, nullptr);
+  const std::vector<std::string> policies = ParseEnumerators(exp->JoinedCode(), "PolicyKind");
+  ASSERT_EQ(policies.size(), 6u);
+  EXPECT_EQ(policies[0], "kDemand");
+  EXPECT_EQ(policies[5], "kForestall");
+}
+
+TEST(RealTree, RunResultCounterFieldsParsed) {
+  const Project p = LoadProject(PFC_REPO_ROOT);
+  const SourceFile* header = p.Find("src/core/run_result.h");
+  ASSERT_NE(header, nullptr);
+  const std::vector<CounterField> fields = ParseCounterFields(header->code, "RunResult");
+  std::vector<std::string> names;
+  for (const CounterField& f : fields) {
+    names.push_back(f.name);
+  }
+  for (const char* expected : {"fetches", "demand_fetches", "prefetch_issued", "compute_time",
+                               "stall_time", "elapsed_time", "outage_stall_ns"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+  // Non-counter members must not leak in.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "trace_name"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "avg_fetch_ms"), names.end());
+}
+
+TEST(RealTree, WholeTreeIsCleanWithEmptyBaseline) {
+  const Project p = LoadProject(PFC_REPO_ROOT);
+  const AnalysisResult result = Analyze(p, Baseline::Load(std::string(PFC_REPO_ROOT)
+                                                          + "/analyze/baseline.txt"));
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": " << f.rule << ": " << f.message;
+  }
+  EXPECT_TRUE(result.stale_baseline.empty());
+}
+
+}  // namespace
+}  // namespace pfc::analyze

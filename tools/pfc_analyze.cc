@@ -1,0 +1,12 @@
+// pfc_analyze: the project's multi-pass static analyzer. All logic lives in
+// src/analyze/ (rule framework, passes, baseline, SARIF, self-test); this
+// is the canonical entry point. pfc_lint is a deprecated alias for the same
+// driver. See DESIGN.md §4g for the architecture and the rule catalog.
+//
+// Usage: pfc_analyze [--root <repo-root>] [--self-test] [--baseline <file>]
+//                    [--update-baseline] [--sarif <path>]
+// Exit: 0 = clean, 1 = findings, 2 = usage/environment error.
+
+#include "analyze/cli.h"
+
+int main(int argc, char** argv) { return pfc::analyze::RunCli(argc, argv, "pfc_analyze"); }

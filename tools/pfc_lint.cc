@@ -1,479 +1,17 @@
-// pfc_lint: project-specific static checks that a generic linter cannot
-// express. Scans src/ and enforces five invariants:
+// pfc_lint: deprecated compatibility alias for pfc_analyze.
 //
-//   1. no-nondeterminism — the simulator must be bit-reproducible, so no
-//      source of ambient nondeterminism may appear in src/: rand()/srand(),
-//      time(), std::random_device, or std::chrono::system_clock. All
-//      randomness goes through util/rng.h (seeded, deterministic).
-//   2. raw-unit — nanosecond times and block addresses outside src/util
-//      must use the strong types (TimeNs/DurNs/BlockId/...), not raw
-//      int64_t. Flags `int64_t` declarations whose name says "time"
-//      (`*_ns`, `*_time`, `time`) or "block address" (`block`, `pos`).
-//      Deliberate boundaries — deserialization staging, dimensionless
-//      model domains — carry a `NOLINT(pfc-raw-unit)` marker; src/theory's
-//      abstract-unit models are exempt wholesale.
-//   3. sink-guard — every direct `sink_->OnEvent(...)` emission must sit
-//      behind exactly one null test (`sink_ != nullptr`) or inside a
-//      designated emission helper (`::Emit*` / `::BeginStallWindow`),
-//      keeping the no-sink hot path at one branch per site.
-//   4. policy-parity — every `policy_->On*` hook the optimized Simulator
-//      invokes must also be invoked by the reference simulator
-//      (src/check/ref_sim.cc); a hook wired into only one engine would
-//      silently void the differential gate. Hooks that exist *because* the
-//      optimized engine diverges structurally (the fast-forward protocol:
-//      the oracle must stay naive) carry `NOLINT(pfc-policy-parity)` at the
-//      call site.
-//   5. hot-structure — no `std::set` / `std::map` (or their multi variants)
-//      in src/core/: the per-reference hot path uses flat structures
-//      (buffer_cache's open-addressing table + handle heap, pos_bitset,
-//      sorted vectors). Cold paths with a genuine need for a node-based
-//      container — offline schedule construction, the recency index of the
-//      deliberately naive LRU baseline — carry `NOLINT(pfc-hot-structure)`.
-//
-// Comments and string literals are stripped before matching, so prose
-// mentioning "time (sec)" never trips a rule. `--self-test` seeds one
-// violation per rule into a temp tree and verifies each is caught (and
-// that a clean file is not), proving the checker itself works.
-//
-// Usage: pfc_lint [--root <repo-root>] [--self-test]
-// Exit: 0 = clean, 1 = violations (printed as file:line: rule: message),
-//       2 = usage/environment error.
+// The original pfc_lint was a standalone 479-line token scanner enforcing
+// five style rules. Those rules now live in the src/analyze/ rule framework
+// alongside the layering, include-cycle, enum-sync, and accounting-coverage
+// passes, so this binary is the same driver under the old name — identical
+// flags, identical exit codes, plus the newer --baseline/--sarif options.
+// New scripts should invoke pfc_analyze directly.
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <regex>
-#include <set>
-#include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Violation {
-  std::string file;
-  size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-// Strips // and /* */ comments and the contents of string/char literals,
-// preserving line structure so line numbers stay meaningful.
-std::vector<std::string> StrippedLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar } st = St::kCode;
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == St::kLineComment) {
-        st = St::kCode;
-      }
-      lines.push_back(current);
-      current.clear();
-      continue;
-    }
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          st = St::kString;
-          current += '"';
-        } else if (c == '\'') {
-          st = St::kChar;
-          current += '\'';
-        } else {
-          current += c;
-        }
-        break;
-      case St::kLineComment:
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          ++i;
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-          current += '"';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          current += '\'';
-        }
-        break;
-    }
-  }
-  if (!current.empty() || st != St::kCode) {
-    lines.push_back(current);
-  }
-  return lines;
-}
-
-std::string ReadFile(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  return std::string(std::istreambuf_iterator<char>(in), {});
-}
-
-bool HasNolint(const std::string& raw_line, const char* tag) {
-  return raw_line.find(std::string("NOLINT(") + tag + ")") != std::string::npos;
-}
-
-// --- rule 1: no-nondeterminism --------------------------------------------
-
-void CheckNondeterminism(const fs::path& file, const std::vector<std::string>& code,
-                         const std::vector<std::string>& raw,
-                         std::vector<Violation>* out) {
-  static const std::regex kBanned(
-      R"(\b(rand|srand|time)\s*\(|\brandom_device\b|\bsystem_clock\b)");
-  for (size_t i = 0; i < code.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(code[i], m, kBanned) &&
-        !HasNolint(i < raw.size() ? raw[i] : "", "pfc-nondeterminism")) {
-      out->push_back({file.string(), i + 1, "no-nondeterminism",
-                      "ambient randomness/clock source '" + m.str() +
-                          "' — use util/rng.h or the simulated clock"});
-    }
-  }
-}
-
-// --- rule 2: raw-unit ------------------------------------------------------
-
-void CheckRawUnits(const fs::path& file, const std::vector<std::string>& code,
-                   const std::vector<std::string>& raw, std::vector<Violation>* out) {
-  // int64_t declarations whose name denotes a time quantity or a block
-  // address. Counts (`blocks`, `num_*`, `*_count`) are legitimately raw.
-  static const std::regex kRawTime(
-      R"(\bint64_t\s+[A-Za-z_]*(_ns|_time|time)\s*[=;,)])");
-  static const std::regex kRawAddr(R"(\bint64_t\s+(block|pos)\s*[=;,)])");
-  for (size_t i = 0; i < code.size(); ++i) {
-    if (HasNolint(i < raw.size() ? raw[i] : "", "pfc-raw-unit")) {
-      continue;
-    }
-    std::smatch m;
-    if (std::regex_search(code[i], m, kRawTime)) {
-      out->push_back({file.string(), i + 1, "raw-unit",
-                      "raw int64_t time quantity '" + m.str() +
-                          "' — use TimeNs/DurNs (util/strong_types.h)"});
-    } else if (std::regex_search(code[i], m, kRawAddr)) {
-      out->push_back({file.string(), i + 1, "raw-unit",
-                      "raw int64_t block/position '" + m.str() +
-                          "' — use BlockId/TracePos (util/strong_types.h)"});
-    }
-  }
-}
-
-// --- rule 3: sink-guard ----------------------------------------------------
-
-void CheckSinkGuard(const fs::path& file, const std::vector<std::string>& code,
-                    std::vector<Violation>* out) {
-  static const std::regex kEmit(R"(sink_\s*->\s*OnEvent\s*\()");
-  static const std::regex kGuard(R"(sink_\s*[!=]=\s*nullptr)");
-  static const std::regex kHelper(R"(::(Emit[A-Za-z]*|BeginStallWindow)\s*\()");
-  constexpr size_t kWindow = 15;
-  for (size_t i = 0; i < code.size(); ++i) {
-    if (!std::regex_search(code[i], kEmit)) {
-      continue;
-    }
-    bool guarded = false;
-    for (size_t back = 0; back <= kWindow && back <= i; ++back) {
-      const std::string& prev = code[i - back];
-      if (std::regex_search(prev, kGuard) || std::regex_search(prev, kHelper)) {
-        guarded = true;
-        break;
-      }
-    }
-    if (!guarded) {
-      out->push_back({file.string(), i + 1, "sink-guard",
-                      "sink_->OnEvent without a nearby 'sink_ != nullptr' test or "
-                      "emission helper — the no-sink path must cost one branch"});
-    }
-  }
-}
-
-// --- rule 4: policy-parity -------------------------------------------------
-
-std::set<std::string> PolicyHooks(const std::string& text) {
-  static const std::regex kHook(R"(policy_?\s*->\s*(On[A-Za-z]+)\s*\()");
-  std::set<std::string> hooks;
-  std::istringstream is(text);
-  std::string line;
-  while (std::getline(is, line)) {
-    if (HasNolint(line, "pfc-policy-parity")) {
-      continue;  // a deliberate single-engine hook (fast-forward protocol)
-    }
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), kHook);
-         it != std::sregex_iterator(); ++it) {
-      hooks.insert((*it)[1].str());
-    }
-  }
-  return hooks;
-}
-
-void CheckPolicyParity(const fs::path& root, std::vector<Violation>* out) {
-  const fs::path sim = root / "src" / "core" / "simulator.cc";
-  const fs::path ref = root / "src" / "check" / "ref_sim.cc";
-  if (!fs::exists(sim) || !fs::exists(ref)) {
-    out->push_back({(fs::exists(sim) ? ref : sim).string(), 0, "policy-parity",
-                    "engine source missing — cannot verify Simulator/RefSim hook parity"});
-    return;
-  }
-  const std::set<std::string> sim_hooks = PolicyHooks(ReadFile(sim));
-  const std::set<std::string> ref_hooks = PolicyHooks(ReadFile(ref));
-  for (const std::string& hook : sim_hooks) {
-    if (ref_hooks.find(hook) == ref_hooks.end()) {
-      out->push_back({ref.string(), 0, "policy-parity",
-                      "Simulator invokes Policy::" + hook +
-                          " but RefSim never does — the differential gate would not "
-                          "exercise it"});
-    }
-  }
-  for (const std::string& hook : ref_hooks) {
-    if (sim_hooks.find(hook) == sim_hooks.end()) {
-      out->push_back({sim.string(), 0, "policy-parity",
-                      "RefSim invokes Policy::" + hook + " but Simulator never does"});
-    }
-  }
-}
-
-// --- rule 5: hot-structure -------------------------------------------------
-
-void CheckHotStructure(const fs::path& file, const std::vector<std::string>& code,
-                       const std::vector<std::string>& raw,
-                       std::vector<Violation>* out) {
-  static const std::regex kNodeContainer(R"(\bstd\s*::\s*(multi)?(set|map)\s*<)");
-  for (size_t i = 0; i < code.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(code[i], m, kNodeContainer) &&
-        !HasNolint(i < raw.size() ? raw[i] : "", "pfc-hot-structure")) {
-      out->push_back({file.string(), i + 1, "hot-structure",
-                      "node-based '" + m.str() +
-                          "...>' in src/core — use a flat structure (open-addressing "
-                          "table, handle heap, pos_bitset, sorted vector)"});
-    }
-  }
-}
-
-// --- driver ----------------------------------------------------------------
-
-bool InTheory(const fs::path& p) {
-  for (const fs::path& part : p) {
-    if (part == "theory") {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool InUtil(const fs::path& p) {
-  for (const fs::path& part : p) {
-    if (part == "util") {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool InCore(const fs::path& p) {
-  for (const fs::path& part : p) {
-    if (part == "core") {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::vector<Violation> LintTree(const fs::path& root) {
-  std::vector<Violation> violations;
-  const fs::path src = root / "src";
-  if (!fs::is_directory(src)) {
-    violations.push_back({src.string(), 0, "environment", "src/ not found under root"});
-    return violations;
-  }
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (!entry.is_regular_file()) {
-      continue;
-    }
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".cc" || ext == ".h") {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& file : files) {
-    const std::string text = ReadFile(file);
-    std::vector<std::string> raw;
-    {
-      std::string line;
-      std::istringstream is(text);
-      while (std::getline(is, line)) {
-        raw.push_back(line);
-      }
-    }
-    const std::vector<std::string> code = StrippedLines(text);
-    CheckNondeterminism(file, code, raw, &violations);
-    // src/theory models dimensionless reference/tick units and src/util
-    // defines the wrappers themselves; both legitimately hold raw int64.
-    if (!InTheory(file) && !InUtil(file)) {
-      CheckRawUnits(file, code, raw, &violations);
-    }
-    CheckSinkGuard(file, code, &violations);
-    // The per-reference hot path lives in src/core; everything there is
-    // held to flat structures unless explicitly excused.
-    if (InCore(file)) {
-      CheckHotStructure(file, code, raw, &violations);
-    }
-  }
-  CheckPolicyParity(root, &violations);
-  return violations;
-}
-
-// --- self-test -------------------------------------------------------------
-
-void WriteFileOrDie(const fs::path& path, const std::string& content) {
-  fs::create_directories(path.parent_path());
-  std::ofstream out(path, std::ios::binary);
-  out << content;
-  if (!out) {
-    std::fprintf(stderr, "pfc_lint: cannot write %s\n", path.string().c_str());
-    std::exit(2);
-  }
-}
-
-bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
-  for (const Violation& v : vs) {
-    if (v.rule == rule) {
-      return true;
-    }
-  }
-  return false;
-}
-
-int SelfTest() {
-  const fs::path root = fs::temp_directory_path() / "pfc_lint_selftest";
-  fs::remove_all(root);
-
-  // One seeded violation per rule.
-  WriteFileOrDie(root / "src" / "core" / "bad_rand.cc",
-                 "int f() { return rand(); }\n");
-  WriteFileOrDie(root / "src" / "core" / "bad_unit.cc",
-                 "#include <cstdint>\nvoid g() { int64_t stall_ns = 0; (void)stall_ns; }\n");
-  WriteFileOrDie(root / "src" / "core" / "bad_sink.cc",
-                 "struct S { void* sink_; void E();\n};\n"
-                 "void bad() { S s; s.sink_->OnEvent(0); }\n");
-  // The NOLINT'd OnFastForward call must be excused from parity; the bare
-  // OnFetchComplete one must still be flagged, and so must a fault-lifecycle
-  // hook (OnDiskDown) wired into only one engine.
-  WriteFileOrDie(root / "src" / "core" / "simulator.cc",
-                 "void run() { policy_->OnReference(0); policy_->OnFetchComplete(0);\n"
-                 "  policy_->OnDiskDown(0);\n"
-                 "  policy_->OnFastForward(0, 1);  // NOLINT(pfc-policy-parity)\n}\n");
-  WriteFileOrDie(root / "src" / "check" / "ref_sim.cc",
-                 "void run() { policy->OnReference(0); }\n");
-  WriteFileOrDie(root / "src" / "core" / "bad_structure.cc",
-                 "#include <set>\nstd::set<long> index_;\n");
-  // A clean file: comments and strings must not trip anything, guarded
-  // emission, wrapped units, and excused containers must pass.
-  WriteFileOrDie(root / "src" / "core" / "clean.cc",
-                 "// calls time() and rand() in prose only\n"
-                 "const char* kMsg = \"elapsed time (sec)\";\n"
-                 "void ok() { if (sink_ != nullptr) { sink_->OnEvent(e); } }\n"
-                 "std::map<int, int> cold_;  // NOLINT(pfc-hot-structure)\n");
-  // Outside src/core the same container is fine.
-  WriteFileOrDie(root / "src" / "harness" / "clean_harness.cc",
-                 "#include <map>\nstd::map<int, int> registry_;\n");
-
-  const std::vector<Violation> vs = LintTree(root);
-  int failures = 0;
-  for (const char* rule :
-       {"no-nondeterminism", "raw-unit", "sink-guard", "policy-parity", "hot-structure"}) {
-    if (!HasRule(vs, rule)) {
-      std::fprintf(stderr, "self-test: seeded %s violation was NOT caught\n", rule);
-      ++failures;
-    }
-  }
-  bool bad_disk_down = false;
-  for (const Violation& v : vs) {
-    bad_disk_down = bad_disk_down || (v.rule == "policy-parity" &&
-                                      v.message.find("OnDiskDown") != std::string::npos);
-  }
-  if (!bad_disk_down) {
-    std::fprintf(stderr, "self-test: one-engine OnDiskDown hook was NOT caught by parity\n");
-    ++failures;
-  }
-  for (const Violation& v : vs) {
-    if (v.file.find("clean.cc") != std::string::npos ||
-        v.file.find("clean_harness.cc") != std::string::npos) {
-      std::fprintf(stderr, "self-test: clean file flagged: %s: %s\n", v.rule.c_str(),
-                   v.message.c_str());
-      ++failures;
-    }
-    if (v.file.find("bad_sink.cc") != std::string::npos && v.rule != "sink-guard") {
-      // bad_sink.cc exists to trip sink-guard only; any other rule firing
-      // there is a false positive.
-      std::fprintf(stderr, "self-test: unexpected %s in bad_sink.cc\n", v.rule.c_str());
-      ++failures;
-    }
-    if (v.rule == "policy-parity" && v.message.find("OnFastForward") != std::string::npos) {
-      std::fprintf(stderr, "self-test: NOLINT(pfc-policy-parity) was not honored\n");
-      ++failures;
-    }
-  }
-  fs::remove_all(root);
-  if (failures == 0) {
-    std::printf("pfc_lint --self-test: all 5 rules fire on seeded violations, "
-                "clean files pass, NOLINT escapes honored\n");
-    return 0;
-  }
-  return 1;
-}
-
-}  // namespace
+#include "analyze/cli.h"
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
-  bool self_test = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--self-test") {
-      self_test = true;
-    } else if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: pfc_lint [--root <repo-root>] [--self-test]\n");
-      return 2;
-    }
-  }
-  if (self_test) {
-    return SelfTest();
-  }
-  const std::vector<Violation> violations = LintTree(root);
-  for (const Violation& v : violations) {
-    std::fprintf(stderr, "%s:%zu: %s: %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                 v.message.c_str());
-  }
-  if (violations.empty()) {
-    std::printf("pfc_lint: clean\n");
-    return 0;
-  }
-  std::fprintf(stderr, "pfc_lint: %zu violation(s)\n", violations.size());
-  return 1;
+  std::fprintf(stderr, "pfc_lint: deprecated alias — use pfc_analyze (same flags)\n");
+  return pfc::analyze::RunCli(argc, argv, "pfc_lint");
 }
